@@ -1,0 +1,264 @@
+//! Battery degradation constants.
+//!
+//! The paper writes its degradation equations (1)–(4) in terms of
+//! constants `k1 … k6`, `α_sei` and `k`, and cites the lithium-ion model
+//! of Xu, Oudalov, Ulbig, Andersson & Kirschen, *Modeling of Lithium-Ion
+//! Battery Degradation for Cell Life Assessment* (IEEE Trans. Smart
+//! Grid, 2016) as their source. [`DegradationConstants::lmo`] carries
+//! that paper's published values for an LMO cell, re-parameterized into
+//! the ICDCS paper's equation shapes.
+
+use blam_units::Celsius;
+use serde::{Deserialize, Serialize};
+
+use crate::rainflow::Cycle;
+
+/// Which cycle-stress law converts a rainflow cycle into damage.
+///
+/// The ICDCS paper's Eq. (2) is linear in depth and mean SoC; the Xu et
+/// al. model it cites uses a sub-linear power law in depth. The paper
+/// explicitly claims independence of the specific battery model — the
+/// `cycle_model` ablation exercises that claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CycleStressModel {
+    /// Eq. (2): `damage = η · δ · φ · k6`.
+    PaperLinear,
+    /// Xu et al. (2016): `damage = η · S_δ(δ) · S_σ(φ)` with
+    /// `S_δ(δ) = (kδ1 · δ^kδ2 + kδ3)⁻¹` and
+    /// `S_σ(φ) = e^{k2 (φ − k3)}`.
+    XuPowerLaw,
+}
+
+/// The constants of the paper's degradation equations (1)–(4).
+///
+/// | Symbol | Field | Meaning |
+/// |--------|-------|---------|
+/// | `k1` | `time_stress_per_sec` | calendar aging rate at reference SoC/temperature, per second |
+/// | `k2` | `soc_stress` | exponential SoC-stress coefficient |
+/// | `k3` | `soc_ref` | reference SoC (stress = 1 at this SoC) |
+/// | `k4` | `temp_stress` | Arrhenius-style temperature coefficient, 1/K |
+/// | `k5` | `temp_ref` | reference temperature, °C |
+/// | `k6` | `cycle_stress` | per-cycle aging coefficient (multiplies η·δ·φ) |
+/// | `α_sei` | `alpha_sei` | capacity fraction governed by SEI-film formation |
+/// | `k` | `k_sei` | SEI decay constant |
+///
+/// # Examples
+///
+/// ```
+/// use blam_battery::DegradationConstants;
+///
+/// let k = DegradationConstants::lmo();
+/// // Stress factor is exactly 1 at the reference temperature.
+/// assert!((k.temperature_stress(blam_units::Celsius(25.0)) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradationConstants {
+    /// `k1`: calendar-aging rate per second at the reference SoC and
+    /// temperature.
+    pub time_stress_per_sec: f64,
+    /// `k2`: exponential SoC-stress coefficient.
+    pub soc_stress: f64,
+    /// `k3`: reference SoC.
+    pub soc_ref: f64,
+    /// `k4`: temperature-stress coefficient (1/K).
+    pub temp_stress: f64,
+    /// `k5`: reference temperature (°C).
+    pub temp_ref_celsius: f64,
+    /// `k6`: cycle-aging coefficient, applied per cycle as
+    /// `η·δ·φ·k6`.
+    pub cycle_stress: f64,
+    /// `α_sei`: fraction of capacity tied to SEI-film formation.
+    pub alpha_sei: f64,
+    /// `k`: SEI decay constant multiplying the linear degradation in the
+    /// first exponential of Eq. (4).
+    pub k_sei: f64,
+    /// Which cycle-stress law to apply.
+    pub cycle_model: CycleStressModel,
+    /// Xu's `kδ1` (power-law scale).
+    pub xu_kdelta1: f64,
+    /// Xu's `kδ2` (power-law exponent, negative).
+    pub xu_kdelta2: f64,
+    /// Xu's `kδ3` (power-law offset).
+    pub xu_kdelta3: f64,
+}
+
+impl DegradationConstants {
+    /// Constants for an LMO lithium-ion cell from Xu et al. (2016):
+    ///
+    /// * time stress `k_t = 4.14e-10 s⁻¹`,
+    /// * SoC stress `k_σ = 1.04` around `σ_ref = 0.5`,
+    /// * temperature stress `k_T = 0.0693 K⁻¹` around 25 °C,
+    /// * SEI parameters `α_sei = 5.75e-2`, `β_sei (our k) = 121`,
+    /// * cycle coefficient `k6 = 1.5e-5`. The ICDCS paper leaves `k6`
+    ///   unspecified; its reported lifespans pin it down — LoRaWAN's
+    ///   8.1-year network lifespan equals the *pure calendar-aging*
+    ///   prediction at high SoC, and Fig. 2 shows cycle aging as a
+    ///   small fraction of the total. `1.5e-5` reproduces that
+    ///   cycle-to-calendar ratio for the paper's workload (tens of
+    ///   shallow transmission cycles per day plus one overnight
+    ///   discharge).
+    #[must_use]
+    pub fn lmo() -> Self {
+        DegradationConstants {
+            time_stress_per_sec: 4.14e-10,
+            soc_stress: 1.04,
+            soc_ref: 0.5,
+            temp_stress: 0.0693,
+            temp_ref_celsius: 25.0,
+            cycle_stress: 1.5e-5,
+            alpha_sei: 5.75e-2,
+            k_sei: 121.0,
+            cycle_model: CycleStressModel::PaperLinear,
+            xu_kdelta1: 1.4e5,
+            xu_kdelta2: -0.501,
+            xu_kdelta3: -1.23e5,
+        }
+    }
+
+    /// The LMO constants with Xu et al.'s sub-linear power-law cycle
+    /// stress instead of the paper's linear Eq. (2).
+    #[must_use]
+    pub fn lmo_xu_cycle() -> Self {
+        DegradationConstants {
+            cycle_model: CycleStressModel::XuPowerLaw,
+            ..DegradationConstants::lmo()
+        }
+    }
+
+    /// Damage contributed by one rainflow cycle, before the temperature
+    /// stress multiplier, under the configured cycle-stress law.
+    #[must_use]
+    pub fn cycle_damage(&self, cycle: &Cycle) -> f64 {
+        match self.cycle_model {
+            CycleStressModel::PaperLinear => {
+                cycle.weight * cycle.depth * cycle.mean_soc * self.cycle_stress
+            }
+            CycleStressModel::XuPowerLaw => {
+                if cycle.depth <= 0.0 {
+                    return 0.0;
+                }
+                let s_delta =
+                    (self.xu_kdelta1 * cycle.depth.powf(self.xu_kdelta2) + self.xu_kdelta3)
+                        .recip()
+                        .max(0.0);
+                let s_sigma = self.soc_stress_factor(cycle.mean_soc);
+                cycle.weight * s_delta * s_sigma
+            }
+        }
+    }
+
+    /// The temperature-stress multiplier of Eqs. (1) and (2):
+    ///
+    /// ```text
+    /// exp(k4 · (T − k5) · (273 + k5) / (273 + T))
+    /// ```
+    ///
+    /// Equals 1 at the reference temperature and grows exponentially
+    /// above it.
+    #[must_use]
+    pub fn temperature_stress(&self, temp: Celsius) -> f64 {
+        let t = temp.0;
+        let t_ref = self.temp_ref_celsius;
+        (self.temp_stress * (t - t_ref) * (273.0 + t_ref) / (273.0 + t)).exp()
+    }
+
+    /// The SoC-stress multiplier of Eq. (1): `exp(k2 · (soc − k3))`.
+    #[must_use]
+    pub fn soc_stress_factor(&self, avg_soc: f64) -> f64 {
+        (self.soc_stress * (avg_soc - self.soc_ref)).exp()
+    }
+}
+
+impl Default for DegradationConstants {
+    fn default() -> Self {
+        DegradationConstants::lmo()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temperature_stress_is_one_at_reference() {
+        let k = DegradationConstants::lmo();
+        assert!((k.temperature_stress(Celsius(25.0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn temperature_stress_monotone() {
+        let k = DegradationConstants::lmo();
+        let cold = k.temperature_stress(Celsius(0.0));
+        let warm = k.temperature_stress(Celsius(40.0));
+        assert!(cold < 1.0);
+        assert!(warm > 1.0);
+        // Xu et al.: ~35 °C roughly doubles aging vs 25 °C.
+        let hot = k.temperature_stress(Celsius(35.0));
+        assert!(hot > 1.8 && hot < 2.2, "got {hot}");
+    }
+
+    #[test]
+    fn soc_stress_is_one_at_reference() {
+        let k = DegradationConstants::lmo();
+        assert!((k.soc_stress_factor(0.5) - 1.0).abs() < 1e-12);
+        assert!(k.soc_stress_factor(1.0) > 1.0);
+        assert!(k.soc_stress_factor(0.0) < 1.0);
+    }
+
+    #[test]
+    fn full_soc_costs_about_68_percent_more_than_reference() {
+        // e^{1.04·0.5} ≈ 1.68: storing full instead of half-full ages
+        // the battery ~68% faster — the quantitative heart of the
+        // paper's θ-clamping idea.
+        let k = DegradationConstants::lmo();
+        let ratio = k.soc_stress_factor(1.0) / k.soc_stress_factor(0.5);
+        assert!((ratio - 1.68).abs() < 0.02, "got {ratio}");
+    }
+
+    #[test]
+    fn xu_power_law_values() {
+        let k = DegradationConstants::lmo_xu_cycle();
+        // Full cycle at δ = 1, φ = 0.5 (S_σ = 1):
+        // S_δ(1) = 1/(1.4e5 − 1.23e5) ≈ 5.88e-5.
+        let full = Cycle::full(1.0, 0.0);
+        assert!((k.cycle_damage(&full) - 5.882e-5).abs() < 1e-7);
+        // Depth is penalized super-linearly per cycle: a 50%-deep cycle
+        // costs less than half a full one (S_δ(0.5) ≈ 1.33e-5), i.e.
+        // splitting a deep cycle into shallow ones reduces damage —
+        // the property the θ clamp and green-energy timing exploit.
+        let half_depth = Cycle::full(0.75, 0.25);
+        assert!((k.cycle_damage(&half_depth) - 1.33e-5).abs() < 1e-7);
+        assert!(2.0 * k.cycle_damage(&half_depth) < k.cycle_damage(&full));
+        // Zero-depth cycles contribute nothing.
+        let flat = Cycle::full(0.5, 0.5);
+        assert_eq!(k.cycle_damage(&flat), 0.0);
+    }
+
+    #[test]
+    fn xu_model_never_negative() {
+        let k = DegradationConstants::lmo_xu_cycle();
+        for depth_milli in 1..=1000u32 {
+            let d = f64::from(depth_milli) / 1000.0;
+            let c = Cycle::full(0.5 + d / 2.0, 0.5 - d / 2.0);
+            assert!(k.cycle_damage(&c) >= 0.0, "negative damage at δ={d}");
+        }
+    }
+
+    #[test]
+    fn paper_linear_matches_formula() {
+        let k = DegradationConstants::lmo();
+        let c = Cycle::half(0.8, 0.4);
+        // η(0.5)·δ(0.4)·φ(0.6)·k6
+        assert!((k.cycle_damage(&c) - 0.5 * 0.4 * 0.6 * k.cycle_stress).abs() < 1e-18);
+    }
+
+    #[test]
+    fn yearly_calendar_scale_is_plausible() {
+        // k1 × one year ≈ 1.3% linear degradation at reference
+        // conditions, giving lifespans in the 8–15 year band the paper
+        // reports once SoC stress is applied.
+        let k = DegradationConstants::lmo();
+        let yearly = k.time_stress_per_sec * 365.25 * 86_400.0;
+        assert!((yearly - 0.013).abs() < 0.001, "got {yearly}");
+    }
+}

@@ -1,0 +1,537 @@
+//! The paper's degradation equations (1)–(4) and an incremental tracker.
+//!
+//! * Calendar aging, Eq. (1): time × SoC stress × temperature stress.
+//! * Cycle aging, Eq. (2): `Σ η·δ·φ·k6 × temperature stress` over
+//!   rainflow-counted cycles.
+//! * Linear degradation, Eq. (3): the sum of the two.
+//! * Nonlinear degradation, Eq. (4): the SEI-film composite
+//!   `1 − α·e^{−k·D_L} − (1−α)·e^{−D_L}`.
+
+use blam_units::{Celsius, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::chemistry::DegradationConstants;
+use crate::rainflow::{Cycle, StreamingRainflow};
+
+/// Calendar aging per Eq. (1):
+/// `k1 · ζ · e^{k2(φ̄ − k3)} · e^{k4(T̄−k5)(273+k5)/(273+T̄)}`,
+/// with `ζ` in seconds.
+///
+/// # Examples
+///
+/// ```
+/// use blam_battery::degradation::calendar_aging;
+/// use blam_battery::DegradationConstants;
+/// use blam_units::Celsius;
+///
+/// let k = DegradationConstants::lmo();
+/// let year = 365.25 * 86_400.0;
+/// let at_half = calendar_aging(year, 0.5, Celsius(25.0), &k);
+/// let at_full = calendar_aging(year, 1.0, Celsius(25.0), &k);
+/// assert!(at_full > at_half); // storing full ages faster
+/// ```
+#[must_use]
+pub fn calendar_aging(
+    elapsed_secs: f64,
+    avg_soc: f64,
+    temp: Celsius,
+    k: &DegradationConstants,
+) -> f64 {
+    k.time_stress_per_sec * elapsed_secs * k.soc_stress_factor(avg_soc) * k.temperature_stress(temp)
+}
+
+/// Cycle aging per Eq. (2): `Σ_i η_i · δ_i · φ_i · k6 · temp_stress`.
+#[must_use]
+pub fn cycle_aging<'a, I>(cycles: I, temp: Celsius, k: &DegradationConstants) -> f64
+where
+    I: IntoIterator<Item = &'a Cycle>,
+{
+    let stress = k.temperature_stress(temp);
+    cycles.into_iter().map(|c| k.cycle_damage(c) * stress).sum()
+}
+
+/// The SEI-nonlinear composite of Eq. (4):
+/// `D = 1 − α_sei·e^{−k·D_L} − (1 − α_sei)·e^{−D_L}`.
+///
+/// Maps linear degradation `D_L ∈ [0, ∞)` to the observable capacity
+/// loss fraction `D ∈ [0, 1)`: fast early SEI formation, then a gentle
+/// exponential.
+#[must_use]
+pub fn nonlinear_degradation(d_linear: f64, k: &DegradationConstants) -> f64 {
+    1.0 - k.alpha_sei * (-k.k_sei * d_linear).exp() - (1.0 - k.alpha_sei) * (-d_linear).exp()
+}
+
+/// Inverts Eq. (4) by bisection: the linear degradation at which the
+/// observable degradation reaches `target`.
+///
+/// # Panics
+///
+/// Panics if `target` is outside `[0, 1)`.
+#[must_use]
+pub fn linear_for_nonlinear(target: f64, k: &DegradationConstants) -> f64 {
+    assert!(
+        (0.0..1.0).contains(&target),
+        "nonlinear degradation target must be in [0,1), got {target}"
+    );
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    while nonlinear_degradation(hi, k) < target {
+        hi *= 2.0;
+    }
+    for _ in 0..200 {
+        let mid = f64::midpoint(lo, hi);
+        if nonlinear_degradation(mid, k) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    f64::midpoint(lo, hi)
+}
+
+/// A per-component view of a battery's degradation at some instant.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DegradationBreakdown {
+    /// Calendar-aging contribution to the linear degradation, Eq. (1).
+    pub calendar: f64,
+    /// Cycle-aging contribution to the linear degradation, Eq. (2).
+    pub cycle: f64,
+    /// Linear degradation, Eq. (3) (= calendar + cycle).
+    pub linear: f64,
+    /// Observable (SEI-nonlinear) degradation, Eq. (4).
+    pub total: f64,
+}
+
+/// Incrementally tracks a battery's degradation from SoC samples.
+///
+/// Feed `(time, SoC)` samples with [`record`](DegradationTracker::record)
+/// whenever the battery charges or discharges; query the degradation at
+/// any instant. Internally the tracker maintains
+///
+/// * a [`StreamingRainflow`] counter and the accumulated cycle-aging
+///   damage of all *closed* cycles (O(1) amortized per sample), and
+/// * a time-weighted SoC integral for the calendar term — the natural
+///   continuous-time generalization of the paper's "average SoC across
+///   all charge-discharge cycles" (the two coincide for symmetric
+///   cycles; see DESIGN.md).
+///
+/// # Examples
+///
+/// ```
+/// use blam_battery::DegradationTracker;
+/// use blam_units::{Celsius, Duration, SimTime};
+///
+/// let mut t = DegradationTracker::new(Celsius(25.0));
+/// t.record(SimTime::ZERO, 1.0);
+/// let after = SimTime::ZERO + Duration::from_days(365);
+/// let idle_full = t.degradation(after);
+/// assert!(idle_full > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradationTracker {
+    constants: DegradationConstants,
+    temperature: Celsius,
+    rainflow: StreamingRainflow,
+    /// Accumulated per-cycle damage of closed cycles (before the
+    /// temperature multiplier), under the configured cycle-stress law.
+    closed_damage: f64,
+    /// ∫ soc dt in SoC·seconds.
+    soc_integral: f64,
+    first_sample: Option<SimTime>,
+    last_sample: Option<(SimTime, f64)>,
+    /// Service time accumulated before the simulation started (pre-aged
+    /// batteries), in seconds.
+    prior_secs: f64,
+    /// ∫ soc dt accumulated before the simulation started.
+    prior_soc_integral: f64,
+}
+
+impl DegradationTracker {
+    /// Creates a tracker for a battery held at `temperature` (the paper
+    /// assumes an insulated battery at a fixed 25 °C).
+    #[must_use]
+    pub fn new(temperature: Celsius) -> Self {
+        DegradationTracker::with_constants(temperature, DegradationConstants::lmo())
+    }
+
+    /// Creates a tracker with custom degradation constants.
+    #[must_use]
+    pub fn with_constants(temperature: Celsius, constants: DegradationConstants) -> Self {
+        DegradationTracker {
+            constants,
+            temperature,
+            rainflow: StreamingRainflow::new(),
+            closed_damage: 0.0,
+            soc_integral: 0.0,
+            first_sample: None,
+            last_sample: None,
+            prior_secs: 0.0,
+            prior_soc_integral: 0.0,
+        }
+    }
+
+    /// Creates a tracker for a battery that already served `age` at an
+    /// average SoC of `avg_soc`, with `cycle_damage` accumulated
+    /// cycle-aging damage (before temperature stress) — used to model
+    /// mixed-age deployments, e.g. a replacement node joining a network
+    /// of worn batteries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `avg_soc` is outside `[0, 1]` or `cycle_damage` is
+    /// negative.
+    #[must_use]
+    pub fn with_prior_age(
+        temperature: Celsius,
+        constants: DegradationConstants,
+        age: blam_units::Duration,
+        avg_soc: f64,
+        cycle_damage: f64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&avg_soc), "prior avg SoC in [0,1]");
+        assert!(cycle_damage >= 0.0, "prior cycle damage must be ≥ 0");
+        let mut t = DegradationTracker::with_constants(temperature, constants);
+        t.prior_secs = age.as_secs_f64();
+        t.prior_soc_integral = avg_soc * t.prior_secs;
+        t.closed_damage = cycle_damage;
+        t
+    }
+
+    /// The degradation constants in use.
+    #[must_use]
+    pub fn constants(&self) -> &DegradationConstants {
+        &self.constants
+    }
+
+    /// The assumed battery temperature.
+    #[must_use]
+    pub fn temperature(&self) -> Celsius {
+        self.temperature
+    }
+
+    /// Records an SoC sample.
+    ///
+    /// Samples must be fed in non-decreasing time order; out-of-order
+    /// samples are clamped to the last recorded instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `soc` is not within `[0, 1]` with a
+    /// small tolerance.
+    pub fn record(&mut self, at: SimTime, soc: f64) {
+        debug_assert!(
+            (-1e-9..=1.0 + 1e-9).contains(&soc),
+            "SoC out of range: {soc}"
+        );
+        let soc = soc.clamp(0.0, 1.0);
+        if self.first_sample.is_none() {
+            self.first_sample = Some(at);
+        }
+        if let Some((t0, s0)) = self.last_sample {
+            let at = at.max(t0);
+            let dt = (at - t0).as_secs_f64();
+            self.soc_integral += f64::midpoint(s0, soc) * dt;
+            self.last_sample = Some((at, soc));
+        } else {
+            self.last_sample = Some((at, soc));
+        }
+        for c in self.rainflow.push(soc) {
+            self.closed_damage += self.constants.cycle_damage(&c);
+        }
+    }
+
+    /// Time-weighted average SoC from the first sample to `at`
+    /// (holding the last sample constant to `at`).
+    ///
+    /// Returns 0 before any sample has been recorded.
+    #[must_use]
+    pub fn average_soc(&self, at: SimTime) -> f64 {
+        let (Some(first), Some((t_last, s_last))) = (self.first_sample, self.last_sample) else {
+            return if self.prior_secs > 0.0 {
+                self.prior_soc_integral / self.prior_secs
+            } else {
+                0.0
+            };
+        };
+        let tail = at.saturating_since(t_last).as_secs_f64();
+        let total = self.prior_secs + at.saturating_since(first).as_secs_f64();
+        if total <= 0.0 {
+            return s_last;
+        }
+        (self.prior_soc_integral + self.soc_integral + s_last * tail) / total
+    }
+
+    /// Calendar-aging component at `at`, Eq. (1). Time is measured from
+    /// the first recorded sample (battery deployment).
+    #[must_use]
+    pub fn calendar_component(&self, at: SimTime) -> f64 {
+        let elapsed = match self.first_sample {
+            Some(first) => self.prior_secs + at.saturating_since(first).as_secs_f64(),
+            None => self.prior_secs,
+        };
+        if elapsed <= 0.0 {
+            return 0.0;
+        }
+        calendar_aging(elapsed, self.average_soc(at), self.temperature, &self.constants)
+    }
+
+    /// Cycle-aging component, Eq. (2): closed cycles plus the current
+    /// residue counted as half cycles.
+    #[must_use]
+    pub fn cycle_component(&self) -> f64 {
+        let stress = self.constants.temperature_stress(self.temperature);
+        let residue: f64 = self
+            .rainflow
+            .residue_half_cycles()
+            .iter()
+            .map(|c| self.constants.cycle_damage(c))
+            .sum();
+        (self.closed_damage + residue) * stress
+    }
+
+    /// Linear degradation at `at`, Eq. (3).
+    #[must_use]
+    pub fn linear(&self, at: SimTime) -> f64 {
+        self.calendar_component(at) + self.cycle_component()
+    }
+
+    /// Observable degradation at `at`, Eq. (4).
+    #[must_use]
+    pub fn degradation(&self, at: SimTime) -> f64 {
+        nonlinear_degradation(self.linear(at), &self.constants)
+    }
+
+    /// All degradation components at `at`.
+    #[must_use]
+    pub fn breakdown(&self, at: SimTime) -> DegradationBreakdown {
+        let calendar = self.calendar_component(at);
+        let cycle = self.cycle_component();
+        let linear = calendar + cycle;
+        DegradationBreakdown {
+            calendar,
+            cycle,
+            linear,
+            total: nonlinear_degradation(linear, &self.constants),
+        }
+    }
+
+    /// Number of full charge-discharge cycles counted so far.
+    #[must_use]
+    pub fn closed_cycle_count(&self) -> u64 {
+        self.rainflow.closed_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blam_units::Duration;
+
+    const YEAR_SECS: f64 = 365.25 * 86_400.0;
+
+    fn k() -> DegradationConstants {
+        DegradationConstants::lmo()
+    }
+
+    #[test]
+    fn calendar_scales_linearly_with_time() {
+        let one = calendar_aging(YEAR_SECS, 0.5, Celsius(25.0), &k());
+        let two = calendar_aging(2.0 * YEAR_SECS, 0.5, Celsius(25.0), &k());
+        assert!((two / one - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nonlinear_is_monotone_and_bounded() {
+        let kk = k();
+        let mut last = -1.0;
+        for i in 0..100 {
+            let dl = f64::from(i) * 0.01;
+            let d = nonlinear_degradation(dl, &kk);
+            assert!(d > last);
+            assert!((0.0..1.0).contains(&d));
+            last = d;
+        }
+        assert_eq!(nonlinear_degradation(0.0, &kk), 0.0);
+    }
+
+    #[test]
+    fn sei_formation_makes_early_degradation_fast() {
+        // The first 1% of linear damage produces disproportionate
+        // observable degradation (SEI film).
+        let kk = k();
+        let early = nonlinear_degradation(0.01, &kk);
+        let mid = nonlinear_degradation(0.11, &kk) - nonlinear_degradation(0.10, &kk);
+        assert!(early > 3.0 * mid, "early {early}, mid step {mid}");
+    }
+
+    #[test]
+    fn linear_for_nonlinear_inverts() {
+        let kk = k();
+        for target in [0.05, 0.1, 0.2, 0.5] {
+            let dl = linear_for_nonlinear(target, &kk);
+            assert!((nonlinear_degradation(dl, &kk) - target).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn eol_linear_threshold_magnitude() {
+        // With the LMO constants, 20% observable degradation needs
+        // ~0.16 linear damage — the number the lifespans hinge on.
+        let dl = linear_for_nonlinear(0.2, &k());
+        assert!((dl - 0.164).abs() < 0.01, "got {dl}");
+    }
+
+    #[test]
+    fn cycle_aging_sums_damage() {
+        let cycles = [Cycle::full(1.0, 0.0), Cycle::half(0.8, 0.4)];
+        let d = cycle_aging(cycles.iter(), Celsius(25.0), &k());
+        // full: 1·1·0.5; half: 0.5·0.4·0.6 = 0.12 ⇒ ×k6.
+        let expected = (0.5 + 0.12) * k().cycle_stress;
+        assert!((d - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tracker_average_soc_time_weighted() {
+        let mut t = DegradationTracker::new(Celsius(25.0));
+        t.record(SimTime::ZERO, 1.0);
+        t.record(SimTime::from_secs(100), 1.0);
+        t.record(SimTime::from_secs(100), 0.0);
+        // Hold at 0 for another 100 s.
+        let avg = t.average_soc(SimTime::from_secs(200));
+        assert!((avg - 0.5).abs() < 1e-9, "got {avg}");
+    }
+
+    #[test]
+    fn tracker_empty_is_zero() {
+        let t = DegradationTracker::new(Celsius(25.0));
+        assert_eq!(t.degradation(SimTime::from_secs(1_000)), 0.0);
+        assert_eq!(t.average_soc(SimTime::from_secs(1_000)), 0.0);
+    }
+
+    #[test]
+    fn high_soc_storage_ages_faster_than_half() {
+        let day = Duration::from_days(1);
+        let horizon = SimTime::ZERO + day * 3_650;
+        let mut full = DegradationTracker::new(Celsius(25.0));
+        full.record(SimTime::ZERO, 1.0);
+        let mut half = DegradationTracker::new(Celsius(25.0));
+        half.record(SimTime::ZERO, 0.5);
+        let (df, dh) = (full.degradation(horizon), half.degradation(horizon));
+        assert!(df > dh, "full {df} vs half {dh}");
+        // The ratio of the *linear* components follows the SoC stress
+        // factor e^{1.04·0.5} ≈ 1.68.
+        let ratio = full.linear(horizon) / half.linear(horizon);
+        assert!((ratio - 1.68).abs() < 0.02, "got {ratio}");
+    }
+
+    #[test]
+    fn cycling_adds_damage_on_top_of_calendar() {
+        let day = Duration::from_days(1);
+        let mut idle = DegradationTracker::new(Celsius(25.0));
+        idle.record(SimTime::ZERO, 0.7);
+        let mut cycled = DegradationTracker::new(Celsius(25.0));
+        for d in 0..365u64 {
+            let midnight = SimTime::ZERO + day * d;
+            cycled.record(midnight, 0.9);
+            cycled.record(midnight + day / 2, 0.5);
+        }
+        let at = SimTime::ZERO + day * 365;
+        assert!(cycled.cycle_component() > 0.0);
+        assert!(cycled.closed_cycle_count() > 300);
+        // Same average SoC (0.7): the cycled battery strictly worse.
+        assert!((cycled.average_soc(at) - 0.7).abs() < 0.01);
+        assert!(cycled.degradation(at) > idle.degradation(at));
+    }
+
+    #[test]
+    fn calendar_dominates_cycling_for_lora_like_loads(){
+        // Fig. 2 of the paper: for a LoRa node's shallow daily cycles,
+        // calendar aging dominates cycle aging.
+        let day = Duration::from_days(1);
+        let mut t = DegradationTracker::new(Celsius(25.0));
+        for d in 0..(5 * 365u64) {
+            let midnight = SimTime::ZERO + day * d;
+            t.record(midnight, 0.95);
+            t.record(midnight + day / 2, 0.55);
+        }
+        let at = SimTime::ZERO + day * (5 * 365);
+        let b = t.breakdown(at);
+        assert!(
+            b.calendar > b.cycle,
+            "calendar {} should dominate cycle {}",
+            b.calendar,
+            b.cycle
+        );
+        assert!(b.cycle > 0.0);
+        assert!((b.linear - (b.calendar + b.cycle)).abs() < 1e-15);
+        assert!(b.total > b.linear * 0.9); // SEI inflates early damage
+    }
+
+    #[test]
+    fn breakdown_consistent_with_parts() {
+        let mut t = DegradationTracker::new(Celsius(25.0));
+        t.record(SimTime::ZERO, 0.8);
+        t.record(SimTime::from_secs(3_600), 0.3);
+        let at = SimTime::from_secs(7_200);
+        let b = t.breakdown(at);
+        assert!((b.calendar - t.calendar_component(at)).abs() < 1e-15);
+        assert!((b.cycle - t.cycle_component()).abs() < 1e-15);
+        assert!((b.total - t.degradation(at)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn out_of_order_sample_clamps() {
+        let mut t = DegradationTracker::new(Celsius(25.0));
+        t.record(SimTime::from_secs(100), 0.5);
+        // Earlier than the last sample: treated as simultaneous.
+        t.record(SimTime::from_secs(50), 0.9);
+        let avg = t.average_soc(SimTime::from_secs(100));
+        assert!((0.5..=0.9).contains(&avg));
+    }
+
+    #[test]
+    fn prior_age_adds_calendar_history() {
+        let k = DegradationConstants::lmo();
+        let aged = DegradationTracker::with_prior_age(
+            Celsius(25.0),
+            k,
+            Duration::from_days(4 * 365),
+            0.8,
+            0.002,
+        );
+        let fresh = DegradationTracker::with_constants(Celsius(25.0), k);
+        // Before any samples, the aged tracker already carries damage.
+        assert!(aged.degradation(SimTime::ZERO) > 0.05);
+        assert_eq!(fresh.degradation(SimTime::ZERO), 0.0);
+        assert!((aged.average_soc(SimTime::ZERO) - 0.8).abs() < 1e-12);
+        assert!((aged.cycle_component() - 0.002).abs() < 1e-15);
+    }
+
+    #[test]
+    fn prior_age_blends_with_new_samples() {
+        let k = DegradationConstants::lmo();
+        let year = Duration::from_days(365);
+        let mut aged = DegradationTracker::with_prior_age(Celsius(25.0), k, year, 1.0, 0.0);
+        // A year of service at SoC 0 after a prior year at SoC 1:
+        aged.record(SimTime::ZERO, 0.0);
+        let avg = aged.average_soc(SimTime::ZERO + year);
+        assert!((avg - 0.5).abs() < 1e-9, "blended avg SoC {avg}");
+        // Calendar elapsed covers both years.
+        let two_years_half = calendar_aging(
+            2.0 * 365.0 * 86_400.0,
+            0.5,
+            Celsius(25.0),
+            &k,
+        );
+        assert!((aged.calendar_component(SimTime::ZERO + year) - two_years_half).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hotter_battery_ages_faster() {
+        let mut cool = DegradationTracker::new(Celsius(25.0));
+        cool.record(SimTime::ZERO, 0.6);
+        let mut hot = DegradationTracker::new(Celsius(40.0));
+        hot.record(SimTime::ZERO, 0.6);
+        let at = SimTime::ZERO + Duration::from_days(365);
+        assert!(hot.degradation(at) > cool.degradation(at));
+    }
+}

@@ -1,0 +1,147 @@
+//! End-of-Life bookkeeping and lifespan projection.
+//!
+//! The paper (following Xu et al.) declares a battery at End of Life
+//! once its maximum capacity has dropped by 20%, because degradation
+//! accelerates exponentially beyond that point. The *network* battery
+//! lifespan is the time until the first battery in the network reaches
+//! EoL.
+
+use blam_units::SimTime;
+
+/// The degradation fraction at which a battery reaches End of Life.
+pub const EOL_DEGRADATION: f64 = 0.20;
+
+/// True once `degradation` has reached the EoL threshold.
+///
+/// # Examples
+///
+/// ```
+/// use blam_battery::is_end_of_life;
+///
+/// assert!(!is_end_of_life(0.19));
+/// assert!(is_end_of_life(0.20));
+/// ```
+#[must_use]
+pub fn is_end_of_life(degradation: f64) -> bool {
+    degradation >= EOL_DEGRADATION
+}
+
+/// Projects when a battery will reach EoL by linear extrapolation of its
+/// two most recent `(time, degradation)` samples.
+///
+/// Returns `None` when fewer than two samples are available, when
+/// degradation is not increasing, or when EoL has not been bracketed and
+/// cannot be projected. If the last sample is already at EoL its
+/// timestamp is returned.
+///
+/// Long-horizon experiments sample degradation monthly; this helper
+/// turns those samples into the lifespan estimates of Fig. 8 without
+/// simulating every network past the exact crossing instant.
+///
+/// # Examples
+///
+/// ```
+/// use blam_battery::project_eol;
+/// use blam_units::SimTime;
+///
+/// let samples = [
+///     (SimTime::from_secs(0), 0.0),
+///     (SimTime::from_secs(1_000), 0.1),
+/// ];
+/// let eol = project_eol(&samples).unwrap();
+/// assert_eq!(eol.as_secs(), 2_000);
+/// ```
+#[must_use]
+pub fn project_eol(samples: &[(SimTime, f64)]) -> Option<SimTime> {
+    let (&(t1, d1), rest) = samples.split_last()?;
+    if is_end_of_life(d1) {
+        // Walk back to the first sample at/after the threshold.
+        let mut eol = t1;
+        for &(t, d) in rest.iter().rev() {
+            if is_end_of_life(d) {
+                eol = t;
+            } else {
+                break;
+            }
+        }
+        return Some(eol);
+    }
+    let &(t0, d0) = rest.last()?;
+    let dt = (t1 - t0).as_secs_f64();
+    let dd = d1 - d0;
+    if dt <= 0.0 || dd <= 0.0 {
+        return None;
+    }
+    let remaining = (EOL_DEGRADATION - d1) / (dd / dt);
+    if !remaining.is_finite() || remaining < 0.0 {
+        return None;
+    }
+    t1.checked_add(blam_units::Duration::from_secs_f64(remaining))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blam_units::Duration;
+
+    #[test]
+    fn threshold_is_twenty_percent() {
+        assert!(!is_end_of_life(0.1999));
+        assert!(is_end_of_life(0.2));
+        assert!(is_end_of_life(0.9));
+    }
+
+    #[test]
+    fn projection_extrapolates_linearly() {
+        let day = Duration::from_days(1);
+        let samples = [
+            (SimTime::ZERO, 0.00),
+            (SimTime::ZERO + day * 100, 0.05),
+        ];
+        // 0.05 per 100 days ⇒ EoL (0.20) at day 400.
+        let eol = project_eol(&samples).unwrap();
+        assert_eq!(eol.as_days(), 400);
+    }
+
+    #[test]
+    fn projection_needs_two_samples() {
+        assert!(project_eol(&[]).is_none());
+        assert!(project_eol(&[(SimTime::ZERO, 0.1)]).is_none());
+    }
+
+    #[test]
+    fn projection_rejects_flat_or_decreasing() {
+        let s = [
+            (SimTime::ZERO, 0.10),
+            (SimTime::from_secs(100), 0.10),
+        ];
+        assert!(project_eol(&s).is_none());
+        let s = [
+            (SimTime::ZERO, 0.10),
+            (SimTime::from_secs(100), 0.05),
+        ];
+        assert!(project_eol(&s).is_none());
+    }
+
+    #[test]
+    fn already_at_eol_returns_first_crossing() {
+        let s = [
+            (SimTime::from_secs(10), 0.18),
+            (SimTime::from_secs(20), 0.21),
+            (SimTime::from_secs(30), 0.25),
+        ];
+        assert_eq!(project_eol(&s), Some(SimTime::from_secs(20)));
+    }
+
+    #[test]
+    fn projection_uses_latest_slope() {
+        let s = [
+            (SimTime::ZERO, 0.00),
+            (SimTime::from_secs(100), 0.01), // slow early
+            (SimTime::from_secs(200), 0.10), // fast lately
+        ];
+        // Latest slope: 0.09 per 100 s ⇒ remaining 0.10 ⇒ ~111 s more.
+        let eol = project_eol(&s).unwrap();
+        assert!((eol.as_secs_f64() - 311.1).abs() < 1.0, "{eol}");
+    }
+}

@@ -1,0 +1,341 @@
+//! A rechargeable battery with degradation-aware capacity accounting.
+
+use blam_units::{Celsius, Joules, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::chemistry::DegradationConstants;
+use crate::degradation::DegradationTracker;
+use crate::lifespan::EOL_DEGRADATION;
+
+/// A rechargeable battery.
+///
+/// State of charge is expressed relative to the *original* maximum
+/// capacity, exactly as in the paper: a degraded battery can hold at
+/// most `1 − degradation` of its original energy, so its SoC can no
+/// longer reach 1.0.
+///
+/// Every charge and discharge is recorded into an embedded
+/// [`DegradationTracker`], so the battery's usable capacity genuinely
+/// shrinks as it is used. Because evaluating the degradation involves a
+/// few exponentials, the capacity limit is cached and refreshed by
+/// [`refresh_degradation`](Battery::refresh_degradation) — call it at a
+/// coarse cadence (the experiments use monthly) rather than per
+/// transaction.
+///
+/// # Examples
+///
+/// ```
+/// use blam_battery::Battery;
+/// use blam_units::{Celsius, Joules, SimTime};
+///
+/// let mut b = Battery::new(Joules(12.0), 0.5, Celsius(25.0));
+/// let accepted = b.charge(SimTime::from_secs(60), Joules(3.0), 1.0);
+/// assert_eq!(accepted, Joules(3.0));
+/// assert!((b.soc() - 0.75).abs() < 1e-12);
+/// let drawn = b.discharge(SimTime::from_secs(120), Joules(100.0));
+/// assert!(drawn < Joules(10.0)); // can't draw more than stored
+/// assert_eq!(b.soc(), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    original_capacity: Joules,
+    stored: Joules,
+    tracker: DegradationTracker,
+    cached_degradation: f64,
+}
+
+impl Battery {
+    /// Creates a battery with the given original capacity and initial
+    /// SoC, held at `temperature`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not positive or `initial_soc` is outside
+    /// `[0, 1]`.
+    #[must_use]
+    pub fn new(capacity: Joules, initial_soc: f64, temperature: Celsius) -> Self {
+        Battery::with_constants(
+            capacity,
+            initial_soc,
+            temperature,
+            DegradationConstants::lmo(),
+        )
+    }
+
+    /// Creates a battery with custom degradation constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not positive or `initial_soc` is outside
+    /// `[0, 1]`.
+    #[must_use]
+    pub fn with_constants(
+        capacity: Joules,
+        initial_soc: f64,
+        temperature: Celsius,
+        constants: DegradationConstants,
+    ) -> Self {
+        assert!(
+            capacity.0 > 0.0 && capacity.is_finite(),
+            "battery capacity must be positive, got {capacity}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&initial_soc),
+            "initial SoC must be in [0,1], got {initial_soc}"
+        );
+        let mut tracker = DegradationTracker::with_constants(temperature, constants);
+        tracker.record(SimTime::ZERO, initial_soc);
+        Battery {
+            original_capacity: capacity,
+            stored: capacity * initial_soc,
+            tracker,
+            cached_degradation: 0.0,
+        }
+    }
+
+    /// Creates a battery that already served `age` at `prior_avg_soc`
+    /// with `prior_cycle_damage` accumulated — a worn battery entering
+    /// the simulation. The cached degradation is refreshed immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`with_constants`](Battery::with_constants) plus those of
+    /// [`DegradationTracker::with_prior_age`].
+    #[must_use]
+    pub fn pre_aged(
+        capacity: Joules,
+        initial_soc: f64,
+        temperature: Celsius,
+        constants: crate::chemistry::DegradationConstants,
+        age: blam_units::Duration,
+        prior_avg_soc: f64,
+        prior_cycle_damage: f64,
+    ) -> Self {
+        assert!(
+            capacity.0 > 0.0 && capacity.is_finite(),
+            "battery capacity must be positive, got {capacity}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&initial_soc),
+            "initial SoC must be in [0,1], got {initial_soc}"
+        );
+        let mut tracker = DegradationTracker::with_prior_age(
+            temperature,
+            constants,
+            age,
+            prior_avg_soc,
+            prior_cycle_damage,
+        );
+        tracker.record(SimTime::ZERO, initial_soc);
+        let mut battery = Battery {
+            original_capacity: capacity,
+            stored: capacity * initial_soc,
+            tracker,
+            cached_degradation: 0.0,
+        };
+        battery.refresh_degradation(SimTime::ZERO);
+        battery
+    }
+
+    /// The original (as-new) maximum capacity.
+    #[must_use]
+    pub fn original_capacity(&self) -> Joules {
+        self.original_capacity
+    }
+
+    /// Energy currently stored.
+    #[must_use]
+    pub fn stored(&self) -> Joules {
+        self.stored
+    }
+
+    /// State of charge relative to the original capacity.
+    #[must_use]
+    pub fn soc(&self) -> f64 {
+        self.stored / self.original_capacity
+    }
+
+    /// The current maximum capacity, shrunk by the cached degradation.
+    #[must_use]
+    pub fn max_capacity(&self) -> Joules {
+        self.original_capacity * (1.0 - self.cached_degradation)
+    }
+
+    /// The cached degradation fraction (refresh with
+    /// [`refresh_degradation`](Battery::refresh_degradation)).
+    #[must_use]
+    pub fn cached_degradation(&self) -> f64 {
+        self.cached_degradation
+    }
+
+    /// Recomputes the degradation at `at` from the embedded tracker,
+    /// updates the cached capacity limit, sheds any stored energy that
+    /// no longer fits, and returns the new degradation.
+    pub fn refresh_degradation(&mut self, at: SimTime) -> f64 {
+        self.cached_degradation = self.tracker.degradation(at);
+        let max = self.max_capacity();
+        if self.stored > max {
+            self.stored = max;
+            self.tracker.record(at, self.soc());
+        }
+        self.cached_degradation
+    }
+
+    /// Read-only access to the degradation tracker.
+    #[must_use]
+    pub fn tracker(&self) -> &DegradationTracker {
+        &self.tracker
+    }
+
+    /// Offers `amount` of charge at time `at`, limited both by the
+    /// current maximum capacity and by `soc_limit` (the paper's θ,
+    /// relative to original capacity). Returns the energy actually
+    /// accepted.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `amount` is negative.
+    pub fn charge(&mut self, at: SimTime, amount: Joules, soc_limit: f64) -> Joules {
+        debug_assert!(amount.0 >= 0.0, "cannot charge a negative amount");
+        let ceiling = self.max_capacity().min(self.original_capacity * soc_limit);
+        let accepted = (ceiling - self.stored).max(Joules::ZERO).min(amount);
+        if accepted.0 > 0.0 {
+            self.stored += accepted;
+            self.tracker.record(at, self.soc());
+        }
+        accepted
+    }
+
+    /// Draws up to `amount` from the battery at time `at`, returning the
+    /// energy actually delivered (less than `amount` if the battery runs
+    /// empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `amount` is negative.
+    pub fn discharge(&mut self, at: SimTime, amount: Joules) -> Joules {
+        debug_assert!(amount.0 >= 0.0, "cannot discharge a negative amount");
+        let delivered = self.stored.min(amount).max(Joules::ZERO);
+        if delivered.0 > 0.0 {
+            self.stored -= delivered;
+            self.tracker.record(at, self.soc());
+        }
+        delivered
+    }
+
+    /// True if the stored energy is (numerically) zero.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.stored.0 <= 1e-12
+    }
+
+    /// True if the battery has reached End of Life (cached degradation
+    /// ≥ 20%).
+    #[must_use]
+    pub fn is_end_of_life(&self) -> bool {
+        self.cached_degradation >= EOL_DEGRADATION
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blam_units::Duration;
+
+    fn battery() -> Battery {
+        Battery::new(Joules(10.0), 0.5, Celsius(25.0))
+    }
+
+    #[test]
+    fn charge_respects_soc_limit() {
+        let mut b = battery();
+        let accepted = b.charge(SimTime::from_secs(1), Joules(100.0), 0.8);
+        assert_eq!(accepted, Joules(3.0));
+        assert!((b.soc() - 0.8).abs() < 1e-12);
+        // A second charge at the same limit accepts nothing.
+        assert_eq!(b.charge(SimTime::from_secs(2), Joules(1.0), 0.8), Joules::ZERO);
+    }
+
+    #[test]
+    fn charge_to_full() {
+        let mut b = battery();
+        let accepted = b.charge(SimTime::from_secs(1), Joules(100.0), 1.0);
+        assert_eq!(accepted, Joules(5.0));
+        assert!((b.soc() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discharge_clamps_at_empty() {
+        let mut b = battery();
+        let drawn = b.discharge(SimTime::from_secs(1), Joules(7.0));
+        assert_eq!(drawn, Joules(5.0));
+        assert!(b.is_empty());
+        assert_eq!(b.discharge(SimTime::from_secs(2), Joules(1.0)), Joules::ZERO);
+    }
+
+    #[test]
+    fn soc_tracks_energy() {
+        let mut b = battery();
+        b.discharge(SimTime::from_secs(1), Joules(2.5));
+        assert!((b.soc() - 0.25).abs() < 1e-12);
+        assert_eq!(b.stored(), Joules(2.5));
+    }
+
+    #[test]
+    fn degradation_shrinks_capacity() {
+        let mut b = Battery::new(Joules(10.0), 1.0, Celsius(25.0));
+        let after = SimTime::ZERO + Duration::from_days(3 * 365);
+        let d = b.refresh_degradation(after);
+        assert!(d > 0.01, "three idle years at full SoC must degrade: {d}");
+        assert!(b.max_capacity() < b.original_capacity());
+        // Stored energy was shed to fit the shrunken capacity.
+        assert!(b.stored() <= b.max_capacity() + Joules(1e-12));
+    }
+
+    #[test]
+    fn charge_cannot_exceed_degraded_capacity() {
+        let mut b = Battery::new(Joules(10.0), 0.2, Celsius(25.0));
+        b.refresh_degradation(SimTime::ZERO + Duration::from_days(5 * 365));
+        let accepted = b.charge(
+            SimTime::ZERO + Duration::from_days(5 * 365),
+            Joules(100.0),
+            1.0,
+        );
+        assert!(accepted < Joules(8.0), "degraded battery took {accepted}");
+        assert!(b.soc() < 1.0);
+    }
+
+    #[test]
+    fn transactions_feed_the_tracker() {
+        let mut b = battery();
+        let day = Duration::from_days(1);
+        for d in 0..30u64 {
+            let t = SimTime::ZERO + day * d;
+            b.charge(t, Joules(4.0), 0.9);
+            b.discharge(t + day / 2, Joules(4.0));
+        }
+        assert!(b.tracker().closed_cycle_count() >= 28);
+    }
+
+    #[test]
+    fn eol_flag() {
+        let mut b = Battery::new(Joules(10.0), 1.0, Celsius(45.0));
+        assert!(!b.is_end_of_life());
+        // Hot and full for 15 years: decisively past EoL.
+        b.refresh_degradation(SimTime::ZERO + Duration::from_days(15 * 365));
+        assert!(b.is_end_of_life());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Battery::new(Joules(0.0), 0.5, Celsius(25.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "initial SoC")]
+    fn bad_initial_soc_rejected() {
+        let _ = Battery::new(Joules(1.0), 1.5, Celsius(25.0));
+    }
+}

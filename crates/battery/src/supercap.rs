@@ -1,0 +1,152 @@
+//! Supercapacitor buffering — the paper's stated future work.
+//!
+//! The paper's related work discusses hybrid power sources (its ref.
+//! \[39\]) that put a supercapacitor in front of the battery to absorb
+//! the frequent shallow charge–discharge activity, and leaves their
+//! study as future work. This module provides that substrate: a
+//! [`Supercap`] is an ideal small buffer with self-discharge (real
+//! supercapacitors leak on the order of percent per day), cycled freely
+//! — supercapacitors tolerate millions of cycles, so its own wear is
+//! not modeled. Routed in front of the battery (`netsim` does this when
+//! configured), it eliminates most transmission micro-cycles from the
+//! battery's rainflow record.
+
+use blam_units::{Duration, Joules, Watts};
+use serde::{Deserialize, Serialize};
+
+/// A small self-discharging energy buffer.
+///
+/// # Examples
+///
+/// ```
+/// use blam_battery::Supercap;
+/// use blam_units::{Duration, Joules, Watts};
+///
+/// let mut cap = Supercap::new(Joules(0.5), Watts::from_milliwatts(0.001));
+/// assert_eq!(cap.charge(Joules(1.0)), Joules(0.5)); // clamps at capacity
+/// let got = cap.discharge(Joules(0.2));
+/// assert_eq!(got, Joules(0.2));
+/// cap.leak(Duration::from_hours(10));
+/// assert!(cap.stored() < Joules(0.3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Supercap {
+    capacity: Joules,
+    stored: Joules,
+    leakage: Watts,
+}
+
+impl Supercap {
+    /// Creates an empty supercapacitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not positive or `leakage` is negative.
+    #[must_use]
+    pub fn new(capacity: Joules, leakage: Watts) -> Self {
+        assert!(capacity.0 > 0.0, "supercap capacity must be positive");
+        assert!(leakage.0 >= 0.0, "leakage must be non-negative");
+        Supercap {
+            capacity,
+            stored: Joules::ZERO,
+            leakage,
+        }
+    }
+
+    /// Usable capacity.
+    #[must_use]
+    pub fn capacity(&self) -> Joules {
+        self.capacity
+    }
+
+    /// Energy currently buffered.
+    #[must_use]
+    pub fn stored(&self) -> Joules {
+        self.stored
+    }
+
+    /// Fill level in `[0, 1]`.
+    #[must_use]
+    pub fn soc(&self) -> f64 {
+        self.stored / self.capacity
+    }
+
+    /// Self-discharge over `elapsed`; returns the energy lost.
+    pub fn leak(&mut self, elapsed: Duration) -> Joules {
+        let loss = (self.leakage * elapsed).min(self.stored);
+        self.stored -= loss;
+        loss
+    }
+
+    /// Accepts up to `offered`, returning the amount stored.
+    pub fn charge(&mut self, offered: Joules) -> Joules {
+        debug_assert!(offered.0 >= 0.0);
+        let accepted = (self.capacity - self.stored).max(Joules::ZERO).min(offered);
+        self.stored += accepted;
+        accepted
+    }
+
+    /// Draws up to `requested`, returning the amount delivered.
+    pub fn discharge(&mut self, requested: Joules) -> Joules {
+        debug_assert!(requested.0 >= 0.0);
+        let delivered = self.stored.min(requested).max(Joules::ZERO);
+        self.stored -= delivered;
+        delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cap() -> Supercap {
+        Supercap::new(Joules(1.0), Watts::from_milliwatts(0.01))
+    }
+
+    #[test]
+    fn starts_empty_and_clamps_at_capacity() {
+        let mut c = cap();
+        assert_eq!(c.stored(), Joules::ZERO);
+        assert_eq!(c.charge(Joules(0.4)), Joules(0.4));
+        assert_eq!(c.charge(Joules(0.8)), Joules(0.6));
+        assert_eq!(c.stored(), Joules(1.0));
+        assert!((c.soc() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discharge_clamps_at_empty() {
+        let mut c = cap();
+        c.charge(Joules(0.3));
+        assert_eq!(c.discharge(Joules(0.5)), Joules(0.3));
+        assert_eq!(c.discharge(Joules(0.1)), Joules::ZERO);
+    }
+
+    #[test]
+    fn leakage_drains_over_time() {
+        let mut c = cap();
+        c.charge(Joules(0.5));
+        // 0.01 mW × 10 h = 0.36 J.
+        let lost = c.leak(Duration::from_hours(10));
+        assert!((lost.0 - 0.36).abs() < 1e-9);
+        assert!((c.stored().0 - 0.14).abs() < 1e-9);
+        // Leak never goes negative.
+        let lost = c.leak(Duration::from_days(10));
+        assert!((lost.0 - 0.14).abs() < 1e-9);
+        assert_eq!(c.stored(), Joules::ZERO);
+    }
+
+    #[test]
+    fn energy_conserved_through_operations() {
+        let mut c = cap();
+        let put = c.charge(Joules(0.7));
+        let leak = c.leak(Duration::from_hours(1));
+        let got = c.discharge(Joules(1.0));
+        assert!(((put - leak - got) - c.stored()).0.abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Supercap::new(Joules(0.0), Watts::ZERO);
+    }
+}

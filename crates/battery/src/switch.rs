@@ -1,0 +1,255 @@
+//! The software-defined battery switch of the paper's system model.
+//!
+//! Fig. 1 of the paper: each node is powered by a green energy source
+//! and a rechargeable battery behind a software-controlled switch. When
+//! the green source covers the instantaneous demand, the node runs on
+//! green energy and the surplus may charge the battery; otherwise the
+//! battery makes up the difference. The paper's protocol additionally
+//! caps the charge level at a threshold θ to curb calendar aging — the
+//! `y_u[t]` decision collapsed to a threshold rule (Eq. 21).
+
+use blam_units::{Joules, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::soc::Battery;
+
+/// Energy-flow accounting for one switch step.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SwitchOutcome {
+    /// Demand served directly from the green source.
+    pub from_green: Joules,
+    /// Demand served from the battery.
+    pub from_battery: Joules,
+    /// Surplus green energy stored into the battery.
+    pub charged: Joules,
+    /// Surplus green energy discarded (battery full or above θ).
+    pub spilled: Joules,
+    /// Demand that could not be served (brownout).
+    pub deficit: Joules,
+}
+
+impl SwitchOutcome {
+    /// True if the whole demand was met.
+    #[must_use]
+    pub fn satisfied(&self) -> bool {
+        self.deficit.0 <= 1e-12
+    }
+}
+
+/// The software-defined battery switch.
+///
+/// # Examples
+///
+/// ```
+/// use blam_battery::{Battery, PowerSwitch};
+/// use blam_units::{Celsius, Joules, SimTime};
+///
+/// let mut battery = Battery::new(Joules(10.0), 0.3, Celsius(25.0));
+/// let switch = PowerSwitch::new(0.5); // the paper's H-50
+/// // Sunny interval: 2 J harvested, 0.5 J demand.
+/// let out = switch.step(SimTime::from_secs(60), &mut battery, Joules(2.0), Joules(0.5));
+/// assert!(out.satisfied());
+/// assert_eq!(out.from_green, Joules(0.5));
+/// assert_eq!(out.charged, Joules(1.5)); // still below θ·capacity
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerSwitch {
+    /// Maximum SoC the battery may be charged to (the paper's θ).
+    pub charge_threshold: f64,
+}
+
+impl PowerSwitch {
+    /// Creates a switch with charge threshold θ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(theta: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&theta),
+            "charge threshold θ must be in [0,1], got {theta}"
+        );
+        PowerSwitch {
+            charge_threshold: theta,
+        }
+    }
+
+    /// The LoRaWAN baseline switch: charge whenever surplus exists
+    /// (θ = 1).
+    #[must_use]
+    pub fn uncapped() -> Self {
+        PowerSwitch::new(1.0)
+    }
+
+    /// Routes one interval's energy: `harvested` green energy against
+    /// `demand`, with the battery behind the θ cap.
+    ///
+    /// Green energy serves the demand first; any surplus charges the
+    /// battery up to `θ × original capacity` (and never beyond the
+    /// degraded maximum capacity); any shortfall is drawn from the
+    /// battery. The returned [`SwitchOutcome`] accounts for every joule.
+    pub fn step(
+        &self,
+        at: SimTime,
+        battery: &mut Battery,
+        harvested: Joules,
+        demand: Joules,
+    ) -> SwitchOutcome {
+        debug_assert!(harvested.0 >= 0.0 && demand.0 >= 0.0);
+        let from_green = harvested.min(demand);
+        let surplus = harvested - from_green;
+        let shortfall = demand - from_green;
+
+        let from_battery = if shortfall.0 > 0.0 {
+            battery.discharge(at, shortfall)
+        } else {
+            Joules::ZERO
+        };
+        let charged = if surplus.0 > 0.0 {
+            battery.charge(at, surplus, self.charge_threshold)
+        } else {
+            Joules::ZERO
+        };
+
+        SwitchOutcome {
+            from_green,
+            from_battery,
+            charged,
+            spilled: surplus - charged,
+            deficit: shortfall - from_battery,
+        }
+    }
+
+    /// Whether the battery (plus incoming green energy) can sustain an
+    /// additional `demand` without a brownout — the feasibility check of
+    /// the paper's Eq. (20).
+    #[must_use]
+    pub fn can_sustain(&self, battery: &Battery, harvested: Joules, demand: Joules) -> bool {
+        (battery.stored() + harvested).0 + 1e-12 >= demand.0
+    }
+}
+
+impl Default for PowerSwitch {
+    /// θ = 1 (the LoRaWAN baseline behaviour).
+    fn default() -> Self {
+        PowerSwitch::uncapped()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blam_units::Celsius;
+
+    fn battery(soc: f64) -> Battery {
+        Battery::new(Joules(10.0), soc, Celsius(25.0))
+    }
+
+    #[test]
+    fn green_covers_demand_surplus_charges() {
+        let mut b = battery(0.2);
+        let out = PowerSwitch::new(1.0).step(
+            SimTime::from_secs(1),
+            &mut b,
+            Joules(3.0),
+            Joules(1.0),
+        );
+        assert_eq!(out.from_green, Joules(1.0));
+        assert_eq!(out.charged, Joules(2.0));
+        assert_eq!(out.from_battery, Joules::ZERO);
+        assert_eq!(out.spilled, Joules::ZERO);
+        assert!(out.satisfied());
+        assert!((b.soc() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theta_caps_charging_and_spills_rest() {
+        let mut b = battery(0.4);
+        let out = PowerSwitch::new(0.5).step(
+            SimTime::from_secs(1),
+            &mut b,
+            Joules(5.0),
+            Joules(0.0),
+        );
+        assert_eq!(out.charged, Joules(1.0)); // 0.4 → 0.5 only
+        assert_eq!(out.spilled, Joules(4.0));
+        assert!((b.soc() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn battery_covers_shortfall() {
+        let mut b = battery(0.5);
+        let out = PowerSwitch::new(0.5).step(
+            SimTime::from_secs(1),
+            &mut b,
+            Joules(0.5),
+            Joules(2.0),
+        );
+        assert_eq!(out.from_green, Joules(0.5));
+        assert_eq!(out.from_battery, Joules(1.5));
+        assert!(out.satisfied());
+        assert!((b.soc() - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brownout_reports_deficit() {
+        let mut b = battery(0.1);
+        let out = PowerSwitch::new(0.5).step(
+            SimTime::from_secs(1),
+            &mut b,
+            Joules(0.0),
+            Joules(5.0),
+        );
+        assert_eq!(out.from_battery, Joules(1.0));
+        assert_eq!(out.deficit, Joules(4.0));
+        assert!(!out.satisfied());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn energy_is_conserved() {
+        let mut b = battery(0.3);
+        let before = b.stored();
+        let harvested = Joules(1.7);
+        let demand = Joules(0.9);
+        let out = PowerSwitch::new(0.6).step(SimTime::from_secs(1), &mut b, harvested, demand);
+        // harvest = serve + charge + spill
+        let h = out.from_green + out.charged + out.spilled;
+        assert!((h - harvested).0.abs() < 1e-12);
+        // demand = green + battery + deficit
+        let d = out.from_green + out.from_battery + out.deficit;
+        assert!((d - demand).0.abs() < 1e-12);
+        // battery delta = charged − discharged
+        let delta = b.stored() - before;
+        assert!((delta - (out.charged - out.from_battery)).0.abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_theta_never_charges() {
+        let mut b = battery(0.0);
+        let out = PowerSwitch::new(0.0).step(
+            SimTime::from_secs(1),
+            &mut b,
+            Joules(5.0),
+            Joules(1.0),
+        );
+        assert_eq!(out.charged, Joules::ZERO);
+        assert_eq!(out.spilled, Joules(4.0));
+        assert!(out.satisfied()); // green alone covered the demand
+    }
+
+    #[test]
+    fn can_sustain_check() {
+        let b = battery(0.1); // 1 J stored
+        let sw = PowerSwitch::new(0.5);
+        assert!(sw.can_sustain(&b, Joules(0.5), Joules(1.4)));
+        assert!(!sw.can_sustain(&b, Joules(0.1), Joules(1.4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "θ must be in")]
+    fn invalid_theta_rejected() {
+        let _ = PowerSwitch::new(1.2);
+    }
+}

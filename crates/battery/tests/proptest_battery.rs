@@ -1,0 +1,137 @@
+//! Property-based tests for rainflow counting and the degradation model.
+
+use blam_battery::degradation::{linear_for_nonlinear, nonlinear_degradation};
+use blam_battery::{rainflow_count, Battery, DegradationConstants, PowerSwitch, StreamingRainflow};
+use blam_units::{Celsius, Joules, SimTime};
+use proptest::prelude::*;
+
+fn soc_trace() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..=1.0, 0..200)
+}
+
+proptest! {
+    /// Streaming rainflow must produce exactly the batch result.
+    #[test]
+    fn streaming_equals_batch(trace in soc_trace()) {
+        let batch = rainflow_count(&trace);
+        let mut rf = StreamingRainflow::new();
+        let mut streamed = Vec::new();
+        for &s in &trace {
+            streamed.extend(rf.push(s));
+        }
+        streamed.extend(rf.residue_half_cycles());
+        prop_assert_eq!(batch, streamed);
+    }
+
+    /// Every counted cycle has a depth within the trace's total span and
+    /// a mean within [0, 1]; weights are exactly 1 or ½.
+    #[test]
+    fn cycles_are_well_formed(trace in soc_trace()) {
+        let lo = trace.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = trace.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for c in rainflow_count(&trace) {
+            prop_assert!(c.depth >= 0.0 && c.depth <= (hi - lo) + 1e-12);
+            prop_assert!((0.0..=1.0).contains(&c.mean_soc));
+            prop_assert!(c.weight == 1.0 || c.weight == 0.5);
+        }
+    }
+
+    /// Total cycle-equivalents equal half the number of direction
+    /// reversals (each excursion is half a cycle).
+    #[test]
+    fn weighted_count_matches_reversals(trace in soc_trace()) {
+        // Deduplicate and extract turning points.
+        let mut pts: Vec<f64> = Vec::new();
+        for &s in &trace {
+            if pts.last() != Some(&s) {
+                if pts.len() >= 2 {
+                    let n = pts.len();
+                    let prev_dir = pts[n - 1] > pts[n - 2];
+                    let new_dir = s > pts[n - 1];
+                    if prev_dir == new_dir {
+                        pts.pop();
+                    }
+                }
+                pts.push(s);
+            }
+        }
+        let segments = pts.len().saturating_sub(1);
+        let total: f64 = rainflow_count(&trace).iter().map(|c| c.weight).sum();
+        prop_assert!(
+            (total - segments as f64 / 2.0).abs() < 1e-9,
+            "total {total} vs segments {segments}"
+        );
+    }
+
+    /// The SEI-composite of Eq. (4) is monotone, bounded in [0, 1), and
+    /// inverted correctly by bisection.
+    #[test]
+    fn nonlinear_monotone_and_invertible(dl in 0.0f64..2.0, target in 0.001f64..0.95) {
+        let k = DegradationConstants::lmo();
+        let d = nonlinear_degradation(dl, &k);
+        prop_assert!((0.0..1.0).contains(&d));
+        let d_eps = nonlinear_degradation(dl + 1e-6, &k);
+        prop_assert!(d_eps >= d);
+        let inv = linear_for_nonlinear(target, &k);
+        prop_assert!((nonlinear_degradation(inv, &k) - target).abs() < 1e-8);
+    }
+
+    /// Degradation never decreases as time advances, whatever the SoC
+    /// history.
+    #[test]
+    fn degradation_monotone_in_time(trace in prop::collection::vec(0.0f64..=1.0, 1..50)) {
+        let mut tracker = blam_battery::DegradationTracker::new(Celsius(25.0));
+        for (i, &s) in trace.iter().enumerate() {
+            tracker.record(SimTime::from_secs(i as u64 * 3_600), s);
+        }
+        let t1 = SimTime::from_secs(trace.len() as u64 * 3_600);
+        let t2 = t1 + blam_units::Duration::from_days(30);
+        prop_assert!(tracker.degradation(t2) >= tracker.degradation(t1));
+    }
+
+    /// The power switch conserves energy exactly for any inputs.
+    #[test]
+    fn switch_conserves_energy(
+        soc in 0.0f64..=1.0,
+        theta in 0.0f64..=1.0,
+        harvest in 0.0f64..10.0,
+        demand in 0.0f64..10.0,
+    ) {
+        let mut battery = Battery::new(Joules(5.0), soc, Celsius(25.0));
+        let before = battery.stored();
+        let out = PowerSwitch::new(theta).step(
+            SimTime::from_secs(60),
+            &mut battery,
+            Joules(harvest),
+            Joules(demand),
+        );
+        // Harvest fully accounted.
+        prop_assert!(((out.from_green + out.charged + out.spilled).0 - harvest).abs() < 1e-9);
+        // Demand fully accounted.
+        prop_assert!(((out.from_green + out.from_battery + out.deficit).0 - demand).abs() < 1e-9);
+        // Battery delta consistent.
+        let delta = battery.stored() - before;
+        prop_assert!((delta - (out.charged - out.from_battery)).0.abs() < 1e-9);
+        // θ is respected whenever the battery charged.
+        if out.charged.0 > 1e-12 {
+            prop_assert!(battery.soc() <= theta + 1e-9);
+        }
+    }
+
+    /// A battery never stores more than its (degraded) capacity and
+    /// never goes negative, across arbitrary operation sequences.
+    #[test]
+    fn battery_bounds_hold(ops in prop::collection::vec((0.0f64..3.0, any::<bool>()), 1..100)) {
+        let mut battery = Battery::new(Joules(10.0), 0.5, Celsius(25.0));
+        for (i, &(amount, charge)) in ops.iter().enumerate() {
+            let t = SimTime::from_secs(i as u64 * 600);
+            if charge {
+                battery.charge(t, Joules(amount), 1.0);
+            } else {
+                battery.discharge(t, Joules(amount));
+            }
+            prop_assert!(battery.stored().0 >= -1e-12);
+            prop_assert!(battery.stored() <= battery.max_capacity() + Joules(1e-12));
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Event-kernel throughput: schedule/pop rates bound how many node-years
+//! the simulator covers per wall-clock second.
+
+use blam_des::{EventQueue, Simulator};
+use blam_units::{Duration, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    let n = 10_000u64;
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..n {
+                // Pseudo-random interleaving.
+                let t = (i * 2_654_435_761) % 1_000_000;
+                q.schedule(SimTime::from_millis(t), i);
+            }
+            let mut count = 0u64;
+            while let Some((_, e)) = q.pop() {
+                count += black_box(e) & 1;
+            }
+            black_box(count)
+        });
+    });
+    group.finish();
+}
+
+fn bench_simulator_cascade(c: &mut Criterion) {
+    let n = 100_000u64;
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("self_scheduling_cascade", |b| {
+        b.iter(|| {
+            let mut sim: Simulator<u64> = Simulator::new();
+            sim.schedule(SimTime::ZERO, 0);
+            sim.run_to_completion(|sim, _, k| {
+                if k < n {
+                    sim.schedule_in(Duration::from_millis(1), k + 1);
+                }
+            });
+            black_box(sim.processed())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue, bench_simulator_cascade);
+criterion_main!(benches);

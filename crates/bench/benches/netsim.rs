@@ -1,0 +1,31 @@
+//! End-to-end simulator throughput: full-network events per second,
+//! which bounds how many node-years fit in a benchmarking session.
+
+use blam_netsim::{config::Protocol, Scenario};
+use blam_units::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_network_week(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_week_30_nodes");
+    group.sample_size(10);
+    for protocol in [Protocol::Lorawan, Protocol::h(0.5)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(protocol.label()),
+            &protocol,
+            |b, protocol| {
+                b.iter(|| {
+                    let r = Scenario::large_scale(30, protocol.clone(), 7)
+                        .with_duration(Duration::from_days(7))
+                        .with_sample_interval(Duration::from_days(7))
+                        .run();
+                    black_box(r.events_processed)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_network_week);
+criterion_main!(benches);

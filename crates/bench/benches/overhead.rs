@@ -1,0 +1,46 @@
+//! Criterion version of Table I: the per-decision cost of the
+//! protocol against the trivial ALOHA decision path, plus the feedback
+//! updates a node performs per exchange.
+
+use blam::{BlamConfig, BlamNode};
+use blam_units::Joules;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decision");
+    for &windows in &[10usize, 38, 60] {
+        let mut node = BlamNode::new(BlamConfig::h(0.5), Joules(0.054), Joules(0.15), windows);
+        node.on_weight_update(200);
+        for w in 0..windows {
+            node.on_exchange_complete(w, 1 + (w % 4) as u8, Joules(0.054));
+        }
+        let green: Vec<Joules> = (0..windows)
+            .map(|w| if w % 2 == 0 { Joules(0.08) } else { Joules(0.01) })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("algorithm1", windows),
+            &windows,
+            |b, _| {
+                b.iter(|| black_box(node.plan(black_box(Joules(2.0)), black_box(&green))));
+            },
+        );
+    }
+    group.bench_function("aloha_baseline", |b| {
+        b.iter(|| black_box(0usize));
+    });
+    group.finish();
+}
+
+fn bench_feedback(c: &mut Criterion) {
+    let mut node = BlamNode::new(BlamConfig::h(0.5), Joules(0.054), Joules(0.15), 60);
+    c.bench_function("exchange_feedback", |b| {
+        b.iter(|| node.on_exchange_complete(black_box(3), black_box(2), black_box(Joules(0.06))));
+    });
+    c.bench_function("weight_update", |b| {
+        b.iter(|| node.on_weight_update(black_box(128)));
+    });
+}
+
+criterion_group!(benches, bench_decision, bench_feedback);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! PHY-layer hot paths: airtime and energy computations run once per
+//! simulated transmission (hundreds of millions per full-scale run).
+
+use blam_lora_phy::energy::tx_energy_eq6;
+use blam_lora_phy::{
+    airtime, Bandwidth, CodingRate, LinkBudget, RadioPowerModel, SpreadingFactor, TxConfig,
+};
+use blam_units::{Dbm, Meters};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_airtime(c: &mut Criterion) {
+    let cfg = TxConfig::default();
+    c.bench_function("airtime_sf10_27B", |b| {
+        b.iter(|| black_box(airtime::airtime_secs(black_box(&cfg), black_box(27))));
+    });
+    c.bench_function("airtime_all_sfs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for sf in SpreadingFactor::ALL {
+                let cfg = TxConfig::new(sf, Bandwidth::Khz125, CodingRate::Cr4_5);
+                acc += airtime::airtime_secs(&cfg, 27);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_energy(c: &mut Criterion) {
+    let radio = RadioPowerModel::sx1276();
+    let cfg = TxConfig::default().with_power(Dbm(17.3));
+    c.bench_function("tx_energy_electrical", |b| {
+        b.iter(|| black_box(radio.tx_energy(black_box(&cfg), 27)));
+    });
+    c.bench_function("tx_energy_eq6", |b| {
+        b.iter(|| black_box(tx_energy_eq6(black_box(&cfg), 27)));
+    });
+}
+
+fn bench_link(c: &mut Criterion) {
+    let link = LinkBudget::new(Meters::from_km(3.7));
+    c.bench_function("rssi_and_margin", |b| {
+        b.iter(|| {
+            let rssi = link.rssi(black_box(Dbm(14.0)));
+            black_box(link.margin(rssi, SpreadingFactor::Sf10, Bandwidth::Khz125))
+        });
+    });
+}
+
+criterion_group!(benches, bench_airtime, bench_energy, bench_link);
+criterion_main!(benches);

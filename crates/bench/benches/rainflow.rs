@@ -1,0 +1,53 @@
+//! Rainflow-counting throughput: the cost of the gateway-side (and
+//! test-side) degradation bookkeeping. Streaming must sustain tens of
+//! millions of samples for the 15-year × 500-node simulations.
+
+use blam_battery::{rainflow_count, StreamingRainflow};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn random_walk(n: usize) -> Vec<f64> {
+    let mut x = 0.5f64;
+    let mut seed = 0x9E37_79B9_7F4A_7C15u64;
+    (0..n)
+        .map(|_| {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            let step = ((seed % 2001) as f64 / 1000.0) - 1.0;
+            x = (x + 0.1 * step).clamp(0.0, 1.0);
+            x
+        })
+        .collect()
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rainflow_streaming");
+    for &n in &[1_000usize, 100_000] {
+        let trace = random_walk(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &trace, |b, trace| {
+            b.iter(|| {
+                let mut rf = StreamingRainflow::new();
+                let mut damage = 0.0;
+                for &s in trace {
+                    for cyc in rf.push(s) {
+                        damage += cyc.weight * cyc.depth * cyc.mean_soc;
+                    }
+                }
+                black_box(damage)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let trace = random_walk(10_000);
+    c.bench_function("rainflow_batch_10k", |b| {
+        b.iter(|| black_box(rainflow_count(black_box(&trace))));
+    });
+}
+
+criterion_group!(benches, bench_streaming, bench_batch);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Algorithm 1 and the clairvoyant reference side by side: the paper's
+//! complexity claim is `O(|T| log |T|)` for the on-sensor step versus
+//! an exponential exact solve.
+
+use blam::clairvoyant::{ClairvoyantNode, ClairvoyantProblem};
+use blam::select::{select_window, SelectInput};
+use blam::utility::Utility;
+use blam_units::{Celsius, Duration, Joules};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_select_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("select_window");
+    for &t in &[10usize, 60, 240, 1024] {
+        let green: Vec<Joules> = (0..t)
+            .map(|w| Joules(if w % 3 == 0 { 0.08 } else { 0.01 }))
+            .collect();
+        let tx = vec![Joules(0.054); t];
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            let input = SelectInput {
+                battery_energy: Joules(1.0),
+                normalized_degradation: 0.8,
+                degradation_weight: 1.0,
+                green_energy: &green,
+                tx_energy: &tx,
+                max_tx_energy: Joules(0.15),
+                utility: &Utility::Linear,
+            };
+            b.iter(|| black_box(select_window(black_box(&input))));
+        });
+    }
+    group.finish();
+}
+
+fn clairvoyant_instance(nodes: usize) -> ClairvoyantProblem {
+    let slots = 8;
+    let mut green = vec![Joules(0.0); slots];
+    green[2] = Joules(0.1);
+    green[6] = Joules(0.1);
+    ClairvoyantProblem {
+        slots,
+        slot_length: Duration::from_mins(1),
+        omega: 2,
+        nodes: (0..nodes)
+            .map(|i| ClairvoyantNode {
+                period_slots: 4,
+                tx_energy: Joules(0.05),
+                sleep_energy: Joules(0.0001),
+                green: green.clone(),
+                battery_capacity: Joules(1.0),
+                initial_soc: 0.4 + 0.1 * (i % 3) as f64,
+                theta: 0.5,
+            })
+            .collect(),
+        temperature: Celsius(25.0),
+    }
+}
+
+fn bench_clairvoyant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clairvoyant");
+    group.sample_size(10);
+    for &nodes in &[1usize, 2, 3] {
+        let p = clairvoyant_instance(nodes);
+        group.bench_with_input(BenchmarkId::new("exhaustive", nodes), &p, |b, p| {
+            b.iter(|| black_box(p.solve_exhaustive(0.5, 1 << 30)));
+        });
+    }
+    let p = clairvoyant_instance(6);
+    let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(1);
+    group.bench_function("hill_climb_6_nodes", |b| {
+        b.iter(|| black_box(p.solve_hill_climb(0.5, 2, 200, &mut rng)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_select_scaling, bench_clairvoyant);
+criterion_main!(benches);

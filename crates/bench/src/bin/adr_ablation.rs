@@ -1,0 +1,92 @@
+//! Ablation — ADR-driven parameter changes and the Eq. (13) estimator.
+//!
+//! The paper justifies smoothing the transmission-energy estimate with
+//! an EWMA because "nodes can change their transmission parameters
+//! dynamically as governed by the underlying MAC layer or the network
+//! server". This experiment turns on a standard LoRaWAN ADR engine:
+//! every node boots at SF12 (join-time conservatism), the server steps
+//! capable nodes down toward SF7, and the protocol's energy estimate
+//! must follow. We compare against the same network with static
+//! distance-based SF assignment.
+
+use blam_bench::{banner, write_json, ExperimentArgs};
+use blam_lora_phy::SpreadingFactor;
+use blam_netsim::{config::Protocol, Scenario};
+use blam_units::Duration;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AdrRow {
+    variant: String,
+    prr: f64,
+    avg_retx: f64,
+    tx_energy_eq6_joules: f64,
+    final_sf_histogram: [usize; 6],
+    degradation_mean: f64,
+}
+
+fn main() {
+    let mut args = ExperimentArgs::parse(100, 0.5);
+    if args.full {
+        args.nodes = 300;
+        args.years = 1.0;
+    }
+    banner("adr_ablation", "ADR + the Eq. (13) energy estimator", &args);
+
+    println!(
+        "{:<22} {:>7} {:>9} {:>14} {:>11}   final SF histogram (SF7..SF12)",
+        "variant", "PRR", "RETX", "TX energy [J]", "deg. mean"
+    );
+    let mut rows = Vec::new();
+    for (name, adr, force) in [
+        ("static (paper)", false, None),
+        ("SF12, no ADR", false, Some(SpreadingFactor::Sf12)),
+        ("ADR from SF12", true, Some(SpreadingFactor::Sf12)),
+    ] {
+        let mut scenario = Scenario::large_scale(args.nodes, Protocol::h(0.5), args.seed)
+            .with_duration(args.duration())
+            .with_sample_interval(Duration::from_days(30));
+        scenario.config.adr = adr;
+        scenario.config.force_sf = force;
+        let run = scenario.run();
+        let mut hist = [0usize; 6];
+        for p in &run.topology.placements {
+            hist[usize::from(p.sf.as_u8() - 7)] += 1;
+        }
+        println!(
+            "{:<22} {:>6.1}% {:>9.3} {:>14.1} {:>11.5}   {:?}",
+            name,
+            100.0 * run.network.prr,
+            run.network.avg_retx,
+            run.network.total_tx_energy_eq6.0,
+            run.network.degradation.mean,
+            hist
+        );
+        rows.push(AdrRow {
+            variant: name.to_string(),
+            prr: run.network.prr,
+            avg_retx: run.network.avg_retx,
+            tx_energy_eq6_joules: run.network.total_tx_energy_eq6.0,
+            final_sf_histogram: hist,
+            degradation_mean: run.network.degradation.mean,
+        });
+    }
+
+    let moved = rows[2].final_sf_histogram[..5].iter().sum::<usize>();
+    let energy_saved = 1.0 - rows[2].tx_energy_eq6_joules / rows[1].tx_energy_eq6_joules;
+    println!(
+        "\nShape checks — ADR stepped {moved}/{} nodes off SF12: {}; TX energy saved vs no-ADR: \
+         {:.0}% ({}); PRR preserved: {}",
+        args.nodes,
+        moved > args.nodes / 4,
+        100.0 * energy_saved,
+        energy_saved > 0.15,
+        (rows[0].prr - rows[2].prr).abs() < 0.03,
+    );
+    println!(
+        "(The protocol's EWMA keeps its per-window energy estimates valid through the \
+         parameter changes;\n a last-sample estimator would misprice every window for a \
+         full period after each ADR command.)"
+    );
+    write_json("adr_ablation", &rows);
+}

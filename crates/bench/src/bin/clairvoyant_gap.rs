@@ -1,0 +1,153 @@
+//! Ablation — Algorithm 1 versus the clairvoyant optimum (§III-A).
+//!
+//! The paper motivates its on-sensor heuristic by the impracticality of
+//! the centralized TDMA formulation, but never quantifies the gap. On
+//! instances small enough for exact enumeration we can: build a
+//! clairvoyant problem, compute the exact weighted-sum optimum, then
+//! evaluate the schedule Algorithm 1 would pick (each node planning
+//! locally with oracle green-energy forecasts) in the same objective.
+
+use blam::clairvoyant::{Assignment, ClairvoyantNode, ClairvoyantProblem};
+use blam::select::{select_window, SelectInput, SelectOutcome};
+use blam::utility::Utility;
+use blam_bench::{banner, write_json, ExperimentArgs};
+use blam_units::{Celsius, Duration, Joules};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct GapRow {
+    lambda: f64,
+    exact_max_degradation: f64,
+    exact_min_utility: f64,
+    heuristic_max_degradation: f64,
+    heuristic_min_utility: f64,
+    degradation_gap_pct: f64,
+}
+
+/// Two-node, two-period instance with sun in one slot per period.
+fn instance() -> ClairvoyantProblem {
+    let slots = 12;
+    let mut green = vec![Joules(0.0); slots];
+    green[2] = Joules(0.12);
+    green[8] = Joules(0.12);
+    ClairvoyantProblem {
+        slots,
+        slot_length: Duration::from_mins(1),
+        omega: 1,
+        nodes: (0..2)
+            .map(|i| ClairvoyantNode {
+                period_slots: 6,
+                tx_energy: Joules(0.05),
+                sleep_energy: Joules(0.0005),
+                green: green.clone(),
+                battery_capacity: Joules(1.0),
+                initial_soc: 0.4 + 0.2 * i as f64,
+                theta: 0.5,
+            })
+            .collect(),
+        temperature: Celsius(25.0),
+    }
+}
+
+/// The schedule Algorithm 1 produces: each node plans each period
+/// independently with oracle forecasts, taking the normalized
+/// degradation as 1 (conservative) and breaking gateway ties by
+/// shifting to the next-best window when the slot is taken.
+fn heuristic_assignment(p: &ClairvoyantProblem) -> Assignment {
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); p.nodes.len()];
+    let periods = p.slots / p.nodes[0].period_slots;
+    for period in 0..periods {
+        let mut taken: Vec<usize> = Vec::new();
+        for (u, node) in p.nodes.iter().enumerate() {
+            let tau = node.period_slots;
+            let base = period * tau;
+            let green: Vec<Joules> = (0..tau)
+                .map(|t| node.green.get(base + t).copied().unwrap_or(Joules::ZERO))
+                .collect();
+            let tx = vec![node.tx_energy; tau];
+            let input = SelectInput {
+                battery_energy: node.battery_capacity * node.initial_soc,
+                normalized_degradation: 1.0,
+                degradation_weight: 1.0,
+                green_energy: &green,
+                tx_energy: &tx,
+                max_tx_energy: node.tx_energy * 2.0,
+                utility: &Utility::Linear,
+            };
+            let w = match select_window(&input) {
+                SelectOutcome::Selected { window, .. } => window,
+                SelectOutcome::Fail => 0,
+            };
+            // ω = 1: if a peer already claimed the slot this period, take
+            // the next free one — the role the collision feedback of
+            // Eq. (14) plays over time in the online protocol.
+            let mut w = w;
+            while taken.contains(&w) {
+                w = (w + 1) % tau;
+            }
+            taken.push(w);
+            assignment[u].push(w);
+        }
+    }
+    Assignment(assignment)
+}
+
+fn main() {
+    let args = ExperimentArgs::parse(2, 0.0);
+    banner("clairvoyant_gap", "Algorithm 1 vs the §III-A optimum", &args);
+
+    let p = instance();
+    println!("search space: {} schedules\n", p.search_space());
+    let heuristic = heuristic_assignment(&p);
+    let heuristic_eval = p.evaluate(&heuristic);
+
+    // Normalize degradation against the transmit-immediately schedule so
+    // the scalarized objectives are comparable across λ.
+    let deg_scale = p
+        .evaluate(&p.immediate_assignment())
+        .max_degradation
+        .max(1e-300);
+
+    println!(
+        "{:>6} {:>13} {:>12} {:>11} | {:>13} {:>12} {:>11} {:>10}",
+        "λ", "opt max-deg", "opt utility", "opt obj", "heur max-deg", "heur utility", "heur obj",
+        "obj gap"
+    );
+    let mut rows = Vec::new();
+    let mut worst_gap: f64 = 0.0;
+    for lambda in [0.0, 0.5, 0.9, 1.0] {
+        let (_, exact) = p
+            .solve_exhaustive(lambda, 1 << 24)
+            .expect("feasible instance");
+        let opt_obj = exact.scalarized(lambda, deg_scale);
+        let heur_obj = heuristic_eval.scalarized(lambda, deg_scale);
+        let gap = heur_obj - opt_obj;
+        worst_gap = worst_gap.max(gap);
+        println!(
+            "{lambda:>6.2} {:>13.6e} {:>12.3} {:>11.4} | {:>13.6e} {:>12.3} {:>11.4} {:>10.4}",
+            exact.max_degradation,
+            exact.min_utility,
+            opt_obj,
+            heuristic_eval.max_degradation,
+            heuristic_eval.min_utility,
+            heur_obj,
+            gap
+        );
+        rows.push(GapRow {
+            lambda,
+            exact_max_degradation: exact.max_degradation,
+            exact_min_utility: exact.min_utility,
+            heuristic_max_degradation: heuristic_eval.max_degradation,
+            heuristic_min_utility: heuristic_eval.min_utility,
+            degradation_gap_pct: 100.0
+                * (heuristic_eval.max_degradation / exact.max_degradation.max(1e-300) - 1.0),
+        });
+    }
+
+    println!(
+        "\nThe fixed local schedule is a single point on the Pareto front: it pays up to \
+         {worst_gap:.3} of scalarized\nobjective against the per-λ clairvoyant optimum, \
+         without any synchronization or global knowledge —\nthe trade §III-A argues for."
+    );
+    write_json("clairvoyant_gap", &rows);
+}

@@ -1,0 +1,43 @@
+//! Diagnostic: per-node health of a run (developer tool).
+
+use blam_netsim::{config::Protocol, Scenario};
+use blam_units::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let nodes: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(150);
+    let days: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(90);
+    let testbed = std::env::args().any(|a| a == "testbed");
+    let r = if testbed {
+        Scenario::testbed(Protocol::Lorawan, 42).run()
+    } else {
+        Scenario::large_scale(nodes, Protocol::Lorawan, 42)
+            .with_duration(Duration::from_days(days))
+            .run()
+    };
+    let mut worst: Vec<usize> = (0..r.nodes.len()).collect();
+    worst.sort_by(|&a, &b| r.nodes[a].prr().total_cmp(&r.nodes[b].prr()));
+    println!(
+        "{:>4} {:>5} {:>9} {:>7} {:>6} {:>6} {:>8} {:>8} {:>8} {:>9}",
+        "node", "sf", "dist", "margin", "gen", "deliv", "noack", "brnout", "drops", "PRR"
+    );
+    for &i in worst.iter().take(12) {
+        let n = &r.nodes[i];
+        let p = &r.topology.placements[i];
+        let rssi = p.link.rssi(blam_units::Dbm(14.0));
+        let margin = p.link.margin(rssi, p.sf, blam_lora_phy::Bandwidth::Khz125);
+        println!(
+            "{:>4} {:>5} {:>9.2} {:>7.1} {:>6} {:>6} {:>8} {:>8} {:>8} {:>8.1}%",
+            i,
+            p.sf.to_string(),
+            p.link.distance.as_km(),
+            margin.0,
+            n.generated,
+            n.delivered,
+            n.failed_no_ack,
+            n.brownout_events,
+            n.dropped_brownout + n.dropped_no_window,
+            100.0 * n.prr()
+        );
+    }
+}

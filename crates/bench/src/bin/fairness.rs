@@ -1,0 +1,104 @@
+//! Extension — fairness in a mixed-age deployment.
+//!
+//! The dissemination mechanism's purpose (§III-B) is to maximize the
+//! *minimum* lifespan: heavily degraded nodes receive w_u → 1 and
+//! conserve their batteries, while fresh nodes spend theirs on utility.
+//! The paper only evaluates uniformly-new networks; here a quarter of
+//! the fleet starts with batteries that already served several years —
+//! the battery-replacement scenario §III-B's "new node joins" remark
+//! implies — and we check the protection actually materializes.
+
+use blam_bench::{banner, write_json, ExperimentArgs};
+use blam_netsim::{config::Protocol, RunResult, Scenario};
+use blam_units::Duration;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct FairnessRow {
+    protocol: String,
+    aged_retx: f64,
+    fresh_retx: f64,
+    aged_utility: f64,
+    fresh_utility: f64,
+    aged_cycle_growth: f64,
+    fresh_cycle_growth: f64,
+}
+
+fn group_stats(run: &RunResult, aged_count: usize) -> FairnessRow {
+    let (aged, fresh) = run.nodes.split_at(aged_count);
+    let avg = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    let retx = |g: &[blam_netsim::NodeMetrics]| avg(&g.iter().map(|n| n.avg_retx()).collect::<Vec<_>>());
+    let util = |g: &[blam_netsim::NodeMetrics]| avg(&g.iter().map(|n| n.avg_utility()).collect::<Vec<_>>());
+    let last = run.samples.last().expect("samples");
+    let first = run.samples.first().expect("samples");
+    let cycle_growth = |range: std::ops::Range<usize>| {
+        avg(&range
+            .map(|i| last.per_node[i].cycle - first.per_node[i].cycle)
+            .collect::<Vec<_>>())
+    };
+    FairnessRow {
+        protocol: run.label.clone(),
+        aged_retx: retx(aged),
+        fresh_retx: retx(fresh),
+        aged_utility: util(aged),
+        fresh_utility: util(fresh),
+        aged_cycle_growth: cycle_growth(0..aged_count),
+        fresh_cycle_growth: cycle_growth(aged_count..run.nodes.len()),
+    }
+}
+
+fn main() {
+    let mut args = ExperimentArgs::parse(80, 1.0);
+    if args.full {
+        args.nodes = 300;
+        args.years = 2.0;
+    }
+    banner(
+        "fairness",
+        "mixed-age fleet: do worn batteries get protected?",
+        &args,
+    );
+    let aged_fraction = 0.25;
+    let aged_count = (args.nodes as f64 * aged_fraction) as usize;
+    println!("{aged_count}/{} nodes start with 4-year-old batteries\n", args.nodes);
+
+    println!(
+        "{:<8} {:>11} {:>11} {:>12} {:>12} {:>13} {:>13}",
+        "MAC", "RETX(aged)", "RETX(new)", "util(aged)", "util(new)", "cycΔ(aged)", "cycΔ(new)"
+    );
+    let mut rows = Vec::new();
+    for protocol in [Protocol::Lorawan, Protocol::h(0.5)] {
+        let mut scenario = Scenario::large_scale(args.nodes, protocol, args.seed)
+            .with_duration(args.duration())
+            .with_sample_interval(Duration::from_days(30));
+        scenario.config.aged_fraction = aged_fraction;
+        scenario.config.aged_years = 4.0;
+        let run = scenario.run();
+        let row = group_stats(&run, aged_count);
+        println!(
+            "{:<8} {:>11.3} {:>11.3} {:>12.3} {:>12.3} {:>13.6} {:>13.6}",
+            row.protocol,
+            row.aged_retx,
+            row.fresh_retx,
+            row.aged_utility,
+            row.fresh_utility,
+            row.aged_cycle_growth,
+            row.fresh_cycle_growth,
+        );
+        rows.push(row);
+    }
+
+    let (lorawan, h50) = (&rows[0], &rows[1]);
+    // Under LoRaWAN aged and fresh nodes behave identically; under H-50
+    // aged nodes (w_u ≈ 1) conserve: fewer retransmissions and less new
+    // cycle damage than their fresh peers, paid with a little utility.
+    println!(
+        "\nShape checks — LoRaWAN treats groups alike (RETX within 15%): {}; under H-50 aged \
+         nodes add less\ncycle damage than fresh ones: {}; the aged group's utility trades \
+         down for it: {}",
+        (lorawan.aged_retx / lorawan.fresh_retx.max(1e-12) - 1.0).abs() < 0.15,
+        h50.aged_cycle_growth < h50.fresh_cycle_growth,
+        h50.aged_utility <= h50.fresh_utility + 1e-9,
+    );
+    write_json("fairness", &rows);
+}

@@ -1,0 +1,65 @@
+//! Fig. 10 — Deployment map.
+//!
+//! The paper shows the indoor testbed layout; for the simulation we
+//! render the generated deployment: gateway at the origin, nodes
+//! scattered over the disk, labelled by spreading factor. Prints an
+//! ASCII map and writes the exact coordinates as JSON.
+
+use blam_bench::{banner, write_json, ExperimentArgs};
+use blam_netsim::{config::Protocol, topology::Topology, ScenarioConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct MapNode {
+    id: usize,
+    x_m: f64,
+    y_m: f64,
+    distance_m: f64,
+    sf: u8,
+}
+
+fn main() {
+    let mut args = ExperimentArgs::parse(100, 0.0);
+    if args.full {
+        args.nodes = 500;
+    }
+    banner("fig10", "deployment map", &args);
+
+    let cfg = ScenarioConfig::large_scale(args.nodes, Protocol::h(0.5), args.seed);
+    let topo = Topology::generate(&cfg);
+
+    // ASCII render: 61×31 grid over the deployment square.
+    const W: usize = 61;
+    const H: usize = 31;
+    let r = cfg.radius.0;
+    let mut grid = vec![vec![' '; W]; H];
+    for p in &topo.placements {
+        let col = ((p.position.x + r) / (2.0 * r) * (W - 1) as f64).round() as usize;
+        let row = ((r - p.position.y) / (2.0 * r) * (H - 1) as f64).round() as usize;
+        grid[row.min(H - 1)][col.min(W - 1)] =
+            char::from_digit(u32::from(p.sf.as_u8() - 5), 10).unwrap_or('?');
+    }
+    grid[H / 2][W / 2] = 'G';
+    println!("gateway = G, digits = SF − 5 (2 ⇒ SF7 … 7 ⇒ SF12); 1 cell ≈ {:.0} m\n", 2.0 * r / W as f64);
+    for row in &grid {
+        println!("{}", row.iter().collect::<String>());
+    }
+
+    let hist = topo.sf_histogram();
+    println!("\nSF histogram (SF7..SF12): {hist:?}");
+    println!("max distance: {}", topo.max_distance());
+
+    let nodes: Vec<MapNode> = topo
+        .placements
+        .iter()
+        .enumerate()
+        .map(|(id, p)| MapNode {
+            id,
+            x_m: p.position.x,
+            y_m: p.position.y,
+            distance_m: p.link.distance.0,
+            sf: p.sf.as_u8(),
+        })
+        .collect();
+    write_json("fig10", &nodes);
+}

@@ -1,0 +1,83 @@
+//! Fig. 2 — Battery degradation of a regular LoRa node over 5 years.
+//!
+//! The paper plots calendar aging, cycle aging and total degradation of
+//! a regular (LoRaWAN) node in a 100-node network with random
+//! transmission intervals in [16, 60] min, showing calendar aging
+//! dominating. This binary reproduces the three series (monthly,
+//! network-median node) plus the network mean.
+//!
+//! Quick default: 40 nodes, 2 years. `--full`: 100 nodes, 5 years.
+
+use blam_bench::{banner, write_json, ExperimentArgs};
+use blam_netsim::{config::Protocol, Scenario};
+use blam_units::Duration;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig2Row {
+    month: usize,
+    years: f64,
+    median_calendar: f64,
+    median_cycle: f64,
+    median_total: f64,
+    mean_total: f64,
+}
+
+fn main() {
+    let mut args = ExperimentArgs::parse(40, 2.0);
+    if args.full {
+        args.nodes = 100;
+        args.years = 5.0;
+    }
+    banner("fig2", "battery degradation of a regular LoRa node", &args);
+
+    let result = Scenario::large_scale(args.nodes, Protocol::Lorawan, args.seed)
+        .with_duration(args.duration())
+        .with_sample_interval(Duration::from_days(30))
+        .run();
+
+    println!(
+        "{:>5} {:>7} {:>16} {:>13} {:>13} {:>11}",
+        "month", "years", "calendar(med)", "cycle(med)", "total(med)", "total(mean)"
+    );
+    let mut rows = Vec::new();
+    for (m, sample) in result.samples.iter().enumerate() {
+        let median = |f: &dyn Fn(&blam_battery::DegradationBreakdown) -> f64| {
+            let mut v: Vec<f64> = sample.per_node.iter().map(f).collect();
+            v.sort_by(f64::total_cmp);
+            v[v.len() / 2]
+        };
+        let row = Fig2Row {
+            month: m + 1,
+            years: sample.at.as_years_f64(),
+            median_calendar: median(&|b| b.calendar),
+            median_cycle: median(&|b| b.cycle),
+            median_total: median(&|b| b.total),
+            mean_total: sample.mean_total(),
+        };
+        if (m + 1) % 3 == 0 || m == 0 || m + 1 == result.samples.len() {
+            println!(
+                "{:>5} {:>7.2} {:>16.6} {:>13.6} {:>13.6} {:>11.6}",
+                row.month,
+                row.years,
+                row.median_calendar,
+                row.median_cycle,
+                row.median_total,
+                row.mean_total
+            );
+        }
+        rows.push(row);
+    }
+
+    let last = rows.last().expect("at least one sample");
+    let ratio = last.median_calendar / last.median_cycle.max(1e-12);
+    println!(
+        "\nFinal linear components (median node): calendar {:.6} vs cycle {:.6} (ratio {:.1}:1)",
+        last.median_calendar, last.median_cycle, ratio
+    );
+    println!(
+        "Paper's Fig. 2 shape: calendar aging dominates cycle aging — {}",
+        if ratio > 1.5 { "REPRODUCED" } else { "NOT reproduced" }
+    );
+    write_json("fig2", &rows);
+}

@@ -1,0 +1,84 @@
+//! Fig. 7 — Maximum network degradation, month by month, until the
+//! first battery reaches End of Life.
+//!
+//! The paper runs 100-node networks under LoRaWAN, H-50 and H-50C
+//! (θ-clamp without window selection) until the first node hits 20%
+//! degradation, plotting the monthly maximum. LoRaWAN degrades fastest.
+//!
+//! Quick default: 40 nodes, horizon 16 years (EoL stops the run early).
+//! `--full`: 100 nodes.
+
+use blam_bench::lifespan::lifespan_runs;
+use blam_bench::{banner, write_json, ExperimentArgs};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig7Series {
+    protocol: String,
+    /// (years, max degradation) per monthly sample.
+    monthly_max: Vec<(f64, f64)>,
+    eol_days: Option<f64>,
+}
+
+fn main() {
+    let args = ExperimentArgs::parse(40, 16.0);
+    banner("fig7", "max degradation per month until first EoL", &args);
+    let runs = lifespan_runs(&args);
+
+    let mut series = Vec::new();
+    for run in &runs {
+        let monthly: Vec<(f64, f64)> = run
+            .samples
+            .iter()
+            .map(|s| (s.at.as_years_f64(), s.max_total()))
+            .collect();
+        series.push(Fig7Series {
+            protocol: run.label.clone(),
+            monthly_max: monthly,
+            eol_days: run.lifespan_days(),
+        });
+    }
+
+    // Print yearly cross-sections of the three curves.
+    println!("{:>6} {:>12} {:>12} {:>12}", "years", "LoRaWAN", "H-50", "H-50C");
+    let max_len = series.iter().map(|s| s.monthly_max.len()).max().unwrap_or(0);
+    for m in (11..max_len).step_by(12) {
+        let cell = |s: &Fig7Series| {
+            s.monthly_max
+                .get(m)
+                .map_or("  (EoL)".to_string(), |&(_, d)| format!("{d:.4}"))
+        };
+        println!(
+            "{:>6.1} {:>12} {:>12} {:>12}",
+            (m + 1) as f64 / 12.0,
+            cell(&series[0]),
+            cell(&series[1]),
+            cell(&series[2])
+        );
+    }
+
+    // Degradation rate comparison over the common prefix.
+    let common = series
+        .iter()
+        .map(|s| s.monthly_max.len())
+        .min()
+        .unwrap_or(0);
+    if common >= 2 {
+        let rate = |s: &Fig7Series| s.monthly_max[common - 1].1 / s.monthly_max[common - 1].0;
+        println!(
+            "\nDegradation rate over the common horizon: LoRaWAN {:.4}/y, H-50 {:.4}/y, H-50C {:.4}/y",
+            rate(&series[0]),
+            rate(&series[1]),
+            rate(&series[2])
+        );
+        println!(
+            "LoRaWAN degrades fastest — {}",
+            if rate(&series[0]) > rate(&series[1]) && rate(&series[0]) > rate(&series[2]) {
+                "REPRODUCED"
+            } else {
+                "NOT reproduced"
+            }
+        );
+    }
+    write_json("fig7", &series);
+}

@@ -1,0 +1,71 @@
+//! Fig. 8 — Network battery lifespan.
+//!
+//! The time until the first battery of the network reaches End of Life
+//! (20% degradation) under LoRaWAN, H-50 and H-50C. The paper reports
+//! 2980 days (8.1 years) for LoRaWAN against 13.86 years for H-50 —
+//! a 69.7% lifespan improvement; H-50C lands close to H-50.
+//!
+//! Shares the lifespan runs with fig7 (cached). If a run's horizon ended
+//! before EoL, the lifespan is projected from the last two monthly
+//! samples of maximum degradation.
+
+use blam_battery::project_eol;
+use blam_bench::lifespan::lifespan_runs;
+use blam_bench::{banner, write_json, ExperimentArgs};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig8Row {
+    protocol: String,
+    lifespan_days: f64,
+    lifespan_years: f64,
+    projected: bool,
+}
+
+fn main() {
+    let args = ExperimentArgs::parse(40, 16.0);
+    banner("fig8", "network battery lifespan", &args);
+    let runs = lifespan_runs(&args);
+
+    let mut rows = Vec::new();
+    println!("{:<8} {:>12} {:>10} {:>11}", "MAC", "days", "years", "projected?");
+    for run in &runs {
+        let (days, projected) = match run.lifespan_days() {
+            Some(d) => (d, false),
+            None => {
+                let trend: Vec<_> = run
+                    .samples
+                    .iter()
+                    .map(|s| (s.at, s.max_total()))
+                    .collect();
+                let eol = project_eol(&trend).expect("degradation trend must project to EoL");
+                (eol.as_millis() as f64 / 86_400_000.0, true)
+            }
+        };
+        println!(
+            "{:<8} {:>12.0} {:>10.2} {:>11}",
+            run.label,
+            days,
+            days / 365.25,
+            if projected { "yes" } else { "no" }
+        );
+        rows.push(Fig8Row {
+            protocol: run.label.clone(),
+            lifespan_days: days,
+            lifespan_years: days / 365.25,
+            projected,
+        });
+    }
+
+    let improvement = rows[1].lifespan_days / rows[0].lifespan_days - 1.0;
+    println!(
+        "\nH-50 lifespan improvement over LoRaWAN: {:+.1}%  (paper: +69.7%, 8.1 y → 13.86 y)",
+        100.0 * improvement
+    );
+    println!(
+        "Shape checks: H-50 outlives LoRaWAN: {}; H-50C close to H-50: {}",
+        rows[1].lifespan_days > rows[0].lifespan_days,
+        (rows[2].lifespan_days / rows[1].lifespan_days - 1.0).abs() < 0.25,
+    );
+    write_json("fig8", &rows);
+}

@@ -1,0 +1,75 @@
+//! Extension — gateway density.
+//!
+//! The paper's system model allows "one or more gateways" but evaluates
+//! a single one. Denser gateways shorten links (lower SFs, shorter
+//! airtimes) and multiply demodulation and downlink capacity; this
+//! sweep quantifies how much of LoRaWAN's collision pain — and of the
+//! protocol's relative advantage — density buys away.
+
+use blam_bench::{banner, write_json, ExperimentArgs};
+use blam_netsim::{config::Protocol, Scenario};
+use blam_units::Duration;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct GatewayRow {
+    gateways: usize,
+    protocol: String,
+    prr: f64,
+    avg_retx: f64,
+    tx_energy_eq6_joules: f64,
+    degradation_mean: f64,
+}
+
+fn main() {
+    let mut args = ExperimentArgs::parse(120, 0.5);
+    if args.full {
+        args.nodes = 500;
+        args.years = 1.0;
+    }
+    banner("gateway_sweep", "gateway density 1 / 2 / 4", &args);
+
+    println!(
+        "{:<4} {:<8} {:>7} {:>9} {:>14} {:>11}",
+        "GWs", "MAC", "PRR", "RETX", "TX energy [J]", "deg. mean"
+    );
+    let mut rows = Vec::new();
+    for gateways in [1usize, 2, 4] {
+        for protocol in [Protocol::Lorawan, Protocol::h(0.5)] {
+            let mut scenario = Scenario::large_scale(args.nodes, protocol, args.seed)
+                .with_duration(args.duration())
+                .with_sample_interval(Duration::from_days(30));
+            scenario.config.gateways = gateways;
+            let run = scenario.run();
+            println!(
+                "{:<4} {:<8} {:>6.1}% {:>9.3} {:>14.1} {:>11.5}",
+                gateways,
+                run.label,
+                100.0 * run.network.prr,
+                run.network.avg_retx,
+                run.network.total_tx_energy_eq6.0,
+                run.network.degradation.mean,
+            );
+            rows.push(GatewayRow {
+                gateways,
+                protocol: run.label.clone(),
+                prr: run.network.prr,
+                avg_retx: run.network.avg_retx,
+                tx_energy_eq6_joules: run.network.total_tx_energy_eq6.0,
+                degradation_mean: run.network.degradation.mean,
+            });
+        }
+    }
+
+    let lorawan = |g: usize| rows.iter().find(|r| r.gateways == g && r.protocol == "LoRaWAN").unwrap();
+    let h50 = |g: usize| rows.iter().find(|r| r.gateways == g && r.protocol == "H-50").unwrap();
+    println!(
+        "\nShape checks — density cuts LoRaWAN TX energy (shorter links): {}; the θ-driven \
+         degradation advantage\nsurvives at every density: {}",
+        lorawan(4).tx_energy_eq6_joules < lorawan(1).tx_energy_eq6_joules,
+        [1usize, 2, 4]
+            .iter()
+            .all(|&g| h50(g).degradation_mean < lorawan(g).degradation_mean * 0.95),
+    );
+    write_json("gateway_sweep", &rows);
+}

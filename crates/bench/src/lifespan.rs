@@ -1,0 +1,54 @@
+//! The shared lifespan runs behind Figs. 7 and 8.
+//!
+//! The paper simulates 100-node networks under LoRaWAN, H-50 and H-50C
+//! until the first battery reaches End of Life; Fig. 7 plots the
+//! monthly maximum degradation, Fig. 8 the resulting network battery
+//! lifespans. Both binaries share these runs through the on-disk cache.
+
+use blam_netsim::{config::Protocol, RunResult, Scenario};
+use blam_units::Duration;
+
+use crate::ExperimentArgs;
+
+/// Runs (or loads) the LoRaWAN / H-50 / H-50C lifespan simulations.
+#[must_use]
+pub fn lifespan_runs(args: &ExperimentArgs) -> Vec<RunResult> {
+    let nodes = if args.full { 100 } else { args.nodes };
+    let horizon_years = args.years;
+    let cache_id = format!(
+        "lifespan_{}n_{}y_{}s",
+        nodes, horizon_years as u64, args.seed
+    );
+    if let Some(cached) = crate::load_json::<Vec<RunResult>>(&cache_id) {
+        if cached.len() == 3 {
+            println!("[lifespan runs loaded from cache {cache_id}]");
+            return cached;
+        }
+    }
+    let seed = args.seed;
+    let runs: Vec<RunResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = [Protocol::Lorawan, Protocol::h(0.5), Protocol::h50c()]
+            .into_iter()
+            .map(|protocol| {
+                scope.spawn(move || {
+                    let label = protocol.label();
+                    let start = std::time::Instant::now();
+                    let run = Scenario::large_scale(nodes, protocol, seed)
+                        .until_first_eol(Duration::from_days((horizon_years * 365.0) as u64))
+                        .with_sample_interval(Duration::from_days(30))
+                        .run();
+                    println!(
+                        "[simulated {label}: ended {} ({} events, {:.1?})]",
+                        run.sim_end,
+                        run.events_processed,
+                        start.elapsed()
+                    );
+                    run
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("run")).collect()
+    });
+    crate::write_json(&cache_id, &runs);
+    runs
+}

@@ -1,0 +1,81 @@
+//! The shared θ-sweep behind Figs. 4, 5 and 6.
+//!
+//! The paper evaluates LoRaWAN against H-5, H-50 and H-100 on one
+//! 500-node, 5-year simulation per variant; Figs. 4–6 are different
+//! views of those same four runs. This module runs the sweep once and
+//! caches the `RunResult`s under `target/experiments/`, keyed by the
+//! run parameters, so each figure binary reuses them.
+
+use blam_netsim::{config::Protocol, RunResult, Scenario};
+use blam_units::Duration;
+use serde::{Deserialize, Serialize};
+
+use crate::ExperimentArgs;
+
+/// The four protocol variants of the paper's θ sweep.
+#[must_use]
+pub fn protocols() -> Vec<Protocol> {
+    vec![
+        Protocol::Lorawan,
+        Protocol::h(0.05),
+        Protocol::h(0.5),
+        Protocol::h(1.0),
+    ]
+}
+
+/// Cached sweep results.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ThetaSweep {
+    /// Cache key: (nodes, days, seed).
+    pub key: (usize, u64, u64),
+    /// One run per protocol, in [`protocols`] order.
+    pub runs: Vec<RunResult>,
+}
+
+/// Runs (or loads) the θ sweep for the given parameters.
+#[must_use]
+pub fn run_or_load(args: &ExperimentArgs) -> ThetaSweep {
+    let (nodes, years) = if args.full {
+        (500, 5.0)
+    } else {
+        (args.nodes, args.years)
+    };
+    let days = (years * 365.0).round() as u64;
+    let key = (nodes, days, args.seed);
+    let cache_id = format!("theta_sweep_{}n_{}d_{}s", key.0, key.1, key.2);
+
+    if let Some(cached) = crate::load_json::<ThetaSweep>(&cache_id) {
+        if cached.key == key {
+            println!("[θ sweep loaded from cache {cache_id}]");
+            return cached;
+        }
+    }
+
+    // The four variants are independent: simulate them on four threads.
+    let seed = args.seed;
+    let runs: Vec<RunResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = protocols()
+            .into_iter()
+            .map(|protocol| {
+                scope.spawn(move || {
+                    let label = protocol.label();
+                    let start = std::time::Instant::now();
+                    let run = Scenario::large_scale(nodes, protocol, seed)
+                        .with_duration(Duration::from_days(days))
+                        .with_sample_interval(Duration::from_days(30))
+                        .run();
+                    println!(
+                        "[simulated {label}: {} events in {:.1?}]",
+                        run.events_processed,
+                        start.elapsed()
+                    );
+                    run
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("run")).collect()
+    });
+    let sweep = ThetaSweep { key, runs };
+    crate::write_json(&cache_id, &sweep);
+    sweep
+}

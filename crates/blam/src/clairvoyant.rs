@@ -1,0 +1,536 @@
+//! The centralized clairvoyant formulation of §III-A.
+//!
+//! The paper first formulates battery-lifespan maximization as a
+//! bi-objective mixed-integer program over a TDMA schedule, solved by a
+//! clairvoyant network manager that knows every node's green-energy
+//! future — then discards it as impractical (synchronization cost,
+//! computational weight, information collection) in favour of the
+//! on-sensor heuristic. The formulation still matters as the reference
+//! optimum: this module implements it for small instances via weighted
+//! -sum scalarization with
+//!
+//! * [`ClairvoyantProblem::solve_exhaustive`] — exact enumeration of
+//!   all slot assignments (tiny instances), and
+//! * [`ClairvoyantProblem::solve_hill_climb`] — random-restart local
+//!   search for instances beyond enumeration.
+//!
+//! The `clairvoyant_gap` experiment compares Algorithm 1 against these
+//! solutions.
+
+use blam_battery::degradation::DegradationTracker;
+use blam_units::{Celsius, Duration, Joules, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One node of the clairvoyant problem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClairvoyantNode {
+    /// Sampling period in slots (τ_u); one packet per period.
+    pub period_slots: usize,
+    /// Energy of one packet transmission (`E_tx`).
+    pub tx_energy: Joules,
+    /// Energy consumed per slot while sleeping (`E_sleep`).
+    pub sleep_energy: Joules,
+    /// Clairvoyant per-slot green-energy generation (`E_g[t]`),
+    /// length ≥ the horizon.
+    pub green: Vec<Joules>,
+    /// Battery capacity.
+    pub battery_capacity: Joules,
+    /// Initial state of charge.
+    pub initial_soc: f64,
+    /// Maximum SoC the schedule may charge to (θ; 1.0 reproduces the
+    /// unconstrained `y` upper bound).
+    pub theta: f64,
+}
+
+/// The clairvoyant TDMA problem over a horizon of ρ slots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClairvoyantProblem {
+    /// Horizon ρ in slots.
+    pub slots: usize,
+    /// Wall-clock length of one slot.
+    pub slot_length: Duration,
+    /// Maximum simultaneous receptions at the gateway (ω).
+    pub omega: usize,
+    /// The nodes.
+    pub nodes: Vec<ClairvoyantNode>,
+    /// Battery temperature.
+    pub temperature: Celsius,
+}
+
+/// A complete schedule: for each node, the chosen transmission offset
+/// (slot within the period) for each of its periods.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment(pub Vec<Vec<usize>>);
+
+/// Objective values of one schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Objective (8): the maximum battery degradation across nodes.
+    pub max_degradation: f64,
+    /// The minimum (over nodes) average packet utility — objective (9)
+    /// is `max_u (1 − μ_u)`, i.e. `1 − min_utility`.
+    pub min_utility: f64,
+    /// All constraints hold: one transmission per period (structural),
+    /// ≤ ω transmissions per slot (11), battery within bounds and able
+    /// to fund every scheduled transmission (12)/(20).
+    pub feasible: bool,
+}
+
+impl Evaluation {
+    /// Weighted-sum scalarization: `λ·(max_deg / deg_scale) +
+    /// (1−λ)·(1 − min_utility)`. `deg_scale` normalizes degradation
+    /// into a unit comparable with utility.
+    #[must_use]
+    pub fn scalarized(&self, lambda: f64, deg_scale: f64) -> f64 {
+        if !self.feasible {
+            return f64::INFINITY;
+        }
+        lambda * (self.max_degradation / deg_scale.max(1e-300))
+            + (1.0 - lambda) * (1.0 - self.min_utility)
+    }
+}
+
+impl ClairvoyantProblem {
+    /// Number of whole periods node `u` fits in the horizon.
+    #[must_use]
+    pub fn periods_of(&self, u: usize) -> usize {
+        self.slots / self.nodes[u].period_slots
+    }
+
+    /// The all-zero (LoRaWAN-like, transmit-immediately) assignment.
+    #[must_use]
+    pub fn immediate_assignment(&self) -> Assignment {
+        Assignment(
+            (0..self.nodes.len())
+                .map(|u| vec![0; self.periods_of(u)])
+                .collect(),
+        )
+    }
+
+    /// Evaluates a schedule against objectives (8)–(9) and constraints
+    /// (10)–(12).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment shape does not match the problem.
+    #[must_use]
+    pub fn evaluate(&self, assignment: &Assignment) -> Evaluation {
+        assert_eq!(assignment.0.len(), self.nodes.len(), "assignment shape");
+        let mut feasible = true;
+
+        // Constraint (11): ≤ ω transmissions per slot.
+        let mut per_slot = vec![0usize; self.slots];
+        for (u, offsets) in assignment.0.iter().enumerate() {
+            let tau = self.nodes[u].period_slots;
+            assert_eq!(offsets.len(), self.periods_of(u), "assignment shape");
+            for (p, &off) in offsets.iter().enumerate() {
+                assert!(off < tau, "offset {off} outside period of {tau}");
+                per_slot[p * tau + off] += 1;
+            }
+        }
+        if per_slot.iter().any(|&n| n > self.omega) {
+            feasible = false;
+        }
+
+        let mut max_degradation: f64 = 0.0;
+        let mut min_utility: f64 = 1.0;
+        for (u, node) in self.nodes.iter().enumerate() {
+            let offsets = &assignment.0[u];
+            let tau = node.period_slots;
+            let mut tracker = DegradationTracker::new(self.temperature);
+            let mut stored = node.battery_capacity * node.initial_soc;
+            tracker.record(SimTime::ZERO, node.initial_soc);
+            let cap = node.battery_capacity * node.theta;
+
+            let mut utility_sum = 0.0;
+            for t in 0..self.slots {
+                let period = t / tau;
+                let offset = t % tau;
+                let transmit = offsets.get(period).is_some_and(|&o| o == offset);
+                let demand = if transmit {
+                    node.tx_energy
+                } else {
+                    node.sleep_energy
+                };
+                let green = node.green.get(t).copied().unwrap_or(Joules::ZERO);
+                // Eq. (20): the slot's budget must fund the demand.
+                if (stored + green).0 + 1e-15 < demand.0 {
+                    feasible = false;
+                }
+                // Eq. (5) with the θ cap of Eq. (21).
+                stored = (stored + green - demand).clamp(Joules::ZERO, cap);
+                let at = SimTime::ZERO + self.slot_length * (t as u64 + 1);
+                tracker.record(at, stored / node.battery_capacity);
+                if transmit {
+                    utility_sum += (tau - offset) as f64 / tau as f64;
+                }
+            }
+            let horizon = SimTime::ZERO + self.slot_length * self.slots as u64;
+            max_degradation = max_degradation.max(tracker.degradation(horizon));
+            let packets = offsets.len().max(1);
+            min_utility = min_utility.min(utility_sum / packets as f64);
+        }
+
+        Evaluation {
+            max_degradation,
+            min_utility,
+            feasible,
+        }
+    }
+
+    /// Total number of candidate schedules.
+    #[must_use]
+    pub fn search_space(&self) -> u128 {
+        let mut total: u128 = 1;
+        for (u, node) in self.nodes.iter().enumerate() {
+            for _ in 0..self.periods_of(u) {
+                total = total.saturating_mul(node.period_slots as u128);
+            }
+        }
+        total
+    }
+
+    /// Exhaustively enumerates all schedules and returns the feasible
+    /// one minimizing the λ-scalarized objective (degradation
+    /// normalized by the worst degradation observed across candidates).
+    ///
+    /// Returns `None` if no feasible schedule exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the search space exceeds `limit` (guard against
+    /// accidentally enumerating forever).
+    #[must_use]
+    pub fn solve_exhaustive(&self, lambda: f64, limit: u128) -> Option<(Assignment, Evaluation)> {
+        let space = self.search_space();
+        assert!(
+            space <= limit,
+            "search space {space} exceeds limit {limit}; use solve_hill_climb"
+        );
+        let mut candidates: Vec<(Assignment, Evaluation)> = Vec::new();
+        let mut current = self.immediate_assignment();
+        loop {
+            let eval = self.evaluate(&current);
+            if eval.feasible {
+                candidates.push((current.clone(), eval));
+            }
+            if !self.advance(&mut current) {
+                break;
+            }
+        }
+        let deg_scale = candidates
+            .iter()
+            .map(|(_, e)| e.max_degradation)
+            .fold(0.0f64, f64::max);
+        candidates.into_iter().min_by(|(_, a), (_, b)| {
+            a.scalarized(lambda, deg_scale)
+                .total_cmp(&b.scalarized(lambda, deg_scale))
+        })
+    }
+
+    /// Enumerates all feasible schedules and returns the Pareto front of
+    /// the bi-objective problem (minimize max degradation, maximize
+    /// minimum utility), sorted by increasing degradation. The
+    /// weighted-sum optima of [`solve_exhaustive`] for every λ lie on
+    /// this front; the front itself exposes the whole trade-off the
+    /// paper's objectives (8)–(9) span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the search space exceeds `limit`.
+    ///
+    /// [`solve_exhaustive`]: ClairvoyantProblem::solve_exhaustive
+    #[must_use]
+    pub fn pareto_front(&self, limit: u128) -> Vec<(Assignment, Evaluation)> {
+        let space = self.search_space();
+        assert!(
+            space <= limit,
+            "search space {space} exceeds limit {limit}"
+        );
+        let mut front: Vec<(Assignment, Evaluation)> = Vec::new();
+        let mut current = self.immediate_assignment();
+        loop {
+            let eval = self.evaluate(&current);
+            if eval.feasible {
+                let dominated = front.iter().any(|(_, e)| {
+                    e.max_degradation <= eval.max_degradation + 1e-18
+                        && e.min_utility >= eval.min_utility - 1e-12
+                        && (e.max_degradation < eval.max_degradation - 1e-18
+                            || e.min_utility > eval.min_utility + 1e-12)
+                });
+                if !dominated {
+                    front.retain(|(_, e)| {
+                        !(eval.max_degradation <= e.max_degradation + 1e-18
+                            && eval.min_utility >= e.min_utility - 1e-12
+                            && (eval.max_degradation < e.max_degradation - 1e-18
+                                || eval.min_utility > e.min_utility + 1e-12))
+                    });
+                    // Avoid duplicate objective points.
+                    if !front.iter().any(|(_, e)| {
+                        (e.max_degradation - eval.max_degradation).abs() < 1e-18
+                            && (e.min_utility - eval.min_utility).abs() < 1e-12
+                    }) {
+                        front.push((current.clone(), eval));
+                    }
+                }
+            }
+            if !self.advance(&mut current) {
+                break;
+            }
+        }
+        front.sort_by(|(_, a), (_, b)| a.max_degradation.total_cmp(&b.max_degradation));
+        front
+    }
+
+    /// Odometer increment over the assignment space; false when wrapped.
+    fn advance(&self, a: &mut Assignment) -> bool {
+        for (u, offsets) in a.0.iter_mut().enumerate() {
+            let tau = self.nodes[u].period_slots;
+            for slot in offsets.iter_mut() {
+                *slot += 1;
+                if *slot < tau {
+                    return true;
+                }
+                *slot = 0;
+            }
+        }
+        false
+    }
+
+    /// Random-restart hill climbing: mutates one period's offset at a
+    /// time, accepting improvements of the scalarized objective.
+    /// `deg_scale` should be a representative degradation magnitude
+    /// (e.g. the immediate assignment's).
+    #[must_use]
+    pub fn solve_hill_climb(
+        &self,
+        lambda: f64,
+        restarts: usize,
+        steps: usize,
+        rng: &mut impl Rng,
+    ) -> Option<(Assignment, Evaluation)> {
+        let deg_scale = self
+            .evaluate(&self.immediate_assignment())
+            .max_degradation
+            .max(1e-12);
+        let mut best: Option<(Assignment, Evaluation)> = None;
+        for restart in 0..restarts.max(1) {
+            let mut current = if restart == 0 {
+                self.immediate_assignment()
+            } else {
+                self.random_assignment(rng)
+            };
+            let mut current_eval = self.evaluate(&current);
+            for _ in 0..steps {
+                let u = rng.gen_range(0..self.nodes.len());
+                if self.periods_of(u) == 0 {
+                    continue;
+                }
+                let p = rng.gen_range(0..self.periods_of(u));
+                let tau = self.nodes[u].period_slots;
+                let old = current.0[u][p];
+                let candidate = rng.gen_range(0..tau);
+                if candidate == old {
+                    continue;
+                }
+                current.0[u][p] = candidate;
+                let eval = self.evaluate(&current);
+                if eval.scalarized(lambda, deg_scale) <= current_eval.scalarized(lambda, deg_scale)
+                {
+                    current_eval = eval;
+                } else {
+                    current.0[u][p] = old;
+                }
+            }
+            if current_eval.feasible {
+                let better = match &best {
+                    None => true,
+                    Some((_, b)) => {
+                        current_eval.scalarized(lambda, deg_scale)
+                            < b.scalarized(lambda, deg_scale)
+                    }
+                };
+                if better {
+                    best = Some((current.clone(), current_eval));
+                }
+            }
+        }
+        best
+    }
+
+    fn random_assignment(&self, rng: &mut impl Rng) -> Assignment {
+        Assignment(
+            (0..self.nodes.len())
+                .map(|u| {
+                    let tau = self.nodes[u].period_slots;
+                    (0..self.periods_of(u))
+                        .map(|_| rng.gen_range(0..tau))
+                        .collect()
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Two periods of four slots; sun only in slot 2 of each period.
+    fn sunny_slot_two(nodes: usize) -> ClairvoyantProblem {
+        let mut green = vec![Joules(0.0); 8];
+        green[2] = Joules(0.1);
+        green[6] = Joules(0.1);
+        ClairvoyantProblem {
+            slots: 8,
+            slot_length: Duration::from_mins(1),
+            omega: 1,
+            nodes: (0..nodes)
+                .map(|_| ClairvoyantNode {
+                    period_slots: 4,
+                    tx_energy: Joules(0.05),
+                    sleep_energy: Joules(0.0001),
+                    green: green.clone(),
+                    battery_capacity: Joules(1.0),
+                    initial_soc: 0.5,
+                    theta: 1.0,
+                })
+                .collect(),
+            temperature: Celsius(25.0),
+        }
+    }
+
+    #[test]
+    fn utility_only_picks_immediate_transmission() {
+        let p = sunny_slot_two(1);
+        let (a, e) = p.solve_exhaustive(0.0, 1 << 20).unwrap();
+        assert_eq!(a.0[0], vec![0, 0]);
+        assert!((e.min_utility - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degradation_only_prefers_the_sunny_slot() {
+        let p = sunny_slot_two(1);
+        let (a, _) = p.solve_exhaustive(1.0, 1 << 20).unwrap();
+        // Transmitting in slot 2 uses solar energy, keeping the battery
+        // (and its average SoC stress trajectory) lower than charging it
+        // up and draining it elsewhere.
+        assert_eq!(a.0[0], vec![2, 2]);
+    }
+
+    #[test]
+    fn omega_forces_nodes_apart() {
+        let p = sunny_slot_two(2); // ω = 1: both want slot 2, only one fits
+        let (a, e) = p.solve_exhaustive(1.0, 1 << 20).unwrap();
+        assert!(e.feasible);
+        for period in 0..2 {
+            assert_ne!(
+                a.0[0][period], a.0[1][period],
+                "collision in period {period}"
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_when_battery_cannot_fund_any_slot() {
+        let mut p = sunny_slot_two(1);
+        p.nodes[0].initial_soc = 0.0;
+        p.nodes[0].green = vec![Joules(0.0); 8];
+        assert!(p.solve_exhaustive(0.5, 1 << 20).is_none());
+    }
+
+    #[test]
+    fn evaluate_flags_per_slot_overload() {
+        let p = sunny_slot_two(2);
+        let both_same = Assignment(vec![vec![0, 0], vec![0, 0]]);
+        assert!(!p.evaluate(&both_same).feasible);
+        let apart = Assignment(vec![vec![0, 0], vec![1, 1]]);
+        assert!(p.evaluate(&apart).feasible);
+    }
+
+    #[test]
+    fn utility_matches_offset_formula() {
+        let p = sunny_slot_two(1);
+        let a = Assignment(vec![vec![1, 3]]);
+        let e = p.evaluate(&a);
+        // μ = mean((4−1)/4, (4−3)/4) = mean(0.75, 0.25) = 0.5.
+        assert!((e.min_utility - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn search_space_counts() {
+        assert_eq!(sunny_slot_two(1).search_space(), 16);
+        assert_eq!(sunny_slot_two(2).search_space(), 256);
+    }
+
+    #[test]
+    fn hill_climb_matches_exhaustive_on_small_instance() {
+        let p = sunny_slot_two(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let (_, exact) = p.solve_exhaustive(1.0, 1 << 20).unwrap();
+        let (_, approx) = p.solve_hill_climb(1.0, 8, 400, &mut rng).unwrap();
+        assert!(approx.feasible);
+        assert!(
+            approx.max_degradation <= exact.max_degradation * 1.05 + 1e-15,
+            "hill climb {} vs exact {}",
+            approx.max_degradation,
+            exact.max_degradation
+        );
+    }
+
+    #[test]
+    fn theta_cap_reduces_degradation() {
+        let mut capped = sunny_slot_two(1);
+        capped.nodes[0].theta = 0.5;
+        capped.nodes[0].green = vec![Joules(0.2); 8]; // abundant sun
+        let mut uncapped = capped.clone();
+        uncapped.nodes[0].theta = 1.0;
+        let a = Assignment(vec![vec![0, 0]]);
+        let e_capped = capped.evaluate(&a);
+        let e_uncapped = uncapped.evaluate(&a);
+        assert!(e_capped.feasible && e_uncapped.feasible);
+        assert!(e_capped.max_degradation < e_uncapped.max_degradation);
+    }
+
+    #[test]
+    fn pareto_front_is_nondominated_and_ordered() {
+        let p = sunny_slot_two(2);
+        let front = p.pareto_front(1 << 20);
+        assert!(front.len() >= 2, "expect a real trade-off");
+        for pair in front.windows(2) {
+            let (a, b) = (&pair[0].1, &pair[1].1);
+            // Increasing degradation must buy increasing utility.
+            assert!(b.max_degradation > a.max_degradation);
+            assert!(b.min_utility > a.min_utility, "dominated point on front");
+        }
+        // The λ-extremes lie on the front.
+        let (_, util_opt) = p.solve_exhaustive(0.0, 1 << 20).unwrap();
+        let (_, deg_opt) = p.solve_exhaustive(1.0, 1 << 20).unwrap();
+        assert!((front.last().unwrap().1.min_utility - util_opt.min_utility).abs() < 1e-12);
+        assert!(
+            (front[0].1.max_degradation - deg_opt.max_degradation).abs() < 1e-18,
+            "degradation extreme missing"
+        );
+    }
+
+    #[test]
+    fn pareto_front_single_point_when_no_tradeoff() {
+        // Sun everywhere: transmitting immediately is optimal in both
+        // objectives simultaneously.
+        let mut p = sunny_slot_two(1);
+        p.nodes[0].green = vec![Joules(0.2); 8];
+        let front = p.pareto_front(1 << 20);
+        assert_eq!(front.len(), 1, "front: {:?}", front.iter().map(|(_, e)| e).collect::<Vec<_>>());
+        assert!((front[0].1.min_utility - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds limit")]
+    fn exhaustive_guard_trips() {
+        let p = sunny_slot_two(2);
+        let _ = p.solve_exhaustive(0.5, 10);
+    }
+}

@@ -1,0 +1,143 @@
+//! Protocol configuration.
+
+use blam_units::Duration;
+use serde::{Deserialize, Serialize};
+
+use crate::utility::Utility;
+
+/// BLAM protocol parameters for one node.
+///
+/// The paper's evaluation uses a 1-minute forecast window, `w_b = 1`,
+/// EWMA β around 0.5, and sweeps θ over {0.05, 0.5, 1.0} (its H-5,
+/// H-50 and H-100 variants).
+///
+/// # Examples
+///
+/// ```
+/// use blam::BlamConfig;
+///
+/// let h50 = BlamConfig::h(0.5);
+/// assert_eq!(h50.theta, 0.5);
+/// let h5 = BlamConfig::h(0.05);
+/// assert!(h5.theta < h50.theta);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlamConfig {
+    /// Forecast window length (the paper suggests 1–2 min: long enough
+    /// for 8 retransmissions at the highest SF, aligned with the
+    /// forecaster granularity).
+    pub forecast_window: Duration,
+    /// Maximum state of charge θ the switch may charge the battery to.
+    pub theta: f64,
+    /// Importance of degradation over utility, `w_b ∈ [0, 1]`.
+    pub degradation_weight: f64,
+    /// EWMA weight β for the transmission-energy estimate (Eq. 13).
+    pub ewma_beta: f64,
+    /// Utility curve.
+    pub utility: Utility,
+    /// Whether the per-window retransmission estimator (Eq. 14) scales
+    /// the energy estimate. Disabled in the `retx_ablation` experiment.
+    pub use_retx_estimator: bool,
+    /// Whether to select the forecast window with Algorithm 1. When
+    /// false the node transmits in window 0 like LoRaWAN but keeps the
+    /// θ cap — the paper's H-50C variant.
+    pub use_window_selection: bool,
+}
+
+impl BlamConfig {
+    /// The paper's `H-θ` configuration: 1-minute windows, `w_b = 1`,
+    /// linear utility, β = 0.5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta` is outside `[0, 1]`.
+    #[must_use]
+    pub fn h(theta: f64) -> Self {
+        assert!((0.0..=1.0).contains(&theta), "θ must be in [0,1], got {theta}");
+        BlamConfig {
+            forecast_window: Duration::from_mins(1),
+            theta,
+            degradation_weight: 1.0,
+            ewma_beta: 0.5,
+            utility: Utility::Linear,
+            use_retx_estimator: true,
+            use_window_selection: true,
+        }
+    }
+
+    /// The paper's H-50C ablation: θ = 0.5 charge clamp only, no
+    /// window selection.
+    #[must_use]
+    pub fn h50c() -> Self {
+        BlamConfig {
+            use_window_selection: false,
+            ..BlamConfig::h(0.5)
+        }
+    }
+
+    /// Overrides the degradation weight `w_b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w_b` is outside `[0, 1]`.
+    #[must_use]
+    pub fn with_degradation_weight(mut self, w_b: f64) -> Self {
+        assert!((0.0..=1.0).contains(&w_b), "w_b must be in [0,1], got {w_b}");
+        self.degradation_weight = w_b;
+        self
+    }
+
+    /// Overrides the utility curve.
+    #[must_use]
+    pub fn with_utility(mut self, utility: Utility) -> Self {
+        self.utility = utility;
+        self
+    }
+
+    /// Number of forecast windows in a sampling period of length
+    /// `period` (the paper's |T|; at least 1).
+    #[must_use]
+    pub fn windows_in_period(&self, period: Duration) -> usize {
+        ((period / self.forecast_window) as usize).max(1)
+    }
+}
+
+impl Default for BlamConfig {
+    /// H-50, the paper's headline configuration.
+    fn default() -> Self {
+        BlamConfig::h(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h_variants() {
+        assert_eq!(BlamConfig::h(1.0).theta, 1.0);
+        assert_eq!(BlamConfig::default().theta, 0.5);
+        assert!(BlamConfig::h50c().theta == 0.5 && !BlamConfig::h50c().use_window_selection);
+    }
+
+    #[test]
+    fn windows_in_period_counts() {
+        let c = BlamConfig::default();
+        assert_eq!(c.windows_in_period(Duration::from_mins(10)), 10);
+        assert_eq!(c.windows_in_period(Duration::from_mins(16)), 16);
+        // Degenerate short periods still yield one window.
+        assert_eq!(c.windows_in_period(Duration::from_secs(30)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "θ must be in")]
+    fn invalid_theta() {
+        let _ = BlamConfig::h(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "w_b must be in")]
+    fn invalid_wb() {
+        let _ = BlamConfig::default().with_degradation_weight(2.0);
+    }
+}

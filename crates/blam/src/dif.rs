@@ -1,0 +1,93 @@
+//! The Degradation Impact Factor — Eq. (15).
+
+use blam_units::Joules;
+
+/// The Degradation Impact Factor of transmitting in a forecast window:
+///
+/// ```text
+/// DIF[t] = (max(ê_tx, E_g[t]) − E_g[t]) / E_max_tx
+/// ```
+///
+/// * 0 when the window's green energy covers the estimated transmission
+///   energy — the battery is untouched, no cycle-aging impact;
+/// * up to 1 when the transmission must come entirely from the battery
+///   at the worst-case cost.
+///
+/// The result is clamped to `[0, 1]` (the estimate can exceed the
+/// nominal worst case when retransmissions inflate it).
+///
+/// # Examples
+///
+/// ```
+/// use blam::degradation_impact_factor;
+/// use blam_units::Joules;
+///
+/// let e_max = Joules(0.08);
+/// // Sunny window: free transmission.
+/// assert_eq!(degradation_impact_factor(Joules(0.04), Joules(0.1), e_max), 0.0);
+/// // Dark window: half the worst case comes from the battery.
+/// assert_eq!(degradation_impact_factor(Joules(0.04), Joules(0.0), e_max), 0.5);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `max_tx_energy` is not strictly positive.
+#[must_use]
+pub fn degradation_impact_factor(
+    estimated_tx: Joules,
+    green_energy: Joules,
+    max_tx_energy: Joules,
+) -> f64 {
+    assert!(
+        max_tx_energy.0 > 0.0,
+        "E_max must be positive, got {max_tx_energy}"
+    );
+    let shortfall = (estimated_tx.max(green_energy) - green_energy).max(Joules::ZERO);
+    (shortfall / max_tx_energy).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const E_MAX: Joules = Joules(0.1);
+
+    #[test]
+    fn zero_when_green_covers_tx() {
+        assert_eq!(degradation_impact_factor(Joules(0.05), Joules(0.05), E_MAX), 0.0);
+        assert_eq!(degradation_impact_factor(Joules(0.05), Joules(0.5), E_MAX), 0.0);
+    }
+
+    #[test]
+    fn proportional_to_battery_shortfall() {
+        let d = degradation_impact_factor(Joules(0.06), Joules(0.02), E_MAX);
+        assert!((d - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_battery_transmission_at_worst_case_is_one() {
+        assert_eq!(degradation_impact_factor(E_MAX, Joules::ZERO, E_MAX), 1.0);
+    }
+
+    #[test]
+    fn clamped_to_one_when_estimate_exceeds_worst_case() {
+        // Retransmission-inflated estimate above E_max still yields 1.
+        assert_eq!(degradation_impact_factor(Joules(0.5), Joules::ZERO, E_MAX), 1.0);
+    }
+
+    #[test]
+    fn monotone_decreasing_in_green_energy() {
+        let mut last = 2.0;
+        for g in 0..10 {
+            let d = degradation_impact_factor(Joules(0.08), Joules(f64::from(g) * 0.01), E_MAX);
+            assert!(d <= last);
+            last = d;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "E_max must be positive")]
+    fn zero_emax_panics() {
+        let _ = degradation_impact_factor(Joules(0.1), Joules(0.1), Joules::ZERO);
+    }
+}

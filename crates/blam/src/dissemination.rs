@@ -1,0 +1,253 @@
+//! Gateway-side degradation ledger and dissemination.
+//!
+//! The gateway reconstructs each node's SoC trace from the compressed
+//! samples piggybacked on uplinks, runs the (computationally heavy)
+//! degradation model there, and once a day computes each node's
+//! *normalized degradation* `w_u = D_u / D_max`. The single byte
+//! `round(255 · w_u)` rides back to node `u` on the next ACK. Nodes
+//! with fresher batteries thus see a small `w_u` and prioritize
+//! utility; heavily degraded nodes see `w_u → 1` and conserve their
+//! battery — the indirect coordination that maximizes the *minimum*
+//! lifespan.
+
+use std::collections::HashMap;
+
+use blam_battery::{DegradationConstants, DegradationTracker};
+use blam_units::{Celsius, Duration, SimTime};
+
+use crate::trace_compress::CompressedSocTrace;
+
+/// Gateway-side per-node degradation accounting.
+///
+/// Keyed by the node's numeric identifier (the caller maps device
+/// addresses).
+///
+/// # Examples
+///
+/// ```
+/// use blam::{CompressedSocTrace, DegradationLedger, SocSample};
+/// use blam_units::{Duration, SimTime};
+///
+/// let mut ledger = DegradationLedger::new(Duration::from_mins(1));
+/// let period_start = SimTime::ZERO;
+/// ledger.record_trace(7, period_start, &CompressedSocTrace {
+///     discharge: SocSample::new(0, 0.45),
+///     recharge: SocSample::new(5, 0.50),
+/// });
+/// let updates = ledger.compute_normalized(SimTime::ZERO + Duration::from_days(1));
+/// assert_eq!(updates.len(), 1);
+/// assert_eq!(updates[0].0, 7);
+/// assert_eq!(updates[0].1, 255); // only node ⇒ it IS the max
+/// ```
+#[derive(Debug, Default)]
+pub struct DegradationLedger {
+    forecast_window: Duration,
+    trackers: HashMap<u32, DegradationTracker>,
+    temperature: Celsius,
+    constants: DegradationConstants,
+}
+
+impl DegradationLedger {
+    /// Creates a ledger; `forecast_window` converts piggybacked window
+    /// indices into timestamps.
+    #[must_use]
+    pub fn new(forecast_window: Duration) -> Self {
+        DegradationLedger::with_constants(
+            forecast_window,
+            Celsius(25.0),
+            DegradationConstants::lmo(),
+        )
+    }
+
+    /// Creates a ledger computing with custom temperature and
+    /// degradation constants (must match what the nodes' batteries
+    /// use, or the disseminated ranking drifts).
+    #[must_use]
+    pub fn with_constants(
+        forecast_window: Duration,
+        temperature: Celsius,
+        constants: DegradationConstants,
+    ) -> Self {
+        DegradationLedger {
+            forecast_window,
+            trackers: HashMap::new(),
+            temperature,
+            constants,
+        }
+    }
+
+    /// Number of nodes with recorded traces.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.trackers.len()
+    }
+
+    /// Registers a node whose battery already served `age` before
+    /// deployment (commissioning metadata — the gateway cannot infer
+    /// prior wear from the SoC traces alone).
+    pub fn register_prior_age(
+        &mut self,
+        node: u32,
+        age: Duration,
+        prior_avg_soc: f64,
+        prior_cycle_damage: f64,
+    ) {
+        self.trackers.insert(
+            node,
+            DegradationTracker::with_prior_age(
+                self.temperature,
+                self.constants,
+                age,
+                prior_avg_soc,
+                prior_cycle_damage,
+            ),
+        );
+    }
+
+    /// Ingests one period's compressed trace from `node`, anchored at
+    /// the period's start time.
+    pub fn record_trace(&mut self, node: u32, period_start: SimTime, trace: &CompressedSocTrace) {
+        let tracker = self.trackers.entry(node).or_insert_with(|| {
+            DegradationTracker::with_constants(self.temperature, self.constants)
+        });
+        for s in trace.samples_in_order() {
+            let at = period_start + self.forecast_window * u64::from(s.window);
+            tracker.record(at, s.soc);
+        }
+    }
+
+    /// A node's absolute degradation at `now` (0 for unknown nodes).
+    #[must_use]
+    pub fn degradation_of(&self, node: u32, now: SimTime) -> f64 {
+        self.trackers
+            .get(&node)
+            .map_or(0.0, |t| t.degradation(now))
+    }
+
+    /// The daily dissemination pass: every node's normalized
+    /// degradation, quantized to a byte. Returns `(node,
+    /// round(255·w_u))` pairs sorted by node id.
+    ///
+    /// Returns an empty vector when no node has reported yet or the
+    /// maximum degradation is still zero (all batteries new, `w_u = 0`
+    /// for everyone — which is also each node's bootstrap default).
+    #[must_use]
+    pub fn compute_normalized(&self, now: SimTime) -> Vec<(u32, u8)> {
+        let degradations: Vec<(u32, f64)> = {
+            let mut v: Vec<_> = self
+                .trackers
+                .iter()
+                .map(|(&id, t)| (id, t.degradation(now)))
+                .collect();
+            v.sort_by_key(|&(id, _)| id);
+            v
+        };
+        let max = degradations
+            .iter()
+            .map(|&(_, d)| d)
+            .fold(0.0f64, f64::max);
+        if max <= 0.0 {
+            return Vec::new();
+        }
+        degradations
+            .into_iter()
+            .map(|(id, d)| (id, quantize_weight(d / max)))
+            .collect()
+    }
+}
+
+/// Quantizes a normalized degradation `w ∈ [0, 1]` into the
+/// dissemination byte.
+#[must_use]
+pub fn quantize_weight(w: f64) -> u8 {
+    (w.clamp(0.0, 1.0) * 255.0).round() as u8
+}
+
+/// Decodes the dissemination byte back into `w_u ∈ [0, 1]` at the node.
+#[must_use]
+pub fn dequantize_weight(byte: u8) -> f64 {
+    f64::from(byte) / 255.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace_compress::SocSample;
+
+    fn trace(w1: u8, s1: f64, w2: u8, s2: f64) -> CompressedSocTrace {
+        CompressedSocTrace {
+            discharge: SocSample::new(w1, s1),
+            recharge: SocSample::new(w2, s2),
+        }
+    }
+
+    #[test]
+    fn quantization_roundtrip() {
+        for b in [0u8, 1, 127, 254, 255] {
+            assert_eq!(quantize_weight(dequantize_weight(b)), b);
+        }
+        assert_eq!(quantize_weight(1.5), 255);
+        assert_eq!(quantize_weight(-0.5), 0);
+    }
+
+    #[test]
+    fn most_degraded_node_gets_255() {
+        let mut ledger = DegradationLedger::new(Duration::from_mins(1));
+        let day = Duration::from_days(1);
+        // Node 1 cycles around a high SoC; node 2 around a low SoC.
+        for d in 0..200u64 {
+            let start = SimTime::ZERO + day * d;
+            ledger.record_trace(1, start, &trace(0, 0.85, 30, 1.0));
+            ledger.record_trace(2, start, &trace(0, 0.25, 30, 0.4));
+        }
+        let now = SimTime::ZERO + day * 200;
+        assert!(ledger.degradation_of(1, now) > ledger.degradation_of(2, now));
+        let updates = ledger.compute_normalized(now);
+        let map: std::collections::HashMap<u32, u8> = updates.into_iter().collect();
+        assert_eq!(map[&1], 255);
+        assert!(map[&2] < 255);
+        assert!(map[&2] > 0);
+    }
+
+    #[test]
+    fn unknown_node_has_zero_degradation() {
+        let ledger = DegradationLedger::new(Duration::from_mins(1));
+        assert_eq!(ledger.degradation_of(99, SimTime::from_secs(1)), 0.0);
+        assert_eq!(ledger.node_count(), 0);
+    }
+
+    #[test]
+    fn empty_ledger_disseminates_nothing() {
+        let ledger = DegradationLedger::new(Duration::from_mins(1));
+        assert!(ledger.compute_normalized(SimTime::from_secs(10)).is_empty());
+    }
+
+    #[test]
+    fn updates_sorted_by_node_id() {
+        let mut ledger = DegradationLedger::new(Duration::from_mins(1));
+        let day = Duration::from_days(1);
+        for node in [9u32, 3, 7] {
+            for d in 0..50u64 {
+                ledger.record_trace(node, SimTime::ZERO + day * d, &trace(0, 0.4, 30, 0.6));
+            }
+        }
+        let updates = ledger.compute_normalized(SimTime::ZERO + day * 50);
+        let ids: Vec<u32> = updates.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![3, 7, 9]);
+    }
+
+    #[test]
+    fn window_indices_anchor_to_period_start() {
+        let mut ledger = DegradationLedger::new(Duration::from_mins(2));
+        let start = SimTime::ZERO + Duration::from_hours(5);
+        ledger.record_trace(1, start, &trace(3, 0.5, 8, 0.9));
+        // The tracker should have an average SoC between the two samples
+        // when queried shortly after.
+        let avg = ledger
+            .trackers
+            .get(&1)
+            .unwrap()
+            .average_soc(start + Duration::from_mins(16));
+        assert!(avg > 0.5 && avg < 0.9, "got {avg}");
+    }
+}

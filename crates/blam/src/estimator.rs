@@ -1,0 +1,248 @@
+//! On-sensor estimators: transmission energy (Eq. 13) and per-window
+//! retransmission probability (Eq. 14).
+
+use blam_energy_harvest::Ewma;
+use blam_units::Joules;
+use serde::{Deserialize, Serialize};
+
+/// EWMA estimator of per-exchange transmission energy — Eq. (13):
+/// `ê_tx[p] = β·E_tx[p−1] + (1−β)·ê_tx[p−1]`.
+///
+/// Transmission parameters can change under ADR or the network server,
+/// so the node smooths the observed energy instead of trusting the last
+/// exchange.
+///
+/// # Examples
+///
+/// ```
+/// use blam::TxEnergyEstimator;
+/// use blam_units::Joules;
+///
+/// let mut est = TxEnergyEstimator::new(0.5, Joules(0.04));
+/// est.observe(Joules(0.08));
+/// assert!((est.estimate().0 - 0.06).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TxEnergyEstimator {
+    ewma: Ewma,
+}
+
+impl TxEnergyEstimator {
+    /// Creates an estimator with EWMA weight β and an initial estimate
+    /// (typically the nominal single-transmission energy of the node's
+    /// radio configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta` is outside `[0, 1]` or `initial` is negative.
+    #[must_use]
+    pub fn new(beta: f64, initial: Joules) -> Self {
+        assert!(initial.0 >= 0.0, "initial energy must be non-negative");
+        TxEnergyEstimator {
+            ewma: Ewma::new(beta, initial.0),
+        }
+    }
+
+    /// Folds in the energy actually spent in the last exchange.
+    pub fn observe(&mut self, actual: Joules) {
+        self.ewma.update(actual.0.max(0.0));
+    }
+
+    /// The current per-exchange energy estimate `ê_tx`.
+    #[must_use]
+    pub fn estimate(&self) -> Joules {
+        Joules(self.ewma.value())
+    }
+}
+
+/// Per-forecast-window retransmission statistics — Eq. (14).
+///
+/// For each forecast window index `t` the node counts how often it
+/// selected that window (`S_t`) and how many retransmissions each
+/// exchange needed (`I_{r,t}`). The cumulative probability
+/// `P(r | t) = Σ_{r' ≤ r} I_{r',t} / S_t` follows Eq. (14); the derived
+/// [`expected_attempts`](RetxEstimator::expected_attempts) scales the
+/// node's energy estimate per candidate window, steering it away from
+/// chronically crowded windows.
+///
+/// # Examples
+///
+/// ```
+/// use blam::RetxEstimator;
+///
+/// let mut est = RetxEstimator::new(10, 8);
+/// est.record(2, 3); // window 2 needed 3 retransmissions
+/// est.record(2, 1);
+/// assert!((est.expected_attempts(2) - 3.0).abs() < 1e-12); // 1 + mean(3,1)
+/// assert_eq!(est.expected_attempts(5), 1.0); // no data: optimistic
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetxEstimator {
+    /// `I[t][r]`: times `r` retransmissions were observed in window `t`.
+    observations: Vec<Vec<u64>>,
+    /// `S[t]`: times window `t` was selected.
+    selections: Vec<u64>,
+    max_retx: usize,
+}
+
+impl RetxEstimator {
+    /// Creates an estimator for `windows` forecast windows and at most
+    /// `max_retx` retransmissions per exchange (7 for LoRa's 8-transmission
+    /// cap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `windows` is zero.
+    #[must_use]
+    pub fn new(windows: usize, max_retx: usize) -> Self {
+        assert!(windows > 0, "need at least one forecast window");
+        RetxEstimator {
+            observations: vec![vec![0; max_retx + 1]; windows],
+            selections: vec![0; windows],
+            max_retx,
+        }
+    }
+
+    /// Number of windows tracked.
+    #[must_use]
+    pub fn windows(&self) -> usize {
+        self.selections.len()
+    }
+
+    /// Grows the tracked window count if a longer period appears
+    /// (periods are per-node constants in the paper, but the API stays
+    /// safe if reconfigured).
+    pub fn ensure_windows(&mut self, windows: usize) {
+        while self.selections.len() < windows {
+            self.observations.push(vec![0; self.max_retx + 1]);
+            self.selections.push(0);
+        }
+    }
+
+    /// Records that an exchange in window `t` used `retx`
+    /// retransmissions (clamped to the maximum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn record(&mut self, t: usize, retx: usize) {
+        let r = retx.min(self.max_retx);
+        self.observations[t][r] += 1;
+        self.selections[t] += 1;
+    }
+
+    /// Eq. (14): the cumulative probability of needing at most `r`
+    /// retransmissions in window `t`. Returns 1 for unobserved windows
+    /// (vacuously no evidence of retransmissions).
+    #[must_use]
+    pub fn cumulative_probability(&self, r: usize, t: usize) -> f64 {
+        let s = self.selections[t];
+        if s == 0 {
+            return 1.0;
+        }
+        let r = r.min(self.max_retx);
+        let cum: u64 = self.observations[t][..=r].iter().sum();
+        cum as f64 / s as f64
+    }
+
+    /// Expected transmissions (1 + mean retransmissions) for window
+    /// `t`; 1.0 when the window has never been tried.
+    #[must_use]
+    pub fn expected_attempts(&self, t: usize) -> f64 {
+        let s = self.selections[t];
+        if s == 0 {
+            return 1.0;
+        }
+        let total_retx: u64 = self.observations[t]
+            .iter()
+            .enumerate()
+            .map(|(r, &count)| r as u64 * count)
+            .sum();
+        1.0 + total_retx as f64 / s as f64
+    }
+
+    /// Times window `t` has been selected (`S_t`).
+    #[must_use]
+    pub fn selections(&self, t: usize) -> u64 {
+        self.selections[t]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_energy_tracks_ewma() {
+        let mut e = TxEnergyEstimator::new(0.5, Joules(0.02));
+        assert_eq!(e.estimate(), Joules(0.02));
+        e.observe(Joules(0.06));
+        assert!((e.estimate().0 - 0.04).abs() < 1e-12);
+        e.observe(Joules(0.06));
+        assert!((e.estimate().0 - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tx_energy_negative_observation_clamped() {
+        let mut e = TxEnergyEstimator::new(1.0, Joules(0.02));
+        e.observe(Joules(-5.0));
+        assert_eq!(e.estimate(), Joules(0.0));
+    }
+
+    #[test]
+    fn retx_cumulative_probability_eq14() {
+        let mut est = RetxEstimator::new(4, 8);
+        // Window 1: observed retx counts 0, 0, 2, 5.
+        for r in [0, 0, 2, 5] {
+            est.record(1, r);
+        }
+        assert!((est.cumulative_probability(0, 1) - 0.5).abs() < 1e-12);
+        assert!((est.cumulative_probability(1, 1) - 0.5).abs() < 1e-12);
+        assert!((est.cumulative_probability(2, 1) - 0.75).abs() < 1e-12);
+        assert!((est.cumulative_probability(8, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut est = RetxEstimator::new(2, 8);
+        for r in [0, 1, 1, 3, 7, 8] {
+            est.record(0, r);
+        }
+        let mut last = 0.0;
+        for r in 0..=8 {
+            let p = est.cumulative_probability(r, 0);
+            assert!(p >= last);
+            last = p;
+        }
+        assert!((last - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_attempts_default_and_mean() {
+        let mut est = RetxEstimator::new(3, 8);
+        assert_eq!(est.expected_attempts(0), 1.0);
+        est.record(0, 4);
+        est.record(0, 0);
+        assert!((est.expected_attempts(0) - 3.0).abs() < 1e-12);
+        assert_eq!(est.selections(0), 2);
+    }
+
+    #[test]
+    fn retx_clamped_to_max() {
+        let mut est = RetxEstimator::new(1, 3);
+        est.record(0, 99);
+        assert!((est.expected_attempts(0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ensure_windows_grows() {
+        let mut est = RetxEstimator::new(2, 8);
+        est.ensure_windows(5);
+        assert_eq!(est.windows(), 5);
+        est.record(4, 1);
+        assert_eq!(est.selections(4), 1);
+        // Never shrinks.
+        est.ensure_windows(1);
+        assert_eq!(est.windows(), 5);
+    }
+}

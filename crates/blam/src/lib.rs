@@ -1,0 +1,80 @@
+//! **BLAM** — the Battery Lifespan-Aware MAC protocol for LPWAN.
+//!
+//! This crate implements the primary contribution of *"A Battery
+//! Lifespan-Aware Protocol for LPWAN"* (ICDCS 2024): a local, online,
+//! asynchronous MAC-layer policy that maximizes the minimum battery
+//! lifespan of a LoRa network by
+//!
+//! 1. **delaying each uplink** into the forecast window of the current
+//!    sampling period that best trades data utility against battery
+//!    degradation impact (Algorithm 1, here
+//!    [`select::select_window`]), and
+//! 2. **capping the battery state of charge** at a threshold θ to limit
+//!    calendar aging (enforced by the
+//!    [`battery switch`](blam_battery::PowerSwitch)).
+//!
+//! Module map:
+//!
+//! * [`config`] — protocol parameters (forecast window, θ, w_b, β, …).
+//! * [`utility`] — packet utility curves; Eq. (16) is
+//!   [`Utility::Linear`].
+//! * [`dif`] — the Degradation Impact Factor of Eq. (15).
+//! * [`estimator`] — the EWMA transmission-energy estimator (Eq. 13)
+//!   and the per-window retransmission-probability estimator (Eq. 14).
+//! * [`select`] — Algorithm 1: on-sensor forecast-window selection.
+//! * [`trace_compress`] — the 4-byte compressed SoC trace nodes
+//!   piggyback onto uplinks.
+//! * [`dissemination`] — the gateway-side degradation ledger computing
+//!   and quantizing each node's normalized degradation `w_u`.
+//! * [`protocol`] — [`BlamNode`], the node-side state machine gluing
+//!   the pieces together for the simulator or a real MAC.
+//! * [`clairvoyant`] — the centralized TDMA formulation of §III-A,
+//!   solvable exactly on small instances, used as a reference optimum.
+//!
+//! # Examples
+//!
+//! Select a forecast window for a period with sun in the middle:
+//!
+//! ```
+//! use blam::select::{select_window, SelectInput, SelectOutcome};
+//! use blam::utility::Utility;
+//! use blam_units::Joules;
+//!
+//! let green = [0.0, 0.0, 0.05, 0.05, 0.0].map(Joules);
+//! let tx = [0.04; 5].map(Joules);
+//! let input = SelectInput {
+//!     battery_energy: Joules(0.01),         // too little for window 0
+//!     normalized_degradation: 1.0,          // most degraded node
+//!     degradation_weight: 1.0,
+//!     green_energy: &green,
+//!     tx_energy: &tx,
+//!     max_tx_energy: Joules(0.08),
+//!     utility: &Utility::Linear,
+//! };
+//! let SelectOutcome::Selected { window, .. } = select_window(&input) else {
+//!     panic!("feasible window exists");
+//! };
+//! assert_eq!(window, 2); // waits for the sun
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clairvoyant;
+pub mod config;
+pub mod dif;
+pub mod dissemination;
+pub mod estimator;
+pub mod protocol;
+pub mod select;
+pub mod trace_compress;
+pub mod utility;
+
+pub use config::BlamConfig;
+pub use dif::degradation_impact_factor;
+pub use dissemination::DegradationLedger;
+pub use estimator::{RetxEstimator, TxEnergyEstimator};
+pub use protocol::{BlamNode, PlannedTransmission};
+pub use select::{select_window, SelectInput, SelectOutcome};
+pub use trace_compress::{CompressedSocTrace, SocSample};
+pub use utility::Utility;

@@ -1,0 +1,298 @@
+//! The node-side protocol state machine.
+//!
+//! [`BlamNode`] owns everything a node keeps between sampling periods —
+//! the transmission-energy EWMA, the per-window retransmission
+//! statistics, and the last normalized degradation received from the
+//! gateway — and exposes the per-period planning step the simulator (or
+//! a real MAC layer) invokes when a packet is generated.
+
+use blam_units::Joules;
+use serde::{Deserialize, Serialize};
+
+use crate::config::BlamConfig;
+use crate::dissemination::dequantize_weight;
+use crate::estimator::{RetxEstimator, TxEnergyEstimator};
+use crate::select::{select_window, SelectInput, SelectOutcome};
+
+/// The decision for the current sampling period.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlannedTransmission {
+    /// The forecast window to transmit in.
+    pub window: usize,
+    /// The objective value γ of the chosen window.
+    pub objective: f64,
+}
+
+/// Per-node BLAM protocol state.
+///
+/// # Examples
+///
+/// ```
+/// use blam::{BlamConfig, BlamNode};
+/// use blam_units::Joules;
+///
+/// let mut node = BlamNode::new(BlamConfig::h(0.5), Joules(0.04), Joules(0.08), 10);
+/// // New battery, plenty of charge, dark period: transmit immediately
+/// // (w_u = 0 means utility dominates).
+/// let plan = node.plan(Joules(1.0), &[Joules(0.0); 10]).unwrap();
+/// assert_eq!(plan.window, 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlamNode {
+    config: BlamConfig,
+    tx_estimator: TxEnergyEstimator,
+    retx_estimator: RetxEstimator,
+    /// Last disseminated normalized degradation `w_u`.
+    normalized_degradation: f64,
+    /// Worst-case single-transmission energy (DIF denominator).
+    max_tx_energy: Joules,
+}
+
+impl BlamNode {
+    /// Creates the protocol state for a node whose nominal
+    /// single-transmission energy is `nominal_tx_energy` and whose
+    /// sampling period spans `windows` forecast windows.
+    ///
+    /// A node joining with an unused battery starts at `w_u = 0` and
+    /// needs no gateway communication before its first period (§III-B,
+    /// "Network dynamics").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `windows` is zero or energies are non-positive.
+    #[must_use]
+    pub fn new(
+        config: BlamConfig,
+        nominal_tx_energy: Joules,
+        max_tx_energy: Joules,
+        windows: usize,
+    ) -> Self {
+        assert!(windows > 0, "need at least one forecast window");
+        assert!(nominal_tx_energy.0 > 0.0, "nominal TX energy must be positive");
+        assert!(max_tx_energy.0 > 0.0, "max TX energy must be positive");
+        let beta = config.ewma_beta;
+        BlamNode {
+            config,
+            tx_estimator: TxEnergyEstimator::new(beta, nominal_tx_energy),
+            retx_estimator: RetxEstimator::new(windows, 7),
+            normalized_degradation: 0.0,
+            max_tx_energy,
+        }
+    }
+
+    /// The protocol configuration.
+    #[must_use]
+    pub fn config(&self) -> &BlamConfig {
+        &self.config
+    }
+
+    /// The current normalized degradation `w_u`.
+    #[must_use]
+    pub fn normalized_degradation(&self) -> f64 {
+        self.normalized_degradation
+    }
+
+    /// The current per-single-transmission energy estimate.
+    #[must_use]
+    pub fn tx_energy_estimate(&self) -> Joules {
+        self.tx_estimator.estimate()
+    }
+
+    /// Read access to the retransmission estimator.
+    #[must_use]
+    pub fn retx_estimator(&self) -> &RetxEstimator {
+        &self.retx_estimator
+    }
+
+    /// The per-window exchange-energy estimates `ê_tx[t]`: the EWMA
+    /// single-transmission estimate scaled by the expected attempts in
+    /// each window (Eq. 13 × Eq. 14).
+    #[must_use]
+    pub fn per_window_energy(&mut self, windows: usize) -> Vec<Joules> {
+        self.retx_estimator.ensure_windows(windows);
+        let single = self.tx_estimator.estimate();
+        (0..windows)
+            .map(|t| {
+                let attempts = if self.config.use_retx_estimator {
+                    self.retx_estimator.expected_attempts(t)
+                } else {
+                    1.0
+                };
+                single * attempts
+            })
+            .collect()
+    }
+
+    /// Plans this period's transmission: runs Algorithm 1 over the
+    /// green-energy forecast (whose length defines |T|). Returns `None`
+    /// when no window can sustain the transmission (the packet is
+    /// dropped) — Algorithm 1's FAIL branch.
+    ///
+    /// With window selection disabled (H-50C), always returns window 0:
+    /// the node behaves like LoRaWAN in time while keeping the θ cap.
+    #[must_use]
+    pub fn plan(
+        &mut self,
+        battery_energy: Joules,
+        green_forecast: &[Joules],
+    ) -> Option<PlannedTransmission> {
+        if !self.config.use_window_selection {
+            return Some(PlannedTransmission {
+                window: 0,
+                objective: 0.0,
+            });
+        }
+        let tx_energy = self.per_window_energy(green_forecast.len());
+        let input = SelectInput {
+            battery_energy,
+            normalized_degradation: self.normalized_degradation,
+            degradation_weight: self.config.degradation_weight,
+            green_energy: green_forecast,
+            tx_energy: &tx_energy,
+            max_tx_energy: self.max_tx_energy,
+            utility: &self.config.utility,
+        };
+        match select_window(&input) {
+            SelectOutcome::Selected { window, objective } => {
+                Some(PlannedTransmission { window, objective })
+            }
+            SelectOutcome::Fail => None,
+        }
+    }
+
+    /// Feeds back the outcome of the period's exchange: the window it
+    /// ran in, the transmissions used (≥ 1), and the total radio energy
+    /// spent. Updates both estimators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transmissions` is zero.
+    pub fn on_exchange_complete(
+        &mut self,
+        window: usize,
+        transmissions: u8,
+        energy_spent: Joules,
+    ) {
+        assert!(transmissions >= 1, "an exchange uses at least one transmission");
+        self.retx_estimator.ensure_windows(window + 1);
+        self.retx_estimator
+            .record(window, usize::from(transmissions - 1));
+        // Eq. (13) tracks per-transmission energy; retransmission count
+        // is modeled separately by Eq. (14), so normalize here.
+        self.tx_estimator
+            .observe(energy_spent / f64::from(transmissions));
+    }
+
+    /// Applies a normalized-degradation byte received in an ACK.
+    pub fn on_weight_update(&mut self, byte: u8) {
+        self.normalized_degradation = dequantize_weight(byte);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(theta: f64) -> BlamNode {
+        BlamNode::new(BlamConfig::h(theta), Joules(0.04), Joules(0.08), 10)
+    }
+
+    #[test]
+    fn fresh_node_transmits_immediately() {
+        let mut n = node(0.5);
+        let plan = n.plan(Joules(1.0), &[Joules(0.0); 10]).unwrap();
+        assert_eq!(plan.window, 0);
+    }
+
+    #[test]
+    fn degraded_node_chases_green_energy() {
+        let mut n = node(0.5);
+        n.on_weight_update(255);
+        assert!((n.normalized_degradation() - 1.0).abs() < 1e-12);
+        let mut green = [Joules(0.0); 10];
+        green[3] = Joules(0.06);
+        let plan = n.plan(Joules(1.0), &green).unwrap();
+        // Waiting 3 windows costs 0.3 utility, less than the DIF saving
+        // of 0.5 — so the degraded node defers to the sun. (Sun much
+        // later than window 5 would NOT be worth the utility loss.)
+        assert_eq!(plan.window, 3);
+    }
+
+    #[test]
+    fn empty_battery_dark_period_drops() {
+        let mut n = node(0.5);
+        assert!(n.plan(Joules(0.0), &[Joules(0.0); 10]).is_none());
+    }
+
+    #[test]
+    fn h50c_always_window_zero() {
+        let mut n = BlamNode::new(BlamConfig::h50c(), Joules(0.04), Joules(0.08), 10);
+        n.on_weight_update(255);
+        let mut green = [Joules(0.0); 10];
+        green[6] = Joules(0.06);
+        let plan = n.plan(Joules(0.0), &green).unwrap();
+        assert_eq!(plan.window, 0);
+    }
+
+    #[test]
+    fn crowded_window_estimate_rises_and_steers_away() {
+        let mut n = node(0.5);
+        n.on_weight_update(255);
+        // Window 0 historically needs many retransmissions.
+        for _ in 0..5 {
+            n.on_exchange_complete(0, 8, Joules(0.32));
+        }
+        let e = n.per_window_energy(10);
+        assert!(e[0].0 > 3.0 * e[1].0, "window 0 {:?} vs 1 {:?}", e[0], e[1]);
+        // Both windows sunny enough for a single transmission but not
+        // for eight: the node avoids the crowded one.
+        let mut green = [Joules(0.0); 10];
+        green[0] = Joules(0.05);
+        green[1] = Joules(0.05);
+        let plan = n.plan(Joules(1.0), &green).unwrap();
+        assert_eq!(plan.window, 1);
+    }
+
+    #[test]
+    fn exchange_feedback_updates_energy_estimate() {
+        let mut n = node(0.5);
+        let before = n.tx_energy_estimate();
+        // One transmission costing 0.08: estimate moves up.
+        n.on_exchange_complete(0, 1, Joules(0.08));
+        assert!(n.tx_energy_estimate() > before);
+        // Per-transmission normalization: 4 transmissions of 0.02 each.
+        let mut m = node(0.5);
+        m.on_exchange_complete(0, 4, Joules(0.08));
+        assert!((m.tx_energy_estimate().0 - (0.5 * 0.04 + 0.5 * 0.02)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retx_ablation_disables_scaling() {
+        let mut cfg = BlamConfig::h(0.5);
+        cfg.use_retx_estimator = false;
+        let mut n = BlamNode::new(cfg, Joules(0.04), Joules(0.08), 10);
+        for _ in 0..5 {
+            n.on_exchange_complete(0, 8, Joules(0.32));
+        }
+        let e = n.per_window_energy(10);
+        // Energy estimate changed, but identically across windows.
+        assert!((e[0] - e[9]).0.abs() < 1e-15);
+    }
+
+    #[test]
+    fn plan_grows_estimator_for_longer_periods() {
+        let mut n = node(0.5);
+        // A 60-window period (the paper's longest) after starting at 10.
+        let plan = n.plan(Joules(1.0), &[Joules(0.0); 60]);
+        assert!(plan.is_some());
+        n.on_exchange_complete(59, 1, Joules(0.04));
+        assert!(n.retx_estimator().windows() >= 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one transmission")]
+    fn zero_transmissions_rejected() {
+        let mut n = node(0.5);
+        n.on_exchange_complete(0, 0, Joules(0.0));
+    }
+}

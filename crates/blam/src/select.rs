@@ -1,0 +1,280 @@
+//! Algorithm 1: on-sensor forecast-window selection.
+//!
+//! Each sampling period, the node evaluates the objective of Eq. (17)
+//!
+//! ```text
+//! γ_t = (1 − μ[t]) + w_u · DIF[t] · w_b
+//! ```
+//!
+//! for every forecast window `t`, sorts the windows by non-decreasing
+//! `γ_t`, and picks the best one whose cumulative energy satisfies the
+//! feasibility constraint of Eq. (20): the battery level plus the green
+//! energy forecast up to and including window `t` must cover the
+//! estimated transmission energy. If no window qualifies the packet is
+//! dropped (the battery cannot sustain it) — the `Fail` branch of
+//! Algorithm 1.
+//!
+//! Complexity: `O(|T| log |T|)` per period, as the paper states.
+
+use blam_units::Joules;
+use serde::{Deserialize, Serialize};
+
+use crate::dif::degradation_impact_factor;
+use crate::utility::Utility;
+
+/// Inputs to one run of Algorithm 1.
+#[derive(Debug, Clone, Copy)]
+pub struct SelectInput<'a> {
+    /// Current battery energy ψ.
+    pub battery_energy: Joules,
+    /// This node's normalized degradation `w_u ∈ [0, 1]` from the
+    /// gateway.
+    pub normalized_degradation: f64,
+    /// The network-wide degradation importance `w_b ∈ [0, 1]`.
+    pub degradation_weight: f64,
+    /// Green-energy forecast per window, `Ê_g[t]`; its length defines
+    /// `|T|`.
+    pub green_energy: &'a [Joules],
+    /// Estimated transmission energy per window `ê_tx[t]` (already
+    /// scaled by the expected attempts for that window). Must have the
+    /// same length as `green_energy`.
+    pub tx_energy: &'a [Joules],
+    /// Worst-case single-transmission energy `E_max` normalizing the
+    /// DIF.
+    pub max_tx_energy: Joules,
+    /// The utility curve.
+    pub utility: &'a Utility,
+}
+
+/// Result of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SelectOutcome {
+    /// A feasible window was found.
+    Selected {
+        /// The chosen forecast-window index.
+        window: usize,
+        /// Its objective value γ.
+        objective: f64,
+    },
+    /// No window can sustain the transmission; drop the packet.
+    Fail,
+}
+
+impl SelectOutcome {
+    /// The chosen window, if any.
+    #[must_use]
+    pub fn window(&self) -> Option<usize> {
+        match *self {
+            SelectOutcome::Selected { window, .. } => Some(window),
+            SelectOutcome::Fail => None,
+        }
+    }
+}
+
+/// The per-window objective values γ_t of Eq. (17).
+///
+/// Exposed separately so experiments (Fig. 3) can inspect the whole
+/// objective landscape, not just the winner.
+#[must_use]
+pub fn objectives(input: &SelectInput<'_>) -> Vec<f64> {
+    let total = input.green_energy.len();
+    (0..total)
+        .map(|t| {
+            let utility = input.utility.at(t, total);
+            let dif = degradation_impact_factor(
+                input.tx_energy[t],
+                input.green_energy[t],
+                input.max_tx_energy,
+            );
+            (1.0 - utility) + input.normalized_degradation * dif * input.degradation_weight
+        })
+        .collect()
+}
+
+/// Runs Algorithm 1.
+///
+/// # Panics
+///
+/// Panics if the forecast and energy-estimate slices differ in length,
+/// are empty, or if the weights are outside `[0, 1]`.
+#[must_use]
+pub fn select_window(input: &SelectInput<'_>) -> SelectOutcome {
+    assert_eq!(
+        input.green_energy.len(),
+        input.tx_energy.len(),
+        "green-energy and tx-energy vectors must align"
+    );
+    assert!(
+        !input.green_energy.is_empty(),
+        "need at least one forecast window"
+    );
+    assert!(
+        (0.0..=1.0).contains(&input.normalized_degradation),
+        "w_u must be in [0,1], got {}",
+        input.normalized_degradation
+    );
+    assert!(
+        (0.0..=1.0).contains(&input.degradation_weight),
+        "w_b must be in [0,1], got {}",
+        input.degradation_weight
+    );
+
+    let gammas = objectives(input);
+
+    // Cumulative available energy through window t (Algorithm 1 line 9):
+    // battery now plus everything the panel is expected to deliver up to
+    // and including t.
+    let mut cumulative = Vec::with_capacity(gammas.len());
+    let mut acc = input.battery_energy;
+    for &g in input.green_energy {
+        acc += g;
+        cumulative.push(acc);
+    }
+
+    // Sort window indices by (γ, index): stable preference for earlier
+    // windows on ties, which maximizes utility among equals.
+    let mut order: Vec<usize> = (0..gammas.len()).collect();
+    order.sort_by(|&a, &b| gammas[a].total_cmp(&gammas[b]).then(a.cmp(&b)));
+
+    for t in order {
+        if (cumulative[t] - input.tx_energy[t]).0 >= 0.0 {
+            return SelectOutcome::Selected {
+                window: t,
+                objective: gammas[t],
+            };
+        }
+    }
+    SelectOutcome::Fail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_input<'a>(
+        green: &'a [Joules],
+        tx: &'a [Joules],
+        battery: f64,
+        w_u: f64,
+    ) -> SelectInput<'a> {
+        SelectInput {
+            battery_energy: Joules(battery),
+            normalized_degradation: w_u,
+            degradation_weight: 1.0,
+            green_energy: green,
+            tx_energy: tx,
+            max_tx_energy: Joules(0.08),
+            utility: &Utility::Linear,
+        }
+    }
+
+    #[test]
+    fn ample_battery_and_no_degradation_pick_window_zero() {
+        let green = [Joules(0.0); 10];
+        let tx = [Joules(0.04); 10];
+        let out = select_window(&base_input(&green, &tx, 1.0, 0.0));
+        assert_eq!(out.window(), Some(0));
+    }
+
+    #[test]
+    fn degraded_node_waits_for_sun() {
+        // Sun arrives at window 3; a fully degraded node defers there.
+        let mut green = [Joules(0.0); 8];
+        green[3] = Joules(0.05);
+        green[4] = Joules(0.05);
+        let tx = [Joules(0.04); 8];
+        let out = select_window(&base_input(&green, &tx, 1.0, 1.0));
+        assert_eq!(out.window(), Some(3));
+    }
+
+    #[test]
+    fn fresh_node_prioritizes_utility_over_sun() {
+        // Same scenario, but w_u = 0 (new battery): utility wins and the
+        // node transmits immediately — the Fig. 3 contrast.
+        let mut green = [Joules(0.0); 8];
+        green[3] = Joules(0.05);
+        let tx = [Joules(0.04); 8];
+        let out = select_window(&base_input(&green, &tx, 1.0, 0.0));
+        assert_eq!(out.window(), Some(0));
+    }
+
+    #[test]
+    fn infeasible_early_windows_are_skipped() {
+        // Battery can't cover window 0; harvest accumulates by window 2.
+        let green = [Joules(0.01), Joules(0.01), Joules(0.01), Joules(0.01)].to_vec();
+        let tx = [Joules(0.04); 4];
+        let out = select_window(&base_input(&green, &tx, 0.01, 0.0));
+        // Cumulative: 0.02, 0.03, 0.04, 0.05 → first feasible is window 2.
+        assert_eq!(out.window(), Some(2));
+    }
+
+    #[test]
+    fn fail_when_nothing_is_feasible() {
+        let green = [Joules(0.0); 5];
+        let tx = [Joules(0.04); 5];
+        let out = select_window(&base_input(&green, &tx, 0.0, 1.0));
+        assert_eq!(out, SelectOutcome::Fail);
+        assert_eq!(out.window(), None);
+    }
+
+    #[test]
+    fn wb_zero_reduces_to_pure_utility() {
+        let mut green = [Joules(0.0); 6];
+        green[4] = Joules(1.0);
+        let tx = [Joules(0.04); 6];
+        let mut input = base_input(&green, &tx, 1.0, 1.0);
+        input.degradation_weight = 0.0;
+        assert_eq!(select_window(&input).window(), Some(0));
+    }
+
+    #[test]
+    fn objectives_match_eq17_by_hand() {
+        let green = [Joules(0.08), Joules(0.0)];
+        let tx = [Joules(0.04); 2];
+        let input = base_input(&green, &tx, 1.0, 0.5);
+        let g = objectives(&input);
+        // t=0: utility 1, DIF 0            → γ = 0.
+        // t=1: utility 0.5, DIF 0.04/0.08   → γ = 0.5 + 0.5·0.5·1 = 0.75.
+        assert!((g[0] - 0.0).abs() < 1e-12);
+        assert!((g[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tie_breaks_prefer_earlier_window() {
+        // Two identical sunny windows: equal γ, earlier index wins.
+        let green = [Joules(0.08), Joules(0.08)];
+        let tx = [Joules(0.04); 2];
+        let mut input = base_input(&green, &tx, 1.0, 1.0);
+        input.utility = &Utility::Plateau { plateau_windows: 2 };
+        assert_eq!(select_window(&input).window(), Some(0));
+    }
+
+    #[test]
+    fn higher_tx_estimate_can_flip_the_choice() {
+        // Window 0 looks crowded (inflated estimate) → the degraded
+        // node prefers the calm sunny window 1.
+        let green = [Joules(0.02), Joules(0.06)];
+        let tx_quiet = [Joules(0.04), Joules(0.04)];
+        let tx_crowded = [Joules(0.12), Joules(0.04)];
+        let a = select_window(&base_input(&green, &tx_quiet, 1.0, 1.0));
+        let b = select_window(&base_input(&green, &tx_crowded, 1.0, 1.0));
+        assert_eq!(a.window(), Some(0));
+        assert_eq!(b.window(), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_lengths_panic() {
+        let green = [Joules(0.0); 3];
+        let tx = [Joules(0.0); 2];
+        let _ = select_window(&base_input(&green, &tx, 1.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "w_u must be in")]
+    fn invalid_wu_panics() {
+        let green = [Joules(0.0)];
+        let tx = [Joules(0.0)];
+        let _ = select_window(&base_input(&green, &tx, 1.0, 1.5));
+    }
+}

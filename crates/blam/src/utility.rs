@@ -1,0 +1,122 @@
+//! Packet utility curves.
+//!
+//! The paper defines a packet's utility as a monotonically
+//! non-increasing function of its transmission delay within the
+//! sampling period, from 1 (sent immediately) to 0 (delayed by a full
+//! period), and stresses that the protocol is agnostic to the specific
+//! curve. Eq. (16) is the linear instance.
+
+use serde::{Deserialize, Serialize};
+
+/// A utility curve: maps a forecast-window index within a period to the
+/// utility in `[0, 1]` of transmitting there.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum Utility {
+    /// Eq. (16): `μ[t] = (T − t) / T` for `T` windows.
+    #[default]
+    Linear,
+    /// `μ[t] = exp(−rate · t / T)`, a gentler early decline for
+    /// applications tolerating moderate delays.
+    Exponential {
+        /// Decay rate over the period (higher = faster loss).
+        rate: f64,
+    },
+    /// Full utility for the first `plateau_windows` windows, then
+    /// linear decline to 0 — freshness-insensitive applications.
+    Plateau {
+        /// Number of windows with utility 1.
+        plateau_windows: usize,
+    },
+}
+
+impl Utility {
+    /// Utility of transmitting in window `t` of a period with `total`
+    /// windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is zero.
+    #[must_use]
+    pub fn at(&self, t: usize, total: usize) -> f64 {
+        assert!(total > 0, "a period must contain at least one window");
+        let t = t.min(total) as f64;
+        let total = total as f64;
+        match *self {
+            Utility::Linear => (total - t) / total,
+            Utility::Exponential { rate } => (-rate * t / total).exp(),
+            Utility::Plateau { plateau_windows } => {
+                let p = plateau_windows.min(total as usize) as f64;
+                if t <= p {
+                    1.0
+                } else {
+                    ((total - t) / (total - p).max(1e-12)).max(0.0)
+                }
+            }
+        }
+    }
+
+    /// Evaluates the curve over all windows of a period.
+    #[must_use]
+    pub fn over_period(&self, total: usize) -> Vec<f64> {
+        (0..total).map(|t| self.at(t, total)).collect()
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_matches_eq16() {
+        let u = Utility::Linear;
+        assert_eq!(u.at(0, 10), 1.0);
+        assert_eq!(u.at(5, 10), 0.5);
+        assert_eq!(u.at(10, 10), 0.0);
+    }
+
+    #[test]
+    fn all_curves_monotone_nonincreasing_and_bounded() {
+        for u in [
+            Utility::Linear,
+            Utility::Exponential { rate: 2.0 },
+            Utility::Plateau { plateau_windows: 3 },
+        ] {
+            let vals = u.over_period(16);
+            assert!((vals[0] - 1.0).abs() < 1e-12, "{u:?} starts at 1");
+            for w in vals.windows(2) {
+                assert!(w[1] <= w[0] + 1e-12, "{u:?} not monotone");
+            }
+            assert!(vals.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn exponential_declines_slower_early() {
+        let lin = Utility::Linear;
+        let exp = Utility::Exponential { rate: 1.0 };
+        // At 20% of the period, e^{-0.2} ≈ 0.82 > 0.8.
+        assert!(exp.at(2, 10) > lin.at(2, 10));
+    }
+
+    #[test]
+    fn plateau_holds_then_declines() {
+        let u = Utility::Plateau { plateau_windows: 3 };
+        assert_eq!(u.at(0, 10), 1.0);
+        assert_eq!(u.at(3, 10), 1.0);
+        assert!(u.at(4, 10) < 1.0);
+        assert!(u.at(10, 10) <= 0.0 + 1e-12);
+    }
+
+    #[test]
+    fn index_beyond_period_clamps_to_zero_for_linear() {
+        assert_eq!(Utility::Linear.at(99, 10), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one window")]
+    fn zero_windows_panics() {
+        let _ = Utility::Linear.at(0, 0);
+    }
+}

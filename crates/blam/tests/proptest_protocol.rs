@@ -1,0 +1,166 @@
+//! Property-based tests for the protocol core: Algorithm 1, the DIF,
+//! utility curves and the estimators.
+
+use blam::select::{objectives, select_window, SelectInput, SelectOutcome};
+use blam::utility::Utility;
+use blam::{degradation_impact_factor, RetxEstimator, TxEnergyEstimator};
+use blam_units::Joules;
+use proptest::prelude::*;
+
+fn energy_vec(len: core::ops::Range<usize>) -> impl Strategy<Value = Vec<Joules>> {
+    prop::collection::vec((0.0f64..0.2).prop_map(Joules), len)
+}
+
+fn any_utility() -> impl Strategy<Value = Utility> {
+    prop_oneof![
+        Just(Utility::Linear),
+        (0.1f64..5.0).prop_map(|rate| Utility::Exponential { rate }),
+        (0usize..8).prop_map(|p| Utility::Plateau { plateau_windows: p }),
+    ]
+}
+
+proptest! {
+    /// DIF is always in [0, 1], zero when green covers the estimate,
+    /// and monotone in both arguments.
+    #[test]
+    fn dif_bounds_and_monotonicity(e_tx in 0.0f64..1.0, green in 0.0f64..1.0) {
+        let e_max = Joules(0.5);
+        let d = degradation_impact_factor(Joules(e_tx), Joules(green), e_max);
+        prop_assert!((0.0..=1.0).contains(&d));
+        if green >= e_tx {
+            prop_assert_eq!(d, 0.0);
+        }
+        let d_more_green = degradation_impact_factor(Joules(e_tx), Joules(green + 0.1), e_max);
+        prop_assert!(d_more_green <= d);
+        let d_more_tx = degradation_impact_factor(Joules(e_tx + 0.1), Joules(green), e_max);
+        prop_assert!(d_more_tx >= d);
+    }
+
+    /// Every utility curve starts at 1, stays within [0, 1] and never
+    /// increases along the period.
+    #[test]
+    fn utility_curves_well_formed(u in any_utility(), total in 1usize..64) {
+        let vals = u.over_period(total);
+        prop_assert!((vals[0] - 1.0).abs() < 1e-12);
+        for w in vals.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-12);
+        }
+        prop_assert!(vals.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    /// Algorithm 1 invariants: a selected window is energy-feasible and
+    /// carries the minimal objective among all feasible windows; FAIL
+    /// occurs exactly when no window is feasible.
+    #[test]
+    fn algorithm1_optimality(
+        green in energy_vec(1..24),
+        battery in 0.0f64..0.5,
+        w_u in 0.0f64..=1.0,
+        w_b in 0.0f64..=1.0,
+        u in any_utility(),
+    ) {
+        let tx = vec![Joules(0.054); green.len()];
+        let input = SelectInput {
+            battery_energy: Joules(battery),
+            normalized_degradation: w_u,
+            degradation_weight: w_b,
+            green_energy: &green,
+            tx_energy: &tx,
+            max_tx_energy: Joules(0.15),
+            utility: &u,
+        };
+        let gammas = objectives(&input);
+        // Cumulative energy through each window.
+        let mut cumulative = Vec::new();
+        let mut acc = battery;
+        for g in &green {
+            acc += g.0;
+            cumulative.push(acc);
+        }
+        let feasible: Vec<usize> = (0..green.len())
+            .filter(|&t| cumulative[t] - tx[t].0 >= 0.0)
+            .collect();
+
+        match select_window(&input) {
+            SelectOutcome::Selected { window, objective } => {
+                prop_assert!(feasible.contains(&window), "selected infeasible window");
+                prop_assert!((objective - gammas[window]).abs() < 1e-12);
+                for &t in &feasible {
+                    prop_assert!(
+                        gammas[window] <= gammas[t] + 1e-12,
+                        "window {window} (γ {}) beaten by {t} (γ {})",
+                        gammas[window],
+                        gammas[t]
+                    );
+                }
+            }
+            SelectOutcome::Fail => prop_assert!(feasible.is_empty()),
+        }
+    }
+
+    /// More green energy can never flip a Selected outcome to Fail.
+    #[test]
+    fn more_green_never_hurts_feasibility(
+        green in energy_vec(1..16),
+        battery in 0.0f64..0.2,
+    ) {
+        let tx = vec![Joules(0.054); green.len()];
+        let make = |g: &[Joules]| select_window(&SelectInput {
+            battery_energy: Joules(battery),
+            normalized_degradation: 0.5,
+            degradation_weight: 1.0,
+            green_energy: g,
+            tx_energy: &tx,
+            max_tx_energy: Joules(0.15),
+            utility: &Utility::Linear,
+        });
+        let before = make(&green);
+        let boosted: Vec<Joules> = green.iter().map(|g| *g + Joules(0.1)).collect();
+        let after = make(&boosted);
+        if before.window().is_some() {
+            prop_assert!(after.window().is_some());
+        }
+    }
+
+    /// The Eq. (14) CDF is monotone in r and reaches 1 at the cap, for
+    /// any observation pattern.
+    #[test]
+    fn retx_cdf_monotone(observations in prop::collection::vec((0usize..4, 0usize..10), 0..64)) {
+        let mut est = RetxEstimator::new(4, 8);
+        for &(t, r) in &observations {
+            est.record(t, r);
+        }
+        for t in 0..4 {
+            let mut last = 0.0;
+            for r in 0..=8 {
+                let p = est.cumulative_probability(r, t);
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+                prop_assert!(p >= last - 1e-12);
+                last = p;
+            }
+            prop_assert!((est.cumulative_probability(8, t) - 1.0).abs() < 1e-12);
+            prop_assert!(est.expected_attempts(t) >= 1.0);
+            prop_assert!(est.expected_attempts(t) <= 9.0);
+        }
+    }
+
+    /// The EWMA energy estimate stays within the envelope of its initial
+    /// value and all observations.
+    #[test]
+    fn tx_estimator_envelope(
+        initial in 0.001f64..0.2,
+        beta in 0.0f64..=1.0,
+        obs in prop::collection::vec(0.0f64..0.5, 1..50),
+    ) {
+        let mut est = TxEnergyEstimator::new(beta, Joules(initial));
+        let mut lo = initial;
+        let mut hi = initial;
+        for &o in &obs {
+            est.observe(Joules(o));
+            lo = lo.min(o);
+            hi = hi.max(o);
+            prop_assert!(est.estimate().0 >= lo - 1e-12);
+            prop_assert!(est.estimate().0 <= hi + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! `blam-sim` — command-line front end for the lpwan-blam simulator.
+//!
+//! ```text
+//! blam-sim template                          # print a default scenario JSON
+//! blam-sim run --config scenario.json        # run it, print metrics
+//! blam-sim run --config scenario.json --out results.json
+//! blam-sim compare --nodes 100 --days 60     # LoRaWAN vs H-θ side by side
+//! ```
+
+use std::process::ExitCode;
+
+use blam_netsim::engine::Engine;
+use blam_netsim::{config::Protocol, RunResult, ScenarioConfig};
+use blam_units::Duration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("template") => template(),
+        Some("run") => run(&args[1..]),
+        Some("compare") => compare(&args[1..]),
+        Some("--help" | "-h") | None => {
+            usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage:\n  blam-sim template                      print a default scenario config (JSON)\n  \
+         blam-sim run --config FILE [--out FILE]  simulate a scenario\n  \
+         blam-sim compare [--nodes N] [--days D] [--seed S]  quick protocol comparison"
+    );
+}
+
+fn flag(args: &[String], name: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| format!("{name} requires a value")),
+    }
+}
+
+fn template() -> Result<(), String> {
+    let cfg = ScenarioConfig::large_scale(100, Protocol::h(0.5), 42);
+    let json = serde_json::to_string_pretty(&cfg).map_err(|e| e.to_string())?;
+    println!("{json}");
+    Ok(())
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let path = flag(args, "--config")?.ok_or("run requires --config FILE")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let cfg: ScenarioConfig =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: invalid scenario: {e}"))?;
+    eprintln!(
+        "simulating {} nodes under {} for {} (seed {})…",
+        cfg.nodes,
+        cfg.protocol.label(),
+        cfg.duration,
+        cfg.seed
+    );
+    let start = std::time::Instant::now();
+    let result = Engine::build(cfg).run();
+    eprintln!(
+        "done: {} events in {:.1?}",
+        result.events_processed,
+        start.elapsed()
+    );
+    print_summary(&result);
+    if let Some(out) = flag(args, "--out")? {
+        let json = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
+        std::fs::write(&out, json).map_err(|e| format!("{out}: {e}"))?;
+        eprintln!("[full results written to {out}]");
+    }
+    Ok(())
+}
+
+fn compare(args: &[String]) -> Result<(), String> {
+    let parse =
+        |v: Option<String>, d: u64| -> Result<u64, String> {
+            v.map_or(Ok(d), |s| s.parse().map_err(|e| format!("bad number: {e}")))
+        };
+    let nodes = parse(flag(args, "--nodes")?, 100)? as usize;
+    let days = parse(flag(args, "--days")?, 60)?;
+    let seed = parse(flag(args, "--seed")?, 42)?;
+
+    println!("{}", blam_netsim::report::comparison_header());
+    for protocol in [
+        Protocol::Lorawan,
+        Protocol::h(1.0),
+        Protocol::h(0.5),
+        Protocol::h(0.05),
+        Protocol::h50c(),
+    ] {
+        let mut cfg = ScenarioConfig::large_scale(nodes, protocol, seed);
+        cfg.duration = Duration::from_days(days);
+        cfg.sample_interval = Duration::from_days(days.clamp(1, 30));
+        let r = Engine::build(cfg).run();
+        println!("{}", blam_netsim::report::comparison_row(&r));
+    }
+    Ok(())
+}
+
+fn print_summary(r: &RunResult) {
+    print!("{}", blam_netsim::report::summary(r));
+}

@@ -1,0 +1,300 @@
+//! The event queue: a binary heap with stable ordering and cancellation.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use blam_units::SimTime;
+
+/// Handle to a scheduled event, usable to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+struct Scheduled<E> {
+    time: SimTime,
+    id: EventId,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.id == other.id
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on (time, id): earlier first, FIFO ties.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+/// A time-ordered event queue.
+///
+/// Events at equal timestamps pop in scheduling (FIFO) order, which
+/// keeps simulations deterministic. Cancellation is tombstone-based:
+/// O(1) at cancel time, skipped at pop time.
+///
+/// # Examples
+///
+/// ```
+/// use blam_des::EventQueue;
+/// use blam_units::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// let a = q.schedule(SimTime::from_secs(2), "a");
+/// q.schedule(SimTime::from_secs(1), "b");
+/// q.cancel(a);
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1), "b")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    cancelled: HashSet<EventId>,
+    /// Ids delivered or cancelled out of scheduling order (drained into
+    /// `settled_below` as the range becomes contiguous).
+    settled: HashSet<EventId>,
+    /// Every id below this has been delivered or cancelled.
+    settled_below: u64,
+    next_id: u64,
+    /// Count of live (non-cancelled) events.
+    live: usize,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            settled: HashSet::new(),
+            settled_below: 0,
+            next_id: 0,
+            live: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `at` and returns its handle.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.heap.push(Scheduled {
+            time: at,
+            id,
+            event,
+        });
+        self.live += 1;
+        id
+    }
+
+    /// Cancels a previously scheduled event. Returns true if the event
+    /// was still pending.
+    ///
+    /// Cancelling an id that was already delivered (or cancelled) is a
+    /// no-op returning false — the queue tracks delivered ids in a
+    /// compact range plus a small out-of-order set, so stale handles
+    /// cannot corrupt the live count or leak tombstones.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_id || self.is_settled(id) {
+            return false;
+        }
+        if self.cancelled.insert(id) {
+            self.live = self.live.saturating_sub(1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True if `id` has already been delivered or cancelled.
+    fn is_settled(&self, id: EventId) -> bool {
+        id.0 < self.settled_below || self.settled.contains(&id) || self.cancelled.contains(&id)
+    }
+
+    /// Records a delivered/cancelled id and advances the compact
+    /// settled watermark.
+    fn mark_settled(&mut self, id: EventId) {
+        self.settled.insert(id);
+        while self.settled.remove(&EventId(self.settled_below)) {
+            self.settled_below += 1;
+        }
+    }
+
+    /// Removes and returns the earliest live event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(s) = self.heap.pop() {
+            if self.cancelled.remove(&s.id) {
+                self.mark_settled(s.id);
+                continue;
+            }
+            self.live -= 1;
+            self.mark_settled(s.id);
+            return Some((s.time, s.event));
+        }
+        None
+    }
+
+    /// The timestamp of the earliest live event.
+    #[must_use]
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drop leading tombstones so the peek is accurate.
+        while let Some(s) = self.heap.peek() {
+            if self.cancelled.contains(&s.id) {
+                let s = self.heap.pop().expect("peeked element exists");
+                self.cancelled.remove(&s.id);
+                self.mark_settled(s.id);
+            } else {
+                return Some(s.time);
+            }
+        }
+        None
+    }
+
+    /// Number of live events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no live events remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E: std::fmt::Debug> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("live", &self.live)
+            .field("heap_size", &self.heap.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), 3);
+        q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(2), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_secs(1), "x");
+        q.schedule(SimTime::from_secs(2), "y");
+        assert!(q.cancel(id));
+        assert!(!q.cancel(id), "double cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), "y")));
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn cancel_after_delivery_is_a_clean_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), "a")));
+        // The handle is stale: cancelling must not disturb the count or
+        // poison future pops.
+        assert!(!q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), "b")));
+        assert!(q.is_empty());
+        assert!(!q.cancel(a), "still a no-op after drain");
+    }
+
+    #[test]
+    fn settled_tracking_stays_compact_under_churn() {
+        let mut q = EventQueue::new();
+        let mut ids = Vec::new();
+        for round in 0..100u64 {
+            for k in 0..10u64 {
+                ids.push(q.schedule(SimTime::from_millis(round * 10 + k), round * 10 + k));
+            }
+            while q.pop().is_some() {}
+        }
+        // Every id settled in order: the out-of-order set must be empty.
+        assert_eq!(q.settled.len(), 0);
+        assert_eq!(q.settled_below, 1_000);
+        for id in ids {
+            assert!(!q.cancel(id));
+        }
+    }
+
+    #[test]
+    fn peek_time_skips_tombstones() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_secs(1), "x");
+        q.schedule(SimTime::from_secs(2), "y");
+        q.cancel(id);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        let a = q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(2), 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), "late");
+        assert_eq!(q.pop().unwrap().1, "late");
+        q.schedule(SimTime::from_secs(5), "next");
+        q.schedule(SimTime::from_secs(4), "first");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "next");
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,218 @@
+//! The simulation run loop.
+
+use blam_units::{Duration, SimTime};
+
+use crate::queue::{EventId, EventQueue};
+
+/// A discrete-event simulator: an [`EventQueue`] plus a virtual clock.
+///
+/// The handler passed to [`run_until`](Simulator::run_until) receives
+/// the simulator itself, so it can schedule (and cancel) follow-up
+/// events.
+///
+/// # Examples
+///
+/// ```
+/// use blam_des::Simulator;
+/// use blam_units::{Duration, SimTime};
+///
+/// let mut sim = Simulator::new();
+/// sim.schedule_in(Duration::from_secs(1), ());
+/// let processed = sim.run_until(SimTime::from_secs(10), |_sim, now, ()| {
+///     assert_eq!(now, SimTime::from_secs(1));
+/// });
+/// assert_eq!(processed, 1);
+/// assert_eq!(sim.now(), SimTime::from_secs(10));
+/// ```
+#[derive(Debug)]
+pub struct Simulator<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<E> Simulator<E> {
+    /// Creates a simulator at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Simulator {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// The current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far.
+    #[must_use]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules an event at an absolute time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the simulated past.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < now {}",
+            self.now
+        );
+        self.queue.schedule(at, event)
+    }
+
+    /// Schedules an event `delay` from now.
+    pub fn schedule_in(&mut self, delay: Duration, event: E) -> EventId {
+        self.queue.schedule(self.now + delay, event)
+    }
+
+    /// Cancels a pending event; true if it was still pending.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Runs events in time order until the queue empties or the next
+    /// event lies at or beyond `horizon`. Advances the clock to
+    /// `horizon` on return. Returns the number of events processed by
+    /// this call.
+    pub fn run_until(
+        &mut self,
+        horizon: SimTime,
+        mut handler: impl FnMut(&mut Simulator<E>, SimTime, E),
+    ) -> u64 {
+        let before = self.processed;
+        while let Some(t) = self.queue.peek_time() {
+            if t >= horizon {
+                break;
+            }
+            let (t, event) = self.queue.pop().expect("peeked event exists");
+            debug_assert!(t >= self.now, "event time regressed");
+            self.now = t;
+            self.processed += 1;
+            handler(self, t, event);
+        }
+        self.now = self.now.max(horizon);
+        self.processed - before
+    }
+
+    /// Runs until the queue is exhausted. Returns events processed.
+    pub fn run_to_completion(
+        &mut self,
+        mut handler: impl FnMut(&mut Simulator<E>, SimTime, E),
+    ) -> u64 {
+        let before = self.processed;
+        while let Some((t, event)) = self.queue.pop() {
+            debug_assert!(t >= self.now, "event time regressed");
+            self.now = t;
+            self.processed += 1;
+            handler(self, t, event);
+        }
+        self.processed - before
+    }
+}
+
+impl<E> Default for Simulator<E> {
+    fn default() -> Self {
+        Simulator::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut sim = Simulator::new();
+        sim.schedule(SimTime::from_secs(5), "a");
+        let mut seen_at = None;
+        sim.run_to_completion(|sim, now, _| {
+            seen_at = Some((sim.now(), now));
+        });
+        assert_eq!(seen_at, Some((SimTime::from_secs(5), SimTime::from_secs(5))));
+    }
+
+    #[test]
+    fn handler_can_schedule_followups() {
+        let mut sim = Simulator::new();
+        sim.schedule(SimTime::from_secs(1), 0u32);
+        let mut count = 0;
+        sim.run_to_completion(|sim, _, n| {
+            count += 1;
+            if n < 4 {
+                sim.schedule_in(Duration::from_secs(1), n + 1);
+            }
+        });
+        assert_eq!(count, 5);
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+        assert_eq!(sim.processed(), 5);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut sim = Simulator::new();
+        sim.schedule(SimTime::from_secs(1), "in");
+        sim.schedule(SimTime::from_secs(10), "out");
+        let mut seen = Vec::new();
+        let n = sim.run_until(SimTime::from_secs(5), |_, _, e| seen.push(e));
+        assert_eq!(n, 1);
+        assert_eq!(seen, vec!["in"]);
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+        assert_eq!(sim.pending(), 1);
+        // Event exactly at the horizon is NOT processed.
+        let n = sim.run_until(SimTime::from_secs(10), |_, _, e| seen.push(e));
+        assert_eq!(n, 0);
+        let n = sim.run_until(SimTime::from_secs(11), |_, _, e| seen.push(e));
+        assert_eq!(n, 1);
+        assert_eq!(seen, vec!["in", "out"]);
+    }
+
+    #[test]
+    fn cancel_through_simulator() {
+        let mut sim = Simulator::new();
+        let id = sim.schedule(SimTime::from_secs(1), "x");
+        assert!(sim.cancel(id));
+        let n = sim.run_to_completion(|_, _, _| panic!("cancelled event ran"));
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulator::new();
+        sim.schedule(SimTime::from_secs(10), ());
+        sim.run_to_completion(|sim, _, ()| {
+            sim.schedule(SimTime::from_secs(1), ());
+        });
+    }
+
+    #[test]
+    fn retransmission_timer_pattern() {
+        // The lorawan crate's usage pattern: schedule a timeout, cancel
+        // it when the ACK arrives first.
+        let mut sim = Simulator::new();
+        let timeout = sim.schedule(SimTime::from_secs(3), "timeout");
+        sim.schedule(SimTime::from_secs(2), "ack");
+        let mut log = Vec::new();
+        sim.run_to_completion(|sim, _, e| {
+            log.push(e);
+            if e == "ack" {
+                sim.cancel(timeout);
+            }
+        });
+        assert_eq!(log, vec!["ack"]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the event kernel.
+
+use blam_des::{EventQueue, RngSeeder, Simulator};
+use blam_units::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in non-decreasing time order, FIFO within
+    /// equal timestamps, regardless of insertion order.
+    #[test]
+    fn pop_order_is_sorted_and_stable(times in prop::collection::vec(0u64..1_000, 0..300)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_millis(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        let mut popped = 0;
+        while let Some((t, i)) = q.pop() {
+            popped += 1;
+            if let Some((lt, li)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(i > li, "FIFO violated for equal timestamps");
+                }
+            }
+            last = Some((t, i));
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Cancelled events never pop; live count stays consistent.
+    #[test]
+    fn cancellation_is_exact(
+        times in prop::collection::vec(0u64..1_000, 1..200),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| q.schedule(SimTime::from_millis(t), i))
+            .collect();
+        let mut cancelled = std::collections::HashSet::new();
+        for (i, id) in ids.iter().enumerate() {
+            if *cancel_mask.get(i).unwrap_or(&false) {
+                prop_assert!(q.cancel(*id));
+                cancelled.insert(i);
+            }
+        }
+        prop_assert_eq!(q.len(), times.len() - cancelled.len());
+        while let Some((_, i)) = q.pop() {
+            prop_assert!(!cancelled.contains(&i), "cancelled event {i} popped");
+        }
+    }
+
+    /// The simulator clock never runs backwards and processes every
+    /// scheduled event exactly once.
+    #[test]
+    fn simulator_clock_monotone(times in prop::collection::vec(0u64..10_000, 0..200)) {
+        let mut sim = Simulator::new();
+        for &t in &times {
+            sim.schedule(SimTime::from_millis(t), t);
+        }
+        let mut clock = SimTime::ZERO;
+        let mut count = 0usize;
+        sim.run_to_completion(|sim, now, _| {
+            assert!(now >= clock);
+            assert!(sim.now() == now);
+            clock = now;
+            count += 1;
+        });
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// Named RNG streams are reproducible and (statistically) disjoint.
+    #[test]
+    fn rng_streams_reproducible(seed in any::<u64>(), idx in 0u64..1_000) {
+        use rand::Rng;
+        let s = RngSeeder::new(seed);
+        let a: u64 = s.stream_indexed("x", idx).gen();
+        let b: u64 = s.stream_indexed("x", idx).gen();
+        prop_assert_eq!(a, b);
+        let c: u64 = s.stream_indexed("x", idx + 1).gen();
+        prop_assert_ne!(a, c);
+    }
+}

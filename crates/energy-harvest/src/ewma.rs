@@ -1,0 +1,126 @@
+//! Exponentially weighted moving average — the paper's Eq. (13).
+
+use serde::{Deserialize, Serialize};
+
+/// The estimator of Eq. (13):
+///
+/// ```text
+/// e[p] = β · x[p−1] + (1 − β) · e[p−1]
+/// ```
+///
+/// where `β` weights the newest observation. The paper uses it to
+/// estimate per-packet transmission energy across sampling periods,
+/// smoothing out parameter changes commanded by the network server.
+///
+/// # Examples
+///
+/// ```
+/// use blam_energy_harvest::Ewma;
+///
+/// let mut e = Ewma::new(0.5, 10.0);
+/// e.update(20.0);
+/// assert!((e.value() - 15.0).abs() < 1e-12);
+/// e.update(20.0);
+/// assert!((e.value() - 17.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ewma {
+    beta: f64,
+    value: f64,
+    observations: u64,
+}
+
+impl Ewma {
+    /// Creates an estimator with importance weight `beta` and an initial
+    /// estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta` is outside `[0, 1]` or `initial` is not finite.
+    #[must_use]
+    pub fn new(beta: f64, initial: f64) -> Self {
+        assert!((0.0..=1.0).contains(&beta), "β must be in [0,1], got {beta}");
+        assert!(initial.is_finite(), "initial estimate must be finite");
+        Ewma {
+            beta,
+            value: initial,
+            observations: 0,
+        }
+    }
+
+    /// Folds in a new observation and returns the updated estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `observation` is not finite.
+    pub fn update(&mut self, observation: f64) -> f64 {
+        debug_assert!(observation.is_finite(), "observation must be finite");
+        self.value = self.beta * observation + (1.0 - self.beta) * self.value;
+        self.observations += 1;
+        self.value
+    }
+
+    /// The current estimate.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// The importance weight β.
+    #[must_use]
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// How many observations have been folded in.
+    #[must_use]
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beta_one_tracks_last_observation() {
+        let mut e = Ewma::new(1.0, 0.0);
+        e.update(7.0);
+        assert_eq!(e.value(), 7.0);
+        e.update(-2.0);
+        assert_eq!(e.value(), -2.0);
+    }
+
+    #[test]
+    fn beta_zero_never_moves() {
+        let mut e = Ewma::new(0.0, 5.0);
+        e.update(100.0);
+        assert_eq!(e.value(), 5.0);
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = Ewma::new(0.3, 0.0);
+        for _ in 0..100 {
+            e.update(42.0);
+        }
+        assert!((e.value() - 42.0).abs() < 1e-9);
+        assert_eq!(e.observations(), 100);
+    }
+
+    #[test]
+    fn stays_within_observation_envelope() {
+        let mut e = Ewma::new(0.4, 3.0);
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            e.update(x);
+            assert!(e.value() >= 1.0 && e.value() <= 5.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "β must be in")]
+    fn invalid_beta_rejected() {
+        let _ = Ewma::new(1.5, 0.0);
+    }
+}

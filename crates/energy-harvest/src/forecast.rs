@@ -1,0 +1,332 @@
+//! Short-horizon green-energy forecasters.
+//!
+//! The paper assumes each node runs a lightweight, locally-trained
+//! forecaster (its ref. \[22\]) able to predict solar generation over
+//! the next sampling period at forecast-window granularity (1–2 min).
+//! Proposing forecasting models is out of scope for the paper and for
+//! this reproduction; what matters to the protocol is the *interface* —
+//! per-window energy predictions — and its error characteristics. Three
+//! implementations cover the spectrum:
+//!
+//! * [`Oracle`] — perfect knowledge (upper bound / ablation).
+//! * [`DiurnalPersistence`] — predicts each time-of-day bucket with an
+//!   EWMA of past observations at the same time of day; uses only
+//!   locally observable data, like \[22\].
+//! * [`NoisyOracle`] — the oracle corrupted by deterministic
+//!   multiplicative noise, for sensitivity ablations.
+
+use blam_units::{Duration, Joules, SimTime};
+
+use crate::ewma::Ewma;
+use crate::trace::HarvestSource;
+
+/// A per-window green-energy predictor.
+pub trait Forecaster {
+    /// Feeds back the energy actually harvested over
+    /// `[start, start + window)`.
+    fn observe(&mut self, start: SimTime, window: Duration, energy: Joules);
+
+    /// Predicts the energy harvested over `[start, start + window)`.
+    fn predict(&self, start: SimTime, window: Duration) -> Joules;
+
+    /// Predicts each of the `count` consecutive windows starting at
+    /// `start` — the per-forecast-window vector Algorithm 1 consumes.
+    fn predict_horizon(&self, start: SimTime, window: Duration, count: usize) -> Vec<Joules> {
+        (0..count)
+            .map(|i| self.predict(start + window * i as u64, window))
+            .collect()
+    }
+}
+
+/// Clairvoyant forecaster: reads the actual trace.
+#[derive(Debug, Clone)]
+pub struct Oracle<S> {
+    source: S,
+}
+
+impl<S: HarvestSource> Oracle<S> {
+    /// Wraps a harvest source.
+    #[must_use]
+    pub fn new(source: S) -> Self {
+        Oracle { source }
+    }
+}
+
+impl<S: HarvestSource> Forecaster for Oracle<S> {
+    fn observe(&mut self, _start: SimTime, _window: Duration, _energy: Joules) {}
+
+    fn predict(&self, start: SimTime, window: Duration) -> Joules {
+        self.source.energy_between(start, start + window)
+    }
+}
+
+/// Time-of-day persistence forecaster.
+///
+/// Divides the day into buckets of `bucket` length and keeps, per
+/// bucket, an EWMA of observed harvest energy normalized per second.
+/// Predictions integrate the bucket estimates over the requested
+/// window. Unseen buckets predict zero (conservative: the protocol then
+/// assumes the transmission must come from the battery).
+///
+/// # Examples
+///
+/// ```
+/// use blam_energy_harvest::{DiurnalPersistence, Forecaster};
+/// use blam_units::{Duration, Joules, SimTime};
+///
+/// let w = Duration::from_mins(1);
+/// let mut f = DiurnalPersistence::new(w, 0.3);
+/// let nine_am = SimTime::ZERO + Duration::from_hours(9);
+/// f.observe(nine_am, w, Joules(0.24));
+/// // Tomorrow at 09:00 it expects what it saw today at 09:00.
+/// let tomorrow = nine_am + Duration::from_days(1);
+/// assert!((f.predict(tomorrow, w).0 - 0.24).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiurnalPersistence {
+    bucket: Duration,
+    beta: f64,
+    /// Per-bucket EWMA of power (J/s), `None` until first observation.
+    buckets: Vec<Option<Ewma>>,
+}
+
+impl DiurnalPersistence {
+    /// Creates a forecaster with the given bucket length and EWMA β.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` is zero, longer than a day, or does not
+    /// divide a day evenly, or if `beta` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(bucket: Duration, beta: f64) -> Self {
+        assert!(
+            !bucket.is_zero() && bucket <= Duration::DAY,
+            "bucket must be within (0, 1 day], got {bucket}"
+        );
+        assert!(
+            (Duration::DAY % bucket).is_zero(),
+            "bucket must divide a day evenly, got {bucket}"
+        );
+        assert!((0.0..=1.0).contains(&beta), "β must be in [0,1]");
+        let n = (Duration::DAY / bucket) as usize;
+        DiurnalPersistence {
+            bucket,
+            beta,
+            buckets: vec![None; n],
+        }
+    }
+
+    fn bucket_index(&self, at: SimTime) -> usize {
+        ((at % Duration::DAY) / self.bucket) as usize % self.buckets.len()
+    }
+
+    /// Average predicted power (J/s) for the bucket containing `at`.
+    #[must_use]
+    pub fn bucket_power(&self, at: SimTime) -> f64 {
+        self.buckets[self.bucket_index(at)]
+            .as_ref()
+            .map_or(0.0, Ewma::value)
+    }
+}
+
+impl Forecaster for DiurnalPersistence {
+    fn observe(&mut self, start: SimTime, window: Duration, energy: Joules) {
+        if window.is_zero() {
+            return;
+        }
+        let power = energy.0 / window.as_secs_f64();
+        // Attribute the observation to every bucket the window covers.
+        let mut t = start;
+        let end = start + window;
+        while t < end {
+            let idx = self.bucket_index(t);
+            let bucket_end = t - (t % self.bucket) + self.bucket;
+            match &mut self.buckets[idx] {
+                Some(e) => {
+                    e.update(power);
+                }
+                None => self.buckets[idx] = Some(Ewma::new(self.beta, power)),
+            }
+            t = bucket_end.min(end);
+        }
+    }
+
+    fn predict(&self, start: SimTime, window: Duration) -> Joules {
+        // Integrate bucket power over the window.
+        let mut energy = 0.0;
+        let mut t = start;
+        let end = start + window;
+        while t < end {
+            let bucket_end = t - (t % self.bucket) + self.bucket;
+            let seg_end = bucket_end.min(end);
+            energy += self.bucket_power(t) * (seg_end - t).as_secs_f64();
+            t = seg_end;
+        }
+        Joules(energy)
+    }
+}
+
+/// An oracle corrupted by deterministic multiplicative noise — used to
+/// study the protocol's sensitivity to forecast error.
+///
+/// The noise factor for a window starting at `t` is
+/// `exp(σ · z(t))` where `z(t)` is a standard-normal-ish value derived
+/// from a hash of `(seed, t)` — reproducible without mutable state.
+#[derive(Debug, Clone)]
+pub struct NoisyOracle<S> {
+    inner: Oracle<S>,
+    sigma: f64,
+    seed: u64,
+}
+
+impl<S: HarvestSource> NoisyOracle<S> {
+    /// Wraps a source with log-normal error of scale `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or not finite.
+    #[must_use]
+    pub fn new(source: S, sigma: f64, seed: u64) -> Self {
+        assert!(sigma.is_finite() && sigma >= 0.0, "σ must be ≥ 0");
+        NoisyOracle {
+            inner: Oracle::new(source),
+            sigma,
+            seed,
+        }
+    }
+
+    fn noise(&self, at: SimTime) -> f64 {
+        // SplitMix64 over (seed, time) → two uniforms → Box-Muller.
+        let mut x = self.seed ^ at.as_millis().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let (u1, u2) = (next().max(1e-12), next());
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.sigma * z).exp()
+    }
+}
+
+impl<S: HarvestSource> Forecaster for NoisyOracle<S> {
+    fn observe(&mut self, _start: SimTime, _window: Duration, _energy: Joules) {}
+
+    fn predict(&self, start: SimTime, window: Duration) -> Joules {
+        self.inner.predict(start, window) * self.noise(start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::HarvestTrace;
+    use blam_units::Watts;
+
+    #[test]
+    fn oracle_predicts_exactly() {
+        let trace = HarvestTrace::constant(Watts(2.0));
+        let f = Oracle::new(trace);
+        let e = f.predict(SimTime::from_secs(100), Duration::from_secs(60));
+        assert!((e.0 - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oracle_horizon_covers_consecutive_windows() {
+        let trace = HarvestTrace::from_samples(
+            Duration::from_mins(1),
+            vec![Watts(1.0), Watts(2.0), Watts(3.0)],
+        );
+        let f = Oracle::new(trace);
+        let h = f.predict_horizon(SimTime::ZERO, Duration::from_mins(1), 3);
+        assert_eq!(h.len(), 3);
+        assert!((h[0].0 - 60.0).abs() < 1e-9);
+        assert!((h[1].0 - 120.0).abs() < 1e-9);
+        assert!((h[2].0 - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn persistence_unseen_buckets_predict_zero() {
+        let f = DiurnalPersistence::new(Duration::from_mins(1), 0.3);
+        assert_eq!(f.predict(SimTime::from_secs(0), Duration::from_mins(1)), Joules::ZERO);
+    }
+
+    #[test]
+    fn persistence_learns_time_of_day() {
+        let w = Duration::from_mins(1);
+        let mut f = DiurnalPersistence::new(w, 0.5);
+        let noon = SimTime::ZERO + Duration::from_hours(12);
+        let midnight = SimTime::ZERO;
+        for day in 0..5u64 {
+            f.observe(noon + Duration::from_days(day), w, Joules(0.3));
+            f.observe(midnight + Duration::from_days(day), w, Joules(0.0));
+        }
+        let p_noon = f.predict(noon + Duration::from_days(7), w);
+        let p_night = f.predict(midnight + Duration::from_days(7), w);
+        assert!((p_noon.0 - 0.3).abs() < 0.02, "noon {p_noon}");
+        assert!(p_night.0 < 0.01, "midnight {p_night}");
+    }
+
+    #[test]
+    fn persistence_window_spanning_buckets_integrates() {
+        let bucket = Duration::from_mins(1);
+        let mut f = DiurnalPersistence::new(bucket, 1.0);
+        let t0 = SimTime::ZERO + Duration::from_hours(9);
+        // Bucket A: 1 W; bucket B: 3 W.
+        f.observe(t0, bucket, Joules(60.0));
+        f.observe(t0 + bucket, bucket, Joules(180.0));
+        // Window straddling the two buckets half-and-half.
+        let p = f.predict(t0 + Duration::from_secs(30), Duration::from_mins(1));
+        assert!((p.0 - (30.0 * 1.0 + 30.0 * 3.0)).abs() < 1e-9, "{p}");
+    }
+
+    #[test]
+    fn persistence_ewma_converges_to_new_regime() {
+        let w = Duration::from_mins(1);
+        let mut f = DiurnalPersistence::new(w, 0.4);
+        let t = SimTime::ZERO + Duration::from_hours(10);
+        for day in 0..3u64 {
+            f.observe(t + Duration::from_days(day), w, Joules(0.1));
+        }
+        for day in 3..20u64 {
+            f.observe(t + Duration::from_days(day), w, Joules(0.5));
+        }
+        let p = f.predict(t + Duration::from_days(30), w);
+        assert!((p.0 - 0.5).abs() < 0.01, "{p}");
+    }
+
+    #[test]
+    fn noisy_oracle_is_deterministic_and_unbiased_ish() {
+        let trace = HarvestTrace::constant(Watts(1.0));
+        let f = NoisyOracle::new(trace.clone(), 0.2, 99);
+        let g = NoisyOracle::new(trace, 0.2, 99);
+        let w = Duration::from_mins(1);
+        let mut sum = 0.0;
+        for i in 0..500u64 {
+            let t = SimTime::from_secs(i * 60);
+            let a = f.predict(t, w);
+            assert_eq!(a, g.predict(t, w), "determinism at {t}");
+            sum += a.0;
+        }
+        let mean = sum / 500.0;
+        // Log-normal with σ=0.2 has mean e^{σ²/2} ≈ 1.02 of truth (60 J).
+        assert!((mean / 60.0 - 1.0).abs() < 0.1, "mean ratio {}", mean / 60.0);
+    }
+
+    #[test]
+    fn noisy_oracle_zero_sigma_is_exact() {
+        let trace = HarvestTrace::constant(Watts(1.0));
+        let f = NoisyOracle::new(trace, 0.0, 1);
+        let e = f.predict(SimTime::from_secs(5), Duration::from_secs(10));
+        assert!((e.0 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide a day")]
+    fn uneven_bucket_rejected() {
+        let _ = DiurnalPersistence::new(Duration::from_mins(7), 0.3);
+    }
+}

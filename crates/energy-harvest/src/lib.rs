@@ -1,0 +1,55 @@
+//! Green-energy substrate: harvest traces, a synthetic solar model and
+//! short-horizon forecasters.
+//!
+//! The paper powers every node from a small solar panel plus a
+//! rechargeable battery, drives its simulations from a year-long NREL
+//! solar trace scaled so that peak power sustains two transmissions per
+//! forecast window, and assumes nodes run a lightweight on-device
+//! forecaster (Kraemer et al., their ref. \[22\]) for very-short-term
+//! green-energy prediction.
+//!
+//! This crate provides the equivalents:
+//!
+//! * [`trace`] — [`HarvestTrace`], a step-function power time series
+//!   with exact energy integration and cyclic extension (a one-year
+//!   trace drives a 15-year simulation).
+//! * [`solar`] — [`SolarModel`], a synthetic clear-sky × season ×
+//!   Markov-cloud generator, and [`SolarField`], which derives
+//!   per-node traces (shared cloud regions × per-node shading) without
+//!   storing 500 copies of the year.
+//! * [`forecast`] — the [`Forecaster`] trait with oracle, diurnal
+//!   persistence and noisy-oracle implementations.
+//! * [`wind`] — [`WindModel`], a mean-reverting gust model with a
+//!   turbine power curve, for testing the protocol's independence from
+//!   the specific green-energy source.
+//! * [`ewma`] — the exponentially-weighted moving average of the
+//!   paper's Eq. (13).
+//!
+//! # Examples
+//!
+//! ```
+//! use blam_energy_harvest::{HarvestSource, SolarModel};
+//! use blam_units::{Duration, SimTime};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+//! let trace = SolarModel::default().generate(3, Duration::from_mins(5), &mut rng);
+//! let noon_day_one = SimTime::ZERO + Duration::from_hours(36);
+//! let night = SimTime::ZERO + Duration::from_hours(24);
+//! assert!(trace.power_at(noon_day_one).0 > trace.power_at(night).0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ewma;
+pub mod forecast;
+pub mod solar;
+pub mod trace;
+pub mod wind;
+
+pub use ewma::Ewma;
+pub use forecast::{DiurnalPersistence, Forecaster, NoisyOracle, Oracle};
+pub use solar::{CloudModel, NodeHarvest, SolarField, SolarModel};
+pub use trace::{HarvestSource, HarvestTrace};
+pub use wind::WindModel;

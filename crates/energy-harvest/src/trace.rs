@@ -1,0 +1,374 @@
+//! Harvest power traces.
+
+use std::fmt;
+use std::sync::Arc;
+
+use blam_units::{Duration, Joules, SimTime, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Anything that can report harvested power over simulated time.
+///
+/// Implementors must provide *exact* energy integration so the
+/// simulator can skip across hours of sleep in one step without
+/// accumulating error.
+pub trait HarvestSource {
+    /// Instantaneous power at `at`.
+    fn power_at(&self, at: SimTime) -> Watts;
+
+    /// Energy harvested over `[from, to)`.
+    fn energy_between(&self, from: SimTime, to: SimTime) -> Joules;
+
+    /// The peak power of the source (used for scaling rules).
+    fn peak_power(&self) -> Watts;
+}
+
+/// A harvested-power time series sampled at a fixed step, held constant
+/// within each step, and extended cyclically beyond its end.
+///
+/// The cyclic extension is what lets the paper's year-long solar trace
+/// drive 15-year lifespan simulations.
+///
+/// # Examples
+///
+/// ```
+/// use blam_energy_harvest::{HarvestSource, HarvestTrace};
+/// use blam_units::{Duration, Joules, SimTime, Watts};
+///
+/// let trace = HarvestTrace::from_samples(
+///     Duration::from_mins(30),
+///     vec![Watts(0.0), Watts(2.0), Watts(1.0)],
+/// );
+/// // Integrate across a step boundary: 15 min of 2 W + 15 min of 1 W.
+/// let e = trace.energy_between(SimTime::from_secs(45 * 60), SimTime::from_secs(75 * 60));
+/// assert!((e.0 - (2.0 * 900.0 + 1.0 * 900.0)).abs() < 1e-9);
+/// // Cyclic wrap: 90 minutes in, the trace restarts.
+/// assert_eq!(trace.power_at(SimTime::from_secs(90 * 60)), Watts(0.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HarvestTrace {
+    step: Duration,
+    samples: Vec<Watts>,
+}
+
+impl HarvestTrace {
+    /// Creates a trace from power samples at a fixed `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or `step` is zero.
+    #[must_use]
+    pub fn from_samples(step: Duration, samples: Vec<Watts>) -> Self {
+        assert!(!samples.is_empty(), "harvest trace needs at least one sample");
+        assert!(!step.is_zero(), "harvest trace step must be positive");
+        HarvestTrace { step, samples }
+    }
+
+    /// Creates a trace by sampling `f` at each step midpoint over
+    /// `duration`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration < step` or `step` is zero.
+    #[must_use]
+    pub fn from_fn(step: Duration, duration: Duration, mut f: impl FnMut(SimTime) -> Watts) -> Self {
+        assert!(!step.is_zero(), "harvest trace step must be positive");
+        let n = duration / step;
+        assert!(n > 0, "duration must cover at least one step");
+        let samples = (0..n)
+            .map(|i| f(SimTime::ZERO + step * i + step / 2))
+            .collect();
+        HarvestTrace { step, samples }
+    }
+
+    /// A constant-power trace (useful in tests and toy scenarios).
+    #[must_use]
+    pub fn constant(power: Watts) -> Self {
+        HarvestTrace::from_samples(Duration::from_hours(1), vec![power])
+    }
+
+    /// Parses a trace from `seconds,watts` CSV lines (comments with `#`,
+    /// blank lines ignored). Samples must be equally spaced and start at
+    /// zero — the format of the NREL-style traces the paper uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed line or spacing
+    /// violation.
+    pub fn from_csv(text: &str) -> Result<Self, String> {
+        let mut rows: Vec<(u64, f64)> = Vec::new();
+        for (ln, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split(',');
+            let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
+                return Err(format!("line {}: expected `seconds,watts`", ln + 1));
+            };
+            let secs: u64 = a
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {}: bad seconds: {e}", ln + 1))?;
+            let watts: f64 = b
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {}: bad watts: {e}", ln + 1))?;
+            rows.push((secs, watts));
+        }
+        if rows.len() < 2 {
+            return Err("trace needs at least two samples".into());
+        }
+        let step = rows[1].0 - rows[0].0;
+        if step == 0 {
+            return Err("sample spacing must be positive".into());
+        }
+        for (i, w) in rows.windows(2).enumerate() {
+            if w[1].0 - w[0].0 != step {
+                return Err(format!("uneven spacing at row {}", i + 1));
+            }
+        }
+        Ok(HarvestTrace::from_samples(
+            Duration::from_secs(step),
+            rows.into_iter().map(|(_, w)| Watts(w)).collect(),
+        ))
+    }
+
+    /// The sampling step.
+    #[must_use]
+    pub fn step(&self) -> Duration {
+        self.step
+    }
+
+    /// The duration of one period of the trace.
+    #[must_use]
+    pub fn period(&self) -> Duration {
+        self.step * self.samples.len() as u64
+    }
+
+    /// Number of samples in one period.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if the trace has no samples (cannot occur via constructors).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Multiplies every sample by `factor`.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        HarvestTrace {
+            step: self.step,
+            samples: self.samples.iter().map(|w| *w * factor).collect(),
+        }
+    }
+
+    /// Rescales so the trace's peak equals `peak`.
+    ///
+    /// The paper scales its NREL trace so that *peak power generates
+    /// enough energy for two transmissions* per forecast window:
+    /// `peak = 2 · E_tx / window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is identically zero.
+    #[must_use]
+    pub fn scaled_to_peak(&self, peak: Watts) -> Self {
+        let current = self.peak_power();
+        assert!(current.0 > 0.0, "cannot rescale an all-zero trace");
+        self.scaled(peak.0 / current.0)
+    }
+
+    fn index_at(&self, at: SimTime) -> usize {
+        ((at % self.period()) / self.step) as usize % self.samples.len()
+    }
+}
+
+impl HarvestSource for HarvestTrace {
+    fn power_at(&self, at: SimTime) -> Watts {
+        self.samples[self.index_at(at)]
+    }
+
+    fn energy_between(&self, from: SimTime, to: SimTime) -> Joules {
+        if to <= from {
+            return Joules::ZERO;
+        }
+        let period = self.period();
+        let span = to - from;
+        // Whole periods integrate to the same total.
+        let whole = span / period;
+        let mut energy = if whole > 0 {
+            let one: Joules = self
+                .samples
+                .iter()
+                .map(|&w| w * self.step)
+                .sum();
+            one * whole as f64
+        } else {
+            Joules::ZERO
+        };
+        // Remainder: walk the covered steps.
+        let mut t = from + period * whole;
+        while t < to {
+            let idx = self.index_at(t);
+            let step_end = t - (t % self.step) + self.step;
+            let seg_end = step_end.min(to);
+            energy += self.samples[idx] * (seg_end - t);
+            t = seg_end;
+        }
+        energy
+    }
+
+    fn peak_power(&self) -> Watts {
+        self.samples
+            .iter()
+            .copied()
+            .fold(Watts::ZERO, Watts::max)
+    }
+}
+
+impl<T: HarvestSource + ?Sized> HarvestSource for Arc<T> {
+    fn power_at(&self, at: SimTime) -> Watts {
+        (**self).power_at(at)
+    }
+    fn energy_between(&self, from: SimTime, to: SimTime) -> Joules {
+        (**self).energy_between(from, to)
+    }
+    fn peak_power(&self) -> Watts {
+        (**self).peak_power()
+    }
+}
+
+impl fmt::Display for HarvestTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "harvest trace: {} samples @ {} (peak {})",
+            self.samples.len(),
+            self.step,
+            self.peak_power()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_step() -> HarvestTrace {
+        HarvestTrace::from_samples(
+            Duration::from_mins(10),
+            vec![Watts(1.0), Watts(3.0), Watts(0.0)],
+        )
+    }
+
+    #[test]
+    fn power_lookup_steps() {
+        let t = three_step();
+        assert_eq!(t.power_at(SimTime::ZERO), Watts(1.0));
+        assert_eq!(t.power_at(SimTime::from_secs(599)), Watts(1.0));
+        assert_eq!(t.power_at(SimTime::from_secs(600)), Watts(3.0));
+        assert_eq!(t.power_at(SimTime::from_secs(1500)), Watts(0.0));
+    }
+
+    #[test]
+    fn power_wraps_cyclically() {
+        let t = three_step();
+        let period = t.period();
+        for secs in [0u64, 100, 700, 1500] {
+            let a = t.power_at(SimTime::from_secs(secs));
+            let b = t.power_at(SimTime::from_secs(secs) + period);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn energy_whole_period() {
+        let t = three_step();
+        let e = t.energy_between(SimTime::ZERO, SimTime::ZERO + t.period());
+        // (1 + 3 + 0) W × 600 s
+        assert!((e.0 - 2_400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_multi_period_plus_fraction() {
+        let t = three_step();
+        let from = SimTime::ZERO;
+        let to = SimTime::ZERO + t.period() * 2 + Duration::from_mins(15);
+        let e = t.energy_between(from, to);
+        // 2 periods (4800 J) + 10 min @ 1 W (600) + 5 min @ 3 W (900).
+        assert!((e.0 - 6_300.0).abs() < 1e-9, "got {e}");
+    }
+
+    #[test]
+    fn energy_zero_or_reversed_interval() {
+        let t = three_step();
+        assert_eq!(t.energy_between(SimTime::from_secs(50), SimTime::from_secs(50)), Joules::ZERO);
+        assert_eq!(t.energy_between(SimTime::from_secs(60), SimTime::from_secs(50)), Joules::ZERO);
+    }
+
+    #[test]
+    fn energy_is_additive() {
+        let t = three_step();
+        let (a, b, c) = (
+            SimTime::from_secs(123),
+            SimTime::from_secs(987),
+            SimTime::from_secs(4_321),
+        );
+        let whole = t.energy_between(a, c);
+        let split = t.energy_between(a, b) + t.energy_between(b, c);
+        assert!((whole - split).0.abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling() {
+        let t = three_step().scaled(2.0);
+        assert_eq!(t.peak_power(), Watts(6.0));
+        let t = t.scaled_to_peak(Watts(1.5));
+        assert_eq!(t.peak_power(), Watts(1.5));
+    }
+
+    #[test]
+    fn from_fn_samples_midpoints() {
+        let t = HarvestTrace::from_fn(
+            Duration::from_mins(1),
+            Duration::from_mins(3),
+            |at| Watts(at.as_secs_f64()),
+        );
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.power_at(SimTime::ZERO), Watts(30.0));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let t = HarvestTrace::from_csv("# comment\n0,0.5\n300,1.5\n600,0.0\n").unwrap();
+        assert_eq!(t.step(), Duration::from_secs(300));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.power_at(SimTime::from_secs(400)), Watts(1.5));
+    }
+
+    #[test]
+    fn csv_rejects_malformed() {
+        assert!(HarvestTrace::from_csv("").is_err());
+        assert!(HarvestTrace::from_csv("0,1.0").is_err());
+        assert!(HarvestTrace::from_csv("0,1.0\n10,x").is_err());
+        assert!(HarvestTrace::from_csv("0,1.0\n10,2.0\n30,1.0").is_err());
+    }
+
+    #[test]
+    fn constant_trace() {
+        let t = HarvestTrace::constant(Watts(0.004));
+        let e = t.energy_between(SimTime::ZERO, SimTime::ZERO + Duration::from_days(1));
+        assert!((e.0 - 0.004 * 86_400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arc_delegation() {
+        let t = Arc::new(three_step());
+        assert_eq!(t.power_at(SimTime::ZERO), Watts(1.0));
+        assert_eq!(t.peak_power(), Watts(3.0));
+    }
+}

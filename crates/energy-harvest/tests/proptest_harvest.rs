@@ -1,0 +1,102 @@
+//! Property-based tests for harvest traces and forecasters.
+
+use blam_energy_harvest::{DiurnalPersistence, Ewma, Forecaster, HarvestSource, HarvestTrace};
+use blam_units::{Duration, Joules, SimTime, Watts};
+use proptest::prelude::*;
+
+fn any_trace() -> impl Strategy<Value = HarvestTrace> {
+    (
+        1u64..120,
+        prop::collection::vec(0.0f64..5.0, 1..48),
+    )
+        .prop_map(|(step_mins, samples)| {
+            HarvestTrace::from_samples(
+                Duration::from_mins(step_mins),
+                samples.into_iter().map(Watts).collect(),
+            )
+        })
+}
+
+proptest! {
+    /// Energy integration is additive over interval splits.
+    #[test]
+    fn energy_additive(trace in any_trace(), a in 0u64..10_000_000, b in 0u64..10_000_000, c in 0u64..10_000_000) {
+        let mut ts = [a, b, c];
+        ts.sort_unstable();
+        let (t0, t1, t2) = (
+            SimTime::from_millis(ts[0]),
+            SimTime::from_millis(ts[1]),
+            SimTime::from_millis(ts[2]),
+        );
+        let whole = trace.energy_between(t0, t2);
+        let split = trace.energy_between(t0, t1) + trace.energy_between(t1, t2);
+        prop_assert!((whole - split).0.abs() < 1e-6 * (1.0 + whole.0));
+    }
+
+    /// Integrated energy is bounded by peak power × interval.
+    #[test]
+    fn energy_bounded_by_peak(trace in any_trace(), start in 0u64..10_000_000, span in 0u64..10_000_000) {
+        let t0 = SimTime::from_millis(start);
+        let t1 = t0 + Duration::from_millis(span);
+        let e = trace.energy_between(t0, t1);
+        let bound = trace.peak_power() * Duration::from_millis(span);
+        prop_assert!(e.0 >= -1e-12);
+        prop_assert!(e.0 <= bound.0 + 1e-9);
+    }
+
+    /// Instantaneous power is periodic with the trace period.
+    #[test]
+    fn power_is_periodic(trace in any_trace(), at in 0u64..10_000_000) {
+        let t = SimTime::from_millis(at);
+        prop_assert_eq!(trace.power_at(t), trace.power_at(t + trace.period()));
+    }
+
+    /// Rescaling to a peak actually hits the peak and scales energy
+    /// proportionally.
+    #[test]
+    fn scaled_to_peak_consistent(trace in any_trace(), peak in 0.001f64..10.0) {
+        prop_assume!(trace.peak_power().0 > 0.0);
+        let scaled = trace.scaled_to_peak(Watts(peak));
+        prop_assert!((scaled.peak_power().0 - peak).abs() < 1e-9 * (1.0 + peak));
+        let t0 = SimTime::ZERO;
+        let t1 = SimTime::ZERO + trace.period();
+        let ratio = peak / trace.peak_power().0;
+        let orig = trace.energy_between(t0, t1);
+        let new = scaled.energy_between(t0, t1);
+        prop_assert!((new.0 - orig.0 * ratio).abs() < 1e-6 * (1.0 + new.0.abs()));
+    }
+
+    /// The persistence forecaster's predictions are non-negative and
+    /// bounded by the largest power it has ever observed.
+    #[test]
+    fn persistence_bounded_by_observations(
+        observations in prop::collection::vec((0u64..86_400, 0.0f64..2.0), 1..60),
+    ) {
+        let w = Duration::from_mins(1);
+        let mut f = DiurnalPersistence::new(w, 0.4);
+        let mut max_power = 0.0f64;
+        for &(secs, e) in &observations {
+            f.observe(SimTime::from_secs(secs), w, Joules(e));
+            max_power = max_power.max(e / w.as_secs_f64());
+        }
+        for probe in 0..24u64 {
+            let p = f.predict(SimTime::ZERO + Duration::from_hours(probe), w);
+            prop_assert!(p.0 >= -1e-12);
+            prop_assert!(p.0 <= max_power * w.as_secs_f64() + 1e-9);
+        }
+    }
+
+    /// EWMA stays within the running min/max envelope of inputs.
+    #[test]
+    fn ewma_envelope(beta in 0.0f64..=1.0, init in 0.0f64..10.0, xs in prop::collection::vec(0.0f64..10.0, 1..50)) {
+        let mut e = Ewma::new(beta, init);
+        let mut lo = init;
+        let mut hi = init;
+        for &x in &xs {
+            e.update(x);
+            lo = lo.min(x);
+            hi = hi.max(x);
+            prop_assert!(e.value() >= lo - 1e-12 && e.value() <= hi + 1e-12);
+        }
+    }
+}

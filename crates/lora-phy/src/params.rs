@@ -1,0 +1,455 @@
+//! LoRa modulation parameters.
+
+use std::fmt;
+
+use blam_units::{Dbm, Duration, Hertz};
+use serde::{Deserialize, Serialize};
+
+/// A LoRa spreading factor (SF7–SF12).
+///
+/// The spreading factor controls how many chips encode one symbol
+/// (`2^SF`). A higher SF lowers the data rate, lengthens the time on air
+/// and raises the energy per packet, but tolerates a lower SNR — so far
+/// nodes use high SFs and nearby nodes low SFs.
+///
+/// # Examples
+///
+/// ```
+/// use blam_lora_phy::SpreadingFactor;
+///
+/// assert_eq!(SpreadingFactor::Sf10.chips(), 1024);
+/// assert_eq!(SpreadingFactor::try_from(7)?, SpreadingFactor::Sf7);
+/// # Ok::<(), blam_lora_phy::InvalidSpreadingFactorError>(())
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum SpreadingFactor {
+    /// SF7: fastest data rate, shortest range.
+    Sf7,
+    /// SF8.
+    Sf8,
+    /// SF9.
+    Sf9,
+    /// SF10: the paper's testbed setting.
+    Sf10,
+    /// SF11.
+    Sf11,
+    /// SF12: slowest data rate, longest range.
+    Sf12,
+}
+
+impl SpreadingFactor {
+    /// All spreading factors in increasing order.
+    pub const ALL: [SpreadingFactor; 6] = [
+        SpreadingFactor::Sf7,
+        SpreadingFactor::Sf8,
+        SpreadingFactor::Sf9,
+        SpreadingFactor::Sf10,
+        SpreadingFactor::Sf11,
+        SpreadingFactor::Sf12,
+    ];
+
+    /// The numeric spreading factor (7–12).
+    #[must_use]
+    pub const fn as_u8(self) -> u8 {
+        match self {
+            SpreadingFactor::Sf7 => 7,
+            SpreadingFactor::Sf8 => 8,
+            SpreadingFactor::Sf9 => 9,
+            SpreadingFactor::Sf10 => 10,
+            SpreadingFactor::Sf11 => 11,
+            SpreadingFactor::Sf12 => 12,
+        }
+    }
+
+    /// Chips per symbol, `2^SF`.
+    #[must_use]
+    pub const fn chips(self) -> u32 {
+        1 << self.as_u8()
+    }
+
+    /// The demodulation-floor SNR in dB for this spreading factor.
+    ///
+    /// These are the standard Semtech values: each SF step buys ~2.5 dB.
+    #[must_use]
+    pub const fn snr_floor_db(self) -> f64 {
+        match self {
+            SpreadingFactor::Sf7 => -7.5,
+            SpreadingFactor::Sf8 => -10.0,
+            SpreadingFactor::Sf9 => -12.5,
+            SpreadingFactor::Sf10 => -15.0,
+            SpreadingFactor::Sf11 => -17.5,
+            SpreadingFactor::Sf12 => -20.0,
+        }
+    }
+
+    /// The next-slower spreading factor, or `None` at SF12.
+    #[must_use]
+    pub const fn slower(self) -> Option<SpreadingFactor> {
+        match self {
+            SpreadingFactor::Sf7 => Some(SpreadingFactor::Sf8),
+            SpreadingFactor::Sf8 => Some(SpreadingFactor::Sf9),
+            SpreadingFactor::Sf9 => Some(SpreadingFactor::Sf10),
+            SpreadingFactor::Sf10 => Some(SpreadingFactor::Sf11),
+            SpreadingFactor::Sf11 => Some(SpreadingFactor::Sf12),
+            SpreadingFactor::Sf12 => None,
+        }
+    }
+}
+
+impl fmt::Display for SpreadingFactor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SF{}", self.as_u8())
+    }
+}
+
+/// Error returned when converting an out-of-range integer to a
+/// [`SpreadingFactor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidSpreadingFactorError(pub u8);
+
+impl fmt::Display for InvalidSpreadingFactorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spreading factor must be in 7..=12, got {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidSpreadingFactorError {}
+
+impl TryFrom<u8> for SpreadingFactor {
+    type Error = InvalidSpreadingFactorError;
+
+    fn try_from(value: u8) -> Result<Self, Self::Error> {
+        match value {
+            7 => Ok(SpreadingFactor::Sf7),
+            8 => Ok(SpreadingFactor::Sf8),
+            9 => Ok(SpreadingFactor::Sf9),
+            10 => Ok(SpreadingFactor::Sf10),
+            11 => Ok(SpreadingFactor::Sf11),
+            12 => Ok(SpreadingFactor::Sf12),
+            other => Err(InvalidSpreadingFactorError(other)),
+        }
+    }
+}
+
+impl From<SpreadingFactor> for u8 {
+    fn from(sf: SpreadingFactor) -> u8 {
+        sf.as_u8()
+    }
+}
+
+/// A LoRa channel bandwidth.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Bandwidth {
+    /// 125 kHz — the standard US915 uplink bandwidth.
+    Khz125,
+    /// 250 kHz.
+    Khz250,
+    /// 500 kHz — US915 downlink and wide-uplink bandwidth.
+    Khz500,
+}
+
+impl Bandwidth {
+    /// The bandwidth as a frequency.
+    #[must_use]
+    pub const fn as_hertz(self) -> Hertz {
+        match self {
+            Bandwidth::Khz125 => Hertz::from_khz(125),
+            Bandwidth::Khz250 => Hertz::from_khz(250),
+            Bandwidth::Khz500 => Hertz::from_khz(500),
+        }
+    }
+
+    /// The bandwidth in Hz as a float, for rate computations.
+    #[must_use]
+    pub fn as_hz_f64(self) -> f64 {
+        self.as_hertz().as_hz() as f64
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_hertz())
+    }
+}
+
+/// A LoRa forward-error-correction coding rate, 4/5 through 4/8.
+///
+/// # Examples
+///
+/// ```
+/// use blam_lora_phy::CodingRate;
+///
+/// assert!((CodingRate::Cr4_5.rate() - 0.8).abs() < 1e-12);
+/// assert_eq!(CodingRate::Cr4_8.redundancy_index(), 4);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum CodingRate {
+    /// 4/5 — least redundancy, shortest packets (LoRaWAN default).
+    Cr4_5,
+    /// 4/6.
+    Cr4_6,
+    /// 4/7.
+    Cr4_7,
+    /// 4/8 — most redundancy.
+    Cr4_8,
+}
+
+impl CodingRate {
+    /// The code rate as a fraction in (0, 1]: information bits per coded bit.
+    #[must_use]
+    pub const fn rate(self) -> f64 {
+        4.0 / self.denominator() as f64
+    }
+
+    /// The denominator of the `4/x` rate.
+    #[must_use]
+    pub const fn denominator(self) -> u8 {
+        match self {
+            CodingRate::Cr4_5 => 5,
+            CodingRate::Cr4_6 => 6,
+            CodingRate::Cr4_7 => 7,
+            CodingRate::Cr4_8 => 8,
+        }
+    }
+
+    /// The Semtech `CR` register value (1–4), used by the airtime formula
+    /// as the `CR + 4` multiplier.
+    #[must_use]
+    pub const fn redundancy_index(self) -> u8 {
+        self.denominator() - 4
+    }
+}
+
+impl fmt::Display for CodingRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "4/{}", self.denominator())
+    }
+}
+
+/// A complete LoRa transmission configuration.
+///
+/// Aggregates everything needed to compute airtime and energy for one
+/// packet. Construct with [`TxConfig::new`] and adjust with the builder
+/// methods.
+///
+/// # Examples
+///
+/// ```
+/// use blam_lora_phy::{Bandwidth, CodingRate, SpreadingFactor, TxConfig};
+/// use blam_units::Dbm;
+///
+/// let cfg = TxConfig::new(SpreadingFactor::Sf10, Bandwidth::Khz125, CodingRate::Cr4_5)
+///     .with_power(Dbm(20.0))
+///     .with_preamble_symbols(8);
+/// assert_eq!(cfg.sf, SpreadingFactor::Sf10);
+/// // SF10@125 kHz symbols last 8.192 ms < 16.384 ms, so LDRO stays off:
+/// assert!(!cfg.low_data_rate_optimize());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TxConfig {
+    /// Spreading factor.
+    pub sf: SpreadingFactor,
+    /// Channel bandwidth.
+    pub bw: Bandwidth,
+    /// Forward-error-correction rate.
+    pub cr: CodingRate,
+    /// RF transmit power.
+    pub power: Dbm,
+    /// Number of preamble symbols (LoRaWAN uses 8).
+    pub preamble_symbols: u16,
+    /// Whether the explicit PHY header is sent (LoRaWAN uplinks: yes).
+    pub explicit_header: bool,
+    /// Whether the payload CRC is appended (LoRaWAN uplinks: yes).
+    pub crc: bool,
+    /// Low-data-rate optimization override; `None` selects the LoRaWAN
+    /// rule (enabled when the symbol time reaches 16.384 ms, i.e. SF11
+    /// and SF12 at 125 kHz).
+    pub ldro_override: Option<bool>,
+}
+
+impl TxConfig {
+    /// Creates a configuration with LoRaWAN defaults: 14 dBm, 8 preamble
+    /// symbols, explicit header, CRC on, automatic LDRO.
+    #[must_use]
+    pub fn new(sf: SpreadingFactor, bw: Bandwidth, cr: CodingRate) -> Self {
+        TxConfig {
+            sf,
+            bw,
+            cr,
+            power: Dbm(14.0),
+            preamble_symbols: 8,
+            explicit_header: true,
+            crc: true,
+            ldro_override: None,
+        }
+    }
+
+    /// Sets the RF transmit power.
+    #[must_use]
+    pub fn with_power(mut self, power: Dbm) -> Self {
+        self.power = power;
+        self
+    }
+
+    /// Sets the preamble length in symbols.
+    #[must_use]
+    pub fn with_preamble_symbols(mut self, n: u16) -> Self {
+        self.preamble_symbols = n;
+        self
+    }
+
+    /// Overrides the low-data-rate-optimization rule.
+    #[must_use]
+    pub fn with_ldro(mut self, enabled: bool) -> Self {
+        self.ldro_override = Some(enabled);
+        self
+    }
+
+    /// Sets the spreading factor, keeping everything else.
+    #[must_use]
+    pub fn with_sf(mut self, sf: SpreadingFactor) -> Self {
+        self.sf = sf;
+        self
+    }
+
+    /// Whether low-data-rate optimization is in effect.
+    ///
+    /// LoRaWAN enables LDRO whenever the symbol duration reaches
+    /// 16.384 ms — SF11 and SF12 at 125 kHz, and SF12 at 250 kHz.
+    #[must_use]
+    pub fn low_data_rate_optimize(&self) -> bool {
+        self.ldro_override.unwrap_or_else(|| {
+            crate::airtime::symbol_duration_secs(self.sf, self.bw) >= 0.016384 - 1e-12
+        })
+    }
+
+    /// Time on air for a `payload_len`-byte packet.
+    ///
+    /// Delegates to [`crate::airtime::airtime`]; rounded to the
+    /// millisecond resolution of [`Duration`].
+    #[must_use]
+    pub fn airtime(&self, payload_len: usize) -> Duration {
+        crate::airtime::airtime(self, payload_len)
+    }
+
+    /// Time on air in seconds as a float (no rounding).
+    #[must_use]
+    pub fn airtime_secs(&self, payload_len: usize) -> f64 {
+        crate::airtime::airtime_secs(self, payload_len)
+    }
+}
+
+impl Default for TxConfig {
+    /// The paper's testbed configuration: SF10, 125 kHz, CR 4/5, 14 dBm.
+    fn default() -> Self {
+        TxConfig::new(
+            SpreadingFactor::Sf10,
+            Bandwidth::Khz125,
+            CodingRate::Cr4_5,
+        )
+    }
+}
+
+impl fmt::Display for TxConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} CR{} @ {}",
+            self.sf, self.bw, self.cr, self.power
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sf_chips_are_powers_of_two() {
+        assert_eq!(SpreadingFactor::Sf7.chips(), 128);
+        assert_eq!(SpreadingFactor::Sf12.chips(), 4096);
+    }
+
+    #[test]
+    fn sf_try_from_covers_range() {
+        for v in 7..=12u8 {
+            let sf = SpreadingFactor::try_from(v).unwrap();
+            assert_eq!(sf.as_u8(), v);
+            assert_eq!(u8::from(sf), v);
+        }
+        assert!(SpreadingFactor::try_from(6).is_err());
+        assert!(SpreadingFactor::try_from(13).is_err());
+    }
+
+    #[test]
+    fn sf_error_displays_offending_value() {
+        let err = SpreadingFactor::try_from(42).unwrap_err();
+        assert!(err.to_string().contains("42"));
+    }
+
+    #[test]
+    fn sf_ordering_matches_numeric_ordering() {
+        let mut sorted = SpreadingFactor::ALL;
+        sorted.sort();
+        assert_eq!(sorted, SpreadingFactor::ALL);
+    }
+
+    #[test]
+    fn snr_floor_decreases_with_sf() {
+        for pair in SpreadingFactor::ALL.windows(2) {
+            assert!(pair[0].snr_floor_db() > pair[1].snr_floor_db());
+        }
+    }
+
+    #[test]
+    fn slower_walks_up_and_stops() {
+        assert_eq!(SpreadingFactor::Sf7.slower(), Some(SpreadingFactor::Sf8));
+        assert_eq!(SpreadingFactor::Sf12.slower(), None);
+    }
+
+    #[test]
+    fn bandwidth_hertz_values() {
+        assert_eq!(Bandwidth::Khz125.as_hertz().as_hz(), 125_000);
+        assert_eq!(Bandwidth::Khz500.as_hz_f64(), 500_000.0);
+    }
+
+    #[test]
+    fn coding_rates() {
+        assert_eq!(CodingRate::Cr4_5.redundancy_index(), 1);
+        assert_eq!(CodingRate::Cr4_8.redundancy_index(), 4);
+        assert!((CodingRate::Cr4_6.rate() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ldro_auto_rule() {
+        // SF11/SF12 at 125 kHz have 16.384/32.768 ms symbols: LDRO on.
+        let c = |sf| TxConfig::new(sf, Bandwidth::Khz125, CodingRate::Cr4_5);
+        assert!(!c(SpreadingFactor::Sf10).low_data_rate_optimize());
+        assert!(c(SpreadingFactor::Sf11).low_data_rate_optimize());
+        assert!(c(SpreadingFactor::Sf12).low_data_rate_optimize());
+        // SF12 at 500 kHz is 8.192 ms: off.
+        let fast = TxConfig::new(
+            SpreadingFactor::Sf12,
+            Bandwidth::Khz500,
+            CodingRate::Cr4_5,
+        );
+        assert!(!fast.low_data_rate_optimize());
+        // Override wins.
+        assert!(fast.with_ldro(true).low_data_rate_optimize());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SpreadingFactor::Sf9.to_string(), "SF9");
+        assert_eq!(CodingRate::Cr4_7.to_string(), "4/7");
+        let cfg = TxConfig::default();
+        assert!(cfg.to_string().contains("SF10"));
+        assert!(cfg.to_string().contains("125.0 kHz"));
+    }
+}

@@ -1,0 +1,344 @@
+//! Regional channel plans and Class-A receive-window parameters.
+//!
+//! The paper operates in the US 902–928 MHz ISM band: 64 uplink channels
+//! of 125 kHz, 8 uplink channels of 500 kHz, and 8 downlink channels of
+//! 500 kHz. Private deployments (and the paper's testbed) typically use a
+//! single sub-band of 8 contiguous 125 kHz channels.
+
+use blam_units::{Duration, Hertz};
+use serde::{Deserialize, Serialize};
+
+use crate::params::{Bandwidth, SpreadingFactor};
+
+/// One radio channel: an index within its plan, a center frequency and a
+/// bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Channel {
+    /// Index within the channel plan.
+    pub index: u8,
+    /// Center frequency.
+    pub frequency: Hertz,
+    /// Channel bandwidth.
+    pub bandwidth: Bandwidth,
+}
+
+/// Constants and helpers for the US915 band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Us915;
+
+impl Us915 {
+    /// First 125 kHz uplink channel center, 902.3 MHz.
+    pub const UPLINK_BASE_KHZ: u64 = 902_300;
+    /// Spacing between 125 kHz uplink channels, 200 kHz.
+    pub const UPLINK_STEP_KHZ: u64 = 200;
+    /// First 500 kHz uplink channel center, 903.0 MHz.
+    pub const UPLINK_WIDE_BASE_KHZ: u64 = 903_000;
+    /// Spacing between 500 kHz uplink channels, 1.6 MHz.
+    pub const UPLINK_WIDE_STEP_KHZ: u64 = 1_600;
+    /// First 500 kHz downlink channel center, 923.3 MHz.
+    pub const DOWNLINK_BASE_KHZ: u64 = 923_300;
+    /// Spacing between downlink channels, 600 kHz.
+    pub const DOWNLINK_STEP_KHZ: u64 = 600;
+
+    /// The `i`-th 125 kHz uplink channel (0–63).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 64`.
+    #[must_use]
+    pub fn uplink_125(i: u8) -> Channel {
+        assert!(i < 64, "US915 has 64 × 125 kHz uplink channels, got {i}");
+        Channel {
+            index: i,
+            frequency: Hertz::from_khz(
+                Self::UPLINK_BASE_KHZ + u64::from(i) * Self::UPLINK_STEP_KHZ,
+            ),
+            bandwidth: Bandwidth::Khz125,
+        }
+    }
+
+    /// The `i`-th 500 kHz uplink channel (0–7), plan indices 64–71.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 8`.
+    #[must_use]
+    pub fn uplink_500(i: u8) -> Channel {
+        assert!(i < 8, "US915 has 8 × 500 kHz uplink channels, got {i}");
+        Channel {
+            index: 64 + i,
+            frequency: Hertz::from_khz(
+                Self::UPLINK_WIDE_BASE_KHZ + u64::from(i) * Self::UPLINK_WIDE_STEP_KHZ,
+            ),
+            bandwidth: Bandwidth::Khz500,
+        }
+    }
+
+    /// The `i`-th 500 kHz downlink channel (0–7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 8`.
+    #[must_use]
+    pub fn downlink_500(i: u8) -> Channel {
+        assert!(i < 8, "US915 has 8 × 500 kHz downlink channels, got {i}");
+        Channel {
+            index: i,
+            frequency: Hertz::from_khz(
+                Self::DOWNLINK_BASE_KHZ + u64::from(i) * Self::DOWNLINK_STEP_KHZ,
+            ),
+            bandwidth: Bandwidth::Khz500,
+        }
+    }
+}
+
+/// A deployed channel plan: the uplink channels a network actually hops
+/// over, the downlink channels, and the Class-A receive-window timing.
+///
+/// # Examples
+///
+/// ```
+/// use blam_lora_phy::ChannelPlan;
+///
+/// // The common private-network setup: sub-band 2 (channels 8–15).
+/// let plan = ChannelPlan::us915_sub_band(2);
+/// assert_eq!(plan.uplink.len(), 8);
+/// assert_eq!(plan.rx1_delay.as_secs(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelPlan {
+    /// Uplink channels available for hopping.
+    pub uplink: Vec<Channel>,
+    /// Downlink channels (RX1 lands on `uplink_index % downlink.len()`).
+    pub downlink: Vec<Channel>,
+    /// Delay from end of uplink to the RX1 window opening.
+    pub rx1_delay: Duration,
+    /// Delay from end of uplink to the RX2 window opening.
+    pub rx2_delay: Duration,
+    /// The fixed RX2 channel.
+    pub rx2_channel: Channel,
+    /// The fixed RX2 spreading factor (US915: SF12 on 500 kHz).
+    pub rx2_sf: SpreadingFactor,
+}
+
+impl ChannelPlan {
+    /// The full US915 plan: all 64 + 8 uplink channels.
+    #[must_use]
+    pub fn us915_full() -> Self {
+        let mut uplink: Vec<Channel> = (0..64).map(Us915::uplink_125).collect();
+        uplink.extend((0..8).map(Us915::uplink_500));
+        Self::us915_with_uplinks(uplink)
+    }
+
+    /// A US915 sub-band: 8 contiguous 125 kHz channels
+    /// (`sub_band` 0–7 selects channels `8·sub_band …  8·sub_band+7`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sub_band >= 8`.
+    #[must_use]
+    pub fn us915_sub_band(sub_band: u8) -> Self {
+        assert!(sub_band < 8, "US915 has 8 sub-bands, got {sub_band}");
+        let uplink = (8 * sub_band..8 * sub_band + 8)
+            .map(Us915::uplink_125)
+            .collect();
+        Self::us915_with_uplinks(uplink)
+    }
+
+    /// A single-channel plan — the paper's testbed setup (one 125 kHz
+    /// channel, SF10).
+    #[must_use]
+    pub fn us915_single_channel() -> Self {
+        Self::us915_with_uplinks(vec![Us915::uplink_125(8)])
+    }
+
+    /// The EU868 default plan of the NS-3 `lorawan` module the paper's
+    /// simulations build on: three 125 kHz channels (868.1/868.3/868.5
+    /// MHz), RX1 on the uplink channel at the uplink SF, RX2 at
+    /// 869.525 MHz SF12.
+    #[must_use]
+    pub fn eu868() -> Self {
+        let uplink: Vec<Channel> = [868_100u64, 868_300, 868_500]
+            .iter()
+            .enumerate()
+            .map(|(i, &khz)| Channel {
+                index: i as u8,
+                frequency: Hertz::from_khz(khz),
+                bandwidth: Bandwidth::Khz125,
+            })
+            .collect();
+        ChannelPlan {
+            downlink: uplink.clone(),
+            uplink,
+            rx1_delay: Duration::from_secs(1),
+            rx2_delay: Duration::from_secs(2),
+            rx2_channel: Channel {
+                index: 3,
+                frequency: Hertz::from_khz(869_525),
+                bandwidth: Bandwidth::Khz125,
+            },
+            rx2_sf: SpreadingFactor::Sf12,
+        }
+    }
+
+    fn us915_with_uplinks(uplink: Vec<Channel>) -> Self {
+        ChannelPlan {
+            uplink,
+            downlink: (0..8).map(Us915::downlink_500).collect(),
+            rx1_delay: Duration::from_secs(1),
+            rx2_delay: Duration::from_secs(2),
+            rx2_channel: Us915::downlink_500(0),
+            rx2_sf: SpreadingFactor::Sf12,
+        }
+    }
+
+    /// Number of uplink channels.
+    #[must_use]
+    pub fn uplink_count(&self) -> usize {
+        self.uplink.len()
+    }
+
+    /// The downlink channel RX1 uses after an uplink on `uplink_channel`.
+    ///
+    /// US915 maps uplink channel `i` to downlink channel `i mod 8`.
+    #[must_use]
+    pub fn rx1_channel(&self, uplink_channel: &Channel) -> Channel {
+        self.downlink[usize::from(uplink_channel.index) % self.downlink.len()]
+    }
+
+    /// The RX1 downlink spreading factor for an uplink sent at `sf`.
+    ///
+    /// US915 with RX1DROffset 0 maps uplink DR0–DR3 (SF10–SF7/125 kHz)
+    /// to downlink DR10–DR13 — numerically the same SF on the 500 kHz
+    /// downlink.
+    #[must_use]
+    pub fn rx1_sf(&self, uplink_sf: SpreadingFactor) -> SpreadingFactor {
+        uplink_sf
+    }
+}
+
+impl Default for ChannelPlan {
+    /// Sub-band 2, the de-facto default of US915 deployments (TTN/Helium).
+    fn default() -> Self {
+        ChannelPlan::us915_sub_band(2)
+    }
+}
+
+/// Maximum application payload (bytes) for an uplink at the given SF in
+/// US915 (LoRaWAN regional parameters, dwell-time off).
+///
+/// # Examples
+///
+/// ```
+/// use blam_lora_phy::{region::max_payload, SpreadingFactor};
+///
+/// assert_eq!(max_payload(SpreadingFactor::Sf10), 11);
+/// assert_eq!(max_payload(SpreadingFactor::Sf7), 242);
+/// ```
+#[must_use]
+pub fn max_payload(sf: SpreadingFactor) -> usize {
+    match sf {
+        SpreadingFactor::Sf7 => 242,
+        SpreadingFactor::Sf8 => 125,
+        SpreadingFactor::Sf9 => 53,
+        SpreadingFactor::Sf10 => 11,
+        // SF11/SF12 are not valid US915 uplink rates on 125 kHz; the
+        // regional cap for the closest downlink rates applies.
+        SpreadingFactor::Sf11 => 11,
+        SpreadingFactor::Sf12 => 11,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uplink_125_frequencies() {
+        assert_eq!(Us915::uplink_125(0).frequency, Hertz::from_mhz(902.3));
+        assert_eq!(Us915::uplink_125(63).frequency, Hertz::from_mhz(914.9));
+    }
+
+    #[test]
+    fn uplink_500_frequencies() {
+        assert_eq!(Us915::uplink_500(0).frequency, Hertz::from_mhz(903.0));
+        assert_eq!(Us915::uplink_500(7).frequency, Hertz::from_mhz(914.2));
+        assert_eq!(Us915::uplink_500(0).index, 64);
+    }
+
+    #[test]
+    fn downlink_frequencies() {
+        assert_eq!(Us915::downlink_500(0).frequency, Hertz::from_mhz(923.3));
+        assert_eq!(Us915::downlink_500(7).frequency, Hertz::from_mhz(927.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "64")]
+    fn uplink_125_bounds_checked() {
+        let _ = Us915::uplink_125(64);
+    }
+
+    #[test]
+    fn full_plan_has_72_uplinks() {
+        let plan = ChannelPlan::us915_full();
+        assert_eq!(plan.uplink_count(), 72);
+        assert_eq!(plan.downlink.len(), 8);
+    }
+
+    #[test]
+    fn sub_band_two_is_channels_16_to_23() {
+        let plan = ChannelPlan::us915_sub_band(2);
+        assert_eq!(plan.uplink[0].index, 16);
+        assert_eq!(plan.uplink[7].index, 23);
+        assert_eq!(plan.uplink[0].frequency, Hertz::from_mhz(905.5));
+    }
+
+    #[test]
+    fn all_uplink_channels_unique() {
+        let plan = ChannelPlan::us915_full();
+        let mut freqs: Vec<_> = plan.uplink.iter().map(|c| c.frequency).collect();
+        freqs.sort();
+        freqs.dedup();
+        assert_eq!(freqs.len(), 72);
+    }
+
+    #[test]
+    fn rx1_maps_modulo_eight() {
+        let plan = ChannelPlan::us915_full();
+        let up = Us915::uplink_125(17);
+        assert_eq!(plan.rx1_channel(&up).index, 1);
+        let up64 = Us915::uplink_500(0);
+        assert_eq!(plan.rx1_channel(&up64).index, 0);
+    }
+
+    #[test]
+    fn class_a_delays() {
+        let plan = ChannelPlan::default();
+        assert_eq!(plan.rx1_delay, Duration::from_secs(1));
+        assert_eq!(plan.rx2_delay, Duration::from_secs(2));
+        assert_eq!(plan.rx2_sf, SpreadingFactor::Sf12);
+    }
+
+    #[test]
+    fn single_channel_testbed_plan() {
+        let plan = ChannelPlan::us915_single_channel();
+        assert_eq!(plan.uplink_count(), 1);
+        assert_eq!(plan.uplink[0].bandwidth, Bandwidth::Khz125);
+    }
+
+    #[test]
+    fn eu868_plan() {
+        let plan = ChannelPlan::eu868();
+        assert_eq!(plan.uplink_count(), 3);
+        assert_eq!(plan.uplink[0].frequency, Hertz::from_mhz(868.1));
+        // RX1 lands on the uplink channel itself.
+        assert_eq!(plan.rx1_channel(&plan.uplink[2]), plan.uplink[2]);
+        assert_eq!(plan.rx2_channel.frequency, Hertz::from_mhz(869.525));
+    }
+
+    #[test]
+    fn max_payload_matches_regional_params() {
+        assert_eq!(max_payload(SpreadingFactor::Sf9), 53);
+        assert_eq!(max_payload(SpreadingFactor::Sf8), 125);
+    }
+}

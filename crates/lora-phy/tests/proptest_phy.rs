@@ -1,0 +1,138 @@
+//! Property-based tests for the PHY model.
+
+use blam_lora_phy::link::{resolve_capture, sensitivity, CaptureOutcome};
+use blam_lora_phy::{
+    airtime, Bandwidth, CodingRate, LinkBudget, RadioPowerModel, SpreadingFactor, TxConfig,
+};
+use blam_units::{Db, Dbm, Meters, Watts};
+use proptest::prelude::*;
+
+fn any_sf() -> impl Strategy<Value = SpreadingFactor> {
+    (7u8..=12).prop_map(|v| SpreadingFactor::try_from(v).expect("in range"))
+}
+
+fn any_cr() -> impl Strategy<Value = CodingRate> {
+    prop_oneof![
+        Just(CodingRate::Cr4_5),
+        Just(CodingRate::Cr4_6),
+        Just(CodingRate::Cr4_7),
+        Just(CodingRate::Cr4_8),
+    ]
+}
+
+fn any_bw() -> impl Strategy<Value = Bandwidth> {
+    prop_oneof![
+        Just(Bandwidth::Khz125),
+        Just(Bandwidth::Khz250),
+        Just(Bandwidth::Khz500),
+    ]
+}
+
+proptest! {
+    /// Airtime grows (weakly) with payload and strictly with SF.
+    #[test]
+    fn airtime_monotonicity(sf in any_sf(), cr in any_cr(), pl in 0usize..200) {
+        let cfg = TxConfig::new(sf, Bandwidth::Khz125, cr);
+        let t = airtime::airtime_secs(&cfg, pl);
+        prop_assert!(t > 0.0);
+        prop_assert!(airtime::airtime_secs(&cfg, pl + 1) >= t);
+        if let Some(slower) = sf.slower() {
+            let cfg_slow = TxConfig::new(slower, Bandwidth::Khz125, cr);
+            prop_assert!(airtime::airtime_secs(&cfg_slow, pl) > t);
+        }
+    }
+
+    /// Doubling the bandwidth exactly halves the airtime (same symbol
+    /// count, half the symbol duration) when LDRO is pinned.
+    #[test]
+    fn airtime_scales_inversely_with_bandwidth(sf in any_sf(), pl in 0usize..100) {
+        let narrow = TxConfig::new(sf, Bandwidth::Khz250, CodingRate::Cr4_5).with_ldro(false);
+        let wide = TxConfig::new(sf, Bandwidth::Khz500, CodingRate::Cr4_5).with_ldro(false);
+        let ratio = airtime::airtime_secs(&narrow, pl) / airtime::airtime_secs(&wide, pl);
+        prop_assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    /// Electrical transmission energy is positive, increases with
+    /// payload, and exceeds the radiated (Eq. 6) energy.
+    #[test]
+    fn energy_properties(sf in any_sf(), pl in 1usize..100, dbm in 2.0f64..20.0) {
+        let radio = RadioPowerModel::sx1276();
+        let cfg = TxConfig::new(sf, Bandwidth::Khz125, CodingRate::Cr4_5).with_power(Dbm(dbm));
+        let e = radio.tx_energy(&cfg, pl);
+        prop_assert!(e.0 > 0.0);
+        prop_assert!(radio.tx_energy(&cfg, pl + 10) >= e);
+        prop_assert!(e.0 > blam_lora_phy::energy::tx_energy_eq6(&cfg, pl).0);
+    }
+
+    /// Sensitivity worsens (rises) with bandwidth and improves (drops)
+    /// with SF.
+    #[test]
+    fn sensitivity_ordering(sf in any_sf(), bw in any_bw()) {
+        if let Some(slower) = sf.slower() {
+            prop_assert!(sensitivity(slower, bw).0 < sensitivity(sf, bw).0);
+        }
+        prop_assert!(sensitivity(sf, Bandwidth::Khz500).0 > sensitivity(sf, Bandwidth::Khz125).0);
+    }
+
+    /// Capture resolution is antisymmetric: if A captures over B, B is
+    /// suppressed under A, and the both-lost band is symmetric.
+    #[test]
+    fn capture_antisymmetry(a in -140.0f64..-60.0, b in -140.0f64..-60.0) {
+        let ab = resolve_capture(Dbm(a), Dbm(b));
+        let ba = resolve_capture(Dbm(b), Dbm(a));
+        match ab {
+            CaptureOutcome::Captured => prop_assert_eq!(ba, CaptureOutcome::Suppressed),
+            CaptureOutcome::Suppressed => prop_assert_eq!(ba, CaptureOutcome::Captured),
+            CaptureOutcome::BothLost => prop_assert_eq!(ba, CaptureOutcome::BothLost),
+        }
+    }
+
+    /// RSSI decreases monotonically with distance, so SF assignment by
+    /// margin is well-defined.
+    #[test]
+    fn rssi_monotone_in_distance(km in 0.05f64..20.0) {
+        let near = LinkBudget::new(Meters::from_km(km));
+        let far = LinkBudget::new(Meters::from_km(km * 1.5));
+        prop_assert!(far.rssi(Dbm(14.0)).0 < near.rssi(Dbm(14.0)).0);
+    }
+
+    /// dBm ↔ watts roundtrips across the whole relevant range.
+    #[test]
+    fn dbm_watts_roundtrip(dbm in -150.0f64..30.0) {
+        let w = Dbm(dbm).as_watts();
+        prop_assert!(w.0 > 0.0);
+        let back = Dbm::from_watts(w);
+        prop_assert!((back.0 - dbm).abs() < 1e-9);
+    }
+
+    /// TX supply current interpolation stays within the calibration
+    /// table's range.
+    #[test]
+    fn tx_power_draw_bounded(dbm in -10.0f64..30.0) {
+        let radio = RadioPowerModel::sx1276();
+        let p = radio.tx_power_draw(Dbm(dbm));
+        let lo = Watts::from_volts_milliamps(3.3, 20.0);
+        let hi = Watts::from_volts_milliamps(3.3, 120.0);
+        prop_assert!(p.0 >= lo.0 - 1e-12 && p.0 <= hi.0 + 1e-12);
+    }
+
+    /// The paper's Eq. (7) symbol count tracks the datasheet formula
+    /// within two coding blocks for all parameter combinations.
+    #[test]
+    fn paper_eq7_tracks_datasheet(sf in any_sf(), cr in any_cr(), pl in 0usize..120) {
+        let cfg = TxConfig::new(sf, Bandwidth::Khz125, cr);
+        let datasheet = airtime::total_symbols(&cfg, pl);
+        let paper = airtime::paper_symbols_eq7(&cfg, pl);
+        let tolerance = 2.0 * f64::from(cr.redundancy_index() + 4) + 2.0;
+        prop_assert!((datasheet - paper).abs() <= tolerance);
+    }
+
+    /// A link budget's margin check agrees with `closes`.
+    #[test]
+    fn closes_consistent_with_margin(km in 0.1f64..15.0, sf in any_sf(), shadow in -6.0f64..6.0) {
+        let link = LinkBudget::new(Meters::from_km(km)).with_shadowing(Db(shadow));
+        let rssi = link.rssi(Dbm(14.0));
+        let margin = link.margin(rssi, sf, Bandwidth::Khz125);
+        prop_assert_eq!(link.closes(Dbm(14.0), sf, Bandwidth::Khz125), margin.0 >= 0.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Adaptive Data Rate (ADR).
+//!
+//! The network server observes uplink SNRs and commands nodes to faster
+//! spreading factors / lower power when their link margin allows —
+//! LoRaWAN's standard mechanism, and the reason the paper's protocol
+//! estimates transmission energy with an EWMA (Eq. 13) instead of
+//! trusting the last exchange: "the nodes can change their transmission
+//! parameters dynamically as governed by the underlying MAC layer or
+//! the network server".
+//!
+//! The algorithm follows the semantics of the reference LoRaWAN ADR:
+//! keep the best SNR of the last `history` uplinks, compute the margin
+//! over the SF's demodulation floor plus a safety device margin, and
+//! spend the excess in 3 dB steps — first stepping the data rate up
+//! (SF down), then stepping transmit power down.
+
+use std::collections::HashMap;
+
+use blam_lora_phy::SpreadingFactor;
+use blam_units::{Db, Dbm};
+use serde::{Deserialize, Serialize};
+
+use crate::frame::DeviceAddr;
+
+/// A parameter change commanded to a device (rides on an ACK).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdrCommand {
+    /// New spreading factor.
+    pub sf: SpreadingFactor,
+    /// New transmit power.
+    pub power: Dbm,
+}
+
+/// Server-side ADR state.
+///
+/// # Examples
+///
+/// ```
+/// use blam_lorawan::{AdrEngine, DeviceAddr};
+/// use blam_lora_phy::SpreadingFactor;
+/// use blam_units::{Db, Dbm};
+///
+/// let mut adr = AdrEngine::new(Db(10.0), 4);
+/// let dev = DeviceAddr(1);
+/// // Four strong uplinks at SF12: plenty of margin to harvest.
+/// let mut cmd = None;
+/// for _ in 0..4 {
+///     cmd = adr.observe(dev, SpreadingFactor::Sf12, Dbm(14.0), Db(5.0));
+/// }
+/// let cmd = cmd.expect("enough history");
+/// assert!(cmd.sf < SpreadingFactor::Sf12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdrEngine {
+    /// Safety margin kept on top of the demodulation floor.
+    device_margin: Db,
+    /// Uplinks collected before a decision.
+    history: usize,
+    /// Lowest power the server will command.
+    min_power: Dbm,
+    snr_history: HashMap<DeviceAddr, Vec<f64>>,
+}
+
+impl AdrEngine {
+    /// Creates an engine with the given device margin and history depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history` is zero.
+    #[must_use]
+    pub fn new(device_margin: Db, history: usize) -> Self {
+        assert!(history > 0, "ADR needs at least one observation");
+        AdrEngine {
+            device_margin,
+            history,
+            min_power: Dbm(7.0),
+            snr_history: HashMap::new(),
+        }
+    }
+
+    /// The standard LoRaWAN configuration: 10 dB device margin over the
+    /// best of the last 20 uplinks.
+    #[must_use]
+    pub fn standard() -> Self {
+        AdrEngine::new(Db(10.0), 20)
+    }
+
+    /// Records one demodulated uplink's SNR and, once enough history
+    /// exists, returns the parameter change to command (if any).
+    ///
+    /// `current_sf`/`current_power` are the parameters the uplink used.
+    pub fn observe(
+        &mut self,
+        device: DeviceAddr,
+        current_sf: SpreadingFactor,
+        current_power: Dbm,
+        snr: Db,
+    ) -> Option<AdrCommand> {
+        let hist = self.snr_history.entry(device).or_default();
+        hist.push(snr.0);
+        if hist.len() < self.history {
+            return None;
+        }
+        let best = hist.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        hist.clear();
+
+        let required = current_sf.snr_floor_db() + self.device_margin.0;
+        let mut steps = ((best - required) / 3.0).floor() as i64;
+        if steps <= 0 {
+            return None;
+        }
+        let mut sf = current_sf;
+        let mut power = current_power;
+        while steps > 0 {
+            if let Some(faster) = faster_sf(sf) {
+                sf = faster;
+            } else if power.0 - 2.0 >= self.min_power.0 {
+                power = Dbm(power.0 - 2.0);
+            } else {
+                break;
+            }
+            steps -= 1;
+        }
+        if sf == current_sf && power == current_power {
+            None
+        } else {
+            Some(AdrCommand { sf, power })
+        }
+    }
+
+    /// Forgets a device's history (e.g. after commanding a change, so
+    /// the next decision uses fresh observations).
+    pub fn reset(&mut self, device: DeviceAddr) {
+        self.snr_history.remove(&device);
+    }
+}
+
+fn faster_sf(sf: SpreadingFactor) -> Option<SpreadingFactor> {
+    match sf {
+        SpreadingFactor::Sf7 => None,
+        SpreadingFactor::Sf8 => Some(SpreadingFactor::Sf7),
+        SpreadingFactor::Sf9 => Some(SpreadingFactor::Sf8),
+        SpreadingFactor::Sf10 => Some(SpreadingFactor::Sf9),
+        SpreadingFactor::Sf11 => Some(SpreadingFactor::Sf10),
+        SpreadingFactor::Sf12 => Some(SpreadingFactor::Sf11),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(adr: &mut AdrEngine, dev: u32, sf: SpreadingFactor, snr: f64, n: usize) -> Option<AdrCommand> {
+        let mut out = None;
+        for _ in 0..n {
+            out = adr.observe(DeviceAddr(dev), sf, Dbm(14.0), Db(snr));
+        }
+        out
+    }
+
+    #[test]
+    fn no_decision_before_history_fills() {
+        let mut adr = AdrEngine::new(Db(10.0), 5);
+        assert!(feed(&mut adr, 1, SpreadingFactor::Sf12, 10.0, 4).is_none());
+    }
+
+    #[test]
+    fn strong_link_steps_sf_down() {
+        let mut adr = AdrEngine::new(Db(10.0), 3);
+        // SF12 floor −20 dB + 10 margin = −10; SNR 5 ⇒ 15 dB excess ⇒ 5 steps.
+        let cmd = feed(&mut adr, 1, SpreadingFactor::Sf12, 5.0, 3).unwrap();
+        assert_eq!(cmd.sf, SpreadingFactor::Sf7);
+        assert_eq!(cmd.power, Dbm(14.0));
+    }
+
+    #[test]
+    fn excess_beyond_sf7_reduces_power() {
+        let mut adr = AdrEngine::new(Db(10.0), 3);
+        // SF7 floor −7.5 + 10 = 2.5; SNR 10 ⇒ 7.5 dB ⇒ 2 steps ⇒ −4 dB power.
+        let cmd = feed(&mut adr, 1, SpreadingFactor::Sf7, 10.0, 3).unwrap();
+        assert_eq!(cmd.sf, SpreadingFactor::Sf7);
+        assert_eq!(cmd.power, Dbm(10.0));
+    }
+
+    #[test]
+    fn power_floor_is_respected() {
+        let mut adr = AdrEngine::new(Db(10.0), 2);
+        let cmd = feed(&mut adr, 1, SpreadingFactor::Sf7, 60.0, 2).unwrap();
+        assert!(cmd.power.0 >= 7.0);
+    }
+
+    #[test]
+    fn weak_link_commands_nothing() {
+        let mut adr = AdrEngine::new(Db(10.0), 3);
+        // SF10 floor −15 + 10 = −5; SNR −6 ⇒ negative margin.
+        assert!(feed(&mut adr, 1, SpreadingFactor::Sf10, -6.0, 3).is_none());
+    }
+
+    #[test]
+    fn best_of_history_decides() {
+        let mut adr = AdrEngine::new(Db(10.0), 3);
+        adr.observe(DeviceAddr(1), SpreadingFactor::Sf10, Dbm(14.0), Db(-20.0));
+        adr.observe(DeviceAddr(1), SpreadingFactor::Sf10, Dbm(14.0), Db(-20.0));
+        // One good sample dominates (ADR uses max SNR).
+        let cmd = adr.observe(DeviceAddr(1), SpreadingFactor::Sf10, Dbm(14.0), Db(1.0));
+        assert!(cmd.is_some());
+    }
+
+    #[test]
+    fn history_clears_after_decision() {
+        let mut adr = AdrEngine::new(Db(10.0), 2);
+        assert!(feed(&mut adr, 1, SpreadingFactor::Sf12, 5.0, 2).is_some());
+        // Next decision needs a fresh window.
+        assert!(adr
+            .observe(DeviceAddr(1), SpreadingFactor::Sf11, Dbm(14.0), Db(5.0))
+            .is_none());
+    }
+
+    #[test]
+    fn devices_tracked_independently() {
+        let mut adr = AdrEngine::new(Db(10.0), 2);
+        adr.observe(DeviceAddr(1), SpreadingFactor::Sf12, Dbm(14.0), Db(5.0));
+        assert!(adr
+            .observe(DeviceAddr(2), SpreadingFactor::Sf12, Dbm(14.0), Db(5.0))
+            .is_none());
+        assert!(adr
+            .observe(DeviceAddr(1), SpreadingFactor::Sf12, Dbm(14.0), Db(5.0))
+            .is_some());
+    }
+
+    #[test]
+    fn reset_forgets_history() {
+        let mut adr = AdrEngine::new(Db(10.0), 2);
+        adr.observe(DeviceAddr(1), SpreadingFactor::Sf12, Dbm(14.0), Db(5.0));
+        adr.reset(DeviceAddr(1));
+        assert!(adr
+            .observe(DeviceAddr(1), SpreadingFactor::Sf12, Dbm(14.0), Db(5.0))
+            .is_none());
+    }
+}

@@ -1,0 +1,142 @@
+//! Frames and addressing.
+//!
+//! Frames are modeled structurally (no bit-level encoding): what the
+//! simulation needs is *sizes* — airtime and energy follow from the PHY
+//! payload length — plus the metadata the MAC and server act on.
+
+use serde::{Deserialize, Serialize};
+
+/// LoRaWAN MAC-layer overhead added to every application payload:
+/// MHDR (1) + DevAddr (4) + FCtrl (1) + FCnt (2) + FPort (1) + MIC (4).
+pub const MAC_OVERHEAD_BYTES: usize = 13;
+
+/// A device (end-node) address.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct DeviceAddr(pub u32);
+
+impl std::fmt::Display for DeviceAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dev{:05}", self.0)
+    }
+}
+
+/// An uplink frame.
+///
+/// # Examples
+///
+/// ```
+/// use blam_lorawan::{Uplink, MAC_OVERHEAD_BYTES};
+///
+/// let mut up = Uplink::confirmed(10);
+/// up.piggyback_len = 4; // the paper's compressed SoC trace
+/// assert_eq!(up.phy_payload_len(), 10 + 4 + MAC_OVERHEAD_BYTES);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Uplink {
+    /// Sending device.
+    pub device: DeviceAddr,
+    /// Uplink frame counter.
+    pub fcnt: u32,
+    /// Application payload length in bytes.
+    pub app_payload_len: usize,
+    /// Extra protocol bytes appended by the MAC above (the paper's
+    /// 4-byte battery-trace piggyback).
+    pub piggyback_len: usize,
+    /// Whether the uplink requests an acknowledgment.
+    pub confirmed: bool,
+}
+
+impl Uplink {
+    /// A confirmed uplink with the given application payload size
+    /// (device/fcnt zeroed; the MAC fills them in).
+    #[must_use]
+    pub fn confirmed(app_payload_len: usize) -> Self {
+        Uplink {
+            device: DeviceAddr(0),
+            fcnt: 0,
+            app_payload_len,
+            piggyback_len: 0,
+            confirmed: true,
+        }
+    }
+
+    /// An unconfirmed uplink.
+    #[must_use]
+    pub fn unconfirmed(app_payload_len: usize) -> Self {
+        Uplink {
+            confirmed: false,
+            ..Uplink::confirmed(app_payload_len)
+        }
+    }
+
+    /// The PHY payload length: application payload + piggyback + MAC
+    /// overhead.
+    #[must_use]
+    pub fn phy_payload_len(&self) -> usize {
+        self.app_payload_len + self.piggyback_len + MAC_OVERHEAD_BYTES
+    }
+}
+
+/// A downlink frame (Class A: sent in one of the receive windows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Downlink {
+    /// Destination device.
+    pub device: DeviceAddr,
+    /// Acknowledges the last confirmed uplink.
+    pub ack: bool,
+    /// Application/piggyback payload length (the paper's 1-byte
+    /// normalized degradation rides here).
+    pub payload_len: usize,
+}
+
+impl Downlink {
+    /// An ACK for `device` carrying `payload_len` piggyback bytes.
+    #[must_use]
+    pub fn ack(device: DeviceAddr, payload_len: usize) -> Self {
+        Downlink {
+            device,
+            ack: true,
+            payload_len,
+        }
+    }
+
+    /// The PHY payload length including MAC overhead.
+    #[must_use]
+    pub fn phy_payload_len(&self) -> usize {
+        self.payload_len + MAC_OVERHEAD_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uplink_sizes() {
+        let up = Uplink::confirmed(10);
+        assert_eq!(up.phy_payload_len(), 23);
+        let mut up = up;
+        up.piggyback_len = 4;
+        assert_eq!(up.phy_payload_len(), 27);
+    }
+
+    #[test]
+    fn unconfirmed_flag() {
+        assert!(!Uplink::unconfirmed(5).confirmed);
+        assert!(Uplink::confirmed(5).confirmed);
+    }
+
+    #[test]
+    fn downlink_sizes() {
+        let d = Downlink::ack(DeviceAddr(3), 1);
+        assert!(d.ack);
+        assert_eq!(d.phy_payload_len(), 14);
+    }
+
+    #[test]
+    fn device_addr_display() {
+        assert_eq!(DeviceAddr(42).to_string(), "dev00042");
+    }
+}

@@ -1,0 +1,410 @@
+//! The gateway radio: parallel demodulation, collisions, half-duplex.
+//!
+//! A LoRa gateway (e.g. the SX1301-based RAK2245 of the paper's
+//! testbed) demodulates up to ω concurrent uplinks across its channels
+//! — the `ω` of the paper's constraint (11) — but is half-duplex: while
+//! it transmits a downlink ACK it hears nothing. Co-channel, co-SF
+//! uplinks that overlap in time interfere and are resolved with the
+//! 6 dB capture rule; different SFs are treated as orthogonal (the
+//! standard LoRa simulation assumption, as in the NS-3 module the paper
+//! uses).
+
+use blam_lora_phy::link::{inter_sf_threshold, sensitivity};
+use blam_lora_phy::{Channel, InterferenceModel, SpreadingFactor};
+use blam_units::{Dbm, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::frame::DeviceAddr;
+
+/// Identifier for an in-flight uplink at the gateway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TransmissionId(u64);
+
+/// A transmission currently arriving at the gateway.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UplinkTransmission {
+    /// Sending device.
+    pub device: DeviceAddr,
+    /// Channel the uplink rides on.
+    pub channel: Channel,
+    /// Spreading factor of the uplink.
+    pub sf: SpreadingFactor,
+    /// Received signal strength at the gateway.
+    pub rssi: Dbm,
+    /// When the transmission started.
+    pub start: SimTime,
+    /// When its airtime ends.
+    pub end: SimTime,
+}
+
+/// Why an uplink was or wasn't received.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReceptionOutcome {
+    /// Demodulated successfully.
+    Received,
+    /// Below the gateway's sensitivity for this SF/bandwidth.
+    TooWeak,
+    /// Lost to a co-channel, co-SF collision (no 6 dB capture).
+    Collided,
+    /// All ω demodulation paths were busy when it arrived.
+    NoDemodPath,
+    /// The gateway was transmitting a downlink during the reception
+    /// (half-duplex).
+    GatewayDeaf,
+}
+
+impl ReceptionOutcome {
+    /// True for [`ReceptionOutcome::Received`].
+    #[must_use]
+    pub fn is_received(self) -> bool {
+        self == ReceptionOutcome::Received
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Ongoing {
+    id: TransmissionId,
+    tx: UplinkTransmission,
+    /// True once some overlapping transmission exceeded this
+    /// reception's capture/rejection threshold.
+    collided: bool,
+    /// True if a downlink overlapped this reception.
+    deafened: bool,
+    /// True if no demodulation path was free at arrival.
+    no_path: bool,
+}
+
+/// The gateway radio model.
+///
+/// # Examples
+///
+/// ```
+/// use blam_lorawan::{DeviceAddr, GatewayRadio, ReceptionOutcome, UplinkTransmission};
+/// use blam_lora_phy::{SpreadingFactor, Us915};
+/// use blam_units::{Dbm, SimTime};
+///
+/// let mut gw = GatewayRadio::new(8);
+/// let id = gw.begin_uplink(UplinkTransmission {
+///     device: DeviceAddr(1),
+///     channel: Us915::uplink_125(8),
+///     sf: SpreadingFactor::Sf10,
+///     rssi: Dbm(-110.0),
+///     start: SimTime::ZERO,
+///     end: SimTime::from_secs(1),
+/// });
+/// assert_eq!(gw.end_uplink(id), ReceptionOutcome::Received);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GatewayRadio {
+    demod_paths: usize,
+    interference: InterferenceModel,
+    active: Vec<Ongoing>,
+    downlink_busy_until: SimTime,
+    next_id: u64,
+}
+
+impl GatewayRadio {
+    /// Creates a gateway with ω demodulation paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demod_paths` is zero.
+    #[must_use]
+    pub fn new(demod_paths: usize) -> Self {
+        assert!(demod_paths > 0, "gateway needs at least one demod path");
+        GatewayRadio {
+            demod_paths,
+            interference: InterferenceModel::Orthogonal,
+            active: Vec::new(),
+            downlink_busy_until: SimTime::ZERO,
+            next_id: 0,
+        }
+    }
+
+    /// Selects the cross-SF interference model (orthogonal by default,
+    /// as in the NS-3 module the paper uses).
+    #[must_use]
+    pub fn with_interference(mut self, interference: InterferenceModel) -> Self {
+        self.interference = interference;
+        self
+    }
+
+    /// Number of demodulation paths (the paper's ω).
+    #[must_use]
+    pub fn demod_paths(&self) -> usize {
+        self.demod_paths
+    }
+
+    /// Number of uplinks currently arriving.
+    #[must_use]
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Registers an uplink that starts arriving now; call
+    /// [`end_uplink`](GatewayRadio::end_uplink) when its airtime ends.
+    pub fn begin_uplink(&mut self, tx: UplinkTransmission) -> TransmissionId {
+        let id = TransmissionId(self.next_id);
+        self.next_id += 1;
+
+        let deafened = tx.start < self.downlink_busy_until;
+        let paths_in_use = self.active.iter().filter(|o| !o.no_path).count();
+        let no_path = paths_in_use >= self.demod_paths;
+
+        let mut entry = Ongoing {
+            id,
+            tx,
+            collided: false,
+            deafened,
+            no_path,
+        };
+        // Mutual interference with concurrent same-channel receptions —
+        // both directions. A reception survives each overlapping pair
+        // only if it clears the capture/rejection threshold for the
+        // SF pair (co-SF: 6 dB; cross-SF: only under the non-orthogonal
+        // model, with Croce et al.'s thresholds).
+        for other in &mut self.active {
+            if other.tx.channel != tx.channel {
+                continue;
+            }
+            let cross_sf = other.tx.sf != tx.sf;
+            if cross_sf && self.interference == InterferenceModel::Orthogonal {
+                continue;
+            }
+            if (tx.rssi - other.tx.rssi).0 < inter_sf_threshold(tx.sf, other.tx.sf).0 {
+                entry.collided = true;
+            }
+            if (other.tx.rssi - tx.rssi).0 < inter_sf_threshold(other.tx.sf, tx.sf).0 {
+                other.collided = true;
+            }
+        }
+        self.active.push(entry);
+        id
+    }
+
+    /// Concludes a reception and reports its outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not an active reception.
+    pub fn end_uplink(&mut self, id: TransmissionId) -> ReceptionOutcome {
+        let idx = self
+            .active
+            .iter()
+            .position(|o| o.id == id)
+            .expect("end_uplink: unknown transmission id");
+        let entry = self.active.swap_remove(idx);
+        // Half-duplex check also covers downlinks that started mid-way.
+        let deafened = entry.deafened || entry.tx.start < self.downlink_busy_until;
+        if deafened {
+            return ReceptionOutcome::GatewayDeaf;
+        }
+        if entry.no_path {
+            return ReceptionOutcome::NoDemodPath;
+        }
+        if entry.tx.rssi.0 < sensitivity(entry.tx.sf, entry.tx.channel.bandwidth).0 {
+            return ReceptionOutcome::TooWeak;
+        }
+        if entry.collided {
+            ReceptionOutcome::Collided
+        } else {
+            ReceptionOutcome::Received
+        }
+    }
+
+    /// True if the gateway can start a downlink now (not already
+    /// transmitting one).
+    #[must_use]
+    pub fn downlink_available(&self, now: SimTime) -> bool {
+        now >= self.downlink_busy_until
+    }
+
+    /// Starts a downlink occupying the radio over `[now, until)`.
+    /// Every uplink reception overlapping that interval is lost
+    /// (half-duplex).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a downlink is already in progress.
+    pub fn begin_downlink(&mut self, now: SimTime, until: SimTime) {
+        assert!(
+            self.downlink_available(now),
+            "downlink while gateway already transmitting"
+        );
+        self.downlink_busy_until = until;
+        for o in &mut self.active {
+            o.deafened = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blam_lora_phy::Us915;
+    
+
+    fn tx(dev: u32, ch: u8, sf: SpreadingFactor, rssi: f64, start: u64, end: u64) -> UplinkTransmission {
+        UplinkTransmission {
+            device: DeviceAddr(dev),
+            channel: Us915::uplink_125(ch),
+            sf,
+            rssi: Dbm(rssi),
+            start: SimTime::from_millis(start),
+            end: SimTime::from_millis(end),
+        }
+    }
+
+    #[test]
+    fn clean_reception() {
+        let mut gw = GatewayRadio::new(8);
+        let id = gw.begin_uplink(tx(1, 0, SpreadingFactor::Sf10, -110.0, 0, 300));
+        assert_eq!(gw.active_count(), 1);
+        assert_eq!(gw.end_uplink(id), ReceptionOutcome::Received);
+        assert_eq!(gw.active_count(), 0);
+    }
+
+    #[test]
+    fn below_sensitivity_is_too_weak() {
+        let mut gw = GatewayRadio::new(8);
+        let id = gw.begin_uplink(tx(1, 0, SpreadingFactor::Sf7, -130.0, 0, 300));
+        assert_eq!(gw.end_uplink(id), ReceptionOutcome::TooWeak);
+    }
+
+    #[test]
+    fn co_channel_co_sf_collision_no_capture() {
+        let mut gw = GatewayRadio::new(8);
+        let a = gw.begin_uplink(tx(1, 0, SpreadingFactor::Sf10, -110.0, 0, 300));
+        let b = gw.begin_uplink(tx(2, 0, SpreadingFactor::Sf10, -112.0, 100, 400));
+        assert_eq!(gw.end_uplink(a), ReceptionOutcome::Collided);
+        assert_eq!(gw.end_uplink(b), ReceptionOutcome::Collided);
+    }
+
+    #[test]
+    fn capture_lets_strong_signal_through() {
+        let mut gw = GatewayRadio::new(8);
+        let strong = gw.begin_uplink(tx(1, 0, SpreadingFactor::Sf10, -100.0, 0, 300));
+        let weak = gw.begin_uplink(tx(2, 0, SpreadingFactor::Sf10, -110.0, 100, 400));
+        assert_eq!(gw.end_uplink(strong), ReceptionOutcome::Received);
+        assert_eq!(gw.end_uplink(weak), ReceptionOutcome::Collided);
+    }
+
+    #[test]
+    fn different_channels_do_not_interfere() {
+        let mut gw = GatewayRadio::new(8);
+        let a = gw.begin_uplink(tx(1, 0, SpreadingFactor::Sf10, -110.0, 0, 300));
+        let b = gw.begin_uplink(tx(2, 1, SpreadingFactor::Sf10, -110.0, 0, 300));
+        assert_eq!(gw.end_uplink(a), ReceptionOutcome::Received);
+        assert_eq!(gw.end_uplink(b), ReceptionOutcome::Received);
+    }
+
+    #[test]
+    fn different_sfs_are_orthogonal() {
+        let mut gw = GatewayRadio::new(8);
+        let a = gw.begin_uplink(tx(1, 0, SpreadingFactor::Sf10, -110.0, 0, 300));
+        let b = gw.begin_uplink(tx(2, 0, SpreadingFactor::Sf9, -110.0, 0, 300));
+        assert_eq!(gw.end_uplink(a), ReceptionOutcome::Received);
+        assert_eq!(gw.end_uplink(b), ReceptionOutcome::Received);
+    }
+
+    #[test]
+    fn demod_paths_limit_concurrency() {
+        let mut gw = GatewayRadio::new(2);
+        // Three concurrent uplinks on three different channels.
+        let a = gw.begin_uplink(tx(1, 0, SpreadingFactor::Sf10, -110.0, 0, 300));
+        let b = gw.begin_uplink(tx(2, 1, SpreadingFactor::Sf10, -110.0, 0, 300));
+        let c = gw.begin_uplink(tx(3, 2, SpreadingFactor::Sf10, -110.0, 0, 300));
+        assert_eq!(gw.end_uplink(a), ReceptionOutcome::Received);
+        assert_eq!(gw.end_uplink(b), ReceptionOutcome::Received);
+        assert_eq!(gw.end_uplink(c), ReceptionOutcome::NoDemodPath);
+    }
+
+    #[test]
+    fn path_frees_after_reception_ends() {
+        let mut gw = GatewayRadio::new(1);
+        let a = gw.begin_uplink(tx(1, 0, SpreadingFactor::Sf10, -110.0, 0, 300));
+        assert_eq!(gw.end_uplink(a), ReceptionOutcome::Received);
+        let b = gw.begin_uplink(tx(2, 1, SpreadingFactor::Sf10, -110.0, 300, 600));
+        assert_eq!(gw.end_uplink(b), ReceptionOutcome::Received);
+    }
+
+    #[test]
+    fn downlink_deafens_ongoing_and_new_uplinks() {
+        let mut gw = GatewayRadio::new(8);
+        let a = gw.begin_uplink(tx(1, 0, SpreadingFactor::Sf10, -110.0, 0, 1_000));
+        gw.begin_downlink(SimTime::from_millis(200), SimTime::from_millis(500));
+        // New arrival during the downlink.
+        let b = gw.begin_uplink(tx(2, 1, SpreadingFactor::Sf10, -110.0, 300, 900));
+        assert_eq!(gw.end_uplink(a), ReceptionOutcome::GatewayDeaf);
+        assert_eq!(gw.end_uplink(b), ReceptionOutcome::GatewayDeaf);
+        // After the downlink the radio hears again.
+        let c = gw.begin_uplink(tx(3, 0, SpreadingFactor::Sf10, -110.0, 600, 900));
+        assert_eq!(gw.end_uplink(c), ReceptionOutcome::Received);
+    }
+
+    #[test]
+    fn downlink_availability() {
+        let mut gw = GatewayRadio::new(8);
+        assert!(gw.downlink_available(SimTime::ZERO));
+        gw.begin_downlink(SimTime::ZERO, SimTime::from_millis(100));
+        assert!(!gw.downlink_available(SimTime::from_millis(50)));
+        assert!(gw.downlink_available(SimTime::from_millis(100)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already transmitting")]
+    fn overlapping_downlinks_panic() {
+        let mut gw = GatewayRadio::new(8);
+        gw.begin_downlink(SimTime::ZERO, SimTime::from_millis(100));
+        gw.begin_downlink(SimTime::from_millis(50), SimTime::from_millis(150));
+    }
+
+    #[test]
+    fn three_way_collision_strongest_needs_6db_over_runner_up() {
+        let mut gw = GatewayRadio::new(8);
+        let a = gw.begin_uplink(tx(1, 0, SpreadingFactor::Sf10, -100.0, 0, 300));
+        let b = gw.begin_uplink(tx(2, 0, SpreadingFactor::Sf10, -104.0, 0, 300));
+        let c = gw.begin_uplink(tx(3, 0, SpreadingFactor::Sf10, -120.0, 0, 300));
+        // a is only 4 dB above b: nobody captures.
+        assert_eq!(gw.end_uplink(a), ReceptionOutcome::Collided);
+        assert_eq!(gw.end_uplink(b), ReceptionOutcome::Collided);
+        assert_eq!(gw.end_uplink(c), ReceptionOutcome::Collided);
+    }
+
+    #[test]
+    fn non_orthogonal_cross_sf_interference() {
+        // Under the non-orthogonal model, a strong SF7 burst destroys a
+        // weak SF12 reception once it exceeds the rejection threshold.
+        let mut gw = GatewayRadio::new(8).with_interference(InterferenceModel::NonOrthogonal);
+        // SF12 at −130 dBm vs SF7 interferer at −95 dBm: the SF12 signal
+        // is 35 dB below, beyond its −23 dB tolerance.
+        let weak = gw.begin_uplink(tx(1, 0, SpreadingFactor::Sf12, -130.0, 0, 1_500));
+        let loud = gw.begin_uplink(tx(2, 0, SpreadingFactor::Sf7, -95.0, 100, 200));
+        assert_eq!(gw.end_uplink(loud), ReceptionOutcome::Received);
+        assert_eq!(gw.end_uplink(weak), ReceptionOutcome::Collided);
+
+        // A modestly louder SF7 (within SF12's tolerance) does no harm.
+        let weak = gw.begin_uplink(tx(3, 0, SpreadingFactor::Sf12, -120.0, 2_000, 3_500));
+        let mild = gw.begin_uplink(tx(4, 0, SpreadingFactor::Sf7, -110.0, 2_100, 2_200));
+        assert_eq!(gw.end_uplink(mild), ReceptionOutcome::Received);
+        assert_eq!(gw.end_uplink(weak), ReceptionOutcome::Received);
+    }
+
+    #[test]
+    fn orthogonal_model_ignores_cross_sf() {
+        let mut gw = GatewayRadio::new(8); // default: orthogonal
+        let weak = gw.begin_uplink(tx(1, 0, SpreadingFactor::Sf12, -130.0, 0, 1_500));
+        let loud = gw.begin_uplink(tx(2, 0, SpreadingFactor::Sf7, -60.0, 100, 200));
+        assert_eq!(gw.end_uplink(loud), ReceptionOutcome::Received);
+        assert_eq!(gw.end_uplink(weak), ReceptionOutcome::Received);
+    }
+
+    #[test]
+    fn sequential_same_channel_uplinks_do_not_interfere() {
+        let mut gw = GatewayRadio::new(8);
+        let a = gw.begin_uplink(tx(1, 0, SpreadingFactor::Sf10, -110.0, 0, 300));
+        assert_eq!(gw.end_uplink(a), ReceptionOutcome::Received);
+        let b = gw.begin_uplink(tx(2, 0, SpreadingFactor::Sf10, -110.0, 301, 600));
+        assert_eq!(gw.end_uplink(b), ReceptionOutcome::Received);
+    }
+}

@@ -1,0 +1,654 @@
+//! The Class-A end-device MAC state machine.
+//!
+//! LoRaWAN end devices transmit pure-ALOHA: a confirmed uplink goes out
+//! on a pseudo-randomly hopped channel the moment the MAC is asked to
+//! send, two receive windows open 1 s and 2 s after the uplink ends,
+//! and if no ACK arrives the frame is retransmitted after a short
+//! random ACK timeout, up to 8 transmissions total (the maximum the
+//! paper cites for LoRa).
+//!
+//! The state machine is *sans-IO*: each input returns the
+//! [`MacAction`]s the caller must perform (start a radio transmission,
+//! schedule a callback, surface a completion report). The same
+//! machinery serves both the LoRaWAN baseline (send immediately on
+//! packet generation) and the paper's protocol (send at the start of
+//! the selected forecast window).
+
+use blam_lora_phy::{Channel, ChannelPlan, TxConfig};
+use blam_units::{Duration, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::frame::{DeviceAddr, Uplink};
+
+/// Static MAC parameters for one end device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MacParams {
+    /// This device's address.
+    pub device: DeviceAddr,
+    /// Channel plan to hop over.
+    pub plan: ChannelPlan,
+    /// Radio configuration for uplinks.
+    pub tx: TxConfig,
+    /// Maximum transmissions per confirmed uplink (first + retries).
+    pub max_transmissions: u8,
+    /// Minimum ACK-timeout backoff before a retransmission.
+    pub ack_timeout_min: Duration,
+    /// Maximum ACK-timeout backoff before a retransmission.
+    pub ack_timeout_max: Duration,
+    /// How long the receiver stays open per receive window when no
+    /// preamble is detected.
+    pub rx_window: Duration,
+    /// Regulatory duty cycle as a fraction of airtime (EU868 sub-bands:
+    /// 0.01). `None` disables enforcement (US915 has dwell-time rules
+    /// instead, which the paper's 10-byte payloads never hit).
+    pub duty_cycle: Option<f64>,
+}
+
+impl Default for MacParams {
+    /// LoRaWAN defaults: sub-band 2, SF10/125 kHz/CR4-5 at 14 dBm,
+    /// 8 transmissions, 1–3 s ACK timeout, 50 ms idle receive windows.
+    fn default() -> Self {
+        MacParams {
+            device: DeviceAddr(0),
+            plan: ChannelPlan::default(),
+            tx: TxConfig::default(),
+            max_transmissions: 8,
+            ack_timeout_min: Duration::from_secs(1),
+            ack_timeout_max: Duration::from_secs(3),
+            rx_window: Duration::from_millis(50),
+            duty_cycle: None,
+        }
+    }
+}
+
+/// Everything the radio needs to start one uplink transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransmitDescriptor {
+    /// Uplink channel chosen by the hopper.
+    pub channel: Channel,
+    /// Radio configuration.
+    pub config: TxConfig,
+    /// The frame being (re)transmitted.
+    pub frame: Uplink,
+    /// Time on air for this frame.
+    pub airtime: Duration,
+    /// 1-based transmission attempt number.
+    pub attempt: u8,
+}
+
+/// Final accounting for one confirmed-uplink exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TxReport {
+    /// The frame that completed (or was dropped).
+    pub frame: Uplink,
+    /// Number of transmissions used.
+    pub transmissions: u8,
+    /// True if an ACK was received.
+    pub delivered: bool,
+    /// Total time spent transmitting.
+    pub total_airtime: Duration,
+    /// Total time spent with the receiver open.
+    pub total_rx_time: Duration,
+    /// When the exchange concluded.
+    pub completed_at: SimTime,
+}
+
+/// Actions the caller must carry out after feeding the MAC an input.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MacAction {
+    /// Start a radio transmission now; call
+    /// [`ClassAMac::on_tx_completed`] when its airtime elapses.
+    Transmit(TransmitDescriptor),
+    /// Call [`ClassAMac::on_rx_deadline`] at this absolute time unless
+    /// an ACK arrives first.
+    ScheduleRxDeadline(SimTime),
+    /// Call [`ClassAMac::on_retransmit_time`] at this absolute time.
+    ScheduleRetransmit(SimTime),
+    /// The exchange finished; deliver the report to the application.
+    Complete(TxReport),
+}
+
+/// MAC protocol state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MacState {
+    /// No exchange in progress.
+    Idle,
+    /// An uplink is on the air.
+    Transmitting,
+    /// Receive windows are open / pending.
+    WaitingRx,
+    /// ACK timeout running before the next retransmission.
+    Backoff,
+}
+
+/// The Class-A MAC state machine for one end device.
+///
+/// # Examples
+///
+/// A full no-ACK exchange that exhausts all transmissions:
+///
+/// ```
+/// use blam_lorawan::{ClassAMac, MacAction, MacParams, Uplink};
+/// use blam_units::SimTime;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let params = MacParams { max_transmissions: 2, ..MacParams::default() };
+/// let mut mac = ClassAMac::new(params);
+///
+/// let mut now = SimTime::ZERO;
+/// let mut actions = mac.send(now, Uplink::confirmed(10), &mut rng);
+/// for _ in 0..2 {
+///     let MacAction::Transmit(tx) = actions[0] else { panic!() };
+///     now = now + tx.airtime;
+///     actions = mac.on_tx_completed(now);
+///     let MacAction::ScheduleRxDeadline(deadline) = actions[0] else { panic!() };
+///     now = deadline;
+///     actions = mac.on_rx_deadline(now, &mut rng);
+///     if let MacAction::ScheduleRetransmit(at) = actions[0] {
+///         now = at;
+///         actions = mac.on_retransmit_time(now, &mut rng);
+///     }
+/// }
+/// let MacAction::Complete(report) = actions[0] else { panic!() };
+/// assert!(!report.delivered);
+/// assert_eq!(report.transmissions, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClassAMac {
+    params: MacParams,
+    state: MacState,
+    next_fcnt: u32,
+    current: Option<Exchange>,
+    /// Earliest instant the duty cycle permits the next transmission.
+    duty_free_at: SimTime,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Exchange {
+    frame: Uplink,
+    attempt: u8,
+    total_airtime: Duration,
+    total_rx_time: Duration,
+}
+
+impl ClassAMac {
+    /// Creates an idle MAC.
+    #[must_use]
+    pub fn new(params: MacParams) -> Self {
+        assert!(
+            params.max_transmissions >= 1,
+            "max_transmissions must be at least 1"
+        );
+        assert!(
+            !params.plan.uplink.is_empty(),
+            "channel plan has no uplink channels"
+        );
+        assert!(
+            params.ack_timeout_min <= params.ack_timeout_max,
+            "ACK timeout bounds inverted"
+        );
+        ClassAMac {
+            params,
+            state: MacState::Idle,
+            next_fcnt: 0,
+            current: None,
+            duty_free_at: SimTime::ZERO,
+        }
+    }
+
+    /// The earliest instant the regulatory duty cycle permits another
+    /// transmission (always the past when enforcement is off).
+    #[must_use]
+    pub fn duty_free_at(&self) -> SimTime {
+        self.duty_free_at
+    }
+
+    /// The MAC parameters.
+    #[must_use]
+    pub fn params(&self) -> &MacParams {
+        &self.params
+    }
+
+    /// Current protocol state.
+    #[must_use]
+    pub fn state(&self) -> MacState {
+        self.state
+    }
+
+    /// True when a send may be issued.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.state == MacState::Idle
+    }
+
+    /// The frame of the exchange currently in progress, if any — the
+    /// authoritative device/counter/payload data a receiver of the
+    /// on-air transmission would decode.
+    #[must_use]
+    pub fn current_frame(&self) -> Option<Uplink> {
+        self.current.map(|ex| ex.frame)
+    }
+
+    /// Updates the radio configuration for subsequent uplinks (ADR or
+    /// protocol-driven parameter changes).
+    pub fn set_tx_config(&mut self, tx: TxConfig) {
+        self.params.tx = tx;
+    }
+
+    /// Begins a confirmed-uplink exchange.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the MAC is not idle — callers must check
+    /// [`is_idle`](ClassAMac::is_idle) (the paper's node never generates
+    /// a new packet before the previous exchange concluded; sampling
+    /// periods far exceed the exchange duration).
+    pub fn send(&mut self, now: SimTime, mut frame: Uplink, rng: &mut impl Rng) -> Vec<MacAction> {
+        assert!(
+            self.is_idle(),
+            "send() while MAC busy in state {:?}",
+            self.state
+        );
+        frame.device = self.params.device;
+        frame.fcnt = self.next_fcnt;
+        self.next_fcnt = self.next_fcnt.wrapping_add(1);
+        self.current = Some(Exchange {
+            frame,
+            attempt: 0,
+            total_airtime: Duration::ZERO,
+            total_rx_time: Duration::ZERO,
+        });
+        self.start_attempt(now, rng)
+    }
+
+    fn start_attempt(&mut self, now: SimTime, rng: &mut impl Rng) -> Vec<MacAction> {
+        // Regulatory duty cycle: defer (without consuming an attempt)
+        // until the off-time from the previous transmission has elapsed.
+        if self.params.duty_cycle.is_some() && now < self.duty_free_at {
+            self.state = MacState::Backoff;
+            return vec![MacAction::ScheduleRetransmit(self.duty_free_at)];
+        }
+        let ex = self.current.as_mut().expect("exchange in progress");
+        ex.attempt += 1;
+        let channel = self.params.plan.uplink[rng.gen_range(0..self.params.plan.uplink.len())];
+        let airtime = self.params.tx.airtime(ex.frame.phy_payload_len());
+        ex.total_airtime += airtime;
+        if let Some(duty) = self.params.duty_cycle {
+            // After `airtime` on air, stay off for airtime·(1/duty − 1).
+            let off_ms = (airtime.as_millis() as f64 * (1.0 / duty - 1.0)).ceil() as u64;
+            self.duty_free_at = now + airtime + Duration::from_millis(off_ms);
+        }
+        self.state = MacState::Transmitting;
+        vec![MacAction::Transmit(TransmitDescriptor {
+            channel,
+            config: self.params.tx,
+            frame: ex.frame,
+            airtime,
+            attempt: ex.attempt,
+        })]
+    }
+
+    /// The uplink's airtime has elapsed; open the receive windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the MAC was not transmitting.
+    pub fn on_tx_completed(&mut self, now: SimTime) -> Vec<MacAction> {
+        assert_eq!(
+            self.state,
+            MacState::Transmitting,
+            "on_tx_completed in state {:?}",
+            self.state
+        );
+        let ex = self.current.as_mut().expect("exchange in progress");
+        if !ex.frame.confirmed {
+            // Unconfirmed: done after one transmission (no windows
+            // modeled — the class-A windows open but nothing arrives).
+            let report = TxReport {
+                frame: ex.frame,
+                transmissions: ex.attempt,
+                delivered: true,
+                total_airtime: ex.total_airtime,
+                total_rx_time: ex.total_rx_time,
+                completed_at: now,
+            };
+            self.state = MacState::Idle;
+            self.current = None;
+            return vec![MacAction::Complete(report)];
+        }
+        self.state = MacState::WaitingRx;
+        // The no-ACK conclusion lands when RX2 closes.
+        let deadline = now + self.params.plan.rx2_delay + self.params.rx_window;
+        vec![MacAction::ScheduleRxDeadline(deadline)]
+    }
+
+    /// An ACK for the outstanding frame arrived.
+    ///
+    /// Ignored (returns no actions) unless receive windows are open —
+    /// a late ACK that raced the deadline simply loses.
+    pub fn on_ack(&mut self, now: SimTime) -> Vec<MacAction> {
+        if self.state != MacState::WaitingRx {
+            return Vec::new();
+        }
+        let ex = self.current.as_mut().expect("exchange in progress");
+        // Energy accounting: one receive window was open to catch this.
+        ex.total_rx_time += self.params.rx_window;
+        let report = TxReport {
+            frame: ex.frame,
+            transmissions: ex.attempt,
+            delivered: true,
+            total_airtime: ex.total_airtime,
+            total_rx_time: ex.total_rx_time,
+            completed_at: now,
+        };
+        self.state = MacState::Idle;
+        self.current = None;
+        vec![MacAction::Complete(report)]
+    }
+
+    /// The receive windows closed without an ACK.
+    ///
+    /// Ignored unless windows were open (an ACK may have raced this
+    /// deadline and won).
+    pub fn on_rx_deadline(&mut self, now: SimTime, rng: &mut impl Rng) -> Vec<MacAction> {
+        if self.state != MacState::WaitingRx {
+            return Vec::new();
+        }
+        let ex = self.current.as_mut().expect("exchange in progress");
+        // Both windows were opened and timed out.
+        ex.total_rx_time += self.params.rx_window * 2;
+        if ex.attempt >= self.params.max_transmissions {
+            let report = TxReport {
+                frame: ex.frame,
+                transmissions: ex.attempt,
+                delivered: false,
+                total_airtime: ex.total_airtime,
+                total_rx_time: ex.total_rx_time,
+                completed_at: now,
+            };
+            self.state = MacState::Idle;
+            self.current = None;
+            return vec![MacAction::Complete(report)];
+        }
+        self.state = MacState::Backoff;
+        let lo = self.params.ack_timeout_min.as_millis();
+        let hi = self.params.ack_timeout_max.as_millis();
+        let backoff = Duration::from_millis(rng.gen_range(lo..=hi));
+        vec![MacAction::ScheduleRetransmit(now + backoff)]
+    }
+
+    /// The ACK-timeout backoff elapsed; retransmit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the MAC was not backing off.
+    pub fn on_retransmit_time(&mut self, now: SimTime, rng: &mut impl Rng) -> Vec<MacAction> {
+        assert_eq!(
+            self.state,
+            MacState::Backoff,
+            "on_retransmit_time in state {:?}",
+            self.state
+        );
+        self.start_attempt(now, rng)
+    }
+
+    /// Force-terminates the in-flight exchange as undelivered — used
+    /// when the node's battery can no longer fund the next
+    /// (re)transmission (brownout). Returns the final report, or `None`
+    /// if the MAC was already idle.
+    pub fn abort(&mut self, now: SimTime) -> Option<TxReport> {
+        let ex = self.current.take()?;
+        self.state = MacState::Idle;
+        Some(TxReport {
+            frame: ex.frame,
+            transmissions: ex.attempt,
+            delivered: false,
+            total_airtime: ex.total_airtime,
+            total_rx_time: ex.total_rx_time,
+            completed_at: now,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(9)
+    }
+
+    fn mac(max_tx: u8) -> ClassAMac {
+        ClassAMac::new(MacParams {
+            max_transmissions: max_tx,
+            ..MacParams::default()
+        })
+    }
+
+    #[test]
+    fn successful_exchange_first_try() {
+        let mut m = mac(8);
+        let mut r = rng();
+        let a = m.send(SimTime::ZERO, Uplink::confirmed(10), &mut r);
+        let MacAction::Transmit(tx) = a[0] else {
+            panic!("expected Transmit")
+        };
+        assert_eq!(tx.attempt, 1);
+        assert_eq!(tx.frame.fcnt, 0);
+        let end = SimTime::ZERO + tx.airtime;
+        let a = m.on_tx_completed(end);
+        assert!(matches!(a[0], MacAction::ScheduleRxDeadline(_)));
+        // ACK lands in RX1.
+        let ack_at = end + Duration::from_secs(1);
+        let a = m.on_ack(ack_at);
+        let MacAction::Complete(report) = a[0] else {
+            panic!("expected Complete")
+        };
+        assert!(report.delivered);
+        assert_eq!(report.transmissions, 1);
+        assert_eq!(report.completed_at, ack_at);
+        assert!(m.is_idle());
+        // Deadline firing later is ignored.
+        assert!(m.on_rx_deadline(ack_at + Duration::from_secs(1), &mut r).is_empty());
+    }
+
+    #[test]
+    fn retransmits_until_cap_then_drops() {
+        let mut m = mac(3);
+        let mut r = rng();
+        let mut now = SimTime::ZERO;
+        let mut actions = m.send(now, Uplink::confirmed(10), &mut r);
+        let mut transmissions = 0;
+        loop {
+            match actions[0] {
+                MacAction::Transmit(tx) => {
+                    transmissions += 1;
+                    now += tx.airtime;
+                    actions = m.on_tx_completed(now);
+                }
+                MacAction::ScheduleRxDeadline(t) => {
+                    now = t;
+                    actions = m.on_rx_deadline(now, &mut r);
+                }
+                MacAction::ScheduleRetransmit(t) => {
+                    assert!(t > now);
+                    now = t;
+                    actions = m.on_retransmit_time(now, &mut r);
+                }
+                MacAction::Complete(report) => {
+                    assert!(!report.delivered);
+                    assert_eq!(report.transmissions, 3);
+                    assert_eq!(transmissions, 3);
+                    assert!(report.total_airtime > Duration::ZERO);
+                    assert!(report.total_rx_time >= Duration::from_millis(300));
+                    break;
+                }
+            }
+        }
+        assert!(m.is_idle());
+    }
+
+    #[test]
+    fn fcnt_increments_per_frame_not_per_attempt() {
+        let mut m = mac(2);
+        let mut r = rng();
+        let mut now = SimTime::ZERO;
+        // First frame, exhaust attempts.
+        let mut actions = m.send(now, Uplink::confirmed(10), &mut r);
+        let mut fcnts = Vec::new();
+        loop {
+            match actions[0] {
+                MacAction::Transmit(tx) => {
+                    fcnts.push(tx.frame.fcnt);
+                    now += tx.airtime;
+                    actions = m.on_tx_completed(now);
+                }
+                MacAction::ScheduleRxDeadline(t) => {
+                    now = t;
+                    actions = m.on_rx_deadline(now, &mut r);
+                }
+                MacAction::ScheduleRetransmit(t) => {
+                    now = t;
+                    actions = m.on_retransmit_time(now, &mut r);
+                }
+                MacAction::Complete(_) => break,
+            }
+        }
+        assert_eq!(fcnts, vec![0, 0]);
+        // Second frame uses the next counter.
+        let a = m.send(now, Uplink::confirmed(10), &mut r);
+        let MacAction::Transmit(tx) = a[0] else { panic!() };
+        assert_eq!(tx.frame.fcnt, 1);
+    }
+
+    #[test]
+    fn unconfirmed_completes_after_one_tx() {
+        let mut m = mac(8);
+        let mut r = rng();
+        let a = m.send(SimTime::ZERO, Uplink::unconfirmed(10), &mut r);
+        let MacAction::Transmit(tx) = a[0] else { panic!() };
+        let a = m.on_tx_completed(SimTime::ZERO + tx.airtime);
+        assert!(matches!(a[0], MacAction::Complete(r) if r.transmissions == 1));
+    }
+
+    #[test]
+    fn channel_hopping_spreads_over_plan() {
+        let mut m = mac(8);
+        let mut r = rng();
+        let mut seen = std::collections::HashSet::new();
+        let mut now = SimTime::ZERO;
+        for _ in 0..40 {
+            let a = m.send(now, Uplink::confirmed(10), &mut r);
+            let MacAction::Transmit(tx) = a[0] else { panic!() };
+            seen.insert(tx.channel.index);
+            now += tx.airtime;
+            let _ = m.on_tx_completed(now);
+            let a = m.on_ack(now + Duration::from_secs(1));
+            assert!(matches!(a[0], MacAction::Complete(_)));
+            now += Duration::from_secs(5);
+        }
+        assert!(seen.len() >= 4, "only hopped over {seen:?}");
+    }
+
+    #[test]
+    fn deadline_matches_rx2_close() {
+        let mut m = mac(8);
+        let mut r = rng();
+        let a = m.send(SimTime::ZERO, Uplink::confirmed(10), &mut r);
+        let MacAction::Transmit(tx) = a[0] else { panic!() };
+        let end = SimTime::ZERO + tx.airtime;
+        let a = m.on_tx_completed(end);
+        let MacAction::ScheduleRxDeadline(deadline) = a[0] else {
+            panic!()
+        };
+        assert_eq!(deadline, end + Duration::from_secs(2) + Duration::from_millis(50));
+    }
+
+    #[test]
+    fn late_ack_after_drop_is_ignored() {
+        let mut m = mac(1);
+        let mut r = rng();
+        let a = m.send(SimTime::ZERO, Uplink::confirmed(10), &mut r);
+        let MacAction::Transmit(tx) = a[0] else { panic!() };
+        let end = SimTime::ZERO + tx.airtime;
+        let a = m.on_tx_completed(end);
+        let MacAction::ScheduleRxDeadline(deadline) = a[0] else {
+            panic!()
+        };
+        let a = m.on_rx_deadline(deadline, &mut r);
+        assert!(matches!(a[0], MacAction::Complete(rep) if !rep.delivered));
+        assert!(m.on_ack(deadline + Duration::from_millis(1)).is_empty());
+    }
+
+    #[test]
+    fn duty_cycle_defers_back_to_back_sends() {
+        let mut m = ClassAMac::new(MacParams {
+            duty_cycle: Some(0.01),
+            ..MacParams::default()
+        });
+        let mut r = rng();
+        // First exchange: transmit, get ACKed.
+        let a = m.send(SimTime::ZERO, Uplink::confirmed(10), &mut r);
+        let MacAction::Transmit(tx) = a[0] else { panic!() };
+        let end = SimTime::ZERO + tx.airtime;
+        let _ = m.on_tx_completed(end);
+        let _ = m.on_ack(end + Duration::from_secs(1));
+        // Off-time ≈ airtime × 99.
+        let expected_free = SimTime::ZERO + tx.airtime + tx.airtime * 99;
+        assert!(m.duty_free_at() >= expected_free - Duration::from_millis(200));
+        // An immediate second send is deferred, not transmitted.
+        let a = m.send(end + Duration::from_secs(2), Uplink::confirmed(10), &mut r);
+        let MacAction::ScheduleRetransmit(at) = a[0] else {
+            panic!("expected duty-cycle deferral, got {a:?}")
+        };
+        assert_eq!(at, m.duty_free_at());
+        // At the permitted time the transmission proceeds as attempt 1.
+        let a = m.on_retransmit_time(at, &mut r);
+        let MacAction::Transmit(tx2) = a[0] else { panic!() };
+        assert_eq!(tx2.attempt, 1);
+    }
+
+    #[test]
+    fn no_duty_cycle_means_no_deferral() {
+        let mut m = mac(8);
+        let mut r = rng();
+        let a = m.send(SimTime::ZERO, Uplink::confirmed(10), &mut r);
+        let MacAction::Transmit(tx) = a[0] else { panic!() };
+        let end = SimTime::ZERO + tx.airtime;
+        let _ = m.on_tx_completed(end);
+        let _ = m.on_ack(end + Duration::from_secs(1));
+        assert_eq!(m.duty_free_at(), SimTime::ZERO);
+        let a = m.send(end + Duration::from_secs(2), Uplink::confirmed(10), &mut r);
+        assert!(matches!(a[0], MacAction::Transmit(_)));
+    }
+
+    #[test]
+    fn abort_terminates_exchange() {
+        let mut m = mac(8);
+        let mut r = rng();
+        assert!(m.abort(SimTime::ZERO).is_none(), "idle abort is a no-op");
+        let a = m.send(SimTime::ZERO, Uplink::confirmed(10), &mut r);
+        let MacAction::Transmit(tx) = a[0] else { panic!() };
+        let _ = m.on_tx_completed(SimTime::ZERO + tx.airtime);
+        let report = m.abort(SimTime::from_secs(5)).unwrap();
+        assert!(!report.delivered);
+        assert_eq!(report.transmissions, 1);
+        assert!(m.is_idle());
+        // The MAC is reusable afterwards.
+        let a = m.send(SimTime::from_secs(6), Uplink::confirmed(10), &mut r);
+        assert!(matches!(a[0], MacAction::Transmit(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "while MAC busy")]
+    fn send_while_busy_panics() {
+        let mut m = mac(8);
+        let mut r = rng();
+        m.send(SimTime::ZERO, Uplink::confirmed(10), &mut r);
+        m.send(SimTime::ZERO, Uplink::confirmed(10), &mut r);
+    }
+}

@@ -1,0 +1,193 @@
+//! The network server: deduplication and ACK generation.
+//!
+//! The server sits behind the gateway, deduplicates retransmitted
+//! frames by frame counter, and answers every confirmed uplink with an
+//! ACK in the device's RX1 window. A per-device piggyback byte can be
+//! attached to outgoing ACKs — the hook the paper's protocol uses to
+//! disseminate normalized battery degradation once a day.
+
+use std::collections::HashMap;
+
+use blam_lora_phy::{Channel, ChannelPlan, SpreadingFactor};
+use serde::{Deserialize, Serialize};
+
+use crate::frame::{DeviceAddr, Downlink, Uplink};
+
+/// The server's response to a received uplink.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AckDecision {
+    /// The downlink to transmit in the device's RX1 window.
+    pub downlink: Downlink,
+    /// The downlink channel (RX1 mapping of the uplink channel).
+    pub channel: Channel,
+    /// The downlink spreading factor.
+    pub sf: SpreadingFactor,
+    /// True if this uplink was a retransmission of an
+    /// already-delivered frame (the application layer must not count it
+    /// again).
+    pub duplicate: bool,
+    /// Piggyback byte included in the ACK, if one was pending.
+    pub piggyback: Option<u8>,
+}
+
+/// A minimal LoRaWAN network server.
+///
+/// # Examples
+///
+/// ```
+/// use blam_lorawan::{DeviceAddr, NetworkServer, Uplink};
+/// use blam_lora_phy::{ChannelPlan, SpreadingFactor, Us915};
+///
+/// let plan = ChannelPlan::default();
+/// let mut server = NetworkServer::new();
+/// server.set_piggyback(DeviceAddr(1), 128);
+///
+/// let mut up = Uplink::confirmed(10);
+/// up.device = DeviceAddr(1);
+/// let decision = server.on_uplink(&up, &plan.uplink[0], SpreadingFactor::Sf10, &plan);
+/// assert!(decision.downlink.ack);
+/// assert_eq!(decision.piggyback, Some(128));
+/// assert!(!decision.duplicate);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NetworkServer {
+    last_fcnt: HashMap<DeviceAddr, u32>,
+    pending_piggyback: HashMap<DeviceAddr, u8>,
+    unique_received: u64,
+    duplicates: u64,
+}
+
+impl NetworkServer {
+    /// Creates an empty server.
+    #[must_use]
+    pub fn new() -> Self {
+        NetworkServer::default()
+    }
+
+    /// Queues a piggyback byte to ride on the next ACK to `device`
+    /// (replacing any pending byte).
+    pub fn set_piggyback(&mut self, device: DeviceAddr, value: u8) {
+        self.pending_piggyback.insert(device, value);
+    }
+
+    /// Processes a successfully demodulated uplink and produces the ACK
+    /// decision. Every confirmed uplink is acknowledged — including
+    /// retransmissions, whose earlier ACK may have been lost — but
+    /// retransmissions are flagged as duplicates.
+    pub fn on_uplink(
+        &mut self,
+        frame: &Uplink,
+        uplink_channel: &Channel,
+        uplink_sf: SpreadingFactor,
+        plan: &ChannelPlan,
+    ) -> AckDecision {
+        let duplicate = match self.last_fcnt.get(&frame.device) {
+            Some(&last) => last == frame.fcnt,
+            None => false,
+        };
+        if duplicate {
+            self.duplicates += 1;
+        } else {
+            self.unique_received += 1;
+            self.last_fcnt.insert(frame.device, frame.fcnt);
+        }
+        let piggyback = self.pending_piggyback.remove(&frame.device);
+        let payload_len = usize::from(piggyback.is_some());
+        AckDecision {
+            downlink: Downlink::ack(frame.device, payload_len),
+            channel: plan.rx1_channel(uplink_channel),
+            sf: plan.rx1_sf(uplink_sf),
+            duplicate,
+            piggyback,
+        }
+    }
+
+    /// Unique (non-duplicate) frames received so far.
+    #[must_use]
+    pub fn unique_received(&self) -> u64 {
+        self.unique_received
+    }
+
+    /// Duplicate frames (retransmissions of delivered frames) seen.
+    #[must_use]
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uplink(dev: u32, fcnt: u32) -> Uplink {
+        let mut u = Uplink::confirmed(10);
+        u.device = DeviceAddr(dev);
+        u.fcnt = fcnt;
+        u
+    }
+
+    fn plan() -> ChannelPlan {
+        ChannelPlan::default()
+    }
+
+    #[test]
+    fn acks_every_uplink() {
+        let p = plan();
+        let mut s = NetworkServer::new();
+        let d = s.on_uplink(&uplink(1, 0), &p.uplink[0], SpreadingFactor::Sf10, &p);
+        assert!(d.downlink.ack);
+        assert_eq!(d.downlink.device, DeviceAddr(1));
+        assert_eq!(s.unique_received(), 1);
+    }
+
+    #[test]
+    fn duplicate_detection_by_fcnt() {
+        let p = plan();
+        let mut s = NetworkServer::new();
+        let first = s.on_uplink(&uplink(1, 5), &p.uplink[0], SpreadingFactor::Sf10, &p);
+        assert!(!first.duplicate);
+        let second = s.on_uplink(&uplink(1, 5), &p.uplink[1], SpreadingFactor::Sf10, &p);
+        assert!(second.duplicate);
+        assert!(second.downlink.ack, "duplicates are still ACKed");
+        assert_eq!(s.unique_received(), 1);
+        assert_eq!(s.duplicates(), 1);
+        let third = s.on_uplink(&uplink(1, 6), &p.uplink[0], SpreadingFactor::Sf10, &p);
+        assert!(!third.duplicate);
+    }
+
+    #[test]
+    fn devices_are_independent() {
+        let p = plan();
+        let mut s = NetworkServer::new();
+        s.on_uplink(&uplink(1, 0), &p.uplink[0], SpreadingFactor::Sf10, &p);
+        let other = s.on_uplink(&uplink(2, 0), &p.uplink[0], SpreadingFactor::Sf10, &p);
+        assert!(!other.duplicate);
+        assert_eq!(s.unique_received(), 2);
+    }
+
+    #[test]
+    fn piggyback_rides_once() {
+        let p = plan();
+        let mut s = NetworkServer::new();
+        s.set_piggyback(DeviceAddr(1), 200);
+        let d = s.on_uplink(&uplink(1, 0), &p.uplink[0], SpreadingFactor::Sf10, &p);
+        assert_eq!(d.piggyback, Some(200));
+        assert_eq!(d.downlink.payload_len, 1);
+        // Consumed: the next ACK is empty.
+        let d = s.on_uplink(&uplink(1, 1), &p.uplink[0], SpreadingFactor::Sf10, &p);
+        assert_eq!(d.piggyback, None);
+        assert_eq!(d.downlink.payload_len, 0);
+    }
+
+    #[test]
+    fn rx1_mapping_used_for_ack() {
+        let p = plan();
+        let mut s = NetworkServer::new();
+        // Sub-band 2 channel index 17 maps to downlink 17 % 8 = 1.
+        let up_ch = p.uplink[1];
+        assert_eq!(up_ch.index, 17);
+        let d = s.on_uplink(&uplink(1, 0), &up_ch, SpreadingFactor::Sf9, &p);
+        assert_eq!(d.channel.index, 1);
+        assert_eq!(d.sf, SpreadingFactor::Sf9);
+    }
+}

@@ -1,0 +1,54 @@
+//! Full-network LPWAN simulator for battery-lifespan experiments.
+//!
+//! This crate plays the role NS-3 plays in the paper: it wires the
+//! substrates — LoRa PHY, LoRaWAN MAC/gateway, batteries, solar
+//! harvesting — and the BLAM protocol into a discrete-event simulation
+//! of an entire network over multi-year horizons, collecting every
+//! metric the paper's evaluation reports.
+//!
+//! * [`config`] — scenario configuration: node counts, periods,
+//!   protocol variant (LoRaWAN baseline or BLAM/H-θ), radio and energy
+//!   parameters.
+//! * [`topology`] — random disk deployments, per-node link budgets and
+//!   distance-based spreading-factor assignment.
+//! * [`node`] — the per-node simulation state: MAC, battery, switch,
+//!   harvest source, forecaster, protocol state and energy settlement.
+//! * [`engine`] — the event loop: packet generation, window selection,
+//!   transmissions, collisions at the gateway, ACKs, retransmissions,
+//!   daily degradation dissemination, monthly sampling.
+//! * [`metrics`] — per-node and network-level metric collection
+//!   (RETX, TX energy, PRR, utility, latency, degradation, lifespan).
+//! * [`report`] — shared human-readable renderings of run results.
+//! * [`scenario`] — presets reproducing the paper's setups: the
+//!   large-scale simulation (§IV-A) and the 10-node testbed (§IV-B).
+//!
+//! # Examples
+//!
+//! Run a small network for a simulated week:
+//!
+//! ```no_run
+//! use blam_netsim::{config::Protocol, scenario::Scenario};
+//! use blam_units::Duration;
+//!
+//! let scenario = Scenario::large_scale(50, Protocol::h(0.5), 42)
+//!     .with_duration(Duration::from_days(7));
+//! let result = scenario.run();
+//! println!("PRR = {:.1}%", 100.0 * result.network.prr);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod metrics;
+pub mod node;
+pub mod report;
+pub mod scenario;
+pub mod topology;
+
+pub use config::{Protocol, ScenarioConfig};
+pub use engine::RunResult;
+pub use metrics::{NetworkMetrics, NodeMetrics};
+pub use scenario::Scenario;
+pub use topology::Topology;

@@ -1,0 +1,195 @@
+//! Per-node simulation state.
+
+use blam::utility::Utility;
+use blam::{BlamNode, CompressedSocTrace, SocSample};
+use blam_battery::{Battery, PowerSwitch, Supercap, SwitchOutcome};
+use blam_energy_harvest::{
+    DiurnalPersistence, Forecaster, HarvestSource, NodeHarvest, NoisyOracle, Oracle,
+};
+use blam_lora_phy::{LinkBudget, RadioPowerModel, TxConfig};
+use blam_lorawan::TransmissionId;
+use blam_lorawan::ClassAMac;
+use blam_units::{Duration, Joules, SimTime, Watts};
+
+use crate::metrics::NodeMetrics;
+use crate::topology::NodePlacement;
+
+/// The green-energy forecaster variants a node can run.
+#[derive(Debug, Clone)]
+pub enum NodeForecaster {
+    /// Time-of-day persistence over locally observed harvest.
+    Persistence(DiurnalPersistence),
+    /// Clairvoyant (ablation upper bound).
+    Oracle(Oracle<NodeHarvest>),
+    /// Clairvoyant with multiplicative log-normal error (ablation).
+    Noisy(NoisyOracle<NodeHarvest>),
+}
+
+impl Forecaster for NodeForecaster {
+    fn observe(&mut self, start: SimTime, window: Duration, energy: Joules) {
+        match self {
+            NodeForecaster::Persistence(f) => f.observe(start, window, energy),
+            NodeForecaster::Oracle(f) => f.observe(start, window, energy),
+            NodeForecaster::Noisy(f) => f.observe(start, window, energy),
+        }
+    }
+
+    fn predict(&self, start: SimTime, window: Duration) -> Joules {
+        match self {
+            NodeForecaster::Persistence(f) => f.predict(start, window),
+            NodeForecaster::Oracle(f) => f.predict(start, window),
+            NodeForecaster::Noisy(f) => f.predict(start, window),
+        }
+    }
+}
+
+/// The in-flight packet of the current sampling period.
+#[derive(Debug, Clone, Copy)]
+pub struct PacketState {
+    /// When the application generated the packet.
+    pub generated_at: SimTime,
+    /// The forecast window chosen for it.
+    pub window: usize,
+}
+
+/// One simulated end device.
+#[derive(Debug)]
+pub struct SimNode {
+    /// Node index (= device address).
+    pub id: usize,
+    /// Radio situation (serving-gateway link).
+    pub placement: NodePlacement,
+    /// Link budgets to every gateway, indexed by gateway id.
+    pub gateway_links: Vec<LinkBudget>,
+    /// Receptions in flight at the gateways: (exchange epoch, gateway,
+    /// reception id, RSSI dBm). Epoch-tagged so a stale TxEnd (from an
+    /// exchange aborted mid-airtime) cannot conclude a successor
+    /// exchange's receptions early.
+    pub inflight: Vec<(u64, usize, TransmissionId, f64)>,
+    /// LoRaWAN Class-A MAC.
+    pub mac: ClassAMac,
+    /// BLAM protocol state (None for the LoRaWAN baseline).
+    pub blam: Option<BlamNode>,
+    /// The rechargeable battery.
+    pub battery: Battery,
+    /// Software-defined battery switch (θ-capped for BLAM).
+    pub switch: PowerSwitch,
+    /// Optional supercapacitor buffer in front of the battery.
+    pub supercap: Option<Supercap>,
+    /// Solar harvest source.
+    pub harvest: NodeHarvest,
+    /// Green-energy forecaster.
+    pub forecaster: NodeForecaster,
+    /// Sampling period τ.
+    pub period: Duration,
+    /// Forecast windows per period |T|.
+    pub windows: usize,
+    /// Radio electrical model.
+    pub radio: RadioPowerModel,
+    /// Baseline non-radio draw.
+    pub mcu_sleep: Watts,
+    /// Last energy-settlement instant.
+    pub last_settle: SimTime,
+    /// Start of the current sampling period (= last generation time).
+    pub period_start: SimTime,
+    /// Start of the previous period (for forecaster feedback and trace
+    /// anchoring).
+    pub prev_period_start: Option<SimTime>,
+    /// The packet currently being handled.
+    pub packet: Option<PacketState>,
+    /// SoC sample after this period's transmission discharge.
+    pub discharge_sample: Option<SocSample>,
+    /// SoC sample at this period's last recharge.
+    pub recharge_sample: Option<SocSample>,
+    /// Pending normalized-degradation byte carried by the next ACK.
+    pub pending_weight: Option<u8>,
+    /// Pending ADR command carried by the next ACK.
+    pub pending_adr: Option<blam_lorawan::AdrCommand>,
+    /// Pending RX-deadline event (cancelled when the ACK wins).
+    pub pending_deadline: Option<blam_des::EventId>,
+    /// Previous period's compressed SoC trace, to piggyback on the next
+    /// uplink (anchor time, trace).
+    pub pending_trace: Option<(SimTime, CompressedSocTrace)>,
+    /// PHY payload length of the uplink currently in flight.
+    pub current_phy_len: usize,
+    /// Channel of the uplink currently in flight.
+    pub current_channel: blam_lora_phy::Channel,
+    /// Monotone exchange counter guarding stale in-flight events: a
+    /// TxEnd/ACK/deadline/retransmit event only applies if its epoch
+    /// matches (the exchange it belonged to was not aborted).
+    pub exchange_epoch: u64,
+    /// Utility curve used for this node's metric accounting.
+    pub utility: Utility,
+    /// Metrics accumulator.
+    pub metrics: NodeMetrics,
+}
+
+impl SimNode {
+    /// The node's uplink radio configuration.
+    #[must_use]
+    pub fn tx_config(&self) -> TxConfig {
+        self.mac.params().tx
+    }
+
+    /// Total baseline sleep draw (MCU + radio sleep).
+    #[must_use]
+    pub fn sleep_power(&self) -> Watts {
+        self.mcu_sleep + self.radio.sleep_power_draw()
+    }
+
+    /// The forecast-window index of `at` within the current period
+    /// (clamped to the last window).
+    #[must_use]
+    pub fn window_index(&self, at: SimTime, window: Duration) -> usize {
+        let idx = (at.saturating_since(self.period_start) / window) as usize;
+        idx.min(self.windows.saturating_sub(1))
+    }
+
+    /// Settles energy bookkeeping up to `now`: harvest since the last
+    /// settlement and baseline sleep draw flow through the switch,
+    /// together with `extra_demand` (a transmission or receive-window
+    /// cost landing at `now`).
+    ///
+    /// Records the period's recharge sample whenever the battery
+    /// charged, mirroring the hardware interrupt the paper uses to
+    /// capture the last recharge transition.
+    pub fn settle(
+        &mut self,
+        now: SimTime,
+        extra_demand: Joules,
+        forecast_window: Duration,
+    ) -> SwitchOutcome {
+        let from = self.last_settle;
+        let mut harvested = if now > from {
+            self.harvest.energy_between(from, now)
+        } else {
+            Joules::ZERO
+        };
+        let mut demand = self.sleep_power() * now.saturating_since(from) + extra_demand;
+        // A supercapacitor buffer, when present, absorbs surplus and
+        // serves demand before the battery is touched — shielding the
+        // battery's rainflow record from shallow transmission cycles.
+        if let Some(cap) = &mut self.supercap {
+            cap.leak(now.saturating_since(from));
+            let direct = harvested.min(demand);
+            let mut surplus = harvested - direct;
+            let mut shortfall = demand - direct;
+            shortfall -= cap.discharge(shortfall);
+            surplus -= cap.charge(surplus);
+            harvested = direct + surplus;
+            demand = direct + shortfall;
+        }
+        let out = self
+            .switch
+            .step(now, &mut self.battery, harvested, demand);
+        self.last_settle = now;
+        if out.charged.0 > 0.0 {
+            let w = self.window_index(now, forecast_window) as u8;
+            self.recharge_sample = Some(SocSample::new(w, self.battery.soc()));
+        }
+        if out.deficit.0 > 0.0 {
+            self.metrics.brownout_events += 1;
+        }
+        out
+    }
+}

@@ -1,0 +1,145 @@
+//! Human-readable run reports.
+//!
+//! A [`RunResult`] carries everything the experiments need; this module
+//! renders the summary views shared by the CLI, the examples and the
+//! experiment binaries, so the formatting (and its tests) live in one
+//! place.
+
+use std::fmt::Write as _;
+
+use crate::engine::RunResult;
+
+/// Renders the headline metrics of a run as an aligned text block.
+///
+/// # Examples
+///
+/// ```no_run
+/// use blam_netsim::{config::Protocol, report, Scenario};
+///
+/// let run = Scenario::testbed(Protocol::h(1.0), 1).run();
+/// println!("{}", report::summary(&run));
+/// ```
+#[must_use]
+pub fn summary(run: &RunResult) -> String {
+    let n = &run.network;
+    let mut out = String::new();
+    let _ = writeln!(out, "protocol            : {}", run.label);
+    let _ = writeln!(
+        out,
+        "packets             : {} generated, {} delivered",
+        n.generated, n.delivered
+    );
+    let _ = writeln!(out, "PRR                 : {:.2}%", 100.0 * n.prr);
+    let _ = writeln!(out, "avg utility         : {:.3}", n.avg_utility);
+    let _ = writeln!(
+        out,
+        "avg latency (deliv) : {:.1} s",
+        n.avg_latency_delivered_secs
+    );
+    let _ = writeln!(out, "avg RETX            : {:.3}", n.avg_retx);
+    let _ = writeln!(
+        out,
+        "TX energy (Eq. 6)   : {:.1} J",
+        n.total_tx_energy_eq6.0
+    );
+    let _ = writeln!(
+        out,
+        "degradation         : mean {:.5}, max {:.5}, variance {:.3e}",
+        n.degradation.mean, n.degradation.max, n.degradation.variance
+    );
+    let _ = match run.first_eol {
+        Some((node, at)) => writeln!(out, "first EoL           : node {node} at {at}"),
+        None => writeln!(out, "first EoL           : not reached"),
+    };
+    out
+}
+
+/// Renders one row of a protocol-comparison table (pair with
+/// [`comparison_header`]).
+#[must_use]
+pub fn comparison_row(run: &RunResult) -> String {
+    let n = &run.network;
+    format!(
+        "{:<8} {:>6.1}% {:>9.3} {:>10.1}s {:>8.2} {:>12.5}",
+        run.label,
+        100.0 * n.prr,
+        n.avg_utility,
+        n.avg_latency_delivered_secs,
+        n.avg_retx,
+        n.degradation.mean,
+    )
+}
+
+/// The header line matching [`comparison_row`].
+#[must_use]
+pub fn comparison_header() -> String {
+    format!(
+        "{:<8} {:>7} {:>9} {:>11} {:>8} {:>12}",
+        "MAC", "PRR", "utility", "latency", "RETX", "mean deg."
+    )
+}
+
+/// Renders the per-month maximum-degradation series (the Fig. 7 view).
+#[must_use]
+pub fn degradation_series(run: &RunResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>8} {:>12}", "years", "max deg.");
+    for s in &run.samples {
+        let _ = writeln!(out, "{:>8.2} {:>12.5}", s.at.as_years_f64(), s.max_total());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Protocol;
+    use crate::Scenario;
+    use blam_units::Duration;
+
+    fn tiny_run() -> RunResult {
+        Scenario::large_scale(5, Protocol::h(0.5), 3)
+            .with_duration(Duration::from_days(2))
+            .with_sample_interval(Duration::from_days(1))
+            .run()
+    }
+
+    #[test]
+    fn summary_contains_all_headline_metrics() {
+        let run = tiny_run();
+        let text = summary(&run);
+        for needle in [
+            "protocol",
+            "H-50",
+            "PRR",
+            "utility",
+            "latency",
+            "RETX",
+            "TX energy",
+            "degradation",
+            "first EoL",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn comparison_row_aligns_with_header() {
+        let run = tiny_run();
+        let header = comparison_header();
+        let row = comparison_row(&run);
+        assert!(row.starts_with("H-50"));
+        // Same column structure: equal field counts.
+        assert_eq!(
+            header.split_whitespace().count(),
+            row.split_whitespace().count() + 1, // "mean deg." is two words
+        );
+    }
+
+    #[test]
+    fn degradation_series_has_one_line_per_sample() {
+        let run = tiny_run();
+        let text = degradation_series(&run);
+        assert_eq!(text.lines().count(), run.samples.len() + 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Scenario presets mirroring the paper's evaluation setups.
+
+use blam_units::Duration;
+
+use crate::config::{ForecasterKind, Protocol, ScenarioConfig};
+use crate::engine::{Engine, RunResult};
+
+/// A runnable scenario: a configuration plus convenience builders.
+///
+/// # Examples
+///
+/// ```no_run
+/// use blam_netsim::{config::Protocol, Scenario};
+/// use blam_units::Duration;
+///
+/// let result = Scenario::testbed(Protocol::h(1.0), 1).run();
+/// assert!(result.network.prr > 0.9);
+/// # let _ = result;
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The underlying configuration (freely adjustable before `run`).
+    pub config: ScenarioConfig,
+}
+
+impl Scenario {
+    /// The paper's large-scale simulation (§IV-A).
+    #[must_use]
+    pub fn large_scale(nodes: usize, protocol: Protocol, seed: u64) -> Self {
+        Scenario {
+            config: ScenarioConfig::large_scale(nodes, protocol, seed),
+        }
+    }
+
+    /// The paper's 10-node, 24-hour, single-channel testbed (§IV-B).
+    #[must_use]
+    pub fn testbed(protocol: Protocol, seed: u64) -> Self {
+        Scenario {
+            config: ScenarioConfig::testbed(protocol, seed),
+        }
+    }
+
+    /// Overrides the simulation horizon.
+    #[must_use]
+    pub fn with_duration(mut self, duration: Duration) -> Self {
+        self.config.duration = duration;
+        self
+    }
+
+    /// Stops the simulation at the first battery EoL (lifespan runs,
+    /// Figs. 7–8).
+    #[must_use]
+    pub fn until_first_eol(mut self, max: Duration) -> Self {
+        self.config.duration = max;
+        self.config.stop_at_first_eol = true;
+        self
+    }
+
+    /// Overrides the forecaster (ablations).
+    #[must_use]
+    pub fn with_forecaster(mut self, kind: ForecasterKind) -> Self {
+        self.config.forecaster = kind;
+        self
+    }
+
+    /// Overrides the degradation-sampling interval.
+    #[must_use]
+    pub fn with_sample_interval(mut self, interval: Duration) -> Self {
+        self.config.sample_interval = interval;
+        self
+    }
+
+    /// Builds and runs the simulation.
+    #[must_use]
+    pub fn run(self) -> RunResult {
+        Engine::build(self.config).run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_adjust_config() {
+        let s = Scenario::large_scale(10, Protocol::Lorawan, 1)
+            .with_duration(Duration::from_days(3))
+            .with_sample_interval(Duration::from_days(1))
+            .with_forecaster(ForecasterKind::Oracle);
+        assert_eq!(s.config.duration, Duration::from_days(3));
+        assert_eq!(s.config.sample_interval, Duration::from_days(1));
+        assert_eq!(s.config.forecaster, ForecasterKind::Oracle);
+        let s = s.until_first_eol(Duration::from_days(10));
+        assert!(s.config.stop_at_first_eol);
+    }
+
+    #[test]
+    fn testbed_runs_one_day() {
+        let r = Scenario::testbed(Protocol::h(1.0), 2).run();
+        // 10 nodes × ~144 packets/day.
+        assert!(r.network.generated >= 10 * 100, "generated {}", r.network.generated);
+        assert!(r.network.prr > 0.9, "PRR {}", r.network.prr);
+        assert_eq!(r.sim_end, blam_units::SimTime::ZERO + Duration::from_days(1));
+    }
+}

@@ -1,0 +1,268 @@
+//! Deployment topology: node placement, link budgets, SF assignment.
+
+use blam_des::RngSeeder;
+use blam_lora_phy::link::{sensitivity, sf_for_link};
+use blam_lora_phy::{Bandwidth, LinkBudget, Position, SpreadingFactor};
+use blam_units::{Db, Meters};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::config::ScenarioConfig;
+
+/// One deployed node's radio situation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodePlacement {
+    /// Planar position (gateway 0 at the origin).
+    pub position: Position,
+    /// Link budget to the serving (closest) gateway, including static
+    /// shadowing.
+    pub link: LinkBudget,
+    /// Index of the serving gateway.
+    pub gateway: usize,
+    /// Assigned spreading factor.
+    pub sf: SpreadingFactor,
+}
+
+/// Gateway positions for a scenario: gateway 0 at the origin, any
+/// additional gateways evenly spaced on a ring at half the deployment
+/// radius.
+#[must_use]
+pub fn gateway_positions(config: &ScenarioConfig) -> Vec<Position> {
+    let mut positions = vec![Position::ORIGIN];
+    let extra = config.gateways.saturating_sub(1);
+    for k in 0..extra {
+        let angle = std::f64::consts::TAU * k as f64 / extra as f64;
+        let r = config.radius.0 * 0.5;
+        positions.push(Position::new(r * angle.cos(), r * angle.sin()));
+    }
+    positions
+}
+
+/// The deployed network: gateways per [`gateway_positions`], nodes in a
+/// disk around the origin.
+///
+/// # Examples
+///
+/// ```
+/// use blam_netsim::{config::{Protocol, ScenarioConfig}, topology::Topology};
+///
+/// let cfg = ScenarioConfig::large_scale(100, Protocol::Lorawan, 7);
+/// let topo = Topology::generate(&cfg);
+/// assert_eq!(topo.placements.len(), 100);
+/// // Every node's link closes at its assigned SF.
+/// for p in &topo.placements {
+///     assert!(p.link.closes(cfg.tx_power, p.sf, blam_lora_phy::Bandwidth::Khz125));
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Per-node placements, indexed by node id.
+    pub placements: Vec<NodePlacement>,
+}
+
+impl Topology {
+    /// Generates the deployment for a scenario (deterministic in the
+    /// scenario seed).
+    ///
+    /// Nodes are placed uniformly over the disk of the configured
+    /// radius; each gets a static log-normal shadowing term, clamped so
+    /// that SF12 still closes (a node that could never reach the
+    /// gateway would not have been deployed); the fastest SF with the
+    /// configured margin is assigned, falling back to the fastest SF
+    /// that closes at all.
+    #[must_use]
+    pub fn generate(config: &ScenarioConfig) -> Self {
+        let seeder = RngSeeder::new(config.seed);
+        let mut rng = seeder.stream("topology");
+        let bw = Bandwidth::Khz125;
+        let gateways = gateway_positions(config);
+        let placements = (0..config.nodes)
+            .map(|_| {
+                // Uniform over the disk: r = R·sqrt(u).
+                let r = config.radius.0 * rng.gen::<f64>().sqrt();
+                let angle = rng.gen::<f64>() * std::f64::consts::TAU;
+                let position = Position::new(r * angle.cos(), r * angle.sin());
+                // Serve from the closest gateway.
+                let (gateway, gw_pos) = gateways
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| {
+                        position
+                            .distance_to(**a)
+                            .0
+                            .total_cmp(&position.distance_to(**b).0)
+                    })
+                    .map(|(i, p)| (i, *p))
+                    .expect("at least one gateway");
+                let distance = Meters(position.distance_to(gw_pos).0.max(1.0));
+                // Approximate standard normal via Irwin–Hall.
+                let z: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
+                let mut shadowing = Db(z * config.shadowing_sigma.0);
+                // Clamp shadowing so SF12 can still close the link.
+                let clear = LinkBudget::new(distance).with_path_loss(config.path_loss);
+                let headroom =
+                    clear.rssi(config.tx_power) - sensitivity(SpreadingFactor::Sf12, bw);
+                if shadowing.0 > headroom.0 {
+                    shadowing = headroom;
+                }
+                let link = clear.with_shadowing(shadowing);
+                let sf = sf_for_link(&link, config.tx_power, bw, config.sf_margin)
+                    .or_else(|| sf_for_link(&link, config.tx_power, bw, Db(0.0)))
+                    .unwrap_or(SpreadingFactor::Sf12);
+                NodePlacement {
+                    position,
+                    link,
+                    gateway,
+                    sf,
+                }
+            })
+            .collect();
+        Topology { placements }
+    }
+
+    /// The histogram of assigned spreading factors, indexed SF7..SF12.
+    #[must_use]
+    pub fn sf_histogram(&self) -> [usize; 6] {
+        let mut h = [0usize; 6];
+        for p in &self.placements {
+            h[usize::from(p.sf.as_u8() - 7)] += 1;
+        }
+        h
+    }
+
+    /// The maximum node–gateway distance in this deployment.
+    #[must_use]
+    pub fn max_distance(&self) -> Meters {
+        self.placements
+            .iter()
+            .map(|p| p.link.distance)
+            .fold(Meters(0.0), |a, b| if b.0 > a.0 { b } else { a })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Protocol;
+
+    fn cfg(nodes: usize, seed: u64) -> ScenarioConfig {
+        ScenarioConfig::large_scale(nodes, Protocol::Lorawan, seed)
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let a = Topology::generate(&cfg(50, 3));
+        let b = Topology::generate(&cfg(50, 3));
+        assert_eq!(a, b);
+        let c = Topology::generate(&cfg(50, 4));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn nodes_within_radius() {
+        let topo = Topology::generate(&cfg(200, 1));
+        assert!(topo.max_distance().0 <= 5_000.0 + 1e-6);
+    }
+
+    #[test]
+    fn every_link_closes_at_assigned_sf() {
+        let config = cfg(300, 2);
+        let topo = Topology::generate(&config);
+        for (i, p) in topo.placements.iter().enumerate() {
+            assert!(
+                p.link.closes(config.tx_power, p.sf, Bandwidth::Khz125),
+                "node {i} at {} with {} does not close",
+                p.link.distance,
+                p.sf
+            );
+        }
+    }
+
+    #[test]
+    fn sf_diversity_in_large_disk() {
+        let topo = Topology::generate(&cfg(400, 5));
+        let hist = topo.sf_histogram();
+        let used = hist.iter().filter(|&&n| n > 0).count();
+        assert!(used >= 4, "expected SF diversity, got {hist:?}");
+        assert_eq!(hist.iter().sum::<usize>(), 400);
+    }
+
+    #[test]
+    fn nearer_nodes_get_faster_sfs_on_average() {
+        let topo = Topology::generate(&cfg(400, 6));
+        let mean_distance = |sf: SpreadingFactor| {
+            let v: Vec<f64> = topo
+                .placements
+                .iter()
+                .filter(|p| p.sf == sf)
+                .map(|p| p.link.distance.0)
+                .collect();
+            if v.is_empty() {
+                None
+            } else {
+                Some(v.iter().sum::<f64>() / v.len() as f64)
+            }
+        };
+        if let (Some(d7), Some(d12)) = (
+            mean_distance(SpreadingFactor::Sf7),
+            mean_distance(SpreadingFactor::Sf12),
+        ) {
+            assert!(d7 < d12, "SF7 mean {d7} !< SF12 mean {d12}");
+        }
+    }
+
+    #[test]
+    fn gateway_ring_positions() {
+        let mut c = cfg(10, 1);
+        c.gateways = 4;
+        let gws = gateway_positions(&c);
+        assert_eq!(gws.len(), 4);
+        assert_eq!(gws[0], Position::ORIGIN);
+        for g in &gws[1..] {
+            let d = g.distance_to(Position::ORIGIN);
+            assert!((d.0 - c.radius.0 * 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn nodes_serve_from_closest_gateway() {
+        let mut c = cfg(200, 8);
+        c.gateways = 3;
+        let gws = gateway_positions(&c);
+        let topo = Topology::generate(&c);
+        let mut used = std::collections::HashSet::new();
+        for p in &topo.placements {
+            used.insert(p.gateway);
+            let to_serving = p.position.distance_to(gws[p.gateway]).0;
+            for g in &gws {
+                assert!(to_serving <= p.position.distance_to(*g).0 + 1e-9);
+            }
+        }
+        assert!(used.len() >= 2, "multiple gateways should serve nodes");
+    }
+
+    #[test]
+    fn more_gateways_shorten_links_and_lower_sfs() {
+        let one = Topology::generate(&cfg(300, 2));
+        let mut c = cfg(300, 2);
+        c.gateways = 4;
+        let four = Topology::generate(&c);
+        let mean = |t: &Topology| {
+            t.placements.iter().map(|p| p.link.distance.0).sum::<f64>()
+                / t.placements.len() as f64
+        };
+        assert!(mean(&four) < mean(&one) * 0.8, "links should shorten");
+        let sf_sum = |t: &Topology| -> u32 {
+            t.placements.iter().map(|p| u32::from(p.sf.as_u8())).sum()
+        };
+        assert!(sf_sum(&four) < sf_sum(&one), "SFs should drop");
+    }
+
+    #[test]
+    fn testbed_topology_is_compact() {
+        let config = ScenarioConfig::testbed(Protocol::Lorawan, 9);
+        let topo = Topology::generate(&config);
+        assert_eq!(topo.placements.len(), 10);
+        assert!(topo.max_distance().0 <= 50.0 + 1e-9);
+    }
+}

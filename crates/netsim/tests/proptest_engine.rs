@@ -1,0 +1,96 @@
+//! Property-based tests over whole simulation runs: for randomly drawn
+//! small scenarios, the engine's global invariants must hold.
+
+use blam_netsim::config::{ForecasterKind, HarvestKind, Protocol, ScenarioConfig};
+use blam_netsim::engine::Engine;
+use blam_units::Duration;
+use proptest::prelude::*;
+
+fn any_protocol() -> impl Strategy<Value = Protocol> {
+    prop_oneof![
+        Just(Protocol::Lorawan),
+        (1u32..=20).prop_map(|t| Protocol::h(f64::from(t) / 20.0)),
+        Just(Protocol::h50c()),
+    ]
+}
+
+fn any_config() -> impl Strategy<Value = ScenarioConfig> {
+    (
+        any_protocol(),
+        3usize..12,     // nodes
+        1u64..4,        // days
+        any::<u64>(),   // seed
+        prop_oneof![
+            Just(ForecasterKind::DiurnalPersistence),
+            Just(ForecasterKind::Oracle),
+            Just(ForecasterKind::Noisy(0.5)),
+        ],
+        prop_oneof![Just(HarvestKind::Solar), Just(HarvestKind::Wind)],
+        1usize..3, // gateways
+        prop::option::of(2.0f64..20.0), // supercap multiple
+    )
+        .prop_map(
+            |(protocol, nodes, days, seed, forecaster, harvest, gateways, supercap)| {
+                let mut cfg = ScenarioConfig::large_scale(nodes, protocol, seed);
+                cfg.duration = Duration::from_days(days);
+                cfg.sample_interval = Duration::from_days(1);
+                cfg.solar_trace_days = 4;
+                cfg.forecaster = forecaster;
+                cfg.harvest = harvest;
+                cfg.gateways = gateways;
+                cfg.supercap_tx_multiple = supercap;
+                cfg
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Packet accounting closes for every node under any configuration.
+    #[test]
+    fn accounting_closes(cfg in any_config()) {
+        let run = Engine::build(cfg).run();
+        for (i, n) in run.nodes.iter().enumerate() {
+            let concluded =
+                n.delivered + n.failed_no_ack + n.dropped_no_window + n.dropped_brownout;
+            prop_assert_eq!(concluded, n.concluded, "node {}", i);
+            prop_assert!(n.generated >= concluded);
+            prop_assert!(n.generated - concluded <= 1, "node {} leaked packets", i);
+            prop_assert!((0.0..=1.0).contains(&n.prr()));
+            prop_assert!((0.0..=1.0).contains(&n.avg_utility()));
+            prop_assert!(n.final_degradation >= 0.0 && n.final_degradation < 1.0);
+            let exchanges = n.delivered + n.failed_no_ack;
+            prop_assert!(n.transmissions >= exchanges);
+        }
+    }
+
+    /// Identical configurations produce bit-identical outcomes.
+    #[test]
+    fn determinism(cfg in any_config()) {
+        let a = Engine::build(cfg.clone()).run();
+        let b = Engine::build(cfg).run();
+        prop_assert_eq!(a.events_processed, b.events_processed);
+        prop_assert_eq!(a.network.generated, b.network.generated);
+        prop_assert_eq!(a.network.delivered, b.network.delivered);
+        prop_assert_eq!(a.network.brownouts, b.network.brownouts);
+        for (x, y) in a.nodes.iter().zip(&b.nodes) {
+            prop_assert_eq!(x.transmissions, y.transmissions);
+            prop_assert!((x.final_degradation - y.final_degradation).abs() < 1e-18);
+        }
+    }
+
+    /// Degradation snapshots never decrease over time.
+    #[test]
+    fn degradation_monotone(cfg in any_config()) {
+        let run = Engine::build(cfg).run();
+        for pair in run.samples.windows(2) {
+            prop_assert!(pair[1].at > pair[0].at);
+            for (a, b) in pair[0].per_node.iter().zip(&pair[1].per_node) {
+                prop_assert!(b.total >= a.total - 1e-15);
+                prop_assert!(b.calendar >= a.calendar - 1e-15);
+                prop_assert!(b.cycle >= a.cycle - 1e-15);
+            }
+        }
+    }
+}

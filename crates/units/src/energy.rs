@@ -1,0 +1,329 @@
+//! Energy and power quantities.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::Duration;
+
+/// An amount of energy in joules.
+///
+/// Battery capacities, harvested energy and per-packet transmission costs
+/// are all expressed in joules. The inner value is public in the C-struct
+/// spirit — this is a passive quantity — but arithmetic should go through
+/// the provided operators so units stay consistent.
+///
+/// # Examples
+///
+/// ```
+/// use blam_units::{Duration, Joules, Watts};
+///
+/// let battery = Joules(12.0);
+/// let drained = battery - Watts(0.001) * Duration::from_hours(1);
+/// assert!((drained.0 - 8.4).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Joules(pub f64);
+
+impl Joules {
+    /// Zero energy.
+    pub const ZERO: Joules = Joules(0.0);
+
+    /// Creates an energy amount from milli-joules.
+    #[must_use]
+    pub fn from_millijoules(mj: f64) -> Self {
+        Joules(mj / 1_000.0)
+    }
+
+    /// This energy in milli-joules.
+    #[must_use]
+    pub fn as_millijoules(self) -> f64 {
+        self.0 * 1_000.0
+    }
+
+    /// Clamps to the `[lo, hi]` interval.
+    #[must_use]
+    pub fn clamp(self, lo: Joules, hi: Joules) -> Joules {
+        Joules(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// The larger of two energies.
+    #[must_use]
+    pub fn max(self, rhs: Joules) -> Joules {
+        Joules(self.0.max(rhs.0))
+    }
+
+    /// The smaller of two energies.
+    #[must_use]
+    pub fn min(self, rhs: Joules) -> Joules {
+        Joules(self.0.min(rhs.0))
+    }
+
+    /// True if the value is a finite number.
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl fmt::Display for Joules {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.abs() >= 1.0 || self.0 == 0.0 {
+            write!(f, "{:.3} J", self.0)
+        } else {
+            write!(f, "{:.3} mJ", self.0 * 1_000.0)
+        }
+    }
+}
+
+impl Add for Joules {
+    type Output = Joules;
+    fn add(self, rhs: Joules) -> Joules {
+        Joules(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Joules {
+    fn add_assign(&mut self, rhs: Joules) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Joules {
+    type Output = Joules;
+    fn sub(self, rhs: Joules) -> Joules {
+        Joules(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Joules {
+    fn sub_assign(&mut self, rhs: Joules) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Joules {
+    type Output = Joules;
+    fn neg(self) -> Joules {
+        Joules(-self.0)
+    }
+}
+
+impl Mul<f64> for Joules {
+    type Output = Joules;
+    fn mul(self, rhs: f64) -> Joules {
+        Joules(self.0 * rhs)
+    }
+}
+
+impl Mul<Joules> for f64 {
+    type Output = Joules;
+    fn mul(self, rhs: Joules) -> Joules {
+        Joules(self * rhs.0)
+    }
+}
+
+/// Dimensionless ratio of two energies.
+impl Div for Joules {
+    type Output = f64;
+    fn div(self, rhs: Joules) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Div<f64> for Joules {
+    type Output = Joules;
+    fn div(self, rhs: f64) -> Joules {
+        Joules(self.0 / rhs)
+    }
+}
+
+/// Average power over a duration.
+impl Div<Duration> for Joules {
+    type Output = Watts;
+    fn div(self, rhs: Duration) -> Watts {
+        Watts(self.0 / rhs.as_secs_f64())
+    }
+}
+
+impl Sum for Joules {
+    fn sum<I: Iterator<Item = Joules>>(iter: I) -> Joules {
+        iter.fold(Joules::ZERO, Add::add)
+    }
+}
+
+/// Power in watts.
+///
+/// # Examples
+///
+/// ```
+/// use blam_units::{Duration, Joules, Watts};
+///
+/// let panel = Watts::from_milliwatts(4.0);
+/// let harvested: Joules = panel * Duration::from_mins(1);
+/// assert!((harvested.0 - 0.24).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Watts(pub f64);
+
+impl Watts {
+    /// Zero power.
+    pub const ZERO: Watts = Watts(0.0);
+
+    /// Creates power from milliwatts.
+    #[must_use]
+    pub fn from_milliwatts(mw: f64) -> Self {
+        Watts(mw / 1_000.0)
+    }
+
+    /// This power in milliwatts.
+    #[must_use]
+    pub fn as_milliwatts(self) -> f64 {
+        self.0 * 1_000.0
+    }
+
+    /// Power drawn by a load at `volts` pulling `milliamps`.
+    #[must_use]
+    pub fn from_volts_milliamps(volts: f64, milliamps: f64) -> Self {
+        Watts(volts * milliamps / 1_000.0)
+    }
+
+    /// The larger of two powers.
+    #[must_use]
+    pub fn max(self, rhs: Watts) -> Watts {
+        Watts(self.0.max(rhs.0))
+    }
+
+    /// The smaller of two powers.
+    #[must_use]
+    pub fn min(self, rhs: Watts) -> Watts {
+        Watts(self.0.min(rhs.0))
+    }
+}
+
+impl fmt::Display for Watts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.abs() >= 1.0 || self.0 == 0.0 {
+            write!(f, "{:.3} W", self.0)
+        } else {
+            write!(f, "{:.3} mW", self.0 * 1_000.0)
+        }
+    }
+}
+
+impl Add for Watts {
+    type Output = Watts;
+    fn add(self, rhs: Watts) -> Watts {
+        Watts(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Watts {
+    fn add_assign(&mut self, rhs: Watts) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Watts {
+    type Output = Watts;
+    fn sub(self, rhs: Watts) -> Watts {
+        Watts(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Watts {
+    type Output = Watts;
+    fn mul(self, rhs: f64) -> Watts {
+        Watts(self.0 * rhs)
+    }
+}
+
+impl Mul<Watts> for f64 {
+    type Output = Watts;
+    fn mul(self, rhs: Watts) -> Watts {
+        Watts(self * rhs.0)
+    }
+}
+
+/// Power integrated over time.
+impl Mul<Duration> for Watts {
+    type Output = Joules;
+    fn mul(self, rhs: Duration) -> Joules {
+        Joules(self.0 * rhs.as_secs_f64())
+    }
+}
+
+/// Power integrated over time (commutative form).
+impl Mul<Watts> for Duration {
+    type Output = Joules;
+    fn mul(self, rhs: Watts) -> Joules {
+        rhs * self
+    }
+}
+
+impl Sum for Watts {
+    fn sum<I: Iterator<Item = Watts>>(iter: I) -> Watts {
+        iter.fold(Watts::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Watts(2.0) * Duration::from_secs(3);
+        assert_eq!(e, Joules(6.0));
+        assert_eq!(Duration::from_secs(3) * Watts(2.0), Joules(6.0));
+    }
+
+    #[test]
+    fn energy_over_time_is_power() {
+        let p = Joules(6.0) / Duration::from_secs(3);
+        assert!((p.0 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn milli_conversions_roundtrip() {
+        assert!((Joules::from_millijoules(120.0).as_millijoules() - 120.0).abs() < 1e-12);
+        assert!((Watts::from_milliwatts(4.5).as_milliwatts() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn volts_times_milliamps() {
+        // SX1276 PA_BOOST: 120 mA at 3.3 V ≈ 0.396 W.
+        let p = Watts::from_volts_milliamps(3.3, 120.0);
+        assert!((p.0 - 0.396).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_limits_energy() {
+        assert_eq!(Joules(5.0).clamp(Joules::ZERO, Joules(2.0)), Joules(2.0));
+        assert_eq!(Joules(-1.0).clamp(Joules::ZERO, Joules(2.0)), Joules::ZERO);
+    }
+
+    #[test]
+    fn display_picks_scale() {
+        assert_eq!(Joules(1.5).to_string(), "1.500 J");
+        assert_eq!(Joules(0.0015).to_string(), "1.500 mJ");
+        assert_eq!(Watts(0.004).to_string(), "4.000 mW");
+    }
+
+    #[test]
+    fn sums_accumulate() {
+        let e: Joules = [Joules(1.0), Joules(2.5)].into_iter().sum();
+        assert_eq!(e, Joules(3.5));
+        let p: Watts = [Watts(0.5), Watts(0.25)].into_iter().sum();
+        assert_eq!(p, Watts(0.75));
+    }
+
+    #[test]
+    fn ratio_of_energies_is_dimensionless() {
+        assert!((Joules(3.0) / Joules(6.0) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,37 @@
+//! Shared physical quantities for the `lpwan-blam` workspace.
+//!
+//! Every crate in the workspace trades in the same handful of physical
+//! quantities: simulated time, energy, power, temperature and a few RF
+//! units. This crate provides thin, zero-cost newtypes for them so that a
+//! [`Joules`] can never be confused with a [`Watts`] value and a
+//! millisecond tick can never be confused with a second count
+//! (C-NEWTYPE).
+//!
+//! # Examples
+//!
+//! ```
+//! use blam_units::{Duration, Joules, SimTime, Watts};
+//!
+//! let start = SimTime::ZERO;
+//! let airtime = Duration::from_millis(371);
+//! let end = start + airtime;
+//! assert_eq!(end.as_millis(), 371);
+//!
+//! // Power integrated over time yields energy.
+//! let radio = Watts(0.4);
+//! let spent: Joules = radio * airtime;
+//! assert!((spent.0 - 0.1484).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod energy;
+mod rf;
+mod temp;
+mod time;
+
+pub use energy::{Joules, Watts};
+pub use rf::{Db, Dbm, Hertz, Meters};
+pub use temp::Celsius;
+pub use time::{Duration, SimTime};

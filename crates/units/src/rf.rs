@@ -1,0 +1,294 @@
+//! Radio-frequency quantities: logarithmic power, frequency, distance.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::Watts;
+
+/// Absolute RF power in dBm (decibels relative to one milliwatt).
+///
+/// # Examples
+///
+/// ```
+/// use blam_units::{Db, Dbm};
+///
+/// let tx = Dbm(14.0);
+/// let path_loss = Db(120.0);
+/// let rssi = tx - path_loss;
+/// assert_eq!(rssi, Dbm(-106.0));
+/// assert!((Dbm(0.0).as_watts().as_milliwatts() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Dbm(pub f64);
+
+impl Dbm {
+    /// Converts to linear power.
+    #[must_use]
+    pub fn as_watts(self) -> Watts {
+        Watts(10f64.powf(self.0 / 10.0) / 1_000.0)
+    }
+
+    /// Converts linear power to dBm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not strictly positive (the logarithm is undefined).
+    #[must_use]
+    pub fn from_watts(w: Watts) -> Self {
+        assert!(w.0 > 0.0, "dBm conversion requires positive power, got {w}");
+        Dbm(10.0 * (w.0 * 1_000.0).log10())
+    }
+}
+
+impl fmt::Display for Dbm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} dBm", self.0)
+    }
+}
+
+/// A relative level in decibels (gain, loss, SNR, margin).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Db(pub f64);
+
+impl Db {
+    /// The linear power ratio this level represents.
+    #[must_use]
+    pub fn as_linear(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+}
+
+impl fmt::Display for Db {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} dB", self.0)
+    }
+}
+
+impl Add<Db> for Dbm {
+    type Output = Dbm;
+    fn add(self, rhs: Db) -> Dbm {
+        Dbm(self.0 + rhs.0)
+    }
+}
+
+impl Sub<Db> for Dbm {
+    type Output = Dbm;
+    fn sub(self, rhs: Db) -> Dbm {
+        Dbm(self.0 - rhs.0)
+    }
+}
+
+/// The level difference between two absolute powers.
+impl Sub for Dbm {
+    type Output = Db;
+    fn sub(self, rhs: Dbm) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+
+impl Add for Db {
+    type Output = Db;
+    fn add(self, rhs: Db) -> Db {
+        Db(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Db {
+    type Output = Db;
+    fn sub(self, rhs: Db) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+
+/// A frequency in hertz.
+///
+/// # Examples
+///
+/// ```
+/// use blam_units::Hertz;
+///
+/// let ch0 = Hertz::from_mhz(902.3);
+/// assert_eq!(ch0.as_hz(), 902_300_000);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Hertz(u64);
+
+impl Hertz {
+    /// Creates a frequency from hertz.
+    #[must_use]
+    pub const fn from_hz(hz: u64) -> Self {
+        Hertz(hz)
+    }
+
+    /// Creates a frequency from kilohertz.
+    #[must_use]
+    pub const fn from_khz(khz: u64) -> Self {
+        Hertz(khz * 1_000)
+    }
+
+    /// Creates a frequency from (possibly fractional) megahertz, rounding
+    /// to the nearest hertz.
+    #[must_use]
+    pub fn from_mhz(mhz: f64) -> Self {
+        Hertz((mhz * 1e6).round() as u64)
+    }
+
+    /// The frequency in hertz.
+    #[must_use]
+    pub const fn as_hz(self) -> u64 {
+        self.0
+    }
+
+    /// The frequency in kilohertz as a float.
+    #[must_use]
+    pub fn as_khz_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The frequency in megahertz as a float.
+    #[must_use]
+    pub fn as_mhz_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+}
+
+impl fmt::Display for Hertz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3} MHz", self.as_mhz_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.1} kHz", self.as_khz_f64())
+        } else {
+            write!(f, "{} Hz", self.0)
+        }
+    }
+}
+
+/// A distance in meters.
+///
+/// # Examples
+///
+/// ```
+/// use blam_units::Meters;
+///
+/// let d = Meters(2_500.0);
+/// assert!((d.as_km() - 2.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Meters(pub f64);
+
+impl Meters {
+    /// Creates a distance from kilometers.
+    #[must_use]
+    pub fn from_km(km: f64) -> Self {
+        Meters(km * 1_000.0)
+    }
+
+    /// The distance in kilometers.
+    #[must_use]
+    pub fn as_km(self) -> f64 {
+        self.0 / 1_000.0
+    }
+}
+
+impl fmt::Display for Meters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000.0 {
+            write!(f, "{:.2} km", self.as_km())
+        } else {
+            write!(f, "{:.1} m", self.0)
+        }
+    }
+}
+
+impl Add for Meters {
+    type Output = Meters;
+    fn add(self, rhs: Meters) -> Meters {
+        Meters(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Meters {
+    type Output = Meters;
+    fn sub(self, rhs: Meters) -> Meters {
+        Meters(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Meters {
+    type Output = Meters;
+    fn mul(self, rhs: f64) -> Meters {
+        Meters(self.0 * rhs)
+    }
+}
+
+/// Dimensionless ratio of two distances.
+impl Div for Meters {
+    type Output = f64;
+    fn div(self, rhs: Meters) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbm_watt_roundtrip() {
+        for &dbm in &[-137.0, -30.0, 0.0, 14.0, 20.0] {
+            let back = Dbm::from_watts(Dbm(dbm).as_watts());
+            assert!((back.0 - dbm).abs() < 1e-9, "{dbm} -> {back:?}");
+        }
+    }
+
+    #[test]
+    fn fourteen_dbm_is_about_25_milliwatts() {
+        let w = Dbm(14.0).as_watts();
+        assert!((w.as_milliwatts() - 25.118_864).abs() < 1e-3);
+    }
+
+    #[test]
+    fn link_budget_arithmetic() {
+        let rssi = Dbm(14.0) - Db(130.0) + Db(3.0);
+        assert_eq!(rssi, Dbm(-113.0));
+        let snr = rssi - Dbm(-120.0);
+        assert_eq!(snr, Db(7.0));
+    }
+
+    #[test]
+    fn db_linear_ratio() {
+        assert!((Db(3.0).as_linear() - 1.995_262).abs() < 1e-5);
+        assert!((Db(10.0).as_linear() - 10.0).abs() < 1e-12);
+        assert!((Db(-10.0).as_linear() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hertz_constructors_agree() {
+        assert_eq!(Hertz::from_khz(125), Hertz::from_hz(125_000));
+        assert_eq!(Hertz::from_mhz(902.3), Hertz::from_hz(902_300_000));
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(Hertz::from_khz(125).to_string(), "125.0 kHz");
+        assert_eq!(Hertz::from_mhz(902.3).to_string(), "902.300 MHz");
+        assert_eq!(Meters::from_km(1.5).to_string(), "1.50 km");
+        assert_eq!(Dbm(-120.0).to_string(), "-120.0 dBm");
+        assert_eq!(Db(6.0).to_string(), "6.0 dB");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive power")]
+    fn dbm_from_zero_watts_panics() {
+        let _ = Dbm::from_watts(Watts(0.0));
+    }
+}

@@ -1,0 +1,81 @@
+//! Temperature.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A temperature in degrees Celsius.
+///
+/// The battery degradation model's thermal stress factor works with
+/// Celsius values internally converted to Kelvin, matching the paper's
+/// `(273 + T)` terms.
+///
+/// # Examples
+///
+/// ```
+/// use blam_units::Celsius;
+///
+/// let t = Celsius(25.0);
+/// assert!((t.as_kelvin() - 298.15).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Celsius(pub f64);
+
+impl Celsius {
+    /// Converts to Kelvin.
+    #[must_use]
+    pub fn as_kelvin(self) -> f64 {
+        self.0 + 273.15
+    }
+
+    /// The `273 + T` Kelvin approximation used by the paper's
+    /// equations (1) and (2).
+    #[must_use]
+    pub fn as_kelvin_approx(self) -> f64 {
+        self.0 + 273.0
+    }
+}
+
+impl fmt::Display for Celsius {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} °C", self.0)
+    }
+}
+
+impl Add<f64> for Celsius {
+    type Output = Celsius;
+    fn add(self, rhs: f64) -> Celsius {
+        Celsius(self.0 + rhs)
+    }
+}
+
+impl Sub<f64> for Celsius {
+    type Output = Celsius;
+    fn sub(self, rhs: f64) -> Celsius {
+        Celsius(self.0 - rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kelvin_conversions() {
+        assert!((Celsius(0.0).as_kelvin() - 273.15).abs() < 1e-12);
+        assert!((Celsius(25.0).as_kelvin_approx() - 298.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats_with_unit() {
+        assert_eq!(Celsius(25.0).to_string(), "25.0 °C");
+    }
+
+    #[test]
+    fn offset_arithmetic() {
+        assert_eq!(Celsius(20.0) + 5.0, Celsius(25.0));
+        assert_eq!(Celsius(20.0) - 5.0, Celsius(15.0));
+    }
+}

@@ -1,0 +1,448 @@
+//! Simulated time: instants and durations with millisecond resolution.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant on the simulated timeline, in whole milliseconds since the
+/// start of the simulation.
+///
+/// Millisecond resolution comfortably covers every timescale in an LPWAN
+/// battery-lifespan study: LoRa airtimes are hundreds of milliseconds,
+/// forecast windows are minutes, and a `u64` of milliseconds spans more
+/// than 500 million years — far beyond the 10–20 year horizons simulated
+/// here.
+///
+/// # Examples
+///
+/// ```
+/// use blam_units::{Duration, SimTime};
+///
+/// let t = SimTime::ZERO + Duration::from_days(1);
+/// assert_eq!(t.as_secs(), 86_400);
+/// assert_eq!(t - SimTime::ZERO, Duration::from_hours(24));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The origin of the simulated timeline.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable instant; useful as an "infinitely far"
+    /// sentinel for event deadlines.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from whole milliseconds since the origin.
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    /// Creates an instant from whole seconds since the origin.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000)
+    }
+
+    /// Whole milliseconds since the origin.
+    #[must_use]
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds since the origin (truncating).
+    #[must_use]
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds since the origin as a float.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Whole simulated days since the origin (truncating).
+    #[must_use]
+    pub const fn as_days(self) -> u64 {
+        self.0 / Duration::DAY.as_millis()
+    }
+
+    /// Years since the origin as a float, using the 365.25-day Julian year.
+    #[must_use]
+    pub fn as_years_f64(self) -> f64 {
+        self.0 as f64 / (365.25 * Duration::DAY.as_millis() as f64)
+    }
+
+    /// The duration since an earlier instant, saturating to zero if
+    /// `earlier` is in fact later.
+    #[must_use]
+    pub const fn saturating_since(self, earlier: SimTime) -> Duration {
+        Duration::from_millis(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition of a duration; `None` on overflow.
+    #[must_use]
+    pub const fn checked_add(self, d: Duration) -> Option<SimTime> {
+        match self.0.checked_add(d.as_millis()) {
+            Some(ms) => Some(SimTime(ms)),
+            None => None,
+        }
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ms = self.0 % 1_000;
+        let s = (self.0 / 1_000) % 60;
+        let m = (self.0 / 60_000) % 60;
+        let h = (self.0 / 3_600_000) % 24;
+        let d = self.0 / 86_400_000;
+        if d > 0 {
+            write!(f, "{d}d {h:02}:{m:02}:{s:02}.{ms:03}")
+        } else {
+            write!(f, "{h:02}:{m:02}:{s:02}.{ms:03}")
+        }
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.as_millis())
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.as_millis();
+    }
+}
+
+impl Sub<Duration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 - rhs.as_millis())
+    }
+}
+
+impl Sub for SimTime {
+    type Output = Duration;
+    fn sub(self, rhs: SimTime) -> Duration {
+        Duration::from_millis(self.0 - rhs.0)
+    }
+}
+
+impl Rem<Duration> for SimTime {
+    type Output = Duration;
+    fn rem(self, rhs: Duration) -> Duration {
+        Duration::from_millis(self.0 % rhs.as_millis())
+    }
+}
+
+/// A span of simulated time, in whole milliseconds.
+///
+/// # Examples
+///
+/// ```
+/// use blam_units::Duration;
+///
+/// let window = Duration::from_mins(1);
+/// assert_eq!(window / Duration::from_secs(15), 4);
+/// assert_eq!(window * 3, Duration::from_secs(180));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Duration(u64);
+
+impl Duration {
+    /// The zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+    /// One simulated second.
+    pub const SECOND: Duration = Duration(1_000);
+    /// One simulated minute.
+    pub const MINUTE: Duration = Duration(60_000);
+    /// One simulated hour.
+    pub const HOUR: Duration = Duration(3_600_000);
+    /// One simulated day.
+    pub const DAY: Duration = Duration(86_400_000);
+
+    /// Creates a duration from whole milliseconds.
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms)
+    }
+
+    /// Creates a duration from whole seconds.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        Duration(secs * 1_000)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the nearest
+    /// millisecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    #[must_use]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration seconds must be finite and non-negative, got {secs}"
+        );
+        Duration((secs * 1_000.0).round() as u64)
+    }
+
+    /// Creates a duration from whole minutes.
+    #[must_use]
+    pub const fn from_mins(mins: u64) -> Self {
+        Duration(mins * 60_000)
+    }
+
+    /// Creates a duration from whole hours.
+    #[must_use]
+    pub const fn from_hours(hours: u64) -> Self {
+        Duration(hours * 3_600_000)
+    }
+
+    /// Creates a duration from whole days.
+    #[must_use]
+    pub const fn from_days(days: u64) -> Self {
+        Duration(days * 86_400_000)
+    }
+
+    /// Whole milliseconds in this duration.
+    #[must_use]
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds in this duration (truncating).
+    #[must_use]
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds as a float.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Hours as a float.
+    #[must_use]
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3_600_000.0
+    }
+
+    /// True if this is the zero-length duration.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The smaller of two durations.
+    #[must_use]
+    pub fn min(self, rhs: Duration) -> Duration {
+        Duration(self.0.min(rhs.0))
+    }
+
+    /// The larger of two durations.
+    #[must_use]
+    pub fn max(self, rhs: Duration) -> Duration {
+        Duration(self.0.max(rhs.0))
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= Duration::DAY.0 {
+            write!(f, "{:.2}d", self.0 as f64 / Duration::DAY.0 as f64)
+        } else if self.0 >= Duration::HOUR.0 {
+            write!(f, "{:.2}h", self.0 as f64 / Duration::HOUR.0 as f64)
+        } else if self.0 >= Duration::MINUTE.0 {
+            write!(f, "{:.2}min", self.0 as f64 / Duration::MINUTE.0 as f64)
+        } else if self.0 >= Duration::SECOND.0 {
+            write!(f, "{:.3}s", self.0 as f64 / 1_000.0)
+        } else {
+            write!(f, "{}ms", self.0)
+        }
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl Mul<Duration> for u64 {
+    type Output = Duration;
+    fn mul(self, rhs: Duration) -> Duration {
+        Duration(self * rhs.0)
+    }
+}
+
+/// Integer division: how many times `rhs` fits into `self`.
+impl Div for Duration {
+    type Output = u64;
+    fn div(self, rhs: Duration) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl Rem for Duration {
+    type Output = Duration;
+    fn rem(self, rhs: Duration) -> Duration {
+        Duration(self.0 % rhs.0)
+    }
+}
+
+impl std::iter::Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simtime_arithmetic_roundtrips() {
+        let t = SimTime::from_secs(90);
+        assert_eq!(t + Duration::from_secs(30), SimTime::from_secs(120));
+        assert_eq!(SimTime::from_secs(120) - t, Duration::from_secs(30));
+        assert_eq!(t - Duration::from_secs(90), SimTime::ZERO);
+    }
+
+    #[test]
+    fn simtime_saturating_since_clamps() {
+        let early = SimTime::from_secs(10);
+        let late = SimTime::from_secs(20);
+        assert_eq!(late.saturating_since(early), Duration::from_secs(10));
+        assert_eq!(early.saturating_since(late), Duration::ZERO);
+    }
+
+    #[test]
+    fn simtime_unit_conversions() {
+        let t = SimTime::from_millis(2 * 86_400_000 + 5_500);
+        assert_eq!(t.as_days(), 2);
+        assert_eq!(t.as_secs(), 2 * 86_400 + 5);
+        assert!((t.as_secs_f64() - (2.0 * 86_400.0 + 5.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simtime_years_uses_julian_year() {
+        let one_year = SimTime::ZERO + Duration::from_hours(24 * 365) + Duration::from_hours(6);
+        assert!((one_year.as_years_f64() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(Duration::from_mins(1), Duration::from_secs(60));
+        assert_eq!(Duration::from_hours(1), Duration::from_mins(60));
+        assert_eq!(Duration::from_days(1), Duration::from_hours(24));
+        assert_eq!(Duration::from_secs_f64(1.2345), Duration::from_millis(1235));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn duration_from_negative_seconds_panics() {
+        let _ = Duration::from_secs_f64(-0.5);
+    }
+
+    #[test]
+    fn duration_division_counts_fits() {
+        assert_eq!(Duration::from_mins(10) / Duration::from_mins(1), 10);
+        assert_eq!(Duration::from_secs(90) / Duration::from_mins(1), 1);
+    }
+
+    #[test]
+    fn duration_display_picks_natural_scale() {
+        assert_eq!(Duration::from_millis(5).to_string(), "5ms");
+        assert_eq!(Duration::from_secs(2).to_string(), "2.000s");
+        assert_eq!(Duration::from_mins(3).to_string(), "3.00min");
+        assert_eq!(Duration::from_days(2).to_string(), "2.00d");
+    }
+
+    #[test]
+    fn simtime_display_includes_days_only_when_nonzero() {
+        assert_eq!(SimTime::from_secs(3_661).to_string(), "01:01:01.000");
+        assert_eq!(
+            (SimTime::ZERO + Duration::from_days(1)).to_string(),
+            "1d 00:00:00.000"
+        );
+    }
+
+    #[test]
+    fn simtime_rem_gives_phase_within_period() {
+        let t = SimTime::from_secs(125);
+        assert_eq!(t % Duration::from_mins(1), Duration::from_secs(5));
+    }
+
+    #[test]
+    fn duration_sum_over_iterator() {
+        let total: Duration = [Duration::from_secs(1), Duration::from_secs(2)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Duration::from_secs(3));
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert!(SimTime::MAX.checked_add(Duration::from_millis(1)).is_none());
+        assert_eq!(
+            SimTime::ZERO.checked_add(Duration::from_secs(1)),
+            Some(SimTime::from_secs(1))
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Property-based tests for the quantity newtypes.
+
+use blam_units::{Dbm, Duration, Joules, SimTime, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    /// SimTime/Duration arithmetic is consistent: (t + d) − t == d and
+    /// subtraction inverts addition.
+    #[test]
+    fn time_addition_roundtrips(t in 0u64..10_u64.pow(12), d in 0u64..10_u64.pow(9)) {
+        let t0 = SimTime::from_millis(t);
+        let d = Duration::from_millis(d);
+        prop_assert_eq!((t0 + d) - t0, d);
+        prop_assert_eq!((t0 + d) - d, t0);
+        prop_assert_eq!((t0 + d).saturating_since(t0), d);
+        prop_assert_eq!(t0.saturating_since(t0 + d), Duration::ZERO);
+    }
+
+    /// Duration division and multiplication are consistent:
+    /// (d / q) * q + (d % q) == d.
+    #[test]
+    fn duration_divmod(d in 0u64..10_u64.pow(10), q in 1u64..10_u64.pow(6)) {
+        let d = Duration::from_millis(d);
+        let q = Duration::from_millis(q);
+        let n = d / q;
+        prop_assert_eq!(q * n + (d % q), d);
+        prop_assert!(d % q < q);
+    }
+
+    /// Power × time integrates consistently with splitting the interval.
+    #[test]
+    fn energy_integration_is_additive(p in 0.0f64..10.0, a in 0u64..10_000_000, b in 0u64..10_000_000) {
+        let p = Watts(p);
+        let whole = p * Duration::from_millis(a + b);
+        let split = p * Duration::from_millis(a) + p * Duration::from_millis(b);
+        prop_assert!((whole - split).0.abs() < 1e-9 * (1.0 + whole.0.abs()));
+    }
+
+    /// Energy / time / power relations roundtrip.
+    #[test]
+    fn power_energy_roundtrip(e in 0.001f64..1e6, ms in 1u64..10_000_000) {
+        let d = Duration::from_millis(ms);
+        let p = Joules(e) / d;
+        let back = p * d;
+        prop_assert!((back.0 - e).abs() < 1e-9 * e);
+    }
+
+    /// Clamping keeps energies within bounds and is idempotent.
+    #[test]
+    fn clamp_idempotent(x in -10.0f64..10.0, lo in 0.0f64..1.0, hi in 1.0f64..5.0) {
+        let once = Joules(x).clamp(Joules(lo), Joules(hi));
+        prop_assert!(once.0 >= lo && once.0 <= hi);
+        prop_assert_eq!(once.clamp(Joules(lo), Joules(hi)), once);
+    }
+
+    /// Display formatting never panics across magnitudes.
+    #[test]
+    fn displays_do_not_panic(x in -1e12f64..1e12, ms in 0u64..10_u64.pow(13)) {
+        let _ = Joules(x).to_string();
+        let _ = Watts(x).to_string();
+        let _ = Dbm(x.clamp(-300.0, 300.0)).to_string();
+        let _ = Duration::from_millis(ms).to_string();
+        let _ = SimTime::from_millis(ms).to_string();
+    }
+}

@@ -1,0 +1,47 @@
+//! Quickstart: battery lifespan-aware MAC vs. plain LoRaWAN.
+//!
+//! Runs a 60-node solar-powered LoRa network for a simulated month
+//! under both protocols and prints the headline metrics side by side.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lpwan_blam::netsim::{config::Protocol, Scenario};
+use lpwan_blam::units::Duration;
+
+fn main() {
+    let nodes = 60;
+    let days = 30;
+    let seed = 42;
+
+    println!("Simulating {nodes} solar-powered LoRa nodes for {days} days (seed {seed})\n");
+    println!(
+        "{:<8} {:>7} {:>9} {:>9} {:>8} {:>12} {:>12}",
+        "MAC", "PRR", "utility", "latency", "RETX", "mean deg.", "max deg."
+    );
+
+    for protocol in [Protocol::Lorawan, Protocol::h(1.0), Protocol::h(0.5)] {
+        let result = Scenario::large_scale(nodes, protocol, seed)
+            .with_duration(Duration::from_days(days))
+            .with_sample_interval(Duration::from_days(7))
+            .run();
+        println!(
+            "{:<8} {:>6.1}% {:>9.3} {:>8.1}s {:>8.2} {:>12.5} {:>12.5}",
+            result.label,
+            100.0 * result.network.prr,
+            result.network.avg_utility,
+            result.network.avg_latency_delivered_secs,
+            result.network.avg_retx,
+            result.network.degradation.mean,
+            result.network.degradation.max,
+        );
+    }
+
+    println!(
+        "\nH-50 caps every battery at 50% charge and shifts uplinks into \
+         green-energy-rich forecast windows;\nthe lower mean degradation \
+         compounds into years of extra battery lifespan (see the fig7/fig8 \
+         experiments)."
+    );
+}

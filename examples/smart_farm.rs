@@ -1,0 +1,63 @@
+//! Smart-farm scenario: the workload class the paper's introduction
+//! motivates.
+//!
+//! 150 soil/climate sensors spread over a 5 km farm report every
+//! 20–40 minutes. The farm plans a 10+ year deployment and wants to
+//! know how long the first battery lasts under each MAC, so we simulate
+//! a full year and project time-to-EoL from the observed degradation
+//! trend.
+//!
+//! ```text
+//! cargo run --release --example smart_farm
+//! ```
+
+use lpwan_blam::battery::project_eol;
+use lpwan_blam::netsim::{config::Protocol, Scenario};
+use lpwan_blam::units::Duration;
+
+fn main() {
+    let nodes = 150;
+    let seed = 2024;
+    println!("Smart farm: {nodes} sensors, 20-40 min reporting, one year simulated\n");
+    println!(
+        "{:<8} {:>7} {:>9} {:>10} {:>14} {:>22}",
+        "MAC", "PRR", "utility", "RETX", "max deg./yr", "projected lifespan"
+    );
+
+    for protocol in [Protocol::Lorawan, Protocol::h(0.5), Protocol::h50c()] {
+        let mut scenario = Scenario::large_scale(nodes, protocol, seed)
+            .with_duration(Duration::from_days(365))
+            .with_sample_interval(Duration::from_days(30));
+        scenario.config.period_min = Duration::from_mins(20);
+        scenario.config.period_max = Duration::from_mins(40);
+        let result = scenario.run();
+
+        // Project when the worst battery reaches End of Life from the
+        // monthly maximum-degradation trend.
+        let trend: Vec<_> = result
+            .samples
+            .iter()
+            .map(|s| (s.at, s.max_total()))
+            .collect();
+        let projected = project_eol(&trend)
+            .map_or("beyond horizon".to_string(), |t| {
+                format!("{:.1} years", t.as_years_f64())
+            });
+
+        println!(
+            "{:<8} {:>6.1}% {:>9.3} {:>10.2} {:>14.5} {:>22}",
+            result.label,
+            100.0 * result.network.prr,
+            result.network.avg_utility,
+            result.network.avg_retx,
+            result.network.degradation.max,
+            projected,
+        );
+    }
+
+    println!(
+        "\nH-50C (charge cap only) already stretches the lifespan; full H-50 \
+         additionally cuts retransmissions\nby steering reports into \
+         uncrowded, sun-lit forecast windows."
+    );
+}

@@ -1,0 +1,77 @@
+//! Library-level example: size a solar panel + battery for one node and
+//! study how the charge threshold θ trades winter robustness against
+//! battery degradation — without running the network simulator.
+//!
+//! ```text
+//! cargo run --release --example solar_sizing
+//! ```
+
+use lpwan_blam::battery::{Battery, PowerSwitch};
+use lpwan_blam::harvest::{HarvestSource, SolarModel};
+use lpwan_blam::phy::{Bandwidth, CodingRate, RadioPowerModel, SpreadingFactor, TxConfig};
+use lpwan_blam::units::{Celsius, Duration, SimTime, Watts};
+use rand::SeedableRng;
+
+fn main() {
+    // --- The node -------------------------------------------------------
+    let radio = RadioPowerModel::sx1276();
+    let tx_cfg = TxConfig::new(SpreadingFactor::Sf10, Bandwidth::Khz125, CodingRate::Cr4_5);
+    let payload = 10 + 13; // app payload + LoRaWAN overhead
+    let tx_energy = radio.tx_energy(&tx_cfg, payload);
+    let period = Duration::from_mins(30);
+    let sleep = Watts::from_milliwatts(0.01) + radio.sleep_power_draw();
+
+    let packets_per_day = 86_400.0 / period.as_secs_f64();
+    let daily = sleep * Duration::from_days(1) + tx_energy * packets_per_day;
+    let capacity = daily * 2.0;
+    println!("Per-packet TX energy : {tx_energy}");
+    println!("Daily energy budget  : {daily}");
+    println!("Battery capacity     : {capacity}  (2 days of operation)");
+
+    // --- The panel: peak power sustains 2 transmissions per minute ------
+    let window = Duration::from_mins(1);
+    let peak = Watts(2.0 * tx_energy.0 / window.as_secs_f64());
+    println!("Panel peak power     : {peak}  (2 transmissions per forecast window)\n");
+
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+    let trace = SolarModel {
+        peak_power: peak,
+        start_day_of_year: 355, // deep winter
+        ..SolarModel::default()
+    }
+    .generate(60, Duration::from_mins(5), &mut rng);
+
+    // --- Sweep θ over a hard winter --------------------------------------
+    println!(
+        "{:<6} {:>12} {:>14} {:>16}",
+        "θ", "brownouts", "min SoC", "degradation"
+    );
+    for theta in [0.05, 0.25, 0.5, 0.75, 1.0] {
+        let mut battery = Battery::new(capacity, theta, Celsius(25.0));
+        let switch = PowerSwitch::new(theta);
+        let mut brownouts = 0u32;
+        let mut min_soc: f64 = 1.0;
+        let mut t = SimTime::ZERO;
+        let step = Duration::from_mins(30);
+        let horizon = SimTime::ZERO + Duration::from_days(60);
+        while t < horizon {
+            let next = t + step;
+            let harvested = trace.energy_between(t, next);
+            let demand = sleep * step + tx_energy; // one packet per period
+            let out = switch.step(next, &mut battery, harvested, demand);
+            if !out.satisfied() {
+                brownouts += 1;
+            }
+            min_soc = min_soc.min(battery.soc());
+            t = next;
+        }
+        let degradation = battery.refresh_degradation(horizon);
+        println!("{theta:<6.2} {brownouts:>12} {min_soc:>14.3} {degradation:>16.6}");
+    }
+
+    println!(
+        "\nLow θ minimizes calendar aging but cannot bridge dark winter days; \
+         θ ≈ 0.5 keeps the node alive\nat roughly two-thirds of the degradation \
+         of an always-full battery — the paper's H-50 setting."
+    );
+}

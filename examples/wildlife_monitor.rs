@@ -1,0 +1,59 @@
+//! Wildlife-monitoring scenario: extremely delay-tolerant sensing.
+//!
+//! Camera-trap/track sensors report hourly; data stays useful for tens
+//! of minutes, so we give the protocol a *plateau* utility curve (full
+//! utility for the first 10 windows) and a strong degradation weight.
+//! This shows how the protocol exploits delay tolerance: with a plateau
+//! utility, deferring into sunny windows is free, so battery impact
+//! drops further at zero utility cost.
+//!
+//! ```text
+//! cargo run --release --example wildlife_monitor
+//! ```
+
+use lpwan_blam::netsim::{config::Protocol, Scenario};
+use lpwan_blam::protocol::utility::Utility;
+use lpwan_blam::protocol::BlamConfig;
+use lpwan_blam::units::Duration;
+
+fn main() {
+    let nodes = 80;
+    let seed = 7;
+    println!("Wildlife monitor: {nodes} sensors, hourly reports, 120 days\n");
+    println!(
+        "{:<22} {:>7} {:>9} {:>11} {:>12}",
+        "configuration", "PRR", "utility", "latency", "mean deg."
+    );
+
+    let linear = BlamConfig::h(0.5);
+    let plateau = BlamConfig::h(0.5).with_utility(Utility::Plateau {
+        plateau_windows: 10,
+    });
+
+    for (name, protocol) in [
+        ("LoRaWAN".to_string(), Protocol::Lorawan),
+        ("H-50 (linear utility)".to_string(), Protocol::Blam(linear)),
+        ("H-50 (plateau utility)".to_string(), Protocol::Blam(plateau)),
+    ] {
+        let mut scenario = Scenario::large_scale(nodes, protocol, seed)
+            .with_duration(Duration::from_days(120))
+            .with_sample_interval(Duration::from_days(15));
+        scenario.config.period_min = Duration::from_mins(60);
+        scenario.config.period_max = Duration::from_mins(60);
+        let result = scenario.run();
+        println!(
+            "{:<22} {:>6.1}% {:>9.3} {:>10.1}s {:>12.5}",
+            name,
+            100.0 * result.network.prr,
+            result.network.avg_utility,
+            result.network.avg_latency_delivered_secs,
+            result.network.degradation.mean,
+        );
+    }
+
+    println!(
+        "\nWith a plateau utility the first ten minutes of delay cost nothing, \
+         so nodes chase green energy\nmore freely — lower degradation at \
+         unchanged application-level utility."
+    );
+}

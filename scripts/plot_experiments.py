@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Render the JSON outputs in target/experiments/ as matplotlib figures.
+
+Usage:
+    python3 scripts/plot_experiments.py [--dir target/experiments] [--out plots]
+
+Produces one PNG per recognized experiment (fig2, fig4–fig8, wb_sweep,
+temperature_sweep). Requires matplotlib; everything else in the repo is
+pure Rust — this script is an optional convenience for papers/slides.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load(dirpath: pathlib.Path, name: str):
+    p = dirpath / f"{name}.json"
+    if not p.exists():
+        return None
+    with open(p) as f:
+        return json.load(f)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--dir", default="target/experiments")
+    ap.add_argument("--out", default="plots")
+    args = ap.parse_args()
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not installed; nothing to do", file=sys.stderr)
+        return 1
+
+    src = pathlib.Path(args.dir)
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    made = []
+
+    fig2 = load(src, "fig2")
+    if fig2:
+        plt.figure(figsize=(5, 3.2))
+        years = [r["years"] for r in fig2]
+        for key, label in [
+            ("median_calendar", "calendar aging"),
+            ("median_cycle", "cycle aging"),
+            ("median_total", "total degradation"),
+        ]:
+            plt.plot(years, [r[key] for r in fig2], label=label)
+        plt.xlabel("years")
+        plt.ylabel("degradation")
+        plt.legend()
+        plt.title("Fig. 2 — degradation decomposition (median node)")
+        plt.tight_layout()
+        plt.savefig(out / "fig2.png", dpi=150)
+        plt.close()
+        made.append("fig2")
+
+    fig4 = load(src, "fig4")
+    if fig4:
+        plt.figure(figsize=(6, 3.2))
+        width = 0.8 / len(fig4)
+        for i, row in enumerate(fig4):
+            hist = row["nodes_per_window"][:8]
+            xs = [w + 1 + (i - len(fig4) / 2) * width for w in range(len(hist))]
+            plt.bar(xs, hist, width=width, label=row["protocol"])
+        plt.xlabel("majority forecast window")
+        plt.ylabel("nodes")
+        plt.legend()
+        plt.title("Fig. 4 — forecast window selection")
+        plt.tight_layout()
+        plt.savefig(out / "fig4.png", dpi=150)
+        plt.close()
+        made.append("fig4")
+
+    fig5 = load(src, "fig5")
+    if fig5:
+        fig, axes = plt.subplots(1, 3, figsize=(10, 3.2))
+        labels = [r["protocol"] for r in fig5]
+        axes[0].bar(labels, [r["avg_retx"] for r in fig5])
+        axes[0].set_title("(a) avg RETX")
+        axes[1].bar(labels, [r["total_tx_energy_eq6_joules"] / 1e3 for r in fig5])
+        axes[1].set_title("(b) TX energy [kJ]")
+        axes[2].boxplot(
+            [
+                [r["degradation_min"], r["degradation_p25"], r["degradation_median"],
+                 r["degradation_p75"], r["degradation_max"]]
+                for r in fig5
+            ],
+            tick_labels=labels,
+        )
+        axes[2].set_title("(c) degradation")
+        fig.suptitle("Fig. 5 — θ sweep")
+        fig.tight_layout()
+        fig.savefig(out / "fig5.png", dpi=150)
+        plt.close(fig)
+        made.append("fig5")
+
+    fig6 = load(src, "fig6")
+    if fig6:
+        fig, axes = plt.subplots(1, 3, figsize=(10, 3.2))
+        labels = [r["protocol"] for r in fig6]
+        axes[0].bar(labels, [r["avg_utility"] for r in fig6])
+        axes[0].set_title("(a) avg utility")
+        axes[1].bar(labels, [100 * r["prr"] for r in fig6])
+        axes[1].set_title("(b) PRR [%]")
+        axes[2].bar(labels, [r["avg_latency_delivered_secs"] for r in fig6])
+        axes[2].set_title("(c) latency [s]")
+        fig.suptitle("Fig. 6 — θ sweep")
+        fig.tight_layout()
+        fig.savefig(out / "fig6.png", dpi=150)
+        plt.close(fig)
+        made.append("fig6")
+
+    fig7 = load(src, "fig7")
+    if fig7:
+        plt.figure(figsize=(5.5, 3.2))
+        for series in fig7:
+            xs = [p[0] for p in series["monthly_max"]]
+            ys = [p[1] for p in series["monthly_max"]]
+            plt.plot(xs, ys, label=series["protocol"])
+        plt.axhline(0.2, linestyle="--", linewidth=0.8, color="gray")
+        plt.text(0.1, 0.202, "EoL")
+        plt.xlabel("years")
+        plt.ylabel("max degradation")
+        plt.legend()
+        plt.title("Fig. 7 — max degradation per month")
+        plt.tight_layout()
+        plt.savefig(out / "fig7.png", dpi=150)
+        plt.close()
+        made.append("fig7")
+
+    fig8 = load(src, "fig8")
+    if fig8:
+        plt.figure(figsize=(4, 3.2))
+        plt.bar([r["protocol"] for r in fig8], [r["lifespan_days"] for r in fig8])
+        plt.ylabel("network battery lifespan [days]")
+        plt.title("Fig. 8 — lifespan")
+        plt.tight_layout()
+        plt.savefig(out / "fig8.png", dpi=150)
+        plt.close()
+        made.append("fig8")
+
+    wb = load(src, "wb_sweep")
+    if wb:
+        plt.figure(figsize=(5, 3.2))
+        plt.plot([r["w_b"] for r in wb], [r["avg_latency_delivered_secs"] for r in wb], "o-", label="latency [s]")
+        plt.plot([r["w_b"] for r in wb], [100 * r["avg_retx"] for r in wb], "s-", label="RETX × 100")
+        plt.xlabel("w_b")
+        plt.legend()
+        plt.title("w_b sweep")
+        plt.tight_layout()
+        plt.savefig(out / "wb_sweep.png", dpi=150)
+        plt.close()
+        made.append("wb_sweep")
+
+    temp = load(src, "temperature_sweep")
+    if temp:
+        plt.figure(figsize=(5, 3.2))
+        xs = [r["celsius"] for r in temp]
+        plt.plot(xs, [r["lorawan_degradation"] for r in temp], "o-", label="LoRaWAN")
+        plt.plot(xs, [r["h50_degradation"] for r in temp], "s-", label="H-50")
+        plt.xlabel("battery temperature [°C]")
+        plt.ylabel("mean degradation")
+        plt.legend()
+        plt.title("temperature sweep")
+        plt.tight_layout()
+        plt.savefig(out / "temperature_sweep.png", dpi=150)
+        plt.close()
+        made.append("temperature_sweep")
+
+    print(f"wrote {len(made)} figures to {out}/: {', '.join(made) or 'none'}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

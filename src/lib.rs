@@ -1,0 +1,55 @@
+//! # lpwan-blam
+//!
+//! A battery lifespan-aware MAC protocol for LPWAN (LoRa), with the full
+//! simulation stack needed to study it: a reproduction of *"A Battery
+//! Lifespan-Aware Protocol for LPWAN"* (ICDCS 2024).
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`units`] | `blam-units` | time, energy, power, RF quantities |
+//! | [`phy`] | `blam-lora-phy` | LoRa airtime, energy, link budget, channel plans |
+//! | [`battery`] | `blam-battery` | rainflow counting, degradation model, SoC, switch |
+//! | [`harvest`] | `blam-energy-harvest` | solar model, traces, forecasters, EWMA |
+//! | [`des`] | `blam-des` | deterministic discrete-event kernel |
+//! | [`lorawan`] | `blam-lorawan` | Class-A MAC, gateway radio, network server |
+//! | [`protocol`] | `blam` | **the contribution**: DIF, utility, Algorithm 1, dissemination, clairvoyant reference |
+//! | [`netsim`] | `blam-netsim` | whole-network battery-lifespan simulator |
+//!
+//! # Quickstart
+//!
+//! Compare the battery lifespan-aware MAC against plain LoRaWAN on a
+//! small network:
+//!
+//! ```no_run
+//! use lpwan_blam::netsim::{config::Protocol, Scenario};
+//! use lpwan_blam::units::Duration;
+//!
+//! for protocol in [Protocol::Lorawan, Protocol::h(0.5)] {
+//!     let result = Scenario::large_scale(50, protocol, 42)
+//!         .with_duration(Duration::from_days(30))
+//!         .run();
+//!     println!(
+//!         "{:8} PRR {:5.1}%  mean degradation {:.4}",
+//!         result.label,
+//!         100.0 * result.network.prr,
+//!         result.network.degradation.mean,
+//!     );
+//! }
+//! ```
+//!
+//! See `examples/` for richer scenarios and `crates/bench` for the
+//! binaries that regenerate every figure and table of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use blam as protocol;
+pub use blam_battery as battery;
+pub use blam_des as des;
+pub use blam_energy_harvest as harvest;
+pub use blam_lora_phy as phy;
+pub use blam_lorawan as lorawan;
+pub use blam_netsim as netsim;
+pub use blam_units as units;

@@ -1,0 +1,141 @@
+//! End-to-end integration tests across the whole workspace: build a
+//! network, run it, and check cross-crate invariants on the results.
+
+use lpwan_blam::netsim::{config::Protocol, RunResult, Scenario};
+use lpwan_blam::units::Duration;
+
+fn run(protocol: Protocol, nodes: usize, days: u64, seed: u64) -> RunResult {
+    Scenario::large_scale(nodes, protocol, seed)
+        .with_duration(Duration::from_days(days))
+        .with_sample_interval(Duration::from_days(7))
+        .run()
+}
+
+/// Every generated packet is accounted for exactly once.
+fn check_accounting(r: &RunResult) {
+    for (i, n) in r.nodes.iter().enumerate() {
+        let concluded = n.delivered + n.failed_no_ack + n.dropped_no_window + n.dropped_brownout;
+        assert!(
+            concluded == n.concluded && n.concluded <= n.generated,
+            "node {i}: generated {} concluded {} (delivered {} failed {} dropped {}/{})",
+            n.generated,
+            n.concluded,
+            n.delivered,
+            n.failed_no_ack,
+            n.dropped_no_window,
+            n.dropped_brownout
+        );
+        // At most one packet in flight at the end of the run.
+        assert!(n.generated - concluded <= 1, "node {i} lost packets");
+        // Transmissions cover every concluded exchange at least once.
+        let exchanges = n.delivered + n.failed_no_ack;
+        assert!(n.transmissions >= exchanges, "node {i} exchange accounting");
+        assert!(n.retransmissions == n.transmissions.saturating_sub(exchanges)
+            || n.transmissions >= n.retransmissions,
+            "node {i} retransmission accounting");
+        // Window histogram counts planned packets.
+        let planned: u64 = n.window_histogram.iter().sum();
+        assert!(planned <= n.generated);
+        assert!(planned >= exchanges, "node {i}: histogram {planned} < exchanges {exchanges}");
+        // Rates are well-formed.
+        assert!((0.0..=1.0).contains(&n.prr()));
+        assert!((0.0..=1.0).contains(&n.avg_utility()));
+        assert!(n.final_degradation >= 0.0 && n.final_degradation < 1.0);
+    }
+}
+
+#[test]
+fn lorawan_run_is_consistent() {
+    let r = run(Protocol::Lorawan, 30, 14, 1);
+    check_accounting(&r);
+    assert!(r.network.prr > 0.5, "PRR {}", r.network.prr);
+    assert!(r.network.generated > 30 * 14 * 20, "too few packets");
+    // LoRaWAN nodes never defer.
+    for n in &r.nodes {
+        assert!(n.window_histogram.len() <= 1);
+    }
+    // No piggyback → the gateway never learns any degradation.
+    assert!(r.gateway_degradation_estimates.iter().all(|&d| d == 0.0));
+}
+
+#[test]
+fn blam_run_is_consistent() {
+    let r = run(Protocol::h(0.5), 30, 14, 1);
+    check_accounting(&r);
+    assert!(r.network.prr > 0.5, "PRR {}", r.network.prr);
+    // The gateway reconstructed nonzero degradation from piggybacks.
+    let known = r
+        .gateway_degradation_estimates
+        .iter()
+        .filter(|&&d| d > 0.0)
+        .count();
+    assert!(known > 20, "gateway only learned {known} nodes");
+}
+
+#[test]
+fn runs_are_deterministic_across_protocols() {
+    for protocol in [Protocol::Lorawan, Protocol::h(0.5), Protocol::h50c()] {
+        let a = run(protocol.clone(), 15, 7, 9);
+        let b = run(protocol, 15, 7, 9);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.network.generated, b.network.generated);
+        assert_eq!(a.network.delivered, b.network.delivered);
+        assert_eq!(
+            a.gateway_degradation_estimates,
+            b.gateway_degradation_estimates
+        );
+    }
+}
+
+#[test]
+fn theta_orders_degradation() {
+    // Lower charge cap ⇒ lower calendar aging ⇒ lower degradation.
+    let d100 = run(Protocol::h(1.0), 25, 45, 3).network.degradation.mean;
+    let d50 = run(Protocol::h(0.5), 25, 45, 3).network.degradation.mean;
+    let d5 = run(Protocol::h(0.05), 25, 45, 3).network.degradation.mean;
+    assert!(d5 < d50 && d50 < d100, "θ ordering violated: {d5} {d50} {d100}");
+}
+
+#[test]
+fn blam_beats_lorawan_on_degradation() {
+    let lorawan = run(Protocol::Lorawan, 40, 60, 5);
+    let h50 = run(Protocol::h(0.5), 40, 60, 5);
+    assert!(
+        h50.network.degradation.mean < lorawan.network.degradation.mean * 0.95,
+        "H-50 {} !< LoRaWAN {}",
+        h50.network.degradation.mean,
+        lorawan.network.degradation.mean
+    );
+    assert!(
+        h50.network.degradation.variance < lorawan.network.degradation.variance,
+        "variance should shrink"
+    );
+}
+
+#[test]
+fn testbed_matches_paper_setup() {
+    let r = Scenario::testbed(Protocol::h(1.0), 7).run();
+    check_accounting(&r);
+    assert_eq!(r.nodes.len(), 10);
+    assert!(r.network.prr > 0.95, "testbed PRR {}", r.network.prr);
+    // ~144 packets per node in 24 h at 10-minute periods.
+    for n in &r.nodes {
+        assert!((140..=146).contains(&(n.generated as i64)), "{}", n.generated);
+    }
+    // All nodes pinned to SF10 as in the paper.
+    for p in &r.topology.placements {
+        assert_eq!(p.sf, lpwan_blam::phy::SpreadingFactor::Sf10);
+    }
+}
+
+#[test]
+fn degradation_samples_are_monotone() {
+    let r = run(Protocol::Lorawan, 20, 30, 11);
+    for pair in r.samples.windows(2) {
+        assert!(pair[1].at > pair[0].at);
+        assert!(
+            pair[1].mean_total() >= pair[0].mean_total() - 1e-12,
+            "degradation regressed between samples"
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Cross-crate fidelity test for the paper's trace-compression claim:
+//! the gateway, seeing only the 4-byte compressed SoC trace each
+//! period, reconstructs per-node degradation close to the ground truth
+//! of the node's own battery.
+
+use lpwan_blam::netsim::{config::Protocol, Scenario};
+use lpwan_blam::units::Duration;
+
+#[test]
+fn gateway_estimate_tracks_ground_truth() {
+    let r = Scenario::large_scale(30, Protocol::h(0.5), 21)
+        .with_duration(Duration::from_days(45))
+        .with_sample_interval(Duration::from_days(7))
+        .run();
+
+    let mut relative_errors = Vec::new();
+    for (i, n) in r.nodes.iter().enumerate() {
+        let truth = n.final_degradation;
+        let estimate = r.gateway_degradation_estimates[i];
+        // Nodes the gateway heard from must have nonzero estimates.
+        if n.delivered > 10 {
+            assert!(estimate > 0.0, "node {i} delivered but unestimated");
+            relative_errors.push((estimate - truth).abs() / truth.max(1e-9));
+        }
+    }
+    assert!(
+        relative_errors.len() >= 25,
+        "too few estimated nodes: {}",
+        relative_errors.len()
+    );
+    let mean_err = relative_errors.iter().sum::<f64>() / relative_errors.len() as f64;
+    // The compressed trace quantizes SoC to 1/255 and samples twice per
+    // period; the paper relies on this being accurate enough to rank
+    // nodes. Allow a modest bias but not an order-of-magnitude error.
+    assert!(mean_err < 0.35, "mean relative error {mean_err}");
+}
+
+#[test]
+fn gateway_ranking_is_faithful() {
+    // What the dissemination actually needs is the *ranking* (w_u is
+    // normalized by the maximum): check rank correlation between
+    // estimate and truth.
+    let r = Scenario::large_scale(40, Protocol::h(0.5), 33)
+        .with_duration(Duration::from_days(45))
+        .with_sample_interval(Duration::from_days(7))
+        .run();
+    let mut pairs: Vec<(f64, f64)> = r
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.delivered > 10)
+        .map(|(i, n)| (r.gateway_degradation_estimates[i], n.final_degradation))
+        .collect();
+    assert!(pairs.len() >= 30);
+
+    // Spearman-ish: correlation of ranks.
+    let rank = |values: Vec<f64>| -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..values.len()).collect();
+        idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+        let mut ranks = vec![0.0; values.len()];
+        for (r, &i) in idx.iter().enumerate() {
+            ranks[i] = r as f64;
+        }
+        ranks
+    };
+    let est_ranks = rank(pairs.iter().map(|p| p.0).collect());
+    let truth_ranks = rank(pairs.iter().map(|p| p.1).collect());
+    let n = pairs.len() as f64;
+    let mean = (n - 1.0) / 2.0;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for i in 0..pairs.len() {
+        let (a, b) = (est_ranks[i] - mean, truth_ranks[i] - mean);
+        cov += a * b;
+        var_a += a * a;
+        var_b += b * b;
+    }
+    let rho = cov / (var_a.sqrt() * var_b.sqrt());
+    // Degradations across same-age nodes are nearly tied, so exact rank
+    // order is noisy; the dissemination only needs the normalized
+    // magnitude w_u = D/D_max to be right.
+    assert!(rho > 0.5, "rank correlation too weak: {rho}");
+    let est_max = pairs.iter().map(|p| p.0).fold(0.0f64, f64::max);
+    let truth_max = pairs.iter().map(|p| p.1).fold(0.0f64, f64::max);
+    let mean_w_error = pairs
+        .iter()
+        .map(|&(e, t)| (e / est_max - t / truth_max).abs())
+        .sum::<f64>()
+        / pairs.len() as f64;
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    assert!(mean_w_error < 0.15, "normalized-weight error too large: {mean_w_error}");
+}

@@ -1,0 +1,117 @@
+//! The paper's headline result shapes, asserted at small scale — a
+//! regression guard for the reproduction itself. (EXPERIMENTS.md records
+//! the full-scale numbers; these tests protect the *direction* of every
+//! claim on every commit.)
+//!
+//! The simulation-heavy tests are release-gated: run with
+//! `cargo test --release --test paper_shapes`.
+
+use lpwan_blam::netsim::{config::Protocol, RunResult, Scenario};
+use lpwan_blam::units::Duration;
+
+fn run(protocol: Protocol, nodes: usize, days: u64) -> RunResult {
+    Scenario::large_scale(nodes, protocol, 424_242)
+        .with_duration(Duration::from_days(days))
+        .with_sample_interval(Duration::from_days(15))
+        .run()
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+fn fig5_shape_retx_energy_degradation() {
+    let lorawan = run(Protocol::Lorawan, 80, 60);
+    let h50 = run(Protocol::h(0.5), 80, 60);
+    // Fig. 5a: fewer retransmissions.
+    assert!(
+        h50.network.avg_retx < lorawan.network.avg_retx,
+        "RETX: {} !< {}",
+        h50.network.avg_retx,
+        lorawan.network.avg_retx
+    );
+    // Fig. 5b: less TX energy.
+    assert!(h50.network.total_tx_energy_eq6 < lorawan.network.total_tx_energy_eq6);
+    // Fig. 5c: lower mean degradation and much lower variance.
+    assert!(h50.network.degradation.mean < lorawan.network.degradation.mean * 0.9);
+    assert!(h50.network.degradation.variance < lorawan.network.degradation.variance);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+fn fig4_shape_window_spread() {
+    let lorawan = run(Protocol::Lorawan, 60, 45);
+    let h50 = run(Protocol::h(0.5), 60, 45);
+    // LoRaWAN never leaves window 0.
+    assert!(lorawan
+        .nodes
+        .iter()
+        .all(|n| n.majority_window().unwrap_or(0) == 0));
+    // H-50 moves a meaningful share of nodes to later windows.
+    let moved = h50
+        .nodes
+        .iter()
+        .filter(|n| n.majority_window().unwrap_or(0) > 0)
+        .count();
+    assert!(moved >= 6, "only {moved}/60 nodes moved off window 0");
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+fn fig6_shape_utility_prr_latency() {
+    let lorawan = run(Protocol::Lorawan, 80, 60);
+    let h5 = run(Protocol::h(0.05), 80, 60);
+    let h50 = run(Protocol::h(0.5), 80, 60);
+    // H-5 loses packets to battery depletion.
+    assert!(h5.network.prr < h50.network.prr - 0.1);
+    assert!(h5.network.prr < lorawan.network.prr - 0.1);
+    // H-50 keeps PRR at least on par with LoRaWAN.
+    assert!(h50.network.prr >= lorawan.network.prr - 0.02);
+    // Deferral costs latency (Fig. 6c's direction).
+    assert!(
+        h50.network.avg_latency_delivered_secs > lorawan.network.avg_latency_delivered_secs
+    );
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+fn fig7_shape_degradation_rate_ordering() {
+    // Over the same horizon LoRaWAN's worst battery degrades fastest.
+    let lorawan = run(Protocol::Lorawan, 40, 120);
+    let h50 = run(Protocol::h(0.5), 40, 120);
+    let h50c = run(Protocol::h50c(), 40, 120);
+    let max_deg = |r: &RunResult| r.samples.last().unwrap().max_total();
+    assert!(max_deg(&h50) < max_deg(&lorawan));
+    assert!(max_deg(&h50c) < max_deg(&lorawan));
+    // H-50 ≈ H-50C (window selection refines, the clamp dominates).
+    assert!((max_deg(&h50) / max_deg(&h50c) - 1.0).abs() < 0.1);
+}
+
+#[test]
+fn fig3_shape_weight_splits_decisions() {
+    // Protocol-level (no simulation): the degraded node defers to the
+    // sunny window, the fresh node does not.
+    use lpwan_blam::protocol::select::{select_window, SelectInput, SelectOutcome};
+    use lpwan_blam::protocol::utility::Utility;
+    use lpwan_blam::units::Joules;
+
+    let mut green = vec![Joules(0.6); 10]; // sun covers the transmission
+    for g in green.iter_mut().take(2) {
+        *g = Joules(0.01);
+    }
+    let tx = vec![Joules(0.5); 10];
+    let pick = |w_u: f64| {
+        match select_window(&SelectInput {
+            battery_energy: Joules(5.0),
+            normalized_degradation: w_u,
+            degradation_weight: 1.0,
+            green_energy: &green,
+            tx_energy: &tx,
+            max_tx_energy: Joules(0.55),
+            utility: &Utility::Linear,
+        }) {
+            SelectOutcome::Selected { window, .. } => window,
+            SelectOutcome::Fail => usize::MAX,
+        }
+    };
+    assert_eq!(pick(0.02), 0, "fresh node transmits immediately");
+    assert!(pick(1.0) >= 2, "degraded node waits for green energy");
+}

@@ -1,0 +1,139 @@
+//! Hand-driven protocol-stack test: exercise the Class-A MAC, the
+//! gateway radio and the network server together — below the full
+//! simulator — for one collision-and-retry episode, checking that the
+//! pieces compose the way the engine assumes.
+
+use lpwan_blam::lorawan::{
+    ClassAMac, DeviceAddr, GatewayRadio, MacAction, MacParams, NetworkServer, ReceptionOutcome,
+    Uplink, UplinkTransmission,
+};
+use lpwan_blam::phy::{ChannelPlan, SpreadingFactor};
+use lpwan_blam::units::{Dbm, Duration, SimTime};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn mac(device: u32) -> ClassAMac {
+    ClassAMac::new(MacParams {
+        device: DeviceAddr(device),
+        plan: ChannelPlan::us915_single_channel(),
+        ..MacParams::default()
+    })
+}
+
+#[test]
+fn collision_then_retry_then_ack() {
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let plan = ChannelPlan::us915_single_channel();
+    let mut gateway = GatewayRadio::new(8);
+    let mut server = NetworkServer::new();
+    let mut mac_a = mac(1);
+    let mut mac_b = mac(2);
+
+    // Both nodes transmit simultaneously on the single channel with
+    // equal power: nobody captures.
+    let t0 = SimTime::ZERO;
+    let a_tx = match mac_a.send(t0, Uplink::confirmed(10), &mut rng)[0] {
+        MacAction::Transmit(tx) => tx,
+        _ => panic!("expected Transmit"),
+    };
+    let b_tx = match mac_b.send(t0, Uplink::confirmed(10), &mut rng)[0] {
+        MacAction::Transmit(tx) => tx,
+        _ => panic!("expected Transmit"),
+    };
+    let descriptor = |device: u32, tx: &lpwan_blam::lorawan::TransmitDescriptor| UplinkTransmission {
+        device: DeviceAddr(device),
+        channel: tx.channel,
+        sf: tx.config.sf,
+        rssi: Dbm(-100.0),
+        start: t0,
+        end: t0 + tx.airtime,
+    };
+    let a_id = gateway.begin_uplink(descriptor(1, &a_tx));
+    let b_id = gateway.begin_uplink(descriptor(2, &b_tx));
+    assert_eq!(gateway.end_uplink(a_id), ReceptionOutcome::Collided);
+    assert_eq!(gateway.end_uplink(b_id), ReceptionOutcome::Collided);
+
+    // Both MACs open their windows, see no ACK, and back off.
+    let t1 = t0 + a_tx.airtime;
+    let a_deadline = match mac_a.on_tx_completed(t1)[0] {
+        MacAction::ScheduleRxDeadline(at) => at,
+        _ => panic!("expected deadline"),
+    };
+    let _ = mac_b.on_tx_completed(t1);
+    let a_retry_at = match mac_a.on_rx_deadline(a_deadline, &mut rng)[0] {
+        MacAction::ScheduleRetransmit(at) => at,
+        _ => panic!("expected retransmit"),
+    };
+    assert!(a_retry_at > a_deadline);
+
+    // Node A retries alone this time: received, ACKed, done.
+    let a_tx2 = match mac_a.on_retransmit_time(a_retry_at, &mut rng)[0] {
+        MacAction::Transmit(tx) => tx,
+        _ => panic!("expected Transmit"),
+    };
+    assert_eq!(a_tx2.attempt, 2);
+    assert_eq!(a_tx2.frame.fcnt, 0, "retries keep the frame counter");
+    let a_id2 = gateway.begin_uplink(UplinkTransmission {
+        start: a_retry_at,
+        end: a_retry_at + a_tx2.airtime,
+        ..descriptor(1, &a_tx2)
+    });
+    assert_eq!(gateway.end_uplink(a_id2), ReceptionOutcome::Received);
+
+    let decision = server.on_uplink(
+        &a_tx2.frame,
+        &a_tx2.channel,
+        a_tx2.config.sf,
+        &plan,
+    );
+    assert!(decision.downlink.ack);
+    assert!(!decision.duplicate);
+
+    // The ACK downlink occupies the gateway, then reaches node A.
+    let tx_end = a_retry_at + a_tx2.airtime;
+    let actions = mac_a.on_tx_completed(tx_end);
+    assert!(matches!(actions[0], MacAction::ScheduleRxDeadline(_)));
+    let rx1 = tx_end + plan.rx1_delay;
+    assert!(gateway.downlink_available(rx1));
+    gateway.begin_downlink(rx1, rx1 + Duration::from_millis(100));
+    let report = match mac_a.on_ack(rx1 + Duration::from_millis(100))[0] {
+        MacAction::Complete(r) => r,
+        _ => panic!("expected Complete"),
+    };
+    assert!(report.delivered);
+    assert_eq!(report.transmissions, 2);
+    assert!(mac_a.is_idle());
+
+    // A duplicate retry from node B after its own backoff would still
+    // be ACKed but flagged.
+    let b_frame = b_tx.frame;
+    let dup = server.on_uplink(&b_frame, &b_tx.channel, b_tx.config.sf, &plan);
+    assert!(!dup.duplicate, "first copy of B's frame is new");
+    let dup2 = server.on_uplink(&b_frame, &b_tx.channel, b_tx.config.sf, &plan);
+    assert!(dup2.duplicate, "second copy must be flagged");
+}
+
+#[test]
+fn sf12_ack_fits_receive_window_model() {
+    // Regression for the SF12 bug the simulator hit: the ACK's preamble
+    // must land before the RX2-close deadline for every SF the plan can
+    // assign.
+    let plan = ChannelPlan::eu868();
+    for sf in [SpreadingFactor::Sf7, SpreadingFactor::Sf10, SpreadingFactor::Sf12] {
+        let ack_cfg = lpwan_blam::phy::TxConfig::new(
+            plan.rx1_sf(sf),
+            plan.downlink[0].bandwidth,
+            lpwan_blam::phy::CodingRate::Cr4_5,
+        );
+        let preamble_secs =
+            lpwan_blam::phy::symbol_duration_secs(ack_cfg.sf, ack_cfg.bw) * (8.0 + 4.25);
+        let rx1_open = plan.rx1_delay.as_secs_f64();
+        let deadline = plan.rx2_delay.as_secs_f64() + 0.05;
+        assert!(
+            rx1_open + preamble_secs < deadline,
+            "{sf}: ACK preamble lock at {:.3}s misses deadline {:.3}s",
+            rx1_open + preamble_secs,
+            deadline
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Wire-level integration: the protocol's piggyback payloads survive a
+//! real encode → transmit → decode round trip into the gateway ledger,
+//! producing the same degradation estimate as handing the structured
+//! data over directly.
+
+use lpwan_blam::lorawan::codec::{decode, encode, MType, WireFrame};
+use lpwan_blam::lorawan::DeviceAddr;
+use lpwan_blam::protocol::dissemination::{dequantize_weight, quantize_weight};
+use lpwan_blam::protocol::{CompressedSocTrace, DegradationLedger, SocSample};
+use lpwan_blam::units::{Duration, SimTime};
+
+#[test]
+fn piggyback_survives_the_wire() {
+    let window = Duration::from_mins(1);
+    let mut direct = DegradationLedger::new(window);
+    let mut via_wire = DegradationLedger::new(window);
+
+    // A node ships 120 periods of compressed traces over real frames.
+    for period in 0..120u64 {
+        let start = SimTime::ZERO + Duration::from_mins(30) * period;
+        let trace = CompressedSocTrace {
+            discharge: SocSample::new((period % 7) as u8, 0.42 + 0.002 * (period % 20) as f64),
+            recharge: SocSample::new(25, 0.5),
+        };
+        // The protocol always ships the quantized form; the "direct"
+        // reference applies the same 1/255 SoC quantization locally.
+        direct.record_trace(9, start, &CompressedSocTrace::decode(trace.encode()));
+
+        let frame = WireFrame {
+            mtype: MType::ConfirmedUp,
+            device: DeviceAddr(9),
+            ack: false,
+            fcnt: period as u16,
+            fopts: trace.encode().to_vec(),
+            fport: 1,
+            payload: vec![0u8; 10],
+        };
+        let bytes = encode(&frame);
+        // …airtime happens…
+        let received = decode(&bytes).expect("clean channel");
+        assert_eq!(received.device, DeviceAddr(9));
+        let mut fopts = [0u8; CompressedSocTrace::ENCODED_LEN];
+        fopts.copy_from_slice(&received.fopts);
+        via_wire.record_trace(9, start, &CompressedSocTrace::decode(fopts));
+    }
+
+    let now = SimTime::ZERO + Duration::from_days(60);
+    let d_direct = direct.degradation_of(9, now);
+    let d_wire = via_wire.degradation_of(9, now);
+    assert!(d_direct > 0.0);
+    assert!(
+        (d_direct - d_wire).abs() < 1e-15,
+        "wire path diverged: {d_direct} vs {d_wire}"
+    );
+}
+
+#[test]
+fn quantization_cost_is_negligible() {
+    // The 1/255 SoC quantization of the 4-byte piggyback perturbs the
+    // gateway's degradation estimate by well under a percent.
+    let window = Duration::from_mins(1);
+    let mut exact = DegradationLedger::new(window);
+    let mut quantized = DegradationLedger::new(window);
+    for period in 0..200u64 {
+        let start = SimTime::ZERO + Duration::from_mins(30) * period;
+        let trace = CompressedSocTrace {
+            discharge: SocSample::new((period % 9) as u8, 0.37 + 0.0013 * (period % 31) as f64),
+            recharge: SocSample::new(25, 0.493),
+        };
+        exact.record_trace(1, start, &trace);
+        quantized.record_trace(1, start, &CompressedSocTrace::decode(trace.encode()));
+    }
+    let now = SimTime::ZERO + Duration::from_days(90);
+    let (de, dq) = (exact.degradation_of(1, now), quantized.degradation_of(1, now));
+    assert!(de > 0.0);
+    assert!((de - dq).abs() / de < 0.01, "quantization cost too high: {de} vs {dq}");
+}
+
+#[test]
+fn weight_byte_survives_the_ack() {
+    // The gateway's normalized degradation rides one byte in the ACK's
+    // FOpts; the node must recover w_u within quantization error.
+    for w in [0.0, 0.123, 0.5, 0.997, 1.0] {
+        let byte = quantize_weight(w);
+        let ack = WireFrame {
+            mtype: MType::UnconfirmedDown,
+            device: DeviceAddr(3),
+            ack: true,
+            fcnt: 7,
+            fopts: vec![byte],
+            fport: 0,
+            payload: Vec::new(),
+        };
+        let received = decode(&encode(&ack)).expect("clean channel");
+        let recovered = dequantize_weight(received.fopts[0]);
+        assert!((recovered - w).abs() <= 0.5 / 255.0 + 1e-12, "w {w} -> {recovered}");
+    }
+}
