@@ -137,10 +137,10 @@ impl DegradationConstants {
                 if cycle.depth <= 0.0 {
                     return 0.0;
                 }
-                let s_delta =
-                    (self.xu_kdelta1 * cycle.depth.powf(self.xu_kdelta2) + self.xu_kdelta3)
-                        .recip()
-                        .max(0.0);
+                let s_delta = (self.xu_kdelta1 * cycle.depth.powf(self.xu_kdelta2)
+                    + self.xu_kdelta3)
+                    .recip()
+                    .max(0.0);
                 let s_sigma = self.soc_stress_factor(cycle.mean_soc);
                 cycle.weight * s_delta * s_sigma
             }

@@ -271,7 +271,12 @@ impl DegradationTracker {
         if elapsed <= 0.0 {
             return 0.0;
         }
-        calendar_aging(elapsed, self.average_soc(at), self.temperature, &self.constants)
+        calendar_aging(
+            elapsed,
+            self.average_soc(at),
+            self.temperature,
+            &self.constants,
+        )
     }
 
     /// Cycle-aging component, Eq. (2): closed cycles plus the current
@@ -443,7 +448,7 @@ mod tests {
     }
 
     #[test]
-    fn calendar_dominates_cycling_for_lora_like_loads(){
+    fn calendar_dominates_cycling_for_lora_like_loads() {
         // Fig. 2 of the paper: for a LoRa node's shallow daily cycles,
         // calendar aging dominates cycle aging.
         let day = Duration::from_days(1);
@@ -516,12 +521,7 @@ mod tests {
         let avg = aged.average_soc(SimTime::ZERO + year);
         assert!((avg - 0.5).abs() < 1e-9, "blended avg SoC {avg}");
         // Calendar elapsed covers both years.
-        let two_years_half = calendar_aging(
-            2.0 * 365.0 * 86_400.0,
-            0.5,
-            Celsius(25.0),
-            &k,
-        );
+        let two_years_half = calendar_aging(2.0 * 365.0 * 86_400.0, 0.5, Celsius(25.0), &k);
         assert!((aged.calendar_component(SimTime::ZERO + year) - two_years_half).abs() < 1e-12);
     }
 

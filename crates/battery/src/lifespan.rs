@@ -94,10 +94,7 @@ mod tests {
     #[test]
     fn projection_extrapolates_linearly() {
         let day = Duration::from_days(1);
-        let samples = [
-            (SimTime::ZERO, 0.00),
-            (SimTime::ZERO + day * 100, 0.05),
-        ];
+        let samples = [(SimTime::ZERO, 0.00), (SimTime::ZERO + day * 100, 0.05)];
         // 0.05 per 100 days ⇒ EoL (0.20) at day 400.
         let eol = project_eol(&samples).unwrap();
         assert_eq!(eol.as_days(), 400);
@@ -111,15 +108,9 @@ mod tests {
 
     #[test]
     fn projection_rejects_flat_or_decreasing() {
-        let s = [
-            (SimTime::ZERO, 0.10),
-            (SimTime::from_secs(100), 0.10),
-        ];
+        let s = [(SimTime::ZERO, 0.10), (SimTime::from_secs(100), 0.10)];
         assert!(project_eol(&s).is_none());
-        let s = [
-            (SimTime::ZERO, 0.10),
-            (SimTime::from_secs(100), 0.05),
-        ];
+        let s = [(SimTime::ZERO, 0.10), (SimTime::from_secs(100), 0.05)];
         assert!(project_eol(&s).is_none());
     }
 

@@ -254,7 +254,10 @@ mod tests {
         assert_eq!(accepted, Joules(3.0));
         assert!((b.soc() - 0.8).abs() < 1e-12);
         // A second charge at the same limit accepts nothing.
-        assert_eq!(b.charge(SimTime::from_secs(2), Joules(1.0), 0.8), Joules::ZERO);
+        assert_eq!(
+            b.charge(SimTime::from_secs(2), Joules(1.0), 0.8),
+            Joules::ZERO
+        );
     }
 
     #[test]
@@ -271,7 +274,10 @@ mod tests {
         let drawn = b.discharge(SimTime::from_secs(1), Joules(7.0));
         assert_eq!(drawn, Joules(5.0));
         assert!(b.is_empty());
-        assert_eq!(b.discharge(SimTime::from_secs(2), Joules(1.0)), Joules::ZERO);
+        assert_eq!(
+            b.discharge(SimTime::from_secs(2), Joules(1.0)),
+            Joules::ZERO
+        );
     }
 
     #[test]

@@ -149,12 +149,8 @@ mod tests {
     #[test]
     fn green_covers_demand_surplus_charges() {
         let mut b = battery(0.2);
-        let out = PowerSwitch::new(1.0).step(
-            SimTime::from_secs(1),
-            &mut b,
-            Joules(3.0),
-            Joules(1.0),
-        );
+        let out =
+            PowerSwitch::new(1.0).step(SimTime::from_secs(1), &mut b, Joules(3.0), Joules(1.0));
         assert_eq!(out.from_green, Joules(1.0));
         assert_eq!(out.charged, Joules(2.0));
         assert_eq!(out.from_battery, Joules::ZERO);
@@ -166,12 +162,8 @@ mod tests {
     #[test]
     fn theta_caps_charging_and_spills_rest() {
         let mut b = battery(0.4);
-        let out = PowerSwitch::new(0.5).step(
-            SimTime::from_secs(1),
-            &mut b,
-            Joules(5.0),
-            Joules(0.0),
-        );
+        let out =
+            PowerSwitch::new(0.5).step(SimTime::from_secs(1), &mut b, Joules(5.0), Joules(0.0));
         assert_eq!(out.charged, Joules(1.0)); // 0.4 → 0.5 only
         assert_eq!(out.spilled, Joules(4.0));
         assert!((b.soc() - 0.5).abs() < 1e-12);
@@ -180,12 +172,8 @@ mod tests {
     #[test]
     fn battery_covers_shortfall() {
         let mut b = battery(0.5);
-        let out = PowerSwitch::new(0.5).step(
-            SimTime::from_secs(1),
-            &mut b,
-            Joules(0.5),
-            Joules(2.0),
-        );
+        let out =
+            PowerSwitch::new(0.5).step(SimTime::from_secs(1), &mut b, Joules(0.5), Joules(2.0));
         assert_eq!(out.from_green, Joules(0.5));
         assert_eq!(out.from_battery, Joules(1.5));
         assert!(out.satisfied());
@@ -195,12 +183,8 @@ mod tests {
     #[test]
     fn brownout_reports_deficit() {
         let mut b = battery(0.1);
-        let out = PowerSwitch::new(0.5).step(
-            SimTime::from_secs(1),
-            &mut b,
-            Joules(0.0),
-            Joules(5.0),
-        );
+        let out =
+            PowerSwitch::new(0.5).step(SimTime::from_secs(1), &mut b, Joules(0.0), Joules(5.0));
         assert_eq!(out.from_battery, Joules(1.0));
         assert_eq!(out.deficit, Joules(4.0));
         assert!(!out.satisfied());
@@ -228,12 +212,8 @@ mod tests {
     #[test]
     fn zero_theta_never_charges() {
         let mut b = battery(0.0);
-        let out = PowerSwitch::new(0.0).step(
-            SimTime::from_secs(1),
-            &mut b,
-            Joules(5.0),
-            Joules(1.0),
-        );
+        let out =
+            PowerSwitch::new(0.0).step(SimTime::from_secs(1), &mut b, Joules(5.0), Joules(1.0));
         assert_eq!(out.charged, Joules::ZERO);
         assert_eq!(out.spilled, Joules(4.0));
         assert!(out.satisfied()); // green alone covered the demand

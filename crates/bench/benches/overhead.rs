@@ -16,15 +16,17 @@ fn bench_decision(c: &mut Criterion) {
             node.on_exchange_complete(w, 1 + (w % 4) as u8, Joules(0.054));
         }
         let green: Vec<Joules> = (0..windows)
-            .map(|w| if w % 2 == 0 { Joules(0.08) } else { Joules(0.01) })
+            .map(|w| {
+                if w % 2 == 0 {
+                    Joules(0.08)
+                } else {
+                    Joules(0.01)
+                }
+            })
             .collect();
-        group.bench_with_input(
-            BenchmarkId::new("algorithm1", windows),
-            &windows,
-            |b, _| {
-                b.iter(|| black_box(node.plan(black_box(Joules(2.0)), black_box(&green))));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("algorithm1", windows), &windows, |b, _| {
+            b.iter(|| black_box(node.plan(black_box(Joules(2.0)), black_box(&green))));
+        });
     }
     group.bench_function("aloha_baseline", |b| {
         b.iter(|| black_box(0usize));

@@ -94,7 +94,11 @@ fn heuristic_assignment(p: &ClairvoyantProblem) -> Assignment {
 
 fn main() {
     let args = ExperimentArgs::parse(2, 0.0);
-    banner("clairvoyant_gap", "Algorithm 1 vs the §III-A optimum", &args);
+    banner(
+        "clairvoyant_gap",
+        "Algorithm 1 vs the §III-A optimum",
+        &args,
+    );
 
     let p = instance();
     println!("search space: {} schedules\n", p.search_space());
@@ -110,7 +114,13 @@ fn main() {
 
     println!(
         "{:>6} {:>13} {:>12} {:>11} | {:>13} {:>12} {:>11} {:>10}",
-        "λ", "opt max-deg", "opt utility", "opt obj", "heur max-deg", "heur utility", "heur obj",
+        "λ",
+        "opt max-deg",
+        "opt utility",
+        "opt obj",
+        "heur max-deg",
+        "heur utility",
+        "heur obj",
         "obj gap"
     );
     let mut rows = Vec::new();

@@ -49,14 +49,11 @@ fn main() {
             scenario.config.degradation = constants;
             let run = scenario.run();
             let last = run.samples.last().expect("samples");
-            let cyc = last.per_node.iter().map(|b| b.cycle).sum::<f64>()
-                / last.per_node.len() as f64;
+            let cyc =
+                last.per_node.iter().map(|b| b.cycle).sum::<f64>() / last.per_node.len() as f64;
             println!(
                 "{:<12} {:<8} {:>13.6} {:>12.5}",
-                model_name,
-                run.label,
-                cyc,
-                run.network.degradation.mean,
+                model_name, run.label, cyc, run.network.degradation.mean,
             );
             rows.push(ModelRow {
                 cycle_model: model_name.to_string(),
@@ -78,7 +75,9 @@ fn main() {
     );
     println!(
         "Model-independence claim (the advantage survives the swap, within a third): {}",
-        linear_gain > 0.0 && xu_gain > 0.0 && (linear_gain - xu_gain).abs() < linear_gain.max(xu_gain) / 3.0
+        linear_gain > 0.0
+            && xu_gain > 0.0
+            && (linear_gain - xu_gain).abs() < linear_gain.max(xu_gain) / 3.0
     );
     write_json("cycle_model_ablation", &rows);
 }

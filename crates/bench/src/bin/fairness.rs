@@ -8,8 +8,9 @@
 //! the battery-replacement scenario §III-B's "new node joins" remark
 //! implies — and we check the protection actually materializes.
 
+use blam_bench::report::{shape_checks, Align, Table};
 use blam_bench::{banner, write_json, ExperimentArgs};
-use blam_netsim::{config::Protocol, RunResult, Scenario};
+use blam_netsim::{config::Protocol, RunResult, Scenario, ScenarioConfig};
 use blam_units::Duration;
 use serde::Serialize;
 
@@ -27,8 +28,11 @@ struct FairnessRow {
 fn group_stats(run: &RunResult, aged_count: usize) -> FairnessRow {
     let (aged, fresh) = run.nodes.split_at(aged_count);
     let avg = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
-    let retx = |g: &[blam_netsim::NodeMetrics]| avg(&g.iter().map(|n| n.avg_retx()).collect::<Vec<_>>());
-    let util = |g: &[blam_netsim::NodeMetrics]| avg(&g.iter().map(|n| n.avg_utility()).collect::<Vec<_>>());
+    let retx =
+        |g: &[blam_netsim::NodeMetrics]| avg(&g.iter().map(|n| n.avg_retx()).collect::<Vec<_>>());
+    let util = |g: &[blam_netsim::NodeMetrics]| {
+        avg(&g.iter().map(|n| n.avg_utility()).collect::<Vec<_>>())
+    };
     let last = run.samples.last().expect("samples");
     let first = run.samples.first().expect("samples");
     let cycle_growth = |range: std::ops::Range<usize>| {
@@ -60,31 +64,45 @@ fn main() {
     );
     let aged_fraction = 0.25;
     let aged_count = (args.nodes as f64 * aged_fraction) as usize;
-    println!("{aged_count}/{} nodes start with 4-year-old batteries\n", args.nodes);
-
     println!(
-        "{:<8} {:>11} {:>11} {:>12} {:>12} {:>13} {:>13}",
-        "MAC", "RETX(aged)", "RETX(new)", "util(aged)", "util(new)", "cycΔ(aged)", "cycΔ(new)"
+        "{aged_count}/{} nodes start with 4-year-old batteries\n",
+        args.nodes
     );
+
+    let configs: Vec<ScenarioConfig> = [Protocol::Lorawan, Protocol::h(0.5)]
+        .into_iter()
+        .map(|protocol| {
+            let mut scenario = Scenario::large_scale(args.nodes, protocol, args.seed)
+                .with_duration(args.duration())
+                .with_sample_interval(Duration::from_days(30));
+            scenario.config.aged_fraction = aged_fraction;
+            scenario.config.aged_years = 4.0;
+            scenario.config
+        })
+        .collect();
+    let runs = args.runner().run_all(configs);
+
+    let table = Table::with_header(&[
+        ("MAC", 8, Align::Left),
+        ("RETX(aged)", 11, Align::Right),
+        ("RETX(new)", 11, Align::Right),
+        ("util(aged)", 12, Align::Right),
+        ("util(new)", 12, Align::Right),
+        ("cycΔ(aged)", 13, Align::Right),
+        ("cycΔ(new)", 13, Align::Right),
+    ]);
     let mut rows = Vec::new();
-    for protocol in [Protocol::Lorawan, Protocol::h(0.5)] {
-        let mut scenario = Scenario::large_scale(args.nodes, protocol, args.seed)
-            .with_duration(args.duration())
-            .with_sample_interval(Duration::from_days(30));
-        scenario.config.aged_fraction = aged_fraction;
-        scenario.config.aged_years = 4.0;
-        let run = scenario.run();
-        let row = group_stats(&run, aged_count);
-        println!(
-            "{:<8} {:>11.3} {:>11.3} {:>12.3} {:>12.3} {:>13.6} {:>13.6}",
-            row.protocol,
-            row.aged_retx,
-            row.fresh_retx,
-            row.aged_utility,
-            row.fresh_utility,
-            row.aged_cycle_growth,
-            row.fresh_cycle_growth,
-        );
+    for run in &runs {
+        let row = group_stats(run, aged_count);
+        table.row(&[
+            row.protocol.clone(),
+            format!("{:.3}", row.aged_retx),
+            format!("{:.3}", row.fresh_retx),
+            format!("{:.3}", row.aged_utility),
+            format!("{:.3}", row.fresh_utility),
+            format!("{:.6}", row.aged_cycle_growth),
+            format!("{:.6}", row.fresh_cycle_growth),
+        ]);
         rows.push(row);
     }
 
@@ -92,13 +110,20 @@ fn main() {
     // Under LoRaWAN aged and fresh nodes behave identically; under H-50
     // aged nodes (w_u ≈ 1) conserve: fewer retransmissions and less new
     // cycle damage than their fresh peers, paid with a little utility.
-    println!(
-        "\nShape checks — LoRaWAN treats groups alike (RETX within 15%): {}; under H-50 aged \
-         nodes add less\ncycle damage than fresh ones: {}; the aged group's utility trades \
-         down for it: {}",
-        (lorawan.aged_retx / lorawan.fresh_retx.max(1e-12) - 1.0).abs() < 0.15,
-        h50.aged_cycle_growth < h50.fresh_cycle_growth,
-        h50.aged_utility <= h50.fresh_utility + 1e-9,
-    );
+    println!();
+    shape_checks(&[
+        (
+            "LoRaWAN treats groups alike (RETX within 15%)",
+            (lorawan.aged_retx / lorawan.fresh_retx.max(1e-12) - 1.0).abs() < 0.15,
+        ),
+        (
+            "under H-50 aged nodes add less cycle damage than fresh ones",
+            h50.aged_cycle_growth < h50.fresh_cycle_growth,
+        ),
+        (
+            "the aged group's utility trades down for it",
+            h50.aged_utility <= h50.fresh_utility + 1e-9,
+        ),
+    ]);
     write_json("fairness", &rows);
 }

@@ -40,7 +40,10 @@ fn main() {
             char::from_digit(u32::from(p.sf.as_u8() - 5), 10).unwrap_or('?');
     }
     grid[H / 2][W / 2] = 'G';
-    println!("gateway = G, digits = SF − 5 (2 ⇒ SF7 … 7 ⇒ SF12); 1 cell ≈ {:.0} m\n", 2.0 * r / W as f64);
+    println!(
+        "gateway = G, digits = SF − 5 (2 ⇒ SF7 … 7 ⇒ SF12); 1 cell ≈ {:.0} m\n",
+        2.0 * r / W as f64
+    );
     for row in &grid {
         println!("{}", row.iter().collect::<String>());
     }

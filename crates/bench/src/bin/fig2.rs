@@ -77,7 +77,11 @@ fn main() {
     );
     println!(
         "Paper's Fig. 2 shape: calendar aging dominates cycle aging — {}",
-        if ratio > 1.5 { "REPRODUCED" } else { "NOT reproduced" }
+        if ratio > 1.5 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     write_json("fig2", &rows);
 }

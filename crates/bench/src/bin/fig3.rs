@@ -89,11 +89,19 @@ fn main() {
     let p29_split = decisions[2].chosen_window != decisions[3].chosen_window;
     println!(
         "\np28: both nodes choose the same early window — {}",
-        if p28_agree { "REPRODUCED" } else { "NOT reproduced" }
+        if p28_agree {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     println!(
         "p29: the degraded node defers while the fresh node transmits early — {}",
-        if p29_split { "REPRODUCED" } else { "NOT reproduced" }
+        if p29_split {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     write_json("fig3", &decisions);
 }

@@ -22,7 +22,11 @@ struct Fig4Row {
 
 fn main() {
     let args = ExperimentArgs::parse(150, 1.0);
-    banner("fig4", "forecast window selection (majority per node)", &args);
+    banner(
+        "fig4",
+        "forecast window selection (majority per node)",
+        &args,
+    );
     let sweep = theta_sweep::run_or_load(&args);
 
     let mut rows = Vec::new();
@@ -62,12 +66,16 @@ fn main() {
         });
     }
 
-    let lorawan_all_first = rows[0].nodes_per_window[0]
-        == rows[0].nodes_per_window.iter().sum::<usize>();
+    let lorawan_all_first =
+        rows[0].nodes_per_window[0] == rows[0].nodes_per_window.iter().sum::<usize>();
     let h50_spreads = rows[2].nodes_per_window.iter().skip(1).sum::<usize>() > 0;
     println!(
         "\nLoRaWAN always selects the first window — {}",
-        if lorawan_all_first { "REPRODUCED" } else { "NOT reproduced" }
+        if lorawan_all_first {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     println!(
         "H variants distribute nodes across windows (most within the first 4) — {}",

@@ -8,6 +8,7 @@
 //!
 //! Shares the θ-sweep runs with fig4/fig6 (cached).
 
+use blam_bench::report::{delta_vs_paper, percent_change, shape_checks, Align, Table};
 use blam_bench::{banner, theta_sweep, write_json, ExperimentArgs};
 use serde::Serialize;
 
@@ -34,26 +35,28 @@ fn main() {
     );
     let sweep = theta_sweep::run_or_load(&args);
 
-    println!(
-        "{:<8} {:>10} {:>14} {:>11} {:>12} {:>22}",
-        "MAC", "avg RETX", "TX energy [J]", "deg. mean", "deg. var", "deg. quartiles"
-    );
+    let table = Table::with_header(&[
+        ("MAC", 8, Align::Left),
+        ("avg RETX", 10, Align::Right),
+        ("TX energy [J]", 14, Align::Right),
+        ("deg. mean", 11, Align::Right),
+        ("deg. var", 12, Align::Right),
+        ("deg. quartiles", 22, Align::Right),
+    ]);
     let mut rows = Vec::new();
     for run in &sweep.runs {
         let d = run.network.degradation;
-        println!(
-            "{:<8} {:>10.3} {:>14.1} {:>11.5} {:>12.3e}   [{:.4} {:.4} {:.4} {:.4} {:.4}]",
-            run.label,
-            run.network.avg_retx,
-            run.network.total_tx_energy_eq6.0,
-            d.mean,
-            d.variance,
-            d.min,
-            d.p25,
-            d.median,
-            d.p75,
-            d.max
-        );
+        table.row(&[
+            run.label.clone(),
+            format!("{:.3}", run.network.avg_retx),
+            format!("{:.1}", run.network.total_tx_energy_eq6.0),
+            format!("{:.5}", d.mean),
+            format!("{:.3e}", d.variance),
+            format!(
+                "[{:.4} {:.4} {:.4} {:.4} {:.4}]",
+                d.min, d.p25, d.median, d.p75, d.max
+            ),
+        ]);
         rows.push(Fig5Row {
             protocol: run.label.clone(),
             avg_retx: run.network.avg_retx,
@@ -70,17 +73,41 @@ fn main() {
 
     let lorawan = &rows[0];
     let h50 = &rows[2];
-    let retx_cut = 1.0 - h50.avg_retx / lorawan.avg_retx.max(1e-12);
-    let deg_cut = 1.0 - h50.degradation_mean / lorawan.degradation_mean.max(1e-12);
-    let var_cut = 1.0 - h50.degradation_variance / lorawan.degradation_variance.max(1e-300);
-    println!("\nH-50 vs LoRaWAN: RETX {:+.1}%  (paper: −69.9%)", -100.0 * retx_cut);
-    println!("H-50 vs LoRaWAN: mean degradation {:+.1}%  (paper: −21.9%)", -100.0 * deg_cut);
-    println!("H-50 vs LoRaWAN: degradation variance {:+.1}%  (paper: −91.5%)", -100.0 * var_cut);
-    println!(
-        "Shape checks: every H ≤ LoRaWAN RETX: {}; H-5 degrades least: {}; H-100 mean ≈ LoRaWAN: {}",
-        rows[1..].iter().all(|r| r.avg_retx <= lorawan.avg_retx * 1.02),
-        rows[1].degradation_mean <= rows.iter().map(|r| r.degradation_mean).fold(f64::MAX, f64::min) + 1e-12,
-        (rows[3].degradation_mean / lorawan.degradation_mean - 1.0).abs() < 0.1,
+    println!();
+    delta_vs_paper(
+        "H-50 vs LoRaWAN: RETX",
+        percent_change(h50.avg_retx, lorawan.avg_retx),
+        "−69.9%",
     );
+    delta_vs_paper(
+        "H-50 vs LoRaWAN: mean degradation",
+        percent_change(h50.degradation_mean, lorawan.degradation_mean),
+        "−21.9%",
+    );
+    delta_vs_paper(
+        "H-50 vs LoRaWAN: degradation variance",
+        percent_change(h50.degradation_variance, lorawan.degradation_variance),
+        "−91.5%",
+    );
+    let least_mean = rows
+        .iter()
+        .map(|r| r.degradation_mean)
+        .fold(f64::MAX, f64::min);
+    shape_checks(&[
+        (
+            "every H ≤ LoRaWAN RETX",
+            rows[1..]
+                .iter()
+                .all(|r| r.avg_retx <= lorawan.avg_retx * 1.02),
+        ),
+        (
+            "H-5 degrades least",
+            rows[1].degradation_mean <= least_mean + 1e-12,
+        ),
+        (
+            "H-100 mean ≈ LoRaWAN",
+            (rows[3].degradation_mean / lorawan.degradation_mean - 1.0).abs() < 0.1,
+        ),
+    ]);
     write_json("fig5", &rows);
 }

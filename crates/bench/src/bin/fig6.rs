@@ -9,6 +9,7 @@
 //!
 //! Shares the θ-sweep runs with fig4/fig5 (cached).
 
+use blam_bench::report::{delta_vs_paper, percent_change, shape_checks, Align, Table};
 use blam_bench::{banner, theta_sweep, write_json, ExperimentArgs};
 use serde::Serialize;
 
@@ -30,25 +31,34 @@ fn main() {
     banner("fig6", "utility / PRR / latency under varying θ", &args);
     let sweep = theta_sweep::run_or_load(&args);
 
-    println!(
-        "{:<8} {:>9} {:>17} {:>7} {:>15} {:>13} {:>13}",
-        "MAC", "utility", "per-node [lo,hi]", "PRR", "per-node [lo,hi]", "lat(deliv)", "lat(penal)"
-    );
+    let table = Table::with_header(&[
+        ("MAC", 8, Align::Left),
+        ("utility", 9, Align::Right),
+        ("per-node [lo,hi]", 17, Align::Right),
+        ("PRR", 7, Align::Right),
+        ("per-node [lo,hi]", 15, Align::Right),
+        ("lat(deliv)", 13, Align::Right),
+        ("lat(penal)", 13, Align::Right),
+    ]);
     let mut rows = Vec::new();
     for run in &sweep.runs {
         let n = &run.network;
-        println!(
-            "{:<8} {:>9.3} {:>8.3},{:>7.3} {:>6.1}% {:>7.1}%,{:>6.1}% {:>12.1}s {:>12.1}s",
-            run.label,
-            n.avg_utility,
-            n.utility_per_node.min,
-            n.utility_per_node.max,
-            100.0 * n.prr,
-            100.0 * n.prr_per_node.min,
-            100.0 * n.prr_per_node.max,
-            n.avg_latency_delivered_secs,
-            n.avg_latency_secs,
-        );
+        table.row(&[
+            run.label.clone(),
+            format!("{:.3}", n.avg_utility),
+            format!(
+                "{:.3},{:.3}",
+                n.utility_per_node.min, n.utility_per_node.max
+            ),
+            format!("{:.1}%", 100.0 * n.prr),
+            format!(
+                "{:.1}%,{:.1}%",
+                100.0 * n.prr_per_node.min,
+                100.0 * n.prr_per_node.max
+            ),
+            format!("{:.1}s", n.avg_latency_delivered_secs),
+            format!("{:.1}s", n.avg_latency_secs),
+        ]);
         rows.push(Fig6Row {
             protocol: run.label.clone(),
             avg_utility: n.avg_utility,
@@ -65,18 +75,28 @@ fn main() {
     let lorawan = &rows[0];
     let h5 = &rows[1];
     let h50 = &rows[2];
-    println!(
-        "\nH-50 vs LoRaWAN worst node: utility {:+.0}% (paper +39%), PRR {:+.0}% (paper +54%)",
-        100.0 * (h50.utility_min_node / lorawan.utility_min_node.max(1e-12) - 1.0),
-        100.0 * (h50.prr_min_node / lorawan.prr_min_node.max(1e-12) - 1.0),
+    println!();
+    delta_vs_paper(
+        "H-50 vs LoRaWAN worst node: utility",
+        percent_change(h50.utility_min_node, lorawan.utility_min_node),
+        "+39%",
     );
-    println!(
-        "Shape checks: LoRaWAN spread wide (min PRR {:.0}%): {}; H-5 PRR lowest: {}; \
-         H-50 delivers later than LoRaWAN: {}",
-        100.0 * lorawan.prr_min_node,
-        lorawan.prr_min_node < 0.9,
-        h5.prr <= rows.iter().map(|r| r.prr).fold(f64::MAX, f64::min) + 1e-12,
-        h50.avg_latency_delivered_secs > lorawan.avg_latency_delivered_secs,
+    delta_vs_paper(
+        "H-50 vs LoRaWAN worst node: PRR",
+        percent_change(h50.prr_min_node, lorawan.prr_min_node),
+        "+54%",
     );
+    let lowest_prr = rows.iter().map(|r| r.prr).fold(f64::MAX, f64::min);
+    shape_checks(&[
+        (
+            "LoRaWAN per-node PRR spread wide",
+            lorawan.prr_min_node < 0.9,
+        ),
+        ("H-5 PRR lowest", h5.prr <= lowest_prr + 1e-12),
+        (
+            "H-50 delivers later than LoRaWAN",
+            h50.avg_latency_delivered_secs > lorawan.avg_latency_delivered_secs,
+        ),
+    ]);
     write_json("fig6", &rows);
 }

@@ -40,8 +40,15 @@ fn main() {
     }
 
     // Print yearly cross-sections of the three curves.
-    println!("{:>6} {:>12} {:>12} {:>12}", "years", "LoRaWAN", "H-50", "H-50C");
-    let max_len = series.iter().map(|s| s.monthly_max.len()).max().unwrap_or(0);
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "years", "LoRaWAN", "H-50", "H-50C"
+    );
+    let max_len = series
+        .iter()
+        .map(|s| s.monthly_max.len())
+        .max()
+        .unwrap_or(0);
     for m in (11..max_len).step_by(12) {
         let cell = |s: &Fig7Series| {
             s.monthly_max

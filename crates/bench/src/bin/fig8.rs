@@ -11,6 +11,7 @@
 
 use blam_battery::project_eol;
 use blam_bench::lifespan::lifespan_runs;
+use blam_bench::report::{delta_vs_paper, percent_change, shape_checks, Align, Table};
 use blam_bench::{banner, write_json, ExperimentArgs};
 use serde::Serialize;
 
@@ -27,28 +28,28 @@ fn main() {
     banner("fig8", "network battery lifespan", &args);
     let runs = lifespan_runs(&args);
 
+    let table = Table::with_header(&[
+        ("MAC", 8, Align::Left),
+        ("days", 12, Align::Right),
+        ("years", 10, Align::Right),
+        ("projected?", 11, Align::Right),
+    ]);
     let mut rows = Vec::new();
-    println!("{:<8} {:>12} {:>10} {:>11}", "MAC", "days", "years", "projected?");
     for run in &runs {
         let (days, projected) = match run.lifespan_days() {
             Some(d) => (d, false),
             None => {
-                let trend: Vec<_> = run
-                    .samples
-                    .iter()
-                    .map(|s| (s.at, s.max_total()))
-                    .collect();
+                let trend: Vec<_> = run.samples.iter().map(|s| (s.at, s.max_total())).collect();
                 let eol = project_eol(&trend).expect("degradation trend must project to EoL");
                 (eol.as_millis() as f64 / 86_400_000.0, true)
             }
         };
-        println!(
-            "{:<8} {:>12.0} {:>10.2} {:>11}",
-            run.label,
-            days,
-            days / 365.25,
-            if projected { "yes" } else { "no" }
-        );
+        table.row(&[
+            run.label.clone(),
+            format!("{days:.0}"),
+            format!("{:.2}", days / 365.25),
+            (if projected { "yes" } else { "no" }).to_string(),
+        ]);
         rows.push(Fig8Row {
             protocol: run.label.clone(),
             lifespan_days: days,
@@ -57,15 +58,21 @@ fn main() {
         });
     }
 
-    let improvement = rows[1].lifespan_days / rows[0].lifespan_days - 1.0;
-    println!(
-        "\nH-50 lifespan improvement over LoRaWAN: {:+.1}%  (paper: +69.7%, 8.1 y → 13.86 y)",
-        100.0 * improvement
+    println!();
+    delta_vs_paper(
+        "H-50 lifespan improvement over LoRaWAN:",
+        percent_change(rows[1].lifespan_days, rows[0].lifespan_days),
+        "+69.7%, 8.1 y → 13.86 y",
     );
-    println!(
-        "Shape checks: H-50 outlives LoRaWAN: {}; H-50C close to H-50: {}",
-        rows[1].lifespan_days > rows[0].lifespan_days,
-        (rows[2].lifespan_days / rows[1].lifespan_days - 1.0).abs() < 0.25,
-    );
+    shape_checks(&[
+        (
+            "H-50 outlives LoRaWAN",
+            rows[1].lifespan_days > rows[0].lifespan_days,
+        ),
+        (
+            "H-50C close to H-50",
+            (rows[2].lifespan_days / rows[1].lifespan_days - 1.0).abs() < 0.25,
+        ),
+    ]);
     write_json("fig8", &rows);
 }

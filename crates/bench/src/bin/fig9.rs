@@ -26,18 +26,19 @@ struct Fig9Result {
 
 fn main() {
     let args = ExperimentArgs::parse(10, 1.0 / 365.0);
-    banner("fig9", "testbed: 10 nodes, 24 h, single channel SF10", &args);
+    banner(
+        "fig9",
+        "testbed: 10 nodes, 24 h, single channel SF10",
+        &args,
+    );
 
     let mut results = Vec::new();
     for protocol in [Protocol::Lorawan, Protocol::h(1.0)] {
         let run = Scenario::testbed(protocol, args.seed).run();
         let per_node: Vec<f64> = run.nodes.iter().map(|n| n.final_degradation).collect();
-        let cycle = run
-            .samples
-            .last()
-            .map_or(0.0, |s| {
-                s.per_node.iter().map(|b| b.cycle).sum::<f64>() / s.per_node.len() as f64
-            });
+        let cycle = run.samples.last().map_or(0.0, |s| {
+            s.per_node.iter().map(|b| b.cycle).sum::<f64>() / s.per_node.len() as f64
+        });
         results.push(Fig9Result {
             protocol: run.label.clone(),
             prr: run.network.prr,

@@ -31,7 +31,10 @@ fn main() {
 
     let kinds = [
         ("oracle".to_string(), ForecasterKind::Oracle),
-        ("persistence".to_string(), ForecasterKind::DiurnalPersistence),
+        (
+            "persistence".to_string(),
+            ForecasterKind::DiurnalPersistence,
+        ),
         ("noisy σ=0.5".to_string(), ForecasterKind::Noisy(0.5)),
         ("noisy σ=1.0".to_string(), ForecasterKind::Noisy(1.0)),
     ];

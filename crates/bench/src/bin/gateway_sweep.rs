@@ -6,8 +6,9 @@
 //! sweep quantifies how much of LoRaWAN's collision pain — and of the
 //! protocol's relative advantage — density buys away.
 
+use blam_bench::report::{shape_checks, Align, Table};
 use blam_bench::{banner, write_json, ExperimentArgs};
-use blam_netsim::{config::Protocol, Scenario};
+use blam_netsim::{config::Protocol, Scenario, ScenarioConfig};
 use blam_units::Duration;
 use serde::Serialize;
 
@@ -29,47 +30,72 @@ fn main() {
     }
     banner("gateway_sweep", "gateway density 1 / 2 / 4", &args);
 
-    println!(
-        "{:<4} {:<8} {:>7} {:>9} {:>14} {:>11}",
-        "GWs", "MAC", "PRR", "RETX", "TX energy [J]", "deg. mean"
-    );
-    let mut rows = Vec::new();
-    for gateways in [1usize, 2, 4] {
+    // The six (density, protocol) cells are independent runs: one batch.
+    let densities = [1usize, 2, 4];
+    let mut cells = Vec::new();
+    let mut configs: Vec<ScenarioConfig> = Vec::new();
+    for gateways in densities {
         for protocol in [Protocol::Lorawan, Protocol::h(0.5)] {
             let mut scenario = Scenario::large_scale(args.nodes, protocol, args.seed)
                 .with_duration(args.duration())
                 .with_sample_interval(Duration::from_days(30));
             scenario.config.gateways = gateways;
-            let run = scenario.run();
-            println!(
-                "{:<4} {:<8} {:>6.1}% {:>9.3} {:>14.1} {:>11.5}",
-                gateways,
-                run.label,
-                100.0 * run.network.prr,
-                run.network.avg_retx,
-                run.network.total_tx_energy_eq6.0,
-                run.network.degradation.mean,
-            );
-            rows.push(GatewayRow {
-                gateways,
-                protocol: run.label.clone(),
-                prr: run.network.prr,
-                avg_retx: run.network.avg_retx,
-                tx_energy_eq6_joules: run.network.total_tx_energy_eq6.0,
-                degradation_mean: run.network.degradation.mean,
-            });
+            cells.push(gateways);
+            configs.push(scenario.config);
         }
     }
+    let runs = args.runner().run_all(configs);
 
-    let lorawan = |g: usize| rows.iter().find(|r| r.gateways == g && r.protocol == "LoRaWAN").unwrap();
-    let h50 = |g: usize| rows.iter().find(|r| r.gateways == g && r.protocol == "H-50").unwrap();
-    println!(
-        "\nShape checks — density cuts LoRaWAN TX energy (shorter links): {}; the θ-driven \
-         degradation advantage\nsurvives at every density: {}",
-        lorawan(4).tx_energy_eq6_joules < lorawan(1).tx_energy_eq6_joules,
-        [1usize, 2, 4]
-            .iter()
-            .all(|&g| h50(g).degradation_mean < lorawan(g).degradation_mean * 0.95),
-    );
+    let table = Table::with_header(&[
+        ("GWs", 4, Align::Left),
+        ("MAC", 8, Align::Left),
+        ("PRR", 7, Align::Right),
+        ("RETX", 9, Align::Right),
+        ("TX energy [J]", 14, Align::Right),
+        ("deg. mean", 11, Align::Right),
+    ]);
+    let mut rows = Vec::new();
+    for (gateways, run) in cells.into_iter().zip(&runs) {
+        table.row(&[
+            gateways.to_string(),
+            run.label.clone(),
+            format!("{:.1}%", 100.0 * run.network.prr),
+            format!("{:.3}", run.network.avg_retx),
+            format!("{:.1}", run.network.total_tx_energy_eq6.0),
+            format!("{:.5}", run.network.degradation.mean),
+        ]);
+        rows.push(GatewayRow {
+            gateways,
+            protocol: run.label.clone(),
+            prr: run.network.prr,
+            avg_retx: run.network.avg_retx,
+            tx_energy_eq6_joules: run.network.total_tx_energy_eq6.0,
+            degradation_mean: run.network.degradation.mean,
+        });
+    }
+
+    let lorawan = |g: usize| {
+        rows.iter()
+            .find(|r| r.gateways == g && r.protocol == "LoRaWAN")
+            .unwrap()
+    };
+    let h50 = |g: usize| {
+        rows.iter()
+            .find(|r| r.gateways == g && r.protocol == "H-50")
+            .unwrap()
+    };
+    println!();
+    shape_checks(&[
+        (
+            "density cuts LoRaWAN TX energy (shorter links)",
+            lorawan(4).tx_energy_eq6_joules < lorawan(1).tx_energy_eq6_joules,
+        ),
+        (
+            "the θ-driven degradation advantage survives at every density",
+            densities
+                .iter()
+                .all(|&g| h50(g).degradation_mean < lorawan(g).degradation_mean * 0.95),
+        ),
+    ]);
     write_json("gateway_sweep", &rows);
 }

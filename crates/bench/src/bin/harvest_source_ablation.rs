@@ -28,7 +28,11 @@ fn main() {
         args.nodes = 300;
         args.years = 2.0;
     }
-    banner("harvest_source_ablation", "solar panels vs wind turbines", &args);
+    banner(
+        "harvest_source_ablation",
+        "solar panels vs wind turbines",
+        &args,
+    );
 
     println!(
         "{:<7} {:<8} {:>7} {:>9} {:>11} {:>10}",
@@ -67,8 +71,8 @@ fn main() {
             .find(|r| r.source == s && r.protocol == p)
             .expect("row")
     };
-    let solar_gain = 1.0 - find("solar", "H-50").degradation_mean
-        / find("solar", "LoRaWAN").degradation_mean;
+    let solar_gain =
+        1.0 - find("solar", "H-50").degradation_mean / find("solar", "LoRaWAN").degradation_mean;
     let wind_gain =
         1.0 - find("wind", "H-50").degradation_mean / find("wind", "LoRaWAN").degradation_mean;
     println!(

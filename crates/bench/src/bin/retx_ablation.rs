@@ -26,7 +26,11 @@ fn main() {
         args.nodes = 500;
         args.years = 2.0;
     }
-    banner("retx_ablation", "Eq. (14) retransmission estimator on/off", &args);
+    banner(
+        "retx_ablation",
+        "Eq. (14) retransmission estimator on/off",
+        &args,
+    );
 
     println!(
         "{:<22} {:>10} {:>7} {:>14} {:>11}",
@@ -42,7 +46,11 @@ fn main() {
             .run();
         println!(
             "{:<22} {:>10.3} {:>6.1}% {:>14.1} {:>11.5}",
-            if use_estimator { "H-50 (with Eq. 14)" } else { "H-50 (ablated)" },
+            if use_estimator {
+                "H-50 (with Eq. 14)"
+            } else {
+                "H-50 (ablated)"
+            },
             run.network.avg_retx,
             100.0 * run.network.prr,
             run.network.total_tx_energy_eq6.0,

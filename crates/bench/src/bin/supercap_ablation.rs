@@ -29,7 +29,11 @@ fn main() {
         args.nodes = 300;
         args.years = 2.0;
     }
-    banner("supercap_ablation", "hybrid supercap + battery storage", &args);
+    banner(
+        "supercap_ablation",
+        "hybrid supercap + battery storage",
+        &args,
+    );
 
     println!(
         "{:<22} {:>7} {:>14} {:>13} {:>11}",

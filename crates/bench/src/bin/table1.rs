@@ -41,16 +41,17 @@ fn main() {
 
     let mut rows = Vec::new();
     for windows in [10usize, 38, 60] {
-        let mut node = BlamNode::new(
-            BlamConfig::h(0.5),
-            Joules(0.054),
-            Joules(0.55),
-            windows,
-        );
+        let mut node = BlamNode::new(BlamConfig::h(0.5), Joules(0.054), Joules(0.55), windows);
         node.on_weight_update(200);
         // A representative half-sunny forecast.
         let green: Vec<Joules> = (0..windows)
-            .map(|w| if w % 2 == 0 { Joules(0.08) } else { Joules(0.01) })
+            .map(|w| {
+                if w % 2 == 0 {
+                    Joules(0.08)
+                } else {
+                    Joules(0.01)
+                }
+            })
             .collect();
         // Mixed retransmission history.
         for w in 0..windows {

@@ -25,7 +25,11 @@ fn main() {
         args.nodes = 200;
         args.years = 2.0;
     }
-    banner("temperature_sweep", "battery temperature sensitivity", &args);
+    banner(
+        "temperature_sweep",
+        "battery temperature sensitivity",
+        &args,
+    );
 
     println!(
         "{:<8} {:>14} {:>12} {:>14}",

@@ -24,6 +24,7 @@ use serde::de::DeserializeOwned;
 use serde::Serialize;
 
 pub mod lifespan;
+pub mod report;
 pub mod theta_sweep;
 
 /// Common experiment parameters parsed from the command line.
@@ -37,13 +38,17 @@ pub struct ExperimentArgs {
     pub seed: u64,
     /// Paper-scale run (overrides nodes/years with the paper's values).
     pub full: bool,
+    /// Worker threads for batched simulations (defaults to the host's
+    /// available parallelism). Results are identical for any value.
+    pub jobs: usize,
 }
 
 impl ExperimentArgs {
     /// Parses `std::env::args`, starting from experiment-specific quick
     /// defaults.
     ///
-    /// Recognized flags: `--nodes N`, `--years Y`, `--seed S`, `--full`.
+    /// Recognized flags: `--nodes N`, `--years Y`, `--seed S`,
+    /// `--jobs N`, `--full`.
     ///
     /// # Panics
     ///
@@ -67,6 +72,7 @@ impl ExperimentArgs {
             years: default_years,
             seed: 42,
             full: false,
+            jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
         };
         let mut it = argv.iter();
         while let Some(flag) = it.next() {
@@ -78,15 +84,26 @@ impl ExperimentArgs {
                 "--nodes" => args.nodes = take("--nodes").parse().expect("--nodes: integer"),
                 "--years" => args.years = take("--years").parse().expect("--years: number"),
                 "--seed" => args.seed = take("--seed").parse().expect("--seed: integer"),
+                "--jobs" => {
+                    args.jobs = take("--jobs").parse().expect("--jobs: integer ≥ 1");
+                    assert!(args.jobs >= 1, "--jobs: integer ≥ 1");
+                }
                 "--full" => args.full = true,
                 "--help" | "-h" => {
-                    eprintln!("flags: --nodes N --years Y --seed S --full");
+                    eprintln!("flags: --nodes N --years Y --seed S --jobs N --full");
                     std::process::exit(0);
                 }
                 other => panic!("unknown flag {other} (try --help)"),
             }
         }
         args
+    }
+
+    /// A [`BatchRunner`](blam_netsim::runner::BatchRunner) sized to the
+    /// parsed `--jobs`.
+    #[must_use]
+    pub fn runner(&self) -> blam_netsim::runner::BatchRunner {
+        blam_netsim::runner::BatchRunner::new(self.jobs)
     }
 
     /// The simulated duration.
@@ -96,11 +113,23 @@ impl ExperimentArgs {
     }
 }
 
-/// The directory experiment outputs land in.
+/// The directory experiment outputs land in (created on first use).
+///
+/// # Panics
+///
+/// Panics with an actionable message when the directory cannot be
+/// created (wrong working directory, missing permissions).
 #[must_use]
 pub fn experiments_dir() -> PathBuf {
     let dir = PathBuf::from("target/experiments");
-    std::fs::create_dir_all(&dir).expect("create target/experiments");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        panic!(
+            "cannot create experiment output directory `{}`: {e}\n\
+             (experiments write relative to the working directory — \
+             run from the workspace root, or fix permissions)",
+            dir.display()
+        );
+    }
     dir
 }
 
@@ -109,11 +138,18 @@ pub fn experiments_dir() -> PathBuf {
 ///
 /// # Panics
 ///
-/// Panics if serialization or the write fails.
+/// Panics with an actionable message if serialization or the write
+/// fails.
 pub fn write_json<T: Serialize>(id: &str, value: &T) {
     let path = experiments_dir().join(format!("{id}.json"));
     let json = serde_json::to_string_pretty(value).expect("serialize experiment result");
-    std::fs::write(&path, json).expect("write experiment result");
+    if let Err(e) = std::fs::write(&path, json) {
+        panic!(
+            "cannot write experiment result `{}`: {e}\n\
+             (check free space and permissions on target/experiments)",
+            path.display()
+        );
+    }
     println!("\n[written {}]", path.display());
 }
 
@@ -133,7 +169,11 @@ pub fn banner(id: &str, title: &str, args: &ExperimentArgs) {
         args.nodes,
         args.years,
         args.seed,
-        if args.full { " (paper scale)" } else { " (quick scale; use --full for paper scale)" }
+        if args.full {
+            " (paper scale)"
+        } else {
+            " (quick scale; use --full for paper scale)"
+        }
     );
 }
 
@@ -164,11 +204,30 @@ mod tests {
     }
 
     #[test]
+    fn jobs_flag_sizes_the_runner() {
+        let a = ExperimentArgs::parse_from(&argv("--jobs 3"), 10, 1.0);
+        assert_eq!(a.jobs, 3);
+        assert_eq!(a.runner().jobs(), 3);
+        let d = ExperimentArgs::parse_from(&[], 10, 1.0);
+        assert!(d.jobs >= 1, "default jobs come from available parallelism");
+    }
+
+    #[test]
+    #[should_panic(expected = "--jobs: integer ≥ 1")]
+    fn zero_jobs_panics() {
+        let _ = ExperimentArgs::parse_from(&argv("--jobs 0"), 1, 1.0);
+    }
+
+    #[test]
     fn duration_rounds_to_days() {
         let a = ExperimentArgs::parse_from(&argv("--years 0.5"), 10, 1.0);
         assert_eq!(a.duration(), blam_units::Duration::from_days(183));
         let b = ExperimentArgs::parse_from(&argv("--years 0.001"), 10, 1.0);
-        assert_eq!(b.duration(), blam_units::Duration::from_days(1), "at least a day");
+        assert_eq!(
+            b.duration(),
+            blam_units::Duration::from_days(1),
+            "at least a day"
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! monthly maximum degradation, Fig. 8 the resulting network battery
 //! lifespans. Both binaries share these runs through the on-disk cache.
 
-use blam_netsim::{config::Protocol, RunResult, Scenario};
+use blam_netsim::{config::Protocol, RunResult, Scenario, ScenarioConfig};
 use blam_units::Duration;
 
 use crate::ExperimentArgs;
@@ -25,30 +25,16 @@ pub fn lifespan_runs(args: &ExperimentArgs) -> Vec<RunResult> {
             return cached;
         }
     }
-    let seed = args.seed;
-    let runs: Vec<RunResult> = std::thread::scope(|scope| {
-        let handles: Vec<_> = [Protocol::Lorawan, Protocol::h(0.5), Protocol::h50c()]
-            .into_iter()
-            .map(|protocol| {
-                scope.spawn(move || {
-                    let label = protocol.label();
-                    let start = std::time::Instant::now();
-                    let run = Scenario::large_scale(nodes, protocol, seed)
-                        .until_first_eol(Duration::from_days((horizon_years * 365.0) as u64))
-                        .with_sample_interval(Duration::from_days(30))
-                        .run();
-                    println!(
-                        "[simulated {label}: ended {} ({} events, {:.1?})]",
-                        run.sim_end,
-                        run.events_processed,
-                        start.elapsed()
-                    );
-                    run
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("run")).collect()
-    });
+    let configs: Vec<ScenarioConfig> = [Protocol::Lorawan, Protocol::h(0.5), Protocol::h50c()]
+        .into_iter()
+        .map(|protocol| {
+            Scenario::large_scale(nodes, protocol, args.seed)
+                .until_first_eol(Duration::from_days((horizon_years * 365.0) as u64))
+                .with_sample_interval(Duration::from_days(30))
+                .config
+        })
+        .collect();
+    let runs = args.runner().run_all(configs);
     crate::write_json(&cache_id, &runs);
     runs
 }

@@ -1,0 +1,118 @@
+//! Shared row-building/printing helpers for the figure binaries.
+//!
+//! Every figure binary renders the same three shapes of output: an
+//! aligned metrics table (one row per protocol), percent-delta lines
+//! against the paper's reported numbers, and a list of qualitative
+//! shape checks. [`Table`], [`percent_change`], [`delta_vs_paper`] and
+//! [`shape_checks`] factor that boilerplate so a figure binary only
+//! supplies its numbers.
+
+/// Column alignment within a [`Table`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Flush left (labels).
+    Left,
+    /// Flush right (numbers).
+    Right,
+}
+
+/// An aligned fixed-width text table. Cells arrive pre-formatted (each
+/// figure keeps its own precision); the table owns only widths and
+/// alignment.
+#[derive(Debug, Clone)]
+pub struct Table {
+    widths: Vec<usize>,
+    aligns: Vec<Align>,
+}
+
+impl Table {
+    /// Creates a table and prints its header row. Each column is
+    /// `(name, min_width, alignment)`; the width grows to fit the name.
+    #[must_use]
+    pub fn with_header(columns: &[(&str, usize, Align)]) -> Self {
+        let widths: Vec<usize> = columns
+            .iter()
+            .map(|(name, w, _)| (*w).max(name.chars().count()))
+            .collect();
+        let aligns: Vec<Align> = columns.iter().map(|&(_, _, a)| a).collect();
+        let table = Table { widths, aligns };
+        table.row(
+            &columns
+                .iter()
+                .map(|(n, ..)| (*n).to_string())
+                .collect::<Vec<_>>(),
+        );
+        table
+    }
+
+    /// Prints one aligned row. Extra cells are printed unaligned rather
+    /// than dropped; missing cells leave columns empty.
+    pub fn row(&self, cells: &[String]) {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push(' ');
+            }
+            let width = self.widths.get(i).copied().unwrap_or(0);
+            let align = self.aligns.get(i).copied().unwrap_or(Align::Right);
+            let pad = width.saturating_sub(cell.chars().count());
+            match align {
+                Align::Left => {
+                    line.push_str(cell);
+                    line.push_str(&" ".repeat(pad));
+                }
+                Align::Right => {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(cell);
+                }
+            }
+        }
+        println!("{}", line.trim_end());
+    }
+}
+
+/// Percent change of `value` against `baseline` (`+` above, `−` below),
+/// guarding near-zero baselines: `percent_change(0.3, 1.0)` = −70.
+#[must_use]
+pub fn percent_change(value: f64, baseline: f64) -> f64 {
+    100.0 * (value / baseline.abs().max(1e-300) - 1.0)
+}
+
+/// Prints one reproduction-vs-paper delta line:
+/// `H-50 vs LoRaWAN: RETX -68.2%  (paper: −69.9%)`.
+pub fn delta_vs_paper(comparison: &str, actual_pct: f64, paper: &str) {
+    println!("{comparison} {actual_pct:+.1}%  (paper: {paper})");
+}
+
+/// Prints the qualitative shape checks of a figure:
+/// `Shape checks: every H ≤ LoRaWAN RETX: true; …`.
+pub fn shape_checks(checks: &[(&str, bool)]) {
+    let rendered: Vec<String> = checks
+        .iter()
+        .map(|(desc, ok)| format!("{desc}: {ok}"))
+        .collect();
+    println!("Shape checks: {}", rendered.join("; "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_change_matches_paper_convention() {
+        assert!((percent_change(0.301, 1.0) - -69.9).abs() < 1e-9);
+        assert!((percent_change(1.5, 1.0) - 50.0).abs() < 1e-9);
+        // Near-zero baselines saturate instead of dividing by zero.
+        assert!(percent_change(1.0, 0.0).is_finite());
+    }
+
+    #[test]
+    fn table_grows_columns_to_fit_headers() {
+        let t = Table::with_header(&[("MAC", 2, Align::Left), ("avg RETX", 4, Align::Right)]);
+        assert_eq!(t.widths, vec![3, 8]);
+        assert_eq!(t.aligns, vec![Align::Left, Align::Right]);
+        // Rows beyond the declared columns must not panic.
+        t.row(&["H-50".into(), "0.31".into(), "extra".into()]);
+        t.row(&["LoRaWAN".into()]);
+    }
+}

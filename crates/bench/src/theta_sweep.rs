@@ -6,7 +6,7 @@
 //! caches the `RunResult`s under `target/experiments/`, keyed by the
 //! run parameters, so each figure binary reuses them.
 
-use blam_netsim::{config::Protocol, RunResult, Scenario};
+use blam_netsim::{config::Protocol, RunResult, Scenario, ScenarioConfig};
 use blam_units::Duration;
 use serde::{Deserialize, Serialize};
 
@@ -51,30 +51,19 @@ pub fn run_or_load(args: &ExperimentArgs) -> ThetaSweep {
         }
     }
 
-    // The four variants are independent: simulate them on four threads.
-    let seed = args.seed;
-    let runs: Vec<RunResult> = std::thread::scope(|scope| {
-        let handles: Vec<_> = protocols()
-            .into_iter()
-            .map(|protocol| {
-                scope.spawn(move || {
-                    let label = protocol.label();
-                    let start = std::time::Instant::now();
-                    let run = Scenario::large_scale(nodes, protocol, seed)
-                        .with_duration(Duration::from_days(days))
-                        .with_sample_interval(Duration::from_days(30))
-                        .run();
-                    println!(
-                        "[simulated {label}: {} events in {:.1?}]",
-                        run.events_processed,
-                        start.elapsed()
-                    );
-                    run
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("run")).collect()
-    });
+    // The four variants are independent (they deliberately share one
+    // seed, so every protocol sees the same topology and clouds): hand
+    // them to the batch runner as one deterministic batch.
+    let configs: Vec<ScenarioConfig> = protocols()
+        .into_iter()
+        .map(|protocol| {
+            Scenario::large_scale(nodes, protocol, args.seed)
+                .with_duration(Duration::from_days(days))
+                .with_sample_interval(Duration::from_days(30))
+                .config
+        })
+        .collect();
+    let runs = args.runner().run_all(configs);
     let sweep = ThetaSweep { key, runs };
     crate::write_json(&cache_id, &sweep);
     sweep

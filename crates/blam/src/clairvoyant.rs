@@ -244,10 +244,7 @@ impl ClairvoyantProblem {
     #[must_use]
     pub fn pareto_front(&self, limit: u128) -> Vec<(Assignment, Evaluation)> {
         let space = self.search_space();
-        assert!(
-            space <= limit,
-            "search space {space} exceeds limit {limit}"
-        );
+        assert!(space <= limit, "search space {space} exceeds limit {limit}");
         let mut front: Vec<(Assignment, Evaluation)> = Vec::new();
         let mut current = self.immediate_assignment();
         loop {
@@ -347,8 +344,7 @@ impl ClairvoyantProblem {
                 let better = match &best {
                     None => true,
                     Some((_, b)) => {
-                        current_eval.scalarized(lambda, deg_scale)
-                            < b.scalarized(lambda, deg_scale)
+                        current_eval.scalarized(lambda, deg_scale) < b.scalarized(lambda, deg_scale)
                     }
                 };
                 if better {
@@ -523,7 +519,12 @@ mod tests {
         let mut p = sunny_slot_two(1);
         p.nodes[0].green = vec![Joules(0.2); 8];
         let front = p.pareto_front(1 << 20);
-        assert_eq!(front.len(), 1, "front: {:?}", front.iter().map(|(_, e)| e).collect::<Vec<_>>());
+        assert_eq!(
+            front.len(),
+            1,
+            "front: {:?}",
+            front.iter().map(|(_, e)| e).collect::<Vec<_>>()
+        );
         assert!((front[0].1.min_utility - 1.0).abs() < 1e-12);
     }
 

@@ -53,7 +53,10 @@ impl BlamConfig {
     /// Panics if `theta` is outside `[0, 1]`.
     #[must_use]
     pub fn h(theta: f64) -> Self {
-        assert!((0.0..=1.0).contains(&theta), "θ must be in [0,1], got {theta}");
+        assert!(
+            (0.0..=1.0).contains(&theta),
+            "θ must be in [0,1], got {theta}"
+        );
         BlamConfig {
             forecast_window: Duration::from_mins(1),
             theta,
@@ -82,7 +85,10 @@ impl BlamConfig {
     /// Panics if `w_b` is outside `[0, 1]`.
     #[must_use]
     pub fn with_degradation_weight(mut self, w_b: f64) -> Self {
-        assert!((0.0..=1.0).contains(&w_b), "w_b must be in [0,1], got {w_b}");
+        assert!(
+            (0.0..=1.0).contains(&w_b),
+            "w_b must be in [0,1], got {w_b}"
+        );
         self.degradation_weight = w_b;
         self
     }

@@ -54,8 +54,14 @@ mod tests {
 
     #[test]
     fn zero_when_green_covers_tx() {
-        assert_eq!(degradation_impact_factor(Joules(0.05), Joules(0.05), E_MAX), 0.0);
-        assert_eq!(degradation_impact_factor(Joules(0.05), Joules(0.5), E_MAX), 0.0);
+        assert_eq!(
+            degradation_impact_factor(Joules(0.05), Joules(0.05), E_MAX),
+            0.0
+        );
+        assert_eq!(
+            degradation_impact_factor(Joules(0.05), Joules(0.5), E_MAX),
+            0.0
+        );
     }
 
     #[test]
@@ -72,7 +78,10 @@ mod tests {
     #[test]
     fn clamped_to_one_when_estimate_exceeds_worst_case() {
         // Retransmission-inflated estimate above E_max still yields 1.
-        assert_eq!(degradation_impact_factor(Joules(0.5), Joules::ZERO, E_MAX), 1.0);
+        assert_eq!(
+            degradation_impact_factor(Joules(0.5), Joules::ZERO, E_MAX),
+            1.0
+        );
     }
 
     #[test]

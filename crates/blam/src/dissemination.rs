@@ -119,9 +119,7 @@ impl DegradationLedger {
     /// A node's absolute degradation at `now` (0 for unknown nodes).
     #[must_use]
     pub fn degradation_of(&self, node: u32, now: SimTime) -> f64 {
-        self.trackers
-            .get(&node)
-            .map_or(0.0, |t| t.degradation(now))
+        self.trackers.get(&node).map_or(0.0, |t| t.degradation(now))
     }
 
     /// The daily dissemination pass: every node's normalized
@@ -142,10 +140,7 @@ impl DegradationLedger {
             v.sort_by_key(|&(id, _)| id);
             v
         };
-        let max = degradations
-            .iter()
-            .map(|&(_, d)| d)
-            .fold(0.0f64, f64::max);
+        let max = degradations.iter().map(|&(_, d)| d).fold(0.0f64, f64::max);
         if max <= 0.0 {
             return Vec::new();
         }

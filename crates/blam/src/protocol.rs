@@ -68,7 +68,10 @@ impl BlamNode {
         windows: usize,
     ) -> Self {
         assert!(windows > 0, "need at least one forecast window");
-        assert!(nominal_tx_energy.0 > 0.0, "nominal TX energy must be positive");
+        assert!(
+            nominal_tx_energy.0 > 0.0,
+            "nominal TX energy must be positive"
+        );
         assert!(max_tx_energy.0 > 0.0, "max TX energy must be positive");
         let beta = config.ewma_beta;
         BlamNode {
@@ -167,13 +170,11 @@ impl BlamNode {
     /// # Panics
     ///
     /// Panics if `transmissions` is zero.
-    pub fn on_exchange_complete(
-        &mut self,
-        window: usize,
-        transmissions: u8,
-        energy_spent: Joules,
-    ) {
-        assert!(transmissions >= 1, "an exchange uses at least one transmission");
+    pub fn on_exchange_complete(&mut self, window: usize, transmissions: u8, energy_spent: Joules) {
+        assert!(
+            transmissions >= 1,
+            "an exchange uses at least one transmission"
+        );
         self.retx_estimator.ensure_windows(window + 1);
         self.retx_estimator
             .record(window, usize::from(transmissions - 1));

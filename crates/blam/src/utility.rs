@@ -10,8 +10,7 @@ use serde::{Deserialize, Serialize};
 
 /// A utility curve: maps a forecast-window index within a period to the
 /// utility in `[0, 1]` of transmitting there.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum Utility {
     /// Eq. (16): `μ[t] = (T − t) / T` for `T` windows.
     #[default]
@@ -62,7 +61,6 @@ impl Utility {
         (0..total).map(|t| self.at(t, total)).collect()
     }
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -10,7 +10,7 @@
 use std::process::ExitCode;
 
 use blam_netsim::engine::Engine;
-use blam_netsim::{config::Protocol, RunResult, ScenarioConfig};
+use blam_netsim::{config::Protocol, BatchRunner, RunResult, ScenarioConfig};
 use blam_units::Duration;
 
 fn main() -> ExitCode {
@@ -39,7 +39,7 @@ fn usage() {
     eprintln!(
         "usage:\n  blam-sim template                      print a default scenario config (JSON)\n  \
          blam-sim run --config FILE [--out FILE]  simulate a scenario\n  \
-         blam-sim compare [--nodes N] [--days D] [--seed S]  quick protocol comparison"
+         blam-sim compare [--nodes N] [--days D] [--seed S] [--jobs J]  quick protocol comparison"
     );
 }
 
@@ -90,27 +90,40 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn compare(args: &[String]) -> Result<(), String> {
-    let parse =
-        |v: Option<String>, d: u64| -> Result<u64, String> {
-            v.map_or(Ok(d), |s| s.parse().map_err(|e| format!("bad number: {e}")))
-        };
+    let parse = |v: Option<String>, d: u64| -> Result<u64, String> {
+        v.map_or(Ok(d), |s| s.parse().map_err(|e| format!("bad number: {e}")))
+    };
     let nodes = parse(flag(args, "--nodes")?, 100)? as usize;
     let days = parse(flag(args, "--days")?, 60)?;
     let seed = parse(flag(args, "--seed")?, 42)?;
+    let jobs = parse(
+        flag(args, "--jobs")?,
+        BatchRunner::available().jobs() as u64,
+    )? as usize;
+    if jobs == 0 {
+        return Err("--jobs requires an integer ≥ 1".into());
+    }
 
-    println!("{}", blam_netsim::report::comparison_header());
-    for protocol in [
+    let configs: Vec<ScenarioConfig> = [
         Protocol::Lorawan,
         Protocol::h(1.0),
         Protocol::h(0.5),
         Protocol::h(0.05),
         Protocol::h50c(),
-    ] {
+    ]
+    .into_iter()
+    .map(|protocol| {
         let mut cfg = ScenarioConfig::large_scale(nodes, protocol, seed);
         cfg.duration = Duration::from_days(days);
         cfg.sample_interval = Duration::from_days(days.clamp(1, 30));
-        let r = Engine::build(cfg).run();
-        println!("{}", blam_netsim::report::comparison_row(&r));
+        cfg
+    })
+    .collect();
+    let runs = BatchRunner::new(jobs).run_all(configs);
+
+    println!("{}", blam_netsim::report::comparison_header());
+    for r in &runs {
+        println!("{}", blam_netsim::report::comparison_row(r));
     }
     Ok(())
 }

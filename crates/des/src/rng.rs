@@ -90,8 +90,16 @@ mod tests {
     #[test]
     fn same_name_same_stream() {
         let s = RngSeeder::new(7);
-        let a: Vec<u64> = s.stream("x").sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u64> = s.stream("x").sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u64> = s
+            .stream("x")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u64> = s
+            .stream("x")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -142,7 +142,10 @@ mod tests {
         sim.run_to_completion(|sim, now, _| {
             seen_at = Some((sim.now(), now));
         });
-        assert_eq!(seen_at, Some((SimTime::from_secs(5), SimTime::from_secs(5))));
+        assert_eq!(
+            seen_at,
+            Some((SimTime::from_secs(5), SimTime::from_secs(5)))
+        );
     }
 
     #[test]

@@ -39,7 +39,10 @@ impl Ewma {
     /// Panics if `beta` is outside `[0, 1]` or `initial` is not finite.
     #[must_use]
     pub fn new(beta: f64, initial: f64) -> Self {
-        assert!((0.0..=1.0).contains(&beta), "β must be in [0,1], got {beta}");
+        assert!(
+            (0.0..=1.0).contains(&beta),
+            "β must be in [0,1], got {beta}"
+        );
         assert!(initial.is_finite(), "initial estimate must be finite");
         Ewma {
             beta,

@@ -251,7 +251,10 @@ mod tests {
     #[test]
     fn persistence_unseen_buckets_predict_zero() {
         let f = DiurnalPersistence::new(Duration::from_mins(1), 0.3);
-        assert_eq!(f.predict(SimTime::from_secs(0), Duration::from_mins(1)), Joules::ZERO);
+        assert_eq!(
+            f.predict(SimTime::from_secs(0), Duration::from_mins(1)),
+            Joules::ZERO
+        );
     }
 
     #[test]
@@ -313,7 +316,11 @@ mod tests {
         }
         let mean = sum / 500.0;
         // Log-normal with σ=0.2 has mean e^{σ²/2} ≈ 1.02 of truth (60 J).
-        assert!((mean / 60.0 - 1.0).abs() < 0.1, "mean ratio {}", mean / 60.0);
+        assert!(
+            (mean / 60.0 - 1.0).abs() < 0.1,
+            "mean ratio {}",
+            mean / 60.0
+        );
     }
 
     #[test]

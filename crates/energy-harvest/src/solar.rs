@@ -130,8 +130,8 @@ impl SolarModel {
     pub fn clear_sky_fraction(&self, day_of_year: u32, secs_of_day: u64) -> f64 {
         let lat = self.latitude_deg.to_radians();
         // Solar declination (Cooper's formula).
-        let decl =
-            (23.45f64).to_radians() * (2.0 * PI * (284.0 + f64::from(day_of_year) + 1.0) / 365.0).sin();
+        let decl = (23.45f64).to_radians()
+            * (2.0 * PI * (284.0 + f64::from(day_of_year) + 1.0) / 365.0).sin();
         // Hour angle: 0 at solar noon, ±π at midnight.
         let hour_angle = 2.0 * PI * (secs_of_day as f64 / 86_400.0) - PI;
         let sin_elev = lat.sin() * decl.sin() + lat.cos() * decl.cos() * hour_angle.cos();
@@ -274,7 +274,10 @@ impl SolarField {
     /// Panics if `min` is outside `[0, 1]`.
     #[must_use]
     pub fn with_min_shading(mut self, min: f64) -> Self {
-        assert!((0.0..=1.0).contains(&min), "min shading in [0,1], got {min}");
+        assert!(
+            (0.0..=1.0).contains(&min),
+            "min shading in [0,1], got {min}"
+        );
         self.min_shading = min;
         self
     }
@@ -339,7 +342,8 @@ mod tests {
         for d in 0..5u64 {
             let night = t.power_at(SimTime::ZERO + Duration::from_days(d));
             assert_eq!(night, Watts::ZERO, "midnight of day {d}");
-            let noon = t.power_at(SimTime::ZERO + Duration::from_days(d) + Duration::from_hours(12));
+            let noon =
+                t.power_at(SimTime::ZERO + Duration::from_days(d) + Duration::from_hours(12));
             any_day_power |= noon.0 > 0.0;
         }
         assert!(any_day_power, "no day produced noon power (all overcast?)");
@@ -386,7 +390,13 @@ mod tests {
     #[test]
     fn node_sources_share_regions_but_differ_in_shading() {
         let mut r = rng();
-        let field = SolarField::generate(&SolarModel::default(), 3, 2, Duration::from_mins(10), &mut r);
+        let field = SolarField::generate(
+            &SolarModel::default(),
+            3,
+            2,
+            Duration::from_mins(10),
+            &mut r,
+        );
         assert_eq!(field.region_count(), 3);
         let a = field.node_source(0, &mut r);
         let b = field.node_source(3, &mut r); // same region as node 0

@@ -58,7 +58,10 @@ impl HarvestTrace {
     /// Panics if `samples` is empty or `step` is zero.
     #[must_use]
     pub fn from_samples(step: Duration, samples: Vec<Watts>) -> Self {
-        assert!(!samples.is_empty(), "harvest trace needs at least one sample");
+        assert!(
+            !samples.is_empty(),
+            "harvest trace needs at least one sample"
+        );
         assert!(!step.is_zero(), "harvest trace step must be positive");
         HarvestTrace { step, samples }
     }
@@ -70,7 +73,11 @@ impl HarvestTrace {
     ///
     /// Panics if `duration < step` or `step` is zero.
     #[must_use]
-    pub fn from_fn(step: Duration, duration: Duration, mut f: impl FnMut(SimTime) -> Watts) -> Self {
+    pub fn from_fn(
+        step: Duration,
+        duration: Duration,
+        mut f: impl FnMut(SimTime) -> Watts,
+    ) -> Self {
         assert!(!step.is_zero(), "harvest trace step must be positive");
         let n = duration / step;
         assert!(n > 0, "duration must cover at least one step");
@@ -201,11 +208,7 @@ impl HarvestSource for HarvestTrace {
         // Whole periods integrate to the same total.
         let whole = span / period;
         let mut energy = if whole > 0 {
-            let one: Joules = self
-                .samples
-                .iter()
-                .map(|&w| w * self.step)
-                .sum();
+            let one: Joules = self.samples.iter().map(|&w| w * self.step).sum();
             one * whole as f64
         } else {
             Joules::ZERO
@@ -223,10 +226,7 @@ impl HarvestSource for HarvestTrace {
     }
 
     fn peak_power(&self) -> Watts {
-        self.samples
-            .iter()
-            .copied()
-            .fold(Watts::ZERO, Watts::max)
+        self.samples.iter().copied().fold(Watts::ZERO, Watts::max)
     }
 }
 
@@ -306,8 +306,14 @@ mod tests {
     #[test]
     fn energy_zero_or_reversed_interval() {
         let t = three_step();
-        assert_eq!(t.energy_between(SimTime::from_secs(50), SimTime::from_secs(50)), Joules::ZERO);
-        assert_eq!(t.energy_between(SimTime::from_secs(60), SimTime::from_secs(50)), Joules::ZERO);
+        assert_eq!(
+            t.energy_between(SimTime::from_secs(50), SimTime::from_secs(50)),
+            Joules::ZERO
+        );
+        assert_eq!(
+            t.energy_between(SimTime::from_secs(60), SimTime::from_secs(50)),
+            Joules::ZERO
+        );
     }
 
     #[test]
@@ -333,11 +339,9 @@ mod tests {
 
     #[test]
     fn from_fn_samples_midpoints() {
-        let t = HarvestTrace::from_fn(
-            Duration::from_mins(1),
-            Duration::from_mins(3),
-            |at| Watts(at.as_secs_f64()),
-        );
+        let t = HarvestTrace::from_fn(Duration::from_mins(1), Duration::from_mins(3), |at| {
+            Watts(at.as_secs_f64())
+        });
         assert_eq!(t.len(), 3);
         assert_eq!(t.power_at(SimTime::ZERO), Watts(30.0));
     }

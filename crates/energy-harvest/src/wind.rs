@@ -81,8 +81,8 @@ impl WindModel {
             return self.rated_power;
         }
         // Cubic ramp normalized between cut-in and rated.
-        let x = (v.powi(3) - self.cut_in.powi(3))
-            / (self.rated_speed.powi(3) - self.cut_in.powi(3));
+        let x =
+            (v.powi(3) - self.cut_in.powi(3)) / (self.rated_speed.powi(3) - self.cut_in.powi(3));
         self.rated_power * x
     }
 
@@ -101,9 +101,8 @@ impl WindModel {
             for s in 0..steps_per_day {
                 // Diurnal target: stronger surface wind mid-afternoon.
                 let frac = (s as f64 + 0.5) / steps_per_day as f64;
-                let diurnal = 1.0
-                    + self.diurnal_amplitude
-                        * (std::f64::consts::TAU * (frac - 0.375)).sin();
+                let diurnal =
+                    1.0 + self.diurnal_amplitude * (std::f64::consts::TAU * (frac - 0.375)).sin();
                 let target = self.mean_speed * diurnal;
                 let shock = rng.gen_range(-1.0..=1.0) * self.gust_scale;
                 speed += self.reversion * (target - speed) + shock;
@@ -180,7 +179,10 @@ mod tests {
                 run = 0;
             }
         }
-        assert!(longest_zero_run >= 6, "no lulls found ({longest_zero_run} steps)");
+        assert!(
+            longest_zero_run >= 6,
+            "no lulls found ({longest_zero_run} steps)"
+        );
     }
 
     #[test]

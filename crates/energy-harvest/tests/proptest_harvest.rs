@@ -5,16 +5,12 @@ use blam_units::{Duration, Joules, SimTime, Watts};
 use proptest::prelude::*;
 
 fn any_trace() -> impl Strategy<Value = HarvestTrace> {
-    (
-        1u64..120,
-        prop::collection::vec(0.0f64..5.0, 1..48),
-    )
-        .prop_map(|(step_mins, samples)| {
-            HarvestTrace::from_samples(
-                Duration::from_mins(step_mins),
-                samples.into_iter().map(Watts).collect(),
-            )
-        })
+    (1u64..120, prop::collection::vec(0.0f64..5.0, 1..48)).prop_map(|(step_mins, samples)| {
+        HarvestTrace::from_samples(
+            Duration::from_mins(step_mins),
+            samples.into_iter().map(Watts).collect(),
+        )
+    })
 }
 
 proptest! {

@@ -114,9 +114,18 @@ mod tests {
 
     #[test]
     fn symbol_durations() {
-        assert!((symbol_duration_secs(SpreadingFactor::Sf7, Bandwidth::Khz125) - 0.001024).abs() < 1e-12);
-        assert!((symbol_duration_secs(SpreadingFactor::Sf12, Bandwidth::Khz125) - 0.032768).abs() < 1e-12);
-        assert!((symbol_duration_secs(SpreadingFactor::Sf12, Bandwidth::Khz500) - 0.008192).abs() < 1e-12);
+        assert!(
+            (symbol_duration_secs(SpreadingFactor::Sf7, Bandwidth::Khz125) - 0.001024).abs()
+                < 1e-12
+        );
+        assert!(
+            (symbol_duration_secs(SpreadingFactor::Sf12, Bandwidth::Khz125) - 0.032768).abs()
+                < 1e-12
+        );
+        assert!(
+            (symbol_duration_secs(SpreadingFactor::Sf12, Bandwidth::Khz500) - 0.008192).abs()
+                < 1e-12
+        );
     }
 
     /// Reference values computed with the Semtech LoRa airtime calculator
@@ -135,7 +144,10 @@ mod tests {
         // header it approaches the paper's "around 1.2 seconds".
         assert!((0.9..1.1).contains(&t12), "SF12 bare got {t12}");
         let t12_framed = airtime_secs(&cfg(SpreadingFactor::Sf12), 10 + 13);
-        assert!((1.1..1.6).contains(&t12_framed), "SF12 framed got {t12_framed}");
+        assert!(
+            (1.1..1.6).contains(&t12_framed),
+            "SF12 framed got {t12_framed}"
+        );
     }
 
     /// The paper quantifies its uplink piggyback overhead: 4 extra bytes

@@ -136,8 +136,7 @@ impl RadioPowerModel {
     /// Energy to transmit one `payload_len`-byte packet with `config`.
     #[must_use]
     pub fn tx_energy(&self, config: &TxConfig, payload_len: usize) -> Joules {
-        self.tx_power_draw(config.power)
-            * Duration::from_secs_f64(config.airtime_secs(payload_len))
+        self.tx_power_draw(config.power) * Duration::from_secs_f64(config.airtime_secs(payload_len))
     }
 
     /// Energy to listen for `window`.
@@ -166,12 +165,8 @@ impl Default for RadioPowerModel {
 /// Factor, Eq. (15).
 #[must_use]
 pub fn max_tx_energy(radio: &RadioPowerModel, payload_len: usize) -> Joules {
-    let cfg = TxConfig::new(
-        SpreadingFactor::Sf12,
-        Bandwidth::Khz125,
-        CodingRate::Cr4_8,
-    )
-    .with_power(Dbm(20.0));
+    let cfg = TxConfig::new(SpreadingFactor::Sf12, Bandwidth::Khz125, CodingRate::Cr4_8)
+        .with_power(Dbm(20.0));
     radio.tx_energy(&cfg, payload_len)
 }
 
@@ -181,16 +176,8 @@ mod tests {
 
     #[test]
     fn eq6_scales_with_airtime_and_power() {
-        let slow = TxConfig::new(
-            SpreadingFactor::Sf12,
-            Bandwidth::Khz125,
-            CodingRate::Cr4_5,
-        );
-        let fast = TxConfig::new(
-            SpreadingFactor::Sf7,
-            Bandwidth::Khz125,
-            CodingRate::Cr4_5,
-        );
+        let slow = TxConfig::new(SpreadingFactor::Sf12, Bandwidth::Khz125, CodingRate::Cr4_5);
+        let fast = TxConfig::new(SpreadingFactor::Sf7, Bandwidth::Khz125, CodingRate::Cr4_5);
         assert!(tx_energy_eq6(&slow, 10).0 > 10.0 * tx_energy_eq6(&fast, 10).0);
 
         let loud = fast.with_power(Dbm(20.0));
@@ -250,7 +237,10 @@ mod tests {
         let p = r.sleep_power_draw();
         assert!(p.as_milliwatts() < 0.01);
         let daily = r.sleep_energy(Duration::from_days(1));
-        assert!(daily.0 < 0.1, "radio sleep should cost <0.1 J/day, got {daily}");
+        assert!(
+            daily.0 < 0.1,
+            "radio sleep should cost <0.1 J/day, got {daily}"
+        );
     }
 
     #[test]

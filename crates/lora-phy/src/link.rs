@@ -407,7 +407,12 @@ mod tests {
         assert!(
             matches!(
                 sf,
-                Some(SpreadingFactor::Sf9 | SpreadingFactor::Sf10 | SpreadingFactor::Sf11 | SpreadingFactor::Sf12)
+                Some(
+                    SpreadingFactor::Sf9
+                        | SpreadingFactor::Sf10
+                        | SpreadingFactor::Sf11
+                        | SpreadingFactor::Sf12
+                )
             ),
             "got {sf:?}"
         );
@@ -428,7 +433,10 @@ mod tests {
     #[test]
     fn impossible_link_yields_none() {
         let link = LinkBudget::new(Meters::from_km(50.0));
-        assert_eq!(sf_for_link(&link, Dbm(14.0), Bandwidth::Khz125, Db(0.0)), None);
+        assert_eq!(
+            sf_for_link(&link, Dbm(14.0), Bandwidth::Khz125, Db(0.0)),
+            None
+        );
     }
 
     #[test]
@@ -471,11 +479,23 @@ mod tests {
 
     #[test]
     fn capture_rule() {
-        assert_eq!(resolve_capture(Dbm(-100.0), Dbm(-110.0)), CaptureOutcome::Captured);
-        assert_eq!(resolve_capture(Dbm(-110.0), Dbm(-100.0)), CaptureOutcome::Suppressed);
-        assert_eq!(resolve_capture(Dbm(-100.0), Dbm(-103.0)), CaptureOutcome::BothLost);
+        assert_eq!(
+            resolve_capture(Dbm(-100.0), Dbm(-110.0)),
+            CaptureOutcome::Captured
+        );
+        assert_eq!(
+            resolve_capture(Dbm(-110.0), Dbm(-100.0)),
+            CaptureOutcome::Suppressed
+        );
+        assert_eq!(
+            resolve_capture(Dbm(-100.0), Dbm(-103.0)),
+            CaptureOutcome::BothLost
+        );
         // Exactly at the threshold counts as captured.
-        assert_eq!(resolve_capture(Dbm(-100.0), Dbm(-106.0)), CaptureOutcome::Captured);
+        assert_eq!(
+            resolve_capture(Dbm(-100.0), Dbm(-106.0)),
+            CaptureOutcome::Captured
+        );
     }
 
     #[test]

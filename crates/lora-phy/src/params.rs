@@ -21,9 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(SpreadingFactor::try_from(7)?, SpreadingFactor::Sf7);
 /// # Ok::<(), blam_lora_phy::InvalidSpreadingFactorError>(())
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum SpreadingFactor {
     /// SF7: fastest data rate, shortest range.
     Sf7,
@@ -140,9 +138,7 @@ impl From<SpreadingFactor> for u8 {
 }
 
 /// A LoRa channel bandwidth.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Bandwidth {
     /// 125 kHz — the standard US915 uplink bandwidth.
     Khz125,
@@ -186,9 +182,7 @@ impl fmt::Display for Bandwidth {
 /// assert!((CodingRate::Cr4_5.rate() - 0.8).abs() < 1e-12);
 /// assert_eq!(CodingRate::Cr4_8.redundancy_index(), 4);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum CodingRate {
     /// 4/5 — least redundancy, shortest packets (LoRaWAN default).
     Cr4_5,
@@ -348,21 +342,13 @@ impl TxConfig {
 impl Default for TxConfig {
     /// The paper's testbed configuration: SF10, 125 kHz, CR 4/5, 14 dBm.
     fn default() -> Self {
-        TxConfig::new(
-            SpreadingFactor::Sf10,
-            Bandwidth::Khz125,
-            CodingRate::Cr4_5,
-        )
+        TxConfig::new(SpreadingFactor::Sf10, Bandwidth::Khz125, CodingRate::Cr4_5)
     }
 }
 
 impl fmt::Display for TxConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} {} CR{} @ {}",
-            self.sf, self.bw, self.cr, self.power
-        )
+        write!(f, "{} {} CR{} @ {}", self.sf, self.bw, self.cr, self.power)
     }
 }
 
@@ -434,11 +420,7 @@ mod tests {
         assert!(c(SpreadingFactor::Sf11).low_data_rate_optimize());
         assert!(c(SpreadingFactor::Sf12).low_data_rate_optimize());
         // SF12 at 500 kHz is 8.192 ms: off.
-        let fast = TxConfig::new(
-            SpreadingFactor::Sf12,
-            Bandwidth::Khz500,
-            CodingRate::Cr4_5,
-        );
+        let fast = TxConfig::new(SpreadingFactor::Sf12, Bandwidth::Khz500, CodingRate::Cr4_5);
         assert!(!fast.low_data_rate_optimize());
         // Override wins.
         assert!(fast.with_ldro(true).low_data_rate_optimize());

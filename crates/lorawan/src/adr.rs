@@ -150,7 +150,13 @@ fn faster_sf(sf: SpreadingFactor) -> Option<SpreadingFactor> {
 mod tests {
     use super::*;
 
-    fn feed(adr: &mut AdrEngine, dev: u32, sf: SpreadingFactor, snr: f64, n: usize) -> Option<AdrCommand> {
+    fn feed(
+        adr: &mut AdrEngine,
+        dev: u32,
+        sf: SpreadingFactor,
+        snr: f64,
+        n: usize,
+    ) -> Option<AdrCommand> {
         let mut out = None;
         for _ in 0..n {
             out = adr.observe(DeviceAddr(dev), sf, Dbm(14.0), Db(snr));

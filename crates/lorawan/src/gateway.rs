@@ -242,9 +242,15 @@ impl GatewayRadio {
 mod tests {
     use super::*;
     use blam_lora_phy::Us915;
-    
 
-    fn tx(dev: u32, ch: u8, sf: SpreadingFactor, rssi: f64, start: u64, end: u64) -> UplinkTransmission {
+    fn tx(
+        dev: u32,
+        ch: u8,
+        sf: SpreadingFactor,
+        rssi: f64,
+        start: u64,
+        end: u64,
+    ) -> UplinkTransmission {
         UplinkTransmission {
             device: DeviceAddr(dev),
             channel: Us915::uplink_125(ch),

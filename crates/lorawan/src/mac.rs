@@ -453,7 +453,9 @@ mod tests {
         assert_eq!(report.completed_at, ack_at);
         assert!(m.is_idle());
         // Deadline firing later is ignored.
-        assert!(m.on_rx_deadline(ack_at + Duration::from_secs(1), &mut r).is_empty());
+        assert!(m
+            .on_rx_deadline(ack_at + Duration::from_secs(1), &mut r)
+            .is_empty());
     }
 
     #[test]
@@ -521,7 +523,9 @@ mod tests {
         assert_eq!(fcnts, vec![0, 0]);
         // Second frame uses the next counter.
         let a = m.send(now, Uplink::confirmed(10), &mut r);
-        let MacAction::Transmit(tx) = a[0] else { panic!() };
+        let MacAction::Transmit(tx) = a[0] else {
+            panic!()
+        };
         assert_eq!(tx.frame.fcnt, 1);
     }
 
@@ -530,7 +534,9 @@ mod tests {
         let mut m = mac(8);
         let mut r = rng();
         let a = m.send(SimTime::ZERO, Uplink::unconfirmed(10), &mut r);
-        let MacAction::Transmit(tx) = a[0] else { panic!() };
+        let MacAction::Transmit(tx) = a[0] else {
+            panic!()
+        };
         let a = m.on_tx_completed(SimTime::ZERO + tx.airtime);
         assert!(matches!(a[0], MacAction::Complete(r) if r.transmissions == 1));
     }
@@ -543,7 +549,9 @@ mod tests {
         let mut now = SimTime::ZERO;
         for _ in 0..40 {
             let a = m.send(now, Uplink::confirmed(10), &mut r);
-            let MacAction::Transmit(tx) = a[0] else { panic!() };
+            let MacAction::Transmit(tx) = a[0] else {
+                panic!()
+            };
             seen.insert(tx.channel.index);
             now += tx.airtime;
             let _ = m.on_tx_completed(now);
@@ -559,13 +567,18 @@ mod tests {
         let mut m = mac(8);
         let mut r = rng();
         let a = m.send(SimTime::ZERO, Uplink::confirmed(10), &mut r);
-        let MacAction::Transmit(tx) = a[0] else { panic!() };
+        let MacAction::Transmit(tx) = a[0] else {
+            panic!()
+        };
         let end = SimTime::ZERO + tx.airtime;
         let a = m.on_tx_completed(end);
         let MacAction::ScheduleRxDeadline(deadline) = a[0] else {
             panic!()
         };
-        assert_eq!(deadline, end + Duration::from_secs(2) + Duration::from_millis(50));
+        assert_eq!(
+            deadline,
+            end + Duration::from_secs(2) + Duration::from_millis(50)
+        );
     }
 
     #[test]
@@ -573,7 +586,9 @@ mod tests {
         let mut m = mac(1);
         let mut r = rng();
         let a = m.send(SimTime::ZERO, Uplink::confirmed(10), &mut r);
-        let MacAction::Transmit(tx) = a[0] else { panic!() };
+        let MacAction::Transmit(tx) = a[0] else {
+            panic!()
+        };
         let end = SimTime::ZERO + tx.airtime;
         let a = m.on_tx_completed(end);
         let MacAction::ScheduleRxDeadline(deadline) = a[0] else {
@@ -593,7 +608,9 @@ mod tests {
         let mut r = rng();
         // First exchange: transmit, get ACKed.
         let a = m.send(SimTime::ZERO, Uplink::confirmed(10), &mut r);
-        let MacAction::Transmit(tx) = a[0] else { panic!() };
+        let MacAction::Transmit(tx) = a[0] else {
+            panic!()
+        };
         let end = SimTime::ZERO + tx.airtime;
         let _ = m.on_tx_completed(end);
         let _ = m.on_ack(end + Duration::from_secs(1));
@@ -608,7 +625,9 @@ mod tests {
         assert_eq!(at, m.duty_free_at());
         // At the permitted time the transmission proceeds as attempt 1.
         let a = m.on_retransmit_time(at, &mut r);
-        let MacAction::Transmit(tx2) = a[0] else { panic!() };
+        let MacAction::Transmit(tx2) = a[0] else {
+            panic!()
+        };
         assert_eq!(tx2.attempt, 1);
     }
 
@@ -617,7 +636,9 @@ mod tests {
         let mut m = mac(8);
         let mut r = rng();
         let a = m.send(SimTime::ZERO, Uplink::confirmed(10), &mut r);
-        let MacAction::Transmit(tx) = a[0] else { panic!() };
+        let MacAction::Transmit(tx) = a[0] else {
+            panic!()
+        };
         let end = SimTime::ZERO + tx.airtime;
         let _ = m.on_tx_completed(end);
         let _ = m.on_ack(end + Duration::from_secs(1));
@@ -632,7 +653,9 @@ mod tests {
         let mut r = rng();
         assert!(m.abort(SimTime::ZERO).is_none(), "idle abort is a no-op");
         let a = m.send(SimTime::ZERO, Uplink::confirmed(10), &mut r);
-        let MacAction::Transmit(tx) = a[0] else { panic!() };
+        let MacAction::Transmit(tx) = a[0] else {
+            panic!()
+        };
         let _ = m.on_tx_completed(SimTime::ZERO + tx.airtime);
         let report = m.abort(SimTime::from_secs(5)).unwrap();
         assert!(!report.delivered);

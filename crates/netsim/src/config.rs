@@ -32,26 +32,13 @@ impl Protocol {
     /// A short label for tables ("LoRaWAN", "H-50", "H-50C", …).
     #[must_use]
     pub fn label(&self) -> String {
-        match self {
-            Protocol::Lorawan => "LoRaWAN".to_string(),
-            Protocol::Blam(cfg) => {
-                let theta = (cfg.theta * 100.0).round() as u32;
-                if cfg.use_window_selection {
-                    format!("H-{theta}")
-                } else {
-                    format!("H-{theta}C")
-                }
-            }
-        }
+        self.policy().label()
     }
 
     /// The charge threshold θ in effect (1 for LoRaWAN).
     #[must_use]
     pub fn theta(&self) -> f64 {
-        match self {
-            Protocol::Lorawan => 1.0,
-            Protocol::Blam(cfg) => cfg.theta,
-        }
+        self.policy().theta()
     }
 }
 
@@ -298,18 +285,13 @@ impl ScenarioConfig {
             "periods must span at least one forecast window"
         );
         assert!(self.gateways > 0, "need at least one gateway");
-        if let Protocol::Blam(b) = &self.protocol {
-            assert!(
-                b.forecast_window == self.forecast_window,
-                "BlamConfig.forecast_window ({}) must match ScenarioConfig.forecast_window ({}) — \
-                 the simulator plans, observes and anchors SoC traces on the scenario's window",
-                b.forecast_window,
-                self.forecast_window
-            );
-        }
+        self.protocol.policy().validate(self.forecast_window);
         assert!(self.demod_paths > 0, "gateway needs demodulation paths");
         assert!(self.battery_days > 0.0, "battery sizing must be positive");
-        assert!(self.solar_peak_tx_multiple > 0.0, "solar sizing must be positive");
+        assert!(
+            self.solar_peak_tx_multiple > 0.0,
+            "solar sizing must be positive"
+        );
         assert!(!self.duration.is_zero(), "duration is zero");
     }
 }

@@ -1,73 +1,29 @@
-//! The simulation engine: event handlers wiring MAC, radio, battery,
-//! harvesting and the BLAM protocol together.
+//! The engine core: network construction ([`Engine::build`]) and the
+//! run loop ([`Engine::run`]).
+//!
+//! The engine itself is thin: it assembles the layers and owns the
+//! shared state. Event routing lives in [`crate::events`], the node
+//! lifecycle in [`crate::nodes`], gateway radio arbitration in
+//! [`crate::radio`], and every protocol decision behind the
+//! [`MacPolicy`](crate::policy::MacPolicy) trait in [`crate::policy`].
+//! Batch execution across scenarios is [`crate::runner`].
 
-use blam::utility::Utility;
-use blam::{BlamNode, CompressedSocTrace, DegradationLedger, SocSample};
-use blam_battery::{Battery, PowerSwitch, EOL_DEGRADATION};
+use blam::DegradationLedger;
 use blam_des::{RngSeeder, Simulator};
-use blam_energy_harvest::{
-    DiurnalPersistence, Forecaster, HarvestSource, NodeHarvest, NoisyOracle, Oracle, SolarField,
-    SolarModel,
-};
 use blam_energy_harvest::solar::CloudModel;
-use blam_lora_phy::{Bandwidth, CodingRate, TxConfig};
-use blam_lorawan::{
-    AdrEngine, ClassAMac, DeviceAddr, GatewayRadio, MacAction, MacParams, NetworkServer, TxReport,
-    Uplink, UplinkTransmission,
-};
-use blam_units::{Dbm, Duration, Joules, SimTime, Watts};
+use blam_energy_harvest::{SolarField, SolarModel};
+use blam_lorawan::{AdrEngine, GatewayRadio, NetworkServer};
+use blam_units::{Duration, Joules, SimTime, Watts};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::config::{ForecasterKind, HarvestKind, Protocol, ScenarioConfig};
+use crate::config::{HarvestKind, ScenarioConfig};
+use crate::events::Event;
 use crate::metrics::{DegradationSample, NetworkMetrics, NodeMetrics};
-use crate::node::{NodeForecaster, PacketState, SimNode};
+use crate::nodes::{build_nodes, SimNode};
+use crate::policy::MacPolicy;
 use crate::topology::{gateway_positions, Topology};
-
-/// Simulation events.
-#[derive(Debug, Clone, Copy)]
-enum Event {
-    /// The application on `node` generates a packet (period start).
-    Generate { node: usize },
-    /// The chosen forecast window arrived: begin the uplink exchange.
-    StartTx { node: usize },
-    /// An uplink's airtime ended at the gateways.
-    TxEnd { node: usize, epoch: u64 },
-    /// The gateway may start the ACK downlink now.
-    DownlinkStart {
-        node: usize,
-        /// Which gateway transmits the ACK.
-        gateway: usize,
-        /// When the downlink airtime ends (gateway busy until then).
-        end: SimTime,
-        /// When the node has locked onto the ACK (preamble detected) —
-        /// must precede the node's receive deadline.
-        ack_at: SimTime,
-        epoch: u64,
-        /// RX2 fallback (start, end, ack_at) if this window's gateway
-        /// is busy transmitting another downlink.
-        fallback: Option<(SimTime, SimTime, SimTime)>,
-    },
-    /// The ACK downlink finished arriving at the node.
-    AckArrival { node: usize, epoch: u64 },
-    /// The node's receive windows closed without an ACK.
-    RxDeadline { node: usize, epoch: u64 },
-    /// The ACK-timeout backoff elapsed.
-    Retransmit { node: usize, epoch: u64 },
-    /// Daily normalized-degradation dissemination at the gateway.
-    Dissemination,
-    /// Periodic (monthly) degradation snapshot.
-    Sample,
-}
-
-/// The Class-A receive-window timeout: long enough to detect a
-/// preamble (8 symbols) at the RX2 data rate, at least 50 ms.
-fn rx_window_timeout(plan: &blam_lora_phy::ChannelPlan) -> Duration {
-    let symbol =
-        blam_lora_phy::symbol_duration_secs(plan.rx2_sf, plan.rx2_channel.bandwidth);
-    Duration::from_secs_f64((8.0 * symbol).max(0.05))
-}
 
 /// Everything a finished run reports.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -109,17 +65,18 @@ impl RunResult {
 
 /// The assembled simulation.
 pub struct Engine {
-    cfg: ScenarioConfig,
-    topology: Topology,
-    nodes: Vec<SimNode>,
-    gateways: Vec<GatewayRadio>,
-    server: NetworkServer,
-    adr: Option<AdrEngine>,
-    ledger: DegradationLedger,
-    mac_rng: ChaCha8Rng,
-    halted: bool,
-    first_eol: Option<(usize, SimTime)>,
-    samples: Vec<DegradationSample>,
+    pub(crate) cfg: ScenarioConfig,
+    pub(crate) topology: Topology,
+    pub(crate) nodes: Vec<SimNode>,
+    pub(crate) gateways: Vec<GatewayRadio>,
+    pub(crate) server: NetworkServer,
+    pub(crate) adr: Option<AdrEngine>,
+    pub(crate) ledger: DegradationLedger,
+    pub(crate) policy: Box<dyn MacPolicy>,
+    pub(crate) mac_rng: ChaCha8Rng,
+    pub(crate) halted: bool,
+    pub(crate) first_eol: Option<(usize, SimTime)>,
+    pub(crate) samples: Vec<DegradationSample>,
 }
 
 impl Engine {
@@ -131,6 +88,7 @@ impl Engine {
     #[must_use]
     pub fn build(cfg: ScenarioConfig) -> Self {
         cfg.validate();
+        let policy = cfg.protocol.policy();
         let seeder = RngSeeder::new(cfg.seed);
         let mut topology = Topology::generate(&cfg);
         if let Some(sf) = cfg.force_sf {
@@ -176,151 +134,14 @@ impl Engine {
 
         let gw_positions = gateway_positions(&cfg);
         let mut node_rng = seeder.stream("nodes");
-        let payload_overhead = match cfg.protocol {
-            Protocol::Lorawan => 0,
-            Protocol::Blam(_) => CompressedSocTrace::ENCODED_LEN,
-        };
-        let nodes: Vec<SimNode> = (0..cfg.nodes)
-            .map(|i| {
-                let placement = topology.placements[i];
-                let tx = TxConfig::new(placement.sf, Bandwidth::Khz125, CodingRate::Cr4_5)
-                    .with_power(cfg.tx_power);
-                // Whole-minute periods (as in the paper's "[16, 60] Min"
-                // draw): nodes sharing a period stay phase-locked, which
-                // is what creates the persistent collisions Eq. (14)
-                // learns to escape.
-                let period = Duration::from_mins(node_rng.gen_range(
-                    (cfg.period_min.as_millis() / 60_000)..=(cfg.period_max.as_millis() / 60_000),
-                ));
-                let windows = cfg.windows_in(period);
-                let phy_len =
-                    cfg.payload_bytes + payload_overhead + blam_lorawan::MAC_OVERHEAD_BYTES;
-                let tx_energy = cfg.radio.tx_energy(&tx, phy_len);
-                let rx_energy = cfg.radio.rx_energy(rx_window_timeout(&cfg.plan) * 2);
-                let sleep = cfg.mcu_sleep + cfg.radio.sleep_power_draw();
-
-                // Battery sized to `battery_days` of average operation.
-                let packets_per_day = 86_400.0 / period.as_secs_f64();
-                let daily =
-                    sleep * Duration::from_days(1) + (tx_energy + rx_energy) * packets_per_day;
-                let capacity = daily * cfg.battery_days;
-
-                // Panel sized so peak power funds `solar_peak_tx_multiple`
-                // transmissions per forecast window (the paper's rule).
-                let peak = Watts(
-                    cfg.solar_peak_tx_multiple * tx_energy.0
-                        / cfg.forecast_window.as_secs_f64(),
-                );
-                let region = field.region(i).clone();
-                let shading = node_rng.gen_range(0.7..=1.0);
-                let factor = (peak.0 / region.peak_power().0 * shading).min(1.0);
-                let harvest = NodeHarvest::new(region, factor);
-
-                let forecaster = match cfg.forecaster {
-                    ForecasterKind::DiurnalPersistence => NodeForecaster::Persistence(
-                        DiurnalPersistence::new(cfg.forecast_window, 0.3),
-                    ),
-                    ForecasterKind::Oracle => {
-                        NodeForecaster::Oracle(Oracle::new(harvest.clone()))
-                    }
-                    ForecasterKind::Noisy(sigma) => NodeForecaster::Noisy(NoisyOracle::new(
-                        harvest.clone(),
-                        sigma,
-                        cfg.seed ^ (i as u64),
-                    )),
-                };
-
-                let theta = cfg.protocol.theta();
-                // Eq. (15)'s E_max is the node's own worst-case single
-                // transmission: its radio configuration at maximum
-                // power. Normalizing per node lets the DIF span its
-                // full [0, 1] range for every node regardless of SF.
-                let e_max = cfg.radio.tx_energy(&tx.with_power(Dbm(20.0)), phy_len);
-                let (blam, utility) = match &cfg.protocol {
-                    Protocol::Lorawan => (None, Utility::Linear),
-                    Protocol::Blam(bcfg) => (
-                        Some(BlamNode::new(bcfg.clone(), tx_energy, e_max, windows)),
-                        bcfg.utility,
-                    ),
-                };
-
-                let supercap = cfg.supercap_tx_multiple.map(|m| {
-                    blam_battery::Supercap::new(
-                        tx_energy * m,
-                        Watts::from_milliwatts(0.001),
-                    )
-                });
-                let gateway_links: Vec<_> = gw_positions
-                    .iter()
-                    .map(|&gp| {
-                        let d = blam_units::Meters(
-                            placement.position.distance_to(gp).0.max(1.0),
-                        );
-                        blam_lora_phy::LinkBudget::new(d)
-                            .with_path_loss(cfg.path_loss)
-                            .with_shadowing(placement.link.shadowing)
-                    })
-                    .collect();
-                SimNode {
-                    id: i,
-                    placement,
-                    gateway_links,
-                    inflight: Vec::new(),
-                    mac: ClassAMac::new(MacParams {
-                        device: DeviceAddr(i as u32),
-                        plan: cfg.plan.clone(),
-                        tx,
-                        duty_cycle: cfg.duty_cycle,
-                        rx_window: rx_window_timeout(&cfg.plan),
-                        ..MacParams::default()
-                    }),
-                    blam,
-                    battery: if (i as f64) < cfg.aged_fraction * cfg.nodes as f64 {
-                        // Pre-aged battery: served `aged_years` near-full
-                        // (the LoRaWAN charging habit) with one shallow
-                        // cycle per day.
-                        let age = Duration::from_days((cfg.aged_years * 365.0) as u64);
-                        let daily = blam_battery::Cycle::full(0.95, 0.7);
-                        let prior_cycles =
-                            cfg.degradation.cycle_damage(&daily) * cfg.aged_years * 365.0;
-                        Battery::pre_aged(
-                            capacity,
-                            theta,
-                            cfg.temperature,
-                            cfg.degradation,
-                            age,
-                            0.85,
-                            prior_cycles,
-                        )
-                    } else {
-                        Battery::with_constants(capacity, theta, cfg.temperature, cfg.degradation)
-                    },
-                    switch: PowerSwitch::new(theta),
-                    supercap,
-                    harvest,
-                    forecaster,
-                    period,
-                    windows,
-                    radio: cfg.radio.clone(),
-                    mcu_sleep: cfg.mcu_sleep,
-                    last_settle: SimTime::ZERO,
-                    period_start: SimTime::ZERO,
-                    prev_period_start: None,
-                    packet: None,
-                    discharge_sample: None,
-                    recharge_sample: None,
-                    pending_weight: None,
-                    pending_adr: None,
-                    pending_deadline: None,
-                    pending_trace: None,
-                    current_phy_len: phy_len,
-                    current_channel: cfg.plan.uplink[0],
-                    exchange_epoch: 0,
-                    utility,
-                    metrics: NodeMetrics::default(),
-                }
-            })
-            .collect();
+        let nodes: Vec<SimNode> = build_nodes(
+            &cfg,
+            policy.as_ref(),
+            &topology,
+            &field,
+            &gw_positions,
+            &mut node_rng,
+        );
 
         let mut ledger = DegradationLedger::with_constants(
             cfg.forecast_window,
@@ -344,6 +165,7 @@ impl Engine {
             server: NetworkServer::new(),
             adr: cfg.adr.then(AdrEngine::standard),
             ledger,
+            policy,
             mac_rng: seeder.stream("mac"),
             topology,
             nodes,
@@ -390,8 +212,7 @@ impl Engine {
             node.settle(sim_end, Joules::ZERO, self.cfg.forecast_window);
             node.metrics.final_degradation = node.battery.refresh_degradation(sim_end);
         }
-        let node_metrics: Vec<NodeMetrics> =
-            self.nodes.iter().map(|n| n.metrics.clone()).collect();
+        let node_metrics: Vec<NodeMetrics> = self.nodes.iter().map(|n| n.metrics.clone()).collect();
         let gateway_degradation_estimates: Vec<f64> = (0..self.nodes.len())
             .map(|i| self.ledger.degradation_of(i as u32, sim_end))
             .collect();
@@ -401,7 +222,7 @@ impl Engine {
             self.topology.placements[i] = node.placement;
         }
         RunResult {
-            label: self.cfg.protocol.label(),
+            label: self.policy.label(),
             seed: self.cfg.seed,
             network: NetworkMetrics::aggregate(&node_metrics),
             nodes: node_metrics,
@@ -412,653 +233,5 @@ impl Engine {
             events_processed: sim.processed(),
             sim_end,
         }
-    }
-
-    fn handle(&mut self, sim: &mut Simulator<Event>, now: SimTime, event: Event) {
-        if self.halted {
-            return;
-        }
-        match event {
-            Event::Generate { node } => self.on_generate(sim, now, node),
-            Event::StartTx { node } => self.on_start_tx(sim, now, node),
-            Event::TxEnd { node, epoch } => self.on_tx_end(sim, now, node, epoch),
-            Event::DownlinkStart {
-                node,
-                gateway,
-                end,
-                ack_at,
-                epoch,
-                fallback,
-            } => {
-                self.on_downlink_start(sim, now, node, gateway, end, ack_at, epoch, fallback);
-            }
-            Event::AckArrival { node, epoch } => self.on_ack_arrival(sim, now, node, epoch),
-            Event::RxDeadline { node, epoch } => self.on_rx_deadline(sim, now, node, epoch),
-            Event::Retransmit { node, epoch } => self.on_retransmit(sim, now, node, epoch),
-            Event::Dissemination => self.on_dissemination(sim, now),
-            Event::Sample => self.on_sample(sim, now),
-        }
-    }
-
-    fn on_generate(&mut self, sim: &mut Simulator<Event>, now: SimTime, i: usize) {
-        let window = self.cfg.forecast_window;
-        // Next period's generation first, so a drop below can't stall
-        // the node. Real crystals drift: each period slips by a small
-        // uniform draw.
-        let period = self.nodes[i].period;
-        let drift_cap = self.cfg.period_drift.as_millis();
-        let drifted = if drift_cap > 0 {
-            let slip = self.mac_rng.gen_range(0..=2 * drift_cap);
-            period + Duration::from_millis(slip) - Duration::from_millis(drift_cap)
-        } else {
-            period
-        };
-        sim.schedule(now + drifted, Event::Generate { node: i });
-
-        // Conclude a still-running exchange from the previous period.
-        if !self.nodes[i].mac.is_idle() {
-            let node = &mut self.nodes[i];
-            if let Some(id) = node.pending_deadline.take() {
-                sim.cancel(id);
-            }
-            if let Some(report) = node.mac.abort(now) {
-                self.finish_exchange(now, i, &report);
-            }
-        }
-
-        let node = &mut self.nodes[i];
-        node.metrics.generated += 1;
-
-        // Fold the finished period's compressed SoC trace into the next
-        // uplink, and feed the forecaster what actually arrived.
-        if node.blam.is_some() {
-            let prev_start = node.period_start;
-            if node.prev_period_start.is_some() || node.metrics.generated > 1 {
-                let trace = match (node.discharge_sample, node.recharge_sample) {
-                    (Some(d), Some(r)) => Some(CompressedSocTrace {
-                        discharge: d,
-                        recharge: r,
-                    }),
-                    (Some(d), None) => Some(CompressedSocTrace {
-                        discharge: d,
-                        recharge: d,
-                    }),
-                    (None, Some(r)) => Some(CompressedSocTrace {
-                        discharge: r,
-                        recharge: r,
-                    }),
-                    (None, None) => None,
-                };
-                if let Some(t) = trace {
-                    node.pending_trace = Some((prev_start, t));
-                }
-            }
-            if matches!(node.forecaster, NodeForecaster::Persistence(_)) {
-                for w in 0..node.windows {
-                    let start = prev_start + window * w as u64;
-                    if start + window <= now {
-                        let e = node.harvest.energy_between(start, start + window);
-                        node.forecaster.observe(start, window, e);
-                    }
-                }
-            }
-        }
-
-        node.prev_period_start = Some(node.period_start);
-        node.period_start = now;
-        node.discharge_sample = None;
-        node.recharge_sample = None;
-        node.settle(now, Joules::ZERO, window);
-
-        // Decide when to transmit.
-        let chosen = match &mut self.nodes[i].blam {
-            None => Some(0), // LoRaWAN: immediately
-            Some(_) => {
-                let windows = self.nodes[i].windows;
-                let forecast: Vec<Joules> = (0..windows)
-                    .map(|w| {
-                        self.nodes[i]
-                            .forecaster
-                            .predict(now + window * w as u64, window)
-                    })
-                    .collect();
-                let battery = self.nodes[i].battery.stored();
-                let blam = self.nodes[i].blam.as_mut().expect("checked above");
-                blam.plan(battery, &forecast).map(|p| p.window)
-            }
-        };
-
-        let node = &mut self.nodes[i];
-        match chosen {
-            None => {
-                // Algorithm 1 FAIL: drop the packet.
-                node.metrics.dropped_no_window += 1;
-                node.metrics.concluded += 1;
-                node.metrics.latency_sum += node.period;
-            }
-            Some(w) => {
-                node.metrics.record_window(w);
-                node.packet = Some(PacketState {
-                    generated_at: now,
-                    window: w,
-                });
-                // Random offset within the window halves collision odds
-                // without a measurable utility change (§III-B, "Network
-                // dynamics and channel access").
-                let jitter = Duration::from_millis(
-                    self.mac_rng.gen_range(0..=(window.as_millis() / 2)),
-                );
-                sim.schedule(
-                    now + window * w as u64 + jitter,
-                    Event::StartTx { node: i },
-                );
-            }
-        }
-    }
-
-    fn on_start_tx(&mut self, sim: &mut Simulator<Event>, now: SimTime, i: usize) {
-        let window = self.cfg.forecast_window;
-        self.nodes[i].settle(now, Joules::ZERO, window);
-        let node = &mut self.nodes[i];
-        if !node.mac.is_idle() {
-            // Should not happen (exchanges are aborted at generation),
-            // but stay safe: drop this packet.
-            node.metrics.dropped_brownout += 1;
-            node.metrics.concluded += 1;
-            node.metrics.latency_sum += node.period;
-            node.packet = None;
-            return;
-        }
-
-        let piggyback = node.pending_trace.map(|_| CompressedSocTrace::ENCODED_LEN);
-        let mut frame = Uplink::confirmed(self.cfg.payload_bytes);
-        frame.piggyback_len = piggyback.unwrap_or(0);
-        node.current_phy_len = frame.phy_payload_len();
-
-        // Brownout check: the battery (plus harvest during the airtime,
-        // which is negligible) must fund at least the first attempt.
-        let required = node.radio.tx_energy(&node.tx_config(), node.current_phy_len);
-        if node.battery.stored() < required {
-            node.metrics.dropped_brownout += 1;
-            node.metrics.concluded += 1;
-            node.metrics.latency_sum += node.period;
-            node.packet = None;
-            return;
-        }
-
-        let actions = node.mac.send(now, frame, &mut self.mac_rng);
-        self.apply_actions(sim, now, i, &actions);
-    }
-
-    fn on_tx_end(&mut self, sim: &mut Simulator<Event>, now: SimTime, i: usize, epoch: u64) {
-        let window = self.cfg.forecast_window;
-        // Pay for the transmission.
-        let tx_cost = {
-            let node = &self.nodes[i];
-            node.radio.tx_energy(&node.tx_config(), node.current_phy_len)
-        };
-        self.nodes[i].settle(now, tx_cost, window);
-        self.nodes[i].metrics.tx_energy_electrical += tx_cost;
-        // Record the discharge transition for the compressed trace.
-        {
-            let node = &mut self.nodes[i];
-            let w = node.window_index(now, window) as u8;
-            node.discharge_sample = Some(SocSample::new(w, node.battery.soc()));
-        }
-
-        // Conclude this transmission's receptions at every gateway (only
-        // the entries tagged with this event's epoch — a successor
-        // exchange's in-flight receptions must run their own course).
-        // The uplink counts if any gateway decoded it (the network
-        // server deduplicates).
-        let mut best_rx: Option<(usize, f64)> = None;
-        let mut idx = 0;
-        while idx < self.nodes[i].inflight.len() {
-            if self.nodes[i].inflight[idx].0 == epoch {
-                let (_, g, tid, rssi) = self.nodes[i].inflight.swap_remove(idx);
-                if self.gateways[g].end_uplink(tid).is_received()
-                    && best_rx.is_none_or(|(_, r)| rssi > r)
-                {
-                    best_rx = Some((g, rssi));
-                }
-            } else {
-                idx += 1;
-            }
-        }
-        if epoch != self.nodes[i].exchange_epoch {
-            // The exchange this transmission belonged to was aborted at
-            // the next period's generation; the energy is spent and the
-            // gateway entries concluded, but the MAC has moved on.
-            return;
-        }
-        // Capture the on-air frame before feeding the MAC: an
-        // unconfirmed exchange completes (and clears its frame) inside
-        // on_tx_completed.
-        let frame = self.current_frame(i);
-        let actions = self.nodes[i].mac.on_tx_completed(now);
-        self.apply_actions(sim, now, i, &actions);
-
-        let Some((rx_gateway, _)) = best_rx else {
-            return;
-        };
-        // The uplink decoded: the server answers with an ACK in RX1.
-        let sf = self.nodes[i].placement.sf;
-        let uplink_channel = self.nodes[i].current_channel;
-        let decision = self
-            .server
-            .on_uplink(&frame, &uplink_channel, sf, &self.cfg.plan);
-        if !decision.duplicate {
-            if let Some((anchor, trace)) = self.nodes[i].pending_trace.take() {
-                self.ledger.record_trace(i as u32, anchor, &trace);
-            }
-            if let Some(adr) = self.adr.as_mut() {
-                // SNR of the demodulated uplink at the gateway.
-                let node = &self.nodes[i];
-                let tx_cfg = node.tx_config();
-                let noise_floor = blam_lora_phy::link::THERMAL_NOISE_DBM_HZ
-                    + 10.0 * tx_cfg.bw.as_hz_f64().log10()
-                    + blam_lora_phy::link::NOISE_FIGURE_DB;
-                let snr = blam_units::Db(node.placement.link.rssi(tx_cfg.power).0 - noise_floor);
-                self.nodes[i].pending_adr =
-                    adr.observe(DeviceAddr(i as u32), tx_cfg.sf, tx_cfg.power, snr);
-            }
-        }
-        self.nodes[i].pending_weight = decision.piggyback;
-
-        // Schedule the downlink attempt at the RX1 opening, with an RX2
-        // fallback if the gateway turns out to be busy.
-        let rx1_start = now + self.cfg.plan.rx1_delay;
-        let rx1_channel = self.cfg.plan.rx1_channel(&uplink_channel);
-        let ack_cfg = TxConfig::new(
-            self.cfg.plan.rx1_sf(sf),
-            rx1_channel.bandwidth,
-            CodingRate::Cr4_5,
-        )
-        .with_power(Dbm(27.0));
-        let ack_airtime = ack_cfg.airtime(decision.downlink.phy_payload_len());
-        // The node locks onto the ACK once its preamble completes; the
-        // remaining symbols arrive while the window stays open, even
-        // past the nominal close (a real Class-A receiver finishes an
-        // in-progress reception).
-        let preamble = blam_units::Duration::from_secs_f64(
-            blam_lora_phy::symbol_duration_secs(ack_cfg.sf, ack_cfg.bw)
-                * (f64::from(ack_cfg.preamble_symbols) + 4.25),
-        );
-        // RX2 runs on the plan's fixed channel/SF; the node detects the
-        // preamble a few symbols in, within its window timeout.
-        let rx2_start = now + self.cfg.plan.rx2_delay;
-        let rx2_cfg = TxConfig::new(
-            self.cfg.plan.rx2_sf,
-            self.cfg.plan.rx2_channel.bandwidth,
-            CodingRate::Cr4_5,
-        )
-        .with_power(Dbm(27.0));
-        let rx2_airtime = rx2_cfg.airtime(decision.downlink.phy_payload_len());
-        let rx2_detect = blam_units::Duration::from_secs_f64(
-            blam_lora_phy::symbol_duration_secs(rx2_cfg.sf, rx2_cfg.bw) * 5.0,
-        );
-        sim.schedule(
-            rx1_start,
-            Event::DownlinkStart {
-                node: i,
-                gateway: rx_gateway,
-                end: rx1_start + ack_airtime,
-                ack_at: rx1_start + preamble,
-                epoch,
-                fallback: Some((rx2_start, rx2_start + rx2_airtime, rx2_start + rx2_detect)),
-            },
-        );
-    }
-
-    /// The frame currently in flight for node `i` (from its MAC).
-    fn current_frame(&self, i: usize) -> Uplink {
-        self.nodes[i]
-            .mac
-            .current_frame()
-            .expect("a received uplink implies an exchange in progress")
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn on_downlink_start(
-        &mut self,
-        sim: &mut Simulator<Event>,
-        now: SimTime,
-        i: usize,
-        gateway: usize,
-        end: SimTime,
-        ack_at: SimTime,
-        epoch: u64,
-        fallback: Option<(SimTime, SimTime, SimTime)>,
-    ) {
-        if !self.gateways[gateway].downlink_available(now) {
-            // Busy ACKing someone else in RX1: retry in the node's RX2
-            // window; if that is busy too the ACK is lost and the node
-            // retransmits — the residual half-duplex cost of ALOHA.
-            if let Some((start, end2, ack2)) = fallback {
-                sim.schedule(
-                    start,
-                    Event::DownlinkStart {
-                        node: i,
-                        gateway,
-                        end: end2,
-                        ack_at: ack2,
-                        epoch,
-                        fallback: None,
-                    },
-                );
-            }
-            return;
-        }
-        self.gateways[gateway].begin_downlink(now, end);
-        sim.schedule(ack_at, Event::AckArrival { node: i, epoch });
-    }
-
-    fn on_ack_arrival(&mut self, sim: &mut Simulator<Event>, now: SimTime, i: usize, epoch: u64) {
-        if epoch != self.nodes[i].exchange_epoch {
-            return;
-        }
-        let window = self.cfg.forecast_window;
-        self.nodes[i].settle(now, Joules::ZERO, window);
-        if let Some(id) = self.nodes[i].pending_deadline.take() {
-            sim.cancel(id);
-        }
-        if let Some(byte) = self.nodes[i].pending_weight.take() {
-            if let Some(blam) = self.nodes[i].blam.as_mut() {
-                blam.on_weight_update(byte);
-            }
-        }
-        if let Some(cmd) = self.nodes[i].pending_adr.take() {
-            let node = &mut self.nodes[i];
-            let new_cfg = node
-                .tx_config()
-                .with_sf(cmd.sf)
-                .with_power(cmd.power);
-            node.mac.set_tx_config(new_cfg);
-            node.placement.sf = cmd.sf;
-            // The BLAM EWMA (Eq. 13) absorbs the energy change over the
-            // following periods — exactly why the paper smooths instead
-            // of trusting the last exchange.
-        }
-        let actions = self.nodes[i].mac.on_ack(now);
-        self.apply_actions(sim, now, i, &actions);
-    }
-
-    fn on_rx_deadline(&mut self, sim: &mut Simulator<Event>, now: SimTime, i: usize, epoch: u64) {
-        if epoch != self.nodes[i].exchange_epoch {
-            return;
-        }
-        self.nodes[i].pending_deadline = None;
-        let actions = self.nodes[i].mac.on_rx_deadline(now, &mut self.mac_rng);
-        self.apply_actions(sim, now, i, &actions);
-    }
-
-    fn on_retransmit(&mut self, sim: &mut Simulator<Event>, now: SimTime, i: usize, epoch: u64) {
-        if epoch != self.nodes[i].exchange_epoch {
-            return;
-        }
-        let window = self.cfg.forecast_window;
-        self.nodes[i].settle(now, Joules::ZERO, window);
-        // Brownout guard for the retransmission.
-        let required = {
-            let node = &self.nodes[i];
-            node.radio.tx_energy(&node.tx_config(), node.current_phy_len)
-        };
-        if self.nodes[i].battery.stored() < required {
-            self.nodes[i].metrics.brownout_events += 1;
-            if let Some(report) = self.nodes[i].mac.abort(now) {
-                self.finish_exchange(now, i, &report);
-            }
-            return;
-        }
-        let actions = self.nodes[i].mac.on_retransmit_time(now, &mut self.mac_rng);
-        self.apply_actions(sim, now, i, &actions);
-    }
-
-    fn apply_actions(
-        &mut self,
-        sim: &mut Simulator<Event>,
-        now: SimTime,
-        i: usize,
-        actions: &[MacAction],
-    ) {
-        for action in actions {
-            match *action {
-                MacAction::Transmit(tx) => {
-                    let epoch = self.nodes[i].exchange_epoch;
-                    let node = &mut self.nodes[i];
-                    node.current_channel = tx.channel;
-                    node.metrics.transmissions += 1;
-                    node.metrics.tx_energy_eq6 += blam_lora_phy::energy::tx_energy_eq6(
-                        &tx.config,
-                        tx.frame.phy_payload_len(),
-                    );
-                    debug_assert!(
-                        node.inflight.iter().all(|&(e, ..)| e != epoch),
-                        "overlapping transmissions within one exchange"
-                    );
-                    let rssis: Vec<f64> = node
-                        .gateway_links
-                        .iter()
-                        .map(|l| l.rssi(tx.config.power).0)
-                        .collect();
-                    for (g, rssi) in rssis.into_iter().enumerate() {
-                        let descriptor = UplinkTransmission {
-                            device: DeviceAddr(i as u32),
-                            channel: tx.channel,
-                            sf: tx.config.sf,
-                            rssi: Dbm(rssi),
-                            start: now,
-                            end: now + tx.airtime,
-                        };
-                        let tid = self.gateways[g].begin_uplink(descriptor);
-                        self.nodes[i].inflight.push((epoch, g, tid, rssi));
-                    }
-                    sim.schedule(now + tx.airtime, Event::TxEnd { node: i, epoch });
-                }
-                MacAction::ScheduleRxDeadline(at) => {
-                    let epoch = self.nodes[i].exchange_epoch;
-                    let id = sim.schedule(at, Event::RxDeadline { node: i, epoch });
-                    self.nodes[i].pending_deadline = Some(id);
-                }
-                MacAction::ScheduleRetransmit(at) => {
-                    let epoch = self.nodes[i].exchange_epoch;
-                    sim.schedule(at, Event::Retransmit { node: i, epoch });
-                }
-                MacAction::Complete(report) => {
-                    self.finish_exchange(now, i, &report);
-                }
-            }
-        }
-    }
-
-    fn finish_exchange(&mut self, now: SimTime, i: usize, report: &TxReport) {
-        let window = self.cfg.forecast_window;
-        let rx_cost = self.nodes[i].radio.rx_energy(report.total_rx_time);
-        self.nodes[i].settle(now, rx_cost, window);
-
-        let node = &mut self.nodes[i];
-        node.metrics.concluded += 1;
-        node.metrics.retransmissions += u64::from(report.transmissions.saturating_sub(1));
-
-        let packet = node.packet.take();
-        if report.delivered {
-            node.metrics.delivered += 1;
-            if let Some(p) = packet {
-                let latency = now.saturating_since(p.generated_at);
-                node.metrics.latency_sum += latency;
-                node.metrics.latency_delivered_sum += latency;
-                let idx = ((latency / window) as usize).min(node.windows);
-                node.metrics.utility_sum += node.utility.at(idx, node.windows);
-            }
-        } else {
-            node.metrics.failed_no_ack += 1;
-            node.metrics.latency_sum += node.period;
-        }
-
-        if let (Some(blam), Some(p)) = (node.blam.as_mut(), packet) {
-            let tx_electrical = node.radio.tx_power_draw(node.mac.params().tx.power)
-                * report.total_airtime;
-            blam.on_exchange_complete(p.window, report.transmissions.max(1), tx_electrical);
-        }
-        node.exchange_epoch += 1;
-    }
-
-    fn on_dissemination(&mut self, sim: &mut Simulator<Event>, now: SimTime) {
-        for (id, byte) in self.ledger.compute_normalized(now) {
-            self.server.set_piggyback(DeviceAddr(id), byte);
-        }
-        sim.schedule(now + self.cfg.dissemination_interval, Event::Dissemination);
-    }
-
-    fn on_sample(&mut self, sim: &mut Simulator<Event>, now: SimTime) {
-        let window = self.cfg.forecast_window;
-        let mut per_node = Vec::with_capacity(self.nodes.len());
-        for i in 0..self.nodes.len() {
-            self.nodes[i].settle(now, Joules::ZERO, window);
-            let d = self.nodes[i].battery.refresh_degradation(now);
-            self.nodes[i].metrics.final_degradation = d;
-            per_node.push(self.nodes[i].battery.tracker().breakdown(now));
-            if d >= EOL_DEGRADATION && self.first_eol.is_none() {
-                self.first_eol = Some((i, now));
-                if self.cfg.stop_at_first_eol {
-                    self.halted = true;
-                }
-            }
-        }
-        self.samples.push(DegradationSample { at: now, per_node });
-        if !self.halted {
-            sim.schedule(now + self.cfg.sample_interval, Event::Sample);
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::config::ScenarioConfig;
-
-    fn quick(protocol: Protocol, days: u64, nodes: usize, seed: u64) -> RunResult {
-        let cfg = ScenarioConfig {
-            duration: Duration::from_days(days),
-            sample_interval: Duration::from_days(1),
-            ..ScenarioConfig::large_scale(nodes, protocol, seed)
-        };
-        Engine::build(cfg).run()
-    }
-
-    #[test]
-    fn lorawan_network_delivers_packets() {
-        let r = quick(Protocol::Lorawan, 2, 20, 11);
-        assert!(r.network.generated > 20 * 24 * 2, "generated {}", r.network.generated);
-        assert!(r.network.prr > 0.6, "PRR {}", r.network.prr);
-        // Delivered packets conclude within the retransmission budget;
-        // the penalized average is dominated by collision losses under
-        // synchronized ALOHA starts.
-        assert!(r.network.avg_latency_delivered_secs < 60.0);
-        assert_eq!(r.nodes.len(), 20);
-    }
-
-    #[test]
-    fn blam_network_delivers_packets() {
-        let r = quick(Protocol::h(0.5), 2, 20, 11);
-        assert!(r.network.prr > 0.6, "PRR {}", r.network.prr);
-        // BLAM may defer: some node should use a window beyond 0 at
-        // least occasionally once degradation weights arrive; at two
-        // days the main check is that deferral doesn't break delivery.
-        assert!(r.network.avg_utility > 0.4, "utility {}", r.network.avg_utility);
-    }
-
-    #[test]
-    fn runs_are_deterministic() {
-        let a = quick(Protocol::h(0.5), 1, 10, 77);
-        let b = quick(Protocol::h(0.5), 1, 10, 77);
-        assert_eq!(a.network.generated, b.network.generated);
-        assert_eq!(a.network.delivered, b.network.delivered);
-        assert_eq!(a.events_processed, b.events_processed);
-        assert!((a.network.avg_latency_secs - b.network.avg_latency_secs).abs() < 1e-12);
-    }
-
-    #[test]
-    fn different_seeds_differ() {
-        let a = quick(Protocol::Lorawan, 1, 10, 1);
-        let b = quick(Protocol::Lorawan, 1, 10, 2);
-        assert_ne!(
-            (a.network.generated, a.network.delivered),
-            (b.network.generated, b.network.delivered)
-        );
-    }
-
-    #[test]
-    fn lorawan_latency_is_window_zero() {
-        let r = quick(Protocol::Lorawan, 1, 10, 5);
-        // Successful first-try exchanges conclude within ~2 s; even with
-        // retransmissions the bulk stays far below one forecast window.
-        assert!(
-            r.network.avg_latency_delivered_secs < 40.0,
-            "{}",
-            r.network.avg_latency_delivered_secs
-        );
-        for n in &r.nodes {
-            if n.generated > 0 {
-                assert_eq!(n.majority_window(), Some(0));
-            }
-        }
-    }
-
-    #[test]
-    fn degradation_accumulates_over_time() {
-        let r = quick(Protocol::Lorawan, 5, 10, 3);
-        assert!(r.network.degradation.mean > 0.0);
-        assert!(r.samples.len() >= 4);
-        let first = r.samples.first().unwrap().mean_total();
-        let last = r.samples.last().unwrap().mean_total();
-        assert!(last > first);
-    }
-
-    #[test]
-    fn duty_cycle_stretches_retransmission_bursts() {
-        // With a 1% duty cycle, a retransmission burst must wait out
-        // ~99 airtimes between attempts, so exchanges take far longer
-        // and fewer retransmissions fit before the next period.
-        let mut free = ScenarioConfig::large_scale(25, Protocol::Lorawan, 13);
-        free.duration = Duration::from_days(3);
-        let mut limited = free.clone();
-        limited.duty_cycle = Some(0.01);
-        let free = Engine::build(free).run();
-        let limited = Engine::build(limited).run();
-        assert!(
-            limited.network.avg_latency_delivered_secs > free.network.avg_latency_delivered_secs,
-            "duty cycle should delay delivery: {} !> {}",
-            limited.network.avg_latency_delivered_secs,
-            free.network.avg_latency_delivered_secs
-        );
-        assert!(limited.network.prr > 0.5);
-    }
-
-    #[test]
-    fn multi_gateway_improves_reception() {
-        let mut one = ScenarioConfig::large_scale(60, Protocol::Lorawan, 17);
-        one.duration = Duration::from_days(3);
-        let mut four = one.clone();
-        four.gateways = 4;
-        let one = Engine::build(one).run();
-        let four = Engine::build(four).run();
-        assert!(four.network.avg_retx <= one.network.avg_retx);
-        assert!(four.network.prr >= one.network.prr - 0.01);
-    }
-
-    #[test]
-    fn h5_starves_at_night() {
-        // θ = 0.05 cannot bank enough to survive dark hours: brownouts
-        // and dropped packets appear (Fig. 6b's H-5 behaviour).
-        let r = quick(Protocol::h(0.05), 3, 15, 9);
-        let dropped: u64 = r
-            .nodes
-            .iter()
-            .map(|n| n.dropped_no_window + n.dropped_brownout)
-            .sum();
-        assert!(dropped > 0, "H-5 should drop packets at night");
-        let full = quick(Protocol::h(0.5), 3, 15, 9);
-        assert!(r.network.prr < full.network.prr);
     }
 }

@@ -1,0 +1,77 @@
+//! Simulation events and their dispatch to the layer handlers.
+//!
+//! The event vocabulary is the seam between the engine's layers: node
+//! lifecycle events (`Generate`, `StartTx`, `Retransmit`, …) are
+//! handled in `nodes.rs`, gateway radio events (`DownlinkStart`,
+//! `Dissemination`) in `radio.rs`. [`Engine::handle`] is the single
+//! routing point.
+
+use blam_des::Simulator;
+use blam_units::SimTime;
+
+use crate::engine::Engine;
+
+/// Simulation events.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Event {
+    /// The application on `node` generates a packet (period start).
+    Generate { node: usize },
+    /// The chosen forecast window arrived: begin the uplink exchange.
+    StartTx { node: usize },
+    /// An uplink's airtime ended at the gateways.
+    TxEnd { node: usize, epoch: u64 },
+    /// The gateway may start the ACK downlink now.
+    DownlinkStart {
+        node: usize,
+        /// Which gateway transmits the ACK.
+        gateway: usize,
+        /// When the downlink airtime ends (gateway busy until then).
+        end: SimTime,
+        /// When the node has locked onto the ACK (preamble detected) —
+        /// must precede the node's receive deadline.
+        ack_at: SimTime,
+        epoch: u64,
+        /// RX2 fallback (start, end, ack_at) if this window's gateway
+        /// is busy transmitting another downlink.
+        fallback: Option<(SimTime, SimTime, SimTime)>,
+    },
+    /// The ACK downlink finished arriving at the node.
+    AckArrival { node: usize, epoch: u64 },
+    /// The node's receive windows closed without an ACK.
+    RxDeadline { node: usize, epoch: u64 },
+    /// The ACK-timeout backoff elapsed.
+    Retransmit { node: usize, epoch: u64 },
+    /// Daily normalized-degradation dissemination at the gateway.
+    Dissemination,
+    /// Periodic (monthly) degradation snapshot.
+    Sample,
+}
+
+impl Engine {
+    /// Routes one event to its layer handler (`nodes.rs` / `radio.rs`).
+    pub(crate) fn handle(&mut self, sim: &mut Simulator<Event>, now: SimTime, event: Event) {
+        if self.halted {
+            return;
+        }
+        match event {
+            Event::Generate { node } => self.on_generate(sim, now, node),
+            Event::StartTx { node } => self.on_start_tx(sim, now, node),
+            Event::TxEnd { node, epoch } => self.on_tx_end(sim, now, node, epoch),
+            Event::DownlinkStart {
+                node,
+                gateway,
+                end,
+                ack_at,
+                epoch,
+                fallback,
+            } => {
+                self.on_downlink_start(sim, now, node, gateway, end, ack_at, epoch, fallback);
+            }
+            Event::AckArrival { node, epoch } => self.on_ack_arrival(sim, now, node, epoch),
+            Event::RxDeadline { node, epoch } => self.on_rx_deadline(sim, now, node, epoch),
+            Event::Retransmit { node, epoch } => self.on_retransmit(sim, now, node, epoch),
+            Event::Dissemination => self.on_dissemination(sim, now),
+            Event::Sample => self.on_sample(sim, now),
+        }
+    }
+}

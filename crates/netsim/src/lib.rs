@@ -11,11 +11,19 @@
 //!   parameters.
 //! * [`topology`] — random disk deployments, per-node link budgets and
 //!   distance-based spreading-factor assignment.
-//! * [`node`] — the per-node simulation state: MAC, battery, switch,
-//!   harvest source, forecaster, protocol state and energy settlement.
-//! * [`engine`] — the event loop: packet generation, window selection,
-//!   transmissions, collisions at the gateway, ACKs, retransmissions,
-//!   daily degradation dissemination, monthly sampling.
+//! * [`policy`] — the [`MacPolicy`](policy::MacPolicy) trait holding
+//!   every protocol decision point, with one implementation per MAC:
+//!   [`AlohaPolicy`](policy::AlohaPolicy) (the LoRaWAN baseline) and
+//!   [`BlamPolicy`](policy::BlamPolicy) (the paper's protocol).
+//! * [`nodes`] — the node layer: per-device state (MAC, battery,
+//!   switch, harvest, forecaster) and the generate → select window →
+//!   transmit → retransmit lifecycle, including energy settlement.
+//! * [`engine`] — the thin core: network construction and the run
+//!   loop; event routing lives in the crate-private `events` module,
+//!   gateway half-duplex arbitration and RX1/RX2 downlink scheduling
+//!   in the crate-private `radio` module.
+//! * [`runner`] — [`BatchRunner`](runner::BatchRunner): deterministic
+//!   parallel execution of scenario batches on worker threads.
 //! * [`metrics`] — per-node and network-level metric collection
 //!   (RETX, TX energy, PRR, utility, latency, degradation, lifespan).
 //! * [`report`] — shared human-readable renderings of run results.
@@ -41,14 +49,20 @@
 
 pub mod config;
 pub mod engine;
+mod events;
 pub mod metrics;
-pub mod node;
+pub mod nodes;
+pub mod policy;
+mod radio;
 pub mod report;
+pub mod runner;
 pub mod scenario;
 pub mod topology;
 
 pub use config::{Protocol, ScenarioConfig};
 pub use engine::RunResult;
 pub use metrics::{NetworkMetrics, NodeMetrics};
+pub use policy::{AlohaPolicy, BlamPolicy, MacPolicy};
+pub use runner::BatchRunner;
 pub use scenario::Scenario;
 pub use topology::Topology;

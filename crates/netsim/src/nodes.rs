@@ -1,0 +1,687 @@
+//! The node layer: per-device state and the node lifecycle handlers —
+//! generate → select window → transmit → retransmit — plus SoC/harvest
+//! settlement and periodic degradation sampling. Protocol decisions are
+//! delegated to the engine's [`MacPolicy`](crate::policy::MacPolicy).
+
+use blam::utility::Utility;
+use blam::{BlamNode, CompressedSocTrace, SocSample};
+use blam_battery::{Battery, PowerSwitch, Supercap, SwitchOutcome, EOL_DEGRADATION};
+use blam_des::Simulator;
+use blam_energy_harvest::{
+    DiurnalPersistence, Forecaster, HarvestSource, NodeHarvest, NoisyOracle, Oracle, SolarField,
+};
+use blam_lora_phy::{Bandwidth, CodingRate, LinkBudget, Position, RadioPowerModel, TxConfig};
+use blam_lorawan::{
+    ClassAMac, DeviceAddr, MacAction, MacParams, TransmissionId, TxReport, Uplink,
+    UplinkTransmission,
+};
+use blam_units::{Dbm, Duration, Joules, SimTime, Watts};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::config::{ForecasterKind, ScenarioConfig};
+use crate::engine::Engine;
+use crate::events::Event;
+use crate::metrics::{DegradationSample, NodeMetrics};
+use crate::policy::MacPolicy;
+use crate::radio::rx_window_timeout;
+use crate::topology::{NodePlacement, Topology};
+
+/// The green-energy forecaster variants a node can run.
+#[derive(Debug, Clone)]
+pub enum NodeForecaster {
+    /// Time-of-day persistence over locally observed harvest.
+    Persistence(DiurnalPersistence),
+    /// Clairvoyant (ablation upper bound).
+    Oracle(Oracle<NodeHarvest>),
+    /// Clairvoyant with multiplicative log-normal error (ablation).
+    Noisy(NoisyOracle<NodeHarvest>),
+}
+
+impl Forecaster for NodeForecaster {
+    fn observe(&mut self, start: SimTime, window: Duration, energy: Joules) {
+        match self {
+            NodeForecaster::Persistence(f) => f.observe(start, window, energy),
+            NodeForecaster::Oracle(f) => f.observe(start, window, energy),
+            NodeForecaster::Noisy(f) => f.observe(start, window, energy),
+        }
+    }
+
+    fn predict(&self, start: SimTime, window: Duration) -> Joules {
+        match self {
+            NodeForecaster::Persistence(f) => f.predict(start, window),
+            NodeForecaster::Oracle(f) => f.predict(start, window),
+            NodeForecaster::Noisy(f) => f.predict(start, window),
+        }
+    }
+}
+
+/// The in-flight packet of the current sampling period.
+#[derive(Debug, Clone, Copy)]
+pub struct PacketState {
+    /// When the application generated the packet.
+    pub generated_at: SimTime,
+    /// The forecast window chosen for it.
+    pub window: usize,
+}
+
+/// One simulated end device.
+#[derive(Debug)]
+pub struct SimNode {
+    /// Node index (= device address).
+    pub id: usize,
+    /// Radio situation (serving-gateway link).
+    pub placement: NodePlacement,
+    /// Link budgets to every gateway, indexed by gateway id.
+    pub gateway_links: Vec<LinkBudget>,
+    /// Receptions in flight at the gateways: (exchange epoch, gateway,
+    /// reception id, RSSI dBm). Epoch-tagged so a stale TxEnd (from an
+    /// exchange aborted mid-airtime) cannot conclude a successor
+    /// exchange's receptions early.
+    pub inflight: Vec<(u64, usize, TransmissionId, f64)>,
+    /// LoRaWAN Class-A MAC.
+    pub mac: ClassAMac,
+    /// BLAM protocol state (None for the LoRaWAN baseline).
+    pub blam: Option<BlamNode>,
+    /// The rechargeable battery.
+    pub battery: Battery,
+    /// Software-defined battery switch (θ-capped for BLAM).
+    pub switch: PowerSwitch,
+    /// Optional supercapacitor buffer in front of the battery.
+    pub supercap: Option<Supercap>,
+    /// Solar harvest source.
+    pub harvest: NodeHarvest,
+    /// Green-energy forecaster.
+    pub forecaster: NodeForecaster,
+    /// Sampling period τ.
+    pub period: Duration,
+    /// Forecast windows per period |T|.
+    pub windows: usize,
+    /// Radio electrical model.
+    pub radio: RadioPowerModel,
+    /// Baseline non-radio draw.
+    pub mcu_sleep: Watts,
+    /// Last energy-settlement instant.
+    pub last_settle: SimTime,
+    /// Start of the current sampling period (= last generation time).
+    pub period_start: SimTime,
+    /// Start of the previous period (for forecaster feedback and trace
+    /// anchoring).
+    pub prev_period_start: Option<SimTime>,
+    /// The packet currently being handled.
+    pub packet: Option<PacketState>,
+    /// SoC sample after this period's transmission discharge.
+    pub discharge_sample: Option<SocSample>,
+    /// SoC sample at this period's last recharge.
+    pub recharge_sample: Option<SocSample>,
+    /// Pending normalized-degradation byte carried by the next ACK.
+    pub pending_weight: Option<u8>,
+    /// Pending ADR command carried by the next ACK.
+    pub pending_adr: Option<blam_lorawan::AdrCommand>,
+    /// Pending RX-deadline event (cancelled when the ACK wins).
+    pub pending_deadline: Option<blam_des::EventId>,
+    /// Previous period's compressed SoC trace, to piggyback on the next
+    /// uplink (anchor time, trace).
+    pub pending_trace: Option<(SimTime, CompressedSocTrace)>,
+    /// PHY payload length of the uplink currently in flight.
+    pub current_phy_len: usize,
+    /// Channel of the uplink currently in flight.
+    pub current_channel: blam_lora_phy::Channel,
+    /// Monotone exchange counter guarding stale in-flight events: a
+    /// TxEnd/ACK/deadline/retransmit event only applies if its epoch
+    /// matches (the exchange it belonged to was not aborted).
+    pub exchange_epoch: u64,
+    /// Utility curve used for this node's metric accounting.
+    pub utility: Utility,
+    /// Metrics accumulator.
+    pub metrics: NodeMetrics,
+}
+
+impl SimNode {
+    /// The node's uplink radio configuration.
+    #[must_use]
+    pub fn tx_config(&self) -> TxConfig {
+        self.mac.params().tx
+    }
+
+    /// Total baseline sleep draw (MCU + radio sleep).
+    #[must_use]
+    pub fn sleep_power(&self) -> Watts {
+        self.mcu_sleep + self.radio.sleep_power_draw()
+    }
+
+    /// The forecast-window index of `at` within the current period
+    /// (clamped to the last window).
+    #[must_use]
+    pub fn window_index(&self, at: SimTime, window: Duration) -> usize {
+        let idx = (at.saturating_since(self.period_start) / window) as usize;
+        idx.min(self.windows.saturating_sub(1))
+    }
+
+    /// Settles energy bookkeeping up to `now`: harvest since the last
+    /// settlement and baseline sleep draw flow through the switch,
+    /// together with `extra_demand` (a transmission or receive-window
+    /// cost landing at `now`).
+    ///
+    /// Records the period's recharge sample whenever the battery
+    /// charged, mirroring the hardware interrupt the paper uses to
+    /// capture the last recharge transition.
+    pub fn settle(
+        &mut self,
+        now: SimTime,
+        extra_demand: Joules,
+        forecast_window: Duration,
+    ) -> SwitchOutcome {
+        let from = self.last_settle;
+        let mut harvested = if now > from {
+            self.harvest.energy_between(from, now)
+        } else {
+            Joules::ZERO
+        };
+        let mut demand = self.sleep_power() * now.saturating_since(from) + extra_demand;
+        // A supercapacitor buffer, when present, absorbs surplus and
+        // serves demand before the battery is touched — shielding the
+        // battery's rainflow record from shallow transmission cycles.
+        if let Some(cap) = &mut self.supercap {
+            cap.leak(now.saturating_since(from));
+            let direct = harvested.min(demand);
+            let mut surplus = harvested - direct;
+            let mut shortfall = demand - direct;
+            shortfall -= cap.discharge(shortfall);
+            surplus -= cap.charge(surplus);
+            harvested = direct + surplus;
+            demand = direct + shortfall;
+        }
+        let out = self.switch.step(now, &mut self.battery, harvested, demand);
+        self.last_settle = now;
+        if out.charged.0 > 0.0 {
+            let w = self.window_index(now, forecast_window) as u8;
+            self.recharge_sample = Some(SocSample::new(w, self.battery.soc()));
+        }
+        if out.deficit.0 > 0.0 {
+            self.metrics.brownout_events += 1;
+        }
+        out
+    }
+}
+
+/// Constructs every end device of a scenario: radio configuration,
+/// battery sizing, panel sizing, forecaster, and the policy-installed
+/// protocol state. Draw order on `node_rng` (period, then shading, per
+/// node) is part of the crate's determinism contract — changing it
+/// changes every seeded experiment.
+pub(crate) fn build_nodes(
+    cfg: &ScenarioConfig,
+    policy: &dyn MacPolicy,
+    topology: &Topology,
+    field: &SolarField,
+    gw_positions: &[Position],
+    node_rng: &mut ChaCha8Rng,
+) -> Vec<SimNode> {
+    let payload_overhead = policy.payload_overhead();
+    let theta = policy.theta();
+    (0..cfg.nodes)
+        .map(|i| {
+            let placement = topology.placements[i];
+            let tx = TxConfig::new(placement.sf, Bandwidth::Khz125, CodingRate::Cr4_5)
+                .with_power(cfg.tx_power);
+            // Whole-minute periods (as in the paper's "[16, 60] Min"
+            // draw): nodes sharing a period stay phase-locked, which
+            // is what creates the persistent collisions Eq. (14)
+            // learns to escape.
+            let period = Duration::from_mins(node_rng.gen_range(
+                (cfg.period_min.as_millis() / 60_000)..=(cfg.period_max.as_millis() / 60_000),
+            ));
+            let windows = cfg.windows_in(period);
+            let phy_len = cfg.payload_bytes + payload_overhead + blam_lorawan::MAC_OVERHEAD_BYTES;
+            let tx_energy = cfg.radio.tx_energy(&tx, phy_len);
+            let rx_energy = cfg.radio.rx_energy(rx_window_timeout(&cfg.plan) * 2);
+            let sleep = cfg.mcu_sleep + cfg.radio.sleep_power_draw();
+
+            // Battery sized to `battery_days` of average operation.
+            let packets_per_day = 86_400.0 / period.as_secs_f64();
+            let daily = sleep * Duration::from_days(1) + (tx_energy + rx_energy) * packets_per_day;
+            let capacity = daily * cfg.battery_days;
+
+            // Panel sized so peak power funds `solar_peak_tx_multiple`
+            // transmissions per forecast window (the paper's rule).
+            let peak =
+                Watts(cfg.solar_peak_tx_multiple * tx_energy.0 / cfg.forecast_window.as_secs_f64());
+            let region = field.region(i).clone();
+            let shading = node_rng.gen_range(0.7..=1.0);
+            let factor = (peak.0 / region.peak_power().0 * shading).min(1.0);
+            let harvest = NodeHarvest::new(region, factor);
+
+            let forecaster = match cfg.forecaster {
+                ForecasterKind::DiurnalPersistence => {
+                    NodeForecaster::Persistence(DiurnalPersistence::new(cfg.forecast_window, 0.3))
+                }
+                ForecasterKind::Oracle => NodeForecaster::Oracle(Oracle::new(harvest.clone())),
+                ForecasterKind::Noisy(sigma) => NodeForecaster::Noisy(NoisyOracle::new(
+                    harvest.clone(),
+                    sigma,
+                    cfg.seed ^ (i as u64),
+                )),
+            };
+
+            // Eq. (15)'s E_max is the node's own worst-case single
+            // transmission: its radio configuration at maximum
+            // power. Normalizing per node lets the DIF span its
+            // full [0, 1] range for every node regardless of SF.
+            let e_max = cfg.radio.tx_energy(&tx.with_power(Dbm(20.0)), phy_len);
+            let (blam, utility) = policy.node_state(tx_energy, e_max, windows);
+
+            let supercap = cfg
+                .supercap_tx_multiple
+                .map(|m| blam_battery::Supercap::new(tx_energy * m, Watts::from_milliwatts(0.001)));
+            let gateway_links: Vec<_> = gw_positions
+                .iter()
+                .map(|&gp| {
+                    let d = blam_units::Meters(placement.position.distance_to(gp).0.max(1.0));
+                    blam_lora_phy::LinkBudget::new(d)
+                        .with_path_loss(cfg.path_loss)
+                        .with_shadowing(placement.link.shadowing)
+                })
+                .collect();
+            SimNode {
+                id: i,
+                placement,
+                gateway_links,
+                inflight: Vec::new(),
+                mac: ClassAMac::new(MacParams {
+                    device: DeviceAddr(i as u32),
+                    plan: cfg.plan.clone(),
+                    tx,
+                    duty_cycle: cfg.duty_cycle,
+                    rx_window: rx_window_timeout(&cfg.plan),
+                    ..MacParams::default()
+                }),
+                blam,
+                battery: if (i as f64) < cfg.aged_fraction * cfg.nodes as f64 {
+                    // Pre-aged battery: served `aged_years` near-full
+                    // (the LoRaWAN charging habit) with one shallow
+                    // cycle per day.
+                    let age = Duration::from_days((cfg.aged_years * 365.0) as u64);
+                    let daily = blam_battery::Cycle::full(0.95, 0.7);
+                    let prior_cycles =
+                        cfg.degradation.cycle_damage(&daily) * cfg.aged_years * 365.0;
+                    Battery::pre_aged(
+                        capacity,
+                        theta,
+                        cfg.temperature,
+                        cfg.degradation,
+                        age,
+                        0.85,
+                        prior_cycles,
+                    )
+                } else {
+                    Battery::with_constants(capacity, theta, cfg.temperature, cfg.degradation)
+                },
+                switch: PowerSwitch::new(theta),
+                supercap,
+                harvest,
+                forecaster,
+                period,
+                windows,
+                radio: cfg.radio.clone(),
+                mcu_sleep: cfg.mcu_sleep,
+                last_settle: SimTime::ZERO,
+                period_start: SimTime::ZERO,
+                prev_period_start: None,
+                packet: None,
+                discharge_sample: None,
+                recharge_sample: None,
+                pending_weight: None,
+                pending_adr: None,
+                pending_deadline: None,
+                pending_trace: None,
+                current_phy_len: phy_len,
+                current_channel: cfg.plan.uplink[0],
+                exchange_epoch: 0,
+                utility,
+                metrics: NodeMetrics::default(),
+            }
+        })
+        .collect()
+}
+
+impl Engine {
+    pub(crate) fn on_generate(&mut self, sim: &mut Simulator<Event>, now: SimTime, i: usize) {
+        let window = self.cfg.forecast_window;
+        // Next period's generation first, so a drop below can't stall
+        // the node. Real crystals drift: each period slips by a small
+        // uniform draw.
+        let period = self.nodes[i].period;
+        let drift_cap = self.cfg.period_drift.as_millis();
+        let drifted = if drift_cap > 0 {
+            let slip = self.mac_rng.gen_range(0..=2 * drift_cap);
+            period + Duration::from_millis(slip) - Duration::from_millis(drift_cap)
+        } else {
+            period
+        };
+        sim.schedule(now + drifted, Event::Generate { node: i });
+
+        // Conclude a still-running exchange from the previous period.
+        if !self.nodes[i].mac.is_idle() {
+            let node = &mut self.nodes[i];
+            if let Some(id) = node.pending_deadline.take() {
+                sim.cancel(id);
+            }
+            if let Some(report) = node.mac.abort(now) {
+                self.finish_exchange(now, i, &report);
+            }
+        }
+
+        let policy = &self.policy;
+        let node = &mut self.nodes[i];
+        node.metrics.generated += 1;
+
+        // Fold the finished period into protocol state (SoC trace for
+        // the next uplink, forecaster feedback), then roll the period
+        // bookkeeping over.
+        policy.on_period_rollover(node, now, window);
+
+        node.prev_period_start = Some(node.period_start);
+        node.period_start = now;
+        node.discharge_sample = None;
+        node.recharge_sample = None;
+        node.settle(now, Joules::ZERO, window);
+
+        // Decide when to transmit.
+        let chosen = policy.select_window(node, now, window);
+
+        match chosen {
+            None => {
+                // Algorithm 1 FAIL: drop the packet.
+                node.metrics.dropped_no_window += 1;
+                node.metrics.concluded += 1;
+                node.metrics.latency_sum += node.period;
+            }
+            Some(w) => {
+                node.metrics.record_window(w);
+                node.packet = Some(PacketState {
+                    generated_at: now,
+                    window: w,
+                });
+                // Random offset within the window halves collision odds
+                // without a measurable utility change (§III-B, "Network
+                // dynamics and channel access").
+                let jitter =
+                    Duration::from_millis(self.mac_rng.gen_range(0..=(window.as_millis() / 2)));
+                sim.schedule(now + window * w as u64 + jitter, Event::StartTx { node: i });
+            }
+        }
+    }
+
+    pub(crate) fn on_start_tx(&mut self, sim: &mut Simulator<Event>, now: SimTime, i: usize) {
+        let window = self.cfg.forecast_window;
+        self.nodes[i].settle(now, Joules::ZERO, window);
+        let node = &mut self.nodes[i];
+        if !node.mac.is_idle() {
+            // Should not happen (exchanges are aborted at generation),
+            // but stay safe: drop this packet.
+            node.metrics.dropped_brownout += 1;
+            node.metrics.concluded += 1;
+            node.metrics.latency_sum += node.period;
+            node.packet = None;
+            return;
+        }
+
+        let piggyback = node.pending_trace.map(|_| CompressedSocTrace::ENCODED_LEN);
+        let mut frame = Uplink::confirmed(self.cfg.payload_bytes);
+        frame.piggyback_len = piggyback.unwrap_or(0);
+        node.current_phy_len = frame.phy_payload_len();
+
+        // Brownout check: the battery (plus harvest during the airtime,
+        // which is negligible) must fund at least the first attempt.
+        let required = node
+            .radio
+            .tx_energy(&node.tx_config(), node.current_phy_len);
+        if node.battery.stored() < required {
+            node.metrics.dropped_brownout += 1;
+            node.metrics.concluded += 1;
+            node.metrics.latency_sum += node.period;
+            node.packet = None;
+            return;
+        }
+
+        let actions = node.mac.send(now, frame, &mut self.mac_rng);
+        self.apply_actions(sim, now, i, &actions);
+    }
+
+    pub(crate) fn on_tx_end(
+        &mut self,
+        sim: &mut Simulator<Event>,
+        now: SimTime,
+        i: usize,
+        epoch: u64,
+    ) {
+        let window = self.cfg.forecast_window;
+        // Pay for the transmission.
+        let tx_cost = {
+            let node = &self.nodes[i];
+            node.radio
+                .tx_energy(&node.tx_config(), node.current_phy_len)
+        };
+        self.nodes[i].settle(now, tx_cost, window);
+        self.nodes[i].metrics.tx_energy_electrical += tx_cost;
+        // Record the discharge transition for the compressed trace.
+        {
+            let node = &mut self.nodes[i];
+            let w = node.window_index(now, window) as u8;
+            node.discharge_sample = Some(SocSample::new(w, node.battery.soc()));
+        }
+
+        // The uplink counts if any gateway decoded it.
+        let best_rx = self.conclude_receptions(i, epoch);
+        if epoch != self.nodes[i].exchange_epoch {
+            // The exchange this transmission belonged to was aborted at
+            // the next period's generation; the energy is spent and the
+            // gateway entries concluded, but the MAC has moved on.
+            return;
+        }
+        // Capture the on-air frame before feeding the MAC: an
+        // unconfirmed exchange completes (and clears its frame) inside
+        // on_tx_completed.
+        let frame = self.current_frame(i);
+        let actions = self.nodes[i].mac.on_tx_completed(now);
+        self.apply_actions(sim, now, i, &actions);
+
+        let Some((rx_gateway, _)) = best_rx else {
+            return;
+        };
+        // The uplink decoded: the server answers with an ACK in RX1.
+        self.on_uplink_decoded(sim, now, i, epoch, rx_gateway, &frame);
+    }
+
+    /// The frame currently in flight for node `i` (from its MAC).
+    pub(crate) fn current_frame(&self, i: usize) -> Uplink {
+        self.nodes[i]
+            .mac
+            .current_frame()
+            .expect("a received uplink implies an exchange in progress")
+    }
+
+    pub(crate) fn on_ack_arrival(
+        &mut self,
+        sim: &mut Simulator<Event>,
+        now: SimTime,
+        i: usize,
+        epoch: u64,
+    ) {
+        if epoch != self.nodes[i].exchange_epoch {
+            return;
+        }
+        let window = self.cfg.forecast_window;
+        self.nodes[i].settle(now, Joules::ZERO, window);
+        if let Some(id) = self.nodes[i].pending_deadline.take() {
+            sim.cancel(id);
+        }
+        if let Some(byte) = self.nodes[i].pending_weight.take() {
+            let policy = &self.policy;
+            policy.on_ack_weight(&mut self.nodes[i], byte);
+        }
+        if let Some(cmd) = self.nodes[i].pending_adr.take() {
+            let node = &mut self.nodes[i];
+            let new_cfg = node.tx_config().with_sf(cmd.sf).with_power(cmd.power);
+            node.mac.set_tx_config(new_cfg);
+            node.placement.sf = cmd.sf;
+            // The BLAM EWMA (Eq. 13) absorbs the energy change over the
+            // following periods — exactly why the paper smooths instead
+            // of trusting the last exchange.
+        }
+        let actions = self.nodes[i].mac.on_ack(now);
+        self.apply_actions(sim, now, i, &actions);
+    }
+
+    pub(crate) fn on_rx_deadline(
+        &mut self,
+        sim: &mut Simulator<Event>,
+        now: SimTime,
+        i: usize,
+        epoch: u64,
+    ) {
+        if epoch != self.nodes[i].exchange_epoch {
+            return;
+        }
+        self.nodes[i].pending_deadline = None;
+        let actions = self.nodes[i].mac.on_rx_deadline(now, &mut self.mac_rng);
+        self.apply_actions(sim, now, i, &actions);
+    }
+
+    pub(crate) fn on_retransmit(
+        &mut self,
+        sim: &mut Simulator<Event>,
+        now: SimTime,
+        i: usize,
+        epoch: u64,
+    ) {
+        if epoch != self.nodes[i].exchange_epoch {
+            return;
+        }
+        let window = self.cfg.forecast_window;
+        self.nodes[i].settle(now, Joules::ZERO, window);
+        // Brownout guard for the retransmission.
+        let required = {
+            let node = &self.nodes[i];
+            node.radio
+                .tx_energy(&node.tx_config(), node.current_phy_len)
+        };
+        if self.nodes[i].battery.stored() < required {
+            self.nodes[i].metrics.brownout_events += 1;
+            if let Some(report) = self.nodes[i].mac.abort(now) {
+                self.finish_exchange(now, i, &report);
+            }
+            return;
+        }
+        let actions = self.nodes[i].mac.on_retransmit_time(now, &mut self.mac_rng);
+        self.apply_actions(sim, now, i, &actions);
+    }
+
+    pub(crate) fn apply_actions(
+        &mut self,
+        sim: &mut Simulator<Event>,
+        now: SimTime,
+        i: usize,
+        actions: &[MacAction],
+    ) {
+        for action in actions {
+            match *action {
+                MacAction::Transmit(tx) => {
+                    let epoch = self.nodes[i].exchange_epoch;
+                    let node = &mut self.nodes[i];
+                    node.current_channel = tx.channel;
+                    node.metrics.transmissions += 1;
+                    node.metrics.tx_energy_eq6 += blam_lora_phy::energy::tx_energy_eq6(
+                        &tx.config,
+                        tx.frame.phy_payload_len(),
+                    );
+                    debug_assert!(
+                        node.inflight.iter().all(|&(e, ..)| e != epoch),
+                        "overlapping transmissions within one exchange"
+                    );
+                    let rssis: Vec<f64> = node
+                        .gateway_links
+                        .iter()
+                        .map(|l| l.rssi(tx.config.power).0)
+                        .collect();
+                    for (g, rssi) in rssis.into_iter().enumerate() {
+                        let descriptor = UplinkTransmission {
+                            device: DeviceAddr(i as u32),
+                            channel: tx.channel,
+                            sf: tx.config.sf,
+                            rssi: Dbm(rssi),
+                            start: now,
+                            end: now + tx.airtime,
+                        };
+                        let tid = self.gateways[g].begin_uplink(descriptor);
+                        self.nodes[i].inflight.push((epoch, g, tid, rssi));
+                    }
+                    sim.schedule(now + tx.airtime, Event::TxEnd { node: i, epoch });
+                }
+                MacAction::ScheduleRxDeadline(at) => {
+                    let epoch = self.nodes[i].exchange_epoch;
+                    let id = sim.schedule(at, Event::RxDeadline { node: i, epoch });
+                    self.nodes[i].pending_deadline = Some(id);
+                }
+                MacAction::ScheduleRetransmit(at) => {
+                    let epoch = self.nodes[i].exchange_epoch;
+                    sim.schedule(at, Event::Retransmit { node: i, epoch });
+                }
+                MacAction::Complete(report) => {
+                    self.finish_exchange(now, i, &report);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn finish_exchange(&mut self, now: SimTime, i: usize, report: &TxReport) {
+        let window = self.cfg.forecast_window;
+        let rx_cost = self.nodes[i].radio.rx_energy(report.total_rx_time);
+        self.nodes[i].settle(now, rx_cost, window);
+
+        let policy = &self.policy;
+        let node = &mut self.nodes[i];
+        node.metrics.concluded += 1;
+        node.metrics.retransmissions += u64::from(report.transmissions.saturating_sub(1));
+
+        let packet = node.packet.take();
+        if report.delivered {
+            node.metrics.delivered += 1;
+            if let Some(p) = packet {
+                let latency = now.saturating_since(p.generated_at);
+                node.metrics.latency_sum += latency;
+                node.metrics.latency_delivered_sum += latency;
+                let idx = ((latency / window) as usize).min(node.windows);
+                node.metrics.utility_sum += node.utility.at(idx, node.windows);
+            }
+        } else {
+            node.metrics.failed_no_ack += 1;
+            node.metrics.latency_sum += node.period;
+        }
+
+        policy.on_exchange_complete(node, packet, report);
+        node.exchange_epoch += 1;
+    }
+
+    pub(crate) fn on_sample(&mut self, sim: &mut Simulator<Event>, now: SimTime) {
+        let window = self.cfg.forecast_window;
+        let mut per_node = Vec::with_capacity(self.nodes.len());
+        for i in 0..self.nodes.len() {
+            self.nodes[i].settle(now, Joules::ZERO, window);
+            let d = self.nodes[i].battery.refresh_degradation(now);
+            self.nodes[i].metrics.final_degradation = d;
+            per_node.push(self.nodes[i].battery.tracker().breakdown(now));
+            if d >= EOL_DEGRADATION && self.first_eol.is_none() {
+                self.first_eol = Some((i, now));
+                if self.cfg.stop_at_first_eol {
+                    self.halted = true;
+                }
+            }
+        }
+        self.samples.push(DegradationSample { at: now, per_node });
+        if !self.halted {
+            sim.schedule(now + self.cfg.sample_interval, Event::Sample);
+        }
+    }
+}

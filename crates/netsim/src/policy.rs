@@ -1,0 +1,323 @@
+//! The MAC-protocol policy layer.
+//!
+//! Every LoRaWAN-vs-BLAM decision the simulator makes — payload
+//! overhead, charge threshold, forecast-window selection, SoC-trace
+//! bookkeeping, ACK weight processing, estimator feedback — lives
+//! behind the [`MacPolicy`] trait, implemented once per protocol:
+//! [`AlohaPolicy`] (the LoRaWAN baseline) and [`BlamPolicy`] (the
+//! paper's protocol, any H-θ variant). The engine holds one policy per
+//! run and never branches on [`Protocol`] itself; a future MAC plugs in
+//! as a third implementation without touching the event loop.
+
+use blam::utility::Utility;
+use blam::{BlamConfig, BlamNode, CompressedSocTrace};
+use blam_energy_harvest::{Forecaster, HarvestSource};
+use blam_lorawan::TxReport;
+use blam_units::{Duration, Joules, SimTime};
+
+use crate::config::Protocol;
+use crate::nodes::{NodeForecaster, PacketState, SimNode};
+
+/// The per-node protocol state a policy installs at build time: the
+/// optional BLAM state machine and the utility curve used for metric
+/// accounting.
+pub type NodeProtocolState = (Option<BlamNode>, Utility);
+
+/// The protocol-specific decision points of a simulation run.
+///
+/// Methods receive the node they act on; the engine calls them at fixed
+/// points of the per-node lifecycle (see `nodes.rs`). Implementations
+/// must be deterministic — any randomness belongs to the engine's named
+/// RNG streams, not the policy.
+pub trait MacPolicy: Send + Sync {
+    /// A short label for tables ("LoRaWAN", "H-50", "H-50C", …).
+    fn label(&self) -> String;
+
+    /// The charge threshold θ in effect (1 for unrestricted charging).
+    fn theta(&self) -> f64;
+
+    /// Extra uplink payload bytes the protocol piggybacks (the 4-byte
+    /// compressed SoC trace for BLAM, nothing for LoRaWAN).
+    fn payload_overhead(&self) -> usize;
+
+    /// Validates protocol parameters against the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent combinations.
+    fn validate(&self, scenario_window: Duration) {
+        let _ = scenario_window;
+    }
+
+    /// Builds the per-node protocol state at network-construction time.
+    fn node_state(
+        &self,
+        tx_energy: Joules,
+        max_tx_energy: Joules,
+        windows: usize,
+    ) -> NodeProtocolState;
+
+    /// Folds the finished sampling period into protocol state when the
+    /// next packet is generated: compresses the period's SoC trace for
+    /// piggybacking and feeds the forecaster what actually arrived.
+    /// Called before the node's period bookkeeping rolls over.
+    fn on_period_rollover(&self, node: &mut SimNode, now: SimTime, window: Duration);
+
+    /// Chooses the forecast window for a freshly generated packet.
+    /// `Some(w)` transmits in window `w`; `None` drops the packet
+    /// (Algorithm 1 FAIL).
+    fn select_window(&self, node: &mut SimNode, now: SimTime, window: Duration) -> Option<usize>;
+
+    /// Processes the normalized-degradation weight byte carried by an
+    /// ACK downlink.
+    fn on_ack_weight(&self, node: &mut SimNode, byte: u8);
+
+    /// Feeds the concluded exchange back into the protocol estimators.
+    fn on_exchange_complete(
+        &self,
+        node: &mut SimNode,
+        packet: Option<PacketState>,
+        report: &TxReport,
+    );
+}
+
+/// Standard LoRaWAN: pure ALOHA. Transmit immediately in the first
+/// forecast window, charge without limit, piggyback nothing, learn
+/// nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlohaPolicy;
+
+impl MacPolicy for AlohaPolicy {
+    fn label(&self) -> String {
+        "LoRaWAN".to_string()
+    }
+
+    fn theta(&self) -> f64 {
+        1.0
+    }
+
+    fn payload_overhead(&self) -> usize {
+        0
+    }
+
+    fn node_state(
+        &self,
+        _tx_energy: Joules,
+        _max_tx_energy: Joules,
+        _windows: usize,
+    ) -> NodeProtocolState {
+        (None, Utility::Linear)
+    }
+
+    fn on_period_rollover(&self, _node: &mut SimNode, _now: SimTime, _window: Duration) {}
+
+    fn select_window(
+        &self,
+        _node: &mut SimNode,
+        _now: SimTime,
+        _window: Duration,
+    ) -> Option<usize> {
+        Some(0)
+    }
+
+    fn on_ack_weight(&self, _node: &mut SimNode, _byte: u8) {}
+
+    fn on_exchange_complete(
+        &self,
+        _node: &mut SimNode,
+        _packet: Option<PacketState>,
+        _report: &TxReport,
+    ) {
+    }
+}
+
+/// The paper's battery-lifespan-aware MAC (any H-θ variant): θ-capped
+/// charging, Algorithm 1 window selection over green-energy forecasts,
+/// compressed SoC traces piggybacked uplink, disseminated degradation
+/// weights applied from ACKs, and EWMA estimator feedback.
+#[derive(Debug, Clone)]
+pub struct BlamPolicy {
+    cfg: BlamConfig,
+}
+
+impl BlamPolicy {
+    /// Wraps a BLAM configuration as a policy.
+    #[must_use]
+    pub fn new(cfg: BlamConfig) -> Self {
+        BlamPolicy { cfg }
+    }
+
+    /// The underlying BLAM configuration.
+    #[must_use]
+    pub fn config(&self) -> &BlamConfig {
+        &self.cfg
+    }
+}
+
+impl MacPolicy for BlamPolicy {
+    fn label(&self) -> String {
+        let theta = (self.cfg.theta * 100.0).round() as u32;
+        if self.cfg.use_window_selection {
+            format!("H-{theta}")
+        } else {
+            format!("H-{theta}C")
+        }
+    }
+
+    fn theta(&self) -> f64 {
+        self.cfg.theta
+    }
+
+    fn payload_overhead(&self) -> usize {
+        CompressedSocTrace::ENCODED_LEN
+    }
+
+    fn validate(&self, scenario_window: Duration) {
+        assert!(
+            self.cfg.forecast_window == scenario_window,
+            "BlamConfig.forecast_window ({}) must match ScenarioConfig.forecast_window ({}) — \
+             the simulator plans, observes and anchors SoC traces on the scenario's window",
+            self.cfg.forecast_window,
+            scenario_window
+        );
+    }
+
+    fn node_state(
+        &self,
+        tx_energy: Joules,
+        max_tx_energy: Joules,
+        windows: usize,
+    ) -> NodeProtocolState {
+        (
+            Some(BlamNode::new(
+                self.cfg.clone(),
+                tx_energy,
+                max_tx_energy,
+                windows,
+            )),
+            self.cfg.utility,
+        )
+    }
+
+    fn on_period_rollover(&self, node: &mut SimNode, now: SimTime, window: Duration) {
+        // Fold the finished period's SoC transitions into a 4-byte
+        // compressed trace for the next uplink. The very first period
+        // has no predecessor to report.
+        let prev_start = node.period_start;
+        if node.prev_period_start.is_some() || node.metrics.generated > 1 {
+            let trace = match (node.discharge_sample, node.recharge_sample) {
+                (Some(d), Some(r)) => Some(CompressedSocTrace {
+                    discharge: d,
+                    recharge: r,
+                }),
+                (Some(d), None) => Some(CompressedSocTrace {
+                    discharge: d,
+                    recharge: d,
+                }),
+                (None, Some(r)) => Some(CompressedSocTrace {
+                    discharge: r,
+                    recharge: r,
+                }),
+                (None, None) => None,
+            };
+            if let Some(t) = trace {
+                node.pending_trace = Some((prev_start, t));
+            }
+        }
+        // The persistence forecaster learns from what actually arrived;
+        // the oracle variants already know the trace.
+        if matches!(node.forecaster, NodeForecaster::Persistence(_)) {
+            for w in 0..node.windows {
+                let start = prev_start + window * w as u64;
+                if start + window <= now {
+                    let e = node.harvest.energy_between(start, start + window);
+                    node.forecaster.observe(start, window, e);
+                }
+            }
+        }
+    }
+
+    fn select_window(&self, node: &mut SimNode, now: SimTime, window: Duration) -> Option<usize> {
+        let windows = node.windows;
+        let forecast: Vec<Joules> = (0..windows)
+            .map(|w| node.forecaster.predict(now + window * w as u64, window))
+            .collect();
+        let battery = node.battery.stored();
+        let blam = node
+            .blam
+            .as_mut()
+            .expect("BlamPolicy installs BLAM state on every node");
+        blam.plan(battery, &forecast).map(|p| p.window)
+    }
+
+    fn on_ack_weight(&self, node: &mut SimNode, byte: u8) {
+        if let Some(blam) = node.blam.as_mut() {
+            blam.on_weight_update(byte);
+        }
+    }
+
+    fn on_exchange_complete(
+        &self,
+        node: &mut SimNode,
+        packet: Option<PacketState>,
+        report: &TxReport,
+    ) {
+        if let (Some(blam), Some(p)) = (node.blam.as_mut(), packet) {
+            let tx_electrical =
+                node.radio.tx_power_draw(node.mac.params().tx.power) * report.total_airtime;
+            blam.on_exchange_complete(p.window, report.transmissions.max(1), tx_electrical);
+        }
+    }
+}
+
+impl Protocol {
+    /// The [`MacPolicy`] implementation for this protocol variant — the
+    /// single construction site dispatching on the enum; everything
+    /// downstream of here talks to the trait.
+    #[must_use]
+    pub fn policy(&self) -> Box<dyn MacPolicy> {
+        match self {
+            Protocol::Lorawan => Box::new(AlohaPolicy),
+            Protocol::Blam(cfg) => Box::new(BlamPolicy::new(cfg.clone())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aloha_is_the_lorawan_baseline() {
+        let p = AlohaPolicy;
+        assert_eq!(p.label(), "LoRaWAN");
+        assert_eq!(p.theta(), 1.0);
+        assert_eq!(p.payload_overhead(), 0);
+        let (blam, utility) = p.node_state(Joules(0.04), Joules(0.08), 10);
+        assert!(blam.is_none());
+        assert_eq!(utility, Utility::Linear);
+    }
+
+    #[test]
+    fn blam_policy_reflects_its_config() {
+        let p = BlamPolicy::new(BlamConfig::h(0.5));
+        assert_eq!(p.label(), "H-50");
+        assert_eq!(p.theta(), 0.5);
+        assert_eq!(p.payload_overhead(), CompressedSocTrace::ENCODED_LEN);
+        let (blam, _) = p.node_state(Joules(0.04), Joules(0.08), 10);
+        assert!(blam.is_some());
+    }
+
+    #[test]
+    fn protocol_factory_dispatches() {
+        assert_eq!(Protocol::Lorawan.policy().label(), "LoRaWAN");
+        assert_eq!(Protocol::h(0.05).policy().label(), "H-5");
+        assert_eq!(Protocol::h50c().policy().label(), "H-50C");
+    }
+
+    #[test]
+    #[should_panic(expected = "must match ScenarioConfig.forecast_window")]
+    fn blam_validate_rejects_window_mismatch() {
+        BlamPolicy::new(BlamConfig::h(0.5)).validate(Duration::from_mins(2));
+    }
+}

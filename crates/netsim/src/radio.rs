@@ -1,0 +1,171 @@
+//! The gateway radio layer: uplink reception conclusion (collision /
+//! capture resolution across gateways), the network-server response,
+//! half-duplex RX1/RX2 downlink scheduling, and the daily
+//! normalized-degradation dissemination.
+
+use blam_des::Simulator;
+use blam_lora_phy::{CodingRate, TxConfig};
+use blam_lorawan::{DeviceAddr, Uplink};
+use blam_units::{Dbm, Duration, SimTime};
+
+use crate::engine::Engine;
+use crate::events::Event;
+
+/// The Class-A receive-window timeout: long enough to detect a
+/// preamble (8 symbols) at the RX2 data rate, at least 50 ms.
+pub(crate) fn rx_window_timeout(plan: &blam_lora_phy::ChannelPlan) -> Duration {
+    let symbol = blam_lora_phy::symbol_duration_secs(plan.rx2_sf, plan.rx2_channel.bandwidth);
+    Duration::from_secs_f64((8.0 * symbol).max(0.05))
+}
+
+impl Engine {
+    /// Concludes a finished transmission's receptions at every gateway
+    /// (only the entries tagged with this event's epoch — a successor
+    /// exchange's in-flight receptions must run their own course).
+    /// Returns the best decoding gateway and its RSSI, if any decoded
+    /// the uplink (the network server deduplicates).
+    pub(crate) fn conclude_receptions(&mut self, i: usize, epoch: u64) -> Option<(usize, f64)> {
+        let mut best_rx: Option<(usize, f64)> = None;
+        let mut idx = 0;
+        while idx < self.nodes[i].inflight.len() {
+            if self.nodes[i].inflight[idx].0 == epoch {
+                let (_, g, tid, rssi) = self.nodes[i].inflight.swap_remove(idx);
+                if self.gateways[g].end_uplink(tid).is_received()
+                    && best_rx.is_none_or(|(_, r)| rssi > r)
+                {
+                    best_rx = Some((g, rssi));
+                }
+            } else {
+                idx += 1;
+            }
+        }
+        best_rx
+    }
+
+    /// A decoded uplink reached the server: record the piggybacked SoC
+    /// trace, run ADR, and schedule the ACK downlink at the RX1
+    /// opening with an RX2 fallback if the gateway turns out busy.
+    pub(crate) fn on_uplink_decoded(
+        &mut self,
+        sim: &mut Simulator<Event>,
+        now: SimTime,
+        i: usize,
+        epoch: u64,
+        rx_gateway: usize,
+        frame: &Uplink,
+    ) {
+        let sf = self.nodes[i].placement.sf;
+        let uplink_channel = self.nodes[i].current_channel;
+        let decision = self
+            .server
+            .on_uplink(frame, &uplink_channel, sf, &self.cfg.plan);
+        if !decision.duplicate {
+            if let Some((anchor, trace)) = self.nodes[i].pending_trace.take() {
+                self.ledger.record_trace(i as u32, anchor, &trace);
+            }
+            if let Some(adr) = self.adr.as_mut() {
+                // SNR of the demodulated uplink at the gateway.
+                let node = &self.nodes[i];
+                let tx_cfg = node.tx_config();
+                let noise_floor = blam_lora_phy::link::THERMAL_NOISE_DBM_HZ
+                    + 10.0 * tx_cfg.bw.as_hz_f64().log10()
+                    + blam_lora_phy::link::NOISE_FIGURE_DB;
+                let snr = blam_units::Db(node.placement.link.rssi(tx_cfg.power).0 - noise_floor);
+                self.nodes[i].pending_adr =
+                    adr.observe(DeviceAddr(i as u32), tx_cfg.sf, tx_cfg.power, snr);
+            }
+        }
+        self.nodes[i].pending_weight = decision.piggyback;
+
+        // Schedule the downlink attempt at the RX1 opening, with an RX2
+        // fallback if the gateway turns out to be busy.
+        let rx1_start = now + self.cfg.plan.rx1_delay;
+        let rx1_channel = self.cfg.plan.rx1_channel(&uplink_channel);
+        let ack_cfg = TxConfig::new(
+            self.cfg.plan.rx1_sf(sf),
+            rx1_channel.bandwidth,
+            CodingRate::Cr4_5,
+        )
+        .with_power(Dbm(27.0));
+        let ack_airtime = ack_cfg.airtime(decision.downlink.phy_payload_len());
+        // The node locks onto the ACK once its preamble completes; the
+        // remaining symbols arrive while the window stays open, even
+        // past the nominal close (a real Class-A receiver finishes an
+        // in-progress reception).
+        let preamble = blam_units::Duration::from_secs_f64(
+            blam_lora_phy::symbol_duration_secs(ack_cfg.sf, ack_cfg.bw)
+                * (f64::from(ack_cfg.preamble_symbols) + 4.25),
+        );
+        // RX2 runs on the plan's fixed channel/SF; the node detects the
+        // preamble a few symbols in, within its window timeout.
+        let rx2_start = now + self.cfg.plan.rx2_delay;
+        let rx2_cfg = TxConfig::new(
+            self.cfg.plan.rx2_sf,
+            self.cfg.plan.rx2_channel.bandwidth,
+            CodingRate::Cr4_5,
+        )
+        .with_power(Dbm(27.0));
+        let rx2_airtime = rx2_cfg.airtime(decision.downlink.phy_payload_len());
+        let rx2_detect = blam_units::Duration::from_secs_f64(
+            blam_lora_phy::symbol_duration_secs(rx2_cfg.sf, rx2_cfg.bw) * 5.0,
+        );
+        sim.schedule(
+            rx1_start,
+            Event::DownlinkStart {
+                node: i,
+                gateway: rx_gateway,
+                end: rx1_start + ack_airtime,
+                ack_at: rx1_start + preamble,
+                epoch,
+                fallback: Some((rx2_start, rx2_start + rx2_airtime, rx2_start + rx2_detect)),
+            },
+        );
+    }
+
+    /// The RX1 (or RX2) opening arrived: claim the gateway's half-duplex
+    /// transmitter for the ACK, or fall back / give up.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_downlink_start(
+        &mut self,
+        sim: &mut Simulator<Event>,
+        now: SimTime,
+        i: usize,
+        gateway: usize,
+        end: SimTime,
+        ack_at: SimTime,
+        epoch: u64,
+        fallback: Option<(SimTime, SimTime, SimTime)>,
+    ) {
+        if !self.gateways[gateway].downlink_available(now) {
+            // Busy ACKing someone else in RX1: retry in the node's RX2
+            // window; if that is busy too the ACK is lost and the node
+            // retransmits — the residual half-duplex cost of ALOHA.
+            if let Some((start, end2, ack2)) = fallback {
+                sim.schedule(
+                    start,
+                    Event::DownlinkStart {
+                        node: i,
+                        gateway,
+                        end: end2,
+                        ack_at: ack2,
+                        epoch,
+                        fallback: None,
+                    },
+                );
+            }
+            return;
+        }
+        self.gateways[gateway].begin_downlink(now, end);
+        sim.schedule(ack_at, Event::AckArrival { node: i, epoch });
+    }
+
+    /// Daily dissemination: the gateway pushes each node's normalized
+    /// degradation (quantized to a byte) into the server's piggyback
+    /// slots, to ride the next ACKs.
+    pub(crate) fn on_dissemination(&mut self, sim: &mut Simulator<Event>, now: SimTime) {
+        for (id, byte) in self.ledger.compute_normalized(now) {
+            self.server.set_piggyback(DeviceAddr(id), byte);
+        }
+        sim.schedule(now + self.cfg.dissemination_interval, Event::Dissemination);
+    }
+}

@@ -98,8 +98,15 @@ mod tests {
     fn testbed_runs_one_day() {
         let r = Scenario::testbed(Protocol::h(1.0), 2).run();
         // 10 nodes × ~144 packets/day.
-        assert!(r.network.generated >= 10 * 100, "generated {}", r.network.generated);
+        assert!(
+            r.network.generated >= 10 * 100,
+            "generated {}",
+            r.network.generated
+        );
         assert!(r.network.prr > 0.9, "PRR {}", r.network.prr);
-        assert_eq!(r.sim_end, blam_units::SimTime::ZERO + Duration::from_days(1));
+        assert_eq!(
+            r.sim_end,
+            blam_units::SimTime::ZERO + Duration::from_days(1)
+        );
     }
 }

@@ -100,8 +100,7 @@ impl Topology {
                 let mut shadowing = Db(z * config.shadowing_sigma.0);
                 // Clamp shadowing so SF12 can still close the link.
                 let clear = LinkBudget::new(distance).with_path_loss(config.path_loss);
-                let headroom =
-                    clear.rssi(config.tx_power) - sensitivity(SpreadingFactor::Sf12, bw);
+                let headroom = clear.rssi(config.tx_power) - sensitivity(SpreadingFactor::Sf12, bw);
                 if shadowing.0 > headroom.0 {
                     shadowing = headroom;
                 }
@@ -248,13 +247,11 @@ mod tests {
         c.gateways = 4;
         let four = Topology::generate(&c);
         let mean = |t: &Topology| {
-            t.placements.iter().map(|p| p.link.distance.0).sum::<f64>()
-                / t.placements.len() as f64
+            t.placements.iter().map(|p| p.link.distance.0).sum::<f64>() / t.placements.len() as f64
         };
         assert!(mean(&four) < mean(&one) * 0.8, "links should shorten");
-        let sf_sum = |t: &Topology| -> u32 {
-            t.placements.iter().map(|p| u32::from(p.sf.as_u8())).sum()
-        };
+        let sf_sum =
+            |t: &Topology| -> u32 { t.placements.iter().map(|p| u32::from(p.sf.as_u8())).sum() };
         assert!(sf_sum(&four) < sf_sum(&one), "SFs should drop");
     }
 

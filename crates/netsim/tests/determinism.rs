@@ -1,0 +1,78 @@
+//! Determinism regression tests.
+//!
+//! The batch runner's contract is that results depend only on each
+//! scenario's config (including its seed) — never on thread count,
+//! scheduling order, or position in the batch. Serialized `RunResult`s
+//! must therefore be byte-identical across all of these axes.
+
+use blam_netsim::engine::Engine;
+use blam_netsim::{config::Protocol, BatchRunner, RunResult, ScenarioConfig};
+use blam_units::Duration;
+
+fn quick_cfg(protocol: Protocol, nodes: usize, seed: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        duration: Duration::from_days(1),
+        sample_interval: Duration::from_days(1),
+        ..ScenarioConfig::large_scale(nodes, protocol, seed)
+    }
+}
+
+fn serialize(r: &RunResult) -> String {
+    serde_json::to_string(r).expect("RunResult serializes")
+}
+
+#[test]
+fn same_seed_gives_identical_serialized_results() {
+    for protocol in [Protocol::Lorawan, Protocol::h(0.5)] {
+        let a = Engine::build(quick_cfg(protocol, 10, 99)).run();
+        let b = Engine::build(quick_cfg(protocol, 10, 99)).run();
+        assert_eq!(
+            serialize(&a),
+            serialize(&b),
+            "consecutive runs with one master seed must be byte-identical"
+        );
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let configs: Vec<ScenarioConfig> = vec![
+        quick_cfg(Protocol::Lorawan, 10, 7),
+        quick_cfg(Protocol::h(0.5), 10, 7),
+        quick_cfg(Protocol::h(0.05), 8, 21),
+        quick_cfg(Protocol::h50c(), 8, 21),
+    ];
+    let serial = BatchRunner::new(1).quiet().run_all(configs.clone());
+    let parallel = BatchRunner::new(8).quiet().run_all(configs);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(
+            serialize(s),
+            serialize(p),
+            "--jobs 1 and --jobs 8 must agree for {}",
+            s.label
+        );
+    }
+}
+
+#[test]
+fn batch_order_does_not_change_per_config_results() {
+    let configs: Vec<ScenarioConfig> = vec![
+        quick_cfg(Protocol::Lorawan, 10, 31),
+        quick_cfg(Protocol::h(0.5), 10, 31),
+        quick_cfg(Protocol::h(1.0), 10, 31),
+    ];
+    let shuffled: Vec<ScenarioConfig> =
+        vec![configs[2].clone(), configs[0].clone(), configs[1].clone()];
+    let base = BatchRunner::new(2).quiet().run_all(configs);
+    let moved = BatchRunner::new(2).quiet().run_all(shuffled);
+    // Results land at their input index, so base[i] pairs with the
+    // shuffled position holding the same config.
+    for (b, m) in [(0usize, 1usize), (1, 2), (2, 0)] {
+        assert_eq!(
+            serialize(&base[b]),
+            serialize(&moved[m]),
+            "a config's result must not depend on its batch position"
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Refactor-parity snapshots.
+//!
+//! Pins the full `NetworkMetrics` of two fixed-seed quick scenarios —
+//! the LoRaWAN baseline and H-50 — as pretty-printed JSON under
+//! `tests/snapshots/`. On the first run a missing snapshot is recorded
+//! (golden-record style); afterwards any engine change that shifts a
+//! single metric bit fails the comparison. Delete a snapshot file to
+//! intentionally re-baseline after a behavior-changing commit.
+
+use std::path::PathBuf;
+
+use blam_netsim::engine::Engine;
+use blam_netsim::{config::Protocol, ScenarioConfig};
+use blam_units::Duration;
+
+fn snapshot_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/snapshots")
+        .join(format!("{name}.json"))
+}
+
+fn check_network_snapshot(name: &str, protocol: Protocol) {
+    let cfg = ScenarioConfig {
+        duration: Duration::from_days(2),
+        sample_interval: Duration::from_days(1),
+        ..ScenarioConfig::large_scale(20, protocol, 11)
+    };
+    let run = Engine::build(cfg).run();
+    let actual =
+        serde_json::to_string_pretty(&run.network).expect("NetworkMetrics serializes") + "\n";
+
+    let path = snapshot_path(name);
+    match std::fs::read_to_string(&path) {
+        Ok(expected) => assert_eq!(
+            actual,
+            expected,
+            "NetworkMetrics diverged from the recorded snapshot {} — if this \
+             behavior change is intentional, delete the file to re-baseline",
+            path.display()
+        ),
+        Err(_) => {
+            std::fs::create_dir_all(path.parent().expect("snapshot dir")).expect("mkdir snapshots");
+            std::fs::write(&path, &actual).expect("record snapshot");
+            eprintln!("[recorded new snapshot {}]", path.display());
+        }
+    }
+}
+
+#[test]
+fn lorawan_quick_scenario_matches_snapshot() {
+    check_network_snapshot("network_lorawan_20n_2d_seed11", Protocol::Lorawan);
+}
+
+#[test]
+fn h50_quick_scenario_matches_snapshot() {
+    check_network_snapshot("network_h50_20n_2d_seed11", Protocol::h(0.5));
+}

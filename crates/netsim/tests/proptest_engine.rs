@@ -17,16 +17,16 @@ fn any_protocol() -> impl Strategy<Value = Protocol> {
 fn any_config() -> impl Strategy<Value = ScenarioConfig> {
     (
         any_protocol(),
-        3usize..12,     // nodes
-        1u64..4,        // days
-        any::<u64>(),   // seed
+        3usize..12,   // nodes
+        1u64..4,      // days
+        any::<u64>(), // seed
         prop_oneof![
             Just(ForecasterKind::DiurnalPersistence),
             Just(ForecasterKind::Oracle),
             Just(ForecasterKind::Noisy(0.5)),
         ],
         prop_oneof![Just(HarvestKind::Solar), Just(HarvestKind::Wind)],
-        1usize..3, // gateways
+        1usize..3,                      // gateways
         prop::option::of(2.0f64..20.0), // supercap multiple
     )
         .prop_map(

@@ -39,10 +39,9 @@ fn main() {
             .iter()
             .map(|s| (s.at, s.max_total()))
             .collect();
-        let projected = project_eol(&trend)
-            .map_or("beyond horizon".to_string(), |t| {
-                format!("{:.1} years", t.as_years_f64())
-            });
+        let projected = project_eol(&trend).map_or("beyond horizon".to_string(), |t| {
+            format!("{:.1} years", t.as_years_f64())
+        });
 
         println!(
             "{:<8} {:>6.1}% {:>9.3} {:>10.2} {:>14.5} {:>22}",

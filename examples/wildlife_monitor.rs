@@ -33,7 +33,10 @@ fn main() {
     for (name, protocol) in [
         ("LoRaWAN".to_string(), Protocol::Lorawan),
         ("H-50 (linear utility)".to_string(), Protocol::Blam(linear)),
-        ("H-50 (plateau utility)".to_string(), Protocol::Blam(plateau)),
+        (
+            "H-50 (plateau utility)".to_string(),
+            Protocol::Blam(plateau),
+        ),
     ] {
         let mut scenario = Scenario::large_scale(nodes, protocol, seed)
             .with_duration(Duration::from_days(120))

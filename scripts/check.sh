@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the full test suite.
+# Offline-friendly — uses only the toolchain components already
+# installed; no network access or extra dependencies required.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "All checks passed."

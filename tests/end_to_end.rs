@@ -30,13 +30,18 @@ fn check_accounting(r: &RunResult) {
         // Transmissions cover every concluded exchange at least once.
         let exchanges = n.delivered + n.failed_no_ack;
         assert!(n.transmissions >= exchanges, "node {i} exchange accounting");
-        assert!(n.retransmissions == n.transmissions.saturating_sub(exchanges)
-            || n.transmissions >= n.retransmissions,
-            "node {i} retransmission accounting");
+        assert!(
+            n.retransmissions == n.transmissions.saturating_sub(exchanges)
+                || n.transmissions >= n.retransmissions,
+            "node {i} retransmission accounting"
+        );
         // Window histogram counts planned packets.
         let planned: u64 = n.window_histogram.iter().sum();
         assert!(planned <= n.generated);
-        assert!(planned >= exchanges, "node {i}: histogram {planned} < exchanges {exchanges}");
+        assert!(
+            planned >= exchanges,
+            "node {i}: histogram {planned} < exchanges {exchanges}"
+        );
         // Rates are well-formed.
         assert!((0.0..=1.0).contains(&n.prr()));
         assert!((0.0..=1.0).contains(&n.avg_utility()));
@@ -93,7 +98,10 @@ fn theta_orders_degradation() {
     let d100 = run(Protocol::h(1.0), 25, 45, 3).network.degradation.mean;
     let d50 = run(Protocol::h(0.5), 25, 45, 3).network.degradation.mean;
     let d5 = run(Protocol::h(0.05), 25, 45, 3).network.degradation.mean;
-    assert!(d5 < d50 && d50 < d100, "θ ordering violated: {d5} {d50} {d100}");
+    assert!(
+        d5 < d50 && d50 < d100,
+        "θ ordering violated: {d5} {d50} {d100}"
+    );
 }
 
 #[test]
@@ -120,7 +128,11 @@ fn testbed_matches_paper_setup() {
     assert!(r.network.prr > 0.95, "testbed PRR {}", r.network.prr);
     // ~144 packets per node in 24 h at 10-minute periods.
     for n in &r.nodes {
-        assert!((140..=146).contains(&(n.generated as i64)), "{}", n.generated);
+        assert!(
+            (140..=146).contains(&(n.generated as i64)),
+            "{}",
+            n.generated
+        );
     }
     // All nodes pinned to SF10 as in the paper.
     for p in &r.topology.placements {

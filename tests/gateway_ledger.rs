@@ -89,5 +89,8 @@ fn gateway_ranking_is_faithful() {
         .sum::<f64>()
         / pairs.len() as f64;
     pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
-    assert!(mean_w_error < 0.15, "normalized-weight error too large: {mean_w_error}");
+    assert!(
+        mean_w_error < 0.15,
+        "normalized-weight error too large: {mean_w_error}"
+    );
 }

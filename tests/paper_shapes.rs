@@ -66,9 +66,7 @@ fn fig6_shape_utility_prr_latency() {
     // H-50 keeps PRR at least on par with LoRaWAN.
     assert!(h50.network.prr >= lorawan.network.prr - 0.02);
     // Deferral costs latency (Fig. 6c's direction).
-    assert!(
-        h50.network.avg_latency_delivered_secs > lorawan.network.avg_latency_delivered_secs
-    );
+    assert!(h50.network.avg_latency_delivered_secs > lorawan.network.avg_latency_delivered_secs);
 }
 
 #[test]
@@ -98,19 +96,17 @@ fn fig3_shape_weight_splits_decisions() {
         *g = Joules(0.01);
     }
     let tx = vec![Joules(0.5); 10];
-    let pick = |w_u: f64| {
-        match select_window(&SelectInput {
-            battery_energy: Joules(5.0),
-            normalized_degradation: w_u,
-            degradation_weight: 1.0,
-            green_energy: &green,
-            tx_energy: &tx,
-            max_tx_energy: Joules(0.55),
-            utility: &Utility::Linear,
-        }) {
-            SelectOutcome::Selected { window, .. } => window,
-            SelectOutcome::Fail => usize::MAX,
-        }
+    let pick = |w_u: f64| match select_window(&SelectInput {
+        battery_energy: Joules(5.0),
+        normalized_degradation: w_u,
+        degradation_weight: 1.0,
+        green_energy: &green,
+        tx_energy: &tx,
+        max_tx_energy: Joules(0.55),
+        utility: &Utility::Linear,
+    }) {
+        SelectOutcome::Selected { window, .. } => window,
+        SelectOutcome::Fail => usize::MAX,
     };
     assert_eq!(pick(0.02), 0, "fresh node transmits immediately");
     assert!(pick(1.0) >= 2, "degraded node waits for green energy");

@@ -40,14 +40,15 @@ fn collision_then_retry_then_ack() {
         MacAction::Transmit(tx) => tx,
         _ => panic!("expected Transmit"),
     };
-    let descriptor = |device: u32, tx: &lpwan_blam::lorawan::TransmitDescriptor| UplinkTransmission {
-        device: DeviceAddr(device),
-        channel: tx.channel,
-        sf: tx.config.sf,
-        rssi: Dbm(-100.0),
-        start: t0,
-        end: t0 + tx.airtime,
-    };
+    let descriptor =
+        |device: u32, tx: &lpwan_blam::lorawan::TransmitDescriptor| UplinkTransmission {
+            device: DeviceAddr(device),
+            channel: tx.channel,
+            sf: tx.config.sf,
+            rssi: Dbm(-100.0),
+            start: t0,
+            end: t0 + tx.airtime,
+        };
     let a_id = gateway.begin_uplink(descriptor(1, &a_tx));
     let b_id = gateway.begin_uplink(descriptor(2, &b_tx));
     assert_eq!(gateway.end_uplink(a_id), ReceptionOutcome::Collided);
@@ -80,12 +81,7 @@ fn collision_then_retry_then_ack() {
     });
     assert_eq!(gateway.end_uplink(a_id2), ReceptionOutcome::Received);
 
-    let decision = server.on_uplink(
-        &a_tx2.frame,
-        &a_tx2.channel,
-        a_tx2.config.sf,
-        &plan,
-    );
+    let decision = server.on_uplink(&a_tx2.frame, &a_tx2.channel, a_tx2.config.sf, &plan);
     assert!(decision.downlink.ack);
     assert!(!decision.duplicate);
 
@@ -119,7 +115,11 @@ fn sf12_ack_fits_receive_window_model() {
     // must land before the RX2-close deadline for every SF the plan can
     // assign.
     let plan = ChannelPlan::eu868();
-    for sf in [SpreadingFactor::Sf7, SpreadingFactor::Sf10, SpreadingFactor::Sf12] {
+    for sf in [
+        SpreadingFactor::Sf7,
+        SpreadingFactor::Sf10,
+        SpreadingFactor::Sf12,
+    ] {
         let ack_cfg = lpwan_blam::phy::TxConfig::new(
             plan.rx1_sf(sf),
             plan.downlink[0].bandwidth,

@@ -71,9 +71,15 @@ fn quantization_cost_is_negligible() {
         quantized.record_trace(1, start, &CompressedSocTrace::decode(trace.encode()));
     }
     let now = SimTime::ZERO + Duration::from_days(90);
-    let (de, dq) = (exact.degradation_of(1, now), quantized.degradation_of(1, now));
+    let (de, dq) = (
+        exact.degradation_of(1, now),
+        quantized.degradation_of(1, now),
+    );
     assert!(de > 0.0);
-    assert!((de - dq).abs() / de < 0.01, "quantization cost too high: {de} vs {dq}");
+    assert!(
+        (de - dq).abs() / de < 0.01,
+        "quantization cost too high: {de} vs {dq}"
+    );
 }
 
 #[test]
@@ -93,6 +99,9 @@ fn weight_byte_survives_the_ack() {
         };
         let received = decode(&encode(&ack)).expect("clean channel");
         let recovered = dequantize_weight(received.fopts[0]);
-        assert!((recovered - w).abs() <= 0.5 / 255.0 + 1e-12, "w {w} -> {recovered}");
+        assert!(
+            (recovered - w).abs() <= 0.5 / 255.0 + 1e-12,
+            "w {w} -> {recovered}"
+        );
     }
 }
