@@ -80,7 +80,7 @@ fn main() {
             scenario.config
         })
         .collect();
-    let runs = args.runner().run_all(configs);
+    let runs = args.run_batch(configs);
 
     let table = Table::with_header(&[
         ("MAC", 8, Align::Left),

@@ -44,7 +44,7 @@ fn main() {
             configs.push(scenario.config);
         }
     }
-    let runs = args.runner().run_all(configs);
+    let runs = args.run_batch(configs);
 
     let table = Table::with_header(&[
         ("GWs", 4, Align::Left),

@@ -41,6 +41,11 @@ pub struct ExperimentArgs {
     /// Worker threads for batched simulations (defaults to the host's
     /// available parallelism). Results are identical for any value.
     pub jobs: usize,
+    /// Print the batch wall-clock profile (queue wait, sim run, merge)
+    /// to stderr after each batch.
+    pub profile: bool,
+    /// Write a JSONL telemetry trace of every batched run to this path.
+    pub trace: Option<String>,
 }
 
 impl ExperimentArgs {
@@ -48,7 +53,7 @@ impl ExperimentArgs {
     /// defaults.
     ///
     /// Recognized flags: `--nodes N`, `--years Y`, `--seed S`,
-    /// `--jobs N`, `--full`.
+    /// `--jobs N`, `--full`, `--profile`, `--trace FILE`.
     ///
     /// # Panics
     ///
@@ -73,6 +78,8 @@ impl ExperimentArgs {
             seed: 42,
             full: false,
             jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            profile: false,
+            trace: None,
         };
         let mut it = argv.iter();
         while let Some(flag) = it.next() {
@@ -89,8 +96,13 @@ impl ExperimentArgs {
                     assert!(args.jobs >= 1, "--jobs: integer ≥ 1");
                 }
                 "--full" => args.full = true,
+                "--profile" => args.profile = true,
+                "--trace" => args.trace = Some(take("--trace").clone()),
                 "--help" | "-h" => {
-                    eprintln!("flags: --nodes N --years Y --seed S --jobs N --full");
+                    eprintln!(
+                        "flags: --nodes N --years Y --seed S --jobs N --full \
+                         --profile --trace FILE"
+                    );
                     std::process::exit(0);
                 }
                 other => panic!("unknown flag {other} (try --help)"),
@@ -104,6 +116,39 @@ impl ExperimentArgs {
     #[must_use]
     pub fn runner(&self) -> blam_netsim::runner::BatchRunner {
         blam_netsim::runner::BatchRunner::new(self.jobs)
+    }
+
+    /// The telemetry options the `--trace` flag asked for.
+    #[must_use]
+    pub fn telemetry(&self) -> blam_netsim::TelemetryOptions {
+        match &self.trace {
+            Some(path) => blam_netsim::TelemetryOptions::with_trace(path),
+            None => blam_netsim::TelemetryOptions::off(),
+        }
+    }
+
+    /// Runs a batch of scenarios honoring `--jobs`, `--trace` and
+    /// `--profile`: the telemetry summary (when tracing) and the batch
+    /// profile (when `--profile`) go to stderr, the results come back
+    /// in input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scenario fails validation, a worker panics, or the
+    /// `--trace` file cannot be created.
+    #[must_use]
+    pub fn run_batch(
+        &self,
+        configs: Vec<blam_netsim::ScenarioConfig>,
+    ) -> Vec<blam_netsim::RunResult> {
+        let outcome = self.runner().run_all_with(configs, &self.telemetry());
+        if let Some(report) = &outcome.telemetry {
+            eprint!("{}", report.render());
+        }
+        if self.profile {
+            eprint!("{}", outcome.profile.render());
+        }
+        outcome.results
     }
 
     /// The simulated duration.
@@ -210,6 +255,18 @@ mod tests {
         assert_eq!(a.runner().jobs(), 3);
         let d = ExperimentArgs::parse_from(&[], 10, 1.0);
         assert!(d.jobs >= 1, "default jobs come from available parallelism");
+    }
+
+    #[test]
+    fn telemetry_flags_parse() {
+        let a = ExperimentArgs::parse_from(&argv("--profile --trace /tmp/t.jsonl"), 10, 1.0);
+        assert!(a.profile);
+        assert_eq!(a.trace.as_deref(), Some("/tmp/t.jsonl"));
+        assert!(a.telemetry().enabled());
+        let d = ExperimentArgs::parse_from(&[], 10, 1.0);
+        assert!(!d.profile);
+        assert!(d.trace.is_none());
+        assert!(!d.telemetry().enabled());
     }
 
     #[test]

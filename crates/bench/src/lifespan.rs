@@ -34,7 +34,7 @@ pub fn lifespan_runs(args: &ExperimentArgs) -> Vec<RunResult> {
                 .config
         })
         .collect();
-    let runs = args.runner().run_all(configs);
+    let runs = args.run_batch(configs);
     crate::write_json(&cache_id, &runs);
     runs
 }

@@ -63,7 +63,7 @@ pub fn run_or_load(args: &ExperimentArgs) -> ThetaSweep {
                 .config
         })
         .collect();
-    let runs = args.runner().run_all(configs);
+    let runs = args.run_batch(configs);
     let sweep = ThetaSweep { key, runs };
     crate::write_json(&cache_id, &sweep);
     sweep

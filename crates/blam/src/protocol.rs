@@ -10,6 +10,7 @@ use blam_units::Joules;
 use serde::{Deserialize, Serialize};
 
 use crate::config::BlamConfig;
+use crate::dif::degradation_impact_factor;
 use crate::dissemination::dequantize_weight;
 use crate::estimator::{RetxEstimator, TxEnergyEstimator};
 use crate::select::{select_window, SelectInput, SelectOutcome};
@@ -21,6 +22,11 @@ pub struct PlannedTransmission {
     pub window: usize,
     /// The objective value γ of the chosen window.
     pub objective: f64,
+    /// Utility lost by deferring to this window, `1 − U(window)`
+    /// (0 when transmitting immediately or with selection disabled).
+    pub utility_loss: f64,
+    /// Degradation impact factor of the chosen window (Eq. 15).
+    pub dif: f64,
 }
 
 /// Per-node BLAM protocol state.
@@ -140,9 +146,18 @@ impl BlamNode {
         green_forecast: &[Joules],
     ) -> Option<PlannedTransmission> {
         if !self.config.use_window_selection {
+            // Diagnostics only — per_window_energy would mutate the
+            // retransmission estimator, so use the raw EWMA estimate.
+            let dif = degradation_impact_factor(
+                self.tx_estimator.estimate(),
+                green_forecast.first().copied().unwrap_or(Joules(0.0)),
+                self.max_tx_energy,
+            );
             return Some(PlannedTransmission {
                 window: 0,
                 objective: 0.0,
+                utility_loss: 0.0,
+                dif,
             });
         }
         let tx_energy = self.per_window_energy(green_forecast.len());
@@ -156,9 +171,16 @@ impl BlamNode {
             utility: &self.config.utility,
         };
         match select_window(&input) {
-            SelectOutcome::Selected { window, objective } => {
-                Some(PlannedTransmission { window, objective })
-            }
+            SelectOutcome::Selected { window, objective } => Some(PlannedTransmission {
+                window,
+                objective,
+                utility_loss: 1.0 - self.config.utility.at(window, green_forecast.len()),
+                dif: degradation_impact_factor(
+                    tx_energy[window],
+                    green_forecast[window],
+                    self.max_tx_energy,
+                ),
+            }),
             SelectOutcome::Fail => None,
         }
     }
@@ -217,6 +239,34 @@ mod tests {
         // of 0.5 — so the degraded node defers to the sun. (Sun much
         // later than window 5 would NOT be worth the utility loss.)
         assert_eq!(plan.window, 3);
+    }
+
+    #[test]
+    fn plan_reports_dif_and_utility_loss() {
+        let mut n = node(0.5);
+        n.on_weight_update(255);
+        let mut green = [Joules(0.0); 10];
+        green[3] = Joules(0.06);
+        let plan = n.plan(Joules(1.0), &green).unwrap();
+        assert_eq!(plan.window, 3);
+        // Linear utility: deferring 3 of 10 windows loses 0.3.
+        assert!(
+            (plan.utility_loss - 0.3).abs() < 1e-9,
+            "utility_loss {}",
+            plan.utility_loss
+        );
+        // Immediate transmission loses no utility; in the dark it
+        // carries a higher DIF than the sunlit deferral.
+        let mut fresh = node(0.5);
+        let p = fresh.plan(Joules(1.0), &[Joules(0.0); 10]).unwrap();
+        assert_eq!(p.window, 0);
+        assert_eq!(p.utility_loss, 0.0);
+        assert!(
+            p.dif > plan.dif,
+            "dark immediate window degrades more: {} vs {}",
+            p.dif,
+            plan.dif
+        );
     }
 
     #[test]

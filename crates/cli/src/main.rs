@@ -3,14 +3,21 @@
 //! ```text
 //! blam-sim template                          # print a default scenario JSON
 //! blam-sim run --config scenario.json        # run it, print metrics
-//! blam-sim run --config scenario.json --out results.json
+//! blam-sim run --config scenario.json --out results.json --trace trace.jsonl
 //! blam-sim compare --nodes 100 --days 60     # LoRaWAN vs H-θ side by side
+//! blam-sim compare --trace trace.jsonl --profile
+//! blam-sim trace-check trace.jsonl           # validate a recorded trace
 //! ```
+//!
+//! Tables and metrics go to **stdout**; progress, telemetry summaries
+//! and profiles go to **stderr**, so stdout stays pipeable.
 
+use std::io::BufReader;
 use std::process::ExitCode;
 
-use blam_netsim::engine::Engine;
+use blam_netsim::telemetry::{expected_counts, TelemetryOptions};
 use blam_netsim::{config::Protocol, BatchRunner, RunResult, ScenarioConfig};
+use blam_telemetry::replay;
 use blam_units::Duration;
 
 fn main() -> ExitCode {
@@ -19,6 +26,7 @@ fn main() -> ExitCode {
         Some("template") => template(),
         Some("run") => run(&args[1..]),
         Some("compare") => compare(&args[1..]),
+        Some("trace-check") => trace_check(&args[1..]),
         Some("--help" | "-h") | None => {
             usage();
             Ok(())
@@ -38,8 +46,9 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!(
         "usage:\n  blam-sim template                      print a default scenario config (JSON)\n  \
-         blam-sim run --config FILE [--out FILE]  simulate a scenario\n  \
-         blam-sim compare [--nodes N] [--days D] [--seed S] [--jobs J]  quick protocol comparison"
+         blam-sim run --config FILE [--out FILE] [--trace FILE] [--profile]  simulate a scenario\n  \
+         blam-sim compare [--nodes N] [--days D] [--seed S] [--jobs J] [--trace FILE] [--profile]\n                                           quick protocol comparison\n  \
+         blam-sim trace-check FILE [--results FILE]  validate a JSONL telemetry trace"
     );
 }
 
@@ -54,6 +63,18 @@ fn flag(args: &[String], name: &str) -> Result<Option<String>, String> {
     }
 }
 
+fn switch(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// Telemetry options from the shared `--trace FILE` flag.
+fn telemetry_options(args: &[String]) -> Result<TelemetryOptions, String> {
+    Ok(match flag(args, "--trace")? {
+        Some(path) => TelemetryOptions::with_trace(path),
+        None => TelemetryOptions::off(),
+    })
+}
+
 fn template() -> Result<(), String> {
     let cfg = ScenarioConfig::large_scale(100, Protocol::h(0.5), 42);
     let json = serde_json::to_string_pretty(&cfg).map_err(|e| e.to_string())?;
@@ -66,6 +87,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
     let cfg: ScenarioConfig =
         serde_json::from_str(&text).map_err(|e| format!("{path}: invalid scenario: {e}"))?;
+    let opts = telemetry_options(args)?;
+    let profile = switch(args, "--profile");
     eprintln!(
         "simulating {} nodes under {} for {} (seed {})…",
         cfg.nodes,
@@ -73,14 +96,21 @@ fn run(args: &[String]) -> Result<(), String> {
         cfg.duration,
         cfg.seed
     );
-    let start = std::time::Instant::now();
-    let result = Engine::build(cfg).run();
-    eprintln!(
-        "done: {} events in {:.1?}",
-        result.events_processed,
-        start.elapsed()
-    );
+    // A single run goes through the batch runner too, so --trace and
+    // --profile behave identically on `run` and `compare`.
+    let outcome = BatchRunner::new(1).run_all_with(vec![cfg], &opts);
+    let result = outcome
+        .results
+        .into_iter()
+        .next()
+        .expect("one config produces one result");
     print_summary(&result);
+    if let Some(report) = &outcome.telemetry {
+        eprint!("{}", report.render());
+    }
+    if profile {
+        eprint!("{}", outcome.profile.render());
+    }
     if let Some(out) = flag(args, "--out")? {
         let json = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
         std::fs::write(&out, json).map_err(|e| format!("{out}: {e}"))?;
@@ -103,6 +133,8 @@ fn compare(args: &[String]) -> Result<(), String> {
     if jobs == 0 {
         return Err("--jobs requires an integer ≥ 1".into());
     }
+    let opts = telemetry_options(args)?;
+    let profile = switch(args, "--profile");
 
     let configs: Vec<ScenarioConfig> = [
         Protocol::Lorawan,
@@ -119,11 +151,46 @@ fn compare(args: &[String]) -> Result<(), String> {
         cfg
     })
     .collect();
-    let runs = BatchRunner::new(jobs).run_all(configs);
+    let outcome = BatchRunner::new(jobs).run_all_with(configs, &opts);
 
     println!("{}", blam_netsim::report::comparison_header());
-    for r in &runs {
+    for r in &outcome.results {
         println!("{}", blam_netsim::report::comparison_row(r));
+    }
+    if let Some(report) = &outcome.telemetry {
+        eprint!("{}", report.render());
+    }
+    if profile {
+        eprint!("{}", outcome.profile.render());
+    }
+    Ok(())
+}
+
+fn trace_check(args: &[String]) -> Result<(), String> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("trace-check requires a trace FILE")?;
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let summary = replay::validate(BufReader::new(file))
+        .map_err(|e| format!("{path}: invalid trace: {e}"))?;
+    println!(
+        "{path}: OK — {} line(s), {} event(s), {} run(s), {} flight dump(s)",
+        summary.lines, summary.events, summary.runs, summary.flight_dumps
+    );
+    if let Some(results_path) = flag(args, "--results")? {
+        let text =
+            std::fs::read_to_string(&results_path).map_err(|e| format!("{results_path}: {e}"))?;
+        let result: RunResult = serde_json::from_str(&text)
+            .map_err(|e| format!("{results_path}: invalid results JSON: {e}"))?;
+        // `run --out` writes a single run, traced as run 0.
+        summary
+            .reconcile(0, &expected_counts(&result.nodes))
+            .map_err(|e| format!("trace does not reconcile with {results_path}: {e}"))?;
+        println!(
+            "{path}: reconciles with {results_path} (run 0, {} node(s))",
+            result.nodes.len()
+        );
     }
     Ok(())
 }

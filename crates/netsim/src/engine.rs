@@ -9,10 +9,12 @@
 //! Batch execution across scenarios is [`crate::runner`].
 
 use blam::DegradationLedger;
+use blam_battery::SwitchOutcome;
 use blam_des::{RngSeeder, Simulator};
 use blam_energy_harvest::solar::CloudModel;
 use blam_energy_harvest::{SolarField, SolarModel};
 use blam_lorawan::{AdrEngine, GatewayRadio, NetworkServer};
+use blam_telemetry::{EventKind, NullSink, SimEvent, TelemetryReport, TelemetrySink};
 use blam_units::{Duration, Joules, SimTime, Watts};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
@@ -51,6 +53,12 @@ pub struct RunResult {
     pub events_processed: u64,
     /// When the simulation ended (horizon, or early EoL stop).
     pub sim_end: SimTime,
+    /// Telemetry collected during the run, when a recording sink was
+    /// attached ([`Engine::with_sink`]). `None` — and absent from the
+    /// serialized JSON — for the default [`NullSink`], keeping
+    /// disabled runs byte-identical to pre-telemetry results.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl RunResult {
@@ -77,6 +85,7 @@ pub struct Engine {
     pub(crate) halted: bool,
     pub(crate) first_eol: Option<(usize, SimTime)>,
     pub(crate) samples: Vec<DegradationSample>,
+    pub(crate) telemetry: Box<dyn TelemetrySink>,
 }
 
 impl Engine {
@@ -173,7 +182,70 @@ impl Engine {
             halted: false,
             first_eol: None,
             samples: Vec::new(),
+            telemetry: Box::new(NullSink),
         }
+    }
+
+    /// Attaches a telemetry sink for the run (the default is the
+    /// zero-overhead [`NullSink`]). Sinks observe the simulation; they
+    /// never feed back into it, so results are byte-identical whatever
+    /// sink is attached.
+    #[must_use]
+    pub fn with_sink(mut self, sink: Box<dyn TelemetrySink>) -> Self {
+        self.telemetry = sink;
+        self
+    }
+
+    /// Records one telemetry event. Callers guard with
+    /// [`Self::telemetry_on`] so a disabled sink never even constructs
+    /// the event.
+    pub(crate) fn emit(&mut self, at: SimTime, node: usize, kind: EventKind) {
+        self.telemetry.record(&SimEvent {
+            t_ms: at.as_millis(),
+            node: node as u32,
+            kind,
+        });
+    }
+
+    /// Whether telemetry events should be built at all.
+    #[inline]
+    pub(crate) fn telemetry_on(&self) -> bool {
+        self.telemetry.enabled()
+    }
+
+    /// Settles node `i` up to `now` (see [`SimNode::settle`]) and emits
+    /// the settlement-level telemetry: a `Brownout` when demand went
+    /// unmet and an edge-triggered `SocCapped` when the θ cap starts
+    /// spilling harvest. Observation only — the outcome returned is
+    /// exactly what the plain settle produced.
+    pub(crate) fn settle_node(&mut self, now: SimTime, i: usize, extra: Joules) -> SwitchOutcome {
+        let window = self.cfg.forecast_window;
+        let out = self.nodes[i].settle(now, extra, window);
+        if self.telemetry_on() {
+            if out.deficit.0 > 0.0 {
+                self.emit(
+                    now,
+                    i,
+                    EventKind::Brownout {
+                        deficit_j: out.deficit.0,
+                    },
+                );
+            }
+            let spilling = out.spilled.0 > 0.0;
+            if spilling && !self.nodes[i].cap_latched {
+                let soc = self.nodes[i].battery.soc();
+                self.emit(
+                    now,
+                    i,
+                    EventKind::SocCapped {
+                        spilled_j: out.spilled.0,
+                        soc,
+                    },
+                );
+            }
+            self.nodes[i].cap_latched = spilling;
+        }
+        out
     }
 
     /// Runs the simulation to its horizon (or the first EoL when
@@ -182,6 +254,9 @@ impl Engine {
     pub fn run(mut self) -> RunResult {
         let mut sim: Simulator<Event> = Simulator::new();
         let horizon = SimTime::ZERO + self.cfg.duration;
+        let label = self.policy.label();
+        self.telemetry
+            .begin(&label, self.cfg.seed, self.nodes.len() as u32);
 
         // Initial events: staggered packet generation, daily
         // dissemination, periodic sampling.
@@ -221,8 +296,9 @@ impl Engine {
         for (i, node) in self.nodes.iter().enumerate() {
             self.topology.placements[i] = node.placement;
         }
+        let telemetry = self.telemetry.finish();
         RunResult {
-            label: self.policy.label(),
+            label,
             seed: self.cfg.seed,
             network: NetworkMetrics::aggregate(&node_metrics),
             nodes: node_metrics,
@@ -232,6 +308,7 @@ impl Engine {
             topology: self.topology,
             events_processed: sim.processed(),
             sim_end,
+            telemetry,
         }
     }
 }

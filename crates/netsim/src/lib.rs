@@ -23,7 +23,14 @@
 //!   gateway half-duplex arbitration and RX1/RX2 downlink scheduling
 //!   in the crate-private `radio` module.
 //! * [`runner`] — [`BatchRunner`](runner::BatchRunner): deterministic
-//!   parallel execution of scenario batches on worker threads.
+//!   parallel execution of scenario batches on worker threads, with
+//!   per-phase wall-clock profiling.
+//! * [`telemetry`] — wiring for the `blam-telemetry` subsystem:
+//!   [`TelemetryOptions`](telemetry::TelemetryOptions) builds per-run
+//!   recording sinks (in-memory reports, JSONL traces, flight
+//!   recorder) for the engine and batch runner, and
+//!   [`expected_counts`](telemetry::expected_counts) binds traces back
+//!   to [`NodeMetrics`](metrics::NodeMetrics) for replay validation.
 //! * [`metrics`] — per-node and network-level metric collection
 //!   (RETX, TX energy, PRR, utility, latency, degradation, lifespan).
 //! * [`report`] — shared human-readable renderings of run results.
@@ -57,12 +64,15 @@ mod radio;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod telemetry;
 pub mod topology;
 
+pub use blam_telemetry;
 pub use config::{Protocol, ScenarioConfig};
 pub use engine::RunResult;
 pub use metrics::{NetworkMetrics, NodeMetrics};
-pub use policy::{AlohaPolicy, BlamPolicy, MacPolicy};
-pub use runner::BatchRunner;
+pub use policy::{AlohaPolicy, BlamPolicy, MacPolicy, WindowDecision};
+pub use runner::{BatchOutcome, BatchRunner};
 pub use scenario::Scenario;
+pub use telemetry::TelemetryOptions;
 pub use topology::Topology;

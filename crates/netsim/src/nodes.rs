@@ -15,6 +15,7 @@ use blam_lorawan::{
     ClassAMac, DeviceAddr, MacAction, MacParams, TransmissionId, TxReport, Uplink,
     UplinkTransmission,
 };
+use blam_telemetry::{DropReason, EventKind};
 use blam_units::{Dbm, Duration, Joules, SimTime, Watts};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
@@ -131,6 +132,10 @@ pub struct SimNode {
     /// TxEnd/ACK/deadline/retransmit event only applies if its epoch
     /// matches (the exchange it belonged to was not aborted).
     pub exchange_epoch: u64,
+    /// Whether the last settlement spilled harvest at the θ cap —
+    /// edge-triggers the `SocCapped` telemetry event. Only maintained
+    /// while telemetry is enabled; never read by the simulation.
+    pub cap_latched: bool,
     /// Utility curve used for this node's metric accounting.
     pub utility: Utility,
     /// Metrics accumulator.
@@ -338,6 +343,7 @@ pub(crate) fn build_nodes(
                 current_phy_len: phy_len,
                 current_channel: cfg.plan.uplink[0],
                 exchange_epoch: 0,
+                cap_latched: false,
                 utility,
                 metrics: NodeMetrics::default(),
             }
@@ -385,19 +391,35 @@ impl Engine {
         node.period_start = now;
         node.discharge_sample = None;
         node.recharge_sample = None;
-        node.settle(now, Joules::ZERO, window);
+        if self.telemetry_on() {
+            self.emit(now, i, EventKind::PacketGenerated);
+        }
+        self.settle_node(now, i, Joules::ZERO);
 
         // Decide when to transmit.
-        let chosen = policy.select_window(node, now, window);
+        let policy = &self.policy;
+        let chosen = policy.select_window(&mut self.nodes[i], now, window);
 
         match chosen {
             None => {
                 // Algorithm 1 FAIL: drop the packet.
+                let node = &mut self.nodes[i];
                 node.metrics.dropped_no_window += 1;
                 node.metrics.concluded += 1;
                 node.metrics.latency_sum += node.period;
+                if self.telemetry_on() {
+                    self.emit(
+                        now,
+                        i,
+                        EventKind::PacketDropped {
+                            reason: DropReason::NoWindow,
+                        },
+                    );
+                }
             }
-            Some(w) => {
+            Some(decision) => {
+                let w = decision.window;
+                let node = &mut self.nodes[i];
                 node.metrics.record_window(w);
                 node.packet = Some(PacketState {
                     generated_at: now,
@@ -409,13 +431,23 @@ impl Engine {
                 let jitter =
                     Duration::from_millis(self.mac_rng.gen_range(0..=(window.as_millis() / 2)));
                 sim.schedule(now + window * w as u64 + jitter, Event::StartTx { node: i });
+                if self.telemetry_on() {
+                    self.emit(
+                        now,
+                        i,
+                        EventKind::WindowSelected {
+                            window: w as u32,
+                            dif: decision.dif,
+                            utility_loss: decision.utility_loss,
+                        },
+                    );
+                }
             }
         }
     }
 
     pub(crate) fn on_start_tx(&mut self, sim: &mut Simulator<Event>, now: SimTime, i: usize) {
-        let window = self.cfg.forecast_window;
-        self.nodes[i].settle(now, Joules::ZERO, window);
+        self.settle_node(now, i, Joules::ZERO);
         let node = &mut self.nodes[i];
         if !node.mac.is_idle() {
             // Should not happen (exchanges are aborted at generation),
@@ -424,6 +456,15 @@ impl Engine {
             node.metrics.concluded += 1;
             node.metrics.latency_sum += node.period;
             node.packet = None;
+            if self.telemetry_on() {
+                self.emit(
+                    now,
+                    i,
+                    EventKind::PacketDropped {
+                        reason: DropReason::MacBusy,
+                    },
+                );
+            }
             return;
         }
 
@@ -442,6 +483,15 @@ impl Engine {
             node.metrics.concluded += 1;
             node.metrics.latency_sum += node.period;
             node.packet = None;
+            if self.telemetry_on() {
+                self.emit(
+                    now,
+                    i,
+                    EventKind::PacketDropped {
+                        reason: DropReason::Brownout,
+                    },
+                );
+            }
             return;
         }
 
@@ -463,7 +513,7 @@ impl Engine {
             node.radio
                 .tx_energy(&node.tx_config(), node.current_phy_len)
         };
-        self.nodes[i].settle(now, tx_cost, window);
+        self.settle_node(now, i, tx_cost);
         self.nodes[i].metrics.tx_energy_electrical += tx_cost;
         // Record the discharge transition for the compressed trace.
         {
@@ -512,12 +562,14 @@ impl Engine {
         if epoch != self.nodes[i].exchange_epoch {
             return;
         }
-        let window = self.cfg.forecast_window;
-        self.nodes[i].settle(now, Joules::ZERO, window);
+        self.settle_node(now, i, Joules::ZERO);
         if let Some(id) = self.nodes[i].pending_deadline.take() {
             sim.cancel(id);
         }
         if let Some(byte) = self.nodes[i].pending_weight.take() {
+            if self.telemetry_on() {
+                self.emit(now, i, EventKind::DisseminationApplied { weight: byte });
+            }
             let policy = &self.policy;
             policy.on_ack_weight(&mut self.nodes[i], byte);
         }
@@ -559,8 +611,7 @@ impl Engine {
         if epoch != self.nodes[i].exchange_epoch {
             return;
         }
-        let window = self.cfg.forecast_window;
-        self.nodes[i].settle(now, Joules::ZERO, window);
+        self.settle_node(now, i, Joules::ZERO);
         // Brownout guard for the retransmission.
         let required = {
             let node = &self.nodes[i];
@@ -569,6 +620,16 @@ impl Engine {
         };
         if self.nodes[i].battery.stored() < required {
             self.nodes[i].metrics.brownout_events += 1;
+            if self.telemetry_on() {
+                let deficit = required - self.nodes[i].battery.stored();
+                self.emit(
+                    now,
+                    i,
+                    EventKind::Brownout {
+                        deficit_j: deficit.0,
+                    },
+                );
+            }
             if let Some(report) = self.nodes[i].mac.abort(now) {
                 self.finish_exchange(now, i, &report);
             }
@@ -618,6 +679,18 @@ impl Engine {
                         self.nodes[i].inflight.push((epoch, g, tid, rssi));
                     }
                     sim.schedule(now + tx.airtime, Event::TxEnd { node: i, epoch });
+                    if self.telemetry_on() {
+                        let soc = self.nodes[i].battery.soc();
+                        self.emit(
+                            now,
+                            i,
+                            EventKind::TxAttempt {
+                                sf: tx.config.sf.as_u8(),
+                                airtime_ms: tx.airtime.as_millis(),
+                                soc,
+                            },
+                        );
+                    }
                 }
                 MacAction::ScheduleRxDeadline(at) => {
                     let epoch = self.nodes[i].exchange_epoch;
@@ -638,8 +711,10 @@ impl Engine {
     pub(crate) fn finish_exchange(&mut self, now: SimTime, i: usize, report: &TxReport) {
         let window = self.cfg.forecast_window;
         let rx_cost = self.nodes[i].radio.rx_energy(report.total_rx_time);
-        self.nodes[i].settle(now, rx_cost, window);
+        self.settle_node(now, i, rx_cost);
 
+        let telemetry_on = self.telemetry_on();
+        let mut event = None;
         let policy = &self.policy;
         let node = &mut self.nodes[i];
         node.metrics.concluded += 1;
@@ -648,27 +723,39 @@ impl Engine {
         let packet = node.packet.take();
         if report.delivered {
             node.metrics.delivered += 1;
+            let mut latency_ms = 0;
             if let Some(p) = packet {
                 let latency = now.saturating_since(p.generated_at);
                 node.metrics.latency_sum += latency;
                 node.metrics.latency_delivered_sum += latency;
                 let idx = ((latency / window) as usize).min(node.windows);
                 node.metrics.utility_sum += node.utility.at(idx, node.windows);
+                latency_ms = latency.as_millis();
+            }
+            if telemetry_on {
+                event = Some(EventKind::AckReceived { latency_ms });
             }
         } else {
             node.metrics.failed_no_ack += 1;
             node.metrics.latency_sum += node.period;
+            if telemetry_on {
+                event = Some(EventKind::ExchangeFailed {
+                    attempts: u32::from(report.transmissions),
+                });
+            }
         }
 
         policy.on_exchange_complete(node, packet, report);
         node.exchange_epoch += 1;
+        if let Some(kind) = event {
+            self.emit(now, i, kind);
+        }
     }
 
     pub(crate) fn on_sample(&mut self, sim: &mut Simulator<Event>, now: SimTime) {
-        let window = self.cfg.forecast_window;
         let mut per_node = Vec::with_capacity(self.nodes.len());
         for i in 0..self.nodes.len() {
-            self.nodes[i].settle(now, Joules::ZERO, window);
+            self.settle_node(now, i, Joules::ZERO);
             let d = self.nodes[i].battery.refresh_degradation(now);
             self.nodes[i].metrics.final_degradation = d;
             per_node.push(self.nodes[i].battery.tracker().breakdown(now));

@@ -23,6 +23,33 @@ use crate::nodes::{NodeForecaster, PacketState, SimNode};
 /// accounting.
 pub type NodeProtocolState = (Option<BlamNode>, Utility);
 
+/// A policy's verdict for a freshly generated packet: the chosen
+/// forecast window plus the diagnostics telemetry reports with it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowDecision {
+    /// The forecast window to transmit in.
+    pub window: usize,
+    /// The objective value γ of the choice (0 for ALOHA).
+    pub objective: f64,
+    /// Utility lost by deferring, `1 − U(window)` (0 for ALOHA).
+    pub utility_loss: f64,
+    /// Degradation impact factor of the choice (0 for ALOHA).
+    pub dif: f64,
+}
+
+impl WindowDecision {
+    /// The decision ALOHA always makes: transmit immediately.
+    #[must_use]
+    pub fn immediate() -> Self {
+        WindowDecision {
+            window: 0,
+            objective: 0.0,
+            utility_loss: 0.0,
+            dif: 0.0,
+        }
+    }
+}
+
 /// The protocol-specific decision points of a simulation run.
 ///
 /// Methods receive the node they act on; the engine calls them at fixed
@@ -64,9 +91,14 @@ pub trait MacPolicy: Send + Sync {
     fn on_period_rollover(&self, node: &mut SimNode, now: SimTime, window: Duration);
 
     /// Chooses the forecast window for a freshly generated packet.
-    /// `Some(w)` transmits in window `w`; `None` drops the packet
-    /// (Algorithm 1 FAIL).
-    fn select_window(&self, node: &mut SimNode, now: SimTime, window: Duration) -> Option<usize>;
+    /// `Some(decision)` transmits in `decision.window`; `None` drops
+    /// the packet (Algorithm 1 FAIL).
+    fn select_window(
+        &self,
+        node: &mut SimNode,
+        now: SimTime,
+        window: Duration,
+    ) -> Option<WindowDecision>;
 
     /// Processes the normalized-degradation weight byte carried by an
     /// ACK downlink.
@@ -116,8 +148,8 @@ impl MacPolicy for AlohaPolicy {
         _node: &mut SimNode,
         _now: SimTime,
         _window: Duration,
-    ) -> Option<usize> {
-        Some(0)
+    ) -> Option<WindowDecision> {
+        Some(WindowDecision::immediate())
     }
 
     fn on_ack_weight(&self, _node: &mut SimNode, _byte: u8) {}
@@ -237,7 +269,12 @@ impl MacPolicy for BlamPolicy {
         }
     }
 
-    fn select_window(&self, node: &mut SimNode, now: SimTime, window: Duration) -> Option<usize> {
+    fn select_window(
+        &self,
+        node: &mut SimNode,
+        now: SimTime,
+        window: Duration,
+    ) -> Option<WindowDecision> {
         let windows = node.windows;
         let forecast: Vec<Joules> = (0..windows)
             .map(|w| node.forecaster.predict(now + window * w as u64, window))
@@ -247,7 +284,12 @@ impl MacPolicy for BlamPolicy {
             .blam
             .as_mut()
             .expect("BlamPolicy installs BLAM state on every node");
-        blam.plan(battery, &forecast).map(|p| p.window)
+        blam.plan(battery, &forecast).map(|p| WindowDecision {
+            window: p.window,
+            objective: p.objective,
+            utility_loss: p.utility_loss,
+            dif: p.dif,
+        })
     }
 
     fn on_ack_weight(&self, node: &mut SimNode, byte: u8) {
@@ -306,6 +348,15 @@ mod tests {
         assert_eq!(p.payload_overhead(), CompressedSocTrace::ENCODED_LEN);
         let (blam, _) = p.node_state(Joules(0.04), Joules(0.08), 10);
         assert!(blam.is_some());
+    }
+
+    #[test]
+    fn immediate_decision_is_free() {
+        let d = WindowDecision::immediate();
+        assert_eq!(d.window, 0);
+        assert_eq!(d.objective, 0.0);
+        assert_eq!(d.utility_loss, 0.0);
+        assert_eq!(d.dif, 0.0);
     }
 
     #[test]

@@ -7,6 +7,10 @@
 //! input index — so the output is byte-identical regardless of thread
 //! count, scheduling, or completion order.
 //!
+//! Progress lines go to **stderr** (via [`Progress`]), never stdout:
+//! batch output is routinely piped as JSON, and a timing line in the
+//! middle of a document corrupts it.
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -26,10 +30,12 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use blam_des::RngSeeder;
+use blam_telemetry::{BatchProfile, Progress, TelemetryReport};
 use rand::Rng;
 
 use crate::config::ScenarioConfig;
 use crate::engine::{Engine, RunResult};
+use crate::telemetry::TelemetryOptions;
 
 /// Derives one independent per-run seed per batch entry from a master
 /// seed, via the `"batch-run"` indexed stream of [`RngSeeder`] — the
@@ -42,6 +48,28 @@ pub fn derive_seeds(master: u64, n: usize) -> Vec<u64> {
     (0..n)
         .map(|i| seeder.stream_indexed("batch-run", i as u64).gen())
         .collect()
+}
+
+/// Everything a batch produces: the per-run results (input order), the
+/// batch-merged telemetry report (when telemetry was on), and the
+/// wall-clock profile of the batch itself.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// One [`RunResult`] per input scenario, at its input index.
+    pub results: Vec<RunResult>,
+    /// All per-run telemetry reports merged in input-index order;
+    /// `None` when the batch ran with [`TelemetryOptions::off`].
+    pub telemetry: Option<TelemetryReport>,
+    /// Wall-clock breakdown: queue wait, sim run, telemetry merge.
+    pub profile: BatchProfile,
+}
+
+/// What a worker stores for a finished run: the result plus the two
+/// profiled intervals measured on the worker.
+struct RunSlot {
+    result: RunResult,
+    queue_wait_ms: f64,
+    run_ms: f64,
 }
 
 /// Runs batches of independent scenarios across worker threads.
@@ -68,7 +96,7 @@ impl BatchRunner {
         BatchRunner::new(jobs)
     }
 
-    /// Suppresses the per-run and batch timing lines.
+    /// Suppresses the per-run and batch progress lines.
     #[must_use]
     pub fn quiet(mut self) -> Self {
         self.verbose = false;
@@ -81,29 +109,64 @@ impl BatchRunner {
         self.jobs
     }
 
-    /// Runs every scenario and returns the results in input order.
-    ///
-    /// Workers claim runs through an atomic cursor, so the batch stays
-    /// saturated even when run durations differ wildly (a 5-year H-5
-    /// next to a 1-day testbed); each result lands at its input index
-    /// regardless of which worker finished it when.
+    /// Runs every scenario and returns the results in input order, with
+    /// telemetry disabled — the zero-overhead path.
     ///
     /// # Panics
     ///
     /// Panics if a scenario fails validation or a worker panics.
     #[must_use]
     pub fn run_all(&self, configs: Vec<ScenarioConfig>) -> Vec<RunResult> {
+        self.run_all_with(configs, &TelemetryOptions::off()).results
+    }
+
+    /// Runs every scenario with the given telemetry options.
+    ///
+    /// Workers claim runs through an atomic cursor, so the batch stays
+    /// saturated even when run durations differ wildly (a 5-year H-5
+    /// next to a 1-day testbed); each result lands at its input index
+    /// regardless of which worker finished it when. When tracing, every
+    /// run gets its own [`Recorder`](blam_telemetry::Recorder) (run id
+    /// = input index) over one shared line-atomic writer, and the
+    /// per-run reports are merged **in input-index order** after the
+    /// join so the batch report is as deterministic as the results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scenario fails validation, a worker panics, or the
+    /// trace file in `opts` cannot be created.
+    #[must_use]
+    pub fn run_all_with(
+        &self,
+        configs: Vec<ScenarioConfig>,
+        opts: &TelemetryOptions,
+    ) -> BatchOutcome {
         let n = configs.len();
+        let workers = self.jobs.min(n.max(1));
+        let mut profile = BatchProfile {
+            workers,
+            runs: n,
+            ..BatchProfile::default()
+        };
         if n == 0 {
-            return Vec::new();
+            return BatchOutcome {
+                results: Vec::new(),
+                telemetry: None,
+                profile,
+            };
         }
         let started = Instant::now();
-        let workers = self.jobs.min(n);
-        let results: Mutex<Vec<Option<RunResult>>> = Mutex::new((0..n).map(|_| None).collect());
+        let progress = Progress::new(self.verbose);
+        let writer = opts
+            .open_writer()
+            .expect("trace file must be creatable (checked before any run starts)");
+        let slots: Mutex<Vec<Option<RunSlot>>> = Mutex::new((0..n).map(|_| None).collect());
         let cursor = AtomicUsize::new(0);
         let configs = &configs;
-        let results_ref = &results;
+        let slots_ref = &slots;
         let cursor_ref = &cursor;
+        let writer_ref = &writer;
+        let progress_ref = &progress;
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(move || loop {
@@ -111,34 +174,62 @@ impl BatchRunner {
                     if i >= n {
                         break;
                     }
+                    // Queue wait: batch start until a worker claimed
+                    // the run. With more runs than workers this is the
+                    // time the run sat behind earlier claims.
+                    let queue_wait_ms = started.elapsed().as_secs_f64() * 1e3;
                     let cfg = configs[i].clone();
                     let label = cfg.protocol.label();
                     let run_started = Instant::now();
-                    let result = Engine::build(cfg).run();
-                    if self.verbose {
-                        println!(
-                            "[run {i} ({label}): {} events in {:.1?}]",
-                            result.events_processed,
-                            run_started.elapsed()
-                        );
+                    let mut engine = Engine::build(cfg);
+                    if let Some(sink) = opts.sink_for_run(i as u32, writer_ref.clone()) {
+                        engine = engine.with_sink(sink);
                     }
-                    results_ref.lock().expect("batch results poisoned")[i] = Some(result);
+                    let result = engine.run();
+                    let run_ms = run_started.elapsed().as_secs_f64() * 1e3;
+                    progress_ref.line(&format!(
+                        "[run {i} ({label}): {} events in {run_ms:.1} ms]",
+                        result.events_processed,
+                    ));
+                    slots_ref.lock().expect("batch results poisoned")[i] = Some(RunSlot {
+                        result,
+                        queue_wait_ms,
+                        run_ms,
+                    });
                 });
             }
         });
-        let out: Vec<RunResult> = results
+        let slots: Vec<RunSlot> = slots
             .into_inner()
             .expect("batch results poisoned")
             .into_iter()
             .map(|r| r.expect("every claimed run stores a result"))
             .collect();
-        if self.verbose {
-            println!(
-                "[batch: {n} runs on {workers} threads in {:.1?}]",
-                started.elapsed()
-            );
+        let merge_started = Instant::now();
+        let mut telemetry: Option<TelemetryReport> = None;
+        let mut results = Vec::with_capacity(n);
+        for slot in slots {
+            profile.queue_wait.record(slot.queue_wait_ms);
+            profile.sim_run.record(slot.run_ms);
+            if let Some(report) = &slot.result.telemetry {
+                match &mut telemetry {
+                    Some(merged) => merged.merge(report),
+                    None => telemetry = Some(report.clone()),
+                }
+            }
+            results.push(slot.result);
         }
-        out
+        profile.merge_ms = merge_started.elapsed().as_secs_f64() * 1e3;
+        profile.total_ms = started.elapsed().as_secs_f64() * 1e3;
+        progress.line(&format!(
+            "[batch: {n} runs on {workers} threads in {:.1} ms]",
+            profile.total_ms
+        ));
+        BatchOutcome {
+            results,
+            telemetry,
+            profile,
+        }
     }
 }
 
@@ -160,6 +251,16 @@ mod tests {
     #[test]
     fn empty_batch_is_empty() {
         assert!(BatchRunner::new(4).quiet().run_all(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn empty_batch_outcome_has_no_telemetry() {
+        let outcome = BatchRunner::new(2)
+            .quiet()
+            .run_all_with(Vec::new(), &TelemetryOptions::collect());
+        assert!(outcome.results.is_empty());
+        assert!(outcome.telemetry.is_none());
+        assert_eq!(outcome.profile.runs, 0);
     }
 
     #[test]

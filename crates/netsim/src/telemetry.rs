@@ -1,0 +1,179 @@
+//! Simulator-side telemetry wiring: per-run sink construction for the
+//! engine and batch runner, and reconciliation helpers binding traces
+//! back to [`NodeMetrics`].
+//!
+//! The policy is split across two crates on purpose: `blam-telemetry`
+//! knows nothing about the simulator (events are plain numbers), while
+//! this module knows how to hand one shared JSONL writer to many
+//! concurrent per-run [`Recorder`]s and how a trace's event counts map
+//! onto the simulator's own counters.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use blam_telemetry::{ExpectedNodeCounts, Recorder, RecorderConfig, TelemetrySink, TraceWriter};
+
+use crate::metrics::NodeMetrics;
+
+/// A trace destination shared between batch workers. Each recorder
+/// writes whole lines under the lock, so runs interleave at line
+/// granularity only.
+pub type SharedTraceWriter = Arc<Mutex<Box<dyn Write + Send>>>;
+
+/// What telemetry a run (or batch) should collect.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryOptions {
+    /// Write a schema-versioned JSONL trace to this path.
+    pub trace_path: Option<PathBuf>,
+    /// Collect in-memory reports (histograms + counters) even without
+    /// a trace file.
+    pub collect: bool,
+    /// Flight-recorder depth per node (events kept for anomaly dumps).
+    pub flight_capacity: usize,
+}
+
+impl TelemetryOptions {
+    /// Telemetry fully disabled: engines keep their [`NullSink`]
+    /// (zero overhead, byte-identical results).
+    ///
+    /// [`NullSink`]: blam_telemetry::NullSink
+    #[must_use]
+    pub fn off() -> Self {
+        TelemetryOptions::default()
+    }
+
+    /// In-memory collection only (report, no trace file).
+    #[must_use]
+    pub fn collect() -> Self {
+        TelemetryOptions {
+            collect: true,
+            flight_capacity: RecorderConfig::default().flight_capacity,
+            ..TelemetryOptions::default()
+        }
+    }
+
+    /// Collection plus a JSONL trace written to `path`.
+    #[must_use]
+    pub fn with_trace<P: AsRef<Path>>(path: P) -> Self {
+        TelemetryOptions {
+            trace_path: Some(path.as_ref().to_path_buf()),
+            ..TelemetryOptions::collect()
+        }
+    }
+
+    /// Whether any recording sink should be attached at all.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.collect || self.trace_path.is_some()
+    }
+
+    /// Opens the shared trace writer, if a trace path is configured.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the trace file cannot be
+    /// created.
+    pub fn open_writer(&self) -> std::io::Result<Option<SharedTraceWriter>> {
+        let Some(path) = &self.trace_path else {
+            return Ok(None);
+        };
+        let file = File::create(path).map_err(|e| {
+            std::io::Error::new(e.kind(), format!("creating trace file {path:?}: {e}"))
+        })?;
+        let boxed: Box<dyn Write + Send> = Box::new(BufWriter::new(file));
+        Ok(Some(Arc::new(Mutex::new(boxed))))
+    }
+
+    /// Builds the sink for run `run` of a batch, attached to the shared
+    /// writer when tracing. Returns `None` when telemetry is off (the
+    /// engine then keeps its zero-overhead `NullSink`).
+    #[must_use]
+    pub fn sink_for_run(
+        &self,
+        run: u32,
+        writer: Option<SharedTraceWriter>,
+    ) -> Option<Box<dyn TelemetrySink>> {
+        if !self.enabled() {
+            return None;
+        }
+        let config = RecorderConfig {
+            flight_capacity: self.flight_capacity,
+            ..RecorderConfig::default()
+        };
+        let mut recorder = Recorder::new(run, config);
+        if let Some(writer) = writer {
+            recorder = recorder.with_writer(TraceWriter::Shared(writer));
+        }
+        Some(Box::new(recorder))
+    }
+}
+
+/// The per-node counters a valid trace must reconcile with, in node
+/// order — pass to
+/// [`ReplaySummary::reconcile`](blam_telemetry::ReplaySummary::reconcile).
+///
+/// `dropped` combines the no-window and brownout/MAC-busy drops, the
+/// same split [`NodeMetrics`] keeps.
+#[must_use]
+pub fn expected_counts(nodes: &[NodeMetrics]) -> Vec<ExpectedNodeCounts> {
+    nodes
+        .iter()
+        .map(|m| ExpectedNodeCounts {
+            generated: m.generated,
+            delivered: m.delivered,
+            transmissions: m.transmissions,
+            dropped: m.dropped_no_window + m.dropped_brownout,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_is_disabled_and_builds_no_sink() {
+        let opts = TelemetryOptions::off();
+        assert!(!opts.enabled());
+        assert!(opts.sink_for_run(0, None).is_none());
+        assert!(opts.open_writer().unwrap().is_none());
+    }
+
+    #[test]
+    fn collect_builds_a_sink_without_writer() {
+        let opts = TelemetryOptions::collect();
+        assert!(opts.enabled());
+        assert!(opts.trace_path.is_none());
+        assert!(opts.sink_for_run(3, None).is_some());
+    }
+
+    #[test]
+    fn with_trace_remembers_the_path() {
+        let opts = TelemetryOptions::with_trace("/tmp/trace.jsonl");
+        assert!(opts.enabled());
+        assert_eq!(
+            opts.trace_path.as_deref(),
+            Some(Path::new("/tmp/trace.jsonl"))
+        );
+    }
+
+    #[test]
+    fn expected_counts_map_node_metrics() {
+        let m = NodeMetrics {
+            generated: 10,
+            delivered: 7,
+            transmissions: 12,
+            dropped_no_window: 2,
+            dropped_brownout: 1,
+            ..NodeMetrics::default()
+        };
+        let counts = expected_counts(&[m]);
+        assert_eq!(counts.len(), 1);
+        assert_eq!(counts[0].generated, 10);
+        assert_eq!(counts[0].delivered, 7);
+        assert_eq!(counts[0].transmissions, 12);
+        assert_eq!(counts[0].dropped, 3);
+    }
+}

@@ -1,0 +1,148 @@
+//! Telemetry must observe the simulation without perturbing it.
+//!
+//! The subsystem's contract has three parts, each tested here:
+//!
+//! 1. attaching a recording sink leaves the simulation results
+//!    byte-identical to the zero-overhead `NullSink` path;
+//! 2. a recorded JSONL trace passes the structural replay validator and
+//!    its event tallies reconcile exactly with the run's own
+//!    [`NodeMetrics`](blam_netsim::NodeMetrics);
+//! 3. the batch runner's traced path produces the same results as the
+//!    plain path, plus a merged report and a valid multi-run trace.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use blam_netsim::engine::Engine;
+use blam_netsim::telemetry::{expected_counts, TelemetryOptions};
+use blam_netsim::{config::Protocol, BatchRunner, RunResult, ScenarioConfig};
+use blam_telemetry::{replay, Recorder, RecorderConfig, TraceWriter};
+use blam_units::Duration;
+
+fn quick_cfg(protocol: Protocol, nodes: usize, seed: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        duration: Duration::from_days(1),
+        sample_interval: Duration::from_days(1),
+        ..ScenarioConfig::large_scale(nodes, protocol, seed)
+    }
+}
+
+/// An in-memory trace destination the test can read back.
+#[derive(Debug, Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn contents(&self) -> Vec<u8> {
+        self.0.lock().unwrap().clone()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The simulation-relevant parts of a result — everything except the
+/// observational `telemetry` field, which is `Some` iff a recording
+/// sink was attached.
+fn sim_fields(r: &RunResult) -> String {
+    let mut v = serde_json::to_value(r).expect("RunResult serializes");
+    v.as_object_mut().unwrap().remove("telemetry");
+    v.to_string()
+}
+
+#[test]
+fn recording_sink_does_not_change_results() {
+    for protocol in [Protocol::Lorawan, Protocol::h(0.5), Protocol::h50c()] {
+        let plain = Engine::build(quick_cfg(protocol.clone(), 10, 99)).run();
+        let recorder = Recorder::new(0, RecorderConfig::default());
+        let traced = Engine::build(quick_cfg(protocol, 10, 99))
+            .with_sink(Box::new(recorder))
+            .run();
+        assert!(plain.telemetry.is_none(), "NullSink reports nothing");
+        assert!(traced.telemetry.is_some(), "Recorder reports");
+        assert_eq!(
+            sim_fields(&plain),
+            sim_fields(&traced),
+            "telemetry must be purely observational for {}",
+            plain.label
+        );
+    }
+}
+
+#[test]
+fn trace_validates_and_reconciles_with_metrics() {
+    let buf = SharedBuf::default();
+    let writer: Box<dyn Write + Send> = Box::new(buf.clone());
+    let recorder =
+        Recorder::new(0, RecorderConfig::default()).with_writer(TraceWriter::Owned(writer));
+    let result = Engine::build(quick_cfg(Protocol::h(0.5), 8, 7))
+        .with_sink(Box::new(recorder))
+        .run();
+
+    let trace = buf.contents();
+    let summary = replay::validate(trace.as_slice()).expect("trace is structurally valid");
+    assert_eq!(summary.runs, 1);
+    assert!(summary.events > 0, "a day of simulation emits events");
+
+    let expected = expected_counts(&result.nodes);
+    summary
+        .reconcile(0, &expected)
+        .expect("trace tallies match NodeMetrics");
+
+    // The in-memory report agrees with the trace on the event count.
+    let report = result.telemetry.expect("recorder returns a report");
+    assert_eq!(report.events, summary.events);
+}
+
+#[test]
+fn traced_batch_matches_plain_batch_and_validates() {
+    let configs: Vec<ScenarioConfig> = vec![
+        quick_cfg(Protocol::Lorawan, 8, 31),
+        quick_cfg(Protocol::h(0.5), 8, 31),
+        quick_cfg(Protocol::h(0.05), 6, 21),
+    ];
+    let plain = BatchRunner::new(2).quiet().run_all(configs.clone());
+
+    let dir = std::env::temp_dir().join("blam-telemetry-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace_path = dir.join(format!("batch-{}.jsonl", std::process::id()));
+    let opts = TelemetryOptions::with_trace(&trace_path);
+    let outcome = BatchRunner::new(2).quiet().run_all_with(configs, &opts);
+
+    assert_eq!(plain.len(), outcome.results.len());
+    for (p, t) in plain.iter().zip(&outcome.results) {
+        assert_eq!(
+            sim_fields(p),
+            sim_fields(t),
+            "traced batch must match the plain batch for {}",
+            p.label
+        );
+    }
+
+    let merged = outcome.telemetry.expect("traced batch merges reports");
+    assert_eq!(merged.merged_runs, outcome.results.len() as u32);
+    assert_eq!(outcome.profile.runs, outcome.results.len());
+    assert_eq!(
+        outcome.profile.sim_run.count,
+        outcome.results.len() as u64,
+        "every run is profiled"
+    );
+
+    let file = std::fs::File::open(&trace_path).expect("trace file written");
+    let summary =
+        replay::validate(std::io::BufReader::new(file)).expect("batch trace is valid JSONL");
+    assert_eq!(summary.runs, outcome.results.len() as u64);
+    for (i, result) in outcome.results.iter().enumerate() {
+        summary
+            .reconcile(i as u32, &expected_counts(&result.nodes))
+            .unwrap_or_else(|e| panic!("run {i} ({}) reconciles: {e}", result.label));
+    }
+    let _ = std::fs::remove_file(&trace_path);
+}

@@ -1,0 +1,152 @@
+//! Monotonic event counters aggregated into the [`crate::TelemetryReport`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{DropReason, EventKind};
+
+/// Monotonic per-run (or merged per-batch) event counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventCounters {
+    /// `PacketGenerated` events.
+    pub generated: u64,
+    /// `WindowSelected` events.
+    pub window_selected: u64,
+    /// `TxAttempt` events.
+    pub tx_attempts: u64,
+    /// `AckReceived` events.
+    pub acks: u64,
+    /// `PacketDropped` events with reason `no_window`.
+    pub drops_no_window: u64,
+    /// `PacketDropped` events with reason `brownout`.
+    pub drops_brownout: u64,
+    /// `PacketDropped` events with reason `mac_busy`.
+    pub drops_mac_busy: u64,
+    /// `ExchangeFailed` events.
+    pub exchange_failures: u64,
+    /// `Brownout` settlement events.
+    pub brownouts: u64,
+    /// `SocCapped` settlement events.
+    pub soc_capped: u64,
+    /// `DisseminationApplied` events.
+    pub dissemination_applied: u64,
+}
+
+impl EventCounters {
+    /// Increments the counter matching one event kind.
+    pub fn bump(&mut self, kind: &EventKind) {
+        match kind {
+            EventKind::PacketGenerated => self.generated += 1,
+            EventKind::WindowSelected { .. } => self.window_selected += 1,
+            EventKind::TxAttempt { .. } => self.tx_attempts += 1,
+            EventKind::AckReceived { .. } => self.acks += 1,
+            EventKind::PacketDropped { reason } => match reason {
+                DropReason::NoWindow => self.drops_no_window += 1,
+                DropReason::Brownout => self.drops_brownout += 1,
+                DropReason::MacBusy => self.drops_mac_busy += 1,
+            },
+            EventKind::ExchangeFailed { .. } => self.exchange_failures += 1,
+            EventKind::Brownout { .. } => self.brownouts += 1,
+            EventKind::SocCapped { .. } => self.soc_capped += 1,
+            EventKind::DisseminationApplied { .. } => self.dissemination_applied += 1,
+        }
+    }
+
+    /// Total events counted.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.generated
+            + self.window_selected
+            + self.tx_attempts
+            + self.acks
+            + self.drops_no_window
+            + self.drops_brownout
+            + self.drops_mac_busy
+            + self.exchange_failures
+            + self.brownouts
+            + self.soc_capped
+            + self.dissemination_applied
+    }
+
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &EventCounters) {
+        self.generated += other.generated;
+        self.window_selected += other.window_selected;
+        self.tx_attempts += other.tx_attempts;
+        self.acks += other.acks;
+        self.drops_no_window += other.drops_no_window;
+        self.drops_brownout += other.drops_brownout;
+        self.drops_mac_busy += other.drops_mac_busy;
+        self.exchange_failures += other.exchange_failures;
+        self.brownouts += other.brownouts;
+        self.soc_capped += other.soc_capped;
+        self.dissemination_applied += other.dissemination_applied;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_routes_every_kind() {
+        let mut c = EventCounters::default();
+        let kinds = [
+            EventKind::PacketGenerated,
+            EventKind::WindowSelected {
+                window: 0,
+                dif: 0.0,
+                utility_loss: 0.0,
+            },
+            EventKind::TxAttempt {
+                sf: 7,
+                airtime_ms: 50,
+                soc: 0.5,
+            },
+            EventKind::AckReceived { latency_ms: 100 },
+            EventKind::PacketDropped {
+                reason: DropReason::NoWindow,
+            },
+            EventKind::PacketDropped {
+                reason: DropReason::Brownout,
+            },
+            EventKind::PacketDropped {
+                reason: DropReason::MacBusy,
+            },
+            EventKind::ExchangeFailed { attempts: 4 },
+            EventKind::Brownout { deficit_j: 0.1 },
+            EventKind::SocCapped {
+                spilled_j: 0.1,
+                soc: 1.0,
+            },
+            EventKind::DisseminationApplied { weight: 3 },
+        ];
+        for k in &kinds {
+            c.bump(k);
+        }
+        assert_eq!(c.total(), kinds.len() as u64);
+        assert_eq!(c.generated, 1);
+        assert_eq!(c.drops_no_window, 1);
+        assert_eq!(c.drops_brownout, 1);
+        assert_eq!(c.drops_mac_busy, 1);
+        assert_eq!(c.dissemination_applied, 1);
+    }
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let mut a = EventCounters {
+            generated: 2,
+            acks: 1,
+            ..EventCounters::default()
+        };
+        let b = EventCounters {
+            generated: 3,
+            brownouts: 4,
+            ..EventCounters::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.generated, 5);
+        assert_eq!(a.acks, 1);
+        assert_eq!(a.brownouts, 4);
+        assert_eq!(a.total(), 10);
+    }
+}

@@ -1,0 +1,223 @@
+//! Structured simulation events and the schema-versioned JSONL record
+//! envelope they are serialized into.
+//!
+//! Events deliberately carry only plain numbers (`u64` milliseconds,
+//! `f64` joules/fractions) instead of the `blam-units` newtypes so that
+//! the telemetry crate stays dependency-light and traces remain
+//! readable by any JSON tool.
+
+use serde::{Deserialize, Serialize};
+
+/// Version stamped into every trace header.
+///
+/// Bump this whenever the shape of [`SimEvent`] or [`Record`] changes
+/// incompatibly; the [`crate::replay`] validator rejects mismatches.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One structured event observed during a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimEvent {
+    /// Simulation time of the event, in milliseconds since run start.
+    pub t_ms: u64,
+    /// Index of the node the event concerns.
+    pub node: u32,
+    /// What happened.
+    #[serde(flatten)]
+    pub kind: EventKind,
+}
+
+/// The event payload, tagged as `"kind"` in JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum EventKind {
+    /// The application layer produced a packet.
+    PacketGenerated,
+    /// The MAC policy picked a transmission window for a packet.
+    WindowSelected {
+        /// Chosen window index within the planning horizon.
+        window: u32,
+        /// Degradation impact factor of the chosen window (Eq. 7).
+        dif: f64,
+        /// Utility lost by deferring to this window (`1 - U(window)`).
+        utility_loss: f64,
+    },
+    /// The radio started an uplink attempt.
+    TxAttempt {
+        /// LoRa spreading factor used for the attempt.
+        sf: u8,
+        /// Time-on-air of the frame, in milliseconds.
+        airtime_ms: u64,
+        /// Battery state of charge (0..=1) when the attempt began.
+        soc: f64,
+    },
+    /// A downlink acknowledgement concluded the exchange successfully.
+    AckReceived {
+        /// Generation-to-ack latency, in milliseconds.
+        latency_ms: u64,
+    },
+    /// A packet was dropped before any transmission completed.
+    PacketDropped {
+        /// Why the packet never made it onto the air.
+        reason: DropReason,
+    },
+    /// All retransmissions were exhausted without an acknowledgement.
+    ExchangeFailed {
+        /// Number of uplink attempts made for the packet.
+        attempts: u32,
+    },
+    /// Energy settlement came up short: the node browned out.
+    Brownout {
+        /// Unmet energy demand, in joules.
+        deficit_j: f64,
+    },
+    /// Harvested energy was discarded because SoC hit the cap θ.
+    SocCapped {
+        /// Energy spilled during the settlement, in joules.
+        spilled_j: f64,
+        /// State of charge (0..=1) after the settlement.
+        soc: f64,
+    },
+    /// The server's disseminated weight reached the node and was applied.
+    DisseminationApplied {
+        /// The dissemination weight carried by the downlink.
+        weight: u8,
+    },
+}
+
+/// Reason a packet was dropped without completing an exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum DropReason {
+    /// The policy found no feasible window in the horizon.
+    NoWindow,
+    /// The node lacked energy for even one attempt.
+    Brownout,
+    /// The MAC layer was still busy with a previous exchange.
+    MacBusy,
+}
+
+/// One line of a JSONL trace, tagged as `"type"` in JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum Record {
+    /// First line of every run's stream: identifies the run and schema.
+    Header {
+        /// Trace schema version ([`SCHEMA_VERSION`]).
+        schema: u32,
+        /// Index of the run within its batch (0 for single runs).
+        run: u32,
+        /// Human-readable scenario label.
+        label: String,
+        /// Master RNG seed of the run.
+        seed: u64,
+        /// Number of simulated nodes.
+        nodes: u32,
+    },
+    /// A simulation event.
+    Event {
+        /// Index of the run the event belongs to.
+        run: u32,
+        /// The event itself, flattened into the same JSON object.
+        #[serde(flatten)]
+        event: SimEvent,
+    },
+    /// A flight-recorder dump triggered by an anomaly or panic.
+    FlightDump {
+        /// Index of the run the dump belongs to.
+        run: u32,
+        /// Node whose ring buffer is being dumped.
+        node: u32,
+        /// Simulation time of the trigger, in milliseconds.
+        t_ms: u64,
+        /// What triggered the dump (e.g. `"brownout_drop"`, `"panic"`).
+        trigger: String,
+        /// The buffered trailing events, oldest first.
+        events: Vec<SimEvent>,
+    },
+    /// Last line of a run's stream: total event count for validation.
+    Summary {
+        /// Index of the run being closed.
+        run: u32,
+        /// Number of `Event` records written for this run.
+        events: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_kind_serializes_with_snake_case_tag() {
+        let e = SimEvent {
+            t_ms: 1500,
+            node: 3,
+            kind: EventKind::WindowSelected {
+                window: 2,
+                dif: 0.25,
+                utility_loss: 0.1,
+            },
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("\"kind\":\"window_selected\""), "{json}");
+        assert!(json.contains("\"t_ms\":1500"), "{json}");
+        let back: SimEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn drop_reason_round_trips() {
+        for reason in [
+            DropReason::NoWindow,
+            DropReason::Brownout,
+            DropReason::MacBusy,
+        ] {
+            let e = SimEvent {
+                t_ms: 0,
+                node: 0,
+                kind: EventKind::PacketDropped { reason },
+            };
+            let json = serde_json::to_string(&e).unwrap();
+            let back: SimEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, e);
+        }
+    }
+
+    #[test]
+    fn record_envelope_round_trips() {
+        let records = vec![
+            Record::Header {
+                schema: SCHEMA_VERSION,
+                run: 0,
+                label: "test".into(),
+                seed: 42,
+                nodes: 10,
+            },
+            Record::Event {
+                run: 0,
+                event: SimEvent {
+                    t_ms: 10,
+                    node: 1,
+                    kind: EventKind::PacketGenerated,
+                },
+            },
+            Record::FlightDump {
+                run: 0,
+                node: 1,
+                t_ms: 20,
+                trigger: "brownout_drop".into(),
+                events: vec![SimEvent {
+                    t_ms: 10,
+                    node: 1,
+                    kind: EventKind::PacketGenerated,
+                }],
+            },
+            Record::Summary { run: 0, events: 1 },
+        ];
+        for r in records {
+            let json = serde_json::to_string(&r).unwrap();
+            let back: Record = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Bounded per-node ring buffers — the flight recorder.
+//!
+//! The recorder keeps the last N events for every node so that when an
+//! anomaly fires (a brownout drop, a failed exchange, or a panic) the
+//! events *leading up to it* can be dumped, even in runs where full
+//! tracing would be too expensive to keep.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::event::SimEvent;
+
+/// Per-node bounded event history.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    capacity: usize,
+    rings: BTreeMap<u32, VecDeque<SimEvent>>,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder keeping at most `capacity` events per node.
+    /// A capacity of 0 disables buffering entirely.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            capacity,
+            rings: BTreeMap::new(),
+        }
+    }
+
+    /// Maximum events retained per node.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends an event to its node's ring, evicting the oldest entry
+    /// once the ring is full.
+    pub fn push(&mut self, event: &SimEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        let ring = self.rings.entry(event.node).or_default();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(event.clone());
+    }
+
+    /// The buffered events for one node, oldest first.
+    #[must_use]
+    pub fn snapshot(&self, node: u32) -> Vec<SimEvent> {
+        self.rings
+            .get(&node)
+            .map(|r| r.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// All nodes that currently hold buffered events, ascending.
+    #[must_use]
+    pub fn nodes(&self) -> Vec<u32> {
+        self.rings.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(t_ms: u64, node: u32) -> SimEvent {
+        SimEvent {
+            t_ms,
+            node,
+            kind: EventKind::PacketGenerated,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_beyond_capacity() {
+        let mut fr = FlightRecorder::new(3);
+        for t in 0..5 {
+            fr.push(&ev(t, 1));
+        }
+        let snap = fr.snapshot(1);
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].t_ms, 2);
+        assert_eq!(snap[2].t_ms, 4);
+    }
+
+    #[test]
+    fn rings_are_per_node() {
+        let mut fr = FlightRecorder::new(2);
+        fr.push(&ev(0, 1));
+        fr.push(&ev(1, 2));
+        fr.push(&ev(2, 1));
+        assert_eq!(fr.snapshot(1).len(), 2);
+        assert_eq!(fr.snapshot(2).len(), 1);
+        assert_eq!(fr.snapshot(3), Vec::new());
+        assert_eq!(fr.nodes(), vec![1, 2]);
+    }
+
+    #[test]
+    fn zero_capacity_buffers_nothing() {
+        let mut fr = FlightRecorder::new(0);
+        fr.push(&ev(0, 1));
+        assert!(fr.snapshot(1).is_empty());
+        assert!(fr.nodes().is_empty());
+    }
+}

@@ -1,0 +1,239 @@
+//! Streaming log-bucketed histograms.
+//!
+//! Buckets are logarithmic with 8 sub-buckets per octave, giving a
+//! worst-case quantile error of about 4.5% over an unbounded range —
+//! enough to read latency tails and DIF distributions without storing
+//! samples. Buckets are kept sparse in a `BTreeMap` so an idle
+//! histogram costs nothing.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Sub-buckets per octave (power of two) of the value range.
+const SUBBUCKETS_PER_OCTAVE: f64 = 8.0;
+
+/// A streaming histogram over non-negative `f64` samples.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// Sparse bucket counts keyed by log-scale bucket index.
+    buckets: BTreeMap<i32, u64>,
+    /// Samples recorded at exactly zero (no log bucket exists for them).
+    zeros: u64,
+    /// Total recorded samples, including zeros.
+    count: u64,
+    /// Sum of all recorded samples.
+    sum: f64,
+    /// Smallest recorded sample.
+    min: f64,
+    /// Largest recorded sample.
+    max: f64,
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample. Negative or non-finite samples are clamped
+    /// into the zero bucket so a stray NaN cannot poison the stream.
+    pub fn record(&mut self, value: f64) {
+        let v = if value.is_finite() && value > 0.0 {
+            value
+        } else {
+            0.0
+        };
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        if v == 0.0 {
+            self.zeros += 1;
+        } else {
+            let idx = (v.log2() * SUBBUCKETS_PER_OCTAVE).floor() as i32;
+            *self.buckets.entry(idx).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or 0 when empty.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample, or 0 when empty.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Mean of recorded samples, or 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in 0..=1) from bucket representatives.
+    ///
+    /// Returns 0 for an empty histogram. Accuracy is bounded by the
+    /// bucket width (~9% wide, representative at the geometric center).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the sample we are after, 1-based.
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = self.zeros;
+        if target <= seen {
+            return 0.0;
+        }
+        for (&idx, &n) in &self.buckets {
+            seen += n;
+            if target <= seen {
+                // Geometric center of the bucket.
+                return ((f64::from(idx) + 0.5) / SUBBUCKETS_PER_OCTAVE).exp2();
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        for (&idx, &n) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += n;
+        }
+        self.zeros += other.zeros;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn mean_min_max_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in [1.0, 2.0, 3.0, 10.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - 4.0).abs() < 1e-12);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 10.0);
+    }
+
+    #[test]
+    fn quantiles_are_within_bucket_error() {
+        let mut h = LogHistogram::new();
+        for i in 1..=1000 {
+            h.record(f64::from(i));
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!((p50 / 500.0 - 1.0).abs() < 0.10, "p50 {p50}");
+        assert!((p99 / 990.0 - 1.0).abs() < 0.10, "p99 {p99}");
+    }
+
+    #[test]
+    fn zeros_and_invalid_samples_go_to_zero_bucket() {
+        let mut h = LogHistogram::new();
+        h.record(0.0);
+        h.record(-5.0);
+        h.record(f64::NAN);
+        h.record(4.0);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 4.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert!(h.quantile(1.0) > 3.0);
+    }
+
+    #[test]
+    fn merge_matches_recording_into_one() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for v in [0.5, 1.5, 7.0] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [0.0, 2.5, 100.0] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        // Merging into an empty histogram copies the other side.
+        let mut empty = LogHistogram::new();
+        empty.merge(&all);
+        assert_eq!(empty, all);
+        // Merging an empty histogram is a no-op.
+        all.merge(&LogHistogram::new());
+        assert_eq!(empty, all);
+    }
+
+    #[test]
+    fn histogram_serde_round_trips() {
+        let mut h = LogHistogram::new();
+        for v in [0.0, 0.001, 1.0, 1e9] {
+            h.record(v);
+        }
+        let json = serde_json::to_string(&h).unwrap();
+        let back: LogHistogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+    }
+}

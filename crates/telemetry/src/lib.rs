@@ -1,0 +1,92 @@
+//! Zero-overhead-when-off observability for the lpwan-blam stack.
+//!
+//! The simulation engine emits structured [`SimEvent`]s into a
+//! [`TelemetrySink`]. With the default [`NullSink`] every emit site is
+//! guarded by a constant-`false` `enabled()` check, so disabled runs
+//! build no events and stay byte-identical. With a [`Recorder`] the
+//! same events feed:
+//!
+//! * monotonic [`EventCounters`] and streaming log-bucketed
+//!   [`LogHistogram`]s, aggregated into a [`TelemetryReport`];
+//! * an optional schema-versioned JSONL trace ([`Record`] lines)
+//!   checked back by [`replay::validate`];
+//! * a bounded per-node [`FlightRecorder`] whose trailing events are
+//!   dumped on brownout drops, failed exchanges, or panics.
+//!
+//! [`BatchProfile`]/[`PhaseStats`] carry the batch runner's per-phase
+//! wall-clock breakdown, and [`Progress`] keeps progress chatter on
+//! stderr.
+//!
+//! # Examples
+//!
+//! Record a run into memory, then validate the trace:
+//!
+//! ```
+//! use std::io::Write;
+//! use std::sync::{Arc, Mutex};
+//!
+//! use blam_telemetry::{
+//!     replay, EventKind, Recorder, RecorderConfig, SimEvent, TelemetrySink, TraceWriter,
+//! };
+//!
+//! // A clonable in-memory trace destination.
+//! #[derive(Clone, Default)]
+//! struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+//! impl Write for SharedBuf {
+//!     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+//!         self.0.lock().unwrap().extend_from_slice(buf);
+//!         Ok(buf.len())
+//!     }
+//!     fn flush(&mut self) -> std::io::Result<()> {
+//!         Ok(())
+//!     }
+//! }
+//!
+//! let buf = SharedBuf::default();
+//! let mut sink = Recorder::new(0, RecorderConfig::default())
+//!     .with_writer(TraceWriter::Owned(Box::new(buf.clone())));
+//!
+//! sink.begin("demo", 42, 1);
+//! sink.record(&SimEvent {
+//!     t_ms: 0,
+//!     node: 0,
+//!     kind: EventKind::PacketGenerated,
+//! });
+//! sink.record(&SimEvent {
+//!     t_ms: 1200,
+//!     node: 0,
+//!     kind: EventKind::AckReceived { latency_ms: 1200 },
+//! });
+//! let report = sink.finish().expect("recorder always reports");
+//! assert_eq!(report.counters.acks, 1);
+//! assert_eq!(report.latency_ms.count(), 1);
+//!
+//! let bytes = buf.0.lock().unwrap().clone();
+//! let summary = replay::validate(&bytes[..]).expect("trace validates");
+//! assert_eq!(summary.events, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod event;
+pub mod flight;
+pub mod hist;
+pub mod profile;
+pub mod progress;
+pub mod recorder;
+pub mod replay;
+pub mod report;
+pub mod sink;
+
+pub use counters::EventCounters;
+pub use event::{DropReason, EventKind, Record, SimEvent, SCHEMA_VERSION};
+pub use flight::FlightRecorder;
+pub use hist::LogHistogram;
+pub use profile::{BatchProfile, PhaseStats};
+pub use progress::Progress;
+pub use recorder::{Recorder, RecorderConfig, TraceWriter};
+pub use replay::{ExpectedNodeCounts, ReplayError, ReplaySummary};
+pub use report::TelemetryReport;
+pub use sink::{NullSink, TelemetrySink};

@@ -1,0 +1,176 @@
+//! Per-phase wall-clock profiling for the batch runner.
+//!
+//! Timestamps are taken by the caller (`Instant` stays on the netsim
+//! side); this module only accumulates and renders millisecond
+//! durations, so reports remain serializable and mergeable.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming statistics over one profiled phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Number of recorded intervals.
+    pub count: u64,
+    /// Total wall-clock time, milliseconds.
+    pub total_ms: f64,
+    /// Shortest interval, milliseconds.
+    pub min_ms: f64,
+    /// Longest interval, milliseconds.
+    pub max_ms: f64,
+}
+
+impl PhaseStats {
+    /// Records one interval.
+    pub fn record(&mut self, ms: f64) {
+        let ms = if ms.is_finite() && ms > 0.0 { ms } else { 0.0 };
+        if self.count == 0 {
+            self.min_ms = ms;
+            self.max_ms = ms;
+        } else {
+            self.min_ms = self.min_ms.min(ms);
+            self.max_ms = self.max_ms.max(ms);
+        }
+        self.count += 1;
+        self.total_ms += ms;
+    }
+
+    /// Mean interval, milliseconds (0 when empty).
+    #[must_use]
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ms / self.count as f64
+        }
+    }
+
+    /// Merges another phase's statistics into this one.
+    pub fn merge(&mut self, other: &PhaseStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.total_ms += other.total_ms;
+        self.min_ms = self.min_ms.min(other.min_ms);
+        self.max_ms = self.max_ms.max(other.max_ms);
+    }
+}
+
+/// Wall-clock breakdown of one `BatchRunner::run_all` invocation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BatchProfile {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Scenarios executed.
+    pub runs: usize,
+    /// Time each run spent queued before a worker claimed it.
+    pub queue_wait: PhaseStats,
+    /// Time each run spent simulating.
+    pub sim_run: PhaseStats,
+    /// Time merging per-run telemetry after the join, milliseconds.
+    pub merge_ms: f64,
+    /// End-to-end batch wall clock, milliseconds.
+    pub total_ms: f64,
+}
+
+impl BatchProfile {
+    /// Renders a compact human-readable breakdown (for stderr).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "profile: {} run(s) on {} worker(s), batch total {:.1} ms\n",
+            self.runs, self.workers, self.total_ms
+        ));
+        out.push_str(&format!(
+            "  queue wait  mean {:>9.2} ms  max {:>9.2} ms\n",
+            self.queue_wait.mean_ms(),
+            self.queue_wait.max_ms,
+        ));
+        out.push_str(&format!(
+            "  sim run     mean {:>9.2} ms  min {:>9.2} ms  max {:>9.2} ms  total {:>9.1} ms\n",
+            self.sim_run.mean_ms(),
+            self.sim_run.min_ms,
+            self.sim_run.max_ms,
+            self.sim_run.total_ms,
+        ));
+        let speedup = if self.total_ms > 0.0 {
+            self.sim_run.total_ms / self.total_ms
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "  merge       {:>9.2} ms   parallel speedup {:.2}x\n",
+            self.merge_ms, speedup,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_stats_track_min_max_mean() {
+        let mut p = PhaseStats::default();
+        p.record(10.0);
+        p.record(30.0);
+        p.record(20.0);
+        assert_eq!(p.count, 3);
+        assert_eq!(p.min_ms, 10.0);
+        assert_eq!(p.max_ms, 30.0);
+        assert!((p.mean_ms() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_phase_is_zero() {
+        let p = PhaseStats::default();
+        assert_eq!(p.mean_ms(), 0.0);
+        assert_eq!(p.min_ms, 0.0);
+    }
+
+    #[test]
+    fn merge_handles_empty_sides() {
+        let mut a = PhaseStats::default();
+        let mut b = PhaseStats::default();
+        b.record(5.0);
+        a.merge(&b);
+        assert_eq!(a, b);
+        a.merge(&PhaseStats::default());
+        assert_eq!(a, b);
+        let mut c = PhaseStats::default();
+        c.record(1.0);
+        a.merge(&c);
+        assert_eq!(a.count, 2);
+        assert_eq!(a.min_ms, 1.0);
+        assert_eq!(a.max_ms, 5.0);
+    }
+
+    #[test]
+    fn negative_or_nan_intervals_clamp_to_zero() {
+        let mut p = PhaseStats::default();
+        p.record(-3.0);
+        p.record(f64::NAN);
+        assert_eq!(p.count, 2);
+        assert_eq!(p.total_ms, 0.0);
+    }
+
+    #[test]
+    fn batch_profile_renders() {
+        let mut b = BatchProfile {
+            workers: 4,
+            runs: 8,
+            ..BatchProfile::default()
+        };
+        b.sim_run.record(100.0);
+        b.total_ms = 50.0;
+        let text = b.render();
+        assert!(text.contains("8 run(s) on 4 worker(s)"));
+        assert!(text.contains("speedup 2.00x"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Progress reporting on stderr.
+//!
+//! Bench bins pipe their JSON results through stdout, so progress
+//! chatter must never land there. Everything routed through
+//! [`Progress`] goes to stderr, and a quiet handle drops it entirely.
+
+/// A progress reporter that writes to stderr when verbose.
+#[derive(Debug, Clone, Copy)]
+pub struct Progress {
+    verbose: bool,
+}
+
+impl Progress {
+    /// Creates a reporter; `verbose = false` silences it.
+    #[must_use]
+    pub fn new(verbose: bool) -> Self {
+        Progress { verbose }
+    }
+
+    /// Whether lines will actually be written.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.verbose
+    }
+
+    /// Writes one progress line to stderr (never stdout).
+    pub fn line(&self, msg: &str) {
+        if self.verbose {
+            eprintln!("{msg}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_progress_is_disabled() {
+        assert!(!Progress::new(false).enabled());
+        assert!(Progress::new(true).enabled());
+        // Writing through a quiet handle is a no-op (and must not panic).
+        Progress::new(false).line("dropped");
+    }
+}

@@ -1,0 +1,367 @@
+//! The recording [`TelemetrySink`]: streaming histograms + counters,
+//! optional JSONL trace writing, and the anomaly-triggered flight
+//! recorder.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use crate::event::{DropReason, EventKind, Record, SimEvent, SCHEMA_VERSION};
+use crate::flight::FlightRecorder;
+use crate::report::TelemetryReport;
+use crate::sink::TelemetrySink;
+
+/// Destination for JSONL trace lines.
+///
+/// A batch run shares one writer between per-worker recorders; each
+/// line is formatted fully before a single locked write, so records
+/// from concurrent runs interleave at line granularity only.
+pub enum TraceWriter {
+    /// Exclusive writer (single run).
+    Owned(Box<dyn Write + Send>),
+    /// Writer shared by the workers of one batch.
+    Shared(Arc<Mutex<Box<dyn Write + Send>>>),
+}
+
+impl std::fmt::Debug for TraceWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceWriter::Owned(_) => f.write_str("TraceWriter::Owned(..)"),
+            TraceWriter::Shared(_) => f.write_str("TraceWriter::Shared(..)"),
+        }
+    }
+}
+
+impl TraceWriter {
+    fn write_line(&mut self, line: &str) -> std::io::Result<()> {
+        match self {
+            TraceWriter::Owned(w) => {
+                w.write_all(line.as_bytes())?;
+                w.write_all(b"\n")
+            }
+            TraceWriter::Shared(shared) => {
+                let mut w = shared.lock().expect("trace writer lock poisoned");
+                w.write_all(line.as_bytes())?;
+                w.write_all(b"\n")
+            }
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            TraceWriter::Owned(w) => w.flush(),
+            TraceWriter::Shared(shared) => {
+                shared.lock().expect("trace writer lock poisoned").flush()
+            }
+        }
+    }
+}
+
+/// Tuning knobs for a [`Recorder`].
+#[derive(Debug, Clone)]
+pub struct RecorderConfig {
+    /// Events retained per node for flight dumps (0 disables).
+    pub flight_capacity: usize,
+    /// Whether brownout drops / failed exchanges dump the node's ring.
+    pub dump_flight_on_anomaly: bool,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig {
+            flight_capacity: 64,
+            dump_flight_on_anomaly: true,
+        }
+    }
+}
+
+/// A [`TelemetrySink`] that aggregates a [`TelemetryReport`], keeps a
+/// [`FlightRecorder`], and optionally streams JSONL records.
+#[derive(Debug)]
+pub struct Recorder {
+    run: u32,
+    config: RecorderConfig,
+    report: TelemetryReport,
+    flight: FlightRecorder,
+    writer: Option<TraceWriter>,
+    write_failed: bool,
+    finished: bool,
+}
+
+impl Recorder {
+    /// Creates a recorder for run index `run` with no trace writer.
+    #[must_use]
+    pub fn new(run: u32, config: RecorderConfig) -> Self {
+        let flight = FlightRecorder::new(config.flight_capacity);
+        Recorder {
+            run,
+            config,
+            report: TelemetryReport::new(),
+            flight,
+            writer: None,
+            write_failed: false,
+            finished: false,
+        }
+    }
+
+    /// Attaches a JSONL trace destination.
+    #[must_use]
+    pub fn with_writer(mut self, writer: TraceWriter) -> Self {
+        self.writer = Some(writer);
+        self
+    }
+
+    /// Run index this recorder stamps into its records.
+    #[must_use]
+    pub fn run(&self) -> u32 {
+        self.run
+    }
+
+    fn emit(&mut self, record: &Record) {
+        if self.write_failed {
+            return;
+        }
+        let Some(writer) = self.writer.as_mut() else {
+            return;
+        };
+        let line = match serde_json::to_string(record) {
+            Ok(line) => line,
+            Err(err) => {
+                eprintln!("[telemetry] trace serialization failed: {err}");
+                self.write_failed = true;
+                self.writer = None;
+                return;
+            }
+        };
+        if let Err(err) = writer.write_line(&line) {
+            eprintln!("[telemetry] trace write failed, disabling trace: {err}");
+            self.write_failed = true;
+            self.writer = None;
+        }
+    }
+
+    fn dump_flight(&mut self, node: u32, t_ms: u64, trigger: &str) {
+        let events = self.flight.snapshot(node);
+        if events.is_empty() {
+            return;
+        }
+        self.report.flight_dumps += 1;
+        let record = Record::FlightDump {
+            run: self.run,
+            node,
+            t_ms,
+            trigger: trigger.to_string(),
+            events,
+        };
+        self.emit(&record);
+    }
+
+    fn anomaly_trigger(kind: &EventKind) -> Option<&'static str> {
+        match kind {
+            EventKind::PacketDropped {
+                reason: DropReason::Brownout,
+            } => Some("brownout_drop"),
+            EventKind::ExchangeFailed { .. } => Some("failed_no_ack"),
+            _ => None,
+        }
+    }
+}
+
+impl TelemetrySink for Recorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, event: &SimEvent) {
+        self.report.events += 1;
+        self.report.counters.bump(&event.kind);
+        match &event.kind {
+            EventKind::AckReceived { latency_ms } => {
+                self.report.latency_ms.record(*latency_ms as f64);
+            }
+            EventKind::WindowSelected { dif, .. } => {
+                self.report.dif.record(*dif);
+            }
+            EventKind::TxAttempt {
+                airtime_ms, soc, ..
+            } => {
+                self.report.airtime_ms.record(*airtime_ms as f64);
+                self.report.soc_at_tx.record(*soc);
+            }
+            _ => {}
+        }
+        self.flight.push(event);
+        self.emit(&Record::Event {
+            run: self.run,
+            event: event.clone(),
+        });
+        if self.config.dump_flight_on_anomaly {
+            if let Some(trigger) = Self::anomaly_trigger(&event.kind) {
+                self.dump_flight(event.node, event.t_ms, trigger);
+            }
+        }
+    }
+
+    fn begin(&mut self, label: &str, seed: u64, nodes: u32) {
+        let record = Record::Header {
+            schema: SCHEMA_VERSION,
+            run: self.run,
+            label: label.to_string(),
+            seed,
+            nodes,
+        };
+        self.emit(&record);
+    }
+
+    fn finish(&mut self) -> Option<TelemetryReport> {
+        self.finished = true;
+        // Only `Event` records count toward the summary; the replay
+        // validator reconciles this against its own tally.
+        let events = self.report.events;
+        self.emit(&Record::Summary {
+            run: self.run,
+            events,
+        });
+        if let Some(writer) = self.writer.as_mut() {
+            if let Err(err) = writer.flush() {
+                eprintln!("[telemetry] trace flush failed: {err}");
+            }
+        }
+        Some(self.report.clone())
+    }
+}
+
+impl Drop for Recorder {
+    fn drop(&mut self) {
+        // A panic mid-run is exactly what the flight recorder is for:
+        // dump every node's trailing events before the trace is lost.
+        if !self.finished && std::thread::panicking() {
+            for node in self.flight.nodes() {
+                self.dump_flight(node, 0, "panic");
+            }
+            if let Some(writer) = self.writer.as_mut() {
+                let _ = writer.flush();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t_ms: u64, node: u32, kind: EventKind) -> SimEvent {
+        SimEvent { t_ms, node, kind }
+    }
+
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn recorder_into(buf: &SharedBuf) -> Recorder {
+        Recorder::new(0, RecorderConfig::default())
+            .with_writer(TraceWriter::Owned(Box::new(buf.clone())))
+    }
+
+    #[test]
+    fn recorder_counts_and_histograms() {
+        let mut r = Recorder::new(0, RecorderConfig::default());
+        r.begin("t", 1, 2);
+        r.record(&ev(0, 0, EventKind::PacketGenerated));
+        r.record(&ev(
+            5,
+            0,
+            EventKind::TxAttempt {
+                sf: 9,
+                airtime_ms: 185,
+                soc: 0.8,
+            },
+        ));
+        r.record(&ev(400, 0, EventKind::AckReceived { latency_ms: 400 }));
+        let report = r.finish().expect("recorder returns a report");
+        assert_eq!(report.events, 3);
+        assert_eq!(report.counters.generated, 1);
+        assert_eq!(report.counters.tx_attempts, 1);
+        assert_eq!(report.counters.acks, 1);
+        assert_eq!(report.latency_ms.count(), 1);
+        assert_eq!(report.airtime_ms.count(), 1);
+        assert_eq!(report.soc_at_tx.count(), 1);
+    }
+
+    #[test]
+    fn trace_stream_is_header_events_summary() {
+        let buf = SharedBuf::default();
+        let mut r = recorder_into(&buf);
+        r.begin("lbl", 7, 1);
+        r.record(&ev(1, 0, EventKind::PacketGenerated));
+        r.finish();
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let records: Vec<Record> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(records.len(), 3);
+        assert!(matches!(records[0], Record::Header { seed: 7, .. }));
+        assert!(matches!(records[1], Record::Event { .. }));
+        assert!(matches!(records[2], Record::Summary { events: 1, .. }));
+    }
+
+    #[test]
+    fn anomaly_dumps_preceding_events() {
+        let buf = SharedBuf::default();
+        let mut r = recorder_into(&buf);
+        r.begin("lbl", 1, 1);
+        r.record(&ev(1, 4, EventKind::PacketGenerated));
+        r.record(&ev(
+            2,
+            4,
+            EventKind::PacketDropped {
+                reason: DropReason::Brownout,
+            },
+        ));
+        let report = r.finish().unwrap();
+        assert_eq!(report.flight_dumps, 1);
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let dump = text
+            .lines()
+            .map(|l| serde_json::from_str::<Record>(l).unwrap())
+            .find_map(|r| match r {
+                Record::FlightDump {
+                    node,
+                    trigger,
+                    events,
+                    ..
+                } => Some((node, trigger, events)),
+                _ => None,
+            })
+            .expect("a flight dump is written");
+        assert_eq!(dump.0, 4);
+        assert_eq!(dump.1, "brownout_drop");
+        // The dump includes the trigger event and what preceded it.
+        assert_eq!(dump.2.len(), 2);
+    }
+
+    #[test]
+    fn mac_busy_drop_is_not_an_anomaly() {
+        let mut r = Recorder::new(0, RecorderConfig::default());
+        r.record(&ev(
+            1,
+            0,
+            EventKind::PacketDropped {
+                reason: DropReason::MacBusy,
+            },
+        ));
+        let report = r.finish().unwrap();
+        assert_eq!(report.flight_dumps, 0);
+    }
+}

@@ -1,0 +1,444 @@
+//! Trace validation: re-reads a JSONL trace and checks structural
+//! invariants, then optionally reconciles event counts against the
+//! simulator's own per-node metrics.
+
+use std::collections::BTreeMap;
+use std::io::BufRead;
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{DropReason, EventKind, Record, SCHEMA_VERSION};
+
+/// A structural violation found while validating a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayError {
+    /// 1-based line number the problem was found on (0 = end of file).
+    pub line: u64,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "trace invalid at end of file: {}", self.message)
+        } else {
+            write!(f, "trace invalid at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Per-(run, node) event tally accumulated during validation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeTally {
+    /// Events attributed to the node.
+    pub events: u64,
+    /// `packet_generated` events.
+    pub generated: u64,
+    /// `window_selected` events.
+    pub window_selected: u64,
+    /// `tx_attempt` events.
+    pub tx_attempts: u64,
+    /// `ack_received` events.
+    pub acks: u64,
+    /// `packet_dropped` events with reason `no_window`.
+    pub drops_no_window: u64,
+    /// `packet_dropped` events with reason `brownout` or `mac_busy`.
+    pub drops_energy_or_busy: u64,
+    /// `exchange_failed` events.
+    pub exchange_failures: u64,
+}
+
+/// What a validated trace contained.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReplaySummary {
+    /// Total lines read.
+    pub lines: u64,
+    /// Total `Event` records.
+    pub events: u64,
+    /// Distinct run indices seen.
+    pub runs: u64,
+    /// Flight dumps encountered.
+    pub flight_dumps: u64,
+    /// Per-(run, node) tallies.
+    pub per_node: BTreeMap<(u32, u32), NodeTally>,
+}
+
+/// The per-node counters a simulator reports, for reconciliation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExpectedNodeCounts {
+    /// Packets generated.
+    pub generated: u64,
+    /// Packets acknowledged.
+    pub delivered: u64,
+    /// Uplink attempts (first transmissions + retransmissions).
+    pub transmissions: u64,
+    /// Packets dropped before completing (no-window + brownout).
+    pub dropped: u64,
+}
+
+impl ReplaySummary {
+    /// Checks one run's per-node tallies against the simulator's own
+    /// counters. Returns a description of the first mismatch.
+    ///
+    /// `expected[i]` must describe node `i` of run `run`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with a human-readable description when any node's
+    /// trace tally disagrees with its reported counters.
+    pub fn reconcile(&self, run: u32, expected: &[ExpectedNodeCounts]) -> Result<(), String> {
+        for (i, want) in expected.iter().enumerate() {
+            let node = u32::try_from(i).map_err(|_| format!("node index {i} overflows u32"))?;
+            let got = self.per_node.get(&(run, node)).copied().unwrap_or_default();
+            let checks = [
+                ("generated", got.generated, want.generated),
+                ("delivered/acks", got.acks, want.delivered),
+                ("transmissions", got.tx_attempts, want.transmissions),
+                (
+                    "dropped",
+                    got.drops_no_window + got.drops_energy_or_busy,
+                    want.dropped,
+                ),
+            ];
+            for (name, got_n, want_n) in checks {
+                if got_n != want_n {
+                    return Err(format!(
+                        "run {run} node {node}: trace has {got_n} {name} events \
+                         but metrics report {want_n}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validation state for one run within the trace.
+#[derive(Debug, Default)]
+struct RunState {
+    events: u64,
+    summary_events: Option<u64>,
+    panicked: bool,
+    last_t_per_node: BTreeMap<u32, u64>,
+}
+
+/// Reads a JSONL trace and checks:
+///
+/// 1. every line parses as a [`Record`];
+/// 2. each run starts with a `header` carrying the current
+///    [`SCHEMA_VERSION`] before any of its events;
+/// 3. per (run, node), event timestamps are monotonically
+///    non-decreasing;
+/// 4. each run's `summary.events` matches the number of `event`
+///    records actually seen (a missing summary is tolerated only when
+///    that run wrote a `panic` flight dump).
+///
+/// # Errors
+///
+/// Returns the first [`ReplayError`] found; the summary is only
+/// produced for fully valid traces.
+pub fn validate<R: BufRead>(reader: R) -> Result<ReplaySummary, ReplayError> {
+    let mut summary = ReplaySummary::default();
+    let mut runs: BTreeMap<u32, RunState> = BTreeMap::new();
+    let mut line_no: u64 = 0;
+
+    for line in reader.lines() {
+        line_no += 1;
+        let line = line.map_err(|e| ReplayError {
+            line: line_no,
+            message: format!("read error: {e}"),
+        })?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        summary.lines += 1;
+        let record: Record = serde_json::from_str(&line).map_err(|e| ReplayError {
+            line: line_no,
+            message: format!("parse error: {e}"),
+        })?;
+        match record {
+            Record::Header { schema, run, .. } => {
+                if schema != SCHEMA_VERSION {
+                    return Err(ReplayError {
+                        line: line_no,
+                        message: format!(
+                            "schema {schema} does not match supported {SCHEMA_VERSION}"
+                        ),
+                    });
+                }
+                if runs.contains_key(&run) {
+                    return Err(ReplayError {
+                        line: line_no,
+                        message: format!("duplicate header for run {run}"),
+                    });
+                }
+                runs.insert(run, RunState::default());
+            }
+            Record::Event { run, event } => {
+                let state = runs.get_mut(&run).ok_or_else(|| ReplayError {
+                    line: line_no,
+                    message: format!("event for run {run} before its header"),
+                })?;
+                if state.summary_events.is_some() {
+                    return Err(ReplayError {
+                        line: line_no,
+                        message: format!("event for run {run} after its summary"),
+                    });
+                }
+                if let Some(&last) = state.last_t_per_node.get(&event.node) {
+                    if event.t_ms < last {
+                        return Err(ReplayError {
+                            line: line_no,
+                            message: format!(
+                                "run {run} node {} time went backwards: {} -> {}",
+                                event.node, last, event.t_ms
+                            ),
+                        });
+                    }
+                }
+                state.last_t_per_node.insert(event.node, event.t_ms);
+                state.events += 1;
+                summary.events += 1;
+                let tally = summary.per_node.entry((run, event.node)).or_default();
+                tally.events += 1;
+                match &event.kind {
+                    EventKind::PacketGenerated => tally.generated += 1,
+                    EventKind::WindowSelected { .. } => tally.window_selected += 1,
+                    EventKind::TxAttempt { .. } => tally.tx_attempts += 1,
+                    EventKind::AckReceived { .. } => tally.acks += 1,
+                    EventKind::PacketDropped { reason } => match reason {
+                        DropReason::NoWindow => tally.drops_no_window += 1,
+                        DropReason::Brownout | DropReason::MacBusy => {
+                            tally.drops_energy_or_busy += 1;
+                        }
+                    },
+                    EventKind::ExchangeFailed { .. } => tally.exchange_failures += 1,
+                    _ => {}
+                }
+            }
+            Record::FlightDump { run, trigger, .. } => {
+                let state = runs.get_mut(&run).ok_or_else(|| ReplayError {
+                    line: line_no,
+                    message: format!("flight dump for run {run} before its header"),
+                })?;
+                if trigger == "panic" {
+                    state.panicked = true;
+                }
+                summary.flight_dumps += 1;
+            }
+            Record::Summary { run, events } => {
+                let state = runs.get_mut(&run).ok_or_else(|| ReplayError {
+                    line: line_no,
+                    message: format!("summary for run {run} before its header"),
+                })?;
+                if state.summary_events.is_some() {
+                    return Err(ReplayError {
+                        line: line_no,
+                        message: format!("duplicate summary for run {run}"),
+                    });
+                }
+                if events != state.events {
+                    return Err(ReplayError {
+                        line: line_no,
+                        message: format!(
+                            "run {run} summary claims {events} events but {} were seen",
+                            state.events
+                        ),
+                    });
+                }
+                state.summary_events = Some(events);
+            }
+        }
+    }
+
+    for (run, state) in &runs {
+        if state.summary_events.is_none() && !state.panicked {
+            return Err(ReplayError {
+                line: 0,
+                message: format!("run {run} has no summary record and no panic dump"),
+            });
+        }
+    }
+    summary.runs = runs.len() as u64;
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SimEvent;
+
+    fn line(r: &Record) -> String {
+        serde_json::to_string(r).unwrap()
+    }
+
+    fn header(run: u32) -> Record {
+        Record::Header {
+            schema: SCHEMA_VERSION,
+            run,
+            label: "t".into(),
+            seed: 1,
+            nodes: 2,
+        }
+    }
+
+    fn event(run: u32, node: u32, t_ms: u64, kind: EventKind) -> Record {
+        Record::Event {
+            run,
+            event: SimEvent { t_ms, node, kind },
+        }
+    }
+
+    #[test]
+    fn valid_trace_summarizes() {
+        let trace = [
+            line(&header(0)),
+            line(&event(0, 0, 0, EventKind::PacketGenerated)),
+            line(&event(0, 1, 0, EventKind::PacketGenerated)),
+            line(&event(0, 0, 5, EventKind::AckReceived { latency_ms: 5 })),
+            line(&Record::Summary { run: 0, events: 3 }),
+        ]
+        .join("\n");
+        let s = validate(trace.as_bytes()).expect("valid trace");
+        assert_eq!(s.events, 3);
+        assert_eq!(s.runs, 1);
+        assert_eq!(s.per_node[&(0, 0)].generated, 1);
+        assert_eq!(s.per_node[&(0, 0)].acks, 1);
+        assert_eq!(s.per_node[&(0, 1)].generated, 1);
+    }
+
+    #[test]
+    fn event_before_header_is_rejected() {
+        let trace = line(&event(0, 0, 0, EventKind::PacketGenerated));
+        let err = validate(trace.as_bytes()).unwrap_err();
+        assert!(err.message.contains("before its header"), "{err}");
+    }
+
+    #[test]
+    fn non_monotone_time_is_rejected() {
+        let trace = [
+            line(&header(0)),
+            line(&event(0, 0, 10, EventKind::PacketGenerated)),
+            line(&event(0, 0, 5, EventKind::PacketGenerated)),
+        ]
+        .join("\n");
+        let err = validate(trace.as_bytes()).unwrap_err();
+        assert!(err.message.contains("time went backwards"), "{err}");
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn wrong_summary_count_is_rejected() {
+        let trace = [
+            line(&header(0)),
+            line(&event(0, 0, 0, EventKind::PacketGenerated)),
+            line(&Record::Summary { run: 0, events: 2 }),
+        ]
+        .join("\n");
+        let err = validate(trace.as_bytes()).unwrap_err();
+        assert!(err.message.contains("claims 2 events"), "{err}");
+    }
+
+    #[test]
+    fn missing_summary_is_rejected_unless_panicked() {
+        let trace = [
+            line(&header(0)),
+            line(&event(0, 0, 0, EventKind::PacketGenerated)),
+        ]
+        .join("\n");
+        let err = validate(trace.as_bytes()).unwrap_err();
+        assert!(err.message.contains("no summary"), "{err}");
+
+        let trace = [
+            line(&header(0)),
+            line(&event(0, 0, 0, EventKind::PacketGenerated)),
+            line(&Record::FlightDump {
+                run: 0,
+                node: 0,
+                t_ms: 0,
+                trigger: "panic".into(),
+                events: vec![],
+            }),
+        ]
+        .join("\n");
+        let s = validate(trace.as_bytes()).expect("panic excuses the summary");
+        assert_eq!(s.flight_dumps, 1);
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let trace = line(&Record::Header {
+            schema: SCHEMA_VERSION + 1,
+            run: 0,
+            label: "t".into(),
+            seed: 1,
+            nodes: 1,
+        });
+        let err = validate(trace.as_bytes()).unwrap_err();
+        assert!(err.message.contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn garbage_line_is_rejected_with_line_number() {
+        let trace = format!("{}\nnot json", line(&header(0)));
+        let err = validate(trace.as_bytes()).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("parse error"), "{err}");
+    }
+
+    #[test]
+    fn interleaved_runs_validate_independently() {
+        let trace = [
+            line(&header(0)),
+            line(&header(1)),
+            line(&event(0, 0, 10, EventKind::PacketGenerated)),
+            // Run 1 node 0 earlier in time than run 0's: fine, runs
+            // are independent streams.
+            line(&event(1, 0, 2, EventKind::PacketGenerated)),
+            line(&Record::Summary { run: 0, events: 1 }),
+            line(&Record::Summary { run: 1, events: 1 }),
+        ]
+        .join("\n");
+        let s = validate(trace.as_bytes()).expect("interleaved runs are valid");
+        assert_eq!(s.runs, 2);
+        assert_eq!(s.events, 2);
+    }
+
+    #[test]
+    fn reconcile_matches_and_mismatches() {
+        let trace = [
+            line(&header(0)),
+            line(&event(0, 0, 0, EventKind::PacketGenerated)),
+            line(&event(
+                0,
+                0,
+                1,
+                EventKind::TxAttempt {
+                    sf: 7,
+                    airtime_ms: 50,
+                    soc: 0.9,
+                },
+            )),
+            line(&event(0, 0, 5, EventKind::AckReceived { latency_ms: 5 })),
+            line(&Record::Summary { run: 0, events: 3 }),
+        ]
+        .join("\n");
+        let s = validate(trace.as_bytes()).unwrap();
+        let ok = [ExpectedNodeCounts {
+            generated: 1,
+            delivered: 1,
+            transmissions: 1,
+            dropped: 0,
+        }];
+        assert_eq!(s.reconcile(0, &ok), Ok(()));
+        let bad = [ExpectedNodeCounts {
+            generated: 2,
+            ..ok[0]
+        }];
+        let err = s.reconcile(0, &bad).unwrap_err();
+        assert!(err.contains("generated"), "{err}");
+    }
+}

@@ -1,0 +1,162 @@
+//! The [`TelemetryReport`] returned by recording sinks and merged
+//! across batch workers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::counters::EventCounters;
+use crate::event::SCHEMA_VERSION;
+use crate::hist::LogHistogram;
+
+/// Streaming summary of everything a recording sink observed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryReport {
+    /// Trace schema version the report was produced under.
+    pub schema: u32,
+    /// Total events recorded.
+    pub events: u64,
+    /// Monotonic per-kind counters.
+    pub counters: EventCounters,
+    /// Generation-to-ack latency, milliseconds.
+    pub latency_ms: LogHistogram,
+    /// Per-packet degradation impact factor of the selected window.
+    pub dif: LogHistogram,
+    /// Battery state of charge (0..=1) at each TX attempt.
+    pub soc_at_tx: LogHistogram,
+    /// Per-attempt time-on-air, milliseconds.
+    pub airtime_ms: LogHistogram,
+    /// Flight-recorder dumps written (anomalies plus panics).
+    pub flight_dumps: u64,
+    /// Number of per-run reports merged into this one (1 for a single
+    /// run, worker count×runs for a batch).
+    pub merged_runs: u32,
+}
+
+impl Default for TelemetryReport {
+    fn default() -> Self {
+        TelemetryReport {
+            schema: SCHEMA_VERSION,
+            events: 0,
+            counters: EventCounters::default(),
+            latency_ms: LogHistogram::new(),
+            dif: LogHistogram::new(),
+            soc_at_tx: LogHistogram::new(),
+            airtime_ms: LogHistogram::new(),
+            flight_dumps: 0,
+            merged_runs: 1,
+        }
+    }
+}
+
+impl TelemetryReport {
+    /// Creates an empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merges another run's report into this one. Merge order must be
+    /// deterministic (input-index order) for batch results to be
+    /// reproducible.
+    pub fn merge(&mut self, other: &TelemetryReport) {
+        self.events += other.events;
+        self.counters.merge(&other.counters);
+        self.latency_ms.merge(&other.latency_ms);
+        self.dif.merge(&other.dif);
+        self.soc_at_tx.merge(&other.soc_at_tx);
+        self.airtime_ms.merge(&other.airtime_ms);
+        self.flight_dumps += other.flight_dumps;
+        self.merged_runs += other.merged_runs;
+    }
+
+    /// Renders a compact human-readable summary (for stderr).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let c = &self.counters;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "telemetry: {} events across {} run(s)\n",
+            self.events, self.merged_runs
+        ));
+        out.push_str(&format!(
+            "  packets   generated {:>8}  acked {:>8}  failed {:>6}  dropped {:>6} \
+             (no_window {}, brownout {}, mac_busy {})\n",
+            c.generated,
+            c.acks,
+            c.exchange_failures,
+            c.drops_no_window + c.drops_brownout + c.drops_mac_busy,
+            c.drops_no_window,
+            c.drops_brownout,
+            c.drops_mac_busy,
+        ));
+        out.push_str(&format!(
+            "  energy    brownouts {:>8}  soc_capped {:>6}  dissemination {:>6}\n",
+            c.brownouts, c.soc_capped, c.dissemination_applied,
+        ));
+        out.push_str(&format!(
+            "  latency   p50 {:>9.0} ms  p95 {:>9.0} ms  p99 {:>9.0} ms  max {:>9.0} ms\n",
+            self.latency_ms.quantile(0.50),
+            self.latency_ms.quantile(0.95),
+            self.latency_ms.quantile(0.99),
+            self.latency_ms.max(),
+        ));
+        out.push_str(&format!(
+            "  dif       mean {:.4}  p95 {:.4}   soc@tx mean {:.3}  min {:.3}\n",
+            self.dif.mean(),
+            self.dif.quantile(0.95),
+            self.soc_at_tx.mean(),
+            self.soc_at_tx.min(),
+        ));
+        out.push_str(&format!(
+            "  airtime   mean {:.1} ms  total {:.1} s   flight dumps {}\n",
+            self.airtime_ms.mean(),
+            self.airtime_ms.sum() / 1000.0,
+            self.flight_dumps,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn merge_accumulates_runs_and_events() {
+        let mut a = TelemetryReport::new();
+        a.events = 5;
+        a.counters.bump(&EventKind::PacketGenerated);
+        a.latency_ms.record(100.0);
+        let mut b = TelemetryReport::new();
+        b.events = 7;
+        b.counters.bump(&EventKind::AckReceived { latency_ms: 50 });
+        b.latency_ms.record(50.0);
+        b.flight_dumps = 2;
+        a.merge(&b);
+        assert_eq!(a.events, 12);
+        assert_eq!(a.merged_runs, 2);
+        assert_eq!(a.counters.generated, 1);
+        assert_eq!(a.counters.acks, 1);
+        assert_eq!(a.latency_ms.count(), 2);
+        assert_eq!(a.flight_dumps, 2);
+    }
+
+    #[test]
+    fn render_mentions_key_lines() {
+        let r = TelemetryReport::new();
+        let text = r.render();
+        assert!(text.contains("telemetry:"));
+        assert!(text.contains("latency"));
+        assert!(text.contains("flight dumps"));
+    }
+
+    #[test]
+    fn report_serde_round_trips() {
+        let mut r = TelemetryReport::new();
+        r.events = 3;
+        r.dif.record(0.2);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: TelemetryReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,72 @@
+//! The [`TelemetrySink`] trait and its zero-overhead [`NullSink`].
+
+use crate::event::SimEvent;
+use crate::report::TelemetryReport;
+
+/// Receiver for simulation events.
+///
+/// The simulation engine owns exactly one boxed sink per run (one per
+/// `BatchRunner` worker slot), so implementations never need interior
+/// mutability for event recording. Sinks are `Send` so a batch runner
+/// can move them into worker threads; merging happens after join.
+///
+/// Emit sites in the engine are expected to guard event construction
+/// with [`TelemetrySink::enabled`], so a disabled sink costs one
+/// virtual call returning a constant `false` per site — the event
+/// struct itself is never built.
+pub trait TelemetrySink: Send {
+    /// Whether events should be constructed and recorded at all.
+    fn enabled(&self) -> bool;
+
+    /// Records one event. Never called when [`Self::enabled`] is false
+    /// by well-behaved emitters, but must be safe to call regardless.
+    fn record(&mut self, event: &SimEvent);
+
+    /// Announces the run this sink is observing. Called once, before
+    /// any event.
+    fn begin(&mut self, label: &str, seed: u64, nodes: u32) {
+        let _ = (label, seed, nodes);
+    }
+
+    /// Finalizes the sink and hands back its report, if it kept one.
+    fn finish(&mut self) -> Option<TelemetryReport> {
+        None
+    }
+}
+
+/// A sink that records nothing.
+///
+/// `enabled()` is a constant `false`, so emit sites guarded by it
+/// skip event construction entirely and disabled runs stay
+/// byte-identical to builds without telemetry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn record(&mut self, _event: &SimEvent) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn null_sink_is_disabled_and_reports_nothing() {
+        let mut sink = NullSink;
+        assert!(!sink.enabled());
+        sink.record(&SimEvent {
+            t_ms: 0,
+            node: 0,
+            kind: EventKind::PacketGenerated,
+        });
+        sink.begin("label", 1, 2);
+        assert!(sink.finish().is_none());
+    }
+}

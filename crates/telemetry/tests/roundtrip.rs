@@ -1,0 +1,136 @@
+//! End-to-end trace round-trip: two interleaved recorders sharing one
+//! writer (the batch-runner shape) produce a trace that validates and
+//! reconciles.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use blam_telemetry::{
+    replay, DropReason, EventKind, ExpectedNodeCounts, Recorder, RecorderConfig, SimEvent,
+    TelemetrySink, TraceWriter,
+};
+
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn ev(t_ms: u64, node: u32, kind: EventKind) -> SimEvent {
+    SimEvent { t_ms, node, kind }
+}
+
+#[test]
+fn interleaved_runs_round_trip_and_reconcile() {
+    // One shared writer, as the batch runner hands its workers; keep a
+    // second handle on the underlying buffer for reading back.
+    let buf = SharedBuf::default();
+    let shared: Arc<Mutex<Box<dyn Write + Send>>> = Arc::new(Mutex::new(Box::new(buf.clone())));
+
+    let mut r0 = Recorder::new(0, RecorderConfig::default())
+        .with_writer(TraceWriter::Shared(shared.clone()));
+    let mut r1 =
+        Recorder::new(1, RecorderConfig::default()).with_writer(TraceWriter::Shared(shared));
+
+    r0.begin("lorawan", 11, 2);
+    r1.begin("h50", 11, 1);
+
+    // Interleave records from the two runs, as parallel workers would.
+    r0.record(&ev(0, 0, EventKind::PacketGenerated));
+    r1.record(&ev(0, 0, EventKind::PacketGenerated));
+    r0.record(&ev(
+        10,
+        0,
+        EventKind::TxAttempt {
+            sf: 7,
+            airtime_ms: 56,
+            soc: 0.95,
+        },
+    ));
+    r1.record(&ev(
+        3,
+        0,
+        EventKind::WindowSelected {
+            window: 1,
+            dif: 0.12,
+            utility_loss: 0.05,
+        },
+    ));
+    r0.record(&ev(900, 0, EventKind::AckReceived { latency_ms: 900 }));
+    r0.record(&ev(1000, 1, EventKind::PacketGenerated));
+    r0.record(&ev(
+        1001,
+        1,
+        EventKind::PacketDropped {
+            reason: DropReason::Brownout,
+        },
+    ));
+    r1.record(&ev(
+        40,
+        0,
+        EventKind::TxAttempt {
+            sf: 9,
+            airtime_ms: 185,
+            soc: 0.4,
+        },
+    ));
+    r1.record(&ev(700, 0, EventKind::AckReceived { latency_ms: 700 }));
+
+    let report0 = r0.finish().expect("report 0");
+    let report1 = r1.finish().expect("report 1");
+    assert_eq!(report0.counters.drops_brownout, 1);
+    assert_eq!(report0.flight_dumps, 1, "brownout drop dumps the ring");
+    assert_eq!(report1.counters.window_selected, 1);
+
+    // Merged report accumulates both runs.
+    let mut merged = report0.clone();
+    merged.merge(&report1);
+    assert_eq!(merged.merged_runs, 2);
+    assert_eq!(merged.events, report0.events + report1.events);
+    assert_eq!(merged.latency_ms.count(), 2);
+
+    let bytes = buf.0.lock().unwrap().clone();
+    let summary = replay::validate(&bytes[..]).expect("interleaved trace validates");
+    assert_eq!(summary.runs, 2);
+    assert_eq!(summary.flight_dumps, 1);
+    assert_eq!(summary.events, merged.events);
+
+    // Reconcile each run against what "NodeMetrics" would say.
+    summary
+        .reconcile(
+            0,
+            &[
+                ExpectedNodeCounts {
+                    generated: 1,
+                    delivered: 1,
+                    transmissions: 1,
+                    dropped: 0,
+                },
+                ExpectedNodeCounts {
+                    generated: 1,
+                    delivered: 0,
+                    transmissions: 0,
+                    dropped: 1,
+                },
+            ],
+        )
+        .expect("run 0 reconciles");
+    summary
+        .reconcile(
+            1,
+            &[ExpectedNodeCounts {
+                generated: 1,
+                delivered: 1,
+                transmissions: 1,
+                dropped: 0,
+            }],
+        )
+        .expect("run 1 reconciles");
+}

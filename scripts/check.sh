@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, and the full test suite.
-# Offline-friendly — uses only the toolchain components already
-# installed; no network access or extra dependencies required.
+# Local CI gate: formatting, lints, docs, the full test suite, and a
+# telemetry smoke run. Offline-friendly — uses only the toolchain
+# components already installed; no network access or extra dependencies
+# required.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,7 +12,25 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc -D warnings"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 echo "==> cargo test"
 cargo test --workspace -q
+
+echo "==> telemetry trace smoke run"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cargo run -q --release -p blam-cli -- compare \
+    --nodes 5 --days 1 --jobs 2 --trace "$tmp/trace.jsonl" >"$tmp/table.txt"
+test -s "$tmp/trace.jsonl" || { echo "trace file is empty"; exit 1; }
+# Every line must be a JSON object (full schema validation follows).
+while IFS= read -r line; do
+    case "$line" in
+        '{'*'}') ;;
+        *) echo "non-JSONL trace line: $line"; exit 1 ;;
+    esac
+done <"$tmp/trace.jsonl"
+cargo run -q --release -p blam-cli -- trace-check "$tmp/trace.jsonl"
 
 echo "All checks passed."

@@ -16,6 +16,7 @@
 //! | [`lorawan`] | `blam-lorawan` | Class-A MAC, gateway radio, network server |
 //! | [`protocol`] | `blam` | **the contribution**: DIF, utility, Algorithm 1, dissemination, clairvoyant reference |
 //! | [`netsim`] | `blam-netsim` | whole-network battery-lifespan simulator |
+//! | [`telemetry`] | `blam-telemetry` | zero-overhead tracing, streaming metrics, flight recorder, replay validation |
 //!
 //! # Quickstart
 //!
@@ -52,4 +53,5 @@ pub use blam_energy_harvest as harvest;
 pub use blam_lora_phy as phy;
 pub use blam_lorawan as lorawan;
 pub use blam_netsim as netsim;
+pub use blam_telemetry as telemetry;
 pub use blam_units as units;
