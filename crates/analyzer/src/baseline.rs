@@ -1,0 +1,177 @@
+//! The panic-hygiene ratchet baseline (`analyzer-baseline.toml`).
+//!
+//! The baseline records, per crate, how many `unwrap()` / `expect(` /
+//! `panic!` sites its library code is *currently* allowed. Counts may
+//! only go down: a crate over its budget fails the gate; a crate
+//! under it is reported so the budget can be tightened (via
+//! `blam-analyze --update-baseline`). The format is a deliberately
+//! tiny TOML subset — one `[panic-hygiene]` table of `crate = count`
+//! pairs — parsed by hand so the analyzer stays dependency-free.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// File name of the baseline at the workspace root.
+pub const BASELINE_FILE: &str = "analyzer-baseline.toml";
+
+/// Parsed baseline budgets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Allowed panic-hygiene sites per crate (absent crate = 0).
+    pub panic_hygiene: BTreeMap<String, u32>,
+}
+
+impl Baseline {
+    /// Budget for `crate_name` (0 when absent).
+    #[must_use]
+    pub fn budget(&self, crate_name: &str) -> u32 {
+        self.panic_hygiene.get(crate_name).copied().unwrap_or(0)
+    }
+
+    /// Loads the baseline from `root`. A missing file is an empty
+    /// baseline (budget 0 everywhere), not an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first unparsable line, or of an
+    /// I/O failure other than the file not existing.
+    pub fn load(root: &Path) -> Result<Baseline, String> {
+        let path = root.join(BASELINE_FILE);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(Baseline::default());
+            }
+            Err(e) => return Err(format!("reading {}: {e}", path.display())),
+        };
+        Baseline::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Parses the baseline text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `line N: …` description of the first unparsable line.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut baseline = Baseline::default();
+        // None: before any table header. Some(false): inside an
+        // unrecognized table (ignored for forward compatibility).
+        let mut section: Option<bool> = None;
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let n = i + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                section = Some(name.trim() == "panic-hygiene");
+                continue;
+            }
+            match section {
+                None => return Err(format!("line {n}: entry outside a table")),
+                Some(false) => continue,
+                Some(true) => {}
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {n}: expected `crate = count`"));
+            };
+            let key = key.trim().trim_matches('"').to_string();
+            let count: u32 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {n}: count is not a non-negative integer"))?;
+            if key.is_empty() {
+                return Err(format!("line {n}: empty crate name"));
+            }
+            baseline.panic_hygiene.insert(key, count);
+        }
+        Ok(baseline)
+    }
+
+    /// Renders the baseline back to its on-disk form.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# Panic-hygiene ratchet for `blam-analyze` (crates/analyzer).\n\
+             #\n\
+             # Each entry is the number of `unwrap()` / `expect(` / `panic!` sites a\n\
+             # crate's non-test library code may still contain. Counts only ratchet\n\
+             # DOWN: fix a site, then run `blam-analyze --update-baseline` to bank\n\
+             # the improvement. Raising a count requires justifying the regression\n\
+             # in review. Crates not listed have a budget of zero.\n\n\
+             [panic-hygiene]\n",
+        );
+        for (name, count) in &self.panic_hygiene {
+            let _ = writeln!(out, "{name} = {count}");
+        }
+        out
+    }
+
+    /// Writes the baseline to `root`, dropping zero-count entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the I/O failure.
+    pub fn save(&self, root: &Path) -> Result<(), String> {
+        let trimmed = Baseline {
+            panic_hygiene: self
+                .panic_hygiene
+                .iter()
+                .filter(|&(_, &n)| n > 0)
+                .map(|(k, &v)| (k.clone(), v))
+                .collect(),
+        };
+        let path = root.join(BASELINE_FILE);
+        fs::write(&path, trimmed.render()).map_err(|e| format!("writing {}: {e}", path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut b = Baseline::default();
+        b.panic_hygiene.insert("netsim".to_string(), 3);
+        b.panic_hygiene.insert("telemetry".to_string(), 1);
+        let parsed = Baseline::parse(&b.render()).expect("render output parses");
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn missing_crate_has_zero_budget() {
+        let b = Baseline::parse("[panic-hygiene]\nnetsim = 2\n").expect("parses");
+        assert_eq!(b.budget("netsim"), 2);
+        assert_eq!(b.budget("des"), 0);
+    }
+
+    #[test]
+    fn quoted_keys_and_comments_parse() {
+        let text = "# comment\n\n[panic-hygiene]\n\"lora-phy\" = 4\n";
+        let b = Baseline::parse(text).expect("parses");
+        assert_eq!(b.budget("lora-phy"), 4);
+    }
+
+    #[test]
+    fn bad_lines_are_rejected_with_line_numbers() {
+        let err = Baseline::parse("[panic-hygiene]\nnetsim: 2\n").expect_err("rejects");
+        assert!(err.contains("line 2"), "{err}");
+        let err = Baseline::parse("x = 1\n").expect_err("rejects");
+        assert!(err.contains("line 1"), "{err}");
+        let err = Baseline::parse("[panic-hygiene]\nnetsim = -1\n").expect_err("rejects");
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn unknown_tables_are_tolerated_for_forward_compat() {
+        let text = "[future-lint]\nfoo = 1\n[panic-hygiene]\nnetsim = 1\n";
+        let b = Baseline::parse(text);
+        // Entries in unknown tables are an error only when no table
+        // header preceded them; a future table parses but is ignored.
+        assert!(b.is_ok());
+        assert_eq!(b.expect("checked").budget("netsim"), 1);
+    }
+}

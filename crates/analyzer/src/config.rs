@@ -1,0 +1,107 @@
+//! Lint battery configuration.
+//!
+//! Everything here is compiled in: the analyzer is a workspace tool,
+//! and its policy *is* repo policy, reviewed like any other code. The
+//! CLI can still narrow the battery with `--lint` for focused runs.
+
+/// Names of the five lints (plus the pragma self-check), as used on
+/// the command line, in pragmas, and in reports.
+pub const LINT_NAMES: &[&str] = &[
+    "determinism",
+    "panic-hygiene",
+    "unit-safety",
+    "telemetry-guard",
+    "float-eq",
+    "pragma",
+];
+
+/// Tuning for one analysis run.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Crates whose library code must stay deterministic: no wall
+    /// clocks, no OS-seeded RNG, no unordered hash iteration.
+    pub sim_core_crates: Vec<String>,
+    /// Relative-path suffixes where wall-clock time sources are
+    /// allowed (profiling paths measuring real elapsed time).
+    pub time_allowlist: Vec<String>,
+    /// Crates whose `emit(` call sites must be guarded.
+    pub telemetry_guard_crates: Vec<String>,
+    /// Function names that count as a telemetry guard when called
+    /// before an `emit(` in the same function body.
+    pub guard_fns: Vec<String>,
+    /// Crates whose public `fn` signatures are checked for raw `f64`
+    /// parameters that a `blam-units` newtype should replace.
+    pub unit_safety_crates: Vec<String>,
+    /// Parameter-name suffix → `blam-units` newtype that covers it.
+    pub unit_suffixes: Vec<(String, String)>,
+    /// Directory names skipped entirely during the workspace walk.
+    pub skip_dirs: Vec<String>,
+    /// How many significant tokens after a hash-container iteration
+    /// to search for an ordering operation before flagging it.
+    pub sort_window: usize,
+    /// Lint names to run; empty means the full battery.
+    pub only: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let owned = |xs: &[&str]| xs.iter().map(|s| (*s).to_string()).collect();
+        Config {
+            sim_core_crates: owned(&[
+                "des",
+                "netsim",
+                "blam",
+                "battery",
+                "lora-phy",
+                "energy-harvest",
+                "lorawan",
+            ]),
+            time_allowlist: owned(&["netsim/src/runner.rs"]),
+            telemetry_guard_crates: owned(&["netsim"]),
+            guard_fns: owned(&["enabled", "telemetry_on"]),
+            unit_safety_crates: owned(&[
+                "des",
+                "netsim",
+                "blam",
+                "battery",
+                "lora-phy",
+                "energy-harvest",
+                "lorawan",
+                "bench",
+            ]),
+            unit_suffixes: [
+                ("_j", "Joules"),
+                ("_w", "Watts"),
+                ("_s", "Duration"),
+                ("_ms", "Duration"),
+                ("_mah", "Joules (capacity, via mAh·V)"),
+                ("_dbm", "Dbm"),
+                ("_db", "Db"),
+                ("_hz", "Hertz"),
+                ("_m", "Meters"),
+                ("_c", "Celsius"),
+            ]
+            .iter()
+            .map(|(s, n)| ((*s).to_string(), (*n).to_string()))
+            .collect(),
+            skip_dirs: owned(&["target", ".git", "fixtures"]),
+            sort_window: 48,
+            only: Vec::new(),
+        }
+    }
+}
+
+impl Config {
+    /// True when lint `name` should run under this configuration.
+    #[must_use]
+    pub fn lint_enabled(&self, name: &str) -> bool {
+        self.only.is_empty() || self.only.iter().any(|l| l == name)
+    }
+
+    /// True when `rel` (a `/`-separated workspace-relative path) is on
+    /// the wall-clock allowlist.
+    #[must_use]
+    pub fn time_allowed(&self, rel: &str) -> bool {
+        self.time_allowlist.iter().any(|suf| rel.ends_with(suf))
+    }
+}

@@ -1,0 +1,258 @@
+//! `blam-analyzer`: in-repo static analysis that mechanically
+//! enforces the simulator's cross-cutting invariants.
+//!
+//! The reproduction's scientific claims rest on properties the
+//! compiler does not check: deterministic replay (seeded ChaCha
+//! streams, sorted-before-use hash iteration, byte-identical runs
+//! with telemetry on or off), unit-correct physics, and zero-cost
+//! telemetry. One stray `thread_rng()` or unsorted `HashMap` loop
+//! silently breaks golden-record parity. This crate tokenizes every
+//! `.rs` file in the workspace with a hand-rolled lexer (no `syn`, no
+//! registry access — it must build in offline containers) and runs a
+//! five-lint battery over the token streams:
+//!
+//! | lint | checks |
+//! |------|--------|
+//! | `determinism`     | no `thread_rng`/wall clocks in sim-core crates; hash iteration must sort |
+//! | `panic-hygiene`   | `unwrap()`/`expect(`/`panic!` in library code vs. a ratcheting baseline |
+//! | `unit-safety`     | public `fn`s must not take unit-suffixed raw `f64` parameters |
+//! | `telemetry-guard` | every netsim `emit(` dominated by an `enabled()`-style check |
+//! | `float-eq`        | no `==`/`!=` against float literals outside tests |
+//!
+//! Intentional violations are waived in place with
+//! `// analyzer: allow(<lint>, reason = "…")` — the reason is
+//! mandatory. The panic-hygiene counts ratchet monotonically downward
+//! through `analyzer-baseline.toml`.
+//!
+//! Run it as the `blam-analyze` binary (human or `--format json`
+//! output), or in-process from a test:
+//!
+//! ```no_run
+//! use std::path::Path;
+//! let outcome = blam_analyzer::analyze_workspace(
+//!     Path::new("."),
+//!     &blam_analyzer::Config::default(),
+//! )
+//! .expect("workspace scan");
+//! assert!(outcome.clean(), "{}", outcome.render_human(false));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod config;
+pub mod lints;
+pub mod mask;
+pub mod pragma;
+pub mod report;
+pub mod tokenizer;
+pub mod walk;
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+pub use baseline::Baseline;
+pub use config::Config;
+pub use report::{Finding, Outcome};
+pub use walk::{FileKind, SourceFile};
+
+/// Runs the configured lint battery over already-lexed files and
+/// applies pragmas and the panic-hygiene baseline.
+#[must_use]
+pub fn analyze_files(files: &[SourceFile], cfg: &Config, baseline: &Baseline) -> Outcome {
+    let mut raw = Vec::new();
+    let mut panic_sites = Vec::new();
+
+    for file in files {
+        if cfg.lint_enabled("determinism") {
+            lints::determinism::check(file, cfg, &mut raw);
+        }
+        if cfg.lint_enabled("unit-safety") {
+            lints::unit_safety::check(file, cfg, &mut raw);
+        }
+        if cfg.lint_enabled("telemetry-guard") {
+            lints::telemetry_guard::check(file, cfg, &mut raw);
+        }
+        if cfg.lint_enabled("float-eq") {
+            lints::float_eq::check(file, &mut raw);
+        }
+        if cfg.lint_enabled("panic-hygiene") {
+            lints::panic_hygiene::check(file, &mut panic_sites);
+        }
+        if cfg.lint_enabled("pragma") {
+            check_pragmas(file, &mut raw);
+        }
+    }
+
+    let waived = |f: &Finding, files: &[SourceFile]| {
+        files
+            .iter()
+            .find(|sf| sf.rel == f.file)
+            .is_some_and(|sf| sf.pragmas.iter().any(|p| p.waives(f.lint, f.line)))
+    };
+    raw.retain(|f| !waived(f, files));
+    panic_sites.retain(|f| !waived(f, files));
+
+    let mut outcome = Outcome {
+        findings: raw,
+        files_scanned: files.len(),
+        panic_baseline: baseline.panic_hygiene.clone(),
+        ..Outcome::default()
+    };
+    apply_baseline(&mut outcome, panic_sites, baseline);
+    // Deterministic report order whatever the lint interleaving.
+    outcome
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    outcome
+}
+
+/// Splits panic-hygiene sites into failures (crates over budget) and
+/// baselined sites, and records ratchet-tightening opportunities.
+fn apply_baseline(outcome: &mut Outcome, sites: Vec<Finding>, baseline: &Baseline) {
+    let mut by_crate: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    for site in sites {
+        let (crate_name, _) = walk::classify(&site.file);
+        by_crate.entry(crate_name).or_default().push(site);
+    }
+    for (crate_name, count) in &baseline.panic_hygiene {
+        if *count > 0 && !by_crate.contains_key(crate_name) {
+            outcome.improvements.push(format!(
+                "crate `{crate_name}` is panic-free; drop its baseline entry ({count} -> 0)"
+            ));
+        }
+    }
+    for (crate_name, sites) in by_crate {
+        let count = sites.len() as u32;
+        let budget = baseline.budget(&crate_name);
+        outcome.panic_counts.insert(crate_name.clone(), count);
+        if count > budget {
+            for mut site in sites {
+                site.message = format!(
+                    "{} (crate `{crate_name}`: {count} sites exceed the baseline budget \
+                     of {budget})",
+                    site.message
+                );
+                outcome.findings.push(site);
+            }
+        } else {
+            if count < budget {
+                outcome.improvements.push(format!(
+                    "crate `{crate_name}` improved to {count} panic-hygiene site(s) \
+                     (baseline {budget}); run --update-baseline to ratchet down"
+                ));
+            }
+            outcome.baselined.extend(sites);
+        }
+    }
+}
+
+/// Reports malformed pragmas: missing/empty reasons and unknown lint
+/// names both defeat the point of an auditable waiver trail.
+fn check_pragmas(file: &SourceFile, out: &mut Vec<Finding>) {
+    for p in &file.pragmas {
+        if p.lint.is_empty() {
+            out.push(lints::finding(
+                file,
+                "pragma",
+                p.line,
+                "malformed analyzer pragma; expected \
+                 `analyzer: allow(<lint>, reason = \"…\")`"
+                    .to_string(),
+            ));
+        } else if !config::LINT_NAMES.contains(&p.lint.as_str()) {
+            out.push(lints::finding(
+                file,
+                "pragma",
+                p.line,
+                format!("pragma waives unknown lint `{}`", p.lint),
+            ));
+        } else if p.reason.is_none() {
+            out.push(lints::finding(
+                file,
+                "pragma",
+                p.line,
+                format!(
+                    "pragma for `{}` has no reason; waivers must say why \
+                     (`reason = \"…\"`)",
+                    p.lint
+                ),
+            ));
+        }
+    }
+}
+
+/// Walks the workspace at `root`, loads `analyzer-baseline.toml`, and
+/// runs the battery.
+///
+/// # Errors
+///
+/// Returns a human-readable description of I/O failures or an
+/// unparsable baseline file.
+pub fn analyze_workspace(root: &Path, cfg: &Config) -> Result<Outcome, String> {
+    let files = walk::walk_workspace(root, &cfg.skip_dirs)?;
+    let baseline = Baseline::load(root)?;
+    Ok(analyze_files(&files, cfg, &baseline))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(rel: &str, kind: FileKind, src: &str) -> SourceFile {
+        let (crate_name, _) = walk::classify(rel);
+        SourceFile::from_source(rel, &crate_name, kind, src.to_string())
+    }
+
+    #[test]
+    fn pragma_waives_exactly_its_lint_and_site() {
+        let src = "fn f(v: f64) -> bool {\n    // analyzer: allow(float-eq, reason = \"sentinel\")\n    v == 0.0\n}\nfn g(v: f64) -> bool { v == 1.0 }";
+        let files = [file("crates/units/src/energy.rs", FileKind::Lib, src)];
+        let out = analyze_files(&files, &Config::default(), &Baseline::default());
+        assert_eq!(out.findings.len(), 1, "{}", out.render_human(true));
+        assert_eq!(out.findings[0].line, 5);
+    }
+
+    #[test]
+    fn baseline_budget_gates_panic_sites() {
+        let src = "pub fn f(o: Option<u8>) -> u8 { o.unwrap() }";
+        let files = [file("crates/des/src/sim.rs", FileKind::Lib, src)];
+
+        let over = analyze_files(&files, &Config::default(), &Baseline::default());
+        assert_eq!(over.findings.len(), 1);
+        assert!(over.findings[0].message.contains("exceed the baseline"));
+
+        let mut baseline = Baseline::default();
+        baseline.panic_hygiene.insert("des".to_string(), 1);
+        let at = analyze_files(&files, &Config::default(), &baseline);
+        assert!(at.clean(), "{}", at.render_human(true));
+        assert_eq!(at.baselined.len(), 1);
+
+        baseline.panic_hygiene.insert("des".to_string(), 5);
+        let under = analyze_files(&files, &Config::default(), &baseline);
+        assert!(under.clean());
+        assert_eq!(under.improvements.len(), 1);
+    }
+
+    #[test]
+    fn unknown_pragma_lint_is_reported() {
+        let src = "// analyzer: allow(speling, reason = \"oops\")\nfn f() {}";
+        let files = [file("crates/des/src/sim.rs", FileKind::Lib, src)];
+        let out = analyze_files(&files, &Config::default(), &Baseline::default());
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].lint, "pragma");
+    }
+
+    #[test]
+    fn lint_selection_narrows_the_battery() {
+        let src = "fn f(v: f64) -> bool { let t = Instant::now(); v == 0.0 }";
+        let files = [file("crates/des/src/sim.rs", FileKind::Lib, src)];
+        let cfg = Config {
+            only: vec!["float-eq".to_string()],
+            ..Config::default()
+        };
+        let out = analyze_files(&files, &cfg, &Baseline::default());
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].lint, "float-eq");
+    }
+}

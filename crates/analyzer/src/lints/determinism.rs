@@ -1,0 +1,317 @@
+//! `determinism`: sim-core crates must replay byte-identically from a
+//! seed. Two families of violations:
+//!
+//! 1. **Ambient nondeterminism** — `thread_rng` (OS-seeded) and the
+//!    wall clocks `Instant::now` / `SystemTime::now`. Simulation code
+//!    draws from named ChaCha streams and reads the virtual clock;
+//!    wall-clock profiling is allowed only on the configured
+//!    allowlist (e.g. `netsim/src/runner.rs`).
+//! 2. **Unordered hash iteration** — iterating a `HashMap`/`HashSet`
+//!    yields a platform/seed-dependent order. Iteration is allowed
+//!    only when an ordering (or order-insensitive reduction) appears
+//!    within a short token window, matching the repo's
+//!    sort-before-use idiom:
+//!    `let mut v: Vec<_> = map.iter().collect(); v.sort_by_key(…);`
+
+use crate::config::Config;
+use crate::lints::finding;
+use crate::report::Finding;
+use crate::tokenizer::{Token, TokenKind};
+use crate::walk::{FileKind, SourceFile};
+
+/// Methods on hash containers that observe iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Identifiers that, seen shortly after an iteration, make its order
+/// irrelevant: explicit sorts, ordered collections, or commutative
+/// reductions.
+const ORDER_OK: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "sorted",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "sum",
+    "count",
+    "len",
+    "min",
+    "max",
+    "min_by",
+    "min_by_key",
+    "max_by",
+    "max_by_key",
+    "all",
+    "any",
+    "contains",
+    "fold",
+];
+
+/// Runs the determinism lint over one file.
+pub fn check(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+    if !cfg.sim_core_crates.contains(&file.crate_name)
+        || !matches!(file.kind, FileKind::Lib | FileKind::Bin)
+    {
+        return;
+    }
+    let toks = &file.tokens;
+    let check_time = !cfg.time_allowed(&file.rel);
+    let tracked = tracked_hash_names(toks);
+
+    for i in 0..toks.len() {
+        if file.is_test_code(i) || toks[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let t = &toks[i];
+
+        if check_time {
+            if t.is_ident("thread_rng") {
+                out.push(finding(
+                    file,
+                    "determinism",
+                    t.line,
+                    "OS-seeded `thread_rng` in sim-core code; draw from the run's named \
+                     ChaCha streams instead"
+                        .to_string(),
+                ));
+                continue;
+            }
+            if (t.is_ident("Instant") || t.is_ident("SystemTime"))
+                && toks.get(i + 1).is_some_and(|t| t.is_punct("::"))
+                && toks.get(i + 2).is_some_and(|t| t.is_ident("now"))
+            {
+                out.push(finding(
+                    file,
+                    "determinism",
+                    t.line,
+                    format!(
+                        "wall-clock `{}::now` in sim-core code; use the virtual clock \
+                         (`SimTime`), or allowlist this profiling path",
+                        t.text
+                    ),
+                ));
+                continue;
+            }
+        }
+
+        // `map.iter()`-style iteration on a tracked hash container.
+        if tracked.iter().any(|n| n == &t.text)
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("."))
+            && toks
+                .get(i + 2)
+                .is_some_and(|t| ITER_METHODS.contains(&t.text.as_str()))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct("("))
+        {
+            if !ordered_within_window(toks, i + 3, cfg.sort_window) {
+                let method = &toks[i + 2].text;
+                out.push(finding(
+                    file,
+                    "determinism",
+                    t.line,
+                    format!(
+                        "`{}.{method}()` iterates a hash container without a nearby sort; \
+                         collect and sort before use (see blam::dissemination), or switch \
+                         to a BTree collection",
+                        t.text
+                    ),
+                ));
+            }
+            continue;
+        }
+
+        // `for x in &map`-style direct iteration.
+        if t.is_ident("for") {
+            if let Some(name_line) = for_loop_over(toks, i, &tracked) {
+                out.push(finding(
+                    file,
+                    "determinism",
+                    name_line,
+                    "for-loop over a hash container iterates in nondeterministic order; \
+                     collect and sort first, or switch to a BTree collection"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// Collects the identifiers in this file that are bound to `HashMap`
+/// or `HashSet` values: type ascriptions (`name: HashMap<…>` in
+/// fields, params, and lets) and direct constructions
+/// (`let name = HashMap::new()`).
+fn tracked_hash_names(toks: &[Token]) -> Vec<String> {
+    let mut names = Vec::new();
+    for i in 0..toks.len() {
+        if !(toks[i].is_ident("HashMap") || toks[i].is_ident("HashSet")) {
+            continue;
+        }
+        // Walk back over a path prefix (`std :: collections ::`).
+        let mut j = i;
+        while j >= 2 && toks[j - 1].is_punct("::") && toks[j - 2].kind == TokenKind::Ident {
+            j -= 2;
+        }
+        if j == 0 {
+            continue;
+        }
+        // Skip reference/mut sigils in ascriptions (`m: &mut HashMap`).
+        let mut k = j - 1;
+        while k > 0 && (toks[k].is_punct("&") || toks[k].is_ident("mut")) {
+            k -= 1;
+        }
+        if toks[k].is_punct(":") && k > 0 && toks[k - 1].kind == TokenKind::Ident {
+            names.push(toks[k - 1].text.clone());
+        } else if toks[k].is_punct("=") && k > 0 && toks[k - 1].kind == TokenKind::Ident {
+            names.push(toks[k - 1].text.clone());
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// True when an order-establishing identifier appears within `window`
+/// tokens after the iteration call at `start`.
+fn ordered_within_window(toks: &[Token], start: usize, window: usize) -> bool {
+    toks.iter()
+        .skip(start)
+        .take(window)
+        .any(|t| t.kind == TokenKind::Ident && ORDER_OK.contains(&t.text.as_str()))
+}
+
+/// Detects `for <pat> in [&|&mut] [self.]name {` where `name` is a
+/// tracked hash container, returning the line to report. Any call
+/// parentheses between `in` and `{` defer to the method-call rule.
+fn for_loop_over(toks: &[Token], for_idx: usize, tracked: &[String]) -> Option<u32> {
+    // Find `in` within a short window, with no block start before it.
+    let mut in_idx = None;
+    for (off, t) in toks.iter().enumerate().skip(for_idx + 1).take(16) {
+        if t.is_punct("{") {
+            return None;
+        }
+        if t.is_ident("in") {
+            in_idx = Some(off);
+            break;
+        }
+    }
+    let mut last_ident: Option<&Token> = None;
+    for t in toks.iter().skip(in_idx? + 1).take(8) {
+        if t.is_punct("{") {
+            let name = last_ident?;
+            return tracked.iter().any(|n| n == &name.text).then_some(name.line);
+        }
+        match t.kind {
+            TokenKind::Ident if t.text != "mut" && t.text != "self" => last_ident = Some(t),
+            TokenKind::Ident => {}
+            TokenKind::Punct if t.text == "&" || t.text == "." => {}
+            // Anything else (calls, ranges, literals) is not a bare
+            // container expression.
+            _ => return None,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walk::SourceFile;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let file = SourceFile::from_source(
+            "crates/netsim/src/x.rs",
+            "netsim",
+            FileKind::Lib,
+            src.to_string(),
+        );
+        let mut out = Vec::new();
+        check(&file, &Config::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn thread_rng_is_flagged() {
+        let f = run("fn f() { let mut rng = rand::thread_rng(); }");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("thread_rng"));
+    }
+
+    #[test]
+    fn wall_clock_is_flagged_but_not_in_strings() {
+        let f = run("fn f() { let t = Instant::now(); let s = \"Instant::now\"; }");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn unsorted_iteration_is_flagged_sorted_is_not() {
+        let bad = "struct S { m: HashMap<u32, u8> }\nfn f(s: &S) { for (k, v) in s.m.iter() { use_it(k, v); } }";
+        assert_eq!(run(bad).len(), 1);
+        let good = "struct S { m: HashMap<u32, u8> }\nfn f(s: &S) -> Vec<(u32, u8)> { let mut v: Vec<_> = s.m.iter().map(|(&k, &x)| (k, x)).collect(); v.sort_by_key(|e| e.0); v }";
+        assert_eq!(run(good).len(), 0);
+    }
+
+    #[test]
+    fn direct_for_loop_is_flagged() {
+        let src = "fn f() { let mut m = HashMap::new(); m.insert(1, 2); for k in &m { go(k); } }";
+        let f = run(src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("for-loop"));
+    }
+
+    #[test]
+    fn order_insensitive_reductions_pass() {
+        let src = "fn f(m: &HashMap<u32, u8>) -> usize { m.keys().count() }";
+        assert_eq!(run(src).len(), 0);
+    }
+
+    #[test]
+    fn insert_get_contains_are_fine() {
+        let src = "fn f() { let mut m = HashMap::new(); m.insert(1, 2); let _ = m.get(&1); }";
+        assert_eq!(run(src).len(), 0);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { let x = Instant::now(); }\n}";
+        assert_eq!(run(src).len(), 0);
+    }
+
+    #[test]
+    fn non_sim_core_crates_are_out_of_scope() {
+        let file = SourceFile::from_source(
+            "crates/bench/src/bin/table1.rs",
+            "bench",
+            FileKind::Bin,
+            "fn f() { let t = Instant::now(); }".to_string(),
+        );
+        let mut out = Vec::new();
+        check(&file, &Config::default(), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn allowlisted_profiling_path_may_read_the_clock() {
+        let file = SourceFile::from_source(
+            "crates/netsim/src/runner.rs",
+            "netsim",
+            FileKind::Lib,
+            "fn f() { let t = Instant::now(); }".to_string(),
+        );
+        let mut out = Vec::new();
+        check(&file, &Config::default(), &mut out);
+        assert!(out.is_empty());
+    }
+}

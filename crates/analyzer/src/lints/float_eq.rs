@@ -1,0 +1,80 @@
+//! `float-eq`: `==` / `!=` against a float literal in non-test code.
+//! Exact float comparison is almost always a latent bug in the energy
+//! and degradation math; the few intentional sites (exact-zero
+//! sentinels, display thresholds) carry a
+//! `// analyzer: allow(float-eq, reason = …)` pragma.
+
+use crate::lints::finding;
+use crate::report::Finding;
+use crate::tokenizer::TokenKind;
+use crate::walk::{FileKind, SourceFile};
+
+/// Runs the float-equality lint over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !matches!(file.kind, FileKind::Lib | FileKind::Bin) {
+        return;
+    }
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if !(t.is_punct("==") || t.is_punct("!=")) || file.is_test_code(i) {
+            continue;
+        }
+        let prev_float = i > 0 && toks[i - 1].kind == TokenKind::Float;
+        let next_float = toks.get(i + 1).is_some_and(|n| n.kind == TokenKind::Float);
+        if prev_float || next_float {
+            out.push(finding(
+                file,
+                "float-eq",
+                t.line,
+                format!(
+                    "`{}` against a float literal; compare with a tolerance, or waive \
+                     an intentional exact comparison with a pragma",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let file =
+            SourceFile::from_source("crates/x/src/l.rs", "x", FileKind::Lib, src.to_string());
+        let mut out = Vec::new();
+        check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn equality_against_float_literals_is_flagged() {
+        let f = run("fn f(v: f64) -> bool { v == 0.0 }\nfn g(v: f64) -> bool { 1.5 != v }");
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].line, 1);
+        assert_eq!(f[1].line, 2);
+    }
+
+    #[test]
+    fn variable_comparison_and_ordering_pass() {
+        assert!(run("fn f(a: f64, b: f64) -> bool { a == b || a >= 1.0 }").is_empty());
+    }
+
+    #[test]
+    fn integers_and_ranges_pass() {
+        assert!(run("fn f(n: u32) -> bool { n == 0 && (0..10).contains(&n) }").is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests { fn t(v: f64) -> bool { v == 0.25 } }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn float_in_string_is_not_a_literal() {
+        assert!(run("fn f(s: &str) -> bool { s == \"0.0\" }").is_empty());
+    }
+}

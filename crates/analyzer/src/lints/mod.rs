@@ -1,0 +1,29 @@
+//! The lint battery. Each lint is a token-pattern pass over one
+//! [`SourceFile`](crate::walk::SourceFile); all of them push
+//! [`Finding`](crate::report::Finding)s into a shared vector and the
+//! library layer applies pragmas and the baseline afterwards.
+
+pub mod determinism;
+pub mod float_eq;
+pub mod panic_hygiene;
+pub mod telemetry_guard;
+pub mod unit_safety;
+
+use crate::report::Finding;
+use crate::walk::SourceFile;
+
+/// Builds a finding against `file` with the snippet filled in.
+pub(crate) fn finding(
+    file: &SourceFile,
+    lint: &'static str,
+    line: u32,
+    message: String,
+) -> Finding {
+    Finding {
+        lint,
+        file: file.rel.clone(),
+        line,
+        message,
+        snippet: file.snippet(line).to_string(),
+    }
+}

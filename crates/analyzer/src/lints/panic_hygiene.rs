@@ -1,0 +1,87 @@
+//! `panic-hygiene`: `unwrap()`, `expect(` and `panic!` in non-test
+//! library code, counted per crate against the ratchet baseline in
+//! `analyzer-baseline.toml`. Sites are *reported* here; the library
+//! layer decides which crates are over budget.
+
+use crate::lints::finding;
+use crate::report::Finding;
+use crate::walk::{FileKind, SourceFile};
+
+/// Collects every panic-hygiene site in one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.kind != FileKind::Lib {
+        return;
+    }
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if file.is_test_code(i) {
+            continue;
+        }
+        let t = &toks[i];
+        let method_call = |name: &str| {
+            t.is_ident(name)
+                && i > 0
+                && toks[i - 1].is_punct(".")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+        };
+        if method_call("unwrap") {
+            out.push(finding(
+                file,
+                "panic-hygiene",
+                t.line,
+                "`unwrap()` in library code; propagate with `?` or handle the None/Err arm"
+                    .to_string(),
+            ));
+        } else if method_call("expect") {
+            out.push(finding(
+                file,
+                "panic-hygiene",
+                t.line,
+                "`expect(…)` in library code; propagate with `?` or handle the None/Err arm"
+                    .to_string(),
+            ));
+        } else if t.is_ident("panic") && toks.get(i + 1).is_some_and(|n| n.is_punct("!")) {
+            out.push(finding(
+                file,
+                "panic-hygiene",
+                t.line,
+                "`panic!` in library code; return an error instead".to_string(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(kind: FileKind, src: &str) -> Vec<Finding> {
+        let file = SourceFile::from_source("crates/x/src/l.rs", "x", kind, src.to_string());
+        let mut out = Vec::new();
+        check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn counts_all_three_forms() {
+        let src = "fn f(o: Option<u8>) -> u8 {\n let a = o.unwrap();\n let b = o.expect(\"b\");\n if a == b { panic!(\"boom\") }\n a\n}";
+        let f = run(FileKind::Lib, src);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[1].line, 3);
+        assert_eq!(f[2].line, 4);
+    }
+
+    #[test]
+    fn lookalikes_do_not_count() {
+        let src = "fn f(o: Option<u8>) -> u8 { o.unwrap_or(0) }\nfn g(s: &str) -> bool { s.contains(\"panic!\") }";
+        assert!(run(FileKind::Lib, src).is_empty());
+    }
+
+    #[test]
+    fn test_code_and_binaries_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }";
+        assert!(run(FileKind::Lib, src).is_empty());
+        assert!(run(FileKind::Bin, "fn main() { x.unwrap(); }").is_empty());
+    }
+}

@@ -1,0 +1,193 @@
+//! `telemetry-guard`: telemetry must cost nothing when it is off.
+//! Every `emit(` call site in the guarded crates (netsim) has to be
+//! dominated by a cheap `enabled()` / `telemetry_on()` check in the
+//! same function, so a disabled sink never even constructs the event.
+//!
+//! "Dominated" is approximated token-wise: a guard call must appear
+//! earlier in the same function body. That matches the house idiom
+//! `if self.telemetry_on() { self.emit(…) }` and stays a pure token
+//! pass — no control-flow graph needed.
+
+use crate::config::Config;
+use crate::lints::finding;
+use crate::report::Finding;
+use crate::tokenizer::{Token, TokenKind};
+use crate::walk::{FileKind, SourceFile};
+
+/// Runs the telemetry-guard lint over one file.
+pub fn check(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+    if file.kind != FileKind::Lib || !cfg.telemetry_guard_crates.contains(&file.crate_name) {
+        return;
+    }
+    let toks = &file.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("fn") || file.is_test_code(i) {
+            i += 1;
+            continue;
+        }
+        let Some((body_start, body_end)) = fn_body(toks, i) else {
+            i += 1;
+            continue;
+        };
+        check_body(file, cfg, body_start, body_end, out);
+        i = body_end + 1;
+    }
+}
+
+/// From a `fn` keyword, locates the body's `{ … }` token range
+/// (exclusive of the braces). Returns `None` for bodyless trait
+/// method declarations.
+fn fn_body(toks: &[Token], fn_at: usize) -> Option<(usize, usize)> {
+    // Find the parameter list's `(`, skipping name and generics.
+    let mut j = fn_at + 1;
+    let mut angle = 0i32;
+    loop {
+        let t = toks.get(j)?;
+        match t.text.as_str() {
+            "<" if t.kind == TokenKind::Punct => angle += 1,
+            "<<" => angle += 2,
+            ">" if t.kind == TokenKind::Punct => angle -= 1,
+            ">>" => angle -= 2,
+            "(" if angle == 0 => break,
+            ";" if angle == 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    // Match the parameter parens.
+    let mut depth = 0i32;
+    loop {
+        let t = toks.get(j)?;
+        if t.is_punct("(") {
+            depth += 1;
+        } else if t.is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        j += 1;
+    }
+    // Scan to the body `{` (or `;` for a declaration).
+    loop {
+        j += 1;
+        let t = toks.get(j)?;
+        if t.is_punct("{") {
+            break;
+        }
+        if t.is_punct(";") {
+            return None;
+        }
+    }
+    let body_start = j + 1;
+    let mut braces = 1i32;
+    loop {
+        j += 1;
+        let t = toks.get(j)?;
+        if t.is_punct("{") {
+            braces += 1;
+        } else if t.is_punct("}") {
+            braces -= 1;
+            if braces == 0 {
+                return Some((body_start, j));
+            }
+        }
+    }
+}
+
+/// Reports every `.emit(` call in `body` that has no guard call
+/// earlier in the same body.
+fn check_body(
+    file: &SourceFile,
+    cfg: &Config,
+    body_start: usize,
+    body_end: usize,
+    out: &mut Vec<Finding>,
+) {
+    let toks = &file.tokens;
+    for k in body_start..body_end {
+        let is_emit_call = toks[k].is_ident("emit")
+            && k > 0
+            && (toks[k - 1].is_punct(".") || toks[k - 1].is_punct("::"))
+            && toks.get(k + 1).is_some_and(|t| t.is_punct("("));
+        if !is_emit_call {
+            continue;
+        }
+        let guarded = toks[body_start..k].iter().enumerate().any(|(off, t)| {
+            t.kind == TokenKind::Ident
+                && cfg.guard_fns.iter().any(|g| g.as_str() == t.text)
+                && toks
+                    .get(body_start + off + 1)
+                    .is_some_and(|n| n.is_punct("("))
+        });
+        if !guarded {
+            out.push(finding(
+                file,
+                "telemetry-guard",
+                toks[k].line,
+                "`emit(` without a preceding `enabled()`/`telemetry_on()` check in this \
+                 function; guard it so disabled telemetry stays zero-cost"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let file = SourceFile::from_source(
+            "crates/netsim/src/x.rs",
+            "netsim",
+            FileKind::Lib,
+            src.to_string(),
+        );
+        let mut out = Vec::new();
+        check(&file, &Config::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn guarded_emit_passes() {
+        let src = "fn f(&mut self) { if self.telemetry_on() { self.emit(now, i, kind); } }";
+        assert!(run(src).is_empty());
+        let src = "fn g(&mut self) { if self.sink.enabled() { self.emit(now, i, kind); } }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn unguarded_emit_is_flagged() {
+        let src = "fn f(&mut self) {\n self.emit(now, i, kind);\n}";
+        let f = run(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn guard_in_another_function_does_not_count() {
+        let src = "fn a(&self) -> bool { self.telemetry_on() }\nfn b(&mut self) { self.emit(x); }";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn the_emit_definition_itself_is_not_a_call() {
+        let src = "fn emit(&mut self, e: Event) { self.sink.record(&e); }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn other_crates_are_out_of_scope() {
+        let file = SourceFile::from_source(
+            "crates/telemetry/src/recorder.rs",
+            "telemetry",
+            FileKind::Lib,
+            "fn f(&mut self) { self.emit(&record); }".to_string(),
+        );
+        let mut out = Vec::new();
+        check(&file, &Config::default(), &mut out);
+        assert!(out.is_empty());
+    }
+}

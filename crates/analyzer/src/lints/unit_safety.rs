@@ -1,0 +1,168 @@
+//! `unit-safety`: public functions in unit-aware crates must not take
+//! raw `f64` parameters whose names carry a unit suffix (`energy_j`,
+//! `freq_hz`, …) when a `blam-units` newtype covers that unit. The
+//! Eq. (1)–(7) energy/degradation math flows through these
+//! signatures; a raw `f64` lets a caller pass mAh where Joules were
+//! meant and nothing catches it.
+
+use crate::config::Config;
+use crate::lints::finding;
+use crate::report::Finding;
+use crate::tokenizer::{Token, TokenKind};
+use crate::walk::{FileKind, SourceFile};
+
+/// Runs the unit-safety lint over one file.
+pub fn check(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+    if file.kind != FileKind::Lib || !cfg.unit_safety_crates.contains(&file.crate_name) {
+        return;
+    }
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if file.is_test_code(i) || !toks[i].is_ident("pub") {
+            continue;
+        }
+        // Restricted visibility (`pub(crate)`, `pub(super)`) is not
+        // public API; the signature can be fixed without a semver
+        // thought, so hold only plain `pub fn` to the lint.
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.is_punct("(")) {
+            continue;
+        }
+        // Qualifiers between `pub` and `fn`.
+        while toks
+            .get(j)
+            .is_some_and(|t| t.is_ident("const") || t.is_ident("async") || t.is_ident("unsafe"))
+        {
+            j += 1;
+        }
+        if !toks.get(j).is_some_and(|t| t.is_ident("fn")) {
+            continue;
+        }
+        let Some(params_at) = params_start(toks, j + 1) else {
+            continue;
+        };
+        scan_params(file, cfg, params_at, out);
+    }
+}
+
+/// From the token after `fn`, skips the name and any generic
+/// parameter list and returns the index of the opening `(`.
+fn params_start(toks: &[Token], name_at: usize) -> Option<usize> {
+    let mut j = name_at + 1;
+    if toks.get(j)?.is_punct("<") {
+        // Angle depth, counting the characters of merged shift
+        // tokens (`>>` closes two levels).
+        let mut depth = 0i32;
+        while let Some(t) = toks.get(j) {
+            // Count only pure angle tokens; `->`/`=>`/`>=` are not
+            // closing brackets even though they contain `>`.
+            match t.text.as_str() {
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                _ => {}
+            }
+            j += 1;
+            if depth <= 0 {
+                break;
+            }
+        }
+    }
+    toks.get(j)?.is_punct("(").then_some(j)
+}
+
+/// Walks the parameter list starting at `(`, reporting every
+/// `name_with_suffix: f64` parameter at paren depth 1.
+fn scan_params(file: &SourceFile, cfg: &Config, open: usize, out: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    let mut depth = 0i32;
+    let mut j = open;
+    while let Some(t) = toks.get(j) {
+        if t.is_punct("(") {
+            depth += 1;
+        } else if t.is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                return;
+            }
+        } else if depth == 1
+            && t.kind == TokenKind::Ident
+            && toks.get(j + 1).is_some_and(|n| n.is_punct(":"))
+            && toks.get(j + 2).is_some_and(|n| n.is_ident("f64"))
+        {
+            let suffix = cfg
+                .unit_suffixes
+                .iter()
+                .find(|(s, _)| t.text.ends_with(s.as_str()));
+            if let Some((suffix, newtype)) = suffix {
+                out.push(finding(
+                    file,
+                    "unit-safety",
+                    t.line,
+                    format!(
+                        "public fn takes raw `{}: f64` (unit suffix `{suffix}`); \
+                         use `blam_units::{newtype}` so the type system carries the unit",
+                        t.text
+                    ),
+                ));
+            }
+        }
+        j += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let file = SourceFile::from_source(
+            "crates/battery/src/l.rs",
+            "battery",
+            FileKind::Lib,
+            src.to_string(),
+        );
+        let mut out = Vec::new();
+        check(&file, &Config::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn suffixed_f64_param_is_flagged() {
+        let f = run("pub fn drain(energy_j: f64) {}");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("Joules"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn unsuffixed_and_newtyped_params_pass() {
+        assert!(run("pub fn a(j: f64, ratio: f64) {}").is_empty());
+        assert!(run("pub fn b(energy: Joules, freq_hz: Hertz) {}").is_empty());
+    }
+
+    #[test]
+    fn restricted_visibility_and_private_fns_pass() {
+        assert!(run("pub(crate) fn a(energy_j: f64) {}").is_empty());
+        assert!(run("fn b(energy_j: f64) {}").is_empty());
+    }
+
+    #[test]
+    fn generics_and_later_params_are_still_scanned() {
+        let f = run("pub fn mix<T: Into<Vec<u8>>>(x: T, level_dbm: f64, temp_c: f64) {}");
+        assert_eq!(f.len(), 2);
+        assert!(f[0].message.contains("Dbm"));
+        assert!(f[1].message.contains("Celsius"));
+    }
+
+    #[test]
+    fn closure_params_in_bodies_are_not_params() {
+        let src = "pub fn outer(good: Joules) { let f = |power_w: f64| power_w; f(1.5); }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn const_fn_is_still_checked() {
+        assert_eq!(run("pub const fn c(dur_s: f64) -> f64 { dur_s }").len(), 1);
+    }
+}

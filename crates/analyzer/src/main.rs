@@ -1,0 +1,152 @@
+//! `blam-analyze`: command-line front end for the workspace lint
+//! battery. Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use std::path::PathBuf;
+
+use blam_analyzer::{analyze_files, baseline::BASELINE_FILE, config, walk, Baseline, Config};
+
+const USAGE: &str = "\
+blam-analyze — static analysis for the lpwan-blam workspace
+
+USAGE:
+    blam-analyze [OPTIONS]
+
+OPTIONS:
+    --root <PATH>        Workspace root (default: discovered from cwd)
+    --format <human|json> Output format (default: human)
+    --lint <NAME>        Run only this lint (repeatable)
+    --list-lints         Print the lint catalog and exit
+    --update-baseline    Rewrite analyzer-baseline.toml with current
+                         panic-hygiene counts (ratchet down)
+    --verbose            Also list baselined panic-hygiene sites
+    -h, --help           Show this help
+";
+
+const LINT_CATALOG: &[(&str, &str)] = &[
+    (
+        "determinism",
+        "no thread_rng/Instant::now/SystemTime::now in sim-core crates; hash iteration must sort",
+    ),
+    (
+        "panic-hygiene",
+        "unwrap()/expect(/panic! in library code, ratcheted by analyzer-baseline.toml",
+    ),
+    (
+        "unit-safety",
+        "public fns must not take unit-suffixed raw f64 params where a blam-units newtype exists",
+    ),
+    (
+        "telemetry-guard",
+        "every netsim emit( must follow an enabled()/telemetry_on() check in the same fn",
+    ),
+    ("float-eq", "no ==/!= against float literals outside tests"),
+    (
+        "pragma",
+        "analyzer pragmas must name a known lint and carry a reason",
+    ),
+];
+
+struct Args {
+    root: Option<PathBuf>,
+    json: bool,
+    only: Vec<String>,
+    list_lints: bool,
+    update_baseline: bool,
+    verbose: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        json: false,
+        only: Vec::new(),
+        list_lints: false,
+        update_baseline: false,
+        verbose: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root needs a path")?;
+                args.root = Some(PathBuf::from(v));
+            }
+            "--format" => match it.next().as_deref() {
+                Some("human") => args.json = false,
+                Some("json") => args.json = true,
+                other => return Err(format!("--format must be `human` or `json`, got {other:?}")),
+            },
+            "--lint" => {
+                let v = it.next().ok_or("--lint needs a lint name")?;
+                if !config::LINT_NAMES.contains(&v.as_str()) {
+                    return Err(format!(
+                        "unknown lint `{v}`; see --list-lints for the catalog"
+                    ));
+                }
+                args.only.push(v);
+            }
+            "--list-lints" => args.list_lints = true,
+            "--update-baseline" => args.update_baseline = true,
+            "--verbose" => args.verbose = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`; try --help")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<i32, String> {
+    let args = parse_args()?;
+    if args.list_lints {
+        for (name, what) in LINT_CATALOG {
+            println!("{name:16} {what}");
+        }
+        return Ok(0);
+    }
+
+    let root = match args.root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("reading current dir: {e}"))?;
+            walk::find_workspace_root(&cwd)
+                .ok_or("no workspace root found above the current directory; use --root")?
+        }
+    };
+    let cfg = Config {
+        only: args.only,
+        ..Config::default()
+    };
+
+    let files = walk::walk_workspace(&root, &cfg.skip_dirs)?;
+    let mut baseline = Baseline::load(&root)?;
+    let mut outcome = analyze_files(&files, &cfg, &baseline);
+
+    if args.update_baseline {
+        baseline = Baseline {
+            panic_hygiene: outcome.panic_counts.clone(),
+        };
+        baseline.save(&root)?;
+        eprintln!("blam-analyze: wrote {BASELINE_FILE}");
+        outcome = analyze_files(&files, &cfg, &baseline);
+    }
+
+    if args.json {
+        print!("{}", outcome.render_json());
+    } else {
+        print!("{}", outcome.render_human(args.verbose));
+    }
+    Ok(i32::from(!outcome.clean()))
+}
+
+fn main() {
+    match run() {
+        Ok(code) => std::process::exit(code),
+        Err(err) => {
+            eprintln!("blam-analyze: error: {err}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Marks the token ranges that belong to test-only code, so lints can
+//! hold library code to a stricter standard than its tests.
+//!
+//! Covered: any item annotated `#[test]`, `#[cfg(test)]` (including
+//! `all(test, …)`/`any(test, …)` combinations), and everything inside
+//! such an item's braces — the common `#[cfg(test)] mod tests { … }`
+//! masks the whole module. `#[cfg(not(test))]` is production code and
+//! stays unmasked; `#[cfg_attr(test, …)]` only conditions an
+//! attribute, so its item stays unmasked too.
+
+use crate::tokenizer::{Token, TokenKind};
+
+/// Returns one flag per token: `true` means the token is inside
+/// test-only code.
+#[must_use]
+pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            let attr_end = match skip_attribute(tokens, i) {
+                Some(end) => end,
+                None => break, // unterminated attribute at EOF
+            };
+            if attribute_is_test(&tokens[i..=attr_end]) {
+                let item_end = end_of_item(tokens, attr_end + 1);
+                for flag in mask.iter_mut().take(item_end + 1).skip(i) {
+                    *flag = true;
+                }
+                i = item_end + 1;
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// With `tokens[start]` the `#` of an attribute, returns the index of
+/// its closing `]`.
+fn skip_attribute(tokens: &[Token], start: usize) -> Option<usize> {
+    let mut depth = 0u32;
+    for (off, tok) in tokens.iter().enumerate().skip(start + 1) {
+        if tok.is_punct("[") {
+            depth += 1;
+        } else if tok.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(off);
+            }
+        }
+    }
+    None
+}
+
+/// Decides whether an attribute token slice (`#` through `]`) gates
+/// test-only code.
+fn attribute_is_test(attr: &[Token]) -> bool {
+    let idents: Vec<&str> = attr
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    match idents.first() {
+        // #[test] and #[tokio::test]-style direct markers.
+        Some(&"test") => true,
+        Some(&"cfg") => idents.contains(&"test") && !idents.contains(&"not"),
+        // #[cfg_attr(test, …)] conditions the *attribute*, not the item.
+        _ => false,
+    }
+}
+
+/// With `start` pointing just past an item's attributes, returns the
+/// index of the item's last token: the matching `}` of its first
+/// brace block, or the terminating `;` for braceless items.
+fn end_of_item(tokens: &[Token], start: usize) -> usize {
+    let mut i = start;
+    // Skip over any further attributes stacked on the item.
+    while i < tokens.len()
+        && tokens[i].is_punct("#")
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct("["))
+    {
+        match skip_attribute(tokens, i) {
+            Some(end) => i = end + 1,
+            None => return tokens.len().saturating_sub(1),
+        }
+    }
+    let mut depth = 0u32;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i;
+            }
+        } else if t.is_punct(";") && depth == 0 {
+            return i;
+        }
+        i += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn masked_idents(src: &str) -> Vec<String> {
+        let tokens = tokenize(src);
+        let sig: Vec<Token> = tokens
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Comment)
+            .collect();
+        let mask = test_mask(&sig);
+        sig.iter()
+            .zip(&mask)
+            .filter(|(t, &m)| m && t.kind == TokenKind::Ident)
+            .map(|(t, _)| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_mod_is_fully_masked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n fn helper() { x.unwrap(); }\n}";
+        let masked = masked_idents(src);
+        assert!(masked.contains(&"unwrap".to_string()));
+        assert!(!masked.contains(&"lib".to_string()));
+    }
+
+    #[test]
+    fn test_attribute_masks_one_fn() {
+        let src = "#[test]\nfn a() { inner(); }\nfn b() { outer(); }";
+        let masked = masked_idents(src);
+        assert!(masked.contains(&"inner".to_string()));
+        assert!(!masked.contains(&"outer".to_string()));
+    }
+
+    #[test]
+    fn cfg_not_test_stays_unmasked() {
+        let src = "#[cfg(not(test))]\nfn prod() { body(); }";
+        assert!(masked_idents(src).is_empty());
+    }
+
+    #[test]
+    fn cfg_all_test_is_masked() {
+        let src = "#[cfg(all(test, feature = \"slow\"))]\nfn t() { body(); }";
+        assert!(masked_idents(src).contains(&"body".to_string()));
+    }
+
+    #[test]
+    fn cfg_attr_test_is_not_masked() {
+        let src = "#[cfg_attr(test, derive(Debug))]\nstruct S { f: u8 }\nfn x() { go(); }";
+        assert!(masked_idents(src).is_empty());
+    }
+
+    #[test]
+    fn stacked_attributes_mask_through_the_item() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn t() { body(); }\nfn p() { keep(); }";
+        let masked = masked_idents(src);
+        assert!(masked.contains(&"body".to_string()));
+        assert!(!masked.contains(&"keep".to_string()));
+    }
+
+    #[test]
+    fn braceless_item_masks_to_semicolon() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn p() { keep(); }";
+        let masked = masked_idents(src);
+        assert!(masked.contains(&"HashMap".to_string()));
+        assert!(!masked.contains(&"keep".to_string()));
+    }
+}

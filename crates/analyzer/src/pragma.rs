@@ -1,0 +1,210 @@
+//! The `// analyzer: allow(<lint>, reason = "…")` waiver pragma.
+//!
+//! A pragma waives findings of the named lint on its own line and on
+//! the line immediately below it, so both trailing and preceding
+//! placements work:
+//!
+//! ```text
+//! if v == 0.0 { // analyzer: allow(float-eq, reason = "exact sentinel")
+//!
+//! // analyzer: allow(float-eq, reason = "exact sentinel")
+//! if v == 0.0 {
+//! ```
+//!
+//! The reason string is mandatory; a pragma without one is itself
+//! reported (lint name `pragma`) so waivers always carry a
+//! justification into review.
+
+use crate::tokenizer::{Token, TokenKind};
+
+/// Marker that introduces a pragma inside a line comment.
+pub const PRAGMA_MARKER: &str = "analyzer:";
+
+/// One parsed waiver pragma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// 1-based line the pragma comment starts on.
+    pub line: u32,
+    /// Lint name being waived (e.g. `float-eq`).
+    pub lint: String,
+    /// The justification, when present and non-empty.
+    pub reason: Option<String>,
+}
+
+impl Pragma {
+    /// True when this pragma waives `lint` findings on `line`.
+    #[must_use]
+    pub fn waives(&self, lint: &str, line: u32) -> bool {
+        self.reason.is_some() && self.lint == lint && (line == self.line || line == self.line + 1)
+    }
+}
+
+/// Extracts every pragma from a token stream (pragmas live in
+/// [`TokenKind::Comment`] tokens). Malformed pragmas — wrong syntax
+/// after the `analyzer:` marker, or a missing/empty reason — are
+/// still returned so the caller can report them; they just never
+/// waive anything.
+#[must_use]
+pub fn collect(tokens: &[Token]) -> Vec<Pragma> {
+    let mut out = Vec::new();
+    for tok in tokens {
+        if tok.kind != TokenKind::Comment {
+            continue;
+        }
+        let Some(rest) = pragma_body(&tok.text) else {
+            continue;
+        };
+        out.push(parse_body(rest.trim_start(), tok.line));
+    }
+    out
+}
+
+/// Returns the text after the `analyzer:` marker when `comment` is a
+/// pragma. Only plain comments whose content *starts* with the marker
+/// qualify: doc comments (`///`, `//!`, `/** */`, `/*! */`) document
+/// the syntax rather than waive anything, and prose that merely
+/// mentions `analyzer:` mid-comment (or a `blam_analyzer::` path) is
+/// not a waiver either.
+fn pragma_body(comment: &str) -> Option<&str> {
+    let content = if let Some(rest) = comment.strip_prefix("//") {
+        if rest.starts_with('/') || rest.starts_with('!') {
+            return None;
+        }
+        rest
+    } else if let Some(rest) = comment.strip_prefix("/*") {
+        if rest.starts_with('*') || rest.starts_with('!') {
+            return None;
+        }
+        rest.strip_suffix("*/").unwrap_or(rest)
+    } else {
+        return None;
+    };
+    content.trim_start().strip_prefix(PRAGMA_MARKER)
+}
+
+/// Parses `allow(<lint>, reason = "…")`. Anything that does not fit
+/// becomes a reason-less pragma (reported, never waiving).
+fn parse_body(body: &str, line: u32) -> Pragma {
+    let malformed = |lint: &str| Pragma {
+        line,
+        lint: lint.to_string(),
+        reason: None,
+    };
+
+    let Some(args) = body
+        .strip_prefix("allow")
+        .map(str::trim_start)
+        .and_then(|s| s.strip_prefix('('))
+    else {
+        return malformed("");
+    };
+    let Some(close) = args.rfind(')') else {
+        return malformed("");
+    };
+    let args = &args[..close];
+
+    let (lint, rest) = match args.split_once(',') {
+        Some((l, r)) => (l.trim(), r.trim()),
+        None => (args.trim(), ""),
+    };
+    if lint.is_empty() {
+        return malformed("");
+    }
+
+    let reason = rest
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|s| s.strip_prefix('='))
+        .map(str::trim)
+        .and_then(|s| {
+            let s = s.strip_prefix('"')?;
+            let s = s.strip_suffix('"')?;
+            let s = s.trim();
+            (!s.is_empty()).then(|| s.to_string())
+        });
+
+    Pragma {
+        line,
+        lint: lint.to_string(),
+        reason,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn one(src: &str) -> Pragma {
+        let pragmas = collect(&tokenize(src));
+        assert_eq!(pragmas.len(), 1, "expected one pragma in {src:?}");
+        pragmas.into_iter().next().expect("len checked")
+    }
+
+    #[test]
+    fn well_formed_pragma() {
+        let p = one("x // analyzer: allow(float-eq, reason = \"exact zero sentinel\")");
+        assert_eq!(p.lint, "float-eq");
+        assert_eq!(p.reason.as_deref(), Some("exact zero sentinel"));
+        assert!(p.waives("float-eq", p.line));
+        assert!(p.waives("float-eq", p.line + 1));
+        assert!(!p.waives("float-eq", p.line + 2));
+        assert!(!p.waives("determinism", p.line));
+    }
+
+    #[test]
+    fn missing_reason_never_waives() {
+        let p = one("// analyzer: allow(float-eq)");
+        assert_eq!(p.lint, "float-eq");
+        assert_eq!(p.reason, None);
+        assert!(!p.waives("float-eq", p.line));
+    }
+
+    #[test]
+    fn empty_reason_never_waives() {
+        let p = one("// analyzer: allow(float-eq, reason = \"  \")");
+        assert_eq!(p.reason, None);
+    }
+
+    #[test]
+    fn garbage_body_is_reported_not_ignored() {
+        let p = one("// analyzer: disable(float-eq)");
+        assert_eq!(p.lint, "");
+        assert_eq!(p.reason, None);
+    }
+
+    #[test]
+    fn pragma_inside_string_is_not_a_pragma() {
+        let src = "let s = \"// analyzer: allow(float-eq, reason = \\\"no\\\")\";";
+        assert!(collect(&tokenize(src)).is_empty());
+    }
+
+    #[test]
+    fn non_pragma_comments_are_ignored() {
+        let src = "// just a note\n/* analyzer elsewhere */\nx";
+        assert!(collect(&tokenize(src)).is_empty());
+    }
+
+    #[test]
+    fn doc_comments_describing_the_syntax_are_not_pragmas() {
+        let src = "//! Use `// analyzer: allow(float-eq, reason = \"…\")` to waive.\n\
+                   /// after the `analyzer:` marker\n\
+                   //! blam_analyzer::analyze_workspace(\n\
+                   /** analyzer: allow(float-eq, reason = \"x\") */\n\
+                   fn f() {}";
+        assert!(collect(&tokenize(src)).is_empty());
+    }
+
+    #[test]
+    fn marker_mid_comment_is_not_a_pragma() {
+        let src = "// see the analyzer: it sorts findings\nfn f() {}";
+        assert!(collect(&tokenize(src)).is_empty());
+    }
+
+    #[test]
+    fn block_comment_pragma_works() {
+        let p = one("/* analyzer: allow(unit-safety, reason = \"wire format\") */");
+        assert_eq!(p.lint, "unit-safety");
+        assert!(p.reason.is_some());
+    }
+}

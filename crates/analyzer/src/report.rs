@@ -1,0 +1,203 @@
+//! Findings and their human-readable / JSON renderings.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One lint violation at a specific site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Lint that fired (`determinism`, `panic-hygiene`, …).
+    pub lint: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What is wrong and what to do instead.
+    pub message: String,
+    /// Trimmed text of the offending line.
+    pub snippet: String,
+}
+
+/// Everything one analysis run produced.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Hard failures: non-waived, non-baselined findings. Any entry
+    /// here means a nonzero exit.
+    pub findings: Vec<Finding>,
+    /// Panic-hygiene sites covered by the ratchet baseline (reported
+    /// for visibility, not failures).
+    pub baselined: Vec<Finding>,
+    /// Current panic-hygiene site count per crate.
+    pub panic_counts: BTreeMap<String, u32>,
+    /// Baseline budget per crate, as loaded.
+    pub panic_baseline: BTreeMap<String, u32>,
+    /// Crates whose count dropped below the baseline: ratchet can be
+    /// (and should be) tightened.
+    pub improvements: Vec<String>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Outcome {
+    /// True when the run found nothing actionable.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the human-readable report.
+    #[must_use]
+    pub fn render_human(&self, verbose: bool) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "error[{}]: {}", f.lint, f.message);
+            let _ = writeln!(out, "  --> {}:{}", f.file, f.line);
+            if !f.snippet.is_empty() {
+                let _ = writeln!(out, "   |  {}", f.snippet);
+            }
+        }
+        if verbose {
+            for f in &self.baselined {
+                let _ = writeln!(
+                    out,
+                    "baselined[{}]: {} ({}:{})",
+                    f.lint, f.message, f.file, f.line
+                );
+            }
+        }
+        for msg in &self.improvements {
+            let _ = writeln!(out, "ratchet: {msg}");
+        }
+        let _ = writeln!(
+            out,
+            "blam-analyze: {} file(s), {} finding(s), {} baselined panic-hygiene site(s)",
+            self.files_scanned,
+            self.findings.len(),
+            self.baselined.len(),
+        );
+        out
+    }
+
+    /// Renders the machine-readable report.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"ok\": ");
+        out.push_str(if self.clean() { "true" } else { "false" });
+        let _ = write!(out, ",\n  \"files_scanned\": {}", self.files_scanned);
+        out.push_str(",\n  \"findings\": [");
+        render_findings(&mut out, &self.findings);
+        out.push_str("],\n  \"baselined\": [");
+        render_findings(&mut out, &self.baselined);
+        out.push_str("],\n  \"panic_hygiene\": {\n    \"counts\": {");
+        render_counts(&mut out, &self.panic_counts);
+        out.push_str("},\n    \"baseline\": {");
+        render_counts(&mut out, &self.panic_baseline);
+        out.push_str("}\n  },\n  \"improvements\": [");
+        for (i, msg) in self.improvements.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(msg));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+fn render_findings(out: &mut String, findings: &[Finding]) {
+    for (i, f) in findings.iter().enumerate() {
+        let sep = if i > 0 { "," } else { "" };
+        let _ = write!(
+            out,
+            "{sep}\n    {{\"lint\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}}}",
+            json_string(f.lint),
+            json_string(&f.file),
+            f.line,
+            json_string(&f.message),
+            json_string(&f.snippet),
+        );
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+}
+
+fn render_counts(out: &mut String, counts: &BTreeMap<String, u32>) {
+    for (i, (name, n)) in counts.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{}: {n}", json_string(name));
+    }
+}
+
+/// Escapes `s` as a JSON string literal (quotes included).
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding() -> Finding {
+        Finding {
+            lint: "float-eq",
+            file: "crates/x/src/lib.rs".to_string(),
+            line: 7,
+            message: "comparison with \"quotes\"".to_string(),
+            snippet: "if v == 0.0 {".to_string(),
+        }
+    }
+
+    #[test]
+    fn human_report_names_file_line_and_lint() {
+        let outcome = Outcome {
+            findings: vec![finding()],
+            files_scanned: 1,
+            ..Outcome::default()
+        };
+        let text = outcome.render_human(false);
+        assert!(text.contains("error[float-eq]"));
+        assert!(text.contains("crates/x/src/lib.rs:7"));
+        assert!(text.contains("if v == 0.0 {"));
+    }
+
+    #[test]
+    fn json_escapes_and_reports_ok_flag() {
+        let outcome = Outcome {
+            findings: vec![finding()],
+            files_scanned: 1,
+            ..Outcome::default()
+        };
+        let text = outcome.render_json();
+        assert!(text.contains("\"ok\": false"));
+        assert!(text.contains("\\\"quotes\\\""));
+
+        let clean = Outcome::default();
+        assert!(clean.render_json().contains("\"ok\": true"));
+    }
+
+    #[test]
+    fn json_string_escapes_control_chars() {
+        assert_eq!(json_string("a\tb"), "\"a\\tb\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -1,0 +1,592 @@
+//! A hand-rolled, lossy Rust lexer.
+//!
+//! The analyzer only needs a token stream that is *reliable about what
+//! is code and what is not*: string literals, char literals, raw
+//! strings, and (nested) block comments must never leak lint-trigger
+//! text into the identifier stream, and every token must carry an
+//! accurate 1-based line number. Anything fancier — full expression
+//! grammar, macro expansion — is out of scope; the lints work on
+//! token patterns.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `unwrap`, ...).
+    Ident,
+    /// A lifetime such as `'a` (the leading `'` is not kept).
+    Lifetime,
+    /// An integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// A float literal (`1.0`, `2e-3`, `1f64`).
+    Float,
+    /// A string literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Punctuation; multi-character operators (`::`, `==`, `..=`)
+    /// are single tokens.
+    Punct,
+    /// A line or block comment, text included (pragmas live here).
+    Comment,
+}
+
+/// One lexeme with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The lexeme class.
+    pub kind: TokenKind,
+    /// The lexeme text. For comments this is the full comment
+    /// including markers; for strings and chars the delimiters are
+    /// kept; raw identifiers are stored without the `r#` prefix.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when the token is the identifier `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True when the token is the punctuation `s`.
+    #[must_use]
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+/// Multi-character operators, longest first (maximal munch).
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "==", "!=", "<=", ">=", "&&", "||", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0);
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn take_while(&mut self, pred: impl Fn(char) -> bool, out: &mut String) {
+        while let Some(c) = self.peek(0) {
+            if !pred(c) {
+                break;
+            }
+            out.push(c);
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens. Never fails: unexpected bytes become
+/// single-character [`TokenKind::Punct`] tokens, and unterminated
+/// literals simply end at end of input.
+#[must_use]
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+    };
+    let mut tokens = Vec::new();
+
+    while let Some(c) = lx.peek(0) {
+        let line = lx.line;
+        if c.is_whitespace() {
+            lx.bump();
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && lx.peek(1) == Some('/') {
+            let mut text = String::new();
+            lx.take_while(|c| c != '\n', &mut text);
+            tokens.push(Token {
+                kind: TokenKind::Comment,
+                text,
+                line,
+            });
+            continue;
+        }
+        if c == '/' && lx.peek(1) == Some('*') {
+            tokens.push(lex_block_comment(&mut lx, line));
+            continue;
+        }
+
+        // String-ish prefixes: r"", r#""#, br"", b"", b'', and the
+        // raw identifier form r#name.
+        if (c == 'r' || c == 'b') && lex_prefixed_literal(&mut lx, &mut tokens, line) {
+            continue;
+        }
+
+        if c == '"' {
+            tokens.push(lex_string(&mut lx, line));
+            continue;
+        }
+        if c == '\'' {
+            tokens.push(lex_quote(&mut lx, line));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            tokens.push(lex_number(&mut lx, line));
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut text = String::new();
+            lx.take_while(is_ident_continue, &mut text);
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                text,
+                line,
+            });
+            continue;
+        }
+
+        // Punctuation, multi-char operators first.
+        let mut matched = false;
+        for op in MULTI_PUNCT {
+            let ok = op
+                .chars()
+                .enumerate()
+                .all(|(i, want)| lx.peek(i) == Some(want));
+            if ok {
+                for _ in 0..op.chars().count() {
+                    lx.bump();
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (*op).to_string(),
+                    line,
+                });
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            lx.bump();
+            tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: c.to_string(),
+                line,
+            });
+        }
+    }
+    tokens
+}
+
+/// Lexes a (possibly nested) `/* … */` block comment.
+fn lex_block_comment(lx: &mut Lexer, line: u32) -> Token {
+    let mut text = String::new();
+    let mut depth = 0u32;
+    while let Some(c) = lx.peek(0) {
+        if c == '/' && lx.peek(1) == Some('*') {
+            depth += 1;
+            text.push_str("/*");
+            lx.bump();
+            lx.bump();
+        } else if c == '*' && lx.peek(1) == Some('/') {
+            depth = depth.saturating_sub(1);
+            text.push_str("*/");
+            lx.bump();
+            lx.bump();
+            if depth == 0 {
+                break;
+            }
+        } else {
+            text.push(c);
+            lx.bump();
+        }
+    }
+    Token {
+        kind: TokenKind::Comment,
+        text,
+        line,
+    }
+}
+
+/// Handles `r`/`b`-prefixed literals. Returns `false` when the prefix
+/// turns out to start a plain identifier (e.g. `radio`, `buffer`),
+/// in which case nothing was consumed.
+fn lex_prefixed_literal(lx: &mut Lexer, tokens: &mut Vec<Token>, line: u32) -> bool {
+    let c = lx.peek(0);
+    let raw_at = match (c, lx.peek(1)) {
+        // b'x' byte char.
+        (Some('b'), Some('\'')) => {
+            lx.bump();
+            let mut t = lex_quote(lx, line);
+            t.kind = TokenKind::Char;
+            t.text.insert(0, 'b');
+            tokens.push(t);
+            return true;
+        }
+        // b"…" byte string.
+        (Some('b'), Some('"')) => {
+            lx.bump();
+            let mut t = lex_string(lx, line);
+            t.text.insert(0, 'b');
+            tokens.push(t);
+            return true;
+        }
+        (Some('r'), Some('"' | '#')) => 1,
+        (Some('b'), Some('r')) if matches!(lx.peek(2), Some('"' | '#')) => 2,
+        _ => return false,
+    };
+    // Count hashes after the prefix.
+    let mut hashes = 0usize;
+    while lx.peek(raw_at + hashes) == Some('#') {
+        hashes += 1;
+    }
+    match lx.peek(raw_at + hashes) {
+        Some('"') => {
+            // Raw string: consume prefix, hashes, opening quote, then
+            // scan for `"` followed by `hashes` hashes.
+            let mut text = String::new();
+            for _ in 0..(raw_at + hashes + 1) {
+                if let Some(ch) = lx.bump() {
+                    text.push(ch);
+                }
+            }
+            loop {
+                match lx.peek(0) {
+                    None => break,
+                    Some('"') => {
+                        let closed = (0..hashes).all(|i| lx.peek(1 + i) == Some('#'));
+                        text.push('"');
+                        lx.bump();
+                        if closed {
+                            for _ in 0..hashes {
+                                text.push('#');
+                                lx.bump();
+                            }
+                            break;
+                        }
+                    }
+                    Some(ch) => {
+                        text.push(ch);
+                        lx.bump();
+                    }
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Str,
+                text,
+                line,
+            });
+            true
+        }
+        Some(ch) if raw_at == 1 && hashes == 1 && is_ident_start(ch) => {
+            // Raw identifier r#name: store without the prefix so the
+            // lints see the bare name.
+            lx.bump();
+            lx.bump();
+            let mut text = String::new();
+            lx.take_while(is_ident_continue, &mut text);
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                text,
+                line,
+            });
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Lexes a `"…"` string with backslash escapes.
+fn lex_string(lx: &mut Lexer, line: u32) -> Token {
+    let mut text = String::new();
+    if let Some(q) = lx.bump() {
+        text.push(q);
+    }
+    while let Some(c) = lx.bump() {
+        text.push(c);
+        if c == '\\' {
+            if let Some(esc) = lx.bump() {
+                text.push(esc);
+            }
+        } else if c == '"' {
+            break;
+        }
+    }
+    Token {
+        kind: TokenKind::Str,
+        text,
+        line,
+    }
+}
+
+/// Lexes what follows a `'`: either a char literal or a lifetime.
+fn lex_quote(lx: &mut Lexer, line: u32) -> Token {
+    let mut text = String::new();
+    if let Some(q) = lx.bump() {
+        text.push(q);
+    }
+    match lx.peek(0) {
+        // Escaped char: '\n', '\'', '\u{…}'.
+        Some('\\') => {
+            while let Some(c) = lx.bump() {
+                text.push(c);
+                if c == '\\' {
+                    if let Some(esc) = lx.bump() {
+                        text.push(esc);
+                    }
+                } else if c == '\'' {
+                    break;
+                }
+            }
+            Token {
+                kind: TokenKind::Char,
+                text,
+                line,
+            }
+        }
+        Some(c) if is_ident_start(c) => {
+            // 'a' is a char, 'a without a closing quote is a lifetime.
+            let mut name = String::new();
+            let mut ahead = 0;
+            while let Some(ch) = lx.peek(ahead) {
+                if !is_ident_continue(ch) {
+                    break;
+                }
+                name.push(ch);
+                ahead += 1;
+            }
+            if lx.peek(ahead) == Some('\'') {
+                for _ in 0..=ahead {
+                    lx.bump();
+                }
+                text.push_str(&name);
+                text.push('\'');
+                Token {
+                    kind: TokenKind::Char,
+                    text,
+                    line,
+                }
+            } else {
+                for _ in 0..ahead {
+                    lx.bump();
+                }
+                Token {
+                    kind: TokenKind::Lifetime,
+                    text: name,
+                    line,
+                }
+            }
+        }
+        // Oddities like '(' (a char literal of punctuation).
+        _ => {
+            while let Some(c) = lx.bump() {
+                text.push(c);
+                if c == '\'' {
+                    break;
+                }
+            }
+            Token {
+                kind: TokenKind::Char,
+                text,
+                line,
+            }
+        }
+    }
+}
+
+/// Lexes a numeric literal, deciding integer vs float.
+fn lex_number(lx: &mut Lexer, line: u32) -> Token {
+    let mut text = String::new();
+    let mut float = false;
+
+    if lx.peek(0) == Some('0') && matches!(lx.peek(1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B')) {
+        // Radix literal: 0xFF, 0o77, 0b1010 (+ suffix).
+        text.push('0');
+        lx.bump();
+        if let Some(r) = lx.bump() {
+            text.push(r);
+        }
+        lx.take_while(|c| c.is_ascii_hexdigit() || c == '_', &mut text);
+        lx.take_while(is_ident_continue, &mut text);
+        return Token {
+            kind: TokenKind::Int,
+            text,
+            line,
+        };
+    }
+
+    lx.take_while(|c| c.is_ascii_digit() || c == '_', &mut text);
+    if lx.peek(0) == Some('.') {
+        match lx.peek(1) {
+            // `1..2` range or `1.max(…)` method call: stop.
+            Some('.') => {}
+            Some(c) if is_ident_start(c) => {}
+            // `1.0` or trailing `1.`.
+            _ => {
+                float = true;
+                text.push('.');
+                lx.bump();
+                lx.take_while(|c| c.is_ascii_digit() || c == '_', &mut text);
+            }
+        }
+    }
+    if matches!(lx.peek(0), Some('e' | 'E')) {
+        let signed = matches!(lx.peek(1), Some('+' | '-'));
+        let digit_at = if signed { 2 } else { 1 };
+        if matches!(lx.peek(digit_at), Some(c) if c.is_ascii_digit()) {
+            float = true;
+            text.push('e');
+            lx.bump();
+            if signed {
+                if let Some(s) = lx.bump() {
+                    text.push(s);
+                }
+            }
+            lx.take_while(|c| c.is_ascii_digit() || c == '_', &mut text);
+        }
+    }
+    // Type suffix: 1f64 is a float, 1u32 stays an integer.
+    if matches!(lx.peek(0), Some(c) if is_ident_start(c)) {
+        let mut suffix = String::new();
+        lx.take_while(is_ident_continue, &mut suffix);
+        if suffix.starts_with('f') {
+            float = true;
+        }
+        text.push_str(&suffix);
+    }
+
+    Token {
+        kind: if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        },
+        text,
+        line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let toks = kinds("let x = a::b(c);");
+        assert_eq!(toks[0], (TokenKind::Ident, "let".into()));
+        assert_eq!(toks[3], (TokenKind::Ident, "a".into()));
+        assert_eq!(toks[4], (TokenKind::Punct, "::".into()));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "thread_rng()";"#);
+        assert!(!toks.iter().any(|(_, t)| t == "thread_rng"));
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::Str));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "let s = r#\"has \"quotes\" and panic!()\"#; next";
+        let toks = kinds(src);
+        assert!(!toks.iter().any(|(_, t)| t == "panic"));
+        assert_eq!(toks.last().map(|(_, t)| t.as_str()), Some("next"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .collect();
+        assert_eq!(idents.len(), 2);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        let toks = kinds("0.5 == x; 1..10; 2e-3; 7f64; 0xFF; 1.max(2)");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Float)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(floats, vec!["0.5", "2e-3", "7f64"]);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Int && t == "1"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Int && t == "0xFF"));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "a\n/* two\nlines */\nr\"raw\nstring\"\nb";
+        let toks = tokenize(src);
+        let b = toks.iter().find(|t| t.is_ident("b"));
+        assert_eq!(b.map(|t| t.line), Some(6));
+    }
+
+    #[test]
+    fn byte_literals() {
+        let toks = kinds("b'x' b\"bytes\" br#\"raw bytes\"#");
+        assert_eq!(toks[0].0, TokenKind::Char);
+        assert_eq!(toks[1].0, TokenKind::Str);
+        assert_eq!(toks[2].0, TokenKind::Str);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "type"));
+    }
+
+    #[test]
+    fn line_comment_token_carries_text() {
+        let toks = tokenize("x // analyzer: allow(float-eq, reason = \"why\")\ny");
+        let c = toks.iter().find(|t| t.kind == TokenKind::Comment);
+        assert!(c.is_some_and(|t| t.text.contains("analyzer: allow")));
+    }
+}

@@ -1,0 +1,215 @@
+//! Workspace discovery: find every `.rs` file, classify it by crate
+//! and role, and pre-lex it into a [`SourceFile`] the lints consume.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::mask::test_mask;
+use crate::pragma::{self, Pragma};
+use crate::tokenizer::{tokenize, Token, TokenKind};
+
+/// What role a file plays in its crate, which decides which lints
+/// apply and at what strictness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code: full battery, strictest settings.
+    Lib,
+    /// Binary target (`src/main.rs`, `src/bin/*`): determinism and
+    /// float-eq apply; panic-hygiene does not (a CLI may die loudly).
+    Bin,
+    /// Integration or unit test file (`tests/` directories).
+    Test,
+    /// Criterion benchmark (`benches/`).
+    Bench,
+    /// Example (`examples/`).
+    Example,
+}
+
+/// One lexed, classified source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// Owning crate's directory name (`netsim`, `units`, …); the
+    /// workspace root package is `lpwan-blam`.
+    pub crate_name: String,
+    /// Role of the file.
+    pub kind: FileKind,
+    /// Full source text (for snippets in reports).
+    pub src: String,
+    /// Significant tokens (comments stripped).
+    pub tokens: Vec<Token>,
+    /// Waiver pragmas found in comments.
+    pub pragmas: Vec<Pragma>,
+    /// Per-token flag: inside test-only code.
+    pub in_test: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Builds a `SourceFile` from in-memory text.
+    #[must_use]
+    pub fn from_source(rel: &str, crate_name: &str, kind: FileKind, src: String) -> Self {
+        let all = tokenize(&src);
+        let pragmas = pragma::collect(&all);
+        let tokens: Vec<Token> = all
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Comment)
+            .collect();
+        let in_test = test_mask(&tokens);
+        SourceFile {
+            rel: rel.to_string(),
+            crate_name: crate_name.to_string(),
+            kind,
+            src,
+            tokens,
+            pragmas,
+            in_test,
+        }
+    }
+
+    /// The trimmed text of 1-based `line`, for report snippets.
+    #[must_use]
+    pub fn snippet(&self, line: u32) -> &str {
+        let idx = line.saturating_sub(1) as usize;
+        self.src.lines().nth(idx).map_or("", str::trim)
+    }
+
+    /// True when the token at `idx` is inside test-only code.
+    #[must_use]
+    pub fn is_test_code(&self, idx: usize) -> bool {
+        self.kind == FileKind::Test || self.in_test.get(idx).copied().unwrap_or(false)
+    }
+}
+
+/// Classifies `rel` (workspace-relative, `/`-separated) into its
+/// crate name and file kind.
+#[must_use]
+pub fn classify(rel: &str) -> (String, FileKind) {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let crate_name = if parts.first() == Some(&"crates") && parts.len() > 2 {
+        parts[1].to_string()
+    } else {
+        "lpwan-blam".to_string()
+    };
+    let kind = if parts.contains(&"tests") {
+        FileKind::Test
+    } else if parts.contains(&"benches") {
+        FileKind::Bench
+    } else if parts.contains(&"examples") {
+        FileKind::Example
+    } else if parts.contains(&"bin") || parts.last() == Some(&"main.rs") {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    };
+    (crate_name, kind)
+}
+
+/// Finds the workspace root at or above `start`: the nearest ancestor
+/// whose `Cargo.toml` contains a `[workspace]` table.
+#[must_use]
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Walks the workspace and lexes every `.rs` file, in deterministic
+/// (sorted-path) order. Directories named in `skip_dirs` — and hidden
+/// directories — are pruned.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory traversal or file reads,
+/// annotated with the path that failed.
+pub fn walk_workspace(root: &Path, skip_dirs: &[String]) -> Result<Vec<SourceFile>, String> {
+    let mut paths = Vec::new();
+    collect_rs_files(root, root, skip_dirs, &mut paths)?;
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for rel in paths {
+        let full = root.join(&rel);
+        let src =
+            fs::read_to_string(&full).map_err(|e| format!("reading {}: {e}", full.display()))?;
+        let (crate_name, kind) = classify(&rel);
+        files.push(SourceFile::from_source(&rel, &crate_name, kind, src));
+    }
+    Ok(files)
+}
+
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    skip_dirs: &[String],
+    out: &mut Vec<String>,
+) -> Result<(), String> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| format!("reading directory {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading directory {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name.starts_with('.') || skip_dirs.iter().any(|s| s.as_str() == name) {
+                continue;
+            }
+            collect_rs_files(root, &path, skip_dirs, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| format!("relativizing {}: {e}", path.display()))?;
+            let rel = rel
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_the_layout() {
+        let cases = [
+            ("crates/netsim/src/engine.rs", "netsim", FileKind::Lib),
+            ("crates/cli/src/main.rs", "cli", FileKind::Bin),
+            ("crates/bench/src/bin/fig5.rs", "bench", FileKind::Bin),
+            ("crates/des/tests/determinism.rs", "des", FileKind::Test),
+            ("crates/bench/benches/phy.rs", "bench", FileKind::Bench),
+            ("src/lib.rs", "lpwan-blam", FileKind::Lib),
+            ("tests/end_to_end.rs", "lpwan-blam", FileKind::Test),
+            ("examples/quickstart.rs", "lpwan-blam", FileKind::Example),
+        ];
+        for (rel, crate_name, kind) in cases {
+            let (c, k) = classify(rel);
+            assert_eq!(c, crate_name, "{rel}");
+            assert_eq!(k, kind, "{rel}");
+        }
+    }
+
+    #[test]
+    fn snippets_are_line_accurate() {
+        let f = SourceFile::from_source(
+            "x.rs",
+            "c",
+            FileKind::Lib,
+            "line one\n  line two  \n".to_string(),
+        );
+        assert_eq!(f.snippet(2), "line two");
+        assert_eq!(f.snippet(99), "");
+    }
+}

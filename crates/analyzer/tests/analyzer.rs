@@ -1,0 +1,171 @@
+//! Integration tests for the lint battery: the seeded fixture files
+//! under `tests/fixtures/` go through the analyzer as text, and every
+//! expected finding is asserted by exact file and line. The fixtures
+//! are never compiled, and the workspace walk must never see them.
+
+use blam_analyzer::{analyze_files, walk, Baseline, Config, Outcome, SourceFile};
+
+const DETERMINISM: &str = include_str!("fixtures/determinism.rs");
+const PANIC_HYGIENE: &str = include_str!("fixtures/panic_hygiene.rs");
+const UNIT_SAFETY: &str = include_str!("fixtures/unit_safety.rs");
+const TELEMETRY_GUARD: &str = include_str!("fixtures/telemetry_guard.rs");
+const FLOAT_EQ: &str = include_str!("fixtures/float_eq.rs");
+const TOKENIZER_TRICKS: &str = include_str!("fixtures/tokenizer_tricks.rs");
+
+/// 1-based line of the (unique) line containing `marker`.
+fn line_of(src: &str, marker: &str) -> u32 {
+    let hits: Vec<usize> = src
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| l.contains(marker))
+        .map(|(i, _)| i + 1)
+        .collect();
+    assert_eq!(hits.len(), 1, "marker {marker:?} must appear exactly once");
+    hits[0] as u32
+}
+
+/// Loads fixture text as if it lived at `rel` inside the workspace.
+fn fixture(rel: &str, src: &str) -> SourceFile {
+    let (crate_name, kind) = walk::classify(rel);
+    SourceFile::from_source(rel, &crate_name, kind, src.to_string())
+}
+
+fn analyze(files: &[SourceFile]) -> Outcome {
+    analyze_files(files, &Config::default(), &Baseline::default())
+}
+
+/// `(lint, line)` pairs of all hard findings, sorted.
+fn findings_of(out: &Outcome) -> Vec<(&'static str, u32)> {
+    out.findings.iter().map(|f| (f.lint, f.line)).collect()
+}
+
+#[test]
+fn determinism_fixture_yields_exactly_the_seeded_findings() {
+    let rel = "crates/netsim/src/det_fixture.rs";
+    let out = analyze(&[fixture(rel, DETERMINISM)]);
+    assert_eq!(
+        findings_of(&out),
+        vec![
+            ("determinism", line_of(DETERMINISM, "SEED: unsorted-iter")),
+            ("determinism", line_of(DETERMINISM, "SEED: wall-clock")),
+            ("determinism", line_of(DETERMINISM, "SEED: thread-rng")),
+        ],
+        "{}",
+        out.render_human(true)
+    );
+    assert!(out.findings.iter().all(|f| f.file == rel));
+}
+
+#[test]
+fn panic_hygiene_fixture_and_baseline_ratchet() {
+    let rel = "crates/lorawan/src/panic_fixture.rs";
+    let files = [fixture(rel, PANIC_HYGIENE)];
+    let expected = vec![
+        ("panic-hygiene", line_of(PANIC_HYGIENE, "SEED: unwrap")),
+        ("panic-hygiene", line_of(PANIC_HYGIENE, "SEED: expect")),
+        ("panic-hygiene", line_of(PANIC_HYGIENE, "SEED: panic")),
+    ];
+
+    // No baseline: all three sites are hard findings.
+    let out = analyze(&files);
+    assert_eq!(findings_of(&out), expected, "{}", out.render_human(true));
+    assert!(out.findings[0].message.contains("baseline budget of 0"));
+
+    // Budget exactly met: clean, sites reported as baselined.
+    let mut baseline = Baseline::default();
+    baseline.panic_hygiene.insert("lorawan".to_string(), 3);
+    let out = analyze_files(&files, &Config::default(), &baseline);
+    assert!(out.clean(), "{}", out.render_human(true));
+    assert_eq!(out.baselined.len(), 3);
+
+    // Budget loose: clean, and the ratchet asks to be tightened.
+    baseline.panic_hygiene.insert("lorawan".to_string(), 9);
+    let out = analyze_files(&files, &Config::default(), &baseline);
+    assert!(out.clean());
+    assert_eq!(out.improvements.len(), 1, "{:?}", out.improvements);
+    assert!(out.improvements[0].contains("--update-baseline"));
+}
+
+#[test]
+fn unit_safety_fixture_names_the_covering_newtypes() {
+    let rel = "crates/battery/src/unit_fixture.rs";
+    let out = analyze(&[fixture(rel, UNIT_SAFETY)]);
+    assert_eq!(
+        findings_of(&out),
+        vec![
+            ("unit-safety", line_of(UNIT_SAFETY, "SEED: raw-energy")),
+            ("unit-safety", line_of(UNIT_SAFETY, "SEED: raw-dbm")),
+        ],
+        "{}",
+        out.render_human(true)
+    );
+    assert!(out.findings[0].message.contains("Joules"));
+    assert!(out.findings[1].message.contains("Dbm"));
+}
+
+#[test]
+fn telemetry_guard_fixture_flags_only_the_bare_emit() {
+    let rel = "crates/netsim/src/tel_fixture.rs";
+    let out = analyze(&[fixture(rel, TELEMETRY_GUARD)]);
+    assert_eq!(
+        findings_of(&out),
+        vec![(
+            "telemetry-guard",
+            line_of(TELEMETRY_GUARD, "SEED: bare-emit")
+        )],
+        "{}",
+        out.render_human(true)
+    );
+}
+
+#[test]
+fn float_eq_fixture_waiver_needs_a_reason() {
+    let rel = "crates/units/src/float_fixture.rs";
+    let out = analyze(&[fixture(rel, FLOAT_EQ)]);
+    assert_eq!(
+        findings_of(&out),
+        vec![
+            ("float-eq", line_of(FLOAT_EQ, "SEED: bare-float-eq")),
+            ("pragma", line_of(FLOAT_EQ, "SEED: reasonless-pragma")),
+            ("float-eq", line_of(FLOAT_EQ, "SEED: reasonless-float-eq")),
+        ],
+        "{}",
+        out.render_human(true)
+    );
+    let pragma = out
+        .findings
+        .iter()
+        .find(|f| f.lint == "pragma")
+        .expect("pragma finding");
+    assert!(pragma.message.contains("no reason"), "{}", pragma.message);
+}
+
+#[test]
+fn tokenizer_tricks_hide_everything_but_the_real_violation() {
+    let rel = "crates/netsim/src/tricks_fixture.rs";
+    let out = analyze(&[fixture(rel, TOKENIZER_TRICKS)]);
+    assert_eq!(
+        findings_of(&out),
+        vec![(
+            "determinism",
+            line_of(TOKENIZER_TRICKS, "SEED: tricks-wall-clock")
+        )],
+        "{}",
+        out.render_human(true)
+    );
+}
+
+#[test]
+fn fixtures_are_invisible_to_the_workspace_walk() {
+    let here = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = walk::find_workspace_root(here).expect("workspace root above crates/analyzer");
+    let files = walk::walk_workspace(&root, &Config::default().skip_dirs).expect("workspace walk");
+    assert!(
+        files.iter().all(|f| !f.rel.contains("fixtures")),
+        "fixture files must never reach the lint battery"
+    );
+    assert!(
+        files.iter().any(|f| f.rel == "crates/analyzer/src/lib.rs"),
+        "the walk should see the analyzer's own sources"
+    );
+}

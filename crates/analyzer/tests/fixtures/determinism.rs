@@ -1,0 +1,42 @@
+//! Determinism fixture: seeded violations plus the repo's
+//! sort-before-use idiom, which must pass. This file is never
+//! compiled — `tests/analyzer.rs` feeds it to the analyzer as text
+//! under a sim-core crate path.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub(crate) fn unsorted_iteration(m: &HashMap<u32, f64>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (id, _) in m.iter() { // SEED: unsorted-iter
+        out.push(*id);
+    }
+    out
+}
+
+pub(crate) fn sorted_after_collect(m: &HashMap<u32, f64>) -> Vec<(u32, f64)> {
+    let mut v: Vec<(u32, f64)> = m.iter().map(|(&k, &x)| (k, x)).collect();
+    v.sort_by_key(|&(k, _)| k);
+    v
+}
+
+pub(crate) fn order_insensitive_reduction(m: &HashMap<u32, f64>) -> f64 {
+    m.values().sum() // order-insensitive: allowed
+}
+
+pub(crate) fn wall_clock_profiling() -> Instant {
+    Instant::now() // SEED: wall-clock
+}
+
+pub(crate) fn os_seeded_randomness() -> u64 {
+    let mut rng = rand::thread_rng(); // SEED: thread-rng
+    rng.gen()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_read_the_clock() {
+        let _ = std::time::Instant::now();
+    }
+}

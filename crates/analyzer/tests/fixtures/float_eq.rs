@@ -1,0 +1,22 @@
+//! Float-equality fixture: a bare comparison (flagged), a properly
+//! waived one (passes), and a reason-less pragma (the comparison is
+//! still flagged AND the pragma itself is reported). Never compiled;
+//! loaded as text by `tests/analyzer.rs`.
+
+pub fn bare_comparison(v: f64) -> bool {
+    v == 0.0 // SEED: bare-float-eq
+}
+
+pub fn waived_comparison(v: f64) -> bool {
+    // analyzer: allow(float-eq, reason = "fixture: exact sentinel")
+    v == 1.0
+}
+
+pub fn badly_waived_comparison(v: f64) -> bool {
+    // analyzer: allow(float-eq) -- SEED: reasonless-pragma
+    v != 2.0 // SEED: reasonless-float-eq
+}
+
+pub fn tolerance_is_the_fix(v: f64) -> bool {
+    (v - 3.0).abs() < 1e-9
+}

@@ -1,0 +1,29 @@
+//! Panic-hygiene fixture: three library-code sites, none in test
+//! code. Never compiled; loaded as text by `tests/analyzer.rs`.
+
+pub fn lib_unwrap(o: Option<u8>) -> u8 {
+    o.unwrap() // SEED: unwrap
+}
+
+pub fn lib_expect(r: Result<u8, String>) -> u8 {
+    r.expect("fixture expect") // SEED: expect
+}
+
+pub fn lib_panic(flag: bool) {
+    if flag {
+        panic!("fixture panic"); // SEED: panic
+    }
+}
+
+pub fn mentions_are_not_sites() -> &'static str {
+    // A comment saying unwrap() is fine, and so is this string:
+    "call .unwrap() and panic!(…) at your peril"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        Some(1u8).unwrap();
+    }
+}

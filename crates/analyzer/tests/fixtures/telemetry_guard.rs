@@ -1,0 +1,20 @@
+//! Telemetry-guard fixture: one guarded emit (passes), one bare emit
+//! (flagged), and the emit definition itself (not a call site).
+//! Never compiled; loaded as text by `tests/analyzer.rs` under a
+//! netsim path.
+
+impl Engine {
+    fn emit(&mut self, ev: Event) {
+        self.sink.record(&ev);
+    }
+
+    fn guarded_site(&mut self) {
+        if self.telemetry_on() {
+            self.emit(Event::Wake);
+        }
+    }
+
+    fn unguarded_site(&mut self) {
+        self.emit(Event::Sleep); // SEED: bare-emit
+    }
+}

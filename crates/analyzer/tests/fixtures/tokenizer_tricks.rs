@@ -1,0 +1,29 @@
+//! Tokenizer stress fixture: violation-shaped text hidden where a
+//! naive regex would bite — strings, raw strings, nested block
+//! comments, char literals — plus exactly one real violation at the
+//! end. Never compiled; loaded as text by `tests/analyzer.rs` under a
+//! sim-core path.
+
+pub(crate) fn strings_are_not_code() -> &'static str {
+    "Instant::now() thread_rng() m.iter() v == 0.0 panic!(no)"
+}
+
+pub(crate) fn raw_strings_too() -> String {
+    let tricky = r#"SystemTime::now() == 0.5 and a "quoted" bit"#;
+    let hashes = r##"even r#"nested"# raw strings: .unwrap()"##;
+    format!("{tricky}{hashes}")
+}
+
+/* nested /* block comments */ may contain Instant::now() == 1.0 */
+
+pub(crate) fn chars_are_not_lifetimes<'a>(x: &'a u8) -> (char, &'a u8) {
+    ('"', x) // a double-quote char must not open a string
+}
+
+pub(crate) fn escaped_chars_too() -> (char, char) {
+    ('\'', '\\')
+}
+
+pub(crate) fn the_one_real_violation() -> std::time::Instant {
+    std::time::Instant::now() // SEED: tricks-wall-clock
+}

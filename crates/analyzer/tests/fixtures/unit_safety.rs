@@ -1,0 +1,21 @@
+//! Unit-safety fixture: public signatures taking unit-suffixed raw
+//! `f64` parameters, plus shapes that must pass. Never compiled;
+//! loaded as text by `tests/analyzer.rs`.
+
+pub fn raw_energy(energy_j: f64, cycles: u32) -> f64 { // SEED: raw-energy
+    energy_j * cycles as f64
+}
+
+pub fn raw_generic<T: Into<Vec<u8>>>(payload: T, level_dbm: f64) {} // SEED: raw-dbm
+
+pub(crate) fn restricted_visibility_is_exempt(freq_hz: f64) -> f64 {
+    freq_hz
+}
+
+fn private_is_exempt(temp_c: f64) -> f64 {
+    temp_c
+}
+
+pub fn newtyped_is_the_fix(energy: Joules, ratio: f64) -> f64 {
+    energy.as_f64() * ratio
+}

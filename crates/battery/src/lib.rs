@@ -41,7 +41,8 @@
 //! assert!(d > 0.0 && d < 0.2, "one year must not reach EoL: {d}");
 //! ```
 
-#![forbid(unsafe_code)]
+// `forbid(unsafe_code)` comes from `[workspace.lints]` in the root
+// manifest; only the doc requirement stays crate-local.
 #![warn(missing_docs)]
 
 pub mod chemistry;

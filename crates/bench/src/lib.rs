@@ -15,7 +15,8 @@
 //! cargo run --release -p blam-bench --bin fig7 -- --full
 //! ```
 
-#![forbid(unsafe_code)]
+// `forbid(unsafe_code)` comes from `[workspace.lints]` in the root
+// manifest; only the doc requirement stays crate-local.
 #![warn(missing_docs)]
 
 use std::path::PathBuf;

@@ -57,7 +57,8 @@
 //! assert_eq!(window, 2); // waits for the sun
 //! ```
 
-#![forbid(unsafe_code)]
+// `forbid(unsafe_code)` comes from `[workspace.lints]` in the root
+// manifest; only the doc requirement stays crate-local.
 #![warn(missing_docs)]
 
 pub mod clairvoyant;

@@ -34,7 +34,8 @@
 //! assert_eq!(order, vec![2, 3, 1]);
 //! ```
 
-#![forbid(unsafe_code)]
+// `forbid(unsafe_code)` comes from `[workspace.lints]` in the root
+// manifest; only the doc requirement stays crate-local.
 #![warn(missing_docs)]
 
 pub mod queue;

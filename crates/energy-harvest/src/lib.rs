@@ -39,7 +39,8 @@
 //! assert!(trace.power_at(noon_day_one).0 > trace.power_at(night).0);
 //! ```
 
-#![forbid(unsafe_code)]
+// `forbid(unsafe_code)` comes from `[workspace.lints]` in the root
+// manifest; only the doc requirement stays crate-local.
 #![warn(missing_docs)]
 
 pub mod ewma;

@@ -40,7 +40,8 @@
 //! assert!(matches!(actions[0], MacAction::Transmit(_)));
 //! ```
 
-#![forbid(unsafe_code)]
+// `forbid(unsafe_code)` comes from `[workspace.lints]` in the root
+// manifest; only the doc requirement stays crate-local.
 #![warn(missing_docs)]
 
 pub mod adr;

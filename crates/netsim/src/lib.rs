@@ -51,7 +51,8 @@
 //! println!("PRR = {:.1}%", 100.0 * result.network.prr);
 //! ```
 
-#![forbid(unsafe_code)]
+// `forbid(unsafe_code)` comes from `[workspace.lints]` in the root
+// manifest; only the doc requirement stays crate-local.
 #![warn(missing_docs)]
 
 pub mod config;

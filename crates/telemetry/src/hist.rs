@@ -54,6 +54,7 @@ impl LogHistogram {
         }
         self.count += 1;
         self.sum += v;
+        // analyzer: allow(float-eq, reason = "exact zero has no log2 bucket; counted separately")
         if v == 0.0 {
             self.zeros += 1;
         } else {

@@ -66,7 +66,8 @@
 //! assert_eq!(summary.events, 2);
 //! ```
 
-#![forbid(unsafe_code)]
+// `forbid(unsafe_code)` comes from `[workspace.lints]` in the root
+// manifest; only the doc requirement stays crate-local.
 #![warn(missing_docs)]
 
 pub mod counters;

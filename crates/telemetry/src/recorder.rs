@@ -39,7 +39,12 @@ impl TraceWriter {
                 w.write_all(b"\n")
             }
             TraceWriter::Shared(shared) => {
-                let mut w = shared.lock().expect("trace writer lock poisoned");
+                // A writer that panicked mid-line leaves at worst a torn
+                // record; keep tracing rather than poisoning every
+                // thread that still wants to log.
+                let mut w = shared
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 w.write_all(line.as_bytes())?;
                 w.write_all(b"\n")
             }
@@ -49,9 +54,10 @@ impl TraceWriter {
     fn flush(&mut self) -> std::io::Result<()> {
         match self {
             TraceWriter::Owned(w) => w.flush(),
-            TraceWriter::Shared(shared) => {
-                shared.lock().expect("trace writer lock poisoned").flush()
-            }
+            TraceWriter::Shared(shared) => shared
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .flush(),
         }
     }
 }

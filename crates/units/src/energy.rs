@@ -71,6 +71,7 @@ impl Joules {
 
 impl fmt::Display for Joules {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // analyzer: allow(float-eq, reason = "exact-zero display threshold: 0 J must print as J, not mJ")
         if self.0.abs() >= 1.0 || self.0 == 0.0 {
             write!(f, "{:.3} J", self.0)
         } else {
@@ -207,6 +208,7 @@ impl Watts {
 
 impl fmt::Display for Watts {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // analyzer: allow(float-eq, reason = "exact-zero display threshold: 0 W must print as W, not mW")
         if self.0.abs() >= 1.0 || self.0 == 0.0 {
             write!(f, "{:.3} W", self.0)
         } else {

@@ -23,7 +23,8 @@
 //! assert!((spent.0 - 0.1484).abs() < 1e-12);
 //! ```
 
-#![forbid(unsafe_code)]
+// `forbid(unsafe_code)` comes from `[workspace.lints]` in the root
+// manifest; only the doc requirement stays crate-local.
 #![warn(missing_docs)]
 
 mod energy;

@@ -6,11 +6,21 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> blam-analyze (determinism / panic-hygiene / unit-safety gates)"
+# Human output for the terminal; the JSON report lands next to the
+# telemetry smoke artifacts for tooling to pick up.
+cargo run -q --release -p blam-analyzer --bin blam-analyze
+cargo run -q --release -p blam-analyzer --bin blam-analyze -- \
+    --format json >"$tmp/analyzer.json"
 
 echo "==> cargo doc -D warnings"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
@@ -19,8 +29,6 @@ echo "==> cargo test"
 cargo test --workspace -q
 
 echo "==> telemetry trace smoke run"
-tmp="$(mktemp -d)"
-trap 'rm -rf "$tmp"' EXIT
 cargo run -q --release -p blam-cli -- compare \
     --nodes 5 --days 1 --jobs 2 --trace "$tmp/trace.jsonl" >"$tmp/table.txt"
 test -s "$tmp/trace.jsonl" || { echo "trace file is empty"; exit 1; }

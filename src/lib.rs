@@ -43,7 +43,8 @@
 //! See `examples/` for richer scenarios and `crates/bench` for the
 //! binaries that regenerate every figure and table of the paper.
 
-#![forbid(unsafe_code)]
+// `forbid(unsafe_code)` comes from `[workspace.lints]` in the root
+// manifest; only the doc requirement stays crate-local.
 #![warn(missing_docs)]
 
 pub use blam as protocol;

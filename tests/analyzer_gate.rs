@@ -1,0 +1,26 @@
+//! The analyzer gate: `cargo test` fails when any workspace source
+//! violates the determinism, panic-hygiene, unit-safety,
+//! telemetry-guard, or float-eq invariants beyond what
+//! `analyzer-baseline.toml` already budgets. Same battery as
+//! `blam-analyze` and the `scripts/check.sh` step, run in-process so
+//! a plain `cargo test` catches regressions too.
+
+use std::path::Path;
+
+#[test]
+fn workspace_passes_the_blam_analyze_battery() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let outcome = blam_analyzer::analyze_workspace(root, &blam_analyzer::Config::default())
+        .expect("workspace scan");
+    assert!(
+        outcome.clean(),
+        "blam-analyze found violations; fix them or waive with a reasoned \
+         `// analyzer: allow(...)` pragma:\n{}",
+        outcome.render_human(false)
+    );
+    assert!(
+        outcome.files_scanned > 100,
+        "suspiciously few files scanned ({}); did the walk break?",
+        outcome.files_scanned
+    );
+}
