@@ -6,6 +6,7 @@
 use blam_analyzer::{analyze_files, walk, Baseline, Config, Outcome, SourceFile};
 
 const DETERMINISM: &str = include_str!("fixtures/determinism.rs");
+const FAULTS_DETERMINISM: &str = include_str!("fixtures/faults_determinism.rs");
 const PANIC_HYGIENE: &str = include_str!("fixtures/panic_hygiene.rs");
 const UNIT_SAFETY: &str = include_str!("fixtures/unit_safety.rs");
 const TELEMETRY_GUARD: &str = include_str!("fixtures/telemetry_guard.rs");
@@ -54,6 +55,21 @@ fn determinism_fixture_yields_exactly_the_seeded_findings() {
         out.render_human(true)
     );
     assert!(out.findings.iter().all(|f| f.file == rel));
+}
+
+#[test]
+fn fault_layer_seeded_streams_pass_and_thread_rng_is_flagged() {
+    let rel = "crates/netsim/src/faults_fixture.rs";
+    let out = analyze(&[fixture(rel, FAULTS_DETERMINISM)]);
+    assert_eq!(
+        findings_of(&out),
+        vec![(
+            "determinism",
+            line_of(FAULTS_DETERMINISM, "SEED: faults-thread-rng")
+        )],
+        "{}",
+        out.render_human(true)
+    );
 }
 
 #[test]

@@ -1,0 +1,32 @@
+//! Fault-injection determinism fixture: the seeded per-node stream
+//! idiom of `netsim/src/faults.rs` must pass the determinism lint,
+//! while the tempting OS-seeded shortcut must be flagged. This file is
+//! never compiled — `tests/analyzer.rs` feeds it to the analyzer as
+//! text under a sim-core crate path.
+
+use rand::Rng;
+
+pub(crate) struct FaultStreams {
+    streams: Vec<rand_chacha::ChaCha12Rng>,
+}
+
+impl FaultStreams {
+    /// Per-node fault streams derived from the run's master seed: the
+    /// repo's replayable idiom, allowed.
+    pub(crate) fn build(seeder: &RngSeeder, nodes: usize) -> Self {
+        let streams = (0..nodes)
+            .map(|i| seeder.stream_indexed("fault-ul", i))
+            .collect();
+        FaultStreams { streams }
+    }
+
+    /// Seeded draw: byte-identical on replay, allowed.
+    pub(crate) fn uplink_lost(&mut self, node: usize) -> bool {
+        self.streams[node].gen::<f64>() < 0.1
+    }
+
+    /// The shortcut that breaks replay: a loss draw nobody can reseed.
+    pub(crate) fn ambient_lost() -> bool {
+        rand::thread_rng().gen::<f64>() < 0.1 // SEED: faults-thread-rng
+    }
+}

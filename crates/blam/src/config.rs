@@ -42,6 +42,26 @@ pub struct BlamConfig {
     /// false the node transmits in window 0 like LoRaWAN but keeps the
     /// θ cap — the paper's H-50C variant.
     pub use_window_selection: bool,
+    /// Time-to-live of a disseminated `w_u` byte. Within the TTL the
+    /// weight is trusted fully; past it, trust decays linearly toward
+    /// the neutral weight over one further TTL (a node that stops
+    /// hearing the gateway stops planning around a stale fleet view).
+    /// `None` reproduces the paper's behaviour: the last `w_u` is
+    /// trusted forever.
+    #[serde(default)]
+    pub wu_ttl: Option<Duration>,
+    /// Depth of the node's compressed-SoC-trace queue. Each sampling
+    /// period appends one trace; one trace rides per delivered uplink;
+    /// the oldest is discarded when the queue overflows. Depth 1
+    /// reproduces the paper's keep-latest behaviour; deeper queues let
+    /// a node that was cut off (outage, burst loss) backfill the
+    /// gateway ledger on recovery.
+    #[serde(default = "default_trace_buffer")]
+    pub trace_buffer: usize,
+}
+
+fn default_trace_buffer() -> usize {
+    1
 }
 
 impl BlamConfig {
@@ -65,6 +85,8 @@ impl BlamConfig {
             utility: Utility::Linear,
             use_retx_estimator: true,
             use_window_selection: true,
+            wu_ttl: None,
+            trace_buffer: 1,
         }
     }
 
@@ -97,6 +119,17 @@ impl BlamConfig {
     #[must_use]
     pub fn with_utility(mut self, utility: Utility) -> Self {
         self.utility = utility;
+        self
+    }
+
+    /// Hardens the configuration against missing feedback: stale `w_u`
+    /// decays after 3 days and up to 8 SoC traces are buffered across
+    /// failed exchanges. `H-θ` planning is otherwise unchanged; with a
+    /// reliable link the hardened node behaves identically.
+    #[must_use]
+    pub fn hardened(mut self) -> Self {
+        self.wu_ttl = Some(Duration::from_days(3));
+        self.trace_buffer = 8;
         self
     }
 
@@ -133,6 +166,32 @@ mod tests {
         assert_eq!(c.windows_in_period(Duration::from_mins(16)), 16);
         // Degenerate short periods still yield one window.
         assert_eq!(c.windows_in_period(Duration::from_secs(30)), 1);
+    }
+
+    #[test]
+    fn hardened_only_touches_resilience_knobs() {
+        let base = BlamConfig::h(0.5);
+        let hard = base.clone().hardened();
+        assert_eq!(hard.wu_ttl, Some(Duration::from_days(3)));
+        assert_eq!(hard.trace_buffer, 8);
+        let mut back = hard;
+        back.wu_ttl = None;
+        back.trace_buffer = 1;
+        assert_eq!(back, base);
+    }
+
+    #[test]
+    fn legacy_config_json_defaults_resilience_fields() {
+        // Pre-fault-injection configs had neither field; they must
+        // load with the paper's trust-forever / keep-latest semantics.
+        let mut v = serde_json::to_value(BlamConfig::h(0.5)).unwrap();
+        let obj = v.as_object_mut().unwrap();
+        obj.remove("wu_ttl");
+        obj.remove("trace_buffer");
+        let cfg: BlamConfig = serde_json::from_value(v).unwrap();
+        assert_eq!(cfg.wu_ttl, None);
+        assert_eq!(cfg.trace_buffer, 1);
+        assert_eq!(cfg, BlamConfig::h(0.5));
     }
 
     #[test]

@@ -43,6 +43,9 @@ use crate::trace_compress::CompressedSocTrace;
 pub struct DegradationLedger {
     forecast_window: Duration,
     trackers: HashMap<u32, DegradationTracker>,
+    /// Anchor of the most recent trace per node. Nodes registered via
+    /// commissioning metadata but never heard from have no entry.
+    last_heard: HashMap<u32, SimTime>,
     temperature: Celsius,
     constants: DegradationConstants,
 }
@@ -71,6 +74,7 @@ impl DegradationLedger {
         DegradationLedger {
             forecast_window,
             trackers: HashMap::new(),
+            last_heard: HashMap::new(),
             temperature,
             constants,
         }
@@ -114,6 +118,15 @@ impl DegradationLedger {
             let at = period_start + self.forecast_window * u64::from(s.window);
             tracker.record(at, s.soc);
         }
+        let heard = self.last_heard.entry(node).or_insert(period_start);
+        *heard = (*heard).max(period_start);
+    }
+
+    /// When the gateway last heard from `node` (the anchor of its most
+    /// recent trace), if ever.
+    #[must_use]
+    pub fn last_heard(&self, node: u32) -> Option<SimTime> {
+        self.last_heard.get(&node).copied()
     }
 
     /// A node's absolute degradation at `now` (0 for unknown nodes).
@@ -131,11 +144,28 @@ impl DegradationLedger {
     /// for everyone — which is also each node's bootstrap default).
     #[must_use]
     pub fn compute_normalized(&self, now: SimTime) -> Vec<(u32, u8)> {
+        self.compute_normalized_bounded(now, None)
+    }
+
+    /// [`compute_normalized`](Self::compute_normalized) with a
+    /// staleness bound: a node not heard from for longer than
+    /// `staleness` has its degradation *frozen* at the last instant
+    /// the gateway could still vouch for (`last_heard + staleness`)
+    /// instead of being extrapolated to `now`. Nodes registered via
+    /// commissioning metadata but never heard from are evaluated at
+    /// their commissioning state only. `None` reproduces the unbounded
+    /// behaviour exactly.
+    #[must_use]
+    pub fn compute_normalized_bounded(
+        &self,
+        now: SimTime,
+        staleness: Option<Duration>,
+    ) -> Vec<(u32, u8)> {
         let degradations: Vec<(u32, f64)> = {
             let mut v: Vec<_> = self
                 .trackers
                 .iter()
-                .map(|(&id, t)| (id, t.degradation(now)))
+                .map(|(&id, t)| (id, t.degradation(self.eval_time(id, now, staleness))))
                 .collect();
             v.sort_by_key(|&(id, _)| id);
             v
@@ -149,6 +179,16 @@ impl DegradationLedger {
             .map(|(id, d)| (id, quantize_weight(d / max)))
             .collect()
     }
+
+    /// The instant node `id`'s degradation is evaluated at: `now`,
+    /// unless a staleness bound freezes it at `last_heard + bound`.
+    fn eval_time(&self, id: u32, now: SimTime, staleness: Option<Duration>) -> SimTime {
+        let Some(bound) = staleness else {
+            return now;
+        };
+        let heard = self.last_heard.get(&id).copied().unwrap_or(SimTime::ZERO);
+        now.min(heard.checked_add(bound).unwrap_or(SimTime::MAX))
+    }
 }
 
 /// Quantizes a normalized degradation `w ∈ [0, 1]` into the
@@ -159,9 +199,13 @@ pub fn quantize_weight(w: f64) -> u8 {
 }
 
 /// Decodes the dissemination byte back into `w_u ∈ [0, 1]` at the node.
+///
+/// The byte may have been corrupted in flight; the explicit clamp
+/// guarantees the planning weight stays in range for *any* of the 256
+/// possible values, whatever the upstream arithmetic does.
 #[must_use]
 pub fn dequantize_weight(byte: u8) -> f64 {
-    f64::from(byte) / 255.0
+    (f64::from(byte) / 255.0).clamp(0.0, 1.0)
 }
 
 #[cfg(test)]
@@ -202,6 +246,75 @@ mod tests {
         assert_eq!(map[&1], 255);
         assert!(map[&2] < 255);
         assert!(map[&2] > 0);
+    }
+
+    #[test]
+    fn every_possible_byte_decodes_in_range() {
+        // A corrupted dissemination byte must still yield a usable
+        // planning weight: all 256 values decode into w_u ∈ [0, 1].
+        for byte in 0..=u8::MAX {
+            let w = dequantize_weight(byte);
+            assert!(
+                (0.0..=1.0).contains(&w),
+                "byte {byte} decoded out of range: {w}"
+            );
+        }
+        assert_eq!(dequantize_weight(0), 0.0);
+        assert_eq!(dequantize_weight(255), 1.0);
+    }
+
+    #[test]
+    fn last_heard_tracks_the_newest_trace_anchor() {
+        let mut ledger = DegradationLedger::new(Duration::from_mins(1));
+        assert_eq!(ledger.last_heard(1), None);
+        let t1 = SimTime::ZERO + Duration::from_hours(2);
+        ledger.record_trace(1, t1, &trace(0, 0.5, 30, 0.7));
+        assert_eq!(ledger.last_heard(1), Some(t1));
+        // An out-of-order (older) trace never moves the anchor back.
+        ledger.record_trace(1, SimTime::ZERO, &trace(0, 0.5, 30, 0.7));
+        assert_eq!(ledger.last_heard(1), Some(t1));
+        // Commissioning metadata alone is not "hearing" the node.
+        ledger.register_prior_age(9, Duration::from_days(365), 0.9, 0.0);
+        assert_eq!(ledger.last_heard(9), None);
+    }
+
+    #[test]
+    fn staleness_bound_freezes_silent_nodes() {
+        let mut ledger = DegradationLedger::new(Duration::from_mins(1));
+        let day = Duration::from_days(1);
+        // Both nodes report identical *flat* traces (pure calendar
+        // aging, no cycle damage) for 50 days, then node 2 goes silent
+        // while node 1 keeps reporting.
+        for d in 0..200u64 {
+            let start = SimTime::ZERO + day * d;
+            ledger.record_trace(1, start, &trace(0, 0.6, 30, 0.6));
+            if d < 50 {
+                ledger.record_trace(2, start, &trace(0, 0.6, 30, 0.6));
+            }
+        }
+        let now = SimTime::ZERO + day * 200;
+        // Unbounded: the gateway extrapolates node 2's calendar aging
+        // to `now` — both nodes look equally degraded.
+        let unbounded: HashMap<u32, u8> = ledger.compute_normalized(now).into_iter().collect();
+        assert_eq!(unbounded[&1], unbounded[&2]);
+        // Bounded: node 2's degradation freezes shortly after it went
+        // silent, so the node the gateway still hears ranks worse.
+        let bounded: HashMap<u32, u8> = ledger
+            .compute_normalized_bounded(now, Some(Duration::from_days(3)))
+            .into_iter()
+            .collect();
+        assert_eq!(bounded[&1], 255);
+        assert!(
+            bounded[&2] < bounded[&1],
+            "silent node must not be extrapolated: {} vs {}",
+            bounded[&2],
+            bounded[&1]
+        );
+        // No staleness bound delegates to the exact unbounded path.
+        assert_eq!(
+            ledger.compute_normalized_bounded(now, None),
+            ledger.compute_normalized(now)
+        );
     }
 
     #[test]

@@ -50,8 +50,18 @@ pub struct BlamNode {
     retx_estimator: RetxEstimator,
     /// Last disseminated normalized degradation `w_u`.
     normalized_degradation: f64,
+    /// Trust in the stored `w_u`, in `[0, 1]`. 1 while the weight is
+    /// fresh; the policy layer decays it once the weight outlives its
+    /// TTL, pulling planning back toward the neutral (new-battery)
+    /// weight instead of trusting a stale fleet view forever.
+    #[serde(default = "full_trust")]
+    weight_trust: f64,
     /// Worst-case single-transmission energy (DIF denominator).
     max_tx_energy: Joules,
+}
+
+fn full_trust() -> f64 {
+    1.0
 }
 
 impl BlamNode {
@@ -85,6 +95,7 @@ impl BlamNode {
             tx_estimator: TxEnergyEstimator::new(beta, nominal_tx_energy),
             retx_estimator: RetxEstimator::new(windows, 7),
             normalized_degradation: 0.0,
+            weight_trust: 1.0,
             max_tx_energy,
         }
     }
@@ -99,6 +110,34 @@ impl BlamNode {
     #[must_use]
     pub fn normalized_degradation(&self) -> f64 {
         self.normalized_degradation
+    }
+
+    /// The `w_u` actually used for planning: the stored weight scaled
+    /// by the current trust. Equal to `normalized_degradation` while
+    /// the weight is fresh.
+    #[must_use]
+    pub fn effective_degradation(&self) -> f64 {
+        self.normalized_degradation * self.weight_trust
+    }
+
+    /// Current trust in the stored `w_u`.
+    #[must_use]
+    pub fn weight_trust(&self) -> f64 {
+        self.weight_trust
+    }
+
+    /// Sets the trust in the stored `w_u` (clamped to `[0, 1]`). The
+    /// policy layer drives this from the weight's age and TTL.
+    pub fn set_weight_trust(&mut self, trust: f64) {
+        self.weight_trust = trust.clamp(0.0, 1.0);
+    }
+
+    /// Forgets the disseminated weight entirely (e.g. after a reboot
+    /// wipes volatile state): `w_u` returns to the new-battery neutral
+    /// 0 and trust resets to full.
+    pub fn clear_weight(&mut self) {
+        self.normalized_degradation = 0.0;
+        self.weight_trust = 1.0;
     }
 
     /// The current per-single-transmission energy estimate.
@@ -163,7 +202,7 @@ impl BlamNode {
         let tx_energy = self.per_window_energy(green_forecast.len());
         let input = SelectInput {
             battery_energy,
-            normalized_degradation: self.normalized_degradation,
+            normalized_degradation: self.normalized_degradation * self.weight_trust,
             degradation_weight: self.config.degradation_weight,
             green_energy: green_forecast,
             tx_energy: &tx_energy,
@@ -206,9 +245,11 @@ impl BlamNode {
             .observe(energy_spent / f64::from(transmissions));
     }
 
-    /// Applies a normalized-degradation byte received in an ACK.
+    /// Applies a normalized-degradation byte received in an ACK. A
+    /// fresh weight is fully trusted again.
     pub fn on_weight_update(&mut self, byte: u8) {
         self.normalized_degradation = dequantize_weight(byte);
+        self.weight_trust = 1.0;
     }
 }
 
@@ -267,6 +308,48 @@ mod tests {
             p.dif,
             plan.dif
         );
+    }
+
+    #[test]
+    fn decayed_trust_pulls_planning_back_to_neutral() {
+        // Fully degraded fleet view, but the weight has gone stale:
+        // with zero trust the node plans exactly like a fresh one.
+        let mut stale = node(0.5);
+        stale.on_weight_update(255);
+        stale.set_weight_trust(0.0);
+        assert_eq!(stale.effective_degradation(), 0.0);
+        let mut green = [Joules(0.0); 10];
+        green[3] = Joules(0.06);
+        let plan = stale.plan(Joules(1.0), &green).unwrap();
+        assert_eq!(plan.window, 0, "neutral weight transmits immediately");
+        // Partial trust still defers — the decay is gradual, not a
+        // cliff: γ(0) = 0.7·DIF(0) = 0.35 beats γ(3) = 0.3.
+        let mut half = node(0.5);
+        half.on_weight_update(255);
+        half.set_weight_trust(0.7);
+        assert_eq!(half.plan(Joules(1.0), &green).unwrap().window, 3);
+    }
+
+    #[test]
+    fn fresh_weight_restores_full_trust() {
+        let mut n = node(0.5);
+        n.on_weight_update(255);
+        n.set_weight_trust(0.2);
+        n.on_weight_update(128);
+        assert_eq!(n.weight_trust(), 1.0);
+        assert!((n.effective_degradation() - 128.0 / 255.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_weight_resets_to_new_battery_state() {
+        let mut n = node(0.5);
+        n.on_weight_update(255);
+        n.set_weight_trust(0.4);
+        n.clear_weight();
+        assert_eq!(n.normalized_degradation(), 0.0);
+        assert_eq!(n.weight_trust(), 1.0);
+        let fresh = node(0.5);
+        assert_eq!(n.effective_degradation(), fresh.effective_degradation());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Scenario configuration.
 
+use crate::faults::FaultConfig;
 use blam::BlamConfig;
 use blam_battery::DegradationConstants;
 use blam_lora_phy::{ChannelPlan, InterferenceModel, PathLoss, RadioPowerModel, SpreadingFactor};
@@ -188,6 +189,12 @@ pub struct ScenarioConfig {
     pub dissemination_interval: Duration,
     /// Master random seed.
     pub seed: u64,
+    /// Fault injection (gateway outages, link loss, reboots, sensor
+    /// error, corrupted dissemination). Defaults to all-off, which is
+    /// byte-identical to the fault-free engine; `#[serde(default)]`
+    /// keeps pre-fault scenario JSON loading unchanged.
+    #[serde(default)]
+    pub faults: FaultConfig,
 }
 
 impl ScenarioConfig {
@@ -240,6 +247,7 @@ impl ScenarioConfig {
             sample_interval: Duration::from_days(30),
             dissemination_interval: Duration::from_days(1),
             seed,
+            faults: FaultConfig::default(),
         }
     }
 
@@ -293,6 +301,8 @@ impl ScenarioConfig {
             "solar sizing must be positive"
         );
         assert!(!self.duration.is_zero(), "duration is zero");
+        let faults = self.faults.validate(self.gateways);
+        assert!(faults.is_ok(), "invalid fault config: {faults:?}");
     }
 }
 
@@ -350,6 +360,24 @@ mod tests {
     fn validate_catches_window_mismatch() {
         let mut c = ScenarioConfig::large_scale(10, Protocol::h(0.5), 1);
         c.forecast_window = Duration::from_mins(2);
+        c.validate();
+    }
+
+    #[test]
+    fn scenario_json_without_faults_field_still_loads() {
+        let cfg = ScenarioConfig::large_scale(5, Protocol::h(0.5), 3);
+        let mut v = serde_json::to_value(&cfg).unwrap();
+        v.as_object_mut().unwrap().remove("faults");
+        let back: ScenarioConfig = serde_json::from_value(v).unwrap();
+        assert_eq!(back, cfg);
+        assert!(!back.faults.any_enabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault config")]
+    fn validate_catches_bad_fault_config() {
+        let mut c = ScenarioConfig::large_scale(10, Protocol::Lorawan, 1);
+        c.faults.weight_corruption = Some(2.0);
         c.validate();
     }
 

@@ -8,13 +8,13 @@
 //! [`MacPolicy`](crate::policy::MacPolicy) trait in [`crate::policy`].
 //! Batch execution across scenarios is [`crate::runner`].
 
-use blam::DegradationLedger;
+use blam::{DegradationLedger, SocSample};
 use blam_battery::SwitchOutcome;
 use blam_des::{RngSeeder, Simulator};
 use blam_energy_harvest::solar::CloudModel;
 use blam_energy_harvest::{SolarField, SolarModel};
 use blam_lorawan::{AdrEngine, GatewayRadio, NetworkServer};
-use blam_telemetry::{EventKind, NullSink, SimEvent, TelemetryReport, TelemetrySink};
+use blam_telemetry::{EventKind, FaultKind, NullSink, SimEvent, TelemetryReport, TelemetrySink};
 use blam_units::{Duration, Joules, SimTime, Watts};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
@@ -22,6 +22,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::{HarvestKind, ScenarioConfig};
 use crate::events::Event;
+use crate::faults::FaultLayer;
 use crate::metrics::{DegradationSample, NetworkMetrics, NodeMetrics};
 use crate::nodes::{build_nodes, SimNode};
 use crate::policy::MacPolicy;
@@ -81,6 +82,7 @@ pub struct Engine {
     pub(crate) adr: Option<AdrEngine>,
     pub(crate) ledger: DegradationLedger,
     pub(crate) policy: Box<dyn MacPolicy>,
+    pub(crate) faults: FaultLayer,
     pub(crate) mac_rng: ChaCha8Rng,
     pub(crate) halted: bool,
     pub(crate) first_eol: Option<(usize, SimTime)>,
@@ -167,6 +169,15 @@ impl Engine {
             let prior_cycles = cfg.degradation.cycle_damage(&daily) * cfg.aged_years * 365.0;
             ledger.register_prior_age(i as u32, age, 0.85, prior_cycles);
         }
+        // Built from its own named streams (`fault-*`), so an all-off
+        // config allocates nothing and perturbs no existing stream.
+        let faults = FaultLayer::build(
+            &cfg.faults,
+            &seeder,
+            cfg.nodes,
+            cfg.gateways,
+            SimTime::ZERO + cfg.duration,
+        );
         Engine {
             gateways: (0..cfg.gateways)
                 .map(|_| GatewayRadio::new(cfg.demod_paths).with_interference(cfg.interference))
@@ -175,6 +186,7 @@ impl Engine {
             adr: cfg.adr.then(AdrEngine::standard),
             ledger,
             policy,
+            faults,
             mac_rng: seeder.stream("mac"),
             topology,
             nodes,
@@ -221,6 +233,23 @@ impl Engine {
     pub(crate) fn settle_node(&mut self, now: SimTime, i: usize, extra: Joules) -> SwitchOutcome {
         let window = self.cfg.forecast_window;
         let out = self.nodes[i].settle(now, extra, window);
+        if out.charged.0 > 0.0 && self.faults.sensor_enabled() {
+            // The SoC *sensor* misreads the recharge transition the
+            // settle just recorded; the true battery state is untouched
+            // — only the trace the node will report is.
+            let reported = self.faults.sensor_soc(i, self.nodes[i].battery.soc());
+            let w = self.nodes[i].window_index(now, window) as u8;
+            self.nodes[i].recharge_sample = Some(SocSample::new(w, reported));
+            if self.telemetry_on() {
+                self.emit(
+                    now,
+                    i,
+                    EventKind::FaultInjected {
+                        fault: FaultKind::SensorNoise,
+                    },
+                );
+            }
+        }
         if self.telemetry_on() {
             if out.deficit.0 > 0.0 {
                 self.emit(
@@ -269,6 +298,13 @@ impl Engine {
                 Duration::from_millis(phase_rng.gen_range(0..self.nodes[i].period.as_millis()))
             };
             sim.schedule(SimTime::ZERO + phase, Event::Generate { node: i });
+        }
+        if self.faults.reboots_enabled() {
+            for i in 0..self.nodes.len() {
+                if let Some(at) = self.faults.next_reboot(i, SimTime::ZERO) {
+                    sim.schedule(at, Event::Reboot { node: i });
+                }
+            }
         }
         sim.schedule(
             SimTime::ZERO + self.cfg.dissemination_interval,

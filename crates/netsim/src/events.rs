@@ -17,7 +17,9 @@ pub(crate) enum Event {
     /// The application on `node` generates a packet (period start).
     Generate { node: usize },
     /// The chosen forecast window arrived: begin the uplink exchange.
-    StartTx { node: usize },
+    /// Epoch-tagged so a node reboot between scheduling and firing
+    /// invalidates the stale start.
+    StartTx { node: usize, epoch: u64 },
     /// An uplink's airtime ended at the gateways.
     TxEnd { node: usize, epoch: u64 },
     /// The gateway may start the ACK downlink now.
@@ -41,6 +43,9 @@ pub(crate) enum Event {
     RxDeadline { node: usize, epoch: u64 },
     /// The ACK-timeout backoff elapsed.
     Retransmit { node: usize, epoch: u64 },
+    /// Fault injection: `node` loses power and reboots, wiping its
+    /// volatile protocol state (see `crate::faults`).
+    Reboot { node: usize },
     /// Daily normalized-degradation dissemination at the gateway.
     Dissemination,
     /// Periodic (monthly) degradation snapshot.
@@ -55,7 +60,7 @@ impl Engine {
         }
         match event {
             Event::Generate { node } => self.on_generate(sim, now, node),
-            Event::StartTx { node } => self.on_start_tx(sim, now, node),
+            Event::StartTx { node, epoch } => self.on_start_tx(sim, now, node, epoch),
             Event::TxEnd { node, epoch } => self.on_tx_end(sim, now, node, epoch),
             Event::DownlinkStart {
                 node,
@@ -70,6 +75,7 @@ impl Engine {
             Event::AckArrival { node, epoch } => self.on_ack_arrival(sim, now, node, epoch),
             Event::RxDeadline { node, epoch } => self.on_rx_deadline(sim, now, node, epoch),
             Event::Retransmit { node, epoch } => self.on_retransmit(sim, now, node, epoch),
+            Event::Reboot { node } => self.on_reboot(sim, now, node),
             Event::Dissemination => self.on_dissemination(sim, now),
             Event::Sample => self.on_sample(sim, now),
         }

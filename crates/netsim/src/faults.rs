@@ -1,0 +1,678 @@
+//! Deterministic fault injection for the simulator.
+//!
+//! The engine is ideal by default: every uplink that clears the link
+//! budget is demodulated, every ACK arrives, nodes never lose power
+//! mid-run, and SoC telemetry is exact. [`FaultConfig`] introduces the
+//! non-ideal world the paper's testbed lived in — gateway outages,
+//! Gilbert–Elliott burst loss on both link directions, node reboots
+//! that wipe volatile protocol state, SoC sensor error, and corrupted
+//! dissemination bytes — without giving up replayability.
+//!
+//! # Determinism contract
+//!
+//! Every fault draw comes from its own named per-entity ChaCha stream
+//! (`fault-ul`, `fault-dl`, `fault-reboot`, `fault-sensor`,
+//! `fault-weight` indexed by node; `fault-outage` indexed by gateway),
+//! derived statelessly from the scenario seed. Consequences:
+//!
+//! * faulted runs replay byte-identically at any `--jobs N`;
+//! * enabling one fault family never perturbs the draws of another,
+//!   nor the engine's pre-existing `mac`/`nodes`/`solar` streams;
+//! * with [`FaultConfig::default`] (all faults off) the layer creates
+//!   no streams and draws nothing — runs are byte-identical to the
+//!   fault-free engine.
+//!
+//! The layer schedules no discrete events of its own except node
+//! reboots; loss and outages are evaluated inline at the affected
+//! radio operations.
+
+use blam_des::RngSeeder;
+use blam_units::{Duration, SimTime};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fixed, operator-scheduled gateway outage window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutageWindow {
+    /// Gateway index into the scenario's gateway list.
+    pub gateway: usize,
+    /// Outage start (inclusive).
+    pub start: SimTime,
+    /// Outage end (exclusive).
+    pub end: SimTime,
+}
+
+/// Randomly drawn gateway outages: alternating exponential up/down
+/// intervals, drawn per gateway from the `fault-outage` stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomOutages {
+    /// Mean time between outages (up time).
+    pub mean_up: Duration,
+    /// Mean outage length (down time).
+    pub mean_down: Duration,
+}
+
+/// Two-state Gilbert–Elliott loss process.
+///
+/// The chain starts in the Good state and advances once per evaluated
+/// transmission; each evaluation then draws a loss with the state's
+/// probability. `loss_good = loss_bad` degenerates to Bernoulli loss.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GilbertElliott {
+    /// P(Good → Bad) per evaluated transmission.
+    pub p_bad: f64,
+    /// P(Bad → Good) per evaluated transmission.
+    pub p_good: f64,
+    /// Loss probability while in the Good state.
+    pub loss_good: f64,
+    /// Loss probability while in the Bad state.
+    pub loss_bad: f64,
+}
+
+impl GilbertElliott {
+    /// A bursty channel with roughly `loss` average loss: the chain
+    /// spends ~30% of attempts in the Bad state, where loss is
+    /// concentrated.
+    #[must_use]
+    pub fn burst(loss: f64) -> Self {
+        let loss = loss.clamp(0.0, 1.0);
+        GilbertElliott {
+            p_bad: 0.15,
+            p_good: 0.35,
+            loss_good: loss * 0.25,
+            loss_bad: (loss * 2.5).min(1.0),
+        }
+    }
+
+    /// State-independent (Bernoulli) loss with probability `loss`.
+    /// `uniform(1.0)` models a link that never works.
+    #[must_use]
+    pub fn uniform(loss: f64) -> Self {
+        let loss = loss.clamp(0.0, 1.0);
+        GilbertElliott {
+            p_bad: 0.0,
+            p_good: 0.0,
+            loss_good: loss,
+            loss_bad: loss,
+        }
+    }
+
+    fn validate(&self, what: &str) -> Result<(), String> {
+        for (name, p) in [
+            ("p_bad", self.p_bad),
+            ("p_good", self.p_good),
+            ("loss_good", self.loss_good),
+            ("loss_bad", self.loss_bad),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{what}.{name} must be in [0, 1], got {p}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Node reboots at exponentially distributed intervals. A reboot wipes
+/// volatile state: forecaster history, the queued SoC traces, the
+/// pending `w_u` byte and any in-progress exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RebootFaults {
+    /// Mean time between reboots, per node.
+    pub mean_interval: Duration,
+}
+
+/// SoC sensor error applied to the samples a node *reports* (the
+/// compressed trace it piggybacks). The true battery state is never
+/// touched — only the gateway's view of it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SocSensorFaults {
+    /// Standard deviation of zero-mean Gaussian read noise, in SoC
+    /// units (fraction of capacity).
+    pub sigma: f64,
+    /// Constant additive bias, in SoC units.
+    pub bias: f64,
+}
+
+/// Which faults to inject, and how hard. All fields default to "off";
+/// [`FaultConfig::default`] is the contractually fault-free
+/// configuration, byte-identical to the engine without this layer.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[serde(default)]
+pub struct FaultConfig {
+    /// Operator-scheduled gateway outages.
+    pub scheduled_outages: Vec<OutageWindow>,
+    /// Randomly drawn gateway outages.
+    pub random_outages: Option<RandomOutages>,
+    /// Burst loss on uplinks (data frames toward the gateway).
+    pub uplink_loss: Option<GilbertElliott>,
+    /// Burst loss on downlinks (ACKs toward the node).
+    pub downlink_loss: Option<GilbertElliott>,
+    /// Node reboots wiping volatile protocol state.
+    pub reboots: Option<RebootFaults>,
+    /// SoC sensor noise/bias on reported (not true) state of charge.
+    pub soc_sensor: Option<SocSensorFaults>,
+    /// Probability that an applied dissemination byte arrives
+    /// bit-corrupted.
+    pub weight_corruption: Option<f64>,
+    /// Degradation-ledger staleness bound: the gateway stops
+    /// extrapolating a node's degradation this long after last hearing
+    /// from it. `None` keeps the (ideal-world) unbounded
+    /// extrapolation.
+    pub ledger_staleness: Option<Duration>,
+}
+
+impl FaultConfig {
+    /// True when any fault family is configured.
+    #[must_use]
+    pub fn any_enabled(&self) -> bool {
+        !self.scheduled_outages.is_empty()
+            || self.random_outages.is_some()
+            || self.uplink_loss.is_some()
+            || self.downlink_loss.is_some()
+            || self.reboots.is_some()
+            || self.soc_sensor.is_some()
+            || self.weight_corruption.is_some()
+            || self.ledger_staleness.is_some()
+    }
+
+    /// The canonical "everything at once" schedule used by
+    /// `blam-sim chaos` and the resilience sweep: burst loss on both
+    /// directions, random outages at the given duty cycle, reboots,
+    /// sensor error, corrupted bytes and a bounded ledger.
+    ///
+    /// `outage_duty` is the long-run fraction of time a gateway is
+    /// down (0 disables outages); `loss` is the approximate average
+    /// loss on each direction.
+    #[must_use]
+    pub fn chaos(loss: f64, outage_duty: f64, reboot_mean: Duration) -> Self {
+        let random_outages = (outage_duty > 0.0).then(|| {
+            let duty = outage_duty.clamp(0.001, 0.9);
+            let mean_down = Duration::from_hours(1);
+            let up_secs = mean_down.as_secs_f64() * (1.0 - duty) / duty;
+            RandomOutages {
+                mean_up: Duration::from_secs_f64(up_secs),
+                mean_down,
+            }
+        });
+        let link = (loss > 0.0).then(|| GilbertElliott::burst(loss));
+        FaultConfig {
+            scheduled_outages: Vec::new(),
+            random_outages,
+            uplink_loss: link,
+            downlink_loss: link,
+            reboots: (!reboot_mean.is_zero()).then_some(RebootFaults {
+                mean_interval: reboot_mean,
+            }),
+            soc_sensor: Some(SocSensorFaults {
+                sigma: 0.02,
+                bias: -0.01,
+            }),
+            weight_corruption: Some(0.05),
+            ledger_staleness: Some(Duration::from_days(3)),
+        }
+    }
+
+    /// Validates probabilities, durations and gateway indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn validate(&self, gateways: usize) -> Result<(), String> {
+        for w in &self.scheduled_outages {
+            if w.gateway >= gateways {
+                return Err(format!(
+                    "scheduled outage names gateway {} but the scenario has {gateways}",
+                    w.gateway
+                ));
+            }
+            if w.start >= w.end {
+                return Err(format!(
+                    "scheduled outage for gateway {} must have start < end",
+                    w.gateway
+                ));
+            }
+        }
+        if let Some(ro) = &self.random_outages {
+            if ro.mean_up.is_zero() || ro.mean_down.is_zero() {
+                return Err("random outage mean_up/mean_down must be positive".to_string());
+            }
+        }
+        if let Some(ge) = &self.uplink_loss {
+            ge.validate("uplink_loss")?;
+        }
+        if let Some(ge) = &self.downlink_loss {
+            ge.validate("downlink_loss")?;
+        }
+        if let Some(rb) = &self.reboots {
+            if rb.mean_interval.is_zero() {
+                return Err("reboot mean_interval must be positive".to_string());
+            }
+        }
+        if let Some(s) = &self.soc_sensor {
+            if !(s.sigma.is_finite() && s.sigma >= 0.0 && s.bias.is_finite()) {
+                return Err("soc_sensor sigma must be finite and >= 0, bias finite".to_string());
+            }
+        }
+        if let Some(p) = self.weight_corruption {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("weight_corruption must be in [0, 1], got {p}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-node Gilbert–Elliott chain state for one link direction.
+struct LossState {
+    params: GilbertElliott,
+    /// `true` while the chain sits in the Bad state.
+    bad: Vec<bool>,
+    rngs: Vec<ChaCha8Rng>,
+}
+
+impl LossState {
+    fn build(params: GilbertElliott, seeder: &RngSeeder, stream: &str, nodes: usize) -> LossState {
+        LossState {
+            params,
+            bad: vec![false; nodes],
+            rngs: (0..nodes)
+                .map(|i| seeder.stream_indexed(stream, i as u64))
+                .collect(),
+        }
+    }
+
+    /// Advances node `i`'s chain one step and draws the loss verdict.
+    /// Always consumes exactly two uniforms, so the draw count (and
+    /// hence replay) does not depend on the chain's trajectory.
+    fn step(&mut self, i: usize) -> bool {
+        let rng = &mut self.rngs[i];
+        let flip: f64 = rng.gen();
+        let bad = &mut self.bad[i];
+        if *bad {
+            if flip < self.params.p_good {
+                *bad = false;
+            }
+        } else if flip < self.params.p_bad {
+            *bad = true;
+        }
+        let p = if *bad {
+            self.params.loss_bad
+        } else {
+            self.params.loss_good
+        };
+        rng.gen::<f64>() < p
+    }
+}
+
+/// Runtime state of the fault layer: precomputed outage schedules plus
+/// the per-node chains and streams for each enabled fault family.
+pub(crate) struct FaultLayer {
+    /// Per-gateway outage intervals, sorted and non-overlapping.
+    outages: Vec<Vec<(SimTime, SimTime)>>,
+    uplink: Option<LossState>,
+    downlink: Option<LossState>,
+    reboot_mean: Option<Duration>,
+    reboot_rngs: Vec<ChaCha8Rng>,
+    sensor: Option<SocSensorFaults>,
+    sensor_rngs: Vec<ChaCha8Rng>,
+    corruption: Option<f64>,
+    weight_rngs: Vec<ChaCha8Rng>,
+}
+
+/// Draws an exponentially distributed duration with the given mean
+/// (inverse-CDF method; at least 1 ms so schedules always advance).
+fn exp_duration(rng: &mut ChaCha8Rng, mean: Duration) -> Duration {
+    let u: f64 = rng.gen();
+    let secs = -mean.as_secs_f64() * (1.0 - u).ln();
+    Duration::from_secs_f64(secs).max(Duration::from_millis(1))
+}
+
+impl FaultLayer {
+    /// Builds the layer for a run. Streams and chain state are
+    /// allocated only for enabled fault families; a default config
+    /// draws nothing at all.
+    pub(crate) fn build(
+        cfg: &FaultConfig,
+        seeder: &RngSeeder,
+        nodes: usize,
+        gateways: usize,
+        horizon: SimTime,
+    ) -> FaultLayer {
+        let mut outages: Vec<Vec<(SimTime, SimTime)>> = vec![Vec::new(); gateways];
+        for w in &cfg.scheduled_outages {
+            if w.gateway < gateways {
+                outages[w.gateway].push((w.start, w.end));
+            }
+        }
+        if let Some(ro) = &cfg.random_outages {
+            for (g, slot) in outages.iter_mut().enumerate() {
+                let mut rng = seeder.stream_indexed("fault-outage", g as u64);
+                let mut t = SimTime::ZERO;
+                loop {
+                    let Some(up_end) = t.checked_add(exp_duration(&mut rng, ro.mean_up)) else {
+                        break;
+                    };
+                    if up_end >= horizon {
+                        break;
+                    }
+                    let down_end = up_end
+                        .checked_add(exp_duration(&mut rng, ro.mean_down))
+                        .unwrap_or(SimTime::MAX);
+                    slot.push((up_end, down_end));
+                    t = down_end;
+                    if t >= horizon {
+                        break;
+                    }
+                }
+            }
+        }
+        for slot in &mut outages {
+            slot.sort_unstable();
+            // Merge overlaps so interval lookups stay a binary search.
+            let mut merged: Vec<(SimTime, SimTime)> = Vec::with_capacity(slot.len());
+            for &(s, e) in slot.iter() {
+                match merged.last_mut() {
+                    Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                    _ => merged.push((s, e)),
+                }
+            }
+            *slot = merged;
+        }
+
+        let per_node = |name: &str, on: bool| -> Vec<ChaCha8Rng> {
+            if on {
+                (0..nodes)
+                    .map(|i| seeder.stream_indexed(name, i as u64))
+                    .collect()
+            } else {
+                Vec::new()
+            }
+        };
+        FaultLayer {
+            outages,
+            uplink: cfg
+                .uplink_loss
+                .map(|ge| LossState::build(ge, seeder, "fault-ul", nodes)),
+            downlink: cfg
+                .downlink_loss
+                .map(|ge| LossState::build(ge, seeder, "fault-dl", nodes)),
+            reboot_mean: cfg.reboots.map(|rb| rb.mean_interval),
+            reboot_rngs: per_node("fault-reboot", cfg.reboots.is_some()),
+            sensor: cfg.soc_sensor,
+            sensor_rngs: per_node("fault-sensor", cfg.soc_sensor.is_some()),
+            corruption: cfg.weight_corruption,
+            weight_rngs: per_node("fault-weight", cfg.weight_corruption.is_some()),
+        }
+    }
+
+    /// True when gateway `g` is down at any point of `[start, end)`.
+    pub(crate) fn gateway_down_during(&self, g: usize, start: SimTime, end: SimTime) -> bool {
+        let Some(iv) = self.outages.get(g) else {
+            return false;
+        };
+        let i = iv.partition_point(|&(_, e)| e <= start);
+        iv.get(i).is_some_and(|&(s, _)| s < end)
+    }
+
+    /// True when uplink loss is configured at all.
+    pub(crate) fn uplink_loss_enabled(&self) -> bool {
+        self.uplink.is_some()
+    }
+
+    /// Advances node `i`'s uplink chain for one attempt; true = lost.
+    pub(crate) fn uplink_lost(&mut self, i: usize) -> bool {
+        self.uplink.as_mut().is_some_and(|ls| ls.step(i))
+    }
+
+    /// True when downlink loss is configured at all.
+    pub(crate) fn downlink_loss_enabled(&self) -> bool {
+        self.downlink.is_some()
+    }
+
+    /// Advances node `i`'s downlink chain for one ACK; true = lost.
+    pub(crate) fn downlink_lost(&mut self, i: usize) -> bool {
+        self.downlink.as_mut().is_some_and(|ls| ls.step(i))
+    }
+
+    /// True when reboots are configured.
+    pub(crate) fn reboots_enabled(&self) -> bool {
+        self.reboot_mean.is_some()
+    }
+
+    /// Draws node `i`'s next reboot instant strictly after `now`.
+    pub(crate) fn next_reboot(&mut self, i: usize, now: SimTime) -> Option<SimTime> {
+        let mean = self.reboot_mean?;
+        now.checked_add(exp_duration(&mut self.reboot_rngs[i], mean))
+    }
+
+    /// True when SoC sensor error is configured.
+    pub(crate) fn sensor_enabled(&self) -> bool {
+        self.sensor.is_some()
+    }
+
+    /// The SoC node `i`'s sensor *reports* for a true value
+    /// `soc` — biased, noised (Box–Muller) and clamped to [0, 1].
+    /// Always consumes exactly two uniforms per reading.
+    pub(crate) fn sensor_soc(&mut self, i: usize, soc: f64) -> f64 {
+        let Some(s) = self.sensor else {
+            return soc;
+        };
+        let rng = &mut self.sensor_rngs[i];
+        let u1: f64 = rng.gen();
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * (1.0 - u1).ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (soc + s.bias + s.sigma * z).clamp(0.0, 1.0)
+    }
+
+    /// Passes the applied dissemination byte through the corruption
+    /// channel: `Some(corrupted)` when the draw says the byte was
+    /// damaged in flight, `None` when it arrived intact (or the fault
+    /// is off). Consumes one uniform per applied byte.
+    pub(crate) fn corrupt_weight(&mut self, i: usize, byte: u8) -> Option<u8> {
+        let p = self.corruption?;
+        let rng = &mut self.weight_rngs[i];
+        if rng.gen::<f64>() < p {
+            // Flip a non-empty random bit pattern so the byte always
+            // actually changes.
+            let flip = rng.gen_range(1..=u8::MAX);
+            Some(byte ^ flip)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(cfg: &FaultConfig, nodes: usize, gateways: usize) -> FaultLayer {
+        FaultLayer::build(
+            cfg,
+            &RngSeeder::new(42),
+            nodes,
+            gateways,
+            SimTime::ZERO + Duration::from_days(30),
+        )
+    }
+
+    #[test]
+    fn default_config_is_fully_disabled() {
+        let cfg = FaultConfig::default();
+        assert!(!cfg.any_enabled());
+        cfg.validate(1).unwrap();
+        let mut l = layer(&cfg, 4, 2);
+        assert!(l.outages.iter().all(Vec::is_empty));
+        assert!(!l.uplink_lost(0) && !l.downlink_lost(0));
+        assert!(l.next_reboot(0, SimTime::ZERO).is_none());
+        assert_eq!(l.sensor_soc(0, 0.37), 0.37);
+        assert!(l.corrupt_weight(0, 99).is_none());
+    }
+
+    #[test]
+    fn empty_json_deserializes_to_default() {
+        let cfg: FaultConfig = serde_json::from_str("{}").unwrap();
+        assert_eq!(cfg, FaultConfig::default());
+    }
+
+    #[test]
+    fn config_roundtrips_through_serde() {
+        let cfg = FaultConfig::chaos(0.3, 0.1, Duration::from_days(7));
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: FaultConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn chaos_preset_enables_every_family_and_validates() {
+        let cfg = FaultConfig::chaos(0.25, 0.08, Duration::from_days(10));
+        assert!(cfg.any_enabled());
+        assert!(cfg.random_outages.is_some());
+        assert!(cfg.uplink_loss.is_some() && cfg.downlink_loss.is_some());
+        assert!(cfg.reboots.is_some() && cfg.soc_sensor.is_some());
+        assert!(cfg.weight_corruption.is_some() && cfg.ledger_staleness.is_some());
+        cfg.validate(3).unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_malformed_fields() {
+        let mut cfg = FaultConfig {
+            weight_corruption: Some(1.5),
+            ..FaultConfig::default()
+        };
+        assert!(cfg.validate(1).is_err());
+        cfg.weight_corruption = None;
+        cfg.scheduled_outages.push(OutageWindow {
+            gateway: 3,
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(10),
+        });
+        assert!(cfg.validate(1).is_err());
+        cfg.scheduled_outages[0].gateway = 0;
+        cfg.scheduled_outages[0].end = SimTime::ZERO;
+        assert!(cfg.validate(1).is_err());
+    }
+
+    #[test]
+    fn scheduled_outage_lookup_is_exact() {
+        let cfg = FaultConfig {
+            scheduled_outages: vec![OutageWindow {
+                gateway: 0,
+                start: SimTime::from_secs(100),
+                end: SimTime::from_secs(200),
+            }],
+            ..FaultConfig::default()
+        };
+        let l = layer(&cfg, 1, 2);
+        let t = SimTime::from_secs;
+        assert!(!l.gateway_down_during(0, t(0), t(100)));
+        assert!(l.gateway_down_during(0, t(50), t(101)));
+        assert!(l.gateway_down_during(0, t(150), t(160)));
+        assert!(l.gateway_down_during(0, t(199), t(300)));
+        assert!(!l.gateway_down_during(0, t(200), t(300)));
+        assert!(!l.gateway_down_during(1, t(150), t(160)));
+        // Out-of-range gateway index is simply "never down".
+        assert!(!l.gateway_down_during(7, t(150), t(160)));
+    }
+
+    #[test]
+    fn random_outages_are_seed_deterministic_and_sorted() {
+        let cfg = FaultConfig {
+            random_outages: Some(RandomOutages {
+                mean_up: Duration::from_hours(6),
+                mean_down: Duration::from_hours(1),
+            }),
+            ..FaultConfig::default()
+        };
+        let a = layer(&cfg, 1, 2);
+        let b = layer(&cfg, 1, 2);
+        assert_eq!(a.outages, b.outages);
+        assert!(a.outages.iter().any(|iv| !iv.is_empty()));
+        // Per-gateway schedules are independent streams.
+        assert_ne!(a.outages[0], a.outages[1]);
+        for iv in &a.outages {
+            for w in iv.windows(2) {
+                assert!(w[0].1 <= w[1].0, "intervals must be disjoint and sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_total_loss_always_loses_and_zero_never_does() {
+        let cfg = FaultConfig {
+            uplink_loss: Some(GilbertElliott::uniform(1.0)),
+            downlink_loss: Some(GilbertElliott::uniform(0.0)),
+            ..FaultConfig::default()
+        };
+        let mut l = layer(&cfg, 2, 1);
+        for _ in 0..64 {
+            assert!(l.uplink_lost(1));
+            assert!(!l.downlink_lost(1));
+        }
+    }
+
+    #[test]
+    fn burst_loss_matches_requested_average_roughly() {
+        let cfg = FaultConfig {
+            uplink_loss: Some(GilbertElliott::burst(0.3)),
+            ..FaultConfig::default()
+        };
+        let mut l = layer(&cfg, 1, 1);
+        let lost = (0..20_000).filter(|_| l.uplink_lost(0)).count();
+        let rate = lost as f64 / 20_000.0;
+        assert!((0.15..=0.45).contains(&rate), "burst loss rate {rate}");
+    }
+
+    #[test]
+    fn sensor_readings_are_clamped_and_deterministic() {
+        let cfg = FaultConfig {
+            soc_sensor: Some(SocSensorFaults {
+                sigma: 0.5,
+                bias: 0.2,
+            }),
+            ..FaultConfig::default()
+        };
+        let mut a = layer(&cfg, 1, 1);
+        let mut b = layer(&cfg, 1, 1);
+        for k in 0..256 {
+            let true_soc = f64::from(k) / 255.0;
+            let r = a.sensor_soc(0, true_soc);
+            assert!((0.0..=1.0).contains(&r));
+            assert_eq!(r, b.sensor_soc(0, true_soc));
+        }
+    }
+
+    #[test]
+    fn corrupted_weight_always_differs_from_the_original() {
+        let cfg = FaultConfig {
+            weight_corruption: Some(1.0),
+            ..FaultConfig::default()
+        };
+        let mut l = layer(&cfg, 1, 1);
+        for byte in 0..=u8::MAX {
+            let corrupted = l.corrupt_weight(0, byte).expect("p=1 always corrupts");
+            assert_ne!(corrupted, byte);
+        }
+    }
+
+    #[test]
+    fn reboot_schedule_is_deterministic_and_advances() {
+        let cfg = FaultConfig {
+            reboots: Some(RebootFaults {
+                mean_interval: Duration::from_days(2),
+            }),
+            ..FaultConfig::default()
+        };
+        let mut a = layer(&cfg, 2, 1);
+        let mut b = layer(&cfg, 2, 1);
+        assert!(a.reboots_enabled());
+        let mut t = SimTime::ZERO;
+        for _ in 0..16 {
+            let next = a.next_reboot(0, t).unwrap();
+            assert_eq!(Some(next), b.next_reboot(0, t));
+            assert!(next > t);
+            t = next;
+        }
+    }
+}

@@ -22,6 +22,12 @@
 //!   loop; event routing lives in the crate-private `events` module,
 //!   gateway half-duplex arbitration and RX1/RX2 downlink scheduling
 //!   in the crate-private `radio` module.
+//! * [`faults`] — seeded, deterministic fault injection
+//!   ([`FaultConfig`](faults::FaultConfig)): gateway outages,
+//!   Gilbert–Elliott link loss, node reboots, SoC sensor error and
+//!   corrupted dissemination bytes, all drawn from per-entity named
+//!   RNG streams so faulted runs stay byte-identical in parallel
+//!   batches.
 //! * [`runner`] — [`BatchRunner`](runner::BatchRunner): deterministic
 //!   parallel execution of scenario batches on worker threads, with
 //!   per-phase wall-clock profiling.
@@ -58,6 +64,7 @@
 pub mod config;
 pub mod engine;
 mod events;
+pub mod faults;
 pub mod metrics;
 pub mod nodes;
 pub mod policy;
@@ -71,6 +78,7 @@ pub mod topology;
 pub use blam_telemetry;
 pub use config::{Protocol, ScenarioConfig};
 pub use engine::RunResult;
+pub use faults::FaultConfig;
 pub use metrics::{NetworkMetrics, NodeMetrics};
 pub use policy::{AlohaPolicy, BlamPolicy, MacPolicy, WindowDecision};
 pub use runner::{BatchOutcome, BatchRunner};

@@ -15,10 +15,11 @@ use blam_lorawan::{
     ClassAMac, DeviceAddr, MacAction, MacParams, TransmissionId, TxReport, Uplink,
     UplinkTransmission,
 };
-use blam_telemetry::{DropReason, EventKind};
+use blam_telemetry::{DropReason, EventKind, FaultKind};
 use blam_units::{Dbm, Duration, Joules, SimTime, Watts};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
+use std::collections::VecDeque;
 
 use crate::config::{ForecasterKind, ScenarioConfig};
 use crate::engine::Engine;
@@ -121,9 +122,20 @@ pub struct SimNode {
     pub pending_adr: Option<blam_lorawan::AdrCommand>,
     /// Pending RX-deadline event (cancelled when the ACK wins).
     pub pending_deadline: Option<blam_des::EventId>,
-    /// Previous period's compressed SoC trace, to piggyback on the next
-    /// uplink (anchor time, trace).
-    pub pending_trace: Option<(SimTime, CompressedSocTrace)>,
+    /// Compressed SoC traces awaiting delivery, oldest first (anchor
+    /// time, trace). Depth is [`blam::BlamConfig::trace_buffer`]; with
+    /// the default depth 1 this is exactly the paper's single pending
+    /// trace, while hardened variants buffer across failed exchanges
+    /// and backfill the gateway ledger on recovery.
+    pub trace_queue: VecDeque<(SimTime, CompressedSocTrace)>,
+    /// When the node last applied a disseminated `w_u` byte (for the
+    /// TTL-based trust decay; volatile — wiped by a reboot).
+    pub weight_updated_at: Option<SimTime>,
+    /// Edge-trigger latch for the `WuExpired` telemetry event.
+    pub wu_expired_latched: bool,
+    /// Set by a reboot: the forecaster was wiped, so the next packet
+    /// skips Algorithm 1 and transmits in the immediate window.
+    pub cold_start: bool,
     /// PHY payload length of the uplink currently in flight.
     pub current_phy_len: usize,
     /// Channel of the uplink currently in flight.
@@ -339,7 +351,10 @@ pub(crate) fn build_nodes(
                 pending_weight: None,
                 pending_adr: None,
                 pending_deadline: None,
-                pending_trace: None,
+                trace_queue: VecDeque::new(),
+                weight_updated_at: None,
+                wu_expired_latched: false,
+                cold_start: false,
                 current_phy_len: phy_len,
                 current_channel: cfg.plan.uplink[0],
                 exchange_epoch: 0,
@@ -425,12 +440,34 @@ impl Engine {
                     generated_at: now,
                     window: w,
                 });
+                let epoch = node.exchange_epoch;
+                // Degradation-ladder telemetry: a stale w_u losing
+                // trust (edge-triggered) and the cold-start fallback.
+                let mut wu_age = None;
+                if decision.wu_trust < 1.0 && !node.wu_expired_latched {
+                    node.wu_expired_latched = true;
+                    wu_age = Some(
+                        node.weight_updated_at
+                            .map_or(0, |at| now.saturating_since(at).as_millis()),
+                    );
+                }
+                if self.telemetry_on() {
+                    if let Some(age_ms) = wu_age {
+                        self.emit(now, i, EventKind::WuExpired { age_ms });
+                    }
+                    if decision.fallback {
+                        self.emit(now, i, EventKind::FallbackWindow);
+                    }
+                }
                 // Random offset within the window halves collision odds
                 // without a measurable utility change (§III-B, "Network
                 // dynamics and channel access").
                 let jitter =
                     Duration::from_millis(self.mac_rng.gen_range(0..=(window.as_millis() / 2)));
-                sim.schedule(now + window * w as u64 + jitter, Event::StartTx { node: i });
+                sim.schedule(
+                    now + window * w as u64 + jitter,
+                    Event::StartTx { node: i, epoch },
+                );
                 if self.telemetry_on() {
                     self.emit(
                         now,
@@ -446,7 +483,18 @@ impl Engine {
         }
     }
 
-    pub(crate) fn on_start_tx(&mut self, sim: &mut Simulator<Event>, now: SimTime, i: usize) {
+    pub(crate) fn on_start_tx(
+        &mut self,
+        sim: &mut Simulator<Event>,
+        now: SimTime,
+        i: usize,
+        epoch: u64,
+    ) {
+        if epoch != self.nodes[i].exchange_epoch {
+            // The node rebooted after this start was scheduled; the
+            // packet it belonged to was already accounted as dropped.
+            return;
+        }
         self.settle_node(now, i, Joules::ZERO);
         let node = &mut self.nodes[i];
         if !node.mac.is_idle() {
@@ -468,7 +516,7 @@ impl Engine {
             return;
         }
 
-        let piggyback = node.pending_trace.map(|_| CompressedSocTrace::ENCODED_LEN);
+        let piggyback = (!node.trace_queue.is_empty()).then_some(CompressedSocTrace::ENCODED_LEN);
         let mut frame = Uplink::confirmed(self.cfg.payload_bytes);
         frame.piggyback_len = piggyback.unwrap_or(0);
         node.current_phy_len = frame.phy_payload_len();
@@ -515,11 +563,26 @@ impl Engine {
         };
         self.settle_node(now, i, tx_cost);
         self.nodes[i].metrics.tx_energy_electrical += tx_cost;
-        // Record the discharge transition for the compressed trace.
+        // Record the discharge transition for the compressed trace —
+        // through the (possibly faulty) SoC sensor, which misreads the
+        // value the node reports without touching the real battery.
         {
+            let mut soc = self.nodes[i].battery.soc();
+            if self.faults.sensor_enabled() {
+                soc = self.faults.sensor_soc(i, soc);
+                if self.telemetry_on() {
+                    self.emit(
+                        now,
+                        i,
+                        EventKind::FaultInjected {
+                            fault: FaultKind::SensorNoise,
+                        },
+                    );
+                }
+            }
             let node = &mut self.nodes[i];
             let w = node.window_index(now, window) as u8;
-            node.discharge_sample = Some(SocSample::new(w, node.battery.soc()));
+            node.discharge_sample = Some(SocSample::new(w, soc));
         }
 
         // The uplink counts if any gateway decoded it.
@@ -567,11 +630,28 @@ impl Engine {
             sim.cancel(id);
         }
         if let Some(byte) = self.nodes[i].pending_weight.take() {
+            // The dissemination byte may arrive bit-corrupted; decode
+            // clamps, so even a damaged byte yields a valid w_u — the
+            // node just plans around a wrong fleet view until the next
+            // dissemination overwrites it.
+            let corrupted = self.faults.corrupt_weight(i, byte);
+            let byte = corrupted.unwrap_or(byte);
             if self.telemetry_on() {
+                if corrupted.is_some() {
+                    self.emit(
+                        now,
+                        i,
+                        EventKind::FaultInjected {
+                            fault: FaultKind::WeightCorrupted,
+                        },
+                    );
+                }
                 self.emit(now, i, EventKind::DisseminationApplied { weight: byte });
             }
             let policy = &self.policy;
             policy.on_ack_weight(&mut self.nodes[i], byte);
+            self.nodes[i].weight_updated_at = Some(now);
+            self.nodes[i].wu_expired_latched = false;
         }
         if let Some(cmd) = self.nodes[i].pending_adr.take() {
             let node = &mut self.nodes[i];
@@ -650,6 +730,11 @@ impl Engine {
             match *action {
                 MacAction::Transmit(tx) => {
                     let epoch = self.nodes[i].exchange_epoch;
+                    // One Gilbert–Elliott step per attempt, before any
+                    // per-gateway work, so the chain's draw count never
+                    // depends on the deployment.
+                    let uplink_lost =
+                        self.faults.uplink_loss_enabled() && self.faults.uplink_lost(i);
                     let node = &mut self.nodes[i];
                     node.current_channel = tx.channel;
                     node.metrics.transmissions += 1;
@@ -666,7 +751,19 @@ impl Engine {
                         .iter()
                         .map(|l| l.rssi(tx.config.power).0)
                         .collect();
+                    let mut outage_skips = 0u32;
                     for (g, rssi) in rssis.into_iter().enumerate() {
+                        // A burst-lost frame reaches no gateway; a
+                        // gateway down for any part of the airtime
+                        // misses it too. The node still pays the full
+                        // transmit energy either way.
+                        if uplink_lost {
+                            continue;
+                        }
+                        if self.faults.gateway_down_during(g, now, now + tx.airtime) {
+                            outage_skips += 1;
+                            continue;
+                        }
                         let descriptor = UplinkTransmission {
                             device: DeviceAddr(i as u32),
                             channel: tx.channel,
@@ -677,6 +774,26 @@ impl Engine {
                         };
                         let tid = self.gateways[g].begin_uplink(descriptor);
                         self.nodes[i].inflight.push((epoch, g, tid, rssi));
+                    }
+                    if self.telemetry_on() {
+                        if uplink_lost {
+                            self.emit(
+                                now,
+                                i,
+                                EventKind::FaultInjected {
+                                    fault: FaultKind::UplinkLost,
+                                },
+                            );
+                        }
+                        for _ in 0..outage_skips {
+                            self.emit(
+                                now,
+                                i,
+                                EventKind::FaultInjected {
+                                    fault: FaultKind::GatewayOutage,
+                                },
+                            );
+                        }
                     }
                     sim.schedule(now + tx.airtime, Event::TxEnd { node: i, epoch });
                     if self.telemetry_on() {
@@ -745,10 +862,94 @@ impl Engine {
             }
         }
 
+        // An undelivered exchange leaves its SoC traces queued: they
+        // ride the next uplink instead of being lost with the ACK.
+        let mut requeue = None;
+        if !report.delivered && telemetry_on {
+            let queued = node.trace_queue.len() as u32;
+            if queued > 0 {
+                requeue = Some(EventKind::TraceRequeued { queued });
+            }
+        }
+
         policy.on_exchange_complete(node, packet, report);
         node.exchange_epoch += 1;
         if let Some(kind) = event {
             self.emit(now, i, kind);
+        }
+        if let Some(kind) = requeue {
+            self.emit(now, i, kind);
+        }
+    }
+
+    /// Fault injection: the node loses power and reboots. Everything
+    /// volatile is wiped — the forecaster's learned history, queued SoC
+    /// traces, the pending `w_u` byte and ADR command, the current
+    /// exchange — while flash-persisted state (protocol estimators,
+    /// radio parameters) survives. The next packet transmits in the
+    /// immediate window until the forecaster has observations again.
+    pub(crate) fn on_reboot(&mut self, sim: &mut Simulator<Event>, now: SimTime, i: usize) {
+        let window = self.cfg.forecast_window;
+        self.settle_node(now, i, Joules::ZERO);
+
+        // Conclude whatever exchange was in progress; a packet still
+        // waiting for its forecast window dies with the reboot.
+        if let Some(id) = self.nodes[i].pending_deadline.take() {
+            sim.cancel(id);
+        }
+        if !self.nodes[i].mac.is_idle() {
+            if let Some(report) = self.nodes[i].mac.abort(now) {
+                self.finish_exchange(now, i, &report);
+            }
+        } else if self.nodes[i].packet.take().is_some() {
+            let node = &mut self.nodes[i];
+            node.metrics.dropped_brownout += 1;
+            node.metrics.concluded += 1;
+            node.metrics.latency_sum += node.period;
+            if self.telemetry_on() {
+                self.emit(
+                    now,
+                    i,
+                    EventKind::PacketDropped {
+                        reason: DropReason::Brownout,
+                    },
+                );
+            }
+        }
+
+        let node = &mut self.nodes[i];
+        node.trace_queue.clear();
+        node.pending_weight = None;
+        node.pending_adr = None;
+        node.discharge_sample = None;
+        node.recharge_sample = None;
+        node.weight_updated_at = None;
+        node.wu_expired_latched = false;
+        node.cold_start = true;
+        // The persistence forecaster's history lives in RAM; it
+        // restarts empty. The oracle variants model out-of-band
+        // knowledge and survive by construction.
+        if matches!(node.forecaster, NodeForecaster::Persistence(_)) {
+            node.forecaster = NodeForecaster::Persistence(DiurnalPersistence::new(window, 0.3));
+        }
+        if let Some(blam) = node.blam.as_mut() {
+            blam.clear_weight();
+        }
+        // Invalidate every event scheduled against the pre-reboot
+        // lifetime (StartTx, TxEnd, deadlines, retransmits).
+        node.exchange_epoch += 1;
+
+        if self.telemetry_on() {
+            self.emit(
+                now,
+                i,
+                EventKind::FaultInjected {
+                    fault: FaultKind::Reboot,
+                },
+            );
+        }
+        if let Some(at) = self.faults.next_reboot(i, now) {
+            sim.schedule(at, Event::Reboot { node: i });
         }
     }
 

@@ -35,6 +35,13 @@ pub struct WindowDecision {
     pub utility_loss: f64,
     /// Degradation impact factor of the choice (0 for ALOHA).
     pub dif: f64,
+    /// True when the decision came from the cold-start degradation
+    /// ladder (forecaster wiped by a reboot), not Algorithm 1.
+    pub fallback: bool,
+    /// Trust in the disseminated `w_u` that informed the decision
+    /// (1 within its TTL, decaying toward 0 past it; always 1 when no
+    /// TTL is configured and for ALOHA).
+    pub wu_trust: f64,
 }
 
 impl WindowDecision {
@@ -46,6 +53,8 @@ impl WindowDecision {
             objective: 0.0,
             utility_loss: 0.0,
             dif: 0.0,
+            fallback: false,
+            wu_trust: 1.0,
         }
     }
 }
@@ -253,7 +262,17 @@ impl MacPolicy for BlamPolicy {
                 (None, None) => None,
             };
             if let Some(t) = trace {
-                node.pending_trace = Some((prev_start, t));
+                // Depth 1 reproduces the paper's overwrite-with-newest
+                // semantics; deeper queues keep older undelivered
+                // traces so a node cut off by an outage or burst can
+                // backfill the ledger once an exchange succeeds again.
+                if self.cfg.trace_buffer <= 1 {
+                    node.trace_queue.clear();
+                }
+                node.trace_queue.push_back((prev_start, t));
+                while node.trace_queue.len() > self.cfg.trace_buffer.max(1) {
+                    node.trace_queue.pop_front();
+                }
             }
         }
         // The persistence forecaster learns from what actually arrived;
@@ -275,20 +294,47 @@ impl MacPolicy for BlamPolicy {
         now: SimTime,
         window: Duration,
     ) -> Option<WindowDecision> {
+        // Cold start after a reboot: the forecaster has no history to
+        // rank windows with, so degrade gracefully to the immediate
+        // window (exactly LoRaWAN's choice) for this packet rather
+        // than planning on an all-zero forecast.
+        if node.cold_start {
+            node.cold_start = false;
+            return Some(WindowDecision {
+                fallback: true,
+                ..WindowDecision::immediate()
+            });
+        }
         let windows = node.windows;
         let forecast: Vec<Joules> = (0..windows)
             .map(|w| node.forecaster.predict(now + window * w as u64, window))
             .collect();
         let battery = node.battery.stored();
+        // Stale w_u decays toward the neutral weight: full trust inside
+        // the TTL, then linear decay to zero over one further TTL.
+        let trust = match (self.cfg.wu_ttl, node.weight_updated_at) {
+            (Some(ttl), Some(at)) => {
+                let age = now.saturating_since(at);
+                if age <= ttl {
+                    1.0
+                } else {
+                    (1.0 - age.saturating_sub(ttl).as_secs_f64() / ttl.as_secs_f64()).max(0.0)
+                }
+            }
+            _ => 1.0,
+        };
         let blam = node
             .blam
             .as_mut()
             .expect("BlamPolicy installs BLAM state on every node");
+        blam.set_weight_trust(trust);
         blam.plan(battery, &forecast).map(|p| WindowDecision {
             window: p.window,
             objective: p.objective,
             utility_loss: p.utility_loss,
             dif: p.dif,
+            fallback: false,
+            wu_trust: trust,
         })
     }
 
@@ -357,6 +403,8 @@ mod tests {
         assert_eq!(d.objective, 0.0);
         assert_eq!(d.utility_loss, 0.0);
         assert_eq!(d.dif, 0.0);
+        assert!(!d.fallback);
+        assert_eq!(d.wu_trust, 1.0);
     }
 
     #[test]

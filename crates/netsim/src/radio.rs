@@ -6,6 +6,7 @@
 use blam_des::Simulator;
 use blam_lora_phy::{CodingRate, TxConfig};
 use blam_lorawan::{DeviceAddr, Uplink};
+use blam_telemetry::{EventKind, FaultKind};
 use blam_units::{Dbm, Duration, SimTime};
 
 use crate::engine::Engine;
@@ -54,13 +55,32 @@ impl Engine {
         rx_gateway: usize,
         frame: &Uplink,
     ) {
+        // Downlink burst loss gates the whole server response: a lost
+        // ACK path means the exchange looks exactly like an unheard
+        // uplink to the node (no trace recorded, no ADR, no downlink).
+        // With 100% loss this is byte-identical to a dead gateway.
+        if self.faults.downlink_loss_enabled() && self.faults.downlink_lost(i) {
+            if self.telemetry_on() {
+                self.emit(
+                    now,
+                    i,
+                    EventKind::FaultInjected {
+                        fault: FaultKind::DownlinkLost,
+                    },
+                );
+            }
+            return;
+        }
         let sf = self.nodes[i].placement.sf;
         let uplink_channel = self.nodes[i].current_channel;
         let decision = self
             .server
             .on_uplink(frame, &uplink_channel, sf, &self.cfg.plan);
         if !decision.duplicate {
-            if let Some((anchor, trace)) = self.nodes[i].pending_trace.take() {
+            // One queued trace rides per delivered uplink, oldest
+            // first, so a backlog buffered across failed exchanges
+            // drains in anchor order.
+            if let Some((anchor, trace)) = self.nodes[i].trace_queue.pop_front() {
                 self.ledger.record_trace(i as u32, anchor, &trace);
             }
             if let Some(adr) = self.adr.as_mut() {
@@ -136,10 +156,23 @@ impl Engine {
         epoch: u64,
         fallback: Option<(SimTime, SimTime, SimTime)>,
     ) {
-        if !self.gateways[gateway].downlink_available(now) {
-            // Busy ACKing someone else in RX1: retry in the node's RX2
-            // window; if that is busy too the ACK is lost and the node
-            // retransmits — the residual half-duplex cost of ALOHA.
+        // A gateway that goes down between the uplink and its receive
+        // window cannot transmit the ACK.
+        let down = self.faults.gateway_down_during(gateway, now, end);
+        if down && self.telemetry_on() {
+            self.emit(
+                now,
+                i,
+                EventKind::FaultInjected {
+                    fault: FaultKind::GatewayOutage,
+                },
+            );
+        }
+        if down || !self.gateways[gateway].downlink_available(now) {
+            // Down, or busy ACKing someone else in RX1: retry in the
+            // node's RX2 window; if that fails too the ACK is lost and
+            // the node retransmits — the residual half-duplex cost of
+            // ALOHA.
             if let Some((start, end2, ack2)) = fallback {
                 sim.schedule(
                     start,
@@ -163,7 +196,13 @@ impl Engine {
     /// degradation (quantized to a byte) into the server's piggyback
     /// slots, to ride the next ACKs.
     pub(crate) fn on_dissemination(&mut self, sim: &mut Simulator<Event>, now: SimTime) {
-        for (id, byte) in self.ledger.compute_normalized(now) {
+        // With a staleness bound the ledger stops extrapolating the
+        // degradation of nodes it has not heard from; unbounded (the
+        // fault-free default) it ages every tracker to `now`.
+        let normalized = self
+            .ledger
+            .compute_normalized_bounded(now, self.cfg.faults.ledger_staleness);
+        for (id, byte) in normalized {
             self.server.set_piggyback(DeviceAddr(id), byte);
         }
         sim.schedule(now + self.cfg.dissemination_interval, Event::Dissemination);

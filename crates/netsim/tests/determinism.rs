@@ -6,8 +6,9 @@
 //! must therefore be byte-identical across all of these axes.
 
 use blam_netsim::engine::Engine;
-use blam_netsim::{config::Protocol, BatchRunner, RunResult, ScenarioConfig};
-use blam_units::Duration;
+use blam_netsim::faults::{GilbertElliott, OutageWindow, SocSensorFaults};
+use blam_netsim::{config::Protocol, BatchRunner, FaultConfig, RunResult, ScenarioConfig};
+use blam_units::{Duration, SimTime};
 
 fn quick_cfg(protocol: Protocol, nodes: usize, seed: u64) -> ScenarioConfig {
     ScenarioConfig {
@@ -50,6 +51,85 @@ fn thread_count_does_not_change_results() {
             serialize(s),
             serialize(p),
             "--jobs 1 and --jobs 8 must agree for {}",
+            s.label
+        );
+    }
+}
+
+/// The fault layer at zero intensity must be a perfect no-op: loss
+/// chains that never lose, a sensor with no error, and a corruption
+/// channel that never corrupts draw only from their own streams, so
+/// results stay byte-identical to a config with no faults at all.
+#[test]
+fn zero_intensity_faults_are_byte_identical_to_no_faults() {
+    for protocol in [Protocol::Lorawan, Protocol::h(0.5)] {
+        let clean = quick_cfg(protocol.clone(), 10, 42);
+        let mut faulted = clean.clone();
+        faulted.faults.uplink_loss = Some(GilbertElliott::uniform(0.0));
+        faulted.faults.downlink_loss = Some(GilbertElliott::uniform(0.0));
+        faulted.faults.soc_sensor = Some(SocSensorFaults {
+            sigma: 0.0,
+            bias: 0.0,
+        });
+        faulted.faults.weight_corruption = Some(0.0);
+        let a = Engine::build(clean).run();
+        let b = Engine::build(faulted).run();
+        assert_eq!(
+            serialize(&a),
+            serialize(&b),
+            "zero-intensity faults must not perturb {} at all",
+            a.label
+        );
+    }
+}
+
+/// An ACK path with 100% downlink loss is indistinguishable from a
+/// gateway that is down for the whole run: in both worlds the node
+/// transmits, pays the energy, and never hears back — and nothing
+/// (ledger, ADR, server state, event counts) may differ between them.
+#[test]
+fn total_downlink_loss_matches_permanently_down_gateway() {
+    for protocol in [Protocol::Lorawan, Protocol::h(0.5)] {
+        let mut lossy = quick_cfg(protocol.clone(), 10, 77);
+        lossy.faults.downlink_loss = Some(GilbertElliott::uniform(1.0));
+        let mut dead = quick_cfg(protocol, 10, 77);
+        dead.faults.scheduled_outages = vec![OutageWindow {
+            gateway: 0,
+            start: SimTime::ZERO,
+            end: SimTime::MAX,
+        }];
+        let a = Engine::build(lossy).run();
+        let b = Engine::build(dead).run();
+        assert_eq!(
+            serialize(&a),
+            serialize(&b),
+            "100% downlink loss and a dead gateway must agree for {}",
+            a.label
+        );
+    }
+}
+
+/// Faulted runs obey the same determinism contract as clean ones:
+/// repeatable, and independent of worker count.
+#[test]
+fn chaos_runs_are_repeatable_and_thread_independent() {
+    let chaos = |protocol: Protocol, seed: u64| {
+        let mut cfg = quick_cfg(protocol, 8, seed);
+        cfg.faults = FaultConfig::chaos(0.3, 0.1, Duration::from_hours(8));
+        cfg
+    };
+    let configs = vec![
+        chaos(Protocol::Lorawan, 5),
+        chaos(Protocol::h(0.5), 5),
+        chaos(Protocol::h(0.05), 13),
+    ];
+    let serial = BatchRunner::new(1).quiet().run_all(configs.clone());
+    let parallel = BatchRunner::new(8).quiet().run_all(configs);
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(
+            serialize(s),
+            serialize(p),
+            "faulted --jobs 1 and --jobs 8 must agree for {}",
             s.label
         );
     }

@@ -10,7 +10,7 @@
 use std::path::PathBuf;
 
 use blam_netsim::engine::Engine;
-use blam_netsim::{config::Protocol, ScenarioConfig};
+use blam_netsim::{config::Protocol, FaultConfig, ScenarioConfig};
 use blam_units::Duration;
 
 fn snapshot_path(name: &str) -> PathBuf {
@@ -20,9 +20,14 @@ fn snapshot_path(name: &str) -> PathBuf {
 }
 
 fn check_network_snapshot(name: &str, protocol: Protocol) {
+    check_faulted_network_snapshot(name, protocol, FaultConfig::default());
+}
+
+fn check_faulted_network_snapshot(name: &str, protocol: Protocol, faults: FaultConfig) {
     let cfg = ScenarioConfig {
         duration: Duration::from_days(2),
         sample_interval: Duration::from_days(1),
+        faults,
         ..ScenarioConfig::large_scale(20, protocol, 11)
     };
     let run = Engine::build(cfg).run();
@@ -54,4 +59,16 @@ fn lorawan_quick_scenario_matches_snapshot() {
 #[test]
 fn h50_quick_scenario_matches_snapshot() {
     check_network_snapshot("network_h50_20n_2d_seed11", Protocol::h(0.5));
+}
+
+/// Pins a fully faulted run too: any change to the fault layer's draw
+/// order or hook placement shifts these metrics and must re-baseline
+/// deliberately.
+#[test]
+fn h50_chaos_scenario_matches_snapshot() {
+    check_faulted_network_snapshot(
+        "network_h50_chaos_20n_2d_seed11",
+        Protocol::h(0.5),
+        FaultConfig::chaos(0.25, 0.1, Duration::from_days(1)),
+    );
 }

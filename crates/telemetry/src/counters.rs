@@ -29,6 +29,14 @@ pub struct EventCounters {
     pub soc_capped: u64,
     /// `DisseminationApplied` events.
     pub dissemination_applied: u64,
+    /// `FaultInjected` events (all fault kinds).
+    pub faults_injected: u64,
+    /// `WuExpired` events.
+    pub wu_expired: u64,
+    /// `FallbackWindow` events.
+    pub fallback_windows: u64,
+    /// `TraceRequeued` events.
+    pub traces_requeued: u64,
 }
 
 impl EventCounters {
@@ -48,6 +56,10 @@ impl EventCounters {
             EventKind::Brownout { .. } => self.brownouts += 1,
             EventKind::SocCapped { .. } => self.soc_capped += 1,
             EventKind::DisseminationApplied { .. } => self.dissemination_applied += 1,
+            EventKind::FaultInjected { .. } => self.faults_injected += 1,
+            EventKind::WuExpired { .. } => self.wu_expired += 1,
+            EventKind::FallbackWindow => self.fallback_windows += 1,
+            EventKind::TraceRequeued { .. } => self.traces_requeued += 1,
         }
     }
 
@@ -65,6 +77,10 @@ impl EventCounters {
             + self.brownouts
             + self.soc_capped
             + self.dissemination_applied
+            + self.faults_injected
+            + self.wu_expired
+            + self.fallback_windows
+            + self.traces_requeued
     }
 
     /// Adds another counter set into this one.
@@ -80,6 +96,10 @@ impl EventCounters {
         self.brownouts += other.brownouts;
         self.soc_capped += other.soc_capped;
         self.dissemination_applied += other.dissemination_applied;
+        self.faults_injected += other.faults_injected;
+        self.wu_expired += other.wu_expired;
+        self.fallback_windows += other.fallback_windows;
+        self.traces_requeued += other.traces_requeued;
     }
 }
 
@@ -119,6 +139,12 @@ mod tests {
                 soc: 1.0,
             },
             EventKind::DisseminationApplied { weight: 3 },
+            EventKind::FaultInjected {
+                fault: crate::event::FaultKind::Reboot,
+            },
+            EventKind::WuExpired { age_ms: 1000 },
+            EventKind::FallbackWindow,
+            EventKind::TraceRequeued { queued: 2 },
         ];
         for k in &kinds {
             c.bump(k);
@@ -129,6 +155,10 @@ mod tests {
         assert_eq!(c.drops_brownout, 1);
         assert_eq!(c.drops_mac_busy, 1);
         assert_eq!(c.dissemination_applied, 1);
+        assert_eq!(c.faults_injected, 1);
+        assert_eq!(c.wu_expired, 1);
+        assert_eq!(c.fallback_windows, 1);
+        assert_eq!(c.traces_requeued, 1);
     }
 
     #[test]

@@ -12,7 +12,11 @@ use serde::{Deserialize, Serialize};
 ///
 /// Bump this whenever the shape of [`SimEvent`] or [`Record`] changes
 /// incompatibly; the [`crate::replay`] validator rejects mismatches.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// History: v1 — initial schema; v2 — fault-injection and degradation
+/// events (`fault_injected`, `wu_expired`, `fallback_window`,
+/// `trace_requeued`).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One structured event observed during a simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -82,6 +86,46 @@ pub enum EventKind {
         /// The dissemination weight carried by the downlink.
         weight: u8,
     },
+    /// The fault layer injected a fault.
+    FaultInjected {
+        /// Which fault fired.
+        fault: FaultKind,
+    },
+    /// The node's disseminated weight aged past its TTL; the policy is
+    /// decaying it toward neutral instead of trusting it. Emitted once
+    /// per expiry (edge-triggered), not per packet.
+    WuExpired {
+        /// Age of the weight when the expiry was first observed, in
+        /// milliseconds.
+        age_ms: u64,
+    },
+    /// The policy fell back to immediate-window transmission because
+    /// the forecaster was cold (e.g. right after a reboot).
+    FallbackWindow,
+    /// An exchange failed with compressed SoC traces still queued; the
+    /// node keeps them buffered to re-piggyback on recovery.
+    TraceRequeued {
+        /// Traces waiting in the node's bounded queue.
+        queued: u32,
+    },
+}
+
+/// Which fault the fault-injection layer fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum FaultKind {
+    /// An uplink fell inside a gateway outage window.
+    GatewayOutage,
+    /// The Gilbert–Elliott uplink channel ate a frame.
+    UplinkLost,
+    /// The Gilbert–Elliott downlink channel ate an ACK.
+    DownlinkLost,
+    /// The node rebooted, wiping volatile protocol state.
+    Reboot,
+    /// A dissemination byte arrived bit-corrupted.
+    WeightCorrupted,
+    /// A SoC sensor reading was perturbed by noise/bias.
+    SensorNoise,
 }
 
 /// Reason a packet was dropped without completing an exchange.
@@ -181,6 +225,53 @@ mod tests {
             let back: SimEvent = serde_json::from_str(&json).unwrap();
             assert_eq!(back, e);
         }
+    }
+
+    #[test]
+    fn fault_events_round_trip_with_snake_case_tags() {
+        let kinds = [
+            EventKind::FaultInjected {
+                fault: FaultKind::GatewayOutage,
+            },
+            EventKind::FaultInjected {
+                fault: FaultKind::UplinkLost,
+            },
+            EventKind::FaultInjected {
+                fault: FaultKind::DownlinkLost,
+            },
+            EventKind::FaultInjected {
+                fault: FaultKind::Reboot,
+            },
+            EventKind::FaultInjected {
+                fault: FaultKind::WeightCorrupted,
+            },
+            EventKind::FaultInjected {
+                fault: FaultKind::SensorNoise,
+            },
+            EventKind::WuExpired { age_ms: 86_400_000 },
+            EventKind::FallbackWindow,
+            EventKind::TraceRequeued { queued: 3 },
+        ];
+        for kind in kinds {
+            let e = SimEvent {
+                t_ms: 7,
+                node: 1,
+                kind,
+            };
+            let json = serde_json::to_string(&e).unwrap();
+            let back: SimEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, e);
+        }
+        let e = SimEvent {
+            t_ms: 7,
+            node: 1,
+            kind: EventKind::FaultInjected {
+                fault: FaultKind::Reboot,
+            },
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("\"kind\":\"fault_injected\""), "{json}");
+        assert!(json.contains("\"fault\":\"reboot\""), "{json}");
     }
 
     #[test]

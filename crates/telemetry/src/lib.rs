@@ -82,7 +82,7 @@ pub mod report;
 pub mod sink;
 
 pub use counters::EventCounters;
-pub use event::{DropReason, EventKind, Record, SimEvent, SCHEMA_VERSION};
+pub use event::{DropReason, EventKind, FaultKind, Record, SimEvent, SCHEMA_VERSION};
 pub use flight::FlightRecorder;
 pub use hist::LogHistogram;
 pub use profile::{BatchProfile, PhaseStats};

@@ -2,6 +2,7 @@
 //! optional JSONL trace writing, and the anomaly-triggered flight
 //! recorder.
 
+use std::collections::BTreeSet;
 use std::io::Write;
 use std::sync::{Arc, Mutex};
 
@@ -88,6 +89,13 @@ pub struct Recorder {
     config: RecorderConfig,
     report: TelemetryReport,
     flight: FlightRecorder,
+    /// Nodes whose anomaly dump already fired and has not re-armed
+    /// yet. A fault storm (outage, burst loss) produces an anomaly per
+    /// failed exchange; without this latch every one of them would
+    /// dump the ring buffer, flooding the trace with near-identical
+    /// snapshots. One dump per node per storm; a successful ACK
+    /// re-arms the node.
+    dump_disarmed: BTreeSet<u32>,
     writer: Option<TraceWriter>,
     write_failed: bool,
     finished: bool,
@@ -103,6 +111,7 @@ impl Recorder {
             config,
             report: TelemetryReport::new(),
             flight,
+            dump_disarmed: BTreeSet::new(),
             writer: None,
             write_failed: false,
             finished: false,
@@ -200,9 +209,16 @@ impl TelemetrySink for Recorder {
             run: self.run,
             event: event.clone(),
         });
+        // Recovery re-arms the anomaly dump: the next failure after a
+        // successful exchange is a fresh incident worth a snapshot.
+        if matches!(event.kind, EventKind::AckReceived { .. }) {
+            self.dump_disarmed.remove(&event.node);
+        }
         if self.config.dump_flight_on_anomaly {
             if let Some(trigger) = Self::anomaly_trigger(&event.kind) {
-                self.dump_flight(event.node, event.t_ms, trigger);
+                if self.dump_disarmed.insert(event.node) {
+                    self.dump_flight(event.node, event.t_ms, trigger);
+                }
             }
         }
     }
@@ -355,6 +371,40 @@ mod tests {
         assert_eq!(dump.1, "brownout_drop");
         // The dump includes the trigger event and what preceded it.
         assert_eq!(dump.2.len(), 2);
+    }
+
+    #[test]
+    fn anomaly_storm_dumps_once_per_node_until_rearmed() {
+        let buf = SharedBuf::default();
+        let mut r = recorder_into(&buf);
+        r.begin("lbl", 1, 2);
+        let brownout = EventKind::PacketDropped {
+            reason: DropReason::Brownout,
+        };
+        // A storm of anomalies on node 0: only the first dumps.
+        r.record(&ev(1, 0, EventKind::PacketGenerated));
+        r.record(&ev(2, 0, brownout.clone()));
+        r.record(&ev(3, 0, brownout.clone()));
+        r.record(&ev(4, 0, EventKind::ExchangeFailed { attempts: 8 }));
+        // Node 1 fails too — its own first dump still fires.
+        r.record(&ev(5, 1, EventKind::PacketGenerated));
+        r.record(&ev(6, 1, brownout.clone()));
+        // Node 0 recovers, then fails again: a fresh incident dumps.
+        r.record(&ev(7, 0, EventKind::AckReceived { latency_ms: 6 }));
+        r.record(&ev(8, 0, brownout.clone()));
+        let report = r.finish().unwrap();
+        assert_eq!(report.flight_dumps, 3, "one per node per outage");
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let dumps: Vec<(u32, u64)> = text
+            .lines()
+            .map(|l| serde_json::from_str::<Record>(l).unwrap())
+            .filter_map(|r| match r {
+                Record::FlightDump { node, t_ms, .. } => Some((node, t_ms)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(dumps, vec![(0, 2), (1, 6), (0, 8)]);
     }
 
     #[test]

@@ -92,6 +92,12 @@ impl TelemetryReport {
             "  energy    brownouts {:>8}  soc_capped {:>6}  dissemination {:>6}\n",
             c.brownouts, c.soc_capped, c.dissemination_applied,
         ));
+        if c.faults_injected + c.wu_expired + c.fallback_windows + c.traces_requeued > 0 {
+            out.push_str(&format!(
+                "  faults    injected {:>9}  wu_expired {:>6}  fallbacks {:>6}  requeued {:>6}\n",
+                c.faults_injected, c.wu_expired, c.fallback_windows, c.traces_requeued,
+            ));
+        }
         out.push_str(&format!(
             "  latency   p50 {:>9.0} ms  p95 {:>9.0} ms  p99 {:>9.0} ms  max {:>9.0} ms\n",
             self.latency_ms.quantile(0.50),

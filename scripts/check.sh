@@ -41,4 +41,16 @@ while IFS= read -r line; do
 done <"$tmp/trace.jsonl"
 cargo run -q --release -p blam-cli -- trace-check "$tmp/trace.jsonl"
 
+echo "==> chaos smoke run (fault injection, fixed seed)"
+# The drill must be deterministic (two runs agree byte for byte) and
+# always print a lifespan projection line for each scenario pair.
+cargo run -q --release -p blam-cli -- chaos \
+    --nodes 8 --days 3 --seed 7 --jobs 2 >"$tmp/chaos_a.txt"
+cargo run -q --release -p blam-cli -- chaos \
+    --nodes 8 --days 3 --seed 7 --jobs 4 >"$tmp/chaos_b.txt"
+cmp "$tmp/chaos_a.txt" "$tmp/chaos_b.txt" \
+    || { echo "chaos drill is not deterministic across --jobs"; exit 1; }
+grep -q "min-lifespan delta under faults" "$tmp/chaos_a.txt" \
+    || { echo "chaos drill did not report lifespan deltas"; exit 1; }
+
 echo "All checks passed."
