@@ -4,10 +4,11 @@
 //! and its policy *is* repo policy, reviewed like any other code. The
 //! CLI can still narrow the battery with `--lint` for focused runs.
 
-/// Names of the five lints (plus the pragma self-check), as used on
+/// Names of the six lints (plus the pragma self-check), as used on
 /// the command line, in pragmas, and in reports.
 pub const LINT_NAMES: &[&str] = &[
     "determinism",
+    "cache-order",
     "panic-hygiene",
     "unit-safety",
     "telemetry-guard",

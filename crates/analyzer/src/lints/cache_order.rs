@@ -1,0 +1,228 @@
+//! `cache-order`: memo/cache containers with iterated state must use
+//! an ordered representation, or collect-and-sort at every fold.
+//!
+//! The hot-path caches introduced for the engine optimizations (the
+//! airtime memo table, the TX-energy memo, the gateway ledger) feed
+//! floating-point folds whose *result bits* depend on visit order —
+//! float addition is not associative. The general `determinism` lint
+//! excuses commutative-looking reductions (`sum`, `fold`, `max`, …)
+//! after a hash iteration, which is fine for counting but wrong for
+//! cache state that flows into energy/degradation arithmetic. This
+//! lint closes that gap with a stricter rule, scoped to bindings that
+//! *name themselves* caches:
+//!
+//! * Any `HashMap`/`HashSet` binding whose name contains `cache`,
+//!   `memo` or `lookup` is tracked.
+//! * Iterating a tracked binding (`.iter()`, `.values()`, `for … in`,
+//!   `drain`, …) is a finding unless an explicit sort or an ordered
+//!   collection (`BTreeMap`/`BTreeSet`) appears within the
+//!   configured token window. Reductions do **not** excuse it.
+//!
+//! The repo's own caches pass by construction: the airtime table is a
+//! dense `Vec` indexed by cell, the TX-energy memo is a single-entry
+//! struct, and the ledger keeps `BTreeMap`s (ascending node-id order).
+
+use crate::config::Config;
+use crate::lints::determinism::{for_loop_over, tracked_hash_names};
+use crate::lints::finding;
+use crate::report::Finding;
+use crate::tokenizer::{Token, TokenKind};
+use crate::walk::{FileKind, SourceFile};
+
+/// Name fragments that mark a binding as cache state.
+const CACHE_FRAGMENTS: &[&str] = &["cache", "memo", "lookup"];
+
+/// Methods on hash containers that observe iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// The only identifiers that excuse a cache iteration: explicit sorts
+/// and ordered collections. Deliberately **no** reductions — a float
+/// fold over hash order is exactly the bug this lint exists to catch.
+const STRICT_ORDER_OK: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "sorted",
+    "BTreeMap",
+    "BTreeSet",
+];
+
+fn is_cache_name(name: &str) -> bool {
+    let lower = name.to_lowercase();
+    CACHE_FRAGMENTS.iter().any(|frag| lower.contains(frag))
+}
+
+fn sorted_within_window(toks: &[Token], start: usize, window: usize) -> bool {
+    toks.iter()
+        .skip(start)
+        .take(window)
+        .any(|t| t.kind == TokenKind::Ident && STRICT_ORDER_OK.contains(&t.text.as_str()))
+}
+
+/// Runs the cache-order lint over one file.
+pub fn check(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+    if !cfg.sim_core_crates.contains(&file.crate_name)
+        || !matches!(file.kind, FileKind::Lib | FileKind::Bin)
+    {
+        return;
+    }
+    let toks = &file.tokens;
+    let tracked: Vec<String> = tracked_hash_names(toks)
+        .into_iter()
+        .filter(|n| is_cache_name(n))
+        .collect();
+    if tracked.is_empty() {
+        return;
+    }
+
+    for i in 0..toks.len() {
+        if file.is_test_code(i) || toks[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let t = &toks[i];
+
+        // `cache.iter()`-style iteration on a tracked cache binding.
+        if tracked.iter().any(|n| n == &t.text)
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("."))
+            && toks
+                .get(i + 2)
+                .is_some_and(|t| ITER_METHODS.contains(&t.text.as_str()))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct("("))
+        {
+            if !sorted_within_window(toks, i + 3, cfg.sort_window) {
+                let method = &toks[i + 2].text;
+                out.push(finding(
+                    file,
+                    "cache-order",
+                    t.line,
+                    format!(
+                        "cache `{}` is a hash container and `.{method}()` observes its \
+                         nondeterministic order; use a BTree map/set or a dense indexed \
+                         table, or collect-and-sort before folding (float reductions \
+                         are order-sensitive)",
+                        t.text
+                    ),
+                ));
+            }
+            continue;
+        }
+
+        // `for x in &cache`-style direct iteration.
+        if t.is_ident("for") {
+            if let Some(line) = for_loop_over(toks, i, &tracked) {
+                out.push(finding(
+                    file,
+                    "cache-order",
+                    line,
+                    "for-loop over a hash-container cache observes nondeterministic \
+                     order; use a BTree map/set or a dense indexed table"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walk::SourceFile;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let file = SourceFile::from_source(
+            "crates/lora-phy/src/x.rs",
+            "lora-phy",
+            FileKind::Lib,
+            src.to_string(),
+        );
+        let mut out = Vec::new();
+        check(&file, &Config::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn summed_hash_cache_is_flagged_despite_the_reduction() {
+        // The general determinism lint would pass this (`sum` is on its
+        // ORDER_OK list); cache-order must not.
+        let src = "struct S { airtime_cache: HashMap<u32, f64> }\n\
+                   fn f(s: &S) -> f64 { s.airtime_cache.values().sum() }";
+        let f = run(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].lint, "cache-order");
+        assert!(f[0].message.contains("airtime_cache"));
+    }
+
+    #[test]
+    fn for_loop_over_hash_cache_is_flagged() {
+        let src = "fn f() { let mut memo_table = HashMap::new(); memo_table.insert(1, 2.0); \
+                   for v in &memo_table { use_it(v); } }";
+        let f = run(src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("for-loop"));
+    }
+
+    #[test]
+    fn collect_then_sort_passes() {
+        let src = "struct S { energy_cache: HashMap<u32, f64> }\n\
+                   fn f(s: &S) -> Vec<(u32, f64)> { \
+                   let mut v: Vec<_> = s.energy_cache.iter().map(|(&k, &x)| (k, x)).collect(); \
+                   v.sort_by_key(|e| e.0); v }";
+        assert_eq!(run(src).len(), 0);
+    }
+
+    #[test]
+    fn non_cache_hash_bindings_are_out_of_scope() {
+        // Plain hash containers stay the determinism lint's business.
+        let src = "struct S { inflight: HashMap<u32, f64> }\n\
+                   fn f(s: &S) -> f64 { s.inflight.values().sum() }";
+        assert_eq!(run(src).len(), 0);
+    }
+
+    #[test]
+    fn ordered_and_dense_caches_pass() {
+        let src = "struct S { ledger_cache: BTreeMap<u32, f64>, airtime_lookup: Vec<f64> }\n\
+                   fn f(s: &S) -> f64 { s.ledger_cache.values().sum::<f64>() \
+                   + s.airtime_lookup.iter().sum::<f64>() }";
+        assert_eq!(run(src).len(), 0);
+    }
+
+    #[test]
+    fn point_lookups_on_a_hash_cache_pass() {
+        let src = "fn f() { let mut sf_cache = HashMap::new(); sf_cache.insert(7, 0.1); \
+                   let _ = sf_cache.get(&7); }";
+        assert_eq!(run(src).len(), 0);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { let mut c_cache = HashMap::new(); \
+                   c_cache.insert(1, 2.0); for v in &c_cache { go(v); } }\n}";
+        assert_eq!(run(src).len(), 0);
+    }
+
+    #[test]
+    fn non_sim_core_crates_are_out_of_scope() {
+        let file = SourceFile::from_source(
+            "crates/bench/src/bin/table1.rs",
+            "bench",
+            FileKind::Bin,
+            "fn f(c_cache: &HashMap<u32, f64>) -> f64 { c_cache.values().sum() }".to_string(),
+        );
+        let mut out = Vec::new();
+        check(&file, &Config::default(), &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -153,7 +153,7 @@ pub fn check(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
 /// or `HashSet` values: type ascriptions (`name: HashMap<…>` in
 /// fields, params, and lets) and direct constructions
 /// (`let name = HashMap::new()`).
-fn tracked_hash_names(toks: &[Token]) -> Vec<String> {
+pub(crate) fn tracked_hash_names(toks: &[Token]) -> Vec<String> {
     let mut names = Vec::new();
     for i in 0..toks.len() {
         if !(toks[i].is_ident("HashMap") || toks[i].is_ident("HashSet")) {
@@ -195,7 +195,7 @@ fn ordered_within_window(toks: &[Token], start: usize, window: usize) -> bool {
 /// Detects `for <pat> in [&|&mut] [self.]name {` where `name` is a
 /// tracked hash container, returning the line to report. Any call
 /// parentheses between `in` and `{` defer to the method-call rule.
-fn for_loop_over(toks: &[Token], for_idx: usize, tracked: &[String]) -> Option<u32> {
+pub(crate) fn for_loop_over(toks: &[Token], for_idx: usize, tracked: &[String]) -> Option<u32> {
     // Find `in` within a short window, with no block start before it.
     let mut in_idx = None;
     for (off, t) in toks.iter().enumerate().skip(for_idx + 1).take(16) {

@@ -3,6 +3,7 @@
 //! [`Finding`](crate::report::Finding)s into a shared vector and the
 //! library layer applies pragmas and the baseline afterwards.
 
+pub mod cache_order;
 pub mod determinism;
 pub mod float_eq;
 pub mod panic_hygiene;

@@ -1,0 +1,50 @@
+//! Cache-order fixture: hash-container caches whose iterated state
+//! feeds float folds. The general `determinism` lint excuses these
+//! (the reductions are on its ORDER_OK list); `cache-order` must
+//! catch them, and must pass the repo's actual cache shapes (dense
+//! `Vec` tables, BTree maps, point lookups, collect-then-sort). This
+//! file is never compiled — `tests/analyzer.rs` feeds it to the
+//! analyzer as text under a sim-core crate path.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub(crate) struct Caches {
+    airtime_cache: HashMap<u32, f64>,
+    memo_table: HashMap<u32, f64>,
+    ledger_cache: BTreeMap<u32, f64>,
+    dense_lookup: Vec<f64>,
+}
+
+pub(crate) fn float_fold_over_hash_cache(c: &Caches) -> f64 {
+    c.airtime_cache.values().sum() // SEED: cache-sum
+}
+
+pub(crate) fn drained_hash_memo(c: &mut Caches) -> f64 {
+    c.memo_table.drain().map(|(_, v)| v).fold(0.0, |a, b| a + b) // SEED: cache-drain
+}
+
+pub(crate) fn ordered_cache_folds_pass(c: &Caches) -> f64 {
+    let btree: f64 = c.ledger_cache.values().sum();
+    let dense: f64 = c.dense_lookup.iter().sum();
+    btree + dense
+}
+
+pub(crate) fn collect_then_sort_passes(c: &Caches) -> Vec<(u32, f64)> {
+    let mut v: Vec<(u32, f64)> = c.airtime_cache.iter().map(|(&k, &x)| (k, x)).collect();
+    v.sort_by_key(|&(k, _)| k);
+    v
+}
+
+pub(crate) fn point_lookups_pass(c: &Caches, sf: u32) -> Option<f64> {
+    c.airtime_cache.get(&sf).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_iterate_caches_freely() {
+        let mut probe_cache = std::collections::HashMap::new();
+        probe_cache.insert(1u32, 2.0f64);
+        let _ = probe_cache.values().sum::<f64>();
+    }
+}

@@ -1,0 +1,53 @@
+//! Hot-path fixture: the shapes introduced by the engine optimization
+//! PR — a dense `OnceLock` memo table, a single-entry energy memo, a
+//! BTree ledger folded in ascending key order, and reused scratch
+//! buffers. The whole file must produce **zero** findings from every
+//! lint (`determinism`, `cache-order`, `float-eq`, …): this is the
+//! seeded proof that the optimized code patterns are lint-clean. The
+//! file is never compiled — `tests/analyzer.rs` feeds it to the
+//! analyzer as text under a sim-core crate path.
+
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+/// Dense airtime memo: index arithmetic over a `Vec`, no hash order.
+static AIRTIME_CACHE: OnceLock<Vec<f64>> = OnceLock::new();
+
+pub(crate) fn airtime_lookup(cell: usize) -> f64 {
+    let table = AIRTIME_CACHE.get_or_init(|| vec![0.0; 18_432]);
+    table[cell]
+}
+
+/// Single-entry TX-energy memo keyed by the last (config, length).
+pub(crate) struct EnergyMemo {
+    key: Option<(u8, usize)>,
+    value: f64,
+}
+
+impl EnergyMemo {
+    pub(crate) fn energy(&mut self, sf: u8, len: usize, direct: f64) -> f64 {
+        if self.key != Some((sf, len)) {
+            self.key = Some((sf, len));
+            self.value = direct;
+        }
+        self.value
+    }
+}
+
+/// Ledger caches keyed by node id: BTree iteration is ascending, so
+/// float folds over it are bit-stable without a collect-and-sort.
+pub(crate) fn worst_degradation(tracker_cache: &BTreeMap<u32, f64>) -> f64 {
+    tracker_cache
+        .values()
+        .fold(0.0_f64, |worst, &d| worst.max(d))
+}
+
+/// Scratch reuse: clear-and-refill keeps the hot loop allocation-free
+/// and visits windows in index order.
+pub(crate) fn fill_forecast(scratch: &mut Vec<f64>, windows: usize) {
+    scratch.clear();
+    scratch.reserve(windows);
+    for w in 0..windows {
+        scratch.push(0.25 * w as f64);
+    }
+}

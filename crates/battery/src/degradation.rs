@@ -281,15 +281,16 @@ impl DegradationTracker {
 
     /// Cycle-aging component, Eq. (2): closed cycles plus the current
     /// residue counted as half cycles.
+    ///
+    /// The residue damage is folded without materializing the half
+    /// cycles; the fold order matches `residue_half_cycles()`, so the
+    /// result is bit-identical to summing over that Vec.
     #[must_use]
     pub fn cycle_component(&self) -> f64 {
         let stress = self.constants.temperature_stress(self.temperature);
-        let residue: f64 = self
-            .rainflow
-            .residue_half_cycles()
-            .iter()
-            .map(|c| self.constants.cycle_damage(c))
-            .sum();
+        let mut residue = 0.0;
+        self.rainflow
+            .for_each_residue(|c| residue += self.constants.cycle_damage(&c));
         (self.closed_damage + residue) * stress
     }
 
@@ -481,6 +482,36 @@ mod tests {
         assert!((b.calendar - t.calendar_component(at)).abs() < 1e-15);
         assert!((b.cycle - t.cycle_component()).abs() < 1e-15);
         assert!((b.total - t.degradation(at)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cycle_component_matches_allocating_oracle() {
+        // The folded residue sum must be bit-identical to the original
+        // formulation (sum over the materialized half-cycle Vec).
+        let mut t = DegradationTracker::new(Celsius(25.0));
+        let mut seed = 0x2545_F491_4F6C_DD1Du64;
+        let mut soc = 0.6f64;
+        for i in 0..400u64 {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            soc = (soc + ((seed % 2001) as f64 / 1000.0 - 1.0) * 0.3).clamp(0.0, 1.0);
+            t.record(SimTime::from_secs(i * 600), soc);
+            let oracle: f64 = t
+                .rainflow
+                .residue_half_cycles()
+                .iter()
+                .map(|c| t.constants.cycle_damage(c))
+                .sum();
+            let stress = t.constants.temperature_stress(t.temperature);
+            let expected = (t.closed_damage + oracle) * stress;
+            assert_eq!(
+                t.cycle_component().to_bits(),
+                expected.to_bits(),
+                "divergence at sample {i}"
+            );
+        }
+        assert!(t.cycle_component() > 0.0);
     }
 
     #[test]

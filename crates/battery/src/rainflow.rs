@@ -165,10 +165,22 @@ impl StreamingRainflow {
     /// turning points.
     #[must_use]
     pub fn residue_half_cycles(&self) -> Vec<Cycle> {
-        self.stack
-            .windows(2)
-            .map(|w| Cycle::half(w[0], w[1]))
-            .collect()
+        let mut out = Vec::with_capacity(self.stack.len().saturating_sub(1));
+        self.for_each_residue(|c| out.push(c));
+        out
+    }
+
+    /// Visits the residue half cycles in stack order without
+    /// allocating. This is the fold behind
+    /// [`residue_half_cycles`](Self::residue_half_cycles); callers that
+    /// only need an aggregate (e.g. the degradation tracker summing
+    /// per-cycle damage every query) use it to keep the hot path off
+    /// the allocator. Visit order is identical to the Vec order, so
+    /// any left-fold over the two is bit-identical.
+    pub fn for_each_residue<F: FnMut(Cycle)>(&self, mut f: F) {
+        for w in self.stack.windows(2) {
+            f(Cycle::half(w[0], w[1]));
+        }
     }
 
     /// Number of full cycles extracted so far.
@@ -350,6 +362,27 @@ mod tests {
         assert!((closed[1].mean_soc - 0.55).abs() < 1e-12);
         // Residue: 0.5, 1.0, 0.1.
         assert_eq!(rf.residue_len(), 3);
+    }
+
+    #[test]
+    fn residue_fold_matches_allocating_view() {
+        // Differential: the non-allocating fold must visit exactly the
+        // half cycles residue_half_cycles() materializes, in order,
+        // at every point of a nontrivial trace.
+        let mut rf = StreamingRainflow::new();
+        let mut seed = 0x9E37_79B9_7F4A_7C15u64;
+        let mut soc = 0.5f64;
+        for _ in 0..300 {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            soc = (soc + ((seed % 2001) as f64 / 1000.0 - 1.0) * 0.25).clamp(0.0, 1.0);
+            let _ = rf.push(soc);
+            let mut folded = Vec::new();
+            rf.for_each_residue(|c| folded.push(c));
+            assert_eq!(folded, rf.residue_half_cycles());
+        }
+        assert!(rf.residue_len() >= 2, "trace too tame to test the fold");
     }
 
     #[test]

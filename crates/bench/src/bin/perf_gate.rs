@@ -1,0 +1,231 @@
+//! Performance gate for the hot-path optimizations (calendar event
+//! queue, PHY airtime/energy memo tables, incremental gateway ledger).
+//!
+//! Runs one pinned reference scenario twice through the batch runner:
+//! first with `reference_impl: true` (binary-heap queue, uncached
+//! Semtech arithmetic, replay-per-pass ledger — the in-PR
+//! pre-optimization baseline), then with the optimized defaults. The
+//! two legs must produce **byte-identical** serialized [`RunResult`]s
+//! — the differential-oracle contract — and the optimized leg must be
+//! at least [`MIN_SPEEDUP`]× faster (skipped under `--smoke`).
+//!
+//! Writes a schema-versioned report to
+//! `target/experiments/BENCH_netsim.json` (override with `--out PATH`),
+//! including the batch runner's [`BatchProfile`] phase stats per leg.
+//!
+//! ```text
+//! cargo run --release -p blam-bench --bin perf_gate
+//! cargo run --release -p blam-bench --bin perf_gate -- --smoke --out /tmp/BENCH_netsim.json
+//! ```
+
+use std::time::Instant;
+
+use blam_bench::ExperimentArgs;
+use blam_netsim::config::Protocol;
+use blam_netsim::{BatchRunner, RunResult, Scenario, ScenarioConfig, TelemetryOptions};
+use blam_telemetry::BatchProfile;
+use serde::Serialize;
+
+/// Bump when the JSON layout changes (consumers must check this).
+const SCHEMA_VERSION: u32 = 1;
+
+/// The optimized leg must beat the reference leg by this factor.
+const MIN_SPEEDUP: f64 = 1.3;
+
+/// One timed leg of the gate.
+#[derive(Debug, Serialize)]
+struct Leg {
+    /// Whether this leg ran the reference implementations.
+    reference_impl: bool,
+    /// Wall-clock seconds for the whole batch.
+    elapsed_s: f64,
+    /// Simulator events processed, summed over the batch.
+    events: u64,
+    /// Events per wall-clock second.
+    events_per_sec: f64,
+    /// Simulated hours per wall-clock second.
+    sim_hours_per_sec: f64,
+    /// Batch runner phase breakdown (queue wait, sim run, merge).
+    profile: BatchProfile,
+}
+
+#[derive(Debug, Serialize)]
+struct GateReport {
+    schema_version: u32,
+    scenario: ScenarioInfo,
+    baseline: Leg,
+    optimized: Leg,
+    /// baseline.elapsed_s / optimized.elapsed_s.
+    speedup: f64,
+    /// Always `"byte-identical"`: the binary aborts on any divergence.
+    parity: &'static str,
+    gate: Gate,
+}
+
+#[derive(Debug, Serialize)]
+struct ScenarioInfo {
+    nodes: usize,
+    days: u64,
+    seed: u64,
+    jobs: usize,
+    smoke: bool,
+    protocols: Vec<String>,
+}
+
+#[derive(Debug, Serialize)]
+struct Gate {
+    min_speedup: f64,
+    enforced: bool,
+    passed: bool,
+}
+
+/// The pinned gate scenarios: the same deployment under BLAM (window
+/// selection, ledger, dissemination all hot) and plain LoRaWAN
+/// (airtime/energy caches hot), so both policy paths are measured.
+fn configs(args: &ExperimentArgs) -> Vec<ScenarioConfig> {
+    [Protocol::h(1.0), Protocol::Lorawan]
+        .into_iter()
+        .map(|p| {
+            Scenario::large_scale(args.nodes, p, args.seed)
+                .with_duration(args.duration())
+                .config
+        })
+        .collect()
+}
+
+fn run_leg(args: &ExperimentArgs, reference: bool) -> (Vec<RunResult>, Leg) {
+    let mut cfgs = configs(args);
+    for c in &mut cfgs {
+        c.reference_impl = reference;
+    }
+    let runner = BatchRunner::new(args.jobs).quiet();
+    let start = Instant::now();
+    let outcome = runner.run_all_with(cfgs, &TelemetryOptions::off());
+    let elapsed_s = start.elapsed().as_secs_f64().max(1e-9);
+    let events: u64 = outcome.results.iter().map(|r| r.events_processed).sum();
+    let sim_hours: f64 = outcome
+        .results
+        .iter()
+        .map(|r| r.sim_end.as_secs_f64() / 3600.0)
+        .sum();
+    let leg = Leg {
+        reference_impl: reference,
+        elapsed_s,
+        events,
+        events_per_sec: events as f64 / elapsed_s,
+        sim_hours_per_sec: sim_hours / elapsed_s,
+        profile: outcome.profile,
+    };
+    (outcome.results, leg)
+}
+
+fn main() {
+    // `--smoke` and `--out` are gate-specific; everything else is the
+    // shared experiment CLI (`--nodes`, `--years`, `--seed`, `--jobs`).
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = raw.into_iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = Some(it.next().expect("--out requires a path")),
+            _ => rest.push(flag),
+        }
+    }
+    let mut args = ExperimentArgs::parse_from(&rest, 60, 0.25);
+    if smoke {
+        // Tiny but non-trivial: enough traffic to exercise every hot
+        // path (queue, caches, ledger) in a few seconds, no gating.
+        args.nodes = args.nodes.min(10);
+        args.years = args.years.min(0.01);
+    }
+    let days = args.duration().as_secs() / 86_400;
+
+    println!("=== perf_gate: hot-path speedup vs in-PR reference baseline ===");
+    println!(
+        "nodes = {}, days = {days}, seed = {}, jobs = {}{}",
+        args.nodes,
+        args.seed,
+        args.jobs,
+        if smoke {
+            " (smoke: gate not enforced)"
+        } else {
+            ""
+        }
+    );
+
+    let (ref_results, baseline) = run_leg(&args, true);
+    let (opt_results, optimized) = run_leg(&args, false);
+
+    // The differential-oracle contract: the optimized engine must be
+    // byte-identical to the reference one, down to serialized floats.
+    let ref_json = serde_json::to_string(&ref_results).expect("serialize reference results");
+    let opt_json = serde_json::to_string(&opt_results).expect("serialize optimized results");
+    assert!(
+        ref_json == opt_json,
+        "PARITY FAILURE: optimized engine diverged from the reference \
+         implementation (serialized RunResults differ)"
+    );
+
+    let speedup = baseline.elapsed_s / optimized.elapsed_s;
+    let passed = smoke || speedup >= MIN_SPEEDUP;
+    println!(
+        "baseline : {:>10.3} s  {:>12.0} events/s  {:>10.1} sim-h/s",
+        baseline.elapsed_s, baseline.events_per_sec, baseline.sim_hours_per_sec
+    );
+    println!(
+        "optimized: {:>10.3} s  {:>12.0} events/s  {:>10.1} sim-h/s",
+        optimized.elapsed_s, optimized.events_per_sec, optimized.sim_hours_per_sec
+    );
+    println!(
+        "parity   : byte-identical ({} bytes of RunResult JSON)",
+        opt_json.len()
+    );
+    println!(
+        "speedup  : {speedup:.2}x (gate: >= {MIN_SPEEDUP}x{})",
+        if smoke {
+            ", not enforced in smoke mode"
+        } else {
+            ""
+        }
+    );
+
+    let report = GateReport {
+        schema_version: SCHEMA_VERSION,
+        scenario: ScenarioInfo {
+            nodes: args.nodes,
+            days,
+            seed: args.seed,
+            jobs: args.jobs,
+            smoke,
+            protocols: ref_results.iter().map(|r| r.label.clone()).collect(),
+        },
+        baseline,
+        optimized,
+        speedup,
+        parity: "byte-identical",
+        gate: Gate {
+            min_speedup: MIN_SPEEDUP,
+            enforced: !smoke,
+            passed,
+        },
+    };
+    match &out {
+        Some(path) => {
+            let json = serde_json::to_string_pretty(&report).expect("serialize gate report");
+            std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write `{path}`: {e}"));
+            println!("\n[written {path}]");
+        }
+        None => blam_bench::write_json("BENCH_netsim", &report),
+    }
+
+    if !passed {
+        eprintln!(
+            "perf gate FAILED: speedup {speedup:.2}x < {MIN_SPEEDUP}x \
+             (optimized hot paths regressed against the reference baseline)"
+        );
+        std::process::exit(1);
+    }
+}

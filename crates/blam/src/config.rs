@@ -135,9 +135,40 @@ impl BlamConfig {
 
     /// Number of forecast windows in a sampling period of length
     /// `period` (the paper's |T|; at least 1).
+    ///
+    /// The count is `⌊period / forecast_window⌋`: a trailing partial
+    /// window is **dropped**, not rounded up. The remainder (see
+    /// [`period_slack`](Self::period_slack)) acts as guard time at the
+    /// end of the period — a transmission planned into the last whole
+    /// window can still run its retransmissions without spilling into
+    /// the next sampling period. Periods shorter than one window
+    /// degenerate to a single window covering the whole period, so a
+    /// node always has at least one legal transmission slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `forecast_window` is zero — a zero-length window would
+    /// make |T| unbounded and the planner meaningless.
     #[must_use]
     pub fn windows_in_period(&self, period: Duration) -> usize {
+        assert!(
+            self.forecast_window.as_millis() > 0,
+            "forecast_window must be non-zero"
+        );
         ((period / self.forecast_window) as usize).max(1)
+    }
+
+    /// The tail of `period` not covered by any whole forecast window —
+    /// the remainder dropped by [`windows_in_period`](Self::windows_in_period).
+    /// Zero when the window divides the period exactly, and zero for
+    /// degenerate periods shorter than one window (the single
+    /// stretched window absorbs the whole period).
+    #[must_use]
+    pub fn period_slack(&self, period: Duration) -> Duration {
+        if period < self.forecast_window {
+            return Duration::from_millis(0);
+        }
+        period % self.forecast_window
     }
 }
 
@@ -166,6 +197,52 @@ mod tests {
         assert_eq!(c.windows_in_period(Duration::from_mins(16)), 16);
         // Degenerate short periods still yield one window.
         assert_eq!(c.windows_in_period(Duration::from_secs(30)), 1);
+    }
+
+    #[test]
+    fn partial_trailing_window_is_dropped_as_slack() {
+        // 90 s period / 60 s window: one whole window, 30 s of guard
+        // time at the end of the period — NOT two windows.
+        let c = BlamConfig::default();
+        let period = Duration::from_secs(90);
+        assert_eq!(c.windows_in_period(period), 1);
+        assert_eq!(c.period_slack(period), Duration::from_secs(30));
+    }
+
+    #[test]
+    fn exact_division_leaves_no_slack() {
+        let c = BlamConfig::default();
+        // Period equal to one window: exactly one window, no slack.
+        assert_eq!(c.windows_in_period(Duration::from_mins(1)), 1);
+        assert_eq!(
+            c.period_slack(Duration::from_mins(1)),
+            Duration::from_millis(0)
+        );
+        // The paper's 16- and 60-minute periods divide evenly too.
+        assert_eq!(
+            c.period_slack(Duration::from_mins(60)),
+            Duration::from_millis(0)
+        );
+    }
+
+    #[test]
+    fn degenerate_short_period_has_no_slack() {
+        // The single stretched window absorbs the whole short period;
+        // reporting a "remainder" there would double-count time.
+        let c = BlamConfig::default();
+        assert_eq!(c.windows_in_period(Duration::from_secs(30)), 1);
+        assert_eq!(
+            c.period_slack(Duration::from_secs(30)),
+            Duration::from_millis(0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "forecast_window must be non-zero")]
+    fn zero_length_window_rejected() {
+        let mut c = BlamConfig::default();
+        c.forecast_window = Duration::from_millis(0);
+        let _ = c.windows_in_period(Duration::from_mins(10));
     }
 
     #[test]

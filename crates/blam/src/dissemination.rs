@@ -10,12 +10,22 @@
 //! battery — the indirect coordination that maximizes the *minimum*
 //! lifespan.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use blam_battery::{DegradationConstants, DegradationTracker};
 use blam_units::{Celsius, Duration, SimTime};
 
 use crate::trace_compress::CompressedSocTrace;
+
+/// Everything needed to rebuild a node's tracker from scratch:
+/// commissioning metadata plus every `(time, SoC)` sample in arrival
+/// order. Retained only by reference-mode ledgers.
+#[derive(Debug, Default, Clone)]
+struct ReplayLog {
+    /// `(age, avg_soc, cycle_damage)` from `register_prior_age`.
+    prior: Option<(Duration, f64, f64)>,
+    samples: Vec<(SimTime, f64)>,
+}
 
 /// Gateway-side per-node degradation accounting.
 ///
@@ -42,12 +52,20 @@ use crate::trace_compress::CompressedSocTrace;
 #[derive(Debug, Default)]
 pub struct DegradationLedger {
     forecast_window: Duration,
-    trackers: HashMap<u32, DegradationTracker>,
+    /// Incremental per-node trackers, ordered by node id so the daily
+    /// pass iterates in dissemination order with no collect-and-sort.
+    trackers: BTreeMap<u32, DegradationTracker>,
     /// Anchor of the most recent trace per node. Nodes registered via
     /// commissioning metadata but never heard from have no entry.
-    last_heard: HashMap<u32, SimTime>,
+    last_heard: BTreeMap<u32, SimTime>,
     temperature: Celsius,
     constants: DegradationConstants,
+    /// Reference (oracle) mode: retain every sample and replay a fresh
+    /// tracker per node on each dissemination pass — the naive
+    /// recompute-everything gateway the incremental path is checked
+    /// against. Identical record order makes the two bit-identical.
+    reference: bool,
+    full_traces: BTreeMap<u32, ReplayLog>,
 }
 
 impl DegradationLedger {
@@ -73,11 +91,30 @@ impl DegradationLedger {
     ) -> Self {
         DegradationLedger {
             forecast_window,
-            trackers: HashMap::new(),
-            last_heard: HashMap::new(),
+            trackers: BTreeMap::new(),
+            last_heard: BTreeMap::new(),
             temperature,
             constants,
+            reference: false,
+            full_traces: BTreeMap::new(),
         }
+    }
+
+    /// Switches the ledger into reference (oracle) mode: full traces
+    /// are retained and each dissemination pass replays a fresh
+    /// [`DegradationTracker`] per node instead of reading the
+    /// incremental one. Much slower, bit-identical output — the
+    /// differential tests and the perf gate's baseline run use it.
+    #[must_use]
+    pub fn into_reference(mut self) -> Self {
+        self.reference = true;
+        self
+    }
+
+    /// Whether this ledger runs in reference (replay-per-pass) mode.
+    #[must_use]
+    pub fn is_reference(&self) -> bool {
+        self.reference
     }
 
     /// Number of nodes with recorded traces.
@@ -106,6 +143,17 @@ impl DegradationLedger {
                 prior_cycle_damage,
             ),
         );
+        if self.reference {
+            // Registration replaces the tracker, so the replay log
+            // starts over too.
+            self.full_traces.insert(
+                node,
+                ReplayLog {
+                    prior: Some((age, prior_avg_soc, prior_cycle_damage)),
+                    samples: Vec::new(),
+                },
+            );
+        }
     }
 
     /// Ingests one period's compressed trace from `node`, anchored at
@@ -114,9 +162,17 @@ impl DegradationLedger {
         let tracker = self.trackers.entry(node).or_insert_with(|| {
             DegradationTracker::with_constants(self.temperature, self.constants)
         });
+        let mut log = if self.reference {
+            Some(self.full_traces.entry(node).or_default())
+        } else {
+            None
+        };
         for s in trace.samples_in_order() {
             let at = period_start + self.forecast_window * u64::from(s.window);
             tracker.record(at, s.soc);
+            if let Some(log) = log.as_mut() {
+                log.samples.push((at, s.soc));
+            }
         }
         let heard = self.last_heard.entry(node).or_insert(period_start);
         *heard = (*heard).max(period_start);
@@ -161,14 +217,25 @@ impl DegradationLedger {
         now: SimTime,
         staleness: Option<Duration>,
     ) -> Vec<(u32, u8)> {
-        let degradations: Vec<(u32, f64)> = {
-            let mut v: Vec<_> = self
-                .trackers
+        // BTreeMap iteration is already ascending by node id, so the
+        // pass reads each incremental tracker once, in dissemination
+        // order, with no intermediate sort. Reference mode instead
+        // replays every node's full trace through a fresh tracker —
+        // the same record sequence in the same order, hence
+        // bit-identical degradations.
+        let degradations: Vec<(u32, f64)> = if self.reference {
+            self.full_traces
+                .iter()
+                .map(|(&id, log)| {
+                    let t = self.replay(log);
+                    (id, t.degradation(self.eval_time(id, now, staleness)))
+                })
+                .collect()
+        } else {
+            self.trackers
                 .iter()
                 .map(|(&id, t)| (id, t.degradation(self.eval_time(id, now, staleness))))
-                .collect();
-            v.sort_by_key(|&(id, _)| id);
-            v
+                .collect()
         };
         let max = degradations.iter().map(|&(_, d)| d).fold(0.0f64, f64::max);
         if max <= 0.0 {
@@ -178,6 +245,25 @@ impl DegradationLedger {
             .into_iter()
             .map(|(id, d)| (id, quantize_weight(d / max)))
             .collect()
+    }
+
+    /// Rebuilds a node's tracker from its retained commissioning
+    /// metadata and full sample log (reference mode only).
+    fn replay(&self, log: &ReplayLog) -> DegradationTracker {
+        let mut t = match log.prior {
+            Some((age, avg_soc, cycle_damage)) => DegradationTracker::with_prior_age(
+                self.temperature,
+                self.constants,
+                age,
+                avg_soc,
+                cycle_damage,
+            ),
+            None => DegradationTracker::with_constants(self.temperature, self.constants),
+        };
+        for &(at, soc) in &log.samples {
+            t.record(at, soc);
+        }
+        t
     }
 
     /// The instant node `id`'s degradation is evaluated at: `now`,
@@ -210,6 +296,8 @@ pub fn dequantize_weight(byte: u8) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    use std::collections::HashMap;
+
     use super::*;
     use crate::trace_compress::SocSample;
 
@@ -342,6 +430,86 @@ mod tests {
         let updates = ledger.compute_normalized(SimTime::ZERO + day * 50);
         let ids: Vec<u32> = updates.iter().map(|&(id, _)| id).collect();
         assert_eq!(ids, vec![3, 7, 9]);
+    }
+
+    #[test]
+    fn incremental_ledger_matches_replay_oracle() {
+        // Drive an incremental ledger and a reference (replay-per-pass)
+        // ledger through the same trace stream, including a pre-aged
+        // node and interleaved dissemination passes; every pass must
+        // produce byte-identical updates and bit-identical raw
+        // degradations.
+        let mut fast = DegradationLedger::new(Duration::from_mins(1));
+        let mut slow = DegradationLedger::new(Duration::from_mins(1)).into_reference();
+        assert!(!fast.is_reference() && slow.is_reference());
+        for l in [&mut fast, &mut slow] {
+            l.register_prior_age(4, Duration::from_days(2 * 365), 0.85, 0.001);
+        }
+        let day = Duration::from_days(1);
+        let mut seed = 0xA076_1D64_78BD_642Fu64;
+        for d in 0..120u64 {
+            let start = SimTime::ZERO + day * d;
+            for node in [1u32, 2, 4, 9] {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                let lo = 0.2 + (seed % 400) as f64 / 1000.0;
+                let hi = (lo + 0.25).min(1.0);
+                let tr = trace((seed % 20) as u8, lo, 30 + (seed % 8) as u8, hi);
+                fast.record_trace(node, start, &tr);
+                slow.record_trace(node, start, &tr);
+            }
+            if d % 10 == 9 {
+                let now = start + day;
+                assert_eq!(
+                    fast.compute_normalized(now),
+                    slow.compute_normalized(now),
+                    "dissemination divergence on day {d}"
+                );
+                assert_eq!(
+                    fast.compute_normalized_bounded(now, Some(Duration::from_days(3))),
+                    slow.compute_normalized_bounded(now, Some(Duration::from_days(3)))
+                );
+                for node in [1u32, 2, 4, 9] {
+                    assert_eq!(
+                        fast.degradation_of(node, now).to_bits(),
+                        slow.degradation_of(node, now).to_bits(),
+                        "raw degradation divergence, node {node} day {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_rainflow_agrees_with_ledger_cycle_accounting() {
+        // End-to-end cross-check against the batch oracle: feed one
+        // node's samples through the ledger and, independently, the
+        // same SoC sequence through batch rainflow_count; the weighted
+        // cycle damage must match the tracker's cycle component.
+        use blam_battery::{rainflow_count, DegradationConstants};
+        let mut ledger = DegradationLedger::new(Duration::from_mins(1));
+        let day = Duration::from_days(1);
+        let mut socs = Vec::new();
+        for d in 0..80u64 {
+            let lo = 0.3 + f64::from(u32::try_from(d % 5).unwrap()) * 0.02;
+            let tr = trace(0, lo, 30, 0.9);
+            // samples_in_order yields discharge then recharge here.
+            socs.push(lo);
+            socs.push(0.9);
+            ledger.record_trace(1, SimTime::ZERO + day * d, &tr);
+        }
+        let k = DegradationConstants::lmo();
+        let expected: f64 = rainflow_count(&socs)
+            .iter()
+            .map(|c| k.cycle_damage(c))
+            .sum();
+        let tracker = ledger.trackers.get(&1).unwrap();
+        let got = tracker.cycle_component() / k.temperature_stress(tracker.temperature());
+        assert!(
+            (got - expected).abs() < 1e-15,
+            "ledger {got} vs batch {expected}"
+        );
     }
 
     #[test]

@@ -157,18 +157,29 @@ impl BlamNode {
     /// each window (Eq. 13 × Eq. 14).
     #[must_use]
     pub fn per_window_energy(&mut self, windows: usize) -> Vec<Joules> {
+        let mut out = Vec::new();
+        self.per_window_energy_into(windows, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of
+    /// [`per_window_energy`](Self::per_window_energy): fills `out`
+    /// (cleared first) so a caller planning every sampling period can
+    /// reuse one scratch buffer instead of allocating |T| entries per
+    /// plan. Produces the same values in the same order.
+    pub fn per_window_energy_into(&mut self, windows: usize, out: &mut Vec<Joules>) {
         self.retx_estimator.ensure_windows(windows);
         let single = self.tx_estimator.estimate();
-        (0..windows)
-            .map(|t| {
-                let attempts = if self.config.use_retx_estimator {
-                    self.retx_estimator.expected_attempts(t)
-                } else {
-                    1.0
-                };
-                single * attempts
-            })
-            .collect()
+        out.clear();
+        out.reserve(windows);
+        for t in 0..windows {
+            let attempts = if self.config.use_retx_estimator {
+                self.retx_estimator.expected_attempts(t)
+            } else {
+                1.0
+            };
+            out.push(single * attempts);
+        }
     }
 
     /// Plans this period's transmission: runs Algorithm 1 over the
@@ -183,6 +194,21 @@ impl BlamNode {
         &mut self,
         battery_energy: Joules,
         green_forecast: &[Joules],
+    ) -> Option<PlannedTransmission> {
+        let mut scratch = Vec::new();
+        self.plan_with_scratch(battery_energy, green_forecast, &mut scratch)
+    }
+
+    /// [`plan`](Self::plan) with a caller-owned scratch buffer for the
+    /// per-window energy estimates. The simulator calls this once per
+    /// node per sampling period; reusing `scratch` keeps Eq. (14) off
+    /// the allocator in the hot path. Identical decisions to `plan`.
+    #[must_use]
+    pub fn plan_with_scratch(
+        &mut self,
+        battery_energy: Joules,
+        green_forecast: &[Joules],
+        scratch: &mut Vec<Joules>,
     ) -> Option<PlannedTransmission> {
         if !self.config.use_window_selection {
             // Diagnostics only — per_window_energy would mutate the
@@ -199,13 +225,13 @@ impl BlamNode {
                 dif,
             });
         }
-        let tx_energy = self.per_window_energy(green_forecast.len());
+        self.per_window_energy_into(green_forecast.len(), scratch);
         let input = SelectInput {
             battery_energy,
             normalized_degradation: self.normalized_degradation * self.weight_trust,
             degradation_weight: self.config.degradation_weight,
             green_energy: green_forecast,
-            tx_energy: &tx_energy,
+            tx_energy: scratch,
             max_tx_energy: self.max_tx_energy,
             utility: &self.config.utility,
         };
@@ -215,7 +241,7 @@ impl BlamNode {
                 objective,
                 utility_loss: 1.0 - self.config.utility.at(window, green_forecast.len()),
                 dif: degradation_impact_factor(
-                    tx_energy[window],
+                    scratch[window],
                     green_forecast[window],
                     self.max_tx_energy,
                 ),
@@ -428,5 +454,48 @@ mod tests {
     fn zero_transmissions_rejected() {
         let mut n = node(0.5);
         n.on_exchange_complete(0, 0, Joules(0.0));
+    }
+
+    #[test]
+    fn plan_with_scratch_matches_plan_exactly() {
+        // The allocation-free path must make bit-identical decisions,
+        // including across estimator-state evolution and the FAIL
+        // branch, while reusing one buffer.
+        let mut a = node(0.5);
+        let mut b = node(0.5);
+        a.on_weight_update(200);
+        b.on_weight_update(200);
+        let mut scratch = Vec::new();
+        let mut sunny = [Joules(0.0); 10];
+        sunny[4] = Joules(0.07);
+        let dark = [Joules(0.0); 10];
+        let long = [Joules(0.01); 60];
+        let forecasts: [&[Joules]; 4] = [&dark, &sunny, &long, &dark];
+        for (i, green) in forecasts.iter().enumerate() {
+            let battery = if i == 3 { Joules(0.0) } else { Joules(1.0) };
+            let via_plan = a.plan(battery, green);
+            let via_scratch = b.plan_with_scratch(battery, green, &mut scratch);
+            assert_eq!(via_plan, via_scratch, "forecast {i}");
+            if let Some(p) = via_plan {
+                a.on_exchange_complete(p.window, 2, Joules(0.09));
+                b.on_exchange_complete(p.window, 2, Joules(0.09));
+            }
+            assert_eq!(a, b, "estimator state diverged after forecast {i}");
+        }
+    }
+
+    #[test]
+    fn per_window_energy_into_reuses_capacity() {
+        let mut n = node(0.5);
+        let mut buf = Vec::new();
+        n.per_window_energy_into(60, &mut buf);
+        assert_eq!(buf.len(), 60);
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        n.per_window_energy_into(10, &mut buf);
+        assert_eq!(buf.len(), 10);
+        assert_eq!(buf.capacity(), cap, "refill must not reallocate");
+        assert_eq!(buf.as_ptr(), ptr);
+        assert_eq!(buf, n.per_window_energy(10));
     }
 }

@@ -4,6 +4,7 @@
 //! blam-sim template                          # print a default scenario JSON
 //! blam-sim run --config scenario.json        # run it, print metrics
 //! blam-sim run --config scenario.json --out results.json --trace trace.jsonl
+//! blam-sim run --config scenario.json --reference   # force the reference engine
 //! blam-sim compare --nodes 100 --days 60     # LoRaWAN vs H-θ side by side
 //! blam-sim compare --trace trace.jsonl --profile
 //! blam-sim chaos --nodes 60 --days 30        # fault-injection resilience drill
@@ -50,7 +51,7 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!(
         "usage:\n  blam-sim template                      print a default scenario config (JSON)\n  \
-         blam-sim run --config FILE [--out FILE] [--trace FILE] [--profile]  simulate a scenario\n  \
+         blam-sim run --config FILE [--out FILE] [--trace FILE] [--profile] [--reference]\n                                           simulate a scenario (--reference forces the\n                                           unoptimized oracle engine; results are identical)\n  \
          blam-sim compare [--nodes N] [--days D] [--seed S] [--jobs J] [--trace FILE] [--profile]\n                                           quick protocol comparison\n  \
          blam-sim chaos [--nodes N] [--days D] [--seed S] [--jobs J] [--trace FILE]\n                                           fault-injection drill: LoRaWAN vs hardened H-50,\n                                           fault-free vs chaos schedule\n  \
          blam-sim trace-check FILE [--results FILE]  validate a JSONL telemetry trace"
@@ -90,8 +91,14 @@ fn template() -> Result<(), String> {
 fn run(args: &[String]) -> Result<(), String> {
     let path = flag(args, "--config")?.ok_or("run requires --config FILE")?;
     let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
-    let cfg: ScenarioConfig =
+    let mut cfg: ScenarioConfig =
         serde_json::from_str(&text).map_err(|e| format!("{path}: invalid scenario: {e}"))?;
+    // The differential-oracle escape hatch: run the binary-heap queue,
+    // uncached PHY arithmetic and replay-per-pass ledger instead of the
+    // optimized hot paths. Results are byte-identical by contract.
+    if switch(args, "--reference") {
+        cfg.reference_impl = true;
+    }
     let opts = telemetry_options(args)?;
     let profile = switch(args, "--profile");
     eprintln!(

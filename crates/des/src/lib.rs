@@ -1,10 +1,11 @@
 //! Deterministic discrete-event simulation kernel.
 //!
 //! A minimal, fast replacement for the role NS-3 plays in the paper's
-//! evaluation: a virtual clock, a priority event queue with stable FIFO
-//! tie-breaking and O(log n) cancellation, and named deterministic RNG
-//! streams so every experiment is exactly reproducible from a single
-//! seed.
+//! evaluation: a virtual clock, a calendar event queue with stable
+//! FIFO tie-breaking and O(1) tombstone cancellation (the original
+//! binary-heap queue stays available as a differential-test oracle via
+//! [`EventQueue::reference`]), and named deterministic RNG streams so
+//! every experiment is exactly reproducible from a single seed.
 //!
 //! * [`queue`] — [`EventQueue`]: schedule / cancel / pop.
 //! * [`sim`] — [`Simulator`]: the run loop.

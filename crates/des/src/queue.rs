@@ -1,4 +1,18 @@
-//! The event queue: a binary heap with stable ordering and cancellation.
+//! The event queue: a calendar (bucket) queue with stable FIFO
+//! ordering and O(1) tombstone cancellation.
+//!
+//! The calendar layout is tuned for this simulator's event mix —
+//! near-uniform horizons (airtimes of hundreds of milliseconds, window
+//! timers of minutes) with occasional far-future events (daily
+//! dissemination, monthly samples). Buckets adapt their width and
+//! count to the live population; a scan that finds nothing within one
+//! rotation falls back to a direct sweep, so pathological skews only
+//! cost speed, never correctness.
+//!
+//! The original `BinaryHeap` implementation is retained behind
+//! [`EventQueue::reference`] as the slow reference oracle for the
+//! differential test battery: both backends must produce identical
+//! pop sequences for any schedule/cancel interleaving.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
@@ -38,11 +52,201 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
+/// Smallest bucket count the calendar shrinks to.
+const MIN_BUCKETS: usize = 16;
+/// Initial bucket width: 2^10 ms ≈ 1 s, a LoRa airtime scale.
+const INITIAL_SHIFT: u32 = 10;
+/// Widest bucket the resize heuristic will pick (2^40 ms ≈ 12.7 days);
+/// beyond that the direct-sweep fallback is cheaper than rotations.
+const MAX_SHIFT: u32 = 40;
+
+/// Position of the minimum entry, memoized between `peek` and `pop`.
+#[derive(Debug, Clone, Copy)]
+struct MinPos {
+    bucket: usize,
+    idx: usize,
+    time_ms: u64,
+    id: EventId,
+}
+
+/// The calendar store: open bucket lists indexed by
+/// `(time >> shift) & (buckets.len() - 1)`.
+struct Calendar<E> {
+    buckets: Vec<Vec<Scheduled<E>>>,
+    /// log2 of the bucket width in milliseconds.
+    shift: u32,
+    /// Entries stored, tombstones included.
+    stored: usize,
+    /// Lower bound (ms) on every stored entry's time; the rotation
+    /// scan starts from this slot.
+    floor_ms: u64,
+    /// Cached minimum position; valid until the store mutates in a
+    /// way that could move or beat it.
+    memo: Option<MinPos>,
+}
+
+impl<E> Calendar<E> {
+    fn new() -> Self {
+        Calendar {
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            shift: INITIAL_SHIFT,
+            stored: 0,
+            floor_ms: 0,
+            memo: None,
+        }
+    }
+
+    fn bucket_of(&self, time_ms: u64) -> usize {
+        ((time_ms >> self.shift) as usize) & (self.buckets.len() - 1)
+    }
+
+    fn push(&mut self, s: Scheduled<E>) {
+        if self.stored + 1 > 2 * self.buckets.len() {
+            self.rebuild(self.buckets.len() * 2);
+        }
+        let t = s.time.as_millis();
+        if self.stored == 0 || t < self.floor_ms {
+            self.floor_ms = t;
+        }
+        let b = self.bucket_of(t);
+        let beats_memo = self.memo.is_some_and(|m| (t, s.id) < (m.time_ms, m.id));
+        self.buckets[b].push(s);
+        if beats_memo {
+            // Appends never move existing entries, so the memo stays
+            // positionally valid — it is only replaced when beaten.
+            self.memo = Some(MinPos {
+                bucket: b,
+                idx: self.buckets[b].len() - 1,
+                time_ms: t,
+                // analyzer: allow(panic-hygiene, reason = "entry pushed on the line above; last() cannot be None")
+                id: self.buckets[b].last().expect("just pushed").id,
+            });
+        }
+        self.stored += 1;
+    }
+
+    /// Finds the stored minimum by `(time, id)` and memoizes it.
+    fn find_min(&mut self) -> Option<MinPos> {
+        if self.stored == 0 {
+            return None;
+        }
+        if let Some(m) = self.memo {
+            return Some(m);
+        }
+        let count = self.buckets.len();
+        let start_slot = u128::from(self.floor_ms >> self.shift);
+        let mut found: Option<MinPos> = None;
+        // One rotation: visit (bucket, slot) pairs in increasing slot
+        // order; the first bucket holding a qualifying entry holds the
+        // global minimum (see the module docs for the argument).
+        for step in 0..count as u128 {
+            let slot = start_slot + step;
+            let b = (slot as usize) & (count - 1);
+            for (i, e) in self.buckets[b].iter().enumerate() {
+                let t = e.time.as_millis();
+                if u128::from(t >> self.shift) <= slot
+                    && found.is_none_or(|m| (t, e.id) < (m.time_ms, m.id))
+                {
+                    found = Some(MinPos {
+                        bucket: b,
+                        idx: i,
+                        time_ms: t,
+                        id: e.id,
+                    });
+                }
+            }
+            if found.is_some() {
+                break;
+            }
+        }
+        if found.is_none() {
+            // Sparse horizon: nothing within one rotation of the
+            // floor. Sweep every entry directly instead of spinning
+            // through empty rotations.
+            for (b, bucket) in self.buckets.iter().enumerate() {
+                for (i, e) in bucket.iter().enumerate() {
+                    let t = e.time.as_millis();
+                    if found.is_none_or(|m| (t, e.id) < (m.time_ms, m.id)) {
+                        found = Some(MinPos {
+                            bucket: b,
+                            idx: i,
+                            time_ms: t,
+                            id: e.id,
+                        });
+                    }
+                }
+            }
+        }
+        // analyzer: allow(panic-hygiene, reason = "caller checks stored > 0, so the bucket scan must find a minimum")
+        let m = found.expect("stored > 0 implies a minimum exists");
+        // The minimum bounds every stored entry from below; advancing
+        // the floor keeps later scans short.
+        self.floor_ms = m.time_ms;
+        self.memo = Some(m);
+        Some(m)
+    }
+
+    /// Removes the entry at `pos` (as returned by [`find_min`]).
+    fn remove_at(&mut self, pos: MinPos) -> Scheduled<E> {
+        let s = self.buckets[pos.bucket].swap_remove(pos.idx);
+        debug_assert_eq!(s.id, pos.id, "memoized position went stale");
+        self.stored -= 1;
+        self.memo = None;
+        self.floor_ms = pos.time_ms;
+        if self.stored < self.buckets.len() / 4 && self.buckets.len() > MIN_BUCKETS {
+            self.rebuild(self.buckets.len() / 2);
+        }
+        s
+    }
+
+    /// Re-buckets every entry into `new_count` buckets, re-estimating
+    /// the bucket width from the current spread (average inter-event
+    /// gap, rounded to a power of two). Deterministic: depends only on
+    /// the stored contents.
+    fn rebuild(&mut self, new_count: usize) {
+        let mut entries: Vec<Scheduled<E>> = Vec::with_capacity(self.stored);
+        for bucket in &mut self.buckets {
+            entries.append(bucket);
+        }
+        if !entries.is_empty() {
+            let mut min_t = u64::MAX;
+            let mut max_t = 0u64;
+            for e in &entries {
+                let t = e.time.as_millis();
+                min_t = min_t.min(t);
+                max_t = max_t.max(t);
+            }
+            let avg_gap = ((max_t - min_t) / entries.len() as u64).max(1);
+            self.shift = (64 - avg_gap.leading_zeros()).min(MAX_SHIFT);
+            self.floor_ms = min_t;
+        }
+        self.buckets = (0..new_count.max(MIN_BUCKETS))
+            .map(|_| Vec::new())
+            .collect();
+        self.memo = None;
+        for s in entries {
+            let b = self.bucket_of(s.time.as_millis());
+            self.buckets[b].push(s);
+        }
+    }
+}
+
+/// The time-ordered store behind an [`EventQueue`].
+enum Store<E> {
+    /// The optimized calendar queue (the default).
+    Calendar(Calendar<E>),
+    /// The original binary heap, kept as the differential-test oracle.
+    Heap(BinaryHeap<Scheduled<E>>),
+}
+
 /// A time-ordered event queue.
 ///
 /// Events at equal timestamps pop in scheduling (FIFO) order, which
 /// keeps simulations deterministic. Cancellation is tombstone-based:
-/// O(1) at cancel time, skipped at pop time.
+/// O(1) at cancel time, skipped at pop time. The default backend is a
+/// calendar queue; [`EventQueue::reference`] builds the original
+/// binary-heap backend, which must behave identically and serves as
+/// the slow oracle in differential tests.
 ///
 /// # Examples
 ///
@@ -58,7 +262,7 @@ impl<E> Ord for Scheduled<E> {
 /// assert_eq!(q.pop(), None);
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    store: Store<E>,
     cancelled: HashSet<EventId>,
     /// Ids delivered or cancelled out of scheduling order (drained into
     /// `settled_below` as the range becomes contiguous).
@@ -71,11 +275,23 @@ pub struct EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue on the calendar backend.
     #[must_use]
     pub fn new() -> Self {
+        Self::with_store(Store::Calendar(Calendar::new()))
+    }
+
+    /// Creates an empty queue on the original binary-heap backend —
+    /// the reference oracle for differential tests. Semantically
+    /// identical to [`EventQueue::new`], only slower.
+    #[must_use]
+    pub fn reference() -> Self {
+        Self::with_store(Store::Heap(BinaryHeap::new()))
+    }
+
+    fn with_store(store: Store<E>) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            store,
             cancelled: HashSet::new(),
             settled: HashSet::new(),
             settled_below: 0,
@@ -84,15 +300,25 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// True when this queue runs the reference (binary-heap) backend.
+    #[must_use]
+    pub fn is_reference(&self) -> bool {
+        matches!(self.store, Store::Heap(_))
+    }
+
     /// Schedules `event` at absolute time `at` and returns its handle.
     pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
         let id = EventId(self.next_id);
         self.next_id += 1;
-        self.heap.push(Scheduled {
+        let s = Scheduled {
             time: at,
             id,
             event,
-        });
+        };
+        match &mut self.store {
+            Store::Calendar(c) => c.push(s),
+            Store::Heap(h) => h.push(s),
+        }
         self.live += 1;
         id
     }
@@ -132,7 +358,14 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest live event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(s) = self.heap.pop() {
+        loop {
+            let s = match &mut self.store {
+                Store::Calendar(c) => {
+                    let pos = c.find_min()?;
+                    c.remove_at(pos)
+                }
+                Store::Heap(h) => h.pop()?,
+            };
             if self.cancelled.remove(&s.id) {
                 self.mark_settled(s.id);
                 continue;
@@ -141,23 +374,41 @@ impl<E> EventQueue<E> {
             self.mark_settled(s.id);
             return Some((s.time, s.event));
         }
-        None
     }
 
     /// The timestamp of the earliest live event.
     #[must_use]
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        // Drop leading tombstones so the peek is accurate.
-        while let Some(s) = self.heap.peek() {
-            if self.cancelled.contains(&s.id) {
-                let s = self.heap.pop().expect("peeked element exists");
-                self.cancelled.remove(&s.id);
-                self.mark_settled(s.id);
-            } else {
-                return Some(s.time);
+        // Drop leading tombstones so the peek is accurate. The
+        // calendar memoizes the found minimum, so the peek-then-pop
+        // pattern of the run loop costs a single scan.
+        loop {
+            let (time, id) = match &mut self.store {
+                Store::Calendar(c) => {
+                    let m = c.find_min()?;
+                    (SimTime::from_millis(m.time_ms), m.id)
+                }
+                Store::Heap(h) => {
+                    let s = h.peek()?;
+                    (s.time, s.id)
+                }
+            };
+            if !self.cancelled.contains(&id) {
+                return Some(time);
             }
+            match &mut self.store {
+                Store::Calendar(c) => {
+                    // analyzer: allow(panic-hygiene, reason = "peek on the line above proved the queue non-empty")
+                    let m = c.find_min().expect("minimum just observed");
+                    c.remove_at(m);
+                }
+                Store::Heap(h) => {
+                    h.pop();
+                }
+            }
+            self.cancelled.remove(&id);
+            self.mark_settled(id);
         }
-        None
     }
 
     /// Number of live events.
@@ -181,9 +432,14 @@ impl<E> Default for EventQueue<E> {
 
 impl<E: std::fmt::Debug> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (backend, stored) = match &self.store {
+            Store::Calendar(c) => ("calendar", c.stored),
+            Store::Heap(h) => ("heap", h.len()),
+        };
         f.debug_struct("EventQueue")
+            .field("backend", &backend)
             .field("live", &self.live)
-            .field("heap_size", &self.heap.len())
+            .field("stored", &stored)
             .finish()
     }
 }
@@ -192,109 +448,175 @@ impl<E: std::fmt::Debug> std::fmt::Debug for EventQueue<E> {
 mod tests {
     use super::*;
 
+    /// Every behavioural test runs against both backends.
+    fn both(test: impl Fn(EventQueue<i64>)) {
+        test(EventQueue::new());
+        test(EventQueue::reference());
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_secs(3), 3);
-        q.schedule(SimTime::from_secs(1), 1);
-        q.schedule(SimTime::from_secs(2), 2);
-        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, vec![1, 2, 3]);
+        both(|mut q| {
+            q.schedule(SimTime::from_secs(3), 3);
+            q.schedule(SimTime::from_secs(1), 1);
+            q.schedule(SimTime::from_secs(2), 2);
+            let order: Vec<i64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, vec![1, 2, 3]);
+        });
     }
 
     #[test]
     fn equal_times_pop_fifo() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_secs(5);
-        for i in 0..100 {
-            q.schedule(t, i);
-        }
-        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
+        both(|mut q| {
+            let t = SimTime::from_secs(5);
+            for i in 0..100 {
+                q.schedule(t, i);
+            }
+            let order: Vec<i64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, (0..100).collect::<Vec<_>>());
+        });
     }
 
     #[test]
     fn cancel_removes_event() {
-        let mut q = EventQueue::new();
-        let id = q.schedule(SimTime::from_secs(1), "x");
-        q.schedule(SimTime::from_secs(2), "y");
-        assert!(q.cancel(id));
-        assert!(!q.cancel(id), "double cancel is a no-op");
-        assert_eq!(q.len(), 1);
-        assert_eq!(q.pop(), Some((SimTime::from_secs(2), "y")));
+        both(|mut q| {
+            let id = q.schedule(SimTime::from_secs(1), 10);
+            q.schedule(SimTime::from_secs(2), 20);
+            assert!(q.cancel(id));
+            assert!(!q.cancel(id), "double cancel is a no-op");
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.pop(), Some((SimTime::from_secs(2), 20)));
+        });
     }
 
     #[test]
     fn cancel_unknown_id_is_false() {
-        let mut q: EventQueue<()> = EventQueue::new();
-        assert!(!q.cancel(EventId(42)));
+        both(|mut q| {
+            assert!(!q.cancel(EventId(42)));
+        });
     }
 
     #[test]
     fn cancel_after_delivery_is_a_clean_noop() {
-        let mut q = EventQueue::new();
-        let a = q.schedule(SimTime::from_secs(1), "a");
-        q.schedule(SimTime::from_secs(2), "b");
-        assert_eq!(q.pop(), Some((SimTime::from_secs(1), "a")));
-        // The handle is stale: cancelling must not disturb the count or
-        // poison future pops.
-        assert!(!q.cancel(a));
-        assert_eq!(q.len(), 1);
-        assert_eq!(q.pop(), Some((SimTime::from_secs(2), "b")));
-        assert!(q.is_empty());
-        assert!(!q.cancel(a), "still a no-op after drain");
+        both(|mut q| {
+            let a = q.schedule(SimTime::from_secs(1), 1);
+            q.schedule(SimTime::from_secs(2), 2);
+            assert_eq!(q.pop(), Some((SimTime::from_secs(1), 1)));
+            // The handle is stale: cancelling must not disturb the
+            // count or poison future pops.
+            assert!(!q.cancel(a));
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.pop(), Some((SimTime::from_secs(2), 2)));
+            assert!(q.is_empty());
+            assert!(!q.cancel(a), "still a no-op after drain");
+        });
     }
 
     #[test]
     fn settled_tracking_stays_compact_under_churn() {
-        let mut q = EventQueue::new();
-        let mut ids = Vec::new();
-        for round in 0..100u64 {
-            for k in 0..10u64 {
-                ids.push(q.schedule(SimTime::from_millis(round * 10 + k), round * 10 + k));
+        both(|mut q| {
+            let mut ids = Vec::new();
+            for round in 0..100u64 {
+                for k in 0..10u64 {
+                    ids.push(q.schedule(SimTime::from_millis(round * 10 + k), 0));
+                }
+                while q.pop().is_some() {}
             }
-            while q.pop().is_some() {}
-        }
-        // Every id settled in order: the out-of-order set must be empty.
-        assert_eq!(q.settled.len(), 0);
-        assert_eq!(q.settled_below, 1_000);
-        for id in ids {
-            assert!(!q.cancel(id));
-        }
+            // Every id settled in order: the out-of-order set must be
+            // empty.
+            assert_eq!(q.settled.len(), 0);
+            assert_eq!(q.settled_below, 1_000);
+            for id in ids {
+                assert!(!q.cancel(id));
+            }
+        });
     }
 
     #[test]
     fn peek_time_skips_tombstones() {
-        let mut q = EventQueue::new();
-        let id = q.schedule(SimTime::from_secs(1), "x");
-        q.schedule(SimTime::from_secs(2), "y");
-        q.cancel(id);
-        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
-        assert_eq!(q.len(), 1);
+        both(|mut q| {
+            let id = q.schedule(SimTime::from_secs(1), 1);
+            q.schedule(SimTime::from_secs(2), 2);
+            q.cancel(id);
+            assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+            assert_eq!(q.len(), 1);
+        });
     }
 
     #[test]
     fn len_tracks_live_events() {
-        let mut q = EventQueue::new();
-        assert!(q.is_empty());
-        let a = q.schedule(SimTime::from_secs(1), 1);
-        q.schedule(SimTime::from_secs(2), 2);
-        assert_eq!(q.len(), 2);
-        q.cancel(a);
-        assert_eq!(q.len(), 1);
-        q.pop();
-        assert!(q.is_empty());
+        both(|mut q| {
+            assert!(q.is_empty());
+            let a = q.schedule(SimTime::from_secs(1), 1);
+            q.schedule(SimTime::from_secs(2), 2);
+            assert_eq!(q.len(), 2);
+            q.cancel(a);
+            assert_eq!(q.len(), 1);
+            q.pop();
+            assert!(q.is_empty());
+        });
     }
 
     #[test]
     fn interleaved_schedule_and_pop() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_secs(10), "late");
-        assert_eq!(q.pop().unwrap().1, "late");
-        q.schedule(SimTime::from_secs(5), "next");
-        q.schedule(SimTime::from_secs(4), "first");
-        assert_eq!(q.pop().unwrap().1, "first");
-        assert_eq!(q.pop().unwrap().1, "next");
-        assert_eq!(q.pop(), None);
+        both(|mut q| {
+            q.schedule(SimTime::from_secs(10), 100);
+            assert_eq!(q.pop().unwrap().1, 100);
+            // Scheduling below the last popped time is allowed at the
+            // queue layer (the Simulator forbids it separately); the
+            // calendar must lower its floor accordingly.
+            q.schedule(SimTime::from_secs(5), 50);
+            q.schedule(SimTime::from_secs(4), 40);
+            assert_eq!(q.pop().unwrap().1, 40);
+            assert_eq!(q.pop().unwrap().1, 50);
+            assert_eq!(q.pop(), None);
+        });
+    }
+
+    #[test]
+    fn far_future_events_pop_correctly() {
+        both(|mut q| {
+            // Mix of millisecond-scale and month-scale horizons — the
+            // sparse-horizon fallback path.
+            q.schedule(SimTime::from_millis(3), 1);
+            q.schedule(SimTime::from_secs(30 * 86_400), 3);
+            q.schedule(SimTime::from_secs(86_400), 2);
+            let order: Vec<i64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, vec![1, 2, 3]);
+        });
+    }
+
+    #[test]
+    fn resize_churn_preserves_order() {
+        both(|mut q| {
+            // Grow well past the initial bucket count, then drain —
+            // exercising both rebuild directions on the calendar.
+            let mut expect = Vec::new();
+            for i in 0..500u64 {
+                let t = (i * 7919) % 1_000;
+                q.schedule(SimTime::from_millis(t), i as i64);
+                expect.push((t, i as i64));
+            }
+            expect.sort();
+            let got: Vec<(u64, i64)> =
+                std::iter::from_fn(|| q.pop().map(|(t, e)| (t.as_millis(), e))).collect();
+            assert_eq!(got, expect);
+        });
+    }
+
+    #[test]
+    fn backends_report_their_identity() {
+        assert!(!EventQueue::<()>::new().is_reference());
+        assert!(EventQueue::<()>::reference().is_reference());
+    }
+
+    #[test]
+    fn max_time_sentinel_is_storable() {
+        both(|mut q| {
+            q.schedule(SimTime::MAX, 9);
+            q.schedule(SimTime::from_secs(1), 1);
+            assert_eq!(q.pop().unwrap().1, 1);
+            assert_eq!(q.pop(), Some((SimTime::MAX, 9)));
+        });
     }
 }

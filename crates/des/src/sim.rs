@@ -32,14 +32,32 @@ pub struct Simulator<E> {
 }
 
 impl<E> Simulator<E> {
-    /// Creates a simulator at time zero.
+    /// Creates a simulator at time zero (calendar-queue backend).
     #[must_use]
     pub fn new() -> Self {
+        Self::with_queue(EventQueue::new())
+    }
+
+    /// Creates a simulator on the reference (binary-heap) event queue
+    /// — the slow oracle used by differential tests and the perf gate
+    /// to prove the optimized backend changes nothing.
+    #[must_use]
+    pub fn reference() -> Self {
+        Self::with_queue(EventQueue::reference())
+    }
+
+    fn with_queue(queue: EventQueue<E>) -> Self {
         Simulator {
-            queue: EventQueue::new(),
+            queue,
             now: SimTime::ZERO,
             processed: 0,
         }
+    }
+
+    /// True when this simulator runs the reference event queue.
+    #[must_use]
+    pub fn is_reference(&self) -> bool {
+        self.queue.is_reference()
     }
 
     /// The current virtual time.

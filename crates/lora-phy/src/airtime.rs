@@ -6,10 +6,27 @@
 //! folded into the constant): the paper's `+24` constant equals the
 //! datasheet's `+28 + 16·CRC − 20·IH` with CRC = 1 and IH = 0 rearranged
 //! for its slightly simplified denominator.
+//!
+//! # Memoization
+//!
+//! The formula's domain in this simulator is tiny and dense —
+//! `(SF7–SF12) × (125/250/500 kHz) × (CR4/5–4/8) × payload 0..=255`,
+//! 18 432 cells — while the hot paths (per-attempt TX energy, ACK
+//! scheduling, per-window retransmission estimates) re-evaluate it
+//! millions of times per simulated year. [`airtime_secs`] therefore
+//! serves canonical LoRaWAN configurations (8-symbol preamble,
+//! explicit header, CRC on, automatic LDRO) from a lazily built
+//! process-wide table whose cells are produced by the *same*
+//! [`airtime_secs_direct`] formula, so cached and direct results are
+//! bit-identical by construction — and proven so cell-by-cell in the
+//! exhaustive conformance test below. Non-canonical configurations
+//! fall through to the direct computation.
+
+use std::sync::OnceLock;
 
 use blam_units::Duration;
 
-use crate::params::{Bandwidth, SpreadingFactor, TxConfig};
+use crate::params::{Bandwidth, CodingRate, SpreadingFactor, TxConfig};
 
 /// Duration of one LoRa symbol in seconds: `2^SF / BW`.
 ///
@@ -82,8 +99,23 @@ pub fn total_symbols(config: &TxConfig, payload_len: usize) -> f64 {
 }
 
 /// Time on air in seconds for a `payload_len`-byte packet.
+///
+/// Canonical LoRaWAN configurations (see [`TxConfig::cache_canonical`])
+/// with payloads up to 255 bytes are served from the memo table;
+/// everything else computes directly. Both paths are bit-identical.
 #[must_use]
 pub fn airtime_secs(config: &TxConfig, payload_len: usize) -> f64 {
+    if payload_len <= CACHE_PAYLOAD_MAX && config.cache_canonical() {
+        airtime_table()[cache_index(config.sf, config.bw, config.cr, payload_len)]
+    } else {
+        airtime_secs_direct(config, payload_len)
+    }
+}
+
+/// Time on air in seconds, always evaluated from the Semtech formula —
+/// the uncached reference path the memo table is checked against.
+#[must_use]
+pub fn airtime_secs_direct(config: &TxConfig, payload_len: usize) -> f64 {
     total_symbols(config, payload_len) * symbol_duration_secs(config.sf, config.bw)
 }
 
@@ -91,6 +123,58 @@ pub fn airtime_secs(config: &TxConfig, payload_len: usize) -> f64 {
 #[must_use]
 pub fn airtime(config: &TxConfig, payload_len: usize) -> Duration {
     Duration::from_secs_f64(airtime_secs(config, payload_len))
+}
+
+/// Largest payload length covered by the memo table.
+pub const CACHE_PAYLOAD_MAX: usize = 255;
+
+/// Total cells in the memo table:
+/// 6 SFs × 3 bandwidths × 4 coding rates × 256 payload lengths.
+pub const CACHE_CELLS: usize = 6 * 3 * 4 * (CACHE_PAYLOAD_MAX + 1);
+
+const BANDWIDTHS: [Bandwidth; 3] = [Bandwidth::Khz125, Bandwidth::Khz250, Bandwidth::Khz500];
+const CODING_RATES: [CodingRate; 4] = [
+    CodingRate::Cr4_5,
+    CodingRate::Cr4_6,
+    CodingRate::Cr4_7,
+    CodingRate::Cr4_8,
+];
+
+/// Dense row-major index into the memo table. The domain is a plain
+/// `Vec` indexed arithmetically — no hash container, so lookups carry
+/// no iteration-order hazard.
+fn cache_index(sf: SpreadingFactor, bw: Bandwidth, cr: CodingRate, payload_len: usize) -> usize {
+    let sf_i = usize::from(sf.as_u8() - 7);
+    let bw_i = match bw {
+        Bandwidth::Khz125 => 0,
+        Bandwidth::Khz250 => 1,
+        Bandwidth::Khz500 => 2,
+    };
+    let cr_i = usize::from(cr.redundancy_index() - 1);
+    ((sf_i * 3 + bw_i) * 4 + cr_i) * (CACHE_PAYLOAD_MAX + 1) + payload_len
+}
+
+/// The process-wide airtime memo, built on first use by running the
+/// direct formula over every cell (in index order, so the build is
+/// deterministic and the contents equal the reference path bit for
+/// bit).
+fn airtime_table() -> &'static [f64] {
+    static TABLE: OnceLock<Vec<f64>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = vec![0.0; CACHE_CELLS];
+        for sf in SpreadingFactor::ALL {
+            for bw in BANDWIDTHS {
+                for cr in CODING_RATES {
+                    let cfg = TxConfig::new(sf, bw, cr);
+                    debug_assert!(cfg.cache_canonical());
+                    for pl in 0..=CACHE_PAYLOAD_MAX {
+                        table[cache_index(sf, bw, cr, pl)] = airtime_secs_direct(&cfg, pl);
+                    }
+                }
+            }
+        }
+        table
+    })
 }
 
 fn div_ceil(a: i64, b: i64) -> i64 {
@@ -252,5 +336,106 @@ mod tests {
         let mut no_crc = with_crc;
         no_crc.crc = false;
         assert!(payload_symbols(&no_crc, 10) <= payload_symbols(&with_crc, 10));
+    }
+
+    /// The memo table must match the uncached Semtech formula bit for
+    /// bit on every one of its 18 432 cells — any index permutation or
+    /// stale-cell bug shows up here.
+    #[test]
+    fn cache_matches_direct_formula_bit_for_bit_exhaustively() {
+        let mut checked = 0usize;
+        for sf in SpreadingFactor::ALL {
+            for bw in [Bandwidth::Khz125, Bandwidth::Khz250, Bandwidth::Khz500] {
+                for cr in [
+                    CodingRate::Cr4_5,
+                    CodingRate::Cr4_6,
+                    CodingRate::Cr4_7,
+                    CodingRate::Cr4_8,
+                ] {
+                    let c = TxConfig::new(sf, bw, cr);
+                    for pl in 0..=CACHE_PAYLOAD_MAX {
+                        let cached = airtime_secs(&c, pl);
+                        let direct = airtime_secs_direct(&c, pl);
+                        assert_eq!(
+                            cached.to_bits(),
+                            direct.to_bits(),
+                            "{sf} {bw} {cr} payload {pl}: cached {cached} vs direct {direct}"
+                        );
+                        checked += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(checked, CACHE_CELLS, "the sweep must cover every cell");
+    }
+
+    /// Non-canonical configurations and oversized payloads must bypass
+    /// the table and still agree with the direct formula.
+    #[test]
+    fn non_canonical_configs_bypass_the_cache_correctly() {
+        let longer_preamble = cfg(SpreadingFactor::Sf9).with_preamble_symbols(12);
+        assert!(!longer_preamble.cache_canonical());
+        let forced_ldro = cfg(SpreadingFactor::Sf9).with_ldro(true);
+        assert!(!forced_ldro.cache_canonical());
+        let mut implicit = cfg(SpreadingFactor::Sf9);
+        implicit.explicit_header = false;
+        assert!(!implicit.cache_canonical());
+        for c in [longer_preamble, forced_ldro, implicit] {
+            let a = airtime_secs(&c, 10);
+            let b = airtime_secs_direct(&c, 10);
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Payloads beyond the table's 255-byte ceiling fall through.
+        let big = airtime_secs(&cfg(SpreadingFactor::Sf7), 300);
+        assert_eq!(
+            big.to_bits(),
+            airtime_secs_direct(&cfg(SpreadingFactor::Sf7), 300).to_bits()
+        );
+    }
+
+    /// Power does not enter the airtime formula, so a power override
+    /// keeps the configuration cache-canonical (the ACK path uses
+    /// 27 dBm downlinks with otherwise default framing).
+    #[test]
+    fn power_override_stays_cache_canonical() {
+        use blam_units::Dbm;
+        let c = cfg(SpreadingFactor::Sf9).with_power(Dbm(27.0));
+        assert!(c.cache_canonical());
+        assert_eq!(
+            airtime_secs(&c, 10).to_bits(),
+            airtime_secs_direct(&c, 10).to_bits()
+        );
+    }
+
+    /// Second Semtech-calculator pin: SF7 at 250 kHz, CR 4/5,
+    /// 10-byte payload, preamble 8, explicit header, CRC on.
+    /// The calculator reports 20.61 ms (40.25 symbols × 0.512 ms).
+    #[test]
+    fn airtime_matches_semtech_calculator_sf7_250khz() {
+        let c = TxConfig::new(SpreadingFactor::Sf7, Bandwidth::Khz250, CodingRate::Cr4_5);
+        let t = airtime_secs(&c, 10);
+        assert!((t - 0.020_608).abs() < 5e-5, "got {t}");
+    }
+
+    /// Third Semtech-calculator pin: SF9 at 125 kHz, CR 4/5, 20-byte
+    /// payload. The calculator reports 185.34 ms (45.25 symbols ×
+    /// 4.096 ms).
+    #[test]
+    fn airtime_matches_semtech_calculator_sf9_20_bytes() {
+        let c = TxConfig::new(SpreadingFactor::Sf9, Bandwidth::Khz125, CodingRate::Cr4_5);
+        let t = airtime_secs(&c, 20);
+        assert!((t - 0.185_344).abs() < 5e-5, "got {t}");
+    }
+
+    /// Fourth Semtech-calculator pin: SF12 at 125 kHz, CR 4/5, 51-byte
+    /// payload (the LoRaWAN SF12 maximum), LDRO on by the automatic
+    /// rule. The calculator reports 2 465.79 ms (75.25 symbols ×
+    /// 32.768 ms).
+    #[test]
+    fn airtime_matches_semtech_calculator_sf12_max_payload() {
+        let c = TxConfig::new(SpreadingFactor::Sf12, Bandwidth::Khz125, CodingRate::Cr4_5);
+        assert!(c.low_data_rate_optimize(), "auto-LDRO applies at SF12");
+        let t = airtime_secs(&c, 51);
+        assert!((t - 2.465_792).abs() < 5e-4, "got {t}");
     }
 }

@@ -134,9 +134,23 @@ impl RadioPowerModel {
     }
 
     /// Energy to transmit one `payload_len`-byte packet with `config`.
+    ///
+    /// Uses the airtime memo table for canonical configurations; see
+    /// [`tx_energy_direct`](RadioPowerModel::tx_energy_direct) for the
+    /// uncached reference path (bit-identical, used by differential
+    /// tests and `reference_impl` runs).
     #[must_use]
     pub fn tx_energy(&self, config: &TxConfig, payload_len: usize) -> Joules {
         self.tx_power_draw(config.power) * Duration::from_secs_f64(config.airtime_secs(payload_len))
+    }
+
+    /// Energy to transmit one packet, with the airtime evaluated from
+    /// the Semtech formula every call — the reference oracle for
+    /// [`tx_energy`](RadioPowerModel::tx_energy).
+    #[must_use]
+    pub fn tx_energy_direct(&self, config: &TxConfig, payload_len: usize) -> Joules {
+        self.tx_power_draw(config.power)
+            * Duration::from_secs_f64(crate::airtime::airtime_secs_direct(config, payload_len))
     }
 
     /// Energy to listen for `window`.
@@ -155,6 +169,56 @@ impl RadioPowerModel {
 impl Default for RadioPowerModel {
     fn default() -> Self {
         RadioPowerModel::sx1276()
+    }
+}
+
+/// A one-entry TX-energy memo for the hot per-node path.
+///
+/// Between ADR updates a node's `(TxConfig, payload_len)` pair is
+/// constant, yet the engine evaluates its transmission energy on every
+/// brownout check, attempt, and settlement. This memo collapses those
+/// repeats to a struct compare. It assumes the radio model itself is
+/// constant for the cache's lifetime (true per scenario); the entry is
+/// keyed on the full `TxConfig`, so SF/power changes from ADR refresh
+/// it automatically.
+///
+/// # Examples
+///
+/// ```
+/// use blam_lora_phy::{RadioPowerModel, TxConfig, TxEnergyCache};
+///
+/// let radio = RadioPowerModel::sx1276();
+/// let mut memo = TxEnergyCache::default();
+/// let cfg = TxConfig::default();
+/// let a = memo.energy(&radio, &cfg, 23);
+/// let b = memo.energy(&radio, &cfg, 23); // served from the memo
+/// assert_eq!(a.0.to_bits(), b.0.to_bits());
+/// assert_eq!(a.0.to_bits(), radio.tx_energy(&cfg, 23).0.to_bits());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TxEnergyCache {
+    entry: Option<(TxConfig, usize, Joules)>,
+}
+
+impl TxEnergyCache {
+    /// The transmission energy for `(config, payload_len)`, served
+    /// from the memo when the pair matches the last call. Bit-identical
+    /// to [`RadioPowerModel::tx_energy`] by construction.
+    #[must_use]
+    pub fn energy(
+        &mut self,
+        radio: &RadioPowerModel,
+        config: &TxConfig,
+        payload_len: usize,
+    ) -> Joules {
+        if let Some((c, l, e)) = &self.entry {
+            if c == config && *l == payload_len {
+                return *e;
+            }
+        }
+        let e = radio.tx_energy(config, payload_len);
+        self.entry = Some((*config, payload_len, e));
+        e
     }
 }
 
@@ -248,5 +312,38 @@ mod tests {
         let r = RadioPowerModel::sx1276();
         let e = r.rx_energy(Duration::from_secs(1));
         assert!((e.as_millijoules() - 3.3 * 11.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cached_and_direct_tx_energy_are_bit_identical() {
+        let r = RadioPowerModel::sx1276();
+        for sf in SpreadingFactor::ALL {
+            for pl in [0usize, 10, 23, 51, 255] {
+                let cfg = TxConfig::new(sf, Bandwidth::Khz125, CodingRate::Cr4_5);
+                let cached = r.tx_energy(&cfg, pl);
+                let direct = r.tx_energy_direct(&cfg, pl);
+                assert_eq!(cached.0.to_bits(), direct.0.to_bits(), "{sf} pl={pl}");
+            }
+        }
+    }
+
+    #[test]
+    fn tx_energy_memo_refreshes_on_config_or_payload_change() {
+        let r = RadioPowerModel::sx1276();
+        let mut memo = TxEnergyCache::default();
+        let sf10 = TxConfig::default();
+        let sf7 = TxConfig::default().with_sf(SpreadingFactor::Sf7);
+        let a = memo.energy(&r, &sf10, 23);
+        assert_eq!(a.0.to_bits(), r.tx_energy(&sf10, 23).0.to_bits());
+        // A config change (the ADR path) must not serve the stale value.
+        let b = memo.energy(&r, &sf7, 23);
+        assert_eq!(b.0.to_bits(), r.tx_energy(&sf7, 23).0.to_bits());
+        assert_ne!(a.0.to_bits(), b.0.to_bits());
+        // A payload change must refresh too.
+        let c = memo.energy(&r, &sf7, 27);
+        assert_eq!(c.0.to_bits(), r.tx_energy(&sf7, 27).0.to_bits());
+        // And a repeat serves the memo (same bits as a fresh compute).
+        let d = memo.energy(&r, &sf7, 27);
+        assert_eq!(c.0.to_bits(), d.0.to_bits());
     }
 }

@@ -43,8 +43,11 @@ pub mod link;
 pub mod params;
 pub mod region;
 
-pub use airtime::{payload_symbols, symbol_duration_secs, total_symbols};
-pub use energy::RadioPowerModel;
+pub use airtime::{
+    airtime_secs_direct, payload_symbols, symbol_duration_secs, total_symbols, CACHE_CELLS,
+    CACHE_PAYLOAD_MAX,
+};
+pub use energy::{RadioPowerModel, TxEnergyCache};
 pub use link::{InterferenceModel, LinkBudget, PathLoss, Position, CAPTURE_THRESHOLD_DB};
 pub use params::{Bandwidth, CodingRate, InvalidSpreadingFactorError, SpreadingFactor, TxConfig};
 pub use region::{Channel, ChannelPlan, Us915};

@@ -326,16 +326,31 @@ impl TxConfig {
     /// Time on air for a `payload_len`-byte packet.
     ///
     /// Delegates to [`crate::airtime::airtime`]; rounded to the
-    /// millisecond resolution of [`Duration`].
+    /// millisecond resolution of [`Duration`]. Canonical
+    /// configurations are served from the airtime memo table.
     #[must_use]
     pub fn airtime(&self, payload_len: usize) -> Duration {
         crate::airtime::airtime(self, payload_len)
     }
 
-    /// Time on air in seconds as a float (no rounding).
+    /// Time on air in seconds as a float (no rounding). Canonical
+    /// configurations are served from the airtime memo table.
     #[must_use]
     pub fn airtime_secs(&self, payload_len: usize) -> f64 {
         crate::airtime::airtime_secs(self, payload_len)
+    }
+
+    /// True when this configuration is covered by the airtime memo
+    /// table: LoRaWAN default framing (8-symbol preamble, explicit
+    /// header, CRC on) with the automatic LDRO rule, so airtime is
+    /// fully determined by `(SF, BW, CR, payload_len)`. Transmit power
+    /// does not enter the airtime formula and is ignored here.
+    #[must_use]
+    pub fn cache_canonical(&self) -> bool {
+        self.preamble_symbols == 8
+            && self.explicit_header
+            && self.crc
+            && self.ldro_override.is_none()
     }
 }
 

@@ -195,6 +195,15 @@ pub struct ScenarioConfig {
     /// keeps pre-fault scenario JSON loading unchanged.
     #[serde(default)]
     pub faults: FaultConfig,
+    /// Run the engine on its reference (pre-optimization) code paths:
+    /// the binary-heap event queue, uncached Semtech airtime/energy
+    /// arithmetic, and a gateway ledger that replays every node's full
+    /// SoC trace on each dissemination pass. Much slower,
+    /// byte-identical results — the differential test battery and the
+    /// perf gate's baseline leg run with this on. `#[serde(default)]`
+    /// keeps existing scenario JSON loading unchanged.
+    #[serde(default)]
+    pub reference_impl: bool,
 }
 
 impl ScenarioConfig {
@@ -248,6 +257,7 @@ impl ScenarioConfig {
             dissemination_interval: Duration::from_days(1),
             seed,
             faults: FaultConfig::default(),
+            reference_impl: false,
         }
     }
 
@@ -273,6 +283,13 @@ impl ScenarioConfig {
     }
 
     /// Number of forecast windows in a node's period.
+    ///
+    /// Floor semantics, matching `BlamConfig::windows_in_period`: a
+    /// trailing partial window is dropped and serves as end-of-period
+    /// guard time; periods shorter than one window degenerate to a
+    /// single window. `validate()` separately requires
+    /// `period_min >= forecast_window`, so in a validated scenario the
+    /// degenerate branch never fires.
     #[must_use]
     pub fn windows_in(&self, period: Duration) -> usize {
         ((period / self.forecast_window) as usize).max(1)
@@ -371,6 +388,19 @@ mod tests {
         let back: ScenarioConfig = serde_json::from_value(v).unwrap();
         assert_eq!(back, cfg);
         assert!(!back.faults.any_enabled());
+    }
+
+    #[test]
+    fn scenario_json_without_reference_impl_field_still_loads() {
+        // Scenario files predating the perf work have no
+        // `reference_impl` key; they must load onto the optimized
+        // engine paths.
+        let cfg = ScenarioConfig::large_scale(5, Protocol::h(0.5), 3);
+        let mut v = serde_json::to_value(&cfg).unwrap();
+        v.as_object_mut().unwrap().remove("reference_impl");
+        let back: ScenarioConfig = serde_json::from_value(v).unwrap();
+        assert_eq!(back, cfg);
+        assert!(!back.reference_impl);
     }
 
     #[test]

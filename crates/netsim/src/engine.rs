@@ -159,6 +159,11 @@ impl Engine {
             cfg.temperature,
             cfg.degradation,
         );
+        if cfg.reference_impl {
+            // Replay-per-pass oracle ledger (must be switched before
+            // any commissioning registration so the replay logs see it).
+            ledger = ledger.into_reference();
+        }
         // Battery age is commissioning metadata: pre-aged nodes are
         // registered so the gateway's normalized-degradation ranking
         // reflects their prior wear from day one.
@@ -281,7 +286,15 @@ impl Engine {
     /// configured) and returns the results.
     #[must_use]
     pub fn run(mut self) -> RunResult {
-        let mut sim: Simulator<Event> = Simulator::new();
+        // The reference engine drives the original binary-heap event
+        // queue; both queues promise the same (time, id) FIFO order, so
+        // results are byte-identical — the differential tests hold the
+        // engine to that.
+        let mut sim: Simulator<Event> = if self.cfg.reference_impl {
+            Simulator::reference()
+        } else {
+            Simulator::new()
+        };
         let horizon = SimTime::ZERO + self.cfg.duration;
         let label = self.policy.label();
         self.telemetry

@@ -10,7 +10,9 @@ use blam_des::Simulator;
 use blam_energy_harvest::{
     DiurnalPersistence, Forecaster, HarvestSource, NodeHarvest, NoisyOracle, Oracle, SolarField,
 };
-use blam_lora_phy::{Bandwidth, CodingRate, LinkBudget, Position, RadioPowerModel, TxConfig};
+use blam_lora_phy::{
+    Bandwidth, CodingRate, LinkBudget, Position, RadioPowerModel, TxConfig, TxEnergyCache,
+};
 use blam_lorawan::{
     ClassAMac, DeviceAddr, MacAction, MacParams, TransmissionId, TxReport, Uplink,
     UplinkTransmission,
@@ -150,6 +152,17 @@ pub struct SimNode {
     pub cap_latched: bool,
     /// Utility curve used for this node's metric accounting.
     pub utility: Utility,
+    /// Memoized per-attempt transmission energy. A node's radio
+    /// configuration and payload length are stable between ADR
+    /// commands, so virtually every attempt after the first is a hit;
+    /// the cache recomputes (bit-identically) whenever either changes.
+    pub tx_energy_cache: TxEnergyCache,
+    /// Scratch for the green-energy forecast built each plan — reused
+    /// across periods so Algorithm 1 stays off the allocator.
+    pub forecast_scratch: Vec<Joules>,
+    /// Scratch for the Eq. (14) per-window energy estimates, handed to
+    /// [`BlamNode::plan_with_scratch`].
+    pub plan_scratch: Vec<Joules>,
     /// Metrics accumulator.
     pub metrics: NodeMetrics,
 }
@@ -360,6 +373,9 @@ pub(crate) fn build_nodes(
                 exchange_epoch: 0,
                 cap_latched: false,
                 utility,
+                tx_energy_cache: TxEnergyCache::default(),
+                forecast_scratch: Vec::new(),
+                plan_scratch: Vec::new(),
                 metrics: NodeMetrics::default(),
             }
         })
@@ -367,6 +383,22 @@ pub(crate) fn build_nodes(
 }
 
 impl Engine {
+    /// Electrical energy of one uplink attempt at node `i`'s current
+    /// radio configuration and in-flight payload length. The optimized
+    /// engine reads the node's [`TxEnergyCache`]; the reference engine
+    /// recomputes from the uncached Semtech formula every call. Both
+    /// produce bit-identical joules.
+    pub(crate) fn uplink_tx_energy(&mut self, i: usize) -> Joules {
+        let node = &mut self.nodes[i];
+        let cfg = node.tx_config();
+        if self.cfg.reference_impl {
+            node.radio.tx_energy_direct(&cfg, node.current_phy_len)
+        } else {
+            node.tx_energy_cache
+                .energy(&node.radio, &cfg, node.current_phy_len)
+        }
+    }
+
     pub(crate) fn on_generate(&mut self, sim: &mut Simulator<Event>, now: SimTime, i: usize) {
         let window = self.cfg.forecast_window;
         // Next period's generation first, so a drop below can't stall
@@ -523,9 +555,8 @@ impl Engine {
 
         // Brownout check: the battery (plus harvest during the airtime,
         // which is negligible) must fund at least the first attempt.
-        let required = node
-            .radio
-            .tx_energy(&node.tx_config(), node.current_phy_len);
+        let required = self.uplink_tx_energy(i);
+        let node = &mut self.nodes[i];
         if node.battery.stored() < required {
             node.metrics.dropped_brownout += 1;
             node.metrics.concluded += 1;
@@ -556,11 +587,7 @@ impl Engine {
     ) {
         let window = self.cfg.forecast_window;
         // Pay for the transmission.
-        let tx_cost = {
-            let node = &self.nodes[i];
-            node.radio
-                .tx_energy(&node.tx_config(), node.current_phy_len)
-        };
+        let tx_cost = self.uplink_tx_energy(i);
         self.settle_node(now, i, tx_cost);
         self.nodes[i].metrics.tx_energy_electrical += tx_cost;
         // Record the discharge transition for the compressed trace —
@@ -693,11 +720,7 @@ impl Engine {
         }
         self.settle_node(now, i, Joules::ZERO);
         // Brownout guard for the retransmission.
-        let required = {
-            let node = &self.nodes[i];
-            node.radio
-                .tx_energy(&node.tx_config(), node.current_phy_len)
-        };
+        let required = self.uplink_tx_energy(i);
         if self.nodes[i].battery.stored() < required {
             self.nodes[i].metrics.brownout_events += 1;
             if self.telemetry_on() {

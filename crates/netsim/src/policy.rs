@@ -306,9 +306,15 @@ impl MacPolicy for BlamPolicy {
             });
         }
         let windows = node.windows;
-        let forecast: Vec<Joules> = (0..windows)
-            .map(|w| node.forecaster.predict(now + window * w as u64, window))
-            .collect();
+        // Reused scratch: select_window runs once per node per period,
+        // so the forecast and the Eq. (14) estimates live in per-node
+        // buffers instead of fresh allocations.
+        node.forecast_scratch.clear();
+        node.forecast_scratch.reserve(windows);
+        for w in 0..windows {
+            let p = node.forecaster.predict(now + window * w as u64, window);
+            node.forecast_scratch.push(p);
+        }
         let battery = node.battery.stored();
         // Stale w_u decays toward the neutral weight: full trust inside
         // the TTL, then linear decay to zero over one further TTL.
@@ -328,14 +334,15 @@ impl MacPolicy for BlamPolicy {
             .as_mut()
             .expect("BlamPolicy installs BLAM state on every node");
         blam.set_weight_trust(trust);
-        blam.plan(battery, &forecast).map(|p| WindowDecision {
-            window: p.window,
-            objective: p.objective,
-            utility_loss: p.utility_loss,
-            dif: p.dif,
-            fallback: false,
-            wu_trust: trust,
-        })
+        blam.plan_with_scratch(battery, &node.forecast_scratch, &mut node.plan_scratch)
+            .map(|p| WindowDecision {
+                window: p.window,
+                objective: p.objective,
+                utility_loss: p.utility_loss,
+                dif: p.dif,
+                fallback: false,
+                wu_trust: trust,
+            })
     }
 
     fn on_ack_weight(&self, node: &mut SimNode, byte: u8) {

@@ -20,6 +20,18 @@ pub(crate) fn rx_window_timeout(plan: &blam_lora_phy::ChannelPlan) -> Duration {
 }
 
 impl Engine {
+    /// Downlink time-on-air for an ACK configuration. The optimized
+    /// engine serves canonical configurations from the global airtime
+    /// memo table; the reference engine always evaluates the Semtech
+    /// formula directly. Bit-identical either way.
+    fn downlink_airtime(&self, cfg: &TxConfig, payload_len: usize) -> Duration {
+        if self.cfg.reference_impl {
+            Duration::from_secs_f64(blam_lora_phy::airtime_secs_direct(cfg, payload_len))
+        } else {
+            cfg.airtime(payload_len)
+        }
+    }
+
     /// Concludes a finished transmission's receptions at every gateway
     /// (only the entries tagged with this event's epoch — a successor
     /// exchange's in-flight receptions must run their own course).
@@ -107,7 +119,7 @@ impl Engine {
             CodingRate::Cr4_5,
         )
         .with_power(Dbm(27.0));
-        let ack_airtime = ack_cfg.airtime(decision.downlink.phy_payload_len());
+        let ack_airtime = self.downlink_airtime(&ack_cfg, decision.downlink.phy_payload_len());
         // The node locks onto the ACK once its preamble completes; the
         // remaining symbols arrive while the window stays open, even
         // past the nominal close (a real Class-A receiver finishes an
@@ -125,7 +137,7 @@ impl Engine {
             CodingRate::Cr4_5,
         )
         .with_power(Dbm(27.0));
-        let rx2_airtime = rx2_cfg.airtime(decision.downlink.phy_payload_len());
+        let rx2_airtime = self.downlink_airtime(&rx2_cfg, decision.downlink.phy_payload_len());
         let rx2_detect = blam_units::Duration::from_secs_f64(
             blam_lora_phy::symbol_duration_secs(rx2_cfg.sf, rx2_cfg.bw) * 5.0,
         );

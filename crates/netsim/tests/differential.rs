@@ -1,0 +1,140 @@
+//! The engine-level differential-oracle battery.
+//!
+//! This PR replaced three hot paths — the event queue (binary heap →
+//! calendar queue), the PHY airtime/TX-energy arithmetic (direct
+//! Semtech formula → memo tables), and the gateway degradation ledger
+//! (replay-per-pass → incremental streaming) — and kept every naive
+//! implementation alive behind `ScenarioConfig::reference_impl`. The
+//! contract is total: for any scenario, fault schedule, and worker
+//! count, the optimized engine and the reference engine must produce
+//! **byte-identical** serialized [`RunResult`]s.
+//!
+//! Per-crate differential tests pin each substitution in isolation
+//! (`blam-des/tests/differential_queue.rs`, the exhaustive airtime
+//! conformance table in `blam-lora-phy`, the ledger replay oracle in
+//! `blam`); this battery pins their composition end to end.
+
+use blam_netsim::engine::Engine;
+use blam_netsim::{config::Protocol, BatchRunner, FaultConfig, RunResult, ScenarioConfig};
+use blam_units::Duration;
+
+/// xorshift64* — deterministic scenario scrambling without pulling a
+/// PRNG crate into the differential battery.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+fn quick_cfg(protocol: Protocol, nodes: usize, seed: u64, days: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        duration: Duration::from_days(days),
+        sample_interval: Duration::from_days(1),
+        ..ScenarioConfig::large_scale(nodes, protocol, seed)
+    }
+}
+
+fn reference(mut cfg: ScenarioConfig) -> ScenarioConfig {
+    cfg.reference_impl = true;
+    cfg
+}
+
+fn serialize(r: &RunResult) -> String {
+    serde_json::to_string(r).expect("RunResult serializes")
+}
+
+fn assert_parity(cfg: ScenarioConfig, what: &str) {
+    let label = cfg.protocol.label();
+    let opt = Engine::build(cfg.clone()).run();
+    let oracle = Engine::build(reference(cfg)).run();
+    assert_eq!(
+        serialize(&opt),
+        serialize(&oracle),
+        "optimized engine diverged from the reference oracle ({what}, {label})"
+    );
+}
+
+/// Randomized scenarios: every protocol family, scrambled node counts
+/// and seeds, optimized vs reference byte parity on each.
+#[test]
+fn optimized_engine_matches_reference_oracle_on_random_scenarios() {
+    let mut rng = XorShift(0xB1A4_0001);
+    let protocols = [
+        Protocol::Lorawan,
+        Protocol::h(1.0),
+        Protocol::h(0.5),
+        Protocol::h50c(),
+    ];
+    for protocol in protocols {
+        let nodes = 6 + (rng.next() % 5) as usize;
+        let seed = rng.next();
+        assert_parity(
+            quick_cfg(protocol, nodes, seed, 1),
+            "random fault-free scenario",
+        );
+    }
+}
+
+/// The oracle contract survives an active fault schedule: burst loss,
+/// gateway outages and node reboots drive the retransmission, ledger
+/// staleness and brownout paths on both engines.
+#[test]
+fn optimized_engine_matches_reference_oracle_under_faults() {
+    let faults = FaultConfig::chaos(0.3, 0.1, Duration::from_days(1));
+    for (protocol, seed) in [(Protocol::Lorawan, 11_u64), (Protocol::h(0.5), 23)] {
+        let mut cfg = quick_cfg(protocol, 8, seed, 2);
+        cfg.faults = faults.clone();
+        assert_parity(cfg, "chaos fault schedule");
+    }
+}
+
+/// Longer horizon with multiple dissemination passes, so the
+/// incremental ledger's accumulated state (and the reference ledger's
+/// replay logs) are exercised across several daily recomputations.
+#[test]
+fn optimized_engine_matches_reference_oracle_across_dissemination_days() {
+    assert_parity(
+        quick_cfg(Protocol::h(1.0), 10, 0xD15E, 3),
+        "multi-day dissemination",
+    );
+}
+
+/// Worker-count invariance composed with the oracle: a mixed batch of
+/// reference and optimized configs run at `--jobs 1` and `--jobs 4`
+/// must agree pairwise (opt == ref) and across job counts.
+#[test]
+fn parity_is_jobs_invariant() {
+    let mut configs: Vec<ScenarioConfig> = Vec::new();
+    for (protocol, seed) in [(Protocol::Lorawan, 5_u64), (Protocol::h(0.5), 9)] {
+        let cfg = quick_cfg(protocol, 8, seed, 1);
+        configs.push(cfg.clone());
+        configs.push(reference(cfg));
+    }
+    let serial = BatchRunner::new(1).quiet().run_all(configs.clone());
+    let parallel = BatchRunner::new(4).quiet().run_all(configs);
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(
+            serialize(s),
+            serialize(p),
+            "--jobs 1 and --jobs 4 must agree for {}",
+            s.label
+        );
+    }
+    // Input order is [opt, ref, opt, ref]: each adjacent pair must be
+    // byte-identical — the reference flag may never leak into results.
+    for pair in serial.chunks(2) {
+        assert_eq!(
+            serialize(&pair[0]),
+            serialize(&pair[1]),
+            "reference and optimized engines diverged in batch for {}",
+            pair[0].label
+        );
+    }
+}

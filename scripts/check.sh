@@ -53,4 +53,18 @@ cmp "$tmp/chaos_a.txt" "$tmp/chaos_b.txt" \
 grep -q "min-lifespan delta under faults" "$tmp/chaos_a.txt" \
     || { echo "chaos drill did not report lifespan deltas"; exit 1; }
 
+echo "==> perf gate smoke run (hot paths vs reference oracle)"
+# Tiny scenario: asserts byte-identical RunResults between the
+# optimized engine and the in-repo reference implementation (the gate
+# binary aborts on any divergence) and writes the schema-versioned
+# benchmark record next to the other smoke artifacts. The 1.3x speedup
+# gate itself only runs on full-size invocations (no --smoke).
+cargo run -q --release -p blam-bench --bin perf_gate -- \
+    --smoke --jobs 2 --out "$tmp/BENCH_netsim.json"
+test -s "$tmp/BENCH_netsim.json" || { echo "BENCH_netsim.json is empty"; exit 1; }
+grep -q '"schema_version"' "$tmp/BENCH_netsim.json" \
+    || { echo "BENCH_netsim.json missing schema_version"; exit 1; }
+grep -q '"parity": "byte-identical"' "$tmp/BENCH_netsim.json" \
+    || { echo "BENCH_netsim.json missing parity attestation"; exit 1; }
+
 echo "All checks passed."
