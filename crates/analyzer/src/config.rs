@@ -4,11 +4,12 @@
 //! and its policy *is* repo policy, reviewed like any other code. The
 //! CLI can still narrow the battery with `--lint` for focused runs.
 
-/// Names of the six lints (plus the pragma self-check), as used on
+/// Names of the seven lints (plus the pragma self-check), as used on
 /// the command line, in pragmas, and in reports.
 pub const LINT_NAMES: &[&str] = &[
     "determinism",
     "cache-order",
+    "store-hygiene",
     "panic-hygiene",
     "unit-safety",
     "telemetry-guard",
@@ -27,6 +28,12 @@ pub struct Config {
     pub time_allowlist: Vec<String>,
     /// Crates whose `emit(` call sites must be guarded.
     pub telemetry_guard_crates: Vec<String>,
+    /// Crates holding the SoA `NodeStore`, whose column fields may only
+    /// be accessed from [`Config::store_owner_files`].
+    pub store_hygiene_crates: Vec<String>,
+    /// Relative-path suffixes of the files that own the `NodeStore`
+    /// layout and may touch its columns directly.
+    pub store_owner_files: Vec<String>,
     /// Function names that count as a telemetry guard when called
     /// before an `emit(` in the same function body.
     pub guard_fns: Vec<String>,
@@ -59,6 +66,8 @@ impl Default for Config {
             ]),
             time_allowlist: owned(&["netsim/src/runner.rs"]),
             telemetry_guard_crates: owned(&["netsim"]),
+            store_hygiene_crates: owned(&["netsim"]),
+            store_owner_files: owned(&["netsim/src/store.rs", "netsim/src/nodes.rs"]),
             guard_fns: owned(&["enabled", "telemetry_on"]),
             unit_safety_crates: owned(&[
                 "des",

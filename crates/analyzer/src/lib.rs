@@ -9,12 +9,13 @@
 //! silently breaks golden-record parity. This crate tokenizes every
 //! `.rs` file in the workspace with a hand-rolled lexer (no `syn`, no
 //! registry access — it must build in offline containers) and runs a
-//! six-lint battery over the token streams:
+//! seven-lint battery over the token streams:
 //!
 //! | lint | checks |
 //! |------|--------|
 //! | `determinism`     | no `thread_rng`/wall clocks in sim-core crates; hash iteration must sort |
 //! | `cache-order`     | cache/memo bindings with iterated state use ordered or dense containers |
+//! | `store-hygiene`   | `NodeStore` columns touched only via accessors outside store.rs/nodes.rs |
 //! | `panic-hygiene`   | `unwrap()`/`expect(`/`panic!` in library code vs. a ratcheting baseline |
 //! | `unit-safety`     | public `fn`s must not take unit-suffixed raw `f64` parameters |
 //! | `telemetry-guard` | every netsim `emit(` dominated by an `enabled()`-style check |
@@ -70,6 +71,9 @@ pub fn analyze_files(files: &[SourceFile], cfg: &Config, baseline: &Baseline) ->
         }
         if cfg.lint_enabled("cache-order") {
             lints::cache_order::check(file, cfg, &mut raw);
+        }
+        if cfg.lint_enabled("store-hygiene") {
+            lints::store_hygiene::check(file, cfg, &mut raw);
         }
         if cfg.lint_enabled("unit-safety") {
             lints::unit_safety::check(file, cfg, &mut raw);

@@ -7,6 +7,7 @@ pub mod cache_order;
 pub mod determinism;
 pub mod float_eq;
 pub mod panic_hygiene;
+pub mod store_hygiene;
 pub mod telemetry_guard;
 pub mod unit_safety;
 

@@ -1,0 +1,161 @@
+//! `store-hygiene`: the SoA `NodeStore`'s columns may only be touched
+//! through its accessor surface outside the files that own the layout.
+//!
+//! The sharded engine re-indexes nodes: a cell engine's store holds a
+//! *subset* of the deployment in dense local order while `global_id`
+//! keeps the deployment-wide address, and `split`/`retain_gateway`
+//! rebuild columns wholesale. Code that reaches into a hot column
+//! directly (`store.period[i]`, `store.cold[i].placement`) bakes in
+//! assumptions about that layout — local-vs-global indexing, column
+//! co-residency, slot liveness — that the owner files maintain as one
+//! audited unit. Everything else must go through the accessors
+//! (`node_mut`, `global_id(i)`, `period_of(i)`, `placement_of(i)`, …),
+//! which is also what keeps the hot/cold split refactorable.
+//!
+//! Mechanics: an identifier named `store` (or `*_store`) followed by
+//! `.` and a known column name is a finding unless the next token is
+//! `(` — `NodeStore` deliberately shadows column names with accessor
+//! methods (`store.global_id(i)` is fine, `store.global_id[i]` is
+//! not). Owner files (`store.rs`, `nodes.rs` — see
+//! [`Config::store_owner_files`]) and test code are exempt.
+
+use crate::config::Config;
+use crate::lints::finding;
+use crate::report::Finding;
+use crate::tokenizer::TokenKind;
+use crate::walk::{FileKind, SourceFile};
+
+/// The `NodeStore` column fields, hot scalars plus the cold arena.
+/// Keep in sync with the struct in `crates/netsim/src/store.rs`.
+const STORE_COLUMNS: &[&str] = &[
+    "global_id",
+    "period",
+    "windows",
+    "period_start",
+    "prev_period_start",
+    "last_settle",
+    "exchange_epoch",
+    "current_phy_len",
+    "current_channel",
+    "pending_deadline",
+    "pending_weight",
+    "weight_updated_at",
+    "packet",
+    "discharge_sample",
+    "recharge_sample",
+    "cold_start",
+    "wu_expired_latched",
+    "cap_latched",
+    "scratch_bounds",
+    "forecast",
+    "plan",
+    "cold",
+];
+
+/// True when `name` plausibly binds a `NodeStore` (`store`, `_store`).
+fn is_store_name(name: &str) -> bool {
+    name == "store" || name.ends_with("_store")
+}
+
+/// Runs the store-hygiene lint over one file.
+pub fn check(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+    if !cfg.store_hygiene_crates.contains(&file.crate_name)
+        || !matches!(file.kind, FileKind::Lib | FileKind::Bin)
+        || cfg.store_owner_files.iter().any(|s| file.rel.ends_with(s))
+    {
+        return;
+    }
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if file.is_test_code(i) || toks[i].kind != TokenKind::Ident || !is_store_name(&toks[i].text)
+        {
+            continue;
+        }
+        let Some(column) = toks
+            .get(i + 1)
+            .filter(|t| t.is_punct("."))
+            .and_then(|_| toks.get(i + 2))
+            .filter(|t| t.kind == TokenKind::Ident && STORE_COLUMNS.contains(&t.text.as_str()))
+        else {
+            continue;
+        };
+        // `store.global_id(i)` is the accessor method, not the column.
+        if toks.get(i + 3).is_some_and(|t| t.is_punct("(")) {
+            continue;
+        }
+        out.push(finding(
+            file,
+            "store-hygiene",
+            toks[i].line,
+            format!(
+                "direct access to NodeStore column `{}`; hot/cold columns are \
+                 owned by store.rs/nodes.rs — go through the accessor surface \
+                 (`node_mut`, `{}_of`/`{}(i)`, …) so local-vs-global indexing \
+                 stays auditable",
+                column.text, column.text, column.text
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walk::SourceFile;
+
+    fn run_at(rel: &str, src: &str) -> Vec<Finding> {
+        let (crate_name, kind) = crate::walk::classify(rel);
+        let file = SourceFile::from_source(rel, &crate_name, kind, src.to_string());
+        let mut out = Vec::new();
+        check(&file, &Config::default(), &mut out);
+        out
+    }
+
+    fn run(src: &str) -> Vec<Finding> {
+        run_at("crates/netsim/src/x.rs", src)
+    }
+
+    #[test]
+    fn direct_hot_column_read_is_flagged() {
+        let f = run("fn f(store: &NodeStore, i: usize) -> Duration { store.period[i] }");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("`period`"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn cold_arena_poke_is_flagged() {
+        let f = run("fn f(s: &mut Engine, i: usize) { s.store.cold[i].placement.sf = SF7; }");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("`cold`"));
+    }
+
+    #[test]
+    fn accessor_methods_pass() {
+        let src = "fn f(store: &mut NodeStore, i: usize) -> u32 {\
+                   let _ = store.node_mut(i); let _ = store.period_of(i); store.global_id(i) }";
+        assert_eq!(run(src).len(), 0);
+    }
+
+    #[test]
+    fn owner_files_are_exempt() {
+        let src = "fn f(store: &NodeStore, i: usize) -> u32 { store.global_id[i] }";
+        assert_eq!(run_at("crates/netsim/src/store.rs", src).len(), 0);
+        assert_eq!(run_at("crates/netsim/src/nodes.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn non_store_bindings_and_other_crates_are_out_of_scope() {
+        // `restore` does not name a store; other crates have no NodeStore.
+        let src = "fn f(restore: &Snapshot) -> u64 { restore.period }";
+        assert_eq!(run(src).len(), 0);
+        let src = "fn f(store: &KvStore) -> u64 { store.plan }";
+        assert_eq!(run_at("crates/des/src/x.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t(store: &NodeStore) { \
+                   let _ = store.windows.len(); }\n}";
+        assert_eq!(run(src).len(), 0);
+    }
+}

@@ -28,6 +28,14 @@ const LINT_CATALOG: &[(&str, &str)] = &[
         "no thread_rng/Instant::now/SystemTime::now in sim-core crates; hash iteration must sort",
     ),
     (
+        "cache-order",
+        "cache/memo bindings with iterated state must use ordered or dense containers",
+    ),
+    (
+        "store-hygiene",
+        "NodeStore columns accessed only through accessors outside store.rs/nodes.rs",
+    ),
+    (
         "panic-hygiene",
         "unwrap()/expect(/panic! in library code, ratcheted by analyzer-baseline.toml",
     ),

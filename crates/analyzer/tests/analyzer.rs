@@ -13,6 +13,7 @@ const TELEMETRY_GUARD: &str = include_str!("fixtures/telemetry_guard.rs");
 const FLOAT_EQ: &str = include_str!("fixtures/float_eq.rs");
 const TOKENIZER_TRICKS: &str = include_str!("fixtures/tokenizer_tricks.rs");
 const CACHE_ORDER: &str = include_str!("fixtures/cache_order.rs");
+const STORE_HYGIENE: &str = include_str!("fixtures/store_hygiene.rs");
 const HOT_PATHS: &str = include_str!("fixtures/hot_paths.rs");
 
 /// 1-based line of the (unique) line containing `marker`.
@@ -192,6 +193,43 @@ fn cache_order_fixture_yields_exactly_the_seeded_findings() {
         out.findings.iter().all(|f| f.lint == "cache-order"),
         "{}",
         out.render_human(true)
+    );
+}
+
+#[test]
+fn store_hygiene_fixture_yields_exactly_the_seeded_findings() {
+    let rel = "crates/netsim/src/store_fixture.rs";
+    let out = analyze(&[fixture(rel, STORE_HYGIENE)]);
+    assert_eq!(
+        findings_of(&out),
+        vec![
+            (
+                "store-hygiene",
+                line_of(STORE_HYGIENE, "SEED: store-period")
+            ),
+            ("store-hygiene", line_of(STORE_HYGIENE, "SEED: store-cold")),
+            (
+                "store-hygiene",
+                line_of(STORE_HYGIENE, "SEED: store-suffixed"),
+            ),
+        ],
+        "{}",
+        out.render_human(true)
+    );
+    // The accessor surface and non-store receivers must stay silent,
+    // and no other lint may fire on the fixture.
+    assert!(
+        out.findings.iter().all(|f| f.lint == "store-hygiene"),
+        "{}",
+        out.render_human(true)
+    );
+
+    // The same text inside an owner file is the layout's home turf.
+    let owned = analyze(&[fixture("crates/netsim/src/store.rs", STORE_HYGIENE)]);
+    assert!(
+        owned.findings.is_empty(),
+        "owner files are exempt:\n{}",
+        owned.render_human(true)
     );
 }
 

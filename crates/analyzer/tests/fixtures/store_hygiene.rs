@@ -1,0 +1,48 @@
+//! Seeded fixture for the `store-hygiene` lint. Classified as
+//! `crates/netsim/src/store_fixture.rs` by the integration test — a
+//! netsim library file that is NOT one of the store's owner files, so
+//! every direct column access below must be flagged and every
+//! accessor-shaped use must pass. Never compiled.
+
+struct Coordinator {
+    store: NodeStore,
+}
+
+impl Coordinator {
+    fn flagged_hot_column_read(&self, i: usize) -> Duration {
+        self.store.period[i] // SEED: store-period
+    }
+
+    fn flagged_cold_arena_write(&mut self, i: usize) {
+        self.store.cold[i].placement.sf = SpreadingFactor::SF7; // SEED: store-cold
+    }
+
+    fn flagged_on_a_suffixed_binding(cell_store: &NodeStore) -> bool {
+        !cell_store.cap_latched.is_empty() // SEED: store-suffixed
+    }
+
+    fn accessors_pass(&mut self, i: usize) -> u32 {
+        // Column-shadowing accessor methods and the view are the
+        // sanctioned surface: none of these may fire.
+        let _ = self.store.node_mut(i);
+        let _ = self.store.period_of(i);
+        let _ = self.store.placement_of(i);
+        self.store.global_id(i)
+    }
+
+    fn non_store_receivers_pass(restore: &Checkpoint, datastore_kv: &Kv) -> u64 {
+        // `restore` is not a store name; `datastore_kv` neither.
+        restore.period + datastore_kv.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_reach_into_columns() {
+        let mut store = NodeStore::with_total(1);
+        assert_eq!(store.windows.len(), store.cold.len());
+    }
+}

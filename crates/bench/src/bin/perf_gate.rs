@@ -11,7 +11,9 @@
 //!
 //! Writes a schema-versioned report to
 //! `target/experiments/BENCH_netsim.json` (override with `--out PATH`),
-//! including the batch runner's [`BatchProfile`] phase stats per leg.
+//! including the batch runner's [`BatchProfile`] phase stats per leg
+//! and (schema v2) informational scale rows timing the multi-gateway
+//! deployment through the monolithic and cell-sharded engines.
 //!
 //! ```text
 //! cargo run --release -p blam-bench --bin perf_gate
@@ -22,12 +24,15 @@ use std::time::Instant;
 
 use blam_bench::ExperimentArgs;
 use blam_netsim::config::Protocol;
+use blam_netsim::engine::Engine;
+use blam_netsim::shard::run_sharded;
 use blam_netsim::{BatchRunner, RunResult, Scenario, ScenarioConfig, TelemetryOptions};
 use blam_telemetry::BatchProfile;
+use blam_units::Duration;
 use serde::Serialize;
 
 /// Bump when the JSON layout changes (consumers must check this).
-const SCHEMA_VERSION: u32 = 1;
+const SCHEMA_VERSION: u32 = 2;
 
 /// The optimized leg must beat the reference leg by this factor.
 const MIN_SPEEDUP: f64 = 1.3;
@@ -60,6 +65,30 @@ struct GateReport {
     /// Always `"byte-identical"`: the binary aborts on any divergence.
     parity: &'static str,
     gate: Gate,
+    /// Throughput/footprint rows for the multi-gateway scale scenario,
+    /// monolithic vs cell-sharded (schema v2).
+    scale: Vec<ScaleRow>,
+}
+
+/// One timed scale-scenario run (informational — not gated, since the
+/// monolithic and sharded engines are distinct execution modes).
+#[derive(Debug, Serialize)]
+struct ScaleRow {
+    nodes: usize,
+    gateways: usize,
+    days: u64,
+    /// False = the monolithic single engine; true = the cell-sharded
+    /// coordinator at `shards` groups / `jobs` workers.
+    sharded: bool,
+    shards: usize,
+    jobs: usize,
+    elapsed_s: f64,
+    events: u64,
+    events_per_sec: f64,
+    /// Resident set per node right after the run (`VmRSS`/nodes),
+    /// 0 when `/proc/self/status` is unavailable. Process-wide, so
+    /// compare rows within one invocation only.
+    bytes_per_node: f64,
 }
 
 #[derive(Debug, Serialize)]
@@ -91,6 +120,48 @@ fn configs(args: &ExperimentArgs) -> Vec<ScenarioConfig> {
                 .config
         })
         .collect()
+}
+
+/// Current resident set size in bytes (`VmRSS` from
+/// `/proc/self/status`); `None` off Linux.
+fn rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Times one scale-scenario run through either engine.
+fn scale_row(
+    nodes: usize,
+    gateways: usize,
+    days: u64,
+    seed: u64,
+    jobs: usize,
+    sharded: bool,
+) -> ScaleRow {
+    let mut cfg = ScenarioConfig::scale(nodes, gateways, Protocol::h(0.5), seed);
+    cfg.duration = Duration::from_days(days);
+    cfg.sample_interval = Duration::from_days(days.clamp(1, 30));
+    let start = Instant::now();
+    let result = if sharded {
+        run_sharded(&cfg, gateways, jobs, &TelemetryOptions::off())
+    } else {
+        Engine::build(cfg).run()
+    };
+    let elapsed_s = start.elapsed().as_secs_f64().max(1e-9);
+    ScaleRow {
+        nodes,
+        gateways,
+        days,
+        sharded,
+        shards: if sharded { gateways } else { 1 },
+        jobs: if sharded { jobs } else { 1 },
+        elapsed_s,
+        events: result.events_processed,
+        events_per_sec: result.events_processed as f64 / elapsed_s,
+        bytes_per_node: rss_bytes().map_or(0.0, |b| b as f64 / nodes as f64),
+    }
 }
 
 fn run_leg(args: &ExperimentArgs, reference: bool) -> (Vec<RunResult>, Leg) {
@@ -192,6 +263,38 @@ fn main() {
         }
     );
 
+    // Scale rows: the multi-gateway deployment through the monolithic
+    // engine and the cell-sharded coordinator. Informational — the two
+    // are distinct execution modes with different event totals, so no
+    // parity or speedup is asserted here; the sharded mode's own
+    // byte-identity contract is covered by the shard_equivalence tests.
+    let scale_points: &[(usize, usize, u64)] = if smoke {
+        &[(1_000, 4, 1)]
+    } else {
+        &[(10_000, 16, 2), (100_000, 64, 2)]
+    };
+    println!("--- scale scenario (monolithic vs cell-sharded) ---");
+    let mut scale_rows = Vec::new();
+    for &(nodes, gateways, scale_days) in scale_points {
+        for sharded in [false, true] {
+            let row = scale_row(nodes, gateways, scale_days, args.seed, args.jobs, sharded);
+            println!(
+                "{:>7} nodes / {:>3} cells {}: {:>8.2} s  {:>12.0} events/s  {:>8.0} B/node",
+                row.nodes,
+                row.gateways,
+                if row.sharded {
+                    "sharded   "
+                } else {
+                    "monolithic"
+                },
+                row.elapsed_s,
+                row.events_per_sec,
+                row.bytes_per_node,
+            );
+            scale_rows.push(row);
+        }
+    }
+
     let report = GateReport {
         schema_version: SCHEMA_VERSION,
         scenario: ScenarioInfo {
@@ -211,6 +314,7 @@ fn main() {
             enforced: !smoke,
             passed,
         },
+        scale: scale_rows,
     };
     match &out {
         Some(path) => {

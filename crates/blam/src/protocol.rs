@@ -168,17 +168,27 @@ impl BlamNode {
     /// reuse one scratch buffer instead of allocating |T| entries per
     /// plan. Produces the same values in the same order.
     pub fn per_window_energy_into(&mut self, windows: usize, out: &mut Vec<Joules>) {
-        self.retx_estimator.ensure_windows(windows);
-        let single = self.tx_estimator.estimate();
         out.clear();
-        out.reserve(windows);
-        for t in 0..windows {
+        out.resize(windows, Joules(0.0));
+        self.per_window_energy_into_slice(out);
+    }
+
+    /// Slice variant of
+    /// [`per_window_energy_into`](Self::per_window_energy_into): fills
+    /// `out` in place, with `out.len()` defining |T|. Lets callers that
+    /// keep one flat scratch matrix for many nodes (the simulator's
+    /// struct-of-arrays node store) plan without any `Vec` per node.
+    /// Produces the same values in the same order as the `Vec` variant.
+    pub fn per_window_energy_into_slice(&mut self, out: &mut [Joules]) {
+        self.retx_estimator.ensure_windows(out.len());
+        let single = self.tx_estimator.estimate();
+        for (t, slot) in out.iter_mut().enumerate() {
             let attempts = if self.config.use_retx_estimator {
                 self.retx_estimator.expected_attempts(t)
             } else {
                 1.0
             };
-            out.push(single * attempts);
+            *slot = single * attempts;
         }
     }
 
@@ -210,6 +220,28 @@ impl BlamNode {
         green_forecast: &[Joules],
         scratch: &mut Vec<Joules>,
     ) -> Option<PlannedTransmission> {
+        scratch.clear();
+        scratch.resize(green_forecast.len(), Joules(0.0));
+        self.plan_into(battery_energy, green_forecast, scratch)
+    }
+
+    /// [`plan_with_scratch`](Self::plan_with_scratch) over a
+    /// caller-sized scratch slice (`scratch.len()` must equal
+    /// `green_forecast.len()`). This is the entry point for callers
+    /// whose scratch lives in a flat per-network matrix rather than a
+    /// per-node `Vec`. Identical decisions to `plan`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch.len() != green_forecast.len()` and window
+    /// selection is enabled.
+    #[must_use]
+    pub fn plan_into(
+        &mut self,
+        battery_energy: Joules,
+        green_forecast: &[Joules],
+        scratch: &mut [Joules],
+    ) -> Option<PlannedTransmission> {
         if !self.config.use_window_selection {
             // Diagnostics only — per_window_energy would mutate the
             // retransmission estimator, so use the raw EWMA estimate.
@@ -225,7 +257,12 @@ impl BlamNode {
                 dif,
             });
         }
-        self.per_window_energy_into(green_forecast.len(), scratch);
+        assert_eq!(
+            scratch.len(),
+            green_forecast.len(),
+            "scratch must cover every forecast window"
+        );
+        self.per_window_energy_into_slice(scratch);
         let input = SelectInput {
             battery_energy,
             normalized_degradation: self.normalized_degradation * self.weight_trust,

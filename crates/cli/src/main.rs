@@ -5,9 +5,11 @@
 //! blam-sim run --config scenario.json        # run it, print metrics
 //! blam-sim run --config scenario.json --out results.json --trace trace.jsonl
 //! blam-sim run --config scenario.json --reference   # force the reference engine
+//! blam-sim run --config scenario.json --shards 8    # cell-sharded execution
 //! blam-sim compare --nodes 100 --days 60     # LoRaWAN vs H-θ side by side
 //! blam-sim compare --trace trace.jsonl --profile
 //! blam-sim chaos --nodes 60 --days 30        # fault-injection resilience drill
+//! blam-sim scale --nodes 100000 --gateways 64 --days 2   # sharded scale run
 //! blam-sim trace-check trace.jsonl           # validate a recorded trace
 //! ```
 //!
@@ -31,6 +33,7 @@ fn main() -> ExitCode {
         Some("run") => run(&args[1..]),
         Some("compare") => compare(&args[1..]),
         Some("chaos") => chaos(&args[1..]),
+        Some("scale") => scale(&args[1..]),
         Some("trace-check") => trace_check(&args[1..]),
         Some("--help" | "-h") | None => {
             usage();
@@ -51,9 +54,10 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!(
         "usage:\n  blam-sim template                      print a default scenario config (JSON)\n  \
-         blam-sim run --config FILE [--out FILE] [--trace FILE] [--profile] [--reference]\n                                           simulate a scenario (--reference forces the\n                                           unoptimized oracle engine; results are identical)\n  \
+         blam-sim run --config FILE [--out FILE] [--trace FILE] [--profile] [--reference]\n               [--shards K [--jobs J]]     simulate a scenario (--reference forces the\n                                           unoptimized oracle engine; --shards runs the\n                                           cell-sharded engine; results are identical\n                                           across K and J)\n  \
          blam-sim compare [--nodes N] [--days D] [--seed S] [--jobs J] [--trace FILE] [--profile]\n                                           quick protocol comparison\n  \
          blam-sim chaos [--nodes N] [--days D] [--seed S] [--jobs J] [--trace FILE]\n                                           fault-injection drill: LoRaWAN vs hardened H-50,\n                                           fault-free vs chaos schedule\n  \
+         blam-sim scale [--nodes N] [--gateways G] [--days D] [--seed S] [--shards K] [--jobs J]\n               [--lorawan] [--out FILE] [--trace FILE]\n                                           multi-gateway sharded scale run with\n                                           events/sec and peak-RSS reporting\n  \
          blam-sim trace-check FILE [--results FILE]  validate a JSONL telemetry trace"
     );
 }
@@ -108,6 +112,35 @@ fn run(args: &[String]) -> Result<(), String> {
         cfg.duration,
         cfg.seed
     );
+    if let Some(shards) = flag(args, "--shards")? {
+        let shards: usize = shards
+            .parse()
+            .map_err(|e| format!("--shards: bad number: {e}"))?;
+        // Checked here so a config mistake is a clean CLI error, not
+        // the coordinator's panic.
+        if cfg.stop_at_first_eol {
+            return Err(
+                "--shards is incompatible with stop_at_first_eol scenarios: sharded \
+                 cells advance through time windows and cannot stop at a global first EoL"
+                    .into(),
+            );
+        }
+        let jobs = match flag(args, "--jobs")? {
+            Some(j) => j.parse().map_err(|e| format!("--jobs: bad number: {e}"))?,
+            None => BatchRunner::available().jobs(),
+        };
+        let result = blam_netsim::shard::run_sharded(&cfg, shards, jobs, &opts);
+        print_summary(&result);
+        if let Some(report) = &result.telemetry {
+            eprint!("{}", report.render());
+        }
+        if let Some(out) = flag(args, "--out")? {
+            let json = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
+            std::fs::write(&out, json).map_err(|e| format!("{out}: {e}"))?;
+            eprintln!("[full results written to {out}]");
+        }
+        return Ok(());
+    }
     // A single run goes through the batch runner too, so --trace and
     // --profile behave identically on `run` and `compare`.
     let outcome = BatchRunner::new(1).run_all_with(vec![cfg], &opts);
@@ -264,6 +297,75 @@ fn chaos(args: &[String]) -> Result<(), String> {
         eprint!("{}", report.render());
     }
     Ok(())
+}
+
+/// Multi-gateway sharded scale run: one protocol over the
+/// [`ScenarioConfig::scale`] deployment, reporting throughput
+/// (events/sec) and memory (peak RSS, bytes/node) to stderr alongside
+/// the usual summary. The result is byte-identical across `--shards`
+/// and `--jobs`.
+fn scale(args: &[String]) -> Result<(), String> {
+    let parse = |v: Option<String>, d: u64| -> Result<u64, String> {
+        v.map_or(Ok(d), |s| s.parse().map_err(|e| format!("bad number: {e}")))
+    };
+    let nodes = parse(flag(args, "--nodes")?, 10_000)? as usize;
+    let gateways = parse(flag(args, "--gateways")?, 16)? as usize;
+    let days = parse(flag(args, "--days")?, 2)?;
+    let seed = parse(flag(args, "--seed")?, 42)?;
+    let shards = parse(flag(args, "--shards")?, gateways as u64)? as usize;
+    let jobs = parse(
+        flag(args, "--jobs")?,
+        BatchRunner::available().jobs() as u64,
+    )? as usize;
+    let protocol = if switch(args, "--lorawan") {
+        Protocol::Lorawan
+    } else {
+        Protocol::h(0.5)
+    };
+    let opts = telemetry_options(args)?;
+
+    let mut cfg = ScenarioConfig::scale(nodes, gateways, protocol, seed);
+    cfg.duration = Duration::from_days(days);
+    cfg.sample_interval = Duration::from_days(days.clamp(1, 30));
+    eprintln!(
+        "scale run: {nodes} nodes / {gateways} cells under {} for {days} day(s), \
+         --shards {shards} --jobs {jobs} (seed {seed})…",
+        cfg.protocol.label()
+    );
+    let started = std::time::Instant::now();
+    let result = blam_netsim::shard::run_sharded(&cfg, shards, jobs, &opts);
+    let elapsed = started.elapsed().as_secs_f64();
+    let events_per_sec = result.events_processed as f64 / elapsed.max(1e-9);
+    eprintln!(
+        "[{} events in {elapsed:.1} s — {events_per_sec:.0} events/s]",
+        result.events_processed
+    );
+    if let Some(rss) = peak_rss_bytes() {
+        eprintln!(
+            "[peak RSS {:.1} MiB — {:.0} bytes/node]",
+            rss as f64 / (1024.0 * 1024.0),
+            rss as f64 / nodes as f64
+        );
+    }
+    print_summary(&result);
+    if let Some(report) = &result.telemetry {
+        eprint!("{}", report.render());
+    }
+    if let Some(out) = flag(args, "--out")? {
+        let json = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
+        std::fs::write(&out, json).map_err(|e| format!("{out}: {e}"))?;
+        eprintln!("[full results written to {out}]");
+    }
+    Ok(())
+}
+
+/// Peak resident set size of this process in bytes, from
+/// `/proc/self/status` (`VmHWM`). `None` off Linux.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
 }
 
 fn trace_check(args: &[String]) -> Result<(), String> {

@@ -78,6 +78,17 @@ impl<E> Simulator<E> {
         self.queue.len()
     }
 
+    /// The timestamp of the earliest pending event, if any.
+    ///
+    /// Coordinators that drive several simulators through windowed
+    /// [`run_until`](Self::run_until) barriers use this to assert that
+    /// no simulator holds an event older than the barrier it just
+    /// reached. Takes `&mut self` because peeking may first discard
+    /// cancelled (tombstoned) entries at the queue head.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
     /// Schedules an event at an absolute time.
     ///
     /// # Panics

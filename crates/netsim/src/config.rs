@@ -212,9 +212,19 @@ impl ScenarioConfig {
     /// 10-byte payloads, sub-band of 8 channels, ω = 8.
     #[must_use]
     pub fn large_scale(nodes: usize, protocol: Protocol, seed: u64) -> Self {
+        ScenarioConfig::scale(nodes, 1, protocol, seed)
+    }
+
+    /// The large-scale setup (§IV-A) generalized to multi-gateway
+    /// deployments, for the sharded engine's 100k–1M-node runs: same
+    /// per-node parameters, disk radius grown by `√gateways` so the
+    /// node density per cell stays in the paper's regime.
+    #[must_use]
+    pub fn scale(nodes: usize, gateways: usize, protocol: Protocol, seed: u64) -> Self {
+        let gateways = gateways.max(1);
         ScenarioConfig {
             nodes,
-            radius: Meters::from_km(5.0),
+            radius: Meters(Meters::from_km(5.0).0 * (gateways as f64).sqrt()),
             protocol,
             period_min: Duration::from_mins(16),
             period_max: Duration::from_mins(60),
@@ -224,7 +234,7 @@ impl ScenarioConfig {
             // EU868 three-channel default; this is what produces the
             // paper's collision/retransmission regime at 500 nodes.
             plan: ChannelPlan::eu868(),
-            gateways: 1,
+            gateways,
             demod_paths: 8,
             interference: InterferenceModel::Orthogonal,
             duty_cycle: None,

@@ -6,9 +6,18 @@
 //! lifecycle in [`crate::nodes`], gateway radio arbitration in
 //! [`crate::radio`], and every protocol decision behind the
 //! [`MacPolicy`](crate::policy::MacPolicy) trait in [`crate::policy`].
-//! Batch execution across scenarios is [`crate::runner`].
+//! Batch execution across scenarios is [`crate::runner`]; the
+//! cell-sharded execution mode is [`crate::shard`].
+//!
+//! Construction is split in two so both modes share the expensive,
+//! draw-order-sensitive part: [`global_build`] runs every seeded
+//! stream (topology, solar field, node construction, generation
+//! phases) over the *whole* deployment, and [`Engine::build`] wraps
+//! the result into one engine owning everything. The sharded runner
+//! instead splits the same [`GlobalBuild`] into per-cell engines that
+//! defer ledger traffic to the coordinator ([`LedgerMode::Deferred`]).
 
-use blam::{DegradationLedger, SocSample};
+use blam::{CompressedSocTrace, DegradationLedger, SocSample};
 use blam_battery::SwitchOutcome;
 use blam_des::{RngSeeder, Simulator};
 use blam_energy_harvest::solar::CloudModel;
@@ -24,8 +33,9 @@ use crate::config::{HarvestKind, ScenarioConfig};
 use crate::events::Event;
 use crate::faults::FaultLayer;
 use crate::metrics::{DegradationSample, NetworkMetrics, NodeMetrics};
-use crate::nodes::{build_nodes, SimNode};
+use crate::nodes::build_nodes;
 use crate::policy::MacPolicy;
+use crate::store::NodeStore;
 use crate::topology::{gateway_positions, Topology};
 
 /// Everything a finished run reports.
@@ -72,15 +82,154 @@ impl RunResult {
     }
 }
 
+/// How an engine interacts with the gateway-side degradation ledger.
+///
+/// The single-engine path owns the ledger and processes
+/// [`Event::Dissemination`] itself. A cell engine in the sharded mode
+/// never sees dissemination events: it buffers decoded SoC traces
+/// here, and the coordinator drains them into the one global ledger at
+/// every epoch barrier — global-id keyed, in deterministic cell order.
+pub(crate) enum LedgerMode {
+    /// This engine owns the ledger and disseminates locally.
+    Local(DegradationLedger),
+    /// Cell engine: decoded traces pile up as (global node id, period
+    /// anchor, trace) until the coordinator drains them.
+    Deferred(Vec<(u32, SimTime, CompressedSocTrace)>),
+}
+
+/// The deployment-wide, draw-order-sensitive part of construction,
+/// shared verbatim by the single engine and the sharded coordinator:
+/// every value here is produced by the same named RNG streams in the
+/// same order regardless of how execution is later partitioned.
+pub(crate) struct GlobalBuild {
+    /// The protocol under test.
+    pub(crate) policy: Box<dyn MacPolicy>,
+    /// The generated deployment.
+    pub(crate) topology: Topology,
+    /// All nodes, in global-id order.
+    pub(crate) store: NodeStore,
+    /// Initial generation phase per node (from the "phases" stream).
+    pub(crate) phases: Vec<Duration>,
+    /// The commissioned degradation ledger.
+    pub(crate) ledger: DegradationLedger,
+}
+
+/// Builds everything that must be identical across execution modes:
+/// topology, harvest field, nodes, generation phases and the
+/// commissioned ledger.
+///
+/// # Panics
+///
+/// Panics if the configuration fails validation.
+pub(crate) fn global_build(cfg: &ScenarioConfig) -> GlobalBuild {
+    cfg.validate();
+    let policy = cfg.protocol.policy();
+    let seeder = RngSeeder::new(cfg.seed);
+    let mut topology = Topology::generate(cfg);
+    if let Some(sf) = cfg.force_sf {
+        for p in &mut topology.placements {
+            p.sf = sf;
+        }
+    }
+
+    let mut solar_rng = seeder.stream("solar");
+    let field = match cfg.harvest {
+        HarvestKind::Solar => {
+            let solar_model = SolarModel {
+                peak_power: Watts(1.0),
+                clouds: CloudModel::default(),
+                start_day_of_year: cfg.solar_start_day,
+                ..SolarModel::default()
+            };
+            SolarField::generate(
+                &solar_model,
+                cfg.solar_regions,
+                cfg.solar_trace_days,
+                cfg.solar_step,
+                &mut solar_rng,
+            )
+        }
+        HarvestKind::Wind => {
+            let wind = blam_energy_harvest::WindModel {
+                rated_power: Watts(1.0),
+                ..blam_energy_harvest::WindModel::default()
+            };
+            let regions = (0..cfg.solar_regions)
+                .map(|_| {
+                    std::sync::Arc::new(wind.generate(
+                        cfg.solar_trace_days,
+                        cfg.solar_step,
+                        &mut solar_rng,
+                    ))
+                })
+                .collect();
+            SolarField::from_regions(regions)
+        }
+    };
+
+    let gw_positions = gateway_positions(cfg);
+    let mut node_rng = seeder.stream("nodes");
+    let store = build_nodes(
+        cfg,
+        policy.as_ref(),
+        &topology,
+        &field,
+        &gw_positions,
+        &mut node_rng,
+    );
+
+    // Initial generation phases draw from their own named stream, one
+    // draw per node in global-id order — computed at build time so a
+    // cell engine can schedule its slice without replaying the whole
+    // sequence.
+    let mut phase_rng = seeder.stream("phases");
+    let phases: Vec<Duration> = (0..store.len())
+        .map(|i| {
+            if cfg.synchronized_start {
+                Duration::ZERO
+            } else {
+                Duration::from_millis(phase_rng.gen_range(0..store.period_of(i).as_millis()))
+            }
+        })
+        .collect();
+
+    let mut ledger =
+        DegradationLedger::with_constants(cfg.forecast_window, cfg.temperature, cfg.degradation);
+    if cfg.reference_impl {
+        // Replay-per-pass oracle ledger (must be switched before
+        // any commissioning registration so the replay logs see it).
+        ledger = ledger.into_reference();
+    }
+    // Battery age is commissioning metadata: pre-aged nodes are
+    // registered so the gateway's normalized-degradation ranking
+    // reflects their prior wear from day one.
+    let aged_count = (cfg.aged_fraction * cfg.nodes as f64) as usize;
+    for i in 0..aged_count {
+        let age = Duration::from_days((cfg.aged_years * 365.0) as u64);
+        let daily = blam_battery::Cycle::full(0.95, 0.7);
+        let prior_cycles = cfg.degradation.cycle_damage(&daily) * cfg.aged_years * 365.0;
+        ledger.register_prior_age(i as u32, age, 0.85, prior_cycles);
+    }
+
+    GlobalBuild {
+        policy,
+        topology,
+        store,
+        phases,
+        ledger,
+    }
+}
+
 /// The assembled simulation.
 pub struct Engine {
     pub(crate) cfg: ScenarioConfig,
     pub(crate) topology: Topology,
-    pub(crate) nodes: Vec<SimNode>,
+    pub(crate) store: NodeStore,
+    pub(crate) phases: Vec<Duration>,
     pub(crate) gateways: Vec<GatewayRadio>,
     pub(crate) server: NetworkServer,
     pub(crate) adr: Option<AdrEngine>,
-    pub(crate) ledger: DegradationLedger,
+    pub(crate) ledger: LedgerMode,
     pub(crate) policy: Box<dyn MacPolicy>,
     pub(crate) faults: FaultLayer,
     pub(crate) mac_rng: ChaCha8Rng,
@@ -98,82 +247,14 @@ impl Engine {
     /// Panics if the configuration fails validation.
     #[must_use]
     pub fn build(cfg: ScenarioConfig) -> Self {
-        cfg.validate();
-        let policy = cfg.protocol.policy();
+        let GlobalBuild {
+            policy,
+            topology,
+            store,
+            phases,
+            ledger,
+        } = global_build(&cfg);
         let seeder = RngSeeder::new(cfg.seed);
-        let mut topology = Topology::generate(&cfg);
-        if let Some(sf) = cfg.force_sf {
-            for p in &mut topology.placements {
-                p.sf = sf;
-            }
-        }
-
-        let mut solar_rng = seeder.stream("solar");
-        let field = match cfg.harvest {
-            HarvestKind::Solar => {
-                let solar_model = SolarModel {
-                    peak_power: Watts(1.0),
-                    clouds: CloudModel::default(),
-                    start_day_of_year: cfg.solar_start_day,
-                    ..SolarModel::default()
-                };
-                SolarField::generate(
-                    &solar_model,
-                    cfg.solar_regions,
-                    cfg.solar_trace_days,
-                    cfg.solar_step,
-                    &mut solar_rng,
-                )
-            }
-            HarvestKind::Wind => {
-                let wind = blam_energy_harvest::WindModel {
-                    rated_power: Watts(1.0),
-                    ..blam_energy_harvest::WindModel::default()
-                };
-                let regions = (0..cfg.solar_regions)
-                    .map(|_| {
-                        std::sync::Arc::new(wind.generate(
-                            cfg.solar_trace_days,
-                            cfg.solar_step,
-                            &mut solar_rng,
-                        ))
-                    })
-                    .collect();
-                SolarField::from_regions(regions)
-            }
-        };
-
-        let gw_positions = gateway_positions(&cfg);
-        let mut node_rng = seeder.stream("nodes");
-        let nodes: Vec<SimNode> = build_nodes(
-            &cfg,
-            policy.as_ref(),
-            &topology,
-            &field,
-            &gw_positions,
-            &mut node_rng,
-        );
-
-        let mut ledger = DegradationLedger::with_constants(
-            cfg.forecast_window,
-            cfg.temperature,
-            cfg.degradation,
-        );
-        if cfg.reference_impl {
-            // Replay-per-pass oracle ledger (must be switched before
-            // any commissioning registration so the replay logs see it).
-            ledger = ledger.into_reference();
-        }
-        // Battery age is commissioning metadata: pre-aged nodes are
-        // registered so the gateway's normalized-degradation ranking
-        // reflects their prior wear from day one.
-        let aged_count = (cfg.aged_fraction * cfg.nodes as f64) as usize;
-        for i in 0..aged_count {
-            let age = Duration::from_days((cfg.aged_years * 365.0) as u64);
-            let daily = blam_battery::Cycle::full(0.95, 0.7);
-            let prior_cycles = cfg.degradation.cycle_damage(&daily) * cfg.aged_years * 365.0;
-            ledger.register_prior_age(i as u32, age, 0.85, prior_cycles);
-        }
         // Built from its own named streams (`fault-*`), so an all-off
         // config allocates nothing and perturbs no existing stream.
         let faults = FaultLayer::build(
@@ -189,12 +270,13 @@ impl Engine {
                 .collect(),
             server: NetworkServer::new(),
             adr: cfg.adr.then(AdrEngine::standard),
-            ledger,
+            ledger: LedgerMode::Local(ledger),
             policy,
             faults,
             mac_rng: seeder.stream("mac"),
             topology,
-            nodes,
+            store,
+            phases,
             cfg,
             halted: false,
             first_eol: None,
@@ -215,11 +297,12 @@ impl Engine {
 
     /// Records one telemetry event. Callers guard with
     /// [`Self::telemetry_on`] so a disabled sink never even constructs
-    /// the event.
+    /// the event. Events always carry the node's *global* id, so cell
+    /// streams concatenate without remapping.
     pub(crate) fn emit(&mut self, at: SimTime, node: usize, kind: EventKind) {
         self.telemetry.record(&SimEvent {
             t_ms: at.as_millis(),
-            node: node as u32,
+            node: self.store.global_id(node),
             kind,
         });
     }
@@ -230,21 +313,26 @@ impl Engine {
         self.telemetry.enabled()
     }
 
-    /// Settles node `i` up to `now` (see [`SimNode::settle`]) and emits
+    /// Settles node `i` up to `now` (see [`NodeMut::settle`]) and emits
     /// the settlement-level telemetry: a `Brownout` when demand went
     /// unmet and an edge-triggered `SocCapped` when the θ cap starts
     /// spilling harvest. Observation only — the outcome returned is
     /// exactly what the plain settle produced.
+    ///
+    /// [`NodeMut::settle`]: crate::nodes::NodeMut::settle
     pub(crate) fn settle_node(&mut self, now: SimTime, i: usize, extra: Joules) -> SwitchOutcome {
         let window = self.cfg.forecast_window;
-        let out = self.nodes[i].settle(now, extra, window);
+        let out = self.store.node_mut(i).settle(now, extra, window);
         if out.charged.0 > 0.0 && self.faults.sensor_enabled() {
             // The SoC *sensor* misreads the recharge transition the
             // settle just recorded; the true battery state is untouched
             // — only the trace the node will report is.
-            let reported = self.faults.sensor_soc(i, self.nodes[i].battery.soc());
-            let w = self.nodes[i].window_index(now, window) as u8;
-            self.nodes[i].recharge_sample = Some(SocSample::new(w, reported));
+            let reported = self
+                .faults
+                .sensor_soc(i, self.store.node_mut(i).battery.soc());
+            let node = self.store.node_mut(i);
+            let w = node.window_index(now, window) as u8;
+            *node.recharge_sample = Some(SocSample::new(w, reported));
             if self.telemetry_on() {
                 self.emit(
                     now,
@@ -266,8 +354,8 @@ impl Engine {
                 );
             }
             let spilling = out.spilled.0 > 0.0;
-            if spilling && !self.nodes[i].cap_latched {
-                let soc = self.nodes[i].battery.soc();
+            if spilling && !*self.store.node_mut(i).cap_latched {
+                let soc = self.store.node_mut(i).battery.soc();
                 self.emit(
                     now,
                     i,
@@ -277,9 +365,35 @@ impl Engine {
                     },
                 );
             }
-            self.nodes[i].cap_latched = spilling;
+            *self.store.node_mut(i).cap_latched = spilling;
         }
         out
+    }
+
+    /// Schedules the initial event population: staggered packet
+    /// generation (phases precomputed at build time), reboot faults,
+    /// dissemination (only when this engine owns the ledger — cell
+    /// engines receive piggyback bytes from the coordinator instead)
+    /// and periodic sampling. Insertion order is part of the
+    /// determinism contract: ties at equal timestamps break FIFO.
+    pub(crate) fn schedule_initial_events(&mut self, sim: &mut Simulator<Event>) {
+        for (i, &phase) in self.phases.iter().enumerate() {
+            sim.schedule(SimTime::ZERO + phase, Event::Generate { node: i });
+        }
+        if self.faults.reboots_enabled() {
+            for i in 0..self.store.len() {
+                if let Some(at) = self.faults.next_reboot(i, SimTime::ZERO) {
+                    sim.schedule(at, Event::Reboot { node: i });
+                }
+            }
+        }
+        if matches!(self.ledger, LedgerMode::Local(_)) {
+            sim.schedule(
+                SimTime::ZERO + self.cfg.dissemination_interval,
+                Event::Dissemination,
+            );
+        }
+        sim.schedule(SimTime::ZERO + self.cfg.sample_interval, Event::Sample);
     }
 
     /// Runs the simulation to its horizon (or the first EoL when
@@ -298,56 +412,52 @@ impl Engine {
         let horizon = SimTime::ZERO + self.cfg.duration;
         let label = self.policy.label();
         self.telemetry
-            .begin(&label, self.cfg.seed, self.nodes.len() as u32);
+            .begin(&label, self.cfg.seed, self.store.total() as u32);
 
-        // Initial events: staggered packet generation, daily
-        // dissemination, periodic sampling.
-        let seeder = RngSeeder::new(self.cfg.seed);
-        let mut phase_rng = seeder.stream("phases");
-        for i in 0..self.nodes.len() {
-            let phase = if self.cfg.synchronized_start {
-                Duration::ZERO
-            } else {
-                Duration::from_millis(phase_rng.gen_range(0..self.nodes[i].period.as_millis()))
-            };
-            sim.schedule(SimTime::ZERO + phase, Event::Generate { node: i });
-        }
-        if self.faults.reboots_enabled() {
-            for i in 0..self.nodes.len() {
-                if let Some(at) = self.faults.next_reboot(i, SimTime::ZERO) {
-                    sim.schedule(at, Event::Reboot { node: i });
-                }
-            }
-        }
-        sim.schedule(
-            SimTime::ZERO + self.cfg.dissemination_interval,
-            Event::Dissemination,
-        );
-        sim.schedule(SimTime::ZERO + self.cfg.sample_interval, Event::Sample);
-
+        self.schedule_initial_events(&mut sim);
         sim.run_until(horizon, |sim, now, ev| self.handle(sim, now, ev));
+        let events_processed = sim.processed();
+        self.finalize(horizon, events_processed)
+    }
 
+    /// Final settlement, degradation refresh and result assembly.
+    /// Shared by [`Engine::run`] and the sharded coordinator (which
+    /// drives the simulator itself through windowed barriers).
+    ///
+    /// A [`LedgerMode::Deferred`] engine reports zeroed
+    /// `gateway_degradation_estimates`; the coordinator overwrites them
+    /// from the one global ledger during the merge.
+    pub(crate) fn finalize(mut self, horizon: SimTime, events_processed: u64) -> RunResult {
         let sim_end = match self.first_eol {
             Some((_, t)) if self.cfg.stop_at_first_eol => t,
             _ => horizon,
         };
+        let window = self.cfg.forecast_window;
         // Final settlement and degradation refresh.
-        for node in &mut self.nodes {
-            node.settle(sim_end, Joules::ZERO, self.cfg.forecast_window);
-            node.metrics.final_degradation = node.battery.refresh_degradation(sim_end);
+        for i in 0..self.store.len() {
+            let mut node = self.store.node_mut(i);
+            node.settle(sim_end, Joules::ZERO, window);
+            let d = node.battery.refresh_degradation(sim_end);
+            node.metrics.final_degradation = d;
         }
-        let node_metrics: Vec<NodeMetrics> = self.nodes.iter().map(|n| n.metrics.clone()).collect();
-        let gateway_degradation_estimates: Vec<f64> = (0..self.nodes.len())
-            .map(|i| self.ledger.degradation_of(i as u32, sim_end))
-            .collect();
+        let node_metrics: Vec<NodeMetrics> = self.store.metrics_snapshot();
+        let gateway_degradation_estimates: Vec<f64> = match &self.ledger {
+            LedgerMode::Local(ledger) => (0..self.store.len())
+                .map(|i| ledger.degradation_of(self.store.global_id(i), sim_end))
+                .collect(),
+            LedgerMode::Deferred(_) => vec![0.0; self.store.len()],
+        };
         // Reflect ADR-commanded parameter changes in the reported
-        // topology (node-side placements are authoritative).
-        for (i, node) in self.nodes.iter().enumerate() {
-            self.topology.placements[i] = node.placement;
+        // topology (node-side placements are authoritative). Placements
+        // align with the store's local order: the full deployment for a
+        // single engine, the cell's own nodes for a cell engine — the
+        // coordinator scatters those back to global ids when merging.
+        for i in 0..self.store.len() {
+            self.topology.placements[i] = self.store.placement_of(i);
         }
         let telemetry = self.telemetry.finish();
         RunResult {
-            label,
+            label: self.policy.label(),
             seed: self.cfg.seed,
             network: NetworkMetrics::aggregate(&node_metrics),
             nodes: node_metrics,
@@ -355,7 +465,7 @@ impl Engine {
             first_eol: self.first_eol,
             gateway_degradation_estimates,
             topology: self.topology,
-            events_processed: sim.processed(),
+            events_processed,
             sim_end,
             telemetry,
         }

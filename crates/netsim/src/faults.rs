@@ -272,12 +272,17 @@ struct LossState {
 }
 
 impl LossState {
-    fn build(params: GilbertElliott, seeder: &RngSeeder, stream: &str, nodes: usize) -> LossState {
+    /// Builds one chain per listed node. Streams are seeded by each
+    /// node's *global* id, so a cell-scoped layer draws exactly the
+    /// per-node sequences a deployment-wide layer would for the same
+    /// nodes.
+    fn build(params: GilbertElliott, seeder: &RngSeeder, stream: &str, ids: &[u32]) -> LossState {
         LossState {
             params,
-            bad: vec![false; nodes],
-            rngs: (0..nodes)
-                .map(|i| seeder.stream_indexed(stream, i as u64))
+            bad: vec![false; ids.len()],
+            rngs: ids
+                .iter()
+                .map(|&id| seeder.stream_indexed(stream, u64::from(id)))
                 .collect(),
         }
     }
@@ -339,15 +344,33 @@ impl FaultLayer {
         gateways: usize,
         horizon: SimTime,
     ) -> FaultLayer {
-        let mut outages: Vec<Vec<(SimTime, SimTime)>> = vec![Vec::new(); gateways];
+        let node_ids: Vec<u32> = (0..nodes as u32).collect();
+        let gateway_ids: Vec<usize> = (0..gateways).collect();
+        FaultLayer::build_scoped(cfg, seeder, &node_ids, &gateway_ids, horizon)
+    }
+
+    /// Builds the layer for a subset of the deployment: `node_ids` are
+    /// the global ids of the nodes this engine simulates (local index
+    /// order), `gateway_ids` its gateways. Every stream is seeded by
+    /// the *global* id, so the chains and schedules of each node and
+    /// gateway are identical whether the layer is deployment-wide or
+    /// cell-scoped — partitioning changes who asks, never the answers.
+    pub(crate) fn build_scoped(
+        cfg: &FaultConfig,
+        seeder: &RngSeeder,
+        node_ids: &[u32],
+        gateway_ids: &[usize],
+        horizon: SimTime,
+    ) -> FaultLayer {
+        let mut outages: Vec<Vec<(SimTime, SimTime)>> = vec![Vec::new(); gateway_ids.len()];
         for w in &cfg.scheduled_outages {
-            if w.gateway < gateways {
-                outages[w.gateway].push((w.start, w.end));
+            if let Some(local) = gateway_ids.iter().position(|&g| g == w.gateway) {
+                outages[local].push((w.start, w.end));
             }
         }
         if let Some(ro) = &cfg.random_outages {
-            for (g, slot) in outages.iter_mut().enumerate() {
-                let mut rng = seeder.stream_indexed("fault-outage", g as u64);
+            for (local, slot) in outages.iter_mut().enumerate() {
+                let mut rng = seeder.stream_indexed("fault-outage", gateway_ids[local] as u64);
                 let mut t = SimTime::ZERO;
                 loop {
                     let Some(up_end) = t.checked_add(exp_duration(&mut rng, ro.mean_up)) else {
@@ -382,8 +405,9 @@ impl FaultLayer {
 
         let per_node = |name: &str, on: bool| -> Vec<ChaCha8Rng> {
             if on {
-                (0..nodes)
-                    .map(|i| seeder.stream_indexed(name, i as u64))
+                node_ids
+                    .iter()
+                    .map(|&id| seeder.stream_indexed(name, u64::from(id)))
                     .collect()
             } else {
                 Vec::new()
@@ -393,10 +417,10 @@ impl FaultLayer {
             outages,
             uplink: cfg
                 .uplink_loss
-                .map(|ge| LossState::build(ge, seeder, "fault-ul", nodes)),
+                .map(|ge| LossState::build(ge, seeder, "fault-ul", node_ids)),
             downlink: cfg
                 .downlink_loss
-                .map(|ge| LossState::build(ge, seeder, "fault-dl", nodes)),
+                .map(|ge| LossState::build(ge, seeder, "fault-dl", node_ids)),
             reboot_mean: cfg.reboots.map(|rb| rb.mean_interval),
             reboot_rngs: per_node("fault-reboot", cfg.reboots.is_some()),
             sensor: cfg.soc_sensor,

@@ -31,6 +31,12 @@
 //! * [`runner`] — [`BatchRunner`](runner::BatchRunner): deterministic
 //!   parallel execution of scenario batches on worker threads, with
 //!   per-phase wall-clock profiling.
+//! * [`shard`] — cell-sharded execution for very large deployments:
+//!   one simulator per gateway cell
+//!   ([`ShardPlan`](topology::ShardPlan)), synchronized at
+//!   dissemination epochs and merged deterministically, so
+//!   [`run_sharded`](shard::run_sharded) is byte-identical across
+//!   shard and worker counts.
 //! * [`telemetry`] — wiring for the `blam-telemetry` subsystem:
 //!   [`TelemetryOptions`](telemetry::TelemetryOptions) builds per-run
 //!   recording sinks (in-memory reports, JSONL traces, flight
@@ -72,6 +78,8 @@ mod radio;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod shard;
+mod store;
 pub mod telemetry;
 pub mod topology;
 
@@ -83,5 +91,6 @@ pub use metrics::{NetworkMetrics, NodeMetrics};
 pub use policy::{AlohaPolicy, BlamPolicy, MacPolicy, WindowDecision};
 pub use runner::{BatchOutcome, BatchRunner};
 pub use scenario::Scenario;
+pub use shard::run_sharded;
 pub use telemetry::TelemetryOptions;
-pub use topology::Topology;
+pub use topology::{ShardPlan, Topology};

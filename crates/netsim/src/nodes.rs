@@ -2,34 +2,38 @@
 //! generate → select window → transmit → retransmit — plus SoC/harvest
 //! settlement and periodic degradation sampling. Protocol decisions are
 //! delegated to the engine's [`MacPolicy`](crate::policy::MacPolicy).
+//!
+//! Node state itself lives in the data-oriented [`NodeStore`] (see
+//! `store.rs`): hot per-event scalars in dense columns, cold state in a
+//! side arena. The handlers here — and every policy — work against the
+//! [`NodeMut`] view, never the columns directly, so the layout can
+//! evolve without touching the lifecycle.
 
-use blam::utility::Utility;
-use blam::{BlamNode, CompressedSocTrace, SocSample};
-use blam_battery::{Battery, PowerSwitch, Supercap, SwitchOutcome, EOL_DEGRADATION};
+use blam::{CompressedSocTrace, SocSample};
+use blam_battery::{Battery, PowerSwitch, EOL_DEGRADATION};
 use blam_des::Simulator;
 use blam_energy_harvest::{
     DiurnalPersistence, Forecaster, HarvestSource, NodeHarvest, NoisyOracle, Oracle, SolarField,
 };
-use blam_lora_phy::{
-    Bandwidth, CodingRate, LinkBudget, Position, RadioPowerModel, TxConfig, TxEnergyCache,
-};
+use blam_lora_phy::{Bandwidth, CodingRate, Position, TxConfig};
 use blam_lorawan::{
-    ClassAMac, DeviceAddr, MacAction, MacParams, TransmissionId, TxReport, Uplink,
-    UplinkTransmission,
+    ClassAMac, DeviceAddr, MacAction, MacParams, TxReport, Uplink, UplinkTransmission,
 };
 use blam_telemetry::{DropReason, EventKind, FaultKind};
 use blam_units::{Dbm, Duration, Joules, SimTime, Watts};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::VecDeque;
 
 use crate::config::{ForecasterKind, ScenarioConfig};
 use crate::engine::Engine;
 use crate::events::Event;
-use crate::metrics::{DegradationSample, NodeMetrics};
+use crate::metrics::DegradationSample;
 use crate::policy::MacPolicy;
 use crate::radio::rx_window_timeout;
-use crate::topology::{NodePlacement, Topology};
+use crate::store::{NodeSeed, NodeStore};
+use crate::topology::Topology;
+
+pub use crate::store::NodeMut;
 
 /// The green-energy forecaster variants a node can run.
 #[derive(Debug, Clone)]
@@ -69,172 +73,6 @@ pub struct PacketState {
     pub window: usize,
 }
 
-/// One simulated end device.
-#[derive(Debug)]
-pub struct SimNode {
-    /// Node index (= device address).
-    pub id: usize,
-    /// Radio situation (serving-gateway link).
-    pub placement: NodePlacement,
-    /// Link budgets to every gateway, indexed by gateway id.
-    pub gateway_links: Vec<LinkBudget>,
-    /// Receptions in flight at the gateways: (exchange epoch, gateway,
-    /// reception id, RSSI dBm). Epoch-tagged so a stale TxEnd (from an
-    /// exchange aborted mid-airtime) cannot conclude a successor
-    /// exchange's receptions early.
-    pub inflight: Vec<(u64, usize, TransmissionId, f64)>,
-    /// LoRaWAN Class-A MAC.
-    pub mac: ClassAMac,
-    /// BLAM protocol state (None for the LoRaWAN baseline).
-    pub blam: Option<BlamNode>,
-    /// The rechargeable battery.
-    pub battery: Battery,
-    /// Software-defined battery switch (θ-capped for BLAM).
-    pub switch: PowerSwitch,
-    /// Optional supercapacitor buffer in front of the battery.
-    pub supercap: Option<Supercap>,
-    /// Solar harvest source.
-    pub harvest: NodeHarvest,
-    /// Green-energy forecaster.
-    pub forecaster: NodeForecaster,
-    /// Sampling period τ.
-    pub period: Duration,
-    /// Forecast windows per period |T|.
-    pub windows: usize,
-    /// Radio electrical model.
-    pub radio: RadioPowerModel,
-    /// Baseline non-radio draw.
-    pub mcu_sleep: Watts,
-    /// Last energy-settlement instant.
-    pub last_settle: SimTime,
-    /// Start of the current sampling period (= last generation time).
-    pub period_start: SimTime,
-    /// Start of the previous period (for forecaster feedback and trace
-    /// anchoring).
-    pub prev_period_start: Option<SimTime>,
-    /// The packet currently being handled.
-    pub packet: Option<PacketState>,
-    /// SoC sample after this period's transmission discharge.
-    pub discharge_sample: Option<SocSample>,
-    /// SoC sample at this period's last recharge.
-    pub recharge_sample: Option<SocSample>,
-    /// Pending normalized-degradation byte carried by the next ACK.
-    pub pending_weight: Option<u8>,
-    /// Pending ADR command carried by the next ACK.
-    pub pending_adr: Option<blam_lorawan::AdrCommand>,
-    /// Pending RX-deadline event (cancelled when the ACK wins).
-    pub pending_deadline: Option<blam_des::EventId>,
-    /// Compressed SoC traces awaiting delivery, oldest first (anchor
-    /// time, trace). Depth is [`blam::BlamConfig::trace_buffer`]; with
-    /// the default depth 1 this is exactly the paper's single pending
-    /// trace, while hardened variants buffer across failed exchanges
-    /// and backfill the gateway ledger on recovery.
-    pub trace_queue: VecDeque<(SimTime, CompressedSocTrace)>,
-    /// When the node last applied a disseminated `w_u` byte (for the
-    /// TTL-based trust decay; volatile — wiped by a reboot).
-    pub weight_updated_at: Option<SimTime>,
-    /// Edge-trigger latch for the `WuExpired` telemetry event.
-    pub wu_expired_latched: bool,
-    /// Set by a reboot: the forecaster was wiped, so the next packet
-    /// skips Algorithm 1 and transmits in the immediate window.
-    pub cold_start: bool,
-    /// PHY payload length of the uplink currently in flight.
-    pub current_phy_len: usize,
-    /// Channel of the uplink currently in flight.
-    pub current_channel: blam_lora_phy::Channel,
-    /// Monotone exchange counter guarding stale in-flight events: a
-    /// TxEnd/ACK/deadline/retransmit event only applies if its epoch
-    /// matches (the exchange it belonged to was not aborted).
-    pub exchange_epoch: u64,
-    /// Whether the last settlement spilled harvest at the θ cap —
-    /// edge-triggers the `SocCapped` telemetry event. Only maintained
-    /// while telemetry is enabled; never read by the simulation.
-    pub cap_latched: bool,
-    /// Utility curve used for this node's metric accounting.
-    pub utility: Utility,
-    /// Memoized per-attempt transmission energy. A node's radio
-    /// configuration and payload length are stable between ADR
-    /// commands, so virtually every attempt after the first is a hit;
-    /// the cache recomputes (bit-identically) whenever either changes.
-    pub tx_energy_cache: TxEnergyCache,
-    /// Scratch for the green-energy forecast built each plan — reused
-    /// across periods so Algorithm 1 stays off the allocator.
-    pub forecast_scratch: Vec<Joules>,
-    /// Scratch for the Eq. (14) per-window energy estimates, handed to
-    /// [`BlamNode::plan_with_scratch`].
-    pub plan_scratch: Vec<Joules>,
-    /// Metrics accumulator.
-    pub metrics: NodeMetrics,
-}
-
-impl SimNode {
-    /// The node's uplink radio configuration.
-    #[must_use]
-    pub fn tx_config(&self) -> TxConfig {
-        self.mac.params().tx
-    }
-
-    /// Total baseline sleep draw (MCU + radio sleep).
-    #[must_use]
-    pub fn sleep_power(&self) -> Watts {
-        self.mcu_sleep + self.radio.sleep_power_draw()
-    }
-
-    /// The forecast-window index of `at` within the current period
-    /// (clamped to the last window).
-    #[must_use]
-    pub fn window_index(&self, at: SimTime, window: Duration) -> usize {
-        let idx = (at.saturating_since(self.period_start) / window) as usize;
-        idx.min(self.windows.saturating_sub(1))
-    }
-
-    /// Settles energy bookkeeping up to `now`: harvest since the last
-    /// settlement and baseline sleep draw flow through the switch,
-    /// together with `extra_demand` (a transmission or receive-window
-    /// cost landing at `now`).
-    ///
-    /// Records the period's recharge sample whenever the battery
-    /// charged, mirroring the hardware interrupt the paper uses to
-    /// capture the last recharge transition.
-    pub fn settle(
-        &mut self,
-        now: SimTime,
-        extra_demand: Joules,
-        forecast_window: Duration,
-    ) -> SwitchOutcome {
-        let from = self.last_settle;
-        let mut harvested = if now > from {
-            self.harvest.energy_between(from, now)
-        } else {
-            Joules::ZERO
-        };
-        let mut demand = self.sleep_power() * now.saturating_since(from) + extra_demand;
-        // A supercapacitor buffer, when present, absorbs surplus and
-        // serves demand before the battery is touched — shielding the
-        // battery's rainflow record from shallow transmission cycles.
-        if let Some(cap) = &mut self.supercap {
-            cap.leak(now.saturating_since(from));
-            let direct = harvested.min(demand);
-            let mut surplus = harvested - direct;
-            let mut shortfall = demand - direct;
-            shortfall -= cap.discharge(shortfall);
-            surplus -= cap.charge(surplus);
-            harvested = direct + surplus;
-            demand = direct + shortfall;
-        }
-        let out = self.switch.step(now, &mut self.battery, harvested, demand);
-        self.last_settle = now;
-        if out.charged.0 > 0.0 {
-            let w = self.window_index(now, forecast_window) as u8;
-            self.recharge_sample = Some(SocSample::new(w, self.battery.soc()));
-        }
-        if out.deficit.0 > 0.0 {
-            self.metrics.brownout_events += 1;
-        }
-        out
-    }
-}
-
 /// Constructs every end device of a scenario: radio configuration,
 /// battery sizing, panel sizing, forecaster, and the policy-installed
 /// protocol state. Draw order on `node_rng` (period, then shading, per
@@ -247,139 +85,119 @@ pub(crate) fn build_nodes(
     field: &SolarField,
     gw_positions: &[Position],
     node_rng: &mut ChaCha8Rng,
-) -> Vec<SimNode> {
+) -> NodeStore {
     let payload_overhead = policy.payload_overhead();
     let theta = policy.theta();
-    (0..cfg.nodes)
-        .map(|i| {
-            let placement = topology.placements[i];
-            let tx = TxConfig::new(placement.sf, Bandwidth::Khz125, CodingRate::Cr4_5)
-                .with_power(cfg.tx_power);
-            // Whole-minute periods (as in the paper's "[16, 60] Min"
-            // draw): nodes sharing a period stay phase-locked, which
-            // is what creates the persistent collisions Eq. (14)
-            // learns to escape.
-            let period = Duration::from_mins(node_rng.gen_range(
-                (cfg.period_min.as_millis() / 60_000)..=(cfg.period_max.as_millis() / 60_000),
-            ));
-            let windows = cfg.windows_in(period);
-            let phy_len = cfg.payload_bytes + payload_overhead + blam_lorawan::MAC_OVERHEAD_BYTES;
-            let tx_energy = cfg.radio.tx_energy(&tx, phy_len);
-            let rx_energy = cfg.radio.rx_energy(rx_window_timeout(&cfg.plan) * 2);
-            let sleep = cfg.mcu_sleep + cfg.radio.sleep_power_draw();
+    let mut store = NodeStore::with_total(cfg.nodes);
+    for i in 0..cfg.nodes {
+        let placement = topology.placements[i];
+        let tx = TxConfig::new(placement.sf, Bandwidth::Khz125, CodingRate::Cr4_5)
+            .with_power(cfg.tx_power);
+        // Whole-minute periods (as in the paper's "[16, 60] Min"
+        // draw): nodes sharing a period stay phase-locked, which
+        // is what creates the persistent collisions Eq. (14)
+        // learns to escape.
+        let period = Duration::from_mins(node_rng.gen_range(
+            (cfg.period_min.as_millis() / 60_000)..=(cfg.period_max.as_millis() / 60_000),
+        ));
+        let windows = cfg.windows_in(period);
+        let phy_len = cfg.payload_bytes + payload_overhead + blam_lorawan::MAC_OVERHEAD_BYTES;
+        let tx_energy = cfg.radio.tx_energy(&tx, phy_len);
+        let rx_energy = cfg.radio.rx_energy(rx_window_timeout(&cfg.plan) * 2);
+        let sleep = cfg.mcu_sleep + cfg.radio.sleep_power_draw();
 
-            // Battery sized to `battery_days` of average operation.
-            let packets_per_day = 86_400.0 / period.as_secs_f64();
-            let daily = sleep * Duration::from_days(1) + (tx_energy + rx_energy) * packets_per_day;
-            let capacity = daily * cfg.battery_days;
+        // Battery sized to `battery_days` of average operation.
+        let packets_per_day = 86_400.0 / period.as_secs_f64();
+        let daily = sleep * Duration::from_days(1) + (tx_energy + rx_energy) * packets_per_day;
+        let capacity = daily * cfg.battery_days;
 
-            // Panel sized so peak power funds `solar_peak_tx_multiple`
-            // transmissions per forecast window (the paper's rule).
-            let peak =
-                Watts(cfg.solar_peak_tx_multiple * tx_energy.0 / cfg.forecast_window.as_secs_f64());
-            let region = field.region(i).clone();
-            let shading = node_rng.gen_range(0.7..=1.0);
-            let factor = (peak.0 / region.peak_power().0 * shading).min(1.0);
-            let harvest = NodeHarvest::new(region, factor);
+        // Panel sized so peak power funds `solar_peak_tx_multiple`
+        // transmissions per forecast window (the paper's rule).
+        let peak =
+            Watts(cfg.solar_peak_tx_multiple * tx_energy.0 / cfg.forecast_window.as_secs_f64());
+        let region = field.region(i).clone();
+        let shading = node_rng.gen_range(0.7..=1.0);
+        let factor = (peak.0 / region.peak_power().0 * shading).min(1.0);
+        let harvest = NodeHarvest::new(region, factor);
 
-            let forecaster = match cfg.forecaster {
-                ForecasterKind::DiurnalPersistence => {
-                    NodeForecaster::Persistence(DiurnalPersistence::new(cfg.forecast_window, 0.3))
-                }
-                ForecasterKind::Oracle => NodeForecaster::Oracle(Oracle::new(harvest.clone())),
-                ForecasterKind::Noisy(sigma) => NodeForecaster::Noisy(NoisyOracle::new(
-                    harvest.clone(),
-                    sigma,
-                    cfg.seed ^ (i as u64),
-                )),
-            };
-
-            // Eq. (15)'s E_max is the node's own worst-case single
-            // transmission: its radio configuration at maximum
-            // power. Normalizing per node lets the DIF span its
-            // full [0, 1] range for every node regardless of SF.
-            let e_max = cfg.radio.tx_energy(&tx.with_power(Dbm(20.0)), phy_len);
-            let (blam, utility) = policy.node_state(tx_energy, e_max, windows);
-
-            let supercap = cfg
-                .supercap_tx_multiple
-                .map(|m| blam_battery::Supercap::new(tx_energy * m, Watts::from_milliwatts(0.001)));
-            let gateway_links: Vec<_> = gw_positions
-                .iter()
-                .map(|&gp| {
-                    let d = blam_units::Meters(placement.position.distance_to(gp).0.max(1.0));
-                    blam_lora_phy::LinkBudget::new(d)
-                        .with_path_loss(cfg.path_loss)
-                        .with_shadowing(placement.link.shadowing)
-                })
-                .collect();
-            SimNode {
-                id: i,
-                placement,
-                gateway_links,
-                inflight: Vec::new(),
-                mac: ClassAMac::new(MacParams {
-                    device: DeviceAddr(i as u32),
-                    plan: cfg.plan.clone(),
-                    tx,
-                    duty_cycle: cfg.duty_cycle,
-                    rx_window: rx_window_timeout(&cfg.plan),
-                    ..MacParams::default()
-                }),
-                blam,
-                battery: if (i as f64) < cfg.aged_fraction * cfg.nodes as f64 {
-                    // Pre-aged battery: served `aged_years` near-full
-                    // (the LoRaWAN charging habit) with one shallow
-                    // cycle per day.
-                    let age = Duration::from_days((cfg.aged_years * 365.0) as u64);
-                    let daily = blam_battery::Cycle::full(0.95, 0.7);
-                    let prior_cycles =
-                        cfg.degradation.cycle_damage(&daily) * cfg.aged_years * 365.0;
-                    Battery::pre_aged(
-                        capacity,
-                        theta,
-                        cfg.temperature,
-                        cfg.degradation,
-                        age,
-                        0.85,
-                        prior_cycles,
-                    )
-                } else {
-                    Battery::with_constants(capacity, theta, cfg.temperature, cfg.degradation)
-                },
-                switch: PowerSwitch::new(theta),
-                supercap,
-                harvest,
-                forecaster,
-                period,
-                windows,
-                radio: cfg.radio.clone(),
-                mcu_sleep: cfg.mcu_sleep,
-                last_settle: SimTime::ZERO,
-                period_start: SimTime::ZERO,
-                prev_period_start: None,
-                packet: None,
-                discharge_sample: None,
-                recharge_sample: None,
-                pending_weight: None,
-                pending_adr: None,
-                pending_deadline: None,
-                trace_queue: VecDeque::new(),
-                weight_updated_at: None,
-                wu_expired_latched: false,
-                cold_start: false,
-                current_phy_len: phy_len,
-                current_channel: cfg.plan.uplink[0],
-                exchange_epoch: 0,
-                cap_latched: false,
-                utility,
-                tx_energy_cache: TxEnergyCache::default(),
-                forecast_scratch: Vec::new(),
-                plan_scratch: Vec::new(),
-                metrics: NodeMetrics::default(),
+        let forecaster = match cfg.forecaster {
+            ForecasterKind::DiurnalPersistence => {
+                NodeForecaster::Persistence(DiurnalPersistence::new(cfg.forecast_window, 0.3))
             }
-        })
-        .collect()
+            ForecasterKind::Oracle => NodeForecaster::Oracle(Oracle::new(harvest.clone())),
+            ForecasterKind::Noisy(sigma) => NodeForecaster::Noisy(NoisyOracle::new(
+                harvest.clone(),
+                sigma,
+                cfg.seed ^ (i as u64),
+            )),
+        };
+
+        // Eq. (15)'s E_max is the node's own worst-case single
+        // transmission: its radio configuration at maximum
+        // power. Normalizing per node lets the DIF span its
+        // full [0, 1] range for every node regardless of SF.
+        let e_max = cfg.radio.tx_energy(&tx.with_power(Dbm(20.0)), phy_len);
+        let (blam, utility) = policy.node_state(tx_energy, e_max, windows);
+
+        let supercap = cfg
+            .supercap_tx_multiple
+            .map(|m| blam_battery::Supercap::new(tx_energy * m, Watts::from_milliwatts(0.001)));
+        let gateway_links: Vec<_> = gw_positions
+            .iter()
+            .map(|&gp| {
+                let d = blam_units::Meters(placement.position.distance_to(gp).0.max(1.0));
+                blam_lora_phy::LinkBudget::new(d)
+                    .with_path_loss(cfg.path_loss)
+                    .with_shadowing(placement.link.shadowing)
+            })
+            .collect();
+        let battery = if (i as f64) < cfg.aged_fraction * cfg.nodes as f64 {
+            // Pre-aged battery: served `aged_years` near-full
+            // (the LoRaWAN charging habit) with one shallow
+            // cycle per day.
+            let age = Duration::from_days((cfg.aged_years * 365.0) as u64);
+            let daily = blam_battery::Cycle::full(0.95, 0.7);
+            let prior_cycles = cfg.degradation.cycle_damage(&daily) * cfg.aged_years * 365.0;
+            Battery::pre_aged(
+                capacity,
+                theta,
+                cfg.temperature,
+                cfg.degradation,
+                age,
+                0.85,
+                prior_cycles,
+            )
+        } else {
+            Battery::with_constants(capacity, theta, cfg.temperature, cfg.degradation)
+        };
+        store.push(NodeSeed {
+            global_id: i as u32,
+            period,
+            windows,
+            current_phy_len: phy_len,
+            current_channel: cfg.plan.uplink[0],
+            placement,
+            gateway_links,
+            mac: ClassAMac::new(MacParams {
+                device: DeviceAddr(i as u32),
+                plan: cfg.plan.clone(),
+                tx,
+                duty_cycle: cfg.duty_cycle,
+                rx_window: rx_window_timeout(&cfg.plan),
+                ..MacParams::default()
+            }),
+            blam,
+            battery,
+            switch: PowerSwitch::new(theta),
+            supercap,
+            harvest,
+            forecaster,
+            radio: cfg.radio.clone(),
+            mcu_sleep: cfg.mcu_sleep,
+            utility,
+        });
+    }
+    store
 }
 
 impl Engine {
@@ -388,14 +206,17 @@ impl Engine {
     /// engine reads the node's [`TxEnergyCache`]; the reference engine
     /// recomputes from the uncached Semtech formula every call. Both
     /// produce bit-identical joules.
+    ///
+    /// [`TxEnergyCache`]: blam_lora_phy::TxEnergyCache
     pub(crate) fn uplink_tx_energy(&mut self, i: usize) -> Joules {
-        let node = &mut self.nodes[i];
+        let reference = self.cfg.reference_impl;
+        let node = self.store.node_mut(i);
         let cfg = node.tx_config();
-        if self.cfg.reference_impl {
-            node.radio.tx_energy_direct(&cfg, node.current_phy_len)
+        if reference {
+            node.radio.tx_energy_direct(&cfg, *node.current_phy_len)
         } else {
             node.tx_energy_cache
-                .energy(&node.radio, &cfg, node.current_phy_len)
+                .energy(node.radio, &cfg, *node.current_phy_len)
         }
     }
 
@@ -404,7 +225,7 @@ impl Engine {
         // Next period's generation first, so a drop below can't stall
         // the node. Real crystals drift: each period slips by a small
         // uniform draw.
-        let period = self.nodes[i].period;
+        let period = self.store.period_of(i);
         let drift_cap = self.cfg.period_drift.as_millis();
         let drifted = if drift_cap > 0 {
             let slip = self.mac_rng.gen_range(0..=2 * drift_cap);
@@ -415,29 +236,29 @@ impl Engine {
         sim.schedule(now + drifted, Event::Generate { node: i });
 
         // Conclude a still-running exchange from the previous period.
-        if !self.nodes[i].mac.is_idle() {
-            let node = &mut self.nodes[i];
-            if let Some(id) = node.pending_deadline.take() {
+        if !self.store.node_mut(i).mac.is_idle() {
+            if let Some(id) = self.store.node_mut(i).pending_deadline.take() {
                 sim.cancel(id);
             }
-            if let Some(report) = node.mac.abort(now) {
+            let report = self.store.node_mut(i).mac.abort(now);
+            if let Some(report) = report {
                 self.finish_exchange(now, i, &report);
             }
         }
 
         let policy = &self.policy;
-        let node = &mut self.nodes[i];
+        let mut node = self.store.node_mut(i);
         node.metrics.generated += 1;
 
         // Fold the finished period into protocol state (SoC trace for
         // the next uplink, forecaster feedback), then roll the period
         // bookkeeping over.
-        policy.on_period_rollover(node, now, window);
+        policy.on_period_rollover(&mut node, now, window);
 
-        node.prev_period_start = Some(node.period_start);
-        node.period_start = now;
-        node.discharge_sample = None;
-        node.recharge_sample = None;
+        *node.prev_period_start = Some(*node.period_start);
+        *node.period_start = now;
+        *node.discharge_sample = None;
+        *node.recharge_sample = None;
         if self.telemetry_on() {
             self.emit(now, i, EventKind::PacketGenerated);
         }
@@ -445,15 +266,15 @@ impl Engine {
 
         // Decide when to transmit.
         let policy = &self.policy;
-        let chosen = policy.select_window(&mut self.nodes[i], now, window);
+        let mut node = self.store.node_mut(i);
+        let chosen = policy.select_window(&mut node, now, window);
 
         match chosen {
             None => {
                 // Algorithm 1 FAIL: drop the packet.
-                let node = &mut self.nodes[i];
                 node.metrics.dropped_no_window += 1;
                 node.metrics.concluded += 1;
-                node.metrics.latency_sum += node.period;
+                node.metrics.latency_sum += *node.period;
                 if self.telemetry_on() {
                     self.emit(
                         now,
@@ -466,18 +287,17 @@ impl Engine {
             }
             Some(decision) => {
                 let w = decision.window;
-                let node = &mut self.nodes[i];
                 node.metrics.record_window(w);
-                node.packet = Some(PacketState {
+                *node.packet = Some(PacketState {
                     generated_at: now,
                     window: w,
                 });
-                let epoch = node.exchange_epoch;
+                let epoch = *node.exchange_epoch;
                 // Degradation-ladder telemetry: a stale w_u losing
                 // trust (edge-triggered) and the cold-start fallback.
                 let mut wu_age = None;
-                if decision.wu_trust < 1.0 && !node.wu_expired_latched {
-                    node.wu_expired_latched = true;
+                if decision.wu_trust < 1.0 && !*node.wu_expired_latched {
+                    *node.wu_expired_latched = true;
                     wu_age = Some(
                         node.weight_updated_at
                             .map_or(0, |at| now.saturating_since(at).as_millis()),
@@ -522,20 +342,20 @@ impl Engine {
         i: usize,
         epoch: u64,
     ) {
-        if epoch != self.nodes[i].exchange_epoch {
+        if epoch != self.store.exchange_epoch_of(i) {
             // The node rebooted after this start was scheduled; the
             // packet it belonged to was already accounted as dropped.
             return;
         }
         self.settle_node(now, i, Joules::ZERO);
-        let node = &mut self.nodes[i];
+        let node = self.store.node_mut(i);
         if !node.mac.is_idle() {
             // Should not happen (exchanges are aborted at generation),
             // but stay safe: drop this packet.
             node.metrics.dropped_brownout += 1;
             node.metrics.concluded += 1;
-            node.metrics.latency_sum += node.period;
-            node.packet = None;
+            node.metrics.latency_sum += *node.period;
+            *node.packet = None;
             if self.telemetry_on() {
                 self.emit(
                     now,
@@ -551,17 +371,17 @@ impl Engine {
         let piggyback = (!node.trace_queue.is_empty()).then_some(CompressedSocTrace::ENCODED_LEN);
         let mut frame = Uplink::confirmed(self.cfg.payload_bytes);
         frame.piggyback_len = piggyback.unwrap_or(0);
-        node.current_phy_len = frame.phy_payload_len();
+        *node.current_phy_len = frame.phy_payload_len();
 
         // Brownout check: the battery (plus harvest during the airtime,
         // which is negligible) must fund at least the first attempt.
         let required = self.uplink_tx_energy(i);
-        let node = &mut self.nodes[i];
+        let node = self.store.node_mut(i);
         if node.battery.stored() < required {
             node.metrics.dropped_brownout += 1;
             node.metrics.concluded += 1;
-            node.metrics.latency_sum += node.period;
-            node.packet = None;
+            node.metrics.latency_sum += *node.period;
+            *node.packet = None;
             if self.telemetry_on() {
                 self.emit(
                     now,
@@ -589,12 +409,12 @@ impl Engine {
         // Pay for the transmission.
         let tx_cost = self.uplink_tx_energy(i);
         self.settle_node(now, i, tx_cost);
-        self.nodes[i].metrics.tx_energy_electrical += tx_cost;
+        self.store.node_mut(i).metrics.tx_energy_electrical += tx_cost;
         // Record the discharge transition for the compressed trace —
         // through the (possibly faulty) SoC sensor, which misreads the
         // value the node reports without touching the real battery.
         {
-            let mut soc = self.nodes[i].battery.soc();
+            let mut soc = self.store.node_mut(i).battery.soc();
             if self.faults.sensor_enabled() {
                 soc = self.faults.sensor_soc(i, soc);
                 if self.telemetry_on() {
@@ -607,14 +427,14 @@ impl Engine {
                     );
                 }
             }
-            let node = &mut self.nodes[i];
+            let node = self.store.node_mut(i);
             let w = node.window_index(now, window) as u8;
-            node.discharge_sample = Some(SocSample::new(w, soc));
+            *node.discharge_sample = Some(SocSample::new(w, soc));
         }
 
         // The uplink counts if any gateway decoded it.
         let best_rx = self.conclude_receptions(i, epoch);
-        if epoch != self.nodes[i].exchange_epoch {
+        if epoch != self.store.exchange_epoch_of(i) {
             // The exchange this transmission belonged to was aborted at
             // the next period's generation; the energy is spent and the
             // gateway entries concluded, but the MAC has moved on.
@@ -624,7 +444,7 @@ impl Engine {
         // unconfirmed exchange completes (and clears its frame) inside
         // on_tx_completed.
         let frame = self.current_frame(i);
-        let actions = self.nodes[i].mac.on_tx_completed(now);
+        let actions = self.store.node_mut(i).mac.on_tx_completed(now);
         self.apply_actions(sim, now, i, &actions);
 
         let Some((rx_gateway, _)) = best_rx else {
@@ -636,7 +456,7 @@ impl Engine {
 
     /// The frame currently in flight for node `i` (from its MAC).
     pub(crate) fn current_frame(&self, i: usize) -> Uplink {
-        self.nodes[i]
+        self.store.cold[i]
             .mac
             .current_frame()
             .expect("a received uplink implies an exchange in progress")
@@ -649,14 +469,14 @@ impl Engine {
         i: usize,
         epoch: u64,
     ) {
-        if epoch != self.nodes[i].exchange_epoch {
+        if epoch != self.store.exchange_epoch_of(i) {
             return;
         }
         self.settle_node(now, i, Joules::ZERO);
-        if let Some(id) = self.nodes[i].pending_deadline.take() {
+        if let Some(id) = self.store.node_mut(i).pending_deadline.take() {
             sim.cancel(id);
         }
-        if let Some(byte) = self.nodes[i].pending_weight.take() {
+        if let Some(byte) = self.store.node_mut(i).pending_weight.take() {
             // The dissemination byte may arrive bit-corrupted; decode
             // clamps, so even a damaged byte yields a valid w_u — the
             // node just plans around a wrong fleet view until the next
@@ -676,12 +496,13 @@ impl Engine {
                 self.emit(now, i, EventKind::DisseminationApplied { weight: byte });
             }
             let policy = &self.policy;
-            policy.on_ack_weight(&mut self.nodes[i], byte);
-            self.nodes[i].weight_updated_at = Some(now);
-            self.nodes[i].wu_expired_latched = false;
+            let mut node = self.store.node_mut(i);
+            policy.on_ack_weight(&mut node, byte);
+            *node.weight_updated_at = Some(now);
+            *node.wu_expired_latched = false;
         }
-        if let Some(cmd) = self.nodes[i].pending_adr.take() {
-            let node = &mut self.nodes[i];
+        if let Some(cmd) = self.store.node_mut(i).pending_adr.take() {
+            let node = self.store.node_mut(i);
             let new_cfg = node.tx_config().with_sf(cmd.sf).with_power(cmd.power);
             node.mac.set_tx_config(new_cfg);
             node.placement.sf = cmd.sf;
@@ -689,7 +510,7 @@ impl Engine {
             // following periods — exactly why the paper smooths instead
             // of trusting the last exchange.
         }
-        let actions = self.nodes[i].mac.on_ack(now);
+        let actions = self.store.node_mut(i).mac.on_ack(now);
         self.apply_actions(sim, now, i, &actions);
     }
 
@@ -700,11 +521,15 @@ impl Engine {
         i: usize,
         epoch: u64,
     ) {
-        if epoch != self.nodes[i].exchange_epoch {
+        if epoch != self.store.exchange_epoch_of(i) {
             return;
         }
-        self.nodes[i].pending_deadline = None;
-        let actions = self.nodes[i].mac.on_rx_deadline(now, &mut self.mac_rng);
+        *self.store.node_mut(i).pending_deadline = None;
+        let actions = self
+            .store
+            .node_mut(i)
+            .mac
+            .on_rx_deadline(now, &mut self.mac_rng);
         self.apply_actions(sim, now, i, &actions);
     }
 
@@ -715,16 +540,16 @@ impl Engine {
         i: usize,
         epoch: u64,
     ) {
-        if epoch != self.nodes[i].exchange_epoch {
+        if epoch != self.store.exchange_epoch_of(i) {
             return;
         }
         self.settle_node(now, i, Joules::ZERO);
         // Brownout guard for the retransmission.
         let required = self.uplink_tx_energy(i);
-        if self.nodes[i].battery.stored() < required {
-            self.nodes[i].metrics.brownout_events += 1;
+        if self.store.node_mut(i).battery.stored() < required {
+            self.store.node_mut(i).metrics.brownout_events += 1;
             if self.telemetry_on() {
-                let deficit = required - self.nodes[i].battery.stored();
+                let deficit = required - self.store.node_mut(i).battery.stored();
                 self.emit(
                     now,
                     i,
@@ -733,12 +558,17 @@ impl Engine {
                     },
                 );
             }
-            if let Some(report) = self.nodes[i].mac.abort(now) {
+            let report = self.store.node_mut(i).mac.abort(now);
+            if let Some(report) = report {
                 self.finish_exchange(now, i, &report);
             }
             return;
         }
-        let actions = self.nodes[i].mac.on_retransmit_time(now, &mut self.mac_rng);
+        let actions = self
+            .store
+            .node_mut(i)
+            .mac
+            .on_retransmit_time(now, &mut self.mac_rng);
         self.apply_actions(sim, now, i, &actions);
     }
 
@@ -752,14 +582,14 @@ impl Engine {
         for action in actions {
             match *action {
                 MacAction::Transmit(tx) => {
-                    let epoch = self.nodes[i].exchange_epoch;
+                    let epoch = self.store.exchange_epoch_of(i);
                     // One Gilbert–Elliott step per attempt, before any
                     // per-gateway work, so the chain's draw count never
                     // depends on the deployment.
                     let uplink_lost =
                         self.faults.uplink_loss_enabled() && self.faults.uplink_lost(i);
-                    let node = &mut self.nodes[i];
-                    node.current_channel = tx.channel;
+                    let node = self.store.node_mut(i);
+                    *node.current_channel = tx.channel;
                     node.metrics.transmissions += 1;
                     node.metrics.tx_energy_eq6 += blam_lora_phy::energy::tx_energy_eq6(
                         &tx.config,
@@ -769,6 +599,7 @@ impl Engine {
                         node.inflight.iter().all(|&(e, ..)| e != epoch),
                         "overlapping transmissions within one exchange"
                     );
+                    let device = DeviceAddr(node.id);
                     let rssis: Vec<f64> = node
                         .gateway_links
                         .iter()
@@ -788,7 +619,7 @@ impl Engine {
                             continue;
                         }
                         let descriptor = UplinkTransmission {
-                            device: DeviceAddr(i as u32),
+                            device,
                             channel: tx.channel,
                             sf: tx.config.sf,
                             rssi: Dbm(rssi),
@@ -796,7 +627,7 @@ impl Engine {
                             end: now + tx.airtime,
                         };
                         let tid = self.gateways[g].begin_uplink(descriptor);
-                        self.nodes[i].inflight.push((epoch, g, tid, rssi));
+                        self.store.node_mut(i).inflight.push((epoch, g, tid, rssi));
                     }
                     if self.telemetry_on() {
                         if uplink_lost {
@@ -820,7 +651,7 @@ impl Engine {
                     }
                     sim.schedule(now + tx.airtime, Event::TxEnd { node: i, epoch });
                     if self.telemetry_on() {
-                        let soc = self.nodes[i].battery.soc();
+                        let soc = self.store.node_mut(i).battery.soc();
                         self.emit(
                             now,
                             i,
@@ -833,12 +664,12 @@ impl Engine {
                     }
                 }
                 MacAction::ScheduleRxDeadline(at) => {
-                    let epoch = self.nodes[i].exchange_epoch;
+                    let epoch = self.store.exchange_epoch_of(i);
                     let id = sim.schedule(at, Event::RxDeadline { node: i, epoch });
-                    self.nodes[i].pending_deadline = Some(id);
+                    *self.store.node_mut(i).pending_deadline = Some(id);
                 }
                 MacAction::ScheduleRetransmit(at) => {
-                    let epoch = self.nodes[i].exchange_epoch;
+                    let epoch = self.store.exchange_epoch_of(i);
                     sim.schedule(at, Event::Retransmit { node: i, epoch });
                 }
                 MacAction::Complete(report) => {
@@ -850,13 +681,13 @@ impl Engine {
 
     pub(crate) fn finish_exchange(&mut self, now: SimTime, i: usize, report: &TxReport) {
         let window = self.cfg.forecast_window;
-        let rx_cost = self.nodes[i].radio.rx_energy(report.total_rx_time);
+        let rx_cost = self.store.node_mut(i).radio.rx_energy(report.total_rx_time);
         self.settle_node(now, i, rx_cost);
 
         let telemetry_on = self.telemetry_on();
         let mut event = None;
         let policy = &self.policy;
-        let node = &mut self.nodes[i];
+        let mut node = self.store.node_mut(i);
         node.metrics.concluded += 1;
         node.metrics.retransmissions += u64::from(report.transmissions.saturating_sub(1));
 
@@ -868,8 +699,8 @@ impl Engine {
                 let latency = now.saturating_since(p.generated_at);
                 node.metrics.latency_sum += latency;
                 node.metrics.latency_delivered_sum += latency;
-                let idx = ((latency / window) as usize).min(node.windows);
-                node.metrics.utility_sum += node.utility.at(idx, node.windows);
+                let idx = ((latency / window) as usize).min(*node.windows);
+                node.metrics.utility_sum += node.utility.at(idx, *node.windows);
                 latency_ms = latency.as_millis();
             }
             if telemetry_on {
@@ -877,7 +708,7 @@ impl Engine {
             }
         } else {
             node.metrics.failed_no_ack += 1;
-            node.metrics.latency_sum += node.period;
+            node.metrics.latency_sum += *node.period;
             if telemetry_on {
                 event = Some(EventKind::ExchangeFailed {
                     attempts: u32::from(report.transmissions),
@@ -895,8 +726,8 @@ impl Engine {
             }
         }
 
-        policy.on_exchange_complete(node, packet, report);
-        node.exchange_epoch += 1;
+        policy.on_exchange_complete(&mut node, packet, report);
+        *node.exchange_epoch += 1;
         if let Some(kind) = event {
             self.emit(now, i, kind);
         }
@@ -917,18 +748,19 @@ impl Engine {
 
         // Conclude whatever exchange was in progress; a packet still
         // waiting for its forecast window dies with the reboot.
-        if let Some(id) = self.nodes[i].pending_deadline.take() {
+        if let Some(id) = self.store.node_mut(i).pending_deadline.take() {
             sim.cancel(id);
         }
-        if !self.nodes[i].mac.is_idle() {
-            if let Some(report) = self.nodes[i].mac.abort(now) {
+        if !self.store.node_mut(i).mac.is_idle() {
+            let report = self.store.node_mut(i).mac.abort(now);
+            if let Some(report) = report {
                 self.finish_exchange(now, i, &report);
             }
-        } else if self.nodes[i].packet.take().is_some() {
-            let node = &mut self.nodes[i];
+        } else if self.store.node_mut(i).packet.take().is_some() {
+            let node = self.store.node_mut(i);
             node.metrics.dropped_brownout += 1;
             node.metrics.concluded += 1;
-            node.metrics.latency_sum += node.period;
+            node.metrics.latency_sum += *node.period;
             if self.telemetry_on() {
                 self.emit(
                     now,
@@ -940,27 +772,27 @@ impl Engine {
             }
         }
 
-        let node = &mut self.nodes[i];
+        let node = self.store.node_mut(i);
         node.trace_queue.clear();
-        node.pending_weight = None;
-        node.pending_adr = None;
-        node.discharge_sample = None;
-        node.recharge_sample = None;
-        node.weight_updated_at = None;
-        node.wu_expired_latched = false;
-        node.cold_start = true;
+        *node.pending_weight = None;
+        *node.pending_adr = None;
+        *node.discharge_sample = None;
+        *node.recharge_sample = None;
+        *node.weight_updated_at = None;
+        *node.wu_expired_latched = false;
+        *node.cold_start = true;
         // The persistence forecaster's history lives in RAM; it
         // restarts empty. The oracle variants model out-of-band
         // knowledge and survive by construction.
         if matches!(node.forecaster, NodeForecaster::Persistence(_)) {
-            node.forecaster = NodeForecaster::Persistence(DiurnalPersistence::new(window, 0.3));
+            *node.forecaster = NodeForecaster::Persistence(DiurnalPersistence::new(window, 0.3));
         }
         if let Some(blam) = node.blam.as_mut() {
             blam.clear_weight();
         }
         // Invalidate every event scheduled against the pre-reboot
         // lifetime (StartTx, TxEnd, deadlines, retransmits).
-        node.exchange_epoch += 1;
+        *node.exchange_epoch += 1;
 
         if self.telemetry_on() {
             self.emit(
@@ -977,14 +809,20 @@ impl Engine {
     }
 
     pub(crate) fn on_sample(&mut self, sim: &mut Simulator<Event>, now: SimTime) {
-        let mut per_node = Vec::with_capacity(self.nodes.len());
-        for i in 0..self.nodes.len() {
+        let count = self.store.len();
+        let mut per_node = Vec::with_capacity(count);
+        for i in 0..count {
             self.settle_node(now, i, Joules::ZERO);
-            let d = self.nodes[i].battery.refresh_degradation(now);
-            self.nodes[i].metrics.final_degradation = d;
-            per_node.push(self.nodes[i].battery.tracker().breakdown(now));
+            let node = self.store.node_mut(i);
+            let d = node.battery.refresh_degradation(now);
+            node.metrics.final_degradation = d;
+            per_node.push(node.battery.tracker().breakdown(now));
+            let id = node.id as usize;
             if d >= EOL_DEGRADATION && self.first_eol.is_none() {
-                self.first_eol = Some((i, now));
+                // Recorded under the node's *global* id so cell results
+                // merge without remapping (identical to the local index
+                // in the single-engine path).
+                self.first_eol = Some((id, now));
                 if self.cfg.stop_at_first_eol {
                     self.halted = true;
                 }

@@ -16,7 +16,7 @@ use blam_lorawan::TxReport;
 use blam_units::{Duration, Joules, SimTime};
 
 use crate::config::Protocol;
-use crate::nodes::{NodeForecaster, PacketState, SimNode};
+use crate::nodes::{NodeForecaster, NodeMut, PacketState};
 
 /// The per-node protocol state a policy installs at build time: the
 /// optional BLAM state machine and the utility curve used for metric
@@ -97,26 +97,26 @@ pub trait MacPolicy: Send + Sync {
     /// next packet is generated: compresses the period's SoC trace for
     /// piggybacking and feeds the forecaster what actually arrived.
     /// Called before the node's period bookkeeping rolls over.
-    fn on_period_rollover(&self, node: &mut SimNode, now: SimTime, window: Duration);
+    fn on_period_rollover(&self, node: &mut NodeMut<'_>, now: SimTime, window: Duration);
 
     /// Chooses the forecast window for a freshly generated packet.
     /// `Some(decision)` transmits in `decision.window`; `None` drops
     /// the packet (Algorithm 1 FAIL).
     fn select_window(
         &self,
-        node: &mut SimNode,
+        node: &mut NodeMut<'_>,
         now: SimTime,
         window: Duration,
     ) -> Option<WindowDecision>;
 
     /// Processes the normalized-degradation weight byte carried by an
     /// ACK downlink.
-    fn on_ack_weight(&self, node: &mut SimNode, byte: u8);
+    fn on_ack_weight(&self, node: &mut NodeMut<'_>, byte: u8);
 
     /// Feeds the concluded exchange back into the protocol estimators.
     fn on_exchange_complete(
         &self,
-        node: &mut SimNode,
+        node: &mut NodeMut<'_>,
         packet: Option<PacketState>,
         report: &TxReport,
     );
@@ -150,22 +150,22 @@ impl MacPolicy for AlohaPolicy {
         (None, Utility::Linear)
     }
 
-    fn on_period_rollover(&self, _node: &mut SimNode, _now: SimTime, _window: Duration) {}
+    fn on_period_rollover(&self, _node: &mut NodeMut<'_>, _now: SimTime, _window: Duration) {}
 
     fn select_window(
         &self,
-        _node: &mut SimNode,
+        _node: &mut NodeMut<'_>,
         _now: SimTime,
         _window: Duration,
     ) -> Option<WindowDecision> {
         Some(WindowDecision::immediate())
     }
 
-    fn on_ack_weight(&self, _node: &mut SimNode, _byte: u8) {}
+    fn on_ack_weight(&self, _node: &mut NodeMut<'_>, _byte: u8) {}
 
     fn on_exchange_complete(
         &self,
-        _node: &mut SimNode,
+        _node: &mut NodeMut<'_>,
         _packet: Option<PacketState>,
         _report: &TxReport,
     ) {
@@ -240,13 +240,13 @@ impl MacPolicy for BlamPolicy {
         )
     }
 
-    fn on_period_rollover(&self, node: &mut SimNode, now: SimTime, window: Duration) {
+    fn on_period_rollover(&self, node: &mut NodeMut<'_>, now: SimTime, window: Duration) {
         // Fold the finished period's SoC transitions into a 4-byte
         // compressed trace for the next uplink. The very first period
         // has no predecessor to report.
-        let prev_start = node.period_start;
+        let prev_start = *node.period_start;
         if node.prev_period_start.is_some() || node.metrics.generated > 1 {
-            let trace = match (node.discharge_sample, node.recharge_sample) {
+            let trace = match (*node.discharge_sample, *node.recharge_sample) {
                 (Some(d), Some(r)) => Some(CompressedSocTrace {
                     discharge: d,
                     recharge: r,
@@ -278,7 +278,7 @@ impl MacPolicy for BlamPolicy {
         // The persistence forecaster learns from what actually arrived;
         // the oracle variants already know the trace.
         if matches!(node.forecaster, NodeForecaster::Persistence(_)) {
-            for w in 0..node.windows {
+            for w in 0..*node.windows {
                 let start = prev_start + window * w as u64;
                 if start + window <= now {
                     let e = node.harvest.energy_between(start, start + window);
@@ -290,7 +290,7 @@ impl MacPolicy for BlamPolicy {
 
     fn select_window(
         &self,
-        node: &mut SimNode,
+        node: &mut NodeMut<'_>,
         now: SimTime,
         window: Duration,
     ) -> Option<WindowDecision> {
@@ -298,27 +298,26 @@ impl MacPolicy for BlamPolicy {
         // rank windows with, so degrade gracefully to the immediate
         // window (exactly LoRaWAN's choice) for this packet rather
         // than planning on an all-zero forecast.
-        if node.cold_start {
-            node.cold_start = false;
+        if *node.cold_start {
+            *node.cold_start = false;
             return Some(WindowDecision {
                 fallback: true,
                 ..WindowDecision::immediate()
             });
         }
-        let windows = node.windows;
+        let windows = *node.windows;
         // Reused scratch: select_window runs once per node per period,
-        // so the forecast and the Eq. (14) estimates live in per-node
-        // buffers instead of fresh allocations.
-        node.forecast_scratch.clear();
-        node.forecast_scratch.reserve(windows);
+        // so the forecast and the Eq. (14) estimates land in the node's
+        // rows of the store's flat matrices (sized |T| at build time)
+        // instead of fresh allocations.
+        debug_assert_eq!(node.forecast_scratch.len(), windows);
         for w in 0..windows {
-            let p = node.forecaster.predict(now + window * w as u64, window);
-            node.forecast_scratch.push(p);
+            node.forecast_scratch[w] = node.forecaster.predict(now + window * w as u64, window);
         }
         let battery = node.battery.stored();
         // Stale w_u decays toward the neutral weight: full trust inside
         // the TTL, then linear decay to zero over one further TTL.
-        let trust = match (self.cfg.wu_ttl, node.weight_updated_at) {
+        let trust = match (self.cfg.wu_ttl, *node.weight_updated_at) {
             (Some(ttl), Some(at)) => {
                 let age = now.saturating_since(at);
                 if age <= ttl {
@@ -334,7 +333,7 @@ impl MacPolicy for BlamPolicy {
             .as_mut()
             .expect("BlamPolicy installs BLAM state on every node");
         blam.set_weight_trust(trust);
-        blam.plan_with_scratch(battery, &node.forecast_scratch, &mut node.plan_scratch)
+        blam.plan_into(battery, node.forecast_scratch, node.plan_scratch)
             .map(|p| WindowDecision {
                 window: p.window,
                 objective: p.objective,
@@ -345,7 +344,7 @@ impl MacPolicy for BlamPolicy {
             })
     }
 
-    fn on_ack_weight(&self, node: &mut SimNode, byte: u8) {
+    fn on_ack_weight(&self, node: &mut NodeMut<'_>, byte: u8) {
         if let Some(blam) = node.blam.as_mut() {
             blam.on_weight_update(byte);
         }
@@ -353,7 +352,7 @@ impl MacPolicy for BlamPolicy {
 
     fn on_exchange_complete(
         &self,
-        node: &mut SimNode,
+        node: &mut NodeMut<'_>,
         packet: Option<PacketState>,
         report: &TxReport,
     ) {

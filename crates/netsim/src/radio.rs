@@ -9,7 +9,7 @@ use blam_lorawan::{DeviceAddr, Uplink};
 use blam_telemetry::{EventKind, FaultKind};
 use blam_units::{Dbm, Duration, SimTime};
 
-use crate::engine::Engine;
+use crate::engine::{Engine, LedgerMode};
 use crate::events::Event;
 
 /// The Class-A receive-window timeout: long enough to detect a
@@ -40,9 +40,13 @@ impl Engine {
     pub(crate) fn conclude_receptions(&mut self, i: usize, epoch: u64) -> Option<(usize, f64)> {
         let mut best_rx: Option<(usize, f64)> = None;
         let mut idx = 0;
-        while idx < self.nodes[i].inflight.len() {
-            if self.nodes[i].inflight[idx].0 == epoch {
-                let (_, g, tid, rssi) = self.nodes[i].inflight.swap_remove(idx);
+        loop {
+            let node = self.store.node_mut(i);
+            if idx >= node.inflight.len() {
+                break;
+            }
+            if node.inflight[idx].0 == epoch {
+                let (_, g, tid, rssi) = node.inflight.swap_remove(idx);
                 if self.gateways[g].end_uplink(tid).is_received()
                     && best_rx.is_none_or(|(_, r)| rssi > r)
                 {
@@ -83,31 +87,35 @@ impl Engine {
             }
             return;
         }
-        let sf = self.nodes[i].placement.sf;
-        let uplink_channel = self.nodes[i].current_channel;
+        let sf = self.store.node_mut(i).placement.sf;
+        let uplink_channel = *self.store.node_mut(i).current_channel;
         let decision = self
             .server
             .on_uplink(frame, &uplink_channel, sf, &self.cfg.plan);
         if !decision.duplicate {
             // One queued trace rides per delivered uplink, oldest
             // first, so a backlog buffered across failed exchanges
-            // drains in anchor order.
-            if let Some((anchor, trace)) = self.nodes[i].trace_queue.pop_front() {
-                self.ledger.record_trace(i as u32, anchor, &trace);
+            // drains in anchor order. Ledger records are keyed by the
+            // global id; a cell engine defers them to the coordinator.
+            let id = self.store.global_id(i);
+            if let Some((anchor, trace)) = self.store.node_mut(i).trace_queue.pop_front() {
+                match &mut self.ledger {
+                    LedgerMode::Local(ledger) => ledger.record_trace(id, anchor, &trace),
+                    LedgerMode::Deferred(pending) => pending.push((id, anchor, trace)),
+                }
             }
             if let Some(adr) = self.adr.as_mut() {
                 // SNR of the demodulated uplink at the gateway.
-                let node = &self.nodes[i];
+                let node = self.store.node_mut(i);
                 let tx_cfg = node.tx_config();
                 let noise_floor = blam_lora_phy::link::THERMAL_NOISE_DBM_HZ
                     + 10.0 * tx_cfg.bw.as_hz_f64().log10()
                     + blam_lora_phy::link::NOISE_FIGURE_DB;
                 let snr = blam_units::Db(node.placement.link.rssi(tx_cfg.power).0 - noise_floor);
-                self.nodes[i].pending_adr =
-                    adr.observe(DeviceAddr(i as u32), tx_cfg.sf, tx_cfg.power, snr);
+                *node.pending_adr = adr.observe(DeviceAddr(node.id), tx_cfg.sf, tx_cfg.power, snr);
             }
         }
-        self.nodes[i].pending_weight = decision.piggyback;
+        *self.store.node_mut(i).pending_weight = decision.piggyback;
 
         // Schedule the downlink attempt at the RX1 opening, with an RX2
         // fallback if the gateway turns out to be busy.
@@ -208,12 +216,15 @@ impl Engine {
     /// degradation (quantized to a byte) into the server's piggyback
     /// slots, to ride the next ACKs.
     pub(crate) fn on_dissemination(&mut self, sim: &mut Simulator<Event>, now: SimTime) {
+        let LedgerMode::Local(ledger) = &mut self.ledger else {
+            unreachable!(
+                "dissemination events are not scheduled in deferred-ledger (sharded) engines"
+            )
+        };
         // With a staleness bound the ledger stops extrapolating the
         // degradation of nodes it has not heard from; unbounded (the
         // fault-free default) it ages every tracker to `now`.
-        let normalized = self
-            .ledger
-            .compute_normalized_bounded(now, self.cfg.faults.ledger_staleness);
+        let normalized = ledger.compute_normalized_bounded(now, self.cfg.faults.ledger_staleness);
         for (id, byte) in normalized {
             self.server.set_piggyback(DeviceAddr(id), byte);
         }

@@ -32,6 +32,16 @@ impl Scenario {
         }
     }
 
+    /// The multi-gateway scale variant of the large-scale setup (see
+    /// [`ScenarioConfig::scale`]), the natural input to
+    /// [`run_sharded`](crate::shard::run_sharded).
+    #[must_use]
+    pub fn scale(nodes: usize, gateways: usize, protocol: Protocol, seed: u64) -> Self {
+        Scenario {
+            config: ScenarioConfig::scale(nodes, gateways, protocol, seed),
+        }
+    }
+
     /// The paper's 10-node, 24-hour, single-channel testbed (§IV-B).
     #[must_use]
     pub fn testbed(protocol: Protocol, seed: u64) -> Self {
@@ -74,6 +84,19 @@ impl Scenario {
     #[must_use]
     pub fn run(self) -> RunResult {
         Engine::build(self.config).run()
+    }
+
+    /// Runs the scenario in the cell-sharded mode (telemetry off). The
+    /// result is independent of `shards` and `jobs` — see
+    /// [`run_sharded`](crate::shard::run_sharded).
+    #[must_use]
+    pub fn run_sharded(self, shards: usize, jobs: usize) -> RunResult {
+        crate::shard::run_sharded(
+            &self.config,
+            shards,
+            jobs,
+            &crate::telemetry::TelemetryOptions::off(),
+        )
     }
 }
 

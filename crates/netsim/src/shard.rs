@@ -1,0 +1,371 @@
+//! Cell-sharded execution: one discrete-event simulator per gateway
+//! cell, synchronized at dissemination epochs, merged deterministically.
+//!
+//! # Model
+//!
+//! The semantic unit is the **cell** — one per gateway, holding the
+//! nodes that gateway serves ([`ShardPlan`]). Each cell runs its own
+//! [`Engine`] over its own [`Simulator`], with its own MAC stream
+//! (`"mac"` indexed by cell), its own gateway radio, network server and
+//! ADR engine, and fault streams seeded by *global* node and gateway
+//! ids ([`FaultLayer::build_scoped`]). Cells interact only through the
+//! gateway-side degradation ledger, and only at **epoch barriers**: the
+//! dissemination instants `E_k = k · dissemination_interval`.
+//!
+//! At every barrier the coordinator
+//!
+//! 1. runs every cell up to (exclusively) `E_k`,
+//! 2. drains each cell's buffered SoC traces — in cell order — into
+//!    the one global [`DegradationLedger`],
+//! 3. computes the normalized degradation bytes once, globally, and
+//!    routes each byte to its owner's cell server as ACK piggyback,
+//! 4. drains each cell's telemetry trace buffer — in cell order — onto
+//!    the shared trace file.
+//!
+//! Because cells never interact *between* barriers and all cross-cell
+//! state moves in fixed cell order *at* barriers, the result is a pure
+//! function of the scenario: `--shards N --jobs M` is byte-identical to
+//! `--shards 1 --jobs 1` by construction. `shards` only groups cells
+//! into execution groups and `jobs` only sizes the worker pool; neither
+//! can reorder any draw.
+//!
+//! # Relation to the single-engine mode
+//!
+//! Sharded execution is a distinct mode, not a parallelization of
+//! [`Engine::run`]: the monolithic engine draws all MAC jitter from one
+//! stream in global event order and lets every gateway hear every
+//! node, neither of which decomposes. A cell engine keeps only the
+//! serving-gateway link (the audibility given up is quantified by
+//! [`ShardPlan::boundary`]) and draws from a per-cell MAC stream. Both
+//! modes share [`global_build`], so topology, harvest fields, node
+//! hardware and commissioning are bit-identical between them.
+
+use blam::DegradationLedger;
+use blam_des::{RngSeeder, Simulator};
+use blam_lorawan::{AdrEngine, DeviceAddr, GatewayRadio, NetworkServer};
+use blam_telemetry::{NullSink, TelemetryReport};
+use blam_units::SimTime;
+use std::io::Write;
+
+use crate::config::ScenarioConfig;
+use crate::engine::{global_build, Engine, GlobalBuild, LedgerMode, RunResult};
+use crate::events::Event;
+use crate::faults::FaultLayer;
+use crate::metrics::{DegradationSample, NetworkMetrics, NodeMetrics};
+use crate::telemetry::{SharedBuffer, SharedTraceWriter, TelemetryOptions};
+use crate::topology::{ShardPlan, Topology};
+
+/// One cell's engine and its private event queue.
+struct CellSim {
+    engine: Engine,
+    sim: Simulator<Event>,
+}
+
+impl CellSim {
+    /// Runs this cell to the barrier and checks it actually got there:
+    /// after a windowed `run_until` no pending event may predate the
+    /// barrier the coordinator is about to act at.
+    fn run_to(&mut self, barrier: SimTime) {
+        let CellSim { engine, sim } = self;
+        sim.run_until(barrier, |sim, now, ev| engine.handle(sim, now, ev));
+        debug_assert!(
+            sim.next_event_time().is_none_or(|t| t >= barrier),
+            "cell holds an event older than the barrier it reached"
+        );
+    }
+}
+
+/// Runs a scenario in the cell-sharded mode and returns the merged
+/// result. `shards` groups the cells into execution groups and `jobs`
+/// sizes the worker pool; both are clamped to sane ranges and neither
+/// affects the result.
+///
+/// # Panics
+///
+/// Panics if the configuration fails validation, requests
+/// `stop_at_first_eol` (an inherently global early exit the windowed
+/// barriers cannot honor without a global event order), or configures a
+/// trace file that cannot be created.
+#[must_use]
+pub fn run_sharded(
+    cfg: &ScenarioConfig,
+    shards: usize,
+    jobs: usize,
+    opts: &TelemetryOptions,
+) -> RunResult {
+    assert!(
+        !cfg.stop_at_first_eol,
+        "stop_at_first_eol requires the single-engine mode: cells advance \
+         through time windows and cannot stop at a global first EoL"
+    );
+    let GlobalBuild {
+        policy,
+        topology,
+        store,
+        phases,
+        ledger,
+    } = global_build(cfg);
+    let label = policy.label();
+    drop(policy); // each cell engine builds its own copy below
+    let plan = ShardPlan::build(cfg, &topology, shards);
+    let cells = plan.cells();
+    let horizon = SimTime::ZERO + cfg.duration;
+    let seeder = RngSeeder::new(cfg.seed);
+
+    // analyzer: allow(panic-hygiene, reason = "config error before any cell starts; batch runs abort on an uncreatable trace file too")
+    let writer = opts.open_writer().expect("creating the sharded trace file");
+    let buffers: Vec<Option<SharedBuffer>> = (0..cells)
+        .map(|_| writer.as_ref().map(|_| SharedBuffer::default()))
+        .collect();
+
+    let stores = store.split(&plan.cell_of_node, cells);
+    let mut cell_sims: Vec<CellSim> = stores
+        .into_iter()
+        .enumerate()
+        .map(|(c, mut store)| {
+            store.retain_gateway(c);
+            let cell_topology = Topology {
+                placements: plan.cell_nodes[c]
+                    .iter()
+                    .map(|&id| topology.placements[id as usize])
+                    .collect(),
+            };
+            let cell_phases = plan.cell_nodes[c]
+                .iter()
+                .map(|&id| phases[id as usize])
+                .collect();
+            let faults =
+                FaultLayer::build_scoped(&cfg.faults, &seeder, &plan.cell_nodes[c], &[c], horizon);
+            let mut engine = Engine {
+                gateways: vec![
+                    GatewayRadio::new(cfg.demod_paths).with_interference(cfg.interference)
+                ],
+                server: NetworkServer::new(),
+                adr: cfg.adr.then(AdrEngine::standard),
+                ledger: LedgerMode::Deferred(Vec::new()),
+                policy: cfg.protocol.policy(),
+                faults,
+                mac_rng: seeder.stream_indexed("mac", c as u64),
+                topology: cell_topology,
+                store,
+                phases: cell_phases,
+                cfg: cfg.clone(),
+                halted: false,
+                first_eol: None,
+                samples: Vec::new(),
+                telemetry: opts
+                    .sink_for_cell(c as u32, buffers[c].clone())
+                    .unwrap_or_else(|| Box::new(NullSink)),
+            };
+            let mut sim: Simulator<Event> = if cfg.reference_impl {
+                Simulator::reference()
+            } else {
+                Simulator::new()
+            };
+            engine
+                .telemetry
+                .begin(&label, cfg.seed, engine.store.total() as u32);
+            engine.schedule_initial_events(&mut sim);
+            CellSim { engine, sim }
+        })
+        .collect();
+
+    // The epoch-barrier loop: exactly the instants the single engine
+    // processes its Dissemination events at (k·D for k·D < horizon;
+    // run_until is horizon-exclusive, so everything strictly before the
+    // barrier has settled when the ledger acts).
+    let mut ledger = ledger;
+    let mut epoch = 1u64;
+    loop {
+        let barrier = SimTime::ZERO + cfg.dissemination_interval * epoch;
+        if barrier >= horizon {
+            break;
+        }
+        run_cells_until(&mut cell_sims, &plan, jobs, barrier);
+        drain_traces(&mut cell_sims, &mut ledger);
+        let normalized = ledger.compute_normalized_bounded(barrier, cfg.faults.ledger_staleness);
+        for (id, byte) in normalized {
+            let cell = plan.cell_of_node[id as usize];
+            cell_sims[cell]
+                .engine
+                .server
+                .set_piggyback(DeviceAddr(id), byte);
+        }
+        flush_cell_traces(&buffers, writer.as_ref());
+        epoch += 1;
+    }
+    run_cells_until(&mut cell_sims, &plan, jobs, horizon);
+    // Traces decoded after the last barrier still inform the final
+    // gateway-side estimates, exactly as they inform the single
+    // engine's ledger before its end-of-run readout.
+    drain_traces(&mut cell_sims, &mut ledger);
+    flush_cell_traces(&buffers, writer.as_ref());
+    if let Some(writer) = &writer {
+        let mut w = writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // analyzer: allow(panic-hygiene, reason = "a silently truncated trace is worse than an abort; matches the batch runner's write policy")
+        w.flush().expect("flushing sharded trace");
+    }
+
+    let results: Vec<RunResult> = cell_sims
+        .into_iter()
+        .map(|cs| {
+            let events = cs.sim.processed();
+            cs.engine.finalize(horizon, events)
+        })
+        .collect();
+    merge_results(cfg, &plan, topology, &ledger, results, horizon, &label)
+}
+
+/// Drains every cell's deferred SoC traces into the global ledger, in
+/// cell order (within a cell, decode order is preserved). Part of the
+/// determinism contract: this is the only path trace records take to
+/// the ledger in sharded mode.
+fn drain_traces(cell_sims: &mut [CellSim], ledger: &mut DegradationLedger) {
+    for cs in cell_sims.iter_mut() {
+        if let LedgerMode::Deferred(pending) = &mut cs.engine.ledger {
+            for (id, anchor, trace) in pending.drain(..) {
+                ledger.record_trace(id, anchor, &trace);
+            }
+        }
+    }
+}
+
+/// Appends every cell's buffered trace lines to the shared trace file,
+/// in cell order. Recorders write whole lines, so each drained buffer
+/// ends on a line boundary.
+fn flush_cell_traces(buffers: &[Option<SharedBuffer>], writer: Option<&SharedTraceWriter>) {
+    let Some(writer) = writer else { return };
+    let mut w = writer
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    for buffer in buffers.iter().flatten() {
+        let bytes = buffer.drain();
+        if !bytes.is_empty() {
+            // analyzer: allow(panic-hygiene, reason = "a silently truncated trace is worse than an abort; matches the batch runner's write policy")
+            w.write_all(&bytes).expect("writing sharded trace");
+        }
+    }
+}
+
+/// Advances every cell to `barrier` using up to `jobs` worker threads.
+///
+/// Cells are sliced into contiguous per-shard chunks (cell → shard is
+/// non-decreasing in [`ShardPlan::build`]) and the chunks are dealt
+/// round-robin to workers. Cells are mutually independent between
+/// barriers, so neither the grouping nor the thread schedule can
+/// change any result — parallelism here is pure wall-clock.
+fn run_cells_until(cell_sims: &mut [CellSim], plan: &ShardPlan, jobs: usize, barrier: SimTime) {
+    let jobs = jobs.max(1);
+    if jobs == 1 || plan.shards == 1 {
+        for cs in cell_sims.iter_mut() {
+            cs.run_to(barrier);
+        }
+        return;
+    }
+    let mut chunks: Vec<&mut [CellSim]> = Vec::with_capacity(plan.shards);
+    let mut rest = cell_sims;
+    for s in 0..plan.shards {
+        let count = plan.shard_of_cell.iter().filter(|&&x| x == s).count();
+        let (head, tail) = rest.split_at_mut(count);
+        chunks.push(head);
+        rest = tail;
+    }
+    let workers = jobs.min(plan.shards);
+    let mut per_worker: Vec<Vec<&mut [CellSim]>> = (0..workers).map(|_| Vec::new()).collect();
+    for (s, chunk) in chunks.into_iter().enumerate() {
+        per_worker[s % workers].push(chunk);
+    }
+    std::thread::scope(|scope| {
+        for assigned in per_worker {
+            scope.spawn(move || {
+                for chunk in assigned {
+                    for cs in chunk.iter_mut() {
+                        cs.run_to(barrier);
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Merges per-cell results into one deployment-wide [`RunResult`],
+/// scattering every per-node vector by global id and recomputing the
+/// network aggregate — deterministic because each node lives in exactly
+/// one cell and cells are visited in index order.
+fn merge_results(
+    cfg: &ScenarioConfig,
+    plan: &ShardPlan,
+    mut topology: Topology,
+    ledger: &DegradationLedger,
+    results: Vec<RunResult>,
+    horizon: SimTime,
+    label: &str,
+) -> RunResult {
+    let total = plan.cell_of_node.len();
+    let mut nodes = vec![NodeMetrics::default(); total];
+    for (c, res) in results.iter().enumerate() {
+        for (local, &id) in plan.cell_nodes[c].iter().enumerate() {
+            nodes[id as usize] = res.nodes[local].clone();
+            topology.placements[id as usize] = res.topology.placements[local];
+        }
+    }
+
+    // Every cell schedules Sample events on the identical interval and
+    // never halts early (stop_at_first_eol is rejected up front), so
+    // the per-cell snapshot timelines line up index for index.
+    let sample_count = results.first().map_or(0, |r| r.samples.len());
+    debug_assert!(results.iter().all(|r| r.samples.len() == sample_count));
+    let samples: Vec<DegradationSample> = (0..sample_count)
+        .map(|s| {
+            let mut per_node = vec![Default::default(); total];
+            for (c, res) in results.iter().enumerate() {
+                for (local, &id) in plan.cell_nodes[c].iter().enumerate() {
+                    per_node[id as usize] = res.samples[s].per_node[local];
+                }
+            }
+            DegradationSample {
+                at: results[0].samples[s].at,
+                per_node,
+            }
+        })
+        .collect();
+
+    // Cell engines record first EoL under global ids already; the
+    // network-wide first is the earliest, ties broken by node id — the
+    // same (time, id) order the single engine's id-ascending sample
+    // loop produces.
+    let first_eol = results
+        .iter()
+        .filter_map(|r| r.first_eol)
+        .min_by_key(|&(id, t)| (t, id));
+
+    let gateway_degradation_estimates = (0..total)
+        .map(|id| ledger.degradation_of(id as u32, horizon))
+        .collect();
+
+    let mut telemetry: Option<TelemetryReport> = None;
+    for res in &results {
+        if let Some(report) = &res.telemetry {
+            match &mut telemetry {
+                Some(merged) => merged.merge(report),
+                None => telemetry = Some(report.clone()),
+            }
+        }
+    }
+
+    RunResult {
+        label: label.to_owned(),
+        seed: cfg.seed,
+        network: NetworkMetrics::aggregate(&nodes),
+        nodes,
+        samples,
+        first_eol,
+        gateway_degradation_estimates,
+        topology,
+        events_processed: results.iter().map(|r| r.events_processed).sum(),
+        sim_end: horizon,
+        telemetry,
+    }
+}

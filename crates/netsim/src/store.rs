@@ -1,0 +1,570 @@
+//! Data-oriented node storage: the struct-of-arrays [`NodeStore`] and
+//! its per-node mutable view [`NodeMut`].
+//!
+//! The former `SimNode` struct-of-structs kept every field of every
+//! node — hot per-event scalars next to multi-kilobyte cold state
+//! (forecaster history, trace queues, rainflow records) — so a
+//! million-node run walked sparse cache lines on every event. The
+//! store splits that layout:
+//!
+//! * **Hot columns** — the plan/SoC/timing scalars every event handler
+//!   touches (`period_start`, `exchange_epoch`, pending slots, latches)
+//!   live in dense parallel `Vec`s indexed by local node index.
+//! * **Scratch matrices** — the per-node Algorithm-1 forecast and
+//!   Eq. (14) energy buffers are rows of two flat `Joules` matrices
+//!   (offsets in `scratch_bounds`), not a `Vec` per node.
+//! * **Cold arena** — everything touched at most once per period
+//!   (MAC, battery, harvest trace, forecaster, metrics) lives in
+//!   [`NodeCold`], one arena slot per node.
+//!
+//! [`NodeMut`] is the seam that keeps the rest of the crate oblivious
+//! to the layout: `store.node_mut(i)` hands out one view bundling
+//! disjoint `&mut` borrows of every column plus the cold slot, under
+//! the same field names `SimNode` had. [`crate::policy::MacPolicy`]
+//! and the event handlers in `nodes.rs` compile against the view;
+//! direct column access outside `store.rs`/`nodes.rs` is flagged by
+//! the `store-hygiene` lint of `blam-analyze`.
+//!
+//! A store also knows how to [`split`](NodeStore::split) itself into
+//! per-cell sub-stores for the sharded engine: each keeps its nodes'
+//! **global** ids (device addresses, telemetry ids and ledger keys stay
+//! deployment-wide) while handlers keep indexing densely from zero.
+
+use std::collections::VecDeque;
+
+use blam::utility::Utility;
+use blam::{BlamNode, CompressedSocTrace, SocSample};
+use blam_battery::{Battery, PowerSwitch, Supercap, SwitchOutcome};
+use blam_energy_harvest::{HarvestSource, NodeHarvest};
+use blam_lora_phy::{Channel, LinkBudget, RadioPowerModel, TxConfig, TxEnergyCache};
+use blam_lorawan::{AdrCommand, ClassAMac, TransmissionId};
+use blam_units::{Duration, Joules, SimTime, Watts};
+
+use crate::metrics::NodeMetrics;
+use crate::nodes::{NodeForecaster, PacketState};
+use crate::topology::NodePlacement;
+
+/// Cold per-node state: everything the event handlers touch at most a
+/// few times per sampling period. One arena slot per node, indexed by
+/// the same local index as the hot columns.
+#[derive(Debug)]
+pub(crate) struct NodeCold {
+    /// Radio situation (serving-gateway link).
+    pub(crate) placement: NodePlacement,
+    /// Link budgets to every reachable gateway, indexed by the engine's
+    /// local gateway index.
+    pub(crate) gateway_links: Vec<LinkBudget>,
+    /// Receptions in flight at the gateways: (exchange epoch, gateway,
+    /// reception id, RSSI dBm).
+    pub(crate) inflight: Vec<(u64, usize, TransmissionId, f64)>,
+    /// LoRaWAN Class-A MAC.
+    pub(crate) mac: ClassAMac,
+    /// BLAM protocol state (None for the LoRaWAN baseline).
+    pub(crate) blam: Option<BlamNode>,
+    /// The rechargeable battery.
+    pub(crate) battery: Battery,
+    /// Software-defined battery switch (θ-capped for BLAM).
+    pub(crate) switch: PowerSwitch,
+    /// Optional supercapacitor buffer in front of the battery.
+    pub(crate) supercap: Option<Supercap>,
+    /// Solar harvest source.
+    pub(crate) harvest: NodeHarvest,
+    /// Green-energy forecaster.
+    pub(crate) forecaster: NodeForecaster,
+    /// Radio electrical model.
+    pub(crate) radio: RadioPowerModel,
+    /// Baseline non-radio draw.
+    pub(crate) mcu_sleep: Watts,
+    /// Pending ADR command carried by the next ACK.
+    pub(crate) pending_adr: Option<AdrCommand>,
+    /// Compressed SoC traces awaiting delivery, oldest first.
+    pub(crate) trace_queue: VecDeque<(SimTime, CompressedSocTrace)>,
+    /// Utility curve used for this node's metric accounting.
+    pub(crate) utility: Utility,
+    /// Memoized per-attempt transmission energy.
+    pub(crate) tx_energy_cache: TxEnergyCache,
+    /// Metrics accumulator.
+    pub(crate) metrics: NodeMetrics,
+}
+
+/// Everything `build_nodes` decides for one node, handed to
+/// [`NodeStore::push`]. Runtime-only slots (pending events, latches,
+/// scratch rows) start at their defaults.
+pub(crate) struct NodeSeed {
+    pub(crate) global_id: u32,
+    pub(crate) period: Duration,
+    pub(crate) windows: usize,
+    pub(crate) current_phy_len: usize,
+    pub(crate) current_channel: Channel,
+    pub(crate) placement: NodePlacement,
+    pub(crate) gateway_links: Vec<LinkBudget>,
+    pub(crate) mac: ClassAMac,
+    pub(crate) blam: Option<BlamNode>,
+    pub(crate) battery: Battery,
+    pub(crate) switch: PowerSwitch,
+    pub(crate) supercap: Option<Supercap>,
+    pub(crate) harvest: NodeHarvest,
+    pub(crate) forecaster: NodeForecaster,
+    pub(crate) radio: RadioPowerModel,
+    pub(crate) mcu_sleep: Watts,
+    pub(crate) utility: Utility,
+}
+
+/// Struct-of-arrays node storage (see the module docs for the layout).
+#[derive(Debug, Default)]
+pub(crate) struct NodeStore {
+    /// Total nodes in the whole deployment (≥ `len()` for cell splits;
+    /// telemetry headers and merge buffers are sized by this).
+    total: usize,
+    // ---- hot columns, indexed by local node index ----
+    pub(crate) global_id: Vec<u32>,
+    pub(crate) period: Vec<Duration>,
+    pub(crate) windows: Vec<usize>,
+    pub(crate) period_start: Vec<SimTime>,
+    pub(crate) prev_period_start: Vec<Option<SimTime>>,
+    pub(crate) last_settle: Vec<SimTime>,
+    pub(crate) exchange_epoch: Vec<u64>,
+    pub(crate) current_phy_len: Vec<usize>,
+    pub(crate) current_channel: Vec<Channel>,
+    pub(crate) pending_deadline: Vec<Option<blam_des::EventId>>,
+    pub(crate) pending_weight: Vec<Option<u8>>,
+    pub(crate) weight_updated_at: Vec<Option<SimTime>>,
+    pub(crate) packet: Vec<Option<PacketState>>,
+    pub(crate) discharge_sample: Vec<Option<SocSample>>,
+    pub(crate) recharge_sample: Vec<Option<SocSample>>,
+    pub(crate) cold_start: Vec<bool>,
+    pub(crate) wu_expired_latched: Vec<bool>,
+    pub(crate) cap_latched: Vec<bool>,
+    /// Row boundaries of the scratch matrices: node `i` owns
+    /// `forecast[scratch_bounds[i]..scratch_bounds[i + 1]]` (and the
+    /// same row of `plan`), one slot per forecast window.
+    pub(crate) scratch_bounds: Vec<usize>,
+    /// Flat forecast matrix (green-energy prediction per window).
+    pub(crate) forecast: Vec<Joules>,
+    /// Flat Eq. (14) per-window energy matrix.
+    pub(crate) plan: Vec<Joules>,
+    // ---- cold arena ----
+    pub(crate) cold: Vec<NodeCold>,
+}
+
+impl NodeStore {
+    /// An empty store for a deployment of `total` nodes.
+    pub(crate) fn with_total(total: usize) -> Self {
+        NodeStore {
+            total,
+            scratch_bounds: vec![0],
+            ..NodeStore::default()
+        }
+    }
+
+    /// Number of nodes in this store (the local count for a cell).
+    pub(crate) fn len(&self) -> usize {
+        self.cold.len()
+    }
+
+    /// Total nodes in the whole deployment.
+    pub(crate) fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The global node id (device address) of local node `i`.
+    pub(crate) fn global_id(&self, i: usize) -> u32 {
+        self.global_id[i]
+    }
+
+    /// The sampling period of local node `i`.
+    pub(crate) fn period_of(&self, i: usize) -> Duration {
+        self.period[i]
+    }
+
+    /// The exchange epoch of local node `i` (stale-event guard).
+    pub(crate) fn exchange_epoch_of(&self, i: usize) -> u64 {
+        self.exchange_epoch[i]
+    }
+
+    /// The current (possibly ADR-adjusted) placement of local node `i`.
+    pub(crate) fn placement_of(&self, i: usize) -> NodePlacement {
+        self.cold[i].placement
+    }
+
+    /// Clones every node's metrics in local order (result assembly).
+    pub(crate) fn metrics_snapshot(&self) -> Vec<NodeMetrics> {
+        self.cold.iter().map(|c| c.metrics.clone()).collect()
+    }
+
+    /// Appends one freshly built node.
+    pub(crate) fn push(&mut self, seed: NodeSeed) {
+        let NodeSeed {
+            global_id,
+            period,
+            windows,
+            current_phy_len,
+            current_channel,
+            placement,
+            gateway_links,
+            mac,
+            blam,
+            battery,
+            switch,
+            supercap,
+            harvest,
+            forecaster,
+            radio,
+            mcu_sleep,
+            utility,
+        } = seed;
+        self.global_id.push(global_id);
+        self.period.push(period);
+        self.windows.push(windows);
+        self.period_start.push(SimTime::ZERO);
+        self.prev_period_start.push(None);
+        self.last_settle.push(SimTime::ZERO);
+        self.exchange_epoch.push(0);
+        self.current_phy_len.push(current_phy_len);
+        self.current_channel.push(current_channel);
+        self.pending_deadline.push(None);
+        self.pending_weight.push(None);
+        self.weight_updated_at.push(None);
+        self.packet.push(None);
+        self.discharge_sample.push(None);
+        self.recharge_sample.push(None);
+        self.cold_start.push(false);
+        self.wu_expired_latched.push(false);
+        self.cap_latched.push(false);
+        let end = self.forecast.len() + windows;
+        self.scratch_bounds.push(end);
+        self.forecast.resize(end, Joules(0.0));
+        self.plan.resize(end, Joules(0.0));
+        self.cold.push(NodeCold {
+            placement,
+            gateway_links,
+            inflight: Vec::new(),
+            mac,
+            blam,
+            battery,
+            switch,
+            supercap,
+            harvest,
+            forecaster,
+            radio,
+            mcu_sleep,
+            pending_adr: None,
+            trace_queue: VecDeque::new(),
+            utility,
+            tx_energy_cache: TxEnergyCache::default(),
+            metrics: NodeMetrics::default(),
+        });
+    }
+
+    /// The mutable view of local node `i`: disjoint `&mut` borrows of
+    /// every hot column slot, the node's scratch rows, and the cold
+    /// arena slot, under the former `SimNode` field names.
+    pub(crate) fn node_mut(&mut self, i: usize) -> NodeMut<'_> {
+        let (row_start, row_end) = (self.scratch_bounds[i], self.scratch_bounds[i + 1]);
+        let cold = &mut self.cold[i];
+        NodeMut {
+            id: self.global_id[i],
+            period: &mut self.period[i],
+            windows: &mut self.windows[i],
+            period_start: &mut self.period_start[i],
+            prev_period_start: &mut self.prev_period_start[i],
+            last_settle: &mut self.last_settle[i],
+            exchange_epoch: &mut self.exchange_epoch[i],
+            current_phy_len: &mut self.current_phy_len[i],
+            current_channel: &mut self.current_channel[i],
+            pending_deadline: &mut self.pending_deadline[i],
+            pending_weight: &mut self.pending_weight[i],
+            weight_updated_at: &mut self.weight_updated_at[i],
+            packet: &mut self.packet[i],
+            discharge_sample: &mut self.discharge_sample[i],
+            recharge_sample: &mut self.recharge_sample[i],
+            cold_start: &mut self.cold_start[i],
+            wu_expired_latched: &mut self.wu_expired_latched[i],
+            cap_latched: &mut self.cap_latched[i],
+            forecast_scratch: &mut self.forecast[row_start..row_end],
+            plan_scratch: &mut self.plan[row_start..row_end],
+            placement: &mut cold.placement,
+            gateway_links: &mut cold.gateway_links,
+            inflight: &mut cold.inflight,
+            mac: &mut cold.mac,
+            blam: &mut cold.blam,
+            battery: &mut cold.battery,
+            switch: &mut cold.switch,
+            supercap: &mut cold.supercap,
+            harvest: &mut cold.harvest,
+            forecaster: &mut cold.forecaster,
+            radio: &mut cold.radio,
+            mcu_sleep: &mut cold.mcu_sleep,
+            pending_adr: &mut cold.pending_adr,
+            trace_queue: &mut cold.trace_queue,
+            utility: &mut cold.utility,
+            tx_energy_cache: &mut cold.tx_energy_cache,
+            metrics: &mut cold.metrics,
+        }
+    }
+
+    /// Splits a freshly built global store into `cells` per-cell
+    /// stores. Node `i` lands in `cell_of_node[i]`; within each cell,
+    /// nodes keep ascending global-id order, and every sub-store
+    /// remembers the deployment-wide `total`. Scratch matrices are
+    /// rebuilt per cell (they are plan-time scratch, fully overwritten
+    /// before every read).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_of_node` is shorter than the store or names a
+    /// cell `>= cells`.
+    pub(crate) fn split(self, cell_of_node: &[usize], cells: usize) -> Vec<NodeStore> {
+        let NodeStore {
+            total,
+            global_id,
+            period,
+            windows,
+            period_start,
+            prev_period_start,
+            last_settle,
+            exchange_epoch,
+            current_phy_len,
+            current_channel,
+            pending_deadline,
+            pending_weight,
+            weight_updated_at,
+            packet,
+            discharge_sample,
+            recharge_sample,
+            cold_start,
+            wu_expired_latched,
+            cap_latched,
+            scratch_bounds: _,
+            forecast: _,
+            plan: _,
+            cold,
+        } = self;
+        let mut out: Vec<NodeStore> = (0..cells).map(|_| NodeStore::with_total(total)).collect();
+        for (i, cold_slot) in cold.into_iter().enumerate() {
+            let cell = cell_of_node[i];
+            let dst = &mut out[cell];
+            dst.global_id.push(global_id[i]);
+            dst.period.push(period[i]);
+            dst.windows.push(windows[i]);
+            dst.period_start.push(period_start[i]);
+            dst.prev_period_start.push(prev_period_start[i]);
+            dst.last_settle.push(last_settle[i]);
+            dst.exchange_epoch.push(exchange_epoch[i]);
+            dst.current_phy_len.push(current_phy_len[i]);
+            dst.current_channel.push(current_channel[i]);
+            dst.pending_deadline.push(pending_deadline[i]);
+            dst.pending_weight.push(pending_weight[i]);
+            dst.weight_updated_at.push(weight_updated_at[i]);
+            dst.packet.push(packet[i]);
+            dst.discharge_sample.push(discharge_sample[i]);
+            dst.recharge_sample.push(recharge_sample[i]);
+            dst.cold_start.push(cold_start[i]);
+            dst.wu_expired_latched.push(wu_expired_latched[i]);
+            dst.cap_latched.push(cap_latched[i]);
+            let end = dst.forecast.len() + windows[i];
+            dst.scratch_bounds.push(end);
+            dst.forecast.resize(end, Joules(0.0));
+            dst.plan.resize(end, Joules(0.0));
+            dst.cold.push(cold_slot);
+        }
+        out
+    }
+
+    /// Restricts every node's gateway link table to the single serving
+    /// gateway `g`, which becomes the cell engine's local gateway 0.
+    /// Called once right after a [`split`](NodeStore::split); the
+    /// cross-cell audibility dropped here is exactly what
+    /// [`ShardPlan::boundary`](crate::topology::ShardPlan::boundary)
+    /// quantifies.
+    pub(crate) fn retain_gateway(&mut self, g: usize) {
+        for cold in &mut self.cold {
+            let link = cold.gateway_links[g];
+            cold.gateway_links.clear();
+            cold.gateway_links.push(link);
+        }
+    }
+
+    /// Bytes of heap memory the hot columns and scratch matrices hold —
+    /// the dense working set a scale run's RSS is dominated by (cold
+    /// arena slots own further heap behind pointers not counted here).
+    pub(crate) fn hot_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.global_id.capacity() * size_of::<u32>()
+            + self.period.capacity() * size_of::<Duration>()
+            + self.windows.capacity() * size_of::<usize>()
+            + self.period_start.capacity() * size_of::<SimTime>()
+            + self.prev_period_start.capacity() * size_of::<Option<SimTime>>()
+            + self.last_settle.capacity() * size_of::<SimTime>()
+            + self.exchange_epoch.capacity() * size_of::<u64>()
+            + self.current_phy_len.capacity() * size_of::<usize>()
+            + self.current_channel.capacity() * size_of::<Channel>()
+            + self.pending_deadline.capacity() * size_of::<Option<blam_des::EventId>>()
+            + self.pending_weight.capacity() * size_of::<Option<u8>>()
+            + self.weight_updated_at.capacity() * size_of::<Option<SimTime>>()
+            + self.packet.capacity() * size_of::<Option<PacketState>>()
+            + self.discharge_sample.capacity() * size_of::<Option<SocSample>>()
+            + self.recharge_sample.capacity() * size_of::<Option<SocSample>>()
+            + 3 * self.cold_start.capacity() * size_of::<bool>()
+            + self.scratch_bounds.capacity() * size_of::<usize>()
+            + (self.forecast.capacity() + self.plan.capacity()) * size_of::<Joules>()
+            + self.cold.capacity() * size_of::<NodeCold>()
+    }
+}
+
+/// Mutable view of one node: the hot-column slots, scratch rows and
+/// cold state of a single device, borrowed disjointly from the store.
+///
+/// This is the node type the engine's event handlers and every
+/// [`MacPolicy`](crate::policy::MacPolicy) implementation work
+/// against — the storage layout stays private to `store.rs`.
+#[derive(Debug)]
+pub struct NodeMut<'a> {
+    /// Global node id (= LoRaWAN device address). Stable across cell
+    /// splits: telemetry, ledger records and frames always carry it.
+    pub id: u32,
+    /// Sampling period τ.
+    pub period: &'a mut Duration,
+    /// Forecast windows per period |T|.
+    pub windows: &'a mut usize,
+    /// Start of the current sampling period (= last generation time).
+    pub period_start: &'a mut SimTime,
+    /// Start of the previous period (forecaster feedback and trace
+    /// anchoring).
+    pub prev_period_start: &'a mut Option<SimTime>,
+    /// Last energy-settlement instant.
+    pub last_settle: &'a mut SimTime,
+    /// Monotone exchange counter guarding stale in-flight events.
+    pub exchange_epoch: &'a mut u64,
+    /// PHY payload length of the uplink currently in flight.
+    pub current_phy_len: &'a mut usize,
+    /// Channel of the uplink currently in flight.
+    pub current_channel: &'a mut Channel,
+    /// Pending RX-deadline event (cancelled when the ACK wins).
+    pub pending_deadline: &'a mut Option<blam_des::EventId>,
+    /// Pending normalized-degradation byte carried by the next ACK.
+    pub pending_weight: &'a mut Option<u8>,
+    /// When the node last applied a disseminated `w_u` byte.
+    pub weight_updated_at: &'a mut Option<SimTime>,
+    /// The packet currently being handled.
+    pub packet: &'a mut Option<PacketState>,
+    /// SoC sample after this period's transmission discharge.
+    pub discharge_sample: &'a mut Option<SocSample>,
+    /// SoC sample at this period's last recharge.
+    pub recharge_sample: &'a mut Option<SocSample>,
+    /// Set by a reboot: the next packet transmits immediately.
+    pub cold_start: &'a mut bool,
+    /// Edge-trigger latch for the `WuExpired` telemetry event.
+    pub wu_expired_latched: &'a mut bool,
+    /// Edge-trigger latch for the `SocCapped` telemetry event.
+    pub cap_latched: &'a mut bool,
+    /// This node's row of the flat forecast matrix (one slot per
+    /// forecast window), fully rewritten by every plan.
+    pub forecast_scratch: &'a mut [Joules],
+    /// This node's row of the flat Eq. (14) energy matrix.
+    pub plan_scratch: &'a mut [Joules],
+    /// Radio situation (serving-gateway link).
+    pub placement: &'a mut NodePlacement,
+    /// Link budgets to every reachable gateway (local gateway index).
+    pub gateway_links: &'a mut Vec<LinkBudget>,
+    /// Receptions in flight at the gateways: (exchange epoch, gateway,
+    /// reception id, RSSI dBm).
+    pub inflight: &'a mut Vec<(u64, usize, TransmissionId, f64)>,
+    /// LoRaWAN Class-A MAC.
+    pub mac: &'a mut ClassAMac,
+    /// BLAM protocol state (None for the LoRaWAN baseline).
+    pub blam: &'a mut Option<BlamNode>,
+    /// The rechargeable battery.
+    pub battery: &'a mut Battery,
+    /// Software-defined battery switch (θ-capped for BLAM).
+    pub switch: &'a mut PowerSwitch,
+    /// Optional supercapacitor buffer in front of the battery.
+    pub supercap: &'a mut Option<Supercap>,
+    /// Solar harvest source.
+    pub harvest: &'a mut NodeHarvest,
+    /// Green-energy forecaster.
+    pub forecaster: &'a mut NodeForecaster,
+    /// Radio electrical model.
+    pub radio: &'a mut RadioPowerModel,
+    /// Baseline non-radio draw.
+    pub mcu_sleep: &'a mut Watts,
+    /// Pending ADR command carried by the next ACK.
+    pub pending_adr: &'a mut Option<AdrCommand>,
+    /// Compressed SoC traces awaiting delivery, oldest first (anchor
+    /// time, trace).
+    pub trace_queue: &'a mut VecDeque<(SimTime, CompressedSocTrace)>,
+    /// Utility curve used for this node's metric accounting.
+    pub utility: &'a mut Utility,
+    /// Memoized per-attempt transmission energy.
+    pub tx_energy_cache: &'a mut TxEnergyCache,
+    /// Metrics accumulator.
+    pub metrics: &'a mut NodeMetrics,
+}
+
+impl NodeMut<'_> {
+    /// The node's uplink radio configuration.
+    #[must_use]
+    pub fn tx_config(&self) -> TxConfig {
+        self.mac.params().tx
+    }
+
+    /// Total baseline sleep draw (MCU + radio sleep).
+    #[must_use]
+    pub fn sleep_power(&self) -> Watts {
+        *self.mcu_sleep + self.radio.sleep_power_draw()
+    }
+
+    /// The forecast-window index of `at` within the current period
+    /// (clamped to the last window).
+    #[must_use]
+    pub fn window_index(&self, at: SimTime, window: Duration) -> usize {
+        let idx = (at.saturating_since(*self.period_start) / window) as usize;
+        idx.min(self.windows.saturating_sub(1))
+    }
+
+    /// Settles energy bookkeeping up to `now`: harvest since the last
+    /// settlement and baseline sleep draw flow through the switch,
+    /// together with `extra_demand` (a transmission or receive-window
+    /// cost landing at `now`).
+    ///
+    /// Records the period's recharge sample whenever the battery
+    /// charged, mirroring the hardware interrupt the paper uses to
+    /// capture the last recharge transition.
+    pub fn settle(
+        &mut self,
+        now: SimTime,
+        extra_demand: Joules,
+        forecast_window: Duration,
+    ) -> SwitchOutcome {
+        let from = *self.last_settle;
+        let mut harvested = if now > from {
+            self.harvest.energy_between(from, now)
+        } else {
+            Joules::ZERO
+        };
+        let mut demand = self.sleep_power() * now.saturating_since(from) + extra_demand;
+        // A supercapacitor buffer, when present, absorbs surplus and
+        // serves demand before the battery is touched — shielding the
+        // battery's rainflow record from shallow transmission cycles.
+        if let Some(cap) = self.supercap.as_mut() {
+            cap.leak(now.saturating_since(from));
+            let direct = harvested.min(demand);
+            let mut surplus = harvested - direct;
+            let mut shortfall = demand - direct;
+            shortfall -= cap.discharge(shortfall);
+            surplus -= cap.charge(surplus);
+            harvested = direct + surplus;
+            demand = direct + shortfall;
+        }
+        let out = self.switch.step(now, &mut *self.battery, harvested, demand);
+        *self.last_settle = now;
+        if out.charged.0 > 0.0 {
+            let w = self.window_index(now, forecast_window) as u8;
+            *self.recharge_sample = Some(SocSample::new(w, self.battery.soc()));
+        }
+        if out.deficit.0 > 0.0 {
+            self.metrics.brownout_events += 1;
+        }
+        out
+    }
+}

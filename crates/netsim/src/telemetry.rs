@@ -22,6 +22,54 @@ use crate::metrics::NodeMetrics;
 /// granularity only.
 pub type SharedTraceWriter = Arc<Mutex<Box<dyn Write + Send>>>;
 
+/// An in-memory trace sink for one cell of a sharded run.
+///
+/// Cell engines run concurrently, so they cannot share one ordered
+/// writer the way batch runs do: interleaving at line granularity
+/// would make the trace depend on thread scheduling. Instead each cell
+/// traces into its own `SharedBuffer`, and the coordinator drains the
+/// buffers **in cell order** at every epoch barrier, concatenating
+/// them onto the real trace file. Recorders write whole lines per
+/// event, so a drained buffer always ends on a line boundary.
+#[derive(Clone, Default)]
+pub struct SharedBuffer(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuffer {
+    /// Empties the buffer, returning everything written since the last
+    /// drain (whole trace lines).
+    #[must_use]
+    pub fn drain(&self) -> Vec<u8> {
+        // A poisoned buffer still holds only whole already-written
+        // lines; recovering it loses nothing.
+        let mut bytes = self
+            .0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        std::mem::take(&mut bytes)
+    }
+}
+
+impl std::fmt::Debug for SharedBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let len = self.0.lock().map(|b| b.len()).unwrap_or(0);
+        f.debug_tuple("SharedBuffer").field(&len).finish()
+    }
+}
+
+impl Write for SharedBuffer {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
 /// What telemetry a run (or batch) should collect.
 #[derive(Debug, Clone, Default)]
 pub struct TelemetryOptions {
@@ -105,6 +153,29 @@ impl TelemetryOptions {
         let mut recorder = Recorder::new(run, config);
         if let Some(writer) = writer {
             recorder = recorder.with_writer(TraceWriter::Shared(writer));
+        }
+        Some(Box::new(recorder))
+    }
+
+    /// Builds the sink for one cell of a sharded run, tracing into the
+    /// cell's private buffer (see [`SharedBuffer`]). The `run` field of
+    /// the trace carries the cell index so replay can attribute lines.
+    #[must_use]
+    pub fn sink_for_cell(
+        &self,
+        cell: u32,
+        buffer: Option<SharedBuffer>,
+    ) -> Option<Box<dyn TelemetrySink>> {
+        if !self.enabled() {
+            return None;
+        }
+        let config = RecorderConfig {
+            flight_capacity: self.flight_capacity,
+            ..RecorderConfig::default()
+        };
+        let mut recorder = Recorder::new(cell, config);
+        if let Some(buffer) = buffer {
+            recorder = recorder.with_writer(TraceWriter::Owned(Box::new(buffer)));
         }
         Some(Box::new(recorder))
     }

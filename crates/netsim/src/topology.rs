@@ -139,6 +139,84 @@ impl Topology {
     }
 }
 
+/// The partition of a deployment for sharded execution (see
+/// [`crate::shard`]).
+///
+/// The semantic unit is the **cell**: one per gateway, holding exactly
+/// the nodes that gateway serves. Cells — not shards — define the
+/// simulation's behavior; `shards` only groups cells into execution
+/// groups (one worker walks each group's cells), so results are
+/// independent of the shard count and job count by construction.
+///
+/// The `boundary` set quantifies the model refinement sharding makes:
+/// a cell simulates only its own gateway, so a node whose uplink could
+/// also close at a *foreign* gateway loses that reception diversity.
+/// Each `(node, foreign gateway)` pair here is one such audible
+/// cross-cell link — diagnostic only, nothing consumes it at runtime.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// Number of execution groups cells are assigned to.
+    pub shards: usize,
+    /// Cell (= serving gateway) of each node, indexed by global id.
+    pub cell_of_node: Vec<usize>,
+    /// Global node ids of each cell, ascending within a cell.
+    pub cell_nodes: Vec<Vec<u32>>,
+    /// Execution group of each cell (contiguous, balanced).
+    pub shard_of_cell: Vec<usize>,
+    /// Cross-cell audibility: `(node, foreign gateway)` pairs whose
+    /// link would close at SF12 with zero margin.
+    pub boundary: Vec<(u32, usize)>,
+}
+
+impl ShardPlan {
+    /// Partitions a generated deployment into cells along gateway
+    /// boundaries and groups the cells into `shards` execution groups
+    /// (clamped to `[1, gateways]`).
+    #[must_use]
+    pub fn build(config: &ScenarioConfig, topology: &Topology, shards: usize) -> Self {
+        let cells = config.gateways.max(1);
+        let shards = shards.clamp(1, cells);
+        let gateways = gateway_positions(config);
+        let bw = Bandwidth::Khz125;
+        let mut cell_of_node = Vec::with_capacity(topology.placements.len());
+        let mut cell_nodes: Vec<Vec<u32>> = vec![Vec::new(); cells];
+        let mut boundary = Vec::new();
+        for (i, p) in topology.placements.iter().enumerate() {
+            cell_of_node.push(p.gateway);
+            cell_nodes[p.gateway].push(i as u32);
+            for (g, &gw_pos) in gateways.iter().enumerate() {
+                if g == p.gateway {
+                    continue;
+                }
+                // The same link model build_nodes uses for its
+                // per-gateway budgets: free-path distance (min 1 m)
+                // plus the node's static shadowing term.
+                let distance = Meters(p.position.distance_to(gw_pos).0.max(1.0));
+                let link = LinkBudget::new(distance)
+                    .with_path_loss(config.path_loss)
+                    .with_shadowing(p.link.shadowing);
+                if sf_for_link(&link, config.tx_power, bw, Db(0.0)).is_some() {
+                    boundary.push((i as u32, g));
+                }
+            }
+        }
+        let shard_of_cell = (0..cells).map(|c| c * shards / cells).collect();
+        ShardPlan {
+            shards,
+            cell_of_node,
+            cell_nodes,
+            shard_of_cell,
+            boundary,
+        }
+    }
+
+    /// Number of cells (= gateways) in the plan.
+    #[must_use]
+    pub fn cells(&self) -> usize {
+        self.cell_nodes.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,5 +339,60 @@ mod tests {
         let topo = Topology::generate(&config);
         assert_eq!(topo.placements.len(), 10);
         assert!(topo.max_distance().0 <= 50.0 + 1e-9);
+    }
+
+    #[test]
+    fn shard_plan_partitions_along_gateways() {
+        let c = ScenarioConfig::scale(200, 4, Protocol::Lorawan, 8);
+        let topo = Topology::generate(&c);
+        let plan = ShardPlan::build(&c, &topo, 2);
+        assert_eq!(plan.cells(), 4);
+        assert_eq!(plan.cell_of_node.len(), 200);
+        // Every node lands in exactly its serving gateway's cell, in
+        // ascending global-id order within the cell.
+        assert_eq!(plan.cell_nodes.iter().map(Vec::len).sum::<usize>(), 200);
+        for (cell, nodes) in plan.cell_nodes.iter().enumerate() {
+            for &id in nodes {
+                assert_eq!(topo.placements[id as usize].gateway, cell);
+            }
+            assert!(nodes.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn shard_plan_groups_cells_contiguously() {
+        let c = ScenarioConfig::scale(50, 6, Protocol::Lorawan, 8);
+        let topo = Topology::generate(&c);
+        let plan = ShardPlan::build(&c, &topo, 4);
+        assert_eq!(plan.shards, 4);
+        assert_eq!(plan.shard_of_cell.len(), 6);
+        // Non-decreasing (contiguous groups) and covering every shard.
+        assert!(plan.shard_of_cell.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(plan.shard_of_cell[0], 0);
+        assert_eq!(*plan.shard_of_cell.last().unwrap(), 3);
+        // Shard count is clamped to the cell count.
+        assert_eq!(ShardPlan::build(&c, &topo, 99).shards, 6);
+        assert_eq!(ShardPlan::build(&c, &topo, 0).shards, 1);
+    }
+
+    #[test]
+    fn shard_plan_boundary_names_foreign_audible_gateways() {
+        let c = ScenarioConfig::scale(300, 4, Protocol::Lorawan, 8);
+        let topo = Topology::generate(&c);
+        let plan = ShardPlan::build(&c, &topo, 4);
+        // Gateways sit half a radius apart while SF12 closes multi-km
+        // suburban links, so some cross-cell audibility must exist.
+        assert!(!plan.boundary.is_empty());
+        for &(id, g) in &plan.boundary {
+            assert_ne!(
+                topo.placements[id as usize].gateway, g,
+                "boundary pairs are foreign gateways only"
+            );
+            assert!(g < 4);
+        }
+        // A single-gateway deployment has no foreign gateways at all.
+        let c1 = ScenarioConfig::large_scale(50, Protocol::Lorawan, 8);
+        let t1 = Topology::generate(&c1);
+        assert!(ShardPlan::build(&c1, &t1, 1).boundary.is_empty());
     }
 }

@@ -25,7 +25,7 @@ fn serialize(r: &RunResult) -> String {
 #[test]
 fn same_seed_gives_identical_serialized_results() {
     for protocol in [Protocol::Lorawan, Protocol::h(0.5)] {
-        let a = Engine::build(quick_cfg(protocol, 10, 99)).run();
+        let a = Engine::build(quick_cfg(protocol.clone(), 10, 99)).run();
         let b = Engine::build(quick_cfg(protocol, 10, 99)).run();
         assert_eq!(
             serialize(&a),

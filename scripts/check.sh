@@ -67,4 +67,23 @@ grep -q '"schema_version"' "$tmp/BENCH_netsim.json" \
 grep -q '"parity": "byte-identical"' "$tmp/BENCH_netsim.json" \
     || { echo "BENCH_netsim.json missing parity attestation"; exit 1; }
 
+echo "==> sharded scale smoke run (shard/job invariance + RSS envelope)"
+# 10k nodes across 8 cells with one dissemination barrier: the sharded
+# engine must produce byte-identical serialized results whatever the
+# shard grouping and worker count, and the SoA node store must keep the
+# run's peak RSS inside a loose envelope (the 100k/1M recipes in
+# EXPERIMENTS.md scale linearly from this point).
+cargo run -q --release -p blam-cli -- scale \
+    --nodes 10000 --gateways 8 --days 2 --seed 42 --shards 2 --jobs 2 \
+    --out "$tmp/scale_sharded.json" 2>"$tmp/scale.log"
+cargo run -q --release -p blam-cli -- scale \
+    --nodes 10000 --gateways 8 --days 2 --seed 42 --shards 1 --jobs 1 \
+    --out "$tmp/scale_mono.json" 2>/dev/null
+cmp "$tmp/scale_sharded.json" "$tmp/scale_mono.json" \
+    || { echo "scale run diverged between --shards 2 and --shards 1"; exit 1; }
+rss_mib="$(sed -n 's/.*\[peak RSS \([0-9]*\)\(\.[0-9]*\)\? MiB.*/\1/p' "$tmp/scale.log")"
+test -n "$rss_mib" || { echo "scale run did not report peak RSS"; exit 1; }
+test "$rss_mib" -le 1024 \
+    || { echo "scale smoke peak RSS ${rss_mib} MiB exceeds the 1 GiB envelope"; exit 1; }
+
 echo "All checks passed."
