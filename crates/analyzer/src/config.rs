@@ -55,6 +55,15 @@ impl Default for Config {
     fn default() -> Self {
         let owned = |xs: &[&str]| xs.iter().map(|s| (*s).to_string()).collect();
         Config {
+            // Deliberately excluded: `campaign` and `telemetry`. They
+            // are the service layer around the simulation — the serve
+            // daemon's worker pool, tail polling and spool checkpoints
+            // run OS threads against real time by design, and their
+            // determinism obligation (job results are a pure function
+            // of the ScenarioConfig) is enforced end-to-end by the
+            // byte-parity integration tests instead of by this lint.
+            // `units` and `bench` were never listed: pure arithmetic
+            // and the wall-clock-profiling harness respectively.
             sim_core_crates: owned(&[
                 "des",
                 "netsim",

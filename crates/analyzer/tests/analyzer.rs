@@ -15,6 +15,7 @@ const TOKENIZER_TRICKS: &str = include_str!("fixtures/tokenizer_tricks.rs");
 const CACHE_ORDER: &str = include_str!("fixtures/cache_order.rs");
 const STORE_HYGIENE: &str = include_str!("fixtures/store_hygiene.rs");
 const HOT_PATHS: &str = include_str!("fixtures/hot_paths.rs");
+const CAMPAIGN_DAEMON: &str = include_str!("fixtures/campaign_daemon.rs");
 
 /// 1-based line of the (unique) line containing `marker`.
 fn line_of(src: &str, marker: &str) -> u32 {
@@ -244,6 +245,49 @@ fn hot_path_shapes_are_lint_clean() {
         out.findings.is_empty(),
         "hot-path patterns must be lint-clean:\n{}",
         out.render_human(true)
+    );
+}
+
+/// The `campaign` service layer is deliberately NOT a sim-core crate:
+/// the daemon schedules OS threads around real time, so wall clocks
+/// are its job — determinism findings would be noise there. The
+/// exemption must not travel (the same text in netsim still flags the
+/// wall clock), and panic-hygiene has no service carve-out (campaign's
+/// baseline budget is zero, so the unwrap is a hard finding).
+#[test]
+fn service_layer_is_exempt_from_determinism_but_not_panic_hygiene() {
+    let campaign = analyze(&[fixture(
+        "crates/campaign/src/daemon_fixture.rs",
+        CAMPAIGN_DAEMON,
+    )]);
+    assert_eq!(
+        findings_of(&campaign),
+        vec![(
+            "panic-hygiene",
+            line_of(CAMPAIGN_DAEMON, "SEED: serve-unwrap")
+        )],
+        "{}",
+        campaign.render_human(true)
+    );
+
+    let sim_core = analyze(&[fixture(
+        "crates/netsim/src/daemon_fixture.rs",
+        CAMPAIGN_DAEMON,
+    )]);
+    assert_eq!(
+        findings_of(&sim_core),
+        vec![
+            (
+                "determinism",
+                line_of(CAMPAIGN_DAEMON, "SEED: serve-wall-clock")
+            ),
+            (
+                "panic-hygiene",
+                line_of(CAMPAIGN_DAEMON, "SEED: serve-unwrap")
+            ),
+        ],
+        "{}",
+        sim_core.render_human(true)
     );
 }
 

@@ -1,0 +1,21 @@
+//! Fixture: service-layer code in the style of `crates/campaign` —
+//! wall-clock poll deadlines and lock-based worker claims are
+//! legitimate in the daemon (it schedules OS threads around real
+//! time), so the determinism lint must stay silent for the `campaign`
+//! crate. The exemption must NOT travel: the same text attributed to a
+//! sim-core crate still yields the wall-clock finding. Panic-hygiene
+//! has no service-layer carve-out — the unwrap below is a finding in
+//! `campaign` too (its baseline budget is zero).
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A tail poll deadline: real elapsed time, fine in the daemon.
+pub fn poll_deadline() -> Instant {
+    Instant::now() + Duration::from_millis(250) // SEED: serve-wall-clock
+}
+
+/// A worker claiming the next queued task.
+pub fn claim(tasks: &Mutex<Vec<u32>>) -> Option<u32> {
+    tasks.lock().unwrap().pop() // SEED: serve-unwrap
+}

@@ -93,6 +93,42 @@ impl Battery {
         }
     }
 
+    /// Creates a factory-fresh battery whose service life starts at
+    /// `at` rather than `SimTime::ZERO` — a replacement unit swapped
+    /// into a deployment mid-run. Calendar aging is measured from the
+    /// first recorded sample, so anchoring it at the commissioning
+    /// instant keeps the new unit from inheriting the simulated past.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`with_constants`](Battery::with_constants).
+    #[must_use]
+    pub fn commissioned_at(
+        capacity: Joules,
+        initial_soc: f64,
+        temperature: Celsius,
+        constants: DegradationConstants,
+        at: SimTime,
+    ) -> Self {
+        assert!(
+            capacity.0 > 0.0 && capacity.is_finite(),
+            "battery capacity must be positive, got {capacity}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&initial_soc),
+            "initial SoC must be in [0,1], got {initial_soc}"
+        );
+        let mut tracker = DegradationTracker::with_constants(temperature, constants);
+        tracker.record(at, initial_soc);
+        Battery {
+            original_capacity: capacity,
+            stored: capacity * initial_soc,
+            tracker,
+            cached_degradation: 0.0,
+        }
+    }
+
     /// Creates a battery that already served `age` at `prior_avg_soc`
     /// with `prior_cycle_damage` accumulated — a worn battery entering
     /// the simulation. The cached degradation is refreshed immediately.

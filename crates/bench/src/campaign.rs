@@ -1,0 +1,193 @@
+//! Campaign result aggregation: fold a `blam-sim campaign`/`serve`
+//! spool directory into one comparison table.
+//!
+//! A campaign spool (see `blam-campaign`) holds a `manifest.json` plus
+//! one `results/<id>.json` per completed job, each a full
+//! [`RunResult`]. [`aggregate`] reads them back into comparable rows
+//! (manifest order, i.e. deterministic expansion order) and [`render`]
+//! prints them through the shared [`Table`] so campaign summaries look
+//! like every other experiment table.
+
+use std::path::Path;
+
+use blam_campaign::{JobStatus, Spool};
+use blam_netsim::RunResult;
+
+use crate::report::{Align, Table};
+
+/// One aggregated campaign job: the headline network metrics of its
+/// [`RunResult`], keyed by the job's content-hash id.
+#[derive(Debug, Clone)]
+pub struct CampaignRow {
+    /// Content-hash job id (the spool result file stem).
+    pub id: String,
+    /// Human-readable sweep label (`theta=0.3 seed=1`).
+    pub label: String,
+    /// The seed the job ran under.
+    pub seed: u64,
+    /// Network packet reception rate.
+    pub prr: f64,
+    /// Mean retransmissions per completed exchange.
+    pub avg_retx: f64,
+    /// Mean per-packet utility.
+    pub avg_utility: f64,
+    /// Worst end-of-run degradation across nodes.
+    pub degradation_max: f64,
+    /// Brownout events across the network.
+    pub brownouts: u64,
+    /// First end-of-life, in simulated days (`None` if no node died).
+    pub first_eol_days: Option<f64>,
+}
+
+impl CampaignRow {
+    fn from_result(id: &str, label: &str, seed: u64, run: &RunResult) -> CampaignRow {
+        CampaignRow {
+            id: id.to_string(),
+            label: label.to_string(),
+            seed,
+            prr: run.network.prr,
+            avg_retx: run.network.avg_retx,
+            avg_utility: run.network.avg_utility,
+            degradation_max: run.network.degradation.max,
+            brownouts: run.network.brownouts,
+            first_eol_days: run.first_eol.map(|(_, at)| at.as_secs_f64() / 86_400.0),
+        }
+    }
+}
+
+/// Reads a campaign spool and aggregates every completed job into a
+/// [`CampaignRow`], in manifest (expansion) order. Pending jobs are
+/// skipped; the second element reports how many.
+///
+/// # Errors
+///
+/// Returns a message when the spool, its manifest, or any completed
+/// job's result file is missing or unparseable.
+pub fn aggregate(spool_dir: &Path) -> Result<(Vec<CampaignRow>, usize), String> {
+    let spool = Spool::create(spool_dir)
+        .map_err(|e| format!("cannot open spool {}: {e}", spool_dir.display()))?;
+    let manifest = spool
+        .read_manifest()
+        .map_err(|e| format!("cannot read manifest in {}: {e}", spool_dir.display()))?
+        .ok_or_else(|| format!("no manifest in spool {}", spool_dir.display()))?;
+    let mut rows = Vec::new();
+    let mut pending = 0usize;
+    for entry in &manifest.jobs {
+        if entry.status != JobStatus::Done {
+            pending += 1;
+            continue;
+        }
+        let text = spool
+            .read_result(&entry.id)
+            .map_err(|e| format!("job {} marked done but result unreadable: {e}", entry.id))?
+            .ok_or_else(|| format!("job {} marked done but its result file is gone", entry.id))?;
+        let run: RunResult = serde_json::from_str(&text)
+            .map_err(|e| format!("job {} result is not a RunResult: {e}", entry.id))?;
+        rows.push(CampaignRow::from_result(
+            &entry.id,
+            &entry.label,
+            entry.seed,
+            &run,
+        ));
+    }
+    Ok((rows, pending))
+}
+
+/// Prints campaign rows as an aligned table (one row per job).
+pub fn render(rows: &[CampaignRow]) {
+    let table = Table::with_header(&[
+        ("label", 18, Align::Left),
+        ("PRR", 6, Align::Right),
+        ("RETX", 6, Align::Right),
+        ("utility", 7, Align::Right),
+        ("deg max", 8, Align::Right),
+        ("brownouts", 9, Align::Right),
+        ("first EOL (d)", 13, Align::Right),
+    ]);
+    for row in rows {
+        table.row(&[
+            row.label.clone(),
+            format!("{:.4}", row.prr),
+            format!("{:.3}", row.avg_retx),
+            format!("{:.3}", row.avg_utility),
+            format!("{:.4}", row.degradation_max),
+            format!("{}", row.brownouts),
+            row.first_eol_days
+                .map_or_else(|| "—".to_string(), |d| format!("{d:.1}")),
+        ]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use blam_campaign::{run_campaign, Axis, CampaignSpec};
+    use blam_netsim::{Protocol, ScenarioConfig};
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("blam-bench-campaign-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_spec() -> CampaignSpec {
+        let mut cfg = ScenarioConfig::large_scale(3, Protocol::h(0.5), 1);
+        cfg.duration = blam_units::Duration::from_days(1);
+        CampaignSpec {
+            name: "agg-test".to_string(),
+            base: serde_json::to_value(&cfg).expect("base serializes"),
+            axes: vec![Axis {
+                path: "protocol.Blam.theta".to_string(),
+                values: vec![
+                    serde_json::to_value(0.3).expect("value"),
+                    serde_json::to_value(0.7).expect("value"),
+                ],
+            }],
+            seeds: vec![],
+        }
+    }
+
+    #[test]
+    fn aggregates_a_completed_spool_in_manifest_order() {
+        let dir = scratch("done");
+        let outcome = run_campaign(&tiny_spec(), &dir, 2, &|| true).expect("tiny campaign runs");
+        assert_eq!(outcome.ran, 2);
+
+        let (rows, pending) = aggregate(&dir).expect("aggregation succeeds");
+        assert_eq!(pending, 0);
+        assert_eq!(rows.len(), 2);
+        // Manifest order is expansion order: theta=0.3 before theta=0.7.
+        assert_eq!(rows[0].label, "theta=0.3");
+        assert_eq!(rows[1].label, "theta=0.7");
+        for row in &rows {
+            assert!((0.0..=1.0).contains(&row.prr), "PRR in [0,1]");
+            assert!(row.degradation_max >= 0.0);
+        }
+        render(&rows); // smoke: must not panic on real rows
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pending_jobs_are_counted_not_fabricated() {
+        let dir = scratch("pending");
+        // keep_going = false: manifest written, nothing executed.
+        let outcome = run_campaign(&tiny_spec(), &dir, 1, &|| false).expect("setup succeeds");
+        assert!(outcome.stopped_early);
+
+        let (rows, pending) = aggregate(&dir).expect("aggregation succeeds");
+        assert!(rows.is_empty());
+        assert_eq!(pending, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spool_without_a_manifest_is_an_error_message() {
+        let dir = scratch("empty");
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let err = aggregate(&dir).expect_err("must fail");
+        assert!(err.contains("manifest"), "actionable message: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

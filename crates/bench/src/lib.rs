@@ -7,7 +7,9 @@
 //!   (`--nodes`, `--years`, `--seed`, `--full`, quick by default);
 //! * [`write_json`] — result serialization under `target/experiments/`;
 //! * [`theta_sweep`] — the shared θ-sweep runs behind Figs. 4, 5 and 6,
-//!   cached on disk so the three binaries don't re-simulate.
+//!   cached on disk so the three binaries don't re-simulate;
+//! * [`campaign`] — aggregation of `blam-sim campaign`/`serve` spool
+//!   directories into comparison tables.
 //!
 //! Run any experiment with, e.g.:
 //!
@@ -24,6 +26,7 @@ use std::path::PathBuf;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
+pub mod campaign;
 pub mod lifespan;
 pub mod report;
 pub mod theta_sweep;
@@ -189,7 +192,9 @@ pub fn experiments_dir() -> PathBuf {
 pub fn write_json<T: Serialize>(id: &str, value: &T) {
     let path = experiments_dir().join(format!("{id}.json"));
     let json = serde_json::to_string_pretty(value).expect("serialize experiment result");
-    if let Err(e) = std::fs::write(&path, json) {
+    // Atomic (temp-then-rename): an interrupted experiment never
+    // leaves a torn cache file for `load_json` to choke on.
+    if let Err(e) = blam_campaign::write_string_atomic(&path, &json) {
         panic!(
             "cannot write experiment result `{}`: {e}\n\
              (check free space and permissions on target/experiments)",

@@ -1,0 +1,138 @@
+//! A `std::net::TcpStream` client for the daemon's wire format —
+//! what the `blam-sim submit`/`status`/`tail` subcommands and the
+//! check.sh smoke test use, and the integration tests drive the
+//! daemon end-to-end with.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+use crate::http::find_double_crlf;
+
+/// Sends one request and returns `(status, body)`. The connection is
+/// one-shot (`Connection: close`), matching the server.
+///
+/// # Errors
+///
+/// Connection and I/O errors verbatim; malformed responses as
+/// `InvalidData`.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    send_request(&mut stream, method, path, body)?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let (status, leftover) = parse_head(&raw)?;
+    Ok((status, String::from_utf8_lossy(&leftover).into_owned()))
+}
+
+/// Follows a chunked NDJSON stream (the `/jobs/:id/tail` endpoint),
+/// invoking `on_line` once per complete line (terminator stripped)
+/// until the server ends the stream. Returns the HTTP status; on a
+/// non-200 status nothing is streamed and the error body is discarded.
+///
+/// # Errors
+///
+/// Connection and I/O errors verbatim; malformed chunked framing as
+/// `InvalidData`.
+pub fn tail_ndjson(addr: &str, path: &str, on_line: &mut dyn FnMut(&str)) -> io::Result<u16> {
+    let mut stream = TcpStream::connect(addr)?;
+    send_request(&mut stream, "GET", path, None)?;
+    // Read up to the end of the response head.
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let header_end = loop {
+        if let Some(pos) = find_double_crlf(&buf) {
+            break pos;
+        }
+        if !read_some(&mut stream, &mut buf)? {
+            return Err(invalid("connection closed before response head"));
+        }
+    };
+    let (status, _) = parse_head(&buf[..header_end + 4])?;
+    if status != 200 {
+        return Ok(status);
+    }
+    let mut buf = buf.split_off(header_end + 4);
+    let mut linebuf: Vec<u8> = Vec::new();
+    loop {
+        // A chunk: "<hex size>\r\n<payload>\r\n"; size 0 terminates.
+        let Some(size_end) = buf.windows(2).position(|w| w == b"\r\n") else {
+            if !read_some(&mut stream, &mut buf)? {
+                break; // server closed without the final chunk; emit what we have
+            }
+            continue;
+        };
+        let size_text = String::from_utf8_lossy(&buf[..size_end]);
+        let size =
+            usize::from_str_radix(size_text.trim(), 16).map_err(|_| invalid("bad chunk size"))?;
+        if size == 0 {
+            break;
+        }
+        let frame = size_end + 2 + size + 2;
+        while buf.len() < frame {
+            if !read_some(&mut stream, &mut buf)? {
+                return Err(invalid("connection closed mid-chunk"));
+            }
+        }
+        linebuf.extend_from_slice(&buf[size_end + 2..size_end + 2 + size]);
+        buf.drain(..frame);
+        emit_lines(&mut linebuf, on_line);
+    }
+    emit_lines(&mut linebuf, on_line);
+    if !linebuf.is_empty() {
+        on_line(&String::from_utf8_lossy(&linebuf));
+    }
+    Ok(200)
+}
+
+fn send_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<()> {
+    let body = body.unwrap_or_default();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: blam-sim\r\nContent-Length: {len}\r\nConnection: close\r\n\r\n",
+        len = body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Parses `"HTTP/1.1 <status> ..."` plus headers; returns the status
+/// and everything past the header terminator.
+fn parse_head(raw: &[u8]) -> io::Result<(u16, Vec<u8>)> {
+    let header_end = find_double_crlf(raw).ok_or_else(|| invalid("no response head"))?;
+    let head = String::from_utf8_lossy(&raw[..header_end]);
+    let status_line = head.lines().next().unwrap_or_default();
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| invalid("bad status line"))?;
+    Ok((status, raw[header_end + 4..].to_vec()))
+}
+
+fn emit_lines(linebuf: &mut Vec<u8>, on_line: &mut dyn FnMut(&str)) {
+    while let Some(nl) = linebuf.iter().position(|&b| b == b'\n') {
+        let line: Vec<u8> = linebuf.drain(..=nl).collect();
+        let text = String::from_utf8_lossy(&line[..line.len() - 1]);
+        on_line(text.trim_end_matches('\r'));
+    }
+}
+
+fn read_some(stream: &mut TcpStream, buf: &mut Vec<u8>) -> io::Result<bool> {
+    let mut chunk = [0u8; 4096];
+    let n = stream.read(&mut chunk)?;
+    buf.extend_from_slice(&chunk[..n]);
+    Ok(n > 0)
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}

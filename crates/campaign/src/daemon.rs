@@ -1,0 +1,679 @@
+//! The `blam-sim serve` core: a long-lived job daemon over plain
+//! `std::net`.
+//!
+//! One `TcpListener` accept loop, one connection-handler thread per
+//! request, and a fixed pool of worker threads draining a job
+//! registry. The API surface:
+//!
+//! | Route                  | Effect                                        |
+//! |------------------------|-----------------------------------------------|
+//! | `GET /healthz`         | liveness + job counts                         |
+//! | `POST /jobs`           | submit `{"scenario": …}` or `{"campaign": …}` |
+//! | `GET /jobs`            | list jobs                                     |
+//! | `GET /jobs/:id`        | one job's status                              |
+//! | `GET /jobs/:id/result` | the checkpointed result JSON                  |
+//! | `GET /jobs/:id/tail`   | live NDJSON telemetry (chunked)               |
+//! | `POST /jobs/:id/cancel`| stop a queued/running job                     |
+//! | `POST /shutdown`       | graceful stop (in-flight jobs finish)         |
+//!
+//! Every job lands in a spool ([`Spool`]): campaigns under
+//! `<spool>/campaigns/<name>/`, ad hoc scenarios under
+//! `<spool>/adhoc/`. On startup the daemon rescans
+//! `<spool>/campaigns/*/campaign.json` and re-enqueues whatever lacks
+//! a result file — that, plus atomic checkpoint writes, is the whole
+//! resume story: kill the daemon at any instant, restart it on the
+//! same spool, and completed jobs are skipped by content hash.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use serde::Deserialize;
+use serde_json::{json, Value};
+
+use blam_netsim::ScenarioConfig;
+use blam_telemetry::TailBuffer;
+
+use crate::http::{self, Request};
+use crate::runner::execute_job;
+use crate::spec::{job_from_config, CampaignSpec, Job};
+use crate::spool::{write_string_atomic, JobStatus, Manifest, Spool};
+
+/// How long a tail handler waits per poll before re-checking the ring.
+const TAIL_POLL: Duration = Duration::from_millis(250);
+
+/// Daemon settings.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Spool root (checkpoints, results, `daemon.addr`).
+    pub spool: PathBuf,
+    /// Concurrent jobs.
+    pub workers: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobState {
+    Queued,
+    Running,
+    Done,
+    Failed,
+    Cancelled,
+}
+
+impl JobState {
+    fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+}
+
+struct JobRecord {
+    id: String,
+    label: String,
+    seed: u64,
+    config: ScenarioConfig,
+    shards: usize,
+    shard_jobs: usize,
+    state: JobState,
+    error: Option<String>,
+    /// Index into `RegistryState::campaigns`, for manifest updates.
+    campaign: Option<usize>,
+    /// This job's row in its campaign's manifest.
+    manifest_index: usize,
+    tail: TailBuffer,
+    cancel: Arc<AtomicBool>,
+    spool: Spool,
+}
+
+struct CampaignEntry {
+    name: String,
+    spec: CampaignSpec,
+    spool: Spool,
+    manifest: Manifest,
+}
+
+#[derive(Default)]
+struct RegistryState {
+    jobs: Vec<JobRecord>,
+    campaigns: Vec<CampaignEntry>,
+    shutdown: bool,
+}
+
+struct Registry {
+    state: Mutex<RegistryState>,
+    cond: Condvar,
+}
+
+fn lock(registry: &Registry) -> MutexGuard<'_, RegistryState> {
+    registry
+        .state
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// What `POST /jobs` accepts.
+#[derive(Deserialize)]
+struct SubmitBody {
+    scenario: Option<Value>,
+    campaign: Option<CampaignSpec>,
+    #[serde(default)]
+    shards: usize,
+    #[serde(default)]
+    shard_jobs: usize,
+}
+
+/// The serve daemon. [`bind`](Daemon::bind) it, then [`run`](Daemon::run)
+/// it until a `POST /shutdown`.
+pub struct Daemon {
+    cfg: DaemonConfig,
+    listener: TcpListener,
+    addr: SocketAddr,
+    registry: Registry,
+}
+
+impl std::fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Daemon")
+            .field("addr", &self.addr)
+            .field("spool", &self.cfg.spool)
+            .field("workers", &self.cfg.workers)
+            .finish()
+    }
+}
+
+impl Daemon {
+    /// Binds the daemon on `addr` (use port 0 for an ephemeral port),
+    /// prepares the spool, writes the actual address to
+    /// `<spool>/daemon.addr`, and re-enqueues every unfinished
+    /// campaign found in the spool.
+    ///
+    /// # Errors
+    ///
+    /// Returns bind and spool-I/O errors.
+    pub fn bind(cfg: DaemonConfig, addr: &str) -> std::io::Result<Daemon> {
+        std::fs::create_dir_all(cfg.spool.join("campaigns"))?;
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        write_string_atomic(&cfg.spool.join("daemon.addr"), &format!("{addr}\n"))?;
+        let daemon = Daemon {
+            cfg,
+            listener,
+            addr,
+            registry: Registry {
+                state: Mutex::new(RegistryState::default()),
+                cond: Condvar::new(),
+            },
+        };
+        daemon.resume_spooled_campaigns();
+        Ok(daemon)
+    }
+
+    /// The bound address (the ephemeral port lives here).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serves until a `POST /shutdown`, then lets in-flight jobs
+    /// finish and returns. Queued jobs stay queued — their checkpoints
+    /// make them resumable by the next daemon on the same spool.
+    ///
+    /// # Errors
+    ///
+    /// Returns accept-loop errors; per-connection and per-job errors
+    /// are reported to the offending client instead.
+    pub fn run(&self) -> std::io::Result<()> {
+        std::thread::scope(|scope| {
+            let registry = &self.registry;
+            for _ in 0..self.cfg.workers.max(1) {
+                scope.spawn(move || worker_loop(registry));
+            }
+            for stream in self.listener.incoming() {
+                if lock(registry).shutdown {
+                    break;
+                }
+                match stream {
+                    Ok(stream) => {
+                        scope.spawn(move || handle_connection(stream, self));
+                    }
+                    Err(e) => eprintln!("[serve] accept error: {e}"),
+                }
+            }
+            // Wake idle workers so they observe the shutdown flag.
+            registry.cond.notify_all();
+        });
+        Ok(())
+    }
+
+    fn adhoc_spool(&self) -> std::io::Result<Spool> {
+        Spool::create(&self.cfg.spool.join("adhoc"))
+    }
+
+    /// Startup resume: re-submit every campaign checkpointed in the
+    /// spool. Jobs with result files come back `done`; the rest queue.
+    fn resume_spooled_campaigns(&self) {
+        let dir = self.cfg.spool.join("campaigns");
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(entries) => entries,
+            Err(e) => {
+                eprintln!("[serve] cannot scan {dir:?}: {e}");
+                return;
+            }
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if !path.is_dir() {
+                continue;
+            }
+            let spool = match Spool::create(&path) {
+                Ok(spool) => spool,
+                Err(e) => {
+                    eprintln!("[serve] skipping spool {path:?}: {e}");
+                    continue;
+                }
+            };
+            match spool.read_spec() {
+                Ok(Some(spec)) => match self.submit_campaign(&spec) {
+                    Ok(_) => {}
+                    Err((_, msg)) => eprintln!("[serve] cannot resume {path:?}: {msg}"),
+                },
+                Ok(None) => {}
+                Err(e) => eprintln!("[serve] unreadable spec in {path:?}: {e}"),
+            }
+        }
+    }
+
+    /// Registers (or re-registers, idempotently) a campaign: expands
+    /// it, checkpoints spec + manifest, and queues every job that has
+    /// no result yet. Returns the response payload.
+    fn submit_campaign(&self, spec: &CampaignSpec) -> Result<Value, (u16, String)> {
+        let jobs = spec.expand().map_err(|e| (400, e))?;
+        {
+            let state = lock(&self.registry);
+            if let Some(existing) = state.campaigns.iter().find(|c| c.name == spec.name) {
+                if existing.spec == *spec {
+                    // Idempotent resubmit: report current status.
+                    return Ok(campaign_status(existing, &state));
+                }
+                return Err((
+                    409,
+                    format!(
+                        "campaign `{}` is already registered with a different spec",
+                        spec.name
+                    ),
+                ));
+            }
+        }
+        let spool = Spool::create(&self.cfg.spool.join("campaigns").join(&spec.name))
+            .map_err(|e| (500, format!("creating campaign spool: {e}")))?;
+        spool
+            .write_spec(spec)
+            .map_err(|e| (500, format!("checkpointing spec: {e}")))?;
+        let manifest = Manifest::for_jobs(&spec.name, &jobs, |j| spool.has_result(&j.id));
+        spool
+            .write_manifest(&manifest)
+            .map_err(|e| (500, format!("checkpointing manifest: {e}")))?;
+        let mut state = lock(&self.registry);
+        let campaign_index = state.campaigns.len();
+        state.campaigns.push(CampaignEntry {
+            name: spec.name.clone(),
+            spec: spec.clone(),
+            spool: spool.clone(),
+            manifest,
+        });
+        for (manifest_index, job) in jobs.into_iter().enumerate() {
+            enqueue(
+                &mut state,
+                job,
+                1,
+                1,
+                Some(campaign_index),
+                manifest_index,
+                spool.clone(),
+            );
+        }
+        let payload = campaign_status(&state.campaigns[campaign_index], &state);
+        drop(state);
+        self.registry.cond.notify_all();
+        Ok(payload)
+    }
+
+    /// Registers an ad hoc scenario job. Returns the response payload.
+    fn submit_scenario(
+        &self,
+        scenario: Value,
+        shards: usize,
+        shard_jobs: usize,
+    ) -> Result<Value, (u16, String)> {
+        let config: ScenarioConfig =
+            serde_json::from_value(scenario).map_err(|e| (400, format!("not a scenario: {e}")))?;
+        let job = job_from_config(config, "adhoc").map_err(|e| (400, e))?;
+        let spool = self
+            .adhoc_spool()
+            .map_err(|e| (500, format!("creating adhoc spool: {e}")))?;
+        let mut state = lock(&self.registry);
+        let index = enqueue(&mut state, job, shards, shard_jobs, None, 0, spool);
+        let payload = job_summary(&state.jobs[index]);
+        drop(state);
+        self.registry.cond.notify_all();
+        Ok(payload)
+    }
+}
+
+/// Adds a job record unless an identical one (same id, same spool)
+/// already exists; pre-completed jobs register as `done` with a
+/// closed tail. Returns the record's index.
+fn enqueue(
+    state: &mut RegistryState,
+    job: Job,
+    shards: usize,
+    shard_jobs: usize,
+    campaign: Option<usize>,
+    manifest_index: usize,
+    spool: Spool,
+) -> usize {
+    if let Some(existing) = state
+        .jobs
+        .iter()
+        .position(|j| j.id == job.id && j.spool.dir() == spool.dir())
+    {
+        return existing;
+    }
+    let done = spool.has_result(&job.id);
+    let tail = TailBuffer::default();
+    if done {
+        tail.close();
+    }
+    state.jobs.push(JobRecord {
+        id: job.id,
+        label: job.label,
+        seed: job.seed,
+        config: job.config,
+        shards,
+        shard_jobs,
+        state: if done {
+            JobState::Done
+        } else {
+            JobState::Queued
+        },
+        error: None,
+        campaign,
+        manifest_index,
+        tail,
+        cancel: Arc::new(AtomicBool::new(false)),
+        spool,
+    });
+    state.jobs.len() - 1
+}
+
+fn job_summary(job: &JobRecord) -> Value {
+    let mut summary = json!({
+        "id": job.id,
+        "label": job.label,
+        "seed": job.seed,
+        "state": job.state.as_str(),
+        "result": job.spool.has_result(&job.id),
+    });
+    if let (Some(error), Some(obj)) = (&job.error, summary.as_object_mut()) {
+        obj.insert("error".to_string(), Value::from(error.clone()));
+    }
+    summary
+}
+
+fn campaign_status(campaign: &CampaignEntry, state: &RegistryState) -> Value {
+    let jobs: Vec<Value> = campaign
+        .manifest
+        .jobs
+        .iter()
+        .map(|entry| {
+            let live = state
+                .jobs
+                .iter()
+                .find(|j| j.id == entry.id && j.spool.dir() == campaign.spool.dir());
+            json!({
+                "id": entry.id,
+                "label": entry.label,
+                "seed": entry.seed,
+                "status": match entry.status {
+                    JobStatus::Done => "done",
+                    JobStatus::Pending => live.map_or("pending", |j| j.state.as_str()),
+                },
+            })
+        })
+        .collect();
+    json!({
+        "campaign": campaign.name,
+        "complete": campaign.manifest.complete(),
+        "jobs": jobs,
+    })
+}
+
+/// One worker: claim the oldest queued job, run it, checkpoint it,
+/// repeat. Exits when the daemon is shutting down and no job is
+/// claimable (in-flight work always finishes first).
+fn worker_loop(registry: &Registry) {
+    loop {
+        let claim = {
+            let mut state = lock(registry);
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if let Some(index) = state.jobs.iter().position(|j| j.state == JobState::Queued) {
+                    state.jobs[index].state = JobState::Running;
+                    let job = &state.jobs[index];
+                    break (
+                        index,
+                        job.config.clone(),
+                        job.shards,
+                        job.shard_jobs,
+                        job.tail.clone(),
+                        Arc::clone(&job.cancel),
+                        job.spool.clone(),
+                        job.id.clone(),
+                    );
+                }
+                state = registry
+                    .cond
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let (index, config, shards, shard_jobs, tail, cancel, spool, id) = claim;
+        let keep_going = || !cancel.load(Ordering::Relaxed);
+        let outcome = execute_job(&config, shards, shard_jobs, Some(tail), &keep_going);
+        let mut state = lock(registry);
+        match outcome {
+            Ok(Some(json_text)) => match spool.write_result(&id, &json_text) {
+                Ok(()) => {
+                    state.jobs[index].state = JobState::Done;
+                    if let Some(campaign_index) = state.jobs[index].campaign {
+                        let manifest_index = state.jobs[index].manifest_index;
+                        let campaign = &mut state.campaigns[campaign_index];
+                        if let Some(entry) = campaign.manifest.jobs.get_mut(manifest_index) {
+                            entry.status = JobStatus::Done;
+                        }
+                        if let Err(e) = campaign.spool.write_manifest(&campaign.manifest) {
+                            eprintln!("[serve] manifest checkpoint failed: {e}");
+                        }
+                    }
+                }
+                Err(e) => {
+                    state.jobs[index].state = JobState::Failed;
+                    state.jobs[index].error = Some(format!("writing result: {e}"));
+                }
+            },
+            Ok(None) => {
+                state.jobs[index].state = JobState::Cancelled;
+            }
+            Err(message) => {
+                state.jobs[index].state = JobState::Failed;
+                state.jobs[index].error = Some(message);
+            }
+        }
+        drop(state);
+        registry.cond.notify_all();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, daemon: &Daemon) {
+    let request = match http::read_request(&mut stream) {
+        Ok(request) => request,
+        Err(e) => {
+            let _ = http::respond_json(
+                &mut stream,
+                400,
+                &json!({"error": e.to_string()}).to_string(),
+            );
+            return;
+        }
+    };
+    if let Err(e) = route(&mut stream, daemon, &request) {
+        // The client likely disconnected; nothing useful left to do.
+        let _ = e;
+    }
+}
+
+fn route(stream: &mut TcpStream, daemon: &Daemon, request: &Request) -> std::io::Result<()> {
+    let registry = &daemon.registry;
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => {
+            let state = lock(registry);
+            let queued = count(&state, JobState::Queued);
+            let running = count(&state, JobState::Running);
+            let body = json!({
+                "ok": true,
+                "jobs": state.jobs.len(),
+                "queued": queued,
+                "running": running,
+            });
+            http::respond_json(stream, 200, &body.to_string())
+        }
+        ("GET", ["jobs"]) => {
+            let state = lock(registry);
+            let jobs: Vec<Value> = state.jobs.iter().map(job_summary).collect();
+            http::respond_json(stream, 200, &json!({"jobs": jobs}).to_string())
+        }
+        ("POST", ["jobs"]) => submit(stream, daemon, request),
+        ("GET", ["jobs", id]) => {
+            let state = lock(registry);
+            match state.jobs.iter().find(|j| j.id == *id) {
+                Some(job) => http::respond_json(stream, 200, &job_summary(job).to_string()),
+                None => not_found(stream, id),
+            }
+        }
+        ("GET", ["jobs", id, "result"]) => {
+            let spool = lock(registry)
+                .jobs
+                .iter()
+                .find(|j| j.id == *id)
+                .map(|j| j.spool.clone());
+            match spool {
+                Some(spool) => match spool.read_result(id) {
+                    Ok(Some(text)) => http::respond_json(stream, 200, &text),
+                    Ok(None) => not_found(stream, id),
+                    Err(e) => http::respond_json(
+                        stream,
+                        500,
+                        &json!({"error": e.to_string()}).to_string(),
+                    ),
+                },
+                None => not_found(stream, id),
+            }
+        }
+        ("GET", ["jobs", id, "tail"]) => {
+            let tail = lock(registry)
+                .jobs
+                .iter()
+                .find(|j| j.id == *id)
+                .map(|j| j.tail.clone());
+            match tail {
+                Some(tail) => stream_tail(stream, &tail),
+                None => not_found(stream, id),
+            }
+        }
+        ("POST", ["jobs", id, "cancel"]) => {
+            let mut state = lock(registry);
+            match state.jobs.iter().position(|j| j.id == *id) {
+                Some(index) => {
+                    let job = &mut state.jobs[index];
+                    match job.state {
+                        JobState::Queued => {
+                            job.state = JobState::Cancelled;
+                            job.tail.close();
+                        }
+                        JobState::Running => {
+                            // The worker observes the flag at the next
+                            // dissemination checkpoint.
+                            job.cancel.store(true, Ordering::Relaxed);
+                        }
+                        JobState::Done | JobState::Failed | JobState::Cancelled => {}
+                    }
+                    let body = job_summary(job).to_string();
+                    drop(state);
+                    registry.cond.notify_all();
+                    http::respond_json(stream, 202, &body)
+                }
+                None => not_found(stream, id),
+            }
+        }
+        ("POST", ["shutdown"]) => {
+            {
+                let mut state = lock(registry);
+                state.shutdown = true;
+                // Queued jobs will not run in this daemon's lifetime:
+                // end their tails so followers stop cleanly. Their
+                // spool checkpoints make them resumable.
+                for job in &state.jobs {
+                    if job.state == JobState::Queued {
+                        job.tail.close();
+                    }
+                }
+            }
+            registry.cond.notify_all();
+            http::respond_json(stream, 200, &json!({"ok": true}).to_string())?;
+            // Wake the accept loop so it observes the flag.
+            drop(TcpStream::connect(daemon.addr));
+            Ok(())
+        }
+        _ => http::respond_json(
+            stream,
+            404,
+            &json!({"error": format!("no route for {} {}", request.method, request.path)})
+                .to_string(),
+        ),
+    }
+}
+
+fn submit(stream: &mut TcpStream, daemon: &Daemon, request: &Request) -> std::io::Result<()> {
+    let body: SubmitBody = match serde_json::from_slice(&request.body) {
+        Ok(body) => body,
+        Err(e) => {
+            return http::respond_json(
+                stream,
+                400,
+                &json!({"error": format!("bad submit body: {e}")}).to_string(),
+            )
+        }
+    };
+    let outcome = match (body.scenario, body.campaign) {
+        (Some(scenario), None) => daemon.submit_scenario(scenario, body.shards, body.shard_jobs),
+        (None, Some(spec)) => daemon.submit_campaign(&spec),
+        _ => Err((
+            400,
+            "submit exactly one of `scenario` or `campaign`".to_string(),
+        )),
+    };
+    match outcome {
+        Ok(payload) => http::respond_json(stream, 202, &payload.to_string()),
+        Err((status, message)) => {
+            http::respond_json(stream, status, &json!({"error": message}).to_string())
+        }
+    }
+}
+
+fn count(state: &RegistryState, which: JobState) -> usize {
+    state.jobs.iter().filter(|j| j.state == which).count()
+}
+
+fn not_found(stream: &mut TcpStream, id: &str) -> std::io::Result<()> {
+    http::respond_json(
+        stream,
+        404,
+        &json!({"error": format!("no job {id}")}).to_string(),
+    )
+}
+
+/// Streams a job's tail ring as chunked NDJSON: forward complete
+/// lines as they arrive, hold partial lines back, stop when the ring
+/// closes.
+fn stream_tail(stream: &mut TcpStream, tail: &TailBuffer) -> std::io::Result<()> {
+    http::start_chunked(stream, "application/x-ndjson")?;
+    let mut offset = 0u64;
+    let mut pending: Vec<u8> = Vec::new();
+    loop {
+        let chunk = tail.read_from(offset, TAIL_POLL);
+        offset = chunk.end_offset();
+        let finished = chunk.closed && chunk.bytes.is_empty();
+        pending.extend_from_slice(&chunk.bytes);
+        if let Some(newline) = pending.iter().rposition(|&b| b == b'\n') {
+            let complete: Vec<u8> = pending.drain(..=newline).collect();
+            http::write_chunk(stream, &complete)?;
+        }
+        if finished {
+            if !pending.is_empty() {
+                http::write_chunk(stream, &pending)?;
+            }
+            break;
+        }
+    }
+    http::end_chunked(stream)
+}

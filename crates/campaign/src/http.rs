@@ -1,0 +1,235 @@
+//! A deliberately tiny HTTP/1.1 layer over `std::net`.
+//!
+//! The daemon speaks exactly the subset a job API needs: one request
+//! per connection (`Connection: close` semantics), JSON bodies sized
+//! by `Content-Length`, plain responses, and chunked transfer encoding
+//! for the live NDJSON tail. No keep-alive, no TLS, no compression —
+//! the container has no package-registry access, so there is no hyper
+//! to reach for, and the protocol surface is small enough that
+//! hand-rolling it is the honest option.
+
+use std::io::{self, Read, Write};
+
+/// Largest accepted header block (request line + headers).
+const MAX_HEADER_BYTES: usize = 64 * 1024;
+/// Largest accepted request body (campaign specs are small; a 100k-row
+/// sweep spec is still well under this).
+const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target path, query string stripped.
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Reads one request from `stream`.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for malformed requests and size-limit
+/// violations, and underlying errors verbatim.
+pub fn read_request<S: Read>(stream: &mut S) -> io::Result<Request> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let header_end = loop {
+        if let Some(pos) = find_double_crlf(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(invalid("request header block too large"));
+        }
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-request",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8(buf[..header_end].to_vec())
+        .map_err(|_| invalid("request head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| invalid("empty request line"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| invalid("request line has no target"))?;
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| invalid("bad Content-Length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(invalid("request body too large"));
+    }
+    let mut body = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Request { method, path, body })
+}
+
+/// Writes a complete response with the given body.
+///
+/// # Errors
+///
+/// Propagates write errors.
+pub fn respond<S: Write>(
+    stream: &mut S,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {len}\r\nConnection: close\r\n\r\n",
+        len = body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes a JSON response.
+///
+/// # Errors
+///
+/// Propagates write errors.
+pub fn respond_json<S: Write>(stream: &mut S, status: u16, body: &str) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        _ => "Error",
+    };
+    respond(stream, status, reason, "application/json", body.as_bytes())
+}
+
+/// Starts a chunked `200 OK` response (the tail endpoint's framing).
+///
+/// # Errors
+///
+/// Propagates write errors.
+pub fn start_chunked<S: Write>(stream: &mut S, content_type: &str) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()
+}
+
+/// Writes one chunk. Empty input writes nothing (an empty chunk would
+/// terminate the stream).
+///
+/// # Errors
+///
+/// Propagates write errors.
+pub fn write_chunk<S: Write>(stream: &mut S, bytes: &[u8]) -> io::Result<()> {
+    if bytes.is_empty() {
+        return Ok(());
+    }
+    write!(stream, "{:x}\r\n", bytes.len())?;
+    stream.write_all(bytes)?;
+    stream.write_all(b"\r\n")?;
+    stream.flush()
+}
+
+/// Terminates a chunked response.
+///
+/// # Errors
+///
+/// Propagates write errors.
+pub fn end_chunked<S: Write>(stream: &mut S) -> io::Result<()> {
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
+}
+
+/// Byte offset of the `\r\n\r\n` header terminator, if present.
+pub(crate) fn find_double_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /jobs?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 9\r\n\r\n{\"a\":true}";
+        let mut cursor = io::Cursor::new(raw.to_vec());
+        let req = read_request(&mut cursor).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.body, b"{\"a\":true");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\n";
+        let mut cursor = io::Cursor::new(raw.to_vec());
+        let req = read_request(&mut cursor).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn truncated_request_is_an_eof_error() {
+        let raw = b"POST /jobs HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort";
+        let mut cursor = io::Cursor::new(raw.to_vec());
+        let err = read_request(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn respond_and_chunked_write_the_wire_format() {
+        let mut out = Vec::new();
+        respond_json(&mut out, 200, "{\"ok\":true}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+
+        let mut out = Vec::new();
+        start_chunked(&mut out, "application/x-ndjson").unwrap();
+        write_chunk(&mut out, b"{\"l\":1}\n").unwrap();
+        write_chunk(&mut out, b"").unwrap();
+        end_chunked(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked"));
+        assert!(text.ends_with("8\r\n{\"l\":1}\n\r\n0\r\n\r\n"));
+    }
+}

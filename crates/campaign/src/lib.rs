@@ -1,0 +1,44 @@
+//! Simulation-as-a-service for the lpwan-blam stack.
+//!
+//! Everything the `blam-sim serve` daemon needs to run scenario
+//! *campaigns* — parameter sweeps expanded deterministically into a
+//! set of jobs — as a long-lived service with resumable checkpointing
+//! and live telemetry tailing, using nothing but `std`:
+//!
+//! * [`spec`] — the campaign spec format: a base
+//!   [`ScenarioConfig`](blam_netsim::ScenarioConfig) as raw JSON plus
+//!   sweep axes (dotted config paths × value lists) and a seed list,
+//!   expanded row-major into [`Job`](spec::Job)s whose ids are content
+//!   hashes of the canonical scenario JSON.
+//! * [`spool`] — the on-disk checkpoint layout (atomically-written
+//!   campaign spec, manifest and per-job result files) that lets a
+//!   killed daemon resume exactly, skipping completed jobs by id.
+//! * [`runner`] — in-process campaign execution: a worker pool driving
+//!   [`Engine::run_interruptible`](blam_netsim::engine::Engine::run_interruptible)
+//!   job by job, checkpointing the spool after each one.
+//! * [`http`] — a minimal hand-rolled HTTP/1.1 layer (request parsing,
+//!   plain and chunked responses) shared by daemon and client; the
+//!   container has no registry access, so no hyper/axum.
+//! * [`daemon`] — the `blam-sim serve` core: a `TcpListener` accept
+//!   loop, a job registry with a worker pool, and the job API
+//!   (`POST /jobs`, `GET /jobs/:id`, `GET /jobs/:id/tail` as chunked
+//!   NDJSON, `POST /jobs/:id/cancel`, `POST /shutdown`).
+//! * [`client`] — a `std::net::TcpStream` client for the same wire
+//!   format, including a chunked-transfer NDJSON tail follower.
+
+// `forbid(unsafe_code)` comes from `[workspace.lints]` in the root
+// manifest; only the doc requirement stays crate-local.
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod http;
+pub mod runner;
+pub mod spec;
+pub mod spool;
+
+pub use client::{request, tail_ndjson};
+pub use daemon::{Daemon, DaemonConfig};
+pub use runner::{run_campaign, CampaignOutcome};
+pub use spec::{Axis, CampaignSpec, Job};
+pub use spool::{write_json_atomic, write_string_atomic, JobEntry, JobStatus, Manifest, Spool};

@@ -1,0 +1,319 @@
+//! In-process campaign execution: a worker pool draining the expanded
+//! job list, checkpointing the spool after every job.
+//!
+//! Used two ways: `blam-sim campaign` runs a spec start-to-finish (or
+//! resumes one) without a daemon, and the [`daemon`](crate::daemon)
+//! reuses [`execute_job`] from its own pool so HTTP-submitted jobs run
+//! the exact same code path.
+//!
+//! Determinism: job results depend only on each job's
+//! [`ScenarioConfig`] — the engine draws everything from named seeded
+//! streams — so worker count, scheduling order, kills and resumes
+//! cannot change a single result byte. The spooled result is the
+//! `RunResult` with telemetry stripped, pretty-printed exactly like
+//! `blam-sim run --out`, so a campaign job's file is byte-identical to
+//! a one-shot run of the same scenario.
+
+use std::any::Any;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use blam_netsim::engine::Engine;
+use blam_netsim::shard::run_sharded;
+use blam_netsim::{ScenarioConfig, TelemetryOptions};
+use blam_telemetry::TailBuffer;
+
+use crate::spec::CampaignSpec;
+use crate::spool::{JobStatus, Manifest, Spool};
+
+/// What [`run_campaign`] accomplished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignOutcome {
+    /// The final checkpointed manifest.
+    pub manifest: Manifest,
+    /// Jobs executed this invocation.
+    pub ran: usize,
+    /// Jobs skipped because the spool already held their results.
+    pub skipped: usize,
+    /// Whether `keep_going` stopped the campaign before completion.
+    pub stopped_early: bool,
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn panic_text(payload: Box<dyn Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "job panicked".to_string())
+}
+
+/// Runs (or resumes) `spec` against the spool at `spool_dir` with up
+/// to `workers` concurrent jobs, until done or `keep_going` returns
+/// false.
+///
+/// Jobs whose result files already exist are skipped — that is the
+/// whole resume protocol. The manifest is rewritten atomically after
+/// every completed job, so a kill at any instant loses at most the
+/// in-flight jobs' compute, never checkpointed state.
+///
+/// # Errors
+///
+/// Returns expansion errors, spool I/O errors, and job failures
+/// (engine panics become messages, not crashes).
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    spool_dir: &Path,
+    workers: usize,
+    keep_going: &(dyn Fn() -> bool + Sync),
+) -> Result<CampaignOutcome, String> {
+    let jobs = spec.expand()?;
+    let spool =
+        Spool::create(spool_dir).map_err(|e| format!("creating spool {spool_dir:?}: {e}"))?;
+    spool
+        .write_spec(spec)
+        .map_err(|e| format!("checkpointing spec: {e}"))?;
+    let manifest = Manifest::for_jobs(&spec.name, &jobs, |j| spool.has_result(&j.id));
+    let skipped = manifest
+        .jobs
+        .iter()
+        .filter(|j| j.status == JobStatus::Done)
+        .count();
+    spool
+        .write_manifest(&manifest)
+        .map_err(|e| format!("checkpointing manifest: {e}"))?;
+    let pending: Vec<usize> = manifest
+        .jobs
+        .iter()
+        .enumerate()
+        .filter(|(_, j)| j.status == JobStatus::Pending)
+        .map(|(i, _)| i)
+        .collect();
+    let manifest = Mutex::new(manifest);
+    let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let ran = AtomicUsize::new(0);
+    let stopped = AtomicBool::new(false);
+    let cursor = AtomicUsize::new(0);
+    let threads = workers.clamp(1, pending.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                if !keep_going() {
+                    stopped.store(true, Ordering::Relaxed);
+                    break;
+                }
+                let claimed = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&slot) = pending.get(claimed) else {
+                    break;
+                };
+                let job = &jobs[slot];
+                match execute_job(&job.config, 1, 1, None, keep_going) {
+                    Ok(Some(json)) => {
+                        let checkpoint = spool.write_result(&job.id, &json).and_then(|()| {
+                            let mut m = lock(&manifest);
+                            m.jobs[slot].status = JobStatus::Done;
+                            spool.write_manifest(&m)
+                        });
+                        match checkpoint {
+                            Ok(()) => {
+                                ran.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => {
+                                lock(&errors).push(format!("job {}: checkpoint: {e}", job.id));
+                                break;
+                            }
+                        }
+                    }
+                    Ok(None) => {
+                        stopped.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                    Err(e) => {
+                        lock(&errors).push(format!("job {} ({}): {e}", job.id, job.label));
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    let errors = errors.into_inner().unwrap_or_else(PoisonError::into_inner);
+    if !errors.is_empty() {
+        return Err(errors.join("; "));
+    }
+    Ok(CampaignOutcome {
+        manifest: manifest
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner),
+        ran: ran.into_inner(),
+        skipped,
+        stopped_early: stopped.into_inner(),
+    })
+}
+
+/// Runs one scenario to completion and serializes its result.
+///
+/// * `shards <= 1` runs the single-engine path via
+///   [`Engine::run_interruptible`], polling `keep_going` at every
+///   dissemination epoch — `Ok(None)` means it said stop (the job ran
+///   partially and produced nothing).
+/// * `shards > 1` runs [`run_sharded`] with `shard_jobs` workers
+///   (checked only between jobs: the sharded coordinator owns its
+///   epoch loop).
+///
+/// `tail`, when given, receives the run's NDJSON trace lines live and
+/// is closed when the job ends — however it ends. The returned JSON
+/// has telemetry stripped, matching a telemetry-less one-shot run
+/// byte for byte.
+///
+/// # Errors
+///
+/// Engine panics (including scenario-validation panics) come back as
+/// messages.
+pub fn execute_job(
+    config: &ScenarioConfig,
+    shards: usize,
+    shard_jobs: usize,
+    tail: Option<TailBuffer>,
+    keep_going: &(dyn Fn() -> bool + Sync),
+) -> Result<Option<String>, String> {
+    let opts = match &tail {
+        Some(t) => TelemetryOptions::with_tail(t.clone()),
+        None => TelemetryOptions::off(),
+    };
+    let outcome =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> Result<_, String> {
+            if shards > 1 {
+                Ok(Some(run_sharded(config, shards, shard_jobs.max(1), &opts)))
+            } else {
+                let writer = opts
+                    .open_writer()
+                    .map_err(|e| format!("opening telemetry writer: {e}"))?;
+                let mut engine = Engine::build(config.clone());
+                if let Some(sink) = opts.sink_for_run(0, writer) {
+                    engine = engine.with_sink(sink);
+                }
+                Ok(engine.run_interruptible(config.dissemination_interval, || keep_going()))
+            }
+        }));
+    if let Some(t) = &tail {
+        t.close();
+    }
+    let result = match outcome {
+        Ok(r) => r?,
+        Err(payload) => return Err(panic_text(payload)),
+    };
+    match result {
+        None => Ok(None),
+        Some(mut run) => {
+            // Strip the in-memory telemetry report: the tail sink is an
+            // observer, and the spooled result must stay byte-identical
+            // to `blam-sim run --out` without telemetry.
+            run.telemetry = None;
+            serde_json::to_string_pretty(&run)
+                .map(Some)
+                .map_err(|e| format!("serializing result: {e}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Axis;
+    use blam_netsim::config::Protocol;
+    use blam_units::Duration;
+
+    fn tiny_spec(name: &str) -> CampaignSpec {
+        let mut cfg = ScenarioConfig::large_scale(3, Protocol::h(0.5), 1);
+        cfg.duration = Duration::from_days(1);
+        CampaignSpec {
+            name: name.to_string(),
+            base: serde_json::to_value(cfg).unwrap(),
+            axes: vec![],
+            seeds: vec![11, 12],
+        }
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "blam-runner-test-{tag}-{pid}",
+            pid = std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn campaign_runs_checkpoints_and_skips_on_rerun() {
+        let spec = tiny_spec("runner-skip");
+        let dir = temp_dir("skip");
+        let first = run_campaign(&spec, &dir, 2, &|| true).unwrap();
+        assert_eq!(first.ran, 2);
+        assert_eq!(first.skipped, 0);
+        assert!(!first.stopped_early);
+        assert!(first.manifest.complete());
+        let manifest_bytes = std::fs::read(dir.join("manifest.json")).unwrap();
+        // Re-running the same spec against the same spool runs nothing.
+        let second = run_campaign(&spec, &dir, 2, &|| true).unwrap();
+        assert_eq!(second.ran, 0);
+        assert_eq!(second.skipped, 2);
+        assert_eq!(second.manifest, first.manifest);
+        assert_eq!(
+            std::fs::read(dir.join("manifest.json")).unwrap(),
+            manifest_bytes
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stopped_campaign_reports_early_exit_and_completes_nothing_torn() {
+        let spec = tiny_spec("runner-stop");
+        let dir = temp_dir("stop");
+        let outcome = run_campaign(&spec, &dir, 1, &|| false).unwrap();
+        assert!(outcome.stopped_early);
+        assert_eq!(outcome.ran, 0);
+        // The spool is valid for resume: spec + all-pending manifest.
+        let spool = Spool::create(&dir).unwrap();
+        assert_eq!(spool.read_spec().unwrap().unwrap(), spec);
+        let manifest = spool.read_manifest().unwrap().unwrap();
+        assert!(manifest.jobs.iter().all(|j| j.status == JobStatus::Pending));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn execute_job_failure_is_an_error_message_not_a_panic() {
+        let mut cfg = ScenarioConfig::large_scale(3, Protocol::h(0.5), 1);
+        cfg.duration = Duration::from_days(1);
+        cfg.gateways = 0; // topology construction requires a gateway.
+        let err = execute_job(&cfg, 1, 1, None, &|| true).unwrap_err();
+        assert!(!err.is_empty());
+    }
+
+    #[test]
+    fn sweep_axis_changes_results_but_not_the_protocol_of_expansion() {
+        let mut spec = tiny_spec("runner-axis");
+        spec.seeds = vec![11];
+        spec.axes = vec![Axis {
+            path: "protocol.Blam.theta".to_string(),
+            values: vec![serde_json::Value::from(0.3), serde_json::Value::from(0.7)],
+        }];
+        let dir = temp_dir("axis");
+        let outcome = run_campaign(&spec, &dir, 2, &|| true).unwrap();
+        assert_eq!(outcome.ran, 2);
+        let spool = Spool::create(&dir).unwrap();
+        let a = spool
+            .read_result(&outcome.manifest.jobs[0].id)
+            .unwrap()
+            .unwrap();
+        let b = spool
+            .read_result(&outcome.manifest.jobs[1].id)
+            .unwrap()
+            .unwrap();
+        assert_ne!(a, b, "different theta must produce different results");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,353 @@
+//! The on-disk checkpoint layout a campaign resumes from.
+//!
+//! ```text
+//! <spool>/
+//!   campaign.json          # the submitted CampaignSpec, verbatim
+//!   manifest.json          # Manifest: job list + done/pending status
+//!   results/<job_id>.json  # one RunResult per completed job
+//! ```
+//!
+//! Every file is written **atomically**: to a unique temp name in the
+//! same directory, then `rename`d into place. A daemon killed at any
+//! instant therefore leaves either the old file or the new one, never
+//! a torn half-write — which is what makes resume exact: on restart
+//! the runner trusts any `results/<id>.json` it finds and re-runs
+//! everything else.
+//!
+//! The [`Manifest`] deliberately carries **no wall-clock data** (no
+//! timestamps, durations or hostnames): a campaign resumed after a
+//! kill must converge to a manifest byte-identical to an uninterrupted
+//! run's.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::{CampaignSpec, Job};
+
+/// Bumped when the manifest layout changes shape.
+pub const MANIFEST_SCHEMA: u32 = 1;
+
+/// Distinguishes concurrent temp files within one process; combined
+/// with the pid for cross-process uniqueness.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `text` to `path` atomically: temp file in the same
+/// directory, then rename. On any platform rename within a directory
+/// is atomic, so readers (and a post-kill resume) see the old content
+/// or the new, never a prefix.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error; the temp file is cleaned up on
+/// a failed rename.
+pub fn write_string_atomic(path: &Path, text: &str) -> io::Result<()> {
+    let file_name = path.file_name().and_then(|n| n.to_str()).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("atomic write needs a file name, got {path:?}"),
+        )
+    })?;
+    let nonce = TMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let tmp = path.with_file_name(format!(
+        ".{file_name}.tmp.{pid}.{nonce}",
+        pid = std::process::id()
+    ));
+    fs::write(&tmp, text)?;
+    match fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// Serializes `value` as pretty JSON (the same shape `blam-sim run
+/// --out` writes) and writes it atomically via
+/// [`write_string_atomic`].
+///
+/// # Errors
+///
+/// Returns serialization failures as `InvalidData` and I/O errors
+/// verbatim.
+pub fn write_json_atomic<T: Serialize>(path: &Path, value: &T) -> io::Result<()> {
+    let text = serde_json::to_string_pretty(value)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    write_string_atomic(path, &text)
+}
+
+/// Completion state of one campaign job, as checkpointed on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum JobStatus {
+    /// Not yet (re)run; no result file.
+    Pending,
+    /// Result file written; skipped on resume.
+    Done,
+}
+
+/// One job's row in the [`Manifest`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobEntry {
+    /// Content-hash job id (the result file stem).
+    pub id: String,
+    /// Human-readable sweep label.
+    pub label: String,
+    /// The job's seed.
+    pub seed: u64,
+    /// Done or pending.
+    pub status: JobStatus,
+}
+
+/// The campaign's checkpointed job table. Deterministic by
+/// construction: job order is expansion order and no field depends on
+/// when or where the campaign ran.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Layout version ([`MANIFEST_SCHEMA`]).
+    pub schema: u32,
+    /// Campaign name.
+    pub name: String,
+    /// One entry per expanded job, in execution order.
+    pub jobs: Vec<JobEntry>,
+}
+
+impl Manifest {
+    /// Builds the manifest for `jobs`, marking each done iff `done`
+    /// says its result already exists.
+    #[must_use]
+    pub fn for_jobs(name: &str, jobs: &[Job], done: impl Fn(&Job) -> bool) -> Manifest {
+        Manifest {
+            schema: MANIFEST_SCHEMA,
+            name: name.to_string(),
+            jobs: jobs
+                .iter()
+                .map(|job| JobEntry {
+                    id: job.id.clone(),
+                    label: job.label.clone(),
+                    seed: job.seed,
+                    status: if done(job) {
+                        JobStatus::Done
+                    } else {
+                        JobStatus::Pending
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether every job is done.
+    #[must_use]
+    pub fn complete(&self) -> bool {
+        self.jobs.iter().all(|j| j.status == JobStatus::Done)
+    }
+}
+
+/// A campaign's spool directory.
+#[derive(Debug, Clone)]
+pub struct Spool {
+    dir: PathBuf,
+}
+
+impl Spool {
+    /// Opens (creating if needed) the spool at `dir`, including its
+    /// `results/` subdirectory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the directories cannot be
+    /// created.
+    pub fn create(dir: &Path) -> io::Result<Spool> {
+        fs::create_dir_all(dir.join("results"))?;
+        Ok(Spool {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The spool directory itself.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the checkpointed campaign spec.
+    #[must_use]
+    pub fn spec_path(&self) -> PathBuf {
+        self.dir.join("campaign.json")
+    }
+
+    /// Path of the manifest.
+    #[must_use]
+    pub fn manifest_path(&self) -> PathBuf {
+        self.dir.join("manifest.json")
+    }
+
+    /// Path of job `id`'s result file.
+    #[must_use]
+    pub fn result_path(&self, id: &str) -> PathBuf {
+        self.dir.join("results").join(format!("{id}.json"))
+    }
+
+    /// Whether job `id` already has a checkpointed result (the resume
+    /// skip test).
+    #[must_use]
+    pub fn has_result(&self, id: &str) -> bool {
+        self.result_path(id).is_file()
+    }
+
+    /// Atomically checkpoints the campaign spec.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization and I/O errors.
+    pub fn write_spec(&self, spec: &CampaignSpec) -> io::Result<()> {
+        write_json_atomic(&self.spec_path(), spec)
+    }
+
+    /// Reads the checkpointed campaign spec back, `Ok(None)` when the
+    /// spool has none.
+    ///
+    /// # Errors
+    ///
+    /// Returns read errors verbatim and parse failures as
+    /// `InvalidData`.
+    pub fn read_spec(&self) -> io::Result<Option<CampaignSpec>> {
+        let path = self.spec_path();
+        if !path.is_file() {
+            return Ok(None);
+        }
+        let text = fs::read_to_string(&path)?;
+        CampaignSpec::from_json(&text)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Atomically checkpoints the manifest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization and I/O errors.
+    pub fn write_manifest(&self, manifest: &Manifest) -> io::Result<()> {
+        write_json_atomic(&self.manifest_path(), manifest)
+    }
+
+    /// Reads the manifest back, `Ok(None)` when the spool has none.
+    ///
+    /// # Errors
+    ///
+    /// Returns read errors verbatim and parse failures as
+    /// `InvalidData`.
+    pub fn read_manifest(&self) -> io::Result<Option<Manifest>> {
+        let path = self.manifest_path();
+        if !path.is_file() {
+            return Ok(None);
+        }
+        let text = fs::read_to_string(&path)?;
+        serde_json::from_str(&text)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Atomically writes job `id`'s result (already-serialized JSON
+    /// text, so the bytes match the in-memory serialization exactly).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_result(&self, id: &str, json_text: &str) -> io::Result<()> {
+        write_string_atomic(&self.result_path(id), json_text)
+    }
+
+    /// Reads job `id`'s result text back, `Ok(None)` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns read errors verbatim.
+    pub fn read_result(&self, id: &str) -> io::Result<Option<String>> {
+        let path = self.result_path(id);
+        if !path.is_file() {
+            return Ok(None);
+        }
+        fs::read_to_string(&path).map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "blam-spool-test-{tag}-{pid}",
+            pid = std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_replaces_content_and_leaves_no_temp_files() {
+        let dir = temp_dir("atomic");
+        let path = dir.join("out.json");
+        write_string_atomic(&path, "{\"v\":1}").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "{\"v\":1}");
+        // Overwrite: readers see old-or-new, and nothing else lingers.
+        write_string_atomic(&path, "{\"v\":2}").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "{\"v\":2}");
+        let names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["out.json".to_string()], "no temp litter");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_json_atomic_is_pretty_like_run_out() {
+        let dir = temp_dir("pretty");
+        let path = dir.join("value.json");
+        let value = serde_json::json!({"a": 1, "b": [1, 2]});
+        write_json_atomic(&path, &value).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(text, serde_json::to_string_pretty(&value).unwrap());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_to_a_directory_path_errors_cleanly() {
+        let dir = temp_dir("badpath");
+        let err = write_string_atomic(&dir.join(".."), "x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spool_round_trips_manifest_and_results() {
+        let dir = temp_dir("spool");
+        let spool = Spool::create(&dir.join("campaign")).unwrap();
+        assert!(spool.read_manifest().unwrap().is_none());
+        let manifest = Manifest {
+            schema: MANIFEST_SCHEMA,
+            name: "m".to_string(),
+            jobs: vec![JobEntry {
+                id: "abc".to_string(),
+                label: "base".to_string(),
+                seed: 7,
+                status: JobStatus::Pending,
+            }],
+        };
+        spool.write_manifest(&manifest).unwrap();
+        assert_eq!(spool.read_manifest().unwrap().unwrap(), manifest);
+        assert!(!manifest.complete());
+        assert!(!spool.has_result("abc"));
+        spool.write_result("abc", "{\"ok\":true}").unwrap();
+        assert!(spool.has_result("abc"));
+        assert_eq!(spool.read_result("abc").unwrap().unwrap(), "{\"ok\":true}");
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,326 @@
+//! End-to-end tests for the campaign subsystem: byte-parity of
+//! campaign jobs against one-shot runs, kill-and-resume of a spool,
+//! and a full daemon round trip over real HTTP (submit, live NDJSON
+//! tail, result fetch, shutdown, restart-resume).
+
+use std::path::PathBuf;
+
+use blam_campaign::{
+    request, run_campaign, tail_ndjson, CampaignSpec, Daemon, DaemonConfig, Spool,
+};
+use blam_netsim::runner::BatchRunner;
+use blam_netsim::{config::Protocol, ScenarioConfig, TelemetryOptions};
+use blam_units::Duration;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("blam-campaign-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A 3-node, 1-day scenario: seconds to run, non-trivial metrics.
+fn tiny_cfg(seed: u64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::large_scale(3, Protocol::h(0.5), seed);
+    cfg.duration = Duration::from_days(1);
+    cfg
+}
+
+/// A two-job campaign sweeping the seed axis.
+fn tiny_spec(name: &str) -> CampaignSpec {
+    CampaignSpec {
+        name: name.to_string(),
+        base: serde_json::to_value(tiny_cfg(1)).expect("base serializes"),
+        axes: Vec::new(),
+        seeds: vec![11, 12],
+    }
+}
+
+/// What `blam-sim run --out` writes for this config: a single-engine
+/// batch run, no telemetry, pretty-printed.
+fn one_shot_bytes(cfg: &ScenarioConfig) -> String {
+    let outcome = BatchRunner::new(1).run_all_with(vec![cfg.clone()], &TelemetryOptions::off());
+    let result = outcome.results.into_iter().next().expect("one result");
+    serde_json::to_string_pretty(&result).expect("RunResult serializes")
+}
+
+/// The ISSUE's parity claim: every campaign job's spooled RunResult is
+/// byte-identical to a one-shot `blam-sim run` of the same config —
+/// the live tail sink must leave no trace in the persisted result.
+#[test]
+fn campaign_results_are_byte_identical_to_one_shot_runs() {
+    let dir = scratch("parity");
+    let spec = tiny_spec("parity");
+    let outcome = run_campaign(&spec, &dir, 2, &|| true).expect("campaign runs");
+    assert_eq!(outcome.ran, 2);
+    assert!(outcome.manifest.complete());
+
+    let spool = Spool::create(&dir).expect("spool reopens");
+    for job in spec.expand().expect("spec expands") {
+        let spooled = spool
+            .read_result(&job.id)
+            .expect("result readable")
+            .expect("result present");
+        assert_eq!(
+            spooled,
+            one_shot_bytes(&job.config),
+            "job {} ({}) diverged from its one-shot run",
+            job.id,
+            job.label
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Kill-and-resume: a campaign stopped after its first job, restarted
+/// on the same spool, must skip the finished job and end with a spool
+/// (manifest and results) byte-identical to an uninterrupted run.
+#[test]
+fn interrupted_campaign_resumes_to_an_identical_spool() {
+    let uninterrupted = scratch("resume-a");
+    let interrupted = scratch("resume-b");
+    let spec = tiny_spec("resume");
+    let jobs = spec.expand().expect("spec expands");
+    let first_id = jobs[0].id.clone();
+
+    run_campaign(&spec, &uninterrupted, 1, &|| true).expect("reference campaign");
+
+    // "Kill" the first campaign the moment job 0's result hits the
+    // spool: the stop signal arrives mid-campaign, exactly like a
+    // daemon death between checkpoints.
+    let probe = Spool::create(&interrupted).expect("spool created");
+    let stop_after_first = || !probe.has_result(&first_id);
+    let partial =
+        run_campaign(&spec, &interrupted, 1, &stop_after_first).expect("partial campaign");
+    assert!(partial.stopped_early, "the stop signal must be observed");
+    assert_eq!(partial.ran, 1, "exactly the first job completes");
+
+    // Restart on the same spool: the finished job is skipped by
+    // content hash, the rest run to completion.
+    let resumed = run_campaign(&spec, &interrupted, 1, &|| true).expect("resumed campaign");
+    assert_eq!(resumed.skipped, 1, "the checkpointed job is not re-run");
+    assert_eq!(resumed.ran, jobs.len() - 1);
+    assert!(resumed.manifest.complete());
+
+    let read = |dir: &PathBuf, name: &str| {
+        std::fs::read_to_string(dir.join(name)).unwrap_or_else(|e| panic!("{name}: {e}"))
+    };
+    assert_eq!(
+        read(&uninterrupted, "manifest.json"),
+        read(&interrupted, "manifest.json"),
+        "resumed manifest must be byte-identical to the uninterrupted one"
+    );
+    for job in &jobs {
+        let rel = format!("results/{}.json", job.id);
+        assert_eq!(
+            read(&uninterrupted, &rel),
+            read(&interrupted, &rel),
+            "job {} bytes diverged across the resume",
+            job.label
+        );
+    }
+    let _ = std::fs::remove_dir_all(&uninterrupted);
+    let _ = std::fs::remove_dir_all(&interrupted);
+}
+
+fn get_json(addr: &str, path: &str) -> serde_json::Value {
+    let (status, body) = request(addr, "GET", path, None).expect("GET succeeds");
+    assert_eq!(status, 200, "GET {path}: {body}");
+    serde_json::from_str(&body).unwrap_or_else(|e| panic!("GET {path}: bad JSON ({e}): {body}"))
+}
+
+fn wait_until_done(addr: &str, id: &str) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        let summary = get_json(addr, &format!("/jobs/{id}"));
+        match summary["state"].as_str() {
+            Some("done") => return,
+            Some("failed") => panic!("job {id} failed: {summary}"),
+            _ => {}
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "job {id} not done after 60 s: {summary}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+}
+
+/// The full serve round trip on one ephemeral-port daemon: health
+/// check, campaign submit over HTTP, live NDJSON tail of a running
+/// job, per-job results byte-identical to one-shot runs, conflicting
+/// resubmit rejected, clean shutdown — then a second daemon on the
+/// same spool resumes with every job already done.
+#[test]
+fn daemon_serves_a_campaign_end_to_end_and_resumes_after_restart() {
+    let spool_root = scratch("serve");
+    let spec = tiny_spec("served");
+    let jobs = spec.expand().expect("spec expands");
+
+    let daemon = Daemon::bind(
+        DaemonConfig {
+            spool: spool_root.clone(),
+            workers: 2,
+        },
+        "127.0.0.1:0",
+    )
+    .expect("daemon binds");
+    let addr = daemon.local_addr().to_string();
+
+    std::thread::scope(|scope| {
+        let server = scope.spawn(|| daemon.run());
+
+        let health = get_json(&addr, "/healthz");
+        assert_eq!(health["ok"], serde_json::Value::Bool(true));
+
+        // Submit the campaign over the wire.
+        let body = format!(
+            "{{\"campaign\":{}}}",
+            serde_json::to_string(&spec).expect("spec serializes")
+        );
+        let (status, reply) =
+            request(&addr, "POST", "/jobs", Some(&body)).expect("submit succeeds");
+        assert_eq!(status, 202, "submit: {reply}");
+        let reply: serde_json::Value = serde_json::from_str(&reply).expect("submit reply JSON");
+        assert_eq!(reply["campaign"].as_str(), Some("served"));
+        assert_eq!(reply["jobs"].as_array().map(Vec::len), Some(jobs.len()));
+
+        // Live-tail the first job: the stream is NDJSON (every line
+        // parses) and terminates when the job finishes.
+        let mut lines: Vec<String> = Vec::new();
+        let status = tail_ndjson(&addr, &format!("/jobs/{}/tail", jobs[0].id), &mut |line| {
+            lines.push(line.to_string())
+        })
+        .expect("tail succeeds");
+        assert_eq!(status, 200);
+        assert!(!lines.is_empty(), "the tail must carry telemetry records");
+        for line in &lines {
+            assert!(
+                serde_json::from_str::<serde_json::Value>(line).is_ok(),
+                "tail line is not JSON: {line}"
+            );
+        }
+
+        for job in &jobs {
+            wait_until_done(&addr, &job.id);
+            let (status, body) = request(&addr, "GET", &format!("/jobs/{}/result", job.id), None)
+                .expect("result fetch succeeds");
+            assert_eq!(status, 200);
+            assert_eq!(
+                body,
+                one_shot_bytes(&job.config),
+                "served job {} diverged from its one-shot run",
+                job.label
+            );
+        }
+
+        // Same name, different spec: a conflict, not a silent overwrite.
+        let mut conflicting = spec.clone();
+        conflicting.seeds = vec![99];
+        let body = format!(
+            "{{\"campaign\":{}}}",
+            serde_json::to_string(&conflicting).expect("spec serializes")
+        );
+        let (status, reply) =
+            request(&addr, "POST", "/jobs", Some(&body)).expect("conflict request succeeds");
+        assert_eq!(status, 409, "conflicting resubmit must be refused: {reply}");
+
+        // Unknown job: a clean 404.
+        let (status, _) =
+            request(&addr, "GET", "/jobs/deadbeef", None).expect("404 request succeeds");
+        assert_eq!(status, 404);
+
+        let (status, _) = request(&addr, "POST", "/shutdown", None).expect("shutdown succeeds");
+        assert_eq!(status, 200);
+        server
+            .join()
+            .expect("server thread joins")
+            .expect("serve exits cleanly");
+    });
+
+    // A new daemon on the same spool resumes the checkpointed
+    // campaign: every job comes back `done` without re-running.
+    let daemon = Daemon::bind(
+        DaemonConfig {
+            spool: spool_root.clone(),
+            workers: 1,
+        },
+        "127.0.0.1:0",
+    )
+    .expect("second daemon binds");
+    let addr = daemon.local_addr().to_string();
+    std::thread::scope(|scope| {
+        let server = scope.spawn(|| daemon.run());
+        for job in &jobs {
+            let summary = get_json(&addr, &format!("/jobs/{}", job.id));
+            assert_eq!(
+                summary["state"].as_str(),
+                Some("done"),
+                "restarted daemon must resume job {} as done: {summary}",
+                job.label
+            );
+        }
+        let (status, _) = request(&addr, "POST", "/shutdown", None).expect("shutdown succeeds");
+        assert_eq!(status, 200);
+        server
+            .join()
+            .expect("server thread joins")
+            .expect("serve exits cleanly");
+    });
+    let _ = std::fs::remove_dir_all(&spool_root);
+}
+
+/// An ad hoc scenario submit (the `{"scenario": …}` body shape) runs
+/// and lands in the daemon's adhoc spool; malformed submits get 400s.
+#[test]
+fn daemon_accepts_adhoc_scenarios_and_rejects_malformed_submits() {
+    let spool_root = scratch("adhoc");
+    let daemon = Daemon::bind(
+        DaemonConfig {
+            spool: spool_root.clone(),
+            workers: 1,
+        },
+        "127.0.0.1:0",
+    )
+    .expect("daemon binds");
+    let addr = daemon.local_addr().to_string();
+
+    std::thread::scope(|scope| {
+        let server = scope.spawn(|| daemon.run());
+
+        let cfg = tiny_cfg(5);
+        let body = format!(
+            "{{\"scenario\":{}}}",
+            serde_json::to_string(&cfg).expect("config serializes")
+        );
+        let (status, reply) =
+            request(&addr, "POST", "/jobs", Some(&body)).expect("submit succeeds");
+        assert_eq!(status, 202, "adhoc submit: {reply}");
+        let reply: serde_json::Value = serde_json::from_str(&reply).expect("reply JSON");
+        let id = reply["id"].as_str().expect("job id").to_string();
+        wait_until_done(&addr, &id);
+        let (status, body) = request(&addr, "GET", &format!("/jobs/{id}/result"), None)
+            .expect("result fetch succeeds");
+        assert_eq!(status, 200);
+        assert_eq!(body, one_shot_bytes(&cfg));
+
+        // Neither a scenario nor a campaign: 400.
+        let (status, _) = request(&addr, "POST", "/jobs", Some("{}")).expect("request succeeds");
+        assert_eq!(status, 400);
+        // Unparseable JSON: 400.
+        let (status, _) =
+            request(&addr, "POST", "/jobs", Some("not json")).expect("request succeeds");
+        assert_eq!(status, 400);
+        // An invalid scenario (missing fields / failed validation): 400.
+        let (status, reply) = request(&addr, "POST", "/jobs", Some("{\"scenario\":{\"nodes\":0}}"))
+            .expect("request succeeds");
+        assert_eq!(status, 400, "invalid scenario must 400: {reply}");
+
+        let (status, _) = request(&addr, "POST", "/shutdown", None).expect("shutdown succeeds");
+        assert_eq!(status, 200);
+        server
+            .join()
+            .expect("server thread joins")
+            .expect("serve exits cleanly");
+    });
+    let _ = std::fs::remove_dir_all(&spool_root);
+}

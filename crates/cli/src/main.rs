@@ -11,16 +11,24 @@
 //! blam-sim chaos --nodes 60 --days 30        # fault-injection resilience drill
 //! blam-sim scale --nodes 100000 --gateways 64 --days 2   # sharded scale run
 //! blam-sim trace-check trace.jsonl           # validate a recorded trace
+//! blam-sim campaign --spec sweep.json --spool spool/   # run a sweep, resumable
+//! blam-sim serve --spool spool/ --addr 127.0.0.1:0     # job daemon (HTTP/NDJSON)
+//! blam-sim submit --addr HOST:PORT --spec sweep.json   # POST a campaign to it
+//! blam-sim jobs --addr HOST:PORT             # list the daemon's jobs
+//! blam-sim tail --addr HOST:PORT --job ID    # follow a job's live telemetry
+//! blam-sim shutdown --addr HOST:PORT         # graceful daemon stop
 //! ```
 //!
 //! Tables and metrics go to **stdout**; progress, telemetry summaries
 //! and profiles go to **stderr**, so stdout stays pipeable.
 
 use std::io::BufReader;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use blam::BlamConfig;
 use blam_battery::EOL_DEGRADATION;
+use blam_campaign::{CampaignSpec, Daemon, DaemonConfig};
 use blam_netsim::telemetry::{expected_counts, TelemetryOptions};
 use blam_netsim::{config::Protocol, BatchRunner, FaultConfig, RunResult, ScenarioConfig};
 use blam_telemetry::replay;
@@ -29,12 +37,18 @@ use blam_units::Duration;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
-        Some("template") => template(),
+        Some("template") => template(&args[1..]),
         Some("run") => run(&args[1..]),
         Some("compare") => compare(&args[1..]),
         Some("chaos") => chaos(&args[1..]),
         Some("scale") => scale(&args[1..]),
         Some("trace-check") => trace_check(&args[1..]),
+        Some("campaign") => campaign(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("submit") => submit(&args[1..]),
+        Some("jobs") => jobs_cmd(&args[1..]),
+        Some("tail") => tail_cmd(&args[1..]),
+        Some("shutdown") => shutdown_cmd(&args[1..]),
         Some("--help" | "-h") | None => {
             usage();
             Ok(())
@@ -58,7 +72,13 @@ fn usage() {
          blam-sim compare [--nodes N] [--days D] [--seed S] [--jobs J] [--trace FILE] [--profile]\n                                           quick protocol comparison\n  \
          blam-sim chaos [--nodes N] [--days D] [--seed S] [--jobs J] [--trace FILE]\n                                           fault-injection drill: LoRaWAN vs hardened H-50,\n                                           fault-free vs chaos schedule\n  \
          blam-sim scale [--nodes N] [--gateways G] [--days D] [--seed S] [--shards K] [--jobs J]\n               [--lorawan] [--out FILE] [--trace FILE]\n                                           multi-gateway sharded scale run with\n                                           events/sec and peak-RSS reporting\n  \
-         blam-sim trace-check FILE [--results FILE]  validate a JSONL telemetry trace"
+         blam-sim trace-check FILE [--results FILE]  validate a JSONL telemetry trace\n  \
+         blam-sim campaign --spec FILE --spool DIR [--jobs J]\n                                           run a parameter-sweep campaign in-process;\n                                           resumable — completed jobs are skipped by\n                                           content hash\n  \
+         blam-sim serve --spool DIR [--addr HOST:PORT] [--workers N]\n                                           job daemon: POST /jobs, GET /jobs/:id,\n                                           GET /jobs/:id/tail (live NDJSON), POST\n                                           /jobs/:id/cancel, POST /shutdown; the bound\n                                           address lands in DIR/daemon.addr\n  \
+         blam-sim submit --addr HOST:PORT (--config FILE [--shards K] | --spec FILE)\n                                           submit a scenario or campaign to a daemon\n  \
+         blam-sim jobs --addr HOST:PORT [--job ID]   list daemon jobs / one job's status\n  \
+         blam-sim tail --addr HOST:PORT --job ID     follow a job's telemetry (NDJSON)\n  \
+         blam-sim shutdown --addr HOST:PORT          graceful daemon stop"
     );
 }
 
@@ -85,11 +105,28 @@ fn telemetry_options(args: &[String]) -> Result<TelemetryOptions, String> {
     })
 }
 
-fn template() -> Result<(), String> {
-    let cfg = ScenarioConfig::large_scale(100, Protocol::h(0.5), 42);
+fn template(args: &[String]) -> Result<(), String> {
+    let parse = |v: Option<String>, d: u64| -> Result<u64, String> {
+        v.map_or(Ok(d), |s| s.parse().map_err(|e| format!("bad number: {e}")))
+    };
+    let nodes = parse(flag(args, "--nodes")?, 100)? as usize;
+    let days = parse(flag(args, "--days")?, 0)?;
+    let seed = parse(flag(args, "--seed")?, 42)?;
+    let mut cfg = ScenarioConfig::large_scale(nodes, Protocol::h(0.5), seed);
+    if days > 0 {
+        cfg.duration = Duration::from_days(days);
+        cfg.sample_interval = Duration::from_days(days.clamp(1, 30));
+    }
     let json = serde_json::to_string_pretty(&cfg).map_err(|e| e.to_string())?;
     println!("{json}");
     Ok(())
+}
+
+/// Writes pretty result JSON to `--out` targets atomically
+/// (temp-then-rename), so a crash or kill mid-write can never leave a
+/// torn results file.
+fn write_out(out: &str, json: &str) -> Result<(), String> {
+    blam_campaign::write_string_atomic(Path::new(out), json).map_err(|e| format!("{out}: {e}"))
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -136,7 +173,7 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         if let Some(out) = flag(args, "--out")? {
             let json = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
-            std::fs::write(&out, json).map_err(|e| format!("{out}: {e}"))?;
+            write_out(&out, &json)?;
             eprintln!("[full results written to {out}]");
         }
         return Ok(());
@@ -158,7 +195,7 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     if let Some(out) = flag(args, "--out")? {
         let json = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
-        std::fs::write(&out, json).map_err(|e| format!("{out}: {e}"))?;
+        write_out(&out, &json)?;
         eprintln!("[full results written to {out}]");
     }
     Ok(())
@@ -340,12 +377,17 @@ fn scale(args: &[String]) -> Result<(), String> {
         "[{} events in {elapsed:.1} s — {events_per_sec:.0} events/s]",
         result.events_processed
     );
-    if let Some(rss) = peak_rss_bytes() {
-        eprintln!(
+    match peak_rss_bytes() {
+        Some(rss) => eprintln!(
             "[peak RSS {:.1} MiB — {:.0} bytes/node]",
             rss as f64 / (1024.0 * 1024.0),
             rss as f64 / nodes as f64
-        );
+        ),
+        // Not every kernel/procfs exposes VmHWM (non-Linux, hardened
+        // or masked /proc): degrade to an explicit null rather than
+        // garbage numbers, and keep it on stderr so --out JSON is
+        // unaffected either way.
+        None => eprintln!("[peak RSS null — VmHWM not available on this platform]"),
     }
     print_summary(&result);
     if let Some(report) = &result.telemetry {
@@ -353,7 +395,7 @@ fn scale(args: &[String]) -> Result<(), String> {
     }
     if let Some(out) = flag(args, "--out")? {
         let json = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
-        std::fs::write(&out, json).map_err(|e| format!("{out}: {e}"))?;
+        write_out(&out, &json)?;
         eprintln!("[full results written to {out}]");
     }
     Ok(())
@@ -393,6 +435,164 @@ fn trace_check(args: &[String]) -> Result<(), String> {
             "{path}: reconciles with {results_path} (run 0, {} node(s))",
             result.nodes.len()
         );
+    }
+    Ok(())
+}
+
+/// Runs a campaign spec in-process (no daemon): expand, spool,
+/// execute with a worker pool, checkpoint after every job. Re-running
+/// against the same spool resumes, skipping completed jobs.
+fn campaign(args: &[String]) -> Result<(), String> {
+    let spec_path = flag(args, "--spec")?.ok_or("campaign requires --spec FILE")?;
+    let spool = flag(args, "--spool")?.ok_or("campaign requires --spool DIR")?;
+    let jobs = match flag(args, "--jobs")? {
+        Some(j) => j.parse().map_err(|e| format!("--jobs: bad number: {e}"))?,
+        None => BatchRunner::available().jobs(),
+    };
+    let text = std::fs::read_to_string(&spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
+    let spec = CampaignSpec::from_json(&text).map_err(|e| format!("{spec_path}: {e}"))?;
+    eprintln!("campaign `{}`: spool {spool}, {jobs} worker(s)…", spec.name);
+    let outcome = blam_campaign::run_campaign(&spec, Path::new(&spool), jobs, &|| true)?;
+    println!("{:<16} {:>8} {}", "job", "status", "label");
+    for entry in &outcome.manifest.jobs {
+        println!(
+            "{:<16} {:>8} {}",
+            entry.id,
+            match entry.status {
+                blam_campaign::JobStatus::Done => "done",
+                blam_campaign::JobStatus::Pending => "pending",
+            },
+            entry.label
+        );
+    }
+    eprintln!(
+        "[campaign `{}`: {} ran, {} skipped, complete: {}]",
+        spec.name,
+        outcome.ran,
+        outcome.skipped,
+        outcome.manifest.complete()
+    );
+    Ok(())
+}
+
+/// The simulation-as-a-service daemon. Binds (port 0 = ephemeral),
+/// writes the actual address to `<spool>/daemon.addr`, resumes any
+/// unfinished spooled campaigns, and serves until `POST /shutdown`.
+fn serve(args: &[String]) -> Result<(), String> {
+    let spool = flag(args, "--spool")?.ok_or("serve requires --spool DIR")?;
+    let addr = flag(args, "--addr")?.unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let workers = match flag(args, "--workers")? {
+        Some(w) => w
+            .parse()
+            .map_err(|e| format!("--workers: bad number: {e}"))?,
+        None => 2,
+    };
+    let daemon = Daemon::bind(
+        DaemonConfig {
+            spool: PathBuf::from(&spool),
+            workers,
+        },
+        &addr,
+    )
+    .map_err(|e| format!("binding {addr}: {e}"))?;
+    // The bound address goes to stdout (scriptable) and to
+    // <spool>/daemon.addr (for clients that only know the spool).
+    println!("{}", daemon.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "[serve] listening on {} — spool {spool}, {workers} worker(s)",
+        daemon.local_addr()
+    );
+    daemon.run().map_err(|e| format!("serve: {e}"))?;
+    eprintln!("[serve] shut down cleanly");
+    Ok(())
+}
+
+fn require_addr(args: &[String]) -> Result<String, String> {
+    flag(args, "--addr")?
+        .ok_or_else(|| "requires --addr HOST:PORT (see <spool>/daemon.addr)".to_string())
+}
+
+/// Submits a scenario (`--config`, optionally `--shards`) or a
+/// campaign spec (`--spec`) to a running daemon.
+fn submit(args: &[String]) -> Result<(), String> {
+    let addr = require_addr(args)?;
+    let body = match (flag(args, "--config")?, flag(args, "--spec")?) {
+        (Some(config_path), None) => {
+            let scenario =
+                std::fs::read_to_string(&config_path).map_err(|e| format!("{config_path}: {e}"))?;
+            let shards: usize = match flag(args, "--shards")? {
+                Some(s) => s
+                    .parse()
+                    .map_err(|e| format!("--shards: bad number: {e}"))?,
+                None => 1,
+            };
+            let shard_jobs = match flag(args, "--jobs")? {
+                Some(j) => j.parse().map_err(|e| format!("--jobs: bad number: {e}"))?,
+                None => BatchRunner::available().jobs(),
+            };
+            format!("{{\"scenario\":{scenario},\"shards\":{shards},\"shard_jobs\":{shard_jobs}}}")
+        }
+        (None, Some(spec_path)) => {
+            let spec =
+                std::fs::read_to_string(&spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
+            format!("{{\"campaign\":{spec}}}")
+        }
+        _ => return Err("submit needs exactly one of --config FILE or --spec FILE".into()),
+    };
+    let (status, response) = blam_campaign::request(&addr, "POST", "/jobs", Some(&body))
+        .map_err(|e| format!("{addr}: {e}"))?;
+    println!("{response}");
+    if status >= 300 {
+        return Err(format!("submit rejected: HTTP {status}"));
+    }
+    Ok(())
+}
+
+/// Lists the daemon's jobs, or one job's status with `--job ID`.
+fn jobs_cmd(args: &[String]) -> Result<(), String> {
+    let addr = require_addr(args)?;
+    let path = match flag(args, "--job")? {
+        Some(id) => format!("/jobs/{id}"),
+        None => "/jobs".to_string(),
+    };
+    let (status, response) =
+        blam_campaign::request(&addr, "GET", &path, None).map_err(|e| format!("{addr}: {e}"))?;
+    println!("{response}");
+    if status >= 300 {
+        return Err(format!("{path}: HTTP {status}"));
+    }
+    Ok(())
+}
+
+/// Follows a job's live telemetry: chunked NDJSON from the daemon,
+/// one trace line per stdout line, until the job ends.
+fn tail_cmd(args: &[String]) -> Result<(), String> {
+    let addr = require_addr(args)?;
+    let job = flag(args, "--job")?.ok_or("tail requires --job ID")?;
+    let mut lines = 0u64;
+    let status = blam_campaign::tail_ndjson(&addr, &format!("/jobs/{job}/tail"), &mut |line| {
+        println!("{line}");
+        lines += 1;
+    })
+    .map_err(|e| format!("{addr}: {e}"))?;
+    if status != 200 {
+        return Err(format!("tail of job {job}: HTTP {status}"));
+    }
+    eprintln!("[tail closed after {lines} line(s)]");
+    Ok(())
+}
+
+/// Asks the daemon to stop: in-flight jobs finish, queued jobs stay
+/// spooled for the next daemon on the same spool.
+fn shutdown_cmd(args: &[String]) -> Result<(), String> {
+    let addr = require_addr(args)?;
+    let (status, response) = blam_campaign::request(&addr, "POST", "/shutdown", None)
+        .map_err(|e| format!("{addr}: {e}"))?;
+    println!("{response}");
+    if status >= 300 {
+        return Err(format!("shutdown: HTTP {status}"));
     }
     Ok(())
 }

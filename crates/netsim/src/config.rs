@@ -1,6 +1,7 @@
 //! Scenario configuration.
 
 use crate::faults::FaultConfig;
+use crate::script::ScriptConfig;
 use blam::BlamConfig;
 use blam_battery::DegradationConstants;
 use blam_lora_phy::{ChannelPlan, InterferenceModel, PathLoss, RadioPowerModel, SpreadingFactor};
@@ -204,6 +205,13 @@ pub struct ScenarioConfig {
     /// keeps existing scenario JSON loading unchanged.
     #[serde(default)]
     pub reference_impl: bool,
+    /// Scenario script: timed mid-run events (add a gateway, churn
+    /// nodes, flip a BLAM knob — see [`crate::script`]). Defaults to
+    /// empty, which is byte-identical to the unscripted engine;
+    /// `#[serde(default)]` keeps pre-script scenario JSON loading
+    /// unchanged.
+    #[serde(default)]
+    pub script: ScriptConfig,
 }
 
 impl ScenarioConfig {
@@ -268,6 +276,7 @@ impl ScenarioConfig {
             seed,
             faults: FaultConfig::default(),
             reference_impl: false,
+            script: ScriptConfig::default(),
         }
     }
 
@@ -330,6 +339,7 @@ impl ScenarioConfig {
         assert!(!self.duration.is_zero(), "duration is zero");
         let faults = self.faults.validate(self.gateways);
         assert!(faults.is_ok(), "invalid fault config: {faults:?}");
+        self.script.validate(self.duration);
     }
 }
 
@@ -411,6 +421,30 @@ mod tests {
         let back: ScenarioConfig = serde_json::from_value(v).unwrap();
         assert_eq!(back, cfg);
         assert!(!back.reference_impl);
+    }
+
+    #[test]
+    fn scenario_json_without_script_field_still_loads() {
+        // Scenario files predating scenario scripts have no `script`
+        // key; they must load with an empty (no-op) script.
+        let cfg = ScenarioConfig::large_scale(5, Protocol::h(0.5), 3);
+        let mut v = serde_json::to_value(&cfg).unwrap();
+        v.as_object_mut().unwrap().remove("script");
+        let back: ScenarioConfig = serde_json::from_value(v).unwrap();
+        assert_eq!(back, cfg);
+        assert!(back.script.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "churn fraction must be in [0, 1]")]
+    fn validate_catches_bad_script() {
+        use crate::script::{ScriptAction, ScriptedEvent};
+        let mut c = ScenarioConfig::large_scale(10, Protocol::Lorawan, 1);
+        c.script.events.push(ScriptedEvent {
+            at: Duration::from_days(1),
+            action: ScriptAction::Churn { fraction: -0.5 },
+        });
+        c.validate();
     }
 
     #[test]

@@ -394,6 +394,15 @@ impl Engine {
             );
         }
         sim.schedule(SimTime::ZERO + self.cfg.sample_interval, Event::Sample);
+        // Scenario-script events last: at equal timestamps they fire
+        // after the periodic events scheduled above (FIFO ties), and
+        // among themselves in list order. Scheduled identically by
+        // every cell engine, so scripted sharded runs stay
+        // byte-identical across shard/worker counts.
+        for index in 0..self.cfg.script.events.len() {
+            let at = self.cfg.script.events[index].at;
+            sim.schedule(SimTime::ZERO + at, Event::Scripted { index });
+        }
     }
 
     /// Runs the simulation to its horizon (or the first EoL when
@@ -418,6 +427,59 @@ impl Engine {
         sim.run_until(horizon, |sim, now, ev| self.handle(sim, now, ev));
         let events_processed = sim.processed();
         self.finalize(horizon, events_processed)
+    }
+
+    /// Runs the simulation like [`Engine::run`], but polls
+    /// `keep_going` every `checkpoint` of simulated time and abandons
+    /// the run — returning `None` — as soon as it reports `false`.
+    ///
+    /// The windowed `run_until` stepping processes exactly the events
+    /// a single horizon-length `run_until` would, in the same order
+    /// (each window is end-exclusive, so concatenated windows preserve
+    /// the global (time, id) FIFO pop order): a completed
+    /// interruptible run is byte-identical to [`Engine::run`]. This is
+    /// what lets the campaign daemon cancel long jobs promptly while
+    /// keeping finished jobs bit-reproducible against one-shot runs.
+    ///
+    /// A zero `checkpoint` degenerates to a single window (one poll up
+    /// front, then an uninterruptible run to the horizon).
+    #[must_use]
+    pub fn run_interruptible(
+        mut self,
+        checkpoint: Duration,
+        mut keep_going: impl FnMut() -> bool,
+    ) -> Option<RunResult> {
+        let mut sim: Simulator<Event> = if self.cfg.reference_impl {
+            Simulator::reference()
+        } else {
+            Simulator::new()
+        };
+        let horizon = SimTime::ZERO + self.cfg.duration;
+        let label = self.policy.label();
+        self.telemetry
+            .begin(&label, self.cfg.seed, self.store.total() as u32);
+        self.schedule_initial_events(&mut sim);
+        let step = if checkpoint.is_zero() {
+            self.cfg.duration
+        } else {
+            checkpoint
+        };
+        let mut barrier = SimTime::ZERO;
+        loop {
+            if !keep_going() {
+                return None;
+            }
+            barrier = barrier + step;
+            if barrier >= horizon {
+                barrier = horizon;
+            }
+            sim.run_until(barrier, |sim, now, ev| self.handle(sim, now, ev));
+            if barrier >= horizon {
+                break;
+            }
+        }
+        let events_processed = sim.processed();
+        Some(self.finalize(horizon, events_processed))
     }
 
     /// Final settlement, degradation refresh and result assembly.

@@ -50,6 +50,9 @@ pub(crate) enum Event {
     Dissemination,
     /// Periodic (monthly) degradation snapshot.
     Sample,
+    /// The `index`-th scenario-script event fires (see
+    /// `crate::script`).
+    Scripted { index: usize },
 }
 
 impl Engine {
@@ -78,6 +81,7 @@ impl Engine {
             Event::Reboot { node } => self.on_reboot(sim, now, node),
             Event::Dissemination => self.on_dissemination(sim, now),
             Event::Sample => self.on_sample(sim, now),
+            Event::Scripted { index } => self.on_scripted(sim, now, index),
         }
     }
 }

@@ -31,6 +31,11 @@
 //! * [`runner`] — [`BatchRunner`](runner::BatchRunner): deterministic
 //!   parallel execution of scenario batches on worker threads, with
 //!   per-phase wall-clock profiling.
+//! * [`script`] — scenario scripts: timed mid-run events (add a
+//!   gateway at day 30, churn a fraction of the nodes, flip a BLAM
+//!   knob) scheduled next to the fault layer, with every draw keyed by
+//!   global ids so scripted runs stay byte-identical across
+//!   shard/worker counts.
 //! * [`shard`] — cell-sharded execution for very large deployments:
 //!   one simulator per gateway cell
 //!   ([`ShardPlan`](topology::ShardPlan)), synchronized at
@@ -78,6 +83,7 @@ mod radio;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod script;
 pub mod shard;
 mod store;
 pub mod telemetry;
@@ -91,6 +97,7 @@ pub use metrics::{NetworkMetrics, NodeMetrics};
 pub use policy::{AlohaPolicy, BlamPolicy, MacPolicy, WindowDecision};
 pub use runner::{BatchOutcome, BatchRunner};
 pub use scenario::Scenario;
+pub use script::{ScriptAction, ScriptConfig, ScriptedEvent};
 pub use shard::run_sharded;
 pub use telemetry::TelemetryOptions;
 pub use topology::{ShardPlan, Topology};

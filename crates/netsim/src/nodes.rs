@@ -743,6 +743,17 @@ impl Engine {
     /// radio parameters) survives. The next packet transmits in the
     /// immediate window until the forecaster has observations again.
     pub(crate) fn on_reboot(&mut self, sim: &mut Simulator<Event>, now: SimTime, i: usize) {
+        self.reboot_wipe(sim, now, i);
+        if let Some(at) = self.faults.next_reboot(i, now) {
+            sim.schedule(at, Event::Reboot { node: i });
+        }
+    }
+
+    /// The reboot wipe itself, without rescheduling the fault layer's
+    /// next reboot — shared by [`Engine::on_reboot`] and the scenario
+    /// script's churn action (a replaced node power-cycles exactly like
+    /// a rebooted one, but must not fork the fault-reboot chain).
+    pub(crate) fn reboot_wipe(&mut self, sim: &mut Simulator<Event>, now: SimTime, i: usize) {
         let window = self.cfg.forecast_window;
         self.settle_node(now, i, Joules::ZERO);
 
@@ -802,9 +813,6 @@ impl Engine {
                     fault: FaultKind::Reboot,
                 },
             );
-        }
-        if let Some(at) = self.faults.next_reboot(i, now) {
-            sim.schedule(at, Event::Reboot { node: i });
         }
     }
 

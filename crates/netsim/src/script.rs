@@ -1,0 +1,334 @@
+//! Scenario scripts: timed mid-run events that change the deployment
+//! while the simulation is running — add a gateway at day 30, churn a
+//! fraction of the nodes, flip a [`BlamConfig`] knob.
+//!
+//! Scripts are part of the [`ScenarioConfig`] (serialized next to the
+//! PR-4 fault schedule) and are threaded through the engine the same
+//! way: every scripted event is scheduled up front in
+//! `schedule_initial_events`, and every draw a script action makes
+//! comes from its own named RNG stream keyed by *global* ids. A
+//! scripted run is therefore byte-identical across `--shards`/`--jobs`
+//! — with the one exception of [`ScriptAction::AddGateway`], which
+//! changes the cell structure itself and is restricted to the
+//! single-engine mode (checked by [`run_sharded`]).
+//!
+//! [`BlamConfig`]: blam::BlamConfig
+//! [`ScenarioConfig`]: crate::config::ScenarioConfig
+//! [`run_sharded`]: crate::shard::run_sharded
+
+use blam_battery::{Battery, PowerSwitch};
+use blam_des::{RngSeeder, Simulator};
+use blam_lora_phy::Position;
+use blam_lorawan::GatewayRadio;
+use blam_units::{Duration, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::config::Protocol;
+use crate::engine::Engine;
+use crate::events::Event;
+
+/// One timed change to the running deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScriptAction {
+    /// Set the BLAM `w_u` time-to-live (see
+    /// [`BlamConfig::wu_ttl`](blam::BlamConfig::wu_ttl)); `None`
+    /// disables expiry. A no-op for the LoRaWAN baseline.
+    SetWuTtl {
+        /// The new TTL, or `None` to trust disseminated weights forever.
+        ttl: Option<Duration>,
+    },
+    /// Set the BLAM SoC trace buffer depth (see
+    /// [`BlamConfig::trace_buffer`](blam::BlamConfig::trace_buffer)).
+    /// A no-op for the LoRaWAN baseline.
+    SetTraceBuffer {
+        /// The new buffer depth (≥ 1).
+        depth: usize,
+    },
+    /// Hardware churn: each node is independently replaced with
+    /// probability `fraction`. A replaced node reboots (volatile state
+    /// wiped, exactly like a fault-injected reboot) and receives a
+    /// factory-fresh battery commissioned at the churn instant.
+    Churn {
+        /// Per-node replacement probability in `[0, 1]`.
+        fraction: f64,
+    },
+    /// Deploy an additional gateway at `(x, y)` meters. Every node
+    /// gains a link budget to it and re-homes if the new gateway is
+    /// louder than its serving one (keeping its spreading factor —
+    /// re-planning SFs mid-run would reshuffle the whole collision
+    /// regime). Single-engine mode only.
+    AddGateway {
+        /// East coordinate in meters.
+        x: f64,
+        /// North coordinate in meters.
+        y: f64,
+    },
+}
+
+/// A script action and the simulation instant it fires at.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScriptedEvent {
+    /// When the action fires (from simulation start).
+    pub at: Duration,
+    /// What happens.
+    pub action: ScriptAction,
+}
+
+/// The scenario script: an ordered list of timed events.
+///
+/// `#[serde(default)]` on the [`ScenarioConfig`] field keeps
+/// pre-script scenario JSON loading unchanged, and an empty script is
+/// byte-identical to no script at all (nothing is scheduled).
+///
+/// [`ScenarioConfig`]: crate::config::ScenarioConfig
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ScriptConfig {
+    /// The timed events. Order is preserved: events at the same
+    /// instant fire in list order (FIFO ties).
+    #[serde(default)]
+    pub events: Vec<ScriptedEvent>,
+}
+
+impl ScriptConfig {
+    /// Whether the script schedules nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Whether any event adds a gateway (restricted to the
+    /// single-engine mode — a new gateway changes the cell structure
+    /// the sharded coordinator fixed at build time).
+    #[must_use]
+    pub fn has_add_gateway(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e.action, ScriptAction::AddGateway { .. }))
+    }
+
+    /// Validates the script against the scenario horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range churn fraction, a zero trace-buffer
+    /// depth, a zero `wu_ttl`, a non-finite gateway coordinate, or an
+    /// event scheduled at or past the horizon (it would never fire).
+    pub fn validate(&self, duration: Duration) {
+        for (i, ev) in self.events.iter().enumerate() {
+            assert!(
+                ev.at < duration,
+                "script event {i} at {} never fires within the {duration} horizon",
+                ev.at
+            );
+            match &ev.action {
+                ScriptAction::SetWuTtl { ttl } => {
+                    assert!(
+                        ttl.is_none_or(|t| !t.is_zero()),
+                        "script event {i}: wu_ttl of zero expires every weight instantly; \
+                         use ttl = null to disable expiry"
+                    );
+                }
+                ScriptAction::SetTraceBuffer { depth } => {
+                    assert!(
+                        *depth >= 1,
+                        "script event {i}: trace_buffer depth must be ≥ 1"
+                    );
+                }
+                ScriptAction::Churn { fraction } => {
+                    assert!(
+                        (0.0..=1.0).contains(fraction),
+                        "script event {i}: churn fraction must be in [0, 1], got {fraction}"
+                    );
+                }
+                ScriptAction::AddGateway { x, y } => {
+                    assert!(
+                        x.is_finite() && y.is_finite(),
+                        "script event {i}: gateway coordinates must be finite"
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl Engine {
+    /// Handles one scripted event (the `index`-th entry of the
+    /// scenario script).
+    pub(crate) fn on_scripted(&mut self, sim: &mut Simulator<Event>, now: SimTime, index: usize) {
+        let action = self.cfg.script.events[index].action.clone();
+        match action {
+            ScriptAction::SetWuTtl { ttl } => {
+                if let Protocol::Blam(bc) = &mut self.cfg.protocol {
+                    bc.wu_ttl = ttl;
+                    self.policy = self.cfg.protocol.policy();
+                }
+            }
+            ScriptAction::SetTraceBuffer { depth } => {
+                if let Protocol::Blam(bc) = &mut self.cfg.protocol {
+                    bc.trace_buffer = depth;
+                    self.policy = self.cfg.protocol.policy();
+                }
+            }
+            ScriptAction::Churn { fraction } => self.script_churn(sim, now, index, fraction),
+            ScriptAction::AddGateway { x, y } => self.script_add_gateway(x, y),
+        }
+    }
+
+    /// Replaces each node independently with probability `fraction`:
+    /// a reboot-grade wipe of the volatile state plus a factory-fresh
+    /// battery commissioned at `now`.
+    ///
+    /// The draw for node `g` comes from the `"script-churn"` stream
+    /// indexed by `(event index, global id)` — one independent stream
+    /// per (event, node), so a cell engine visiting only its own nodes
+    /// selects exactly the nodes the single engine would.
+    fn script_churn(&mut self, sim: &mut Simulator<Event>, now: SimTime, index: usize, f: f64) {
+        let seeder = RngSeeder::new(self.cfg.seed);
+        let theta = self.policy.theta();
+        let temperature = self.cfg.temperature;
+        let constants = self.cfg.degradation;
+        for i in 0..self.store.len() {
+            let gid = u64::from(self.store.global_id(i));
+            let mut rng = seeder.stream_indexed("script-churn", ((index as u64) << 32) | gid);
+            if rng.gen::<f64>() >= f {
+                continue;
+            }
+            self.reboot_wipe(sim, now, i);
+            // The replacement keeps the node's radio, panel and (if
+            // any) supercap — it is a battery swap plus a power-cycle,
+            // the common field-maintenance action. The new battery's
+            // calendar clock starts at the swap instant.
+            let node = self.store.node_mut(i);
+            let capacity = node.battery.original_capacity();
+            *node.battery = Battery::commissioned_at(capacity, theta, temperature, constants, now);
+            *node.switch = PowerSwitch::new(theta);
+        }
+    }
+
+    /// Deploys one more gateway at `(x, y)`: a new gateway radio, a
+    /// link budget per node, and re-homing of every node the new
+    /// gateway serves louder than its current one.
+    fn script_add_gateway(&mut self, x: f64, y: f64) {
+        let pos = Position { x, y };
+        self.gateways
+            .push(GatewayRadio::new(self.cfg.demod_paths).with_interference(self.cfg.interference));
+        let g = self.gateways.len() - 1;
+        let path_loss = self.cfg.path_loss;
+        let tx_power = self.cfg.tx_power;
+        for i in 0..self.store.len() {
+            let node = self.store.node_mut(i);
+            let d = blam_units::Meters(node.placement.position.distance_to(pos).0.max(1.0));
+            // The same budget formula `build_nodes` uses, with the
+            // node's static shadowing draw carried over.
+            let link = blam_lora_phy::LinkBudget::new(d)
+                .with_path_loss(path_loss)
+                .with_shadowing(node.placement.link.shadowing);
+            node.gateway_links.push(link);
+            if link.rssi(tx_power).0 > node.placement.link.rssi(tx_power).0 {
+                node.placement.gateway = g;
+                node.placement.link = link;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_script() -> ScriptConfig {
+        ScriptConfig {
+            events: vec![
+                ScriptedEvent {
+                    at: Duration::from_days(30),
+                    action: ScriptAction::AddGateway {
+                        x: 1500.0,
+                        y: -800.0,
+                    },
+                },
+                ScriptedEvent {
+                    at: Duration::from_days(45),
+                    action: ScriptAction::Churn { fraction: 0.1 },
+                },
+                ScriptedEvent {
+                    at: Duration::from_days(60),
+                    action: ScriptAction::SetWuTtl {
+                        ttl: Some(Duration::from_days(3)),
+                    },
+                },
+                ScriptedEvent {
+                    at: Duration::from_days(60),
+                    action: ScriptAction::SetTraceBuffer { depth: 8 },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let script = sample_script();
+        let json = serde_json::to_string_pretty(&script).unwrap();
+        let back: ScriptConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, script);
+        // And a second round trip through the re-serialized text.
+        let json2 = serde_json::to_string_pretty(&back).unwrap();
+        assert_eq!(json, json2);
+    }
+
+    #[test]
+    fn empty_script_is_default_and_empty() {
+        let script = ScriptConfig::default();
+        assert!(script.is_empty());
+        assert!(!script.has_add_gateway());
+        script.validate(Duration::from_days(1));
+    }
+
+    #[test]
+    fn has_add_gateway_detects_the_action() {
+        assert!(sample_script().has_add_gateway());
+        let churn_only = ScriptConfig {
+            events: vec![ScriptedEvent {
+                at: Duration::from_days(1),
+                action: ScriptAction::Churn { fraction: 0.5 },
+            }],
+        };
+        assert!(!churn_only.has_add_gateway());
+    }
+
+    #[test]
+    #[should_panic(expected = "churn fraction must be in [0, 1]")]
+    fn validate_catches_bad_fraction() {
+        let script = ScriptConfig {
+            events: vec![ScriptedEvent {
+                at: Duration::from_days(1),
+                action: ScriptAction::Churn { fraction: 1.5 },
+            }],
+        };
+        script.validate(Duration::from_days(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "never fires")]
+    fn validate_catches_event_past_horizon() {
+        let script = ScriptConfig {
+            events: vec![ScriptedEvent {
+                at: Duration::from_days(10),
+                action: ScriptAction::Churn { fraction: 0.1 },
+            }],
+        };
+        script.validate(Duration::from_days(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "trace_buffer depth must be ≥ 1")]
+    fn validate_catches_zero_depth() {
+        let script = ScriptConfig {
+            events: vec![ScriptedEvent {
+                at: Duration::from_days(1),
+                action: ScriptAction::SetTraceBuffer { depth: 0 },
+            }],
+        };
+        script.validate(Duration::from_days(2));
+    }
+}

@@ -98,6 +98,11 @@ pub fn run_sharded(
         "stop_at_first_eol requires the single-engine mode: cells advance \
          through time windows and cannot stop at a global first EoL"
     );
+    assert!(
+        !cfg.script.has_add_gateway(),
+        "AddGateway script events require the single-engine mode: the sharded \
+         coordinator fixes the gateway cell structure at build time"
+    );
     let GlobalBuild {
         policy,
         topology,

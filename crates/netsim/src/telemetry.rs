@@ -13,7 +13,9 @@ use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
-use blam_telemetry::{ExpectedNodeCounts, Recorder, RecorderConfig, TelemetrySink, TraceWriter};
+use blam_telemetry::{
+    ExpectedNodeCounts, Recorder, RecorderConfig, TailBuffer, TelemetrySink, TraceWriter,
+};
 
 use crate::metrics::NodeMetrics;
 
@@ -80,6 +82,10 @@ pub struct TelemetryOptions {
     pub collect: bool,
     /// Flight-recorder depth per node (events kept for anomaly dumps).
     pub flight_capacity: usize,
+    /// Stream trace lines into this live-tail ring as well (the
+    /// campaign daemon's `GET /jobs/:id/tail` source). Composes with
+    /// `trace_path`: with both set the writer tees every line.
+    pub tail: Option<TailBuffer>,
 }
 
 impl TelemetryOptions {
@@ -111,26 +117,47 @@ impl TelemetryOptions {
         }
     }
 
+    /// Like [`TelemetryOptions::collect`], additionally streaming
+    /// trace lines into `tail` for live followers.
+    #[must_use]
+    pub fn with_tail(tail: TailBuffer) -> Self {
+        TelemetryOptions {
+            tail: Some(tail),
+            ..TelemetryOptions::collect()
+        }
+    }
+
     /// Whether any recording sink should be attached at all.
     #[must_use]
     pub fn enabled(&self) -> bool {
-        self.collect || self.trace_path.is_some()
+        self.collect || self.trace_path.is_some() || self.tail.is_some()
     }
 
-    /// Opens the shared trace writer, if a trace path is configured.
+    /// Opens the shared trace writer: the trace file, the live-tail
+    /// ring, or a tee of both — `None` when neither is configured.
     ///
     /// # Errors
     ///
     /// Returns the underlying error when the trace file cannot be
     /// created.
     pub fn open_writer(&self) -> std::io::Result<Option<SharedTraceWriter>> {
-        let Some(path) = &self.trace_path else {
-            return Ok(None);
+        let file: Option<Box<dyn Write + Send>> = match &self.trace_path {
+            Some(path) => {
+                let file = File::create(path).map_err(|e| {
+                    std::io::Error::new(e.kind(), format!("creating trace file {path:?}: {e}"))
+                })?;
+                Some(Box::new(BufWriter::new(file)))
+            }
+            None => None,
         };
-        let file = File::create(path).map_err(|e| {
-            std::io::Error::new(e.kind(), format!("creating trace file {path:?}: {e}"))
-        })?;
-        let boxed: Box<dyn Write + Send> = Box::new(BufWriter::new(file));
+        let tail: Option<Box<dyn Write + Send>> =
+            self.tail.as_ref().map(|t| Box::new(t.writer()) as _);
+        let boxed: Box<dyn Write + Send> = match (file, tail) {
+            (Some(file), Some(tail)) => Box::new(Tee(file, tail)),
+            (Some(file), None) => file,
+            (None, Some(tail)) => tail,
+            (None, None) => return Ok(None),
+        };
         Ok(Some(Arc::new(Mutex::new(boxed))))
     }
 
@@ -181,6 +208,24 @@ impl TelemetryOptions {
     }
 }
 
+/// Duplicates every write to two destinations (trace file + tail
+/// ring). Write errors report the file's (the tail ring never fails);
+/// both always receive the same whole lines.
+struct Tee(Box<dyn Write + Send>, Box<dyn Write + Send>);
+
+impl Write for Tee {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.1.write_all(buf)?;
+        self.0.write_all(buf)?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.1.flush()?;
+        self.0.flush()
+    }
+}
+
 /// The per-node counters a valid trace must reconcile with, in node
 /// order — pass to
 /// [`ReplaySummary::reconcile`](blam_telemetry::ReplaySummary::reconcile).
@@ -228,6 +273,40 @@ mod tests {
             opts.trace_path.as_deref(),
             Some(Path::new("/tmp/trace.jsonl"))
         );
+    }
+
+    #[test]
+    fn with_tail_enables_and_streams_lines() {
+        let tail = TailBuffer::new(4096);
+        let opts = TelemetryOptions::with_tail(tail.clone());
+        assert!(opts.enabled());
+        assert!(opts.trace_path.is_none());
+        let writer = opts.open_writer().unwrap().expect("tail implies a writer");
+        writer.lock().unwrap().write_all(b"{\"line\":1}\n").unwrap();
+        let chunk = tail.read_from(0, std::time::Duration::from_millis(50));
+        assert_eq!(chunk.bytes, b"{\"line\":1}\n");
+    }
+
+    #[test]
+    fn trace_file_and_tail_tee_identical_bytes() {
+        let dir = std::env::temp_dir().join(format!("blam-tee-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let tail = TailBuffer::new(4096);
+        let opts = TelemetryOptions {
+            tail: Some(tail.clone()),
+            ..TelemetryOptions::with_trace(&path)
+        };
+        let writer = opts.open_writer().unwrap().expect("writer");
+        {
+            let mut w = writer.lock().unwrap();
+            w.write_all(b"a\nb\n").unwrap();
+            w.flush().unwrap();
+        }
+        let file_bytes = std::fs::read(&path).unwrap();
+        let chunk = tail.read_from(0, std::time::Duration::from_millis(50));
+        assert_eq!(file_bytes, chunk.bytes);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //!
 //! [`BatchProfile`]/[`PhaseStats`] carry the batch runner's per-phase
 //! wall-clock breakdown, and [`Progress`] keeps progress chatter on
-//! stderr.
+//! stderr. [`TailBuffer`] is the live-tail seam: a bounded byte ring
+//! trace writers can tee into so a daemon can stream NDJSON lines to
+//! followers while the run is still going.
 //!
 //! # Examples
 //!
@@ -80,6 +82,7 @@ pub mod recorder;
 pub mod replay;
 pub mod report;
 pub mod sink;
+pub mod tail;
 
 pub use counters::EventCounters;
 pub use event::{DropReason, EventKind, FaultKind, Record, SimEvent, SCHEMA_VERSION};
@@ -91,3 +94,4 @@ pub use recorder::{Recorder, RecorderConfig, TraceWriter};
 pub use replay::{ExpectedNodeCounts, ReplayError, ReplaySummary};
 pub use report::TelemetryReport;
 pub use sink::{NullSink, TelemetrySink};
+pub use tail::{TailBuffer, TailChunk, TailWriter};

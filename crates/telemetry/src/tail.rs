@@ -1,0 +1,291 @@
+//! Live-tail framing: a bounded, thread-safe byte ring that lets one
+//! writer (a trace [`Recorder`](crate::Recorder)) stream NDJSON lines
+//! to any number of concurrent readers following the stream at their
+//! own pace.
+//!
+//! The buffer keeps a single monotone **byte offset** space: the first
+//! byte ever written is offset 0, and a reader resumes from wherever
+//! it left off by passing its last end offset to
+//! [`TailBuffer::read_from`]. When the ring overflows its capacity the
+//! oldest bytes are discarded **up to the next line boundary**, so a
+//! late reader may miss lines but never sees a torn one.
+//!
+//! Readers block (with a timeout) until new bytes arrive or the
+//! producer [`close`](TailBuffer::close)s the stream — the shape a
+//! chunked HTTP tail endpoint needs: poll, forward, repeat, stop at
+//! `closed`.
+
+use std::io::Write;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Default ring capacity: enough for tens of thousands of trace lines.
+const DEFAULT_CAPACITY: usize = 1 << 20;
+
+struct TailState {
+    /// The retained window of the stream.
+    buf: Vec<u8>,
+    /// Stream offset of `buf[0]`.
+    start: u64,
+    /// Set once by [`TailBuffer::close`]; readers drain and stop.
+    closed: bool,
+}
+
+struct TailShared {
+    state: Mutex<TailState>,
+    cond: Condvar,
+    capacity: usize,
+}
+
+/// A chunk returned by [`TailBuffer::read_from`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailChunk {
+    /// Stream offset of `bytes[0]`. May be **greater** than the
+    /// requested offset when the ring discarded bytes the reader was
+    /// too slow for.
+    pub offset: u64,
+    /// The bytes available past `offset` (empty on timeout).
+    pub bytes: Vec<u8>,
+    /// Whether the producer closed the stream. Once `true` with empty
+    /// `bytes`, the reader has seen everything it ever will.
+    pub closed: bool,
+}
+
+impl TailChunk {
+    /// The offset to resume the next [`TailBuffer::read_from`] at.
+    #[must_use]
+    pub fn end_offset(&self) -> u64 {
+        self.offset + self.bytes.len() as u64
+    }
+}
+
+/// The shared ring. Cheap to clone (an `Arc` handle); the engine-side
+/// clone writes through [`TailBuffer::writer`] and server-side clones
+/// read through [`TailBuffer::read_from`].
+#[derive(Clone)]
+pub struct TailBuffer {
+    shared: Arc<TailShared>,
+}
+
+impl Default for TailBuffer {
+    fn default() -> Self {
+        TailBuffer::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl std::fmt::Debug for TailBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        f.debug_struct("TailBuffer")
+            .field("start", &state.start)
+            .field("len", &state.buf.len())
+            .field("closed", &state.closed)
+            .finish()
+    }
+}
+
+impl TailBuffer {
+    /// A ring retaining up to `capacity` bytes (clamped to ≥ 1 KiB so
+    /// a whole trace line always fits).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        TailBuffer {
+            shared: Arc::new(TailShared {
+                state: Mutex::new(TailState {
+                    buf: Vec::new(),
+                    start: 0,
+                    closed: false,
+                }),
+                cond: Condvar::new(),
+                capacity: capacity.max(1024),
+            }),
+        }
+    }
+
+    /// A `Write + Send` handle appending to the ring. Hand it to a
+    /// [`TraceWriter::Owned`](crate::TraceWriter) or tee trace bytes
+    /// into it alongside the real trace file.
+    #[must_use]
+    pub fn writer(&self) -> TailWriter {
+        TailWriter {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Marks the stream complete and wakes every waiting reader.
+    /// Idempotent.
+    pub fn close(&self) {
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        state.closed = true;
+        drop(state);
+        self.shared.cond.notify_all();
+    }
+
+    /// One past the last byte ever written (the stream length so far).
+    #[must_use]
+    pub fn end_offset(&self) -> u64 {
+        let state = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        state.start + state.buf.len() as u64
+    }
+
+    /// Returns everything available from stream offset `offset`,
+    /// blocking up to `timeout` for new bytes when the reader is caught
+    /// up. An empty, non-closed chunk means the timeout elapsed — poll
+    /// again. If the ring already discarded `offset`, the chunk starts
+    /// at the oldest retained line instead (its `offset` says so).
+    #[must_use]
+    pub fn read_from(&self, offset: u64, timeout: Duration) -> TailChunk {
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            let end = state.start + state.buf.len() as u64;
+            let from = offset.max(state.start);
+            if from < end || state.closed {
+                let skip = usize::try_from(from.saturating_sub(state.start)).unwrap_or(usize::MAX);
+                let bytes = state.buf.get(skip..).unwrap_or_default().to_vec();
+                return TailChunk {
+                    offset: from,
+                    bytes,
+                    closed: state.closed,
+                };
+            }
+            let (next, wait) = self
+                .shared
+                .cond
+                .wait_timeout(state, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = next;
+            if wait.timed_out() {
+                let from = offset.max(state.start);
+                return TailChunk {
+                    offset: from,
+                    bytes: Vec::new(),
+                    closed: state.closed,
+                };
+            }
+        }
+    }
+}
+
+/// The writing end of a [`TailBuffer`].
+pub struct TailWriter {
+    shared: Arc<TailShared>,
+}
+
+impl std::fmt::Debug for TailWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TailWriter").finish_non_exhaustive()
+    }
+}
+
+impl Write for TailWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        state.buf.extend_from_slice(buf);
+        if state.buf.len() > self.shared.capacity {
+            // Trim the front to the next line boundary at or past the
+            // overflow point, so the retained window always starts on
+            // a whole line.
+            let overflow = state.buf.len() - self.shared.capacity;
+            let cut = state.buf[overflow..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .map_or(state.buf.len(), |nl| overflow + nl + 1);
+            state.buf.drain(..cut);
+            state.start += cut as u64;
+        }
+        drop(state);
+        self.shared.cond.notify_all();
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_sees_written_bytes_at_their_offsets() {
+        let tail = TailBuffer::new(4096);
+        let mut w = tail.writer();
+        w.write_all(b"line one\n").unwrap();
+        w.write_all(b"line two\n").unwrap();
+        let chunk = tail.read_from(0, Duration::from_millis(10));
+        assert_eq!(chunk.offset, 0);
+        assert_eq!(chunk.bytes, b"line one\nline two\n");
+        assert!(!chunk.closed);
+        // Resuming from the end blocks until timeout, returning empty.
+        let next = tail.read_from(chunk.end_offset(), Duration::from_millis(5));
+        assert!(next.bytes.is_empty());
+        assert!(!next.closed);
+    }
+
+    #[test]
+    fn close_wakes_and_finishes_readers() {
+        let tail = TailBuffer::new(4096);
+        tail.writer().write_all(b"only line\n").unwrap();
+        tail.close();
+        let chunk = tail.read_from(0, Duration::from_secs(5));
+        assert_eq!(chunk.bytes, b"only line\n");
+        assert!(chunk.closed);
+        let done = tail.read_from(chunk.end_offset(), Duration::from_secs(5));
+        assert!(done.bytes.is_empty());
+        assert!(done.closed);
+    }
+
+    #[test]
+    fn overflow_discards_whole_lines_only() {
+        let tail = TailBuffer::new(1024);
+        let mut w = tail.writer();
+        // 64 lines of 32 bytes = 2048 bytes through a 1024-byte ring.
+        for i in 0..64 {
+            let line = format!("{i:031}\n");
+            assert_eq!(line.len(), 32);
+            w.write_all(line.as_bytes()).unwrap();
+        }
+        let chunk = tail.read_from(0, Duration::from_millis(10));
+        // The reader asked for 0 but the ring discarded the front.
+        assert!(chunk.offset > 0);
+        assert_eq!(chunk.offset % 32, 0, "trim lands on a line boundary");
+        assert!(chunk.bytes.len() <= 1024);
+        assert!(chunk.bytes.ends_with(b"\n"));
+        let text = String::from_utf8(chunk.bytes).unwrap();
+        assert!(text.lines().all(|l| l.len() == 31));
+        assert!(text.ends_with("0000063\n"));
+    }
+
+    #[test]
+    fn blocked_reader_wakes_on_write() {
+        let tail = TailBuffer::new(4096);
+        let reader = tail.clone();
+        let handle = std::thread::spawn(move || reader.read_from(0, Duration::from_secs(30)));
+        // Give the reader a moment to block, then write.
+        std::thread::sleep(Duration::from_millis(20));
+        tail.writer().write_all(b"wake\n").unwrap();
+        let chunk = handle.join().unwrap();
+        assert_eq!(chunk.bytes, b"wake\n");
+    }
+}

@@ -81,9 +81,60 @@ cargo run -q --release -p blam-cli -- scale \
     --out "$tmp/scale_mono.json" 2>/dev/null
 cmp "$tmp/scale_sharded.json" "$tmp/scale_mono.json" \
     || { echo "scale run diverged between --shards 2 and --shards 1"; exit 1; }
-rss_mib="$(sed -n 's/.*\[peak RSS \([0-9]*\)\(\.[0-9]*\)\? MiB.*/\1/p' "$tmp/scale.log")"
-test -n "$rss_mib" || { echo "scale run did not report peak RSS"; exit 1; }
-test "$rss_mib" -le 1024 \
-    || { echo "scale smoke peak RSS ${rss_mib} MiB exceeds the 1 GiB envelope"; exit 1; }
+# Platforms without /proc VmHWM report "peak RSS null" instead of a
+# number — that is the contract (no garbage, no panic); the envelope
+# check only applies where a real high-water mark exists.
+rss_line="$(grep -o '\[peak RSS [^]]*\]' "$tmp/scale.log" || true)"
+test -n "$rss_line" || { echo "scale run did not report peak RSS"; exit 1; }
+case "$rss_line" in
+    *'peak RSS null'*)
+        echo "    (VmHWM unavailable on this platform; RSS envelope check skipped)" ;;
+    *)
+        rss_mib="$(sed -n 's/.*\[peak RSS \([0-9]*\)\(\.[0-9]*\)\? MiB.*/\1/p' "$tmp/scale.log")"
+        test -n "$rss_mib" || { echo "unparseable peak RSS line: $rss_line"; exit 1; }
+        test "$rss_mib" -le 1024 \
+            || { echo "scale smoke peak RSS ${rss_mib} MiB exceeds the 1 GiB envelope"; exit 1; } ;;
+esac
+
+echo "==> serve smoke run (daemon, campaign over HTTP, live tail)"
+# An ephemeral-port daemon serves a tiny 2-job campaign end to end:
+# submit over HTTP (the std::net client behind the submit/tail
+# subcommands), live-tail one job's NDJSON telemetry, shut down
+# cleanly, and leave a spool with one result per job.
+cargo run -q --release -p blam-cli -- serve --spool "$tmp/spool" \
+    >"$tmp/serve_addr.txt" 2>"$tmp/serve.log" &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+for _ in $(seq 1 150); do
+    [ -s "$tmp/spool/daemon.addr" ] && break
+    sleep 0.2
+done
+addr="$(cat "$tmp/spool/daemon.addr")"
+test -n "$addr" || { echo "daemon never wrote daemon.addr"; exit 1; }
+
+base_json="$(cargo run -q --release -p blam-cli -- template --nodes 3 --days 1 --seed 1)"
+printf '{"name":"smoke","base":%s,"axes":[],"seeds":[11,12]}' "$base_json" \
+    >"$tmp/spec.json"
+cargo run -q --release -p blam-cli -- submit --addr "$addr" \
+    --spec "$tmp/spec.json" >"$tmp/submit.json"
+job_id="$(sed -n 's/.*"id":"\([0-9a-f]\{16\}\)".*/\1/p' "$tmp/submit.json" | head -n 1)"
+test -n "$job_id" || { echo "submit reply carried no job id"; exit 1; }
+
+# tail blocks until the job finishes and its buffer closes.
+cargo run -q --release -p blam-cli -- tail --addr "$addr" \
+    --job "$job_id" >"$tmp/tail.ndjson"
+test -s "$tmp/tail.ndjson" || { echo "live tail was empty"; exit 1; }
+while IFS= read -r line; do
+    case "$line" in
+        '{'*'}') ;;
+        *) echo "non-JSONL tail line: $line"; exit 1 ;;
+    esac
+done <"$tmp/tail.ndjson"
+
+cargo run -q --release -p blam-cli -- shutdown --addr "$addr" >/dev/null
+wait "$serve_pid" || { echo "daemon exited uncleanly"; exit 1; }
+results="$(ls "$tmp/spool/campaigns/smoke/results/"*.json 2>/dev/null | wc -l)"
+test "$results" -eq 2 \
+    || { echo "expected 2 spooled results, found $results"; exit 1; }
 
 echo "All checks passed."
