@@ -1,12 +1,19 @@
-//! The panic-hygiene ratchet baseline (`analyzer-baseline.toml`).
+//! The repo-reviewed analyzer state file (`analyzer-baseline.toml`):
+//! the panic-hygiene ratchet and the RNG stream-name registry.
 //!
-//! The baseline records, per crate, how many `unwrap()` / `expect(` /
-//! `panic!` sites its library code is *currently* allowed. Counts may
-//! only go down: a crate over its budget fails the gate; a crate
-//! under it is reported so the budget can be tightened (via
-//! `blam-analyze --update-baseline`). The format is a deliberately
-//! tiny TOML subset — one `[panic-hygiene]` table of `crate = count`
-//! pairs — parsed by hand so the analyzer stays dependency-free.
+//! `[panic-hygiene]` records, per crate, how many `unwrap()` /
+//! `expect(` / `panic!` sites its library code is *currently*
+//! allowed. Counts may only go down: a crate over its budget fails
+//! the gate; a crate under it is reported so the budget can be
+//! tightened (via `blam-analyze --update-baseline`).
+//!
+//! `[rng-streams]` registers stream names beyond the compiled-in
+//! catalog as `name = "purpose"` pairs; the rng-streams lint merges
+//! the two, so adding a stream is a reviewed one-line diff here
+//! instead of an analyzer release.
+//!
+//! The format is a deliberately tiny TOML subset parsed by hand so
+//! the analyzer stays dependency-free.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -16,11 +23,23 @@ use std::path::Path;
 /// File name of the baseline at the workspace root.
 pub const BASELINE_FILE: &str = "analyzer-baseline.toml";
 
-/// Parsed baseline budgets.
+/// Which table a parsed line belongs to.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Section {
+    PanicHygiene,
+    RngStreams,
+    /// An unrecognized table, ignored for forward compatibility.
+    Unknown,
+}
+
+/// Parsed baseline state.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Baseline {
     /// Allowed panic-hygiene sites per crate (absent crate = 0).
     pub panic_hygiene: BTreeMap<String, u32>,
+    /// Registered RNG stream names beyond the compiled-in catalog,
+    /// as `name → purpose`.
+    pub rng_streams: BTreeMap<String, String>,
 }
 
 impl Baseline {
@@ -56,9 +75,7 @@ impl Baseline {
     /// Returns a `line N: …` description of the first unparsable line.
     pub fn parse(text: &str) -> Result<Baseline, String> {
         let mut baseline = Baseline::default();
-        // None: before any table header. Some(false): inside an
-        // unrecognized table (ignored for forward compatibility).
-        let mut section: Option<bool> = None;
+        let mut section: Option<Section> = None;
         for (i, raw) in text.lines().enumerate() {
             let line = raw.trim();
             let n = i + 1;
@@ -66,26 +83,40 @@ impl Baseline {
                 continue;
             }
             if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
-                section = Some(name.trim() == "panic-hygiene");
+                section = Some(match name.trim() {
+                    "panic-hygiene" => Section::PanicHygiene,
+                    "rng-streams" => Section::RngStreams,
+                    _ => Section::Unknown,
+                });
                 continue;
             }
-            match section {
-                None => return Err(format!("line {n}: entry outside a table")),
-                Some(false) => continue,
-                Some(true) => {}
+            let Some(section) = section else {
+                return Err(format!("line {n}: entry outside a table"));
+            };
+            if section == Section::Unknown {
+                continue;
             }
             let Some((key, value)) = line.split_once('=') else {
-                return Err(format!("line {n}: expected `crate = count`"));
+                return Err(format!("line {n}: expected `key = value`"));
             };
             let key = key.trim().trim_matches('"').to_string();
-            let count: u32 = value
-                .trim()
-                .parse()
-                .map_err(|_| format!("line {n}: count is not a non-negative integer"))?;
             if key.is_empty() {
-                return Err(format!("line {n}: empty crate name"));
+                return Err(format!("line {n}: empty key"));
             }
-            baseline.panic_hygiene.insert(key, count);
+            if section == Section::PanicHygiene {
+                let count: u32 = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("line {n}: count is not a non-negative integer"))?;
+                baseline.panic_hygiene.insert(key, count);
+            } else {
+                let purpose = value
+                    .trim()
+                    .strip_prefix('"')
+                    .and_then(|s| s.strip_suffix('"'))
+                    .ok_or_else(|| format!("line {n}: stream purpose must be a quoted string"))?;
+                baseline.rng_streams.insert(key, purpose.to_string());
+            }
         }
         Ok(baseline)
     }
@@ -106,6 +137,21 @@ impl Baseline {
         for (name, count) in &self.panic_hygiene {
             let _ = writeln!(out, "{name} = {count}");
         }
+        if !self.rng_streams.is_empty() {
+            out.push_str(
+                "\n# RNG stream-name registry for the rng-streams lint, merged with the\n\
+                 # compiled-in catalog (`blam-analyze --list-streams` prints the union).\n\
+                 # The seeder hashes each name into its ChaCha key, so the partition\n\
+                 # below IS the statistical independence structure of the simulation:\n\
+                 # DESIGN.md \u{a7}7 (fault streams) and \u{a7}9 (per-cell `stream_indexed`\n\
+                 # sharding) rely on these names staying disjoint. Register new streams\n\
+                 # here as `name = \"purpose\"`; never reuse a name for a second draw.\n\n\
+                 [rng-streams]\n",
+            );
+            for (name, purpose) in &self.rng_streams {
+                let _ = writeln!(out, "{name} = \"{purpose}\"");
+            }
+        }
         out
     }
 
@@ -122,10 +168,22 @@ impl Baseline {
                 .filter(|&(_, &n)| n > 0)
                 .map(|(k, &v)| (k.clone(), v))
                 .collect(),
+            rng_streams: self.rng_streams.clone(),
         };
-        let path = root.join(BASELINE_FILE);
-        fs::write(&path, trimmed.render()).map_err(|e| format!("writing {}: {e}", path.display()))
+        write_string_atomic(&root.join(BASELINE_FILE), &trimmed.render())
     }
+}
+
+/// Atomic text write: temp file in the same directory, then rename.
+/// Mirrors the campaign spool's protocol (the analyzer cannot depend
+/// on `blam-campaign` without dragging the service stack into every
+/// lint run). The name is load-bearing: it is an atomic-write lint
+/// owner function, so the raw `fs::write` below is the protocol, not
+/// a violation.
+fn write_string_atomic(path: &Path, text: &str) -> Result<(), String> {
+    let tmp = path.with_extension("toml.tmp");
+    fs::write(&tmp, text).map_err(|e| format!("writing {}: {e}", tmp.display()))?;
+    fs::rename(&tmp, path).map_err(|e| format!("renaming {}: {e}", tmp.display()))
 }
 
 #[cfg(test)]
@@ -137,6 +195,8 @@ mod tests {
         let mut b = Baseline::default();
         b.panic_hygiene.insert("netsim".to_string(), 3);
         b.panic_hygiene.insert("telemetry".to_string(), 1);
+        b.rng_streams
+            .insert("debug-probe".to_string(), "ad-hoc probe draws".to_string());
         let parsed = Baseline::parse(&b.render()).expect("render output parses");
         assert_eq!(parsed, b);
     }
@@ -153,6 +213,18 @@ mod tests {
         let text = "# comment\n\n[panic-hygiene]\n\"lora-phy\" = 4\n";
         let b = Baseline::parse(text).expect("parses");
         assert_eq!(b.budget("lora-phy"), 4);
+    }
+
+    #[test]
+    fn rng_stream_entries_parse_and_require_quotes() {
+        let text = "[rng-streams]\nprobe = \"ad-hoc probe draws\"\n";
+        let b = Baseline::parse(text).expect("parses");
+        assert_eq!(
+            b.rng_streams.get("probe").map(String::as_str),
+            Some("ad-hoc probe draws")
+        );
+        let err = Baseline::parse("[rng-streams]\nprobe = 3\n").expect_err("rejects");
+        assert!(err.contains("quoted"), "{err}");
     }
 
     #[test]

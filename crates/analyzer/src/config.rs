@@ -4,7 +4,7 @@
 //! and its policy *is* repo policy, reviewed like any other code. The
 //! CLI can still narrow the battery with `--lint` for focused runs.
 
-/// Names of the seven lints (plus the pragma self-check), as used on
+/// Names of the ten lints (plus the pragma self-check), as used on
 /// the command line, in pragmas, and in reports.
 pub const LINT_NAMES: &[&str] = &[
     "determinism",
@@ -14,7 +14,56 @@ pub const LINT_NAMES: &[&str] = &[
     "unit-safety",
     "telemetry-guard",
     "float-eq",
+    "rng-streams",
+    "lock-discipline",
+    "atomic-write",
     "pragma",
+];
+
+/// One-line description per lint, for `--list-lints` and the SARIF
+/// rule metadata. Kept in `LINT_NAMES` order.
+pub const LINT_CATALOG: &[(&str, &str)] = &[
+    (
+        "determinism",
+        "no thread_rng/Instant::now/SystemTime::now in sim-core crates; hash iteration must sort",
+    ),
+    (
+        "cache-order",
+        "cache/memo bindings with iterated state must use ordered or dense containers",
+    ),
+    (
+        "store-hygiene",
+        "NodeStore columns accessed only through accessors outside store.rs/nodes.rs",
+    ),
+    (
+        "panic-hygiene",
+        "unwrap()/expect(/panic! in library code, ratcheted by analyzer-baseline.toml",
+    ),
+    (
+        "unit-safety",
+        "public fns must not take unit-suffixed raw f64 params where a blam-units newtype exists",
+    ),
+    (
+        "telemetry-guard",
+        "every netsim emit( must follow an enabled()-style check in the same fn or a callee",
+    ),
+    ("float-eq", "no ==/!= against float literals outside tests"),
+    (
+        "rng-streams",
+        "RngSeeder stream names must be catalog-registered literals, unique per function",
+    ),
+    (
+        "lock-discipline",
+        "no blocking I/O or un-looped Condvar::wait under a MutexGuard; nested locks follow the order catalog",
+    ),
+    (
+        "atomic-write",
+        "raw fs::write/File::create outside owner code must route through write_string_atomic/write_json_atomic",
+    ),
+    (
+        "pragma",
+        "analyzer pragmas must name a known lint and carry a reason",
+    ),
 ];
 
 /// Tuning for one analysis run.
@@ -35,13 +84,51 @@ pub struct Config {
     /// layout and may touch its columns directly.
     pub store_owner_files: Vec<String>,
     /// Function names that count as a telemetry guard when called
-    /// before an `emit(` in the same function body.
+    /// before an `emit(` in the same function body. The call-graph
+    /// model widens this set with functions that call one of these.
     pub guard_fns: Vec<String>,
     /// Crates whose public `fn` signatures are checked for raw `f64`
     /// parameters that a `blam-units` newtype should replace.
     pub unit_safety_crates: Vec<String>,
     /// Parameter-name suffix → `blam-units` newtype that covers it.
     pub unit_suffixes: Vec<(String, String)>,
+    /// The registered RNG stream-name catalog: `name → purpose`.
+    /// Every literal passed to `RngSeeder::stream`/`stream_indexed`
+    /// must appear here or in the `[rng-streams]` table of
+    /// `analyzer-baseline.toml` (the two are merged). See DESIGN.md §7
+    /// (fault streams) and §9 (sharded mac streams) for why the
+    /// partition matters: two call sites sharing a name silently
+    /// correlate their ChaCha streams and break shard parity.
+    pub rng_stream_catalog: Vec<(String, String)>,
+    /// Relative-path suffixes of the files that own the seeding
+    /// substrate and may derive streams generically.
+    pub rng_stream_owner_files: Vec<String>,
+    /// Crates checked by the lock-discipline lint.
+    pub lock_discipline_crates: Vec<String>,
+    /// Method names that block on I/O when called (sockets, files).
+    pub blocking_sink_methods: Vec<String>,
+    /// `qualifier::name` path calls that block on I/O.
+    pub blocking_sink_paths: Vec<(String, String)>,
+    /// Permitted nested-lock orders, as `(outer class, inner class)`
+    /// pairs. Any other second acquisition under a held guard is a
+    /// finding.
+    pub lock_order: Vec<(String, String)>,
+    /// Function names excluded from the call-graph summary maps
+    /// (guards, sinks, lock classes). These are std-prelude and
+    /// builder-pattern names — `collect`, `finish`, `new`, `drop`, … —
+    /// where a same-named workspace function would otherwise classify
+    /// every iterator `.collect()` or `Debug` builder `.finish()` in
+    /// the repo as blocking I/O. Name-based propagation simply cannot
+    /// tell these apart, so they neither *become* summaries nor carry
+    /// them; direct sinks (`.flush()`, `fs::write`, …) at such sites
+    /// are still caught by the per-call checks.
+    pub transitive_stoplist: Vec<String>,
+    /// Relative-path suffixes of files that own the atomic-write
+    /// protocol and may call `fs::write`/`File::create` directly.
+    pub atomic_write_owner_files: Vec<String>,
+    /// Function names whose bodies implement the atomic-write
+    /// protocol (their internal raw writes are the protocol).
+    pub atomic_write_owner_fns: Vec<String>,
     /// Directory names skipped entirely during the workspace walk.
     pub skip_dirs: Vec<String>,
     /// How many significant tokens after a hash-container iteration
@@ -54,6 +141,11 @@ pub struct Config {
 impl Default for Config {
     fn default() -> Self {
         let owned = |xs: &[&str]| xs.iter().map(|s| (*s).to_string()).collect();
+        let pairs = |xs: &[(&str, &str)]| {
+            xs.iter()
+                .map(|(a, b)| ((*a).to_string(), (*b).to_string()))
+                .collect()
+        };
         Config {
             // Deliberately excluded: `campaign` and `telemetry`. They
             // are the service layer around the simulation — the serve
@@ -103,6 +195,78 @@ impl Default for Config {
             .iter()
             .map(|(s, n)| ((*s).to_string(), (*n).to_string()))
             .collect(),
+            // The canonical stream partition. The fault streams are
+            // DESIGN.md §7's five fault layers plus the gateway-outage
+            // schedule; `mac` is the per-node transmission jitter that
+            // §9's sharded engine re-derives per cell via
+            // `stream_indexed`. Names must stay disjoint: the seeder
+            // hashes the name into the ChaCha key, so a reused name
+            // is a silently correlated stream.
+            rng_stream_catalog: pairs(&[
+                ("topology", "node/gateway placement draws"),
+                ("solar", "per-node solar harvest phase offsets"),
+                ("nodes", "per-node battery capacity spread"),
+                ("phases", "initial report phase offsets"),
+                (
+                    "mac",
+                    "per-node MAC transmission jitter (indexed per node/cell)",
+                ),
+                ("batch-run", "per-run derivation for batch runners"),
+                ("script-churn", "scripted node-churn arrival draws"),
+                ("fault-ul", "uplink Gilbert-Elliott burst-loss chains"),
+                ("fault-dl", "downlink Gilbert-Elliott burst-loss chains"),
+                ("fault-reboot", "per-node spontaneous reboot schedules"),
+                ("fault-sensor", "per-node sensor-noise injection"),
+                ("fault-weight", "per-node weight-corruption injection"),
+                ("fault-outage", "per-gateway outage schedules"),
+            ]),
+            rng_stream_owner_files: owned(&["des/src/rng.rs"]),
+            lock_discipline_crates: owned(&["campaign", "telemetry", "netsim"]),
+            blocking_sink_methods: owned(&[
+                "write_all",
+                "write_fmt",
+                "flush",
+                "write_chunk",
+                "start_chunked",
+                "end_chunked",
+                "respond_json",
+                "read_request",
+                "read_to_string",
+                "read_exact",
+                "read_line",
+                "connect",
+                "accept",
+                "sync_all",
+                "sync_data",
+            ]),
+            blocking_sink_paths: pairs(&[
+                ("fs", "write"),
+                ("fs", "read"),
+                ("fs", "read_to_string"),
+                ("fs", "rename"),
+                ("fs", "create_dir_all"),
+                ("fs", "remove_file"),
+                ("File", "create"),
+                ("File", "open"),
+                ("TcpStream", "connect"),
+            ]),
+            lock_order: pairs(&[
+                // The daemon closes per-job tail rings while holding
+                // the registry lock (cancel/shutdown must be atomic
+                // with the state transition).
+                ("registry.state", "shared.state"),
+                // The shard barrier drains per-cell trace buffers
+                // while holding the shared trace-writer lock (cell
+                // order must be atomic with the write).
+                ("writer", "0"),
+            ]),
+            transitive_stoplist: owned(&[
+                "lock", "drop", "new", "default", "clone", "from", "into", "collect", "drain",
+                "finish", "take", "get", "push", "insert", "extend", "next", "iter", "len",
+                "clear", "write", "read",
+            ]),
+            atomic_write_owner_files: owned(&["campaign/src/spool.rs"]),
+            atomic_write_owner_fns: owned(&["write_string_atomic", "write_json_atomic"]),
             skip_dirs: owned(&["target", ".git", "fixtures"]),
             sort_window: 48,
             only: Vec::new(),

@@ -8,8 +8,11 @@
 //! telemetry. One stray `thread_rng()` or unsorted `HashMap` loop
 //! silently breaks golden-record parity. This crate tokenizes every
 //! `.rs` file in the workspace with a hand-rolled lexer (no `syn`, no
-//! registry access — it must build in offline containers) and runs a
-//! seven-lint battery over the token streams:
+//! registry access — it must build in offline containers), parses the
+//! token streams into per-function bodies with a lightweight item /
+//! expression parser ([`syntax`]), builds a crate-wide function index
+//! with a call graph and fixpoint summaries ([`model`]), and runs a
+//! ten-lint battery:
 //!
 //! | lint | checks |
 //! |------|--------|
@@ -18,13 +21,17 @@
 //! | `store-hygiene`   | `NodeStore` columns touched only via accessors outside store.rs/nodes.rs |
 //! | `panic-hygiene`   | `unwrap()`/`expect(`/`panic!` in library code vs. a ratcheting baseline |
 //! | `unit-safety`     | public `fn`s must not take unit-suffixed raw `f64` parameters |
-//! | `telemetry-guard` | every netsim `emit(` dominated by an `enabled()`-style check |
+//! | `telemetry-guard` | every netsim `emit(` dominated by an `enabled()`-style check (or a wrapper) |
 //! | `float-eq`        | no `==`/`!=` against float literals outside tests |
+//! | `rng-streams`     | `RngSeeder` stream names are catalog literals, unique per function |
+//! | `lock-discipline` | no blocking I/O / un-looped `Condvar::wait` under a guard; ordered nesting |
+//! | `atomic-write`    | durable writes route through the spool's temp-then-rename protocol |
 //!
 //! Intentional violations are waived in place with
 //! `// analyzer: allow(<lint>, reason = "…")` — the reason is
 //! mandatory. The panic-hygiene counts ratchet monotonically downward
-//! through `analyzer-baseline.toml`.
+//! through `analyzer-baseline.toml`, which also registers the RNG
+//! stream catalog.
 //!
 //! Run it as the `blam-analyze` binary (human or `--format json`
 //! output), or in-process from a test:
@@ -45,8 +52,10 @@ pub mod baseline;
 pub mod config;
 pub mod lints;
 pub mod mask;
+pub mod model;
 pub mod pragma;
 pub mod report;
+pub mod syntax;
 pub mod tokenizer;
 pub mod walk;
 
@@ -55,6 +64,7 @@ use std::path::Path;
 
 pub use baseline::Baseline;
 pub use config::Config;
+pub use model::Model;
 pub use report::{Finding, Outcome};
 pub use walk::{FileKind, SourceFile};
 
@@ -65,7 +75,15 @@ pub fn analyze_files(files: &[SourceFile], cfg: &Config, baseline: &Baseline) ->
     let mut raw = Vec::new();
     let mut panic_sites = Vec::new();
 
-    for file in files {
+    // The crate-wide model the v2 lints share: parsed bodies, the
+    // call graph, and guard/sink/lock fixpoint summaries.
+    let model = Model::build(files, cfg);
+    // The registered stream catalog: compiled-in defaults plus the
+    // repo-reviewed `[rng-streams]` table in analyzer-baseline.toml.
+    let mut catalog: BTreeMap<String, String> = cfg.rng_stream_catalog.iter().cloned().collect();
+    catalog.extend(baseline.rng_streams.clone());
+
+    for (fi, file) in files.iter().enumerate() {
         if cfg.lint_enabled("determinism") {
             lints::determinism::check(file, cfg, &mut raw);
         }
@@ -79,10 +97,19 @@ pub fn analyze_files(files: &[SourceFile], cfg: &Config, baseline: &Baseline) ->
             lints::unit_safety::check(file, cfg, &mut raw);
         }
         if cfg.lint_enabled("telemetry-guard") {
-            lints::telemetry_guard::check(file, cfg, &mut raw);
+            lints::telemetry_guard::check(fi, files, &model, cfg, &mut raw);
         }
         if cfg.lint_enabled("float-eq") {
             lints::float_eq::check(file, &mut raw);
+        }
+        if cfg.lint_enabled("rng-streams") {
+            lints::rng_streams::check(fi, files, &model, cfg, &catalog, &mut raw);
+        }
+        if cfg.lint_enabled("lock-discipline") {
+            lints::lock_discipline::check(fi, files, &model, cfg, &mut raw);
+        }
+        if cfg.lint_enabled("atomic-write") {
+            lints::atomic_write::check(fi, files, &model, cfg, &mut raw);
         }
         if cfg.lint_enabled("panic-hygiene") {
             lints::panic_hygiene::check(file, &mut panic_sites);
@@ -108,9 +135,13 @@ pub fn analyze_files(files: &[SourceFile], cfg: &Config, baseline: &Baseline) ->
         ..Outcome::default()
     };
     apply_baseline(&mut outcome, panic_sites, baseline);
-    // Deterministic report order whatever the lint interleaving.
+    // Deterministic report order whatever the lint interleaving —
+    // findings and baselined sites alike, across every output format.
     outcome
         .findings
+        .sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    outcome
+        .baselined
         .sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
     outcome
 }

@@ -1,0 +1,121 @@
+//! `atomic-write`: durable files are written via the temp-then-rename
+//! protocol (`write_string_atomic` / `write_json_atomic` in the
+//! campaign spool), never with raw `fs::write` or `File::create`. A
+//! raw write torn by a crash leaves a half-file that the resume path
+//! then trusts; the spool's rename makes every observable state either
+//! the old file or the complete new one.
+//!
+//! Exemptions: the owner files/functions that *implement* the
+//! protocol, test code, and sites pragma'd with a reason (a streaming
+//! writer that appends live, for example, cannot be renamed into
+//! place).
+
+use crate::config::Config;
+use crate::lints::finding;
+use crate::model::Model;
+use crate::report::Finding;
+use crate::walk::SourceFile;
+
+/// Runs the atomic-write lint over one file.
+pub fn check(fi: usize, files: &[SourceFile], model: &Model, cfg: &Config, out: &mut Vec<Finding>) {
+    let file = &files[fi];
+    if cfg
+        .atomic_write_owner_files
+        .iter()
+        .any(|s| file.rel.ends_with(s))
+    {
+        return;
+    }
+    let toks = &file.tokens;
+    for k in 2..toks.len() {
+        let t = &toks[k];
+        let raw = (t.is_ident("write") && toks[k - 2].is_ident("fs"))
+            || (t.is_ident("create") && toks[k - 2].is_ident("File"));
+        if !raw
+            || !toks[k - 1].is_punct("::")
+            || !toks.get(k + 1).is_some_and(|n| n.is_punct("("))
+            || file.is_test_code(k)
+        {
+            continue;
+        }
+        // Inside an owner function (e.g. the analyzer's own
+        // baseline-save helper), the raw write IS the protocol.
+        let enclosing = model.enclosing_fn_names(fi, k);
+        if enclosing
+            .iter()
+            .any(|n| cfg.atomic_write_owner_fns.iter().any(|o| o == n))
+        {
+            continue;
+        }
+        let what = if t.is_ident("write") {
+            "fs::write"
+        } else {
+            "File::create"
+        };
+        out.push(finding(
+            file,
+            "atomic-write",
+            t.line,
+            format!(
+                "raw `{what}` outside the spool; route durable writes through \
+                 `blam_campaign::write_string_atomic`/`write_json_atomic` so a crash \
+                 can never leave a torn file"
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rel: &str, src: &str) -> Vec<Finding> {
+        let (crate_name, kind) = crate::walk::classify(rel);
+        let files = [SourceFile::from_source(
+            rel,
+            &crate_name,
+            kind,
+            src.to_string(),
+        )];
+        let cfg = Config::default();
+        let model = Model::build(&files, &cfg);
+        let mut out = Vec::new();
+        check(0, &files, &model, &cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn raw_fs_write_and_file_create_are_flagged() {
+        let src = "fn save(p: &Path) { std::fs::write(p, \"x\").ok(); }";
+        let f = run("crates/campaign/src/a.rs", src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("fs::write"));
+        let src = "fn open(p: &Path) { let f = File::create(p).unwrap_or_else(|e| die(e)); }";
+        let f = run("crates/netsim/src/a.rs", src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("File::create"));
+    }
+
+    #[test]
+    fn owner_file_and_owner_fn_are_exempt() {
+        let src = "fn write_string_atomic(p: &Path) { std::fs::write(p, \"x\").ok(); }";
+        assert!(run("crates/campaign/src/spool.rs", src).is_empty());
+        // Same source in a non-owner file: the owner *function* name
+        // still covers its internal raw write.
+        assert!(run("crates/campaign/src/other.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { std::fs::write(p, \"x\").ok(); }\n}";
+        assert!(run("crates/campaign/src/a.rs", src).is_empty());
+        let src = "fn t() { std::fs::write(p, \"x\").ok(); }";
+        assert!(run("crates/campaign/tests/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unrelated_write_calls_pass() {
+        let src = "fn f(w: &mut W) { w.write(buf).ok(); fs_label::write(); self.fs.write; }";
+        assert!(run("crates/campaign/src/a.rs", src).is_empty());
+    }
+}

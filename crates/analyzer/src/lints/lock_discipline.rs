@@ -1,0 +1,558 @@
+//! `lock-discipline`: three rules for code that holds a `MutexGuard`
+//! in the service crates (campaign, telemetry, netsim):
+//!
+//! 1. **No blocking sink under a guard.** Socket and file I/O while a
+//!    lock is held stalls every thread contending for it — the daemon
+//!    must build its response under the registry lock and respond
+//!    after dropping it. The one sanctioned shape is the
+//!    mutex-protects-the-writer idiom, where the sink goes *through*
+//!    the guard itself (`w.write_all(…)` on the guard `w`, or a
+//!    `lock().…` chain).
+//! 2. **`Condvar::wait` inside a loop.** Spurious wakeups are legal;
+//!    a wait whose predicate is not re-checked in a surrounding loop
+//!    is a latent race.
+//! 3. **Nested locks follow the order catalog.** A second `.lock()`
+//!    (direct, via a `MutexGuard`-returning helper, or transitively
+//!    inside a callee per the call-graph summary) under a held guard
+//!    is allowed only for `(outer, inner)` class pairs registered in
+//!    the config — everything else is a deadlock waiting for its
+//!    second thread.
+//!
+//! Guard lifetimes are tracked lexically: a `let`-bound guard dies at
+//! `drop(name)` or its block's end; an unbound guard expression dies
+//! at the end of its statement. Closure bodies are analyzed as part
+//! of the enclosing function (inline iterator closures run under the
+//! guard); nested `fn` items are not.
+
+use std::collections::BTreeSet;
+
+use crate::config::Config;
+use crate::lints::finding;
+use crate::model::{direct_sink, lock_class, Model};
+use crate::report::Finding;
+use crate::syntax::Call;
+use crate::walk::{FileKind, SourceFile};
+
+/// One live lock guard during the lexical walk.
+struct Guard {
+    /// Binding name; `None` for an unbound temporary.
+    name: Option<String>,
+    /// Lock class (see [`lock_class`]).
+    class: String,
+    /// Brace depth the binding lives at (temporaries ignore this).
+    depth: i32,
+}
+
+/// Names of Condvar wait methods (all take and return the guard).
+const WAIT_METHODS: &[&str] = &["wait", "wait_timeout", "wait_while", "wait_timeout_while"];
+
+/// Runs the lock-discipline lint over one file.
+pub fn check(fi: usize, files: &[SourceFile], model: &Model, cfg: &Config, out: &mut Vec<Finding>) {
+    let file = &files[fi];
+    if file.kind == FileKind::Test || !cfg.lock_discipline_crates.contains(&file.crate_name) {
+        return;
+    }
+    let helper_names: BTreeSet<&str> = model
+        .lock_helpers
+        .keys()
+        .map(|&(hf, hd)| model.decls[hf][hd].name.as_str())
+        .collect();
+    for (di, decl) in model.decls[fi].iter().enumerate() {
+        if decl.parent.is_some() || decl.is_closure || file.is_test_code(decl.fn_tok) {
+            continue;
+        }
+        check_fn(fi, di, files, model, cfg, &helper_names, out);
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn check_fn(
+    fi: usize,
+    di: usize,
+    files: &[SourceFile],
+    model: &Model,
+    cfg: &Config,
+    helper_names: &BTreeSet<&str>,
+    out: &mut Vec<Finding>,
+) {
+    let file = &files[fi];
+    let toks = &file.tokens;
+    let decl = &model.decls[fi][di];
+    let skip = model.nested_fn_ranges(fi, di);
+    let calls = model.subtree_calls(fi, di);
+    let mut call_at = calls.iter().map(|c| (c.tok, *c)).collect::<Vec<_>>();
+    call_at.sort_by_key(|(tok, _)| *tok);
+    let mut next_call = 0usize;
+
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0i32;
+    // Per-block flags: is this block a loop body?
+    let mut blocks: Vec<bool> = Vec::new();
+    let mut pending_loop = false;
+
+    let mut k = decl.body.0;
+    'walk: while k < decl.body.1 {
+        for &(es, ee) in &skip {
+            if k >= es && k < ee {
+                k = ee;
+                continue 'walk;
+            }
+        }
+        let t = &toks[k];
+        if t.is_ident("loop") || t.is_ident("while") || t.is_ident("for") {
+            pending_loop = true;
+        } else if t.is_punct("{") {
+            guards.retain(|g| g.name.is_some());
+            blocks.push(pending_loop);
+            pending_loop = false;
+            depth += 1;
+        } else if t.is_punct("}") {
+            guards.retain(|g| g.name.is_some());
+            blocks.pop();
+            depth -= 1;
+            guards.retain(|g| g.depth <= depth);
+        } else if t.is_punct(";") {
+            guards.retain(|g| g.name.is_some());
+        }
+
+        while next_call < call_at.len() && call_at[next_call].0 < k {
+            next_call += 1;
+        }
+        if next_call < call_at.len() && call_at[next_call].0 == k {
+            let call = call_at[next_call].1;
+            next_call += 1;
+            handle_call(
+                file,
+                toks,
+                model,
+                cfg,
+                helper_names,
+                call,
+                fi,
+                k,
+                depth,
+                &blocks,
+                &mut guards,
+                out,
+            );
+        }
+        k += 1;
+    }
+}
+
+/// Processes one call during the walk: guard drops, acquisitions
+/// (with the nested-order check), Condvar waits, and blocking sinks.
+#[allow(clippy::too_many_arguments)]
+fn handle_call(
+    file: &SourceFile,
+    toks: &[crate::tokenizer::Token],
+    model: &Model,
+    cfg: &Config,
+    helper_names: &BTreeSet<&str>,
+    call: &Call,
+    fi: usize,
+    k: usize,
+    depth: i32,
+    blocks: &[bool],
+    guards: &mut Vec<Guard>,
+    out: &mut Vec<Finding>,
+) {
+    // `drop(name)` releases a named guard early.
+    if !call.method && call.callee == "drop" && call.args.len() == 1 {
+        let (as_, ae) = call.args[0];
+        if ae - as_ == 1 {
+            let dropped = &toks[as_].text;
+            guards.retain(|g| g.name.as_deref() != Some(dropped.as_str()));
+        }
+        return;
+    }
+
+    // The guard names active right now (for receiver exemptions).
+    let guard_names: Vec<&str> = guards.iter().filter_map(|g| g.name.as_deref()).collect();
+    let on_guard = call
+        .recv
+        .first()
+        .is_some_and(|r| guard_names.contains(&r.as_str()));
+    let chained_on_lock = call
+        .chain
+        .iter()
+        .any(|c| c == "lock" || helper_names.contains(c.as_str()));
+
+    // Acquisitions: direct `.lock()` or a MutexGuard-returning helper.
+    let acquired = if call.method && call.callee == "lock" {
+        Some(lock_class(&call.recv))
+    } else {
+        model.helper_class(fi, call).map(str::to_string)
+    };
+    if let Some(class) = acquired {
+        for held in guards.iter() {
+            let allowed = cfg
+                .lock_order
+                .iter()
+                .any(|(a, b)| *a == held.class && *b == class);
+            if !allowed {
+                out.push(finding(
+                    file,
+                    "lock-discipline",
+                    call.line,
+                    format!(
+                        "acquiring lock `{class}` while `{}` is held is not in the \
+                         lock-order catalog; nested locks need a registered fixed order \
+                         to stay deadlock-free",
+                        held.class
+                    ),
+                ));
+            }
+        }
+        // `let g = lock(…)` binds the guard only when nothing but
+        // poison adapters follow; `let spool = lock(…).jobs.iter()…`
+        // consumes the guard inside the statement (a temporary).
+        let name = if guard_survives_chain(toks, k) {
+            binding_name(toks, k)
+        } else {
+            None
+        };
+        guards.push(Guard { name, class, depth });
+        return;
+    }
+
+    // Condvar waits must sit inside a loop that re-checks the
+    // predicate.
+    if call.method && WAIT_METHODS.contains(&call.callee.as_str()) {
+        let in_loop = blocks.iter().any(|&b| b);
+        if !in_loop {
+            out.push(finding(
+                file,
+                "lock-discipline",
+                call.line,
+                format!(
+                    "`Condvar::{}` outside a loop; spurious wakeups are legal, so the \
+                     predicate must be re-checked in a surrounding `while`/`loop`",
+                    call.callee
+                ),
+            ));
+        }
+        return;
+    }
+
+    if guards.is_empty() {
+        return;
+    }
+
+    // Blocking sinks under a guard — unless the sink goes through the
+    // guard itself (mutex-protects-the-writer).
+    let sink = direct_sink(call, cfg).or_else(|| {
+        model
+            .sink_fns
+            .get(&call.callee)
+            .map(|via| format!("`{}` ({via})", call.callee))
+    });
+    if let Some(desc) = sink {
+        if !on_guard && !chained_on_lock {
+            let held = &guards[guards.len() - 1];
+            out.push(finding(
+                file,
+                "lock-discipline",
+                call.line,
+                format!(
+                    "{desc} performs blocking I/O while lock `{}` is held; build the \
+                     payload under the lock, drop the guard, then do the I/O",
+                    held.class
+                ),
+            ));
+        }
+        return;
+    }
+
+    // Transitive lock acquisition inside a callee.
+    if let Some(classes) = model.lock_summary.get(&call.callee) {
+        for class in classes {
+            for held in guards.iter() {
+                let allowed = cfg
+                    .lock_order
+                    .iter()
+                    .any(|(a, b)| *a == held.class && b == class);
+                if !allowed {
+                    out.push(finding(
+                        file,
+                        "lock-discipline",
+                        call.line,
+                        format!(
+                            "`{}` acquires lock `{class}` while `{}` is held, and \
+                             `({}, {class})` is not in the lock-order catalog",
+                            call.callee, held.class, held.class
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// True when the expression starting at the acquisition call at token
+/// `k` still *is* the guard once its method chain ends: only poison
+/// adapters (`unwrap`, `expect`, `unwrap_or_else`) may follow. A
+/// field access or any other chained method (`.jobs`, `.iter()`,
+/// `.map(…)`) consumes the guard inside the statement, so the `let`
+/// binding — if any — holds a derived value, not the lock.
+fn guard_survives_chain(toks: &[crate::tokenizer::Token], k: usize) -> bool {
+    let Some(open) = toks.get(k + 1).filter(|t| t.is_punct("(")).map(|_| k + 1) else {
+        return true;
+    };
+    let Some(close) = crate::syntax::matching_paren(toks, open) else {
+        return true;
+    };
+    let mut j = close + 1;
+    loop {
+        let Some(t) = toks.get(j) else { return true };
+        if t.is_punct("?") {
+            j += 1;
+        } else if t.is_punct(".") {
+            let adapter = toks.get(j + 1).is_some_and(|n| {
+                n.is_ident("unwrap") || n.is_ident("expect") || n.is_ident("unwrap_or_else")
+            }) && toks.get(j + 2).is_some_and(|p| p.is_punct("("));
+            if !adapter {
+                return false;
+            }
+            match crate::syntax::matching_paren(toks, j + 2) {
+                Some(c) => j = c + 1,
+                None => return true,
+            }
+        } else {
+            return true;
+        }
+    }
+}
+
+/// When the statement containing token `k` is `let [mut] name = …`,
+/// returns the binding name; `None` for unbound expressions.
+fn binding_name(toks: &[crate::tokenizer::Token], k: usize) -> Option<String> {
+    // Scan back to the statement/block boundary.
+    let mut j = k;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+            j += 1;
+            break;
+        }
+        if j == 0 {
+            break;
+        }
+    }
+    if !toks.get(j)?.is_ident("let") {
+        return None;
+    }
+    let mut n = j + 1;
+    if toks.get(n)?.is_ident("mut") {
+        n += 1;
+    }
+    let name = toks.get(n)?;
+    if name.kind == crate::tokenizer::TokenKind::Ident && toks.get(n + 1)?.is_punct("=") {
+        Some(name.text.clone())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let (crate_name, kind) = crate::walk::classify("crates/campaign/src/x.rs");
+        let files = [SourceFile::from_source(
+            "crates/campaign/src/x.rs",
+            &crate_name,
+            kind,
+            src.to_string(),
+        )];
+        let cfg = Config::default();
+        let model = Model::build(&files, &cfg);
+        let mut out = Vec::new();
+        check(0, &files, &model, &cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn sink_under_a_held_guard_is_flagged() {
+        let src = "fn route(&self) {\n\
+                   let g = self.registry.state.lock().unwrap_or_else(PoisonError::into_inner);\n\
+                   self.conn.respond_json(&g.body);\n\
+                   }";
+        let f = run(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains("respond_json"), "{}", f[0].message);
+        assert!(f[0].message.contains("registry.state"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn build_then_drop_then_respond_passes() {
+        let src = "fn route(&self) {\n\
+                   let g = self.registry.state.lock().unwrap_or_else(PoisonError::into_inner);\n\
+                   let body = g.body.clone();\n\
+                   drop(g);\n\
+                   self.conn.respond_json(&body);\n\
+                   }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn block_scoped_guards_die_at_the_brace() {
+        let src = "fn route(&self) {\n\
+                   let body = { let g = self.state.lock().unwrap_or_else(f); g.body.clone() };\n\
+                   self.conn.respond_json(&body);\n\
+                   }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn the_sink_through_the_guard_itself_is_the_sanctioned_shape() {
+        // Mutex-protects-the-writer: the guard *is* the writer.
+        let src = "fn write_line(&self) {\n\
+                   let mut w = self.shared.lock().unwrap_or_else(PoisonError::into_inner);\n\
+                   w.write_all(b\"x\").ok();\n\
+                   }";
+        assert!(run(src).is_empty());
+        // …and the chained form.
+        let src = "fn flush(&self) { self.shared.lock().unwrap_or_else(f).flush().ok(); }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn a_transitive_sink_is_still_a_sink() {
+        let src = "fn persist(p: &Path, s: &str) { std::fs::write(p, s).ok(); }\n\
+                   fn bad(&self) {\n\
+                   let g = self.state.lock().unwrap_or_else(f);\n\
+                   persist(&g.path, &g.body);\n\
+                   }";
+        let f = run(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 4);
+        assert!(f[0].message.contains("persist"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn condvar_wait_needs_a_loop() {
+        let src = "fn pause(&self) {\n\
+                   let mut g = self.state.lock().unwrap_or_else(f);\n\
+                   g = self.cv.wait(g).unwrap_or_else(f);\n\
+                   }";
+        let f = run(src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("wait"), "{}", f[0].message);
+
+        let src = "fn pause(&self) {\n\
+                   let mut g = self.state.lock().unwrap_or_else(f);\n\
+                   while g.busy { g = self.cv.wait(g).unwrap_or_else(f); }\n\
+                   }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn nested_locks_need_a_registered_order() {
+        // registry.state → shared.state is in the default catalog.
+        let src = "fn close(&self) {\n\
+                   let g = self.registry.state.lock().unwrap_or_else(f);\n\
+                   let h = self.shared.state.lock().unwrap_or_else(f);\n\
+                   }";
+        assert!(run(src).is_empty());
+        // The reverse order is not.
+        let src = "fn close(&self) {\n\
+                   let h = self.shared.state.lock().unwrap_or_else(f);\n\
+                   let g = self.registry.state.lock().unwrap_or_else(f);\n\
+                   }";
+        let f = run(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains("lock-order"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn a_guard_returning_helper_counts_as_an_acquisition() {
+        let src = "fn lock(registry: &Registry) -> MutexGuard<'_, State> {\n\
+                   registry.state.lock().unwrap_or_else(PoisonError::into_inner)\n\
+                   }\n\
+                   fn bad(registry: &Registry, conn: &mut Conn) {\n\
+                   let g = lock(registry);\n\
+                   conn.respond_json(&g.body);\n\
+                   }";
+        let f = run(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 6);
+    }
+
+    #[test]
+    fn a_chain_that_consumes_the_guard_is_a_statement_temporary() {
+        // `let spool = lock(…).jobs.iter()…` binds the *mapped clone*;
+        // the guard is a temporary that dies at the `;`, so the
+        // respond on the next line runs unlocked.
+        let src = "fn lock(registry: &Registry) -> MutexGuard<'_, State> {\n\
+                   registry.state.lock().unwrap_or_else(PoisonError::into_inner)\n\
+                   }\n\
+                   fn route(registry: &Registry, conn: &mut Conn) {\n\
+                   let spool = lock(registry).jobs.iter().find(|j| j.ok).map(|j| j.spool.clone());\n\
+                   conn.respond_json(&spool);\n\
+                   }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn a_callee_that_locks_transitively_is_checked_against_the_order() {
+        let src = "fn refresh(&self) { let m = self.metrics.lock().unwrap_or_else(f); }\n\
+                   fn bad(&self) {\n\
+                   let g = self.state.lock().unwrap_or_else(f);\n\
+                   self.refresh();\n\
+                   }";
+        let f = run(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 4);
+        assert!(f[0].message.contains("refresh"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn closures_run_under_the_guard_but_nested_fns_do_not() {
+        // An inline closure body executes while the guard is held:
+        // both the body's sink (line 3) and the call through the
+        // closure (line 4, via the sink fixpoint) are reported.
+        let src = "fn bad(&self) {\n\
+                   let g = self.state.lock().unwrap_or_else(f);\n\
+                   let report = |x: &str| { self.conn.write_all(x.as_bytes()).ok(); };\n\
+                   report(&g.body);\n\
+                   }";
+        let f = run(src);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].line, 3);
+        assert_eq!(f[1].line, 4);
+        // A nested fn item does not run when the parent does.
+        let src = "fn good(&self) {\n\
+                   let g = self.state.lock().unwrap_or_else(f);\n\
+                   fn helper(c: &Conn, x: &str) { c.write_all(x.as_bytes()).ok(); }\n\
+                   }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_crates_and_test_code_pass() {
+        let src = "fn route(&self) {\n\
+                   let g = self.state.lock().unwrap_or_else(f);\n\
+                   self.conn.respond_json(&g.body);\n\
+                   }";
+        let (crate_name, kind) = crate::walk::classify("crates/lorawan/src/x.rs");
+        let files = [SourceFile::from_source(
+            "crates/lorawan/src/x.rs",
+            &crate_name,
+            kind,
+            src.to_string(),
+        )];
+        let cfg = Config::default();
+        let model = Model::build(&files, &cfg);
+        let mut out = Vec::new();
+        check(0, &files, &model, &cfg, &mut out);
+        assert!(out.is_empty());
+
+        let test_src = format!("#[cfg(test)]\nmod tests {{\n{src}\n}}");
+        assert!(run(&test_src).is_empty());
+    }
+}

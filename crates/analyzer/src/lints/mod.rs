@@ -1,12 +1,19 @@
-//! The lint battery. Each lint is a token-pattern pass over one
-//! [`SourceFile`](crate::walk::SourceFile); all of them push
+//! The lint battery. The first-generation lints are token-pattern
+//! passes over one [`SourceFile`](crate::walk::SourceFile); the v2
+//! lints (rng-streams, lock-discipline, atomic-write,
+//! telemetry-guard) additionally consult the crate-wide
+//! [`Model`](crate::model::Model) — parsed function bodies, the call
+//! graph, and its fixpoint summaries. All of them push
 //! [`Finding`](crate::report::Finding)s into a shared vector and the
 //! library layer applies pragmas and the baseline afterwards.
 
+pub mod atomic_write;
 pub mod cache_order;
 pub mod determinism;
 pub mod float_eq;
+pub mod lock_discipline;
 pub mod panic_hygiene;
+pub mod rng_streams;
 pub mod store_hygiene;
 pub mod telemetry_guard;
 pub mod unit_safety;

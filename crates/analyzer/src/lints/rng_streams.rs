@@ -1,0 +1,207 @@
+//! `rng-streams`: every name handed to `RngSeeder::stream` /
+//! `stream_indexed` must be a provable string literal, registered in
+//! the stream catalog, and unique within its function.
+//!
+//! The seeder hashes the stream name into the ChaCha key, so the name
+//! *is* the statistical identity of the stream: two call sites
+//! sharing one name draw correlated randomness (silently breaking
+//! shard parity and fault independence), and a dynamically built name
+//! cannot be audited against the catalog at all. Resolution is
+//! interprocedural: a name that arrives through a parameter is
+//! resolved through every caller in the call-graph model
+//! (`LossState::build(…, "fault-ul", …)` proves the parameter), up to
+//! a small depth.
+
+use std::collections::BTreeMap;
+
+use crate::config::Config;
+use crate::lints::finding;
+use crate::model::{DeclId, Model};
+use crate::report::Finding;
+use crate::tokenizer::TokenKind;
+use crate::walk::{FileKind, SourceFile};
+
+/// How a stream-name argument resolved.
+enum Resolved {
+    /// Provable literal name(s) — possibly several via callers.
+    Names(Vec<String>),
+    /// A computed expression; cannot be a catalog literal.
+    Dynamic,
+    /// A parameter with no known callers (or too deep to chase).
+    Unknown,
+}
+
+/// Runs the rng-streams lint over one file. `catalog` is the merged
+/// config + baseline stream registry.
+pub fn check(
+    fi: usize,
+    files: &[SourceFile],
+    model: &Model,
+    cfg: &Config,
+    catalog: &BTreeMap<String, String>,
+    out: &mut Vec<Finding>,
+) {
+    let file = &files[fi];
+    if file.kind == FileKind::Test
+        || cfg
+            .rng_stream_owner_files
+            .iter()
+            .any(|s| file.rel.ends_with(s))
+    {
+        return;
+    }
+    for di in 0..model.decls[fi].len() {
+        // Per-function uniqueness: name → line of the first sink site
+        // that draws it in this declaration's own scope.
+        let mut drawn: BTreeMap<String, u32> = BTreeMap::new();
+        for call in &model.calls[fi][di] {
+            let is_sink =
+                call.method && (call.callee == "stream" || call.callee == "stream_indexed");
+            if !is_sink || file.is_test_code(call.tok) {
+                continue;
+            }
+            let Some(&arg) = call.args.first() else {
+                continue;
+            };
+            let mut seen = Vec::new();
+            match resolve_arg(files, model, (fi, di), arg, 0, &mut seen) {
+                Resolved::Names(names) => {
+                    for name in names {
+                        if !catalog.contains_key(&name) {
+                            out.push(finding(
+                                file,
+                                "rng-streams",
+                                call.line,
+                                format!(
+                                    "stream name \"{name}\" is not in the registered catalog; \
+                                     add it to `[rng-streams]` in analyzer-baseline.toml with \
+                                     its purpose (see `blam-analyze --list-streams`)"
+                                ),
+                            ));
+                        }
+                        if let Some(&first) = drawn.get(&name) {
+                            if first != call.line {
+                                out.push(finding(
+                                    file,
+                                    "rng-streams",
+                                    call.line,
+                                    format!(
+                                        "stream name \"{name}\" is already drawn at line \
+                                         {first} in this function; reusing a name correlates \
+                                         the two ChaCha streams"
+                                    ),
+                                ));
+                            }
+                        } else {
+                            drawn.insert(name, call.line);
+                        }
+                    }
+                }
+                Resolved::Dynamic => out.push(finding(
+                    file,
+                    "rng-streams",
+                    call.line,
+                    "stream name is built dynamically; pass a literal from the registered \
+                     catalog so the stream partition stays auditable"
+                        .to_string(),
+                )),
+                Resolved::Unknown => out.push(finding(
+                    file,
+                    "rng-streams",
+                    call.line,
+                    "cannot resolve this stream name to a literal through any caller; \
+                     thread a catalog literal down to this call"
+                        .to_string(),
+                )),
+            }
+        }
+    }
+}
+
+/// Resolves one argument token range to literal stream names, chasing
+/// parameters through callers up to depth 4.
+fn resolve_arg(
+    files: &[SourceFile],
+    model: &Model,
+    at: DeclId,
+    arg: (usize, usize),
+    depth: usize,
+    seen: &mut Vec<DeclId>,
+) -> Resolved {
+    let (fi, di) = at;
+    let toks = &files[fi].tokens;
+    // Strip leading `&` reference tokens.
+    let mut start = arg.0;
+    while start < arg.1 && toks[start].is_punct("&") {
+        start += 1;
+    }
+    if arg.1 <= start {
+        return Resolved::Dynamic;
+    }
+    if arg.1 - start == 1 && toks[start].kind == TokenKind::Str {
+        return Resolved::Names(vec![unquote(&toks[start].text)]);
+    }
+    if arg.1 - start != 1 || toks[start].kind != TokenKind::Ident {
+        return Resolved::Dynamic;
+    }
+    let name = &toks[start].text;
+    let decl = &model.decls[fi][di];
+
+    // A simple in-scope literal binding: `let name = "…";`.
+    for k in decl.body.0..decl.body.1 {
+        if toks[k].is_ident("let")
+            && toks.get(k + 1).is_some_and(|t| t.is_ident(name))
+            && toks.get(k + 2).is_some_and(|t| t.is_punct("="))
+        {
+            return if toks.get(k + 3).is_some_and(|t| t.kind == TokenKind::Str)
+                && toks.get(k + 4).is_some_and(|t| t.is_punct(";"))
+            {
+                Resolved::Names(vec![unquote(&toks[k + 3].text)])
+            } else {
+                Resolved::Dynamic
+            };
+        }
+    }
+
+    // A parameter: resolve through every caller.
+    let Some(pos) = decl.params.iter().position(|p| p == name) else {
+        return Resolved::Dynamic;
+    };
+    if depth >= 4 || seen.contains(&at) {
+        return Resolved::Unknown;
+    }
+    seen.push(at);
+    let Some(callers) = model.callers.get(&at) else {
+        return Resolved::Unknown;
+    };
+    let mut names = Vec::new();
+    for &((cf, cd), ci) in callers {
+        let call = &model.calls[cf][cd][ci];
+        let Some(&caller_arg) = call.args.get(pos) else {
+            return Resolved::Unknown;
+        };
+        match resolve_arg(files, model, (cf, cd), caller_arg, depth + 1, seen) {
+            Resolved::Names(more) => names.extend(more),
+            other => return other,
+        }
+    }
+    if names.is_empty() {
+        Resolved::Unknown
+    } else {
+        names.sort();
+        names.dedup();
+        Resolved::Names(names)
+    }
+}
+
+/// The payload of a string-literal token (`"mac"` → `mac`, raw and
+/// byte strings included).
+fn unquote(text: &str) -> String {
+    let first = text.find('"').map_or(0, |i| i + 1);
+    let last = text.rfind('"').unwrap_or(text.len());
+    if first <= last {
+        text[first..last].to_string()
+    } else {
+        text.to_string()
+    }
+}

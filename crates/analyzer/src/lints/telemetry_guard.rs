@@ -4,95 +4,36 @@
 //! same function, so a disabled sink never even constructs the event.
 //!
 //! "Dominated" is approximated token-wise: a guard call must appear
-//! earlier in the same function body. That matches the house idiom
-//! `if self.telemetry_on() { self.emit(…) }` and stays a pure token
-//! pass — no control-flow graph needed.
+//! earlier in the same function body. Since v2 the guard set is
+//! interprocedural: the call-graph model widens the configured names
+//! with every function that transitively calls one (`tracing()` that
+//! wraps `enabled()` counts), so the wrapper idiom no longer needs a
+//! pragma. Function bodies come from the shared parser; as before, a
+//! nested fn or closure is checked against the guards of its
+//! enclosing top-level function (a guard taken outside an inline
+//! closure still dominates the emit inside it).
 
 use crate::config::Config;
 use crate::lints::finding;
+use crate::model::Model;
 use crate::report::Finding;
-use crate::tokenizer::{Token, TokenKind};
+use crate::tokenizer::TokenKind;
 use crate::walk::{FileKind, SourceFile};
 
-/// Runs the telemetry-guard lint over one file.
-pub fn check(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+/// Runs the telemetry-guard lint over one file, using the model's
+/// parsed bodies and interprocedural guard set.
+pub fn check(fi: usize, files: &[SourceFile], model: &Model, cfg: &Config, out: &mut Vec<Finding>) {
+    let file = &files[fi];
     if file.kind != FileKind::Lib || !cfg.telemetry_guard_crates.contains(&file.crate_name) {
         return;
     }
-    let toks = &file.tokens;
-    let mut i = 0;
-    while i < toks.len() {
-        if !toks[i].is_ident("fn") || file.is_test_code(i) {
-            i += 1;
+    for decl in &model.decls[fi] {
+        // Top-level functions only: nested declarations are inside
+        // the enclosing body range and checked as part of it.
+        if decl.parent.is_some() || decl.is_closure || file.is_test_code(decl.fn_tok) {
             continue;
         }
-        let Some((body_start, body_end)) = fn_body(toks, i) else {
-            i += 1;
-            continue;
-        };
-        check_body(file, cfg, body_start, body_end, out);
-        i = body_end + 1;
-    }
-}
-
-/// From a `fn` keyword, locates the body's `{ … }` token range
-/// (exclusive of the braces). Returns `None` for bodyless trait
-/// method declarations.
-fn fn_body(toks: &[Token], fn_at: usize) -> Option<(usize, usize)> {
-    // Find the parameter list's `(`, skipping name and generics.
-    let mut j = fn_at + 1;
-    let mut angle = 0i32;
-    loop {
-        let t = toks.get(j)?;
-        match t.text.as_str() {
-            "<" if t.kind == TokenKind::Punct => angle += 1,
-            "<<" => angle += 2,
-            ">" if t.kind == TokenKind::Punct => angle -= 1,
-            ">>" => angle -= 2,
-            "(" if angle == 0 => break,
-            ";" if angle == 0 => return None,
-            _ => {}
-        }
-        j += 1;
-    }
-    // Match the parameter parens.
-    let mut depth = 0i32;
-    loop {
-        let t = toks.get(j)?;
-        if t.is_punct("(") {
-            depth += 1;
-        } else if t.is_punct(")") {
-            depth -= 1;
-            if depth == 0 {
-                break;
-            }
-        }
-        j += 1;
-    }
-    // Scan to the body `{` (or `;` for a declaration).
-    loop {
-        j += 1;
-        let t = toks.get(j)?;
-        if t.is_punct("{") {
-            break;
-        }
-        if t.is_punct(";") {
-            return None;
-        }
-    }
-    let body_start = j + 1;
-    let mut braces = 1i32;
-    loop {
-        j += 1;
-        let t = toks.get(j)?;
-        if t.is_punct("{") {
-            braces += 1;
-        } else if t.is_punct("}") {
-            braces -= 1;
-            if braces == 0 {
-                return Some((body_start, j));
-            }
-        }
+        check_body(file, model, decl.body.0, decl.body.1, out);
     }
 }
 
@@ -100,7 +41,7 @@ fn fn_body(toks: &[Token], fn_at: usize) -> Option<(usize, usize)> {
 /// earlier in the same body.
 fn check_body(
     file: &SourceFile,
-    cfg: &Config,
+    model: &Model,
     body_start: usize,
     body_end: usize,
     out: &mut Vec<Finding>,
@@ -116,7 +57,7 @@ fn check_body(
         }
         let guarded = toks[body_start..k].iter().enumerate().any(|(off, t)| {
             t.kind == TokenKind::Ident
-                && cfg.guard_fns.iter().any(|g| g.as_str() == t.text)
+                && model.guard_fns.contains(&t.text)
                 && toks
                     .get(body_start + off + 1)
                     .is_some_and(|n| n.is_punct("("))
@@ -139,14 +80,16 @@ mod tests {
     use super::*;
 
     fn run(src: &str) -> Vec<Finding> {
-        let file = SourceFile::from_source(
+        let files = [SourceFile::from_source(
             "crates/netsim/src/x.rs",
             "netsim",
             FileKind::Lib,
             src.to_string(),
-        );
+        )];
+        let cfg = Config::default();
+        let model = Model::build(&files, &cfg);
         let mut out = Vec::new();
-        check(&file, &Config::default(), &mut out);
+        check(0, &files, &model, &cfg, &mut out);
         out
     }
 
@@ -173,6 +116,21 @@ mod tests {
     }
 
     #[test]
+    fn a_guard_wrapper_one_call_away_counts() {
+        let src = "fn tracing(&self) -> bool { self.opts.enabled() }\n\
+                   fn f(&mut self) { if self.tracing() { self.emit(x); } }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn an_emit_wrapper_is_not_a_guard() {
+        // `record` calls emit and emit must not launder itself into
+        // the guard set through it.
+        let src = "fn record(&mut self) { self.emit(x); }";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
     fn the_emit_definition_itself_is_not_a_call() {
         let src = "fn emit(&mut self, e: Event) { self.sink.record(&e); }";
         assert!(run(src).is_empty());
@@ -180,14 +138,16 @@ mod tests {
 
     #[test]
     fn other_crates_are_out_of_scope() {
-        let file = SourceFile::from_source(
+        let files = [SourceFile::from_source(
             "crates/telemetry/src/recorder.rs",
             "telemetry",
             FileKind::Lib,
             "fn f(&mut self) { self.emit(&record); }".to_string(),
-        );
+        )];
+        let cfg = Config::default();
+        let model = Model::build(&files, &cfg);
         let mut out = Vec::new();
-        check(&file, &Config::default(), &mut out);
+        check(0, &files, &model, &cfg, &mut out);
         assert!(out.is_empty());
     }
 }

@@ -4,10 +4,17 @@
 //! Eq. (1)–(7) energy/degradation math flows through these
 //! signatures; a raw `f64` lets a caller pass mAh where Joules were
 //! meant and nothing catches it.
+//!
+//! Since v2 the lint recognizes the boundary-conversion idiom: a
+//! signature that immediately wraps the parameter in its covering
+//! newtype (`Joules(energy_j)`, `Duration::from_secs_f64(dur_s)`) is
+//! the unit-safe entry point itself, not a violation, so it no longer
+//! needs a pragma.
 
 use crate::config::Config;
 use crate::lints::finding;
 use crate::report::Finding;
+use crate::syntax;
 use crate::tokenizer::{Token, TokenKind};
 use crate::walk::{FileKind, SourceFile};
 
@@ -43,6 +50,46 @@ pub fn check(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
         };
         scan_params(file, cfg, params_at, out);
     }
+}
+
+/// The body token range of the function whose parameter list opens at
+/// `open`, when it has one.
+fn body_of(toks: &[Token], open: usize) -> Option<(usize, usize)> {
+    let close = syntax::matching_paren(toks, open)?;
+    let mut k = close + 1;
+    loop {
+        let t = toks.get(k)?;
+        if t.is_punct("{") {
+            break;
+        }
+        if t.is_punct(";") {
+            return None;
+        }
+        k += 1;
+    }
+    Some((k + 1, syntax::matching_brace(toks, k)?))
+}
+
+/// True when `body` wraps parameter `param` in newtype `nt` — the
+/// exact shapes `Nt(param)` and `Nt::path(param)`.
+fn wrapped_in_newtype(toks: &[Token], body: (usize, usize), nt: &str, param: &str) -> bool {
+    let (bs, be) = body;
+    for k in bs..be {
+        if !toks[k].is_ident(nt) {
+            continue;
+        }
+        let mut j = k + 1;
+        while j + 1 < be && toks[j].is_punct("::") && toks[j + 1].kind == TokenKind::Ident {
+            j += 2;
+        }
+        if toks.get(j).is_some_and(|t| t.is_punct("("))
+            && toks.get(j + 1).is_some_and(|t| t.is_ident(param))
+            && toks.get(j + 2).is_some_and(|t| t.is_punct(")"))
+        {
+            return true;
+        }
+    }
+    false
 }
 
 /// From the token after `fn`, skips the name and any generic
@@ -96,6 +143,15 @@ fn scan_params(file: &SourceFile, cfg: &Config, open: usize, out: &mut Vec<Findi
                 .iter()
                 .find(|(s, _)| t.text.ends_with(s.as_str()));
             if let Some((suffix, newtype)) = suffix {
+                // A body that immediately converts into the covering
+                // newtype IS the unit-safe boundary.
+                let nt_head = newtype.split_whitespace().next().unwrap_or(newtype);
+                if body_of(toks, open)
+                    .is_some_and(|body| wrapped_in_newtype(toks, body, nt_head, &t.text))
+                {
+                    j += 1;
+                    continue;
+                }
                 out.push(finding(
                     file,
                     "unit-safety",
@@ -164,5 +220,22 @@ mod tests {
     #[test]
     fn const_fn_is_still_checked() {
         assert_eq!(run("pub const fn c(dur_s: f64) -> f64 { dur_s }").len(), 1);
+    }
+
+    #[test]
+    fn immediate_newtype_wrap_is_the_unit_safe_boundary() {
+        let src = "pub fn drain(energy_j: f64) { let e = Joules(energy_j); use_it(e); }";
+        assert!(run(src).is_empty());
+        let src = "pub fn wait(dur_s: f64) { sleep(Duration::from_secs_f64(dur_s)); }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn arithmetic_on_the_raw_param_is_still_flagged() {
+        let src = "pub fn drain(energy_j: f64) -> f64 { energy_j * 2.0 }";
+        assert_eq!(run(src).len(), 1);
+        // Wrapping a DIFFERENT param does not cover this one.
+        let src = "pub fn mix(energy_j: f64, power_w: f64) { let w = Watts(power_w); }";
+        assert_eq!(run(src).len(), 1);
     }
 }

@@ -1,6 +1,7 @@
 //! `blam-analyze`: command-line front end for the workspace lint
 //! battery. Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
 
+use std::io::Read as _;
 use std::path::PathBuf;
 
 use blam_analyzer::{analyze_files, baseline::BASELINE_FILE, config, walk, Baseline, Config};
@@ -13,52 +14,39 @@ USAGE:
 
 OPTIONS:
     --root <PATH>        Workspace root (default: discovered from cwd)
-    --format <human|json> Output format (default: human)
+    --format <human|json|sarif>
+                         Output format (default: human)
     --lint <NAME>        Run only this lint (repeatable)
+    --changed-only <FILE>...
+                         Report findings only for the listed files; a
+                         single `-` reads newline-separated paths from
+                         stdin (the whole workspace is still analyzed,
+                         so interprocedural lints see every caller)
     --list-lints         Print the lint catalog and exit
+    --list-streams       Print the registered RNG stream catalog
+                         (config defaults + [rng-streams] baseline
+                         entries) and exit
     --update-baseline    Rewrite analyzer-baseline.toml with current
-                         panic-hygiene counts (ratchet down)
+                         panic-hygiene counts (ratchet down); the
+                         [rng-streams] registry is preserved
     --verbose            Also list baselined panic-hygiene sites
     -h, --help           Show this help
 ";
 
-const LINT_CATALOG: &[(&str, &str)] = &[
-    (
-        "determinism",
-        "no thread_rng/Instant::now/SystemTime::now in sim-core crates; hash iteration must sort",
-    ),
-    (
-        "cache-order",
-        "cache/memo bindings with iterated state must use ordered or dense containers",
-    ),
-    (
-        "store-hygiene",
-        "NodeStore columns accessed only through accessors outside store.rs/nodes.rs",
-    ),
-    (
-        "panic-hygiene",
-        "unwrap()/expect(/panic! in library code, ratcheted by analyzer-baseline.toml",
-    ),
-    (
-        "unit-safety",
-        "public fns must not take unit-suffixed raw f64 params where a blam-units newtype exists",
-    ),
-    (
-        "telemetry-guard",
-        "every netsim emit( must follow an enabled()/telemetry_on() check in the same fn",
-    ),
-    ("float-eq", "no ==/!= against float literals outside tests"),
-    (
-        "pragma",
-        "analyzer pragmas must name a known lint and carry a reason",
-    ),
-];
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
 
 struct Args {
     root: Option<PathBuf>,
-    json: bool,
+    format: Format,
     only: Vec<String>,
+    changed_only: Option<Vec<String>>,
     list_lints: bool,
+    list_streams: bool,
     update_baseline: bool,
     verbose: bool,
 }
@@ -66,26 +54,33 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: None,
-        json: false,
+        format: Format::Human,
         only: Vec::new(),
+        changed_only: None,
         list_lints: false,
+        list_streams: false,
         update_baseline: false,
         verbose: false,
     };
-    let mut it = std::env::args().skip(1);
-    while let Some(arg) = it.next() {
+    let mut argv = std::env::args().skip(1).peekable();
+    while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--root" => {
-                let v = it.next().ok_or("--root needs a path")?;
+                let v = argv.next().ok_or("--root needs a path")?;
                 args.root = Some(PathBuf::from(v));
             }
-            "--format" => match it.next().as_deref() {
-                Some("human") => args.json = false,
-                Some("json") => args.json = true,
-                other => return Err(format!("--format must be `human` or `json`, got {other:?}")),
+            "--format" => match argv.next().as_deref() {
+                Some("human") => args.format = Format::Human,
+                Some("json") => args.format = Format::Json,
+                Some("sarif") => args.format = Format::Sarif,
+                other => {
+                    return Err(format!(
+                        "--format must be `human`, `json` or `sarif`, got {other:?}"
+                    ))
+                }
             },
             "--lint" => {
-                let v = it.next().ok_or("--lint needs a lint name")?;
+                let v = argv.next().ok_or("--lint needs a lint name")?;
                 if !config::LINT_NAMES.contains(&v.as_str()) {
                     return Err(format!(
                         "unknown lint `{v}`; see --list-lints for the catalog"
@@ -93,7 +88,37 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.only.push(v);
             }
+            "--changed-only" => {
+                let changed = args.changed_only.get_or_insert_with(Vec::new);
+                // Consume every following non-flag argument as a path.
+                let mut any = false;
+                while let Some(next) = argv.peek() {
+                    if next.starts_with("--") || (next.len() > 1 && next.starts_with('-')) {
+                        break;
+                    }
+                    let path = argv.next().unwrap_or_default();
+                    any = true;
+                    if path == "-" {
+                        let mut text = String::new();
+                        std::io::stdin()
+                            .read_to_string(&mut text)
+                            .map_err(|e| format!("reading file list from stdin: {e}"))?;
+                        changed.extend(
+                            text.lines()
+                                .map(str::trim)
+                                .filter(|l| !l.is_empty())
+                                .map(String::from),
+                        );
+                    } else {
+                        changed.push(path);
+                    }
+                }
+                if !any {
+                    return Err("--changed-only needs file paths (or `-` for stdin)".to_string());
+                }
+            }
             "--list-lints" => args.list_lints = true,
+            "--list-streams" => args.list_streams = true,
             "--update-baseline" => args.update_baseline = true,
             "--verbose" => args.verbose = true,
             "-h" | "--help" => {
@@ -106,23 +131,40 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+fn workspace_root(args_root: Option<PathBuf>) -> Result<PathBuf, String> {
+    match args_root {
+        Some(r) => Ok(r),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("reading current dir: {e}"))?;
+            walk::find_workspace_root(&cwd).ok_or_else(|| {
+                "no workspace root found above the current directory; use --root".to_string()
+            })
+        }
+    }
+}
+
 fn run() -> Result<i32, String> {
     let args = parse_args()?;
     if args.list_lints {
-        for (name, what) in LINT_CATALOG {
+        for (name, what) in config::LINT_CATALOG {
             println!("{name:16} {what}");
         }
         return Ok(0);
     }
-
-    let root = match args.root {
-        Some(r) => r,
-        None => {
-            let cwd = std::env::current_dir().map_err(|e| format!("reading current dir: {e}"))?;
-            walk::find_workspace_root(&cwd)
-                .ok_or("no workspace root found above the current directory; use --root")?
+    if args.list_streams {
+        let root = workspace_root(args.root)?;
+        let baseline = Baseline::load(&root)?;
+        let cfg = Config::default();
+        let mut catalog: std::collections::BTreeMap<String, String> =
+            cfg.rng_stream_catalog.iter().cloned().collect();
+        catalog.extend(baseline.rng_streams);
+        for (name, purpose) in &catalog {
+            println!("{name:16} {purpose}");
         }
-    };
+        return Ok(0);
+    }
+
+    let root = workspace_root(args.root)?;
     let cfg = Config {
         only: args.only,
         ..Config::default()
@@ -135,16 +177,21 @@ fn run() -> Result<i32, String> {
     if args.update_baseline {
         baseline = Baseline {
             panic_hygiene: outcome.panic_counts.clone(),
+            rng_streams: baseline.rng_streams,
         };
         baseline.save(&root)?;
         eprintln!("blam-analyze: wrote {BASELINE_FILE}");
         outcome = analyze_files(&files, &cfg, &baseline);
     }
 
-    if args.json {
-        print!("{}", outcome.render_json());
-    } else {
-        print!("{}", outcome.render_human(args.verbose));
+    if let Some(changed) = &args.changed_only {
+        outcome.retain_files(changed);
+    }
+
+    match args.format {
+        Format::Json => print!("{}", outcome.render_json()),
+        Format::Sarif => print!("{}", outcome.render_sarif()),
+        Format::Human => print!("{}", outcome.render_human(args.verbose)),
     }
     Ok(i32::from(!outcome.clean()))
 }

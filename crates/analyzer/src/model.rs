@@ -1,0 +1,483 @@
+//! The crate-wide semantic model the v2 lints share: every function
+//! in every file, the calls each one makes, and fixpoint summaries
+//! over the call graph (telemetry guards, blocking sinks, lock
+//! acquisitions).
+//!
+//! Resolution is name-based with two sharpeners — a `Type::name`
+//! qualifier matches `impl Type` owners, and same-file declarations
+//! shadow same-named ones elsewhere — which is exactly enough for a
+//! single workspace with house naming conventions. Summaries
+//! over-approximate (a function *may* lock / *may* block), so they
+//! can only widen what the lints see, never hide a direct finding.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config::Config;
+use crate::syntax::{self, Call, FnDecl};
+use crate::walk::SourceFile;
+
+/// Identifies one declaration: `(file index, declaration index)`.
+pub type DeclId = (usize, usize);
+
+/// The workspace-wide function index, call graph, and summaries.
+pub struct Model {
+    /// Parsed declarations, per file (same order as the input slice).
+    pub decls: Vec<Vec<FnDecl>>,
+    /// Calls made from each declaration's *own* scope (child closure
+    /// and nested-fn bodies excluded), per file, per declaration.
+    pub calls: Vec<Vec<Vec<Call>>>,
+    /// Function names that transitively establish a telemetry guard:
+    /// the configured guard names plus every function whose body
+    /// calls one of them (`emit` itself excluded).
+    pub guard_fns: BTreeSet<String>,
+    /// Function names that transitively perform blocking I/O, mapped
+    /// to a human-readable "via" description of the underlying sink.
+    pub sink_fns: BTreeMap<String, String>,
+    /// Mutex lock classes each function name transitively acquires.
+    pub lock_summary: BTreeMap<String, BTreeSet<String>>,
+    /// Known `MutexGuard`-returning helpers, by declaration, with the
+    /// lock class they acquire.
+    pub lock_helpers: BTreeMap<DeclId, String>,
+    /// Callers of each declaration: `(caller decl, caller call idx)`.
+    pub callers: BTreeMap<DeclId, Vec<(DeclId, usize)>>,
+    index: BTreeMap<String, Vec<DeclId>>,
+}
+
+/// The display name of a lock, from the receiver path of a `.lock()`
+/// call: the last two path segments (`registry.state.lock()` →
+/// `"registry.state"`, `writer.lock()` → `"writer"`).
+#[must_use]
+pub fn lock_class(recv: &[String]) -> String {
+    let tail = &recv[recv.len().saturating_sub(2)..];
+    if tail.is_empty() {
+        "lock".to_string()
+    } else {
+        tail.join(".")
+    }
+}
+
+impl Model {
+    /// Parses every file and computes all summaries.
+    #[must_use]
+    pub fn build(files: &[SourceFile], cfg: &Config) -> Self {
+        let mut decls = Vec::with_capacity(files.len());
+        let mut calls = Vec::with_capacity(files.len());
+        let mut index: BTreeMap<String, Vec<DeclId>> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            let file_decls = syntax::parse(&file.tokens);
+            let mut file_calls = Vec::with_capacity(file_decls.len());
+            for (di, d) in file_decls.iter().enumerate() {
+                let children: Vec<(usize, usize)> = file_decls
+                    .iter()
+                    .filter(|c| c.parent == Some(di))
+                    .map(|c| (c.body.0, c.body.1))
+                    .collect();
+                file_calls.push(syntax::calls_in(
+                    &file.tokens,
+                    d.body.0,
+                    d.body.1,
+                    &children,
+                ));
+                index.entry(d.name.clone()).or_default().push((fi, di));
+            }
+            decls.push(file_decls);
+            calls.push(file_calls);
+        }
+
+        let mut model = Model {
+            decls,
+            calls,
+            guard_fns: BTreeSet::new(),
+            sink_fns: BTreeMap::new(),
+            lock_summary: BTreeMap::new(),
+            lock_helpers: BTreeMap::new(),
+            callers: BTreeMap::new(),
+            index,
+        };
+        model.build_callers();
+        model.build_guard_fns(cfg);
+        model.build_lock_helpers(files);
+        model.build_sink_fns(cfg);
+        model.build_lock_summary(cfg);
+        model
+    }
+
+    /// All declarations named `name`.
+    #[must_use]
+    pub fn decls_named(&self, name: &str) -> &[DeclId] {
+        self.index.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Declarations a call may reach: same-named declarations,
+    /// narrowed by `Type::` qualifier when it matches an `impl` owner
+    /// and by same-file preference otherwise.
+    #[must_use]
+    pub fn resolve(&self, from_file: usize, call: &Call) -> Vec<DeclId> {
+        let all = self.decls_named(&call.callee);
+        if let Some(q) = &call.qual {
+            let owned: Vec<DeclId> = all
+                .iter()
+                .copied()
+                .filter(|&(fi, di)| self.decls[fi][di].owner.as_deref() == Some(q.as_str()))
+                .collect();
+            if !owned.is_empty() {
+                return owned;
+            }
+        }
+        let local: Vec<DeclId> = all
+            .iter()
+            .copied()
+            .filter(|&(fi, _)| fi == from_file)
+            .collect();
+        if local.is_empty() {
+            all.to_vec()
+        } else {
+            local
+        }
+    }
+
+    /// The innermost declaration whose body contains token `tok`.
+    #[must_use]
+    pub fn decl_at(&self, fi: usize, tok: usize) -> Option<usize> {
+        self.decls
+            .get(fi)?
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.body.0 <= tok && tok < d.body.1)
+            .min_by_key(|(_, d)| d.body.1 - d.body.0)
+            .map(|(di, _)| di)
+    }
+
+    /// Names of the declarations enclosing token `tok`, innermost
+    /// last (for owner-function exemptions).
+    #[must_use]
+    pub fn enclosing_fn_names(&self, fi: usize, tok: usize) -> Vec<&str> {
+        let mut names = Vec::new();
+        let mut at = self.decl_at(fi, tok);
+        while let Some(di) = at {
+            names.push(self.decls[fi][di].name.as_str());
+            at = self.decls[fi][di].parent;
+        }
+        names.reverse();
+        names
+    }
+
+    /// Calls from a declaration and all its descendant *closures*
+    /// (not nested `fn` items, which don't run when the parent does),
+    /// in token order.
+    #[must_use]
+    pub fn subtree_calls(&self, fi: usize, di: usize) -> Vec<&Call> {
+        let mut out: Vec<&Call> = Vec::new();
+        let mut stack = vec![di];
+        while let Some(d) = stack.pop() {
+            out.extend(self.calls[fi][d].iter());
+            for (ci, c) in self.decls[fi].iter().enumerate() {
+                if c.parent == Some(d) && c.is_closure {
+                    stack.push(ci);
+                }
+            }
+        }
+        out.sort_by_key(|c| c.tok);
+        out
+    }
+
+    /// Body ranges of nested `fn` items (not closures) anywhere under
+    /// declaration `di` — token spans a linear body walk must skip.
+    #[must_use]
+    pub fn nested_fn_ranges(&self, fi: usize, di: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut stack = vec![di];
+        while let Some(d) = stack.pop() {
+            for (ci, c) in self.decls[fi].iter().enumerate() {
+                if c.parent == Some(d) {
+                    if c.is_closure {
+                        stack.push(ci);
+                    } else {
+                        out.push((c.body.0, c.body.1));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The lock class acquired by a bare call, when it resolves to a
+    /// known `MutexGuard`-returning helper.
+    #[must_use]
+    pub fn helper_class(&self, from_file: usize, call: &Call) -> Option<&str> {
+        if call.method {
+            return None;
+        }
+        self.resolve(from_file, call)
+            .into_iter()
+            .find_map(|id| self.lock_helpers.get(&id).map(String::as_str))
+    }
+
+    fn build_callers(&mut self) {
+        let mut callers: BTreeMap<DeclId, Vec<(DeclId, usize)>> = BTreeMap::new();
+        for fi in 0..self.decls.len() {
+            for di in 0..self.decls[fi].len() {
+                for (ci, call) in self.calls[fi][di].iter().enumerate() {
+                    for target in self.resolve(fi, call) {
+                        callers.entry(target).or_default().push(((fi, di), ci));
+                    }
+                }
+            }
+        }
+        self.callers = callers;
+    }
+
+    /// Guard-name fixpoint: seed with the configured guard functions,
+    /// then add every function whose own scope calls a known guard.
+    /// `emit` never becomes a guard (an emit wrapping an emit must
+    /// not mask the check), and stoplisted names never enter the map
+    /// (a wrapper named `new` would make every constructor a guard).
+    fn build_guard_fns(&mut self, cfg: &Config) {
+        let mut names: BTreeSet<String> = cfg.guard_fns.iter().cloned().collect();
+        loop {
+            let mut changed = false;
+            for (fi, file_decls) in self.decls.iter().enumerate() {
+                for (di, d) in file_decls.iter().enumerate() {
+                    if d.name == "emit"
+                        || names.contains(&d.name)
+                        || cfg.transitive_stoplist.contains(&d.name)
+                    {
+                        continue;
+                    }
+                    if self.calls[fi][di].iter().any(|c| names.contains(&c.callee)) {
+                        names.insert(d.name.clone());
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        self.guard_fns = names;
+    }
+
+    /// A lock helper is a non-closure fn whose signature mentions
+    /// `MutexGuard`; its class comes from the first `.lock()` call in
+    /// its body.
+    fn build_lock_helpers(&mut self, files: &[SourceFile]) {
+        for (fi, file_decls) in self.decls.iter().enumerate() {
+            for (di, d) in file_decls.iter().enumerate() {
+                if d.is_closure {
+                    continue;
+                }
+                let sig = &files[fi].tokens[d.fn_tok..d.body.0];
+                if !sig.iter().any(|t| t.is_ident("MutexGuard")) {
+                    continue;
+                }
+                let class = self.calls[fi][di]
+                    .iter()
+                    .find(|c| c.callee == "lock" && c.method)
+                    .map(|c| lock_class(&c.recv));
+                if let Some(class) = class {
+                    self.lock_helpers.insert((fi, di), class);
+                }
+            }
+        }
+    }
+
+    /// Sink-name fixpoint: functions that directly hit a blocking
+    /// sink, then everything that calls them, transitively. Stoplisted
+    /// names never become sinks — a `Drop` impl that flushes must not
+    /// turn every `drop(x)` in the workspace into blocking I/O.
+    fn build_sink_fns(&mut self, cfg: &Config) {
+        let mut sinks: BTreeMap<String, String> = BTreeMap::new();
+        for (fi, file_decls) in self.decls.iter().enumerate() {
+            for (di, d) in file_decls.iter().enumerate() {
+                if sinks.contains_key(&d.name) || cfg.transitive_stoplist.contains(&d.name) {
+                    continue;
+                }
+                if let Some(desc) = self.calls[fi][di].iter().find_map(|c| direct_sink(c, cfg)) {
+                    sinks.insert(d.name.clone(), desc);
+                }
+            }
+        }
+        loop {
+            let mut changed = false;
+            for (fi, file_decls) in self.decls.iter().enumerate() {
+                for (di, d) in file_decls.iter().enumerate() {
+                    if sinks.contains_key(&d.name) || cfg.transitive_stoplist.contains(&d.name) {
+                        continue;
+                    }
+                    let via = self.calls[fi][di]
+                        .iter()
+                        .find(|c| sinks.contains_key(&c.callee))
+                        .map(|c| format!("via `{}`", c.callee));
+                    if let Some(via) = via {
+                        sinks.insert(d.name.clone(), via);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        self.sink_fns = sinks;
+    }
+
+    /// Lock-class fixpoint: classes each function name acquires,
+    /// directly (own scope + closures) or through callees. Stoplisted
+    /// names stay out of the map in both directions: a helper named
+    /// `lock` must not hand its class to every `.lock()` caller, and
+    /// `SharedBuffer::drain` must not make `Vec::drain` an
+    /// acquisition.
+    fn build_lock_summary(&mut self, cfg: &Config) {
+        let mut summary: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for (fi, file_decls) in self.decls.iter().enumerate() {
+            for (di, d) in file_decls.iter().enumerate() {
+                if cfg.transitive_stoplist.contains(&d.name) {
+                    continue;
+                }
+                let mut classes = BTreeSet::new();
+                for call in self.subtree_calls(fi, di) {
+                    if call.callee == "lock" && call.method {
+                        classes.insert(lock_class(&call.recv));
+                    } else if let Some(class) = self.helper_class(fi, call) {
+                        classes.insert(class.to_string());
+                    }
+                }
+                if !classes.is_empty() {
+                    summary.entry(d.name.clone()).or_default().extend(classes);
+                }
+            }
+        }
+        loop {
+            let mut changed = false;
+            for (fi, file_decls) in self.decls.iter().enumerate() {
+                for (di, d) in file_decls.iter().enumerate() {
+                    if cfg.transitive_stoplist.contains(&d.name) {
+                        continue;
+                    }
+                    let mut add = BTreeSet::new();
+                    for call in &self.calls[fi][di] {
+                        if let Some(classes) = summary.get(&call.callee) {
+                            add.extend(classes.iter().cloned());
+                        }
+                    }
+                    if add.is_empty() {
+                        continue;
+                    }
+                    let own = summary.entry(d.name.clone()).or_default();
+                    let before = own.len();
+                    own.extend(add);
+                    changed |= own.len() != before;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        self.lock_summary = summary;
+    }
+}
+
+/// Describes a call that is itself a blocking sink: a configured
+/// blocking method, or a `fs::`/`File::`/`TcpStream::` path call.
+#[must_use]
+pub fn direct_sink(call: &Call, cfg: &Config) -> Option<String> {
+    if call.method && cfg.blocking_sink_methods.iter().any(|m| *m == call.callee) {
+        return Some(format!("`.{}(`", call.callee));
+    }
+    if !call.method {
+        if let Some(q) = &call.qual {
+            if cfg
+                .blocking_sink_paths
+                .iter()
+                .any(|(pq, pn)| pq == q && pn == &call.callee)
+            {
+                return Some(format!("`{}::{}`", q, call.callee));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        let (crate_name, kind) = crate::walk::classify(rel);
+        SourceFile::from_source(rel, &crate_name, kind, src.to_string())
+    }
+
+    #[test]
+    fn guard_fixpoint_reaches_one_call_away() {
+        let files = [file(
+            "crates/netsim/src/a.rs",
+            "fn tracing(&self) -> bool { self.opts.enabled() }\n\
+             fn emit(&self, e: u8) { }\n\
+             fn unrelated(&self) { }",
+        )];
+        let model = Model::build(&files, &Config::default());
+        assert!(model.guard_fns.contains("tracing"));
+        assert!(model.guard_fns.contains("enabled"));
+        assert!(!model.guard_fns.contains("emit"));
+        assert!(!model.guard_fns.contains("unrelated"));
+    }
+
+    #[test]
+    fn sink_fixpoint_propagates_through_helpers() {
+        let files = [file(
+            "crates/campaign/src/a.rs",
+            "fn checkpoint(path: &Path, text: &str) { std::fs::write(path, text).ok(); }\n\
+             fn save(path: &Path) { checkpoint(path, \"x\"); }\n\
+             fn pure(v: u8) -> u8 { v + 1 }",
+        )];
+        let model = Model::build(&files, &Config::default());
+        assert!(model.sink_fns.contains_key("checkpoint"));
+        assert_eq!(
+            model.sink_fns.get("save").map(String::as_str),
+            Some("via `checkpoint`")
+        );
+        assert!(!model.sink_fns.contains_key("pure"));
+    }
+
+    #[test]
+    fn lock_helpers_and_summaries_carry_classes() {
+        let files = [file(
+            "crates/campaign/src/a.rs",
+            "fn lock(registry: &Registry) -> MutexGuard<'_, State> {\n\
+                 registry.state.lock().unwrap_or_else(PoisonError::into_inner)\n\
+             }\n\
+             fn closes(&self) { let g = self.shared.state.lock(); }\n\
+             fn indirect(registry: &Registry) { let g = lock(registry); }",
+        )];
+        let model = Model::build(&files, &Config::default());
+        assert_eq!(
+            model.lock_helpers.values().next().map(String::as_str),
+            Some("registry.state")
+        );
+        let closes = model.lock_summary.get("closes").unwrap();
+        assert!(closes.contains("shared.state"));
+        let indirect = model.lock_summary.get("indirect").unwrap();
+        assert!(indirect.contains("registry.state"));
+    }
+
+    #[test]
+    fn qualified_calls_resolve_to_the_owning_impl() {
+        let files = [file(
+            "crates/netsim/src/a.rs",
+            "impl LossState { fn build(seeder: &S, stream: &str) { } }\n\
+             impl FaultLayer { fn build(seeder: &S) { LossState::build(seeder, \"fault-ul\"); } }",
+        )];
+        let model = Model::build(&files, &Config::default());
+        let fl = model.decls[0]
+            .iter()
+            .position(|d| d.owner.as_deref() == Some("FaultLayer"))
+            .unwrap();
+        let call = &model.calls[0][fl][0];
+        let targets = model.resolve(0, call);
+        assert_eq!(targets.len(), 1);
+        assert_eq!(
+            model.decls[0][targets[0].1].owner.as_deref(),
+            Some("LossState")
+        );
+    }
+}

@@ -78,6 +78,18 @@ impl Outcome {
         out
     }
 
+    /// Drops findings (and baselined sites) outside `files`, for
+    /// `--changed-only` runs. The analysis itself always covers the
+    /// whole workspace — the interprocedural lints need every caller
+    /// — only the *report* narrows. Paths match when one is a
+    /// `/`-separated suffix of the other, so `git diff --name-only`
+    /// output matches workspace-relative finding paths.
+    pub fn retain_files(&mut self, files: &[String]) {
+        let keep = |f: &Finding| files.iter().any(|p| path_matches(&f.file, p));
+        self.findings.retain(keep);
+        self.baselined.retain(keep);
+    }
+
     /// Renders the machine-readable report.
     #[must_use]
     pub fn render_json(&self) -> String {
@@ -102,6 +114,66 @@ impl Outcome {
         out.push_str("]\n}\n");
         out
     }
+
+    /// Renders a SARIF 2.1.0 log (the static subset CI viewers need:
+    /// one run, one driver, rules from the lint catalog, `error`
+    /// results for findings and `note` results for baselined sites).
+    #[must_use]
+    pub fn render_sarif(&self) -> String {
+        let mut out = String::from(
+            "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+             \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \
+             \"driver\": {\n          \"name\": \"blam-analyze\",\n          \"rules\": [",
+        );
+        for (i, (id, desc)) in crate::config::LINT_CATALOG.iter().enumerate() {
+            let sep = if i > 0 { "," } else { "" };
+            let _ = write!(
+                out,
+                "{sep}\n            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}",
+                json_string(id),
+                json_string(desc),
+            );
+        }
+        out.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+        let mut first = true;
+        for (level, f) in self
+            .findings
+            .iter()
+            .map(|f| ("error", f))
+            .chain(self.baselined.iter().map(|f| ("note", f)))
+        {
+            let sep = if first { "" } else { "," };
+            first = false;
+            let _ = write!(
+                out,
+                "{sep}\n        {{\"ruleId\": {}, \"level\": \"{level}\", \
+                 \"message\": {{\"text\": {}}}, \"locations\": [{{\"physicalLocation\": \
+                 {{\"artifactLocation\": {{\"uri\": {}}}, \"region\": {{\"startLine\": {}, \
+                 \"snippet\": {{\"text\": {}}}}}}}}}]}}",
+                json_string(f.lint),
+                json_string(&f.message),
+                json_string(&f.file),
+                f.line,
+                json_string(&f.snippet),
+            );
+        }
+        if !first {
+            out.push_str("\n      ");
+        }
+        out.push_str("]\n    }\n  ]\n}\n");
+        out
+    }
+}
+
+/// True when `a` and `b` name the same file: equal, or one is a
+/// `/`-component suffix of the other.
+fn path_matches(a: &str, b: &str) -> bool {
+    let suffix = |long: &str, short: &str| {
+        long.len() > short.len()
+            && long.ends_with(short)
+            && long.as_bytes()[long.len() - short.len() - 1] == b'/'
+    };
+    a == b || suffix(a, b) || suffix(b, a)
 }
 
 fn render_findings(out: &mut String, findings: &[Finding]) {
@@ -199,5 +271,45 @@ mod tests {
     fn json_string_escapes_control_chars() {
         assert_eq!(json_string("a\tb"), "\"a\\tb\"");
         assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn sarif_levels_split_findings_from_baselined_sites() {
+        let mut baselined = finding();
+        baselined.lint = "panic-hygiene";
+        baselined.file = "crates/y/src/lib.rs".to_string();
+        let outcome = Outcome {
+            findings: vec![finding()],
+            baselined: vec![baselined],
+            files_scanned: 2,
+            ..Outcome::default()
+        };
+        let text = outcome.render_sarif();
+        assert!(text.contains("\"version\": \"2.1.0\""));
+        assert!(text.contains("\"level\": \"error\""));
+        assert!(text.contains("\"level\": \"note\""));
+        // Every catalog lint appears as a rule.
+        for (id, _) in crate::config::LINT_CATALOG {
+            assert!(text.contains(&format!("\"id\": \"{id}\"")), "{id}");
+        }
+    }
+
+    #[test]
+    fn retain_files_matches_on_path_suffixes() {
+        let mut other = finding();
+        other.file = "crates/y/src/lib.rs".to_string();
+        let mut outcome = Outcome {
+            findings: vec![finding(), other],
+            ..Outcome::default()
+        };
+        // A changed-file path deeper than the finding's relative path
+        // still matches (and vice versa); unrelated files drop.
+        outcome.retain_files(&["repo/crates/x/src/lib.rs".to_string()]);
+        assert_eq!(outcome.findings.len(), 1);
+        assert_eq!(outcome.findings[0].file, "crates/x/src/lib.rs");
+        outcome.retain_files(&["src/lib.rs".to_string()]);
+        assert_eq!(outcome.findings.len(), 1);
+        outcome.retain_files(&["crates/z/src/lib.rs".to_string()]);
+        assert!(outcome.findings.is_empty());
     }
 }

@@ -1,0 +1,686 @@
+//! A lightweight item/expression parser over the token stream: the
+//! v2 engine's view of a file as *functions* rather than a flat token
+//! window.
+//!
+//! This is not a Rust grammar. It recovers exactly the structure the
+//! lints need — function and closure declarations with line-accurate
+//! body token ranges, parameter names, `impl`/`trait` owners, and the
+//! call expressions inside each body — while staying a single
+//! brace-matching pass over the existing hand-rolled lexer. Anything
+//! it cannot shape (macro bodies, unbraced closures, destructured
+//! parameters) degrades to "part of the enclosing scope", never to a
+//! parse error, so a weird file can hide a finding but can never
+//! crash the battery.
+
+use crate::tokenizer::{Token, TokenKind};
+
+/// One function-like declaration: a `fn` item or a braced,
+/// `let`-bound closure.
+#[derive(Debug, Clone)]
+pub struct FnDecl {
+    /// Function name, or the `let` binding name for a closure.
+    pub name: String,
+    /// `impl`/`trait` type the declaration sits in, when any.
+    pub owner: Option<String>,
+    /// True for `let name = |…| { … }` closures.
+    pub is_closure: bool,
+    /// True for plain `pub` visibility (not `pub(crate)`/private).
+    pub is_pub: bool,
+    /// 1-based line of the `fn` keyword (or the closure's `let`).
+    pub line: u32,
+    /// Token index of the `fn` keyword (or the closure's `let`).
+    pub fn_tok: usize,
+    /// Parameter names, in declaration order (`self` excluded).
+    pub params: Vec<String>,
+    /// Body token range `[start, end)`, exclusive of both braces.
+    pub body: (usize, usize),
+    /// Index (into the same `Vec<FnDecl>`) of the enclosing
+    /// function-like declaration, for nested fns and closures.
+    pub parent: Option<usize>,
+}
+
+/// One call expression inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Called name (`write_all`, `lock`, `build`, …).
+    pub callee: String,
+    /// Path qualifier immediately before the name (`fs` in
+    /// `fs::write`, `LossState` in `LossState::build`).
+    pub qual: Option<String>,
+    /// True for `.name(` method syntax.
+    pub method: bool,
+    /// Identifiers of the receiver path, outermost first, with `self`
+    /// stripped (`registry.state.lock()` → `["registry", "state"]`).
+    pub recv: Vec<String>,
+    /// Method/function names invoked earlier in a chained receiver
+    /// expression (`shared.lock().unwrap_or_else(e).flush()` reaches
+    /// `flush` with `chain = ["lock", "unwrap_or_else"]`).
+    pub chain: Vec<String>,
+    /// Token index of the callee identifier.
+    pub tok: usize,
+    /// 1-based line of the callee identifier.
+    pub line: u32,
+    /// Top-level argument token ranges `[start, end)`.
+    pub args: Vec<(usize, usize)>,
+}
+
+/// Parses every function and braced closure in `toks`, in source
+/// order for top-level items (children follow their parent).
+#[must_use]
+pub fn parse(toks: &[Token]) -> Vec<FnDecl> {
+    let mut decls = Vec::new();
+    scan(toks, 0, toks.len(), None, None, &mut decls);
+    decls
+}
+
+/// Words that look like calls when followed by `(` but are not.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "fn", "let", "move", "unsafe", "in",
+    "as", "await", "box", "where", "impl", "dyn",
+];
+
+fn scan(
+    toks: &[Token],
+    start: usize,
+    end: usize,
+    parent: Option<usize>,
+    owner: Option<&str>,
+    decls: &mut Vec<FnDecl>,
+) {
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        if (t.is_ident("impl") || t.is_ident("trait")) && at_item_position(toks, i) {
+            if let Some((name, open, close)) = impl_block(toks, i, end) {
+                scan(toks, open + 1, close, parent, Some(&name), decls);
+                i = close + 1;
+                continue;
+            }
+        }
+        if t.is_ident("fn") && !toks.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+            if let Some(decl) = parse_fn(toks, i, owner, parent) {
+                let (bs, be) = decl.body;
+                let idx = decls.len();
+                decls.push(decl);
+                scan(toks, bs, be, Some(idx), None, decls);
+                i = be + 1;
+                continue;
+            }
+        }
+        if t.is_ident("let") && parent.is_some() {
+            if let Some(decl) = parse_closure(toks, i, parent) {
+                let (bs, be) = decl.body;
+                let idx = decls.len();
+                decls.push(decl);
+                scan(toks, bs, be, Some(idx), None, decls);
+                i = be + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// True when the token at `at` starts an item (vs. `-> impl Trait`,
+/// `&impl Fn()`, …): it follows a statement/block boundary, an
+/// attribute, or an `unsafe` qualifier.
+fn at_item_position(toks: &[Token], at: usize) -> bool {
+    match at.checked_sub(1).and_then(|p| toks.get(p)) {
+        None => true,
+        Some(prev) => {
+            prev.is_punct(";")
+                || prev.is_punct("{")
+                || prev.is_punct("}")
+                || prev.is_punct("]")
+                || prev.is_ident("unsafe")
+        }
+    }
+}
+
+/// From an `impl`/`trait` keyword, returns the implementing type name
+/// and the `{ … }` token indices of the block.
+fn impl_block(toks: &[Token], kw_at: usize, end: usize) -> Option<(String, usize, usize)> {
+    let mut j = kw_at + 1;
+    // Generic parameters on the impl itself.
+    j = skip_generics(toks, j)?;
+    // First path: trait (when `for` follows) or the type.
+    let (first, after_first) = read_type_path(toks, j, end)?;
+    let mut name = first;
+    j = after_first;
+    if toks.get(j).is_some_and(|t| t.is_ident("for")) {
+        let (second, after_second) = read_type_path(toks, j + 1, end)?;
+        name = second;
+        j = after_second;
+    }
+    // Skip a `where` clause (and anything else) up to the block.
+    while j < end && !toks[j].is_punct("{") {
+        if toks[j].is_punct(";") {
+            return None;
+        }
+        j += 1;
+    }
+    if j >= end {
+        return None;
+    }
+    let close = matching_brace(toks, j)?;
+    Some((name, j, close))
+}
+
+/// Reads a type path (`foo::Bar<T>`), returning the final type
+/// identifier and the index after the path (generics skipped).
+fn read_type_path(toks: &[Token], mut j: usize, end: usize) -> Option<(String, usize)> {
+    // Leading `&`/lifetimes/`mut` on the self type.
+    while j < end
+        && (toks[j].is_punct("&") || toks[j].kind == TokenKind::Lifetime || toks[j].is_ident("mut"))
+    {
+        j += 1;
+    }
+    let mut name = None;
+    while j < end {
+        let t = &toks[j];
+        if t.kind == TokenKind::Ident {
+            name = Some(t.text.clone());
+            j += 1;
+            if toks
+                .get(j)
+                .is_some_and(|n| n.is_punct("<") || n.text == "<<")
+            {
+                j = skip_generics(toks, j)?;
+            }
+            if toks.get(j).is_some_and(|n| n.is_punct("::")) {
+                j += 1;
+                continue;
+            }
+            break;
+        }
+        return None;
+    }
+    name.map(|n| (n, j))
+}
+
+/// If `toks[j]` opens a generic list, returns the index after the
+/// matching close; otherwise returns `j` unchanged.
+fn skip_generics(toks: &[Token], j: usize) -> Option<usize> {
+    if !toks.get(j).is_some_and(|t| t.text == "<" || t.text == "<<") {
+        return Some(j);
+    }
+    let mut depth = 0i32;
+    let mut k = j;
+    while let Some(t) = toks.get(k) {
+        match t.text.as_str() {
+            "<" if t.kind == TokenKind::Punct => depth += 1,
+            "<<" => depth += 2,
+            ">" if t.kind == TokenKind::Punct => depth -= 1,
+            ">>" => depth -= 2,
+            _ => {}
+        }
+        k += 1;
+        if depth <= 0 {
+            return Some(k);
+        }
+    }
+    None
+}
+
+/// Index of the `)`/`}`/`]` matching the opener at `open`.
+fn matching_delim(toks: &[Token], open: usize, open_s: &str, close_s: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = open;
+    while let Some(t) = toks.get(j) {
+        if t.is_punct(open_s) {
+            depth += 1;
+        } else if t.is_punct(close_s) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Index of the `}` matching the `{` at `open`.
+#[must_use]
+pub fn matching_brace(toks: &[Token], open: usize) -> Option<usize> {
+    matching_delim(toks, open, "{", "}")
+}
+
+/// Index of the `)` matching the `(` at `open`.
+#[must_use]
+pub fn matching_paren(toks: &[Token], open: usize) -> Option<usize> {
+    matching_delim(toks, open, "(", ")")
+}
+
+/// Parses a `fn` item from its keyword. `None` for bodyless
+/// declarations (trait methods, extern blocks) and unparseable
+/// shapes.
+fn parse_fn(
+    toks: &[Token],
+    fn_at: usize,
+    owner: Option<&str>,
+    parent: Option<usize>,
+) -> Option<FnDecl> {
+    let name_tok = toks.get(fn_at + 1)?;
+    if name_tok.kind != TokenKind::Ident {
+        return None;
+    }
+    // Locate the parameter `(`, skipping generics (same traversal the
+    // v1 telemetry-guard lint used, kept for byte-identical scoping).
+    let mut j = fn_at + 2;
+    let mut angle = 0i32;
+    loop {
+        let t = toks.get(j)?;
+        match t.text.as_str() {
+            "<" if t.kind == TokenKind::Punct => angle += 1,
+            "<<" => angle += 2,
+            ">" if t.kind == TokenKind::Punct => angle -= 1,
+            ">>" => angle -= 2,
+            "(" if angle == 0 => break,
+            ";" if angle == 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    let params_open = j;
+    let params_close = matching_paren(toks, params_open)?;
+    let params = param_names(toks, params_open, params_close);
+    // Scan to the body `{` (or `;` for a declaration).
+    let mut k = params_close + 1;
+    loop {
+        let t = toks.get(k)?;
+        if t.is_punct("{") {
+            break;
+        }
+        if t.is_punct(";") {
+            return None;
+        }
+        k += 1;
+    }
+    let body_close = matching_brace(toks, k)?;
+    Some(FnDecl {
+        name: name_tok.text.clone(),
+        owner: owner.map(str::to_string),
+        is_closure: false,
+        is_pub: is_plain_pub(toks, fn_at),
+        line: toks[fn_at].line,
+        fn_tok: fn_at,
+        params,
+        body: (k + 1, body_close),
+        parent,
+    })
+}
+
+/// Parameter names at paren depth 1: identifiers directly followed by
+/// `:` (so types, generics and nested closures never contribute).
+fn param_names(toks: &[Token], open: usize, close: usize) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut depth = 0i32;
+    for j in open..=close {
+        let t = &toks[j];
+        if t.is_punct("(") {
+            depth += 1;
+        } else if t.is_punct(")") {
+            depth -= 1;
+        } else if depth == 1
+            && t.kind == TokenKind::Ident
+            && toks.get(j + 1).is_some_and(|n| n.is_punct(":"))
+            && t.text != "self"
+        {
+            names.push(t.text.clone());
+        }
+    }
+    names
+}
+
+/// True when the tokens before `fn_at` spell a plain-`pub` signature.
+fn is_plain_pub(toks: &[Token], fn_at: usize) -> bool {
+    let mut j = fn_at;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        if t.is_ident("const")
+            || t.is_ident("async")
+            || t.is_ident("unsafe")
+            || t.is_ident("extern")
+        {
+            continue;
+        }
+        if t.kind == TokenKind::Str {
+            continue; // extern "C"
+        }
+        return t.is_ident("pub") && !toks.get(j + 1).is_some_and(|n| n.is_punct("("));
+    }
+    false
+}
+
+/// Parses `let [mut] name = [move] |params| [-> T] { body }`.
+/// Unbraced closures return `None` and stay part of the parent scope.
+fn parse_closure(toks: &[Token], let_at: usize, parent: Option<usize>) -> Option<FnDecl> {
+    let mut j = let_at + 1;
+    if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    let name_tok = toks.get(j)?;
+    if name_tok.kind != TokenKind::Ident {
+        return None;
+    }
+    if !toks.get(j + 1).is_some_and(|t| t.is_punct("=")) {
+        return None;
+    }
+    j += 2;
+    if toks.get(j).is_some_and(|t| t.is_ident("move")) {
+        j += 1;
+    }
+    // `||` (no params) or `|…|`.
+    let (params, after_pipe) = if toks.get(j).is_some_and(|t| t.is_punct("||")) {
+        (Vec::new(), j + 1)
+    } else if toks.get(j).is_some_and(|t| t.is_punct("|")) {
+        let close = closing_pipe(toks, j)?;
+        (closure_params(toks, j, close), close + 1)
+    } else {
+        return None;
+    };
+    // Optional return type, then the braced body — a `,`/`;`/`)`
+    // first means an unbraced closure body.
+    let mut k = after_pipe;
+    loop {
+        let t = toks.get(k)?;
+        if t.is_punct("{") {
+            break;
+        }
+        if t.is_punct(",") || t.is_punct(";") || t.is_punct(")") {
+            return None;
+        }
+        k += 1;
+    }
+    let body_close = matching_brace(toks, k)?;
+    Some(FnDecl {
+        name: name_tok.text.clone(),
+        owner: None,
+        is_closure: true,
+        is_pub: false,
+        line: toks[let_at].line,
+        fn_tok: let_at,
+        params,
+        body: (k + 1, body_close),
+        parent,
+    })
+}
+
+/// Index of the `|` closing the closure parameter list opened at
+/// `open` (depth-0 with respect to parens/brackets/angles).
+fn closing_pipe(toks: &[Token], open: usize) -> Option<usize> {
+    let mut j = open + 1;
+    let mut depth = 0i32;
+    while let Some(t) = toks.get(j) {
+        match t.text.as_str() {
+            "(" | "[" | "<" if t.kind == TokenKind::Punct => depth += 1,
+            ")" | "]" | ">" if t.kind == TokenKind::Punct => depth -= 1,
+            "|" if t.kind == TokenKind::Punct && depth <= 0 => return Some(j),
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Closure parameter names: identifiers preceded by `|`, `,` or
+/// `mut`, so type idents (`&str`) never contribute.
+fn closure_params(toks: &[Token], open: usize, close: usize) -> Vec<String> {
+    let mut names = Vec::new();
+    for j in open + 1..close {
+        let t = &toks[j];
+        if t.kind != TokenKind::Ident || t.is_ident("mut") {
+            continue;
+        }
+        let prev = &toks[j - 1];
+        if prev.is_punct("|") || prev.is_punct(",") || prev.is_ident("mut") {
+            names.push(t.text.clone());
+        }
+    }
+    names
+}
+
+/// Extracts every call expression in `[start, end)`, skipping the
+/// sub-ranges listed in `exclude` (child declarations' bodies).
+#[must_use]
+pub fn calls_in(toks: &[Token], start: usize, end: usize, exclude: &[(usize, usize)]) -> Vec<Call> {
+    let mut calls = Vec::new();
+    let mut k = start;
+    'outer: while k < end {
+        for &(es, ee) in exclude {
+            if k >= es && k < ee {
+                k = ee;
+                continue 'outer;
+            }
+        }
+        let t = &toks[k];
+        let is_call = t.kind == TokenKind::Ident
+            && toks.get(k + 1).is_some_and(|n| n.is_punct("("))
+            && !NON_CALL_KEYWORDS.contains(&t.text.as_str())
+            // `fn helper(…)` — a nested declaration's name, not a call.
+            && !(k > 0 && toks[k - 1].is_ident("fn"));
+        if !is_call {
+            k += 1;
+            continue;
+        }
+        let method = k > 0 && toks[k - 1].is_punct(".");
+        let qual = (k >= 2 && toks[k - 1].is_punct("::") && toks[k - 2].kind == TokenKind::Ident)
+            .then(|| toks[k - 2].text.clone());
+        let (recv, chain) = if method {
+            receiver_of(toks, k - 1)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let close = matching_paren(toks, k + 1).unwrap_or(end);
+        calls.push(Call {
+            callee: t.text.clone(),
+            qual,
+            method,
+            recv,
+            chain,
+            tok: k,
+            line: t.line,
+            args: split_args(toks, k + 1, close),
+        });
+        k += 1;
+    }
+    calls
+}
+
+/// Walks a method call's receiver backwards from its `.`: collects
+/// the identifier path (self stripped) and any chained call names.
+fn receiver_of(toks: &[Token], dot_at: usize) -> (Vec<String>, Vec<String>) {
+    let mut path = Vec::new();
+    let mut chain = Vec::new();
+    let mut j = dot_at; // at a `.`
+    loop {
+        let Some(prev) = j.checked_sub(1) else { break };
+        let t = &toks[prev];
+        if t.kind == TokenKind::Ident || t.kind == TokenKind::Int {
+            // `self.0.lock()` tuple fields lex as Int.
+            if !t.is_ident("self") {
+                path.push(t.text.clone());
+            }
+            j = prev;
+            if j == 0 || !toks[j - 1].is_punct(".") {
+                break;
+            }
+            j -= 1; // continue at the next `.`
+        } else if t.is_punct(")") || t.is_punct("]") {
+            // Chained expression receiver: jump to the matching
+            // opener and record the call name behind it, if any.
+            let (open_s, close_s) = if t.is_punct(")") {
+                ("(", ")")
+            } else {
+                ("[", "]")
+            };
+            let Some(open) = matching_back(toks, prev, open_s, close_s) else {
+                break;
+            };
+            j = open;
+            if j > 0 && toks[j - 1].kind == TokenKind::Ident {
+                chain.push(toks[j - 1].text.clone());
+                j -= 1;
+                if j > 0 && toks[j - 1].is_punct(".") {
+                    j -= 1;
+                    continue;
+                }
+            }
+            break;
+        } else if t.is_punct("?") {
+            j = prev;
+        } else {
+            break;
+        }
+    }
+    path.reverse();
+    chain.reverse();
+    (path, chain)
+}
+
+/// Index of the opener matching the closer at `close`, scanning
+/// backwards.
+fn matching_back(toks: &[Token], close: usize, open_s: &str, close_s: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = close;
+    loop {
+        let t = &toks[j];
+        if t.is_punct(close_s) {
+            depth += 1;
+        } else if t.is_punct(open_s) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        j = j.checked_sub(1)?;
+    }
+}
+
+/// Splits the argument tokens of a call (`open` at `(`, `close` at
+/// its `)`) into top-level comma-separated ranges.
+fn split_args(toks: &[Token], open: usize, close: usize) -> Vec<(usize, usize)> {
+    let mut args = Vec::new();
+    let mut depth = 0i32;
+    let mut arg_start = open + 1;
+    for j in open..=close.min(toks.len().saturating_sub(1)) {
+        let t = &toks[j];
+        match t.text.as_str() {
+            "(" | "[" | "{" if t.kind == TokenKind::Punct => depth += 1,
+            ")" | "]" | "}" if t.kind == TokenKind::Punct => {
+                depth -= 1;
+                if depth == 0 && j == close {
+                    if j > arg_start {
+                        args.push((arg_start, j));
+                    }
+                    break;
+                }
+            }
+            "," if depth == 1 => {
+                args.push((arg_start, j));
+                arg_start = j + 1;
+            }
+            "|" if t.kind == TokenKind::Punct => {
+                // Closure parameter pipes may hide commas; treat the
+                // whole remaining argument as opaque.
+            }
+            _ => {}
+        }
+    }
+    args
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn strip(src: &str) -> Vec<Token> {
+        tokenize(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Comment)
+            .collect()
+    }
+
+    #[test]
+    fn functions_params_and_owners_are_recovered() {
+        let src = "impl Foo { pub fn a(x: u8, y: &str) -> u8 { x } }\n\
+                   fn b<T: Into<Vec<u8>>>(z: T) { }\n\
+                   impl Write for Bar { fn write(&mut self, buf: &[u8]) { } }";
+        let toks = strip(src);
+        let decls = parse(&toks);
+        let names: Vec<(&str, Option<&str>)> = decls
+            .iter()
+            .map(|d| (d.name.as_str(), d.owner.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![("a", Some("Foo")), ("b", None), ("write", Some("Bar"))]
+        );
+        assert_eq!(decls[0].params, vec!["x", "y"]);
+        assert!(decls[0].is_pub);
+        assert_eq!(decls[1].params, vec!["z"]);
+        assert!(!decls[2].is_pub);
+    }
+
+    #[test]
+    fn braced_closures_become_scopes_with_parents() {
+        let src = "fn outer(s: &S) { let per_node = |name: &str, on: bool| -> u8 { s.go(name) }; per_node(\"x\", true); }";
+        let toks = strip(src);
+        let decls = parse(&toks);
+        assert_eq!(decls.len(), 2);
+        assert_eq!(decls[1].name, "per_node");
+        assert!(decls[1].is_closure);
+        assert_eq!(decls[1].params, vec!["name", "on"]);
+        assert_eq!(decls[1].parent, Some(0));
+    }
+
+    #[test]
+    fn unbraced_closures_stay_in_the_parent_scope() {
+        let src = "fn outer(v: &[u8]) { let n = v.iter().map(|b| b + 1).count(); drop(n); }";
+        let toks = strip(src);
+        let decls = parse(&toks);
+        assert_eq!(decls.len(), 1);
+    }
+
+    #[test]
+    fn calls_capture_receiver_chain_and_args() {
+        let src = "fn f(registry: &R) { registry.state.lock(); shared.lock().unwrap_or_else(e).flush(); http::respond_json(stream, 200, &body); }";
+        let toks = strip(src);
+        let decls = parse(&toks);
+        let calls = calls_in(&toks, decls[0].body.0, decls[0].body.1, &[]);
+        let lock = calls
+            .iter()
+            .find(|c| c.callee == "lock" && c.method && !c.recv.is_empty())
+            .unwrap();
+        assert_eq!(lock.recv, vec!["registry", "state"]);
+        let flush = calls.iter().find(|c| c.callee == "flush").unwrap();
+        assert_eq!(flush.chain, vec!["lock", "unwrap_or_else"]);
+        let rj = calls.iter().find(|c| c.callee == "respond_json").unwrap();
+        assert_eq!(rj.qual.as_deref(), Some("http"));
+        assert_eq!(rj.args.len(), 3);
+    }
+
+    #[test]
+    fn tuple_field_receivers_and_return_impl_do_not_confuse_the_scan() {
+        let src = "fn g(&self) -> impl Iterator<Item = u8> { self.0.lock(); [1u8].into_iter() }";
+        let toks = strip(src);
+        let decls = parse(&toks);
+        assert_eq!(decls.len(), 1, "`-> impl` must not open an impl block");
+        let calls = calls_in(&toks, decls[0].body.0, decls[0].body.1, &[]);
+        let lock = calls.iter().find(|c| c.callee == "lock").unwrap();
+        assert_eq!(lock.recv, vec!["0"]);
+    }
+
+    #[test]
+    fn bodyless_declarations_and_fn_pointer_types_are_skipped() {
+        let src = "trait T { fn required(&self); fn given(&self) { } }\nfn takes(f: fn(u8) -> u8) { f(1); }";
+        let toks = strip(src);
+        let decls = parse(&toks);
+        let names: Vec<&str> = decls.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["given", "takes"]);
+        assert_eq!(decls[0].owner.as_deref(), Some("T"));
+    }
+}

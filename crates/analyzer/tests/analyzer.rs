@@ -16,6 +16,10 @@ const CACHE_ORDER: &str = include_str!("fixtures/cache_order.rs");
 const STORE_HYGIENE: &str = include_str!("fixtures/store_hygiene.rs");
 const HOT_PATHS: &str = include_str!("fixtures/hot_paths.rs");
 const CAMPAIGN_DAEMON: &str = include_str!("fixtures/campaign_daemon.rs");
+const RNG_STREAMS: &str = include_str!("fixtures/rng_streams.rs");
+const LOCK_DISCIPLINE: &str = include_str!("fixtures/lock_discipline.rs");
+const ATOMIC_WRITE: &str = include_str!("fixtures/atomic_write.rs");
+const SARIF_GOLDEN: &str = include_str!("golden/atomic_write.sarif");
 
 /// 1-based line of the (unique) line containing `marker`.
 fn line_of(src: &str, marker: &str) -> u32 {
@@ -289,6 +293,269 @@ fn service_layer_is_exempt_from_determinism_but_not_panic_hygiene() {
         "{}",
         sim_core.render_human(true)
     );
+}
+
+#[test]
+fn rng_streams_fixture_yields_exactly_the_seeded_findings() {
+    let rel = "crates/netsim/src/rng_fixture.rs";
+    let out = analyze(&[fixture(rel, RNG_STREAMS)]);
+    assert_eq!(
+        findings_of(&out),
+        vec![
+            ("rng-streams", line_of(RNG_STREAMS, "SEED: dup-stream")),
+            (
+                "rng-streams",
+                line_of(RNG_STREAMS, "SEED: unregistered-stream")
+            ),
+            ("rng-streams", line_of(RNG_STREAMS, "SEED: dynamic-stream")),
+        ],
+        "{}",
+        out.render_human(true)
+    );
+    // The direct, let-bound, closure, and interprocedural catalog
+    // draws above the seeds must all pass — and nothing else fires.
+    assert!(
+        out.findings.iter().all(|f| f.lint == "rng-streams"),
+        "{}",
+        out.render_human(true)
+    );
+    let dup = &out.findings[0];
+    assert!(dup.message.contains("already drawn"), "{}", dup.message);
+    assert!(
+        out.findings[1].message.contains("\"laser\""),
+        "{}",
+        out.findings[1].message
+    );
+    assert!(
+        out.findings[2].message.contains("dynamically"),
+        "{}",
+        out.findings[2].message
+    );
+}
+
+#[test]
+fn lock_discipline_fixture_yields_exactly_the_seeded_findings() {
+    let rel = "crates/campaign/src/lock_fixture.rs";
+    let out = analyze(&[fixture(rel, LOCK_DISCIPLINE)]);
+    assert_eq!(
+        findings_of(&out),
+        vec![
+            (
+                "lock-discipline",
+                line_of(LOCK_DISCIPLINE, "SEED: sink-under-lock")
+            ),
+            (
+                "lock-discipline",
+                line_of(LOCK_DISCIPLINE, "SEED: wait-outside-loop")
+            ),
+            (
+                "lock-discipline",
+                line_of(LOCK_DISCIPLINE, "SEED: unregistered-order")
+            ),
+            (
+                "lock-discipline",
+                line_of(LOCK_DISCIPLINE, "SEED: transitive-sink")
+            ),
+        ],
+        "{}",
+        out.render_human(true)
+    );
+    // The passing twins (build/drop/respond, guarded writer, looped
+    // wait, catalog-ordered nesting) keep every other site silent.
+    assert!(out.findings[0].message.contains("respond_json"));
+    assert!(out.findings[1].message.contains("wait"));
+    assert!(out.findings[2].message.contains("lock-order"));
+    assert!(out.findings[3].message.contains("persist"));
+}
+
+#[test]
+fn atomic_write_fixture_yields_exactly_the_seeded_findings() {
+    let rel = "crates/campaign/src/atomic_fixture.rs";
+    let out = analyze(&[fixture(rel, ATOMIC_WRITE)]);
+    assert_eq!(
+        findings_of(&out),
+        vec![
+            ("atomic-write", line_of(ATOMIC_WRITE, "SEED: raw-fs-write")),
+            (
+                "atomic-write",
+                line_of(ATOMIC_WRITE, "SEED: raw-file-create")
+            ),
+        ],
+        "{}",
+        out.render_human(true)
+    );
+
+    // The same text inside the spool is the protocol's home turf.
+    let owned = analyze(&[fixture("crates/campaign/src/spool.rs", ATOMIC_WRITE)]);
+    assert!(
+        !owned.findings.iter().any(|f| f.lint == "atomic-write"),
+        "owner files are exempt:\n{}",
+        owned.render_human(true)
+    );
+}
+
+/// The syntactic engine must survive the tokenizer stress fixture:
+/// every `fn` item recovered by name and in order, bodies well-formed
+/// and non-overlapping, params intact, and the one real call visible
+/// through `calls_in`.
+#[test]
+fn the_parser_round_trips_the_tokenizer_stress_fixture() {
+    use blam_analyzer::syntax;
+    let f = fixture("crates/netsim/src/tricks_fixture.rs", TOKENIZER_TRICKS);
+    let decls = syntax::parse(&f.tokens);
+    let names: Vec<&str> = decls.iter().map(|d| d.name.as_str()).collect();
+    assert_eq!(
+        names,
+        [
+            "strings_are_not_code",
+            "raw_strings_too",
+            "chars_are_not_lifetimes",
+            "escaped_chars_too",
+            "the_one_real_violation",
+        ],
+    );
+    let mut prev_end = 0usize;
+    for d in &decls {
+        assert!(
+            d.parent.is_none() && !d.is_closure,
+            "{} is top-level",
+            d.name
+        );
+        let (start, end) = d.body;
+        assert!(
+            prev_end <= start && start < end && end <= f.tokens.len(),
+            "body range of {} is ordered and in bounds",
+            d.name
+        );
+        prev_end = end;
+    }
+    let tricky = decls
+        .iter()
+        .find(|d| d.name == "chars_are_not_lifetimes")
+        .expect("parsed above");
+    assert_eq!(tricky.params, ["x"]);
+    let last = decls.last().expect("non-empty");
+    let calls = syntax::calls_in(&f.tokens, last.body.0, last.body.1, &[]);
+    assert!(
+        calls
+            .iter()
+            .any(|c| c.callee == "now" && c.qual.as_deref() == Some("Instant")),
+        "the wall-clock call must survive parsing: {calls:?}"
+    );
+}
+
+/// Report order is part of the output contract: findings and
+/// baselined sites sort by (file, line, lint) no matter what order
+/// the walker hands files over in.
+#[test]
+fn findings_and_baselined_sites_sort_by_file_line_lint() {
+    // netsim sorts after battery; pass it first.
+    let out = analyze(&[
+        fixture("crates/netsim/src/det_fixture.rs", DETERMINISM),
+        fixture("crates/battery/src/unit_fixture.rs", UNIT_SAFETY),
+    ]);
+    let keys: Vec<(&str, u32, &str)> = out
+        .findings
+        .iter()
+        .map(|f| (f.file.as_str(), f.line, f.lint))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    assert_eq!(keys, sorted, "{}", out.render_human(true));
+    assert_eq!(keys.len(), 5);
+    assert!(keys[0].0.contains("battery"), "{keys:?}");
+
+    // Baselined sites obey the same order.
+    let mut baseline = Baseline::default();
+    baseline.panic_hygiene.insert("lorawan".to_string(), 6);
+    let out = analyze_files(
+        &[
+            fixture("crates/lorawan/src/z_panic.rs", PANIC_HYGIENE),
+            fixture("crates/lorawan/src/a_panic.rs", PANIC_HYGIENE),
+        ],
+        &Config::default(),
+        &baseline,
+    );
+    assert!(out.clean(), "{}", out.render_human(true));
+    let keys: Vec<(&str, u32)> = out
+        .baselined
+        .iter()
+        .map(|f| (f.file.as_str(), f.line))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    assert_eq!(keys, sorted);
+    assert_eq!(keys.len(), 6);
+    assert!(keys[0].0.contains("a_panic"), "{keys:?}");
+}
+
+/// The SARIF log is consumed byte-for-byte by CI upload tooling;
+/// regenerate `tests/golden/atomic_write.sarif` deliberately when the
+/// shape changes (the test failure prints the fresh rendering).
+#[test]
+fn sarif_output_matches_the_golden_log() {
+    let out = analyze(&[fixture(
+        "crates/campaign/src/atomic_fixture.rs",
+        ATOMIC_WRITE,
+    )]);
+    assert_eq!(out.render_sarif(), SARIF_GOLDEN);
+}
+
+/// Engine-swap pin: the syntactic engine must reproduce the
+/// token-window engine's verdicts on the pre-existing fixture corpus
+/// exactly — same lint, same file, same line, nothing added, nothing
+/// lost. Lines are literal on purpose; if this test moves, the old
+/// lints changed behavior.
+#[test]
+fn the_preexisting_fixture_corpus_pins_the_engine_swap() {
+    let corpus: &[(&str, &str)] = &[
+        ("crates/netsim/src/det_fixture.rs", DETERMINISM),
+        ("crates/netsim/src/faults_fixture.rs", FAULTS_DETERMINISM),
+        ("crates/lorawan/src/panic_fixture.rs", PANIC_HYGIENE),
+        ("crates/battery/src/unit_fixture.rs", UNIT_SAFETY),
+        ("crates/netsim/src/tel_fixture.rs", TELEMETRY_GUARD),
+        ("crates/units/src/float_fixture.rs", FLOAT_EQ),
+        ("crates/netsim/src/tricks_fixture.rs", TOKENIZER_TRICKS),
+        ("crates/lora-phy/src/cache_fixture.rs", CACHE_ORDER),
+        ("crates/netsim/src/store_fixture.rs", STORE_HYGIENE),
+        ("crates/netsim/src/hot_paths_fixture.rs", HOT_PATHS),
+        ("crates/campaign/src/daemon_fixture.rs", CAMPAIGN_DAEMON),
+    ];
+    let mut got: Vec<(String, u32, &str)> = Vec::new();
+    for (rel, src) in corpus {
+        let out = analyze(&[fixture(rel, src)]);
+        got.extend(
+            out.findings
+                .iter()
+                .map(|f| (f.file.clone(), f.line, f.lint)),
+        );
+    }
+    let expected: Vec<(String, u32, &str)> = [
+        ("crates/netsim/src/det_fixture.rs", 11, "determinism"),
+        ("crates/netsim/src/det_fixture.rs", 28, "determinism"),
+        ("crates/netsim/src/det_fixture.rs", 32, "determinism"),
+        ("crates/netsim/src/faults_fixture.rs", 30, "determinism"),
+        ("crates/lorawan/src/panic_fixture.rs", 5, "panic-hygiene"),
+        ("crates/lorawan/src/panic_fixture.rs", 9, "panic-hygiene"),
+        ("crates/lorawan/src/panic_fixture.rs", 14, "panic-hygiene"),
+        ("crates/battery/src/unit_fixture.rs", 5, "unit-safety"),
+        ("crates/battery/src/unit_fixture.rs", 9, "unit-safety"),
+        ("crates/netsim/src/tel_fixture.rs", 18, "telemetry-guard"),
+        ("crates/units/src/float_fixture.rs", 7, "float-eq"),
+        ("crates/units/src/float_fixture.rs", 16, "pragma"),
+        ("crates/units/src/float_fixture.rs", 17, "float-eq"),
+        ("crates/netsim/src/tricks_fixture.rs", 28, "determinism"),
+        ("crates/lora-phy/src/cache_fixture.rs", 19, "cache-order"),
+        ("crates/lora-phy/src/cache_fixture.rs", 23, "cache-order"),
+        ("crates/netsim/src/store_fixture.rs", 13, "store-hygiene"),
+        ("crates/netsim/src/store_fixture.rs", 17, "store-hygiene"),
+        ("crates/netsim/src/store_fixture.rs", 21, "store-hygiene"),
+        ("crates/campaign/src/daemon_fixture.rs", 20, "panic-hygiene"),
+    ]
+    .iter()
+    .map(|&(f, l, n)| (f.to_string(), l, n))
+    .collect();
+    assert_eq!(got, expected);
 }
 
 #[test]

@@ -1,0 +1,40 @@
+//! Seeded fixture for the `atomic-write` lint: raw `fs::write` /
+//! `File::create` outside the spool's owner code must route through
+//! the atomic writer, whose own body (the temp-file + rename protocol)
+//! is exempt by function name, as is test code. Never compiled; loaded
+//! as text by `tests/analyzer.rs` under a `campaign` path.
+
+use std::fs::File;
+use std::path::Path;
+
+/// A local copy of the owner protocol: the raw write inside an
+/// `atomic_write_owner_fns` body IS the protocol, not a violation.
+fn write_string_atomic(path: &Path, text: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Durable checkpoints route through the atomic writer.
+pub fn good_checkpoint(path: &Path, payload: &str) -> std::io::Result<()> {
+    write_string_atomic(path, payload)
+}
+
+/// A raw `fs::write` can leave a torn file behind a crash.
+pub fn bad_checkpoint(path: &Path, payload: &str) -> std::io::Result<()> {
+    std::fs::write(path, payload) // SEED: raw-fs-write
+}
+
+/// `File::create` truncates in place: readers can observe the gap.
+pub fn bad_open(path: &Path) -> std::io::Result<File> {
+    File::create(path) // SEED: raw-file-create
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test code may scribble scratch files directly.
+    #[test]
+    fn scratch_files_are_fine_here() {
+        std::fs::write("scratch.json", "{}").ok();
+    }
+}

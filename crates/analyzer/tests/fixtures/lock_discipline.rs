@@ -1,0 +1,74 @@
+//! Seeded fixture for the `lock-discipline` lint, in the style of the
+//! `campaign` daemon. Each seeded violation has a passing twin right
+//! above it: build-then-drop-then-respond vs. responding under the
+//! guard, a looped Condvar wait vs. a bare one, catalog-ordered
+//! nesting vs. the reverse, and the mutex-protects-the-writer idiom
+//! vs. a transitive sink through a callee. Never compiled; loaded as
+//! text by `tests/analyzer.rs` under a `campaign` path.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// The daemon's poison-recovering lock helper: a `MutexGuard`-returning
+/// fn counts as an acquisition in the call-graph model.
+fn lock(registry: &Registry) -> MutexGuard<'_, State> {
+    registry.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Build the payload under the lock, drop the guard, then respond.
+pub fn good_route(registry: &Registry, conn: &mut Conn) {
+    let state = lock(registry);
+    let body = state.summary.clone();
+    drop(state);
+    conn.respond_json(&body);
+}
+
+/// Socket I/O while the registry lock is held stalls every worker.
+pub fn bad_route(registry: &Registry, conn: &mut Conn) {
+    let state = lock(registry);
+    conn.respond_json(&state.summary); // SEED: sink-under-lock
+}
+
+/// Mutex-protects-the-writer: the sink goes *through* the guard.
+pub fn good_writer(shared: &Mutex<TraceWriter>, line: &[u8]) {
+    let mut w = shared.lock().unwrap_or_else(PoisonError::into_inner);
+    w.write_all(line).ok();
+}
+
+/// A Condvar wait whose predicate is re-checked in a loop.
+pub fn good_wait(registry: &Registry) {
+    let mut state = lock(registry);
+    while state.busy {
+        state = registry.cond.wait(state).unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// Spurious wakeups are legal; a bare wait is a latent race.
+pub fn bad_wait(registry: &Registry) {
+    let state = lock(registry);
+    let _woken = registry.cond.wait(state); // SEED: wait-outside-loop
+}
+
+/// registry.state before shared.state is the registered order.
+pub fn good_nested(registry: &Registry, shared: &Shared) {
+    let outer = registry.state.lock().unwrap_or_else(PoisonError::into_inner);
+    let inner = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+    inner.close(&outer.summary);
+}
+
+/// The reverse nesting is a deadlock waiting for its second thread.
+pub fn bad_nested(registry: &Registry, shared: &Shared) {
+    let inner = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+    let outer = registry.state.lock().unwrap_or_else(PoisonError::into_inner); // SEED: unregistered-order
+    inner.close(&outer.summary);
+}
+
+/// The callee does the blocking write (call-graph sink summary).
+fn persist(conn: &mut Conn, text: &str) {
+    conn.write_all(text.as_bytes()).ok();
+}
+
+/// A transitive sink under the guard is still a sink.
+pub fn bad_transitive(registry: &Registry, conn: &mut Conn) {
+    let state = lock(registry);
+    persist(conn, &state.summary); // SEED: transitive-sink
+}

@@ -1,0 +1,59 @@
+//! Seeded fixture for the `rng-streams` lint: catalog-registered
+//! literal draws (direct, through a `let` binding, through a closure,
+//! and interprocedurally through a parameter) must pass; a duplicated
+//! name, an unregistered name, and a dynamically built name must each
+//! yield exactly one finding. Never compiled; loaded as text by
+//! `tests/analyzer.rs` under a sim-core path.
+
+/// Two registered fault layers, one draw each: the canonical shape.
+pub fn seed_loss_layers(seeder: &RngSeeder) -> (ChaCha, ChaCha) {
+    let ul = seeder.stream("fault-ul");
+    let dl = seeder.stream("fault-dl");
+    (ul, dl)
+}
+
+/// An indexed draw through a provable `let`-bound literal.
+pub fn seed_cell(seeder: &RngSeeder, cell: u64) -> ChaCha {
+    let name = "mac";
+    seeder.stream_indexed(name, cell)
+}
+
+/// A draw inside an inline closure is attributed to the closure's own
+/// scope, still against the catalog.
+pub fn seed_node_batch(seeder: &RngSeeder, count: u64) -> Vec<ChaCha> {
+    let draw = |i: u64| { seeder.stream_indexed("nodes", i) };
+    (0..count).map(draw).collect()
+}
+
+/// Interprocedural resolution: the `stream` parameter is proved
+/// through every caller in the call-graph model.
+fn derive(seeder: &RngSeeder, stream: &str) -> ChaCha {
+    seeder.stream(stream)
+}
+
+pub fn seed_topology(seeder: &RngSeeder) -> ChaCha {
+    derive(seeder, "topology")
+}
+
+pub fn seed_phases(seeder: &RngSeeder) -> ChaCha {
+    derive(seeder, "phases")
+}
+
+/// Drawing the same name twice silently correlates the two ChaCha
+/// streams — the second draw is the finding.
+pub fn correlated(seeder: &RngSeeder) -> (ChaCha, ChaCha) {
+    let a = seeder.stream("solar");
+    let b = seeder.stream("solar"); // SEED: dup-stream
+    (a, b)
+}
+
+/// A name missing from the registered catalog.
+pub fn unregistered(seeder: &RngSeeder) -> ChaCha {
+    seeder.stream("laser") // SEED: unregistered-stream
+}
+
+/// A dynamically built name can never be audited against the catalog.
+pub fn dynamic(seeder: &RngSeeder, cell: u64) -> ChaCha {
+    let name = format!("mac-{cell}");
+    seeder.stream(&name) // SEED: dynamic-stream
+}

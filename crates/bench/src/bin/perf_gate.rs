@@ -319,7 +319,8 @@ fn main() {
     match &out {
         Some(path) => {
             let json = serde_json::to_string_pretty(&report).expect("serialize gate report");
-            std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write `{path}`: {e}"));
+            blam_campaign::write_string_atomic(std::path::Path::new(path), &json)
+                .unwrap_or_else(|e| panic!("cannot write `{path}`: {e}"));
             println!("\n[written {path}]");
         }
         None => blam_bench::write_json("BENCH_netsim", &report),

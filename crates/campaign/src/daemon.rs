@@ -449,28 +449,34 @@ fn worker_loop(registry: &Registry) {
         let (index, config, shards, shard_jobs, tail, cancel, spool, id) = claim;
         let keep_going = || !cancel.load(Ordering::Relaxed);
         let outcome = execute_job(&config, shards, shard_jobs, Some(tail), &keep_going);
+        // Persist the result spool file *before* re-taking the
+        // registry lock: the atomic write is file I/O, and holding the
+        // lock across it would stall every poller and submitter.
+        let outcome = match outcome {
+            Ok(Some(json_text)) => match spool.write_result(&id, &json_text) {
+                Ok(()) => Ok(true),
+                Err(e) => Err(format!("writing result: {e}")),
+            },
+            Ok(None) => Ok(false),
+            Err(message) => Err(message),
+        };
         let mut state = lock(registry);
         match outcome {
-            Ok(Some(json_text)) => match spool.write_result(&id, &json_text) {
-                Ok(()) => {
-                    state.jobs[index].state = JobState::Done;
-                    if let Some(campaign_index) = state.jobs[index].campaign {
-                        let manifest_index = state.jobs[index].manifest_index;
-                        let campaign = &mut state.campaigns[campaign_index];
-                        if let Some(entry) = campaign.manifest.jobs.get_mut(manifest_index) {
-                            entry.status = JobStatus::Done;
-                        }
-                        if let Err(e) = campaign.spool.write_manifest(&campaign.manifest) {
-                            eprintln!("[serve] manifest checkpoint failed: {e}");
-                        }
+            Ok(true) => {
+                state.jobs[index].state = JobState::Done;
+                if let Some(campaign_index) = state.jobs[index].campaign {
+                    let manifest_index = state.jobs[index].manifest_index;
+                    let campaign = &mut state.campaigns[campaign_index];
+                    if let Some(entry) = campaign.manifest.jobs.get_mut(manifest_index) {
+                        entry.status = JobStatus::Done;
+                    }
+                    // analyzer: allow(lock-discipline, reason = "manifest checkpoints must serialize under the registry lock so an earlier slow write can never clobber a later completion")
+                    if let Err(e) = campaign.spool.write_manifest(&campaign.manifest) {
+                        eprintln!("[serve] manifest checkpoint failed: {e}");
                     }
                 }
-                Err(e) => {
-                    state.jobs[index].state = JobState::Failed;
-                    state.jobs[index].error = Some(format!("writing result: {e}"));
-                }
-            },
-            Ok(None) => {
+            }
+            Ok(false) => {
                 state.jobs[index].state = JobState::Cancelled;
             }
             Err(message) => {
@@ -506,27 +512,42 @@ fn route(stream: &mut TcpStream, daemon: &Daemon, request: &Request) -> std::io:
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => {
-            let state = lock(registry);
-            let queued = count(&state, JobState::Queued);
-            let running = count(&state, JobState::Running);
-            let body = json!({
-                "ok": true,
-                "jobs": state.jobs.len(),
-                "queued": queued,
-                "running": running,
-            });
-            http::respond_json(stream, 200, &body.to_string())
+            // Snapshot under the lock, respond after dropping it: the
+            // socket write must never stall the worker pool.
+            let body = {
+                let state = lock(registry);
+                let queued = count(&state, JobState::Queued);
+                let running = count(&state, JobState::Running);
+                json!({
+                    "ok": true,
+                    "jobs": state.jobs.len(),
+                    "queued": queued,
+                    "running": running,
+                })
+                .to_string()
+            };
+            http::respond_json(stream, 200, &body)
         }
         ("GET", ["jobs"]) => {
-            let state = lock(registry);
-            let jobs: Vec<Value> = state.jobs.iter().map(job_summary).collect();
-            http::respond_json(stream, 200, &json!({"jobs": jobs}).to_string())
+            let body = {
+                let state = lock(registry);
+                let jobs: Vec<Value> = state.jobs.iter().map(job_summary).collect();
+                json!({"jobs": jobs}).to_string()
+            };
+            http::respond_json(stream, 200, &body)
         }
         ("POST", ["jobs"]) => submit(stream, daemon, request),
         ("GET", ["jobs", id]) => {
-            let state = lock(registry);
-            match state.jobs.iter().find(|j| j.id == *id) {
-                Some(job) => http::respond_json(stream, 200, &job_summary(job).to_string()),
+            let body = {
+                let state = lock(registry);
+                state
+                    .jobs
+                    .iter()
+                    .find(|j| j.id == *id)
+                    .map(|job| job_summary(job).to_string())
+            };
+            match body {
+                Some(body) => http::respond_json(stream, 200, &body),
                 None => not_found(stream, id),
             }
         }

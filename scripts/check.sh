@@ -15,12 +15,17 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> blam-analyze (determinism / panic-hygiene / unit-safety gates)"
-# Human output for the terminal; the JSON report lands next to the
-# telemetry smoke artifacts for tooling to pick up.
+echo "==> blam-analyze (full lint battery)"
+# Human output for the terminal; the JSON and SARIF reports land next
+# to the telemetry smoke artifacts for tooling (SARIF for code-scanning
+# upload) to pick up.
 cargo run -q --release -p blam-analyzer --bin blam-analyze
 cargo run -q --release -p blam-analyzer --bin blam-analyze -- \
     --format json >"$tmp/analyzer.json"
+cargo run -q --release -p blam-analyzer --bin blam-analyze -- \
+    --format sarif >"$tmp/analyzer.sarif"
+grep -q '"version": "2.1.0"' "$tmp/analyzer.sarif" \
+    || { echo "analyzer.sarif is not a SARIF 2.1.0 log"; exit 1; }
 
 echo "==> cargo doc -D warnings"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Fast pre-push gate: formatting plus a scoped analyzer run over just
+# the files this push touches (`--changed-only` keeps the whole-repo
+# call-graph model, so interprocedural lints still see every caller).
+#
+# Install:  ln -s ../../scripts/pre-push.sh .git/hooks/pre-push
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> blam-analyze --changed-only"
+# Diff against the upstream branch when one is set, else the parent
+# commit (first push of a fresh clone / detached head).
+base="$(git rev-parse --verify --quiet '@{upstream}' || true)"
+base="${base:-$(git rev-parse --verify --quiet HEAD~1 || true)}"
+if [ -z "$base" ]; then
+    # Root commit with no upstream: scan everything.
+    exec cargo run -q --release -p blam-analyzer --bin blam-analyze
+fi
+git diff --name-only "$base" HEAD -- '*.rs' \
+    | cargo run -q --release -p blam-analyzer --bin blam-analyze -- --changed-only -
