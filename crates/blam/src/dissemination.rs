@@ -14,13 +14,14 @@ use std::collections::BTreeMap;
 
 use blam_battery::{DegradationConstants, DegradationTracker};
 use blam_units::{Celsius, Duration, SimTime};
+use serde::{Deserialize, Serialize};
 
 use crate::trace_compress::CompressedSocTrace;
 
 /// Everything needed to rebuild a node's tracker from scratch:
 /// commissioning metadata plus every `(time, SoC)` sample in arrival
 /// order. Retained only by reference-mode ledgers.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
 struct ReplayLog {
     /// `(age, avg_soc, cycle_damage)` from `register_prior_age`.
     prior: Option<(Duration, f64, f64)>,
@@ -49,7 +50,11 @@ struct ReplayLog {
 /// assert_eq!(updates[0].0, 7);
 /// assert_eq!(updates[0].1, 255); // only node ⇒ it IS the max
 /// ```
-#[derive(Debug, Default)]
+// Checkpointing serializes the ledger whole: every container is a
+// `BTreeMap`, so the serialized bytes are deterministic, and the
+// incremental trackers (plus reference-mode replay logs) are exactly
+// the state a resumed run needs.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct DegradationLedger {
     forecast_window: Duration,
     /// Incremental per-node trackers, ordered by node id so the daily

@@ -20,9 +20,12 @@
 //! `<spool>/campaigns/<name>/`, ad hoc scenarios under
 //! `<spool>/adhoc/`. On startup the daemon rescans
 //! `<spool>/campaigns/*/campaign.json` and re-enqueues whatever lacks
-//! a result file — that, plus atomic checkpoint writes, is the whole
-//! resume story: kill the daemon at any instant, restart it on the
-//! same spool, and completed jobs are skipped by content hash.
+//! a result file — that, plus atomic checkpoint writes and per-epoch
+//! engine snapshots, is the whole resume story: kill the daemon at any
+//! instant, restart it on the same spool, completed jobs are skipped
+//! by content hash, and a job killed mid-run resumes byte-identically
+//! from its last dissemination-epoch snapshot instead of recomputing
+//! from scratch.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -33,16 +36,26 @@ use std::time::Duration;
 use serde::Deserialize;
 use serde_json::{json, Value};
 
-use blam_netsim::ScenarioConfig;
+use blam_netsim::{CheckpointConfig, ScenarioConfig};
 use blam_telemetry::TailBuffer;
 
 use crate::http::{self, Request};
-use crate::runner::execute_job;
+use crate::runner::execute_with_retry;
 use crate::spec::{job_from_config, CampaignSpec, Job};
 use crate::spool::{write_string_atomic, JobStatus, Manifest, Spool};
 
 /// How long a tail handler waits per poll before re-checking the ring.
 const TAIL_POLL: Duration = Duration::from_millis(250);
+
+/// Read deadline per accepted socket: a client that connects and then
+/// never sends a complete request cannot pin a handler thread forever.
+const SOCKET_READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Write deadline per socket write: a stalled client (full TCP window,
+/// dead peer) errors the handler out instead of wedging it. Applies
+/// per `write`, so long-lived tail streams are unaffected as long as
+/// the client keeps draining.
+const SOCKET_WRITE_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Daemon settings.
 #[derive(Debug, Clone)]
@@ -276,7 +289,7 @@ impl Daemon {
         spool
             .write_spec(spec)
             .map_err(|e| (500, format!("checkpointing spec: {e}")))?;
-        let manifest = Manifest::for_jobs(&spec.name, &jobs, |j| spool.has_result(&j.id));
+        let manifest = Manifest::for_jobs(&spec.name, &jobs, |j| spool.result_attempts(&j.id));
         spool
             .write_manifest(&manifest)
             .map_err(|e| (500, format!("checkpointing manifest: {e}")))?;
@@ -405,6 +418,7 @@ fn campaign_status(campaign: &CampaignEntry, state: &RegistryState) -> Value {
                     JobStatus::Done => "done",
                     JobStatus::Pending => live.map_or("pending", |j| j.state.as_str()),
                 },
+                "attempts": entry.attempts,
             })
         })
         .collect();
@@ -448,12 +462,24 @@ fn worker_loop(registry: &Registry) {
         };
         let (index, config, shards, shard_jobs, tail, cancel, spool, id) = claim;
         let keep_going = || !cancel.load(Ordering::Relaxed);
-        let outcome = execute_job(&config, shards, shard_jobs, Some(tail), &keep_going);
+        // Snapshot adoption: every daemon job runs checkpointed, so a
+        // daemon killed mid-run resumes the job from its last epoch
+        // barrier (byte-identically) instead of from scratch. The
+        // engine deletes the snapshot when the job completes.
+        let ckpt = CheckpointConfig::every_epoch(spool.snapshot_path(&id));
+        let (attempts, outcome) = execute_with_retry(
+            &config,
+            shards,
+            shard_jobs,
+            Some(tail),
+            Some(&ckpt),
+            &keep_going,
+        );
         // Persist the result spool file *before* re-taking the
         // registry lock: the atomic write is file I/O, and holding the
         // lock across it would stall every poller and submitter.
         let outcome = match outcome {
-            Ok(Some(json_text)) => match spool.write_result(&id, &json_text) {
+            Ok(Some(json_text)) => match spool.write_result(&id, &json_text, attempts) {
                 Ok(()) => Ok(true),
                 Err(e) => Err(format!("writing result: {e}")),
             },
@@ -469,6 +495,7 @@ fn worker_loop(registry: &Registry) {
                     let campaign = &mut state.campaigns[campaign_index];
                     if let Some(entry) = campaign.manifest.jobs.get_mut(manifest_index) {
                         entry.status = JobStatus::Done;
+                        entry.attempts = attempts;
                     }
                     // analyzer: allow(lock-discipline, reason = "manifest checkpoints must serialize under the registry lock so an earlier slow write can never clobber a later completion")
                     if let Err(e) = campaign.spool.write_manifest(&campaign.manifest) {
@@ -490,6 +517,11 @@ fn worker_loop(registry: &Registry) {
 }
 
 fn handle_connection(mut stream: TcpStream, daemon: &Daemon) {
+    // Deadlines before the first byte: set failures (an already-dead
+    // socket) surface as read/write errors right after, so they need
+    // no separate handling.
+    let _ = stream.set_read_timeout(Some(SOCKET_READ_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_WRITE_TIMEOUT));
     let request = match http::read_request(&mut stream) {
         Ok(request) => request,
         Err(e) => {

@@ -39,6 +39,6 @@ pub mod spool;
 
 pub use client::{request, tail_ndjson};
 pub use daemon::{Daemon, DaemonConfig};
-pub use runner::{run_campaign, CampaignOutcome};
+pub use runner::{run_campaign, CampaignOutcome, MAX_ATTEMPTS};
 pub use spec::{Axis, CampaignSpec, Job};
 pub use spool::{write_json_atomic, write_string_atomic, JobEntry, JobStatus, Manifest, Spool};

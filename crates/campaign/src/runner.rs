@@ -20,12 +20,18 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use blam_netsim::engine::Engine;
-use blam_netsim::shard::run_sharded;
-use blam_netsim::{ScenarioConfig, TelemetryOptions};
+use blam_netsim::shard::{run_sharded, run_sharded_checkpointed};
+use blam_netsim::{CheckpointConfig, ScenarioConfig, TelemetryOptions};
 use blam_telemetry::TailBuffer;
 
 use crate::spec::CampaignSpec;
 use crate::spool::{JobStatus, Manifest, Spool};
+
+/// Retry bound per job: a job whose attempts all fail is reported
+/// failed, never spun forever. Failures are deterministic (engine
+/// panics, scenario validation), so the attempt count a job needs is
+/// itself deterministic — which is what lets the manifest record it.
+pub const MAX_ATTEMPTS: u32 = 3;
 
 /// What [`run_campaign`] accomplished.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,7 +83,7 @@ pub fn run_campaign(
     spool
         .write_spec(spec)
         .map_err(|e| format!("checkpointing spec: {e}"))?;
-    let manifest = Manifest::for_jobs(&spec.name, &jobs, |j| spool.has_result(&j.id));
+    let manifest = Manifest::for_jobs(&spec.name, &jobs, |j| spool.result_attempts(&j.id));
     let skipped = manifest
         .jobs
         .iter()
@@ -111,14 +117,19 @@ pub fn run_campaign(
                     break;
                 };
                 let job = &jobs[slot];
-                match execute_job(&job.config, 1, 1, None, keep_going) {
+                let ckpt = CheckpointConfig::every_epoch(spool.snapshot_path(&job.id));
+                let (attempts, outcome) =
+                    execute_with_retry(&job.config, 1, 1, None, Some(&ckpt), keep_going);
+                match outcome {
                     Ok(Some(json)) => {
-                        let checkpoint = spool.write_result(&job.id, &json).and_then(|()| {
-                            let mut m = lock(&manifest);
-                            m.jobs[slot].status = JobStatus::Done;
-                            // analyzer: allow(lock-discipline, reason = "manifest checkpoints must serialize under the manifest lock so an earlier slow write can never clobber a later completion")
-                            spool.write_manifest(&m)
-                        });
+                        let checkpoint =
+                            spool.write_result(&job.id, &json, attempts).and_then(|()| {
+                                let mut m = lock(&manifest);
+                                m.jobs[slot].status = JobStatus::Done;
+                                m.jobs[slot].attempts = attempts;
+                                // analyzer: allow(lock-discipline, reason = "manifest checkpoints must serialize under the manifest lock so an earlier slow write can never clobber a later completion")
+                                spool.write_manifest(&m)
+                            });
                         match checkpoint {
                             Ok(()) => {
                                 ran.fetch_add(1, Ordering::Relaxed);
@@ -155,6 +166,35 @@ pub fn run_campaign(
     })
 }
 
+/// Runs [`execute_job`] with bounded retry: up to [`MAX_ATTEMPTS`]
+/// tries, with a deterministic backoff between them (the delay depends
+/// only on the attempt number — no wall clock, no randomness).
+/// Returns the attempt count alongside the final outcome. Only errors
+/// retry; a completed or cancelled job returns immediately. When a
+/// snapshot is configured, a failed attempt's checkpoint survives, so
+/// the retry resumes from the last epoch barrier rather than from
+/// scratch.
+pub(crate) fn execute_with_retry(
+    config: &ScenarioConfig,
+    shards: usize,
+    shard_jobs: usize,
+    tail: Option<TailBuffer>,
+    ckpt: Option<&CheckpointConfig>,
+    keep_going: &(dyn Fn() -> bool + Sync),
+) -> (u32, Result<Option<String>, String>) {
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        match execute_job(config, shards, shard_jobs, tail.clone(), ckpt, keep_going) {
+            Err(e) if attempt < MAX_ATTEMPTS => {
+                eprintln!("[campaign] attempt {attempt}/{MAX_ATTEMPTS} failed: {e}; retrying");
+                std::thread::sleep(std::time::Duration::from_millis(25 << attempt));
+            }
+            outcome => return (attempt, outcome),
+        }
+    }
+}
+
 /// Runs one scenario to completion and serializes its result.
 ///
 /// * `shards <= 1` runs the single-engine path via
@@ -165,20 +205,29 @@ pub fn run_campaign(
 ///   (checked only between jobs: the sharded coordinator owns its
 ///   epoch loop).
 ///
+/// `ckpt`, when given, makes the run crash-safe: engine state is
+/// snapshotted to `ckpt.path` at epoch barriers
+/// ([`Engine::run_checkpointed`] / [`run_sharded_checkpointed`]), a
+/// valid snapshot found at startup resumes the run byte-identically,
+/// and the snapshot is deleted on completion.
+///
 /// `tail`, when given, receives the run's NDJSON trace lines live and
-/// is closed when the job ends — however it ends. The returned JSON
+/// is closed when the job ends — however it ends. (A resumed run
+/// re-emits only the lines after its snapshot epoch: telemetry is
+/// observational and outside the resume contract.) The returned JSON
 /// has telemetry stripped, matching a telemetry-less one-shot run
 /// byte for byte.
 ///
 /// # Errors
 ///
 /// Engine panics (including scenario-validation panics) come back as
-/// messages.
+/// messages, as do snapshot I/O failures.
 pub fn execute_job(
     config: &ScenarioConfig,
     shards: usize,
     shard_jobs: usize,
     tail: Option<TailBuffer>,
+    ckpt: Option<&CheckpointConfig>,
     keep_going: &(dyn Fn() -> bool + Sync),
 ) -> Result<Option<String>, String> {
     let opts = match &tail {
@@ -188,7 +237,18 @@ pub fn execute_job(
     let outcome =
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> Result<_, String> {
             if shards > 1 {
-                Ok(Some(run_sharded(config, shards, shard_jobs.max(1), &opts)))
+                match ckpt {
+                    Some(ckpt) => run_sharded_checkpointed(
+                        config,
+                        shards,
+                        shard_jobs.max(1),
+                        &opts,
+                        ckpt,
+                        || keep_going(),
+                    )
+                    .map_err(|e| format!("snapshot: {e}")),
+                    None => Ok(Some(run_sharded(config, shards, shard_jobs.max(1), &opts))),
+                }
             } else {
                 let writer = opts
                     .open_writer()
@@ -197,7 +257,14 @@ pub fn execute_job(
                 if let Some(sink) = opts.sink_for_run(0, writer) {
                     engine = engine.with_sink(sink);
                 }
-                Ok(engine.run_interruptible(config.dissemination_interval, || keep_going()))
+                match ckpt {
+                    Some(ckpt) => engine
+                        .run_checkpointed(ckpt, || keep_going())
+                        .map_err(|e| format!("snapshot: {e}")),
+                    None => Ok(
+                        engine.run_interruptible(config.dissemination_interval, || keep_going())
+                    ),
+                }
             }
         }));
     if let Some(t) = &tail {
@@ -290,8 +357,43 @@ mod tests {
         let mut cfg = ScenarioConfig::large_scale(3, Protocol::h(0.5), 1);
         cfg.duration = Duration::from_days(1);
         cfg.gateways = 0; // topology construction requires a gateway.
-        let err = execute_job(&cfg, 1, 1, None, &|| true).unwrap_err();
+        let err = execute_job(&cfg, 1, 1, None, None, &|| true).unwrap_err();
         assert!(!err.is_empty());
+    }
+
+    #[test]
+    fn retry_is_bounded_and_counts_attempts() {
+        let mut cfg = ScenarioConfig::large_scale(3, Protocol::h(0.5), 1);
+        cfg.duration = Duration::from_days(1);
+        cfg.gateways = 0; // deterministic failure on every attempt.
+        let (attempts, outcome) = execute_with_retry(&cfg, 1, 1, None, None, &|| true);
+        assert_eq!(attempts, MAX_ATTEMPTS, "a hopeless job stops at the cap");
+        assert!(outcome.is_err());
+        // A healthy job succeeds first try.
+        cfg.gateways = 1;
+        let (attempts, outcome) = execute_with_retry(&cfg, 1, 1, None, None, &|| true);
+        assert_eq!(attempts, 1);
+        assert!(matches!(outcome, Ok(Some(_))));
+    }
+
+    #[test]
+    fn manifest_records_attempts_for_completed_jobs() {
+        let spec = tiny_spec("runner-attempts");
+        let dir = temp_dir("attempts");
+        let outcome = run_campaign(&spec, &dir, 1, &|| true).unwrap();
+        assert!(
+            outcome.manifest.jobs.iter().all(|j| j.attempts == 1),
+            "healthy jobs complete on attempt 1"
+        );
+        // The attempt counts survive a resume rebuild byte-for-byte.
+        let manifest_bytes = std::fs::read(dir.join("manifest.json")).unwrap();
+        let again = run_campaign(&spec, &dir, 1, &|| true).unwrap();
+        assert_eq!(again.manifest, outcome.manifest);
+        assert_eq!(
+            std::fs::read(dir.join("manifest.json")).unwrap(),
+            manifest_bytes
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -273,7 +273,7 @@ fn render(value: &Value) -> String {
 /// FNV-1a 64-bit: tiny, dependency-free, and stable across platforms —
 /// exactly what a content-addressed job id needs (this is an identity,
 /// not a security boundary).
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &byte in bytes {
         hash ^= u64::from(byte);

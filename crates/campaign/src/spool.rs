@@ -2,9 +2,11 @@
 //!
 //! ```text
 //! <spool>/
-//!   campaign.json          # the submitted CampaignSpec, verbatim
-//!   manifest.json          # Manifest: job list + done/pending status
-//!   results/<job_id>.json  # one RunResult per completed job
+//!   campaign.json              # the submitted CampaignSpec, verbatim
+//!   manifest.json              # Manifest: job list + status (checksummed in-file)
+//!   results/<job_id>.json      # one RunResult per completed job (raw bytes)
+//!   results/<job_id>.json.fnv  # integrity sidecar: "<fnv1a64-hex> <attempts>"
+//!   snapshots/<job_id>.ckpt    # mid-run engine snapshot (crash-safe resume)
 //! ```
 //!
 //! Every file is written **atomically**: to a unique temp name in the
@@ -14,10 +16,25 @@
 //! the runner trusts any `results/<id>.json` it finds and re-runs
 //! everything else.
 //!
+//! **Integrity.** Atomic writes protect against *our own* kills, not
+//! against disks and operators. Every spool artifact is therefore
+//! checksummed with FNV-1a 64 (the same content hash used for job
+//! ids): the manifest carries its checksum in-file (`fnv` field,
+//! schema 2), results get a sidecar (the result bytes themselves stay
+//! raw so they remain byte-identical to `blam-sim run --out`), and
+//! engine snapshots embed a checksummed header. A file that fails
+//! verification is **quarantined** — renamed to `<name>.corrupt`, kept
+//! for forensics — and treated as absent, so the damaged job simply
+//! re-runs. FNV is an integrity tripwire, not a security boundary.
+//!
 //! The [`Manifest`] deliberately carries **no wall-clock data** (no
 //! timestamps, durations or hostnames): a campaign resumed after a
 //! kill must converge to a manifest byte-identical to an uninterrupted
-//! run's.
+//! run's. That is also why the per-job `attempts` counter lives in the
+//! result sidecar and is written **before** the result: done-ness is
+//! keyed on the result file alone, so by the time a job counts as
+//! done, its attempt count is already on disk and every later manifest
+//! rebuild reports the same number.
 
 use std::fs;
 use std::io;
@@ -26,10 +43,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
-use crate::spec::{CampaignSpec, Job};
+use crate::spec::{fnv1a64, CampaignSpec, Job};
 
-/// Bumped when the manifest layout changes shape.
-pub const MANIFEST_SCHEMA: u32 = 1;
+/// Bumped when the manifest layout changes shape. History: 1 = no
+/// checksum, no attempts; 2 = in-file `fnv` checksum + per-job
+/// `attempts` (schema-1 manifests still parse — both fields default).
+pub const MANIFEST_SCHEMA: u32 = 2;
 
 /// Distinguishes concurrent temp files within one process; combined
 /// with the pid for cross-process uniqueness.
@@ -101,6 +120,12 @@ pub struct JobEntry {
     pub seed: u64,
     /// Done or pending.
     pub status: JobStatus,
+    /// How many execution attempts the completing invocation needed
+    /// (1 = first try; capped by the runner's retry bound). 0 while
+    /// pending. Failures are deterministic, so this converges across
+    /// kills and resumes like every other manifest field.
+    #[serde(default)]
+    pub attempts: u32,
 }
 
 /// The campaign's checkpointed job table. Deterministic by
@@ -110,6 +135,12 @@ pub struct JobEntry {
 pub struct Manifest {
     /// Layout version ([`MANIFEST_SCHEMA`]).
     pub schema: u32,
+    /// In-file FNV-1a 64 checksum (hex) of the manifest body —
+    /// see [`Manifest::body_fnv`]. Filled in by
+    /// [`Spool::write_manifest`]; empty in freshly-built in-memory
+    /// manifests and in pre-schema-2 files (verification then skips).
+    #[serde(default)]
+    pub fnv: String,
     /// Campaign name.
     pub name: String,
     /// One entry per expanded job, in execution order.
@@ -117,24 +148,30 @@ pub struct Manifest {
 }
 
 impl Manifest {
-    /// Builds the manifest for `jobs`, marking each done iff `done`
-    /// says its result already exists.
+    /// Builds the manifest for `jobs`: a job whose spooled result
+    /// already exists (`done` returns its recorded attempt count) is
+    /// marked done, the rest pending.
     #[must_use]
-    pub fn for_jobs(name: &str, jobs: &[Job], done: impl Fn(&Job) -> bool) -> Manifest {
+    pub fn for_jobs(name: &str, jobs: &[Job], done: impl Fn(&Job) -> Option<u32>) -> Manifest {
         Manifest {
             schema: MANIFEST_SCHEMA,
+            fnv: String::new(),
             name: name.to_string(),
             jobs: jobs
                 .iter()
-                .map(|job| JobEntry {
-                    id: job.id.clone(),
-                    label: job.label.clone(),
-                    seed: job.seed,
-                    status: if done(job) {
-                        JobStatus::Done
-                    } else {
-                        JobStatus::Pending
-                    },
+                .map(|job| {
+                    let attempts = done(job);
+                    JobEntry {
+                        id: job.id.clone(),
+                        label: job.label.clone(),
+                        seed: job.seed,
+                        status: if attempts.is_some() {
+                            JobStatus::Done
+                        } else {
+                            JobStatus::Pending
+                        },
+                        attempts: attempts.unwrap_or(0),
+                    }
                 })
                 .collect(),
         }
@@ -144,6 +181,22 @@ impl Manifest {
     #[must_use]
     pub fn complete(&self) -> bool {
         self.jobs.iter().all(|j| j.status == JobStatus::Done)
+    }
+
+    /// The checksum the in-file `fnv` field must equal: FNV-1a 64
+    /// (hex) over the canonical serialization of everything *except*
+    /// the checksum itself.
+    #[must_use]
+    pub fn body_fnv(&self) -> String {
+        let body =
+            serde_json::to_string(&(self.schema, &self.name, &self.jobs)).unwrap_or_default();
+        format!("{:016x}", fnv1a64(body.as_bytes()))
+    }
+
+    /// Whether the in-file checksum (when present) matches the body.
+    #[must_use]
+    pub fn verified(&self) -> bool {
+        self.fnv.is_empty() || self.fnv == self.body_fnv()
     }
 }
 
@@ -192,11 +245,56 @@ impl Spool {
         self.dir.join("results").join(format!("{id}.json"))
     }
 
-    /// Whether job `id` already has a checkpointed result (the resume
-    /// skip test).
+    /// Path of job `id`'s integrity sidecar (`<result>.fnv`, holding
+    /// `"<fnv1a64-hex> <attempts>"`).
+    #[must_use]
+    pub fn result_fnv_path(&self, id: &str) -> PathBuf {
+        self.dir.join("results").join(format!("{id}.json.fnv"))
+    }
+
+    /// Path of job `id`'s mid-run engine snapshot. The engine writes
+    /// it at dissemination-epoch barriers and deletes it when the job
+    /// completes, so its presence means "killed mid-run — resumable".
+    #[must_use]
+    pub fn snapshot_path(&self, id: &str) -> PathBuf {
+        self.dir.join("snapshots").join(format!("{id}.ckpt"))
+    }
+
+    /// Whether a result file exists for job `id` — a cheap existence
+    /// probe for status payloads (callable under the daemon's registry
+    /// lock). The resume skip test uses [`Spool::result_attempts`]
+    /// instead, which verifies the bytes and quarantines on mismatch.
     #[must_use]
     pub fn has_result(&self, id: &str) -> bool {
         self.result_path(id).is_file()
+    }
+
+    /// Verifies job `id`'s result against its sidecar and returns the
+    /// recorded attempt count — `None` when the result is absent or
+    /// fails verification (in which case result and sidecar are
+    /// quarantined to `*.corrupt`). A result without a sidecar (a
+    /// pre-integrity spool) is accepted with `attempts` defaulting
+    /// to 1.
+    #[must_use]
+    pub fn result_attempts(&self, id: &str) -> Option<u32> {
+        let path = self.result_path(id);
+        let bytes = fs::read(&path).ok()?;
+        let sidecar = self.result_fnv_path(id);
+        let Ok(text) = fs::read_to_string(&sidecar) else {
+            return Some(1);
+        };
+        let mut fields = text.split_whitespace();
+        let recorded = fields.next().unwrap_or_default();
+        let attempts: Option<u32> = fields.next().and_then(|n| n.parse().ok());
+        let actual = format!("{:016x}", fnv1a64(&bytes));
+        match attempts {
+            Some(attempts) if recorded == actual => Some(attempts),
+            _ => {
+                let _ = quarantine(&path);
+                let _ = quarantine(&sidecar);
+                None
+            }
+        }
     }
 
     /// Atomically checkpoints the campaign spec.
@@ -226,54 +324,83 @@ impl Spool {
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
 
-    /// Atomically checkpoints the manifest.
+    /// Atomically checkpoints the manifest, filling in the in-file
+    /// checksum ([`Manifest::body_fnv`]).
     ///
     /// # Errors
     ///
     /// Propagates serialization and I/O errors.
     pub fn write_manifest(&self, manifest: &Manifest) -> io::Result<()> {
-        write_json_atomic(&self.manifest_path(), manifest)
+        let mut sealed = manifest.clone();
+        sealed.fnv = sealed.body_fnv();
+        write_json_atomic(&self.manifest_path(), &sealed)
     }
 
-    /// Reads the manifest back, `Ok(None)` when the spool has none.
+    /// Reads the manifest back, `Ok(None)` when the spool has none. A
+    /// manifest that does not parse, or whose in-file checksum does not
+    /// match its body, is quarantined to `manifest.json.corrupt` and
+    /// reported absent — the campaign then rebuilds it from the spec
+    /// and the (individually verified) result files.
     ///
     /// # Errors
     ///
-    /// Returns read errors verbatim and parse failures as
-    /// `InvalidData`.
+    /// Returns read errors verbatim.
     pub fn read_manifest(&self) -> io::Result<Option<Manifest>> {
         let path = self.manifest_path();
         if !path.is_file() {
             return Ok(None);
         }
         let text = fs::read_to_string(&path)?;
-        serde_json::from_str(&text)
-            .map(Some)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        match serde_json::from_str::<Manifest>(&text) {
+            Ok(manifest) if manifest.verified() => Ok(Some(manifest)),
+            Ok(_) | Err(_) => {
+                quarantine(&path)?;
+                Ok(None)
+            }
+        }
     }
 
     /// Atomically writes job `id`'s result (already-serialized JSON
-    /// text, so the bytes match the in-memory serialization exactly).
+    /// text, so the bytes match the in-memory serialization exactly)
+    /// and its integrity sidecar. The sidecar goes first: done-ness is
+    /// keyed on the result file, so by the time the result is visible
+    /// its checksum and attempt count are already on disk.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
-    pub fn write_result(&self, id: &str, json_text: &str) -> io::Result<()> {
+    pub fn write_result(&self, id: &str, json_text: &str, attempts: u32) -> io::Result<()> {
+        let fnv = fnv1a64(json_text.as_bytes());
+        write_string_atomic(
+            &self.result_fnv_path(id),
+            &format!("{fnv:016x} {attempts}\n"),
+        )?;
         write_string_atomic(&self.result_path(id), json_text)
     }
 
-    /// Reads job `id`'s result text back, `Ok(None)` when absent.
+    /// Reads job `id`'s result text back, `Ok(None)` when absent or
+    /// quarantined by verification (see [`Spool::result_attempts`]).
     ///
     /// # Errors
     ///
     /// Returns read errors verbatim.
     pub fn read_result(&self, id: &str) -> io::Result<Option<String>> {
+        if self.result_attempts(id).is_none() {
+            return Ok(None);
+        }
         let path = self.result_path(id);
         if !path.is_file() {
             return Ok(None);
         }
         fs::read_to_string(&path).map(Some)
     }
+}
+
+/// Renames `path` to `<path>.corrupt`, preserving the damaged bytes
+/// for forensics while making the artifact invisible to resume.
+fn quarantine(path: &Path) -> io::Result<()> {
+    let corrupt = PathBuf::from(format!("{}.corrupt", path.display()));
+    fs::rename(path, &corrupt)
 }
 
 #[cfg(test)]
@@ -333,21 +460,109 @@ mod tests {
         assert!(spool.read_manifest().unwrap().is_none());
         let manifest = Manifest {
             schema: MANIFEST_SCHEMA,
+            fnv: String::new(),
             name: "m".to_string(),
             jobs: vec![JobEntry {
                 id: "abc".to_string(),
                 label: "base".to_string(),
                 seed: 7,
                 status: JobStatus::Pending,
+                attempts: 0,
             }],
         };
         spool.write_manifest(&manifest).unwrap();
-        assert_eq!(spool.read_manifest().unwrap().unwrap(), manifest);
+        let read_back = spool.read_manifest().unwrap().unwrap();
+        assert_eq!(
+            read_back.fnv,
+            manifest.body_fnv(),
+            "checksum sealed in-file"
+        );
+        assert!(read_back.verified());
+        assert_eq!(
+            Manifest {
+                fnv: String::new(),
+                ..read_back
+            },
+            manifest
+        );
         assert!(!manifest.complete());
         assert!(!spool.has_result("abc"));
-        spool.write_result("abc", "{\"ok\":true}").unwrap();
+        spool.write_result("abc", "{\"ok\":true}", 2).unwrap();
         assert!(spool.has_result("abc"));
+        assert_eq!(spool.result_attempts("abc"), Some(2));
         assert_eq!(spool.read_result("abc").unwrap().unwrap(), "{\"ok\":true}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_result_is_quarantined_and_reported_absent() {
+        let dir = temp_dir("corrupt-result");
+        let spool = Spool::create(&dir.join("campaign")).unwrap();
+        spool.write_result("abc", "{\"ok\":true}", 1).unwrap();
+        // A flipped byte after the fact: the sidecar checksum no
+        // longer matches.
+        fs::write(spool.result_path("abc"), "{\"ok\":talse}").unwrap();
+        assert!(
+            spool.result_attempts("abc").is_none(),
+            "corrupt result must not count as done"
+        );
+        assert!(spool.read_result("abc").unwrap().is_none());
+        let corrupt = PathBuf::from(format!("{}.corrupt", spool.result_path("abc").display()));
+        assert!(corrupt.exists(), "damaged bytes kept for forensics");
+        assert!(
+            !spool.result_path("abc").is_file(),
+            "quarantine must clear the result slot so the job re-runs"
+        );
+        // A fresh (re-run) result takes the slot back over.
+        spool.write_result("abc", "{\"ok\":true}", 1).unwrap();
+        assert_eq!(spool.result_attempts("abc"), Some(1));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn result_without_sidecar_is_accepted_as_one_attempt() {
+        let dir = temp_dir("legacy-result");
+        let spool = Spool::create(&dir.join("campaign")).unwrap();
+        fs::write(spool.result_path("abc"), "{\"ok\":true}").unwrap();
+        assert_eq!(
+            spool.result_attempts("abc"),
+            Some(1),
+            "pre-integrity spools must keep resuming"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tampered_manifest_is_quarantined_and_reported_absent() {
+        let dir = temp_dir("corrupt-manifest");
+        let spool = Spool::create(&dir.join("campaign")).unwrap();
+        let manifest = Manifest::for_jobs("m", &[], |_| None);
+        spool.write_manifest(&manifest).unwrap();
+        // Flip the campaign name without re-sealing the checksum.
+        let text = fs::read_to_string(spool.manifest_path()).unwrap();
+        fs::write(spool.manifest_path(), text.replace("\"m\"", "\"x\"")).unwrap();
+        assert!(spool.read_manifest().unwrap().is_none());
+        assert!(dir.join("campaign").join("manifest.json.corrupt").exists());
+        // A torn (truncated) manifest quarantines the same way.
+        spool.write_manifest(&manifest).unwrap();
+        let text = fs::read_to_string(spool.manifest_path()).unwrap();
+        fs::write(spool.manifest_path(), &text[..text.len() / 2]).unwrap();
+        assert!(spool.read_manifest().unwrap().is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn schema_one_manifest_without_checksum_still_parses() {
+        let dir = temp_dir("legacy-manifest");
+        let spool = Spool::create(&dir.join("campaign")).unwrap();
+        fs::write(
+            spool.manifest_path(),
+            "{\"schema\":1,\"name\":\"old\",\"jobs\":[]}",
+        )
+        .unwrap();
+        let manifest = spool.read_manifest().unwrap().unwrap();
+        assert_eq!(manifest.name, "old");
+        assert!(manifest.verified(), "no checksum means nothing to verify");
         fs::remove_dir_all(&dir).ok();
     }
 }

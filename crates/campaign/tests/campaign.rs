@@ -122,6 +122,99 @@ fn interrupted_campaign_resumes_to_an_identical_spool() {
     let _ = std::fs::remove_dir_all(&interrupted);
 }
 
+/// Mid-run crash: the stop signal lands while the only job is *inside*
+/// the engine, past its first dissemination-epoch barrier. The spool
+/// must then hold an engine snapshot, and the resumed campaign must
+/// finish the job from that snapshot — with the result, the manifest
+/// and the one-shot bytes all identical to an uninterrupted campaign.
+#[test]
+fn job_killed_mid_run_resumes_from_its_snapshot() {
+    let uninterrupted = scratch("midrun-ref");
+    let interrupted = scratch("midrun");
+    let mut cfg = tiny_cfg(3);
+    // Four 6-hour epochs inside the 1-day horizon: room to die mid-run.
+    cfg.dissemination_interval = Duration::from_hours(6);
+    let spec = CampaignSpec {
+        name: "midrun".to_string(),
+        base: serde_json::to_value(&cfg).expect("base serializes"),
+        axes: Vec::new(),
+        seeds: vec![21],
+    };
+    let job_id = spec.expand().expect("spec expands")[0].id.clone();
+    run_campaign(&spec, &uninterrupted, 1, &|| true).expect("reference campaign");
+
+    // Poll budget 2: one poll in the worker loop (claim), one at the
+    // engine's loop head (runs epoch 1, snapshots), then the third
+    // poll kills the run mid-flight with three epochs still to go.
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let polls = AtomicU64::new(0);
+    let die_mid_run = || polls.fetch_add(1, Ordering::Relaxed) < 2;
+    let partial = run_campaign(&spec, &interrupted, 1, &die_mid_run).expect("partial campaign");
+    assert!(partial.stopped_early);
+    assert_eq!(partial.ran, 0, "the killed job produced no result");
+    let spool = Spool::create(&interrupted).expect("spool reopens");
+    assert!(
+        spool.snapshot_path(&job_id).exists(),
+        "a mid-run kill must leave an epoch snapshot behind"
+    );
+
+    let resumed = run_campaign(&spec, &interrupted, 1, &|| true).expect("resumed campaign");
+    assert_eq!(resumed.ran, 1);
+    assert!(resumed.manifest.complete());
+    assert!(
+        !spool.snapshot_path(&job_id).exists(),
+        "the snapshot is deleted once the job completes"
+    );
+    let spooled = spool
+        .read_result(&job_id)
+        .expect("result readable")
+        .expect("result present");
+    assert_eq!(
+        spooled,
+        one_shot_bytes(&cfg),
+        "snapshot-resumed result diverged from the uninterrupted run"
+    );
+    let read =
+        |dir: &PathBuf| std::fs::read_to_string(dir.join("manifest.json")).expect("manifest");
+    assert_eq!(read(&uninterrupted), read(&interrupted));
+    let _ = std::fs::remove_dir_all(&uninterrupted);
+    let _ = std::fs::remove_dir_all(&interrupted);
+}
+
+/// Spool integrity end to end: a result damaged on disk after the
+/// campaign finished is quarantined to `*.corrupt` and transparently
+/// re-run on the next invocation, converging back to the same bytes.
+#[test]
+fn corrupt_spooled_result_is_quarantined_and_rerun() {
+    let dir = scratch("quarantine");
+    let spec = tiny_spec("quarantine");
+    run_campaign(&spec, &dir, 2, &|| true).expect("campaign runs");
+    let spool = Spool::create(&dir).expect("spool reopens");
+    let job = &spec.expand().expect("spec expands")[0];
+    let clean = spool
+        .read_result(&job.id)
+        .expect("result readable")
+        .expect("result present");
+
+    // Bit rot after the fact: the sidecar checksum no longer matches.
+    std::fs::write(spool.result_path(&job.id), "garbage").expect("corrupt the result");
+    let outcome = run_campaign(&spec, &dir, 2, &|| true).expect("campaign re-runs");
+    assert_eq!(outcome.ran, 1, "exactly the damaged job re-runs");
+    assert_eq!(outcome.skipped, 1, "the intact job is still skipped");
+    assert!(outcome.manifest.complete());
+    assert_eq!(
+        spool
+            .read_result(&job.id)
+            .expect("result readable")
+            .expect("result present"),
+        clean,
+        "the re-run must converge to the original bytes"
+    );
+    let corrupt = PathBuf::from(format!("{}.corrupt", spool.result_path(&job.id).display()));
+    assert!(corrupt.exists(), "the damaged bytes are kept for forensics");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn get_json(addr: &str, path: &str) -> serde_json::Value {
     let (status, body) = request(addr, "GET", path, None).expect("GET succeeds");
     assert_eq!(status, 200, "GET {path}: {body}");

@@ -10,6 +10,8 @@
 //! blam-sim compare --trace trace.jsonl --profile
 //! blam-sim chaos --nodes 60 --days 30        # fault-injection resilience drill
 //! blam-sim scale --nodes 100000 --gateways 64 --days 2   # sharded scale run
+//! blam-sim run --config scenario.json --checkpoint-every 4 --snapshot run.ckpt
+//! blam-sim crash-drill --nodes 20            # kill/resume byte-parity drill
 //! blam-sim trace-check trace.jsonl           # validate a recorded trace
 //! blam-sim campaign --spec sweep.json --spool spool/   # run a sweep, resumable
 //! blam-sim serve --spool spool/ --addr 127.0.0.1:0     # job daemon (HTTP/NDJSON)
@@ -29,8 +31,12 @@ use std::process::ExitCode;
 use blam::BlamConfig;
 use blam_battery::EOL_DEGRADATION;
 use blam_campaign::{CampaignSpec, Daemon, DaemonConfig};
+use blam_netsim::engine::Engine;
 use blam_netsim::telemetry::{expected_counts, TelemetryOptions};
-use blam_netsim::{config::Protocol, BatchRunner, FaultConfig, RunResult, ScenarioConfig};
+use blam_netsim::{
+    config::Protocol, run_sharded_checkpointed, BatchRunner, CheckpointConfig, FaultConfig,
+    RunResult, ScenarioConfig,
+};
 use blam_telemetry::replay;
 use blam_units::Duration;
 
@@ -42,6 +48,7 @@ fn main() -> ExitCode {
         Some("compare") => compare(&args[1..]),
         Some("chaos") => chaos(&args[1..]),
         Some("scale") => scale(&args[1..]),
+        Some("crash-drill") => crash_drill(&args[1..]),
         Some("trace-check") => trace_check(&args[1..]),
         Some("campaign") => campaign(&args[1..]),
         Some("serve") => serve(&args[1..]),
@@ -68,10 +75,11 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!(
         "usage:\n  blam-sim template                      print a default scenario config (JSON)\n  \
-         blam-sim run --config FILE [--out FILE] [--trace FILE] [--profile] [--reference]\n               [--shards K [--jobs J]]     simulate a scenario (--reference forces the\n                                           unoptimized oracle engine; --shards runs the\n                                           cell-sharded engine; results are identical\n                                           across K and J)\n  \
+         blam-sim run --config FILE [--out FILE] [--trace FILE] [--profile] [--reference]\n               [--shards K [--jobs J]] [--checkpoint-every N [--snapshot FILE]]\n                                           simulate a scenario (--reference forces the\n                                           unoptimized oracle engine; --shards runs the\n                                           cell-sharded engine; results are identical\n                                           across K and J; --checkpoint-every snapshots\n                                           state every N dissemination epochs and resumes\n                                           byte-identically from FILE after a crash)\n  \
          blam-sim compare [--nodes N] [--days D] [--seed S] [--jobs J] [--trace FILE] [--profile]\n                                           quick protocol comparison\n  \
          blam-sim chaos [--nodes N] [--days D] [--seed S] [--jobs J] [--trace FILE]\n                                           fault-injection drill: LoRaWAN vs hardened H-50,\n                                           fault-free vs chaos schedule\n  \
-         blam-sim scale [--nodes N] [--gateways G] [--days D] [--seed S] [--shards K] [--jobs J]\n               [--lorawan] [--out FILE] [--trace FILE]\n                                           multi-gateway sharded scale run with\n                                           events/sec and peak-RSS reporting\n  \
+         blam-sim scale [--nodes N] [--gateways G] [--days D] [--seed S] [--shards K] [--jobs J]\n               [--lorawan] [--out FILE] [--trace FILE] [--checkpoint-every N [--snapshot FILE]]\n                                           multi-gateway sharded scale run with\n                                           events/sec and peak-RSS reporting\n  \
+         blam-sim crash-drill [--nodes N] [--seed S] [--shards K]\n                                           crash-injection drill: kill checkpointed runs at\n                                           every epoch barrier, resume, byte-compare against\n                                           the uninterrupted run; plus a torn-snapshot\n                                           quarantine leg\n  \
          blam-sim trace-check FILE [--results FILE]  validate a JSONL telemetry trace\n  \
          blam-sim campaign --spec FILE --spool DIR [--jobs J]\n                                           run a parameter-sweep campaign in-process;\n                                           resumable — completed jobs are skipped by\n                                           content hash\n  \
          blam-sim serve --spool DIR [--addr HOST:PORT] [--workers N]\n                                           job daemon: POST /jobs, GET /jobs/:id,\n                                           GET /jobs/:id/tail (live NDJSON), POST\n                                           /jobs/:id/cancel, POST /shutdown; the bound\n                                           address lands in DIR/daemon.addr\n  \
@@ -103,6 +111,39 @@ fn telemetry_options(args: &[String]) -> Result<TelemetryOptions, String> {
         Some(path) => TelemetryOptions::with_trace(path),
         None => TelemetryOptions::off(),
     })
+}
+
+/// Checkpointing from the shared `--checkpoint-every N` / `--snapshot
+/// FILE` flags. Either flag alone enables it: the interval defaults to
+/// every dissemination epoch, the snapshot path to `blam-sim.ckpt`.
+fn checkpoint_config(args: &[String]) -> Result<Option<CheckpointConfig>, String> {
+    let every = flag(args, "--checkpoint-every")?;
+    let path = flag(args, "--snapshot")?;
+    if every.is_none() && path.is_none() {
+        return Ok(None);
+    }
+    let every_epochs: u64 = match every {
+        Some(n) => n
+            .parse()
+            .map_err(|e| format!("--checkpoint-every: bad number: {e}"))?,
+        None => 1,
+    };
+    if every_epochs == 0 {
+        return Err("--checkpoint-every requires an integer ≥ 1".into());
+    }
+    Ok(Some(CheckpointConfig {
+        path: PathBuf::from(path.unwrap_or_else(|| "blam-sim.ckpt".to_string())),
+        every_epochs,
+    }))
+}
+
+/// Unwraps a checkpointed run's outcome: with the CLI's always-true
+/// `keep_going` the engine only ever returns `None` if a caller-side
+/// interrupt hook fires, which `run`/`scale` never install.
+fn completed(result: std::io::Result<Option<RunResult>>) -> Result<RunResult, String> {
+    result
+        .map_err(|e| format!("checkpoint: {e}"))?
+        .ok_or_else(|| "run interrupted before completion".to_string())
 }
 
 fn template(args: &[String]) -> Result<(), String> {
@@ -166,7 +207,52 @@ fn run(args: &[String]) -> Result<(), String> {
             Some(j) => j.parse().map_err(|e| format!("--jobs: bad number: {e}"))?,
             None => BatchRunner::available().jobs(),
         };
-        let result = blam_netsim::shard::run_sharded(&cfg, shards, jobs, &opts);
+        let result = match checkpoint_config(args)? {
+            Some(ckpt) => {
+                eprintln!(
+                    "[checkpointing to {} every {} epoch(s)]",
+                    ckpt.path.display(),
+                    ckpt.every_epochs
+                );
+                completed(run_sharded_checkpointed(
+                    &cfg,
+                    shards,
+                    jobs,
+                    &opts,
+                    &ckpt,
+                    || true,
+                ))?
+            }
+            None => blam_netsim::shard::run_sharded(&cfg, shards, jobs, &opts),
+        };
+        print_summary(&result);
+        if let Some(report) = &result.telemetry {
+            eprint!("{}", report.render());
+        }
+        if let Some(out) = flag(args, "--out")? {
+            let json = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
+            write_out(&out, &json)?;
+            eprintln!("[full results written to {out}]");
+        }
+        return Ok(());
+    }
+    if let Some(ckpt) = checkpoint_config(args)? {
+        eprintln!(
+            "[checkpointing to {} every {} epoch(s)]",
+            ckpt.path.display(),
+            ckpt.every_epochs
+        );
+        // Checkpointed runs drive the engine directly: the snapshot
+        // loop owns the barrier schedule, so the batch runner's
+        // windowing would be redundant. Telemetry still attaches —
+        // sinks observe and never feed back, so the resume contract
+        // (which covers simulation state only) is unaffected.
+        let mut engine = Engine::build(cfg);
+        let writer = opts.open_writer().map_err(|e| e.to_string())?;
+        if let Some(sink) = opts.sink_for_run(0, writer) {
+            engine = engine.with_sink(sink);
+        }
+        let result = completed(engine.run_checkpointed(&ckpt, || true))?;
         print_summary(&result);
         if let Some(report) = &result.telemetry {
             eprint!("{}", report.render());
@@ -370,7 +456,24 @@ fn scale(args: &[String]) -> Result<(), String> {
         cfg.protocol.label()
     );
     let started = std::time::Instant::now();
-    let result = blam_netsim::shard::run_sharded(&cfg, shards, jobs, &opts);
+    let result = match checkpoint_config(args)? {
+        Some(ckpt) => {
+            eprintln!(
+                "[checkpointing to {} every {} epoch(s)]",
+                ckpt.path.display(),
+                ckpt.every_epochs
+            );
+            completed(run_sharded_checkpointed(
+                &cfg,
+                shards,
+                jobs,
+                &opts,
+                &ckpt,
+                || true,
+            ))?
+        }
+        None => blam_netsim::shard::run_sharded(&cfg, shards, jobs, &opts),
+    };
     let elapsed = started.elapsed().as_secs_f64();
     let events_per_sec = result.events_processed as f64 / elapsed.max(1e-9);
     eprintln!(
@@ -408,6 +511,154 @@ fn peak_rss_bytes() -> Option<u64> {
     let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
     let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
     Some(kb * 1024)
+}
+
+/// In-process crash-injection drill. Runs each scenario uninterrupted
+/// for a baseline, then kills checkpointed runs at successive
+/// dissemination-epoch barriers (a countdown `keep_going` hook stands
+/// in for SIGKILL — the snapshot on disk is identical either way),
+/// resumes them, and byte-compares the serialized results. A final leg
+/// tears a snapshot mid-file and checks it is quarantined to
+/// `*.corrupt` while the rerun recovers from scratch, still
+/// byte-identical.
+fn crash_drill(args: &[String]) -> Result<(), String> {
+    let parse = |v: Option<String>, d: u64| -> Result<u64, String> {
+        v.map_or(Ok(d), |s| s.parse().map_err(|e| format!("bad number: {e}")))
+    };
+    let nodes = parse(flag(args, "--nodes")?, 20)? as usize;
+    let seed = parse(flag(args, "--seed")?, 42)?;
+    let shards = parse(flag(args, "--shards")?, 2)? as usize;
+
+    let dir = std::env::temp_dir().join(format!("blam-crash-drill-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let serialize = |r: &RunResult| serde_json::to_string(r).map_err(|e| e.to_string());
+    let mut legs = 0u32;
+    let mut failed = 0u32;
+    let mut check = |name: &str, ok: bool| {
+        legs += 1;
+        if !ok {
+            failed += 1;
+        }
+        eprintln!("[crash-drill] {name}: {}", if ok { "PASS" } else { "FAIL" });
+    };
+
+    // Leg 1–3: single engine under chaos faults, killed after 1, 2 and
+    // 3 of the four 6-hour epochs.
+    let mut cfg = ScenarioConfig::large_scale(nodes, Protocol::h(0.5), seed);
+    cfg.duration = Duration::from_days(1);
+    cfg.sample_interval = Duration::from_hours(8);
+    cfg.dissemination_interval = Duration::from_hours(6);
+    cfg.faults = FaultConfig::chaos(0.2, 0.05, Duration::from_days(2));
+    eprintln!("[crash-drill] single engine: {nodes} nodes, 1 day, 6 h epochs, chaos faults");
+    let baseline = serialize(&Engine::build(cfg.clone()).run())?;
+    for kill_at in 1..=3u64 {
+        let path = dir.join(format!("single-{kill_at}.ckpt"));
+        let ckpt = CheckpointConfig::every_epoch(&path);
+        let mut polls = 0u64;
+        let interrupted = Engine::build(cfg.clone())
+            .run_checkpointed(&ckpt, || {
+                polls += 1;
+                polls <= kill_at
+            })
+            .map_err(|e| format!("checkpoint: {e}"))?;
+        let resumed = Engine::build(cfg.clone())
+            .run_checkpointed(&ckpt, || true)
+            .map_err(|e| format!("checkpoint: {e}"))?;
+        let resumed = match resumed {
+            Some(r) => serialize(&r)?,
+            None => String::new(),
+        };
+        check(
+            &format!("single-engine kill@{kill_at} resumes byte-identical"),
+            interrupted.is_none() && resumed == baseline,
+        );
+    }
+
+    // Leg 4: sharded engine, killed mid-run, resumed under a single
+    // worker — the snapshot is cell-structured, so the worker layout
+    // may change across the crash.
+    let mut sharded_cfg = ScenarioConfig::scale(nodes * 2, 4, Protocol::h(0.5), seed);
+    sharded_cfg.duration = Duration::from_days(1);
+    sharded_cfg.sample_interval = Duration::from_hours(8);
+    sharded_cfg.dissemination_interval = Duration::from_hours(6);
+    sharded_cfg.faults = FaultConfig::chaos(0.1, 0.05, Duration::from_days(2));
+    eprintln!(
+        "[crash-drill] sharded engine: {} nodes / 4 cells, --shards {shards}",
+        nodes * 2
+    );
+    let sharded_baseline = serialize(&blam_netsim::run_sharded(
+        &sharded_cfg,
+        1,
+        1,
+        &TelemetryOptions::off(),
+    ))?;
+    {
+        let path = dir.join("sharded.ckpt");
+        let ckpt = CheckpointConfig::every_epoch(&path);
+        let mut polls = 0u64;
+        let interrupted = run_sharded_checkpointed(
+            &sharded_cfg,
+            shards,
+            shards,
+            &TelemetryOptions::off(),
+            &ckpt,
+            || {
+                polls += 1;
+                polls <= 2
+            },
+        )
+        .map_err(|e| format!("checkpoint: {e}"))?;
+        let resumed =
+            run_sharded_checkpointed(&sharded_cfg, 1, 1, &TelemetryOptions::off(), &ckpt, || true)
+                .map_err(|e| format!("checkpoint: {e}"))?;
+        let resumed = match resumed {
+            Some(r) => serialize(&r)?,
+            None => String::new(),
+        };
+        check(
+            &format!("sharded kill@2 (--shards {shards}) resumes byte-identical"),
+            interrupted.is_none() && resumed == sharded_baseline,
+        );
+    }
+
+    // Leg 5: torn snapshot — truncate the file mid-payload, as a power
+    // cut during a write-without-rename would. The run must quarantine
+    // it and recover from scratch.
+    {
+        let path = dir.join("torn.ckpt");
+        let ckpt = CheckpointConfig::every_epoch(&path);
+        let mut polls = 0u64;
+        let interrupted = Engine::build(cfg.clone())
+            .run_checkpointed(&ckpt, || {
+                polls += 1;
+                polls <= 2
+            })
+            .map_err(|e| format!("checkpoint: {e}"))?;
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        // analyzer: allow(atomic-write, reason = "deliberately plants a torn snapshot to drill the quarantine path; atomicity is the thing under test, not wanted here")
+        std::fs::write(&path, &text[..text.len() * 2 / 3])
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let recovered = Engine::build(cfg.clone())
+            .run_checkpointed(&ckpt, || true)
+            .map_err(|e| format!("checkpoint: {e}"))?;
+        let recovered = match recovered {
+            Some(r) => serialize(&r)?,
+            None => String::new(),
+        };
+        let quarantined = dir.join("torn.ckpt.corrupt").exists();
+        check(
+            "torn snapshot quarantined, rerun recovers from scratch",
+            interrupted.is_none() && recovered == baseline && quarantined,
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    if failed > 0 {
+        return Err(format!("crash drill: {failed}/{legs} leg(s) FAILED"));
+    }
+    println!("crash drill: {legs}/{legs} legs PASS");
+    Ok(())
 }
 
 fn trace_check(args: &[String]) -> Result<(), String> {

@@ -43,6 +43,6 @@ pub mod queue;
 pub mod rng;
 pub mod sim;
 
-pub use queue::{EventId, EventQueue};
+pub use queue::{EventId, EventQueue, QueueSnapshot};
 pub use rng::RngSeeder;
-pub use sim::Simulator;
+pub use sim::{SimSnapshot, Simulator};

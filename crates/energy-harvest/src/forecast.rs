@@ -82,7 +82,7 @@ impl<S: HarvestSource> Forecaster for Oracle<S> {
 /// let tomorrow = nine_am + Duration::from_days(1);
 /// assert!((f.predict(tomorrow, w).0 - 0.24).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct DiurnalPersistence {
     bucket: Duration,
     beta: f64,

@@ -133,6 +133,36 @@ impl AdrEngine {
     pub fn reset(&mut self, device: DeviceAddr) {
         self.snr_history.remove(&device);
     }
+
+    /// Captures the engine's mutable state (the per-device SNR
+    /// histories) for checkpointing, sorted by device address so the
+    /// snapshot bytes never depend on hash iteration order. The
+    /// configuration fields are not exported — a restored engine is
+    /// rebuilt from the scenario configuration first.
+    #[must_use]
+    pub fn checkpoint(&self) -> AdrState {
+        let mut snr_history: Vec<(DeviceAddr, Vec<f64>)> = self
+            .snr_history
+            .iter()
+            .map(|(&d, h)| (d, h.clone()))
+            .collect();
+        snr_history.sort_unstable_by_key(|&(d, _)| d);
+        AdrState { snr_history }
+    }
+
+    /// Overlays a checkpointed [`AdrState`] onto this (freshly built)
+    /// engine, replacing its observation histories.
+    pub fn restore_state(&mut self, state: AdrState) {
+        // analyzer: allow(determinism, reason = "iterates the snapshot's sorted Vec to refill the map; insertion order cannot affect map contents")
+        self.snr_history = state.snr_history.into_iter().collect();
+    }
+}
+
+/// A serializable image of an [`AdrEngine`]'s mutable state.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AdrState {
+    /// Collected SNR observations per device, sorted by device.
+    pub snr_history: Vec<(DeviceAddr, Vec<f64>)>,
 }
 
 fn faster_sf(sf: SpreadingFactor) -> Option<SpreadingFactor> {

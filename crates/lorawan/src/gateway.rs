@@ -61,7 +61,7 @@ impl ReceptionOutcome {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct Ongoing {
     id: TransmissionId,
     tx: UplinkTransmission,
@@ -94,7 +94,7 @@ struct Ongoing {
 /// });
 /// assert_eq!(gw.end_uplink(id), ReceptionOutcome::Received);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GatewayRadio {
     demod_paths: usize,
     interference: InterferenceModel,

@@ -51,9 +51,9 @@ pub mod gateway;
 pub mod mac;
 pub mod server;
 
-pub use adr::{AdrCommand, AdrEngine};
+pub use adr::{AdrCommand, AdrEngine, AdrState};
 pub use codec::{decode, encode, DecodeFrameError, MType, WireFrame};
 pub use frame::{DeviceAddr, Downlink, Uplink, MAC_OVERHEAD_BYTES};
 pub use gateway::{GatewayRadio, ReceptionOutcome, TransmissionId, UplinkTransmission};
 pub use mac::{ClassAMac, MacAction, MacParams, MacState, TransmitDescriptor, TxReport};
-pub use server::{AckDecision, NetworkServer};
+pub use server::{AckDecision, NetworkServer, ServerState};

@@ -155,7 +155,7 @@ pub enum MacState {
 /// assert!(!report.delivered);
 /// assert_eq!(report.transmissions, 2);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ClassAMac {
     params: MacParams,
     state: MacState,
@@ -165,7 +165,7 @@ pub struct ClassAMac {
     duty_free_at: SimTime,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct Exchange {
     frame: Uplink,
     attempt: u8,

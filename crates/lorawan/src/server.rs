@@ -113,6 +113,55 @@ impl NetworkServer {
     pub fn duplicates(&self) -> u64 {
         self.duplicates
     }
+
+    /// Captures the server's state for checkpointing. The hash-map
+    /// contents are exported as device-sorted vectors, so the snapshot
+    /// bytes never depend on hash iteration order.
+    #[must_use]
+    pub fn checkpoint(&self) -> ServerState {
+        let mut last_fcnt: Vec<(DeviceAddr, u32)> =
+            self.last_fcnt.iter().map(|(&d, &f)| (d, f)).collect();
+        last_fcnt.sort_unstable_by_key(|&(d, _)| d);
+        let mut pending_piggyback: Vec<(DeviceAddr, u8)> = self
+            .pending_piggyback
+            .iter()
+            .map(|(&d, &b)| (d, b))
+            .collect();
+        pending_piggyback.sort_unstable_by_key(|&(d, _)| d);
+        ServerState {
+            last_fcnt,
+            pending_piggyback,
+            unique_received: self.unique_received,
+            duplicates: self.duplicates,
+        }
+    }
+
+    /// Rebuilds a server from a [`ServerState`] checkpoint.
+    #[must_use]
+    pub fn restore(state: ServerState) -> Self {
+        NetworkServer {
+            // analyzer: allow(determinism, reason = "iterates the snapshot's sorted Vec to refill the map; insertion order cannot affect map contents")
+            last_fcnt: state.last_fcnt.into_iter().collect(),
+            // analyzer: allow(determinism, reason = "iterates the snapshot's sorted Vec to refill the map; insertion order cannot affect map contents")
+            pending_piggyback: state.pending_piggyback.into_iter().collect(),
+            unique_received: state.unique_received,
+            duplicates: state.duplicates,
+        }
+    }
+}
+
+/// A serializable image of a [`NetworkServer`] — map contents sorted
+/// by device address for deterministic snapshot bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ServerState {
+    /// Last frame counter seen per device, sorted by device.
+    pub last_fcnt: Vec<(DeviceAddr, u32)>,
+    /// Pending piggyback byte per device, sorted by device.
+    pub pending_piggyback: Vec<(DeviceAddr, u8)>,
+    /// Unique (non-duplicate) frames received.
+    pub unique_received: u64,
+    /// Duplicate frames seen.
+    pub duplicates: u64,
 }
 
 #[cfg(test)]

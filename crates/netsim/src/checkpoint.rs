@@ -1,0 +1,482 @@
+//! Crash-safe mid-run checkpointing: epoch snapshots and byte-exact
+//! resume.
+//!
+//! A snapshot captures the full mutable state of a run at a
+//! dissemination-epoch barrier — the pending event queue, every node
+//! store column, per-stream RNG positions, the gateway radios, server
+//! and ADR state, the degradation ledger, fault-layer chains and the
+//! (script-mutated) scenario configuration — and nothing a fresh
+//! [`Engine::build`] reproduces bit-identically from the launch
+//! configuration (topology, harvest traces, scratch matrices, outage
+//! schedules, generation phases).
+//!
+//! # Resume contract
+//!
+//! A run killed at any point and resumed from its last snapshot
+//! produces a [`RunResult`] byte-identical to the uninterrupted run —
+//! at any `--shards N --jobs M`, faults and scenario scripts included.
+//! Two deliberate exclusions:
+//!
+//! * **Telemetry** is observational and is not checkpointed: a resumed
+//!   run's trace file / report covers only events after the resume.
+//!   Results with the default [`NullSink`](blam_telemetry::NullSink)
+//!   (`telemetry: None`) are covered by the byte-exactness contract.
+//! * The snapshot file itself is a mid-run artifact: it is deleted
+//!   when the run completes.
+//!
+//! # Snapshot file format
+//!
+//! One header line, then a JSON payload:
+//!
+//! ```text
+//! BLAMSNAP1 <fnv1a64-of-payload, 16 hex digits> <payload byte length>
+//! {"version":1,"config_fnv":…,"epoch":…,"payload":{…}}
+//! ```
+//!
+//! Snapshots are written atomically (temp file + rename) at epoch
+//! barriers. A reader validates the magic, the length and the
+//! checksum before parsing; a torn or corrupt file is quarantined to
+//! `<path>.corrupt` and the run restarts from scratch — losing time,
+//! never correctness.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use blam::{CompressedSocTrace, DegradationLedger};
+use blam_des::{SimSnapshot, Simulator};
+use blam_lorawan::{AdrEngine, AdrState, GatewayRadio, NetworkServer, ServerState};
+use blam_units::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::config::ScenarioConfig;
+use crate::engine::{Engine, LedgerMode, RunResult};
+use crate::events::Event;
+use crate::faults::FaultLayerState;
+use crate::store::StoreState;
+
+/// Magic token opening every snapshot header line.
+const SNAPSHOT_MAGIC: &str = "BLAMSNAP1";
+/// Version of the JSON payload schema.
+pub(crate) const SNAPSHOT_VERSION: u32 = 1;
+
+/// Where and how often to snapshot a run.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// The snapshot file. Written atomically at epoch barriers, read
+    /// at startup (resuming if valid), deleted when the run completes.
+    pub path: PathBuf,
+    /// Snapshot every this many dissemination epochs (clamped to ≥ 1).
+    pub every_epochs: u64,
+}
+
+impl CheckpointConfig {
+    /// Snapshots to `path` at every dissemination epoch.
+    #[must_use]
+    pub fn every_epoch(path: impl Into<PathBuf>) -> Self {
+        CheckpointConfig {
+            path: path.into(),
+            every_epochs: 1,
+        }
+    }
+}
+
+/// 64-bit FNV-1a over `bytes` — the same hash the campaign spool uses
+/// for job ids, applied here to snapshot payloads and config
+/// fingerprints.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Fingerprint of the launch configuration a snapshot belongs to.
+/// Resuming under a different scenario is an error, not a silent
+/// divergence.
+pub(crate) fn config_fingerprint(cfg: &ScenarioConfig) -> u64 {
+    // analyzer: allow(panic-hygiene, reason = "ScenarioConfig always serializes; a failure is a programming error")
+    let json = serde_json::to_string(cfg).expect("scenario config serializes");
+    fnv1a64(json.as_bytes())
+}
+
+/// The serialized snapshot: schema version, launch-config fingerprint,
+/// completed-epoch counter and the engine state payload.
+#[derive(Debug, Serialize, Deserialize)]
+pub(crate) struct SnapshotFile {
+    pub(crate) version: u32,
+    pub(crate) config_fnv: u64,
+    /// Dissemination epochs fully processed when the snapshot was
+    /// taken (the simulation clock sits at `epoch ·
+    /// dissemination_interval`).
+    pub(crate) epoch: u64,
+    pub(crate) payload: SnapshotPayload,
+}
+
+/// Engine state for the two execution modes. A snapshot taken in one
+/// mode cannot resume the other — the RNG stream layout differs.
+#[derive(Debug, Serialize, Deserialize)]
+pub(crate) enum SnapshotPayload {
+    /// Single-engine run.
+    Single(Box<EngineState>),
+    /// Cell-sharded run: one state per cell plus the coordinator's
+    /// global ledger.
+    Sharded {
+        cells: Vec<EngineState>,
+        ledger: DegradationLedger,
+    },
+}
+
+/// How an engine's gateway-side ledger is checkpointed (mirrors
+/// [`LedgerMode`]).
+#[derive(Debug, Serialize, Deserialize)]
+pub(crate) enum LedgerState {
+    Local(DegradationLedger),
+    Deferred(Vec<(u32, SimTime, CompressedSocTrace)>),
+}
+
+/// Everything mutable about one [`Engine`] and its simulator. Restored
+/// by overlaying onto a freshly built engine — see the module docs for
+/// what is deliberately rebuilt instead of serialized.
+#[derive(Debug, Serialize, Deserialize)]
+pub(crate) struct EngineState {
+    /// The scenario configuration *as mutated by scripts so far*
+    /// (`SetWuTtl`/`SetTraceBuffer` rewrite `cfg.protocol` mid-run);
+    /// the policy is rebuilt from it on restore.
+    pub(crate) cfg: ScenarioConfig,
+    pub(crate) store: StoreState,
+    pub(crate) gateways: Vec<GatewayRadio>,
+    pub(crate) server: ServerState,
+    pub(crate) adr: Option<AdrState>,
+    pub(crate) ledger: LedgerState,
+    pub(crate) faults: FaultLayerState,
+    /// Word position of the engine's MAC jitter stream.
+    pub(crate) mac_rng_pos: u128,
+    pub(crate) halted: bool,
+    pub(crate) first_eol: Option<(usize, SimTime)>,
+    pub(crate) samples: Vec<crate::metrics::DegradationSample>,
+    /// The pending event queue, clock and processed-event counter.
+    pub(crate) sim: SimSnapshot<Event>,
+}
+
+impl Engine {
+    /// Captures this engine's full mutable state (including its
+    /// simulator) at an epoch barrier.
+    pub(crate) fn checkpoint_state(&self, sim: &Simulator<Event>) -> EngineState {
+        EngineState {
+            cfg: self.cfg.clone(),
+            store: self.store.checkpoint(),
+            gateways: self.gateways.clone(),
+            server: self.server.checkpoint(),
+            adr: self.adr.as_ref().map(AdrEngine::checkpoint),
+            ledger: match &self.ledger {
+                LedgerMode::Local(ledger) => LedgerState::Local(ledger.clone()),
+                LedgerMode::Deferred(pending) => LedgerState::Deferred(pending.clone()),
+            },
+            faults: self.faults.checkpoint(),
+            mac_rng_pos: self.mac_rng.get_word_pos(),
+            halted: self.halted,
+            first_eol: self.first_eol,
+            samples: self.samples.clone(),
+            sim: sim.snapshot(),
+        }
+    }
+
+    /// Overlays a checkpointed [`EngineState`] onto this freshly built
+    /// engine and returns the restored simulator. The engine must have
+    /// been built from the same launch configuration the snapshot was
+    /// taken under (enforced upstream via [`config_fingerprint`] and
+    /// again by the store's id assertions).
+    pub(crate) fn restore_state(&mut self, state: EngineState) -> Simulator<Event> {
+        let EngineState {
+            cfg,
+            store,
+            gateways,
+            server,
+            adr,
+            ledger,
+            faults,
+            mac_rng_pos,
+            halted,
+            first_eol,
+            samples,
+            sim,
+        } = state;
+        self.cfg = cfg;
+        // Scripts may have rewritten protocol knobs before the
+        // snapshot; the policy object is derived state.
+        self.policy = self.cfg.protocol.policy();
+        self.store.restore_state(store);
+        self.gateways = gateways;
+        self.server = NetworkServer::restore(server);
+        if let (Some(engine), Some(saved)) = (self.adr.as_mut(), adr) {
+            engine.restore_state(saved);
+        }
+        self.ledger = match ledger {
+            LedgerState::Local(ledger) => LedgerMode::Local(ledger),
+            LedgerState::Deferred(pending) => LedgerMode::Deferred(pending),
+        };
+        self.faults.restore_state(&faults);
+        // The fresh build already seeded the right MAC stream (plain
+        // "mac" for the single engine, "mac" indexed by cell for a
+        // cell engine); only the position needs winding forward.
+        self.mac_rng.set_word_pos(mac_rng_pos);
+        self.halted = halted;
+        self.first_eol = first_eol;
+        self.samples = samples;
+        Simulator::restore(sim, self.cfg.reference_impl)
+    }
+
+    /// Runs like [`Engine::run`], snapshotting to `ckpt.path` at
+    /// dissemination-epoch barriers and resuming from that file when a
+    /// valid snapshot for the same launch configuration exists.
+    ///
+    /// `keep_going` is polled at every barrier; returning `false`
+    /// abandons the run with `Ok(None)` — the snapshot file is left in
+    /// place for the next attempt. On completion the snapshot file is
+    /// removed and the result is byte-identical to an uninterrupted
+    /// [`Engine::run`] (minus telemetry — see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Fails on snapshot I/O errors, or when the snapshot on disk was
+    /// taken under a different launch configuration or by the sharded
+    /// engine. A torn/corrupt snapshot is *not* an error: it is
+    /// quarantined to `<path>.corrupt` and the run restarts fresh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation (as
+    /// [`Engine::run`] does).
+    pub fn run_checkpointed(
+        mut self,
+        ckpt: &CheckpointConfig,
+        mut keep_going: impl FnMut() -> bool,
+    ) -> io::Result<Option<RunResult>> {
+        let config_fnv = config_fingerprint(&self.cfg);
+        let every = ckpt.every_epochs.max(1);
+        let horizon = SimTime::ZERO + self.cfg.duration;
+        let step = self.cfg.dissemination_interval;
+        let label = self.policy.label();
+        self.telemetry
+            .begin(&label, self.cfg.seed, self.store.total() as u32);
+        let (mut sim, mut epoch) = match read_snapshot(&ckpt.path)? {
+            SnapshotRead::Valid(file) if file.config_fnv == config_fnv => {
+                let SnapshotPayload::Single(state) = file.payload else {
+                    return Err(io::Error::other(
+                        "snapshot was taken by the sharded engine; resume with the same --shards",
+                    ));
+                };
+                let sim = self.restore_state(*state);
+                (sim, file.epoch)
+            }
+            SnapshotRead::Valid(_) => {
+                return Err(io::Error::other(
+                    "snapshot belongs to a different scenario configuration",
+                ));
+            }
+            SnapshotRead::Absent | SnapshotRead::Quarantined => {
+                let mut sim: Simulator<Event> = if self.cfg.reference_impl {
+                    Simulator::reference()
+                } else {
+                    Simulator::new()
+                };
+                self.schedule_initial_events(&mut sim);
+                (sim, 0)
+            }
+        };
+        loop {
+            if !keep_going() {
+                return Ok(None);
+            }
+            let mut barrier = SimTime::ZERO + step * (epoch + 1);
+            if barrier >= horizon {
+                barrier = horizon;
+            }
+            sim.run_until(barrier, |sim, now, ev| self.handle(sim, now, ev));
+            if barrier >= horizon {
+                break;
+            }
+            epoch += 1;
+            if epoch % every == 0 {
+                let file = SnapshotFile {
+                    version: SNAPSHOT_VERSION,
+                    config_fnv,
+                    epoch,
+                    payload: SnapshotPayload::Single(Box::new(self.checkpoint_state(&sim))),
+                };
+                write_snapshot(&ckpt.path, &file)?;
+            }
+        }
+        let events_processed = sim.processed();
+        let _ = fs::remove_file(&ckpt.path);
+        Ok(Some(self.finalize(horizon, events_processed)))
+    }
+}
+
+/// Outcome of reading a snapshot file.
+pub(crate) enum SnapshotRead {
+    /// No file at the path — start fresh.
+    Absent,
+    /// The file failed validation (torn write, bit rot, truncation)
+    /// and was moved aside to `<path>.corrupt` — start fresh.
+    Quarantined,
+    /// A validated, parsed snapshot.
+    Valid(SnapshotFile),
+}
+
+/// Serializes and atomically writes a snapshot: payload JSON behind a
+/// `BLAMSNAP1 <checksum> <length>` header, via temp file + rename so a
+/// crash mid-write leaves either the old snapshot or the new one,
+/// never a torn hybrid at the final path.
+pub(crate) fn write_snapshot(path: &Path, file: &SnapshotFile) -> io::Result<()> {
+    // analyzer: allow(panic-hygiene, reason = "snapshot types always serialize; a failure is a programming error")
+    let payload = serde_json::to_string(file).expect("snapshot serializes");
+    let header = format!(
+        "{SNAPSHOT_MAGIC} {:016x} {}\n",
+        fnv1a64(payload.as_bytes()),
+        payload.len()
+    );
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    // analyzer: allow(atomic-write, reason = "this IS the temp half of a local temp-then-rename; netsim cannot depend on blam-campaign's helper without a dependency cycle")
+    fs::write(&tmp, header + &payload)?;
+    fs::rename(&tmp, path)
+}
+
+/// Reads and validates the snapshot at `path`. A missing file is
+/// [`SnapshotRead::Absent`]; a file failing any integrity check
+/// (magic, length, checksum, JSON shape, schema version) is renamed to
+/// `<path>.corrupt` and reported as [`SnapshotRead::Quarantined`].
+pub(crate) fn read_snapshot(path: &Path) -> io::Result<SnapshotRead> {
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(SnapshotRead::Absent),
+        Err(e) => return Err(e),
+    };
+    match parse_snapshot(&text) {
+        Ok(file) => Ok(SnapshotRead::Valid(file)),
+        Err(_) => {
+            let mut quarantined = path.as_os_str().to_owned();
+            quarantined.push(".corrupt");
+            let quarantined = PathBuf::from(quarantined);
+            fs::rename(path, &quarantined)?;
+            Ok(SnapshotRead::Quarantined)
+        }
+    }
+}
+
+/// Validates header + payload and parses the snapshot.
+fn parse_snapshot(text: &str) -> Result<SnapshotFile, String> {
+    let (header, payload) = text
+        .split_once('\n')
+        .ok_or_else(|| "missing header line".to_string())?;
+    let mut parts = header.split(' ');
+    if parts.next() != Some(SNAPSHOT_MAGIC) {
+        return Err("bad magic".to_string());
+    }
+    let checksum = parts
+        .next()
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or_else(|| "bad checksum field".to_string())?;
+    let length: usize = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| "bad length field".to_string())?;
+    if parts.next().is_some() {
+        return Err("trailing header fields".to_string());
+    }
+    if payload.len() != length {
+        return Err(format!(
+            "payload is {} bytes, header promises {length} (torn write)",
+            payload.len()
+        ));
+    }
+    let actual = fnv1a64(payload.as_bytes());
+    if actual != checksum {
+        return Err(format!(
+            "checksum mismatch: {actual:016x} != {checksum:016x}"
+        ));
+    }
+    let file: SnapshotFile =
+        serde_json::from_str(payload).map_err(|e| format!("payload does not parse: {e}"))?;
+    if file.version != SNAPSHOT_VERSION {
+        return Err(format!("unsupported snapshot version {}", file.version));
+    }
+    Ok(file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_file() -> SnapshotFile {
+        SnapshotFile {
+            version: SNAPSHOT_VERSION,
+            config_fnv: 7,
+            epoch: 3,
+            payload: SnapshotPayload::Sharded {
+                cells: Vec::new(),
+                ledger: DegradationLedger::default(),
+            },
+        }
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("blamsnap-rt-{}", std::process::id()));
+        let path = dir.join("run.ckpt");
+        write_snapshot(&path, &sample_file()).unwrap();
+        let SnapshotRead::Valid(back) = read_snapshot(&path).unwrap() else {
+            panic!("freshly written snapshot must validate");
+        };
+        assert_eq!(back.epoch, 3);
+        assert_eq!(back.config_fnv, 7);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_and_corrupt_snapshots_are_quarantined() {
+        let dir = std::env::temp_dir().join(format!("blamsnap-torn-{}", std::process::id()));
+        let path = dir.join("run.ckpt");
+        for mutilate in [
+            // Truncation (torn write): drop the payload's tail.
+            |text: String| text[..text.len() - 10].to_string(),
+            // Bit rot: flip a payload byte, length intact.
+            |text: String| text.replacen("\"epoch\":3", "\"epoch\":9", 1),
+            // Wrong magic.
+            |text: String| text.replacen(SNAPSHOT_MAGIC, "NOTASNAP1", 1),
+        ] {
+            write_snapshot(&path, &sample_file()).unwrap();
+            let text = fs::read_to_string(&path).unwrap();
+            fs::write(&path, mutilate(text)).unwrap();
+            let SnapshotRead::Quarantined = read_snapshot(&path).unwrap() else {
+                panic!("mutilated snapshot must be quarantined");
+            };
+            let q = PathBuf::from(format!("{}.corrupt", path.display()));
+            assert!(q.exists(), "quarantine file preserved for forensics");
+            assert!(!path.exists(), "corrupt file moved out of the way");
+            fs::remove_file(&q).unwrap();
+        }
+        assert!(matches!(
+            read_snapshot(&path).unwrap(),
+            SnapshotRead::Absent
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

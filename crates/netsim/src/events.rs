@@ -12,7 +12,9 @@ use blam_units::SimTime;
 use crate::engine::Engine;
 
 /// Simulation events.
-#[derive(Debug, Clone, Copy)]
+// Serialized inside checkpoint snapshots (the pending-event queue is
+// part of the engine state).
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
 pub(crate) enum Event {
     /// The application on `node` generates a packet (period start).
     Generate { node: usize },

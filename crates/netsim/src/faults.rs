@@ -287,6 +287,24 @@ impl LossState {
         }
     }
 
+    /// Captures the chain's mutable state: the per-node Markov state
+    /// bit and the position of each node's ChaCha stream.
+    fn checkpoint(&self) -> LossChainState {
+        LossChainState {
+            bad: self.bad.clone(),
+            pos: self.rngs.iter().map(ChaCha8Rng::get_word_pos).collect(),
+        }
+    }
+
+    /// Overlays state captured by [`Self::checkpoint`] onto this
+    /// freshly built chain (same params, same per-node streams).
+    fn restore_state(&mut self, state: &LossChainState) {
+        self.bad.clone_from(&state.bad);
+        for (rng, &pos) in self.rngs.iter_mut().zip(&state.pos) {
+            rng.set_word_pos(pos);
+        }
+    }
+
     /// Advances node `i`'s chain one step and draws the loss verdict.
     /// Always consumes exactly two uniforms, so the draw count (and
     /// hence replay) does not depend on the chain's trajectory.
@@ -323,6 +341,26 @@ pub(crate) struct FaultLayer {
     sensor_rngs: Vec<ChaCha8Rng>,
     corruption: Option<f64>,
     weight_rngs: Vec<ChaCha8Rng>,
+}
+
+/// Serializable chain state of one link direction: the Markov state
+/// bit and the ChaCha stream position of every node's chain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) struct LossChainState {
+    pub(crate) bad: Vec<bool>,
+    pub(crate) pos: Vec<u128>,
+}
+
+/// Serializable image of a [`FaultLayer`]'s mutable state: stream
+/// positions only. Parameters and the precomputed outage schedules are
+/// rebuilt deterministically from the scenario configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub(crate) struct FaultLayerState {
+    pub(crate) uplink: Option<LossChainState>,
+    pub(crate) downlink: Option<LossChainState>,
+    pub(crate) reboot_pos: Vec<u128>,
+    pub(crate) sensor_pos: Vec<u128>,
+    pub(crate) weight_pos: Vec<u128>,
 }
 
 /// Draws an exponentially distributed duration with the given mean
@@ -487,6 +525,43 @@ impl FaultLayer {
         let u2: f64 = rng.gen();
         let z = (-2.0 * (1.0 - u1).ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
         (soc + s.bias + s.sigma * z).clamp(0.0, 1.0)
+    }
+
+    /// Captures the layer's mutable state for a mid-run checkpoint:
+    /// loss-chain states and the position of every per-entity ChaCha
+    /// stream. The outage schedules and all parameters are *not*
+    /// captured — they are rebuilt bit-identically from the scenario
+    /// configuration.
+    pub(crate) fn checkpoint(&self) -> FaultLayerState {
+        let pos = |rngs: &[ChaCha8Rng]| rngs.iter().map(ChaCha8Rng::get_word_pos).collect();
+        FaultLayerState {
+            uplink: self.uplink.as_ref().map(LossState::checkpoint),
+            downlink: self.downlink.as_ref().map(LossState::checkpoint),
+            reboot_pos: pos(&self.reboot_rngs),
+            sensor_pos: pos(&self.sensor_rngs),
+            weight_pos: pos(&self.weight_rngs),
+        }
+    }
+
+    /// Overlays state captured by [`Self::checkpoint`] onto this
+    /// freshly built layer: every stream is wound forward to its
+    /// snapshot position, so the next draw of each family is exactly
+    /// the draw the interrupted run would have made.
+    pub(crate) fn restore_state(&mut self, state: &FaultLayerState) {
+        if let (Some(chain), Some(saved)) = (self.uplink.as_mut(), state.uplink.as_ref()) {
+            chain.restore_state(saved);
+        }
+        if let (Some(chain), Some(saved)) = (self.downlink.as_mut(), state.downlink.as_ref()) {
+            chain.restore_state(saved);
+        }
+        let wind = |rngs: &mut Vec<ChaCha8Rng>, pos: &[u128]| {
+            for (rng, &p) in rngs.iter_mut().zip(pos) {
+                rng.set_word_pos(p);
+            }
+        };
+        wind(&mut self.reboot_rngs, &state.reboot_pos);
+        wind(&mut self.sensor_rngs, &state.sensor_pos);
+        wind(&mut self.weight_rngs, &state.weight_pos);
     }
 
     /// Passes the applied dissemination byte through the corruption
@@ -677,6 +752,43 @@ mod tests {
         for byte in 0..=u8::MAX {
             let corrupted = l.corrupt_weight(0, byte).expect("p=1 always corrupts");
             assert_ne!(corrupted, byte);
+        }
+    }
+
+    #[test]
+    fn checkpoint_restores_every_stream_mid_draw() {
+        let cfg = FaultConfig::chaos(0.3, 0.0, Duration::from_days(2));
+        let mut live = layer(&cfg, 3, 1);
+        // Advance every family unevenly, then checkpoint.
+        for i in 0..3 {
+            for _ in 0..(i + 1) * 7 {
+                live.uplink_lost(i);
+                live.downlink_lost(i);
+            }
+            live.next_reboot(i, SimTime::ZERO);
+            live.sensor_soc(i, 0.5);
+            live.corrupt_weight(i, 42);
+        }
+        let state = live.checkpoint();
+        let json = serde_json::to_string(&state).unwrap();
+        let back: FaultLayerState = serde_json::from_str(&json).unwrap();
+        assert_eq!(state, back);
+
+        // A fresh layer wound forward must make the draws the live
+        // layer makes next, for every family.
+        let mut resumed = layer(&cfg, 3, 1);
+        resumed.restore_state(&back);
+        for i in 0..3 {
+            for _ in 0..32 {
+                assert_eq!(live.uplink_lost(i), resumed.uplink_lost(i));
+                assert_eq!(live.downlink_lost(i), resumed.downlink_lost(i));
+            }
+            assert_eq!(
+                live.next_reboot(i, SimTime::ZERO),
+                resumed.next_reboot(i, SimTime::ZERO)
+            );
+            assert_eq!(live.sensor_soc(i, 0.5), resumed.sensor_soc(i, 0.5));
+            assert_eq!(live.corrupt_weight(i, 42), resumed.corrupt_weight(i, 42));
         }
     }
 

@@ -42,6 +42,11 @@
 //!   dissemination epochs and merged deterministically, so
 //!   [`run_sharded`](shard::run_sharded) is byte-identical across
 //!   shard and worker counts.
+//! * [`checkpoint`] — crash-safe mid-run checkpointing: versioned,
+//!   checksummed epoch snapshots with byte-exact resume
+//!   ([`Engine::run_checkpointed`](engine::Engine::run_checkpointed),
+//!   [`run_sharded_checkpointed`](shard::run_sharded_checkpointed)),
+//!   torn-write quarantine included.
 //! * [`telemetry`] — wiring for the `blam-telemetry` subsystem:
 //!   [`TelemetryOptions`](telemetry::TelemetryOptions) builds per-run
 //!   recording sinks (in-memory reports, JSONL traces, flight
@@ -72,6 +77,7 @@
 // manifest; only the doc requirement stays crate-local.
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod engine;
 mod events;
@@ -90,6 +96,7 @@ pub mod telemetry;
 pub mod topology;
 
 pub use blam_telemetry;
+pub use checkpoint::CheckpointConfig;
 pub use config::{Protocol, ScenarioConfig};
 pub use engine::RunResult;
 pub use faults::FaultConfig;
@@ -98,6 +105,6 @@ pub use policy::{AlohaPolicy, BlamPolicy, MacPolicy, WindowDecision};
 pub use runner::{BatchOutcome, BatchRunner};
 pub use scenario::Scenario;
 pub use script::{ScriptAction, ScriptConfig, ScriptedEvent};
-pub use shard::run_sharded;
+pub use shard::{run_sharded, run_sharded_checkpointed};
 pub use telemetry::TelemetryOptions;
 pub use topology::{ShardPlan, Topology};

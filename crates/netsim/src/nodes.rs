@@ -64,8 +64,28 @@ impl Forecaster for NodeForecaster {
     }
 }
 
+impl NodeForecaster {
+    /// The mutable forecaster state worth checkpointing: only the
+    /// persistence forecaster learns from observations — the oracle
+    /// variants are pure functions of the (build-time) harvest trace.
+    pub(crate) fn checkpoint(&self) -> Option<DiurnalPersistence> {
+        match self {
+            NodeForecaster::Persistence(f) => Some(f.clone()),
+            NodeForecaster::Oracle(_) | NodeForecaster::Noisy(_) => None,
+        }
+    }
+
+    /// Overlays state captured by [`Self::checkpoint`] onto this
+    /// freshly built forecaster.
+    pub(crate) fn restore_state(&mut self, state: Option<DiurnalPersistence>) {
+        if let (NodeForecaster::Persistence(f), Some(saved)) = (self, state) {
+            *f = saved;
+        }
+    }
+}
+
 /// The in-flight packet of the current sampling period.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
 pub struct PacketState {
     /// When the application generated the packet.
     pub generated_at: SimTime,

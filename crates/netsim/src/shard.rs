@@ -45,8 +45,12 @@ use blam_des::{RngSeeder, Simulator};
 use blam_lorawan::{AdrEngine, DeviceAddr, GatewayRadio, NetworkServer};
 use blam_telemetry::{NullSink, TelemetryReport};
 use blam_units::SimTime;
-use std::io::Write;
+use std::io::{self, Write};
 
+use crate::checkpoint::{
+    config_fingerprint, read_snapshot, write_snapshot, CheckpointConfig, SnapshotFile,
+    SnapshotPayload, SnapshotRead, SNAPSHOT_VERSION,
+};
 use crate::config::ScenarioConfig;
 use crate::engine::{global_build, Engine, GlobalBuild, LedgerMode, RunResult};
 use crate::events::Event;
@@ -93,6 +97,58 @@ pub fn run_sharded(
     jobs: usize,
     opts: &TelemetryOptions,
 ) -> RunResult {
+    match run_sharded_inner(cfg, shards, jobs, opts, None, &mut || true) {
+        // With no checkpoint configured the inner loop touches no
+        // files and `keep_going` never fires, so both failure arms are
+        // unreachable by construction.
+        Ok(Some(result)) => result,
+        // analyzer: allow(panic-hygiene, reason = "unreachable: keep_going is constantly true")
+        Ok(None) => unreachable!("uninterruptible sharded run reported an interruption"),
+        // analyzer: allow(panic-hygiene, reason = "unreachable: no checkpoint path means no I/O")
+        Err(e) => unreachable!("uncheckpointed sharded run hit snapshot I/O: {e}"),
+    }
+}
+
+/// Runs a scenario in the cell-sharded mode like [`run_sharded`],
+/// snapshotting all cells plus the global ledger to `ckpt.path` at
+/// epoch barriers and resuming from that file when a valid snapshot
+/// for the same launch configuration exists.
+///
+/// `keep_going` is polled at every barrier; returning `false` abandons
+/// the run with `Ok(None)`, leaving the snapshot for the next attempt.
+/// On completion the snapshot file is removed and the result is
+/// byte-identical to an uninterrupted [`run_sharded`] at any shard and
+/// worker count.
+///
+/// # Errors
+///
+/// Fails on snapshot I/O errors, or when the snapshot on disk belongs
+/// to a different launch configuration or execution mode. A
+/// torn/corrupt snapshot is quarantined to `<path>.corrupt` and the
+/// run restarts fresh.
+///
+/// # Panics
+///
+/// As [`run_sharded`].
+pub fn run_sharded_checkpointed(
+    cfg: &ScenarioConfig,
+    shards: usize,
+    jobs: usize,
+    opts: &TelemetryOptions,
+    ckpt: &CheckpointConfig,
+    mut keep_going: impl FnMut() -> bool,
+) -> io::Result<Option<RunResult>> {
+    run_sharded_inner(cfg, shards, jobs, opts, Some(ckpt), &mut keep_going)
+}
+
+fn run_sharded_inner(
+    cfg: &ScenarioConfig,
+    shards: usize,
+    jobs: usize,
+    opts: &TelemetryOptions,
+    ckpt: Option<&CheckpointConfig>,
+    keep_going: &mut dyn FnMut() -> bool,
+) -> io::Result<Option<RunResult>> {
     assert!(
         !cfg.stop_at_first_eol,
         "stop_at_first_eol requires the single-engine mode: cells advance \
@@ -175,16 +231,59 @@ pub fn run_sharded(
         })
         .collect();
 
+    // Resume: a valid snapshot for this launch configuration replaces
+    // every cell's state and simulator plus the global ledger, and the
+    // barrier loop continues at the epoch after the one on disk.
+    let mut ledger = ledger;
+    let mut epoch = 1u64;
+    let config_fnv = config_fingerprint(cfg);
+    if let Some(ckpt) = ckpt {
+        match read_snapshot(&ckpt.path)? {
+            SnapshotRead::Valid(file) if file.config_fnv == config_fnv => {
+                let SnapshotPayload::Sharded {
+                    cells: states,
+                    ledger: saved_ledger,
+                } = file.payload
+                else {
+                    return Err(io::Error::other(
+                        "snapshot was taken by the single engine; resume without sharding",
+                    ));
+                };
+                if states.len() != cell_sims.len() {
+                    return Err(io::Error::other(format!(
+                        "snapshot holds {} cells but the deployment builds {}",
+                        states.len(),
+                        cell_sims.len()
+                    )));
+                }
+                for (cs, state) in cell_sims.iter_mut().zip(states) {
+                    cs.sim = cs.engine.restore_state(state);
+                }
+                ledger = saved_ledger;
+                epoch = file.epoch + 1;
+            }
+            SnapshotRead::Valid(_) => {
+                return Err(io::Error::other(
+                    "snapshot belongs to a different scenario configuration",
+                ));
+            }
+            SnapshotRead::Absent | SnapshotRead::Quarantined => {}
+        }
+    }
+
     // The epoch-barrier loop: exactly the instants the single engine
     // processes its Dissemination events at (k·D for k·D < horizon;
     // run_until is horizon-exclusive, so everything strictly before the
-    // barrier has settled when the ledger acts).
-    let mut ledger = ledger;
-    let mut epoch = 1u64;
+    // barrier has settled when the ledger acts). The checkpoint hook
+    // sits after the barrier's cross-cell work — a snapshot at epoch k
+    // captures cells that have fully absorbed epoch k's dissemination.
     loop {
         let barrier = SimTime::ZERO + cfg.dissemination_interval * epoch;
         if barrier >= horizon {
             break;
+        }
+        if !keep_going() {
+            return Ok(None);
         }
         run_cells_until(&mut cell_sims, &plan, jobs, barrier);
         drain_traces(&mut cell_sims, &mut ledger);
@@ -197,7 +296,27 @@ pub fn run_sharded(
                 .set_piggyback(DeviceAddr(id), byte);
         }
         flush_cell_traces(&buffers, writer.as_ref());
+        if let Some(ckpt) = ckpt {
+            if epoch % ckpt.every_epochs.max(1) == 0 {
+                let file = SnapshotFile {
+                    version: SNAPSHOT_VERSION,
+                    config_fnv,
+                    epoch,
+                    payload: SnapshotPayload::Sharded {
+                        cells: cell_sims
+                            .iter()
+                            .map(|cs| cs.engine.checkpoint_state(&cs.sim))
+                            .collect(),
+                        ledger: ledger.clone(),
+                    },
+                };
+                write_snapshot(&ckpt.path, &file)?;
+            }
+        }
         epoch += 1;
+    }
+    if !keep_going() {
+        return Ok(None);
     }
     run_cells_until(&mut cell_sims, &plan, jobs, horizon);
     // Traces decoded after the last barrier still inform the final
@@ -220,7 +339,14 @@ pub fn run_sharded(
             cs.engine.finalize(horizon, events)
         })
         .collect();
-    merge_results(cfg, &plan, topology, &ledger, results, horizon, &label)
+    if let Some(ckpt) = ckpt {
+        // The snapshot is a mid-run artifact; a finished run leaves a
+        // clean directory (best effort — the result is already safe).
+        let _ = std::fs::remove_file(&ckpt.path);
+    }
+    Ok(Some(merge_results(
+        cfg, &plan, topology, &ledger, results, horizon, &label,
+    )))
 }
 
 /// Drains every cell's deferred SoC traces into the global ledger, in

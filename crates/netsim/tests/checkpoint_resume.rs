@@ -1,0 +1,226 @@
+//! Crash-injection tests for the checkpoint/resume subsystem.
+//!
+//! The contract under test: a run killed at *any* epoch barrier and
+//! resumed from its snapshot produces a serialized [`RunResult`]
+//! byte-identical to the uninterrupted run — single-engine and
+//! sharded, faults and scenario scripts included — and a torn or
+//! corrupt snapshot is quarantined, never trusted.
+
+use std::path::PathBuf;
+
+use blam_netsim::engine::Engine;
+use blam_netsim::{
+    config::Protocol, run_sharded, run_sharded_checkpointed, CheckpointConfig, FaultConfig,
+    RunResult, ScenarioConfig, ScriptAction, ScriptConfig, ScriptedEvent, TelemetryOptions,
+};
+use blam_units::Duration;
+
+fn serialize(r: &RunResult) -> String {
+    serde_json::to_string(r).expect("RunResult serializes")
+}
+
+/// A worst-case single-engine scenario for resume: chaos faults (all
+/// RNG families live), ADR, and a script that churns hardware and
+/// flips a protocol knob mid-run. 1 day with 4-hour dissemination
+/// epochs gives 5 mid-run barriers to kill at.
+fn hostile_cfg(seed: u64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig {
+        duration: Duration::from_days(1),
+        sample_interval: Duration::from_hours(8),
+        dissemination_interval: Duration::from_hours(4),
+        ..ScenarioConfig::large_scale(10, Protocol::h(0.5), seed)
+    };
+    cfg.adr = true;
+    cfg.faults = FaultConfig::chaos(0.2, 0.05, Duration::from_days(2));
+    cfg.script = ScriptConfig {
+        events: vec![
+            ScriptedEvent {
+                at: Duration::from_hours(7),
+                action: ScriptAction::Churn { fraction: 0.3 },
+            },
+            ScriptedEvent {
+                at: Duration::from_hours(13),
+                action: ScriptAction::SetWuTtl {
+                    ttl: Some(Duration::from_hours(12)),
+                },
+            },
+        ],
+    };
+    cfg
+}
+
+fn snap_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("blam-ckpt-tests-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+/// Polls `true` `n` times, then `false` forever — the in-process stand
+/// in for a SIGKILL landing after the n-th epoch window.
+fn die_after(n: u64) -> impl FnMut() -> bool {
+    let mut polls = 0;
+    move || {
+        polls += 1;
+        polls <= n
+    }
+}
+
+#[test]
+fn single_engine_resume_is_byte_identical_at_every_kill_epoch() {
+    let cfg = hostile_cfg(42);
+    let baseline = serialize(&Engine::build(cfg.clone()).run());
+    // Kill after k epoch windows, for every mid-run barrier, then
+    // resume to completion and compare bytes.
+    for k in 1..=5 {
+        let path = snap_path(&format!("single-kill-{k}.ckpt"));
+        let killed = Engine::build(cfg.clone())
+            .run_checkpointed(&CheckpointConfig::every_epoch(&path), die_after(k))
+            .expect("checkpoint I/O");
+        assert!(killed.is_none(), "kill at epoch {k} must abandon the run");
+        assert!(path.exists(), "snapshot must survive the kill at epoch {k}");
+        let resumed = Engine::build(cfg.clone())
+            .run_checkpointed(&CheckpointConfig::every_epoch(&path), || true)
+            .expect("checkpoint I/O")
+            .expect("resumed run completes");
+        assert_eq!(
+            baseline,
+            serialize(&resumed),
+            "resume after kill at epoch {k} diverged from the uninterrupted run"
+        );
+        assert!(!path.exists(), "completed run must remove its snapshot");
+    }
+}
+
+#[test]
+fn single_engine_survives_repeated_kills() {
+    let cfg = hostile_cfg(7);
+    let baseline = serialize(&Engine::build(cfg.clone()).run());
+    let path = snap_path("single-repeated.ckpt");
+    let ckpt = CheckpointConfig::every_epoch(&path);
+    // Three consecutive crashes, each a little further in, then a
+    // clean finish — every leg resumes from the previous leg's
+    // snapshot.
+    for k in [1, 2, 2] {
+        let out = Engine::build(cfg.clone())
+            .run_checkpointed(&ckpt, die_after(k))
+            .expect("checkpoint I/O");
+        assert!(out.is_none());
+    }
+    let resumed = Engine::build(cfg.clone())
+        .run_checkpointed(&ckpt, || true)
+        .expect("checkpoint I/O")
+        .expect("final leg completes");
+    assert_eq!(baseline, serialize(&resumed));
+}
+
+#[test]
+fn uninterrupted_checkpointed_run_matches_plain_run() {
+    let cfg = hostile_cfg(99);
+    let plain = serialize(&Engine::build(cfg.clone()).run());
+    let path = snap_path("single-uninterrupted.ckpt");
+    let checkpointed = Engine::build(cfg.clone())
+        .run_checkpointed(&CheckpointConfig::every_epoch(&path), || true)
+        .expect("checkpoint I/O")
+        .expect("run completes");
+    assert_eq!(
+        plain,
+        serialize(&checkpointed),
+        "the epoch-windowed checkpointing loop must not perturb results"
+    );
+}
+
+#[test]
+fn sharded_resume_is_byte_identical_across_shard_and_job_counts() {
+    let mut cfg = ScenarioConfig {
+        duration: Duration::from_days(3),
+        sample_interval: Duration::from_days(1),
+        ..ScenarioConfig::scale(40, 4, Protocol::h(0.5), 17)
+    };
+    cfg.faults = FaultConfig::chaos(0.1, 0.05, Duration::from_days(2));
+    let baseline = serialize(&run_sharded(&cfg, 1, 1, &TelemetryOptions::off()));
+    for (kill_at, shards, jobs) in [(1, 1, 1), (2, 2, 2), (1, 4, 4)] {
+        let path = snap_path(&format!("sharded-{shards}x{jobs}.ckpt"));
+        let ckpt = CheckpointConfig::every_epoch(&path);
+        let killed = run_sharded_checkpointed(
+            &cfg,
+            shards,
+            jobs,
+            &TelemetryOptions::off(),
+            &ckpt,
+            die_after(kill_at),
+        )
+        .expect("checkpoint I/O");
+        assert!(killed.is_none());
+        assert!(path.exists());
+        // Resume under a *different* worker layout: the snapshot is
+        // cell-structured, so shards/jobs may change across the crash.
+        let resumed = run_sharded_checkpointed(
+            &cfg,
+            shards.max(2) / 2,
+            1,
+            &TelemetryOptions::off(),
+            &ckpt,
+            || true,
+        )
+        .expect("checkpoint I/O")
+        .expect("resumed run completes");
+        assert_eq!(
+            baseline,
+            serialize(&resumed),
+            "sharded resume (killed at barrier {kill_at}, --shards {shards} --jobs {jobs}) diverged"
+        );
+        assert!(!path.exists(), "completed run must remove its snapshot");
+    }
+}
+
+#[test]
+fn torn_snapshot_is_quarantined_and_the_run_recovers() {
+    let cfg = hostile_cfg(5);
+    let baseline = serialize(&Engine::build(cfg.clone()).run());
+    let path = snap_path("torn.ckpt");
+    let ckpt = CheckpointConfig::every_epoch(&path);
+    let killed = Engine::build(cfg.clone())
+        .run_checkpointed(&ckpt, die_after(3))
+        .expect("checkpoint I/O");
+    assert!(killed.is_none());
+    // Tear the snapshot: keep the header's promises, lose the tail —
+    // exactly what a power cut mid-write-without-rename would leave.
+    let text = std::fs::read_to_string(&path).expect("snapshot readable");
+    std::fs::write(&path, &text[..text.len() * 2 / 3]).expect("truncate snapshot");
+    let resumed = Engine::build(cfg.clone())
+        .run_checkpointed(&ckpt, || true)
+        .expect("checkpoint I/O")
+        .expect("recovered run completes");
+    assert_eq!(
+        baseline,
+        serialize(&resumed),
+        "a quarantined snapshot must restart the run from scratch, not diverge"
+    );
+    let quarantined = PathBuf::from(format!("{}.corrupt", path.display()));
+    assert!(
+        quarantined.exists(),
+        "the torn snapshot must be preserved at *.corrupt for forensics"
+    );
+    std::fs::remove_file(&quarantined).ok();
+}
+
+#[test]
+fn snapshot_from_a_different_scenario_is_refused() {
+    let cfg = hostile_cfg(42);
+    let path = snap_path("mismatch.ckpt");
+    let ckpt = CheckpointConfig::every_epoch(&path);
+    let killed = Engine::build(cfg.clone())
+        .run_checkpointed(&ckpt, die_after(2))
+        .expect("checkpoint I/O");
+    assert!(killed.is_none());
+    let mut other = cfg;
+    other.seed = 43;
+    let err = Engine::build(other)
+        .run_checkpointed(&ckpt, || true)
+        .expect_err("resuming a different scenario must fail loudly");
+    assert!(
+        err.to_string().contains("different scenario"),
+        "unexpected error: {err}"
+    );
+    std::fs::remove_file(&path).ok();
+}

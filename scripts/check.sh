@@ -142,4 +142,65 @@ results="$(ls "$tmp/spool/campaigns/smoke/results/"*.json 2>/dev/null | wc -l)"
 test "$results" -eq 2 \
     || { echo "expected 2 spooled results, found $results"; exit 1; }
 
+echo "==> crash drill (epoch snapshots, SIGKILL daemon recovery)"
+# In-process legs: single-engine kills at epochs 1..3, a sharded kill
+# resumed under a different worker layout, torn-snapshot quarantine.
+cargo run -q --release -p blam-cli -- crash-drill --nodes 12 --seed 7 \
+    || { echo "crash drill legs failed"; exit 1; }
+
+# Daemon leg: SIGKILL a live serve daemon mid-campaign, restart it on
+# the same spool, and byte-compare the recovered spool against an
+# uninterrupted in-process run of the same spec.
+drill_base="$(cargo run -q --release -p blam-cli -- template --nodes 10 --days 2 --seed 5)"
+printf '{"name":"drill","base":%s,"axes":[],"seeds":[21,22]}' "$drill_base" \
+    >"$tmp/drill_spec.json"
+cargo run -q --release -p blam-cli -- campaign --spec "$tmp/drill_spec.json" \
+    --spool "$tmp/ref" --jobs 1 >/dev/null
+
+cargo run -q --release -p blam-cli -- serve --spool "$tmp/drill" \
+    >/dev/null 2>"$tmp/drill_serve.log" &
+drill_pid=$!
+trap 'kill "$serve_pid" "$drill_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+for _ in $(seq 1 150); do
+    [ -s "$tmp/drill/daemon.addr" ] && break
+    sleep 0.2
+done
+drill_addr="$(cat "$tmp/drill/daemon.addr")"
+test -n "$drill_addr" || { echo "drill daemon never wrote daemon.addr"; exit 1; }
+cargo run -q --release -p blam-cli -- submit --addr "$drill_addr" \
+    --spec "$tmp/drill_spec.json" >/dev/null
+
+# The kill is a true SIGKILL — no handlers, no cleanup; crash safety
+# comes from atomic writes and the epoch snapshots alone.
+sleep 0.5
+kill -9 "$drill_pid" 2>/dev/null || true
+wait "$drill_pid" 2>/dev/null || true
+rm -f "$tmp/drill/daemon.addr"
+
+cargo run -q --release -p blam-cli -- serve --spool "$tmp/drill" \
+    >/dev/null 2>>"$tmp/drill_serve.log" &
+drill_pid=$!
+trap 'kill "$serve_pid" "$drill_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+for _ in $(seq 1 300); do
+    drill_done="$(ls "$tmp/drill/campaigns/drill/results/"*.json 2>/dev/null | wc -l)"
+    [ "$drill_done" -eq 2 ] && break
+    sleep 0.2
+done
+test "$drill_done" -eq 2 \
+    || { echo "resumed campaign never completed ($drill_done/2 results)"; exit 1; }
+for _ in $(seq 1 150); do
+    [ -s "$tmp/drill/daemon.addr" ] && break
+    sleep 0.2
+done
+cargo run -q --release -p blam-cli -- shutdown \
+    --addr "$(cat "$tmp/drill/daemon.addr")" >/dev/null
+wait "$drill_pid" || { echo "restarted daemon exited uncleanly"; exit 1; }
+
+cmp -s "$tmp/ref/manifest.json" "$tmp/drill/campaigns/drill/manifest.json" \
+    || { echo "recovered manifest diverged from uninterrupted run"; exit 1; }
+for f in "$tmp/ref/results/"*.json; do
+    cmp -s "$f" "$tmp/drill/campaigns/drill/results/$(basename "$f")" \
+        || { echo "recovered result $(basename "$f") diverged"; exit 1; }
+done
+
 echo "All checks passed."
