@@ -1,10 +1,10 @@
 //! The lint battery. The first-generation lints are token-pattern
-//! passes over one [`SourceFile`](crate::walk::SourceFile); the v2
+//! passes over one [`SourceFile`]; the v2
 //! lints (rng-streams, lock-discipline, atomic-write,
 //! telemetry-guard) additionally consult the crate-wide
 //! [`Model`](crate::model::Model) — parsed function bodies, the call
 //! graph, and its fixpoint summaries. All of them push
-//! [`Finding`](crate::report::Finding)s into a shared vector and the
+//! [`Finding`]s into a shared vector and the
 //! library layer applies pragmas and the baseline afterwards.
 
 pub mod atomic_write;

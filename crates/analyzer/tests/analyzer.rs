@@ -17,6 +17,7 @@ const STORE_HYGIENE: &str = include_str!("fixtures/store_hygiene.rs");
 const HOT_PATHS: &str = include_str!("fixtures/hot_paths.rs");
 const CAMPAIGN_DAEMON: &str = include_str!("fixtures/campaign_daemon.rs");
 const RNG_STREAMS: &str = include_str!("fixtures/rng_streams.rs");
+const POLICY_RNG: &str = include_str!("fixtures/policy_rng.rs");
 const LOCK_DISCIPLINE: &str = include_str!("fixtures/lock_discipline.rs");
 const ATOMIC_WRITE: &str = include_str!("fixtures/atomic_write.rs");
 const SARIF_GOLDEN: &str = include_str!("golden/atomic_write.sarif");
@@ -330,6 +331,38 @@ fn rng_streams_fixture_yields_exactly_the_seeded_findings() {
         out.findings[2].message.contains("dynamically"),
         "{}",
         out.findings[2].message
+    );
+}
+
+/// The policy layer (netsim's `policy/` module tree, the MAC zoo) is
+/// RNG-free by trait contract: a policy that starts drawing its own
+/// randomness must register a stream name in the catalog first. The
+/// fixture pins both halves — deterministic policy code passes, an
+/// unregistered `policy-*` draw is flagged — and the catalog itself
+/// must not grow a policy stream without this test noticing.
+#[test]
+fn policy_layer_is_rng_free_until_a_stream_is_registered() {
+    let rel = "crates/netsim/src/policy/fixture.rs";
+    let out = analyze(&[fixture(rel, POLICY_RNG)]);
+    assert_eq!(
+        findings_of(&out),
+        vec![("rng-streams", line_of(POLICY_RNG, "SEED: policy-stream"))],
+        "{}",
+        out.render_human(true)
+    );
+    assert!(
+        out.findings[0].message.contains("\"policy-backoff\""),
+        "{}",
+        out.findings[0].message
+    );
+    // No policy stream is registered today — the zoo's policies
+    // (ALOHA, BLAM, Long-Lived, battery-less) decide from node state
+    // and forecasts only. Registering one is a deliberate act that
+    // updates this assertion alongside the catalog.
+    let catalog = Config::default().rng_stream_catalog;
+    assert!(
+        catalog.iter().all(|(name, _)| !name.starts_with("policy")),
+        "a policy RNG stream appeared in the catalog: {catalog:?}"
     );
 }
 

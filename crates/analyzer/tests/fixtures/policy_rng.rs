@@ -1,0 +1,26 @@
+//! Seeded fixture for the policy layer's RNG discipline: `MacPolicy`
+//! implementations are deterministic by trait contract and draw no
+//! randomness of their own — engine-side jitter comes from the `mac`
+//! stream. A policy that starts drawing must register its stream name
+//! in the catalog, so the one draw below is flagged until it is.
+//! Never compiled; loaded as text by `tests/analyzer.rs` under the
+//! netsim policy path.
+
+/// The compliant shape: a window decision computed from node state
+/// and forecasts only, no seeder in sight.
+pub fn select_window(node: &mut NodeMut<'_>, windows: usize) -> usize {
+    let mut best = 0;
+    for w in 1..windows {
+        if node.forecast_scratch[w] > node.forecast_scratch[best] {
+            best = w;
+        }
+    }
+    best
+}
+
+/// A policy sneaking in its own randomness: the stream name is not in
+/// the registered catalog, so the lint holds the door until it is
+/// added to `[rng-streams]` deliberately.
+pub fn randomized_backoff(seeder: &RngSeeder) -> ChaCha {
+    seeder.stream("policy-backoff") // SEED: policy-stream
+}

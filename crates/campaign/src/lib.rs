@@ -8,7 +8,7 @@
 //! * [`spec`] — the campaign spec format: a base
 //!   [`ScenarioConfig`](blam_netsim::ScenarioConfig) as raw JSON plus
 //!   sweep axes (dotted config paths × value lists) and a seed list,
-//!   expanded row-major into [`Job`](spec::Job)s whose ids are content
+//!   expanded row-major into [`spec::Job`]s whose ids are content
 //!   hashes of the canonical scenario JSON.
 //! * [`spool`] — the on-disk checkpoint layout (atomically-written
 //!   campaign spec, manifest and per-job result files) that lets a

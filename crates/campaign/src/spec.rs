@@ -320,6 +320,31 @@ mod tests {
         assert_eq!(jobs[1].seed, 2);
     }
 
+    /// The sweep machinery reaches the new zoo policies' knobs through
+    /// the same externally-tagged enum paths BLAM uses.
+    #[test]
+    fn batteryless_knobs_are_sweepable_by_dotted_path() {
+        let cfg = ScenarioConfig::large_scale(4, Protocol::batteryless(), 7);
+        let spec = CampaignSpec {
+            name: "zoo-sweep".to_string(),
+            base: serde_json::to_value(cfg).unwrap(),
+            axes: vec![Axis {
+                path: "protocol.Batteryless.off_soc".to_string(),
+                values: vec![Value::from(0.2), Value::from(0.35)],
+            }],
+            seeds: vec![],
+        };
+        let jobs = spec.expand().unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].label, "off_soc=0.2");
+        for (job, expected) in jobs.iter().zip([0.2, 0.35]) {
+            match &job.config.protocol {
+                Protocol::Batteryless(bc) => assert_eq!(bc.off_soc, expected),
+                other => panic!("sweep changed the protocol variant: {other:?}"),
+            }
+        }
+    }
+
     #[test]
     fn expansion_is_deterministic_and_content_addressed() {
         let s = spec(

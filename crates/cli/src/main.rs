@@ -6,7 +6,7 @@
 //! blam-sim run --config scenario.json --out results.json --trace trace.jsonl
 //! blam-sim run --config scenario.json --reference   # force the reference engine
 //! blam-sim run --config scenario.json --shards 8    # cell-sharded execution
-//! blam-sim compare --nodes 100 --days 60     # LoRaWAN vs H-θ side by side
+//! blam-sim compare --nodes 100 --days 60     # the policy zoo side by side
 //! blam-sim compare --trace trace.jsonl --profile
 //! blam-sim chaos --nodes 60 --days 30        # fault-injection resilience drill
 //! blam-sim scale --nodes 100000 --gateways 64 --days 2   # sharded scale run
@@ -76,8 +76,8 @@ fn usage() {
     eprintln!(
         "usage:\n  blam-sim template                      print a default scenario config (JSON)\n  \
          blam-sim run --config FILE [--out FILE] [--trace FILE] [--profile] [--reference]\n               [--shards K [--jobs J]] [--checkpoint-every N [--snapshot FILE]]\n                                           simulate a scenario (--reference forces the\n                                           unoptimized oracle engine; --shards runs the\n                                           cell-sharded engine; results are identical\n                                           across K and J; --checkpoint-every snapshots\n                                           state every N dissemination epochs and resumes\n                                           byte-identically from FILE after a crash)\n  \
-         blam-sim compare [--nodes N] [--days D] [--seed S] [--jobs J] [--trace FILE] [--profile]\n                                           quick protocol comparison\n  \
-         blam-sim chaos [--nodes N] [--days D] [--seed S] [--jobs J] [--trace FILE]\n                                           fault-injection drill: LoRaWAN vs hardened H-50,\n                                           fault-free vs chaos schedule\n  \
+         blam-sim compare [--nodes N] [--days D] [--seed S] [--jobs J] [--trace FILE] [--profile]\n                                           protocol-zoo comparison: LoRaWAN, the H-θ\n                                           sweep, Long-Lived LoRa and battery-less\n  \
+         blam-sim chaos [--nodes N] [--days D] [--seed S] [--jobs J] [--trace FILE]\n                                           fault-injection drill: the policy zoo (hardened\n                                           H-50 in the BLAM slot), fault-free vs chaos\n  \
          blam-sim scale [--nodes N] [--gateways G] [--days D] [--seed S] [--shards K] [--jobs J]\n               [--lorawan] [--out FILE] [--trace FILE] [--checkpoint-every N [--snapshot FILE]]\n                                           multi-gateway sharded scale run with\n                                           events/sec and peak-RSS reporting\n  \
          blam-sim crash-drill [--nodes N] [--seed S] [--shards K]\n                                           crash-injection drill: kill checkpointed runs at\n                                           every epoch barrier, resume, byte-compare against\n                                           the uninterrupted run; plus a torn-snapshot\n                                           quarantine leg\n  \
          blam-sim trace-check FILE [--results FILE]  validate a JSONL telemetry trace\n  \
@@ -304,27 +304,36 @@ fn compare(args: &[String]) -> Result<(), String> {
     let opts = telemetry_options(args)?;
     let profile = switch(args, "--profile");
 
-    let configs: Vec<ScenarioConfig> = [
+    // The full policy zoo plus the paper's H-θ sweep. The H-θ
+    // variants slot in after their H-50 zoo sibling so the table reads
+    // baseline → BLAM family → alternative schedulers.
+    let mut roster = vec![
         Protocol::Lorawan,
         Protocol::h(1.0),
         Protocol::h(0.5),
         Protocol::h(0.05),
         Protocol::h50c(),
-    ]
-    .into_iter()
-    .map(|protocol| {
-        let mut cfg = ScenarioConfig::large_scale(nodes, protocol, seed);
-        cfg.duration = Duration::from_days(days);
-        cfg.sample_interval = Duration::from_days(days.clamp(1, 30));
-        cfg
-    })
-    .collect();
+    ];
+    for p in Protocol::zoo() {
+        if !roster.contains(&p) {
+            roster.push(p);
+        }
+    }
+    let configs: Vec<ScenarioConfig> = roster
+        .into_iter()
+        .map(|protocol| {
+            let mut cfg = ScenarioConfig::large_scale(nodes, protocol, seed);
+            cfg.duration = Duration::from_days(days);
+            cfg.sample_interval = Duration::from_days(days.clamp(1, 30));
+            cfg
+        })
+        .collect();
     let outcome = BatchRunner::new(jobs).run_all_with(configs, &opts);
 
-    println!("{}", blam_netsim::report::comparison_header());
-    for r in &outcome.results {
-        println!("{}", blam_netsim::report::comparison_row(r));
-    }
+    print!(
+        "{}",
+        blam_netsim::report::comparison_table(&outcome.results)
+    );
     if let Some(report) = &outcome.telemetry {
         eprint!("{}", report.render());
     }
@@ -334,10 +343,11 @@ fn compare(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Fault-injection drill: runs LoRaWAN and hardened H-50 through the
-/// same chaos schedule (burst loss, gateway outages, node reboots) and
-/// reports how much each protocol's projected minimum battery lifespan
-/// degrades relative to its own fault-free baseline.
+/// Fault-injection drill: runs the whole policy zoo (with hardened
+/// H-50 in the BLAM slot) through the same chaos schedule (burst loss,
+/// gateway outages, node reboots) and reports how much each protocol's
+/// projected minimum battery lifespan degrades relative to its own
+/// fault-free baseline.
 fn chaos(args: &[String]) -> Result<(), String> {
     let parse = |v: Option<String>, d: u64| -> Result<u64, String> {
         v.map_or(Ok(d), |s| s.parse().map_err(|e| format!("bad number: {e}")))
@@ -359,12 +369,19 @@ fn chaos(args: &[String]) -> Result<(), String> {
         "chaos drill: {nodes} nodes, {days} days, seed {seed} — 30% burst loss, \
          10% outage duty, reboots every ~2 days"
     );
-    let protocols = [
-        Protocol::Lorawan,
-        Protocol::Blam(BlamConfig::h(0.5).hardened()),
-    ];
+    // Every zoo policy goes through the same chaos schedule; the BLAM
+    // slot runs the hardened H-50 variant, which is the protocol the
+    // resilience check is about.
+    let protocols: Vec<Protocol> = Protocol::zoo()
+        .into_iter()
+        .map(|p| match p {
+            Protocol::Blam(_) => Protocol::Blam(BlamConfig::h(0.5).hardened()),
+            other => other,
+        })
+        .collect();
     let mut configs: Vec<ScenarioConfig> = Vec::new();
-    for protocol in protocols {
+    for protocol in &protocols {
+        let protocol = protocol.clone();
         for faulted in [false, true] {
             let mut cfg = ScenarioConfig::large_scale(nodes, protocol.clone(), seed);
             cfg.duration = Duration::from_days(days);
@@ -383,38 +400,44 @@ fn chaos(args: &[String]) -> Result<(), String> {
         let years = r.sim_end.as_millis() as f64 / (365.0 * 86_400_000.0);
         years * EOL_DEGRADATION / r.network.degradation.max.max(1e-12)
     };
+    // results arrive in input order: protocol i's fault-free run at
+    // index 2i, its chaos run at 2i + 1.
+    let r = &outcome.results;
+    let width = r.iter().map(|r| r.label.len()).max().unwrap_or(3).max(3);
     println!(
-        "{:<10} {:>7} {:>7} {:>10} {:>10} {:>17}",
+        "{:<width$} {:>7} {:>7} {:>10} {:>10} {:>17}",
         "MAC", "faults", "PRR", "brownouts", "deg. max", "min-lifespan [y]"
     );
-    for (idx, r) in outcome.results.iter().enumerate() {
+    for (idx, run) in r.iter().enumerate() {
         println!(
-            "{:<10} {:>7} {:>6.1}% {:>10} {:>10.5} {:>17.2}",
-            r.label,
+            "{:<width$} {:>7} {:>6.1}% {:>10} {:>10.5} {:>17.2}",
+            run.label,
             if idx % 2 == 0 { "off" } else { "on" },
-            100.0 * r.network.prr,
-            r.network.brownouts,
-            r.network.degradation.max,
-            project(r),
+            100.0 * run.network.prr,
+            run.network.brownouts,
+            run.network.degradation.max,
+            project(run),
         );
     }
-    // results arrive in input order: [aloha clean, aloha chaos,
-    // blam clean, blam chaos].
-    let r = &outcome.results;
-    let aloha_wear = r[1].network.degradation.max - r[0].network.degradation.max;
-    let blam_wear = r[3].network.degradation.max - r[2].network.degradation.max;
-    println!(
-        "min-lifespan delta under faults: {} {:+.2} y, {} {:+.2} y",
-        r[0].label,
-        project(&r[1]) - project(&r[0]),
-        r[2].label,
-        project(&r[3]) - project(&r[2]),
-    );
+    let wear = |i: usize| r[2 * i + 1].network.degradation.max - r[2 * i].network.degradation.max;
+    for i in 0..protocols.len() {
+        println!(
+            "min-lifespan delta under faults: {:<width$} {:+.2} y",
+            r[2 * i].label,
+            project(&r[2 * i + 1]) - project(&r[2 * i]),
+        );
+    }
+    // The headline resilience claim stays pinned to the hardened BLAM
+    // slot vs the LoRaWAN baseline, whatever else joins the zoo.
+    let blam = protocols
+        .iter()
+        .position(|p| matches!(p, Protocol::Blam(_)))
+        .expect("the zoo always fields a BLAM policy");
     println!(
         "resilience check (hardened {} wears less under faults than {}): {}",
-        r[2].label,
+        r[2 * blam].label,
         r[0].label,
-        blam_wear < aloha_wear,
+        wear(blam) < wear(0),
     );
     if let Some(report) = &outcome.telemetry {
         eprint!("{}", report.render());

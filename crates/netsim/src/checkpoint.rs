@@ -29,8 +29,8 @@
 //! One header line, then a JSON payload:
 //!
 //! ```text
-//! BLAMSNAP1 <fnv1a64-of-payload, 16 hex digits> <payload byte length>
-//! {"version":1,"config_fnv":…,"epoch":…,"payload":{…}}
+//! BLAMSNAP2 <fnv1a64-of-payload, 16 hex digits> <payload byte length>
+//! {"version":2,"config_fnv":…,"epoch":…,"payload":{…}}
 //! ```
 //!
 //! Snapshots are written atomically (temp file + rename) at epoch
@@ -55,10 +55,13 @@ use crate::events::Event;
 use crate::faults::FaultLayerState;
 use crate::store::StoreState;
 
-/// Magic token opening every snapshot header line.
-const SNAPSHOT_MAGIC: &str = "BLAMSNAP1";
+/// Magic token opening every snapshot header line. Bumped to 2 when
+/// the per-node cold state grew the policy-private column
+/// (`PolicyState`): a v1 snapshot no longer round-trips and must be
+/// rejected, not misread.
+const SNAPSHOT_MAGIC: &str = "BLAMSNAP2";
 /// Version of the JSON payload schema.
-pub(crate) const SNAPSHOT_VERSION: u32 = 1;
+pub(crate) const SNAPSHOT_VERSION: u32 = 2;
 
 /// Where and how often to snapshot a run.
 #[derive(Debug, Clone)]
@@ -329,7 +332,7 @@ pub(crate) enum SnapshotRead {
 }
 
 /// Serializes and atomically writes a snapshot: payload JSON behind a
-/// `BLAMSNAP1 <checksum> <length>` header, via temp file + rename so a
+/// `BLAMSNAP2 <checksum> <length>` header, via temp file + rename so a
 /// crash mid-write leaves either the old snapshot or the new one,
 /// never a torn hybrid at the final path.
 pub(crate) fn write_snapshot(path: &Path, file: &SnapshotFile) -> io::Result<()> {

@@ -1,6 +1,7 @@
 //! Scenario configuration.
 
 use crate::faults::FaultConfig;
+use crate::policy::{BatterylessConfig, LongLivedConfig};
 use crate::script::ScriptConfig;
 use blam::BlamConfig;
 use blam_battery::DegradationConstants;
@@ -16,6 +17,12 @@ pub enum Protocol {
     /// The paper's battery-lifespan-aware MAC with the given
     /// configuration (θ, w_b, utility, …).
     Blam(BlamConfig),
+    /// Long-Lived LoRa (Fahmida et al.): min-lifetime-maximizing SF
+    /// and duty-cycle allocation.
+    LongLived(LongLivedConfig),
+    /// The energy-aware battery-less scheduler (Capuzzo et al.):
+    /// capacitor-threshold-gated transmissions with hysteresis.
+    Batteryless(BatterylessConfig),
 }
 
 impl Protocol {
@@ -29,6 +36,18 @@ impl Protocol {
     #[must_use]
     pub fn h50c() -> Self {
         Protocol::Blam(BlamConfig::h50c())
+    }
+
+    /// Long-Lived LoRa with its default allocation parameters.
+    #[must_use]
+    pub fn long_lived() -> Self {
+        Protocol::LongLived(LongLivedConfig::default())
+    }
+
+    /// The battery-less scheduler with its default hysteresis band.
+    #[must_use]
+    pub fn batteryless() -> Self {
+        Protocol::Batteryless(BatterylessConfig::default())
     }
 
     /// A short label for tables ("LoRaWAN", "H-50", "H-50C", …).
@@ -354,6 +373,34 @@ mod tests {
         assert_eq!(Protocol::h(0.05).label(), "H-5");
         assert_eq!(Protocol::h(1.0).label(), "H-100");
         assert_eq!(Protocol::h50c().label(), "H-50C");
+        assert_eq!(Protocol::long_lived().label(), "LongLived");
+        assert_eq!(Protocol::batteryless().label(), "Batteryless");
+    }
+
+    #[test]
+    fn zoo_protocols_round_trip_through_serde() {
+        for p in Protocol::zoo() {
+            let json = serde_json::to_string(&p).unwrap();
+            let back: Protocol = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, p, "round trip changed {json}");
+        }
+    }
+
+    #[test]
+    fn zoo_scenarios_validate() {
+        for p in Protocol::zoo() {
+            ScenarioConfig::large_scale(8, p, 1).validate();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "on_soc must lie strictly above off_soc")]
+    fn validate_catches_collapsed_batteryless_hysteresis() {
+        let mut c = ScenarioConfig::large_scale(10, Protocol::batteryless(), 1);
+        if let Protocol::Batteryless(cfg) = &mut c.protocol {
+            cfg.on_soc = cfg.off_soc;
+        }
+        c.validate();
     }
 
     #[test]

@@ -2,20 +2,20 @@
 //! run loop ([`Engine::run`]).
 //!
 //! The engine itself is thin: it assembles the layers and owns the
-//! shared state. Event routing lives in [`crate::events`], the node
+//! shared state. Event routing lives in the crate-private `events` module, the node
 //! lifecycle in [`crate::nodes`], gateway radio arbitration in
-//! [`crate::radio`], and every protocol decision behind the
-//! [`MacPolicy`](crate::policy::MacPolicy) trait in [`crate::policy`].
+//! the crate-private `radio` module, and every protocol decision behind the
+//! [`MacPolicy`] trait in [`crate::policy`].
 //! Batch execution across scenarios is [`crate::runner`]; the
 //! cell-sharded execution mode is [`crate::shard`].
 //!
 //! Construction is split in two so both modes share the expensive,
-//! draw-order-sensitive part: [`global_build`] runs every seeded
+//! draw-order-sensitive part: `global_build` runs every seeded
 //! stream (topology, solar field, node construction, generation
 //! phases) over the *whole* deployment, and [`Engine::build`] wraps
 //! the result into one engine owning everything. The sharded runner
-//! instead splits the same [`GlobalBuild`] into per-cell engines that
-//! defer ledger traffic to the coordinator ([`LedgerMode::Deferred`]).
+//! instead splits the same `GlobalBuild` into per-cell engines that
+//! defer ledger traffic to the coordinator (`LedgerMode::Deferred`).
 
 use blam::{CompressedSocTrace, DegradationLedger, SocSample};
 use blam_battery::SwitchOutcome;
@@ -486,7 +486,7 @@ impl Engine {
     /// Shared by [`Engine::run`] and the sharded coordinator (which
     /// drives the simulator itself through windowed barriers).
     ///
-    /// A [`LedgerMode::Deferred`] engine reports zeroed
+    /// A `LedgerMode::Deferred` engine reports zeroed
     /// `gateway_degradation_estimates`; the coordinator overwrites them
     /// from the one global ledger during the merge.
     pub(crate) fn finalize(mut self, horizon: SimTime, events_processed: u64) -> RunResult {

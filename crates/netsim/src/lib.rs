@@ -11,10 +11,15 @@
 //!   parameters.
 //! * [`topology`] — random disk deployments, per-node link budgets and
 //!   distance-based spreading-factor assignment.
-//! * [`policy`] — the [`MacPolicy`](policy::MacPolicy) trait holding
+//! * [`policy`] — the [`MacPolicy`] trait holding
 //!   every protocol decision point, with one implementation per MAC:
-//!   [`AlohaPolicy`](policy::AlohaPolicy) (the LoRaWAN baseline) and
-//!   [`BlamPolicy`](policy::BlamPolicy) (the paper's protocol).
+//!   [`AlohaPolicy`] (the LoRaWAN baseline),
+//!   [`BlamPolicy`] (the paper's protocol),
+//!   [`LongLivedPolicy`] (Long-Lived LoRa
+//!   min-lifetime allocation) and
+//!   [`BatterylessPolicy`]
+//!   (capacitor-threshold-gated battery-less scheduling). The full
+//!   roster is enumerated by [`Protocol::zoo`](config::Protocol::zoo).
 //! * [`nodes`] — the node layer: per-device state (MAC, battery,
 //!   switch, harvest, forecaster) and the generate → select window →
 //!   transmit → retransmit lifecycle, including energy settlement.
@@ -23,12 +28,12 @@
 //!   gateway half-duplex arbitration and RX1/RX2 downlink scheduling
 //!   in the crate-private `radio` module.
 //! * [`faults`] — seeded, deterministic fault injection
-//!   ([`FaultConfig`](faults::FaultConfig)): gateway outages,
+//!   ([`FaultConfig`]): gateway outages,
 //!   Gilbert–Elliott link loss, node reboots, SoC sensor error and
 //!   corrupted dissemination bytes, all drawn from per-entity named
 //!   RNG streams so faulted runs stay byte-identical in parallel
 //!   batches.
-//! * [`runner`] — [`BatchRunner`](runner::BatchRunner): deterministic
+//! * [`runner`] — [`BatchRunner`]: deterministic
 //!   parallel execution of scenario batches on worker threads, with
 //!   per-phase wall-clock profiling.
 //! * [`script`] — scenario scripts: timed mid-run events (add a
@@ -38,21 +43,21 @@
 //!   shard/worker counts.
 //! * [`shard`] — cell-sharded execution for very large deployments:
 //!   one simulator per gateway cell
-//!   ([`ShardPlan`](topology::ShardPlan)), synchronized at
+//!   ([`ShardPlan`]), synchronized at
 //!   dissemination epochs and merged deterministically, so
-//!   [`run_sharded`](shard::run_sharded) is byte-identical across
+//!   [`run_sharded`] is byte-identical across
 //!   shard and worker counts.
 //! * [`checkpoint`] — crash-safe mid-run checkpointing: versioned,
 //!   checksummed epoch snapshots with byte-exact resume
 //!   ([`Engine::run_checkpointed`](engine::Engine::run_checkpointed),
-//!   [`run_sharded_checkpointed`](shard::run_sharded_checkpointed)),
+//!   [`run_sharded_checkpointed`]),
 //!   torn-write quarantine included.
 //! * [`telemetry`] — wiring for the `blam-telemetry` subsystem:
-//!   [`TelemetryOptions`](telemetry::TelemetryOptions) builds per-run
+//!   [`TelemetryOptions`] builds per-run
 //!   recording sinks (in-memory reports, JSONL traces, flight
 //!   recorder) for the engine and batch runner, and
 //!   [`expected_counts`](telemetry::expected_counts) binds traces back
-//!   to [`NodeMetrics`](metrics::NodeMetrics) for replay validation.
+//!   to [`NodeMetrics`] for replay validation.
 //! * [`metrics`] — per-node and network-level metric collection
 //!   (RETX, TX energy, PRR, utility, latency, degradation, lifespan).
 //! * [`report`] — shared human-readable renderings of run results.
@@ -101,7 +106,10 @@ pub use config::{Protocol, ScenarioConfig};
 pub use engine::RunResult;
 pub use faults::FaultConfig;
 pub use metrics::{NetworkMetrics, NodeMetrics};
-pub use policy::{AlohaPolicy, BlamPolicy, MacPolicy, WindowDecision};
+pub use policy::{
+    AlohaPolicy, BatterylessConfig, BatterylessPolicy, BlamPolicy, LongLivedConfig,
+    LongLivedPolicy, MacPolicy, PolicyState, WindowDecision,
+};
 pub use runner::{BatchOutcome, BatchRunner};
 pub use scenario::Scenario;
 pub use script::{ScriptAction, ScriptConfig, ScriptedEvent};

@@ -1,9 +1,9 @@
 //! The node layer: per-device state and the node lifecycle handlers —
 //! generate → select window → transmit → retransmit — plus SoC/harvest
 //! settlement and periodic degradation sampling. Protocol decisions are
-//! delegated to the engine's [`MacPolicy`](crate::policy::MacPolicy).
+//! delegated to the engine's [`MacPolicy`].
 //!
-//! Node state itself lives in the data-oriented [`NodeStore`] (see
+//! Node state itself lives in the data-oriented `NodeStore` (see
 //! `store.rs`): hot per-event scalars in dense columns, cold state in a
 //! side arena. The handlers here — and every policy — work against the
 //! [`NodeMut`] view, never the columns directly, so the layout can
@@ -157,7 +157,11 @@ pub(crate) fn build_nodes(
         // power. Normalizing per node lets the DIF span its
         // full [0, 1] range for every node regardless of SF.
         let e_max = cfg.radio.tx_energy(&tx.with_power(Dbm(20.0)), phy_len);
-        let (blam, utility) = policy.node_state(tx_energy, e_max, windows);
+        let crate::policy::NodeProtocolState {
+            blam,
+            utility,
+            policy: policy_state,
+        } = policy.node_state(tx_energy, e_max, windows);
 
         let supercap = cfg
             .supercap_tx_multiple
@@ -207,6 +211,7 @@ pub(crate) fn build_nodes(
                 ..MacParams::default()
             }),
             blam,
+            policy_state,
             battery,
             switch: PowerSwitch::new(theta),
             supercap,
@@ -216,6 +221,11 @@ pub(crate) fn build_nodes(
             mcu_sleep: cfg.mcu_sleep,
             utility,
         });
+        // Commissioning pass: the policy may reallocate radio
+        // parameters (Long-Lived LoRa's SF assignment) now that the
+        // node is in the store. Draws no randomness, so policies using
+        // the default no-op stay byte-identical to pre-hook builds.
+        policy.on_commission(&mut store.node_mut(i));
     }
     store
 }
@@ -394,10 +404,13 @@ impl Engine {
         *node.current_phy_len = frame.phy_payload_len();
 
         // Brownout check: the battery (plus harvest during the airtime,
-        // which is negligible) must fund at least the first attempt.
+        // which is negligible) must fund at least the first attempt —
+        // and the policy's transmit gate must be clear (the battery-
+        // less capacitor threshold refuses here).
         let required = self.uplink_tx_energy(i);
-        let node = self.store.node_mut(i);
-        if node.battery.stored() < required {
+        let policy = &self.policy;
+        let mut node = self.store.node_mut(i);
+        if node.battery.stored() < required || !policy.clear_to_send(&mut node, now, required) {
             node.metrics.dropped_brownout += 1;
             node.metrics.concluded += 1;
             node.metrics.latency_sum += *node.period;
@@ -578,6 +591,19 @@ impl Engine {
                     },
                 );
             }
+            let report = self.store.node_mut(i).mac.abort(now);
+            if let Some(report) = report {
+                self.finish_exchange(now, i, &report);
+            }
+            return;
+        }
+        // Policy transmit gate (same instant the radio would key up):
+        // a battery-less node whose capacitor slipped below the
+        // cut-off since the backoff was scheduled gives up the
+        // exchange rather than transmit under-threshold.
+        let policy = &self.policy;
+        let mut node = self.store.node_mut(i);
+        if !policy.clear_to_send(&mut node, now, required) {
             let report = self.store.node_mut(i).mac.abort(now);
             if let Some(report) = report {
                 self.finish_exchange(now, i, &report);
@@ -824,6 +850,12 @@ impl Engine {
         // Invalidate every event scheduled against the pre-reboot
         // lifetime (StartTx, TxEnd, deadlines, retransmits).
         *node.exchange_epoch += 1;
+
+        // The policy resets whatever of its private state lives in RAM
+        // (Long-Lived wear, the battery-less power latch).
+        let policy = &self.policy;
+        let mut node = self.store.node_mut(i);
+        policy.on_reboot(&mut node);
 
         if self.telemetry_on() {
             self.emit(

@@ -1,0 +1,62 @@
+//! The LoRaWAN baseline policy: pure ALOHA.
+
+use blam::utility::Utility;
+use blam_lorawan::TxReport;
+use blam_units::{Duration, Joules, SimTime};
+
+use super::{MacPolicy, NodeProtocolState, PolicyState, WindowDecision};
+use crate::nodes::{NodeMut, PacketState};
+
+/// Standard LoRaWAN: pure ALOHA. Transmit immediately in the first
+/// forecast window, charge without limit, piggyback nothing, learn
+/// nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlohaPolicy;
+
+impl MacPolicy for AlohaPolicy {
+    fn label(&self) -> String {
+        "LoRaWAN".to_string()
+    }
+
+    fn theta(&self) -> f64 {
+        1.0
+    }
+
+    fn payload_overhead(&self) -> usize {
+        0
+    }
+
+    fn node_state(
+        &self,
+        _tx_energy: Joules,
+        _max_tx_energy: Joules,
+        _windows: usize,
+    ) -> NodeProtocolState {
+        NodeProtocolState {
+            blam: None,
+            utility: Utility::Linear,
+            policy: PolicyState::Stateless,
+        }
+    }
+
+    fn on_period_rollover(&self, _node: &mut NodeMut<'_>, _now: SimTime, _window: Duration) {}
+
+    fn select_window(
+        &self,
+        _node: &mut NodeMut<'_>,
+        _now: SimTime,
+        _window: Duration,
+    ) -> Option<WindowDecision> {
+        Some(WindowDecision::immediate())
+    }
+
+    fn on_ack_weight(&self, _node: &mut NodeMut<'_>, _byte: u8) {}
+
+    fn on_exchange_complete(
+        &self,
+        _node: &mut NodeMut<'_>,
+        _packet: Option<PacketState>,
+        _report: &TxReport,
+    ) {
+    }
+}

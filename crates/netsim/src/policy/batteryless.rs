@@ -1,0 +1,281 @@
+//! The energy-aware battery-less scheduler (Capuzzo, Delgado, Famaey,
+//! Zanella, PAPERS.md): capacitor-threshold-gated transmission over
+//! green-energy forecasts, with turn-off/turn-on hysteresis.
+//!
+//! A battery-less LoRaWAN device runs off a capacitor: it turns off
+//! when the stored energy falls below a cut-off threshold and may only
+//! resume once recharged past a strictly higher turn-on threshold
+//! (hysteresis, so the device doesn't flap around the cut-off). Mapped
+//! onto this simulator's storage substrate, the node's storage — the
+//! battery column, optionally buffered by the existing supercapacitor
+//! substrate — plays the capacitor, and the thresholds are fractions
+//! of its state of charge:
+//!
+//! * [`MacPolicy::select_window`] schedules around the harvest
+//!   forecast: a powered node transmits immediately; an unpowered one
+//!   books the earliest forecast window whose cumulative predicted
+//!   harvest lifts it past the turn-on threshold, and drops the packet
+//!   when no window in the period can.
+//! * [`MacPolicy::clear_to_send`] re-checks the hysteresis latch at
+//!   the instant the radio would key up (first attempt and every
+//!   retransmission). This is what makes the conformance battery's
+//!   shape check — *no transmission ever starts below
+//!   [`BatterylessConfig::off_soc`]* — hold by construction: the SoC
+//!   telemetry records at the same timestamp the gate fires.
+
+use blam::utility::Utility;
+use blam_lorawan::TxReport;
+use blam_units::{Duration, Joules, SimTime};
+use serde::{Deserialize, Serialize};
+
+use super::blam::feed_persistence_forecaster;
+use super::{MacPolicy, NodeProtocolState, PolicyState, WindowDecision};
+use crate::nodes::{NodeMut, PacketState};
+use blam_energy_harvest::Forecaster;
+
+/// Configuration of [`BatterylessPolicy`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatterylessConfig {
+    /// Turn-off threshold: the storage SoC below which the node is
+    /// unpowered and no transmission may start.
+    pub off_soc: f64,
+    /// Turn-on threshold: the SoC an unpowered node must recharge to
+    /// before transmitting again. Strictly above `off_soc` —
+    /// the hysteresis band that keeps the device from flapping.
+    pub on_soc: f64,
+}
+
+impl Default for BatterylessConfig {
+    fn default() -> Self {
+        BatterylessConfig {
+            off_soc: 0.30,
+            on_soc: 0.45,
+        }
+    }
+}
+
+impl BatterylessConfig {
+    /// Advances the turn-off/turn-on hysteresis latch for a measured
+    /// SoC and reports whether the node is powered. After this
+    /// returns `true`, `soc >= off_soc` holds by construction.
+    pub fn latch(&self, soc: f64, state: &mut BatterylessNodeState) -> bool {
+        if state.powered {
+            if soc < self.off_soc {
+                state.powered = false;
+            }
+        } else if soc >= self.on_soc {
+            state.powered = true;
+        }
+        state.powered
+    }
+}
+
+/// Per-node [`BatterylessPolicy`] state (checkpointed with the node).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct BatterylessNodeState {
+    /// The hysteresis latch: whether the node is currently powered.
+    /// Starts `false` — a battery-less device boots unpowered and must
+    /// first charge past the turn-on threshold.
+    pub powered: bool,
+}
+
+/// The battery-less scheduler: capacitor-threshold-gated transmissions
+/// with hysteresis (see the module docs).
+#[derive(Debug, Clone)]
+pub struct BatterylessPolicy {
+    cfg: BatterylessConfig,
+}
+
+impl BatterylessPolicy {
+    /// Wraps a battery-less scheduler configuration as a policy.
+    #[must_use]
+    pub fn new(cfg: BatterylessConfig) -> Self {
+        BatterylessPolicy { cfg }
+    }
+
+    /// The underlying configuration.
+    #[must_use]
+    pub fn config(&self) -> &BatterylessConfig {
+        &self.cfg
+    }
+}
+
+fn state_mut<'a>(node: &'a mut NodeMut<'_>) -> &'a mut BatterylessNodeState {
+    match node.policy_state {
+        PolicyState::Batteryless(s) => s,
+        // analyzer: allow(panic-hygiene, reason = "node_state() installs this variant on every node at build; a mismatch is an engine wiring bug, same contract as BlamPolicy's state expect")
+        _ => panic!("BatterylessPolicy installs Batteryless state on every node"),
+    }
+}
+
+impl MacPolicy for BatterylessPolicy {
+    fn label(&self) -> String {
+        "Batteryless".to_string()
+    }
+
+    fn theta(&self) -> f64 {
+        1.0
+    }
+
+    fn payload_overhead(&self) -> usize {
+        0
+    }
+
+    fn validate(&self, _scenario_window: Duration) {
+        assert!(
+            self.cfg.off_soc > 0.0,
+            "BatterylessConfig.off_soc must be positive"
+        );
+        assert!(
+            self.cfg.on_soc > self.cfg.off_soc,
+            "BatterylessConfig.on_soc must lie strictly above off_soc — \
+             equal thresholds lose the hysteresis band and flap at the cut-off"
+        );
+        assert!(
+            self.cfg.on_soc <= 1.0,
+            "BatterylessConfig.on_soc must not exceed 1"
+        );
+    }
+
+    fn node_state(
+        &self,
+        _tx_energy: Joules,
+        _max_tx_energy: Joules,
+        _windows: usize,
+    ) -> NodeProtocolState {
+        NodeProtocolState {
+            blam: None,
+            utility: Utility::Linear,
+            policy: PolicyState::Batteryless(BatterylessNodeState::default()),
+        }
+    }
+
+    fn on_period_rollover(&self, node: &mut NodeMut<'_>, now: SimTime, window: Duration) {
+        feed_persistence_forecaster(node, now, window);
+    }
+
+    fn select_window(
+        &self,
+        node: &mut NodeMut<'_>,
+        now: SimTime,
+        window: Duration,
+    ) -> Option<WindowDecision> {
+        // A reboot changes nothing for a battery-less device — it is
+        // *always* one brownout away from a cold boot — but the flag
+        // must be consumed like every policy does.
+        *node.cold_start = false;
+        let soc = node.battery.soc();
+        let powered = self.cfg.latch(soc, state_mut(node));
+        let windows = *node.windows;
+        if powered {
+            // Powered: transmit immediately; clear_to_send re-checks
+            // the latch at the actual transmit instant.
+            return Some(WindowDecision {
+                objective: soc,
+                ..WindowDecision::immediate()
+            });
+        }
+        // Unpowered: book the earliest window whose cumulative
+        // predicted harvest lifts the store past the turn-on
+        // threshold. Optimistic on purpose (sleep draw is ignored) —
+        // the transmit-instant gate drops the attempt if the charge
+        // didn't materialize.
+        debug_assert_eq!(node.forecast_scratch.len(), windows);
+        for w in 0..windows {
+            node.forecast_scratch[w] = node.forecaster.predict(now + window * w as u64, window);
+        }
+        let target = self.cfg.on_soc * node.battery.max_capacity().0;
+        let mut predicted = node.battery.stored().0;
+        for w in 0..windows {
+            predicted += node.forecast_scratch[w].0;
+            if predicted >= target {
+                return Some(WindowDecision {
+                    window: w,
+                    objective: predicted,
+                    utility_loss: 1.0 - node.utility.at(w, windows),
+                    dif: 0.0,
+                    fallback: false,
+                    wu_trust: 1.0,
+                });
+            }
+        }
+        // No window in this period can recharge the device: drop.
+        None
+    }
+
+    fn clear_to_send(&self, node: &mut NodeMut<'_>, _now: SimTime, required: Joules) -> bool {
+        // The gate runs at the same timestamp the TxAttempt telemetry
+        // samples the SoC, right after settlement: a `true` here
+        // *is* the shape-check guarantee that no transmission starts
+        // below the cut-off threshold.
+        let soc = node.battery.soc();
+        let powered = self.cfg.latch(soc, state_mut(node));
+        powered && node.battery.stored() >= required
+    }
+
+    fn on_ack_weight(&self, _node: &mut NodeMut<'_>, _byte: u8) {}
+
+    fn on_reboot(&self, node: &mut NodeMut<'_>) {
+        // The latch is RAM: a power cycle boots unpowered.
+        state_mut(node).powered = false;
+    }
+
+    fn on_exchange_complete(
+        &self,
+        _node: &mut NodeMut<'_>,
+        _packet: Option<PacketState>,
+        _report: &TxReport,
+    ) {
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        BatterylessPolicy::new(BatterylessConfig::default()).validate(Duration::from_mins(1));
+    }
+
+    #[test]
+    fn hysteresis_latch_turns_on_above_on_and_off_below_off() {
+        let cfg = BatterylessConfig::default();
+        let mut state = BatterylessNodeState::default();
+        // Boots unpowered; between the thresholds it stays unpowered.
+        assert!(!cfg.latch(0.40, &mut state));
+        // Crosses the turn-on threshold.
+        assert!(cfg.latch(0.45, &mut state));
+        // Inside the hysteresis band a powered node stays powered…
+        assert!(cfg.latch(0.35, &mut state));
+        // …until it crosses the cut-off.
+        assert!(!cfg.latch(0.29, &mut state));
+        // And must climb back past on_soc, not just off_soc.
+        assert!(!cfg.latch(0.40, &mut state));
+        assert!(cfg.latch(0.50, &mut state));
+    }
+
+    #[test]
+    fn powered_latch_implies_soc_at_or_above_cutoff() {
+        let cfg = BatterylessConfig::default();
+        let mut state = BatterylessNodeState { powered: true };
+        for soc in [0.0, 0.1, 0.29, 0.30, 0.31, 0.45, 1.0] {
+            let powered = cfg.latch(soc, &mut state);
+            assert!(
+                !powered || soc >= cfg.off_soc,
+                "latch reported powered at soc {soc}"
+            );
+            state.powered = true;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "on_soc must lie strictly above off_soc")]
+    fn validate_rejects_collapsed_hysteresis() {
+        let cfg = BatterylessConfig {
+            off_soc: 0.4,
+            on_soc: 0.4,
+        };
+        BatterylessPolicy::new(cfg).validate(Duration::from_mins(1));
+    }
+}

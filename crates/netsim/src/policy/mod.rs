@@ -1,0 +1,308 @@
+//! The MAC-protocol policy layer: the [`MacPolicy`] trait and the
+//! protocol zoo implementing it.
+//!
+//! Every protocol decision the simulator makes — payload overhead,
+//! charge threshold, forecast-window selection, SoC-trace bookkeeping,
+//! ACK weight processing, estimator feedback, transmit gating — lives
+//! behind the [`MacPolicy`] trait, implemented once per protocol:
+//!
+//! * [`AlohaPolicy`] (`aloha.rs`) — the LoRaWAN baseline: transmit
+//!   immediately, charge without limit, learn nothing.
+//! * [`BlamPolicy`] (`blam.rs`) — the paper's battery-lifespan-aware
+//!   MAC, any H-θ variant.
+//! * [`LongLivedPolicy`] (`long_lived.rs`) — Long-Lived LoRa
+//!   (Fahmida et al.): per-node SF/duty-cycle allocation maximizing the
+//!   minimum network lifetime.
+//! * [`BatterylessPolicy`] (`batteryless.rs`) — the energy-aware
+//!   battery-less scheduler (Capuzzo et al.): capacitor-threshold-gated
+//!   transmissions with turn-off/turn-on hysteresis.
+//!
+//! The engine holds one policy per run and never branches on
+//! [`Protocol`] itself; [`Protocol::policy`] below is the single
+//! construction-site match, and [`Protocol::zoo`] is the registry the
+//! cross-policy conformance battery iterates — both matches are
+//! exhaustive, so adding a `Protocol` variant without wiring it into
+//! the factory *and* the battery fails to compile.
+
+mod aloha;
+mod batteryless;
+mod blam;
+mod long_lived;
+
+pub use aloha::AlohaPolicy;
+pub use batteryless::{BatterylessConfig, BatterylessNodeState, BatterylessPolicy};
+pub use blam::BlamPolicy;
+pub use long_lived::{LongLivedConfig, LongLivedNodeState, LongLivedPolicy};
+
+use ::blam::utility::Utility;
+use ::blam::BlamNode;
+use blam_lorawan::TxReport;
+use blam_units::{Duration, Joules, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::config::Protocol;
+use crate::nodes::{NodeMut, PacketState};
+
+/// The per-node protocol state a policy installs at build time.
+#[derive(Debug, Clone)]
+pub struct NodeProtocolState {
+    /// The BLAM state machine (None for every non-BLAM policy).
+    pub blam: Option<BlamNode>,
+    /// The utility curve used for metric accounting.
+    pub utility: Utility,
+    /// Policy-private per-node state (checkpointed with the node).
+    pub policy: PolicyState,
+}
+
+/// Serializable policy-private per-node state, stored in the node
+/// store's cold arena and captured by every checkpoint. Policies whose
+/// state lives elsewhere (ALOHA: none; BLAM: [`BlamNode`]) use
+/// [`PolicyState::Stateless`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub enum PolicyState {
+    /// No policy-private state.
+    #[default]
+    Stateless,
+    /// [`LongLivedPolicy`] wear tracking and duty-cycle throttle.
+    LongLived(LongLivedNodeState),
+    /// [`BatterylessPolicy`] hysteresis power latch.
+    Batteryless(BatterylessNodeState),
+}
+
+/// A policy's verdict for a freshly generated packet: the chosen
+/// forecast window plus the diagnostics telemetry reports with it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowDecision {
+    /// The forecast window to transmit in.
+    pub window: usize,
+    /// The objective value γ of the choice (0 for ALOHA).
+    pub objective: f64,
+    /// Utility lost by deferring, `1 − U(window)` (0 for ALOHA).
+    pub utility_loss: f64,
+    /// Degradation impact factor of the choice (0 for ALOHA).
+    pub dif: f64,
+    /// True when the decision came from the cold-start degradation
+    /// ladder (forecaster wiped by a reboot), not Algorithm 1.
+    pub fallback: bool,
+    /// Trust in the disseminated `w_u` that informed the decision
+    /// (1 within its TTL, decaying toward 0 past it; always 1 when no
+    /// TTL is configured and for ALOHA).
+    pub wu_trust: f64,
+}
+
+impl WindowDecision {
+    /// The decision ALOHA always makes: transmit immediately.
+    #[must_use]
+    pub fn immediate() -> Self {
+        WindowDecision {
+            window: 0,
+            objective: 0.0,
+            utility_loss: 0.0,
+            dif: 0.0,
+            fallback: false,
+            wu_trust: 1.0,
+        }
+    }
+}
+
+/// The protocol-specific decision points of a simulation run.
+///
+/// Methods receive the node they act on; the engine calls them at fixed
+/// points of the per-node lifecycle (see `nodes.rs`). Implementations
+/// must be deterministic — any randomness belongs to the engine's named
+/// RNG streams, not the policy.
+pub trait MacPolicy: Send + Sync {
+    /// A short label for tables ("LoRaWAN", "H-50", "H-50C", …).
+    fn label(&self) -> String;
+
+    /// The charge threshold θ in effect (1 for unrestricted charging).
+    fn theta(&self) -> f64;
+
+    /// Extra uplink payload bytes the protocol piggybacks (the 4-byte
+    /// compressed SoC trace for BLAM, nothing for LoRaWAN).
+    fn payload_overhead(&self) -> usize;
+
+    /// Validates protocol parameters against the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent combinations.
+    fn validate(&self, scenario_window: Duration) {
+        let _ = scenario_window;
+    }
+
+    /// Builds the per-node protocol state at network-construction time.
+    fn node_state(
+        &self,
+        tx_energy: Joules,
+        max_tx_energy: Joules,
+        windows: usize,
+    ) -> NodeProtocolState;
+
+    /// One-time commissioning pass over a freshly built node, run by
+    /// `build_nodes` after the node is in the store. This is where a
+    /// policy reallocates radio parameters (Long-Lived LoRa's SF
+    /// assignment) before the first event fires. Must not draw
+    /// randomness. Default: no-op.
+    fn on_commission(&self, node: &mut NodeMut<'_>) {
+        let _ = node;
+    }
+
+    /// Folds the finished sampling period into protocol state when the
+    /// next packet is generated: compresses the period's SoC trace for
+    /// piggybacking and feeds the forecaster what actually arrived.
+    /// Called before the node's period bookkeeping rolls over.
+    fn on_period_rollover(&self, node: &mut NodeMut<'_>, now: SimTime, window: Duration);
+
+    /// Chooses the forecast window for a freshly generated packet.
+    /// `Some(decision)` transmits in `decision.window`; `None` drops
+    /// the packet (Algorithm 1 FAIL).
+    fn select_window(
+        &self,
+        node: &mut NodeMut<'_>,
+        now: SimTime,
+        window: Duration,
+    ) -> Option<WindowDecision>;
+
+    /// Last-instant transmit gate, polled at the same timestamp the
+    /// radio would key up (first attempt and every retransmission,
+    /// after energy settlement). `false` drops the attempt: the first
+    /// attempt is accounted a brownout drop, a retransmission aborts
+    /// the exchange. This is the seam the battery-less capacitor
+    /// threshold enforces its "never transmit below `off_soc`"
+    /// guarantee through. Default: always clear.
+    fn clear_to_send(&self, node: &mut NodeMut<'_>, now: SimTime, required: Joules) -> bool {
+        let _ = (node, now, required);
+        true
+    }
+
+    /// Processes the normalized-degradation weight byte carried by an
+    /// ACK downlink.
+    fn on_ack_weight(&self, node: &mut NodeMut<'_>, byte: u8);
+
+    /// A power cycle wiped the node's volatile state (see
+    /// `Engine::reboot_wipe` for what the engine itself clears). A
+    /// policy resets whatever of its private state lives in RAM.
+    /// Default: no-op.
+    fn on_reboot(&self, node: &mut NodeMut<'_>) {
+        let _ = node;
+    }
+
+    /// Feeds the concluded exchange back into the protocol estimators.
+    fn on_exchange_complete(
+        &self,
+        node: &mut NodeMut<'_>,
+        packet: Option<PacketState>,
+        report: &TxReport,
+    );
+}
+
+impl Protocol {
+    /// The [`MacPolicy`] implementation for this protocol variant — the
+    /// single construction site dispatching on the enum; everything
+    /// downstream of here talks to the trait.
+    #[must_use]
+    pub fn policy(&self) -> Box<dyn MacPolicy> {
+        match self {
+            Protocol::Lorawan => Box::new(AlohaPolicy),
+            Protocol::Blam(cfg) => Box::new(BlamPolicy::new(cfg.clone())),
+            Protocol::LongLived(cfg) => Box::new(LongLivedPolicy::new(cfg.clone())),
+            Protocol::Batteryless(cfg) => Box::new(BatterylessPolicy::new(cfg.clone())),
+        }
+    }
+
+    /// The registered protocol zoo: one representative configuration
+    /// per [`Protocol`] variant, in stable roster order. This is the
+    /// roster the cross-policy conformance battery
+    /// (`tests/policy_conformance.rs`), the CLI `compare` default and
+    /// the `check.sh` zoo smoke iterate.
+    #[must_use]
+    pub fn zoo() -> Vec<Protocol> {
+        let roster = vec![
+            Protocol::Lorawan,
+            Protocol::h(0.5),
+            Protocol::long_lived(),
+            Protocol::batteryless(),
+        ];
+        // Exhaustive registry witness (no wildcard arm): adding a
+        // `Protocol` variant without deciding its zoo representative
+        // fails to compile here, which is what keeps the conformance
+        // battery covering every policy.
+        for p in &roster {
+            match p {
+                Protocol::Lorawan
+                | Protocol::Blam(_)
+                | Protocol::LongLived(_)
+                | Protocol::Batteryless(_) => {}
+            }
+        }
+        roster
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ::blam::{BlamConfig, CompressedSocTrace};
+
+    #[test]
+    fn aloha_is_the_lorawan_baseline() {
+        let p = AlohaPolicy;
+        assert_eq!(p.label(), "LoRaWAN");
+        assert_eq!(p.theta(), 1.0);
+        assert_eq!(p.payload_overhead(), 0);
+        let state = p.node_state(Joules(0.04), Joules(0.08), 10);
+        assert!(state.blam.is_none());
+        assert_eq!(state.utility, Utility::Linear);
+        assert_eq!(state.policy, PolicyState::Stateless);
+    }
+
+    #[test]
+    fn blam_policy_reflects_its_config() {
+        let p = BlamPolicy::new(BlamConfig::h(0.5));
+        assert_eq!(p.label(), "H-50");
+        assert_eq!(p.theta(), 0.5);
+        assert_eq!(p.payload_overhead(), CompressedSocTrace::ENCODED_LEN);
+        let state = p.node_state(Joules(0.04), Joules(0.08), 10);
+        assert!(state.blam.is_some());
+        assert_eq!(state.policy, PolicyState::Stateless);
+    }
+
+    #[test]
+    fn immediate_decision_is_free() {
+        let d = WindowDecision::immediate();
+        assert_eq!(d.window, 0);
+        assert_eq!(d.objective, 0.0);
+        assert_eq!(d.utility_loss, 0.0);
+        assert_eq!(d.dif, 0.0);
+        assert!(!d.fallback);
+        assert_eq!(d.wu_trust, 1.0);
+    }
+
+    #[test]
+    fn protocol_factory_dispatches() {
+        assert_eq!(Protocol::Lorawan.policy().label(), "LoRaWAN");
+        assert_eq!(Protocol::h(0.05).policy().label(), "H-5");
+        assert_eq!(Protocol::h50c().policy().label(), "H-50C");
+        assert_eq!(Protocol::long_lived().policy().label(), "LongLived");
+        assert_eq!(Protocol::batteryless().policy().label(), "Batteryless");
+    }
+
+    #[test]
+    fn zoo_covers_every_variant_once() {
+        let zoo = Protocol::zoo();
+        assert_eq!(zoo.len(), 4);
+        let labels: Vec<String> = zoo.iter().map(Protocol::label).collect();
+        assert_eq!(labels, ["LoRaWAN", "H-50", "LongLived", "Batteryless"]);
+        // Every roster entry validates against its default scenario.
+        for p in zoo {
+            crate::config::ScenarioConfig::large_scale(4, p, 1).validate();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must match ScenarioConfig.forecast_window")]
+    fn blam_validate_rejects_window_mismatch() {
+        BlamPolicy::new(BlamConfig::h(0.5)).validate(Duration::from_mins(2));
+    }
+}

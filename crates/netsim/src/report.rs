@@ -54,13 +54,14 @@ pub fn summary(run: &RunResult) -> String {
     out
 }
 
-/// Renders one row of a protocol-comparison table (pair with
-/// [`comparison_header`]).
-#[must_use]
-pub fn comparison_row(run: &RunResult) -> String {
+/// Minimum label-column width: wide enough for the `MAC` header and
+/// the historical two-policy table layout.
+const MIN_LABEL_WIDTH: usize = 8;
+
+fn row_with_width(run: &RunResult, width: usize) -> String {
     let n = &run.network;
     format!(
-        "{:<8} {:>6.1}% {:>9.3} {:>10.1}s {:>8.2} {:>12.5}",
+        "{:<width$} {:>6.1}% {:>9.3} {:>10.1}s {:>8.2} {:>12.5}",
         run.label,
         100.0 * n.prr,
         n.avg_utility,
@@ -70,13 +71,45 @@ pub fn comparison_row(run: &RunResult) -> String {
     )
 }
 
+fn header_with_width(width: usize) -> String {
+    format!(
+        "{:<width$} {:>7} {:>9} {:>11} {:>8} {:>12}",
+        "MAC", "PRR", "utility", "latency", "RETX", "mean deg."
+    )
+}
+
+/// Renders one row of a protocol-comparison table (pair with
+/// [`comparison_header`]). Fixed legacy label width — for tables over
+/// policies with longer labels use [`comparison_table`], which sizes
+/// the label column to its contents.
+#[must_use]
+pub fn comparison_row(run: &RunResult) -> String {
+    row_with_width(run, MIN_LABEL_WIDTH)
+}
+
 /// The header line matching [`comparison_row`].
 #[must_use]
 pub fn comparison_header() -> String {
-    format!(
-        "{:<8} {:>7} {:>9} {:>11} {:>8} {:>12}",
-        "MAC", "PRR", "utility", "latency", "RETX", "mean deg."
-    )
+    header_with_width(MIN_LABEL_WIDTH)
+}
+
+/// Renders a full protocol-comparison table — header plus one row per
+/// run — with the label column sized to the widest label, so any
+/// number of policies with labels of any length stay aligned.
+#[must_use]
+pub fn comparison_table(runs: &[RunResult]) -> String {
+    let width = runs
+        .iter()
+        .map(|r| r.label.len())
+        .chain(std::iter::once(MIN_LABEL_WIDTH))
+        .max()
+        .unwrap_or(MIN_LABEL_WIDTH);
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", header_with_width(width));
+    for run in runs {
+        let _ = writeln!(out, "{}", row_with_width(run, width));
+    }
+    out
 }
 
 /// Renders the per-month maximum-degradation series (the Fig. 7 view).
@@ -134,6 +167,38 @@ mod tests {
             header.split_whitespace().count(),
             row.split_whitespace().count() + 1, // "mean deg." is two words
         );
+    }
+
+    #[test]
+    fn comparison_table_sizes_label_column_to_widest_policy() {
+        // "Batteryless" (11 chars) overflows the legacy 8-char label
+        // column; the table must widen every row in lockstep.
+        let days = Duration::from_days(2);
+        let runs: Vec<RunResult> = Protocol::zoo()
+            .into_iter()
+            .map(|p| Scenario::large_scale(4, p, 3).with_duration(days).run())
+            .collect();
+        let table = comparison_table(&runs);
+        let lines: Vec<&str> = table.lines().collect();
+        // Header + one row per policy.
+        assert_eq!(lines.len(), runs.len() + 1);
+        // Every label survives intact (no truncation).
+        for run in &runs {
+            assert!(
+                lines.iter().any(|l| l.starts_with(run.label.as_str())),
+                "missing row for {} in:\n{table}",
+                run.label
+            );
+        }
+        // Columns stay aligned: the numeric block starts at the same
+        // offset on every line, one past the widest label.
+        let width = runs.iter().map(|r| r.label.len()).max().unwrap();
+        for line in &lines {
+            assert!(
+                line.len() > width && line.as_bytes()[width] == b' ',
+                "label column broke alignment: {line:?}"
+            );
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! [`Engine`] over its own [`Simulator`], with its own MAC stream
 //! (`"mac"` indexed by cell), its own gateway radio, network server and
 //! ADR engine, and fault streams seeded by *global* node and gateway
-//! ids ([`FaultLayer::build_scoped`]). Cells interact only through the
+//! ids (`FaultLayer::build_scoped`). Cells interact only through the
 //! gateway-side degradation ledger, and only at **epoch barriers**: the
 //! dissemination instants `E_k = k · dissemination_interval`.
 //!
@@ -37,7 +37,8 @@
 //! node, neither of which decomposes. A cell engine keeps only the
 //! serving-gateway link (the audibility given up is quantified by
 //! [`ShardPlan::boundary`]) and draws from a per-cell MAC stream. Both
-//! modes share [`global_build`], so topology, harvest fields, node
+//! modes share the crate-private `global_build`, so topology, harvest
+//! fields, node
 //! hardware and commissioning are bit-identical between them.
 
 use blam::DegradationLedger;

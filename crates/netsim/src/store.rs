@@ -44,6 +44,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::metrics::NodeMetrics;
 use crate::nodes::{NodeForecaster, PacketState};
+use crate::policy::PolicyState;
 use crate::topology::NodePlacement;
 
 /// Cold per-node state: everything the event handlers touch at most a
@@ -63,6 +64,8 @@ pub(crate) struct NodeCold {
     pub(crate) mac: ClassAMac,
     /// BLAM protocol state (None for the LoRaWAN baseline).
     pub(crate) blam: Option<BlamNode>,
+    /// Policy-private per-node state (wear throttle, power latch, …).
+    pub(crate) policy_state: PolicyState,
     /// The rechargeable battery.
     pub(crate) battery: Battery,
     /// Software-defined battery switch (θ-capped for BLAM).
@@ -102,6 +105,7 @@ pub(crate) struct NodeSeed {
     pub(crate) gateway_links: Vec<LinkBudget>,
     pub(crate) mac: ClassAMac,
     pub(crate) blam: Option<BlamNode>,
+    pub(crate) policy_state: PolicyState,
     pub(crate) battery: Battery,
     pub(crate) switch: PowerSwitch,
     pub(crate) supercap: Option<Supercap>,
@@ -206,6 +210,7 @@ impl NodeStore {
             gateway_links,
             mac,
             blam,
+            policy_state,
             battery,
             switch,
             supercap,
@@ -243,6 +248,7 @@ impl NodeStore {
             inflight: Vec::new(),
             mac,
             blam,
+            policy_state,
             battery,
             switch,
             supercap,
@@ -290,6 +296,7 @@ impl NodeStore {
             inflight: &mut cold.inflight,
             mac: &mut cold.mac,
             blam: &mut cold.blam,
+            policy_state: &mut cold.policy_state,
             battery: &mut cold.battery,
             switch: &mut cold.switch,
             supercap: &mut cold.supercap,
@@ -459,6 +466,7 @@ impl NodeStore {
                     inflight,
                     mac,
                     blam,
+                    policy_state,
                     battery,
                     switch,
                     supercap,
@@ -478,6 +486,7 @@ impl NodeStore {
                     inflight: inflight.clone(),
                     mac: mac.clone(),
                     blam: blam.clone(),
+                    policy_state: policy_state.clone(),
                     battery: battery.clone(),
                     switch: *switch,
                     supercap: *supercap,
@@ -550,6 +559,7 @@ impl NodeStore {
             slot.inflight = saved.inflight;
             slot.mac = saved.mac;
             slot.blam = saved.blam;
+            slot.policy_state = saved.policy_state;
             slot.battery = saved.battery;
             slot.switch = saved.switch;
             slot.supercap = saved.supercap;
@@ -570,6 +580,7 @@ pub(crate) struct ColdState {
     pub(crate) inflight: Vec<(u64, usize, TransmissionId, f64)>,
     pub(crate) mac: ClassAMac,
     pub(crate) blam: Option<BlamNode>,
+    pub(crate) policy_state: PolicyState,
     pub(crate) battery: Battery,
     pub(crate) switch: PowerSwitch,
     pub(crate) supercap: Option<Supercap>,
@@ -689,6 +700,9 @@ pub struct NodeMut<'a> {
     pub mac: &'a mut ClassAMac,
     /// BLAM protocol state (None for the LoRaWAN baseline).
     pub blam: &'a mut Option<BlamNode>,
+    /// Policy-private per-node state ([`PolicyState::Stateless`] for
+    /// policies without one).
+    pub policy_state: &'a mut PolicyState,
     /// The rechargeable battery.
     pub battery: &'a mut Battery,
     /// Software-defined battery switch (θ-capped for BLAM).

@@ -91,6 +91,43 @@ fn single_engine_resume_is_byte_identical_at_every_kill_epoch() {
     }
 }
 
+/// The zoo's newer policies carry policy-private per-node state
+/// (`PolicyState`: Long-Lived wear/stride, the battery-less power
+/// latch) that must survive snapshots too: kill at *every* mid-run
+/// epoch barrier, resume, and byte-compare against the uninterrupted
+/// run — the same contract H-50 is held to above.
+#[test]
+fn zoo_policy_resume_is_byte_identical_at_every_kill_epoch() {
+    for (tag, protocol) in [
+        ("longlived", Protocol::long_lived()),
+        ("batteryless", Protocol::batteryless()),
+    ] {
+        let mut cfg = hostile_cfg(42);
+        cfg.protocol = protocol;
+        let baseline = serialize(&Engine::build(cfg.clone()).run());
+        for k in 1..=5 {
+            let path = snap_path(&format!("zoo-{tag}-kill-{k}.ckpt"));
+            let killed = Engine::build(cfg.clone())
+                .run_checkpointed(&CheckpointConfig::every_epoch(&path), die_after(k))
+                .expect("checkpoint I/O");
+            assert!(
+                killed.is_none(),
+                "{tag}: kill at epoch {k} must abandon the run"
+            );
+            let resumed = Engine::build(cfg.clone())
+                .run_checkpointed(&CheckpointConfig::every_epoch(&path), || true)
+                .expect("checkpoint I/O")
+                .expect("resumed run completes");
+            assert_eq!(
+                baseline,
+                serialize(&resumed),
+                "{tag}: resume after kill at epoch {k} diverged from the uninterrupted run"
+            );
+            assert!(!path.exists(), "completed run must remove its snapshot");
+        }
+    }
+}
+
 #[test]
 fn single_engine_survives_repeated_kills() {
     let cfg = hostile_cfg(7);

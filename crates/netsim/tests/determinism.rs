@@ -42,6 +42,8 @@ fn thread_count_does_not_change_results() {
         quick_cfg(Protocol::h(0.5), 10, 7),
         quick_cfg(Protocol::h(0.05), 8, 21),
         quick_cfg(Protocol::h50c(), 8, 21),
+        quick_cfg(Protocol::long_lived(), 8, 21),
+        quick_cfg(Protocol::batteryless(), 8, 21),
     ];
     let serial = BatchRunner::new(1).quiet().run_all(configs.clone());
     let parallel = BatchRunner::new(8).quiet().run_all(configs);
@@ -89,7 +91,7 @@ fn zero_intensity_faults_are_byte_identical_to_no_faults() {
 /// (ledger, ADR, server state, event counts) may differ between them.
 #[test]
 fn total_downlink_loss_matches_permanently_down_gateway() {
-    for protocol in [Protocol::Lorawan, Protocol::h(0.5)] {
+    for protocol in Protocol::zoo() {
         let mut lossy = quick_cfg(protocol.clone(), 10, 77);
         lossy.faults.downlink_loss = Some(GilbertElliott::uniform(1.0));
         let mut dead = quick_cfg(protocol, 10, 77);

@@ -1,13 +1,17 @@
 //! Refactor-parity snapshots.
 //!
-//! Pins the full `NetworkMetrics` of two fixed-seed quick scenarios —
-//! the LoRaWAN baseline and H-50 — as pretty-printed JSON under
-//! `tests/snapshots/`. On the first run a missing snapshot is recorded
-//! (golden-record style); afterwards any engine change that shifts a
-//! single metric bit fails the comparison. Delete a snapshot file to
-//! intentionally re-baseline after a behavior-changing commit.
+//! Pins the full `NetworkMetrics` of fixed-seed quick scenarios — one
+//! per policy in the zoo, plus a faulted H-50 — as pretty-printed JSON
+//! under `tests/snapshots/`. On the first run a missing snapshot is
+//! recorded (golden-record style); afterwards any engine change that
+//! shifts a single metric bit fails the comparison. Delete a snapshot
+//! file to intentionally re-baseline after a behavior-changing commit.
+//!
+//! The comparison itself is a `Result`-returning helper so the
+//! anti-vacuity test can assert the negative case: a corrupted
+//! snapshot *must* fail, proving the pin actually bites.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use blam_netsim::engine::Engine;
 use blam_netsim::{config::Protocol, FaultConfig, ScenarioConfig};
@@ -17,6 +21,32 @@ fn snapshot_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests/snapshots")
         .join(format!("{name}.json"))
+}
+
+/// The pinned view: a run's `NetworkMetrics` as pretty JSON.
+fn network_json(cfg: ScenarioConfig) -> String {
+    let run = Engine::build(cfg).run();
+    serde_json::to_string_pretty(&run.network).expect("NetworkMetrics serializes") + "\n"
+}
+
+/// Compares `actual` against the snapshot at `path`. A missing
+/// snapshot is recorded and passes (golden-record); a present one must
+/// match byte-for-byte.
+fn compare_snapshot(path: &Path, actual: &str) -> Result<(), String> {
+    match std::fs::read_to_string(path) {
+        Ok(expected) if expected == actual => Ok(()),
+        Ok(_) => Err(format!(
+            "NetworkMetrics diverged from the recorded snapshot {} — if this \
+             behavior change is intentional, delete the file to re-baseline",
+            path.display()
+        )),
+        Err(_) => {
+            std::fs::create_dir_all(path.parent().expect("snapshot dir")).expect("mkdir snapshots");
+            std::fs::write(path, actual).expect("record snapshot");
+            eprintln!("[recorded new snapshot {}]", path.display());
+            Ok(())
+        }
+    }
 }
 
 fn check_network_snapshot(name: &str, protocol: Protocol) {
@@ -30,24 +60,8 @@ fn check_faulted_network_snapshot(name: &str, protocol: Protocol, faults: FaultC
         faults,
         ..ScenarioConfig::large_scale(20, protocol, 11)
     };
-    let run = Engine::build(cfg).run();
-    let actual =
-        serde_json::to_string_pretty(&run.network).expect("NetworkMetrics serializes") + "\n";
-
-    let path = snapshot_path(name);
-    match std::fs::read_to_string(&path) {
-        Ok(expected) => assert_eq!(
-            actual,
-            expected,
-            "NetworkMetrics diverged from the recorded snapshot {} — if this \
-             behavior change is intentional, delete the file to re-baseline",
-            path.display()
-        ),
-        Err(_) => {
-            std::fs::create_dir_all(path.parent().expect("snapshot dir")).expect("mkdir snapshots");
-            std::fs::write(&path, &actual).expect("record snapshot");
-            eprintln!("[recorded new snapshot {}]", path.display());
-        }
+    if let Err(msg) = compare_snapshot(&snapshot_path(name), &network_json(cfg)) {
+        panic!("{msg}");
     }
 }
 
@@ -61,6 +75,16 @@ fn h50_quick_scenario_matches_snapshot() {
     check_network_snapshot("network_h50_20n_2d_seed11", Protocol::h(0.5));
 }
 
+#[test]
+fn longlived_quick_scenario_matches_snapshot() {
+    check_network_snapshot("network_longlived_20n_2d_seed11", Protocol::long_lived());
+}
+
+#[test]
+fn batteryless_quick_scenario_matches_snapshot() {
+    check_network_snapshot("network_batteryless_20n_2d_seed11", Protocol::batteryless());
+}
+
 /// Pins a fully faulted run too: any change to the fault layer's draw
 /// order or hook placement shifts these metrics and must re-baseline
 /// deliberately.
@@ -71,4 +95,48 @@ fn h50_chaos_scenario_matches_snapshot() {
         Protocol::h(0.5),
         FaultConfig::chaos(0.25, 0.1, Duration::from_days(1)),
     );
+}
+
+/// Anti-vacuity twin: proves the snapshot machinery can fail. Records
+/// a snapshot into a scratch directory, corrupts one byte, and asserts
+/// the comparison rejects it — so a future refactor that silently
+/// turns `compare_snapshot` into a tautology is caught here, not by a
+/// real regression slipping through.
+#[test]
+fn corrupted_snapshot_fails_the_comparison() {
+    let cfg = ScenarioConfig {
+        duration: Duration::from_days(1),
+        sample_interval: Duration::from_days(1),
+        ..ScenarioConfig::large_scale(5, Protocol::h(0.5), 11)
+    };
+    let actual = network_json(cfg);
+    let dir = std::env::temp_dir().join(format!("blam-parity-vacuity-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("anti_vacuity.json");
+
+    // Leg 1: a faithful snapshot passes.
+    std::fs::write(&path, &actual).expect("write snapshot");
+    assert!(
+        compare_snapshot(&path, &actual).is_ok(),
+        "a byte-identical snapshot must pass"
+    );
+
+    // Leg 2: the same snapshot with a single flipped byte must fail.
+    let mut corrupted = actual.clone().into_bytes();
+    let i = corrupted
+        .iter()
+        .position(|b| b.is_ascii_digit())
+        .expect("metrics JSON contains a digit");
+    corrupted[i] = if corrupted[i] == b'9' {
+        b'0'
+    } else {
+        corrupted[i] + 1
+    };
+    std::fs::write(&path, &corrupted).expect("corrupt snapshot");
+    assert!(
+        compare_snapshot(&path, &actual).is_err(),
+        "a corrupted snapshot must fail the comparison — the pin is vacuous"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
 }

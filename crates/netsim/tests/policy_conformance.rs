@@ -1,0 +1,276 @@
+//! Cross-policy conformance battery.
+//!
+//! Every MAC policy in the zoo — the LoRaWAN baseline, BLAM H-50,
+//! Long-Lived LoRa and the battery-less scheduler — runs through one
+//! shared battery of engine contracts:
+//!
+//! * determinism across worker counts (`--jobs 1` vs `--jobs 4`),
+//! * byte-identity across shard and job counts on the sharded path,
+//! * zero-intensity fault inertness,
+//! * checkpoint kill/resume parity,
+//! * packet- and energy-conservation invariants,
+//!
+//! plus one *shape* check per non-baseline policy pinning the behavior
+//! it exists for: Long-Lived LoRa must not worsen the minimum network
+//! lifetime relative to the ALOHA baseline on the paper topology, and
+//! the battery-less scheduler must never start a transmission below
+//! its capacitor cut-off threshold.
+//!
+//! Wiring guard: [`roster`] exhaustively matches `Protocol`, so adding
+//! a policy variant without registering it here is a compile error —
+//! a new policy cannot dodge the battery.
+
+use std::path::PathBuf;
+
+use blam_netsim::engine::Engine;
+use blam_netsim::faults::{GilbertElliott, SocSensorFaults};
+use blam_netsim::shard::run_sharded;
+use blam_netsim::{
+    config::Protocol, BatchRunner, BatterylessConfig, CheckpointConfig, FaultConfig, RunResult,
+    ScenarioConfig, TelemetryOptions,
+};
+use blam_telemetry::{Recorder, RecorderConfig};
+use blam_units::Duration;
+
+/// The policies under test. The `match` is the compile-time wiring
+/// guard: a new `Protocol` variant fails to compile here until its
+/// policy is added to [`Protocol::zoo`] and thereby to every test in
+/// this battery.
+fn roster() -> Vec<Protocol> {
+    let zoo = Protocol::zoo();
+    for p in &zoo {
+        match p {
+            Protocol::Lorawan => {}
+            Protocol::Blam(_) => {}
+            Protocol::LongLived(_) => {}
+            Protocol::Batteryless(_) => {}
+        }
+    }
+    zoo
+}
+
+fn quick_cfg(protocol: Protocol, nodes: usize, seed: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        duration: Duration::from_days(1),
+        sample_interval: Duration::from_days(1),
+        ..ScenarioConfig::large_scale(nodes, protocol, seed)
+    }
+}
+
+fn serialize(r: &RunResult) -> String {
+    serde_json::to_string(r).expect("RunResult serializes")
+}
+
+#[test]
+fn roster_labels_are_unique_and_complete() {
+    let labels: Vec<String> = roster().iter().map(Protocol::label).collect();
+    assert_eq!(labels.len(), 4, "the zoo fields four policies");
+    for (i, a) in labels.iter().enumerate() {
+        for b in &labels[i + 1..] {
+            assert_ne!(a, b, "duplicate policy label {a}");
+        }
+    }
+}
+
+/// Identical configs are byte-identical regardless of worker count,
+/// for every policy.
+#[test]
+fn every_policy_is_deterministic_across_jobs() {
+    let configs: Vec<ScenarioConfig> = roster().into_iter().map(|p| quick_cfg(p, 10, 77)).collect();
+    let serial = BatchRunner::new(1).quiet().run_all(configs.clone());
+    let parallel = BatchRunner::new(4).quiet().run_all(configs);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(
+            serialize(s),
+            serialize(p),
+            "--jobs 1 and --jobs 4 must agree for {}",
+            s.label
+        );
+    }
+}
+
+/// The cell-sharded path is a pure function of the scenario for every
+/// policy: shard and worker counts never shift a byte.
+#[test]
+fn every_policy_is_byte_identical_across_shard_and_job_counts() {
+    for protocol in roster() {
+        let cfg = ScenarioConfig {
+            duration: Duration::from_days(3),
+            sample_interval: Duration::from_days(1),
+            ..ScenarioConfig::scale(24, 4, protocol, 13)
+        };
+        let baseline = serialize(&run_sharded(&cfg, 1, 1, &TelemetryOptions::off()));
+        for (shards, jobs) in [(2, 2), (4, 4)] {
+            let r = run_sharded(&cfg, shards, jobs, &TelemetryOptions::off());
+            assert_eq!(
+                baseline,
+                serialize(&r),
+                "{}: --shards {shards} --jobs {jobs} diverged from --shards 1 --jobs 1",
+                r.label
+            );
+        }
+    }
+}
+
+/// A fault layer dialed to zero intensity must be invisible to every
+/// policy: the chains draw only from their own RNG streams.
+#[test]
+fn zero_intensity_faults_are_inert_for_every_policy() {
+    for protocol in roster() {
+        let clean = quick_cfg(protocol, 10, 42);
+        let mut faulted = clean.clone();
+        faulted.faults.uplink_loss = Some(GilbertElliott::uniform(0.0));
+        faulted.faults.downlink_loss = Some(GilbertElliott::uniform(0.0));
+        faulted.faults.soc_sensor = Some(SocSensorFaults {
+            sigma: 0.0,
+            bias: 0.0,
+        });
+        faulted.faults.weight_corruption = Some(0.0);
+        let a = Engine::build(clean).run();
+        let b = Engine::build(faulted).run();
+        assert_eq!(
+            serialize(&a),
+            serialize(&b),
+            "zero-intensity faults must not perturb {} at all",
+            a.label
+        );
+    }
+}
+
+/// Every policy's private per-node state survives a mid-run kill: a
+/// run killed at an epoch barrier and resumed from its snapshot is
+/// byte-identical to the uninterrupted run, chaos faults included.
+/// (`checkpoint_resume.rs` drills every barrier; this leg keeps one
+/// kill point per policy inside the shared battery.)
+#[test]
+fn every_policy_resumes_from_a_checkpoint_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("blam-conformance-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    for protocol in roster() {
+        let mut cfg = quick_cfg(protocol, 8, 9);
+        cfg.dissemination_interval = Duration::from_hours(6);
+        cfg.faults = FaultConfig::chaos(0.2, 0.05, Duration::from_days(2));
+        let label = cfg.protocol.label();
+        let baseline = serialize(&Engine::build(cfg.clone()).run());
+        let path: PathBuf = dir.join(format!("{label}.ckpt"));
+        let ckpt = CheckpointConfig::every_epoch(&path);
+        let mut polls = 0u64;
+        let killed = Engine::build(cfg.clone())
+            .run_checkpointed(&ckpt, || {
+                polls += 1;
+                polls <= 2
+            })
+            .expect("checkpoint I/O");
+        assert!(killed.is_none(), "{label}: the kill must abandon the run");
+        assert!(path.exists(), "{label}: snapshot must survive the kill");
+        let resumed = Engine::build(cfg)
+            .run_checkpointed(&ckpt, || true)
+            .expect("checkpoint I/O")
+            .expect("resumed run completes");
+        assert_eq!(
+            baseline,
+            serialize(&resumed),
+            "{label}: resume diverged from the uninterrupted run"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Packet accounting closes and energy stays physical for every
+/// policy: every generated packet concludes exactly once, SoC sampled
+/// at each transmission lies in [0, 1], degradation stays in [0, 1).
+#[test]
+fn conservation_invariants_hold_for_every_policy() {
+    for protocol in roster() {
+        let mut cfg = quick_cfg(protocol, 10, 31);
+        cfg.duration = Duration::from_days(2);
+        let recorder = Recorder::new(0, RecorderConfig::default());
+        let run = Engine::build(cfg).with_sink(Box::new(recorder)).run();
+        for (i, n) in run.nodes.iter().enumerate() {
+            let concluded =
+                n.delivered + n.failed_no_ack + n.dropped_no_window + n.dropped_brownout;
+            assert_eq!(concluded, n.concluded, "{}: node {i}", run.label);
+            assert!(n.generated >= concluded, "{}: node {i}", run.label);
+            assert!(
+                n.generated - concluded <= 1,
+                "{}: node {i} leaked packets",
+                run.label
+            );
+            assert!(
+                n.final_degradation >= 0.0 && n.final_degradation < 1.0,
+                "{}: node {i} unphysical degradation {}",
+                run.label,
+                n.final_degradation
+            );
+        }
+        let report = run.telemetry.as_ref().expect("recording sink reports");
+        if report.soc_at_tx.count() > 0 {
+            assert!(report.soc_at_tx.min() >= 0.0, "{}", run.label);
+            assert!(report.soc_at_tx.max() <= 1.0, "{}", run.label);
+        }
+    }
+}
+
+/// Shape check, Long-Lived LoRa: on the paper topology the policy's
+/// whole purpose is the minimum network lifetime, which the engine
+/// projects from the worst per-node degradation — so its most-worn
+/// node must not age faster than the ALOHA baseline's (5% slack
+/// absorbs collision noise from the reallocated SFs).
+#[test]
+fn long_lived_min_lifetime_is_at_least_the_baselines() {
+    let run = |protocol: Protocol| {
+        let cfg = ScenarioConfig {
+            duration: Duration::from_days(20),
+            sample_interval: Duration::from_days(5),
+            ..ScenarioConfig::large_scale(12, protocol, 42)
+        };
+        Engine::build(cfg).run()
+    };
+    let max_deg = |r: &RunResult| {
+        r.nodes
+            .iter()
+            .map(|n| n.final_degradation)
+            .fold(0.0f64, f64::max)
+    };
+    let aloha = run(Protocol::Lorawan);
+    let long_lived = run(Protocol::long_lived());
+    assert!(
+        long_lived.network.delivered > 0,
+        "vacuous: Long-Lived LoRa delivered nothing"
+    );
+    let (a, l) = (max_deg(&aloha), max_deg(&long_lived));
+    assert!(
+        l <= a * 1.05,
+        "Long-Lived LoRa's most-worn node ({l:.6}) ages faster than \
+         the ALOHA baseline's ({a:.6}): min lifetime got worse"
+    );
+}
+
+/// Shape check, battery-less: no transmission ever starts below the
+/// capacitor cut-off. The SoC histogram records at the same timestamp
+/// the policy's transmit gate fires, so the observed minimum is the
+/// gate's guarantee, not a sampling artifact.
+#[test]
+fn batteryless_never_transmits_below_the_cutoff() {
+    let protocol = Protocol::batteryless();
+    let off_soc = match &protocol {
+        Protocol::Batteryless(BatterylessConfig { off_soc, .. }) => *off_soc,
+        _ => unreachable!("just constructed"),
+    };
+    let mut cfg = quick_cfg(protocol, 12, 7);
+    cfg.duration = Duration::from_days(4);
+    let recorder = Recorder::new(0, RecorderConfig::default());
+    let run = Engine::build(cfg).with_sink(Box::new(recorder)).run();
+    assert!(
+        run.network.delivered > 0,
+        "vacuous: the battery-less network never delivered a packet"
+    );
+    let report = run.telemetry.as_ref().expect("recording sink reports");
+    assert!(report.soc_at_tx.count() > 0, "no transmissions recorded");
+    assert!(
+        report.soc_at_tx.min() >= off_soc - 1e-9,
+        "a transmission started at SoC {:.4}, below the {off_soc} cut-off",
+        report.soc_at_tx.min()
+    );
+}

@@ -4,8 +4,8 @@
 use blam::BlamConfig;
 use blam_netsim::config::{ForecasterKind, HarvestKind, Protocol, ScenarioConfig};
 use blam_netsim::engine::Engine;
-use blam_netsim::FaultConfig;
-use blam_units::Duration;
+use blam_netsim::{BatterylessConfig, FaultConfig, LongLivedConfig};
+use blam_units::{Db, Duration};
 use proptest::prelude::*;
 
 fn any_protocol() -> impl Strategy<Value = Protocol> {
@@ -14,6 +14,21 @@ fn any_protocol() -> impl Strategy<Value = Protocol> {
         (1u32..=20).prop_map(|t| Protocol::h(f64::from(t) / 20.0)),
         Just(Protocol::h50c()),
         Just(Protocol::Blam(BlamConfig::h(0.5).hardened())),
+        // The rest of the zoo, with their knobs drawn too, so the
+        // conservation/fault invariants below cover all four policies.
+        (0.0f64..=12.0, 2u32..=8).prop_map(|(margin, stride)| {
+            Protocol::LongLived(LongLivedConfig {
+                sf_margin: Db(margin),
+                skip_stride: stride,
+                ..LongLivedConfig::default()
+            })
+        }),
+        (0.05f64..=0.5, 0.01f64..=0.5).prop_map(|(off, band)| {
+            Protocol::Batteryless(BatterylessConfig {
+                off_soc: off,
+                on_soc: (off + band).min(1.0),
+            })
+        }),
     ]
 }
 

@@ -46,6 +46,20 @@ while IFS= read -r line; do
 done <"$tmp/trace.jsonl"
 cargo run -q --release -p blam-cli -- trace-check "$tmp/trace.jsonl"
 
+echo "==> zoo smoke run (4-policy compare, byte-identical across --jobs)"
+# The full policy zoo (LoRaWAN, H-50, LongLived, Batteryless) rides the
+# compare roster; the table must not shift a byte with the worker count.
+cargo run -q --release -p blam-cli -- compare \
+    --nodes 6 --days 1 --seed 3 --jobs 1 >"$tmp/zoo_a.txt"
+cargo run -q --release -p blam-cli -- compare \
+    --nodes 6 --days 1 --seed 3 --jobs 4 >"$tmp/zoo_b.txt"
+cmp "$tmp/zoo_a.txt" "$tmp/zoo_b.txt" \
+    || { echo "zoo compare is not deterministic across --jobs"; exit 1; }
+for policy in LoRaWAN H-50 LongLived Batteryless; do
+    grep -q "$policy" "$tmp/zoo_a.txt" \
+        || { echo "zoo compare table is missing $policy"; exit 1; }
+done
+
 echo "==> chaos smoke run (fault injection, fixed seed)"
 # The drill must be deterministic (two runs agree byte for byte) and
 # always print a lifespan projection line for each scenario pair.
